@@ -1,0 +1,64 @@
+// Ablation — slots per bucket (b). §IV of the paper argues for keeping
+// b = 4: shrinking buckets to cut false positives sacrifices too much load
+// factor ("VCF with buckets of size four cannot improve CF with buckets of
+// size two or three under the same table size" — i.e. the knob to turn is r,
+// not b). This bench quantifies that trade-off for CF and VCF side by side.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "harness/experiment.hpp"
+#include "harness/filter_factory.hpp"
+#include "metrics/stats.hpp"
+
+namespace vcf::bench {
+namespace {
+
+int Run(const Flags& flags) {
+  const BenchScale scale = ScaleFromFlags(flags);
+
+  TablePrinter table({"b", "CF LF(%)", "CF FPR(x1e-3)", "VCF LF(%)",
+                      "VCF FPR(x1e-3)", "VCF E0"});
+  for (unsigned b : {1u, 2u, 4u, 8u}) {
+    RunningStat cf_lf, cf_fpr, vcf_lf, vcf_fpr, vcf_e0;
+    for (unsigned rep = 0; rep < scale.reps; ++rep) {
+      CuckooParams p = scale.Params(5000 + rep);
+      p.slots_per_bucket = b;
+      p.bucket_count = scale.slots() / b;  // equal slot budget across b
+      const FilterSpec cf_spec{FilterSpec::Kind::kCF, 0, p, 0, 0};
+      const FilterSpec vcf_spec{FilterSpec::Kind::kIVCF, 6, p, 0, 0};
+
+      std::vector<std::uint64_t> members;
+      std::vector<std::uint64_t> aliens;
+      MakeKeySets(scale, p.slot_count(), 1 << 17, 5000 + rep * 8 + b, &members,
+                  &aliens);
+
+      auto cf = MakeFilter(cf_spec);
+      const FillResult cf_fill = FillAll(*cf, members);
+      cf_lf.Add(cf_fill.load_factor * 100.0);
+      cf_fpr.Add(MeasureFpr(*cf, aliens) * 1e3);
+
+      auto vcf_filter = MakeFilter(vcf_spec);
+      const FillResult vcf_fill = FillAll(*vcf_filter, members);
+      vcf_lf.Add(vcf_fill.load_factor * 100.0);
+      vcf_fpr.Add(MeasureFpr(*vcf_filter, aliens) * 1e3);
+      vcf_e0.Add(vcf_fill.evictions_per_insert);
+    }
+    table.AddRow({std::to_string(b), TablePrinter::FormatDouble(cf_lf.Mean(), 2),
+                  TablePrinter::FormatDouble(cf_fpr.Mean(), 3),
+                  TablePrinter::FormatDouble(vcf_lf.Mean(), 2),
+                  TablePrinter::FormatDouble(vcf_fpr.Mean(), 3),
+                  TablePrinter::FormatDouble(vcf_e0.Mean(), 2)});
+  }
+  Emit(scale, table, "Ablation: slots per bucket (equal total slots)");
+  std::cout << "\nExpected: b = 1 cannot sustain high load for either filter; "
+               "FPR grows ~linearly\nwith b; b = 4 is the sweet spot the "
+               "paper standardises on (sect. IV).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcf::bench
+
+int main(int argc, char** argv) {
+  return vcf::bench::Run(vcf::Flags(argc, argv));
+}

@@ -1,0 +1,74 @@
+// Ablation — DynamicVcf segment chaining vs a right-sized single VCF.
+//
+// The paper dismisses Dynamic-Cuckoo-style chaining because every extra
+// segment adds a full probe set to each lookup and stacks false-positive
+// mass (§II-B). This bench quantifies that: the same key set goes into
+// (a) one VCF sized to fit, and (b) a DynamicVcf built from segments of
+// 1/8 that size, then lookup time and FPR are compared.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/dynamic_vcf.hpp"
+#include "core/vcf.hpp"
+#include "harness/experiment.hpp"
+#include "metrics/stats.hpp"
+
+namespace vcf::bench {
+namespace {
+
+int Run(const Flags& flags) {
+  const BenchScale scale = ScaleFromFlags(flags);
+
+  TablePrinter table({"config", "segments", "LF(%)", "insert(us)",
+                      "lookup(us)", "FPR(x1e-3)"});
+  RunningStat mono_lf, mono_it, mono_qt, mono_fpr;
+  RunningStat dyn_lf, dyn_it, dyn_qt, dyn_fpr, dyn_segs;
+  const std::size_t n = scale.slots() * 95 / 100;
+
+  for (unsigned rep = 0; rep < scale.reps; ++rep) {
+    std::vector<std::uint64_t> members;
+    std::vector<std::uint64_t> aliens;
+    MakeKeySets(scale, n, 1 << 17, 9000 + rep, &members, &aliens);
+
+    CuckooParams mono = scale.Params(9100 + rep);
+    VerticalCuckooFilter single(mono);
+    const FillResult mono_fill = FillAll(single, members);
+    mono_lf.Add(mono_fill.load_factor * 100.0);
+    mono_it.Add(mono_fill.avg_insert_micros);
+    mono_qt.Add(MeasureLookupMicros(single, members));
+    mono_fpr.Add(MeasureFpr(single, aliens) * 1e3);
+
+    CuckooParams segment = mono;
+    segment.bucket_count = mono.bucket_count / 8;  // 8 segments to cover n
+    DynamicVcf chained(segment);
+    const FillResult dyn_fill = FillAll(chained, members);
+    dyn_lf.Add(dyn_fill.load_factor * 100.0);
+    dyn_it.Add(dyn_fill.avg_insert_micros);
+    dyn_qt.Add(MeasureLookupMicros(chained, members));
+    dyn_fpr.Add(MeasureFpr(chained, aliens) * 1e3);
+    dyn_segs.Add(static_cast<double>(chained.SegmentCount()));
+  }
+
+  table.AddRow({"single VCF", "1", TablePrinter::FormatDouble(mono_lf.Mean(), 2),
+                TablePrinter::FormatDouble(mono_it.Mean(), 4),
+                TablePrinter::FormatDouble(mono_qt.Mean(), 4),
+                TablePrinter::FormatDouble(mono_fpr.Mean(), 3)});
+  table.AddRow({"DynamicVCF (1/8 segments)",
+                TablePrinter::FormatDouble(dyn_segs.Mean(), 1),
+                TablePrinter::FormatDouble(dyn_lf.Mean(), 2),
+                TablePrinter::FormatDouble(dyn_it.Mean(), 4),
+                TablePrinter::FormatDouble(dyn_qt.Mean(), 4),
+                TablePrinter::FormatDouble(dyn_fpr.Mean(), 3)});
+  Emit(scale, table, "Ablation: segment chaining (DynamicVCF) vs right-sized VCF");
+  std::cout << "\nExpected: chaining buys elastic capacity but multiplies "
+               "lookup cost and FPR by\nroughly the live segment count — the"
+               " paper's argument against DCF-style chains.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcf::bench
+
+int main(int argc, char** argv) {
+  return vcf::bench::Run(vcf::Flags(argc, argv));
+}

@@ -1,0 +1,93 @@
+// Shared plumbing for the per-table/per-figure benchmark binaries.
+//
+// Every binary accepts:
+//   --slots_log2=N   table size (total slots = 2^N); default 16
+//   --reps=R         repetitions averaged per data point; default 3
+//   --paper          paper-scale run: 2^20 slots, more reps (overrides both)
+//   --workload=X     "higgs" (default; synthetic HIGGS, §VI-A) or "uniform"
+//   --hash=X         fnv (default) | murmur | djb | splitmix
+//   --csv=PATH       additionally dump the table as CSV
+//
+// The quick defaults keep `for b in build/bench/*; do $b; done` in the
+// seconds range; --paper reproduces the paper's 2^20-slot scale.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cuckoo_params.hpp"
+#include "harness/flags.hpp"
+#include "metrics/table_printer.hpp"
+#include "workload/key_streams.hpp"
+#include "workload/synthetic_higgs.hpp"
+
+namespace vcf::bench {
+
+struct BenchScale {
+  unsigned slots_log2 = 16;
+  unsigned reps = 3;
+  bool paper = false;
+  std::string workload = "higgs";
+  HashKind hash = HashKind::kFnv1a;
+  std::string csv_path;
+
+  std::size_t slots() const noexcept { return std::size_t{1} << slots_log2; }
+
+  CuckooParams Params(std::uint64_t seed) const noexcept {
+    CuckooParams p = CuckooParams::ForSlotsLog2(slots_log2);
+    p.hash = hash;
+    p.seed = seed;
+    return p;
+  }
+};
+
+inline BenchScale ScaleFromFlags(const Flags& flags) {
+  BenchScale s;
+  s.paper = flags.GetBool("paper");
+  s.slots_log2 = static_cast<unsigned>(
+      flags.GetInt("slots_log2", s.paper ? 20 : 16));
+  s.reps = static_cast<unsigned>(flags.GetInt("reps", s.paper ? 10 : 3));
+  s.workload = flags.GetString("workload", "higgs");
+  s.hash = ParseHashKind(flags.GetString("hash", "fnv"));
+  s.csv_path = flags.GetString("csv", "");
+  return s;
+}
+
+/// Two disjoint key sets (members to insert, aliens to query) drawn from the
+/// configured workload. `salt` decorrelates repetitions.
+inline void MakeKeySets(const BenchScale& scale, std::size_t n_members,
+                        std::size_t n_aliens, std::uint64_t salt,
+                        std::vector<std::uint64_t>* members,
+                        std::vector<std::uint64_t>* aliens) {
+  if (scale.workload == "uniform") {
+    *members = UniformKeys(n_members, 2 * salt + 1);
+    *aliens = n_aliens ? UniformKeys(n_aliens, 2 * salt + 2)
+                       : std::vector<std::uint64_t>{};
+    return;
+  }
+  SyntheticHiggs gen(0x48494747ULL + salt);
+  gen.DisjointKeySets(n_members, n_aliens, members, aliens);
+}
+
+/// Prints the table and honours --csv.
+inline void Emit(const BenchScale& scale, const TablePrinter& table,
+                 const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+  std::cout << "(slots=2^" << scale.slots_log2 << ", reps=" << scale.reps
+            << ", workload=" << scale.workload
+            << ", hash=" << HashKindName(scale.hash)
+            << (scale.paper ? ", PAPER SCALE" : ", quick scale")
+            << "; pass --paper for the paper's 2^20-slot setup)\n\n";
+  table.Print(std::cout);
+  if (!scale.csv_path.empty()) {
+    if (table.WriteCsv(scale.csv_path)) {
+      std::cout << "\nCSV written to " << scale.csv_path << "\n";
+    } else {
+      std::cerr << "failed to write CSV to " << scale.csv_path << "\n";
+    }
+  }
+}
+
+}  // namespace vcf::bench

@@ -1,0 +1,125 @@
+// Extension bench — §III-C's "one hash function for many sketches"
+// methodology, quantified: standard Count-Min / Bloom (d or k independent
+// hashes per op) vs their vertical-hashing counterparts (one hash + masks).
+// Reports throughput, hash computations and accuracy side by side.
+#include <iostream>
+#include <map>
+#include <memory>
+
+#include "baselines/bloom_filter.hpp"
+#include "bench_common.hpp"
+#include "common/timer.hpp"
+#include "metrics/stats.hpp"
+#include "sketches/count_min.hpp"
+#include "sketches/vbloom.hpp"
+
+namespace vcf::bench {
+namespace {
+
+void CompareCountMin(const BenchScale& scale, TablePrinter* table) {
+  const std::size_t width = 1 << 14;
+  const unsigned depth = 4;
+  const std::size_t updates = scale.slots();
+
+  for (int variant = 0; variant < 2; ++variant) {
+    RunningStat mops;
+    RunningStat hashes_per_op;
+    RunningStat mean_err;
+    std::string name;
+    for (unsigned rep = 0; rep < scale.reps; ++rep) {
+      std::unique_ptr<FrequencySketch> sketch;
+      if (variant == 0) {
+        sketch = std::make_unique<CountMinSketch>(width, depth, scale.hash,
+                                                  1000 + rep);
+      } else {
+        sketch = std::make_unique<VerticalCountMin>(width, depth, scale.hash,
+                                                    1000 + rep);
+      }
+      name = sketch->Name();
+      ZipfGenerator zipf(200000, 1.0, 40 + rep);
+      std::vector<std::uint64_t> stream(updates);
+      for (auto& key : stream) key = zipf.Next();
+      std::map<std::uint64_t, std::uint64_t> truth;
+      Stopwatch watch;
+      for (const auto key : stream) sketch->Update(key, 1);
+      const double secs = watch.ElapsedSeconds();
+      for (const auto key : stream) ++truth[key];
+      double err = 0.0;
+      for (const auto& [key, count] : truth) {
+        err += static_cast<double>(sketch->Estimate(key) - count);
+      }
+      mops.Add(static_cast<double>(updates) / secs / 1e6);
+      hashes_per_op.Add(static_cast<double>(sketch->counters().hash_computations) /
+                        static_cast<double>(updates + truth.size()));
+      mean_err.Add(err / static_cast<double>(truth.size()));
+    }
+    table->AddRow({name, TablePrinter::FormatDouble(mops.Mean(), 2),
+                   TablePrinter::FormatDouble(hashes_per_op.Mean(), 2),
+                   TablePrinter::FormatDouble(mean_err.Mean(), 3)});
+  }
+}
+
+void CompareBloom(const BenchScale& scale, TablePrinter* table) {
+  const std::size_t n = scale.slots();
+  for (int variant = 0; variant < 2; ++variant) {
+    RunningStat mops;
+    RunningStat hashes_per_op;
+    RunningStat fpr;
+    std::string name;
+    for (unsigned rep = 0; rep < scale.reps; ++rep) {
+      std::unique_ptr<Filter> filter;
+      if (variant == 0) {
+        filter = std::make_unique<BloomFilter>(n, 12.0, scale.hash, 0,
+                                               2000 + rep);
+      } else {
+        filter = std::make_unique<VerticalBloomFilter>(n, 12.0, scale.hash, 0,
+                                                       2000 + rep);
+      }
+      name = filter->Name();
+      std::vector<std::uint64_t> members;
+      std::vector<std::uint64_t> aliens;
+      MakeKeySets(scale, n, 1 << 17, 2100 + rep, &members, &aliens);
+      Stopwatch watch;
+      for (const auto k : members) filter->Insert(k);
+      const double secs = watch.ElapsedSeconds();
+      std::size_t fp = 0;
+      for (const auto a : aliens) fp += filter->Contains(a) ? 1 : 0;
+      mops.Add(static_cast<double>(n) / secs / 1e6);
+      hashes_per_op.Add(
+          static_cast<double>(filter->counters().hash_computations) /
+          static_cast<double>(n + aliens.size()));
+      fpr.Add(static_cast<double>(fp) / static_cast<double>(aliens.size()) * 1e3);
+    }
+    table->AddRow({name, TablePrinter::FormatDouble(mops.Mean(), 2),
+                   TablePrinter::FormatDouble(hashes_per_op.Mean(), 2),
+                   TablePrinter::FormatDouble(fpr.Mean(), 3) + " (FPR x1e-3)"});
+  }
+}
+
+int Run(const Flags& flags) {
+  const BenchScale scale = ScaleFromFlags(flags);
+
+  TablePrinter cm({"sketch", "update Mops/s", "hashes/op",
+                   "mean overestimate"});
+  CompareCountMin(scale, &cm);
+  Emit(scale, cm, "Extension: Count-Min with independent vs vertical hashing");
+
+  TablePrinter bl({"filter", "insert Mops/s", "hashes/op", "accuracy"});
+  CompareBloom(scale, &bl);
+  Emit(scale, bl, "Extension: Bloom with independent vs vertical hashing");
+
+  std::cout << "\nExpected: vertical variants match accuracy within noise "
+               "while computing 1 hash\nper operation instead of d (or k) — "
+               "the paper's sect. III-C methodology claim.\nNote: VBF rounds "
+               "its bit array up to a power of two, so its FPR can sit "
+               "below\nBF's here purely from extra bits; tests/sketches "
+               "compares the two at equal geometry.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcf::bench
+
+int main(int argc, char** argv) {
+  return vcf::bench::Run(vcf::Flags(argc, argv));
+}

@@ -1,0 +1,68 @@
+// Fig. 9 — empirical false positive rate vs r (filter filled from the
+// workload, then probed with 2^20 never-inserted keys), for IVCFs, DVCFs and
+// the CF / DCF references. The paper reports a near-linear rise with r and
+// similar IVCF/DVCF values.
+#include <iostream>
+
+#include "analysis/model.hpp"
+#include "bench_common.hpp"
+#include "harness/experiment.hpp"
+#include "harness/filter_factory.hpp"
+#include "metrics/stats.hpp"
+
+namespace vcf::bench {
+namespace {
+
+int Run(const Flags& flags) {
+  const BenchScale scale = ScaleFromFlags(flags);
+  const CuckooParams base = scale.Params(23);
+
+  std::vector<FilterSpec> specs = {{FilterSpec::Kind::kCF, 0, base, 0, 0},
+                                   {FilterSpec::Kind::kDCF, 4, base, 0, 0}};
+  for (const auto& s : IvcfSweep(base)) specs.push_back(s);
+  for (const auto& s : DvcfSweep(base)) specs.push_back(s);
+
+  TablePrinter table({"filter", "r", "FPR(x1e-3)", "Eq.10 bound(x1e-3)"});
+  const std::size_t n_aliens = scale.paper ? (1u << 20) : (1u << 18);
+  for (const auto& spec : specs) {
+    RunningStat fpr;
+    RunningStat lf;
+    std::string name;
+    for (unsigned rep = 0; rep < scale.reps; ++rep) {
+      auto filter = MakeFilter(spec);
+      name = filter->Name();
+      std::vector<std::uint64_t> members;
+      std::vector<std::uint64_t> aliens;
+      MakeKeySets(scale, filter->SlotCount(), n_aliens, 888 + rep, &members,
+                  &aliens);
+      FillAll(*filter, members);
+      lf.Add(filter->LoadFactor());
+      fpr.Add(MeasureFpr(*filter, aliens) * 1e3);
+    }
+    double r = SpecTheoreticalR(spec);
+    if (spec.kind == FilterSpec::Kind::kDCF) {
+      r = 1.0;  // DCF always probes 4 buckets; treat as r = 1 for the bound
+    }
+    const double bound =
+        model::FalsePositiveUpperBound(base.fingerprint_bits, r, 4, lf.Mean()) *
+        1e3;
+    table.AddRow({name,
+                  spec.kind == FilterSpec::Kind::kDCF
+                      ? "n/a"
+                      : TablePrinter::FormatDouble(r, 4),
+                  TablePrinter::FormatDouble(fpr.Mean(), 3),
+                  TablePrinter::FormatDouble(bound, 3)});
+  }
+  Emit(scale, table, "Fig. 9: false positive rate vs r");
+  std::cout << "\nPaper's shape: FPR rises ~linearly with r; IVCF and DVCF "
+               "nearly identical;\nCF lowest (~0.49e-3 at f=14), DCF highest "
+               "(~0.97e-3).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcf::bench
+
+int main(int argc, char** argv) {
+  return vcf::bench::Run(vcf::Flags(argc, argv));
+}

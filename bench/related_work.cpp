@@ -1,0 +1,85 @@
+// Related-work comparison (§II of the paper, measured): every AMQ structure
+// the paper reviews that this library implements — BF, CBF, dlCBF, QF, CF,
+// VF, DCF — against the VCF, at a common slot budget and fingerprint width.
+// Columns: sustainable load, bits per stored item, insert/lookup
+// throughput, FPR, hash computations per op, deletion support.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "harness/experiment.hpp"
+#include "harness/filter_factory.hpp"
+#include "metrics/stats.hpp"
+
+namespace vcf::bench {
+namespace {
+
+int Run(const Flags& flags) {
+  const BenchScale scale = ScaleFromFlags(flags);
+  const CuckooParams base = scale.Params(31);
+
+  const std::vector<FilterSpec> specs = {
+      {FilterSpec::Kind::kBF, 0, base, 14.0, 0},
+      {FilterSpec::Kind::kCBF, 0, base, 14.0, 0},
+      {FilterSpec::Kind::kDlCBF, 4, base, 0, 0},
+      {FilterSpec::Kind::kQF, 0, base, 0, 0},
+      {FilterSpec::Kind::kCF, 0, base, 0, 0},
+      {FilterSpec::Kind::kSsCF, 0, base, 0, 0},
+      {FilterSpec::Kind::kVF, 7, base, 0, 0},
+      {FilterSpec::Kind::kMF, 0, base, 0, 0},
+      {FilterSpec::Kind::kDCF, 4, base, 0, 0},
+      {FilterSpec::Kind::kIVCF, 6, base, 0, 0},
+      {FilterSpec::Kind::kDVCF, 8, base, 0, 0},
+  };
+
+  TablePrinter table({"structure", "load(%)", "bits/item", "insert(Mops/s)",
+                      "lookup(Mops/s)", "FPR(x1e-3)", "hashes/op", "del"});
+  for (const auto& spec : specs) {
+    RunningStat load, bpi, ins, look, fpr, hashes;
+    bool deletion = false;
+    std::string name;
+    for (unsigned rep = 0; rep < scale.reps; ++rep) {
+      auto filter = MakeFilter(spec);
+      name = filter->Name();
+      deletion = filter->SupportsDeletion();
+      // Offer 95% of the structure's own slot budget — the high-occupancy
+      // regime the paper targets.
+      const std::size_t n = filter->SlotCount() * 95 / 100;
+      std::vector<std::uint64_t> members;
+      std::vector<std::uint64_t> aliens;
+      MakeKeySets(scale, n, 1 << 17, 3200 + rep, &members, &aliens);
+      const FillResult fill = FillAll(*filter, members);
+      load.Add(fill.load_factor * 100.0);
+      bpi.Add(static_cast<double>(filter->MemoryBytes()) * 8.0 /
+              static_cast<double>(fill.stored));
+      ins.Add(1.0 / fill.avg_insert_micros);
+      look.Add(1.0 / MeasureLookupMicros(*filter, members));
+      fpr.Add(MeasureFpr(*filter, aliens) * 1e3);
+      hashes.Add(static_cast<double>(filter->counters().hash_computations) /
+                 static_cast<double>(fill.attempted + members.size() +
+                                     aliens.size()));
+    }
+    table.AddRow({name, TablePrinter::FormatDouble(load.Mean(), 2),
+                  TablePrinter::FormatDouble(bpi.Mean(), 2),
+                  TablePrinter::FormatDouble(ins.Mean(), 2),
+                  TablePrinter::FormatDouble(look.Mean(), 2),
+                  TablePrinter::FormatDouble(fpr.Mean(), 3),
+                  TablePrinter::FormatDouble(hashes.Mean(), 2),
+                  deletion ? "yes" : "no"});
+  }
+  Emit(scale, table, "Related work: every reviewed AMQ structure, one table");
+  std::cout << "\nReading guide (paper's sect. II claims): CBF pays 4x BF "
+               "space for deletion; dlCBF\nhalves that; QF is compact but "
+               "slows near full (cluster growth); VF matches CF\nwithout "
+               "power-of-two table sizes; DCF reaches VCF-grade load but "
+               "lookups crawl;\nVCF keeps cuckoo-grade everything with the "
+               "cheapest high-load inserts.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace vcf::bench
+
+int main(int argc, char** argv) {
+  return vcf::bench::Run(vcf::Flags(argc, argv));
+}

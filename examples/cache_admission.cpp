@@ -1,0 +1,105 @@
+// Cache-admission doorkeeper — a classic online use of an AMQ sketch
+// (TinyLFU-style): only admit an object into the cache on its SECOND touch
+// within a window, filtering out one-hit wonders. The doorkeeper must absorb
+// one insert per cache miss (insertion-intensive!), which is exactly the
+// workload VCF is designed for.
+//
+// A Zipf-distributed request stream drives a small LRU cache with and
+// without a VCF doorkeeper; the doorkeeper lifts the hit rate by keeping
+// one-hit wonders from evicting popular objects.
+//
+//   $ ./build/examples/cache_admission
+#include <cstdio>
+#include <list>
+#include <unordered_map>
+
+#include "core/vcf.hpp"
+#include "workload/key_streams.hpp"
+
+namespace {
+
+/// Minimal LRU cache of fixed capacity (keys only; values irrelevant here).
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  bool Touch(std::uint64_t key) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      order_.splice(order_.begin(), order_, it->second);
+      return true;
+    }
+    return false;
+  }
+
+  void Admit(std::uint64_t key) {
+    if (index_.count(key)) return;
+    order_.push_front(key);
+    index_[key] = order_.begin();
+    if (index_.size() > capacity_) {
+      index_.erase(order_.back());
+      order_.pop_back();
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::uint64_t> order_;
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> index_;
+};
+
+double RunTrace(bool use_doorkeeper, const std::vector<std::uint64_t>& trace,
+                std::size_t cache_size) {
+  LruCache cache(cache_size);
+  vcf::CuckooParams params;
+  params.bucket_count = 1 << 12;  // 16k-slot doorkeeper
+  vcf::VerticalCuckooFilter doorkeeper(params);
+
+  std::size_t hits = 0;
+  std::size_t since_reset = 0;
+  for (const auto key : trace) {
+    if (cache.Touch(key)) {
+      ++hits;
+      continue;
+    }
+    if (!use_doorkeeper) {
+      cache.Admit(key);
+      continue;
+    }
+    // Doorkeeper: first miss records the key; second miss admits it.
+    if (doorkeeper.Contains(key)) {
+      cache.Admit(key);
+    } else {
+      doorkeeper.Insert(key);
+    }
+    // Window reset keeps the sketch fresh (generation flip).
+    if (++since_reset >= doorkeeper.SlotCount() / 2) {
+      doorkeeper.Clear();
+      since_reset = 0;
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(trace.size());
+}
+
+}  // namespace
+
+int main() {
+  // 2M requests over a 200k-object universe, Zipf(0.9): a realistic CDN-ish
+  // popularity skew with a long one-hit-wonder tail.
+  vcf::ZipfGenerator zipf(200000, 0.9, 2026);
+  std::vector<std::uint64_t> trace(2000000);
+  for (auto& key : trace) key = zipf.Next();
+
+  const std::size_t cache_size = 2000;  // 1% of the universe
+  const double lru = RunTrace(false, trace, cache_size);
+  const double filtered = RunTrace(true, trace, cache_size);
+
+  std::printf("request trace: %zu requests, universe 200k, cache %zu objects\n\n",
+              trace.size(), cache_size);
+  std::printf("LRU alone:           hit rate %.2f%%\n", lru * 100.0);
+  std::printf("LRU + VCF doorkeeper: hit rate %.2f%%\n", filtered * 100.0);
+  std::printf("\nThe doorkeeper absorbs one sketch insert per miss — an "
+              "insertion-intensive side\nchannel that a slow-inserting filter"
+              " would turn into the cache's bottleneck.\n");
+  return 0;
+}

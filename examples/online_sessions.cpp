@@ -1,0 +1,90 @@
+// Online session tracking — the paper's motivating scenario: a service in
+// which items (sessions) join and leave at a high rate, so the membership
+// sketch must sustain insertion-heavy traffic at high occupancy.
+//
+// The example runs the identical churn trace through a standard Cuckoo
+// filter and a Vertical Cuckoo filter, then reports wall time, evictions
+// and insert failures. The VCF's four candidate buckets drastically reduce
+// the eviction chains that dominate CF insert cost near full load.
+//
+//   $ ./build/examples/online_sessions
+#include <cstdio>
+#include <memory>
+
+#include "common/timer.hpp"
+#include "harness/filter_factory.hpp"
+#include "workload/churn.hpp"
+
+namespace {
+
+struct ChurnReport {
+  double seconds = 0.0;
+  std::size_t failed_inserts = 0;
+  std::uint64_t evictions = 0;
+  std::size_t missing_lookups = 0;
+};
+
+ChurnReport Replay(vcf::Filter& filter, const std::vector<vcf::ChurnOp>& trace) {
+  ChurnReport report;
+  filter.ResetCounters();
+  vcf::Stopwatch watch;
+  for (const auto& op : trace) {
+    switch (op.kind) {
+      case vcf::ChurnOp::Kind::kInsert:
+        report.failed_inserts += filter.Insert(op.key) ? 0 : 1;
+        break;
+      case vcf::ChurnOp::Kind::kErase:
+        filter.Erase(op.key);
+        break;
+      case vcf::ChurnOp::Kind::kLookup:
+        if (op.expect_present && !filter.Contains(op.key)) {
+          ++report.missing_lookups;  // would indicate a false negative
+        }
+        break;
+    }
+  }
+  report.seconds = watch.ElapsedSeconds();
+  report.evictions = filter.counters().evictions;
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  vcf::CuckooParams params;
+  params.bucket_count = 1 << 16;  // 2^18 slots
+  params.fingerprint_bits = 14;
+
+  // Sessions churn around 96% occupancy: the regime where CF's reallocation
+  // cost explodes and VCF keeps cruising.
+  vcf::ChurnTraceConfig cfg;
+  cfg.working_set = (params.slot_count() * 96) / 100;
+  cfg.operations = 1 << 20;
+  cfg.lookup_fraction = 0.3;
+  const auto trace = vcf::GenerateChurnTrace(cfg);
+  std::printf("churn trace: %zu ops, working set %zu sessions (%.0f%% of %zu slots)\n\n",
+              trace.size(), cfg.working_set,
+              100.0 * static_cast<double>(cfg.working_set) /
+                  static_cast<double>(params.slot_count()),
+              params.slot_count());
+
+  const vcf::FilterSpec specs[] = {
+      {vcf::FilterSpec::Kind::kCF, 0, params, 0, 0},
+      {vcf::FilterSpec::Kind::kIVCF, 6, params, 0, 0},
+      {vcf::FilterSpec::Kind::kDVCF, 8, params, 0, 0},
+      {vcf::FilterSpec::Kind::kDCF, 4, params, 0, 0},
+  };
+  std::printf("%-10s %10s %14s %16s %16s\n", "filter", "time(s)", "evictions",
+              "failed_inserts", "false_negatives");
+  for (const auto& spec : specs) {
+    auto filter = vcf::MakeFilter(spec);
+    const ChurnReport r = Replay(*filter, trace);
+    std::printf("%-10s %10.3f %14llu %16zu %16zu\n", filter->Name().c_str(),
+                r.seconds, static_cast<unsigned long long>(r.evictions),
+                r.failed_inserts, r.missing_lookups);
+  }
+  std::printf("\nExpected: VCF variants run the trace fastest with an order of"
+              " magnitude fewer\nevictions than CF; nobody ever reports a "
+              "false negative.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: build a Vertical Cuckoo Filter, insert keys, query membership,
+// delete, and inspect the built-in instrumentation.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/vcf.hpp"
+#include "workload/key_streams.hpp"
+
+int main() {
+  // A filter with 2^16 slots (2^14 buckets x 4 slots), 14-bit fingerprints,
+  // balanced bitmasks — the paper's default VCF configuration.
+  vcf::CuckooParams params;
+  params.bucket_count = 1 << 14;
+  params.fingerprint_bits = 14;
+  vcf::VerticalCuckooFilter filter(params);
+
+  std::printf("filter: %s, %zu slots, %zu bytes, r = %.4f\n",
+              filter.Name().c_str(), filter.SlotCount(), filter.MemoryBytes(),
+              filter.TheoreticalR());
+
+  // Insert 60,000 keys (~92%% of capacity).
+  const auto keys = vcf::UniformKeys(60000, /*stream_id=*/1);
+  std::size_t stored = 0;
+  for (const auto key : keys) stored += filter.Insert(key) ? 1 : 0;
+  std::printf("inserted %zu/%zu keys, load factor %.2f%%\n", stored,
+              keys.size(), filter.LoadFactor() * 100.0);
+
+  // Query: every stored key answers true (no false negatives)...
+  std::size_t hits = 0;
+  for (const auto key : keys) hits += filter.Contains(key) ? 1 : 0;
+  std::printf("positive lookups: %zu/%zu\n", hits, keys.size());
+
+  // ...and alien keys answer true only at the false-positive rate.
+  const auto aliens = vcf::UniformKeys(100000, /*stream_id=*/2);
+  std::size_t false_positives = 0;
+  for (const auto key : aliens) false_positives += filter.Contains(key) ? 1 : 0;
+  std::printf("false positive rate: %.5f%%\n",
+              100.0 * static_cast<double>(false_positives) /
+                  static_cast<double>(aliens.size()));
+
+  // String keys work through the convenience layer.
+  filter.InsertKey("user:42:session:2026-07-06");
+  std::printf("string key present: %s\n",
+              filter.ContainsKey("user:42:session:2026-07-06") ? "yes" : "no");
+
+  // Deletion removes exactly one copy, never disturbing other items.
+  filter.Erase(keys[0]);
+  std::printf("after erase, key[0] present: %s (items: %zu)\n",
+              filter.Contains(keys[0]) ? "maybe (false positive)" : "no",
+              filter.ItemCount());
+
+  // Instrumentation: hash computations, bucket probes, evictions.
+  std::printf("counters: %s\n", filter.counters().ToString().c_str());
+  return 0;
+}

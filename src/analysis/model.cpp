@@ -1,0 +1,115 @@
+#include "analysis/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vcf::model {
+
+namespace {
+
+/// Integrand of Eq. 14.
+double KickIntegrand(double x, double exponent) noexcept {
+  return 1.0 / (1.0 - std::pow(x, exponent));
+}
+
+double Simpson(double a, double b, double exponent) noexcept {
+  const double m = 0.5 * (a + b);
+  return (b - a) / 6.0 *
+         (KickIntegrand(a, exponent) + 4.0 * KickIntegrand(m, exponent) +
+          KickIntegrand(b, exponent));
+}
+
+double AdaptiveSimpson(double a, double b, double exponent, double whole,
+                       double eps, int depth) noexcept {
+  const double m = 0.5 * (a + b);
+  const double left = Simpson(a, m, exponent);
+  const double right = Simpson(m, b, exponent);
+  if (depth <= 0 || std::fabs(left + right - whole) < 15.0 * eps) {
+    return left + right + (left + right - whole) / 15.0;
+  }
+  return AdaptiveSimpson(a, m, exponent, left, 0.5 * eps, depth - 1) +
+         AdaptiveSimpson(m, b, exponent, right, 0.5 * eps, depth - 1);
+}
+
+}  // namespace
+
+double ProbFourCandidatesBalanced(unsigned width) noexcept {
+  const double w = static_cast<double>(width);
+  return 1.0 + std::exp2(-w) - std::exp2(1.0 - w / 2.0);
+}
+
+double ProbFourCandidatesIvcf(unsigned width, unsigned ones) noexcept {
+  if (ones == 0 || ones >= width) return 0.0;  // degenerate masks => CF
+  const unsigned zeros = width - ones;
+  // Distinctness fails when hash & bm1 == 0 (2^zeros values) or
+  // hash & bm2 == 0 (2^ones values); both conditions share the all-zero hash.
+  const double bad = std::exp2(static_cast<double>(zeros)) +
+                     std::exp2(static_cast<double>(ones)) - 1.0;
+  return 1.0 - bad / std::exp2(static_cast<double>(width));
+}
+
+double ProbFourCandidatesFragments(unsigned o1, unsigned o2) noexcept {
+  if (o1 == 0 || o2 == 0) return 0.0;
+  const double p1 = std::exp2(-static_cast<double>(o1));
+  const double p2 = std::exp2(-static_cast<double>(o2));
+  return 1.0 - p1 - p2 + p1 * p2;
+}
+
+double DvcfFourCandidateFraction(double delta_t, unsigned f_bits) noexcept {
+  const double p = 2.0 * delta_t / std::exp2(static_cast<double>(f_bits));
+  return std::clamp(p, 0.0, 1.0);
+}
+
+double FalsePositiveUpperBound(unsigned f_bits, double r, unsigned b,
+                               double alpha) noexcept {
+  const double per_slot = 1.0 / std::exp2(static_cast<double>(f_bits));
+  const double comparisons = (2.0 * r + 2.0) * static_cast<double>(b) * alpha;
+  return 1.0 - std::pow(1.0 - per_slot, comparisons);
+}
+
+unsigned MinFingerprintBits(double r, unsigned b, double alpha,
+                            double target_fpr) noexcept {
+  const double arg = 2.0 * (r + 1.0) * static_cast<double>(b) * alpha / target_fpr;
+  return static_cast<unsigned>(std::ceil(std::log2(arg)));
+}
+
+double BitsPerItem(double r, unsigned b, double alpha,
+                   double target_fpr) noexcept {
+  return static_cast<double>(MinFingerprintBits(r, b, alpha, target_fpr)) / alpha;
+}
+
+double ExpectedEvictionsAtLoad(double alpha, double r, unsigned b) noexcept {
+  const double exponent = (2.0 * r + 1.0) * static_cast<double>(b);
+  const double denom = 1.0 - std::pow(alpha, exponent);
+  // At alpha -> 1 the expectation diverges; callers cap via Eq. 15's MAX term.
+  return denom <= 0.0 ? std::numeric_limits<double>::infinity() : 1.0 / denom;
+}
+
+double AverageInsertionCost(double alpha, double r, unsigned b) noexcept {
+  const double exponent = (2.0 * r + 1.0) * static_cast<double>(b);
+  const double upper = std::min(alpha, 1.0 - 1e-9);
+  if (upper <= 0.0) return 0.0;
+  const double whole = Simpson(0.0, upper, exponent);
+  // The paper's E is the raw integral (its worked example: r=0, b=4,
+  // alpha=0.95 gives E ~= 1.296 and E0 ~= 11.3 with lambda0/lambda = 0.98).
+  return AdaptiveSimpson(0.0, upper, exponent, whole, 1e-10, 40);
+}
+
+double E0(double lambda0_over_lambda, double avg_insertion_cost) noexcept {
+  constexpr double kMaxKicks = 500.0;
+  return lambda0_over_lambda * avg_insertion_cost +
+         kMaxKicks * (1.0 - lambda0_over_lambda);
+}
+
+double BloomFalsePositiveRate(unsigned k, double n, double m) noexcept {
+  const double kk = static_cast<double>(k);
+  return std::pow(1.0 - std::exp(-kk * n / m), kk);
+}
+
+double CuckooFalsePositiveRate(unsigned f_bits, unsigned b) noexcept {
+  const double per_slot = 1.0 / std::exp2(static_cast<double>(f_bits));
+  return 1.0 - std::pow(1.0 - per_slot, 2.0 * b);
+}
+
+}  // namespace vcf::model

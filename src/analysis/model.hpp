@@ -1,0 +1,70 @@
+// Closed-form performance model from §V of the paper.
+//
+// These functions implement Equations 5 and 8-15 exactly as printed, so that
+// tests and EXPERIMENTS.md can put measured values side by side with theory.
+// Notation follows Table II of the paper: f = fingerprint bits, b = slots per
+// bucket, alpha = load factor, r = probability an item gets 4 candidate
+// buckets, xi = false positive rate.
+#pragma once
+
+namespace vcf::model {
+
+/// Eq. 5 — probability that vertical hashing yields 4 distinct candidate
+/// buckets with balanced masks over a `width`-bit index:
+/// P = 1 + 2^-w - 2^(1 - w/2). (The paper writes f; the operative width is
+/// that of the XOR domain.)
+double ProbFourCandidatesBalanced(unsigned width) noexcept;
+
+/// Eq. 8 — probability of 4 candidates for an IVCF whose bm1 has `ones`
+/// one-bits within a `width`-bit mask (exact form, not the approximation):
+/// P = 1 - (2^l + 2^(w-l) - 1) / 2^w with l = width - ones zero-bits.
+double ProbFourCandidatesIvcf(unsigned width, unsigned ones) noexcept;
+
+/// Generalisation of Eq. 8 by inclusion-exclusion, in terms of the two mask
+/// fragments' *effective* bit counts (bits surviving reduction modulo the
+/// table size): P = 1 - 2^-o1 - 2^-o2 + 2^-(o1+o2). With o1 + o2 = f this
+/// is exactly Eq. 8; it is 0 whenever a fragment is empty.
+double ProbFourCandidatesFragments(unsigned o1, unsigned o2) noexcept;
+
+/// Eq. 9 — proportion of items given 4 candidates by a DVCF with threshold
+/// delta_t over f-bit fingerprints: p = 2*delta_t / 2^f.
+double DvcfFourCandidateFraction(double delta_t, unsigned f_bits) noexcept;
+
+/// Eq. 10 — upper bound on the false positive rate:
+/// xi = 1 - (1 - 2^-f)^((2r+2) * b * alpha).
+double FalsePositiveUpperBound(unsigned f_bits, double r, unsigned b,
+                               double alpha) noexcept;
+
+/// Eq. 11 — minimal fingerprint bits for a target false positive rate:
+/// f >= ceil(log2(2 (r+1) b alpha / xi)).
+unsigned MinFingerprintBits(double r, unsigned b, double alpha,
+                            double target_fpr) noexcept;
+
+/// Eq. 12 — average bits per stored item:
+/// C = ceil(log2(2 (r+1) b alpha / xi)) / alpha.
+double BitsPerItem(double r, unsigned b, double alpha,
+                   double target_fpr) noexcept;
+
+/// Eq. 13 — expected evictions for one insertion at load alpha:
+/// E(pi_alpha) = 1 / (1 - alpha^((2r+1) b)).
+double ExpectedEvictionsAtLoad(double alpha, double r, unsigned b) noexcept;
+
+/// Eq. 14 — the paper's insertion-cost functional for serial insertions
+/// filling the table from load 0 to `alpha`:
+/// E = integral_0^alpha dx / (1 - x^((2r+1) b)).
+/// Evaluated by adaptive Simpson quadrature; the integrand's singularity at
+/// x = 1 is handled by capping alpha slightly below 1.
+double AverageInsertionCost(double alpha, double r, unsigned b) noexcept;
+
+/// Eq. 15 — E0 combining the fill cost with the failure penalty:
+/// E0 = (lambda0/lambda) E + 500 (1 - lambda0/lambda), with MAX = 500.
+double E0(double lambda0_over_lambda, double avg_insertion_cost) noexcept;
+
+/// Reference false-positive rates used in Table I context:
+/// Bloom filter xi = (1 - e^(-k n / m))^k.
+double BloomFalsePositiveRate(unsigned k, double n, double m) noexcept;
+
+/// Standard CF bound: xi ~= 1 - (1 - 2^-f)^(2b) ~= 2b / 2^f.
+double CuckooFalsePositiveRate(unsigned f_bits, unsigned b) noexcept;
+
+}  // namespace vcf::model

@@ -1,0 +1,193 @@
+#include "baselines/adaptive_cuckoo_filter.hpp"
+
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/random.hpp"
+
+namespace vcf {
+
+namespace {
+// Seed perturbations: two bucket hashes and four fingerprint functions.
+constexpr std::uint64_t kBucketSeed[2] = {0xACF0B1ULL, 0xACF0B2ULL};
+constexpr std::uint64_t kSelectorSeed[4] = {0xACF5E1ULL, 0xACF5E2ULL,
+                                            0xACF5E3ULL, 0xACF5E4ULL};
+}  // namespace
+
+AdaptiveCuckooFilter::AdaptiveCuckooFilter(const CuckooParams& params)
+    : params_(params),
+      index_mask_(LowMask(params.index_bits())),
+      table_(params.bucket_count, params.slots_per_bucket,
+             params.fingerprint_bits),
+      selectors_((params.bucket_count + 3) / 4, 0),
+      shadow_keys_(params.slot_count(), 0),
+      rng_(params.seed ^ 0xACF104C0FFEEULL) {
+  if (!IsPowerOfTwo(params.bucket_count) || params.index_bits() > 32 ||
+      params.fingerprint_bits == 0 || params.fingerprint_bits > 25) {
+    throw std::invalid_argument("ACF: unsupported table geometry");
+  }
+}
+
+std::uint64_t AdaptiveCuckooFilter::BucketOf(std::uint64_t key,
+                                             unsigned which) const noexcept {
+  // The SplitMix finalizer decorrelates the seeded hashes: weak hash
+  // functions (FNV's low bits) otherwise leave the two bucket streams and
+  // the four fingerprint streams visibly correlated, inflating the FPR.
+  ++counters_.hash_computations;
+  return Mix64(Hash64(params_.hash, key, params_.seed ^ kBucketSeed[which])) &
+         index_mask_;
+}
+
+std::uint64_t AdaptiveCuckooFilter::FingerprintUnder(
+    std::uint64_t key, unsigned selector) const noexcept {
+  ++counters_.hash_computations;
+  const std::uint64_t fp =
+      Mix64(Hash64(params_.hash, key, params_.seed ^ kSelectorSeed[selector])) &
+      LowMask(params_.fingerprint_bits);
+  return fp == 0 ? 1 : fp;
+}
+
+void AdaptiveCuckooFilter::BumpSelector(std::uint64_t bucket) noexcept {
+  const unsigned shift = (bucket & 3) * 2;
+  std::uint8_t& byte = selectors_[bucket >> 2];
+  const unsigned next = ((byte >> shift) + 1) & 3;
+  byte = static_cast<std::uint8_t>((byte & ~(3u << shift)) | (next << shift));
+}
+
+void AdaptiveCuckooFilter::RefingerprintBucket(std::uint64_t bucket) noexcept {
+  const unsigned selector = Selector(bucket);
+  for (unsigned s = 0; s < params_.slots_per_bucket; ++s) {
+    if (table_.Get(bucket, s) != 0) {
+      const std::uint64_t key = shadow_keys_[bucket * params_.slots_per_bucket + s];
+      table_.Set(bucket, s, FingerprintUnder(key, selector));
+    }
+  }
+}
+
+bool AdaptiveCuckooFilter::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  const std::uint64_t buckets[2] = {BucketOf(key, 0), BucketOf(key, 1)};
+  counters_.bucket_probes += 2;
+  for (const std::uint64_t bucket : buckets) {
+    const int slot = table_.FindEmptySlot(bucket);
+    if (slot >= 0) {
+      table_.Set(bucket, static_cast<unsigned>(slot),
+                 FingerprintUnder(key, Selector(bucket)));
+      shadow_keys_[bucket * params_.slots_per_bucket +
+                   static_cast<unsigned>(slot)] = key;
+      ++items_;
+      return true;
+    }
+  }
+
+  // Eviction: relocation re-hashes the victim's shadow key (the backing
+  // store the ACF fronts makes original keys available).
+  struct Step {
+    std::uint64_t bucket;
+    unsigned slot;
+    std::uint64_t old_fp;
+    std::uint64_t old_key;
+  };
+  std::vector<Step> path;
+  path.reserve(params_.max_kicks);
+
+  std::uint64_t cur = buckets[rng_.Next() & 1];
+  std::uint64_t in_hand = key;
+  for (unsigned s = 0; s < params_.max_kicks; ++s) {
+    const unsigned slot =
+        static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
+    const std::size_t flat = cur * params_.slots_per_bucket + slot;
+    path.push_back({cur, slot, table_.Get(cur, slot), shadow_keys_[flat]});
+    const std::uint64_t victim = shadow_keys_[flat];
+    table_.Set(cur, slot, FingerprintUnder(in_hand, Selector(cur)));
+    shadow_keys_[flat] = in_hand;
+    in_hand = victim;
+    ++counters_.evictions;
+
+    const std::uint64_t v0 = BucketOf(in_hand, 0);
+    const std::uint64_t v1 = BucketOf(in_hand, 1);
+    const std::uint64_t other = v0 == cur ? v1 : v0;
+    ++counters_.bucket_probes;
+    const int free_slot = table_.FindEmptySlot(other);
+    if (free_slot >= 0) {
+      table_.Set(other, static_cast<unsigned>(free_slot),
+                 FingerprintUnder(in_hand, Selector(other)));
+      shadow_keys_[other * params_.slots_per_bucket +
+                   static_cast<unsigned>(free_slot)] = in_hand;
+      ++items_;
+      return true;
+    }
+    cur = other;
+  }
+
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    table_.Set(it->bucket, it->slot, it->old_fp);
+    shadow_keys_[it->bucket * params_.slots_per_bucket + it->slot] = it->old_key;
+  }
+  ++counters_.insert_failures;
+  return false;
+}
+
+bool AdaptiveCuckooFilter::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  counters_.bucket_probes += 2;
+  for (unsigned which = 0; which < 2; ++which) {
+    const std::uint64_t bucket = BucketOf(key, which);
+    if (table_.ContainsValue(bucket, FingerprintUnder(key, Selector(bucket)))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AdaptiveCuckooFilter::Erase(std::uint64_t key) {
+  ++counters_.deletions;
+  counters_.bucket_probes += 2;
+  // Exact deletion: shadow keys disambiguate fingerprint collisions (the
+  // backing store knows which entry is really being removed).
+  for (unsigned which = 0; which < 2; ++which) {
+    const std::uint64_t bucket = BucketOf(key, which);
+    const std::uint64_t fp = FingerprintUnder(key, Selector(bucket));
+    for (unsigned s = 0; s < params_.slots_per_bucket; ++s) {
+      const std::size_t flat = bucket * params_.slots_per_bucket + s;
+      if (table_.Get(bucket, s) == fp && shadow_keys_[flat] == key) {
+        table_.Set(bucket, s, 0);
+        shadow_keys_[flat] = 0;
+        --items_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool AdaptiveCuckooFilter::AdaptFalsePositive(std::uint64_t key) {
+  bool adapted = false;
+  for (unsigned which = 0; which < 2; ++which) {
+    const std::uint64_t bucket = BucketOf(key, which);
+    const std::uint64_t fp = FingerprintUnder(key, Selector(bucket));
+    for (unsigned s = 0; s < params_.slots_per_bucket; ++s) {
+      const std::size_t flat = bucket * params_.slots_per_bucket + s;
+      if (table_.Get(bucket, s) == fp && shadow_keys_[flat] != key) {
+        // Genuine false positive in this bucket: rotate its fingerprint
+        // function and re-fingerprint all residents.
+        BumpSelector(bucket);
+        RefingerprintBucket(bucket);
+        ++adaptations_;
+        adapted = true;
+        break;  // the bucket's fingerprints changed; move to the other one
+      }
+    }
+  }
+  return adapted;
+}
+
+void AdaptiveCuckooFilter::Clear() {
+  table_.Clear();
+  std::fill(selectors_.begin(), selectors_.end(), std::uint8_t{0});
+  std::fill(shadow_keys_.begin(), shadow_keys_.end(), 0);
+  items_ = 0;
+  adaptations_ = 0;
+}
+
+}  // namespace vcf

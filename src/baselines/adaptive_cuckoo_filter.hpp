@@ -1,0 +1,84 @@
+// Adaptive Cuckoo Filter (Mitzenmacher, Pontarelli, Reviriego — ALENEX
+// 2018), cited by the paper ([10]) as the false-positive-rate improvement
+// over the CF: when the application detects a false positive (the backing
+// store says "not there" after the filter said "maybe"), the filter
+// RE-FINGERPRINTS the offending bucket under a different hash, so the same
+// wrong answer is never repeated. Skewed negative workloads — where the
+// same few keys are probed over and over — see their effective FPR decay
+// toward zero.
+//
+// ACF's premise is that the original keys are retrievable (it fronts a
+// store that has them); this implementation models that with a shadow key
+// array (one 64-bit key per slot). The shadow store is the backing
+// system's data, not filter state, and is excluded from MemoryBytes() —
+// the filter proper stores an f-bit fingerprint per slot plus a 2-bit
+// fingerprint-selector per bucket.
+//
+// Buckets are addressed by two independent key hashes (classic cuckoo
+// hashing rather than partial-key: fingerprints change under adaptation,
+// so candidates must not depend on them); relocation re-hashes the
+// victim's shadow key.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/cuckoo_params.hpp"
+#include "core/filter.hpp"
+#include "table/packed_table.hpp"
+
+namespace vcf {
+
+class AdaptiveCuckooFilter : public Filter {
+ public:
+  explicit AdaptiveCuckooFilter(const CuckooParams& params);
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override { return true; }
+  std::string Name() const override { return "ACF"; }
+  std::size_t ItemCount() const noexcept override { return items_; }
+  std::size_t SlotCount() const noexcept override { return table_.slot_count(); }
+  double LoadFactor() const noexcept override {
+    return static_cast<double>(items_) / static_cast<double>(table_.slot_count());
+  }
+  /// Filter-proper bytes: fingerprint table + selectors (shadow keys are
+  /// the backing store's, see header comment).
+  std::size_t MemoryBytes() const noexcept override {
+    return table_.StorageBytes() + selectors_.size();
+  }
+  void Clear() override;
+
+  /// The adaptation hook: the application calls this after the backing
+  /// store disproved a positive Contains(key). Every candidate slot whose
+  /// fingerprint matched but whose stored key differs flips its bucket to
+  /// the next fingerprint function (re-fingerprinting all residents).
+  /// Returns true if any bucket adapted.
+  bool AdaptFalsePositive(std::uint64_t key);
+
+  std::uint64_t adaptations() const noexcept { return adaptations_; }
+
+ private:
+  std::uint64_t BucketOf(std::uint64_t key, unsigned which) const noexcept;
+  std::uint64_t FingerprintUnder(std::uint64_t key, unsigned selector) const noexcept;
+  unsigned Selector(std::uint64_t bucket) const noexcept {
+    return (selectors_[bucket >> 2] >> ((bucket & 3) * 2)) & 3;
+  }
+  void BumpSelector(std::uint64_t bucket) noexcept;
+  void RefingerprintBucket(std::uint64_t bucket) noexcept;
+
+  CuckooParams params_;
+  std::uint64_t index_mask_;
+  PackedTable table_;
+  std::vector<std::uint8_t> selectors_;    // 2 bits per bucket
+  std::vector<std::uint64_t> shadow_keys_; // backing-store model, per slot
+  std::size_t items_ = 0;
+  std::uint64_t adaptations_ = 0;
+  mutable Xoshiro256 rng_;
+};
+
+}  // namespace vcf

@@ -1,0 +1,122 @@
+#include "baselines/bloom_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/random.hpp"
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+namespace {
+std::size_t ValidatedBitCount(std::size_t capacity, double bits_per_item,
+                              std::size_t minimum, const char* what) {
+  if (capacity == 0 || bits_per_item <= 0.0) {
+    throw std::invalid_argument(what);
+  }
+  return std::max<std::size_t>(
+      minimum, static_cast<std::size_t>(
+                   std::ceil(bits_per_item * static_cast<double>(capacity))));
+}
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t capacity, double bits_per_item,
+                         HashKind hash, unsigned num_hashes, std::uint64_t seed,
+                         BloomHashing mode)
+    : capacity_(capacity),
+      m_(ValidatedBitCount(capacity, bits_per_item, 64,
+                           "BloomFilter: capacity and bits_per_item must be "
+                           "positive")),
+      k_(num_hashes != 0
+             ? num_hashes
+             : std::max(1u, static_cast<unsigned>(std::lround(
+                                bits_per_item * 0.6931471805599453)))),
+      hash_(hash),
+      seed_(seed),
+      mode_(mode),
+      bits_((m_ + 63) / 64, 0) {
+  probe_seeds_.reserve(k_);
+  for (unsigned i = 0; i < k_; ++i) {
+    probe_seeds_.push_back(Mix64(seed_ + 0x9E3779B97F4A7C15ULL * (i + 1)));
+  }
+}
+
+std::size_t BloomFilter::Position(std::uint64_t key, unsigned i,
+                                  std::uint64_t* h1,
+                                  std::uint64_t* h2) const noexcept {
+  if (mode_ == BloomHashing::kClassic) {
+    ++counters_.hash_computations;
+    return static_cast<std::size_t>(Hash64(hash_, key, probe_seeds_[i]) % m_);
+  }
+  // Double hashing: two base hashes computed once (at i == 0), then a
+  // stride walk. The odd stride guarantees full period modulo m.
+  if (i == 0) {
+    *h1 = Hash64(hash_, key, seed_);
+    *h2 = Hash64(hash_, key, seed_ ^ 0xB10F2ULL) | 1;
+    counters_.hash_computations += 2;
+  }
+  return static_cast<std::size_t>((*h1 + i * *h2) % m_);
+}
+
+bool BloomFilter::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::size_t bit = Position(key, i, &h1, &h2);
+    bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
+  ++items_;
+  return true;
+}
+
+bool BloomFilter::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::size_t bit = Position(key, i, &h1, &h2);
+    if ((bits_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+bool BloomFilter::Erase(std::uint64_t key) {
+  (void)key;
+  ++counters_.deletions;
+  return false;  // standard Bloom filters cannot delete (§II-A)
+}
+
+void BloomFilter::Clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  items_ = 0;
+}
+
+bool BloomFilter::SaveState(std::ostream& out) const {
+  const std::uint64_t digest = detail::ConfigDigest(
+      seed_, static_cast<unsigned>(hash_),
+      k_ * 2 + static_cast<unsigned>(mode_),
+      static_cast<unsigned>(m_ & 0xFFFFFFFFu));
+  std::vector<std::uint8_t> bytes(bits_.size() * sizeof(std::uint64_t));
+  std::memcpy(bytes.data(), bits_.data(), bytes.size());
+  return detail::WriteStateHeader(out, Name(), digest) &&
+         detail::SaveBytesPayload(out, bytes, items_);
+}
+
+bool BloomFilter::LoadState(std::istream& in) {
+  const std::uint64_t digest = detail::ConfigDigest(
+      seed_, static_cast<unsigned>(hash_),
+      k_ * 2 + static_cast<unsigned>(mode_),
+      static_cast<unsigned>(m_ & 0xFFFFFFFFu));
+  if (!detail::ReadStateHeader(in, Name(), digest)) return false;
+  std::vector<std::uint8_t> bytes(bits_.size() * sizeof(std::uint64_t));
+  std::uint64_t items = 0;
+  if (!detail::LoadBytesPayload(in, &bytes, &items)) return false;
+  std::memcpy(bits_.data(), bytes.data(), bytes.size());
+  items_ = static_cast<std::size_t>(items);
+  return true;
+}
+
+}  // namespace vcf

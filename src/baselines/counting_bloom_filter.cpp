@@ -1,0 +1,128 @@
+#include "baselines/counting_bloom_filter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/random.hpp"
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+namespace {
+std::size_t ValidatedCounterCount(std::size_t capacity, double bits_per_item) {
+  if (capacity == 0 || bits_per_item <= 0.0) {
+    throw std::invalid_argument(
+        "CountingBloomFilter: capacity and bits_per_item must be positive");
+  }
+  return std::max<std::size_t>(
+      16, static_cast<std::size_t>(
+              std::ceil(bits_per_item * static_cast<double>(capacity))));
+}
+}  // namespace
+
+CountingBloomFilter::CountingBloomFilter(std::size_t capacity,
+                                         double bits_per_item, HashKind hash,
+                                         unsigned num_hashes, std::uint64_t seed,
+                                         BloomHashing mode)
+    : capacity_(capacity),
+      m_(ValidatedCounterCount(capacity, bits_per_item)),
+      k_(num_hashes != 0
+             ? num_hashes
+             : std::max(1u, static_cast<unsigned>(std::lround(
+                                bits_per_item * 0.6931471805599453)))),
+      hash_(hash),
+      seed_(seed),
+      mode_(mode),
+      counters_store_((m_ + 1) / 2, 0) {
+  probe_seeds_.reserve(k_);
+  for (unsigned i = 0; i < k_; ++i) {
+    probe_seeds_.push_back(Mix64(seed_ + 0x9E3779B97F4A7C15ULL * (i + 1)));
+  }
+}
+
+std::size_t CountingBloomFilter::Position(std::uint64_t key, unsigned i,
+                                          std::uint64_t* h1,
+                                          std::uint64_t* h2) const noexcept {
+  if (mode_ == BloomHashing::kClassic) {
+    ++counters_.hash_computations;
+    return static_cast<std::size_t>(Hash64(hash_, key, probe_seeds_[i]) % m_);
+  }
+  if (i == 0) {
+    *h1 = Hash64(hash_, key, seed_);
+    *h2 = Hash64(hash_, key, seed_ ^ 0xB10F2ULL) | 1;
+    counters_.hash_computations += 2;
+  }
+  return static_cast<std::size_t>((*h1 + i * *h2) % m_);
+}
+
+bool CountingBloomFilter::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::size_t pos = Position(key, i, &h1, &h2);
+    const unsigned c = GetCounter(pos);
+    if (c < 15) SetCounter(pos, c + 1);  // saturate, never wrap
+  }
+  ++items_;
+  return true;
+}
+
+bool CountingBloomFilter::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  for (unsigned i = 0; i < k_; ++i) {
+    if (GetCounter(Position(key, i, &h1, &h2)) == 0) return false;
+  }
+  return true;
+}
+
+bool CountingBloomFilter::Erase(std::uint64_t key) {
+  ++counters_.deletions;
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  // Deleting a never-inserted key corrupts a CBF; like the classic design we
+  // only guard against the observable case (some counter already zero).
+  for (unsigned i = 0; i < k_; ++i) {
+    if (GetCounter(Position(key, i, &h1, &h2)) == 0) return false;
+  }
+  for (unsigned i = 0; i < k_; ++i) {
+    const std::size_t pos = Position(key, i, &h1, &h2);
+    const unsigned c = GetCounter(pos);
+    if (c > 0 && c < 15) SetCounter(pos, c - 1);  // saturated counters stay
+  }
+  --items_;
+  return true;
+}
+
+void CountingBloomFilter::Clear() {
+  std::fill(counters_store_.begin(), counters_store_.end(), std::uint8_t{0});
+  items_ = 0;
+}
+
+bool CountingBloomFilter::SaveState(std::ostream& out) const {
+  const std::uint64_t digest = detail::ConfigDigest(
+      seed_, static_cast<unsigned>(hash_),
+      k_ * 2 + static_cast<unsigned>(mode_),
+      static_cast<unsigned>(m_ & 0xFFFFFFFFu));
+  return detail::WriteStateHeader(out, Name(), digest) &&
+         detail::SaveBytesPayload(out, counters_store_, items_);
+}
+
+bool CountingBloomFilter::LoadState(std::istream& in) {
+  const std::uint64_t digest = detail::ConfigDigest(
+      seed_, static_cast<unsigned>(hash_),
+      k_ * 2 + static_cast<unsigned>(mode_),
+      static_cast<unsigned>(m_ & 0xFFFFFFFFu));
+  if (!detail::ReadStateHeader(in, Name(), digest)) return false;
+  std::vector<std::uint8_t> bytes(counters_store_.size());
+  std::uint64_t items = 0;
+  if (!detail::LoadBytesPayload(in, &bytes, &items)) return false;
+  counters_store_ = std::move(bytes);
+  items_ = static_cast<std::size_t>(items);
+  return true;
+}
+
+}  // namespace vcf

@@ -1,0 +1,140 @@
+#include "baselines/cuckoo_filter.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+namespace {
+constexpr std::uint64_t kFpHashSeed = 0xF1A9E57ECULL;
+}
+
+CuckooFilter::CuckooFilter(const CuckooParams& params)
+    : params_(params),
+      index_mask_(LowMask(params.index_bits())),
+      table_(params.bucket_count, params.slots_per_bucket,
+             params.fingerprint_bits),
+      rng_(params.seed ^ 0xCF104C0FFEEULL) {
+  if (!IsPowerOfTwo(params.bucket_count) || params.index_bits() > 32 || params.fingerprint_bits == 0 ||
+      params.fingerprint_bits > 25) {
+    throw std::invalid_argument("CuckooFilter: unsupported table geometry");
+  }
+}
+
+std::uint64_t CuckooFilter::Fingerprint(std::uint64_t key,
+                                        std::uint64_t* bucket1) const noexcept {
+  const std::uint64_t h = Hash64(params_.hash, key, params_.seed);
+  ++counters_.hash_computations;
+  *bucket1 = h & index_mask_;
+  std::uint64_t fp = (h >> 32) & LowMask(params_.fingerprint_bits);
+  return fp == 0 ? 1 : fp;
+}
+
+std::uint64_t CuckooFilter::FingerprintHash(std::uint64_t fp) const noexcept {
+  // Following the paper's Eq. 1 / Fig. 1 convention (shared by all filters
+  // in this library for comparability): hash(eta) is an f-bit value, so the
+  // alternate bucket lies within the same aligned 2^f-bucket block.
+  ++counters_.hash_computations;
+  return Hash64(params_.hash, fp, params_.seed ^ kFpHashSeed) &
+         LowMask(params_.fingerprint_bits);
+}
+
+bool CuckooFilter::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  std::uint64_t b1;
+  std::uint64_t fp = Fingerprint(key, &b1);
+  std::uint64_t fh = FingerprintHash(fp);
+  const std::uint64_t b2 = AltBucket(b1, fh);
+
+  counters_.bucket_probes += 2;
+  if (table_.InsertValue(b1, fp) || table_.InsertValue(b2, fp)) {
+    ++items_;
+    return true;
+  }
+
+  struct Step {
+    std::uint64_t bucket;
+    unsigned slot;
+    std::uint64_t displaced;
+  };
+  std::vector<Step> path;
+  path.reserve(params_.max_kicks);
+
+  std::uint64_t cur = rng_.Next() & 1 ? b2 : b1;
+  for (unsigned s = 0; s < params_.max_kicks; ++s) {
+    const unsigned slot =
+        static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
+    const std::uint64_t victim = table_.Get(cur, slot);
+    table_.Set(cur, slot, fp);
+    path.push_back({cur, slot, victim});
+    fp = victim;
+    ++counters_.evictions;
+
+    // Partial-key cuckoo: the victim's only alternate bucket, one hash.
+    fh = FingerprintHash(fp);
+    cur = AltBucket(cur, fh);
+    ++counters_.bucket_probes;
+    if (table_.InsertValue(cur, fp)) {
+      ++items_;
+      return true;
+    }
+  }
+
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    table_.Set(it->bucket, it->slot, it->displaced);
+  }
+  ++counters_.insert_failures;
+  return false;
+}
+
+bool CuckooFilter::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  counters_.bucket_probes += 2;
+  return table_.ContainsValue(b1, fp) ||
+         table_.ContainsValue(AltBucket(b1, fh), fp);
+}
+
+bool CuckooFilter::Erase(std::uint64_t key) {
+  ++counters_.deletions;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  counters_.bucket_probes += 2;
+  if (table_.EraseValue(b1, fp) || table_.EraseValue(AltBucket(b1, fh), fp)) {
+    --items_;
+    return true;
+  }
+  return false;
+}
+
+void CuckooFilter::Clear() {
+  table_.Clear();
+  items_ = 0;
+}
+
+bool CuckooFilter::SaveState(std::ostream& out) const {
+  const std::uint64_t digest =
+      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash), 0,
+                           params_.fingerprint_bits);
+  return detail::WriteStateHeader(out, Name(), digest) &&
+         detail::SaveTablePayload(out, table_);
+}
+
+bool CuckooFilter::LoadState(std::istream& in) {
+  const std::uint64_t digest =
+      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash), 0,
+                           params_.fingerprint_bits);
+  if (!detail::ReadStateHeader(in, Name(), digest) ||
+      !detail::LoadTablePayload(in, &table_)) {
+    return false;
+  }
+  items_ = table_.OccupiedSlots();
+  return true;
+}
+
+}  // namespace vcf

@@ -1,0 +1,59 @@
+// Standard Cuckoo filter (Fan et al., CoNEXT 2014) — the paper's primary
+// baseline. Two candidate buckets per item via partial-key cuckoo hashing:
+//
+//   B1 = hash(x) mod m,   B2 = B1 xor hash(eta_x)      (Eq. 1)
+//
+// Construction parameters, fingerprint derivation, eviction policy and
+// instrumentation are identical to the VCF family so that every measured
+// difference is attributable to the candidate-derivation scheme.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hpp"
+#include "core/cuckoo_params.hpp"
+#include "core/filter.hpp"
+#include "table/packed_table.hpp"
+
+namespace vcf {
+
+class CuckooFilter : public Filter {
+ public:
+  explicit CuckooFilter(const CuckooParams& params);
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override { return true; }
+  std::string Name() const override { return "CF"; }
+  std::size_t ItemCount() const noexcept override { return items_; }
+  std::size_t SlotCount() const noexcept override { return table_.slot_count(); }
+  double LoadFactor() const noexcept override {
+    return static_cast<double>(items_) / static_cast<double>(table_.slot_count());
+  }
+  std::size_t MemoryBytes() const noexcept override {
+    return table_.StorageBytes();
+  }
+  void Clear() override;
+  bool SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
+
+  const CuckooParams& params() const noexcept { return params_; }
+
+ private:
+  std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
+  std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
+  std::uint64_t AltBucket(std::uint64_t bucket, std::uint64_t fp_hash) const noexcept {
+    return (bucket ^ fp_hash) & index_mask_;
+  }
+
+  CuckooParams params_;
+  std::uint64_t index_mask_;
+  PackedTable table_;
+  std::size_t items_ = 0;
+  mutable Xoshiro256 rng_;
+};
+
+}  // namespace vcf

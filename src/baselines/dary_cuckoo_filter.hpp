@@ -1,0 +1,73 @@
+// D-ary Cuckoo Filter (Xie et al., ICPADS 2017) — the multi-candidate
+// baseline the paper compares VCF against.
+//
+// DCF gives each item d candidate buckets using a base-d digit-wise XOR
+// (digit-wise modular addition): applying the operation with the same
+// operand d times cycles back to the start (Eq. 2), so candidates index each
+// other just like partial-key hashing — at the cost of converting every
+// bucket index to base-d form and back on each hop. That conversion loop is
+// implemented literally here (not strength-reduced to word ops) because the
+// paper's central claim against DCF is precisely this computational
+// overhead; see §II-B and the lookup-time results in Fig. 6.
+//
+// d must be a power of two. When log2(m) is not a multiple of log2(d), the
+// most-significant digit uses a smaller radix (2^(w mod log2 d)); digit-wise
+// modular addition remains cyclic with period d because d annihilates every
+// digit radix that divides it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/cuckoo_params.hpp"
+#include "core/filter.hpp"
+#include "table/packed_table.hpp"
+
+namespace vcf {
+
+class DaryCuckooFilter : public Filter {
+ public:
+  DaryCuckooFilter(const CuckooParams& params, unsigned d = 4);
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override { return true; }
+  std::string Name() const override { return name_; }
+  std::size_t ItemCount() const noexcept override { return items_; }
+  std::size_t SlotCount() const noexcept override { return table_.slot_count(); }
+  double LoadFactor() const noexcept override {
+    return static_cast<double>(items_) / static_cast<double>(table_.slot_count());
+  }
+  std::size_t MemoryBytes() const noexcept override {
+    return table_.StorageBytes();
+  }
+  void Clear() override;
+  bool SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
+
+  unsigned d() const noexcept { return d_; }
+
+  /// Base-d digit-wise modular addition of bucket indices (the paper's
+  /// "base-d XOR"). Public so tests can verify the Eq. 2 cyclic property.
+  std::uint64_t DigitAdd(std::uint64_t a, std::uint64_t b) const noexcept;
+
+ private:
+  std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
+  std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
+
+  CuckooParams params_;
+  unsigned d_;
+  unsigned digit_bits_;
+  unsigned index_bits_;
+  std::uint64_t index_mask_;
+  PackedTable table_;
+  std::size_t items_ = 0;
+  mutable Xoshiro256 rng_;
+  std::string name_;
+};
+
+}  // namespace vcf

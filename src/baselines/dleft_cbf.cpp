@@ -1,0 +1,182 @@
+#include "baselines/dleft_cbf.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/random.hpp"
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+namespace {
+const DleftCountingBloomFilter::Params& Validated(
+    const DleftCountingBloomFilter::Params& p) {
+  if (p.subtables == 0 || p.subtables > 16) {
+    throw std::invalid_argument("dlCBF: subtables must be in [1, 16]");
+  }
+  if (!IsPowerOfTwo(p.buckets_per_subtable)) {
+    throw std::invalid_argument("dlCBF: buckets_per_subtable must be a power of two");
+  }
+  if (p.cells_per_bucket == 0 || p.cells_per_bucket > 64) {
+    throw std::invalid_argument("dlCBF: cells_per_bucket must be in [1, 64]");
+  }
+  if (p.fingerprint_bits == 0 || p.fingerprint_bits > 30) {
+    throw std::invalid_argument("dlCBF: fingerprint_bits must be in [1, 30]");
+  }
+  if (FloorLog2(p.buckets_per_subtable) + p.fingerprint_bits > 55) {
+    throw std::invalid_argument("dlCBF: bucket + remainder width exceeds 55 bits");
+  }
+  return p;
+}
+}  // namespace
+
+DleftCountingBloomFilter::DleftCountingBloomFilter(const Params& params)
+    : params_(Validated(params)),
+      bucket_bits_(FloorLog2(params.buckets_per_subtable)),
+      width_(bucket_bits_ + params.fingerprint_bits),
+      rem_mask_(LowMask(params.fingerprint_bits)),
+      width_mask_(LowMask(width_)),
+      table_(params.subtables * params.buckets_per_subtable,
+             params.cells_per_bucket, params.fingerprint_bits + 2) {
+  // Per-subtable permutation constants: odd multipliers are bijections
+  // modulo 2^width, and the interleaved xorshift keeps high/low bits mixed.
+  SplitMix64 sm(params.seed ^ 0xD1EF7ULL);
+  for (auto& m : mul1_) m = sm.Next() | 1;
+  for (auto& m : mul2_) m = sm.Next() | 1;
+}
+
+std::uint64_t DleftCountingBloomFilter::TrueFingerprint(
+    std::uint64_t key) const noexcept {
+  // The ONE hash computation of a dlCBF operation; the d placements come
+  // from cheap invertible permutations of this value.
+  ++counters_.hash_computations;
+  return Hash64(params_.hash, key, params_.seed) & width_mask_;
+}
+
+DleftCountingBloomFilter::Candidate DleftCountingBloomFilter::Locate(
+    std::uint64_t f, unsigned subtable) const noexcept {
+  // P_i(F): multiply (odd, invertible mod 2^w) -> xorshift (invertible) ->
+  // multiply. A (bucket, remainder) pair therefore determines F uniquely.
+  std::uint64_t v = (f * mul1_[subtable]) & width_mask_;
+  v ^= v >> std::max(1u, width_ / 2);  // shift 0 would zero v (v ^= v)
+  v = (v * mul2_[subtable]) & width_mask_;
+  return {subtable * params_.buckets_per_subtable +
+              static_cast<std::size_t>(v >> params_.fingerprint_bits),
+          v & rem_mask_};
+}
+
+bool DleftCountingBloomFilter::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  const std::uint64_t f = TrueFingerprint(key);
+
+  // Pass 1: an existing cell with this remainder absorbs the duplicate; in
+  // parallel, track the least-loaded candidate (leftmost tie-break).
+  std::size_t best_bucket = 0;
+  std::uint64_t best_rem = 0;
+  unsigned best_load = ~0u;
+  counters_.bucket_probes += params_.subtables;
+  for (unsigned d = 0; d < params_.subtables; ++d) {
+    const Candidate cand = Locate(f, d);
+    unsigned load = 0;
+    for (unsigned c = 0; c < params_.cells_per_bucket; ++c) {
+      const std::uint64_t cell = table_.Get(cand.bucket, c);
+      if (cell == 0) continue;
+      ++load;
+      if (CellRemainder(cell) == cand.remainder && CellCount(cell) < 3) {
+        table_.Set(cand.bucket, c, MakeCell(cand.remainder, CellCount(cell) + 1));
+        ++items_;
+        return true;
+      }
+    }
+    // d-left rule: least loaded wins, leftmost subtable breaks ties.
+    if (load < best_load) {
+      best_load = load;
+      best_bucket = cand.bucket;
+      best_rem = cand.remainder;
+    }
+  }
+
+  if (best_load >= params_.cells_per_bucket) {
+    ++counters_.insert_failures;  // every candidate bucket is full
+    return false;
+  }
+  const int slot = table_.FindEmptySlot(best_bucket);
+  table_.Set(best_bucket, static_cast<unsigned>(slot), MakeCell(best_rem, 1));
+  ++items_;
+  return true;
+}
+
+bool DleftCountingBloomFilter::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  const std::uint64_t f = TrueFingerprint(key);
+  counters_.bucket_probes += params_.subtables;
+  for (unsigned d = 0; d < params_.subtables; ++d) {
+    const Candidate cand = Locate(f, d);
+    for (unsigned c = 0; c < params_.cells_per_bucket; ++c) {
+      const std::uint64_t cell = table_.Get(cand.bucket, c);
+      if (cell != 0 && CellRemainder(cell) == cand.remainder) return true;
+    }
+  }
+  return false;
+}
+
+bool DleftCountingBloomFilter::Erase(std::uint64_t key) {
+  ++counters_.deletions;
+  const std::uint64_t f = TrueFingerprint(key);
+  counters_.bucket_probes += params_.subtables;
+  for (unsigned d = 0; d < params_.subtables; ++d) {
+    const Candidate cand = Locate(f, d);
+    for (unsigned c = 0; c < params_.cells_per_bucket; ++c) {
+      const std::uint64_t cell = table_.Get(cand.bucket, c);
+      if (cell != 0 && CellRemainder(cell) == cand.remainder) {
+        const unsigned count = CellCount(cell);
+        table_.Set(cand.bucket, c,
+                   count > 1 ? MakeCell(cand.remainder, count - 1) : 0);
+        --items_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void DleftCountingBloomFilter::Clear() {
+  table_.Clear();
+  items_ = 0;
+}
+
+bool DleftCountingBloomFilter::SaveState(std::ostream& out) const {
+  const std::uint64_t digest = detail::ConfigDigest(
+      params_.seed, static_cast<unsigned>(params_.hash),
+      params_.subtables * 256 + params_.cells_per_bucket,
+      params_.fingerprint_bits);
+  if (!detail::WriteStateHeader(out, Name(), digest) ||
+      !detail::SaveTablePayload(out, table_)) {
+    return false;
+  }
+  // Duplicate counters make item count independent of occupied cells.
+  const std::uint64_t items = items_;
+  out.write(reinterpret_cast<const char*>(&items), sizeof(items));
+  return static_cast<bool>(out);
+}
+
+bool DleftCountingBloomFilter::LoadState(std::istream& in) {
+  const std::uint64_t digest = detail::ConfigDigest(
+      params_.seed, static_cast<unsigned>(params_.hash),
+      params_.subtables * 256 + params_.cells_per_bucket,
+      params_.fingerprint_bits);
+  if (!detail::ReadStateHeader(in, Name(), digest) ||
+      !detail::LoadTablePayload(in, &table_)) {
+    return false;
+  }
+  std::uint64_t items = 0;
+  in.read(reinterpret_cast<char*>(&items), sizeof(items));
+  if (!in) return false;
+  items_ = static_cast<std::size_t>(items);
+  return true;
+}
+
+}  // namespace vcf

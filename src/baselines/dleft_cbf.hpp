@@ -1,0 +1,101 @@
+// d-left Counting Bloom Filter (Bonomi, Mitzenmacher, Panigrahy, Singh,
+// Varghese — ESA 2006), reviewed in §II-A of the paper: replaces the CBF's
+// per-bit counters with fingerprint cells placed by d-left hashing (d
+// subtables; insert into the least-loaded candidate bucket, leftmost on
+// ties). The paper quotes its claims — half the space of a CBF at equal FPR
+// — and bench/related_work puts them next to the cuckoo family.
+//
+// Construction (the paper's "hash-then-permute"): a key hashes once to a
+// true fingerprint F of (bucket_bits + remainder_bits) bits; for each
+// subtable i an INVERTIBLE permutation P_i scrambles F, whose high bits
+// pick the bucket and low bits form the stored remainder. Invertibility is
+// what makes deletion safe: a (subtable, bucket, remainder) triple
+// determines F exactly, so cells that look equal belong to the same F and
+// share every candidate — a deletion can never consume another key's cell
+// unless their full fingerprints collide outright.
+//
+// Cell layout: remainder + a 2-bit duplicate counter (saturating; a fourth
+// duplicate opens a second cell).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "core/filter.hpp"
+#include "hash/hash64.hpp"
+#include "table/packed_table.hpp"
+
+namespace vcf {
+
+class DleftCountingBloomFilter : public Filter {
+ public:
+  struct Params {
+    unsigned subtables = 4;             ///< d
+    std::size_t buckets_per_subtable = 1 << 12;  ///< power of two
+    unsigned cells_per_bucket = 8;
+    unsigned fingerprint_bits = 14;     ///< stored remainder width
+    HashKind hash = HashKind::kFnv1a;
+    std::uint64_t seed = 0x5EEDF00DULL;
+  };
+
+  explicit DleftCountingBloomFilter(const Params& params);
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override { return true; }
+  std::string Name() const override { return "dlCBF"; }
+  std::size_t ItemCount() const noexcept override { return items_; }
+  std::size_t SlotCount() const noexcept override {
+    return params_.subtables * params_.buckets_per_subtable *
+           params_.cells_per_bucket;
+  }
+  double LoadFactor() const noexcept override {
+    return static_cast<double>(items_) / static_cast<double>(SlotCount());
+  }
+  std::size_t MemoryBytes() const noexcept override {
+    return table_.StorageBytes();
+  }
+  void Clear() override;
+  bool SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  /// (bucket index within the whole table, stored remainder) for subtable i.
+  struct Candidate {
+    std::size_t bucket;
+    std::uint64_t remainder;
+  };
+
+  /// One full hash -> true fingerprint F of width_ bits.
+  std::uint64_t TrueFingerprint(std::uint64_t key) const noexcept;
+
+  /// P_i(F) split into bucket and remainder.
+  Candidate Locate(std::uint64_t f, unsigned subtable) const noexcept;
+
+  std::uint64_t CellRemainder(std::uint64_t cell) const noexcept {
+    return cell & rem_mask_;
+  }
+  unsigned CellCount(std::uint64_t cell) const noexcept {
+    return static_cast<unsigned>(cell >> params_.fingerprint_bits);
+  }
+  std::uint64_t MakeCell(std::uint64_t rem, unsigned count) const noexcept {
+    return (static_cast<std::uint64_t>(count) << params_.fingerprint_bits) | rem;
+  }
+
+  Params params_;
+  unsigned bucket_bits_;
+  unsigned width_;  // bucket_bits_ + fingerprint_bits
+  std::uint64_t rem_mask_;
+  std::uint64_t width_mask_;
+  std::array<std::uint64_t, 16> mul1_;  // per-subtable odd multipliers
+  std::array<std::uint64_t, 16> mul2_;
+  PackedTable table_;  // (d * buckets) buckets x cells slots x (rem + 2) bits
+  std::size_t items_ = 0;
+};
+
+}  // namespace vcf

@@ -1,0 +1,278 @@
+#include "baselines/morton_filter.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace vcf {
+
+namespace {
+constexpr std::uint64_t kFpHashSeed = 0xF1A9E57ECULL;
+
+unsigned ByteCounterSum(std::uint8_t b) noexcept {
+  return (b & 3) + ((b >> 2) & 3) + ((b >> 4) & 3) + ((b >> 6) & 3);
+}
+
+unsigned OtaBit(std::uint8_t fp) noexcept {
+  return static_cast<unsigned>(Mix64(fp) & 15);
+}
+}  // namespace
+
+MortonFilter::MortonFilter(const Params& params)
+    : params_(params),
+      index_mask_(params.bucket_count - 1),
+      blocks_(params.bucket_count / kBucketsPerBlock),
+      rng_(params.seed ^ 0x303A7104C0FFEEULL) {
+  if (!IsPowerOfTwo(params.bucket_count) ||
+      params.bucket_count < kBucketsPerBlock) {
+    throw std::invalid_argument(
+        "MortonFilter: bucket_count must be a power of two >= 64");
+  }
+  if (params.bucket_count > (std::uint64_t{1} << 32)) {
+    throw std::invalid_argument("MortonFilter: at most 2^32 buckets");
+  }
+  Clear();
+}
+
+unsigned MortonFilter::OffsetOf(const Block& block, unsigned lb) const noexcept {
+  unsigned sum = 0;
+  unsigned byte = 0;
+  while ((byte + 1) * 4 <= lb) {
+    sum += ByteCounterSum(block.fca[byte]);
+    ++byte;
+  }
+  for (unsigned i = byte * 4; i < lb; ++i) {
+    sum += (block.fca[i >> 2] >> ((i & 3) * 2)) & 3;
+  }
+  return sum;
+}
+
+unsigned MortonFilter::BlockFill(const Block& block) const noexcept {
+  unsigned sum = 0;
+  for (const std::uint8_t b : block.fca) sum += ByteCounterSum(b);
+  return sum;
+}
+
+bool MortonFilter::BucketInsert(std::uint64_t bucket, std::uint8_t fp) noexcept {
+  Block& block = blocks_[bucket >> 6];
+  const unsigned lb = static_cast<unsigned>(bucket & 63);
+  const unsigned count = Count(block, lb);
+  if (count >= kMaxPerBucket) return false;
+  const unsigned fill = BlockFill(block);
+  if (fill >= kSlotsPerBlock) return false;
+  const unsigned pos = OffsetOf(block, lb) + count;
+  std::memmove(block.fsa + pos + 1, block.fsa + pos, fill - pos);
+  block.fsa[pos] = fp;
+  SetCount(block, lb, count + 1);
+  return true;
+}
+
+bool MortonFilter::BucketContains(std::uint64_t bucket,
+                                  std::uint8_t fp) const noexcept {
+  const Block& block = blocks_[bucket >> 6];
+  const unsigned lb = static_cast<unsigned>(bucket & 63);
+  const unsigned count = Count(block, lb);
+  const unsigned off = OffsetOf(block, lb);
+  for (unsigned i = 0; i < count; ++i) {
+    if (block.fsa[off + i] == fp) return true;
+  }
+  return false;
+}
+
+bool MortonFilter::BucketErase(std::uint64_t bucket, std::uint8_t fp) noexcept {
+  Block& block = blocks_[bucket >> 6];
+  const unsigned lb = static_cast<unsigned>(bucket & 63);
+  const unsigned count = Count(block, lb);
+  const unsigned off = OffsetOf(block, lb);
+  for (unsigned i = 0; i < count; ++i) {
+    if (block.fsa[off + i] == fp) {
+      const unsigned fill = BlockFill(block);
+      std::memmove(block.fsa + off + i, block.fsa + off + i + 1,
+                   fill - (off + i + 1));
+      block.fsa[fill - 1] = 0;
+      SetCount(block, lb, count - 1);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint8_t MortonFilter::BucketKick(std::uint64_t bucket,
+                                      std::uint8_t replacement) noexcept {
+  Block& block = blocks_[bucket >> 6];
+  const unsigned lb = static_cast<unsigned>(bucket & 63);
+  const unsigned count = Count(block, lb);
+  if (count == 0) return 0;
+  const unsigned off = OffsetOf(block, lb);
+  const unsigned idx = static_cast<unsigned>(rng_.Below(count));
+  const std::uint8_t victim = block.fsa[off + idx];
+  block.fsa[off + idx] = replacement;
+  return victim;
+}
+
+std::uint64_t MortonFilter::Fingerprint(std::uint64_t key,
+                                        std::uint64_t* bucket1) const noexcept {
+  const std::uint64_t h = Hash64(params_.hash, key, params_.seed);
+  ++counters_.hash_computations;
+  *bucket1 = h & index_mask_;
+  const std::uint64_t fp = (h >> 32) & 0xFF;
+  return fp == 0 ? 1 : fp;
+}
+
+std::uint64_t MortonFilter::AltBucket(std::uint64_t bucket,
+                                      std::uint8_t fp) const noexcept {
+  // f-bit (f = 8) offset convention shared across the library; involutive,
+  // so it works from either member of the pair.
+  ++counters_.hash_computations;
+  const std::uint64_t fh =
+      Hash64(params_.hash, fp, params_.seed ^ kFpHashSeed) & 0xFF;
+  return (bucket ^ fh) & index_mask_;
+}
+
+void MortonFilter::MarkOverflow(std::uint64_t bucket, std::uint8_t fp) noexcept {
+  blocks_[bucket >> 6].ota |= static_cast<std::uint16_t>(1u << OtaBit(fp));
+}
+
+bool MortonFilter::OverflowPossible(std::uint64_t bucket,
+                                    std::uint8_t fp) const noexcept {
+  return (blocks_[bucket >> 6].ota >> OtaBit(fp)) & 1;
+}
+
+bool MortonFilter::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  std::uint64_t b1;
+  const std::uint8_t fp = static_cast<std::uint8_t>(Fingerprint(key, &b1));
+  ++counters_.bucket_probes;
+  if (BucketInsert(b1, fp)) {
+    ++items_;
+    return true;
+  }
+
+  // Overflow out of b1's block: record it so negative lookups that would
+  // miss b1 know they must still probe the alternate.
+  MarkOverflow(b1, fp);
+  const std::uint64_t b2 = AltBucket(b1, fp);
+  ++counters_.bucket_probes;
+  if (BucketInsert(b2, fp)) {
+    ++items_;
+    return true;
+  }
+
+  // Eviction random walk with value-based rollback.
+  struct Step {
+    std::uint64_t bucket;
+    std::uint8_t placed;
+    std::uint8_t displaced;
+  };
+  std::vector<Step> path;
+  path.reserve(params_.max_kicks);
+
+  std::uint64_t cur = rng_.Next() & 1 ? b2 : b1;
+  std::uint8_t in_hand = fp;
+  bool ok = false;
+  for (unsigned s = 0; s < params_.max_kicks; ++s) {
+    std::uint8_t victim = BucketKick(cur, in_hand);
+    if (victim == 0) {
+      // Empty bucket inside a full block: nothing to kick here; hop to the
+      // in-hand item's other candidate and retry.
+      cur = AltBucket(cur, in_hand);
+      victim = BucketKick(cur, in_hand);
+      if (victim == 0) break;  // both candidates unkickable: give up
+    }
+    path.push_back({cur, in_hand, victim});
+    ++counters_.evictions;
+
+    // The victim leaves cur's block for its alternate bucket.
+    MarkOverflow(cur, victim);
+    const std::uint64_t next = AltBucket(cur, victim);
+    ++counters_.bucket_probes;
+    if (BucketInsert(next, victim)) {
+      ok = true;
+      break;
+    }
+    in_hand = victim;
+    cur = next;
+  }
+  if (ok) {
+    ++items_;
+    return true;
+  }
+
+  // Undo the swap chain (stale OTA bits are harmless: they only cost an
+  // extra probe, never an answer).
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    Block& block = blocks_[it->bucket >> 6];
+    const unsigned lb = static_cast<unsigned>(it->bucket & 63);
+    const unsigned off = OffsetOf(block, lb);
+    const unsigned count = Count(block, lb);
+    for (unsigned i = 0; i < count; ++i) {
+      if (block.fsa[off + i] == it->placed) {
+        block.fsa[off + i] = it->displaced;
+        break;
+      }
+    }
+  }
+  ++counters_.insert_failures;
+  return false;
+}
+
+bool MortonFilter::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  std::uint64_t b1;
+  const std::uint8_t fp = static_cast<std::uint8_t>(Fingerprint(key, &b1));
+  ++counters_.bucket_probes;
+  if (BucketContains(b1, fp)) return true;
+  // The MF speedup: if nothing with this fingerprint's OTA signature ever
+  // overflowed from b1's block, the item cannot be in its alternate bucket.
+  if (!OverflowPossible(b1, fp)) {
+    ++ota_skips_;
+    return false;
+  }
+  ++counters_.bucket_probes;
+  return BucketContains(AltBucket(b1, fp), fp);
+}
+
+bool MortonFilter::Erase(std::uint64_t key) {
+  ++counters_.deletions;
+  std::uint64_t b1;
+  const std::uint8_t fp = static_cast<std::uint8_t>(Fingerprint(key, &b1));
+  counters_.bucket_probes += 2;
+  if (BucketErase(b1, fp) || BucketErase(AltBucket(b1, fp), fp)) {
+    --items_;
+    return true;
+  }
+  return false;
+}
+
+void MortonFilter::Clear() {
+  for (auto& block : blocks_) {
+    std::memset(&block, 0, sizeof(block));
+  }
+  items_ = 0;
+  ota_skips_ = 0;
+}
+
+bool MortonFilter::CheckInvariants() const {
+  std::size_t total = 0;
+  for (const auto& block : blocks_) {
+    const unsigned fill = BlockFill(block);
+    if (fill > kSlotsPerBlock) return false;
+    unsigned recount = 0;
+    for (unsigned lb = 0; lb < kBucketsPerBlock; ++lb) {
+      const unsigned c = Count(block, lb);
+      if (c > kMaxPerBucket) return false;
+      recount += c;
+    }
+    if (recount != fill) return false;
+    for (unsigned i = 0; i < kSlotsPerBlock; ++i) {
+      if (i < fill && block.fsa[i] == 0) return false;   // live slot empty
+      if (i >= fill && block.fsa[i] != 0) return false;  // dead slot dirty
+    }
+    total += fill;
+  }
+  return total == items_;
+}
+
+}  // namespace vcf

@@ -1,0 +1,119 @@
+// Morton filter (Breslow & Jayasena, VLDB Journal 2020), reviewed in §II-B
+// of the paper: a cuckoo filter re-organised into cache-line-sized
+// compressed blocks so that a logically sparse table stores densely.
+//
+// Block format (512 bits = one cache line, the paper's flagship layout):
+//   FSA — fingerprint storage array: 46 slots x 8-bit fingerprints,
+//   FCA — fullness counter array: 64 logical buckets x 2-bit counters,
+//   OTA — overflow tracking array: 16 bits.
+// A block serves 64 logical buckets of up to 3 fingerprints each, but only
+// 46 physical slots exist: buckets borrow capacity from their block
+// neighbours (46/64 ~ 0.72 slots of slack per bucket), which is where the
+// space density comes from. The OTA remembers "something overflowed out of
+// this block", letting negative lookups skip the second bucket probe most
+// of the time — the filter's lookup-throughput headline.
+//
+// The paper's §II-B criticism — "MF only supports certain lengths of
+// fingerprints (hence specific false positive rates)" — is literal here:
+// the block format hard-wires f = 8.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/filter.hpp"
+#include "hash/hash64.hpp"
+
+namespace vcf {
+
+class MortonFilter : public Filter {
+ public:
+  struct Params {
+    /// Total logical buckets; must be a power of two and >= 64 (one block).
+    std::size_t bucket_count = 1 << 14;
+    HashKind hash = HashKind::kFnv1a;
+    unsigned max_kicks = 500;
+    std::uint64_t seed = 0x5EEDF00DULL;
+  };
+
+  explicit MortonFilter(const Params& params);
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override { return true; }
+  std::string Name() const override { return "MF"; }
+  std::size_t ItemCount() const noexcept override { return items_; }
+  /// Physical slot capacity: 46 per 64-bucket block.
+  std::size_t SlotCount() const noexcept override {
+    return (params_.bucket_count / kBucketsPerBlock) * kSlotsPerBlock;
+  }
+  double LoadFactor() const noexcept override {
+    return static_cast<double>(items_) / static_cast<double>(SlotCount());
+  }
+  std::size_t MemoryBytes() const noexcept override {
+    return blocks_.size() * sizeof(Block);
+  }
+  void Clear() override;
+
+  static constexpr unsigned kBucketsPerBlock = 64;
+  static constexpr unsigned kSlotsPerBlock = 46;
+  static constexpr unsigned kMaxPerBucket = 3;
+  static constexpr unsigned kFingerprintBits = 8;  // hard-wired by the format
+
+  /// Structural self-check (FCA sums vs FSA occupancy); tests call this.
+  bool CheckInvariants() const;
+
+  /// Fraction of negative lookups whose second probe the OTA skipped since
+  /// the last ResetCounters (the MF speedup mechanism, asserted in tests).
+  double OtaSkipRate() const noexcept {
+    const std::uint64_t n = counters_.lookups;
+    return n == 0 ? 0.0 : static_cast<double>(ota_skips_) / static_cast<double>(n);
+  }
+
+ private:
+  /// One 512-bit block: 46-byte FSA + 16-byte FCA (64 x 2b) + 2-byte OTA.
+  struct Block {
+    std::uint8_t fsa[46];
+    std::uint8_t fca[16];
+    std::uint16_t ota;
+  };
+  static_assert(sizeof(Block) == 64, "block must be one cache line");
+
+  unsigned Count(const Block& block, unsigned lb) const noexcept {
+    return (block.fca[lb >> 2] >> ((lb & 3) * 2)) & 3;
+  }
+  void SetCount(Block& block, unsigned lb, unsigned count) const noexcept {
+    const unsigned shift = (lb & 3) * 2;
+    block.fca[lb >> 2] = static_cast<std::uint8_t>(
+        (block.fca[lb >> 2] & ~(3u << shift)) | (count << shift));
+  }
+  /// FSA offset of logical bucket lb = sum of counts of buckets before it.
+  unsigned OffsetOf(const Block& block, unsigned lb) const noexcept;
+  unsigned BlockFill(const Block& block) const noexcept;
+
+  /// Inserts fp into bucket; false when the bucket has 3 entries already or
+  /// the block's 46 slots are exhausted.
+  bool BucketInsert(std::uint64_t bucket, std::uint8_t fp) noexcept;
+  bool BucketContains(std::uint64_t bucket, std::uint8_t fp) const noexcept;
+  bool BucketErase(std::uint64_t bucket, std::uint8_t fp) noexcept;
+  /// Removes and returns a random resident of the bucket (0 if empty).
+  std::uint8_t BucketKick(std::uint64_t bucket, std::uint8_t replacement) noexcept;
+
+  std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
+  std::uint64_t AltBucket(std::uint64_t bucket, std::uint8_t fp) const noexcept;
+  void MarkOverflow(std::uint64_t bucket, std::uint8_t fp) noexcept;
+  bool OverflowPossible(std::uint64_t bucket, std::uint8_t fp) const noexcept;
+
+  Params params_;
+  std::uint64_t index_mask_;
+  std::vector<Block> blocks_;
+  std::size_t items_ = 0;
+  mutable std::uint64_t ota_skips_ = 0;
+  mutable Xoshiro256 rng_;
+};
+
+}  // namespace vcf

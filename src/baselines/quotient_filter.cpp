@@ -1,0 +1,287 @@
+#include "baselines/quotient_filter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+namespace {
+// Validation must run before the table member allocates (an out-of-range
+// quotient width would otherwise trigger a multi-gigabyte allocation before
+// the constructor body could throw).
+unsigned ValidatedQuotientBits(unsigned q) {
+  if (q == 0 || q > 32) {
+    throw std::invalid_argument("QuotientFilter: quotient_bits must be in [1, 32]");
+  }
+  return q;
+}
+unsigned ValidatedRemainderBits(unsigned r) {
+  if (r == 0 || r > 30) {
+    throw std::invalid_argument("QuotientFilter: remainder_bits must be in [1, 30]");
+  }
+  return r;
+}
+}  // namespace
+
+QuotientFilter::QuotientFilter(unsigned quotient_bits, unsigned remainder_bits,
+                               HashKind hash, std::uint64_t seed)
+    : q_(ValidatedQuotientBits(quotient_bits)),
+      r_(ValidatedRemainderBits(remainder_bits)),
+      slot_count_(std::size_t{1} << q_),
+      hash_(hash),
+      seed_(seed),
+      table_(slot_count_, /*slots_per_bucket=*/1, r_ + 3) {}
+
+QuotientFilter::Slot QuotientFilter::GetSlot(std::size_t i) const noexcept {
+  const std::uint64_t v = table_.Get(i, 0);
+  return Slot{(v >> (r_ + 2) & 1) != 0, (v >> (r_ + 1) & 1) != 0,
+              (v >> r_ & 1) != 0, v & LowMask(r_)};
+}
+
+void QuotientFilter::SetSlot(std::size_t i, const Slot& s) noexcept {
+  const std::uint64_t v = (std::uint64_t{s.occupied} << (r_ + 2)) |
+                          (std::uint64_t{s.continuation} << (r_ + 1)) |
+                          (std::uint64_t{s.shifted} << r_) | s.remainder;
+  table_.Set(i, 0, v);
+}
+
+void QuotientFilter::ClearSlot(std::size_t i) noexcept { table_.Set(i, 0, 0); }
+
+bool QuotientFilter::SlotEmpty(std::size_t i) const noexcept {
+  // An element always carries occupied/continuation/shifted metadata (a run
+  // head in its canonical slot has occupied set; every other element has
+  // shifted set), so value 0 <=> empty is exact.
+  return table_.Get(i, 0) == 0;
+}
+
+void QuotientFilter::Fingerprint(std::uint64_t key, std::uint64_t* fq,
+                                 std::uint64_t* fr) const noexcept {
+  const std::uint64_t h = Hash64(hash_, key, seed_);
+  ++counters_.hash_computations;
+  *fq = h & LowMask(q_);
+  *fr = (h >> 32) & LowMask(r_);
+}
+
+std::size_t QuotientFilter::ClusterStart(std::size_t i) const noexcept {
+  // Walk left while elements are shifted; the cluster head is the unique
+  // unshifted element of the cluster. Terminates because the caller
+  // guarantees at least one empty slot in the table.
+  std::size_t j = i;
+  while (GetSlot(j).shifted) j = Prev(j);
+  return j;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+QuotientFilter::DecodeCluster(std::size_t start, std::size_t* end) const {
+  // Offsets are relative to `start` so wrap-around clusters order cleanly.
+  std::vector<std::uint64_t> occupied_offsets;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> elements;
+  std::size_t i = start;
+  std::size_t off = 0;
+  // First pass structure: gather occupied offsets and raw slots in order.
+  std::vector<Slot> slots;
+  while (!SlotEmpty(i)) {
+    const Slot s = GetSlot(i);
+    if (s.occupied) occupied_offsets.push_back(off);
+    slots.push_back(s);
+    i = Next(i);
+    ++off;
+  }
+  *end = i;
+  // Runs appear in the same order as their quotients' occupied bits.
+  std::size_t run = 0;
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    if (!slots[k].continuation) {
+      // New run: bind to the next occupied offset.
+      run = k == 0 ? 0 : run + 1;
+    }
+    elements.emplace_back(occupied_offsets[run], slots[k].remainder);
+  }
+  return elements;
+}
+
+void QuotientFilter::EncodeCluster(
+    std::size_t start, std::size_t old_end,
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> elements) {
+  // Clear the old region (this also clears its occupied bits, which always
+  // refer to indices inside the region).
+  for (std::size_t i = start; i != old_end; i = Next(i)) ClearSlot(i);
+
+  // Lay runs out left to right: a run for canonical offset o starts at
+  // max(o, cursor); a gap before it starts a fresh (sub)cluster.
+  std::sort(elements.begin(), elements.end());
+  std::size_t cursor = 0;
+  std::size_t k = 0;
+  while (k < elements.size()) {
+    const std::uint64_t o = elements[k].first;
+    const std::size_t run_start = std::max<std::size_t>(cursor, o);
+    std::size_t idx = 0;
+    while (k < elements.size() && elements[k].first == o) {
+      const std::size_t pos = (start + run_start + idx) & (slot_count_ - 1);
+      Slot s;
+      s.occupied = GetSlot(pos).occupied;  // preserve bit set by earlier runs
+      s.continuation = idx > 0;
+      s.shifted = run_start + idx != o;
+      s.remainder = elements[k].second;
+      SetSlot(pos, s);
+      ++idx;
+      ++k;
+    }
+    // Mark the quotient occupied (its index is inside the written region).
+    const std::size_t qpos = (start + o) & (slot_count_ - 1);
+    Slot qslot = GetSlot(qpos);
+    qslot.occupied = true;
+    SetSlot(qpos, qslot);
+    cursor = run_start + idx;
+  }
+}
+
+bool QuotientFilter::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  // Keep one empty slot: cluster walks and the +1 encode extension need it.
+  if (items_ + 1 >= slot_count_) {
+    ++counters_.insert_failures;
+    return false;
+  }
+  std::uint64_t fq, fr;
+  Fingerprint(key, &fq, &fr);
+  ++counters_.bucket_probes;
+
+  if (SlotEmpty(fq)) {
+    SetSlot(fq, Slot{true, false, false, fr});
+    ++items_;
+    return true;
+  }
+  const std::size_t start = ClusterStart(fq);
+  std::size_t end = 0;
+  auto elements = DecodeCluster(start, &end);
+  const std::uint64_t off = (fq - start) & (slot_count_ - 1);
+  elements.emplace_back(off, fr);
+  EncodeCluster(start, end, std::move(elements));
+  ++items_;
+  return true;
+}
+
+bool QuotientFilter::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  std::uint64_t fq, fr;
+  Fingerprint(key, &fq, &fr);
+  ++counters_.bucket_probes;
+  if (!GetSlot(fq).occupied) return false;
+
+  // Locate fq's run inside its cluster: it is the K-th run, where K is the
+  // number of occupied indices in [cluster_start .. fq].
+  const std::size_t start = ClusterStart(fq);
+  std::size_t runs_needed = 0;
+  for (std::size_t j = start;; j = Next(j)) {
+    if (GetSlot(j).occupied) ++runs_needed;
+    if (j == fq) break;
+  }
+  std::size_t run_no = 0;
+  for (std::size_t j = start; !SlotEmpty(j); j = Next(j)) {
+    const Slot s = GetSlot(j);
+    if (!s.continuation) ++run_no;
+    if (run_no == runs_needed) {
+      if (s.remainder == fr) return true;
+    } else if (run_no > runs_needed) {
+      break;
+    }
+  }
+  return false;
+}
+
+bool QuotientFilter::Erase(std::uint64_t key) {
+  ++counters_.deletions;
+  std::uint64_t fq, fr;
+  Fingerprint(key, &fq, &fr);
+  ++counters_.bucket_probes;
+  if (!GetSlot(fq).occupied) return false;
+
+  const std::size_t start = ClusterStart(fq);
+  std::size_t end = 0;
+  auto elements = DecodeCluster(start, &end);
+  const std::uint64_t off = (fq - start) & (slot_count_ - 1);
+  const auto it = std::find(elements.begin(), elements.end(),
+                            std::make_pair(off, fr));
+  if (it == elements.end()) return false;
+  elements.erase(it);
+  EncodeCluster(start, end, std::move(elements));
+  --items_;
+  return true;
+}
+
+void QuotientFilter::Clear() {
+  table_.Clear();
+  items_ = 0;
+}
+
+bool QuotientFilter::SaveState(std::ostream& out) const {
+  const std::uint64_t digest = detail::ConfigDigest(
+      seed_, static_cast<unsigned>(hash_), q_, r_);
+  return detail::WriteStateHeader(out, Name(), digest) &&
+         detail::SaveTablePayload(out, table_);
+}
+
+bool QuotientFilter::LoadState(std::istream& in) {
+  const std::uint64_t digest = detail::ConfigDigest(
+      seed_, static_cast<unsigned>(hash_), q_, r_);
+  if (!detail::ReadStateHeader(in, Name(), digest) ||
+      !detail::LoadTablePayload(in, &table_)) {
+    return false;
+  }
+  // Item count: every non-empty slot stores exactly one element.
+  items_ = 0;
+  for (std::size_t i = 0; i < slot_count_; ++i) items_ += SlotEmpty(i) ? 0 : 1;
+  return true;
+}
+
+bool QuotientFilter::CheckInvariants() const {
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    if (SlotEmpty(i)) continue;
+    ++counted;
+    const Slot s = GetSlot(i);
+    // A continuation is never in its canonical slot.
+    if (s.continuation && !s.shifted) return false;
+    // An occupied index must hold an element (cluster covers it).
+    // (Already implied by !SlotEmpty here; check the converse globally.)
+  }
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    if (GetSlot(i).occupied && SlotEmpty(i)) return false;
+  }
+  if (counted != items_) return false;
+
+  // Decode every cluster and re-derive structure.
+  std::vector<bool> visited(slot_count_, false);
+  for (std::size_t i = 0; i < slot_count_; ++i) {
+    if (SlotEmpty(i) || visited[i]) continue;
+    if (GetSlot(i).shifted) continue;  // find cluster heads only
+    if (GetSlot(i).continuation) return false;  // head cannot be continuation
+    std::size_t end = 0;
+    const auto elements = DecodeCluster(i, &end);
+    std::uint64_t prev_off = 0;
+    std::uint64_t prev_rem = 0;
+    bool first = true;
+    std::size_t pos_off = 0;
+    for (const auto& [off, rem] : elements) {
+      // Elements ordered by (offset, remainder); each element sits at or
+      // right of its canonical offset.
+      if (!first && (off < prev_off || (off == prev_off && rem < prev_rem))) {
+        return false;
+      }
+      // occupied bit set at the canonical index.
+      if (!GetSlot((i + off) & (slot_count_ - 1)).occupied) return false;
+      prev_off = off;
+      prev_rem = rem;
+      first = false;
+      ++pos_off;
+    }
+    for (std::size_t j = i; j != end; j = Next(j)) visited[j] = true;
+  }
+  return true;
+}
+
+}  // namespace vcf

@@ -1,0 +1,250 @@
+#include "baselines/semisorted_cuckoo_filter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+namespace {
+constexpr std::uint64_t kFpHashSeed = 0xF1A9E57ECULL;
+
+const CuckooParams& Validated(const CuckooParams& p) {
+  if (!IsPowerOfTwo(p.bucket_count) || p.bucket_count == 0) {
+    throw std::invalid_argument("ssCF: bucket_count must be a power of two");
+  }
+  if (p.index_bits() > 32) {
+    throw std::invalid_argument("ssCF: at most 2^32 buckets are supported");
+  }
+  if (p.slots_per_bucket != 4) {
+    throw std::invalid_argument("ssCF: semi-sorting requires 4 slots per bucket");
+  }
+  if (p.fingerprint_bits < 5 || p.fingerprint_bits > 15) {
+    throw std::invalid_argument("ssCF: fingerprint_bits must be in [5, 15]");
+  }
+  return p;
+}
+
+std::uint16_t PackNibbles(const std::array<std::uint8_t, 4>& n) {
+  return static_cast<std::uint16_t>(n[0] | (n[1] << 4) | (n[2] << 8) |
+                                    (n[3] << 12));
+}
+
+}  // namespace
+
+const SemiSortedCuckooFilter::Codec& SemiSortedCuckooFilter::GetCodec() {
+  static const Codec codec = [] {
+    Codec c;
+    c.encode.assign(1 << 16, 0xFFFF);
+    // Enumerate all non-decreasing nibble 4-tuples in lexicographic order;
+    // the tuple's rank is its 12-bit code. C(19, 4) = 3876 codes.
+    for (unsigned a = 0; a < 16; ++a) {
+      for (unsigned b = a; b < 16; ++b) {
+        for (unsigned d = b; d < 16; ++d) {
+          for (unsigned e = d; e < 16; ++e) {
+            const std::array<std::uint8_t, 4> tuple = {
+                static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                static_cast<std::uint8_t>(d), static_cast<std::uint8_t>(e)};
+            c.encode[PackNibbles(tuple)] =
+                static_cast<std::uint16_t>(c.decode.size());
+            c.decode.push_back(tuple);
+          }
+        }
+      }
+    }
+    return c;
+  }();
+  return codec;
+}
+
+SemiSortedCuckooFilter::SemiSortedCuckooFilter(const CuckooParams& params)
+    : params_(Validated(params)),
+      index_mask_(LowMask(params.index_bits())),
+      high_bits_(params.fingerprint_bits - 4),
+      table_(params.bucket_count, /*slots_per_bucket=*/1,
+             12 + 4 * (params.fingerprint_bits - 4)),
+      rng_(params.seed ^ 0x55CF104C0FFEEULL) {
+  GetCodec();  // build the shared tables before first use
+}
+
+SemiSortedCuckooFilter::Bucket SemiSortedCuckooFilter::DecodeBucket(
+    std::size_t index) const noexcept {
+  const std::uint64_t word = table_.Get(index, 0);
+  const std::uint16_t code = static_cast<std::uint16_t>(word & 0xFFF);
+  const auto& nibbles = GetCodec().decode[code];
+  Bucket bucket;
+  for (unsigned i = 0; i < 4; ++i) {
+    const std::uint64_t high =
+        (word >> (12 + i * high_bits_)) & LowMask(high_bits_);
+    bucket[i] = (high << 4) | nibbles[i];
+  }
+  return bucket;
+}
+
+void SemiSortedCuckooFilter::EncodeBucket(std::size_t index,
+                                          Bucket bucket) noexcept {
+  // Canonical order: sort by (low nibble, high part); empty entries (0)
+  // sort first naturally. The nibble tuple is then non-decreasing.
+  std::sort(bucket.begin(), bucket.end(),
+            [](std::uint64_t x, std::uint64_t y) {
+              const auto kx = ((x & 0xF) << 60) | (x >> 4);
+              const auto ky = ((y & 0xF) << 60) | (y >> 4);
+              return kx < ky;
+            });
+  std::array<std::uint8_t, 4> nibbles;
+  std::uint64_t word = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    nibbles[i] = static_cast<std::uint8_t>(bucket[i] & 0xF);
+    word |= (bucket[i] >> 4) << (12 + i * high_bits_);
+  }
+  word |= GetCodec().encode[PackNibbles(nibbles)];
+  table_.Set(index, 0, word);
+}
+
+std::uint64_t SemiSortedCuckooFilter::Fingerprint(
+    std::uint64_t key, std::uint64_t* bucket1) const noexcept {
+  const std::uint64_t h = Hash64(params_.hash, key, params_.seed);
+  ++counters_.hash_computations;
+  *bucket1 = h & index_mask_;
+  std::uint64_t fp = (h >> 32) & LowMask(params_.fingerprint_bits);
+  return fp == 0 ? 1 : fp;
+}
+
+std::uint64_t SemiSortedCuckooFilter::FingerprintHash(
+    std::uint64_t fp) const noexcept {
+  ++counters_.hash_computations;
+  return Hash64(params_.hash, fp, params_.seed ^ kFpHashSeed) &
+         LowMask(params_.fingerprint_bits);
+}
+
+bool SemiSortedCuckooFilter::BucketContains(std::size_t index,
+                                            std::uint64_t fp) const noexcept {
+  const Bucket bucket = DecodeBucket(index);
+  return std::find(bucket.begin(), bucket.end(), fp) != bucket.end();
+}
+
+bool SemiSortedCuckooFilter::TryInsertIntoBucket(std::size_t index,
+                                                 std::uint64_t fp) noexcept {
+  Bucket bucket = DecodeBucket(index);
+  for (auto& slot : bucket) {
+    if (slot == 0) {
+      slot = fp;
+      EncodeBucket(index, bucket);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SemiSortedCuckooFilter::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  std::uint64_t b1;
+  std::uint64_t fp = Fingerprint(key, &b1);
+  std::uint64_t fh = FingerprintHash(fp);
+  const std::uint64_t b2 = AltBucket(b1, fh);
+
+  counters_.bucket_probes += 2;
+  if (TryInsertIntoBucket(b1, fp) || TryInsertIntoBucket(b2, fp)) {
+    ++items_;
+    return true;
+  }
+
+  // Eviction with whole-word rollback: slot identities shift on re-sort, so
+  // the undo log stores the bucket's previous packed word.
+  struct Step {
+    std::uint64_t bucket;
+    std::uint64_t old_word;
+  };
+  std::vector<Step> path;
+  path.reserve(params_.max_kicks);
+
+  std::uint64_t cur = rng_.Next() & 1 ? b2 : b1;
+  for (unsigned s = 0; s < params_.max_kicks; ++s) {
+    path.push_back({cur, table_.Get(cur, 0)});
+    Bucket bucket = DecodeBucket(cur);
+    const unsigned victim_slot = static_cast<unsigned>(rng_.Below(4));
+    const std::uint64_t victim = bucket[victim_slot];
+    bucket[victim_slot] = fp;
+    EncodeBucket(cur, bucket);
+    fp = victim;
+    ++counters_.evictions;
+
+    fh = FingerprintHash(fp);
+    cur = AltBucket(cur, fh);
+    ++counters_.bucket_probes;
+    if (TryInsertIntoBucket(cur, fp)) {
+      ++items_;
+      return true;
+    }
+  }
+
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    table_.Set(it->bucket, 0, it->old_word);
+  }
+  ++counters_.insert_failures;
+  return false;
+}
+
+bool SemiSortedCuckooFilter::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  counters_.bucket_probes += 2;
+  return BucketContains(b1, fp) || BucketContains(AltBucket(b1, fh), fp);
+}
+
+bool SemiSortedCuckooFilter::Erase(std::uint64_t key) {
+  ++counters_.deletions;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  counters_.bucket_probes += 2;
+  for (const std::uint64_t index : {b1, AltBucket(b1, fh)}) {
+    Bucket bucket = DecodeBucket(index);
+    for (auto& slot : bucket) {
+      if (slot == fp) {
+        slot = 0;
+        EncodeBucket(index, bucket);
+        --items_;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void SemiSortedCuckooFilter::Clear() {
+  table_.Clear();
+  items_ = 0;
+}
+
+bool SemiSortedCuckooFilter::SaveState(std::ostream& out) const {
+  const std::uint64_t digest =
+      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
+                           0x55, params_.fingerprint_bits);
+  return detail::WriteStateHeader(out, Name(), digest) &&
+         detail::SaveTablePayload(out, table_);
+}
+
+bool SemiSortedCuckooFilter::LoadState(std::istream& in) {
+  const std::uint64_t digest =
+      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
+                           0x55, params_.fingerprint_bits);
+  if (!detail::ReadStateHeader(in, Name(), digest) ||
+      !detail::LoadTablePayload(in, &table_)) {
+    return false;
+  }
+  // Recount items: a bucket word's code reveals its nibbles; empty slots
+  // are exactly the zero fingerprints.
+  items_ = 0;
+  for (std::size_t i = 0; i < table_.bucket_count(); ++i) {
+    const Bucket bucket = DecodeBucket(i);
+    for (const auto fpv : bucket) items_ += fpv != 0 ? 1 : 0;
+  }
+  return true;
+}
+
+}  // namespace vcf

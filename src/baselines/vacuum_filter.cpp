@@ -1,0 +1,161 @@
+#include "baselines/vacuum_filter.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+namespace {
+constexpr std::uint64_t kFpHashSeed = 0xF1A9E57ECULL;
+
+const VacuumFilter::Params& Validated(const VacuumFilter::Params& p) {
+  if (!IsPowerOfTwo(p.chunk_buckets)) {
+    throw std::invalid_argument("VacuumFilter: chunk_buckets must be a power of two");
+  }
+  if (p.bucket_count == 0 || p.bucket_count % p.chunk_buckets != 0) {
+    throw std::invalid_argument(
+        "VacuumFilter: bucket_count must be a positive multiple of chunk_buckets");
+  }
+  if (p.fingerprint_bits == 0 || p.fingerprint_bits > 25) {
+    throw std::invalid_argument("VacuumFilter: fingerprint_bits must be in [1, 25]");
+  }
+  if (p.chunk_buckets > (std::uint64_t{1} << p.fingerprint_bits)) {
+    throw std::invalid_argument(
+        "VacuumFilter: chunk_buckets must be <= 2^fingerprint_bits (the f-bit "
+        "hash(eta) must be able to reach the whole chunk)");
+  }
+  if (p.slots_per_bucket == 0) {
+    throw std::invalid_argument("VacuumFilter: slots_per_bucket must be >= 1");
+  }
+  return p;
+}
+}  // namespace
+
+VacuumFilter::VacuumFilter(const Params& params)
+    : params_(Validated(params)),
+      chunk_mask_(params.chunk_buckets - 1),
+      table_(params.bucket_count, params.slots_per_bucket,
+             params.fingerprint_bits),
+      rng_(params.seed ^ 0x7ACC7F104C0FFEEULL) {}
+
+std::uint64_t VacuumFilter::Fingerprint(std::uint64_t key,
+                                        std::uint64_t* bucket1) const noexcept {
+  const std::uint64_t h = Hash64(params_.hash, key, params_.seed);
+  ++counters_.hash_computations;
+  // Modulo reduction onto the (possibly non-power-of-two) bucket range uses
+  // the hash's LOW bits; a multiply-shift reduction would read the high
+  // bits, which weak hashes (DJB2 over short keys) leave almost empty and
+  // would pile every key into chunk 0. The fingerprint comes from bits 32+,
+  // matching the rest of the library.
+  *bucket1 = h % params_.bucket_count;
+  std::uint64_t fp = (h >> 32) & LowMask(params_.fingerprint_bits);
+  return fp == 0 ? 1 : fp;
+}
+
+std::uint64_t VacuumFilter::FingerprintHash(std::uint64_t fp) const noexcept {
+  ++counters_.hash_computations;
+  return Hash64(params_.hash, fp, params_.seed ^ kFpHashSeed) &
+         LowMask(params_.fingerprint_bits);
+}
+
+bool VacuumFilter::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  std::uint64_t b1;
+  std::uint64_t fp = Fingerprint(key, &b1);
+  std::uint64_t fh = FingerprintHash(fp);
+  const std::uint64_t b2 = AltBucket(b1, fh);
+
+  counters_.bucket_probes += 2;
+  if (table_.InsertValue(b1, fp) || table_.InsertValue(b2, fp)) {
+    ++items_;
+    return true;
+  }
+
+  struct Step {
+    std::uint64_t bucket;
+    unsigned slot;
+    std::uint64_t displaced;
+  };
+  std::vector<Step> path;
+  path.reserve(params_.max_kicks);
+
+  std::uint64_t cur = rng_.Next() & 1 ? b2 : b1;
+  for (unsigned s = 0; s < params_.max_kicks; ++s) {
+    const unsigned slot =
+        static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
+    const std::uint64_t victim = table_.Get(cur, slot);
+    table_.Set(cur, slot, fp);
+    path.push_back({cur, slot, victim});
+    fp = victim;
+    ++counters_.evictions;
+
+    fh = FingerprintHash(fp);
+    cur = AltBucket(cur, fh);
+    ++counters_.bucket_probes;
+    if (table_.InsertValue(cur, fp)) {
+      ++items_;
+      return true;
+    }
+  }
+
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    table_.Set(it->bucket, it->slot, it->displaced);
+  }
+  ++counters_.insert_failures;
+  return false;
+}
+
+bool VacuumFilter::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  counters_.bucket_probes += 2;
+  return table_.ContainsValue(b1, fp) ||
+         table_.ContainsValue(AltBucket(b1, fh), fp);
+}
+
+bool VacuumFilter::Erase(std::uint64_t key) {
+  ++counters_.deletions;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  counters_.bucket_probes += 2;
+  if (table_.EraseValue(b1, fp) || table_.EraseValue(AltBucket(b1, fh), fp)) {
+    --items_;
+    return true;
+  }
+  return false;
+}
+
+void VacuumFilter::Clear() {
+  table_.Clear();
+  items_ = 0;
+}
+
+bool VacuumFilter::SaveState(std::ostream& out) const {
+  const std::uint64_t digest = detail::ConfigDigest(
+      params_.seed, static_cast<unsigned>(params_.hash),
+      static_cast<unsigned>(params_.chunk_buckets & 0xFFFFFFFFu),
+      params_.fingerprint_bits);
+  return detail::WriteStateHeader(out, Name(), digest) &&
+         detail::SaveTablePayload(out, table_);
+}
+
+bool VacuumFilter::LoadState(std::istream& in) {
+  const std::uint64_t digest = detail::ConfigDigest(
+      params_.seed, static_cast<unsigned>(params_.hash),
+      static_cast<unsigned>(params_.chunk_buckets & 0xFFFFFFFFu),
+      params_.fingerprint_bits);
+  if (!detail::ReadStateHeader(in, Name(), digest) ||
+      !detail::LoadTablePayload(in, &table_)) {
+    return false;
+  }
+  items_ = table_.OccupiedSlots();
+  return true;
+}
+
+}  // namespace vcf

@@ -1,0 +1,75 @@
+// Vacuum filter (Wang, Zhou, Shi, Qian — VLDB 2020), reviewed in §II-B of
+// the paper: a cuckoo filter whose table is divided into equal power-of-two
+// chunks, with both candidate buckets of every item confined to one chunk
+// (the partial-key XOR is taken modulo the chunk size). Because the XOR
+// never crosses chunks, the TOTAL table size no longer needs to be a power
+// of two — VF's headline fix of CF's memory inflexibility — and candidate
+// pairs stay cache-local.
+//
+// This implementation uses a fixed chunk size (the full multi-range "semi-
+// sorted load balancing" of the paper's artifact is out of scope); the
+// table may be any multiple of the chunk size. Eviction, rollback and
+// instrumentation mirror the other cuckoo filters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hpp"
+#include "core/filter.hpp"
+#include "hash/hash64.hpp"
+#include "table/packed_table.hpp"
+
+namespace vcf {
+
+class VacuumFilter : public Filter {
+ public:
+  struct Params {
+    std::size_t bucket_count = 3 << 14;  ///< ANY multiple of chunk_buckets
+    std::size_t chunk_buckets = 1 << 7;  ///< power of two
+    unsigned slots_per_bucket = 4;
+    unsigned fingerprint_bits = 14;
+    HashKind hash = HashKind::kFnv1a;
+    unsigned max_kicks = 500;
+    std::uint64_t seed = 0x5EEDF00DULL;
+  };
+
+  explicit VacuumFilter(const Params& params);
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override { return true; }
+  std::string Name() const override { return "VF"; }
+  std::size_t ItemCount() const noexcept override { return items_; }
+  std::size_t SlotCount() const noexcept override { return table_.slot_count(); }
+  double LoadFactor() const noexcept override {
+    return static_cast<double>(items_) / static_cast<double>(table_.slot_count());
+  }
+  std::size_t MemoryBytes() const noexcept override {
+    return table_.StorageBytes();
+  }
+  void Clear() override;
+  bool SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
+
+  const Params& params() const noexcept { return params_; }
+
+ private:
+  std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
+  std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
+  std::uint64_t AltBucket(std::uint64_t bucket, std::uint64_t fp_hash) const noexcept {
+    // XOR within the chunk only: the high (chunk-index) part is preserved,
+    // so the result is < bucket_count for any multiple-of-chunk table size.
+    return bucket ^ (fp_hash & chunk_mask_);
+  }
+
+  Params params_;
+  std::uint64_t chunk_mask_;
+  PackedTable table_;
+  std::size_t items_ = 0;
+  mutable Xoshiro256 rng_;
+};
+
+}  // namespace vcf

@@ -1,0 +1,31 @@
+#include "common/bitops.hpp"
+
+#include <cstring>
+
+namespace vcf {
+
+// Both helpers use a single unaligned 64-bit load/store around the target
+// range. With bits <= 57 and an intra-byte offset of at most 7, the touched
+// range always fits in one 8-byte window, so the fast path has no loop.
+
+std::uint64_t ReadBits(const std::uint8_t* base, std::size_t bit_off,
+                       unsigned bits) noexcept {
+  const std::size_t byte = bit_off >> 3;
+  const unsigned shift = static_cast<unsigned>(bit_off & 7);
+  std::uint64_t word;
+  std::memcpy(&word, base + byte, sizeof(word));
+  return (word >> shift) & LowMask(bits);
+}
+
+void WriteBits(std::uint8_t* base, std::size_t bit_off, unsigned bits,
+               std::uint64_t value) noexcept {
+  const std::size_t byte = bit_off >> 3;
+  const unsigned shift = static_cast<unsigned>(bit_off & 7);
+  const std::uint64_t mask = LowMask(bits) << shift;
+  std::uint64_t word;
+  std::memcpy(&word, base + byte, sizeof(word));
+  word = (word & ~mask) | ((value << shift) & mask);
+  std::memcpy(base + byte, &word, sizeof(word));
+}
+
+}  // namespace vcf

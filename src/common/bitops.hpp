@@ -1,0 +1,57 @@
+// Bit-level utilities shared by all filter implementations.
+//
+// Everything here is branch-light and constexpr-friendly: the packed
+// fingerprint table and the vertical-hashing candidate derivation sit on the
+// hot path of every insert/lookup, so these helpers are the vocabulary the
+// rest of the library is written in.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace vcf {
+
+/// True iff `v` is a power of two (zero is not).
+constexpr bool IsPowerOfTwo(std::uint64_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+/// Smallest power of two >= v (v = 0 maps to 1).
+constexpr std::uint64_t NextPowerOfTwo(std::uint64_t v) noexcept {
+  if (v <= 1) return 1;
+  return std::uint64_t{1} << (64 - std::countl_zero(v - 1));
+}
+
+/// floor(log2(v)); precondition v > 0.
+constexpr unsigned FloorLog2(std::uint64_t v) noexcept {
+  return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/// ceil(log2(v)); precondition v > 0. CeilLog2(1) == 0.
+constexpr unsigned CeilLog2(std::uint64_t v) noexcept {
+  return v <= 1 ? 0u : FloorLog2(v - 1) + 1u;
+}
+
+/// A mask with the low `bits` bits set; bits may be 0..64.
+constexpr std::uint64_t LowMask(unsigned bits) noexcept {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+/// Population count.
+constexpr unsigned PopCount(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::popcount(v));
+}
+
+/// Reads `bits` (1..57) bits starting at absolute bit offset `bit_off` from a
+/// byte buffer. The buffer must have at least one addressable byte past the
+/// last touched bit-range byte-span; PackedTable guarantees 8 bytes of slack.
+std::uint64_t ReadBits(const std::uint8_t* base, std::size_t bit_off,
+                       unsigned bits) noexcept;
+
+/// Writes the low `bits` (1..57) bits of `value` at absolute bit offset
+/// `bit_off`. Untouched neighbouring bits are preserved.
+void WriteBits(std::uint8_t* base, std::size_t bit_off, unsigned bits,
+               std::uint64_t value) noexcept;
+
+}  // namespace vcf

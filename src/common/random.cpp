@@ -1,0 +1,59 @@
+#include "common/random.hpp"
+
+#include <cmath>
+
+namespace vcf {
+
+namespace {
+constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  // Seed the four state words from SplitMix64 as recommended by the authors;
+  // this guarantees a non-zero state for any seed.
+  SplitMix64 sm(seed);
+  for (auto& w : s_) w = sm.Next();
+}
+
+std::uint64_t Xoshiro256::Next() noexcept {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256::Below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless reduction; bias is negligible (< 2^-64 * bound)
+  // and irrelevant for eviction-victim choices, so we skip the rejection loop.
+  const unsigned __int128 m =
+      static_cast<unsigned __int128>(Next()) * static_cast<unsigned __int128>(bound);
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Xoshiro256::NextDouble() noexcept {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::NextGaussian() noexcept {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+}  // namespace vcf

@@ -1,0 +1,63 @@
+// Deterministic, fast PRNGs used for eviction choices and workload synthesis.
+//
+// The filters must not depend on std::mt19937 in their hot loops (its state
+// is large and its per-draw cost dwarfs a bucket probe), so eviction paths
+// use SplitMix64/xoshiro256**. All generators are seedable for reproducible
+// experiments.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace vcf {
+
+/// SplitMix64: tiny, statistically solid, ideal for seeding and for hashing
+/// integers into well-mixed 64-bit values.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t Next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Stateless mix of a single 64-bit value (SplitMix64 finalizer). Used to
+/// derive independent sub-seeds and as a cheap strong integer hash.
+constexpr std::uint64_t Mix64(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: the workhorse generator for eviction decisions and workload
+/// generation. Passes BigCrush; 2^256-1 period; 4 words of state.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(std::uint64_t seed) noexcept;
+
+  std::uint64_t Next() noexcept;
+
+  /// Unbiased draw from [0, bound) via Lemire's multiply-shift reduction.
+  std::uint64_t Below(std::uint64_t bound) noexcept;
+
+  /// Uniform double in [0, 1).
+  double NextDouble() noexcept;
+
+  /// Standard normal via Box-Muller (used by the synthetic HIGGS generator).
+  double NextGaussian() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace vcf

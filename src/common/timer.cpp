@@ -1,0 +1,4 @@
+#include "common/timer.hpp"
+
+// Header-only today; this translation unit anchors the target so the library
+// has a stable archive even if the header later grows out-of-line members.

@@ -1,0 +1,38 @@
+// Wall-clock timing helpers for the experiment harness and benchmarks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace vcf {
+
+/// Monotonic stopwatch. Construct (or Reset) to start; Elapsed* reads do not
+/// stop it, so one stopwatch can bracket a sequence of measurement points.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void Reset() noexcept { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMicros() const noexcept { return ElapsedSeconds() * 1e6; }
+  std::uint64_t ElapsedNanos() const noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Prevents the optimizer from eliding a computed value (benchmark loops).
+template <typename T>
+inline void DoNotOptimize(const T& value) noexcept {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace vcf

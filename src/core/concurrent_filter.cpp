@@ -1,0 +1,62 @@
+#include "core/concurrent_filter.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace vcf {
+
+ConcurrentFilter::ConcurrentFilter(std::unique_ptr<Filter> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) {
+    throw std::invalid_argument("ConcurrentFilter: inner filter must not be null");
+  }
+}
+
+bool ConcurrentFilter::Insert(std::uint64_t key) {
+  std::unique_lock lock(mutex_);
+  return inner_->Insert(key);
+}
+
+bool ConcurrentFilter::Contains(std::uint64_t key) const {
+  std::shared_lock lock(mutex_);
+  return inner_->Contains(key);
+}
+
+void ConcurrentFilter::ContainsBatch(std::span<const std::uint64_t> keys,
+                                     bool* results) const {
+  // One lock acquisition for the whole batch, not one per key.
+  std::shared_lock lock(mutex_);
+  inner_->ContainsBatch(keys, results);
+}
+
+bool ConcurrentFilter::Erase(std::uint64_t key) {
+  std::unique_lock lock(mutex_);
+  return inner_->Erase(key);
+}
+
+std::size_t ConcurrentFilter::ItemCount() const noexcept {
+  std::shared_lock lock(mutex_);
+  return inner_->ItemCount();
+}
+
+double ConcurrentFilter::LoadFactor() const noexcept {
+  std::shared_lock lock(mutex_);
+  return inner_->LoadFactor();
+}
+
+void ConcurrentFilter::Clear() {
+  std::unique_lock lock(mutex_);
+  inner_->Clear();
+}
+
+bool ConcurrentFilter::SaveState(std::ostream& out) const {
+  std::shared_lock lock(mutex_);
+  return inner_->SaveState(out);
+}
+
+bool ConcurrentFilter::LoadState(std::istream& in) {
+  std::unique_lock lock(mutex_);
+  return inner_->LoadState(in);
+}
+
+}  // namespace vcf

@@ -1,0 +1,55 @@
+// Thread-safety wrapper for any Filter.
+//
+// §III-C of the paper remarks that concurrent cuckoo hash tables struggle
+// with eviction loops; a fully lock-free multi-writer cuckoo filter is a
+// research problem of its own (the eviction chain touches an unbounded
+// bucket set). This wrapper provides the honest, commonly deployed
+// compromise: a reader-writer lock — lookups run fully concurrently,
+// mutations serialize. For read-mostly online workloads (the usual AMQ
+// deployment) this recovers almost all available parallelism.
+//
+// The wrapped filter's counters are NOT synchronized for performance; read
+// them only in quiescent states (tests do).
+#pragma once
+
+#include <memory>
+#include <shared_mutex>
+#include <string>
+
+#include "core/filter.hpp"
+
+namespace vcf {
+
+class ConcurrentFilter : public Filter {
+ public:
+  explicit ConcurrentFilter(std::unique_ptr<Filter> inner);
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  void ContainsBatch(std::span<const std::uint64_t> keys,
+                     bool* results) const override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override {
+    return inner_->SupportsDeletion();
+  }
+  std::string Name() const override { return "Concurrent(" + inner_->Name() + ")"; }
+  std::size_t ItemCount() const noexcept override;
+  std::size_t SlotCount() const noexcept override { return inner_->SlotCount(); }
+  double LoadFactor() const noexcept override;
+  std::size_t MemoryBytes() const noexcept override {
+    return inner_->MemoryBytes();
+  }
+  void Clear() override;
+  bool SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
+
+  /// The wrapped filter; caller must ensure quiescence before poking it.
+  Filter& inner() noexcept { return *inner_; }
+
+ private:
+  std::unique_ptr<Filter> inner_;
+  mutable std::shared_mutex mutex_;
+};
+
+}  // namespace vcf

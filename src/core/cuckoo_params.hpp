@@ -1,0 +1,48 @@
+// Construction parameters shared by every cuckoo-family filter (CF, DCF and
+// the VCF family), so experiments configure all filters identically —
+// matching the paper's "same experimental settings" methodology (§VI-A:
+// b = 4, f = 14, MAX = 500, FNV hash).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitops.hpp"
+#include "hash/hash64.hpp"
+
+namespace vcf {
+
+struct CuckooParams {
+  /// Number of buckets; must be a power of two (partial-key and vertical
+  /// hashing XOR bucket indices).
+  std::size_t bucket_count = std::size_t{1} << 16;
+
+  /// Slots per bucket (the paper fixes b = 4 for all VCF variants, §IV).
+  unsigned slots_per_bucket = 4;
+
+  /// Fingerprint length f in bits (paper default 14).
+  unsigned fingerprint_bits = 14;
+
+  /// Hash function applied to keys and to fingerprints.
+  HashKind hash = HashKind::kFnv1a;
+
+  /// Eviction-chain bound MAX (paper uses 500; Table V uses 0).
+  unsigned max_kicks = 500;
+
+  /// Seed for the hash functions and the eviction RNG.
+  std::uint64_t seed = 0x5EEDF00DULL;
+
+  unsigned index_bits() const noexcept { return FloorLog2(bucket_count); }
+  std::size_t slot_count() const noexcept {
+    return bucket_count * slots_per_bucket;
+  }
+
+  /// Convenience: parameters for a table with 2^log2_slots slots total.
+  static CuckooParams ForSlotsLog2(unsigned log2_slots) noexcept {
+    CuckooParams p;
+    p.bucket_count = std::size_t{1} << (log2_slots >= 2 ? log2_slots - 2 : 0);
+    return p;
+  }
+};
+
+}  // namespace vcf

@@ -1,0 +1,225 @@
+#include "core/dvcf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+namespace {
+constexpr std::uint64_t kFpHashSeed = 0xF1A9E57ECULL;
+}
+
+DifferentiatedVcf::DifferentiatedVcf(const CuckooParams& params,
+                                     std::uint64_t delta_t)
+    : params_(params),
+      hasher_(VerticalHasher::Balanced(params.index_bits(),
+                                       params.fingerprint_bits)),
+      table_(params.bucket_count, params.slots_per_bucket,
+             params.fingerprint_bits),
+      delta_t_(delta_t),
+      rng_(params.seed ^ 0xD7CF104C0FFEEULL),
+      name_("DVCF") {
+  if (!IsPowerOfTwo(params.bucket_count) || params.index_bits() > 32 || params.fingerprint_bits == 0 ||
+      params.fingerprint_bits > 25) {
+    throw std::invalid_argument("DVCF: unsupported table geometry");
+  }
+  const std::uint64_t half = std::uint64_t{1} << (params.fingerprint_bits - 1);
+  if (delta_t_ > half) {
+    throw std::invalid_argument("DVCF: delta_t must be <= 2^(f-1)");
+  }
+  interval_lo_ = half - delta_t_;
+  interval_hi_ = half + delta_t_;  // half-open [lo, hi)
+}
+
+DifferentiatedVcf DifferentiatedVcf::ForEighths(const CuckooParams& params,
+                                                unsigned j) {
+  if (j > 8) throw std::invalid_argument("DVCF: j must be in [0, 8]");
+  // 2*delta_t = j * 2^f / 8  =>  delta_t = j * 2^(f-4).
+  const std::uint64_t delta =
+      static_cast<std::uint64_t>(j)
+      << (params.fingerprint_bits >= 4 ? params.fingerprint_bits - 4 : 0);
+  DifferentiatedVcf filter(params, delta);
+  filter.name_ = "DVCF_" + std::to_string(j);
+  return filter;
+}
+
+double DifferentiatedVcf::TheoreticalR() const noexcept {
+  return static_cast<double>(2 * delta_t_) /
+         std::exp2(static_cast<double>(params_.fingerprint_bits));
+}
+
+std::uint64_t DifferentiatedVcf::Fingerprint(std::uint64_t key,
+                                             std::uint64_t* bucket1) const noexcept {
+  const std::uint64_t h = Hash64(params_.hash, key, params_.seed);
+  ++counters_.hash_computations;
+  *bucket1 = h & hasher_.index_mask();
+  std::uint64_t fp = (h >> 32) & LowMask(params_.fingerprint_bits);
+  return fp == 0 ? 1 : fp;
+}
+
+std::uint64_t DifferentiatedVcf::FingerprintHash(std::uint64_t fp) const noexcept {
+  // f-bit hash(eta), as in the VCF (see vcf.cpp).
+  ++counters_.hash_computations;
+  return Hash64(params_.hash, fp, params_.seed ^ kFpHashSeed) &
+         LowMask(params_.fingerprint_bits);
+}
+
+bool DifferentiatedVcf::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  std::uint64_t b1;
+  std::uint64_t fp = Fingerprint(key, &b1);
+  std::uint64_t fh = FingerprintHash(fp);
+
+  // Algorithm 4 lines 3-12: candidate set depends on the interval judgment.
+  std::uint64_t first_candidates[4];
+  unsigned n_cand;
+  if (FourWay(fp)) {
+    const Candidates4 cand = hasher_.Candidates(b1, fh);
+    std::copy(cand.bucket.begin(), cand.bucket.end(), first_candidates);
+    n_cand = 4;
+  } else {
+    first_candidates[0] = b1;
+    first_candidates[1] = (b1 ^ fh) & hasher_.index_mask();
+    n_cand = 2;
+  }
+  counters_.bucket_probes += n_cand;
+  for (unsigned i = 0; i < n_cand; ++i) {
+    if (table_.InsertValue(first_candidates[i], fp)) {
+      ++items_;
+      return true;
+    }
+  }
+
+  // Algorithm 4 lines 13-28: eviction walk; each victim is re-judged before
+  // its alternates are derived. Swaps are recorded for rollback on failure.
+  struct Step {
+    std::uint64_t bucket;
+    unsigned slot;
+    std::uint64_t displaced;
+  };
+  std::vector<Step> path;
+  path.reserve(params_.max_kicks);
+
+  std::uint64_t cur = first_candidates[rng_.Below(n_cand)];
+  for (unsigned s = 0; s < params_.max_kicks; ++s) {
+    const unsigned slot =
+        static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
+    const std::uint64_t victim = table_.Get(cur, slot);
+    table_.Set(cur, slot, fp);
+    path.push_back({cur, slot, victim});
+    fp = victim;
+    ++counters_.evictions;
+
+    fh = FingerprintHash(fp);
+    if (FourWay(fp)) {
+      const auto alts = hasher_.Alternates(cur, fh);
+      counters_.bucket_probes += 3;
+      bool placed = false;
+      for (std::uint64_t z : alts) {
+        if (table_.InsertValue(z, fp)) {
+          placed = true;
+          break;
+        }
+      }
+      if (placed) {
+        ++items_;
+        return true;
+      }
+      cur = alts[rng_.Below(3)];
+    } else {
+      const std::uint64_t alt = (cur ^ fh) & hasher_.index_mask();
+      ++counters_.bucket_probes;
+      if (table_.InsertValue(alt, fp)) {
+        ++items_;
+        return true;
+      }
+      cur = alt;
+    }
+  }
+
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    table_.Set(it->bucket, it->slot, it->displaced);
+  }
+  ++counters_.insert_failures;
+  return false;
+}
+
+bool DifferentiatedVcf::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  // Algorithm 5: interval judgment selects the candidate set.
+  if (FourWay(fp)) {
+    const Candidates4 cand = hasher_.Candidates(b1, fh);
+    counters_.bucket_probes += 4;
+    for (std::uint64_t c : cand.bucket) {
+      if (table_.ContainsValue(c, fp)) return true;
+    }
+  } else {
+    counters_.bucket_probes += 2;
+    if (table_.ContainsValue(b1, fp)) return true;
+    if (table_.ContainsValue((b1 ^ fh) & hasher_.index_mask(), fp)) return true;
+  }
+  return false;
+}
+
+bool DifferentiatedVcf::Erase(std::uint64_t key) {
+  ++counters_.deletions;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  // Algorithm 6.
+  if (FourWay(fp)) {
+    const Candidates4 cand = hasher_.Candidates(b1, fh);
+    counters_.bucket_probes += 4;
+    for (std::uint64_t c : cand.bucket) {
+      if (table_.EraseValue(c, fp)) {
+        --items_;
+        return true;
+      }
+    }
+  } else {
+    counters_.bucket_probes += 2;
+    if (table_.EraseValue(b1, fp)) {
+      --items_;
+      return true;
+    }
+    if (table_.EraseValue((b1 ^ fh) & hasher_.index_mask(), fp)) {
+      --items_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void DifferentiatedVcf::Clear() {
+  table_.Clear();
+  items_ = 0;
+}
+
+bool DifferentiatedVcf::SaveState(std::ostream& out) const {
+  const std::uint64_t digest = detail::ConfigDigest(
+      params_.seed, static_cast<unsigned>(params_.hash),
+      static_cast<unsigned>(delta_t_), params_.fingerprint_bits);
+  return detail::WriteStateHeader(out, Name(), digest) &&
+         detail::SaveTablePayload(out, table_);
+}
+
+bool DifferentiatedVcf::LoadState(std::istream& in) {
+  const std::uint64_t digest = detail::ConfigDigest(
+      params_.seed, static_cast<unsigned>(params_.hash),
+      static_cast<unsigned>(delta_t_), params_.fingerprint_bits);
+  if (!detail::ReadStateHeader(in, Name(), digest) ||
+      !detail::LoadTablePayload(in, &table_)) {
+    return false;
+  }
+  items_ = table_.OccupiedSlots();
+  return true;
+}
+
+}  // namespace vcf

@@ -1,0 +1,75 @@
+// The Differentiated Vertical Cuckoo Filter (§IV-B, Algorithms 4-6).
+//
+// DVCF keeps the standard VCF bitmasks but splits the fingerprint value
+// range [0, T), T = 2^f, at a threshold delta_t: fingerprints inside
+// In1 = [T/2 - delta_t, T/2 + delta_t) receive four candidate buckets via
+// vertical hashing (Eq. 3); fingerprints outside receive the classic two
+// CF candidates (Eq. 1). The fraction p = 2*delta_t / T (Eq. 9) plays the
+// same tuning role as IVCF's r but is continuously adjustable, at the cost
+// of one interval judgment per operation and per relocation step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hpp"
+#include "core/cuckoo_params.hpp"
+#include "core/filter.hpp"
+#include "core/vertical_hashing.hpp"
+#include "table/packed_table.hpp"
+
+namespace vcf {
+
+class DifferentiatedVcf : public Filter {
+ public:
+  /// `delta_t` in fingerprint-value units (0 => pure CF behaviour;
+  /// 2^(f-1) => pure VCF behaviour).
+  DifferentiatedVcf(const CuckooParams& params, std::uint64_t delta_t);
+
+  /// DVCF_j of the evaluation: 2*delta_t = j * 2^f / 8, i.e. r = j/8
+  /// (j in [0, 8]).
+  static DifferentiatedVcf ForEighths(const CuckooParams& params, unsigned j);
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override { return true; }
+  std::string Name() const override { return name_; }
+  std::size_t ItemCount() const noexcept override { return items_; }
+  std::size_t SlotCount() const noexcept override { return table_.slot_count(); }
+  double LoadFactor() const noexcept override {
+    return static_cast<double>(items_) / static_cast<double>(table_.slot_count());
+  }
+  std::size_t MemoryBytes() const noexcept override {
+    return table_.StorageBytes();
+  }
+  void Clear() override;
+  bool SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
+
+  /// Eq. 9's p for this threshold.
+  double TheoreticalR() const noexcept;
+  std::uint64_t delta_t() const noexcept { return delta_t_; }
+
+  /// True when `fp` falls in In1 and therefore gets four candidates.
+  bool FourWay(std::uint64_t fp) const noexcept {
+    return fp >= interval_lo_ && fp < interval_hi_;
+  }
+
+ private:
+  std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
+  std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
+
+  CuckooParams params_;
+  VerticalHasher hasher_;
+  PackedTable table_;
+  std::uint64_t delta_t_;
+  std::uint64_t interval_lo_;
+  std::uint64_t interval_hi_;
+  std::size_t items_ = 0;
+  mutable Xoshiro256 rng_;
+  std::string name_;
+};
+
+}  // namespace vcf

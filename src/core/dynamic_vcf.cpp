@@ -1,0 +1,99 @@
+#include "core/dynamic_vcf.hpp"
+
+#include "common/random.hpp"
+
+namespace vcf {
+
+DynamicVcf::DynamicVcf(const CuckooParams& segment_params, unsigned mask_ones,
+                       std::size_t max_segments)
+    : segment_params_(segment_params),
+      mask_ones_(mask_ones),
+      max_segments_(max_segments) {
+  segments_.push_back(MakeSegment(0));
+}
+
+std::unique_ptr<VerticalCuckooFilter> DynamicVcf::MakeSegment(
+    std::size_t index) const {
+  CuckooParams p = segment_params_;
+  // Independent hashing per segment: a key that is pathological in one
+  // segment (fingerprint collisions, saturated candidate set) gets a fresh
+  // layout in the next.
+  p.seed = Mix64(segment_params_.seed + 0x9E3779B97F4A7C15ULL * (index + 1));
+  if (mask_ones_ == 0) {
+    return std::make_unique<VerticalCuckooFilter>(p);
+  }
+  return std::make_unique<VerticalCuckooFilter>(p, mask_ones_);
+}
+
+bool DynamicVcf::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  // Two-phase placement keeps inserts cheap even with many full segments:
+  // first a direct (no-eviction) probe of each segment front-to-back — four
+  // bucket reads per segment — then one full eviction-budget attempt in the
+  // newest segment, and only then growth. Early segments stay dense, and a
+  // full segment costs probes, not a 500-kick chain.
+  for (auto& segment : segments_) {
+    if (segment->InsertDirect(key)) return true;
+  }
+  if (segments_.back()->Insert(key)) return true;
+  if (max_segments_ != 0 && segments_.size() >= max_segments_) {
+    ++counters_.insert_failures;
+    return false;
+  }
+  segments_.push_back(MakeSegment(segments_.size()));
+  if (segments_.back()->Insert(key)) return true;
+  ++counters_.insert_failures;  // fresh segment rejecting a key: pathological
+  return false;
+}
+
+bool DynamicVcf::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  for (const auto& segment : segments_) {
+    if (segment->Contains(key)) return true;
+  }
+  return false;
+}
+
+bool DynamicVcf::Erase(std::uint64_t key) {
+  ++counters_.deletions;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i]->Erase(key)) {
+      // Compact: drop an emptied trailing segment (never the first) so churn
+      // does not leave a long chain of hollow segments behind.
+      while (segments_.size() > 1 && segments_.back()->ItemCount() == 0) {
+        segments_.pop_back();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t DynamicVcf::ItemCount() const noexcept {
+  std::size_t total = 0;
+  for (const auto& segment : segments_) total += segment->ItemCount();
+  return total;
+}
+
+std::size_t DynamicVcf::SlotCount() const noexcept {
+  return segment_params_.slot_count() * segments_.size();
+}
+
+double DynamicVcf::LoadFactor() const noexcept {
+  const std::size_t slots = SlotCount();
+  return slots == 0 ? 0.0
+                    : static_cast<double>(ItemCount()) / static_cast<double>(slots);
+}
+
+std::size_t DynamicVcf::MemoryBytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& segment : segments_) total += segment->MemoryBytes();
+  return total;
+}
+
+void DynamicVcf::Clear() {
+  segments_.clear();
+  segments_.push_back(MakeSegment(0));
+}
+
+}  // namespace vcf

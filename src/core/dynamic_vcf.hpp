@@ -1,0 +1,57 @@
+// Dynamic Vertical Cuckoo Filter — key-set extension for the VCF, in the
+// spirit of the Dynamic Cuckoo filter the paper cites ([12], Chen et al.,
+// ICNP 2017): a chain of homogeneous VCFs, growing by one segment whenever
+// the active segment rejects an insertion.
+//
+// The paper notes DCF-style chaining costs lookup throughput and false
+// positives (every segment must be probed); this implementation exists both
+// as a capacity-extension feature and so that trade-off can be measured
+// against a single right-sized VCF (see bench/ablation notes in DESIGN.md).
+//
+// Deletions compact: when a segment empties it is dropped (except the
+// first), keeping the probe chain short under churn.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cuckoo_params.hpp"
+#include "core/filter.hpp"
+#include "core/vcf.hpp"
+
+namespace vcf {
+
+class DynamicVcf : public Filter {
+ public:
+  /// `segment_params` sizes each segment; `mask_ones` configures the
+  /// segments' IVCF bitmask (0 = balanced masks). `max_segments` bounds
+  /// growth (0 = unbounded).
+  explicit DynamicVcf(const CuckooParams& segment_params, unsigned mask_ones = 0,
+                      std::size_t max_segments = 0);
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override { return true; }
+  std::string Name() const override { return "DynamicVCF"; }
+  std::size_t ItemCount() const noexcept override;
+  std::size_t SlotCount() const noexcept override;
+  double LoadFactor() const noexcept override;
+  std::size_t MemoryBytes() const noexcept override;
+  void Clear() override;
+
+  std::size_t SegmentCount() const noexcept { return segments_.size(); }
+
+ private:
+  std::unique_ptr<VerticalCuckooFilter> MakeSegment(std::size_t index) const;
+
+  CuckooParams segment_params_;
+  unsigned mask_ones_;
+  std::size_t max_segments_;
+  std::vector<std::unique_ptr<VerticalCuckooFilter>> segments_;
+};
+
+}  // namespace vcf

@@ -1,0 +1,17 @@
+#include "core/filter.hpp"
+
+namespace vcf {
+
+// Default: checkpointing is optional; filters without an implementation
+// report failure rather than silently writing nothing.
+bool Filter::SaveState(std::ostream&) const { return false; }
+bool Filter::LoadState(std::istream&) { return false; }
+
+void Filter::ContainsBatch(std::span<const std::uint64_t> keys,
+                           bool* results) const {
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    results[i] = Contains(keys[i]);
+  }
+}
+
+}  // namespace vcf

@@ -1,0 +1,101 @@
+// Common interface for every approximate-membership-query (AMQ) filter in
+// the library: the VCF family, the cuckoo-filter baselines and the Bloom
+// family. The experiment harness, tests and examples are written against
+// this interface; each concrete filter keeps its hot path non-virtual and
+// only the harness-facing entry points dispatch virtually.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "hash/hash64.hpp"
+#include "metrics/op_counters.hpp"
+
+namespace vcf {
+
+class Filter {
+ public:
+  virtual ~Filter() = default;
+
+  Filter(const Filter&) = delete;
+  Filter& operator=(const Filter&) = delete;
+
+  /// Inserts a (pre-hashed) 64-bit key. Returns false when the filter is too
+  /// full to accept the item (the cuckoo eviction chain hit MAX kicks, or a
+  /// counting-Bloom counter would saturate).
+  virtual bool Insert(std::uint64_t key) = 0;
+
+  /// Membership query. May return a false positive; never a false negative
+  /// for a key that was inserted and not erased.
+  virtual bool Contains(std::uint64_t key) const = 0;
+
+  /// Batched membership query: results[i] = Contains(keys[i]). The default
+  /// loops; cuckoo filters override with a software-prefetching pipeline
+  /// that hides the random-access latency of candidate buckets — the throughput
+  /// shape online packet pipelines rely on.
+  virtual void ContainsBatch(std::span<const std::uint64_t> keys,
+                             bool* results) const;
+
+  /// Removes one previously inserted copy of `key`. Returns false when no
+  /// matching fingerprint exists or the filter does not support deletion.
+  virtual bool Erase(std::uint64_t key) = 0;
+
+  virtual bool SupportsDeletion() const noexcept = 0;
+
+  /// Display name, e.g. "CF", "IVCF_4", "DVCF_3", "7-VCF", "DCF(d=4)".
+  virtual std::string Name() const = 0;
+
+  /// Number of items currently represented.
+  virtual std::size_t ItemCount() const noexcept = 0;
+
+  /// Capacity in fingerprint slots (for Bloom variants: the design capacity
+  /// n the structure was sized for).
+  virtual std::size_t SlotCount() const noexcept = 0;
+
+  /// alpha = ItemCount / SlotCount.
+  virtual double LoadFactor() const noexcept = 0;
+
+  /// Bytes of storage for the approximate representation (Eq. 12's C times
+  /// item capacity), excluding object headers.
+  virtual std::size_t MemoryBytes() const noexcept = 0;
+
+  /// Empties the filter; counters are preserved (use ResetCounters()).
+  virtual void Clear() = 0;
+
+  /// Checkpoints the filter's contents to a stream so a long-lived online
+  /// service can restore it after a restart without replaying the insertion
+  /// stream. Default implementation reports "unsupported" (false).
+  virtual bool SaveState(std::ostream& out) const;
+
+  /// Restores contents previously written by SaveState into THIS filter,
+  /// which must have been constructed with identical parameters (geometry,
+  /// hash kind, seed, variant). Returns false on malformed input or a
+  /// parameter mismatch, leaving the filter unchanged.
+  virtual bool LoadState(std::istream& in);
+
+  /// Convenience for string keys: hashes to 64 bits (SplitMix) then inserts.
+  bool InsertKey(std::string_view key) { return Insert(KeyToU64(key)); }
+  bool ContainsKey(std::string_view key) const { return Contains(KeyToU64(key)); }
+  bool EraseKey(std::string_view key) { return Erase(KeyToU64(key)); }
+
+  static std::uint64_t KeyToU64(std::string_view key) noexcept {
+    return SplitMixHash64(key.data(), key.size(), /*seed=*/0);
+  }
+
+  const OpCounters& counters() const noexcept { return counters_; }
+  void ResetCounters() noexcept { counters_.Reset(); }
+
+ protected:
+  Filter() = default;
+  // Derived filters are movable (factories return them by value) but never
+  // copyable through the interface.
+  Filter(Filter&&) = default;
+  Filter& operator=(Filter&&) = default;
+  mutable OpCounters counters_;
+};
+
+}  // namespace vcf

@@ -1,0 +1,173 @@
+#include "core/kvcf.hpp"
+
+#include <stdexcept>
+
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+namespace {
+constexpr std::uint64_t kFpHashSeed = 0xF1A9E57ECULL;
+
+unsigned MarkBitsFor(unsigned k) {
+  if (k < 2) throw std::invalid_argument("KVcf: k must be >= 2");
+  return CeilLog2(k);
+}
+}  // namespace
+
+KVcf::KVcf(const CuckooParams& params, unsigned k)
+    : params_(params),
+      hasher_(params.index_bits(), params.fingerprint_bits, k,
+              params.seed ^ 0x6E6E6E6EULL),
+      mark_bits_(MarkBitsFor(k)),
+      fp_mask_(LowMask(params.fingerprint_bits)),
+      table_(params.bucket_count, params.slots_per_bucket,
+             params.fingerprint_bits + mark_bits_),
+      rng_(params.seed ^ 0x1C7F4B1D5EEDULL),
+      name_(std::to_string(k) + "-VCF") {
+  if (!IsPowerOfTwo(params.bucket_count) || params.index_bits() > 32 || params.fingerprint_bits == 0 ||
+      params.fingerprint_bits > 25) {
+    throw std::invalid_argument("KVcf: unsupported table geometry");
+  }
+}
+
+std::uint64_t KVcf::Fingerprint(std::uint64_t key,
+                                std::uint64_t* bucket1) const noexcept {
+  const std::uint64_t h = Hash64(params_.hash, key, params_.seed);
+  ++counters_.hash_computations;
+  *bucket1 = h & hasher_.index_mask();
+  std::uint64_t fp = (h >> 32) & fp_mask_;
+  return fp == 0 ? 1 : fp;
+}
+
+std::uint64_t KVcf::FingerprintHash(std::uint64_t fp) const noexcept {
+  // f-bit hash(eta): the generalized masks live in the f-bit offset space.
+  ++counters_.hash_computations;
+  return Hash64(params_.hash, fp, params_.seed ^ kFpHashSeed) & fp_mask_;
+}
+
+bool KVcf::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  std::uint64_t b1;
+  std::uint64_t fp = Fingerprint(key, &b1);
+  std::uint64_t fh = FingerprintHash(fp);
+  const unsigned k = hasher_.k();
+
+  // Try every candidate bucket for an empty slot; the stored slot records
+  // which candidate index the fingerprint landed on (the mark field).
+  counters_.bucket_probes += k;
+  for (unsigned e = 0; e < k; ++e) {
+    const std::uint64_t bucket = hasher_.Candidate(b1, fh, e);
+    if (table_.InsertValue(bucket, EncodeSlot(fp, e))) {
+      ++items_;
+      return true;
+    }
+  }
+
+  // Eviction walk (Fig. 3). State: the in-hand fingerprint `fp`, the bucket
+  // it is about to be written into, and that bucket's candidate index for it.
+  struct Step {
+    std::uint64_t bucket;
+    unsigned slot;
+    std::uint64_t displaced;
+  };
+  std::vector<Step> path;
+  path.reserve(params_.max_kicks);
+
+  unsigned mark = static_cast<unsigned>(rng_.Below(k));
+  std::uint64_t cur = hasher_.Candidate(b1, fh, mark);
+  for (unsigned s = 0; s < params_.max_kicks; ++s) {
+    const unsigned slot =
+        static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
+    const std::uint64_t victim_slot = table_.Get(cur, slot);
+    table_.Set(cur, slot, EncodeSlot(fp, mark));
+    path.push_back({cur, slot, victim_slot});
+    fp = SlotFingerprint(victim_slot);
+    const unsigned victim_mark = SlotMark(victim_slot);
+    ++counters_.evictions;
+
+    // Eq. 7: every other candidate of the victim from (cur, fp, mark).
+    fh = FingerprintHash(fp);
+    counters_.bucket_probes += k - 1;
+    bool placed = false;
+    for (unsigned e = 0; e < k && !placed; ++e) {
+      if (e == victim_mark) continue;
+      const std::uint64_t bucket = hasher_.FromSibling(cur, fh, victim_mark, e);
+      if (table_.InsertValue(bucket, EncodeSlot(fp, e))) placed = true;
+    }
+    if (placed) {
+      ++items_;
+      return true;
+    }
+    unsigned next = static_cast<unsigned>(rng_.Below(k - 1));
+    if (next >= victim_mark) ++next;  // uniform choice among e != victim_mark
+    cur = hasher_.FromSibling(cur, fh, victim_mark, next);
+    mark = next;
+  }
+
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    table_.Set(it->bucket, it->slot, it->displaced);
+  }
+  ++counters_.insert_failures;
+  return false;
+}
+
+bool KVcf::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  const unsigned k = hasher_.k();
+  counters_.bucket_probes += k;
+  for (unsigned e = 0; e < k; ++e) {
+    const std::uint64_t bucket = hasher_.Candidate(b1, fh, e);
+    // Match on the fingerprint field only; the mark bits are location
+    // metadata, not identity.
+    if (table_.ContainsMasked(bucket, fp, fp_mask_)) return true;
+  }
+  return false;
+}
+
+bool KVcf::Erase(std::uint64_t key) {
+  ++counters_.deletions;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  const unsigned k = hasher_.k();
+  counters_.bucket_probes += k;
+  for (unsigned e = 0; e < k; ++e) {
+    const std::uint64_t bucket = hasher_.Candidate(b1, fh, e);
+    if (table_.EraseMasked(bucket, fp, fp_mask_) != 0) {
+      --items_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void KVcf::Clear() {
+  table_.Clear();
+  items_ = 0;
+}
+
+bool KVcf::SaveState(std::ostream& out) const {
+  const std::uint64_t digest =
+      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
+                           hasher_.k(), params_.fingerprint_bits);
+  return detail::WriteStateHeader(out, Name(), digest) &&
+         detail::SaveTablePayload(out, table_);
+}
+
+bool KVcf::LoadState(std::istream& in) {
+  const std::uint64_t digest =
+      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
+                           hasher_.k(), params_.fingerprint_bits);
+  if (!detail::ReadStateHeader(in, Name(), digest) ||
+      !detail::LoadTablePayload(in, &table_)) {
+    return false;
+  }
+  items_ = table_.OccupiedSlots();
+  return true;
+}
+
+}  // namespace vcf

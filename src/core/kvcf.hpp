@@ -1,0 +1,77 @@
+// The generalized k-VCF (§III-C): k >= 2 candidate buckets per item via
+// generalized vertical hashing (Eq. 6).
+//
+// Unlike the 4-candidate VCF, the mask family {masks[0..k-1]} is not closed
+// under masked-XOR composition, so a stored fingerprint alone does not
+// reveal which candidate bucket it currently occupies. Each slot therefore
+// carries ceil(log2(k)) mark bits recording the candidate index e; during a
+// relocation the victim's remaining candidates are derived with Eq. 7 from
+// (current bucket, fingerprint, mark) — still without re-hashing the item.
+//
+// k = 2 degenerates to a standard CF (masks {0, full}); Table V sweeps
+// k = 2..10 with MAX = 0 to isolate the pure multi-choice placement effect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/cuckoo_params.hpp"
+#include "core/filter.hpp"
+#include "core/vertical_hashing.hpp"
+#include "table/packed_table.hpp"
+
+namespace vcf {
+
+class KVcf : public Filter {
+ public:
+  KVcf(const CuckooParams& params, unsigned k);
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override { return true; }
+  std::string Name() const override { return name_; }
+  std::size_t ItemCount() const noexcept override { return items_; }
+  std::size_t SlotCount() const noexcept override { return table_.slot_count(); }
+  double LoadFactor() const noexcept override {
+    return static_cast<double>(items_) / static_cast<double>(table_.slot_count());
+  }
+  std::size_t MemoryBytes() const noexcept override {
+    return table_.StorageBytes();
+  }
+  void Clear() override;
+  bool SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
+
+  unsigned k() const noexcept { return hasher_.k(); }
+  unsigned mark_bits() const noexcept { return mark_bits_; }
+  const GeneralizedVerticalHasher& hasher() const noexcept { return hasher_; }
+
+ private:
+  std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
+  std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
+
+  std::uint64_t EncodeSlot(std::uint64_t fp, unsigned mark) const noexcept {
+    return (static_cast<std::uint64_t>(mark) << params_.fingerprint_bits) | fp;
+  }
+  std::uint64_t SlotFingerprint(std::uint64_t slot) const noexcept {
+    return slot & fp_mask_;
+  }
+  unsigned SlotMark(std::uint64_t slot) const noexcept {
+    return static_cast<unsigned>(slot >> params_.fingerprint_bits);
+  }
+
+  CuckooParams params_;
+  GeneralizedVerticalHasher hasher_;
+  unsigned mark_bits_;
+  std::uint64_t fp_mask_;
+  PackedTable table_;
+  std::size_t items_ = 0;
+  mutable Xoshiro256 rng_;
+  std::string name_;
+};
+
+}  // namespace vcf

@@ -1,0 +1,68 @@
+#include "core/sizing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/model.hpp"
+#include "common/bitops.hpp"
+
+namespace vcf {
+
+SizingResult PlanCapacity(const SizingRequest& request) {
+  if (request.expected_items == 0) {
+    throw std::invalid_argument("PlanCapacity: expected_items must be > 0");
+  }
+  if (request.target_fpr <= 0.0 || request.target_fpr >= 1.0) {
+    throw std::invalid_argument("PlanCapacity: target_fpr must be in (0, 1)");
+  }
+  if (request.r < 0.0 || request.r > 1.0) {
+    throw std::invalid_argument("PlanCapacity: r must be in [0, 1]");
+  }
+  if (request.headroom < 0.0 || request.headroom >= 1.0) {
+    throw std::invalid_argument("PlanCapacity: headroom must be in [0, 1)");
+  }
+
+  constexpr unsigned kSlotsPerBucket = 4;  // the paper's standard geometry
+  // Achievable load: the VCF family sustains ~98-99.9% depending on r
+  // (Fig. 5(c)); be conservative and take 0.95 + 0.045 r, then subtract the
+  // requested headroom.
+  const double sustainable = 0.95 + 0.045 * request.r;
+  const double design_load = sustainable * (1.0 - request.headroom);
+
+  // Slots needed so that expected_items sits at design_load occupancy,
+  // rounded up to a power-of-two bucket count.
+  const double raw_slots =
+      static_cast<double>(request.expected_items) / design_load;
+  std::size_t bucket_count = NextPowerOfTwo(static_cast<std::uint64_t>(
+      std::ceil(raw_slots / kSlotsPerBucket)));
+  if (bucket_count < 1) bucket_count = 1;
+
+  CuckooParams params;
+  params.bucket_count = bucket_count;
+  params.slots_per_bucket = kSlotsPerBucket;
+
+  const double actual_load = static_cast<double>(request.expected_items) /
+                             static_cast<double>(params.slot_count());
+
+  // Eq. 11: minimal fingerprint width for the target FPR at the actual load.
+  const unsigned f_bits = model::MinFingerprintBits(
+      request.r, kSlotsPerBucket, actual_load, request.target_fpr);
+  if (f_bits > 25) {
+    throw std::invalid_argument(
+        "PlanCapacity: target_fpr requires a fingerprint wider than the "
+        "supported 25 bits");
+  }
+  params.fingerprint_bits = f_bits < 4 ? 4 : f_bits;  // Fig. 4: avoid tiny f
+
+  SizingResult result;
+  result.params = params;
+  result.design_load = actual_load;
+  result.predicted_fpr = model::FalsePositiveUpperBound(
+      params.fingerprint_bits, request.r, kSlotsPerBucket, actual_load);
+  result.bits_per_item =
+      static_cast<double>(params.slot_count()) * params.fingerprint_bits /
+      static_cast<double>(request.expected_items);
+  return result;
+}
+
+}  // namespace vcf

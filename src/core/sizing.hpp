@@ -1,0 +1,43 @@
+// Capacity planning: turn an (expected item count, target false-positive
+// rate) requirement into concrete CuckooParams, using the paper's §V-B
+// space model (Eqs. 10-12). This is the API a deployer actually wants —
+// "I have 10M flows and need FPR < 0.1%" — instead of hand-picking table
+// geometry.
+#pragma once
+
+#include <cstddef>
+
+#include "core/cuckoo_params.hpp"
+
+namespace vcf {
+
+struct SizingRequest {
+  /// Expected number of simultaneously stored items.
+  std::size_t expected_items = 1 << 20;
+
+  /// Target false-positive rate at the operating load.
+  double target_fpr = 1e-3;
+
+  /// r the deployment will run with (Eq. 8/9): ~0.98 for a max-r IVCF,
+  /// 0 for a plain CF. Affects both the FPR bound and the load factor the
+  /// table can be driven to.
+  double r = 0.98;
+
+  /// Safety margin on top of the load factor the model predicts reachable
+  /// (headroom for churn spikes). 0.04 means "size for 4% spare slots".
+  double headroom = 0.04;
+};
+
+struct SizingResult {
+  CuckooParams params;      ///< ready to construct a filter with
+  double design_load;       ///< expected_items / slot_count
+  double predicted_fpr;     ///< Eq. 10 at the design load
+  double bits_per_item;     ///< table bits / expected_items
+};
+
+/// Computes the smallest power-of-two table and fingerprint width meeting
+/// `request`. Throws std::invalid_argument for unsatisfiable requests
+/// (fpr so low the fingerprint exceeds the supported 25 bits, zero items).
+SizingResult PlanCapacity(const SizingRequest& request);
+
+}  // namespace vcf

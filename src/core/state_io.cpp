@@ -1,0 +1,125 @@
+#include "core/state_io.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/random.hpp"
+#include "table/serialization.hpp"
+
+namespace vcf::detail {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'C', 'F', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void Put(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool Take(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+
+std::uint64_t BytesChecksum(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 0xC0FFEE5EEDULL;
+  std::size_t i = 0;
+  while (i + 8 <= bytes.size()) {
+    std::uint64_t w;
+    std::memcpy(&w, bytes.data() + i, 8);
+    h = Mix64(h ^ w);
+    i += 8;
+  }
+  std::uint64_t tail = 0;
+  if (i < bytes.size()) {
+    std::memcpy(&tail, bytes.data() + i, bytes.size() - i);
+    h = Mix64(h ^ tail);
+  }
+  return Mix64(h ^ bytes.size());
+}
+
+}  // namespace
+
+bool WriteStateHeader(std::ostream& out, std::string_view name,
+                      std::uint64_t config_digest) {
+  out.write(kMagic, sizeof(kMagic));
+  Put(out, kVersion);
+  Put(out, static_cast<std::uint16_t>(name.size()));
+  out.write(name.data(), static_cast<std::streamsize>(name.size()));
+  Put(out, config_digest);
+  return static_cast<bool>(out);
+}
+
+bool ReadStateHeader(std::istream& in, std::string_view name,
+                     std::uint64_t config_digest) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint32_t version = 0;
+  std::uint16_t name_len = 0;
+  if (!Take(in, version) || version != kVersion) return false;
+  if (!Take(in, name_len) || name_len != name.size()) return false;
+  std::string stored(name_len, '\0');
+  in.read(stored.data(), name_len);
+  if (!in || stored != name) return false;
+  std::uint64_t digest = 0;
+  return Take(in, digest) && digest == config_digest;
+}
+
+bool SaveTablePayload(std::ostream& out, const PackedTable& table) {
+  return TableCodec::Save(table, out);
+}
+
+bool LoadTablePayload(std::istream& in, PackedTable* expected) {
+  auto loaded = TableCodec::Load(in);
+  if (!loaded.has_value() ||
+      loaded->bucket_count() != expected->bucket_count() ||
+      loaded->slots_per_bucket() != expected->slots_per_bucket() ||
+      loaded->slot_bits() != expected->slot_bits()) {
+    return false;
+  }
+  *expected = std::move(*loaded);
+  return true;
+}
+
+bool SaveBytesPayload(std::ostream& out, const std::vector<std::uint8_t>& bytes,
+                      std::uint64_t items) {
+  Put(out, items);
+  Put(out, static_cast<std::uint64_t>(bytes.size()));
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  Put(out, BytesChecksum(bytes));
+  return static_cast<bool>(out);
+}
+
+bool LoadBytesPayload(std::istream& in, std::vector<std::uint8_t>* bytes,
+                      std::uint64_t* items) {
+  std::uint64_t count = 0;
+  std::uint64_t size = 0;
+  if (!Take(in, count) || !Take(in, size) || size != bytes->size()) {
+    return false;
+  }
+  std::vector<std::uint8_t> staged(bytes->size());
+  in.read(reinterpret_cast<char*>(staged.data()),
+          static_cast<std::streamsize>(staged.size()));
+  std::uint64_t checksum = 0;
+  if (!in || !Take(in, checksum) || checksum != BytesChecksum(staged)) {
+    return false;
+  }
+  *bytes = std::move(staged);
+  *items = count;
+  return true;
+}
+
+std::uint64_t ConfigDigest(std::uint64_t seed, unsigned hash_kind,
+                           unsigned variant, unsigned extra) {
+  return Mix64(Mix64(seed) ^ Mix64(hash_kind * 0x9E01ULL) ^
+               Mix64(variant * 0xA5A5ULL) ^ Mix64(extra * 0x5A5AULL));
+}
+
+}  // namespace vcf::detail

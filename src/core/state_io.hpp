@@ -1,0 +1,45 @@
+// Shared plumbing for Filter::SaveState / LoadState.
+//
+// A state blob is:  magic "VCFS" | u32 version | u16 name_len | name bytes
+//                   | u64 config_digest | payload
+// The name and the digest (a caller-computed fingerprint of the filter's
+// construction parameters — seed, hash kind, variant) guard against
+// restoring a checkpoint into a filter with different semantics; the payload
+// is either a PackedTable (cuckoo family) or a raw byte vector (Bloom
+// family), each with its own integrity checksum.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+#include "table/packed_table.hpp"
+
+namespace vcf::detail {
+
+/// Writes the common header. Returns false on stream failure.
+bool WriteStateHeader(std::ostream& out, std::string_view name,
+                      std::uint64_t config_digest);
+
+/// Reads and validates the common header against the expected name/digest.
+bool ReadStateHeader(std::istream& in, std::string_view name,
+                     std::uint64_t config_digest);
+
+/// Cuckoo-family payload: the packed table. On load, geometry must match
+/// `expected` exactly; on success the loaded table is returned through it.
+bool SaveTablePayload(std::ostream& out, const PackedTable& table);
+bool LoadTablePayload(std::istream& in, PackedTable* expected);
+
+/// Bloom-family payload: an opaque byte vector (bit array or counters) plus
+/// the item count, both checksummed.
+bool SaveBytesPayload(std::ostream& out, const std::vector<std::uint8_t>& bytes,
+                      std::uint64_t items);
+bool LoadBytesPayload(std::istream& in, std::vector<std::uint8_t>* bytes,
+                      std::uint64_t* items);
+
+/// Mixes construction parameters into a digest for the header.
+std::uint64_t ConfigDigest(std::uint64_t seed, unsigned hash_kind,
+                           unsigned variant, unsigned extra);
+
+}  // namespace vcf::detail

@@ -1,0 +1,246 @@
+#include "core/vcf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+namespace {
+/// Seed perturbation separating the fingerprint hash from the key hash.
+constexpr std::uint64_t kFpHashSeed = 0xF1A9E57ECULL;
+
+void ValidateParams(const CuckooParams& p) {
+  if (!IsPowerOfTwo(p.bucket_count)) {
+    throw std::invalid_argument("VCF: bucket_count must be a power of two");
+  }
+  if (p.index_bits() > 32) {
+    throw std::invalid_argument("VCF: at most 2^32 buckets are supported");
+  }
+  if (p.fingerprint_bits == 0 || p.fingerprint_bits > 25) {
+    throw std::invalid_argument("VCF: fingerprint_bits must be in [1, 25]");
+  }
+  if (p.slots_per_bucket == 0) {
+    throw std::invalid_argument("VCF: slots_per_bucket must be >= 1");
+  }
+}
+}  // namespace
+
+VerticalCuckooFilter::VerticalCuckooFilter(const CuckooParams& params)
+    : VerticalCuckooFilter(params,
+                           VerticalHasher::Balanced(params.index_bits(),
+                                                    params.fingerprint_bits),
+                           "VCF") {}
+
+VerticalCuckooFilter::VerticalCuckooFilter(const CuckooParams& params,
+                                           unsigned mask_ones)
+    : VerticalCuckooFilter(params,
+                           VerticalHasher::WithOnes(params.index_bits(),
+                                                    params.fingerprint_bits,
+                                                    mask_ones),
+                           "IVCF_" + std::to_string(mask_ones)) {}
+
+VerticalCuckooFilter::VerticalCuckooFilter(const CuckooParams& params,
+                                           const VerticalHasher& hasher,
+                                           std::string name)
+    : params_(params),
+      hasher_(hasher),
+      table_((ValidateParams(params), params.bucket_count), params.slots_per_bucket,
+             params.fingerprint_bits),
+      rng_(params.seed ^ 0xE71C7104C0FFEEULL),
+      name_(std::move(name)) {}
+
+std::uint64_t VerticalCuckooFilter::Fingerprint(std::uint64_t key,
+                                                std::uint64_t* bucket1) const noexcept {
+  // One hash computation yields both the primary bucket (low bits) and the
+  // fingerprint (bits 32+), matching the reference CF derivation so that the
+  // CF/DCF/VCF comparison charges identical hashing work per operation.
+  const std::uint64_t h = Hash64(params_.hash, key, params_.seed);
+  ++counters_.hash_computations;
+  *bucket1 = h & hasher_.index_mask();
+  std::uint64_t fp = (h >> 32) & LowMask(params_.fingerprint_bits);
+  return fp == 0 ? 1 : fp;  // 0 is the empty-slot sentinel
+}
+
+std::uint64_t VerticalCuckooFilter::FingerprintHash(std::uint64_t fp) const noexcept {
+  // hash(eta) is truncated to the hasher's offset width — f bits for the
+  // paper-faithful configuration (Fig. 1), so candidate offsets span the low
+  // f bits of the index space. This is what makes the load factor depend on
+  // the fingerprint length (Fig. 4). A custom hasher (ablation) may widen it.
+  ++counters_.hash_computations;
+  return Hash64(params_.hash, fp, params_.seed ^ kFpHashSeed) &
+         hasher_.offset_mask();
+}
+
+bool VerticalCuckooFilter::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  std::uint64_t b1;
+  std::uint64_t fp = Fingerprint(key, &b1);
+  std::uint64_t fh = FingerprintHash(fp);
+
+  // Algorithm 1 lines 3-9: try all four candidates directly.
+  const Candidates4 cand = hasher_.Candidates(b1, fh);
+  counters_.bucket_probes += 4;
+  for (std::uint64_t c : cand.bucket) {
+    if (table_.InsertValue(c, fp)) {
+      ++items_;
+      return true;
+    }
+  }
+
+  // Algorithm 1 lines 11-21: evict along a random walk. Every swap is
+  // recorded so a failed chain can be rolled back (atomic insert).
+  struct Step {
+    std::uint64_t bucket;
+    unsigned slot;
+    std::uint64_t displaced;
+  };
+  std::vector<Step> path;
+  path.reserve(params_.max_kicks);
+
+  std::uint64_t cur = cand.bucket[rng_.Below(4)];
+  for (unsigned s = 0; s < params_.max_kicks; ++s) {
+    const unsigned slot =
+        static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
+    const std::uint64_t victim = table_.Get(cur, slot);
+    table_.Set(cur, slot, fp);
+    path.push_back({cur, slot, victim});
+    fp = victim;
+    ++counters_.evictions;
+
+    // Theorem 1: the victim's other candidates follow from its current
+    // bucket and fingerprint alone — no access to the original item.
+    fh = FingerprintHash(fp);
+    const auto alts = hasher_.Alternates(cur, fh);
+    counters_.bucket_probes += 3;
+    for (std::uint64_t z : alts) {
+      if (table_.InsertValue(z, fp)) {
+        ++items_;
+        return true;
+      }
+    }
+    cur = alts[rng_.Below(3)];
+  }
+
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    table_.Set(it->bucket, it->slot, it->displaced);
+  }
+  ++counters_.insert_failures;
+  return false;
+}
+
+bool VerticalCuckooFilter::InsertDirect(std::uint64_t key) {
+  ++counters_.inserts;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  const Candidates4 cand = hasher_.Candidates(b1, fh);
+  counters_.bucket_probes += 4;
+  for (std::uint64_t c : cand.bucket) {
+    if (table_.InsertValue(c, fp)) {
+      ++items_;
+      return true;
+    }
+  }
+  ++counters_.insert_failures;
+  return false;
+}
+
+bool VerticalCuckooFilter::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  const Candidates4 cand = hasher_.Candidates(b1, fh);
+  // Algorithm 2 probes all four candidates (possibly duplicated buckets when
+  // the item degenerated to two candidates).
+  counters_.bucket_probes += 4;
+  for (std::uint64_t c : cand.bucket) {
+    if (table_.ContainsValue(c, fp)) return true;
+  }
+  return false;
+}
+
+void VerticalCuckooFilter::ContainsBatch(std::span<const std::uint64_t> keys,
+                                         bool* results) const {
+  // Two-phase pipeline over fixed windows: phase 1 computes fingerprints
+  // and candidates and issues prefetches; phase 2 probes. The window is
+  // sized so all in-flight lines fit the L1 miss queue.
+  constexpr std::size_t kWindow = 16;
+  struct Probe {
+    Candidates4 cand;
+    std::uint64_t fp;
+  };
+  Probe window[kWindow];
+
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n = std::min(kWindow, keys.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counters_.lookups;
+      std::uint64_t b1;
+      window[i].fp = Fingerprint(keys[done + i], &b1);
+      window[i].cand = hasher_.Candidates(b1, FingerprintHash(window[i].fp));
+      counters_.bucket_probes += 4;
+      for (std::uint64_t c : window[i].cand.bucket) {
+        table_.PrefetchBucket(c);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      bool hit = false;
+      for (std::uint64_t c : window[i].cand.bucket) {
+        if (table_.ContainsValue(c, window[i].fp)) {
+          hit = true;
+          break;
+        }
+      }
+      results[done + i] = hit;
+    }
+    done += n;
+  }
+}
+
+bool VerticalCuckooFilter::Erase(std::uint64_t key) {
+  ++counters_.deletions;
+  std::uint64_t b1;
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
+  const Candidates4 cand = hasher_.Candidates(b1, fh);
+  counters_.bucket_probes += 4;
+  for (std::uint64_t c : cand.bucket) {
+    if (table_.EraseValue(c, fp)) {
+      --items_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void VerticalCuckooFilter::Clear() {
+  table_.Clear();
+  items_ = 0;
+}
+
+bool VerticalCuckooFilter::SaveState(std::ostream& out) const {
+  const std::uint64_t digest = detail::ConfigDigest(
+      params_.seed, static_cast<unsigned>(params_.hash),
+      static_cast<unsigned>(hasher_.bm1()), params_.fingerprint_bits);
+  return detail::WriteStateHeader(out, Name(), digest) &&
+         detail::SaveTablePayload(out, table_);
+}
+
+bool VerticalCuckooFilter::LoadState(std::istream& in) {
+  const std::uint64_t digest = detail::ConfigDigest(
+      params_.seed, static_cast<unsigned>(params_.hash),
+      static_cast<unsigned>(hasher_.bm1()), params_.fingerprint_bits);
+  if (!detail::ReadStateHeader(in, Name(), digest) ||
+      !detail::LoadTablePayload(in, &table_)) {
+    return false;
+  }
+  items_ = table_.OccupiedSlots();
+  return true;
+}
+
+}  // namespace vcf

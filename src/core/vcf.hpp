@@ -1,0 +1,88 @@
+// The Vertical Cuckoo Filter (§III-B) and its Inversed variant IVCF (§IV-A).
+//
+// A VCF is a cuckoo filter whose candidate derivation is vertical hashing
+// (4 candidate buckets, Eq. 3) instead of partial-key cuckoo hashing (2
+// buckets, Eq. 1). IVCF_i is *the same structure* with a bitmask bm1 holding
+// exactly i one-bits: the mask shape tunes r, the probability that an item
+// really gets four distinct candidates, trading load factor against false
+// positive rate. Insertion, lookup and deletion are the paper's Algorithms
+// 1-3.
+//
+// Deviation from Algorithm 1 (documented in DESIGN.md): on insertion failure
+// the eviction chain is rolled back, so a failed Insert leaves the filter
+// exactly as it was. The paper's pseudo-code silently drops the last victim;
+// rollback costs nothing measurable (failures only occur at saturation) and
+// gives the library an atomic-insert guarantee.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.hpp"
+#include "core/cuckoo_params.hpp"
+#include "core/filter.hpp"
+#include "core/vertical_hashing.hpp"
+#include "table/packed_table.hpp"
+
+namespace vcf {
+
+class VerticalCuckooFilter : public Filter {
+ public:
+  /// Balanced-mask VCF (the paper's plain "VCF": bm1 = half the index bits).
+  explicit VerticalCuckooFilter(const CuckooParams& params);
+
+  /// IVCF_i: bm1 has exactly `mask_ones` one-bits (0 or index_bits degrades
+  /// the structure to a standard CF; allowed, r becomes 0).
+  VerticalCuckooFilter(const CuckooParams& params, unsigned mask_ones);
+
+  /// Fully explicit mask (tests exercise arbitrary shapes).
+  VerticalCuckooFilter(const CuckooParams& params, const VerticalHasher& hasher,
+                       std::string name);
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  bool Erase(std::uint64_t key) override;
+
+  /// Insert only if one of the candidate buckets has a free slot — no
+  /// eviction chain. Used by DynamicVcf to probe full segments cheaply; also
+  /// useful for latency-critical callers that prefer failing fast.
+  bool InsertDirect(std::uint64_t key);
+
+  /// Prefetch-pipelined batch lookup (overrides the naive default): hashes
+  /// a window of keys, prefetches all their candidate buckets, then probes.
+  void ContainsBatch(std::span<const std::uint64_t> keys,
+                     bool* results) const override;
+
+  bool SupportsDeletion() const noexcept override { return true; }
+  std::string Name() const override { return name_; }
+  std::size_t ItemCount() const noexcept override { return items_; }
+  std::size_t SlotCount() const noexcept override { return table_.slot_count(); }
+  double LoadFactor() const noexcept override {
+    return static_cast<double>(items_) / static_cast<double>(table_.slot_count());
+  }
+  std::size_t MemoryBytes() const noexcept override {
+    return table_.StorageBytes();
+  }
+  void Clear() override;
+  bool SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
+
+  /// Eq. 8's r for this mask shape.
+  double TheoreticalR() const noexcept { return hasher_.TheoreticalR(); }
+  const VerticalHasher& hasher() const noexcept { return hasher_; }
+  const CuckooParams& params() const noexcept { return params_; }
+  const PackedTable& table() const noexcept { return table_; }
+
+ private:
+  std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
+  std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
+
+  CuckooParams params_;
+  VerticalHasher hasher_;
+  PackedTable table_;
+  std::size_t items_ = 0;
+  mutable Xoshiro256 rng_;
+  std::string name_;
+};
+
+}  // namespace vcf

@@ -1,0 +1,74 @@
+#include "core/vertical_hashing.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "analysis/model.hpp"
+#include "common/random.hpp"
+
+namespace vcf {
+
+VerticalHasher::VerticalHasher(unsigned index_bits, unsigned offset_bits,
+                               std::uint64_t bm1) noexcept
+    : index_bits_(index_bits),
+      offset_bits_(offset_bits),
+      index_mask_(LowMask(index_bits)),
+      offset_mask_(LowMask(offset_bits)),
+      bm1_(bm1 & offset_mask_),
+      bm2_(~bm1 & offset_mask_) {}
+
+VerticalHasher VerticalHasher::Balanced(unsigned index_bits,
+                                        unsigned offset_bits) noexcept {
+  return WithOnes(index_bits, offset_bits, offset_bits / 2);
+}
+
+VerticalHasher VerticalHasher::WithOnes(unsigned index_bits,
+                                        unsigned offset_bits,
+                                        unsigned ones) noexcept {
+  return VerticalHasher(index_bits, offset_bits, LowMask(ones));
+}
+
+double VerticalHasher::TheoreticalR() const noexcept {
+  // The fragments that actually distinguish buckets are the mask bits that
+  // survive reduction modulo the table size.
+  const unsigned o1 = PopCount(bm1_ & index_mask_);
+  const unsigned o2 = PopCount(bm2_ & index_mask_);
+  return model::ProbFourCandidatesFragments(o1, o2);
+}
+
+GeneralizedVerticalHasher::GeneralizedVerticalHasher(unsigned index_bits,
+                                                     unsigned offset_bits,
+                                                     unsigned k,
+                                                     std::uint64_t seed)
+    : index_bits_(index_bits),
+      offset_bits_(offset_bits),
+      index_mask_(LowMask(index_bits)) {
+  if (k < 2) {
+    throw std::invalid_argument("GeneralizedVerticalHasher: k must be >= 2");
+  }
+  if (index_bits == 0 || index_bits > 63 || offset_bits == 0 ||
+      offset_bits > 63) {
+    throw std::invalid_argument(
+        "GeneralizedVerticalHasher: widths must be in [1, 63]");
+  }
+  const std::uint64_t offset_mask = LowMask(offset_bits);
+  // k distinct masks are only possible when the offset space is wide enough;
+  // 2^offset_bits masks exist in total.
+  if (offset_bits < 63 &&
+      (std::uint64_t{k} > (std::uint64_t{1} << offset_bits))) {
+    throw std::invalid_argument(
+        "GeneralizedVerticalHasher: k exceeds the number of distinct masks");
+  }
+
+  masks_.reserve(k);
+  masks_.push_back(0);
+  std::unordered_set<std::uint64_t> used = {0, offset_mask};
+  SplitMix64 rng(seed);
+  while (masks_.size() + 1 < k) {
+    const std::uint64_t m = rng.Next() & offset_mask;
+    if (used.insert(m).second) masks_.push_back(m);
+  }
+  masks_.push_back(offset_mask);
+}
+
+}  // namespace vcf

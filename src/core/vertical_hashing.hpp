@@ -1,0 +1,142 @@
+// Vertical hashing (§III-A of the paper) — the indexing scheme that derives
+// four (or, generalized, k) candidate buckets for an item from nothing but
+// its fingerprint hash and fixed bitmasks, such that the candidates index
+// each other without re-hashing the item:
+//
+//   B1 = hash(x) mod m
+//   B2 = B1 xor (hash(eta) and bm1)          (Eq. 3)
+//   B3 = B1 xor (hash(eta) and bm2)
+//   B4 = B1 xor  hash(eta)
+//
+// Theorem 1: with bm2 = not bm1 the mask set {0, bm1, bm2, full} is closed
+// under masked-XOR composition, so from ANY of the four buckets the same
+// three formulas (Eq. 4) reproduce exactly the other three — no mark bits
+// needed. The generalized k-candidate form (Eq. 6/7) loses that closure and
+// requires per-slot mark bits; see GeneralizedVerticalHasher.
+//
+// Widths: following the paper (Fig. 1: an f-bit fingerprint yields an f-bit
+// hash value; "bitmasks with the same size as the hash value"), hash(eta)
+// and the bitmasks are `offset_bits` = f wide, while bucket indices live in
+// a `index_bits`-wide space (m = 2^index_bits buckets). When f < index_bits
+// the candidates of an item therefore all fall inside one aligned block of
+// 2^f buckets — the source of Fig. 4's load-factor dependence on f. All
+// results are reduced modulo m.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace vcf {
+
+/// The four candidate buckets of Eq. 3. Entries may coincide: when
+/// hash(eta) and bm1 == 0 (or and bm2 == 0) the item degenerates to two
+/// distinct candidates (§III-A, Eq. 5); the paper keeps the duplicates in
+/// lookup, and so do we.
+struct Candidates4 {
+  std::array<std::uint64_t, 4> bucket;
+};
+
+class VerticalHasher {
+ public:
+  /// `index_bits` = log2(bucket count); `offset_bits` = width of hash(eta)
+  /// and of the bitmasks (the fingerprint length f). `bm1` is truncated to
+  /// offset width and bm2 = ~bm1 within that width (Theorem 1's
+  /// requirement).
+  VerticalHasher(unsigned index_bits, unsigned offset_bits,
+                 std::uint64_t bm1) noexcept;
+
+  /// Balanced default: bm1 = low half of the offset bits, which maximises
+  /// the probability of four distinct candidates (Eq. 8 with l = f/2).
+  static VerticalHasher Balanced(unsigned index_bits,
+                                 unsigned offset_bits) noexcept;
+
+  /// IVCF_i mask: exactly `ones` one-bits (the low ones). §IV-A.
+  static VerticalHasher WithOnes(unsigned index_bits, unsigned offset_bits,
+                                 unsigned ones) noexcept;
+
+  unsigned index_bits() const noexcept { return index_bits_; }
+  unsigned offset_bits() const noexcept { return offset_bits_; }
+  std::uint64_t index_mask() const noexcept { return index_mask_; }
+  std::uint64_t offset_mask() const noexcept { return offset_mask_; }
+  std::uint64_t bm1() const noexcept { return bm1_; }
+  std::uint64_t bm2() const noexcept { return bm2_; }
+
+  /// Eq. 3: candidates from the primary bucket `b1` and the fingerprint hash
+  /// `fp_hash` (any 64-bit value; reduced to the offset width internally).
+  Candidates4 Candidates(std::uint64_t b1, std::uint64_t fp_hash) const noexcept {
+    const std::uint64_t h = fp_hash & offset_mask_;
+    const std::uint64_t base = b1 & index_mask_;
+    return {{base, (base ^ (h & bm1_)) & index_mask_,
+             (base ^ (h & bm2_)) & index_mask_, (base ^ h) & index_mask_}};
+  }
+
+  /// Eq. 4: the other three candidates as seen from `current` (any member of
+  /// the candidate set). By Theorem 1 this is the same set regardless of
+  /// which member `current` is.
+  std::array<std::uint64_t, 3> Alternates(std::uint64_t current,
+                                          std::uint64_t fp_hash) const noexcept {
+    const std::uint64_t h = fp_hash & offset_mask_;
+    const std::uint64_t cur = current & index_mask_;
+    return {(cur ^ (h & bm1_)) & index_mask_, (cur ^ (h & bm2_)) & index_mask_,
+            (cur ^ h) & index_mask_};
+  }
+
+  /// True iff `fp_hash` yields four pairwise-distinct candidates, i.e.
+  /// neither *index-effective* masked fragment is zero.
+  bool YieldsFourDistinct(std::uint64_t fp_hash) const noexcept {
+    const std::uint64_t h = fp_hash & offset_mask_ & index_mask_;
+    return (h & bm1_) != 0 && (h & bm2_) != 0;
+  }
+
+  /// Eq. 8 for this mask shape (0 when the mask is degenerate, i.e. CF),
+  /// accounting for truncation when the table is smaller than 2^f buckets.
+  double TheoreticalR() const noexcept;
+
+ private:
+  unsigned index_bits_;
+  unsigned offset_bits_;
+  std::uint64_t index_mask_;
+  std::uint64_t offset_mask_;
+  std::uint64_t bm1_;
+  std::uint64_t bm2_;
+};
+
+/// Generalized vertical hashing (Eq. 6/7) for k >= 2 candidates.
+/// masks[0] = 0 (the primary bucket), masks[k-1] = all ones of the offset
+/// width (the full-XOR bucket), masks[1..k-2] = distinct random masks
+/// derived from `seed`.
+class GeneralizedVerticalHasher {
+ public:
+  GeneralizedVerticalHasher(unsigned index_bits, unsigned offset_bits,
+                            unsigned k, std::uint64_t seed);
+
+  unsigned index_bits() const noexcept { return index_bits_; }
+  unsigned offset_bits() const noexcept { return offset_bits_; }
+  unsigned k() const noexcept { return static_cast<unsigned>(masks_.size()); }
+  std::uint64_t index_mask() const noexcept { return index_mask_; }
+  std::uint64_t mask(unsigned e) const noexcept { return masks_[e]; }
+
+  /// Eq. 6: candidate e (0-based) from the primary bucket.
+  std::uint64_t Candidate(std::uint64_t b1, std::uint64_t fp_hash,
+                          unsigned e) const noexcept {
+    return ((b1 & index_mask_) ^ (fp_hash & masks_[e])) & index_mask_;
+  }
+
+  /// Eq. 7: candidate e derived from sibling candidate g.
+  std::uint64_t FromSibling(std::uint64_t bg, std::uint64_t fp_hash, unsigned g,
+                            unsigned e) const noexcept {
+    return ((bg & index_mask_) ^ (fp_hash & masks_[g]) ^ (fp_hash & masks_[e])) &
+           index_mask_;
+  }
+
+ private:
+  unsigned index_bits_;
+  unsigned offset_bits_;
+  std::uint64_t index_mask_;
+  std::vector<std::uint64_t> masks_;
+};
+
+}  // namespace vcf

@@ -1,0 +1,92 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/random.hpp"
+#include "common/timer.hpp"
+
+namespace vcf {
+
+namespace {
+
+FillResult FillImpl(Filter& filter, std::span<const std::uint64_t> keys,
+                    bool stop_at_failure) {
+  filter.ResetCounters();
+  FillResult result;
+  Stopwatch watch;
+  for (const std::uint64_t key : keys) {
+    ++result.attempted;
+    if (filter.Insert(key)) {
+      ++result.stored;
+    } else {
+      ++result.failures;
+      if (stop_at_failure) break;
+    }
+  }
+  result.total_seconds = watch.ElapsedSeconds();
+  result.load_factor = filter.LoadFactor();
+  result.avg_insert_micros =
+      result.attempted == 0
+          ? 0.0
+          : result.total_seconds * 1e6 / static_cast<double>(result.attempted);
+  result.evictions_per_insert = filter.counters().EvictionsPerInsert();
+  return result;
+}
+
+}  // namespace
+
+FillResult FillAll(Filter& filter, std::span<const std::uint64_t> keys) {
+  return FillImpl(filter, keys, /*stop_at_failure=*/false);
+}
+
+FillResult FillToFirstFailure(Filter& filter,
+                              std::span<const std::uint64_t> keys) {
+  return FillImpl(filter, keys, /*stop_at_failure=*/true);
+}
+
+double MeasureLookupMicros(const Filter& filter,
+                           std::span<const std::uint64_t> queries) {
+  if (queries.empty()) return 0.0;
+  std::size_t hits = 0;
+  Stopwatch watch;
+  for (const std::uint64_t q : queries) {
+    hits += filter.Contains(q) ? 1 : 0;
+  }
+  const double micros = watch.ElapsedMicros();
+  DoNotOptimize(hits);
+  return micros / static_cast<double>(queries.size());
+}
+
+double MeasureFpr(const Filter& filter, std::span<const std::uint64_t> aliens) {
+  if (aliens.empty()) return 0.0;
+  std::size_t positives = 0;
+  for (const std::uint64_t q : aliens) {
+    positives += filter.Contains(q) ? 1 : 0;
+  }
+  return static_cast<double>(positives) / static_cast<double>(aliens.size());
+}
+
+std::vector<std::uint64_t> MixQueries(std::span<const std::uint64_t> members,
+                                      std::span<const std::uint64_t> aliens,
+                                      double alien_fraction,
+                                      std::uint64_t seed) {
+  std::vector<std::uint64_t> queries;
+  queries.reserve(members.size() + aliens.size());
+  Xoshiro256 rng(seed);
+  std::size_t mi = 0;
+  std::size_t ai = 0;
+  // Draw from each pool proportionally until both are exhausted; then a
+  // Fisher-Yates pass removes the residual ordering bias.
+  while (mi < members.size() || ai < aliens.size()) {
+    const bool pick_alien =
+        ai < aliens.size() &&
+        (mi >= members.size() || rng.NextDouble() < alien_fraction);
+    queries.push_back(pick_alien ? aliens[ai++] : members[mi++]);
+  }
+  for (std::size_t i = queries.size(); i > 1; --i) {
+    std::swap(queries[i - 1], queries[rng.Below(i)]);
+  }
+  return queries;
+}
+
+}  // namespace vcf

@@ -1,0 +1,49 @@
+// Experiment drivers shared by all bench binaries: fill a filter from a key
+// stream, measure lookup latency, measure false-positive rate, and assemble
+// mixed query sets — the four primitives behind every table and figure in
+// the paper's evaluation (§VI).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/filter.hpp"
+
+namespace vcf {
+
+struct FillResult {
+  std::size_t attempted = 0;  ///< keys offered
+  std::size_t stored = 0;     ///< keys accepted
+  std::size_t failures = 0;   ///< keys rejected (eviction chain exhausted)
+  double load_factor = 0.0;   ///< stored / slots after the fill
+  double total_seconds = 0.0;
+  double avg_insert_micros = 0.0;       ///< total time / attempted
+  double evictions_per_insert = 0.0;    ///< the paper's E0 (Fig. 8)
+};
+
+/// Offers every key to the filter (the paper's methodology: n keys into an
+/// n-slot filter; "a small portion of items fail to be stored"). Counters
+/// are reset first so the eviction statistics cover exactly this fill.
+FillResult FillAll(Filter& filter, std::span<const std::uint64_t> keys);
+
+/// Stops at the first rejected key instead (max sustainable load).
+FillResult FillToFirstFailure(Filter& filter, std::span<const std::uint64_t> keys);
+
+/// Mean lookup latency in microseconds over `queries` (sum of per-batch
+/// wall time / count; the result of each query is consumed to prevent
+/// dead-code elimination).
+double MeasureLookupMicros(const Filter& filter,
+                           std::span<const std::uint64_t> queries);
+
+/// Fraction of `aliens` (keys never inserted) reported present — the
+/// empirical false-positive rate xi' of §VI-B3.
+double MeasureFpr(const Filter& filter, std::span<const std::uint64_t> aliens);
+
+/// Interleaves members and aliens (alien share = `alien_fraction`) into one
+/// shuffled query stream, as in Fig. 6(b)'s 50/50 mixed lookups.
+std::vector<std::uint64_t> MixQueries(std::span<const std::uint64_t> members,
+                                      std::span<const std::uint64_t> aliens,
+                                      double alien_fraction, std::uint64_t seed);
+
+}  // namespace vcf

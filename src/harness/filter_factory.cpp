@@ -1,0 +1,164 @@
+#include "harness/filter_factory.hpp"
+
+#include <stdexcept>
+
+#include <algorithm>
+
+#include "baselines/bloom_filter.hpp"
+#include "baselines/counting_bloom_filter.hpp"
+#include "baselines/cuckoo_filter.hpp"
+#include "baselines/dary_cuckoo_filter.hpp"
+#include "baselines/dleft_cbf.hpp"
+#include "baselines/morton_filter.hpp"
+#include "baselines/quotient_filter.hpp"
+#include "baselines/semisorted_cuckoo_filter.hpp"
+#include "baselines/vacuum_filter.hpp"
+#include "common/bitops.hpp"
+#include "core/dvcf.hpp"
+#include "core/kvcf.hpp"
+#include "core/vcf.hpp"
+#include "core/vertical_hashing.hpp"
+
+namespace vcf {
+
+std::string FilterSpec::DisplayName() const {
+  switch (kind) {
+    case Kind::kCF: return "CF";
+    case Kind::kVCF: return "VCF";
+    case Kind::kIVCF: return "IVCF_" + std::to_string(variant);
+    case Kind::kDVCF: return "DVCF_" + std::to_string(variant);
+    case Kind::kKVCF: return std::to_string(variant) + "-VCF";
+    case Kind::kDCF: return "DCF(d=" + std::to_string(variant == 0 ? 4 : variant) + ")";
+    case Kind::kBF: return "BF";
+    case Kind::kCBF: return "CBF";
+    case Kind::kQF: return "QF";
+    case Kind::kDlCBF: return "dlCBF";
+    case Kind::kVF: return "VF";
+    case Kind::kSsCF: return "ssCF";
+    case Kind::kMF: return "MF";
+  }
+  return "?";
+}
+
+std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec) {
+  switch (spec.kind) {
+    case FilterSpec::Kind::kCF:
+      return std::make_unique<CuckooFilter>(spec.params);
+    case FilterSpec::Kind::kVCF:
+      return std::make_unique<VerticalCuckooFilter>(spec.params);
+    case FilterSpec::Kind::kIVCF:
+      return std::make_unique<VerticalCuckooFilter>(spec.params, spec.variant);
+    case FilterSpec::Kind::kDVCF:
+      return std::make_unique<DifferentiatedVcf>(
+          DifferentiatedVcf::ForEighths(spec.params, spec.variant));
+    case FilterSpec::Kind::kKVCF:
+      return std::make_unique<KVcf>(spec.params, spec.variant);
+    case FilterSpec::Kind::kDCF:
+      return std::make_unique<DaryCuckooFilter>(
+          spec.params, spec.variant == 0 ? 4 : spec.variant);
+    case FilterSpec::Kind::kBF:
+      return std::make_unique<BloomFilter>(spec.params.slot_count(),
+                                           spec.bits_per_item, spec.params.hash,
+                                           spec.num_hashes, spec.params.seed);
+    case FilterSpec::Kind::kCBF:
+      return std::make_unique<CountingBloomFilter>(
+          spec.params.slot_count(), spec.bits_per_item, spec.params.hash,
+          spec.num_hashes, spec.params.seed);
+    case FilterSpec::Kind::kQF: {
+      // Same slot budget as a cuckoo table of this geometry: one element
+      // per slot, 2^q slots total.
+      const unsigned q = FloorLog2(spec.params.slot_count());
+      const unsigned r = spec.variant != 0 ? spec.variant
+                                           : spec.params.fingerprint_bits;
+      return std::make_unique<QuotientFilter>(q, r, spec.params.hash,
+                                              spec.params.seed);
+    }
+    case FilterSpec::Kind::kDlCBF: {
+      DleftCountingBloomFilter::Params p;
+      p.subtables = spec.variant != 0 ? spec.variant : 4;
+      p.cells_per_bucket = 8;
+      p.buckets_per_subtable = NextPowerOfTwo(
+          spec.params.slot_count() / (p.subtables * p.cells_per_bucket));
+      p.fingerprint_bits = spec.params.fingerprint_bits;
+      p.hash = spec.params.hash;
+      p.seed = spec.params.seed;
+      return std::make_unique<DleftCountingBloomFilter>(p);
+    }
+    case FilterSpec::Kind::kVF: {
+      VacuumFilter::Params p;
+      p.chunk_buckets = std::size_t{1} << (spec.variant != 0 ? spec.variant : 7);
+      p.bucket_count =
+          std::max<std::size_t>(p.chunk_buckets,
+                                spec.params.bucket_count / p.chunk_buckets *
+                                    p.chunk_buckets);
+      p.slots_per_bucket = spec.params.slots_per_bucket;
+      p.fingerprint_bits = spec.params.fingerprint_bits;
+      p.hash = spec.params.hash;
+      p.max_kicks = spec.params.max_kicks;
+      p.seed = spec.params.seed;
+      return std::make_unique<VacuumFilter>(p);
+    }
+    case FilterSpec::Kind::kSsCF: {
+      CuckooParams p = spec.params;
+      p.slots_per_bucket = 4;
+      if (p.fingerprint_bits > 15) p.fingerprint_bits = 15;
+      return std::make_unique<SemiSortedCuckooFilter>(p);
+    }
+    case FilterSpec::Kind::kMF: {
+      // Match the spec's PHYSICAL slot budget: an MF block serves 64
+      // logical buckets with 46 physical slots.
+      MortonFilter::Params p;
+      p.bucket_count = std::max<std::size_t>(
+          64, NextPowerOfTwo(spec.params.slot_count() * 64 / 46));
+      p.hash = spec.params.hash;
+      p.max_kicks = spec.params.max_kicks;
+      p.seed = spec.params.seed;
+      return std::make_unique<MortonFilter>(p);
+    }
+  }
+  throw std::invalid_argument("MakeFilter: unknown filter kind");
+}
+
+double SpecTheoreticalR(const FilterSpec& spec) {
+  const unsigned w = spec.params.index_bits();
+  const unsigned f = spec.params.fingerprint_bits;
+  switch (spec.kind) {
+    case FilterSpec::Kind::kCF:
+      return 0.0;
+    case FilterSpec::Kind::kVCF:
+      return VerticalHasher::Balanced(w, f).TheoreticalR();
+    case FilterSpec::Kind::kIVCF:
+      return VerticalHasher::WithOnes(w, f, spec.variant).TheoreticalR();
+    case FilterSpec::Kind::kDVCF:
+      return spec.variant / 8.0;
+    default:
+      return -1.0;
+  }
+}
+
+std::vector<FilterSpec> IvcfSweep(const CuckooParams& params) {
+  std::vector<FilterSpec> specs;
+  for (unsigned i = 1; i <= 6; ++i) {
+    specs.push_back({FilterSpec::Kind::kIVCF, i, params, 12.0, 0});
+  }
+  return specs;
+}
+
+std::vector<FilterSpec> DvcfSweep(const CuckooParams& params) {
+  std::vector<FilterSpec> specs;
+  for (unsigned j = 1; j <= 8; ++j) {
+    specs.push_back({FilterSpec::Kind::kDVCF, j, params, 12.0, 0});
+  }
+  return specs;
+}
+
+std::vector<FilterSpec> PaperLineup(const CuckooParams& params) {
+  std::vector<FilterSpec> specs;
+  specs.push_back({FilterSpec::Kind::kCF, 0, params, 12.0, 0});
+  specs.push_back({FilterSpec::Kind::kDCF, 4, params, 12.0, 0});
+  for (const auto& s : IvcfSweep(params)) specs.push_back(s);
+  for (const auto& s : DvcfSweep(params)) specs.push_back(s);
+  return specs;
+}
+
+}  // namespace vcf

@@ -1,0 +1,59 @@
+// Declarative filter construction for the experiment harness: a FilterSpec
+// names a filter family plus its variant parameter, and MakeFilter builds
+// it. The standard lineups mirror the paper's evaluation roster (§VI-A:
+// CF, DCF with d = 4, IVCF_1..6 and DVCF_1..8).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cuckoo_params.hpp"
+#include "core/filter.hpp"
+
+namespace vcf {
+
+struct FilterSpec {
+  enum class Kind : std::uint8_t {
+    kCF,    ///< standard cuckoo filter
+    kVCF,   ///< balanced-mask VCF
+    kIVCF,  ///< variant = number of 1-bits in bm1
+    kDVCF,  ///< variant = j, r = j/8
+    kKVCF,  ///< variant = k (number of candidate buckets)
+    kDCF,   ///< variant = d (defaults to 4)
+    kBF,    ///< Bloom filter; bits_per_item applies
+    kCBF,   ///< counting Bloom filter; bits_per_item applies
+    kQF,    ///< quotient filter; variant = remainder bits (default f)
+    kDlCBF, ///< d-left counting Bloom filter; variant = d (default 4)
+    kVF,    ///< vacuum filter; variant = log2(chunk buckets) (default 7)
+    kSsCF,  ///< semi-sorted cuckoo filter (CF + nibble compression)
+    kMF,    ///< Morton filter (512-bit compressed blocks, f = 8)
+  };
+
+  Kind kind = Kind::kCF;
+  unsigned variant = 0;
+  CuckooParams params;
+  double bits_per_item = 12.0;  // Bloom family only
+  unsigned num_hashes = 0;      // Bloom family only; 0 = optimal k
+
+  std::string DisplayName() const;
+};
+
+std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec);
+
+/// Theoretical r — the probability that an item receives four candidate
+/// buckets — for a spec: Eq. 8 (mask fragments) for VCF/IVCF, Eq. 9 for
+/// DVCF, 0 for CF, and -1 ("n/a") for kinds where r is not defined.
+double SpecTheoreticalR(const FilterSpec& spec);
+
+/// CF, DCF(4), IVCF_1..6, DVCF_1..8 — the roster of Table III and
+/// Figs. 5-9, all sharing `params`.
+std::vector<FilterSpec> PaperLineup(const CuckooParams& params);
+
+/// IVCF_1..6 only (Figs. 5(a), 7(a)).
+std::vector<FilterSpec> IvcfSweep(const CuckooParams& params);
+
+/// DVCF_1..8 only (Figs. 5(b), 7(b)).
+std::vector<FilterSpec> DvcfSweep(const CuckooParams& params);
+
+}  // namespace vcf

@@ -1,0 +1,50 @@
+#include "harness/flags.hpp"
+
+#include <cstdlib>
+
+namespace vcf {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;  // ignore non-flag arguments
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::GetInt(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v.empty();
+}
+
+}  // namespace vcf

@@ -1,0 +1,30 @@
+// Minimal command-line flag parsing for the benchmark binaries.
+//
+// Every bench accepts `--name=value` pairs plus bare boolean switches
+// (`--paper`, `--quick`, `--csv=...`). No external dependency: the offline
+// build has gtest/benchmark only, and google-benchmark's flag machinery is
+// not exposed for custom flags.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace vcf {
+
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  std::int64_t GetInt(const std::string& name, std::int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  /// Bare `--name` and `--name=true/1/yes` are true.
+  bool GetBool(const std::string& name, bool def = false) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace vcf

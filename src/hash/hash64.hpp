@@ -1,0 +1,57 @@
+// 64-bit hash-function family used by every filter in the library.
+//
+// The paper evaluates the filters under three hash functions (Table IV):
+// FNV-1a, MurmurHash3 and DJB2. All of them are implemented here from their
+// published reference descriptions, plus SplitMix64 as a strong default for
+// pre-hashed integer keys. A filter is configured with a HashKind and calls
+// through HashFn; the indirection is a single function pointer, hoisted out
+// of hot loops by the filters.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vcf {
+
+/// Which concrete hash function a filter uses.
+enum class HashKind : std::uint8_t {
+  kFnv1a = 0,    ///< FNV-1a 64-bit (paper's default, §VI-A)
+  kMurmur3 = 1,  ///< MurmurHash3 x64 finalized to 64 bits
+  kDjb2 = 2,     ///< Bernstein's DJB2, widened to 64 bits
+  kSplitMix = 3, ///< SplitMix64 finalizer over the bytes (strong default)
+};
+
+/// Human-readable name ("FNV", "Murmur3", "DJB2", "SplitMix").
+std::string_view HashKindName(HashKind kind) noexcept;
+
+/// Parses a name accepted case-insensitively; returns kFnv1a for unknown input.
+HashKind ParseHashKind(std::string_view name) noexcept;
+
+/// Hashes an arbitrary byte string.
+std::uint64_t Hash64(HashKind kind, const void* data, std::size_t len,
+                     std::uint64_t seed) noexcept;
+
+/// Hashes a 64-bit key (the common case: workload keys are pre-hashed
+/// records). Each kind treats the key as its 8 little-endian bytes so that
+/// results are consistent with the byte-string overload.
+std::uint64_t Hash64(HashKind kind, std::uint64_t key,
+                     std::uint64_t seed) noexcept;
+
+inline std::uint64_t Hash64(HashKind kind, std::string_view s,
+                            std::uint64_t seed) noexcept {
+  return Hash64(kind, s.data(), s.size(), seed);
+}
+
+// Direct entry points (also used by tests against known vectors).
+std::uint64_t Fnv1a64(const void* data, std::size_t len,
+                      std::uint64_t seed) noexcept;
+std::uint64_t Murmur3_64(const void* data, std::size_t len,
+                         std::uint64_t seed) noexcept;
+std::uint64_t Djb2_64(const void* data, std::size_t len,
+                      std::uint64_t seed) noexcept;
+std::uint64_t SplitMixHash64(const void* data, std::size_t len,
+                             std::uint64_t seed) noexcept;
+
+}  // namespace vcf

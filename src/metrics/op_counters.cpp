@@ -1,0 +1,27 @@
+#include "metrics/op_counters.hpp"
+
+#include <sstream>
+
+namespace vcf {
+
+OpCounters& OpCounters::operator+=(const OpCounters& o) noexcept {
+  inserts += o.inserts;
+  insert_failures += o.insert_failures;
+  evictions += o.evictions;
+  hash_computations += o.hash_computations;
+  bucket_probes += o.bucket_probes;
+  lookups += o.lookups;
+  deletions += o.deletions;
+  return *this;
+}
+
+std::string OpCounters::ToString() const {
+  std::ostringstream os;
+  os << "inserts=" << inserts << " failures=" << insert_failures
+     << " evictions=" << evictions << " hashes=" << hash_computations
+     << " bucket_probes=" << bucket_probes << " lookups=" << lookups
+     << " deletions=" << deletions;
+  return os.str();
+}
+
+}  // namespace vcf

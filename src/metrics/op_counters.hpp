@@ -1,0 +1,87 @@
+// Operation counters instrumenting every filter.
+//
+// The paper's Fig. 8 reports E0, the average number of eviction (kick-out)
+// operations per inserted item, and §V-C models insertion cost in terms of
+// hash computations and bucket probes. Counters make those quantities
+// directly observable instead of being inferred from wall-clock time, which
+// also makes the reproduction CPU-portable.
+//
+// Counters are updated from const lookup paths, and ConcurrentFilter runs
+// lookups under a shared lock — so each field is a relaxed atomic wrapped to
+// behave like a plain uint64_t. Relaxed increments cost a single lock-free
+// add and impose no ordering; cross-thread totals are exact, per-read
+// snapshots are monotone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace vcf {
+
+/// A uint64 counter with relaxed-atomic access and value semantics, so that
+/// aggregating structs stay copyable and comparisons read naturally.
+class RelaxedCounter {
+ public:
+  constexpr RelaxedCounter(std::uint64_t v = 0) noexcept : v_(v) {}
+  RelaxedCounter(const RelaxedCounter& other) noexcept : v_(other.Value()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) noexcept {
+    v_.store(other.Value(), std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+
+  operator std::uint64_t() const noexcept { return Value(); }
+  std::uint64_t Value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+  RelaxedCounter& operator++() noexcept {
+    v_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  std::uint64_t operator++(int) noexcept {
+    return v_.fetch_add(1, std::memory_order_relaxed);
+  }
+  RelaxedCounter& operator+=(std::uint64_t delta) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_;
+};
+
+struct OpCounters {
+  RelaxedCounter inserts;          ///< insert attempts
+  RelaxedCounter insert_failures;  ///< attempts that hit MAX kicks (filter full)
+  RelaxedCounter evictions;        ///< fingerprints kicked out (relocations)
+  RelaxedCounter hash_computations;///< full hash-function invocations
+  RelaxedCounter bucket_probes;    ///< candidate buckets examined
+  RelaxedCounter lookups;          ///< membership queries
+  RelaxedCounter deletions;        ///< delete attempts
+
+  void Reset() noexcept { *this = OpCounters{}; }
+
+  /// E0 of Fig. 8: mean evictions per attempted insertion.
+  double EvictionsPerInsert() const noexcept {
+    const std::uint64_t n = inserts;
+    return n == 0 ? 0.0
+                  : static_cast<double>(evictions.Value()) / static_cast<double>(n);
+  }
+  double ProbesPerLookup() const noexcept {
+    const std::uint64_t n = lookups;
+    return n == 0 ? 0.0
+                  : static_cast<double>(bucket_probes.Value()) /
+                        static_cast<double>(n);
+  }
+
+  OpCounters& operator+=(const OpCounters& o) noexcept;
+
+  std::string ToString() const;
+};
+
+}  // namespace vcf

@@ -1,0 +1,62 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vcf {
+
+void RunningStat::Add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::Variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::StdDev() const noexcept { return std::sqrt(Variance()); }
+
+RunningStat& RunningStat::Merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return *this;
+  if (n_ == 0) {
+    *this = other;
+    return *this;
+  }
+  // Chan et al. parallel-merge formulas.
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  return *this;
+}
+
+double Quantile(std::vector<double> values, double q) noexcept {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(lo),
+                   values.end());
+  const double vlo = values[lo];
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(hi),
+                   values.end());
+  const double vhi = values[hi];
+  const double frac = pos - static_cast<double>(lo);
+  return vlo + (vhi - vlo) * frac;
+}
+
+}  // namespace vcf

@@ -1,0 +1,39 @@
+// Streaming statistics for repeated-trial experiments.
+//
+// The paper reports means over 1000 repetitions; RunningStat accumulates
+// mean/variance/min/max in O(1) memory (Welford), so a sweep never needs to
+// retain per-trial vectors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vcf {
+
+class RunningStat {
+ public:
+  void Add(double x) noexcept;
+
+  std::size_t Count() const noexcept { return n_; }
+  double Mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  double Variance() const noexcept;  ///< sample variance (n-1 denominator)
+  double StdDev() const noexcept;
+  double Min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  double Max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+
+  RunningStat& Merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact quantile over a retained sample (used for latency tails in the
+/// micro benchmarks, where the sample count is bounded).
+double Quantile(std::vector<double> values, double q) noexcept;
+
+}  // namespace vcf

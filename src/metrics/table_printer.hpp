@@ -1,0 +1,43 @@
+// Aligned-column table and CSV emitters for the benchmark harness.
+//
+// Every bench binary prints its table/figure in the same layout the paper
+// uses (rows = filters or sweep points, columns = metrics), and optionally
+// dumps a CSV so the series can be re-plotted.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace vcf {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; short rows are padded with empty cells, long rows widen
+  /// the table.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience for numeric rows; values are formatted with `precision`
+  /// significant decimal places.
+  void AddNumericRow(const std::string& label, const std::vector<double>& values,
+                     int precision = 3);
+
+  /// Renders an aligned ASCII table.
+  void Print(std::ostream& out) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void PrintCsv(std::ostream& out) const;
+
+  /// Writes the CSV to `path`; returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  static std::string FormatDouble(double v, int precision);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vcf

@@ -1,0 +1,100 @@
+#include "sketches/count_min.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+#include "common/random.hpp"
+
+namespace vcf {
+
+namespace {
+std::size_t ValidatedWidth(std::size_t width, unsigned depth) {
+  if (width == 0 || depth == 0) {
+    throw std::invalid_argument("CountMin: width and depth must be positive");
+  }
+  const std::size_t rounded = NextPowerOfTwo(width);
+  if (FloorLog2(rounded) > 32) {
+    throw std::invalid_argument("CountMin: width above 2^32 is unsupported");
+  }
+  return rounded;
+}
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::size_t width, unsigned depth, HashKind hash,
+                               std::uint64_t seed)
+    : width_(ValidatedWidth(width, depth)),
+      depth_(depth),
+      hash_(hash),
+      rows_(width_ * depth, 0) {
+  row_seeds_.reserve(depth);
+  for (unsigned r = 0; r < depth; ++r) {
+    row_seeds_.push_back(Mix64(seed + 0x9E3779B97F4A7C15ULL * (r + 1)));
+  }
+}
+
+std::size_t CountMinSketch::Position(std::uint64_t key,
+                                     unsigned row) const noexcept {
+  ++counters_.hash_computations;
+  return static_cast<std::size_t>(Hash64(hash_, key, row_seeds_[row]) &
+                                  (width_ - 1));
+}
+
+void CountMinSketch::Update(std::uint64_t key, std::uint64_t count) {
+  ++counters_.inserts;
+  for (unsigned r = 0; r < depth_; ++r) {
+    rows_[r * width_ + Position(key, r)] += count;
+  }
+}
+
+std::uint64_t CountMinSketch::Estimate(std::uint64_t key) const {
+  ++counters_.lookups;
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (unsigned r = 0; r < depth_; ++r) {
+    best = std::min(best, rows_[r * width_ + Position(key, r)]);
+  }
+  return best;
+}
+
+VerticalCountMin::VerticalCountMin(std::size_t width, unsigned depth,
+                                   HashKind hash, std::uint64_t seed)
+    : width_(ValidatedWidth(width, depth)),
+      depth_(depth),
+      hash_(hash),
+      seed_(seed),
+      hasher_(FloorLog2(width_), FloorLog2(width_), depth,
+              seed ^ 0x5E7C4E5ULL),
+      rows_(width_ * depth, 0) {}
+
+void VerticalCountMin::Update(std::uint64_t key, std::uint64_t count) {
+  ++counters_.inserts;
+  // One full hash; the row positions come from its two halves and the mask
+  // family (Eq. 6 applied to counter rows instead of buckets).
+  const std::uint64_t h = Hash64(hash_, key, seed_);
+  ++counters_.hash_computations;
+  const std::uint64_t base = h;        // low bits: primary position
+  const std::uint64_t offset = h >> 32;  // high bits: the masked offset source
+  for (unsigned r = 0; r < depth_; ++r) {
+    const std::size_t pos =
+        static_cast<std::size_t>(hasher_.Candidate(base, offset, r));
+    rows_[r * width_ + pos] += count;
+  }
+}
+
+std::uint64_t VerticalCountMin::Estimate(std::uint64_t key) const {
+  ++counters_.lookups;
+  const std::uint64_t h = Hash64(hash_, key, seed_);
+  ++counters_.hash_computations;
+  const std::uint64_t base = h;
+  const std::uint64_t offset = h >> 32;
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (unsigned r = 0; r < depth_; ++r) {
+    const std::size_t pos =
+        static_cast<std::size_t>(hasher_.Candidate(base, offset, r));
+    best = std::min(best, rows_[r * width_ + pos]);
+  }
+  return best;
+}
+
+}  // namespace vcf

@@ -1,0 +1,85 @@
+#include "sketches/vbloom.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace vcf {
+
+namespace {
+
+std::size_t PowerOfTwoBits(std::size_t capacity, double bits_per_item) {
+  if (capacity == 0 || bits_per_item <= 0.0) {
+    throw std::invalid_argument(
+        "VerticalBloomFilter: capacity and bits_per_item must be positive");
+  }
+  const auto raw = static_cast<std::uint64_t>(
+      std::ceil(bits_per_item * static_cast<double>(capacity)));
+  const std::uint64_t rounded = NextPowerOfTwo(std::max<std::uint64_t>(64, raw));
+  if (FloorLog2(rounded) > 40) {
+    throw std::invalid_argument("VerticalBloomFilter: bit array too large");
+  }
+  return static_cast<std::size_t>(rounded);
+}
+
+unsigned ChooseK(double bits_per_item, unsigned forced) {
+  if (forced != 0) return forced;
+  return std::max(2u, static_cast<unsigned>(
+                          std::lround(bits_per_item * 0.6931471805599453)));
+}
+
+}  // namespace
+
+VerticalBloomFilter::VerticalBloomFilter(std::size_t capacity,
+                                         double bits_per_item, HashKind hash,
+                                         unsigned num_hashes,
+                                         std::uint64_t seed)
+    : capacity_(capacity),
+      m_(PowerOfTwoBits(capacity, bits_per_item)),
+      k_(ChooseK(bits_per_item, num_hashes)),
+      hash_(hash),
+      seed_(seed),
+      hasher_(FloorLog2(m_), FloorLog2(m_), k_, seed ^ 0xB100F0ULL),
+      bits_(m_ / 64, 0) {}
+
+bool VerticalBloomFilter::Insert(std::uint64_t key) {
+  ++counters_.inserts;
+  const std::uint64_t h = Hash64(hash_, key, seed_);
+  ++counters_.hash_computations;  // the ONLY hash computation of the op
+  const std::uint64_t base = h;
+  const std::uint64_t offset = h >> 32;
+  for (unsigned e = 0; e < k_; ++e) {
+    const std::uint64_t bit = hasher_.Candidate(base, offset, e);
+    bits_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  }
+  ++items_;
+  return true;
+}
+
+bool VerticalBloomFilter::Contains(std::uint64_t key) const {
+  ++counters_.lookups;
+  const std::uint64_t h = Hash64(hash_, key, seed_);
+  ++counters_.hash_computations;
+  const std::uint64_t base = h;
+  const std::uint64_t offset = h >> 32;
+  for (unsigned e = 0; e < k_; ++e) {
+    const std::uint64_t bit = hasher_.Candidate(base, offset, e);
+    if ((bits_[bit >> 6] & (std::uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+bool VerticalBloomFilter::Erase(std::uint64_t key) {
+  (void)key;
+  ++counters_.deletions;
+  return false;
+}
+
+void VerticalBloomFilter::Clear() {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  items_ = 0;
+}
+
+}  // namespace vcf

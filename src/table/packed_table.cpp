@@ -1,0 +1,109 @@
+#include "table/packed_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitops.hpp"
+
+namespace vcf {
+
+PackedTable::PackedTable(std::size_t bucket_count, unsigned slots_per_bucket,
+                         unsigned slot_bits)
+    : bucket_count_(bucket_count),
+      slots_per_bucket_(slots_per_bucket),
+      slot_bits_(slot_bits),
+      occupied_(0) {
+  if (bucket_count == 0) {
+    throw std::invalid_argument("PackedTable: bucket_count must be >= 1");
+  }
+  if (slots_per_bucket == 0) {
+    throw std::invalid_argument("PackedTable: slots_per_bucket must be >= 1");
+  }
+  if (slot_bits == 0 || slot_bits > 57) {
+    throw std::invalid_argument("PackedTable: slot_bits must be in [1, 57]");
+  }
+  const std::size_t total_bits = bucket_count * slots_per_bucket * slot_bits;
+  // +8 bytes of slack so ReadBits/WriteBits may always touch a full 8-byte
+  // window past the last live bit.
+  bits_.assign((total_bits + 7) / 8 + 8, 0);
+}
+
+std::uint64_t PackedTable::Get(std::size_t bucket, unsigned slot) const noexcept {
+  return ReadBits(bits_.data(), BitOffset(bucket, slot), slot_bits_);
+}
+
+void PackedTable::Set(std::size_t bucket, unsigned slot,
+                      std::uint64_t value) noexcept {
+  const std::uint64_t old = Get(bucket, slot);
+  occupied_ += (value != 0) - (old != 0);
+  WriteBits(bits_.data(), BitOffset(bucket, slot), slot_bits_, value);
+}
+
+int PackedTable::FindEmptySlot(std::size_t bucket) const noexcept {
+  for (unsigned s = 0; s < slots_per_bucket_; ++s) {
+    if (Get(bucket, s) == 0) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+bool PackedTable::InsertValue(std::size_t bucket, std::uint64_t value) noexcept {
+  const int slot = FindEmptySlot(bucket);
+  if (slot < 0) return false;
+  Set(bucket, static_cast<unsigned>(slot), value);
+  return true;
+}
+
+bool PackedTable::ContainsValue(std::size_t bucket,
+                                std::uint64_t value) const noexcept {
+  for (unsigned s = 0; s < slots_per_bucket_; ++s) {
+    if (Get(bucket, s) == value) return true;
+  }
+  return false;
+}
+
+bool PackedTable::ContainsMasked(std::size_t bucket, std::uint64_t value,
+                                 std::uint64_t mask) const noexcept {
+  const std::uint64_t want = value & mask;
+  for (unsigned s = 0; s < slots_per_bucket_; ++s) {
+    const std::uint64_t v = Get(bucket, s);
+    if (v != 0 && (v & mask) == want) return true;
+  }
+  return false;
+}
+
+bool PackedTable::EraseValue(std::size_t bucket, std::uint64_t value) noexcept {
+  for (unsigned s = 0; s < slots_per_bucket_; ++s) {
+    if (Get(bucket, s) == value) {
+      Set(bucket, s, 0);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::uint64_t PackedTable::EraseMasked(std::size_t bucket, std::uint64_t value,
+                                       std::uint64_t mask) noexcept {
+  const std::uint64_t want = value & mask;
+  for (unsigned s = 0; s < slots_per_bucket_; ++s) {
+    const std::uint64_t v = Get(bucket, s);
+    if (v != 0 && (v & mask) == want) {
+      Set(bucket, s, 0);
+      return v;
+    }
+  }
+  return 0;
+}
+
+void PackedTable::Clear() noexcept {
+  std::fill(bits_.begin(), bits_.end(), std::uint8_t{0});
+  occupied_ = 0;
+}
+
+bool PackedTable::operator==(const PackedTable& other) const noexcept {
+  return bucket_count_ == other.bucket_count_ &&
+         slots_per_bucket_ == other.slots_per_bucket_ &&
+         slot_bits_ == other.slot_bits_ && occupied_ == other.occupied_ &&
+         bits_ == other.bits_;
+}
+
+}  // namespace vcf

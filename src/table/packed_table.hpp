@@ -1,0 +1,100 @@
+// Bit-packed bucketed slot table — the storage substrate shared by every
+// cuckoo-family filter in this library (CF, DCF, VCF, IVCF, DVCF, k-VCF).
+//
+// A table is m buckets × b slots; each slot holds a `slot_bits`-wide value.
+// Fig. 4 of the paper sweeps fingerprint lengths 7..18 bits and k-VCF appends
+// mark bits to the fingerprint, so slots must be packed at bit granularity:
+// a byte-aligned layout would distort the space-cost comparisons (Eq. 12).
+//
+// Value 0 is reserved to mean "empty slot"; filters map fingerprints into
+// [1, 2^f - 1] before storing them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vcf {
+
+class PackedTable {
+ public:
+  /// Creates a zeroed table. `slot_bits` must be in [1, 57]; violations
+  /// throw std::invalid_argument — construction is cold path. Any positive
+  /// bucket count is accepted (the Vacuum filter uses non-power-of-two
+  /// tables); filters whose indexing needs a power of two enforce that
+  /// themselves.
+  PackedTable(std::size_t bucket_count, unsigned slots_per_bucket,
+              unsigned slot_bits);
+
+  std::size_t bucket_count() const noexcept { return bucket_count_; }
+  unsigned slots_per_bucket() const noexcept { return slots_per_bucket_; }
+  unsigned slot_bits() const noexcept { return slot_bits_; }
+  std::size_t slot_count() const noexcept {
+    return bucket_count_ * slots_per_bucket_;
+  }
+  /// Bytes of fingerprint storage (the quantity Eq. 12 prices), excluding
+  /// the object header.
+  std::size_t StorageBytes() const noexcept { return bits_.size(); }
+
+  /// Number of non-empty slots across the table.
+  std::size_t OccupiedSlots() const noexcept { return occupied_; }
+  double LoadFactor() const noexcept {
+    return slot_count() == 0
+               ? 0.0
+               : static_cast<double>(occupied_) / static_cast<double>(slot_count());
+  }
+
+  /// Hints the cache that `bucket`'s slots are about to be probed (batch
+  /// lookup pipelines). A bucket spans at most ~29 bytes, i.e. one or two
+  /// cache lines from its start.
+  void PrefetchBucket(std::size_t bucket) const noexcept {
+    const std::size_t byte = BitOffset(bucket, 0) >> 3;
+    __builtin_prefetch(bits_.data() + byte, /*rw=*/0, /*locality=*/1);
+  }
+
+  /// Raw slot access. `value` 0 means empty.
+  std::uint64_t Get(std::size_t bucket, unsigned slot) const noexcept;
+  void Set(std::size_t bucket, unsigned slot, std::uint64_t value) noexcept;
+
+  /// Index of the first empty slot in `bucket`, or -1 if the bucket is full.
+  int FindEmptySlot(std::size_t bucket) const noexcept;
+
+  /// Stores `value` in the first empty slot; false if the bucket is full.
+  bool InsertValue(std::size_t bucket, std::uint64_t value) noexcept;
+
+  /// True iff some slot of `bucket` equals `value` exactly.
+  bool ContainsValue(std::size_t bucket, std::uint64_t value) const noexcept;
+
+  /// True iff some slot matches `value` on the bits selected by `mask`
+  /// (k-VCF matches on the fingerprint field, ignoring mark bits).
+  bool ContainsMasked(std::size_t bucket, std::uint64_t value,
+                      std::uint64_t mask) const noexcept;
+
+  /// Clears the first slot equal to `value`; false if absent.
+  bool EraseValue(std::size_t bucket, std::uint64_t value) noexcept;
+
+  /// Clears the first slot matching `value & mask`; returns the full stored
+  /// slot word (mark bits included) or 0 if absent.
+  std::uint64_t EraseMasked(std::size_t bucket, std::uint64_t value,
+                            std::uint64_t mask) noexcept;
+
+  /// Resets every slot to empty.
+  void Clear() noexcept;
+
+  bool operator==(const PackedTable& other) const noexcept;
+
+ private:
+  friend class TableCodec;
+
+  std::size_t BitOffset(std::size_t bucket, unsigned slot) const noexcept {
+    return (bucket * slots_per_bucket_ + slot) * slot_bits_;
+  }
+
+  std::size_t bucket_count_;
+  unsigned slots_per_bucket_;
+  unsigned slot_bits_;
+  std::size_t occupied_;
+  std::vector<std::uint8_t> bits_;
+};
+
+}  // namespace vcf

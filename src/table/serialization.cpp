@@ -1,0 +1,101 @@
+#include "table/serialization.hpp"
+
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/bitops.hpp"
+#include "common/random.hpp"
+
+namespace vcf {
+
+namespace {
+
+constexpr char kMagic[4] = {'V', 'C', 'F', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void Put(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool Take(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+
+std::uint64_t Checksum(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  std::size_t i = 0;
+  while (i + 8 <= bytes.size()) {
+    std::uint64_t w;
+    std::memcpy(&w, bytes.data() + i, 8);
+    h = Mix64(h ^ w);
+    i += 8;
+  }
+  std::uint64_t tail = 0;
+  if (i < bytes.size()) {
+    std::memcpy(&tail, bytes.data() + i, bytes.size() - i);
+    h = Mix64(h ^ tail);
+  }
+  return Mix64(h ^ bytes.size());
+}
+
+}  // namespace
+
+bool TableCodec::Save(const PackedTable& table, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  Put(out, kVersion);
+  Put(out, static_cast<std::uint64_t>(table.bucket_count_));
+  Put(out, static_cast<std::uint32_t>(table.slots_per_bucket_));
+  Put(out, static_cast<std::uint32_t>(table.slot_bits_));
+  Put(out, static_cast<std::uint64_t>(table.occupied_));
+  Put(out, static_cast<std::uint64_t>(table.bits_.size()));
+  out.write(reinterpret_cast<const char*>(table.bits_.data()),
+            static_cast<std::streamsize>(table.bits_.size()));
+  Put(out, Checksum(table.bits_));
+  return static_cast<bool>(out);
+}
+
+std::optional<PackedTable> TableCodec::Load(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return std::nullopt;
+
+  std::uint32_t version = 0;
+  std::uint64_t bucket_count = 0;
+  std::uint32_t slots = 0;
+  std::uint32_t slot_bits = 0;
+  std::uint64_t occupied = 0;
+  std::uint64_t payload = 0;
+  if (!Take(in, version) || version != kVersion) return std::nullopt;
+  if (!Take(in, bucket_count) || !Take(in, slots) || !Take(in, slot_bits) ||
+      !Take(in, occupied) || !Take(in, payload)) {
+    return std::nullopt;
+  }
+  if (bucket_count == 0 || slots == 0 || slot_bits == 0 || slot_bits > 57) {
+    return std::nullopt;
+  }
+  const std::uint64_t total_bits =
+      bucket_count * static_cast<std::uint64_t>(slots) * slot_bits;
+  const std::uint64_t expected_payload = (total_bits + 7) / 8 + 8;
+  if (payload != expected_payload ||
+      payload > std::numeric_limits<std::size_t>::max() ||
+      occupied > bucket_count * static_cast<std::uint64_t>(slots)) {
+    return std::nullopt;
+  }
+
+  PackedTable table(static_cast<std::size_t>(bucket_count), slots, slot_bits);
+  in.read(reinterpret_cast<char*>(table.bits_.data()),
+          static_cast<std::streamsize>(payload));
+  std::uint64_t checksum = 0;
+  if (!in || !Take(in, checksum) || checksum != Checksum(table.bits_)) {
+    return std::nullopt;
+  }
+  table.occupied_ = static_cast<std::size_t>(occupied);
+  return table;
+}
+
+}  // namespace vcf

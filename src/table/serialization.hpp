@@ -1,0 +1,27 @@
+// Stream (de)serialization for PackedTable — lets long-lived online services
+// checkpoint a filter and restore it after restart without replaying the
+// insertion stream.
+//
+// Format (little-endian):
+//   magic "VCFT" | u32 version | u64 bucket_count | u32 slots | u32 slot_bits
+//   | u64 occupied | u64 payload_bytes | payload | u64 checksum(SplitMix over payload)
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+#include "table/packed_table.hpp"
+
+namespace vcf {
+
+class TableCodec {
+ public:
+  /// Writes `table` to `out`; returns false on stream failure.
+  static bool Save(const PackedTable& table, std::ostream& out);
+
+  /// Reads a table; std::nullopt on malformed input, version mismatch or
+  /// checksum failure (the stream is not trusted).
+  static std::optional<PackedTable> Load(std::istream& in);
+};
+
+}  // namespace vcf

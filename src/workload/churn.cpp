@@ -1,0 +1,58 @@
+#include "workload/churn.hpp"
+
+#include "common/random.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+
+std::vector<ChurnOp> GenerateChurnTrace(const ChurnTraceConfig& config) {
+  std::vector<ChurnOp> trace;
+  trace.reserve(config.working_set + config.operations);
+
+  Xoshiro256 rng(config.seed);
+  // Live keys come from stream 1, alien lookups from stream 2: the streams
+  // are disjoint by construction (bijective key mapping), so
+  // `expect_present` is exact without a shadow hash set for aliens.
+  std::uint64_t next_fresh = 0;
+  std::vector<std::uint64_t> live;
+  live.reserve(config.working_set * 2);
+
+  auto push_insert = [&] {
+    const std::uint64_t key = UniformKeyAt(/*stream_id=*/1, next_fresh++);
+    live.push_back(key);
+    trace.push_back({ChurnOp::Kind::kInsert, key, true});
+  };
+
+  for (std::size_t i = 0; i < config.working_set; ++i) push_insert();
+
+  std::uint64_t next_alien = 0;
+  std::size_t pending_refills = 0;
+  for (std::size_t i = 0; i < config.operations; ++i) {
+    const double roll = rng.NextDouble();
+    if (roll < config.lookup_fraction) {
+      if (rng.NextDouble() < config.alien_lookup_fraction || live.empty()) {
+        trace.push_back({ChurnOp::Kind::kLookup,
+                         UniformKeyAt(/*stream_id=*/2, next_alien++), false});
+      } else {
+        const std::size_t idx = static_cast<std::size_t>(rng.Below(live.size()));
+        trace.push_back({ChurnOp::Kind::kLookup, live[idx], true});
+      }
+    } else if ((pending_refills > 0 || live.size() >= config.working_set) &&
+               !live.empty() && rng.NextDouble() < 0.5 &&
+               live.size() > config.working_set / 2) {
+      // Departure: erase a random live key (swap-remove keeps O(1)).
+      const std::size_t idx = static_cast<std::size_t>(rng.Below(live.size()));
+      const std::uint64_t key = live[idx];
+      live[idx] = live.back();
+      live.pop_back();
+      trace.push_back({ChurnOp::Kind::kErase, key, true});
+      ++pending_refills;
+    } else {
+      push_insert();
+      if (pending_refills > 0) --pending_refills;
+    }
+  }
+  return trace;
+}
+
+}  // namespace vcf

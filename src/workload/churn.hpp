@@ -1,0 +1,38 @@
+// Online-churn trace generation — the "insertion-intensive online
+// application" workload the paper motivates VCF with (items join and leave
+// frequently).
+//
+// A trace is a sequence of insert/erase/lookup operations over a live set
+// kept near a target working-set size: the generator warms the set up to
+// the target, then interleaves departures and (fresh) arrivals so the
+// filter sustains a high load factor while continuously churning. Examples
+// and failure-injection tests replay these traces against any Filter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace vcf {
+
+struct ChurnOp {
+  enum class Kind : std::uint8_t { kInsert, kErase, kLookup };
+  Kind kind;
+  std::uint64_t key;
+  bool expect_present;  ///< for lookups: whether the key is currently live
+};
+
+struct ChurnTraceConfig {
+  std::size_t working_set = 1 << 16;  ///< live keys after warm-up
+  std::size_t operations = 1 << 18;   ///< ops after warm-up
+  double lookup_fraction = 0.5;       ///< share of post-warm-up ops that are lookups
+  double alien_lookup_fraction = 0.5; ///< share of lookups probing non-members
+  std::uint64_t seed = 0xC4124EULL;
+};
+
+/// Builds a warm-up prefix (pure inserts up to `working_set`) followed by
+/// `operations` churn operations. Erases always target currently-live keys;
+/// each erase is eventually balanced by a fresh-key insert, keeping the live
+/// count near the working-set target.
+std::vector<ChurnOp> GenerateChurnTrace(const ChurnTraceConfig& config);
+
+}  // namespace vcf

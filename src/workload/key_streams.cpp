@@ -1,0 +1,44 @@
+#include "workload/key_streams.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace vcf {
+
+std::vector<std::uint64_t> UniformKeys(std::size_t n, std::uint64_t stream_id) {
+  if (n >= (std::uint64_t{1} << 40)) {
+    throw std::invalid_argument("UniformKeys: n must be < 2^40");
+  }
+  std::vector<std::uint64_t> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = UniformKeyAt(stream_id, i);
+  }
+  return keys;
+}
+
+ZipfGenerator::ZipfGenerator(std::size_t universe, double exponent,
+                             std::uint64_t seed)
+    : universe_(universe), exponent_(exponent), rng_(seed) {
+  if (universe == 0) {
+    throw std::invalid_argument("ZipfGenerator: universe must be non-empty");
+  }
+  cdf_.resize(universe);
+  double acc = 0.0;
+  for (std::size_t r = 0; r < universe; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_[r] = acc;
+  }
+  const double total = acc;
+  for (double& c : cdf_) c /= total;
+}
+
+std::size_t ZipfGenerator::SampleRank() {
+  const double u = rng_.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+std::uint64_t ZipfGenerator::Next() { return KeyForRank(SampleRank()); }
+
+}  // namespace vcf

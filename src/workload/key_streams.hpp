@@ -1,0 +1,55 @@
+// Fast synthetic key streams: uniform-unique, stream-disjoint and Zipfian.
+//
+// Uniform keys are produced by pushing a (stream-id, counter) pair through
+// the bijective SplitMix64 finalizer: bijectivity makes every key distinct
+// within a stream and across streams with different ids, without any
+// dedup bookkeeping. Zipf keys drive the cache-admission example.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace vcf {
+
+/// `n` distinct uniform 64-bit keys; streams with different `stream_id`s are
+/// pairwise disjoint. Requires n < 2^40 (counter width).
+std::vector<std::uint64_t> UniformKeys(std::size_t n, std::uint64_t stream_id);
+
+/// The i-th key of a stream without materialising the vector.
+constexpr std::uint64_t UniformKeyAt(std::uint64_t stream_id,
+                                     std::uint64_t i) noexcept {
+  return Mix64((stream_id << 40) | i);
+}
+
+/// Zipf(s) sampler over the universe {0, ..., universe-1}, with item ranks
+/// mapped through Mix64 so popular keys are scattered across the key space.
+/// Uses Gray-Wormald rejection-free inversion on the Zipf CDF approximation
+/// (exact for our purposes; statistical tests in tests/workload).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t universe, double exponent, std::uint64_t seed);
+
+  std::uint64_t Next();
+
+  /// The key for a given popularity rank (rank 0 = hottest).
+  std::uint64_t KeyForRank(std::size_t rank) const noexcept {
+    return Mix64(0x21F0AA5ULL ^ rank);
+  }
+
+  std::size_t universe() const noexcept { return universe_; }
+  double exponent() const noexcept { return exponent_; }
+
+ private:
+  std::size_t SampleRank();
+
+  std::size_t universe_;
+  double exponent_;
+  Xoshiro256 rng_;
+  // Inverse-CDF sampling over precomputed cumulative weights; O(log U) per
+  // draw, built once.
+  std::vector<double> cdf_;
+};
+
+}  // namespace vcf

@@ -1,0 +1,92 @@
+#include "workload/synthetic_higgs.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/random.hpp"
+#include "hash/hash64.hpp"
+
+namespace vcf {
+
+SyntheticHiggs::SyntheticHiggs(std::uint64_t seed) : state_(seed) {}
+
+HiggsRecord SyntheticHiggs::NextRecord() {
+  // Feature shapes mirror the published HIGGS schema: the 21 low-level
+  // features are lepton/jet pT (exponential-ish), eta (Gaussian), phi
+  // (uniform in [-pi, pi]) and b-tags; the 7 high-level features are
+  // invariant masses derived from the low-level ones. The precise physics
+  // is irrelevant to the filters — only record distinctness matters — but
+  // keeping realistic marginals keeps the serialised bytes representative.
+  Xoshiro256 rng(Mix64(state_++));
+  HiggsRecord rec;
+  for (std::size_t i = 0; i < 21; ++i) {
+    switch (i % 3) {
+      case 0:  // transverse momentum: exponential, mean ~1 (standardised)
+        rec.features[i] = -std::log(1.0 - rng.NextDouble() + 1e-12);
+        break;
+      case 1:  // pseudorapidity: standard Gaussian
+        rec.features[i] = rng.NextGaussian();
+        break;
+      default:  // azimuthal angle: uniform in [-pi, pi]
+        rec.features[i] = (rng.NextDouble() * 2.0 - 1.0) * M_PI;
+        break;
+    }
+  }
+  // High-level features: smooth combinations of low-level ones plus noise,
+  // like the derived invariant-mass columns of the real dataset.
+  for (std::size_t i = 21; i < 28; ++i) {
+    const double a = rec.features[(i * 3) % 21];
+    const double b = rec.features[(i * 5 + 1) % 21];
+    rec.features[i] = std::sqrt(a * a + b * b) + 0.05 * rng.NextGaussian();
+  }
+  return rec;
+}
+
+std::uint64_t SyntheticHiggs::RecordKey(const HiggsRecord& record) {
+  // Paper preprocessing: merge the third and fourth features, then hash the
+  // remaining 27-feature record.
+  std::array<double, 27> merged;
+  merged[0] = record.features[0];
+  merged[1] = record.features[1];
+  merged[2] = record.features[2] + record.features[3];  // the merge
+  for (std::size_t i = 4; i < 28; ++i) merged[i - 1] = record.features[i];
+
+  std::uint8_t bytes[sizeof(merged)];
+  std::memcpy(bytes, merged.data(), sizeof(merged));
+  return SplitMixHash64(bytes, sizeof(bytes), /*seed=*/0x48494747ULL);
+}
+
+std::vector<std::uint64_t> SyntheticHiggs::UniqueKeys(std::size_t n) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(n);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(n * 2);
+  while (keys.size() < n) {
+    const std::uint64_t key = RecordKey(NextRecord());
+    if (seen.insert(key).second) keys.push_back(key);
+  }
+  return keys;
+}
+
+void SyntheticHiggs::DisjointKeySets(std::size_t n_members, std::size_t n_aliens,
+                                     std::vector<std::uint64_t>* members,
+                                     std::vector<std::uint64_t>* aliens) {
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve((n_members + n_aliens) * 2);
+  members->clear();
+  members->reserve(n_members);
+  aliens->clear();
+  aliens->reserve(n_aliens);
+  while (members->size() < n_members || aliens->size() < n_aliens) {
+    const std::uint64_t key = RecordKey(NextRecord());
+    if (!seen.insert(key).second) continue;
+    if (members->size() < n_members) {
+      members->push_back(key);
+    } else {
+      aliens->push_back(key);
+    }
+  }
+}
+
+}  // namespace vcf

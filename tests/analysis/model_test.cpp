@@ -1,0 +1,136 @@
+#include "analysis/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vcf::model {
+namespace {
+
+TEST(ModelTest, Eq5BalancedMasks) {
+  // Paper example (§III-A): with an 8-bit value and balanced masks, one
+  // eighth of insertions degenerate to two candidates: P = 7/8 (exactly
+  // 1 + 2^-8 - 2^-3).
+  EXPECT_NEAR(ProbFourCandidatesBalanced(8), 1.0 + 1.0 / 256 - 1.0 / 8, 1e-12);
+  // f = 16, balanced: P ~= 0.9922 (paper §IV-A).
+  EXPECT_NEAR(ProbFourCandidatesBalanced(16), 0.9922, 5e-4);
+}
+
+TEST(ModelTest, Eq8MatchesPaperDiscreteSeries) {
+  // §IV-A: for f = 8 the paper quotes P ~= {0.49, 0.73, 0.84, 0.87} for
+  // l = 7, 6, 5, 4 zeros (1, 2, 3, 4 ones). Those figures use the paper's
+  // approximation 1 - 2^(l-f) - 2^-l; our exact form differs by < 0.01.
+  EXPECT_NEAR(ProbFourCandidatesIvcf(8, 1), 0.49, 0.01);
+  EXPECT_NEAR(ProbFourCandidatesIvcf(8, 2), 0.73, 0.01);
+  EXPECT_NEAR(ProbFourCandidatesIvcf(8, 3), 0.84, 0.01);
+  EXPECT_NEAR(ProbFourCandidatesIvcf(8, 4), 0.87, 0.01);
+  // Exact values (inclusion-exclusion): 1 - (2^l + 2^(f-l) - 1)/2^f.
+  EXPECT_DOUBLE_EQ(ProbFourCandidatesIvcf(8, 1), 1.0 - (128 + 2 - 1) / 256.0);
+  EXPECT_DOUBLE_EQ(ProbFourCandidatesIvcf(8, 4), 1.0 - (16 + 16 - 1) / 256.0);
+}
+
+TEST(ModelTest, Eq8DegenerateMasksGiveZero) {
+  EXPECT_EQ(ProbFourCandidatesIvcf(14, 0), 0.0);
+  EXPECT_EQ(ProbFourCandidatesIvcf(14, 14), 0.0);
+}
+
+TEST(ModelTest, Eq8SymmetricInOnesAndZeros) {
+  for (unsigned w : {8u, 14u, 18u}) {
+    for (unsigned i = 1; i < w; ++i) {
+      EXPECT_NEAR(ProbFourCandidatesIvcf(w, i), ProbFourCandidatesIvcf(w, w - i),
+                  1e-12);
+    }
+  }
+}
+
+TEST(ModelTest, Eq9DvcfFraction) {
+  // DVCF_j: 2*delta_t = j * 2^f / 8 => p = j/8.
+  for (unsigned j = 0; j <= 8; ++j) {
+    const double delta = j * std::exp2(14) / 16.0;
+    EXPECT_NEAR(DvcfFourCandidateFraction(delta, 14), j / 8.0, 1e-12) << j;
+  }
+  EXPECT_EQ(DvcfFourCandidateFraction(1e9, 14), 1.0);  // clamped
+}
+
+TEST(ModelTest, Eq10FalsePositiveBound) {
+  // r = 0 reduces to the CF bound 1 - (1 - 2^-f)^(2 b alpha).
+  const double cf = FalsePositiveUpperBound(14, 0.0, 4, 1.0);
+  EXPECT_NEAR(cf, CuckooFalsePositiveRate(14, 4), 1e-12);
+  // Monotone in r: more candidates => more comparisons => higher xi.
+  EXPECT_LT(FalsePositiveUpperBound(14, 0.2, 4, 0.95),
+            FalsePositiveUpperBound(14, 0.9, 4, 0.95));
+  // Approximation from the paper: xi ~= 2 (r+1) b alpha / 2^f.
+  const double exact = FalsePositiveUpperBound(14, 1.0, 4, 0.98);
+  const double approx = 2.0 * 2.0 * 4 * 0.98 / std::exp2(14);
+  EXPECT_NEAR(exact, approx, approx * 0.01);
+}
+
+TEST(ModelTest, Eq11And12SpaceCost) {
+  // Paper §V-B worked example: b = 4, CF (r = 0) at alpha = 0.95 needs
+  // f >= 3.07... + log2(1/xi0): check the additive constant ceil behaviour.
+  const unsigned f1 = MinFingerprintBits(0.0, 4, 0.95, 1e-3);
+  EXPECT_EQ(f1, static_cast<unsigned>(
+                    std::ceil(std::log2(2.0 * 1.0 * 4 * 0.95 / 1e-3))));
+  // VCF stores more items in the same table: bits/item shrinks despite the
+  // larger candidate set when alpha rises enough.
+  const double cf_bits = BitsPerItem(0.0, 4, 0.95, 1e-3);
+  EXPECT_GT(cf_bits, 0.0);
+  EXPECT_NEAR(cf_bits, f1 / 0.95, 1e-9);
+}
+
+TEST(ModelTest, Eq13ExpectedEvictions) {
+  // E(pi) = 1 / (1 - alpha^((2r+1)b)).
+  EXPECT_NEAR(ExpectedEvictionsAtLoad(0.5, 0.0, 4), 1.0 / (1 - 0.0625), 1e-12);
+  // More candidates (larger r) => fewer expected evictions at equal load.
+  EXPECT_GT(ExpectedEvictionsAtLoad(0.95, 0.0, 4),
+            ExpectedEvictionsAtLoad(0.95, 1.0, 4));
+  EXPECT_TRUE(std::isinf(ExpectedEvictionsAtLoad(1.0, 0.0, 4)));
+}
+
+TEST(ModelTest, Eq14And15PaperWorkedExamples) {
+  // §V-C: r = 0, b = 4, alpha = 0.95, lambda0/lambda = 0.98 => E0 ~= 11.3.
+  const double e_cf = AverageInsertionCost(0.95, 0.0, 4);
+  EXPECT_NEAR(E0(0.98, e_cf), 11.3, 0.15);
+  // r ~= 1, b = 4, alpha = 0.995, lambda0/lambda ~= 1 => E0 ~= 1.22.
+  const double e_vcf = AverageInsertionCost(0.995, 1.0, 4);
+  EXPECT_NEAR(E0(1.0, e_vcf), 1.22, 0.1);
+}
+
+TEST(ModelTest, Eq14MatchesClosedFormsForSmallExponents) {
+  // (2r+1)b = 1 (r = 0, b = 1): integral of 1/(1-x) = -ln(1-alpha).
+  for (double a : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(AverageInsertionCost(a, 0.0, 1), -std::log(1.0 - a), 1e-8)
+        << a;
+  }
+  // (2r+1)b = 2 (r = 0.5, b = 1): integral of 1/(1-x^2) = atanh(alpha).
+  for (double a : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(AverageInsertionCost(a, 0.5, 1), std::atanh(a), 1e-8) << a;
+  }
+  // (2r+1)b = 4 (r = 0, b = 4 — the CF case): closed form
+  // (1/4) ln((1+x)/(1-x)) + (1/2) atan(x).
+  for (double a : {0.3, 0.7, 0.95}) {
+    const double expect =
+        0.25 * std::log((1.0 + a) / (1.0 - a)) + 0.5 * std::atan(a);
+    EXPECT_NEAR(AverageInsertionCost(a, 0.0, 4), expect, 1e-8) << a;
+  }
+}
+
+TEST(ModelTest, Eq14MonotoneInAlpha) {
+  double prev = 0.0;
+  for (double a : {0.1, 0.3, 0.5, 0.7, 0.9, 0.97}) {
+    const double e = AverageInsertionCost(a, 0.5, 4);
+    EXPECT_GT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(ModelTest, BloomFprFormula) {
+  // Classic optimum: k = (m/n) ln2, xi = 2^-k approximately.
+  const double m_over_n = 12.0;
+  const unsigned k = static_cast<unsigned>(std::lround(m_over_n * std::log(2.0)));
+  const double xi = BloomFalsePositiveRate(k, 1.0, m_over_n);
+  EXPECT_NEAR(xi, std::pow(2.0, -static_cast<double>(k)), 0.002);
+}
+
+}  // namespace
+}  // namespace vcf::model

@@ -1,0 +1,137 @@
+#include "baselines/adaptive_cuckoo_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+CuckooParams SmallParams() {
+  CuckooParams p;
+  p.bucket_count = 1 << 10;
+  p.fingerprint_bits = 10;  // short fingerprints: plenty of FPs to adapt away
+  return p;
+}
+
+TEST(AcfTest, ConstructionValidation) {
+  CuckooParams p = SmallParams();
+  p.bucket_count = 100;
+  EXPECT_THROW(AdaptiveCuckooFilter{p}, std::invalid_argument);
+  EXPECT_NO_THROW(AdaptiveCuckooFilter{SmallParams()});
+}
+
+TEST(AcfTest, InsertContainsErase) {
+  AdaptiveCuckooFilter f(SmallParams());
+  EXPECT_FALSE(f.Contains(5));
+  EXPECT_TRUE(f.Insert(5));
+  EXPECT_TRUE(f.Contains(5));
+  EXPECT_TRUE(f.Erase(5));
+  EXPECT_FALSE(f.Contains(5));
+  EXPECT_EQ(f.Name(), "ACF");
+}
+
+TEST(AcfTest, NoFalseNegativesAtHighLoad) {
+  AdaptiveCuckooFilter f(SmallParams());
+  std::vector<std::uint64_t> stored;
+  for (const auto k : UniformKeys(f.SlotCount() * 9 / 10, 1301)) {
+    if (f.Insert(k)) stored.push_back(k);
+  }
+  EXPECT_GT(static_cast<double>(stored.size()), f.SlotCount() * 0.85);
+  for (const auto k : stored) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(AcfTest, AdaptationRemovesARecurringFalsePositive) {
+  AdaptiveCuckooFilter f(SmallParams());
+  std::vector<std::uint64_t> stored;
+  for (const auto k : UniformKeys(f.SlotCount() * 3 / 4, 1302)) {
+    if (f.Insert(k)) stored.push_back(k);
+  }
+  // Find an alien key that currently false-positives.
+  std::uint64_t fp_key = 0;
+  for (std::size_t i = 0; i < (1u << 22); ++i) {
+    const std::uint64_t candidate = UniformKeyAt(1303, i);
+    if (f.Contains(candidate)) {
+      fp_key = candidate;
+      break;
+    }
+  }
+  ASSERT_NE(fp_key, 0u) << "no false positive found to adapt away";
+
+  EXPECT_TRUE(f.AdaptFalsePositive(fp_key));
+  EXPECT_GE(f.adaptations(), 1u);
+  // The re-fingerprinted bucket can (rarely) collide again under the new
+  // function; a couple of extra adaptation rounds make the FP vanish.
+  for (int i = 0; i < 5 && f.Contains(fp_key); ++i) {
+    f.AdaptFalsePositive(fp_key);
+  }
+  EXPECT_FALSE(f.Contains(fp_key))
+      << "the adapted bucket must stop matching this key";
+  // Adaptation must not lose any stored item.
+  for (const auto k : stored) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(AcfTest, RepeatedNegativeWorkloadFprDecays) {
+  // The ACF's headline behaviour: a FIXED set of negative queries, probed
+  // repeatedly with adaptation feedback, converges to ~zero false
+  // positives; a plain CF would repeat the same mistakes forever.
+  AdaptiveCuckooFilter f(SmallParams());
+  for (const auto k : UniformKeys(f.SlotCount() * 3 / 4, 1304)) f.Insert(k);
+  const auto aliens = UniformKeys(20000, 1305);
+
+  std::size_t first_pass_fps = 0;
+  for (const auto a : aliens) {
+    if (f.Contains(a)) {
+      ++first_pass_fps;
+      f.AdaptFalsePositive(a);  // backing store disproves it; filter adapts
+    }
+  }
+  // A few adaptation rounds to wash out cross-bucket interactions.
+  for (int round = 0; round < 3; ++round) {
+    for (const auto a : aliens) {
+      if (f.Contains(a)) f.AdaptFalsePositive(a);
+    }
+  }
+  std::size_t final_pass_fps = 0;
+  for (const auto a : aliens) final_pass_fps += f.Contains(a) ? 1 : 0;
+
+  EXPECT_GT(first_pass_fps, 0u) << "f=10 at 75% load must produce FPs";
+  EXPECT_LT(final_pass_fps * 10, first_pass_fps)
+      << "adaptation failed to suppress recurring false positives";
+}
+
+TEST(AcfTest, AdaptationPreservesMembershipUnderChurn) {
+  AdaptiveCuckooFilter f(SmallParams());
+  std::vector<std::uint64_t> live;
+  std::size_t next = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 150; ++i) {
+      const std::uint64_t k = UniformKeyAt(1306, next++);
+      if (f.Insert(k)) live.push_back(k);
+    }
+    // Adversarial negatives trigger adaptations mid-churn.
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t a = UniformKeyAt(1307, next * 7 + i);
+      if (f.Contains(a)) f.AdaptFalsePositive(a);
+    }
+    for (int i = 0; i < 75 && !live.empty(); ++i) {
+      ASSERT_TRUE(f.Erase(live.back()));
+      live.pop_back();
+    }
+    for (const auto k : live) ASSERT_TRUE(f.Contains(k));
+    ASSERT_EQ(f.ItemCount(), live.size());
+  }
+}
+
+TEST(AcfTest, MemoryExcludesShadowStore) {
+  AdaptiveCuckooFilter f(SmallParams());
+  // f-bit table + 2 bits per bucket; far below 8 bytes/slot of shadow keys.
+  EXPECT_LT(f.MemoryBytes(),
+            f.SlotCount() * sizeof(std::uint64_t) / 2);
+}
+
+}  // namespace
+}  // namespace vcf

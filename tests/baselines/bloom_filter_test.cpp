@@ -1,0 +1,108 @@
+#include "baselines/bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/model.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+TEST(BloomTest, ConstructionValidation) {
+  EXPECT_THROW(BloomFilter(0, 10.0), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(100, 0.0), std::invalid_argument);
+  EXPECT_NO_THROW(BloomFilter(100, 10.0));
+}
+
+TEST(BloomTest, OptimalKChosen) {
+  // k = round(bits_per_item * ln 2).
+  EXPECT_EQ(BloomFilter(1000, 10.0).num_hashes(), 7u);
+  EXPECT_EQ(BloomFilter(1000, 12.0).num_hashes(), 8u);
+  EXPECT_EQ(BloomFilter(1000, 12.0, HashKind::kFnv1a, 3).num_hashes(), 3u);
+}
+
+TEST(BloomTest, NoFalseNegatives) {
+  BloomFilter f(10000, 12.0);
+  const auto keys = UniformKeys(10000, 201);
+  for (const auto k : keys) ASSERT_TRUE(f.Insert(k));
+  for (const auto k : keys) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(BloomTest, DeletionUnsupported) {
+  BloomFilter f(100, 10.0);
+  f.Insert(5);
+  EXPECT_FALSE(f.SupportsDeletion());
+  EXPECT_FALSE(f.Erase(5));
+  EXPECT_TRUE(f.Contains(5)) << "failed Erase must not mutate";
+}
+
+TEST(BloomTest, FprNearTheory) {
+  const std::size_t n = 20000;
+  BloomFilter f(n, 12.0);
+  for (const auto k : UniformKeys(n, 211)) f.Insert(k);
+  const auto aliens = UniformKeys(200000, 212);
+  std::size_t positives = 0;
+  for (const auto a : aliens) positives += f.Contains(a) ? 1 : 0;
+  const double measured = static_cast<double>(positives) / aliens.size();
+  const double theory = model::BloomFalsePositiveRate(
+      f.num_hashes(), static_cast<double>(n), 12.0 * n);
+  EXPECT_LT(measured, theory * 2.5 + 1e-4);
+  EXPECT_GT(measured, theory * 0.4 - 1e-6);
+}
+
+TEST(BloomTest, ClearResets) {
+  BloomFilter f(1000, 10.0);
+  for (const auto k : UniformKeys(100, 221)) f.Insert(k);
+  f.Clear();
+  EXPECT_EQ(f.ItemCount(), 0u);
+  std::size_t positives = 0;
+  for (const auto k : UniformKeys(100, 221)) positives += f.Contains(k) ? 1 : 0;
+  EXPECT_EQ(positives, 0u);
+}
+
+TEST(BloomTest, ClassicModeCountsKHashesPerInsert) {
+  // The paper's comparison framework charges the BF k hash computations per
+  // operation — verify the default (classic) mode really pays them.
+  BloomFilter f(1000, 12.0);  // k = 8
+  ASSERT_EQ(f.hashing_mode(), BloomHashing::kClassic);
+  f.ResetCounters();
+  f.Insert(1);
+  EXPECT_EQ(f.counters().hash_computations, f.num_hashes());
+}
+
+TEST(BloomTest, DoubleHashingModeCountsTwoHashes) {
+  BloomFilter f(1000, 12.0, HashKind::kFnv1a, 0, 0x5EED,
+                BloomHashing::kDoubleHashing);
+  f.ResetCounters();
+  f.Insert(1);
+  EXPECT_EQ(f.counters().hash_computations, 2u);
+}
+
+TEST(BloomTest, BothModesHaveNoFalseNegativesAndSimilarFpr) {
+  const std::size_t n = 20000;
+  for (BloomHashing mode :
+       {BloomHashing::kClassic, BloomHashing::kDoubleHashing}) {
+    BloomFilter f(n, 12.0, HashKind::kFnv1a, 0, 0x5EED, mode);
+    const auto keys = UniformKeys(n, 231);
+    for (const auto k : keys) f.Insert(k);
+    for (const auto k : keys) ASSERT_TRUE(f.Contains(k));
+    const auto aliens = UniformKeys(100000, 232);
+    std::size_t positives = 0;
+    for (const auto a : aliens) positives += f.Contains(a) ? 1 : 0;
+    const double fpr = static_cast<double>(positives) / aliens.size();
+    // Both modes target the same asymptotic FPR (~2^-k = 0.4% at k = 8).
+    EXPECT_LT(fpr, 0.012) << static_cast<int>(mode);
+    EXPECT_GT(fpr, 0.0005) << static_cast<int>(mode);
+  }
+}
+
+TEST(BloomTest, MemoryMatchesBudget) {
+  BloomFilter f(1000, 16.0);
+  EXPECT_NEAR(static_cast<double>(f.MemoryBytes()) * 8.0, 16.0 * 1000, 64.0);
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,78 @@
+#include "baselines/counting_bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+TEST(CbfTest, ConstructionValidation) {
+  EXPECT_THROW(CountingBloomFilter(0, 10.0), std::invalid_argument);
+  EXPECT_THROW(CountingBloomFilter(100, -1.0), std::invalid_argument);
+  EXPECT_NO_THROW(CountingBloomFilter(100, 10.0));
+}
+
+TEST(CbfTest, InsertContainsErase) {
+  CountingBloomFilter f(1000, 12.0);
+  EXPECT_FALSE(f.Contains(9));
+  EXPECT_TRUE(f.Insert(9));
+  EXPECT_TRUE(f.Contains(9));
+  EXPECT_TRUE(f.SupportsDeletion());
+  EXPECT_TRUE(f.Erase(9));
+  EXPECT_FALSE(f.Contains(9));
+}
+
+TEST(CbfTest, EraseOfAbsentKeyIsRejected) {
+  CountingBloomFilter f(1000, 12.0);
+  EXPECT_FALSE(f.Erase(123456));
+}
+
+TEST(CbfTest, DeletionDoesNotDisturbOtherItems) {
+  CountingBloomFilter f(5000, 12.0);
+  const auto keys = UniformKeys(2000, 301);
+  for (const auto k : keys) ASSERT_TRUE(f.Insert(k));
+  for (std::size_t i = 0; i < keys.size(); i += 2) ASSERT_TRUE(f.Erase(keys[i]));
+  for (std::size_t i = 1; i < keys.size(); i += 2) {
+    ASSERT_TRUE(f.Contains(keys[i])) << "deletion created a false negative";
+  }
+}
+
+TEST(CbfTest, DuplicateInsertsNeedMatchingErases) {
+  CountingBloomFilter f(1000, 12.0);
+  ASSERT_TRUE(f.Insert(7));
+  ASSERT_TRUE(f.Insert(7));
+  ASSERT_TRUE(f.Erase(7));
+  EXPECT_TRUE(f.Contains(7));
+  ASSERT_TRUE(f.Erase(7));
+  EXPECT_FALSE(f.Contains(7));
+}
+
+TEST(CbfTest, SaturatedCountersStaySafe) {
+  // Insert the same key more times than a 4-bit counter can hold; counters
+  // saturate and the key keeps answering true after 15 erases.
+  CountingBloomFilter f(100, 12.0);
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(f.Insert(77));
+  for (int i = 0; i < 15; ++i) f.Erase(77);
+  EXPECT_TRUE(f.Contains(77)) << "saturated counters must never be zeroed";
+}
+
+TEST(CbfTest, MemoryIsFourTimesEquivalentBloom) {
+  // 4-bit counters: a 12 bits/item CBF stores 12k counters = 6k bytes per
+  // 1000 items (the Table I "4x" accounting).
+  CountingBloomFilter f(1000, 12.0);
+  EXPECT_NEAR(static_cast<double>(f.MemoryBytes()), 12.0 * 1000 * 4 / 8, 16.0);
+}
+
+TEST(CbfTest, ClearResets) {
+  CountingBloomFilter f(1000, 12.0);
+  for (const auto k : UniformKeys(100, 311)) f.Insert(k);
+  f.Clear();
+  EXPECT_EQ(f.ItemCount(), 0u);
+  for (const auto k : UniformKeys(100, 311)) EXPECT_FALSE(f.Contains(k));
+}
+
+}  // namespace
+}  // namespace vcf

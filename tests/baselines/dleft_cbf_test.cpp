@@ -1,0 +1,130 @@
+#include "baselines/dleft_cbf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+DleftCountingBloomFilter::Params SmallParams() {
+  DleftCountingBloomFilter::Params p;
+  p.subtables = 4;
+  p.buckets_per_subtable = 1 << 7;
+  p.cells_per_bucket = 8;
+  p.fingerprint_bits = 14;
+  return p;
+}
+
+TEST(DlcbfTest, ConstructionValidation) {
+  auto p = SmallParams();
+  p.subtables = 0;
+  EXPECT_THROW(DleftCountingBloomFilter{p}, std::invalid_argument);
+  p = SmallParams();
+  p.buckets_per_subtable = 100;  // not pow2
+  EXPECT_THROW(DleftCountingBloomFilter{p}, std::invalid_argument);
+  p = SmallParams();
+  p.cells_per_bucket = 0;
+  EXPECT_THROW(DleftCountingBloomFilter{p}, std::invalid_argument);
+  p = SmallParams();
+  p.fingerprint_bits = 31;
+  EXPECT_THROW(DleftCountingBloomFilter{p}, std::invalid_argument);
+  EXPECT_NO_THROW(DleftCountingBloomFilter{SmallParams()});
+}
+
+TEST(DlcbfTest, InsertContainsErase) {
+  DleftCountingBloomFilter f(SmallParams());
+  EXPECT_FALSE(f.Contains(11));
+  EXPECT_TRUE(f.Insert(11));
+  EXPECT_TRUE(f.Contains(11));
+  EXPECT_TRUE(f.Erase(11));
+  EXPECT_FALSE(f.Contains(11));
+  EXPECT_EQ(f.Name(), "dlCBF");
+}
+
+TEST(DlcbfTest, DuplicatesShareACellUpToSaturation) {
+  DleftCountingBloomFilter f(SmallParams());
+  // Three duplicates fit one cell's 2-bit counter; the fourth opens a new
+  // cell. All erases must balance.
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(f.Insert(99));
+  EXPECT_EQ(f.ItemCount(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(f.Contains(99));
+    ASSERT_TRUE(f.Erase(99));
+  }
+  EXPECT_FALSE(f.Contains(99));
+  EXPECT_EQ(f.ItemCount(), 0u);
+}
+
+TEST(DlcbfTest, NoFalseNegativesAtHighLoad) {
+  DleftCountingBloomFilter f(SmallParams());
+  std::vector<std::uint64_t> stored;
+  // d-left placement sustains ~80-90%+ without relocation; fill to 75%.
+  for (const auto k : UniformKeys(f.SlotCount() * 3 / 4, 951)) {
+    if (f.Insert(k)) stored.push_back(k);
+  }
+  EXPECT_GT(static_cast<double>(stored.size()), f.SlotCount() * 0.7);
+  for (const auto k : stored) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(DlcbfTest, DleftBalancesLoad) {
+  // The least-loaded rule keeps bucket overflow rare well past the point a
+  // single-choice table would overflow (power of two choices).
+  DleftCountingBloomFilter f(SmallParams());
+  std::size_t failures = 0;
+  for (const auto k : UniformKeys(f.SlotCount() * 8 / 10, 952)) {
+    failures += f.Insert(k) ? 0 : 1;
+  }
+  EXPECT_EQ(failures, 0u) << "d-left should absorb 80% load without overflow";
+}
+
+TEST(DlcbfTest, EraseOfAbsentKeyFails) {
+  DleftCountingBloomFilter f(SmallParams());
+  EXPECT_FALSE(f.Erase(123456789));
+}
+
+TEST(DlcbfTest, ChurnKeepsBookkeepingExact) {
+  DleftCountingBloomFilter f(SmallParams());
+  std::vector<std::uint64_t> live;
+  std::size_t next = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t k = UniformKeyAt(953, next++);
+      if (f.Insert(k)) live.push_back(k);
+    }
+    for (int i = 0; i < 50 && !live.empty(); ++i) {
+      ASSERT_TRUE(f.Erase(live.back()));
+      live.pop_back();
+    }
+    ASSERT_EQ(f.ItemCount(), live.size());
+  }
+  for (const auto k : live) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(DlcbfTest, StateRoundTrip) {
+  DleftCountingBloomFilter a(SmallParams());
+  const auto keys = UniformKeys(1000, 954);
+  for (const auto k : keys) ASSERT_TRUE(a.Insert(k));
+  ASSERT_TRUE(a.Insert(keys[0]));  // duplicate: items != occupied cells
+  std::stringstream blob;
+  ASSERT_TRUE(a.SaveState(blob));
+  DleftCountingBloomFilter b(SmallParams());
+  ASSERT_TRUE(b.LoadState(blob));
+  EXPECT_EQ(b.ItemCount(), a.ItemCount());
+  for (const auto k : keys) ASSERT_TRUE(b.Contains(k));
+}
+
+TEST(DlcbfTest, ClearResets) {
+  DleftCountingBloomFilter f(SmallParams());
+  for (const auto k : UniformKeys(100, 955)) f.Insert(k);
+  f.Clear();
+  EXPECT_EQ(f.ItemCount(), 0u);
+  for (const auto k : UniformKeys(100, 955)) EXPECT_FALSE(f.Contains(k));
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,185 @@
+#include "baselines/quotient_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/random.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+TEST(QuotientFilterTest, ConstructionValidation) {
+  EXPECT_THROW(QuotientFilter(0, 8), std::invalid_argument);
+  EXPECT_THROW(QuotientFilter(33, 8), std::invalid_argument);
+  EXPECT_THROW(QuotientFilter(10, 0), std::invalid_argument);
+  EXPECT_THROW(QuotientFilter(10, 31), std::invalid_argument);
+  EXPECT_NO_THROW(QuotientFilter(10, 9));
+}
+
+TEST(QuotientFilterTest, InsertContainsErase) {
+  QuotientFilter f(10, 9);
+  EXPECT_FALSE(f.Contains(42));
+  EXPECT_TRUE(f.Insert(42));
+  EXPECT_TRUE(f.Contains(42));
+  EXPECT_TRUE(f.CheckInvariants());
+  EXPECT_TRUE(f.Erase(42));
+  EXPECT_FALSE(f.Contains(42));
+  EXPECT_EQ(f.ItemCount(), 0u);
+  EXPECT_TRUE(f.CheckInvariants());
+}
+
+TEST(QuotientFilterTest, NoFalseNegativesAt85PercentLoad) {
+  QuotientFilter f(12, 10);
+  const auto keys = UniformKeys(f.SlotCount() * 85 / 100, 901);
+  for (const auto k : keys) ASSERT_TRUE(f.Insert(k));
+  ASSERT_TRUE(f.CheckInvariants());
+  for (const auto k : keys) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(QuotientFilterTest, InvariantsHoldDuringFill) {
+  QuotientFilter f(8, 8);
+  const auto keys = UniformKeys(f.SlotCount() - 2, 902);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(f.Insert(keys[i])) << i;
+    if (i % 16 == 0) {
+      ASSERT_TRUE(f.CheckInvariants()) << "after insert " << i;
+    }
+  }
+  ASSERT_TRUE(f.CheckInvariants());
+}
+
+TEST(QuotientFilterTest, RejectsWhenNearlyFull) {
+  QuotientFilter f(6, 8);  // 64 slots
+  std::size_t stored = 0;
+  for (const auto k : UniformKeys(200, 903)) {
+    stored += f.Insert(k) ? 1 : 0;
+  }
+  EXPECT_EQ(stored, f.SlotCount() - 1) << "must keep one structural empty slot";
+  EXPECT_GT(f.counters().insert_failures, 0u);
+  EXPECT_TRUE(f.CheckInvariants());
+}
+
+TEST(QuotientFilterTest, DuplicatesAndPartialErase) {
+  QuotientFilter f(10, 9);
+  ASSERT_TRUE(f.Insert(7));
+  ASSERT_TRUE(f.Insert(7));
+  ASSERT_TRUE(f.Insert(7));
+  EXPECT_EQ(f.ItemCount(), 3u);
+  EXPECT_TRUE(f.Erase(7));
+  EXPECT_TRUE(f.Contains(7));
+  EXPECT_TRUE(f.Erase(7));
+  EXPECT_TRUE(f.Erase(7));
+  EXPECT_FALSE(f.Contains(7));
+  EXPECT_FALSE(f.Erase(7));
+  EXPECT_TRUE(f.CheckInvariants());
+}
+
+TEST(QuotientFilterTest, DifferentialAgainstExactReference) {
+  // Random insert/erase/lookup against an exact multiset; invariants are
+  // re-validated throughout. Small table => constant cluster merging,
+  // splitting and wrap-around.
+  QuotientFilter f(7, 10);  // 128 slots
+  std::map<std::uint64_t, int> reference;
+  std::size_t live = 0;
+  Xoshiro256 rng(904);
+  std::vector<std::uint64_t> universe = UniformKeys(96, 905);
+  for (int op = 0; op < 6000; ++op) {
+    const std::uint64_t key = universe[rng.Below(universe.size())];
+    const double roll = rng.NextDouble();
+    if (roll < 0.5 && live + 1 < f.SlotCount()) {
+      if (f.Insert(key)) {
+        ++reference[key];
+        ++live;
+      }
+    } else if (roll < 0.8) {
+      const auto it = reference.find(key);
+      if (it != reference.end() && it->second > 0) {
+        ASSERT_TRUE(f.Erase(key)) << "op " << op;
+        if (--it->second == 0) reference.erase(it);
+        --live;
+      }
+    } else {
+      if (reference.count(key)) {
+        ASSERT_TRUE(f.Contains(key)) << "false negative at op " << op;
+      }
+    }
+    ASSERT_EQ(f.ItemCount(), live);
+    if (op % 200 == 0) {
+      ASSERT_TRUE(f.CheckInvariants()) << "op " << op;
+    }
+  }
+  ASSERT_TRUE(f.CheckInvariants());
+}
+
+TEST(QuotientFilterTest, FprScalesWithRemainderBits) {
+  double prev = 1.0;
+  for (unsigned r : {6u, 10u, 14u}) {
+    QuotientFilter f(12, r);
+    for (const auto k : UniformKeys(f.SlotCount() * 3 / 4, 906)) f.Insert(k);
+    std::size_t fp = 0;
+    const auto aliens = UniformKeys(200000, 907);
+    for (const auto a : aliens) fp += f.Contains(a) ? 1 : 0;
+    const double rate = static_cast<double>(fp) / aliens.size();
+    EXPECT_LT(rate, prev) << "r=" << r;
+    prev = rate;
+  }
+  EXPECT_LT(prev, 1e-3);
+}
+
+TEST(QuotientFilterTest, WrapAroundClustersSurviveChurn) {
+  // Force clusters across the index-wrap boundary: tiny table, many ops.
+  QuotientFilter f(4, 12);  // 16 slots
+  std::vector<std::uint64_t> live;
+  Xoshiro256 rng(908);
+  std::size_t next = 0;
+  for (int round = 0; round < 300; ++round) {
+    while (live.size() + 2 < f.SlotCount()) {
+      const std::uint64_t k = UniformKeyAt(909, next++);
+      if (!f.Insert(k)) break;
+      live.push_back(k);
+    }
+    ASSERT_TRUE(f.CheckInvariants()) << "round " << round;
+    for (const auto k : live) ASSERT_TRUE(f.Contains(k));
+    const std::size_t drop = 1 + rng.Below(live.size());
+    for (std::size_t i = 0; i < drop; ++i) {
+      ASSERT_TRUE(f.Erase(live.back()));
+      live.pop_back();
+    }
+    ASSERT_TRUE(f.CheckInvariants());
+  }
+}
+
+TEST(QuotientFilterTest, StateRoundTrip) {
+  QuotientFilter a(10, 9);
+  const auto keys = UniformKeys(600, 910);
+  for (const auto k : keys) ASSERT_TRUE(a.Insert(k));
+  std::stringstream blob;
+  ASSERT_TRUE(a.SaveState(blob));
+  QuotientFilter b(10, 9);
+  ASSERT_TRUE(b.LoadState(blob));
+  EXPECT_EQ(b.ItemCount(), a.ItemCount());
+  for (const auto k : keys) ASSERT_TRUE(b.Contains(k));
+  EXPECT_TRUE(b.CheckInvariants());
+  // Mismatched geometry rejected.
+  std::stringstream blob2;
+  ASSERT_TRUE(a.SaveState(blob2));
+  QuotientFilter c(10, 10);
+  EXPECT_FALSE(c.LoadState(blob2));
+}
+
+TEST(QuotientFilterTest, ClearResets) {
+  QuotientFilter f(8, 8);
+  for (const auto k : UniformKeys(100, 911)) f.Insert(k);
+  f.Clear();
+  EXPECT_EQ(f.ItemCount(), 0u);
+  EXPECT_TRUE(f.CheckInvariants());
+  for (const auto k : UniformKeys(100, 911)) EXPECT_FALSE(f.Contains(k));
+}
+
+}  // namespace
+}  // namespace vcf

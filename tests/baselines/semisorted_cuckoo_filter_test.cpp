@@ -1,0 +1,169 @@
+#include "baselines/semisorted_cuckoo_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "baselines/cuckoo_filter.hpp"
+#include "common/random.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+CuckooParams SmallParams() {
+  CuckooParams p;
+  p.bucket_count = 1 << 10;
+  p.fingerprint_bits = 14;
+  return p;
+}
+
+TEST(SsCfTest, ConstructionValidation) {
+  CuckooParams p = SmallParams();
+  p.fingerprint_bits = 4;
+  EXPECT_THROW(SemiSortedCuckooFilter{p}, std::invalid_argument);
+  p = SmallParams();
+  p.fingerprint_bits = 16;
+  EXPECT_THROW(SemiSortedCuckooFilter{p}, std::invalid_argument);
+  p = SmallParams();
+  p.slots_per_bucket = 2;
+  EXPECT_THROW(SemiSortedCuckooFilter{p}, std::invalid_argument);
+  EXPECT_NO_THROW(SemiSortedCuckooFilter{SmallParams()});
+}
+
+TEST(SsCfTest, BucketCodecRoundTripsEveryMultiset) {
+  // Randomized multisets of 4 fingerprints (including empties and
+  // duplicates) must survive encode/decode as multisets.
+  SemiSortedCuckooFilter f(SmallParams());
+  Xoshiro256 rng(1001);
+  for (int trial = 0; trial < 20000; ++trial) {
+    SemiSortedCuckooFilter::Bucket in;
+    for (auto& fp : in) {
+      fp = rng.Below(4) == 0 ? 0 : (rng.Next() & 0x3FFF);
+    }
+    f.EncodeBucket(3, in);
+    SemiSortedCuckooFilter::Bucket out = f.DecodeBucket(3);
+    std::sort(in.begin(), in.end());
+    std::sort(out.begin(), out.end());
+    ASSERT_EQ(in, out);
+  }
+}
+
+TEST(SsCfTest, SavesOneBitPerSlotVersusPlainCF) {
+  const CuckooParams p = SmallParams();
+  SemiSortedCuckooFilter compact(p);
+  CuckooFilter plain(p);
+  // 13 vs 14 bits per slot at f = 14 (modulo the shared 8-byte slack).
+  EXPECT_EQ(compact.BitsPerSlot(), 13.0);
+  const double compact_bits =
+      static_cast<double>(compact.MemoryBytes() - 8) * 8.0 /
+      static_cast<double>(compact.SlotCount());
+  const double plain_bits = static_cast<double>(plain.MemoryBytes() - 8) * 8.0 /
+                            static_cast<double>(plain.SlotCount());
+  EXPECT_NEAR(compact_bits, 13.0, 0.01);
+  EXPECT_NEAR(plain_bits, 14.0, 0.01);
+}
+
+TEST(SsCfTest, InsertContainsErase) {
+  SemiSortedCuckooFilter f(SmallParams());
+  EXPECT_FALSE(f.Contains(5));
+  EXPECT_TRUE(f.Insert(5));
+  EXPECT_TRUE(f.Contains(5));
+  EXPECT_TRUE(f.Erase(5));
+  EXPECT_FALSE(f.Contains(5));
+  EXPECT_EQ(f.Name(), "ssCF");
+}
+
+TEST(SsCfTest, NoFalseNegativesAtHighLoad) {
+  SemiSortedCuckooFilter f(SmallParams());
+  std::vector<std::uint64_t> stored;
+  for (const auto k : UniformKeys(f.SlotCount() * 95 / 100, 1011)) {
+    if (f.Insert(k)) stored.push_back(k);
+  }
+  EXPECT_GT(static_cast<double>(stored.size()) / (f.SlotCount() * 95 / 100),
+            0.99);
+  for (const auto k : stored) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(SsCfTest, AnswersMatchPlainCFBitForBit) {
+  // Same params, same keys: semi-sorting is a pure storage optimization, so
+  // positive answers must be identical and alien answers identical too
+  // (the candidate derivation and fingerprints are shared).
+  const CuckooParams p = SmallParams();
+  SemiSortedCuckooFilter compact(p);
+  CuckooFilter plain(p);
+  const auto keys = UniformKeys(p.slot_count() / 2, 1021);
+  for (const auto k : keys) {
+    ASSERT_TRUE(compact.Insert(k));
+    ASSERT_TRUE(plain.Insert(k));
+  }
+  for (const auto a : UniformKeys(50000, 1022)) {
+    ASSERT_EQ(compact.Contains(a), plain.Contains(a)) << a;
+  }
+}
+
+TEST(SsCfTest, DuplicatesAndPartialErase) {
+  SemiSortedCuckooFilter f(SmallParams());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(f.Insert(77));
+  EXPECT_EQ(f.ItemCount(), 4u);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(f.Erase(77));
+  EXPECT_TRUE(f.Contains(77));
+  ASSERT_TRUE(f.Erase(77));
+  EXPECT_FALSE(f.Contains(77));
+}
+
+TEST(SsCfTest, FailedInsertRollsBack) {
+  CuckooParams p = SmallParams();
+  p.bucket_count = 1 << 4;
+  p.max_kicks = 16;
+  SemiSortedCuckooFilter f(p);
+  std::vector<std::uint64_t> stored;
+  std::size_t failures = 0;
+  for (const auto k : UniformKeys(f.SlotCount() * 4, 1031)) {
+    if (f.Insert(k)) {
+      stored.push_back(k);
+    } else {
+      ++failures;
+      for (const auto s : stored) ASSERT_TRUE(f.Contains(s));
+      if (failures > 3) break;
+    }
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+TEST(SsCfTest, StateRoundTrip) {
+  SemiSortedCuckooFilter a(SmallParams());
+  const auto keys = UniformKeys(2000, 1041);
+  for (const auto k : keys) ASSERT_TRUE(a.Insert(k));
+  std::stringstream blob;
+  ASSERT_TRUE(a.SaveState(blob));
+  SemiSortedCuckooFilter b(SmallParams());
+  ASSERT_TRUE(b.LoadState(blob));
+  EXPECT_EQ(b.ItemCount(), a.ItemCount());
+  for (const auto k : keys) ASSERT_TRUE(b.Contains(k));
+}
+
+TEST(SsCfTest, ChurnKeepsBookkeepingExact) {
+  SemiSortedCuckooFilter f(SmallParams());
+  std::vector<std::uint64_t> live;
+  std::size_t next = 0;
+  for (int round = 0; round < 40; ++round) {
+    for (int i = 0; i < 150; ++i) {
+      const std::uint64_t k = UniformKeyAt(1051, next++);
+      if (f.Insert(k)) live.push_back(k);
+    }
+    for (int i = 0; i < 75 && !live.empty(); ++i) {
+      ASSERT_TRUE(f.Erase(live.back()));
+      live.pop_back();
+    }
+    ASSERT_EQ(f.ItemCount(), live.size());
+  }
+  for (const auto k : live) ASSERT_TRUE(f.Contains(k));
+}
+
+}  // namespace
+}  // namespace vcf

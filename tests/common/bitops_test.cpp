@@ -1,0 +1,105 @@
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace vcf {
+namespace {
+
+TEST(BitopsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(std::uint64_t{1} << 63));
+  EXPECT_FALSE(IsPowerOfTwo((std::uint64_t{1} << 63) + 1));
+}
+
+TEST(BitopsTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1025), 2048u);
+}
+
+TEST(BitopsTest, FloorAndCeilLog2) {
+  EXPECT_EQ(FloorLog2(1), 0u);
+  EXPECT_EQ(FloorLog2(2), 1u);
+  EXPECT_EQ(FloorLog2(3), 1u);
+  EXPECT_EQ(FloorLog2(1024), 10u);
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(9), 4u);
+  EXPECT_EQ(CeilLog2(16), 4u);
+  EXPECT_EQ(CeilLog2(17), 5u);
+}
+
+TEST(BitopsTest, LowMask) {
+  EXPECT_EQ(LowMask(0), 0u);
+  EXPECT_EQ(LowMask(1), 1u);
+  EXPECT_EQ(LowMask(8), 0xFFu);
+  EXPECT_EQ(LowMask(64), ~std::uint64_t{0});
+  EXPECT_EQ(LowMask(63), ~std::uint64_t{0} >> 1);
+}
+
+TEST(BitopsTest, ReadWriteRoundTripAllOffsets) {
+  // Every (bit offset mod 8, width) combination round-trips and leaves the
+  // neighbouring bits untouched.
+  for (unsigned bits = 1; bits <= 57; bits += 7) {
+    for (unsigned off = 0; off < 8; ++off) {
+      std::array<std::uint8_t, 24> buf;
+      buf.fill(0xAA);
+      const std::array<std::uint8_t, 24> before = buf;
+      const std::uint64_t value = 0x0123456789ABCDEFULL & LowMask(bits);
+      WriteBits(buf.data(), off, bits, value);
+      EXPECT_EQ(ReadBits(buf.data(), off, bits), value)
+          << "bits=" << bits << " off=" << off;
+      // Restore and confirm no neighbouring damage.
+      const std::uint64_t old = ReadBits(before.data(), off, bits);
+      WriteBits(buf.data(), off, bits, old);
+      EXPECT_EQ(buf, before) << "bits=" << bits << " off=" << off;
+    }
+  }
+}
+
+TEST(BitopsTest, WriteBitsMasksExcessValueBits) {
+  std::array<std::uint8_t, 16> buf{};
+  WriteBits(buf.data(), 3, 5, 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(ReadBits(buf.data(), 3, 5), LowMask(5));
+  // Bits outside [3, 8) stay zero.
+  EXPECT_EQ(ReadBits(buf.data(), 0, 3), 0u);
+  EXPECT_EQ(ReadBits(buf.data(), 8, 32), 0u);
+}
+
+TEST(BitopsTest, DenseRandomizedSlotArray) {
+  // Simulates the PackedTable layout: consecutive `bits`-wide slots written
+  // in random order must all read back intact.
+  Xoshiro256 rng(42);
+  for (unsigned bits : {5u, 13u, 14u, 17u, 29u, 57u}) {
+    const std::size_t slots = 101;
+    std::vector<std::uint8_t> buf((slots * bits + 7) / 8 + 8, 0);
+    std::vector<std::uint64_t> expect(slots, 0);
+    for (int iter = 0; iter < 2000; ++iter) {
+      const std::size_t i = rng.Below(slots);
+      const std::uint64_t v = rng.Next() & LowMask(bits);
+      WriteBits(buf.data(), i * bits, bits, v);
+      expect[i] = v;
+    }
+    for (std::size_t i = 0; i < slots; ++i) {
+      ASSERT_EQ(ReadBits(buf.data(), i * bits, bits), expect[i])
+          << "bits=" << bits << " slot=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,81 @@
+#include "common/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace vcf {
+namespace {
+
+TEST(SplitMixTest, DeterministicAndSeedSensitive) {
+  SplitMix64 a(1);
+  SplitMix64 b(1);
+  SplitMix64 c(2);
+  const std::uint64_t a1 = a.Next();
+  EXPECT_EQ(a1, b.Next());
+  EXPECT_NE(a1, c.Next());
+}
+
+TEST(SplitMixTest, Mix64IsInjectiveOnSample) {
+  // Mix64 composes invertible steps, so it is a bijection; spot-check a
+  // large sample for collisions.
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    EXPECT_TRUE(seen.insert(Mix64(i)).second) << "collision at " << i;
+  }
+}
+
+TEST(XoshiroTest, Deterministic) {
+  Xoshiro256 a(7);
+  Xoshiro256 b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(XoshiroTest, BelowStaysInRangeAndCoversRange) {
+  Xoshiro256 rng(11);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.Below(10);
+    ASSERT_LT(v, 10u);
+    ++hits[static_cast<std::size_t>(v)];
+  }
+  for (int h : hits) EXPECT_GT(h, 800) << "strongly non-uniform draw";
+}
+
+TEST(XoshiroTest, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(XoshiroTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(XoshiroTest, GaussianMoments) {
+  Xoshiro256 rng(13);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,94 @@
+// ContainsBatch must agree bit-for-bit with per-key Contains for every
+// filter (default loop or prefetch-pipelined override alike).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/concurrent_filter.hpp"
+#include "core/vcf.hpp"
+#include "harness/filter_factory.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+std::vector<FilterSpec> BatchSpecs() {
+  CuckooParams p;
+  p.bucket_count = 1 << 9;
+  return {
+      {FilterSpec::Kind::kCF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kVCF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kIVCF, 4, p, 12.0, 0},
+      {FilterSpec::Kind::kDVCF, 6, p, 12.0, 0},
+      {FilterSpec::Kind::kKVCF, 7, p, 12.0, 0},
+      {FilterSpec::Kind::kDCF, 4, p, 12.0, 0},
+      {FilterSpec::Kind::kBF, 0, p, 12.0, 0},
+  };
+}
+
+class BatchLookupTest : public ::testing::TestWithParam<FilterSpec> {};
+
+TEST_P(BatchLookupTest, BatchMatchesScalarLookups) {
+  auto filter = MakeFilter(GetParam());
+  const auto members = UniformKeys(filter->SlotCount() * 7 / 10, 611);
+  for (const auto k : members) filter->Insert(k);
+
+  // Query stream: members, aliens, and duplicates interleaved, with a size
+  // that is not a multiple of the pipeline window.
+  std::vector<std::uint64_t> queries;
+  for (std::size_t i = 0; i < 1003; ++i) {
+    queries.push_back(i % 3 == 0 ? UniformKeyAt(612, i)
+                                 : members[i % members.size()]);
+  }
+  const auto batch = std::make_unique<bool[]>(queries.size());
+  filter->ContainsBatch(queries, batch.get());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(batch[i], filter->Contains(queries[i]))
+        << filter->Name() << " index " << i;
+  }
+}
+
+TEST_P(BatchLookupTest, EmptyBatchIsANoOp) {
+  auto filter = MakeFilter(GetParam());
+  filter->ContainsBatch({}, nullptr);  // must not crash
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFilters, BatchLookupTest, ::testing::ValuesIn(BatchSpecs()),
+    [](const ::testing::TestParamInfo<FilterSpec>& info) {
+      std::string name = info.param.DisplayName();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(BatchLookupTest, VcfBatchCountsLookups) {
+  CuckooParams p;
+  p.bucket_count = 1 << 8;
+  VerticalCuckooFilter f(p);
+  const auto keys = UniformKeys(100, 613);
+  for (const auto k : keys) f.Insert(k);
+  f.ResetCounters();
+  const auto out = std::make_unique<bool[]>(keys.size());
+  f.ContainsBatch(keys, out.get());
+  EXPECT_EQ(f.counters().lookups, keys.size());
+  EXPECT_EQ(f.counters().bucket_probes, keys.size() * 4);
+}
+
+TEST(BatchLookupTest, ConcurrentWrapperBatches) {
+  CuckooParams p;
+  p.bucket_count = 1 << 8;
+  ConcurrentFilter f(std::make_unique<VerticalCuckooFilter>(p));
+  const auto keys = UniformKeys(200, 614);
+  for (const auto k : keys) f.Insert(k);
+  const auto out = std::make_unique<bool[]>(keys.size());
+  f.ContainsBatch(keys, out.get());
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(out[i]);
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,132 @@
+#include "core/concurrent_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/vcf.hpp"
+#include "harness/filter_factory.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+std::unique_ptr<ConcurrentFilter> MakeConcurrentVcf() {
+  CuckooParams p;
+  p.bucket_count = 1 << 10;
+  return std::make_unique<ConcurrentFilter>(
+      std::make_unique<VerticalCuckooFilter>(p));
+}
+
+TEST(ConcurrentFilterTest, RejectsNullInner) {
+  EXPECT_THROW(ConcurrentFilter(nullptr), std::invalid_argument);
+}
+
+TEST(ConcurrentFilterTest, SingleThreadedSemanticsDelegate) {
+  auto f = MakeConcurrentVcf();
+  EXPECT_EQ(f->Name(), "Concurrent(VCF)");
+  EXPECT_TRUE(f->SupportsDeletion());
+  EXPECT_TRUE(f->Insert(7));
+  EXPECT_TRUE(f->Contains(7));
+  EXPECT_EQ(f->ItemCount(), 1u);
+  EXPECT_TRUE(f->Erase(7));
+  EXPECT_EQ(f->ItemCount(), 0u);
+  f->Insert(9);
+  f->Clear();
+  EXPECT_FALSE(f->Contains(9));
+}
+
+TEST(ConcurrentFilterTest, ParallelReadersSeeStableAnswers) {
+  auto f = MakeConcurrentVcf();
+  const auto keys = UniformKeys(2000, 91);
+  for (const auto k : keys) ASSERT_TRUE(f->Insert(k));
+
+  std::atomic<int> misses{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 8; ++t) {
+    readers.emplace_back([&, t] {
+      for (int iter = 0; iter < 5000; ++iter) {
+        const auto& k = keys[(t * 5000 + iter) % keys.size()];
+        if (!f->Contains(k)) misses.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(misses.load(), 0);
+}
+
+TEST(ConcurrentFilterTest, WritersAndReadersInterleaveSafely) {
+  auto f = MakeConcurrentVcf();
+  // Pre-populate a stable core set that must never go missing.
+  const auto core = UniformKeys(1000, 92);
+  for (const auto k : core) ASSERT_TRUE(f->Insert(k));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> core_misses{0};
+
+  std::thread writer([&] {
+    // Churn a disjoint stream: insert then erase, repeatedly.
+    std::size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t k = UniformKeyAt(93, i % 500);
+      f->Insert(k);
+      f->Erase(k);
+      ++i;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      for (int iter = 0; iter < 20000; ++iter) {
+        const auto& k = core[(t * 20000 + iter) % core.size()];
+        if (!f->Contains(k)) core_misses.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop.store(true);
+  writer.join();
+
+  EXPECT_EQ(core_misses.load(), 0)
+      << "a core key vanished while unrelated keys churned";
+  for (const auto k : core) ASSERT_TRUE(f->Contains(k));
+}
+
+TEST(ConcurrentFilterTest, ParallelWritersKeepBookkeepingExact) {
+  auto f = MakeConcurrentVcf();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        f->Insert(UniformKeyAt(100 + t, i));
+      }
+    });
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(f->ItemCount(), static_cast<std::size_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      ASSERT_TRUE(f->Contains(UniformKeyAt(100 + t, i)));
+    }
+  }
+}
+
+TEST(ConcurrentFilterTest, StatePassthrough) {
+  auto f = MakeConcurrentVcf();
+  f->Insert(42);
+  std::stringstream blob;
+  ASSERT_TRUE(f->SaveState(blob));
+  auto g = MakeConcurrentVcf();
+  ASSERT_TRUE(g->LoadState(blob));
+  EXPECT_TRUE(g->Contains(42));
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,146 @@
+#include "core/dvcf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+CuckooParams SmallParams() {
+  CuckooParams p;
+  p.bucket_count = 1 << 10;
+  p.fingerprint_bits = 14;
+  return p;
+}
+
+TEST(DvcfTest, ConstructionValidation) {
+  CuckooParams p = SmallParams();
+  EXPECT_THROW(DifferentiatedVcf(p, std::uint64_t{1} << 14),
+               std::invalid_argument);  // delta_t > 2^(f-1)
+  EXPECT_NO_THROW(DifferentiatedVcf(p, std::uint64_t{1} << 13));
+  EXPECT_THROW(DifferentiatedVcf::ForEighths(p, 9), std::invalid_argument);
+}
+
+TEST(DvcfTest, IntervalJudgment) {
+  CuckooParams p = SmallParams();
+  // delta_t = 2^10: In1 = [2^13 - 2^10, 2^13 + 2^10).
+  DifferentiatedVcf f(p, 1 << 10);
+  EXPECT_TRUE(f.FourWay((1 << 13)));
+  EXPECT_TRUE(f.FourWay((1 << 13) - (1 << 10)));
+  EXPECT_FALSE(f.FourWay((1 << 13) + (1 << 10)));  // half-open upper end
+  EXPECT_FALSE(f.FourWay(1));
+  EXPECT_FALSE(f.FourWay((1 << 14) - 1));
+}
+
+TEST(DvcfTest, ForEighthsMatchesEq9) {
+  CuckooParams p = SmallParams();
+  for (unsigned j = 0; j <= 8; ++j) {
+    const DifferentiatedVcf f = DifferentiatedVcf::ForEighths(p, j);
+    EXPECT_NEAR(f.TheoreticalR(), j / 8.0, 1e-12) << "j=" << j;
+  }
+  EXPECT_EQ(DifferentiatedVcf::ForEighths(p, 3).Name(), "DVCF_3");
+}
+
+TEST(DvcfTest, DeltaZeroBehavesLikeCF) {
+  CuckooParams p = SmallParams();
+  DifferentiatedVcf f(p, 0);
+  EXPECT_EQ(f.TheoreticalR(), 0.0);
+  const auto keys = UniformKeys(500, 11);
+  for (const auto k : keys) ASSERT_TRUE(f.Insert(k));
+  for (const auto k : keys) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(DvcfTest, NoFalseNegativesAtHighLoad) {
+  DifferentiatedVcf f = DifferentiatedVcf::ForEighths(SmallParams(), 6);
+  const auto keys = UniformKeys(f.SlotCount() * 95 / 100, 12);
+  std::vector<std::uint64_t> stored;
+  for (const auto k : keys) {
+    if (f.Insert(k)) stored.push_back(k);
+  }
+  EXPECT_GT(static_cast<double>(stored.size()) / keys.size(), 0.99);
+  for (const auto k : stored) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(DvcfTest, EraseIsExactPerInterval) {
+  DifferentiatedVcf f = DifferentiatedVcf::ForEighths(SmallParams(), 4);
+  const auto keys = UniformKeys(800, 13);
+  for (const auto k : keys) ASSERT_TRUE(f.Insert(k));
+  for (const auto k : keys) ASSERT_TRUE(f.Erase(k));
+  EXPECT_EQ(f.ItemCount(), 0u);
+  EXPECT_FALSE(f.Erase(keys[0]));
+}
+
+TEST(DvcfTest, FailedInsertRollsBack) {
+  CuckooParams p = SmallParams();
+  p.bucket_count = 1 << 4;
+  p.max_kicks = 32;
+  DifferentiatedVcf f = DifferentiatedVcf::ForEighths(p, 8);
+  std::vector<std::uint64_t> stored;
+  std::size_t failures = 0;
+  for (const auto k : UniformKeys(f.SlotCount() * 4, 14)) {
+    if (f.Insert(k)) {
+      stored.push_back(k);
+    } else {
+      ++failures;
+      for (const auto s : stored) ASSERT_TRUE(f.Contains(s));
+      if (failures > 3) break;
+    }
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+TEST(DvcfTest, LargerRGivesHigherLoad) {
+  // Fig. 5(b): DVCF load factor rises with j.
+  CuckooParams p = SmallParams();
+  DifferentiatedVcf low = DifferentiatedVcf::ForEighths(p, 1);
+  DifferentiatedVcf high = DifferentiatedVcf::ForEighths(p, 8);
+  std::size_t low_stored = 0;
+  std::size_t high_stored = 0;
+  for (const auto k : UniformKeys(p.slot_count(), 15)) {
+    low_stored += low.Insert(k) ? 1 : 0;
+    high_stored += high.Insert(k) ? 1 : 0;
+  }
+  EXPECT_GT(high_stored, low_stored);
+}
+
+TEST(DvcfTest, FourWayFractionMatchesTheoryEmpirically) {
+  // The fraction of inserted keys whose fingerprint lands in In1 should
+  // track p = j/8.
+  CuckooParams p = SmallParams();
+  const DifferentiatedVcf f = DifferentiatedVcf::ForEighths(p, 3);
+  // Sample fingerprints through the filter's own interval predicate using
+  // uniformly distributed 14-bit values.
+  std::size_t in1 = 0;
+  const int trials = 100000;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t fp = (UniformKeyAt(77, t) >> 20) & ((1 << 14) - 1);
+    in1 += f.FourWay(fp) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(in1) / trials, 3.0 / 8.0, 0.01);
+}
+
+class DvcfPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DvcfPropertyTest, InvariantsPerJ) {
+  const unsigned j = GetParam();
+  CuckooParams p;
+  p.bucket_count = 1 << 8;
+  DifferentiatedVcf f = DifferentiatedVcf::ForEighths(p, j);
+  const auto keys = UniformKeys(p.slot_count() * 9 / 10, 600 + j);
+  std::vector<std::uint64_t> stored;
+  for (const auto k : keys) {
+    if (f.Insert(k)) stored.push_back(k);
+  }
+  for (const auto k : stored) ASSERT_TRUE(f.Contains(k));
+  for (const auto k : stored) ASSERT_TRUE(f.Erase(k));
+  EXPECT_EQ(f.ItemCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllJ, DvcfPropertyTest, ::testing::Range(0u, 9u));
+
+}  // namespace
+}  // namespace vcf

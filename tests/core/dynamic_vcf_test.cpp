@@ -1,0 +1,115 @@
+#include "core/dynamic_vcf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+CuckooParams SegmentParams() {
+  CuckooParams p;
+  p.bucket_count = 1 << 8;  // 1024-slot segments
+  p.fingerprint_bits = 14;
+  return p;
+}
+
+TEST(DynamicVcfTest, StartsWithOneSegment) {
+  DynamicVcf f(SegmentParams());
+  EXPECT_EQ(f.SegmentCount(), 1u);
+  EXPECT_EQ(f.SlotCount(), SegmentParams().slot_count());
+  EXPECT_EQ(f.Name(), "DynamicVCF");
+}
+
+TEST(DynamicVcfTest, GrowsBeyondSingleSegmentCapacity) {
+  DynamicVcf f(SegmentParams());
+  const std::size_t n = SegmentParams().slot_count() * 3;  // 3x one segment
+  const auto keys = UniformKeys(n, 81);
+  for (const auto k : keys) {
+    ASSERT_TRUE(f.Insert(k)) << "dynamic filter must never reject (unbounded)";
+  }
+  EXPECT_GE(f.SegmentCount(), 3u);
+  EXPECT_EQ(f.ItemCount(), n);
+  for (const auto k : keys) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(DynamicVcfTest, MaxSegmentsBoundsGrowth) {
+  DynamicVcf f(SegmentParams(), /*mask_ones=*/0, /*max_segments=*/2);
+  std::size_t stored = 0;
+  for (const auto k : UniformKeys(SegmentParams().slot_count() * 3, 82)) {
+    stored += f.Insert(k) ? 1 : 0;
+  }
+  EXPECT_EQ(f.SegmentCount(), 2u);
+  EXPECT_LE(stored, f.SlotCount());
+  EXPECT_GT(stored, f.SlotCount() * 95 / 100);
+}
+
+TEST(DynamicVcfTest, EraseFindsKeysInAnySegment) {
+  DynamicVcf f(SegmentParams());
+  const auto keys = UniformKeys(SegmentParams().slot_count() * 2, 83);
+  for (const auto k : keys) ASSERT_TRUE(f.Insert(k));
+  for (const auto k : keys) ASSERT_TRUE(f.Erase(k)) << "key lost across segments";
+  EXPECT_EQ(f.ItemCount(), 0u);
+}
+
+TEST(DynamicVcfTest, ChurnCompactsEmptySegments) {
+  DynamicVcf f(SegmentParams());
+  const auto keys = UniformKeys(SegmentParams().slot_count() * 3, 84);
+  for (const auto k : keys) ASSERT_TRUE(f.Insert(k));
+  const std::size_t grown = f.SegmentCount();
+  ASSERT_GE(grown, 3u);
+  // Delete everything that landed beyond segment 0's capacity worth of keys;
+  // trailing segments empty out and are dropped.
+  for (const auto k : keys) ASSERT_TRUE(f.Erase(k));
+  EXPECT_EQ(f.SegmentCount(), 1u);
+  EXPECT_LT(f.SlotCount(), grown * SegmentParams().slot_count() + 1);
+}
+
+TEST(DynamicVcfTest, LoadFactorAggregatesSegments) {
+  DynamicVcf f(SegmentParams());
+  const std::size_t n = SegmentParams().slot_count() * 3 / 2;
+  for (const auto k : UniformKeys(n, 85)) ASSERT_TRUE(f.Insert(k));
+  EXPECT_NEAR(f.LoadFactor(),
+              static_cast<double>(n) / static_cast<double>(f.SlotCount()), 1e-9);
+  EXPECT_GT(f.MemoryBytes(), 0u);
+}
+
+TEST(DynamicVcfTest, ClearResetsToOneSegment) {
+  DynamicVcf f(SegmentParams());
+  for (const auto k : UniformKeys(SegmentParams().slot_count() * 2, 86)) {
+    f.Insert(k);
+  }
+  f.Clear();
+  EXPECT_EQ(f.SegmentCount(), 1u);
+  EXPECT_EQ(f.ItemCount(), 0u);
+}
+
+TEST(DynamicVcfTest, IvcfMaskVariantWorks) {
+  DynamicVcf f(SegmentParams(), /*mask_ones=*/2);
+  const auto keys = UniformKeys(1500, 87);
+  for (const auto k : keys) ASSERT_TRUE(f.Insert(k));
+  for (const auto k : keys) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(DynamicVcfTest, NoFalseNegativesUnderInterleavedChurn) {
+  DynamicVcf f(SegmentParams());
+  std::vector<std::uint64_t> live;
+  std::size_t next = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      const std::uint64_t k = UniformKeyAt(88, next++);
+      ASSERT_TRUE(f.Insert(k));
+      live.push_back(k);
+    }
+    for (int i = 0; i < 150 && !live.empty(); ++i) {
+      ASSERT_TRUE(f.Erase(live.back()));
+      live.pop_back();
+    }
+    for (const auto k : live) ASSERT_TRUE(f.Contains(k));
+  }
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,104 @@
+// Exhaustive verification on small parameter spaces: instead of sampling,
+// enumerate EVERY (bucket, fingerprint-hash) pair and every mask shape for
+// small widths, proving Theorems 1 and 2 and the Eq. 8 count exactly.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "analysis/model.hpp"
+#include "common/bitops.hpp"
+#include "core/vertical_hashing.hpp"
+
+namespace vcf {
+namespace {
+
+TEST(ExhaustiveTest, Theorem1AllPairsAllMasksWidth6) {
+  // 6-bit index/offset space: 64 buckets x 64 hashes x 63 mask shapes
+  // (every bm1 except 0 and full also get covered via WithOnes elsewhere;
+  // here every possible bm1 value, including degenerate ones).
+  const unsigned w = 6;
+  for (std::uint64_t bm1 = 0; bm1 <= LowMask(w); ++bm1) {
+    const VerticalHasher h(w, w, bm1);
+    for (std::uint64_t b1 = 0; b1 <= LowMask(w); ++b1) {
+      for (std::uint64_t fh = 0; fh <= LowMask(w); ++fh) {
+        const Candidates4 c = h.Candidates(b1, fh);
+        const std::set<std::uint64_t> full(c.bucket.begin(), c.bucket.end());
+        for (std::uint64_t member : c.bucket) {
+          const auto alts = h.Alternates(member, fh);
+          std::set<std::uint64_t> reached(alts.begin(), alts.end());
+          reached.insert(member);
+          ASSERT_EQ(reached, full)
+              << "bm1=" << bm1 << " b1=" << b1 << " fh=" << fh;
+        }
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveTest, Eq8ExactCountWidth8) {
+  // Count, exactly, the hashes yielding four distinct candidates for every
+  // ones-count and compare with the closed form.
+  const unsigned w = 8;
+  for (unsigned ones = 0; ones <= w; ++ones) {
+    const VerticalHasher h = VerticalHasher::WithOnes(w, w, ones);
+    std::size_t four = 0;
+    for (std::uint64_t fh = 0; fh <= LowMask(w); ++fh) {
+      const Candidates4 c = h.Candidates(0, fh);
+      const std::set<std::uint64_t> distinct(c.bucket.begin(), c.bucket.end());
+      ASSERT_EQ(distinct.size() == 4, h.YieldsFourDistinct(fh));
+      four += distinct.size() == 4;
+    }
+    const double measured = static_cast<double>(four) / 256.0;
+    ASSERT_DOUBLE_EQ(measured, h.TheoreticalR()) << "ones=" << ones;
+  }
+}
+
+TEST(ExhaustiveTest, DegenerateSetSizesAreOneTwoOrFour) {
+  // The candidate multiset can only collapse to sizes 1 (fh == 0 effective),
+  // 2 (one fragment zero) or 4 — never 3.
+  const unsigned w = 6;
+  const VerticalHasher h = VerticalHasher::Balanced(w, w);
+  for (std::uint64_t b1 = 0; b1 <= LowMask(w); ++b1) {
+    for (std::uint64_t fh = 0; fh <= LowMask(w); ++fh) {
+      const Candidates4 c = h.Candidates(b1, fh);
+      const std::set<std::uint64_t> distinct(c.bucket.begin(), c.bucket.end());
+      ASSERT_TRUE(distinct.size() == 1 || distinct.size() == 2 ||
+                  distinct.size() == 4)
+          << "got " << distinct.size() << " at b1=" << b1 << " fh=" << fh;
+    }
+  }
+}
+
+TEST(ExhaustiveTest, Theorem2AllPairsSmallSpace) {
+  // k = 5 over a 5-bit space: every (b1, fh, g, e) combination satisfies
+  // Eq. 7 exactly.
+  const unsigned w = 5;
+  const GeneralizedVerticalHasher gh(w, w, 5, 123);
+  for (std::uint64_t b1 = 0; b1 <= LowMask(w); ++b1) {
+    for (std::uint64_t fh = 0; fh <= LowMask(w); ++fh) {
+      std::vector<std::uint64_t> cand(gh.k());
+      for (unsigned e = 0; e < gh.k(); ++e) cand[e] = gh.Candidate(b1, fh, e);
+      for (unsigned g = 0; g < gh.k(); ++g) {
+        for (unsigned e = 0; e < gh.k(); ++e) {
+          ASSERT_EQ(gh.FromSibling(cand[g], fh, g, e), cand[e]);
+        }
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveTest, FragmentFormulaMatchesIvcfFormula) {
+  // Eq. 8 written via inclusion-exclusion fragments equals the printed
+  // closed form for every (width, ones).
+  for (unsigned w = 2; w <= 20; ++w) {
+    for (unsigned ones = 1; ones < w; ++ones) {
+      ASSERT_NEAR(model::ProbFourCandidatesFragments(ones, w - ones),
+                  model::ProbFourCandidatesIvcf(w, ones), 1e-14)
+          << w << "/" << ones;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vcf

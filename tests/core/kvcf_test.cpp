@@ -1,0 +1,141 @@
+#include "core/kvcf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+CuckooParams SmallParams() {
+  CuckooParams p;
+  p.bucket_count = 1 << 10;
+  p.fingerprint_bits = 16;
+  return p;
+}
+
+TEST(KVcfTest, ConstructionValidation) {
+  EXPECT_THROW(KVcf(SmallParams(), 1), std::invalid_argument);
+  EXPECT_NO_THROW(KVcf(SmallParams(), 2));
+  EXPECT_NO_THROW(KVcf(SmallParams(), 10));
+}
+
+TEST(KVcfTest, MarkBitsSizing) {
+  EXPECT_EQ(KVcf(SmallParams(), 2).mark_bits(), 1u);
+  EXPECT_EQ(KVcf(SmallParams(), 4).mark_bits(), 2u);
+  EXPECT_EQ(KVcf(SmallParams(), 7).mark_bits(), 3u);  // paper §III-C example
+  EXPECT_EQ(KVcf(SmallParams(), 8).mark_bits(), 3u);
+  EXPECT_EQ(KVcf(SmallParams(), 9).mark_bits(), 4u);
+}
+
+TEST(KVcfTest, SlotWidthIncludesMarkField) {
+  CuckooParams p = SmallParams();
+  KVcf f(p, 7);
+  const std::size_t bits = p.slot_count() * (p.fingerprint_bits + 3);
+  EXPECT_EQ(f.MemoryBytes(), (bits + 7) / 8 + 8);
+}
+
+TEST(KVcfTest, InsertLookupEraseBasics) {
+  KVcf f(SmallParams(), 6);
+  EXPECT_FALSE(f.Contains(5));
+  EXPECT_TRUE(f.Insert(5));
+  EXPECT_TRUE(f.Contains(5));
+  EXPECT_TRUE(f.Erase(5));
+  EXPECT_FALSE(f.Contains(5));
+  EXPECT_EQ(f.ItemCount(), 0u);
+}
+
+class KVcfPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(KVcfPropertyTest, NoFalseNegativesAfterEvictionChains) {
+  const unsigned k = GetParam();
+  CuckooParams p = SmallParams();
+  KVcf f(p, k);
+  const auto keys = UniformKeys(p.slot_count() * 95 / 100, 100 + k);
+  std::vector<std::uint64_t> stored;
+  for (const auto key : keys) {
+    if (f.Insert(key)) stored.push_back(key);
+  }
+  // The relocation logic (Eq. 7 + mark bits) must never lose an item.
+  for (const auto key : stored) {
+    ASSERT_TRUE(f.Contains(key)) << "k=" << k;
+  }
+}
+
+TEST_P(KVcfPropertyTest, EraseAllRestoresEmpty) {
+  const unsigned k = GetParam();
+  CuckooParams p;
+  p.bucket_count = 1 << 8;
+  p.fingerprint_bits = 16;
+  KVcf f(p, k);
+  std::vector<std::uint64_t> stored;
+  for (const auto key : UniformKeys(p.slot_count() * 8 / 10, 200 + k)) {
+    if (f.Insert(key)) stored.push_back(key);
+  }
+  for (const auto key : stored) ASSERT_TRUE(f.Erase(key));
+  EXPECT_EQ(f.ItemCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, KVcfPropertyTest,
+                         ::testing::Values(2u, 4u, 5u, 7u, 9u, 10u));
+
+TEST(KVcfTest, ZeroKicksStillPlacesMostItems) {
+  // Table V setting: MAX = 0. With k = 9 candidates x 4 slots the filter
+  // should still reach a high load factor with zero relocations.
+  CuckooParams p = SmallParams();
+  p.max_kicks = 0;
+  KVcf f(p, 9);
+  std::size_t stored = 0;
+  for (const auto key : UniformKeys(p.slot_count(), 42)) {
+    stored += f.Insert(key) ? 1 : 0;
+  }
+  EXPECT_EQ(f.counters().evictions, 0u);
+  EXPECT_GT(static_cast<double>(stored) / p.slot_count(), 0.9);
+}
+
+TEST(KVcfTest, LargerKGivesHigherZeroKickLoad) {
+  // Table V's monotone trend.
+  CuckooParams p = SmallParams();
+  p.max_kicks = 0;
+  double prev = 0.0;
+  for (unsigned k : {2u, 4u, 8u}) {
+    KVcf f(p, k);
+    std::size_t stored = 0;
+    for (const auto key : UniformKeys(p.slot_count(), 77)) {
+      stored += f.Insert(key) ? 1 : 0;
+    }
+    const double lf = static_cast<double>(stored) / p.slot_count();
+    EXPECT_GT(lf, prev) << "k=" << k;
+    prev = lf;
+  }
+}
+
+TEST(KVcfTest, FailedInsertRollsBack) {
+  CuckooParams p = SmallParams();
+  p.bucket_count = 1 << 4;
+  p.max_kicks = 16;
+  KVcf f(p, 5);
+  std::vector<std::uint64_t> stored;
+  std::size_t failures = 0;
+  for (const auto key : UniformKeys(f.SlotCount() * 4, 314)) {
+    if (f.Insert(key)) {
+      stored.push_back(key);
+    } else {
+      ++failures;
+      for (const auto s : stored) ASSERT_TRUE(f.Contains(s));
+      if (failures > 3) break;
+    }
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+TEST(KVcfTest, NameEncodesK) {
+  EXPECT_EQ(KVcf(SmallParams(), 7).Name(), "7-VCF");
+  EXPECT_EQ(KVcf(SmallParams(), 2).Name(), "2-VCF");
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,85 @@
+#include "core/sizing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/vcf.hpp"
+#include "harness/experiment.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+TEST(SizingTest, ValidatesRequests) {
+  SizingRequest r;
+  r.expected_items = 0;
+  EXPECT_THROW(PlanCapacity(r), std::invalid_argument);
+  r = SizingRequest{};
+  r.target_fpr = 0.0;
+  EXPECT_THROW(PlanCapacity(r), std::invalid_argument);
+  r = SizingRequest{};
+  r.target_fpr = 1.5;
+  EXPECT_THROW(PlanCapacity(r), std::invalid_argument);
+  r = SizingRequest{};
+  r.r = -0.1;
+  EXPECT_THROW(PlanCapacity(r), std::invalid_argument);
+  r = SizingRequest{};
+  r.headroom = 1.0;
+  EXPECT_THROW(PlanCapacity(r), std::invalid_argument);
+  r = SizingRequest{};
+  r.target_fpr = 1e-12;  // needs > 25 fingerprint bits
+  EXPECT_THROW(PlanCapacity(r), std::invalid_argument);
+}
+
+TEST(SizingTest, CapacityCoversExpectedItems) {
+  SizingRequest req;
+  req.expected_items = 100000;
+  req.target_fpr = 1e-3;
+  const SizingResult plan = PlanCapacity(req);
+  EXPECT_GE(plan.params.slot_count(), req.expected_items);
+  EXPECT_LE(plan.design_load, 0.97);
+  EXPECT_LE(plan.predicted_fpr, req.target_fpr * 1.05);
+  EXPECT_GT(plan.bits_per_item, 0.0);
+}
+
+TEST(SizingTest, TighterFprNeedsWiderFingerprints) {
+  SizingRequest loose;
+  loose.target_fpr = 1e-2;
+  SizingRequest tight = loose;
+  tight.target_fpr = 1e-5;
+  EXPECT_LT(PlanCapacity(loose).params.fingerprint_bits,
+            PlanCapacity(tight).params.fingerprint_bits);
+}
+
+TEST(SizingTest, HeadroomAddsSlots) {
+  SizingRequest no_headroom;
+  no_headroom.expected_items = 1 << 19;  // near a power-of-two boundary
+  no_headroom.headroom = 0.0;
+  SizingRequest lots = no_headroom;
+  lots.headroom = 0.5;
+  EXPECT_LT(PlanCapacity(no_headroom).params.slot_count(),
+            PlanCapacity(lots).params.slot_count());
+}
+
+TEST(SizingTest, PlannedFilterMeetsItsContract) {
+  // End-to-end: plan, build, fill to the expected item count, measure FPR.
+  SizingRequest req;
+  req.expected_items = 60000;
+  req.target_fpr = 2e-3;
+  const SizingResult plan = PlanCapacity(req);
+
+  VerticalCuckooFilter filter(plan.params, /*mask_ones=*/6);
+  const auto keys = UniformKeys(req.expected_items, 601);
+  std::size_t stored = 0;
+  for (const auto k : keys) stored += filter.Insert(k) ? 1 : 0;
+  EXPECT_EQ(stored, keys.size()) << "planned capacity rejected expected load";
+
+  const auto aliens = UniformKeys(300000, 602);
+  const double fpr = MeasureFpr(filter, aliens);
+  EXPECT_LT(fpr, req.target_fpr * 1.3)
+      << "measured FPR blew the planned budget";
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,131 @@
+// Checkpoint/restore (SaveState / LoadState) across the whole filter family.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "harness/filter_factory.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+std::vector<FilterSpec> AllSpecs() {
+  CuckooParams p;
+  p.bucket_count = 1 << 8;
+  return {
+      {FilterSpec::Kind::kCF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kVCF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kIVCF, 3, p, 12.0, 0},
+      {FilterSpec::Kind::kDVCF, 5, p, 12.0, 0},
+      {FilterSpec::Kind::kKVCF, 6, p, 12.0, 0},
+      {FilterSpec::Kind::kDCF, 4, p, 12.0, 0},
+      {FilterSpec::Kind::kBF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kCBF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kQF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kDlCBF, 4, p, 12.0, 0},
+      {FilterSpec::Kind::kVF, 5, p, 12.0, 0},
+      {FilterSpec::Kind::kSsCF, 0, p, 12.0, 0},
+  };
+}
+
+class StateIoTest : public ::testing::TestWithParam<FilterSpec> {};
+
+TEST_P(StateIoTest, RoundTripPreservesAnswers) {
+  auto original = MakeFilter(GetParam());
+  const auto keys = UniformKeys(original->SlotCount() / 2, 71);
+  std::vector<std::uint64_t> stored;
+  for (const auto k : keys) {
+    if (original->Insert(k)) stored.push_back(k);
+  }
+
+  std::stringstream blob;
+  ASSERT_TRUE(original->SaveState(blob)) << original->Name();
+
+  auto restored = MakeFilter(GetParam());
+  ASSERT_TRUE(restored->LoadState(blob)) << restored->Name();
+  EXPECT_EQ(restored->ItemCount(), original->ItemCount());
+  for (const auto k : stored) {
+    ASSERT_TRUE(restored->Contains(k)) << restored->Name();
+  }
+  // Alien answers must be bit-identical too (same table contents).
+  for (const auto a : UniformKeys(5000, 72)) {
+    ASSERT_EQ(restored->Contains(a), original->Contains(a)) << restored->Name();
+  }
+}
+
+TEST_P(StateIoTest, RestoredFilterRemainsFullyOperational) {
+  auto original = MakeFilter(GetParam());
+  for (const auto k : UniformKeys(100, 73)) original->Insert(k);
+  std::stringstream blob;
+  ASSERT_TRUE(original->SaveState(blob));
+
+  auto restored = MakeFilter(GetParam());
+  ASSERT_TRUE(restored->LoadState(blob));
+  // Keep using it: inserts, lookups and (where supported) deletions work.
+  EXPECT_TRUE(restored->Insert(0xFEEDBEEF));
+  EXPECT_TRUE(restored->Contains(0xFEEDBEEF));
+  if (restored->SupportsDeletion()) {
+    EXPECT_TRUE(restored->Erase(0xFEEDBEEF));
+  }
+}
+
+TEST_P(StateIoTest, RejectsMismatchedParameters) {
+  auto original = MakeFilter(GetParam());
+  original->Insert(1);
+  std::stringstream blob;
+  ASSERT_TRUE(original->SaveState(blob));
+
+  // Different seed => different config digest => rejection, state untouched.
+  FilterSpec other = GetParam();
+  other.params.seed ^= 0xDEAD;
+  auto wrong = MakeFilter(other);
+  wrong->Insert(999);
+  EXPECT_FALSE(wrong->LoadState(blob)) << wrong->Name();
+  EXPECT_TRUE(wrong->Contains(999)) << "failed load must not clobber state";
+}
+
+TEST_P(StateIoTest, RejectsGarbageAndTruncation) {
+  auto filter = MakeFilter(GetParam());
+  std::stringstream garbage("not a checkpoint at all, sorry");
+  EXPECT_FALSE(filter->LoadState(garbage));
+
+  auto source = MakeFilter(GetParam());
+  source->Insert(5);
+  std::stringstream blob;
+  ASSERT_TRUE(source->SaveState(blob));
+  std::string bytes = blob.str();
+  bytes.resize(bytes.size() * 2 / 3);
+  std::stringstream truncated(bytes);
+  EXPECT_FALSE(filter->LoadState(truncated)) << filter->Name();
+}
+
+TEST_P(StateIoTest, RejectsCrossFamilyBlob) {
+  // A CF blob must not load into a VCF of identical geometry, and vice
+  // versa: the name in the header differs.
+  CuckooParams p;
+  p.bucket_count = 1 << 8;
+  auto donor = MakeFilter({FilterSpec::Kind::kCF, 0, p, 12.0, 0});
+  donor->Insert(1);
+  std::stringstream blob;
+  ASSERT_TRUE(donor->SaveState(blob));
+  auto target = MakeFilter(GetParam());
+  if (target->Name() == donor->Name()) {
+    GTEST_SKIP() << "same family";
+  }
+  EXPECT_FALSE(target->LoadState(blob)) << target->Name();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFilters, StateIoTest, ::testing::ValuesIn(AllSpecs()),
+    [](const ::testing::TestParamInfo<FilterSpec>& info) {
+      std::string name = info.param.DisplayName();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace vcf

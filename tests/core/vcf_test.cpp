@@ -1,0 +1,226 @@
+#include "core/vcf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+CuckooParams SmallParams() {
+  CuckooParams p;
+  p.bucket_count = 1 << 10;
+  p.fingerprint_bits = 14;
+  return p;
+}
+
+TEST(VcfTest, ConstructionValidation) {
+  CuckooParams p = SmallParams();
+  p.bucket_count = 100;  // not a power of two
+  EXPECT_THROW(VerticalCuckooFilter{p}, std::invalid_argument);
+  p = SmallParams();
+  p.fingerprint_bits = 0;
+  EXPECT_THROW(VerticalCuckooFilter{p}, std::invalid_argument);
+  p = SmallParams();
+  p.fingerprint_bits = 26;
+  EXPECT_THROW(VerticalCuckooFilter{p}, std::invalid_argument);
+  p = SmallParams();
+  p.slots_per_bucket = 0;
+  EXPECT_THROW(VerticalCuckooFilter{p}, std::invalid_argument);
+}
+
+TEST(VcfTest, InsertThenContains) {
+  VerticalCuckooFilter f(SmallParams());
+  EXPECT_FALSE(f.Contains(42));
+  EXPECT_TRUE(f.Insert(42));
+  EXPECT_TRUE(f.Contains(42));
+  EXPECT_EQ(f.ItemCount(), 1u);
+}
+
+TEST(VcfTest, NoFalseNegativesAtHighLoad) {
+  VerticalCuckooFilter f(SmallParams());
+  const auto keys = UniformKeys(f.SlotCount() * 95 / 100, 1);
+  std::vector<std::uint64_t> stored;
+  for (const auto k : keys) {
+    if (f.Insert(k)) stored.push_back(k);
+  }
+  EXPECT_GT(static_cast<double>(stored.size()) / keys.size(), 0.99);
+  for (const auto k : stored) {
+    ASSERT_TRUE(f.Contains(k)) << "false negative for " << k;
+  }
+}
+
+TEST(VcfTest, EraseRemovesExactlyOneCopy) {
+  VerticalCuckooFilter f(SmallParams());
+  ASSERT_TRUE(f.Insert(7));
+  ASSERT_TRUE(f.Insert(7));  // duplicates are legal
+  EXPECT_EQ(f.ItemCount(), 2u);
+  EXPECT_TRUE(f.Erase(7));
+  EXPECT_TRUE(f.Contains(7)) << "second copy must survive (mis-deletion safety)";
+  EXPECT_TRUE(f.Erase(7));
+  EXPECT_FALSE(f.Contains(7));
+  EXPECT_FALSE(f.Erase(7));
+  EXPECT_EQ(f.ItemCount(), 0u);
+}
+
+TEST(VcfTest, EraseOfAbsentKeyFailsCleanly) {
+  VerticalCuckooFilter f(SmallParams());
+  EXPECT_FALSE(f.Erase(31337));
+  EXPECT_EQ(f.ItemCount(), 0u);
+}
+
+TEST(VcfTest, InsertEraseChurnKeepsAnswersExact) {
+  VerticalCuckooFilter f(SmallParams());
+  const auto keys = UniformKeys(1000, 2);
+  for (const auto k : keys) ASSERT_TRUE(f.Insert(k));
+  // Erase every other key; erased keys may still false-positive, but the
+  // kept keys must all answer true.
+  for (std::size_t i = 0; i < keys.size(); i += 2) ASSERT_TRUE(f.Erase(keys[i]));
+  for (std::size_t i = 1; i < keys.size(); i += 2) {
+    ASSERT_TRUE(f.Contains(keys[i]));
+  }
+  EXPECT_EQ(f.ItemCount(), keys.size() / 2);
+}
+
+TEST(VcfTest, FailedInsertRollsBackFilterState) {
+  // Saturate a tiny filter, snapshot answers, force a failure, and verify
+  // no previously-positive answer flipped (the rollback guarantee).
+  CuckooParams p = SmallParams();
+  p.bucket_count = 1 << 4;
+  p.max_kicks = 32;
+  VerticalCuckooFilter f(p);
+  std::vector<std::uint64_t> stored;
+  const auto keys = UniformKeys(f.SlotCount() * 4, 3);
+  std::size_t failures = 0;
+  for (const auto k : keys) {
+    if (f.Insert(k)) {
+      stored.push_back(k);
+    } else {
+      ++failures;
+      for (const auto s : stored) {
+        ASSERT_TRUE(f.Contains(s)) << "rollback lost a stored key";
+      }
+    }
+    if (failures > 5) break;
+  }
+  EXPECT_GT(failures, 0u) << "test needs at least one failed insert";
+}
+
+TEST(VcfTest, InsertDirectNeverEvicts) {
+  CuckooParams p = SmallParams();
+  p.bucket_count = 1 << 4;
+  VerticalCuckooFilter f(p);
+  std::size_t stored = 0;
+  for (const auto k : UniformKeys(f.SlotCount() * 2, 7)) {
+    stored += f.InsertDirect(k) ? 1 : 0;
+  }
+  EXPECT_EQ(f.counters().evictions, 0u);
+  EXPECT_EQ(f.ItemCount(), stored);
+  EXPECT_GT(stored, f.SlotCount() / 2) << "direct placement badly underfilled";
+  EXPECT_LT(stored, f.SlotCount() * 2) << "cannot store more than capacity";
+  // Direct-inserted keys are findable and erasable like any others.
+  std::size_t present = 0;
+  for (const auto k : UniformKeys(f.SlotCount() * 2, 7)) {
+    present += f.Contains(k) ? 1 : 0;
+  }
+  EXPECT_GE(present, stored);
+}
+
+TEST(VcfTest, ClearEmptiesFilter) {
+  VerticalCuckooFilter f(SmallParams());
+  const auto keys = UniformKeys(100, 4);
+  for (const auto k : keys) ASSERT_TRUE(f.Insert(k));
+  f.Clear();
+  EXPECT_EQ(f.ItemCount(), 0u);
+  EXPECT_EQ(f.LoadFactor(), 0.0);
+  for (const auto k : keys) EXPECT_FALSE(f.Contains(k));
+}
+
+TEST(VcfTest, CountersTrackOperations) {
+  VerticalCuckooFilter f(SmallParams());
+  f.Insert(1);
+  f.Insert(2);
+  f.Contains(1);
+  f.Contains(99);
+  f.Erase(1);
+  const OpCounters& c = f.counters();
+  EXPECT_EQ(c.inserts, 2u);
+  EXPECT_EQ(c.lookups, 2u);
+  EXPECT_EQ(c.deletions, 1u);
+  EXPECT_GE(c.hash_computations, 2u * 2u);
+  EXPECT_GE(c.bucket_probes, 4u * 5u);
+}
+
+TEST(VcfTest, NamesAndVariants) {
+  EXPECT_EQ(VerticalCuckooFilter(SmallParams()).Name(), "VCF");
+  EXPECT_EQ(VerticalCuckooFilter(SmallParams(), 3).Name(), "IVCF_3");
+  EXPECT_TRUE(VerticalCuckooFilter(SmallParams()).SupportsDeletion());
+}
+
+TEST(VcfTest, TheoreticalRMatchesMaskShape) {
+  // index_bits = 10 here.
+  VerticalCuckooFilter ivcf1(SmallParams(), 1);
+  VerticalCuckooFilter ivcf5(SmallParams(), 5);
+  EXPECT_LT(ivcf1.TheoreticalR(), ivcf5.TheoreticalR());
+  EXPECT_NEAR(ivcf1.TheoreticalR(), 1.0 - (2.0 + 512.0 - 1.0) / 1024.0, 1e-12);
+}
+
+TEST(VcfTest, HigherRAchievesHigherLoadFactor) {
+  // The central claim of the paper (Fig. 5(c)): load factor grows with r.
+  CuckooParams p = SmallParams();
+  VerticalCuckooFilter low_r(p, 1);
+  VerticalCuckooFilter high_r(p, 5);
+  const auto keys = UniformKeys(p.slot_count(), 5);
+  std::size_t low_stored = 0;
+  std::size_t high_stored = 0;
+  for (const auto k : keys) {
+    low_stored += low_r.Insert(k) ? 1 : 0;
+    high_stored += high_r.Insert(k) ? 1 : 0;
+  }
+  EXPECT_GT(high_stored, low_stored);
+  EXPECT_GT(static_cast<double>(high_stored) / p.slot_count(), 0.985);
+}
+
+TEST(VcfTest, MemoryBytesMatchesGeometry) {
+  CuckooParams p = SmallParams();
+  VerticalCuckooFilter f(p);
+  // f-bit slots, bit-packed (+8 bytes slack documented in PackedTable).
+  const std::size_t expect_bits = p.slot_count() * p.fingerprint_bits;
+  EXPECT_EQ(f.MemoryBytes(), (expect_bits + 7) / 8 + 8);
+}
+
+// Property sweep: the no-false-negative invariant must hold for every
+// fingerprint width and mask shape combination.
+class VcfPropertyTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(VcfPropertyTest, NoFalseNegativesAcrossGeometries) {
+  const auto [fp_bits, mask_ones] = GetParam();
+  CuckooParams p;
+  p.bucket_count = 1 << 8;
+  p.fingerprint_bits = fp_bits;
+  VerticalCuckooFilter f(p, mask_ones);
+  const auto keys = UniformKeys(p.slot_count() * 9 / 10, 1000 + fp_bits);
+  std::vector<std::uint64_t> stored;
+  for (const auto k : keys) {
+    if (f.Insert(k)) stored.push_back(k);
+  }
+  for (const auto k : stored) ASSERT_TRUE(f.Contains(k));
+  // And deletion restores non-membership modulo false positives: erase all,
+  // count must be zero.
+  for (const auto k : stored) ASSERT_TRUE(f.Erase(k));
+  EXPECT_EQ(f.ItemCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, VcfPropertyTest,
+    ::testing::Combine(::testing::Values(7u, 10u, 14u, 18u),
+                       ::testing::Values(1u, 2u, 4u, 7u)));
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,266 @@
+#include "core/vertical_hashing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/random.hpp"
+
+namespace vcf {
+namespace {
+
+std::set<std::uint64_t> AsSet(const Candidates4& c) {
+  return {c.bucket.begin(), c.bucket.end()};
+}
+
+TEST(VerticalHasherTest, MaskConstruction) {
+  const VerticalHasher h(8, 8, 0x0F);
+  EXPECT_EQ(h.bm1(), 0x0Fu);
+  EXPECT_EQ(h.bm2(), 0xF0u);
+  EXPECT_EQ(h.index_mask(), 0xFFu);
+  EXPECT_EQ(h.offset_mask(), 0xFFu);
+  // bm1 is truncated to the offset width.
+  const VerticalHasher wide(8, 8, 0xFFFF0F);
+  EXPECT_EQ(wide.bm1(), 0x0Fu);
+}
+
+TEST(VerticalHasherTest, Eq3CandidatesContainPrimaryAndFullXor) {
+  const VerticalHasher h(10, 10, 0x1F);
+  const std::uint64_t b1 = 0x2A5;
+  const std::uint64_t fh = 0x3C7;
+  const Candidates4 c = h.Candidates(b1, fh);
+  EXPECT_EQ(c.bucket[0], b1);
+  EXPECT_EQ(c.bucket[3], (b1 ^ fh) & h.index_mask());
+  EXPECT_EQ(c.bucket[1], b1 ^ (fh & 0x1F));
+  EXPECT_EQ(c.bucket[2], b1 ^ (fh & 0x3E0));
+}
+
+TEST(VerticalHasherTest, OffsetsConfinedToFingerprintBlock) {
+  // With offset width f < index width w, all four candidates share the high
+  // w - f index bits: the table decomposes into aligned 2^f-bucket blocks.
+  // This is the structural cause of Fig. 4's f-dependence.
+  const VerticalHasher h(18, 8, 0x0F);
+  Xoshiro256 rng(3);
+  for (int t = 0; t < 1000; ++t) {
+    const std::uint64_t b1 = rng.Next() & h.index_mask();
+    const Candidates4 c = h.Candidates(b1, rng.Next());
+    for (std::uint64_t member : c.bucket) {
+      ASSERT_EQ(member >> 8, b1 >> 8) << "candidate escaped its block";
+    }
+  }
+}
+
+TEST(VerticalHasherTest, Theorem1CyclicAccessFromEveryMember) {
+  // From ANY candidate, Alternates() must reproduce exactly the other three
+  // (as a set, including the viewpoint itself via the degenerate dup case).
+  Xoshiro256 rng(17);
+  const VerticalHasher h(14, 14, LowMask(7));
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t b1 = rng.Next() & h.index_mask();
+    const std::uint64_t fh = rng.Next();
+    const Candidates4 c = h.Candidates(b1, fh);
+    const std::set<std::uint64_t> full = AsSet(c);
+    for (std::uint64_t member : c.bucket) {
+      const auto alts = h.Alternates(member, fh);
+      std::set<std::uint64_t> reached(alts.begin(), alts.end());
+      reached.insert(member);
+      EXPECT_EQ(reached, full) << "viewpoint " << member;
+    }
+  }
+}
+
+TEST(VerticalHasherTest, Theorem1HoldsWithNarrowTable) {
+  // Index space narrower than the offset space (tiny tables): closure must
+  // survive the extra index-mask reduction.
+  Xoshiro256 rng(19);
+  const VerticalHasher h(6, 14, LowMask(7));
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::uint64_t b1 = rng.Next() & h.index_mask();
+    const std::uint64_t fh = rng.Next();
+    const Candidates4 c = h.Candidates(b1, fh);
+    const std::set<std::uint64_t> full = AsSet(c);
+    for (std::uint64_t member : c.bucket) {
+      const auto alts = h.Alternates(member, fh);
+      std::set<std::uint64_t> reached(alts.begin(), alts.end());
+      reached.insert(member);
+      ASSERT_EQ(reached, full);
+    }
+  }
+}
+
+TEST(VerticalHasherTest, Theorem1RequiresComplementaryMasks) {
+  // Negative control: with bm2 != ~bm1 the candidate set is NOT closed
+  // under the Eq. 4 derivation. We emulate a broken hasher by combining
+  // fragments of two different hashers.
+  const VerticalHasher good(8, 8, 0x0F);
+  const std::uint64_t b1 = 0x12;
+  const std::uint64_t fh = 0xB7;  // both fragments non-zero
+  const Candidates4 c = good.Candidates(b1, fh);
+  // A wrong mask pair (bm2 == bm1) collapses B2 == B3; derived sets differ.
+  const std::uint64_t wrong_b3 = b1 ^ (fh & 0x0F);  // using bm1 twice
+  EXPECT_NE(wrong_b3, c.bucket[2]);
+}
+
+TEST(VerticalHasherTest, DegenerateFragmentsYieldTwoDistinctBuckets) {
+  const VerticalHasher h(8, 8, 0x0F);
+  const std::uint64_t b1 = 0x55;
+  // fh & bm1 == 0: candidates collapse pairwise (B1==B2, B3==B4).
+  const std::uint64_t fh = 0xA0;
+  EXPECT_FALSE(h.YieldsFourDistinct(fh));
+  const Candidates4 c = h.Candidates(b1, fh);
+  EXPECT_EQ(c.bucket[0], c.bucket[1]);
+  EXPECT_EQ(c.bucket[2], c.bucket[3]);
+  EXPECT_EQ(AsSet(c).size(), 2u);
+  // Even degenerate sets stay cyclic (Theorem 1 still holds).
+  for (std::uint64_t member : c.bucket) {
+    const auto alts = h.Alternates(member, fh);
+    std::set<std::uint64_t> reached(alts.begin(), alts.end());
+    reached.insert(member);
+    EXPECT_EQ(reached, AsSet(c));
+  }
+}
+
+TEST(VerticalHasherTest, ZeroHashDegeneratesToOneBucket) {
+  const VerticalHasher h(8, 8, 0x0F);
+  const Candidates4 c = h.Candidates(0x21, 0);
+  EXPECT_EQ(AsSet(c).size(), 1u);
+}
+
+TEST(VerticalHasherTest, Eq8EmpiricalFourCandidateProbability) {
+  // The measured fraction of hashes yielding 4 distinct candidates matches
+  // Eq. 8's closed form for several mask shapes.
+  Xoshiro256 rng(23);
+  for (unsigned ones : {1u, 3u, 7u, 9u}) {
+    const unsigned width = 18;
+    const VerticalHasher h = VerticalHasher::WithOnes(width, width, ones);
+    const int trials = 200000;
+    int four = 0;
+    for (int t = 0; t < trials; ++t) {
+      four += h.YieldsFourDistinct(rng.Next()) ? 1 : 0;
+    }
+    const double measured = static_cast<double>(four) / trials;
+    EXPECT_NEAR(measured, h.TheoreticalR(), 0.005) << "ones=" << ones;
+  }
+}
+
+TEST(VerticalHasherTest, Eq8EmpiricalWithTruncatedIndex) {
+  // Offset width 14, index width 10: the effective fragments shrink and so
+  // must TheoreticalR. (fp_hash is truncated to the offset width before the
+  // distinctness check, as in the filters.)
+  Xoshiro256 rng(29);
+  const VerticalHasher h = VerticalHasher::WithOnes(10, 14, 3);
+  const int trials = 200000;
+  int four = 0;
+  for (int t = 0; t < trials; ++t) {
+    four += h.YieldsFourDistinct(rng.Next()) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(four) / trials, h.TheoreticalR(), 0.005);
+}
+
+TEST(VerticalHasherTest, BalancedFactoryMaximisesR) {
+  for (unsigned width : {8u, 14u, 18u}) {
+    const double balanced = VerticalHasher::Balanced(width, width).TheoreticalR();
+    for (unsigned ones = 1; ones < width; ++ones) {
+      EXPECT_GE(balanced + 1e-12,
+                VerticalHasher::WithOnes(width, width, ones).TheoreticalR())
+          << width << "/" << ones;
+    }
+  }
+}
+
+TEST(VerticalHasherTest, DegenerateMaskBehavesLikeCF) {
+  // All-zero bm1 (or all-ones) gives bm2 = full: B2 == B1 and B3 == B4,
+  // exactly the two partial-key candidates.
+  const VerticalHasher h(12, 12, 0);
+  const std::uint64_t b1 = 0x7FF;
+  const std::uint64_t fh = 0xABC;
+  const Candidates4 c = h.Candidates(b1, fh);
+  EXPECT_EQ(c.bucket[0], c.bucket[1]);
+  EXPECT_EQ(c.bucket[2], c.bucket[3]);
+  EXPECT_EQ(c.bucket[2], (b1 ^ fh) & h.index_mask());
+  EXPECT_EQ(h.TheoreticalR(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Generalized vertical hashing (k-VCF substrate).
+
+TEST(GeneralizedHasherTest, MaskFamilyShape) {
+  const GeneralizedVerticalHasher g(16, 16, 7, 42);
+  EXPECT_EQ(g.k(), 7u);
+  EXPECT_EQ(g.mask(0), 0u);
+  EXPECT_EQ(g.mask(6), LowMask(16));
+  std::set<std::uint64_t> distinct;
+  for (unsigned e = 0; e < g.k(); ++e) distinct.insert(g.mask(e));
+  EXPECT_EQ(distinct.size(), 7u);
+}
+
+TEST(GeneralizedHasherTest, RejectsInvalidConfigs) {
+  EXPECT_THROW(GeneralizedVerticalHasher(16, 16, 1, 0), std::invalid_argument);
+  EXPECT_THROW(GeneralizedVerticalHasher(0, 16, 4, 0), std::invalid_argument);
+  EXPECT_THROW(GeneralizedVerticalHasher(16, 0, 4, 0), std::invalid_argument);
+  EXPECT_THROW(GeneralizedVerticalHasher(1, 1, 3, 0), std::invalid_argument);
+  EXPECT_NO_THROW(GeneralizedVerticalHasher(1, 1, 2, 0));
+  EXPECT_NO_THROW(GeneralizedVerticalHasher(2, 2, 4, 0));
+}
+
+TEST(GeneralizedHasherTest, Theorem2SiblingDerivation) {
+  // Eq. 7: for every ordered pair (g, e), FromSibling(B_g, h, g, e) == B_e.
+  Xoshiro256 rng(31);
+  const GeneralizedVerticalHasher gh(14, 14, 9, 7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t b1 = rng.Next() & gh.index_mask();
+    const std::uint64_t fh = rng.Next();
+    std::vector<std::uint64_t> cand(gh.k());
+    for (unsigned e = 0; e < gh.k(); ++e) cand[e] = gh.Candidate(b1, fh, e);
+    for (unsigned g = 0; g < gh.k(); ++g) {
+      for (unsigned e = 0; e < gh.k(); ++e) {
+        ASSERT_EQ(gh.FromSibling(cand[g], fh, g, e), cand[e])
+            << "g=" << g << " e=" << e;
+      }
+    }
+  }
+}
+
+TEST(GeneralizedHasherTest, Theorem2WithNarrowIndex) {
+  Xoshiro256 rng(37);
+  const GeneralizedVerticalHasher gh(8, 16, 6, 11);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::uint64_t b1 = rng.Next() & gh.index_mask();
+    const std::uint64_t fh = rng.Next() & LowMask(16);
+    std::vector<std::uint64_t> cand(gh.k());
+    for (unsigned e = 0; e < gh.k(); ++e) {
+      cand[e] = gh.Candidate(b1, fh, e);
+      ASSERT_LE(cand[e], gh.index_mask());
+    }
+    for (unsigned g = 0; g < gh.k(); ++g) {
+      for (unsigned e = 0; e < gh.k(); ++e) {
+        ASSERT_EQ(gh.FromSibling(cand[g], fh, g, e), cand[e]);
+      }
+    }
+  }
+}
+
+TEST(GeneralizedHasherTest, KEqualsTwoIsPartialKeyCuckoo) {
+  const GeneralizedVerticalHasher g(12, 12, 2, 5);
+  const std::uint64_t b1 = 0x123;
+  const std::uint64_t fh = 0x9AB;
+  EXPECT_EQ(g.Candidate(b1, fh, 0), b1);
+  EXPECT_EQ(g.Candidate(b1, fh, 1), (b1 ^ fh) & LowMask(12));
+}
+
+TEST(GeneralizedHasherTest, DeterministicMaskFamilyPerSeed) {
+  const GeneralizedVerticalHasher a(16, 16, 6, 99);
+  const GeneralizedVerticalHasher b(16, 16, 6, 99);
+  const GeneralizedVerticalHasher c(16, 16, 6, 100);
+  for (unsigned e = 0; e < 6; ++e) EXPECT_EQ(a.mask(e), b.mask(e));
+  bool any_diff = false;
+  for (unsigned e = 1; e + 1 < 6; ++e) any_diff |= a.mask(e) != c.mask(e);
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,102 @@
+#include "harness/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "baselines/cuckoo_filter.hpp"
+#include "core/vcf.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+CuckooParams SmallParams() {
+  CuckooParams p;
+  p.bucket_count = 1 << 8;
+  return p;
+}
+
+TEST(ExperimentTest, FillAllAccountsEveryKey) {
+  VerticalCuckooFilter filter(SmallParams());
+  const auto keys = UniformKeys(filter.SlotCount(), 1);
+  const FillResult r = FillAll(filter, keys);
+  EXPECT_EQ(r.attempted, keys.size());
+  EXPECT_EQ(r.stored + r.failures, r.attempted);
+  EXPECT_EQ(r.stored, filter.ItemCount());
+  EXPECT_NEAR(r.load_factor, filter.LoadFactor(), 1e-12);
+  EXPECT_GT(r.total_seconds, 0.0);
+  EXPECT_GT(r.avg_insert_micros, 0.0);
+}
+
+TEST(ExperimentTest, FillToFirstFailureStopsEarly) {
+  CuckooParams p = SmallParams();
+  p.max_kicks = 4;
+  CuckooFilter filter(p);
+  const auto keys = UniformKeys(filter.SlotCount() * 2, 2);
+  const FillResult r = FillToFirstFailure(filter, keys);
+  EXPECT_EQ(r.failures, 1u);
+  EXPECT_LT(r.attempted, keys.size());
+  EXPECT_EQ(r.stored, r.attempted - 1);
+}
+
+TEST(ExperimentTest, FillResetsCountersFirst) {
+  VerticalCuckooFilter filter(SmallParams());
+  filter.Insert(1);
+  filter.Insert(2);
+  const auto keys = UniformKeys(10, 3);
+  FillAll(filter, keys);
+  EXPECT_EQ(filter.counters().inserts, keys.size());
+}
+
+TEST(ExperimentTest, MeasureFprIsExactOnKnownSets) {
+  VerticalCuckooFilter filter(SmallParams());
+  const auto members = UniformKeys(filter.SlotCount() / 2, 4);
+  FillAll(filter, members);
+  // Positive set: FPR measured over members is 1 (they are all present).
+  EXPECT_DOUBLE_EQ(MeasureFpr(filter, members), 1.0);
+  // Alien set: must be small (f = 14 at half load).
+  const auto aliens = UniformKeys(100000, 5);
+  EXPECT_LT(MeasureFpr(filter, aliens), 0.01);
+  EXPECT_EQ(MeasureFpr(filter, {}), 0.0);
+}
+
+TEST(ExperimentTest, MeasureLookupMicrosPositive) {
+  VerticalCuckooFilter filter(SmallParams());
+  const auto keys = UniformKeys(500, 6);
+  FillAll(filter, keys);
+  EXPECT_GT(MeasureLookupMicros(filter, keys), 0.0);
+  EXPECT_EQ(MeasureLookupMicros(filter, {}), 0.0);
+}
+
+TEST(ExperimentTest, MixQueriesComposition) {
+  const auto members = UniformKeys(1000, 7);
+  const auto aliens = UniformKeys(1000, 8);
+  const auto mixed = MixQueries(members, aliens, 0.5, 9);
+  EXPECT_EQ(mixed.size(), 2000u);
+  // All inputs present exactly once.
+  std::unordered_set<std::uint64_t> set(mixed.begin(), mixed.end());
+  EXPECT_EQ(set.size(), 2000u);
+  for (const auto k : members) ASSERT_EQ(set.count(k), 1u);
+  for (const auto k : aliens) ASSERT_EQ(set.count(k), 1u);
+  // Shuffled: the first half must not be all members.
+  std::size_t members_in_front = 0;
+  std::unordered_set<std::uint64_t> member_set(members.begin(), members.end());
+  for (std::size_t i = 0; i < 1000; ++i) {
+    members_in_front += member_set.count(mixed[i]);
+  }
+  EXPECT_GT(members_in_front, 300u);
+  EXPECT_LT(members_in_front, 700u);
+}
+
+TEST(ExperimentTest, MixQueriesExtremesAreFine) {
+  const auto members = UniformKeys(100, 10);
+  const auto aliens = UniformKeys(50, 11);
+  EXPECT_EQ(MixQueries(members, {}, 0.5, 1).size(), 100u);
+  EXPECT_EQ(MixQueries({}, aliens, 0.5, 1).size(), 50u);
+  EXPECT_TRUE(MixQueries({}, {}, 0.5, 1).empty());
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,83 @@
+#include "harness/filter_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+CuckooParams SmallParams() {
+  CuckooParams p;
+  p.bucket_count = 1 << 8;
+  return p;
+}
+
+TEST(FilterFactoryTest, BuildsEveryKind) {
+  const CuckooParams p = SmallParams();
+  const std::vector<FilterSpec> specs = {
+      {FilterSpec::Kind::kCF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kVCF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kIVCF, 3, p, 12.0, 0},
+      {FilterSpec::Kind::kDVCF, 5, p, 12.0, 0},
+      {FilterSpec::Kind::kKVCF, 7, p, 12.0, 0},
+      {FilterSpec::Kind::kDCF, 4, p, 12.0, 0},
+      {FilterSpec::Kind::kBF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kCBF, 0, p, 12.0, 0},
+  };
+  for (const auto& spec : specs) {
+    const auto filter = MakeFilter(spec);
+    ASSERT_NE(filter, nullptr) << spec.DisplayName();
+    EXPECT_EQ(filter->Name(), spec.DisplayName());
+    EXPECT_TRUE(filter->Insert(1234));
+    EXPECT_TRUE(filter->Contains(1234));
+  }
+}
+
+TEST(FilterFactoryTest, DisplayNames) {
+  CuckooParams p = SmallParams();
+  EXPECT_EQ((FilterSpec{FilterSpec::Kind::kIVCF, 4, p, 12.0, 0}).DisplayName(),
+            "IVCF_4");
+  EXPECT_EQ((FilterSpec{FilterSpec::Kind::kDVCF, 8, p, 12.0, 0}).DisplayName(),
+            "DVCF_8");
+  EXPECT_EQ((FilterSpec{FilterSpec::Kind::kKVCF, 9, p, 12.0, 0}).DisplayName(),
+            "9-VCF");
+  EXPECT_EQ((FilterSpec{FilterSpec::Kind::kDCF, 0, p, 12.0, 0}).DisplayName(),
+            "DCF(d=4)");
+}
+
+TEST(FilterFactoryTest, PaperLineupRoster) {
+  const auto lineup = PaperLineup(SmallParams());
+  ASSERT_EQ(lineup.size(), 2u + 6u + 8u);  // CF, DCF, IVCF_1..6, DVCF_1..8
+  EXPECT_EQ(lineup[0].DisplayName(), "CF");
+  EXPECT_EQ(lineup[1].DisplayName(), "DCF(d=4)");
+  EXPECT_EQ(lineup[2].DisplayName(), "IVCF_1");
+  EXPECT_EQ(lineup[7].DisplayName(), "IVCF_6");
+  EXPECT_EQ(lineup[8].DisplayName(), "DVCF_1");
+  EXPECT_EQ(lineup.back().DisplayName(), "DVCF_8");
+}
+
+TEST(FilterFactoryTest, SweepsShareParams) {
+  CuckooParams p = SmallParams();
+  p.fingerprint_bits = 11;
+  for (const auto& s : IvcfSweep(p)) {
+    EXPECT_EQ(s.params.fingerprint_bits, 11u);
+  }
+  EXPECT_EQ(IvcfSweep(p).size(), 6u);
+  EXPECT_EQ(DvcfSweep(p).size(), 8u);
+}
+
+TEST(FilterFactoryTest, FactoryFiltersBehaveUnderLoad) {
+  // Smoke test every cuckoo-family factory product at 90% fill.
+  for (const auto& spec : PaperLineup(SmallParams())) {
+    auto filter = MakeFilter(spec);
+    std::size_t stored = 0;
+    const auto keys = UniformKeys(filter->SlotCount() * 9 / 10, 901);
+    for (const auto k : keys) stored += filter->Insert(k) ? 1 : 0;
+    EXPECT_GT(static_cast<double>(stored) / keys.size(), 0.98)
+        << spec.DisplayName();
+  }
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,58 @@
+#include "harness/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vcf {
+namespace {
+
+Flags Make(std::vector<std::string> args) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;  // keep c_str()s alive
+  storage = std::move(args);
+  argv.push_back(const_cast<char*>("prog"));
+  for (auto& s : storage) argv.push_back(const_cast<char*>(s.c_str()));
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, ParsesKeyValuePairs) {
+  const Flags f = Make({"--slots_log2=18", "--hash=murmur", "--scale=0.5"});
+  EXPECT_EQ(f.GetInt("slots_log2", 0), 18);
+  EXPECT_EQ(f.GetString("hash", "fnv"), "murmur");
+  EXPECT_DOUBLE_EQ(f.GetDouble("scale", 1.0), 0.5);
+}
+
+TEST(FlagsTest, BareFlagsAreBooleans) {
+  const Flags f = Make({"--paper", "--csv=out.csv"});
+  EXPECT_TRUE(f.GetBool("paper"));
+  EXPECT_FALSE(f.GetBool("quick"));
+  EXPECT_TRUE(f.Has("csv"));
+  EXPECT_FALSE(f.Has("missing"));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  const Flags f = Make({});
+  EXPECT_EQ(f.GetInt("n", 42), 42);
+  EXPECT_EQ(f.GetString("s", "x"), "x");
+  EXPECT_DOUBLE_EQ(f.GetDouble("d", 2.5), 2.5);
+  EXPECT_TRUE(f.GetBool("b", true));
+}
+
+TEST(FlagsTest, IgnoresPositionalArguments) {
+  const Flags f = Make({"positional", "--real=1"});
+  EXPECT_FALSE(f.Has("positional"));
+  EXPECT_EQ(f.GetInt("real", 0), 1);
+}
+
+TEST(FlagsTest, ExplicitBooleanValues) {
+  const Flags f = Make({"--a=true", "--b=false", "--c=1", "--d=0", "--e=yes"});
+  EXPECT_TRUE(f.GetBool("a"));
+  EXPECT_FALSE(f.GetBool("b"));
+  EXPECT_TRUE(f.GetBool("c"));
+  EXPECT_FALSE(f.GetBool("d"));
+  EXPECT_TRUE(f.GetBool("e"));
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,138 @@
+#include "hash/hash64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hpp"
+
+namespace vcf {
+namespace {
+
+TEST(HashHostTest, LittleEndianHost) {
+  // The byte loaders assume a little-endian host (documented in hash64.cpp).
+  ASSERT_EQ(std::endian::native, std::endian::little);
+}
+
+TEST(Fnv1aTest, KnownVectors) {
+  // Unseeded FNV-1a 64 test vectors from the reference page.
+  EXPECT_EQ(Fnv1a64("", 0, 0), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(Fnv1a64("a", 1, 0), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(Fnv1a64("foobar", 6, 0), 0x85944171F73967E8ULL);
+}
+
+TEST(Djb2Test, MatchesReferenceRecurrence) {
+  // djb2 (xor variant): h = h*33 ^ c starting from 5381.
+  const std::string s = "hello";
+  std::uint64_t expect = 5381;
+  for (char c : s) expect = ((expect << 5) + expect) ^ static_cast<std::uint8_t>(c);
+  EXPECT_EQ(Djb2_64(s.data(), s.size(), 0), expect);
+}
+
+TEST(HashFamilyTest, SeedChangesOutput) {
+  const std::uint64_t key = 0xDEADBEEFCAFEULL;
+  for (HashKind kind : {HashKind::kFnv1a, HashKind::kMurmur3, HashKind::kDjb2,
+                        HashKind::kSplitMix}) {
+    EXPECT_NE(Hash64(kind, key, 1), Hash64(kind, key, 2))
+        << HashKindName(kind);
+  }
+}
+
+TEST(HashFamilyTest, DeterministicAcrossCalls) {
+  for (HashKind kind : {HashKind::kFnv1a, HashKind::kMurmur3, HashKind::kDjb2,
+                        HashKind::kSplitMix}) {
+    EXPECT_EQ(Hash64(kind, std::uint64_t{42}, 7), Hash64(kind, std::uint64_t{42}, 7));
+  }
+}
+
+TEST(HashFamilyTest, IntegerOverloadMatchesByteOverload) {
+  const std::uint64_t key = 0x0123456789ABCDEFULL;
+  std::uint8_t bytes[8];
+  std::memcpy(bytes, &key, 8);
+  for (HashKind kind : {HashKind::kFnv1a, HashKind::kMurmur3, HashKind::kDjb2,
+                        HashKind::kSplitMix}) {
+    EXPECT_EQ(Hash64(kind, key, 3), Hash64(kind, bytes, 8, 3))
+        << HashKindName(kind);
+  }
+}
+
+TEST(Murmur3Test, AllTailLengthsDiffer) {
+  // Exercise every switch arm of the tail handler: inputs of length 0..16
+  // must hash to pairwise distinct values.
+  std::vector<std::uint64_t> hashes;
+  std::string data = "0123456789abcdef";
+  for (std::size_t len = 0; len <= data.size(); ++len) {
+    hashes.push_back(Murmur3_64(data.data(), len, 0));
+  }
+  for (std::size_t i = 0; i < hashes.size(); ++i) {
+    for (std::size_t j = i + 1; j < hashes.size(); ++j) {
+      EXPECT_NE(hashes[i], hashes[j]) << i << " vs " << j;
+    }
+  }
+}
+
+class HashDistributionTest : public ::testing::TestWithParam<HashKind> {};
+
+TEST_P(HashDistributionTest, LowBitsRoughlyUniform) {
+  // The filters index buckets with the low bits; a catastrophically skewed
+  // low-bit distribution would invalidate every load-factor experiment.
+  // (DJB2 is known-weak but still passes this coarse bound on counters.)
+  const HashKind kind = GetParam();
+  constexpr unsigned kBuckets = 64;
+  std::vector<int> hits(kBuckets, 0);
+  constexpr int kDraws = 64000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++hits[Hash64(kind, static_cast<std::uint64_t>(i), 0x5EED) % kBuckets];
+  }
+  const double expect = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int h : hits) {
+    const double d = h - expect;
+    chi2 += d * d / expect;
+  }
+  // 63 dof; 99.999-th percentile is ~134. Allow generous slack — this guards
+  // against broken bucketing, not statistical perfection.
+  EXPECT_LT(chi2, 200.0) << HashKindName(kind);
+}
+
+TEST_P(HashDistributionTest, FingerprintBitsRoughlyUniform) {
+  // Fingerprints come from bits 32+; same coarse uniformity requirement.
+  const HashKind kind = GetParam();
+  constexpr unsigned kBins = 64;
+  std::vector<int> hits(kBins, 0);
+  constexpr int kDraws = 64000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++hits[(Hash64(kind, static_cast<std::uint64_t>(i), 0x5EED) >> 32) % kBins];
+  }
+  const double expect = static_cast<double>(kDraws) / kBins;
+  double chi2 = 0.0;
+  for (int h : hits) {
+    const double d = h - expect;
+    chi2 += d * d / expect;
+  }
+  EXPECT_LT(chi2, 200.0) << HashKindName(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, HashDistributionTest,
+                         ::testing::Values(HashKind::kFnv1a, HashKind::kMurmur3,
+                                           HashKind::kDjb2, HashKind::kSplitMix),
+                         [](const auto& info) {
+                           return std::string(HashKindName(info.param));
+                         });
+
+TEST(HashKindTest, NamesRoundTrip) {
+  for (HashKind kind : {HashKind::kFnv1a, HashKind::kMurmur3, HashKind::kDjb2,
+                        HashKind::kSplitMix}) {
+    EXPECT_EQ(ParseHashKind(HashKindName(kind)), kind);
+  }
+  EXPECT_EQ(ParseHashKind("murmur"), HashKind::kMurmur3);
+  EXPECT_EQ(ParseHashKind("djb"), HashKind::kDjb2);
+  EXPECT_EQ(ParseHashKind("bogus"), HashKind::kFnv1a);
+}
+
+}  // namespace
+}  // namespace vcf

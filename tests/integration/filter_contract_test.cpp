@@ -1,0 +1,125 @@
+// Contract test: every filter the factory can build must satisfy the common
+// AMQ contract (no false negatives, exact bookkeeping, clean Clear, counter
+// hygiene), regardless of its internal candidate scheme.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/filter_factory.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+std::vector<FilterSpec> AllSpecs() {
+  CuckooParams p;
+  p.bucket_count = 1 << 8;
+  std::vector<FilterSpec> specs = {
+      {FilterSpec::Kind::kCF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kVCF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kIVCF, 1, p, 12.0, 0},
+      {FilterSpec::Kind::kIVCF, 4, p, 12.0, 0},
+      {FilterSpec::Kind::kDVCF, 2, p, 12.0, 0},
+      {FilterSpec::Kind::kDVCF, 8, p, 12.0, 0},
+      {FilterSpec::Kind::kKVCF, 4, p, 12.0, 0},
+      {FilterSpec::Kind::kKVCF, 9, p, 12.0, 0},
+      {FilterSpec::Kind::kDCF, 4, p, 12.0, 0},
+      {FilterSpec::Kind::kBF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kCBF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kQF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kDlCBF, 4, p, 12.0, 0},
+      {FilterSpec::Kind::kVF, 5, p, 12.0, 0},
+      {FilterSpec::Kind::kSsCF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kMF, 0, p, 12.0, 0},
+  };
+  return specs;
+}
+
+class FilterContractTest : public ::testing::TestWithParam<FilterSpec> {};
+
+TEST_P(FilterContractTest, NoFalseNegatives) {
+  auto filter = MakeFilter(GetParam());
+  std::vector<std::uint64_t> stored;
+  for (const auto k : UniformKeys(filter->SlotCount() * 8 / 10, 1)) {
+    if (filter->Insert(k)) stored.push_back(k);
+  }
+  for (const auto k : stored) {
+    ASSERT_TRUE(filter->Contains(k)) << filter->Name();
+  }
+}
+
+TEST_P(FilterContractTest, ItemCountTracksInsertsAndErases) {
+  auto filter = MakeFilter(GetParam());
+  const auto keys = UniformKeys(100, 2);
+  std::size_t stored = 0;
+  for (const auto k : keys) stored += filter->Insert(k) ? 1 : 0;
+  EXPECT_EQ(filter->ItemCount(), stored);
+  if (filter->SupportsDeletion()) {
+    std::size_t erased = 0;
+    for (const auto k : keys) erased += filter->Erase(k) ? 1 : 0;
+    EXPECT_EQ(erased, stored) << filter->Name();
+    EXPECT_EQ(filter->ItemCount(), 0u);
+  } else {
+    EXPECT_FALSE(filter->Erase(keys[0]));
+    EXPECT_EQ(filter->ItemCount(), stored);
+  }
+}
+
+TEST_P(FilterContractTest, ClearRestoresEmptiness) {
+  auto filter = MakeFilter(GetParam());
+  const auto keys = UniformKeys(200, 3);
+  for (const auto k : keys) filter->Insert(k);
+  filter->Clear();
+  EXPECT_EQ(filter->ItemCount(), 0u);
+  EXPECT_EQ(filter->LoadFactor(), 0.0);
+  std::size_t survivors = 0;
+  for (const auto k : keys) survivors += filter->Contains(k) ? 1 : 0;
+  EXPECT_EQ(survivors, 0u) << filter->Name();
+}
+
+TEST_P(FilterContractTest, CountersAreMonotoneAndResettable) {
+  auto filter = MakeFilter(GetParam());
+  filter->Insert(10);
+  filter->Contains(10);
+  filter->Contains(11);
+  EXPECT_EQ(filter->counters().inserts, 1u);
+  EXPECT_EQ(filter->counters().lookups, 2u);
+  EXPECT_GT(filter->counters().hash_computations, 0u);
+  filter->ResetCounters();
+  EXPECT_EQ(filter->counters().inserts, 0u);
+  EXPECT_EQ(filter->counters().lookups, 0u);
+}
+
+TEST_P(FilterContractTest, StringKeyConvenienceIsConsistent) {
+  auto filter = MakeFilter(GetParam());
+  EXPECT_TRUE(filter->InsertKey("session:alpha"));
+  EXPECT_TRUE(filter->ContainsKey("session:alpha"));
+  EXPECT_TRUE(filter->Contains(Filter::KeyToU64("session:alpha")));
+  if (filter->SupportsDeletion()) {
+    EXPECT_TRUE(filter->EraseKey("session:alpha"));
+    EXPECT_FALSE(filter->ContainsKey("session:alpha"));
+  }
+}
+
+TEST_P(FilterContractTest, MemoryAndGeometryReported) {
+  auto filter = MakeFilter(GetParam());
+  EXPECT_GT(filter->MemoryBytes(), 0u);
+  EXPECT_GT(filter->SlotCount(), 0u);
+  EXPECT_FALSE(filter->Name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFilters, FilterContractTest, ::testing::ValuesIn(AllSpecs()),
+    [](const ::testing::TestParamInfo<FilterSpec>& info) {
+      std::string name = info.param.DisplayName();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,169 @@
+// Cross-filter properties asserted by the paper's analysis (§V) and borne
+// out in its evaluation (§VI) — these are the "shape" claims the benchmark
+// harness reproduces, checked here at test scale so regressions are caught
+// by ctest rather than by eyeballing bench output.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/model.hpp"
+#include "baselines/cuckoo_filter.hpp"
+#include "baselines/dary_cuckoo_filter.hpp"
+#include "core/dvcf.hpp"
+#include "core/vcf.hpp"
+#include "harness/experiment.hpp"
+#include "workload/key_streams.hpp"
+#include "workload/synthetic_higgs.hpp"
+
+namespace vcf {
+namespace {
+
+CuckooParams TestParams() {
+  CuckooParams p;
+  p.bucket_count = 1 << 12;  // 2^14 slots: big enough for stable statistics
+  p.fingerprint_bits = 14;
+  return p;
+}
+
+TEST(PaperPropertiesTest, VcfLoadFactorBeatsCF) {
+  // Fig. 5 / Table III: VCF (high r) stores more of an n-key stream in an
+  // n-slot table than CF.
+  const CuckooParams p = TestParams();
+  CuckooFilter cf(p);
+  VerticalCuckooFilter vcf_filter(p, 6);
+  const auto keys = UniformKeys(p.slot_count(), 11);
+  const FillResult cf_fill = FillAll(cf, keys);
+  const FillResult vcf_fill = FillAll(vcf_filter, keys);
+  EXPECT_GT(vcf_fill.load_factor, cf_fill.load_factor);
+  EXPECT_GT(vcf_fill.load_factor, 0.99);
+  EXPECT_GT(cf_fill.load_factor, 0.93);
+}
+
+TEST(PaperPropertiesTest, VcfEvictionsFarBelowCF) {
+  // Fig. 8: E0 of VCF ~1.3 vs CF ~12.8 at full fill. At test scale we
+  // assert the ordering and a >3x separation.
+  const CuckooParams p = TestParams();
+  CuckooFilter cf(p);
+  VerticalCuckooFilter vcf_filter(p, 6);
+  const auto keys = UniformKeys(p.slot_count() * 98 / 100, 13);
+  const FillResult cf_fill = FillAll(cf, keys);
+  const FillResult vcf_fill = FillAll(vcf_filter, keys);
+  EXPECT_LT(vcf_fill.evictions_per_insert * 3.0, cf_fill.evictions_per_insert);
+}
+
+TEST(PaperPropertiesTest, EvictionModelTracksMeasurement) {
+  // Eq. 14/15 predicted E0 and the measured evictions-per-insert agree
+  // within a factor band for CF (r = 0) when filling to ~95%.
+  const CuckooParams p = TestParams();
+  CuckooFilter cf(p);
+  const std::size_t n = p.slot_count() * 95 / 100;
+  const FillResult fill = FillAll(cf, UniformKeys(n, 17));
+  const double predicted = model::AverageInsertionCost(fill.load_factor, 0.0, 4);
+  // Model counts "evicted fingerprints per insertion" including the final
+  // successful placement; measured counts pure kicks. Compare loosely.
+  EXPECT_GT(fill.evictions_per_insert, predicted * 0.2);
+  EXPECT_LT(fill.evictions_per_insert, predicted * 5.0);
+}
+
+TEST(PaperPropertiesTest, FprGrowsWithR) {
+  // Fig. 9: false positives rise roughly linearly in r.
+  const CuckooParams p = TestParams();
+  const auto keys = UniformKeys(p.slot_count() * 95 / 100, 19);
+  const auto aliens = UniformKeys(1 << 18, 20);
+  double prev = -1.0;
+  for (unsigned ones : {1u, 3u, 6u}) {
+    VerticalCuckooFilter f(p, ones);
+    FillAll(f, keys);
+    const double fpr = MeasureFpr(f, aliens);
+    EXPECT_GT(fpr, prev) << "ones=" << ones;
+    prev = fpr;
+  }
+}
+
+TEST(PaperPropertiesTest, VcfFprStaysWithinEq10Bound) {
+  const CuckooParams p = TestParams();
+  VerticalCuckooFilter f(p, 6);
+  FillAll(f, UniformKeys(p.slot_count() * 95 / 100, 23));
+  const double fpr = MeasureFpr(f, UniformKeys(1 << 18, 24));
+  const double bound = model::FalsePositiveUpperBound(
+      p.fingerprint_bits, f.TheoreticalR(), p.slots_per_bucket, f.LoadFactor());
+  EXPECT_LT(fpr, bound * 1.5 + 1e-4);
+}
+
+TEST(PaperPropertiesTest, CfFprBelowVcfFpr) {
+  // Table III: CF 0.485e-3 vs VCF up to 0.974e-3 — more candidate buckets
+  // mean more fingerprint comparisons.
+  const CuckooParams p = TestParams();
+  CuckooFilter cf(p);
+  VerticalCuckooFilter vcf_filter(p, 6);
+  const auto keys = UniformKeys(p.slot_count() * 95 / 100, 29);
+  FillAll(cf, keys);
+  FillAll(vcf_filter, keys);
+  const auto aliens = UniformKeys(1 << 18, 30);
+  EXPECT_LT(MeasureFpr(cf, aliens), MeasureFpr(vcf_filter, aliens));
+}
+
+TEST(PaperPropertiesTest, DcfMatchesVcfLoadButCostsMoreProbesPerLookup) {
+  // Table III / Fig. 6: DCF reaches VCF-like load factors but its lookups
+  // are the slowest. Probe counts are CPU-independent, so assert on the
+  // hash-computation volume instead of wall time at test scale: DCF spends
+  // a base-d conversion per probe which we cannot count here, but its probe
+  // count should match VCF's 4 while CF uses 2.
+  const CuckooParams p = TestParams();
+  DaryCuckooFilter dcf(p, 4);
+  CuckooFilter cf(p);
+  const auto keys = UniformKeys(1000, 31);
+  for (const auto k : keys) {
+    dcf.Insert(k);
+    cf.Insert(k);
+  }
+  dcf.ResetCounters();
+  cf.ResetCounters();
+  const auto aliens = UniformKeys(1000, 32);
+  for (const auto a : aliens) {
+    dcf.Contains(a);
+    cf.Contains(a);
+  }
+  EXPECT_EQ(dcf.counters().bucket_probes, 4u * 1000u);
+  EXPECT_EQ(cf.counters().bucket_probes, 2u * 1000u);
+}
+
+TEST(PaperPropertiesTest, HiggsWorkloadReproducesLoadOrdering) {
+  // Same ordering claim on the (synthetic) HIGGS workload used by §VI.
+  const CuckooParams p = TestParams();
+  SyntheticHiggs higgs(2026);
+  const auto keys = higgs.UniqueKeys(p.slot_count());
+  CuckooFilter cf(p);
+  VerticalCuckooFilter vcf_filter(p, 6);
+  const FillResult cf_fill = FillAll(cf, keys);
+  const FillResult vcf_fill = FillAll(vcf_filter, keys);
+  EXPECT_GT(vcf_fill.load_factor, cf_fill.load_factor);
+}
+
+TEST(PaperPropertiesTest, Fig4ShapeLoadFactorRisesWithFingerprintBits) {
+  // Fig. 4: short fingerprints collide, capping the achievable load factor;
+  // longer fingerprints approach ~100%.
+  CuckooParams p;
+  p.bucket_count = 1 << 10;
+  double prev = 0.0;
+  for (unsigned f_bits : {5u, 7u, 12u, 18u}) {
+    p.fingerprint_bits = f_bits;
+    VerticalCuckooFilter f(p);
+    const FillResult fill = FillAll(f, UniformKeys(p.slot_count(), 33));
+    EXPECT_GE(fill.load_factor + 0.02, prev) << "f=" << f_bits;
+    prev = fill.load_factor;
+  }
+  EXPECT_GT(prev, 0.99);
+}
+
+TEST(PaperPropertiesTest, BitsPerItemFavorVcfAtEqualFpr) {
+  // §V-B worked example: VCF's higher alpha more than pays for its larger
+  // effective bucket size at realistic f.
+  const double cf_bits = model::BitsPerItem(0.0, 4, 0.95, 1e-3);
+  const double vcf_bits = model::BitsPerItem(0.5, 4, 0.98, 1e-3);
+  // At xi = 1e-3 both need similar f; VCF amortises over more items.
+  EXPECT_LT(vcf_bits, cf_bits * 1.08);
+}
+
+}  // namespace
+}  // namespace vcf

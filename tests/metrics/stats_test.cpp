@@ -1,0 +1,82 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace vcf {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Variance(), 0.0);
+  EXPECT_EQ(s.Min(), 0.0);
+  EXPECT_EQ(s.Max(), 0.0);
+}
+
+TEST(RunningStatTest, KnownSmallSample) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.Count(), 8u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStatTest, MergeMatchesSequential) {
+  Xoshiro256 rng(21);
+  RunningStat whole;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 100.0 - 30.0;
+    whole.Add(x);
+    (i < 400 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.Count(), whole.Count());
+  EXPECT_NEAR(left.Mean(), whole.Mean(), 1e-9);
+  EXPECT_NEAR(left.Variance(), whole.Variance(), 1e-7);
+  EXPECT_EQ(left.Min(), whole.Min());
+  EXPECT_EQ(left.Max(), whole.Max());
+}
+
+TEST(RunningStatTest, MergeWithEmptySides) {
+  RunningStat a;
+  RunningStat empty;
+  a.Add(3.0);
+  a.Add(5.0);
+  RunningStat b = a;
+  b.Merge(empty);
+  EXPECT_EQ(b.Count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 4.0);
+  RunningStat c;
+  c.Merge(a);
+  EXPECT_EQ(c.Count(), 2u);
+  EXPECT_DOUBLE_EQ(c.Mean(), 4.0);
+}
+
+TEST(QuantileTest, ExactOnSortedValues) {
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 5.5);
+  EXPECT_NEAR(Quantile(v, 0.9), 9.1, 1e-12);
+}
+
+TEST(QuantileTest, HandlesDegenerateInputs) {
+  EXPECT_EQ(Quantile({}, 0.5), 0.0);
+  EXPECT_EQ(Quantile({7.0}, 0.99), 7.0);
+  EXPECT_EQ(Quantile({3.0, 3.0, 3.0}, 0.5), 3.0);
+  // Out-of-range q is clamped.
+  EXPECT_EQ(Quantile({1.0, 2.0}, -1.0), 1.0);
+  EXPECT_EQ(Quantile({1.0, 2.0}, 2.0), 2.0);
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,90 @@
+#include "metrics/table_printer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/op_counters.hpp"
+
+namespace vcf {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta-long-name", "22"});
+  std::ostringstream out;
+  t.Print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("beta-long-name"), std::string::npos);
+  // Header and both rows plus the rule line.
+  int lines = 0;
+  for (char c : s) lines += c == '\n';
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(TablePrinterTest, NumericRowFormatting) {
+  TablePrinter t({"filter", "LF", "IT"});
+  t.AddNumericRow("CF", {0.98162, 15.859}, 3);
+  std::ostringstream out;
+  t.Print(out);
+  EXPECT_NE(out.str().find("0.982"), std::string::npos);
+  EXPECT_NE(out.str().find("15.859"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvEscapesSpecialCells) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"plain", "has,comma"});
+  t.AddRow({"has\"quote", "x"});
+  std::ostringstream out;
+  t.PrintCsv(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"only-one"});
+  std::ostringstream out;
+  t.Print(out);  // must not crash; row padded with empties
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(TablePrinter::FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(TablePrinter::FormatDouble(0.00055, 5), "0.00055");
+}
+
+TEST(OpCountersTest, AccumulateAndDerive) {
+  OpCounters a;
+  a.inserts = 10;
+  a.evictions = 25;
+  a.lookups = 4;
+  a.bucket_probes = 16;
+  OpCounters b;
+  b.inserts = 5;
+  b.evictions = 5;
+  a += b;
+  EXPECT_EQ(a.inserts, 15u);
+  EXPECT_EQ(a.evictions, 30u);
+  EXPECT_DOUBLE_EQ(a.EvictionsPerInsert(), 2.0);
+  EXPECT_DOUBLE_EQ(a.ProbesPerLookup(), 4.0);
+  a.Reset();
+  EXPECT_EQ(a.inserts, 0u);
+  EXPECT_EQ(a.EvictionsPerInsert(), 0.0);
+}
+
+TEST(OpCountersTest, ToStringMentionsFields) {
+  OpCounters c;
+  c.inserts = 3;
+  c.evictions = 7;
+  const std::string s = c.ToString();
+  EXPECT_NE(s.find("inserts=3"), std::string::npos);
+  EXPECT_NE(s.find("evictions=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vcf

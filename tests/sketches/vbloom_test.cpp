@@ -1,0 +1,91 @@
+#include "sketches/vbloom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "baselines/bloom_filter.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+TEST(VBloomTest, ConstructionValidation) {
+  EXPECT_THROW(VerticalBloomFilter(0, 10.0), std::invalid_argument);
+  EXPECT_THROW(VerticalBloomFilter(100, 0.0), std::invalid_argument);
+  EXPECT_NO_THROW(VerticalBloomFilter(1000, 12.0));
+}
+
+TEST(VBloomTest, NoFalseNegatives) {
+  VerticalBloomFilter f(20000, 12.0);
+  const auto keys = UniformKeys(20000, 801);
+  for (const auto k : keys) ASSERT_TRUE(f.Insert(k));
+  for (const auto k : keys) ASSERT_TRUE(f.Contains(k));
+}
+
+TEST(VBloomTest, OneHashPerOperation) {
+  VerticalBloomFilter f(1000, 12.0);
+  f.Insert(5);
+  EXPECT_EQ(f.counters().hash_computations, 1u);
+  f.Contains(5);
+  EXPECT_EQ(f.counters().hash_computations, 2u);
+  EXPECT_GE(f.num_hashes(), 2u);
+}
+
+TEST(VBloomTest, NoDeletionSupport) {
+  VerticalBloomFilter f(1000, 12.0);
+  f.Insert(7);
+  EXPECT_FALSE(f.SupportsDeletion());
+  EXPECT_FALSE(f.Erase(7));
+  EXPECT_TRUE(f.Contains(7));
+}
+
+TEST(VBloomTest, FprWithinSmallFactorOfIndependentBloom) {
+  // The §III-C trade: correlated probe positions from one hash must not
+  // blow up the false positive rate. Compare against the classic BF at the
+  // SAME bit count and k (the VBF rounds its array to a power of two, so
+  // feed the BF the rounded size).
+  const std::size_t n = 40000;
+  VerticalBloomFilter vbf(n, 12.0);
+  const double equal_bits =
+      static_cast<double>(vbf.bit_count()) / static_cast<double>(n);
+  BloomFilter bf(n, equal_bits, HashKind::kFnv1a, vbf.num_hashes());
+
+  const auto keys = UniformKeys(n, 811);
+  for (const auto k : keys) {
+    vbf.Insert(k);
+    bf.Insert(k);
+  }
+  const auto aliens = UniformKeys(400000, 812);
+  std::size_t vbf_fp = 0;
+  std::size_t bf_fp = 0;
+  for (const auto a : aliens) {
+    vbf_fp += vbf.Contains(a) ? 1 : 0;
+    bf_fp += bf.Contains(a) ? 1 : 0;
+  }
+  const double vbf_rate = static_cast<double>(vbf_fp) / aliens.size();
+  const double bf_rate = static_cast<double>(bf_fp) / aliens.size();
+  EXPECT_LT(vbf_rate, bf_rate * 3.0 + 1e-4)
+      << "vertical hashing destroyed the FPR";
+  EXPECT_GT(vbf_rate, 0.0) << "suspiciously perfect";
+}
+
+TEST(VBloomTest, ClearResets) {
+  VerticalBloomFilter f(1000, 12.0);
+  for (const auto k : UniformKeys(100, 821)) f.Insert(k);
+  f.Clear();
+  EXPECT_EQ(f.ItemCount(), 0u);
+  for (const auto k : UniformKeys(100, 821)) EXPECT_FALSE(f.Contains(k));
+}
+
+TEST(VBloomTest, BatchDefaultWorks) {
+  VerticalBloomFilter f(1000, 12.0);
+  const auto keys = UniformKeys(100, 831);
+  for (const auto k : keys) f.Insert(k);
+  const auto out = std::make_unique<bool[]>(keys.size());
+  f.ContainsBatch(keys, out.get());
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(out[i]);
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,153 @@
+#include "table/packed_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/random.hpp"
+
+namespace vcf {
+namespace {
+
+TEST(PackedTableTest, ConstructionValidation) {
+  EXPECT_THROW(PackedTable(0, 4, 8), std::invalid_argument);   // no buckets
+  EXPECT_THROW(PackedTable(8, 0, 8), std::invalid_argument);   // no slots
+  EXPECT_THROW(PackedTable(8, 4, 0), std::invalid_argument);   // no bits
+  EXPECT_THROW(PackedTable(8, 4, 58), std::invalid_argument);  // too wide
+  EXPECT_NO_THROW(PackedTable(8, 4, 57));
+  EXPECT_NO_THROW(PackedTable(3, 4, 8));  // Vacuum filter: non-pow2 tables
+  EXPECT_NO_THROW(PackedTable(1, 1, 1));
+}
+
+TEST(PackedTableTest, StartsEmpty) {
+  PackedTable t(16, 4, 9);
+  EXPECT_EQ(t.OccupiedSlots(), 0u);
+  EXPECT_EQ(t.LoadFactor(), 0.0);
+  for (std::size_t b = 0; b < t.bucket_count(); ++b) {
+    for (unsigned s = 0; s < t.slots_per_bucket(); ++s) {
+      EXPECT_EQ(t.Get(b, s), 0u);
+    }
+    EXPECT_EQ(t.FindEmptySlot(b), 0);
+  }
+}
+
+TEST(PackedTableTest, SetGetTracksOccupancy) {
+  PackedTable t(8, 4, 12);
+  t.Set(3, 2, 0xABC);
+  EXPECT_EQ(t.Get(3, 2), 0xABCu);
+  EXPECT_EQ(t.OccupiedSlots(), 1u);
+  t.Set(3, 2, 0xDEF);  // overwrite occupied: count unchanged
+  EXPECT_EQ(t.OccupiedSlots(), 1u);
+  t.Set(3, 2, 0);  // clear
+  EXPECT_EQ(t.OccupiedSlots(), 0u);
+}
+
+TEST(PackedTableTest, InsertFillsBucketThenFails) {
+  PackedTable t(4, 4, 8);
+  for (unsigned i = 0; i < 4; ++i) {
+    EXPECT_TRUE(t.InsertValue(1, i + 1));
+  }
+  EXPECT_EQ(t.FindEmptySlot(1), -1);
+  EXPECT_FALSE(t.InsertValue(1, 99));
+  EXPECT_EQ(t.OccupiedSlots(), 4u);
+}
+
+TEST(PackedTableTest, ContainsAndErase) {
+  PackedTable t(4, 4, 8);
+  ASSERT_TRUE(t.InsertValue(2, 7));
+  ASSERT_TRUE(t.InsertValue(2, 7));  // duplicate fingerprints are legal
+  ASSERT_TRUE(t.InsertValue(2, 9));
+  EXPECT_TRUE(t.ContainsValue(2, 7));
+  EXPECT_TRUE(t.ContainsValue(2, 9));
+  EXPECT_FALSE(t.ContainsValue(2, 8));
+  EXPECT_FALSE(t.ContainsValue(3, 7));
+
+  EXPECT_TRUE(t.EraseValue(2, 7));  // removes exactly one copy
+  EXPECT_TRUE(t.ContainsValue(2, 7));
+  EXPECT_TRUE(t.EraseValue(2, 7));
+  EXPECT_FALSE(t.ContainsValue(2, 7));
+  EXPECT_FALSE(t.EraseValue(2, 7));
+  EXPECT_EQ(t.OccupiedSlots(), 1u);
+}
+
+TEST(PackedTableTest, MaskedMatchIgnoresHighField) {
+  // k-VCF layout: low 8 bits fingerprint, high bits mark.
+  PackedTable t(4, 4, 11);
+  const std::uint64_t fp_mask = LowMask(8);
+  ASSERT_TRUE(t.InsertValue(0, (5ull << 8) | 0x3C));  // mark 5, fp 0x3C
+  EXPECT_TRUE(t.ContainsMasked(0, 0x3C, fp_mask));
+  EXPECT_TRUE(t.ContainsMasked(0, (7ull << 8) | 0x3C, fp_mask));  // mark ignored
+  EXPECT_FALSE(t.ContainsMasked(0, 0x3D, fp_mask));
+
+  const std::uint64_t erased = t.EraseMasked(0, 0x3C, fp_mask);
+  EXPECT_EQ(erased, (5ull << 8) | 0x3C);
+  EXPECT_EQ(t.EraseMasked(0, 0x3C, fp_mask), 0u);
+}
+
+TEST(PackedTableTest, ContainsMaskedNeverMatchesEmptySlots) {
+  PackedTable t(4, 4, 11);
+  // A zero fingerprint query must not match the empty sentinel.
+  EXPECT_FALSE(t.ContainsMasked(0, 0, LowMask(8)));
+  ASSERT_TRUE(t.InsertValue(0, (3ull << 8) | 0x01));
+  EXPECT_FALSE(t.ContainsMasked(0, 0, LowMask(8)));
+}
+
+TEST(PackedTableTest, ClearResets) {
+  PackedTable t(8, 2, 6);
+  for (std::size_t b = 0; b < 8; ++b) t.InsertValue(b, 1 + b % 63);
+  EXPECT_EQ(t.OccupiedSlots(), 8u);
+  t.Clear();
+  EXPECT_EQ(t.OccupiedSlots(), 0u);
+  for (std::size_t b = 0; b < 8; ++b) EXPECT_EQ(t.Get(b, 0), 0u);
+}
+
+TEST(PackedTableTest, EqualityComparesContents) {
+  PackedTable a(8, 4, 10);
+  PackedTable b(8, 4, 10);
+  EXPECT_TRUE(a == b);
+  a.Set(1, 1, 5);
+  EXPECT_FALSE(a == b);
+  b.Set(1, 1, 5);
+  EXPECT_TRUE(a == b);
+}
+
+// Parameterized sweep over geometries: (bucket_count, slots, bits).
+class PackedTableGeometry
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned, unsigned>> {};
+
+TEST_P(PackedTableGeometry, RandomizedMirrorCheck) {
+  const auto [buckets, slots, bits] = GetParam();
+  PackedTable t(buckets, slots, bits);
+  std::map<std::pair<std::size_t, unsigned>, std::uint64_t> mirror;
+  Xoshiro256 rng(buckets * 131 + slots * 17 + bits);
+  for (int op = 0; op < 5000; ++op) {
+    const std::size_t b = rng.Below(buckets);
+    const unsigned s = static_cast<unsigned>(rng.Below(slots));
+    const std::uint64_t v = rng.Next() & LowMask(bits);
+    t.Set(b, s, v);
+    mirror[{b, s}] = v;
+  }
+  std::size_t occupied = 0;
+  for (const auto& [pos, v] : mirror) {
+    ASSERT_EQ(t.Get(pos.first, pos.second), v);
+    occupied += v != 0;
+  }
+  EXPECT_EQ(t.OccupiedSlots(), occupied);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, PackedTableGeometry,
+    ::testing::Values(std::make_tuple(std::size_t{4}, 1u, 1u),
+                      std::make_tuple(std::size_t{16}, 4u, 7u),
+                      std::make_tuple(std::size_t{16}, 4u, 14u),
+                      std::make_tuple(std::size_t{64}, 4u, 18u),
+                      std::make_tuple(std::size_t{32}, 3u, 13u),
+                      std::make_tuple(std::size_t{8}, 8u, 25u),
+                      std::make_tuple(std::size_t{4}, 2u, 57u)));
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,87 @@
+#include "table/serialization.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bitops.hpp"
+#include "common/random.hpp"
+
+namespace vcf {
+namespace {
+
+PackedTable MakePopulatedTable() {
+  PackedTable t(32, 4, 13);
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 60; ++i) {
+    t.Set(rng.Below(32), static_cast<unsigned>(rng.Below(4)),
+          rng.Next() & LowMask(13));
+  }
+  return t;
+}
+
+TEST(TableCodecTest, RoundTripPreservesEverything) {
+  const PackedTable original = MakePopulatedTable();
+  std::stringstream stream;
+  ASSERT_TRUE(TableCodec::Save(original, stream));
+  const auto loaded = TableCodec::Load(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(*loaded == original);
+  EXPECT_EQ(loaded->OccupiedSlots(), original.OccupiedSlots());
+}
+
+TEST(TableCodecTest, EmptyTableRoundTrips) {
+  const PackedTable original(8, 4, 7);
+  std::stringstream stream;
+  ASSERT_TRUE(TableCodec::Save(original, stream));
+  const auto loaded = TableCodec::Load(stream);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(*loaded == original);
+}
+
+TEST(TableCodecTest, RejectsBadMagic) {
+  std::stringstream stream;
+  stream << "NOPEjunkjunkjunkjunkjunkjunk";
+  EXPECT_FALSE(TableCodec::Load(stream).has_value());
+}
+
+TEST(TableCodecTest, RejectsTruncatedPayload) {
+  const PackedTable original = MakePopulatedTable();
+  std::stringstream stream;
+  ASSERT_TRUE(TableCodec::Save(original, stream));
+  std::string bytes = stream.str();
+  bytes.resize(bytes.size() / 2);
+  std::stringstream truncated(bytes);
+  EXPECT_FALSE(TableCodec::Load(truncated).has_value());
+}
+
+TEST(TableCodecTest, RejectsCorruptedPayload) {
+  const PackedTable original = MakePopulatedTable();
+  std::stringstream stream;
+  ASSERT_TRUE(TableCodec::Save(original, stream));
+  std::string bytes = stream.str();
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a payload bit => checksum mismatch
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(TableCodec::Load(corrupted).has_value());
+}
+
+TEST(TableCodecTest, RejectsAbsurdGeometry) {
+  // Header claiming a non-power-of-two bucket count must be rejected before
+  // any allocation is attempted.
+  std::stringstream stream;
+  const PackedTable original(4, 2, 5);
+  ASSERT_TRUE(TableCodec::Save(original, stream));
+  std::string bytes = stream.str();
+  // bucket_count field starts right after magic(4) + version(4).
+  bytes[8] = 3;
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(TableCodec::Load(corrupted).has_value());
+}
+
+TEST(TableCodecTest, RejectsEmptyStream) {
+  std::stringstream stream;
+  EXPECT_FALSE(TableCodec::Load(stream).has_value());
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,110 @@
+// End-to-end test of the vcf_tool CLI: build a checkpoint from stdin keys,
+// query it, inspect it, and verify flag-mismatch rejection — through real
+// process invocations of the installed binary (path injected by CMake).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace {
+
+#ifndef VCF_TOOL_PATH
+#error "VCF_TOOL_PATH must be defined by the build system"
+#endif
+
+const char* kTool = VCF_TOOL_PATH;
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+int RunCommand(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return status < 0 ? status : WEXITSTATUS(status);
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+class VcfToolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    keys_path_ = TempPath("vcf_tool_keys.txt");
+    state_path_ = TempPath("vcf_tool_state.bin");
+    out_path_ = TempPath("vcf_tool_out.txt");
+    std::ofstream keys(keys_path_);
+    keys << "alpha\nbeta\ngamma\ndelta\n";
+  }
+
+  void TearDown() override {
+    std::remove(keys_path_.c_str());
+    std::remove(state_path_.c_str());
+    std::remove(out_path_.c_str());
+  }
+
+  std::string Flags() const {
+    return " --filter=ivcf --variant=6 --slots_log2=10 --state=" + state_path_;
+  }
+
+  std::string keys_path_, state_path_, out_path_;
+};
+
+TEST_F(VcfToolTest, NoArgumentsPrintsUsage) {
+  EXPECT_EQ(RunCommand(std::string(kTool) + " > /dev/null 2>&1"), 64);
+}
+
+TEST_F(VcfToolTest, BuildQueryStatsRoundTrip) {
+  ASSERT_EQ(RunCommand(std::string(kTool) + " build" + Flags() + " < " + keys_path_ +
+                " 2> /dev/null"),
+            0);
+
+  // Query: members answer maybe; a fresh key answers no.
+  {
+    std::ofstream probes(out_path_ + ".in");
+    probes << "alpha\nomega-never-inserted\n";
+  }
+  ASSERT_EQ(RunCommand(std::string(kTool) + " query" + Flags() + " < " + out_path_ +
+                ".in > " + out_path_ + " 2> /dev/null"),
+            0);
+  const std::string output = ReadAll(out_path_);
+  EXPECT_NE(output.find("maybe\talpha"), std::string::npos) << output;
+  EXPECT_NE(output.find("no\tomega-never-inserted"), std::string::npos)
+      << output;
+  std::remove((out_path_ + ".in").c_str());
+
+  // Stats reflect the build.
+  ASSERT_EQ(RunCommand(std::string(kTool) + " stats" + Flags() + " > " + out_path_ +
+                " 2> /dev/null"),
+            0);
+  const std::string stats = ReadAll(out_path_);
+  EXPECT_NE(stats.find("name:         IVCF_6"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("items:        4"), std::string::npos) << stats;
+}
+
+TEST_F(VcfToolTest, MismatchedFlagsAreRejected) {
+  ASSERT_EQ(RunCommand(std::string(kTool) + " build" + Flags() + " < " + keys_path_ +
+                " 2> /dev/null"),
+            0);
+  // Same blob, different filter kind: load must fail.
+  EXPECT_NE(RunCommand(std::string(kTool) + " stats --filter=cf --slots_log2=10 "
+                "--state=" + state_path_ + " > /dev/null 2>&1"),
+            0);
+  // Different seed: also rejected.
+  EXPECT_NE(RunCommand(std::string(kTool) + " stats" + Flags() +
+                " --seed=1234 > /dev/null 2>&1"),
+            0);
+}
+
+TEST_F(VcfToolTest, UnknownFilterKindErrors) {
+  EXPECT_EQ(RunCommand(std::string(kTool) +
+                " build --filter=bogus > /dev/null 2>&1 < " + keys_path_),
+            1);
+}
+
+}  // namespace

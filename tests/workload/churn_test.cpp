@@ -1,0 +1,108 @@
+#include "workload/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace vcf {
+namespace {
+
+ChurnTraceConfig SmallConfig() {
+  ChurnTraceConfig c;
+  c.working_set = 1000;
+  c.operations = 10000;
+  c.seed = 99;
+  return c;
+}
+
+TEST(ChurnTest, WarmupIsPureInserts) {
+  const auto trace = GenerateChurnTrace(SmallConfig());
+  ASSERT_GE(trace.size(), 1000u);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(trace[i].kind, ChurnOp::Kind::kInsert);
+  }
+}
+
+TEST(ChurnTest, TraceIsInternallyConsistent) {
+  // Replaying against an exact set: every erase targets a live key, every
+  // lookup's expect_present matches reality.
+  const auto trace = GenerateChurnTrace(SmallConfig());
+  std::unordered_set<std::uint64_t> live;
+  for (const auto& op : trace) {
+    switch (op.kind) {
+      case ChurnOp::Kind::kInsert:
+        ASSERT_TRUE(live.insert(op.key).second) << "duplicate insert";
+        break;
+      case ChurnOp::Kind::kErase:
+        ASSERT_EQ(live.erase(op.key), 1u) << "erase of dead key";
+        break;
+      case ChurnOp::Kind::kLookup:
+        ASSERT_EQ(live.count(op.key) == 1, op.expect_present);
+        break;
+    }
+  }
+}
+
+TEST(ChurnTest, LiveCountStaysNearWorkingSet) {
+  const auto trace = GenerateChurnTrace(SmallConfig());
+  std::unordered_set<std::uint64_t> live;
+  std::size_t max_live = 0;
+  for (const auto& op : trace) {
+    if (op.kind == ChurnOp::Kind::kInsert) live.insert(op.key);
+    if (op.kind == ChurnOp::Kind::kErase) live.erase(op.key);
+    max_live = std::max(max_live, live.size());
+  }
+  EXPECT_GE(live.size(), 500u);
+  EXPECT_LE(max_live, 2500u) << "live set drifted far above the target";
+}
+
+TEST(ChurnTest, ContainsErasesAndAlienLookups) {
+  const auto trace = GenerateChurnTrace(SmallConfig());
+  std::size_t erases = 0;
+  std::size_t alien_lookups = 0;
+  std::size_t member_lookups = 0;
+  for (const auto& op : trace) {
+    erases += op.kind == ChurnOp::Kind::kErase;
+    if (op.kind == ChurnOp::Kind::kLookup) {
+      (op.expect_present ? member_lookups : alien_lookups) += 1;
+    }
+  }
+  EXPECT_GT(erases, 100u);
+  EXPECT_GT(alien_lookups, 100u);
+  EXPECT_GT(member_lookups, 100u);
+}
+
+TEST(ChurnTest, DeterministicPerSeed) {
+  const auto a = GenerateChurnTrace(SmallConfig());
+  const auto b = GenerateChurnTrace(SmallConfig());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].key, b[i].key);
+    ASSERT_EQ(a[i].kind, b[i].kind);
+  }
+  ChurnTraceConfig other = SmallConfig();
+  other.seed = 100;
+  const auto c = GenerateChurnTrace(other);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].key != c[i].key || a[i].kind != c[i].kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ChurnTest, LookupFractionRespected) {
+  ChurnTraceConfig c = SmallConfig();
+  c.lookup_fraction = 0.8;
+  const auto trace = GenerateChurnTrace(c);
+  std::size_t lookups = 0;
+  for (std::size_t i = c.working_set; i < trace.size(); ++i) {
+    lookups += trace[i].kind == ChurnOp::Kind::kLookup;
+  }
+  const double frac =
+      static_cast<double>(lookups) / static_cast<double>(c.operations);
+  EXPECT_NEAR(frac, 0.8, 0.05);
+}
+
+}  // namespace
+}  // namespace vcf

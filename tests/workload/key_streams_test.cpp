@@ -1,0 +1,74 @@
+#include "workload/key_streams.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+
+namespace vcf {
+namespace {
+
+TEST(UniformKeysTest, DistinctWithinStream) {
+  const auto keys = UniformKeys(100000, 1);
+  std::unordered_set<std::uint64_t> set(keys.begin(), keys.end());
+  EXPECT_EQ(set.size(), keys.size());
+}
+
+TEST(UniformKeysTest, DisjointAcrossStreams) {
+  const auto a = UniformKeys(50000, 1);
+  const auto b = UniformKeys(50000, 2);
+  std::unordered_set<std::uint64_t> set(a.begin(), a.end());
+  for (const auto k : b) ASSERT_EQ(set.count(k), 0u);
+}
+
+TEST(UniformKeysTest, IndexedAccessorMatchesVector) {
+  const auto keys = UniformKeys(100, 7);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], UniformKeyAt(7, i));
+  }
+}
+
+TEST(UniformKeysTest, RejectsOversizedRequest) {
+  EXPECT_THROW(UniformKeys(std::size_t{1} << 40, 1), std::invalid_argument);
+}
+
+TEST(ZipfTest, ValidatesUniverse) {
+  EXPECT_THROW(ZipfGenerator(0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(ZipfTest, RankZeroDominates) {
+  ZipfGenerator gen(10000, 1.0, 5);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[gen.Next()];
+  // The hottest key must be sampled far more often than a mid-rank key.
+  const int hot = counts[gen.KeyForRank(0)];
+  const int mid = counts[gen.KeyForRank(100)];
+  EXPECT_GT(hot, 50 * std::max(1, mid) / 10);
+  EXPECT_GT(hot, 1000);
+}
+
+TEST(ZipfTest, FrequenciesFollowPowerLaw) {
+  ZipfGenerator gen(1000, 1.0, 9);
+  std::map<std::uint64_t, int> counts;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i) ++counts[gen.Next()];
+  // Under Zipf(1.0) with U=1000, rank r has probability ~ 1/(r+1)/H_U,
+  // H_1000 ~= 7.485. Check ranks 0 and 9 within loose multiplicative bounds.
+  const double h = 7.485;
+  const double expect0 = draws / (1.0 * h);
+  const double expect9 = draws / (10.0 * h);
+  EXPECT_NEAR(counts[gen.KeyForRank(0)], expect0, expect0 * 0.15);
+  EXPECT_NEAR(counts[gen.KeyForRank(9)], expect9, expect9 * 0.25);
+}
+
+TEST(ZipfTest, KeysStayInUniverse) {
+  ZipfGenerator gen(64, 1.2, 13);
+  std::unordered_set<std::uint64_t> universe;
+  for (std::size_t r = 0; r < 64; ++r) universe.insert(gen.KeyForRank(r));
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_EQ(universe.count(gen.Next()), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,84 @@
+#include "workload/synthetic_higgs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+namespace vcf {
+namespace {
+
+TEST(SyntheticHiggsTest, RecordsHave28Features) {
+  SyntheticHiggs gen(1);
+  const HiggsRecord rec = gen.NextRecord();
+  for (double v : rec.features) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(SyntheticHiggsTest, DeterministicPerSeed) {
+  SyntheticHiggs a(42);
+  SyntheticHiggs b(42);
+  SyntheticHiggs c(43);
+  const auto ka = a.UniqueKeys(100);
+  const auto kb = b.UniqueKeys(100);
+  const auto kc = c.UniqueKeys(100);
+  EXPECT_EQ(ka, kb);
+  EXPECT_NE(ka, kc);
+}
+
+TEST(SyntheticHiggsTest, KeysAreUnique) {
+  SyntheticHiggs gen(7);
+  const auto keys = gen.UniqueKeys(50000);
+  std::unordered_set<std::uint64_t> set(keys.begin(), keys.end());
+  EXPECT_EQ(set.size(), keys.size());
+}
+
+TEST(SyntheticHiggsTest, MergeAffectsKey) {
+  // Changing feature 3 or 4 must change the key unless the merge sum is
+  // preserved — the preprocessing really does merge them.
+  SyntheticHiggs gen(9);
+  HiggsRecord rec = gen.NextRecord();
+  rec.features[2] = 2.0;
+  rec.features[3] = 3.0;
+  const std::uint64_t base = SyntheticHiggs::RecordKey(rec);
+  HiggsRecord swapped = rec;
+  // Swapping features 3 and 4 preserves their (exact) sum: key unchanged.
+  swapped.features[2] = 3.0;
+  swapped.features[3] = 2.0;
+  EXPECT_EQ(SyntheticHiggs::RecordKey(swapped), base);
+  // Changing the sum must change the key.
+  swapped.features[2] = 4.0;
+  EXPECT_NE(SyntheticHiggs::RecordKey(swapped), base);
+}
+
+TEST(SyntheticHiggsTest, DisjointKeySetsAreDisjoint) {
+  SyntheticHiggs gen(11);
+  std::vector<std::uint64_t> members;
+  std::vector<std::uint64_t> aliens;
+  gen.DisjointKeySets(5000, 5000, &members, &aliens);
+  EXPECT_EQ(members.size(), 5000u);
+  EXPECT_EQ(aliens.size(), 5000u);
+  std::unordered_set<std::uint64_t> member_set(members.begin(), members.end());
+  for (const auto a : aliens) {
+    ASSERT_EQ(member_set.count(a), 0u);
+  }
+}
+
+TEST(SyntheticHiggsTest, KeysAreWellMixed) {
+  // Keys must spread across bucket-index bits: coarse chi-square on low 6 bits.
+  SyntheticHiggs gen(13);
+  const auto keys = gen.UniqueKeys(64000);
+  std::vector<int> hits(64, 0);
+  for (const auto k : keys) ++hits[k & 63];
+  const double expect = static_cast<double>(keys.size()) / 64;
+  double chi2 = 0.0;
+  for (int h : hits) {
+    const double d = h - expect;
+    chi2 += d * d / expect;
+  }
+  EXPECT_LT(chi2, 150.0);
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,172 @@
+// vcf_tool — command-line front end for building, checkpointing and querying
+// filters. Lets an operator try the library without writing code:
+//
+//   # build a VCF from newline-separated keys and checkpoint it
+//   $ vcf_tool build --filter=ivcf --variant=6 --slots_log2=20
+//         --state=members.vcf < members.txt
+//
+//   # query keys against the checkpoint (same construction flags!)
+//   $ vcf_tool query --filter=ivcf --variant=6 --slots_log2=20
+//         --state=members.vcf < probes.txt
+//
+//   # print capacity/occupancy of a checkpoint
+//   $ vcf_tool stats --filter=ivcf --variant=6 --slots_log2=20
+//         --state=members.vcf
+//
+// The state blob stores a digest of the construction parameters; loading
+// with mismatched flags is rejected rather than silently misinterpreting
+// the table. Keys are arbitrary byte strings, one per line.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "harness/filter_factory.hpp"
+#include "harness/flags.hpp"
+
+namespace {
+
+using vcf::Filter;
+using vcf::FilterSpec;
+using vcf::Flags;
+
+FilterSpec SpecFromFlags(const Flags& flags) {
+  FilterSpec spec;
+  const std::string kind = flags.GetString("filter", "vcf");
+  if (kind == "cf") {
+    spec.kind = FilterSpec::Kind::kCF;
+  } else if (kind == "vcf") {
+    spec.kind = FilterSpec::Kind::kVCF;
+  } else if (kind == "ivcf") {
+    spec.kind = FilterSpec::Kind::kIVCF;
+  } else if (kind == "dvcf") {
+    spec.kind = FilterSpec::Kind::kDVCF;
+  } else if (kind == "kvcf") {
+    spec.kind = FilterSpec::Kind::kKVCF;
+  } else if (kind == "dcf") {
+    spec.kind = FilterSpec::Kind::kDCF;
+  } else if (kind == "bf") {
+    spec.kind = FilterSpec::Kind::kBF;
+  } else if (kind == "cbf") {
+    spec.kind = FilterSpec::Kind::kCBF;
+  } else if (kind == "qf") {
+    spec.kind = FilterSpec::Kind::kQF;
+  } else if (kind == "dlcbf") {
+    spec.kind = FilterSpec::Kind::kDlCBF;
+  } else if (kind == "vf") {
+    spec.kind = FilterSpec::Kind::kVF;
+  } else if (kind == "sscf") {
+    spec.kind = FilterSpec::Kind::kSsCF;
+  } else {
+    throw std::invalid_argument(
+        "unknown --filter=" + kind +
+        " (cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf)");
+  }
+  spec.variant = static_cast<unsigned>(flags.GetInt("variant", 4));
+  spec.params = vcf::CuckooParams::ForSlotsLog2(
+      static_cast<unsigned>(flags.GetInt("slots_log2", 16)));
+  spec.params.fingerprint_bits =
+      static_cast<unsigned>(flags.GetInt("f", 14));
+  spec.params.max_kicks = static_cast<unsigned>(flags.GetInt("max_kicks", 500));
+  spec.params.hash = vcf::ParseHashKind(flags.GetString("hash", "fnv"));
+  spec.params.seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 0x5EEDF00D));
+  spec.bits_per_item = flags.GetDouble("bits_per_item", 12.0);
+  return spec;
+}
+
+int CmdBuild(Filter& filter, const Flags& flags) {
+  std::string line;
+  std::size_t total = 0;
+  std::size_t rejected = 0;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    ++total;
+    rejected += filter.InsertKey(line) ? 0 : 1;
+  }
+  std::cerr << "inserted " << (total - rejected) << "/" << total
+            << " keys, load factor " << filter.LoadFactor() * 100.0 << "%\n";
+  const std::string state = flags.GetString("state", "");
+  if (state.empty()) {
+    std::cerr << "no --state given; filter discarded\n";
+    return rejected == 0 ? 0 : 2;
+  }
+  std::ofstream out(state, std::ios::binary);
+  if (!out || !filter.SaveState(out)) {
+    std::cerr << "error: failed to write state to " << state << "\n";
+    return 1;
+  }
+  std::cerr << "state written to " << state << " (" << filter.MemoryBytes()
+            << " bytes of table)\n";
+  return rejected == 0 ? 0 : 2;
+}
+
+bool LoadInto(Filter& filter, const Flags& flags) {
+  const std::string state = flags.GetString("state", "");
+  if (state.empty()) {
+    std::cerr << "error: --state=FILE is required\n";
+    return false;
+  }
+  std::ifstream in(state, std::ios::binary);
+  if (!in || !filter.LoadState(in)) {
+    std::cerr << "error: cannot load " << state
+              << " (missing file, corruption, or mismatched construction "
+                 "flags)\n";
+    return false;
+  }
+  return true;
+}
+
+int CmdQuery(Filter& filter, const Flags& flags) {
+  if (!LoadInto(filter, flags)) return 1;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    std::cout << (filter.ContainsKey(line) ? "maybe" : "no") << "\t" << line
+              << "\n";
+  }
+  return 0;
+}
+
+int CmdStats(Filter& filter, const Flags& flags) {
+  if (!LoadInto(filter, flags)) return 1;
+  std::cout << "name:         " << filter.Name() << "\n"
+            << "slots:        " << filter.SlotCount() << "\n"
+            << "items:        " << filter.ItemCount() << "\n"
+            << "load_factor:  " << filter.LoadFactor() * 100.0 << "%\n"
+            << "table_bytes:  " << filter.MemoryBytes() << "\n"
+            << "deletion:     " << (filter.SupportsDeletion() ? "yes" : "no")
+            << "\n";
+  return 0;
+}
+
+int Usage() {
+  std::cerr
+      << "usage: vcf_tool <build|query|stats> [flags]\n"
+         "  common flags: --filter=cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|"
+         "vf|sscf\n"
+         "                --variant=N --slots_log2=N --f=N --hash=fnv|murmur|"
+         "djb|splitmix\n"
+         "                --seed=N --max_kicks=N --state=FILE\n"
+         "  build reads keys from stdin (one per line) and writes --state\n"
+         "  query reads keys from stdin, prints maybe/no per key\n"
+         "  stats prints checkpoint metadata\n";
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv);
+  try {
+    auto filter = MakeFilter(SpecFromFlags(flags));
+    if (cmd == "build") return CmdBuild(*filter, flags);
+    if (cmd == "query") return CmdQuery(*filter, flags);
+    if (cmd == "stats") return CmdStats(*filter, flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return Usage();
+}
