@@ -123,6 +123,29 @@ void BM_LookupBatch(benchmark::State& state) {
   state.SetLabel(TagName(tag) + " @" + std::to_string(load_pct) + "%");
 }
 
+void BM_ResilientOverhead(benchmark::State& state) {
+  // ResilientFilter wrapping overhead on the insert+lookup hot path with
+  // all failpoints disarmed: range(0) == 0 runs a bare VCF, 1 runs
+  // Resilient(VCF). The target is < 5% — with the stash empty and the load
+  // below the watermark, the wrapper adds one virtual dispatch, an empty
+  // vector scan and a load-factor compare per op.
+  FilterSpec spec = SpecFor(1);  // IVCF_6
+  spec.resilient = state.range(0) != 0;
+  const int load_pct = static_cast<int>(state.range(1));
+  auto filter = MakeFilter(spec);
+  const auto stored = Prefill(*filter, load_pct, 6);
+  std::uint64_t i = 0;
+  std::size_t j = 0;
+  for (auto _ : state) {
+    const std::uint64_t key = UniformKeyAt(13, i++);
+    benchmark::DoNotOptimize(filter->Insert(key));
+    benchmark::DoNotOptimize(filter->Contains(stored[j]));
+    filter->Erase(key);
+    j = (j + 1) % stored.size();
+  }
+  state.SetLabel(spec.DisplayName() + " @" + std::to_string(load_pct) + "%");
+}
+
 void AllVariants(benchmark::internal::Benchmark* b) {
   for (int tag = 0; tag <= 4; ++tag) {
     b->Args({tag, 50});
@@ -135,6 +158,11 @@ BENCHMARK(BM_LookupHit)->Apply(AllVariants);
 BENCHMARK(BM_LookupMiss)->Apply(AllVariants);
 BENCHMARK(BM_Delete)->Apply(AllVariants);
 BENCHMARK(BM_LookupBatch)->Apply(AllVariants);
+BENCHMARK(BM_ResilientOverhead)
+    ->Args({0, 50})
+    ->Args({1, 50})
+    ->Args({0, 90})
+    ->Args({1, 90});
 
 }  // namespace
 }  // namespace vcf::bench

@@ -168,13 +168,17 @@ bool DleftCountingBloomFilter::LoadState(std::istream& in) {
       params_.seed, static_cast<unsigned>(params_.hash),
       params_.subtables * 256 + params_.cells_per_bucket,
       params_.fingerprint_bits);
+  // Stage into a copy: the trailing item count can still fail after the
+  // table payload parses, and LoadState must be all-or-nothing.
+  PackedTable staged = table_;
   if (!detail::ReadStateHeader(in, Name(), digest) ||
-      !detail::LoadTablePayload(in, &table_)) {
+      !detail::LoadTablePayload(in, &staged)) {
     return false;
   }
   std::uint64_t items = 0;
   in.read(reinterpret_cast<char*>(&items), sizeof(items));
   if (!in) return false;
+  table_ = std::move(staged);
   items_ = static_cast<std::size_t>(items);
   return true;
 }

@@ -1,0 +1,190 @@
+#include "common/failpoint.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/random.hpp"
+
+namespace vcf {
+
+void Failpoint::ArmProbability(double p, std::uint64_t seed) noexcept {
+  if (!(p > 0.0)) {  // NaN or <= 0: never fires, but stays "armed"
+    seed_.store(seed, std::memory_order_relaxed);
+    Arm(Mode::kProbability, 0);
+    return;
+  }
+  if (p >= 1.0) {
+    Arm(Mode::kAlways, 0);
+    return;
+  }
+  // Threshold on a uniform 64-bit draw. p < 1 guarantees the product fits.
+  const auto threshold =
+      static_cast<std::uint64_t>(std::ldexp(p, 64));
+  seed_.store(seed, std::memory_order_relaxed);
+  Arm(Mode::kProbability, threshold);
+}
+
+bool Failpoint::EvaluateArmed() noexcept {
+  const std::uint64_t n =
+      evaluations_.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fired = false;
+  switch (mode()) {
+    case Mode::kOff:
+      break;
+    case Mode::kAlways:
+      fired = true;
+      break;
+    case Mode::kNth: {
+      const std::uint64_t period = arg_.load(std::memory_order_relaxed);
+      fired = period != 0 && n % period == 0;
+      break;
+    }
+    case Mode::kProbability: {
+      // Counter-mode PRNG: the n-th draw is Mix64(seed ^ n), so the fire
+      // pattern is reproducible regardless of thread interleaving.
+      const std::uint64_t draw =
+          Mix64(seed_.load(std::memory_order_relaxed) ^ n);
+      fired = draw < arg_.load(std::memory_order_relaxed);
+      break;
+    }
+  }
+  if (fired) triggers_.fetch_add(1, std::memory_order_relaxed);
+  return fired;
+}
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();  // leaked: process lifetime
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  if (const char* spec = std::getenv("VCF_FAILPOINTS")) {
+    if (!ApplySpec(spec)) {
+      // A typo'd clause silently arming nothing would make a fault-injection
+      // run look clean; say so, but keep the well-formed clauses applied.
+      std::fprintf(stderr,
+                   "vcf: warning: malformed clause(s) in VCF_FAILPOINTS "
+                   "ignored: \"%s\"\n",
+                   spec);
+    }
+  }
+}
+
+Failpoint& FailpointRegistry::Get(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  auto it = points_.find(std::string(name));
+  if (it == points_.end()) {
+    auto point = std::make_unique<Failpoint>(std::string(name));
+    it = points_.emplace(point->name(), std::move(point)).first;
+  }
+  return *it->second;
+}
+
+Failpoint* FailpointRegistry::Find(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  const auto it = points_.find(std::string(name));
+  return it == points_.end() ? nullptr : it->second.get();
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, point] : points_) point->Disarm();
+}
+
+std::vector<std::string> FailpointRegistry::Names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, point] : points_) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+bool ParseU64(std::string_view text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - (c - '0')) / 10) return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseProbability(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  // strtod without locale surprises: accept [0-9.]+ only.
+  for (const char c : text) {
+    if ((c < '0' || c > '9') && c != '.') return false;
+  }
+  const std::string copy(text);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool FailpointRegistry::ApplySpec(std::string_view spec) {
+  bool all_ok = true;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t sep = spec.find_first_of(",;", pos);
+    if (sep == std::string_view::npos) sep = spec.size();
+    std::string_view clause = spec.substr(pos, sep - pos);
+    pos = sep + 1;
+
+    // Trim surrounding whitespace.
+    while (!clause.empty() && (clause.front() == ' ' || clause.front() == '\t'))
+      clause.remove_prefix(1);
+    while (!clause.empty() && (clause.back() == ' ' || clause.back() == '\t'))
+      clause.remove_suffix(1);
+    if (clause.empty()) continue;
+
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      all_ok = false;
+      continue;
+    }
+    const std::string_view name = clause.substr(0, eq);
+    std::string_view mode = clause.substr(eq + 1);
+
+    if (mode == "off") {
+      Get(name).Disarm();
+    } else if (mode == "always") {
+      Get(name).ArmAlways();
+    } else if (mode.rfind("nth:", 0) == 0) {
+      std::uint64_t n = 0;
+      if (ParseU64(mode.substr(4), &n)) {
+        Get(name).ArmNth(n);
+      } else {
+        all_ok = false;
+      }
+    } else if (mode.rfind("prob:", 0) == 0) {
+      std::string_view args = mode.substr(5);
+      std::uint64_t seed = 0x5EEDULL;
+      const std::size_t colon = args.find(':');
+      bool ok = true;
+      if (colon != std::string_view::npos) {
+        ok = ParseU64(args.substr(colon + 1), &seed);
+        args = args.substr(0, colon);
+      }
+      double p = 0.0;
+      if (ok && ParseProbability(args, &p)) {
+        Get(name).ArmProbability(p, seed);
+      } else {
+        all_ok = false;
+      }
+    } else {
+      all_ok = false;
+    }
+  }
+  return all_ok;
+}
+
+}  // namespace vcf

@@ -1,0 +1,161 @@
+// Fault-injection failpoints (MongoDB-style): named hooks compiled into the
+// library's failure seams so tests — and operators chasing a production
+// incident — can force the rare paths (eviction-chain exhaustion, checkpoint
+// stream errors, segment-allocation failure) deterministically instead of
+// waiting for saturation to produce them.
+//
+// Cost model: a disarmed failpoint is one relaxed atomic load at the call
+// site (the registry lookup is amortised behind a function-local static), so
+// hooks can live on insert/lookup hot paths. Armed evaluation is still
+// lock-free: nth/probability modes draw from per-failpoint atomic counters.
+//
+// Arming:
+//   - from code:  FailpointRegistry::Instance().Get(name).ArmAlways();
+//   - from the environment, before the first use of the registry:
+//       VCF_FAILPOINTS="core/evict_exhausted=prob:0.1:42,state/write=nth:3"
+//     (comma- or semicolon-separated `name=mode` clauses; see ApplySpec).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace vcf {
+
+class Failpoint {
+ public:
+  enum class Mode : std::uint8_t {
+    kOff,          ///< never fires (the default)
+    kAlways,       ///< fires on every evaluation
+    kNth,          ///< fires on every n-th evaluation (1st fire at eval n)
+    kProbability,  ///< fires with probability p, from a seeded counter PRNG
+  };
+
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  /// The hot-path check: true when the failpoint fires for this evaluation.
+  /// Disarmed cost is a single relaxed load.
+  bool ShouldFail() noexcept {
+    if (mode_.load(std::memory_order_relaxed) ==
+        static_cast<std::uint8_t>(Mode::kOff)) {
+      return false;
+    }
+    return EvaluateArmed();
+  }
+
+  void ArmAlways() noexcept { Arm(Mode::kAlways, 0); }
+
+  /// Fires on evaluations n, 2n, 3n, ... (n == 0 is treated as 1).
+  void ArmNth(std::uint64_t n) noexcept { Arm(Mode::kNth, n == 0 ? 1 : n); }
+
+  /// Fires with probability `p` (clamped to [0, 1]). The draw sequence is a
+  /// pure function of (seed, evaluation index): deterministic and
+  /// thread-safe, so stress tests are replayable.
+  void ArmProbability(double p, std::uint64_t seed = 0x5EEDULL) noexcept;
+
+  void Disarm() noexcept {
+    mode_.store(static_cast<std::uint8_t>(Mode::kOff),
+                std::memory_order_relaxed);
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  Mode mode() const noexcept {
+    return static_cast<Mode>(mode_.load(std::memory_order_relaxed));
+  }
+  /// How many times ShouldFail() ran while armed / returned true.
+  std::uint64_t evaluations() const noexcept {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t triggers() const noexcept {
+    return triggers_.load(std::memory_order_relaxed);
+  }
+  void ResetCounts() noexcept {
+    evaluations_.store(0, std::memory_order_relaxed);
+    triggers_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  void Arm(Mode mode, std::uint64_t arg) noexcept {
+    arg_.store(arg, std::memory_order_relaxed);
+    // The mode store is what arms the point; release-pairing is unnecessary
+    // because a stale arg only mis-times the first few evaluations of a
+    // concurrently armed point, which no caller relies on.
+    mode_.store(static_cast<std::uint8_t>(mode), std::memory_order_relaxed);
+  }
+
+  bool EvaluateArmed() noexcept;
+
+  std::string name_;
+  std::atomic<std::uint8_t> mode_{static_cast<std::uint8_t>(Mode::kOff)};
+  std::atomic<std::uint64_t> arg_{0};   ///< n (kNth) or p scaled to 2^64 (kProbability)
+  std::atomic<std::uint64_t> seed_{0};  ///< kProbability draw seed
+  std::atomic<std::uint64_t> evaluations_{0};
+  std::atomic<std::uint64_t> triggers_{0};
+};
+
+/// Process-wide registry. Failpoints are created on first Get() and never
+/// destroyed (pointers stay valid for the process lifetime), so call sites
+/// may cache the reference behind a function-local static.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  /// Returns the failpoint named `name`, creating it (disarmed) on first use.
+  Failpoint& Get(std::string_view name);
+
+  /// Returns the failpoint or nullptr if it was never requested/armed.
+  Failpoint* Find(std::string_view name);
+
+  void DisarmAll();
+
+  std::vector<std::string> Names() const;
+
+  /// Applies a spec string: clauses separated by ',' or ';', each
+  /// `name=mode` with mode one of
+  ///   off | always | nth:<n> | prob:<p>[:<seed>]
+  /// Returns false (after applying every well-formed clause) if any clause
+  /// was malformed.
+  bool ApplySpec(std::string_view spec);
+
+ private:
+  FailpointRegistry();  // applies $VCF_FAILPOINTS if set
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::unique_ptr<Failpoint>> points_;
+};
+
+/// Canonical names of the failure seams wired through the library; see
+/// docs/robustness.md for the exact semantics of each.
+namespace failpoints {
+/// Cuckoo-family insert: fires instead of starting the eviction chain, so a
+/// triggered insert fails exactly as if MAX kicks were exhausted (checked in
+/// VCF, DVCF and k-VCF once the direct candidate probes come up full).
+inline constexpr const char kEvictionExhausted[] = "core/evict_exhausted";
+/// State-blob header write/read (state_io.cpp): fires as a stream error.
+inline constexpr const char kStateWrite[] = "state/write";
+inline constexpr const char kStateRead[] = "state/read";
+/// PackedTable payload save/load (table/serialization.cpp).
+inline constexpr const char kTableSave[] = "table/save";
+inline constexpr const char kTableLoad[] = "table/load";
+/// DynamicVcf growth: fires instead of allocating a new segment.
+inline constexpr const char kSegmentAlloc[] = "dynamic/segment_alloc";
+}  // namespace failpoints
+
+/// Call-site helper: amortises the registry lookup behind a function-local
+/// static, leaving one relaxed load per evaluation when disarmed.
+#define VCF_FAILPOINT_TRIGGERED(name_constant)                      \
+  ([]() noexcept -> bool {                                          \
+    static ::vcf::Failpoint& vcf_fp_ =                              \
+        ::vcf::FailpointRegistry::Instance().Get(name_constant);    \
+    return vcf_fp_.ShouldFail();                                    \
+  }())
+
+}  // namespace vcf

@@ -39,9 +39,21 @@ std::size_t ConcurrentFilter::ItemCount() const noexcept {
   return inner_->ItemCount();
 }
 
+std::size_t ConcurrentFilter::SlotCount() const noexcept {
+  // Not constant for every inner filter: DynamicVcf grows segments under
+  // Insert's exclusive lock, so even "static" geometry reads synchronize.
+  std::shared_lock lock(mutex_);
+  return inner_->SlotCount();
+}
+
 double ConcurrentFilter::LoadFactor() const noexcept {
   std::shared_lock lock(mutex_);
   return inner_->LoadFactor();
+}
+
+std::size_t ConcurrentFilter::MemoryBytes() const noexcept {
+  std::shared_lock lock(mutex_);
+  return inner_->MemoryBytes();
 }
 
 void ConcurrentFilter::Clear() {

@@ -8,8 +8,10 @@
 // mutations serialize. For read-mostly online workloads (the usual AMQ
 // deployment) this recovers almost all available parallelism.
 //
-// The wrapped filter's counters are NOT synchronized for performance; read
-// them only in quiescent states (tests do).
+// All observers — ItemCount, LoadFactor, SlotCount, MemoryBytes — take the
+// shared lock, so they are safe against concurrent mutation (a growing
+// DynamicVcf changes SlotCount/MemoryBytes mid-insert). OpCounters need no
+// lock: every field is a relaxed atomic (see metrics/op_counters.hpp).
 #pragma once
 
 #include <memory>
@@ -35,11 +37,9 @@ class ConcurrentFilter : public Filter {
   }
   std::string Name() const override { return "Concurrent(" + inner_->Name() + ")"; }
   std::size_t ItemCount() const noexcept override;
-  std::size_t SlotCount() const noexcept override { return inner_->SlotCount(); }
+  std::size_t SlotCount() const noexcept override;
   double LoadFactor() const noexcept override;
-  std::size_t MemoryBytes() const noexcept override {
-    return inner_->MemoryBytes();
-  }
+  std::size_t MemoryBytes() const noexcept override;
   void Clear() override;
   bool SaveState(std::ostream& out) const override;
   bool LoadState(std::istream& in) override;

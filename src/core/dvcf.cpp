@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "core/state_io.hpp"
 
 namespace vcf {
@@ -92,6 +93,12 @@ bool DifferentiatedVcf::Insert(std::uint64_t key) {
       ++items_;
       return true;
     }
+  }
+
+  // Failure seam: injected eviction-chain exhaustion (see vcf.cpp).
+  if (VCF_FAILPOINT_TRIGGERED(failpoints::kEvictionExhausted)) {
+    ++counters_.insert_failures;
+    return false;
   }
 
   // Algorithm 4 lines 13-28: eviction walk; each victim is re-judged before

@@ -1,5 +1,6 @@
 #include "core/dynamic_vcf.hpp"
 
+#include "common/failpoint.hpp"
 #include "common/random.hpp"
 
 namespace vcf {
@@ -37,6 +38,12 @@ bool DynamicVcf::Insert(std::uint64_t key) {
   }
   if (segments_.back()->Insert(key)) return true;
   if (max_segments_ != 0 && segments_.size() >= max_segments_) {
+    ++counters_.insert_failures;
+    return false;
+  }
+  // Failure seam: injected segment-allocation failure — the filter behaves
+  // as if growth were capped, rejecting the insert without growing.
+  if (VCF_FAILPOINT_TRIGGERED(failpoints::kSegmentAlloc)) {
     ++counters_.insert_failures;
     return false;
   }

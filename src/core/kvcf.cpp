@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/failpoint.hpp"
 #include "core/state_io.hpp"
 
 namespace vcf {
@@ -62,6 +63,12 @@ bool KVcf::Insert(std::uint64_t key) {
       ++items_;
       return true;
     }
+  }
+
+  // Failure seam: injected eviction-chain exhaustion (see vcf.cpp).
+  if (VCF_FAILPOINT_TRIGGERED(failpoints::kEvictionExhausted)) {
+    ++counters_.insert_failures;
+    return false;
   }
 
   // Eviction walk (Fig. 3). State: the in-hand fingerprint `fp`, the bucket

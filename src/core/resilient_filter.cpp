@@ -1,0 +1,254 @@
+#include "core/resilient_filter.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "common/random.hpp"
+#include "core/vcf.hpp"
+
+namespace vcf {
+
+namespace {
+
+// ResilientFilter blob: magic | u32 version | u64 stash_count | keys |
+// u64 checksum | inner filter blob. Stash first so the inner payload —
+// by far the larger section — is written once, contiguously.
+constexpr char kMagic[4] = {'V', 'C', 'F', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t StashChecksum(const std::vector<std::uint64_t>& stash) {
+  std::uint64_t h = Mix64(0x57A5ULL ^ stash.size());
+  for (const std::uint64_t key : stash) h = Mix64(h ^ key);
+  return h;
+}
+
+template <typename T>
+void Put(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool Take(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+
+void Backoff(const ResilientOptions& options, unsigned attempt) {
+  if (options.backoff_base.count() <= 0) return;
+  // Exponential: base, 2*base, 4*base, ... capped at 2^10 periods so a
+  // misconfigured retry count cannot sleep for minutes.
+  const unsigned shift = attempt < 10 ? attempt : 10;
+  std::this_thread::sleep_for(options.backoff_base * (1u << shift));
+}
+
+}  // namespace
+
+ResilientFilter::ResilientFilter(std::unique_ptr<Filter> inner,
+                                 ResilientOptions options)
+    : inner_(std::move(inner)), options_(options) {
+  if (!inner_) {
+    throw std::invalid_argument("ResilientFilter: inner filter must not be null");
+  }
+  if (!(options_.degrade_watermark > 0.0)) {
+    throw std::invalid_argument(
+        "ResilientFilter: degrade_watermark must be positive");
+  }
+  vcf_inner_ = dynamic_cast<VerticalCuckooFilter*>(inner_.get());
+  stash_.reserve(options_.stash_capacity);
+}
+
+bool ResilientFilter::InDegradedMode() const noexcept {
+  // Healthy fast path: one virtual ItemCount() and an integer compare.
+  // The cached threshold starts at 0 (always "crossed"), so the first call
+  // — and every call once the filter is near the watermark — falls through
+  // to the recompute, which is exact against the current geometry.
+  if (inner_->ItemCount() < degrade_threshold_) return false;
+  const double bar =
+      options_.degrade_watermark * static_cast<double>(inner_->SlotCount());
+  constexpr double kMax =
+      static_cast<double>(std::numeric_limits<std::size_t>::max() / 2);
+  degrade_threshold_ =
+      bar >= kMax ? static_cast<std::size_t>(kMax)
+                  : static_cast<std::size_t>(std::ceil(bar));
+  return inner_->ItemCount() >= degrade_threshold_;
+}
+
+bool ResilientFilter::InsertDegraded(std::uint64_t key) {
+  // Fail-fast placement: probe the candidate buckets, never start an
+  // eviction chain. Only the VCF exposes this; other inner filters keep
+  // their normal insert (their own MAX-kicks bound still applies).
+  return vcf_inner_ ? vcf_inner_->InsertDirect(key) : inner_->Insert(key);
+}
+
+bool ResilientFilter::Insert(std::uint64_t key) {
+  bool placed;
+  if (InDegradedMode()) {
+    ++counters_.degraded_inserts;
+    placed = InsertDegraded(key);
+  } else {
+    placed = inner_->Insert(key);
+  }
+  if (placed) return true;
+
+  if (stash_.size() < options_.stash_capacity) {
+    stash_.push_back(key);
+    ++counters_.stash_inserts;
+    return true;  // the key is queryable: a stashed insert SUCCEEDED
+  }
+  ++counters_.insert_failures;
+  return false;
+}
+
+bool ResilientFilter::Contains(std::uint64_t key) const {
+  if (inner_->Contains(key)) return true;
+  if (stash_.empty()) return false;
+  for (const std::uint64_t stashed : stash_) {
+    if (stashed == key) {
+      ++counters_.stash_hits;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ResilientFilter::ContainsBatch(std::span<const std::uint64_t> keys,
+                                    bool* results) const {
+  inner_->ContainsBatch(keys, results);
+  if (stash_.empty()) return;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (results[i]) continue;
+    for (const std::uint64_t stashed : stash_) {
+      if (stashed == keys[i]) {
+        results[i] = true;
+        ++counters_.stash_hits;
+        break;
+      }
+    }
+  }
+}
+
+bool ResilientFilter::Erase(std::uint64_t key) {
+  if (inner_->Erase(key)) {
+    // A deletion is exactly when table space reappears: drain while the
+    // direct placements keep succeeding.
+    DrainStash();
+    return true;
+  }
+  // The table never held it (or a stashed duplicate outlived the table
+  // copies): remove one stashed instance.
+  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
+    if (*it == key) {
+      stash_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void ResilientFilter::DrainStash() {
+  if (stash_.empty()) return;
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < stash_.size(); ++i) {
+    const std::uint64_t key = stash_[i];
+    // Direct placement only: draining rides on another operation, so it must
+    // stay cheap and must not trigger fresh eviction cascades.
+    const bool placed =
+        vcf_inner_ ? vcf_inner_->InsertDirect(key) : inner_->Insert(key);
+    if (placed) {
+      ++counters_.stash_drains;
+    } else {
+      stash_[kept++] = key;
+    }
+  }
+  stash_.resize(kept);
+}
+
+double ResilientFilter::LoadFactor() const noexcept {
+  const std::size_t slots = inner_->SlotCount();
+  return slots == 0 ? 0.0
+                    : static_cast<double>(ItemCount()) /
+                          static_cast<double>(slots);
+}
+
+std::size_t ResilientFilter::MemoryBytes() const noexcept {
+  return inner_->MemoryBytes() + stash_.capacity() * sizeof(std::uint64_t);
+}
+
+void ResilientFilter::Clear() {
+  inner_->Clear();
+  stash_.clear();
+  degrade_threshold_ = 0;
+}
+
+bool ResilientFilter::SaveState(std::ostream& out) const {
+  // Stage the whole blob in memory, retrying transient failures (the inner
+  // filter's serialization path is where stream faults are injected and
+  // where a real filesystem hiccup would surface). Only a fully built blob
+  // is ever written to `out`, so a failed attempt cannot leave a torn
+  // checkpoint behind.
+  const unsigned attempts = 1 + options_.checkpoint_retries;
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt != 0) {
+      ++counters_.checkpoint_retries;
+      Backoff(options_, attempt - 1);
+    }
+    std::ostringstream buf;
+    buf.write(kMagic, sizeof(kMagic));
+    Put(buf, kVersion);
+    Put(buf, static_cast<std::uint64_t>(stash_.size()));
+    for (const std::uint64_t key : stash_) Put(buf, key);
+    Put(buf, StashChecksum(stash_));
+    if (!buf || !inner_->SaveState(buf)) continue;
+    const std::string blob = buf.str();
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    return static_cast<bool>(out);
+  }
+  return false;
+}
+
+bool ResilientFilter::LoadState(std::istream& in) {
+  // Slurp once — the stream cannot be rewound — then parse from memory so
+  // every retry starts from identical bytes. Corrupt input fails cleanly
+  // after the retry budget; neither the inner filter (all-or-nothing by
+  // contract) nor the stash is touched until everything validated.
+  std::string raw(std::istreambuf_iterator<char>(in), {});
+  const unsigned attempts = 1 + options_.checkpoint_retries;
+  for (unsigned attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt != 0) {
+      ++counters_.checkpoint_retries;
+      Backoff(options_, attempt - 1);
+    }
+    std::istringstream buf(raw);
+    char magic[4];
+    buf.read(magic, sizeof(magic));
+    if (!buf || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) continue;
+    std::uint32_t version = 0;
+    if (!Take(buf, version) || version != kVersion) continue;
+    std::uint64_t count = 0;
+    if (!Take(buf, count) || count > raw.size() / sizeof(std::uint64_t) ||
+        count > options_.stash_capacity) {
+      continue;
+    }
+    std::vector<std::uint64_t> staged(static_cast<std::size_t>(count));
+    bool keys_ok = true;
+    for (std::uint64_t& key : staged) keys_ok = keys_ok && Take(buf, key);
+    std::uint64_t checksum = 0;
+    if (!keys_ok || !Take(buf, checksum) || checksum != StashChecksum(staged)) {
+      continue;
+    }
+    if (!inner_->LoadState(buf)) continue;
+    // The inner filter committed; the stash commit below cannot fail.
+    stash_ = std::move(staged);
+    degrade_threshold_ = 0;  // geometry may have changed; recompute lazily
+    return true;
+  }
+  return false;
+}
+
+}  // namespace vcf

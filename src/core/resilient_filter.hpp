@@ -1,0 +1,125 @@
+// Overload/recovery wrapper for any Filter: keeps an online service correct
+// and observable through the saturation regime the paper's Fig. 5 measures.
+//
+// Three mechanisms, all off the hot path until trouble starts:
+//
+//  1. Victim stash (the classic "cuckoo hashing with a stash" technique,
+//     Aumüller et al.): an insert the table rejects lands in a small bounded
+//     side buffer instead of being dropped. Contains/Erase consult the stash,
+//     so a stashed key is indistinguishable from a stored one; stashed keys
+//     drain back into the table opportunistically when deletions make room.
+//     Only when the stash itself is full does Insert report failure.
+//
+//  2. Degraded mode: past a load-factor watermark, eviction chains are long
+//     and mostly futile, so Insert switches to the fail-fast direct placement
+//     (VerticalCuckooFilter::InsertDirect when the inner filter is a VCF) —
+//     bounding tail latency exactly when the service is under the most
+//     pressure. Failed direct placements still fall into the stash.
+//
+//  3. Checkpoint retry: SaveState/LoadState retry transient stream failures
+//     with capped exponential backoff, staging everything in memory so a
+//     failed (or corrupt) attempt never leaves a torn blob or a partially
+//     mutated filter.
+//
+// Every mechanism is observable through counters(): stash_inserts,
+// stash_hits, stash_drains, degraded_inserts, checkpoint_retries, plus
+// insert_failures for inserts the stash could not absorb. Hot-path op
+// totals (inserts/lookups/probes/evictions) live on the inner filter's
+// counters, as with ConcurrentFilter — the wrapper adds no per-op
+// bookkeeping of its own, keeping its healthy-path overhead to a virtual
+// dispatch, an integer watermark compare and an empty-stash check.
+//
+// Thread safety: none beyond the inner filter's; wrap in ConcurrentFilter
+// for multi-threaded use (ConcurrentFilter(ResilientFilter(...))).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/filter.hpp"
+
+namespace vcf {
+
+class VerticalCuckooFilter;
+
+struct ResilientOptions {
+  /// Maximum stashed keys. 0 disables the stash entirely.
+  std::size_t stash_capacity = 64;
+
+  /// Inner load factor at or above which Insert stops running eviction
+  /// chains and fails fast into the stash.
+  double degrade_watermark = 0.98;
+
+  /// Extra SaveState/LoadState attempts after the first failure.
+  unsigned checkpoint_retries = 3;
+
+  /// Backoff before retry k (1-based) is `backoff_base * 2^(k-1)`; zero
+  /// disables sleeping (tests use this to keep retry loops instant).
+  std::chrono::microseconds backoff_base{100};
+};
+
+class ResilientFilter : public Filter {
+ public:
+  explicit ResilientFilter(std::unique_ptr<Filter> inner,
+                           ResilientOptions options = {});
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  void ContainsBatch(std::span<const std::uint64_t> keys,
+                     bool* results) const override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override {
+    return inner_->SupportsDeletion();
+  }
+  std::string Name() const override {
+    return "Resilient(" + inner_->Name() + ")";
+  }
+  /// Items represented = inner table items + stashed keys.
+  std::size_t ItemCount() const noexcept override {
+    return inner_->ItemCount() + stash_.size();
+  }
+  std::size_t SlotCount() const noexcept override {
+    return inner_->SlotCount();
+  }
+  double LoadFactor() const noexcept override;
+  std::size_t MemoryBytes() const noexcept override;
+  void Clear() override;
+
+  /// Checkpoints the stash alongside the inner filter's blob; both sides
+  /// retry transient stream failures (options().checkpoint_retries) and are
+  /// all-or-nothing on the load side.
+  bool SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
+
+  /// Current number of stashed keys (test/monitoring hook).
+  std::size_t StashSize() const noexcept { return stash_.size(); }
+  /// True when inserts are currently taking the fail-fast degraded path.
+  bool InDegradedMode() const noexcept;
+
+  const ResilientOptions& options() const noexcept { return options_; }
+  Filter& inner() noexcept { return *inner_; }
+  const Filter& inner() const noexcept { return *inner_; }
+
+ private:
+  /// Moves stashed keys back into the table while placements succeed.
+  void DrainStash();
+  bool InsertDegraded(std::uint64_t key);
+
+  std::unique_ptr<Filter> inner_;
+  /// Set iff the inner filter is a VCF: enables true fail-fast placement in
+  /// degraded mode (other filters fall back to a normal Insert).
+  VerticalCuckooFilter* vcf_inner_ = nullptr;
+  ResilientOptions options_;
+  std::vector<std::uint64_t> stash_;
+  /// Inner item count at which the watermark is crossed. Starts at 0 so the
+  /// first check recomputes it; InDegradedMode() refreshes it from the
+  /// current geometry whenever it appears crossed (a growing DynamicVcf
+  /// raises the bar). Mutable: it is a cache, not state.
+  mutable std::size_t degrade_threshold_ = 0;
+};
+
+}  // namespace vcf

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <string>
 
+#include "common/failpoint.hpp"
 #include "common/random.hpp"
 #include "table/serialization.hpp"
 
@@ -47,6 +48,12 @@ std::uint64_t BytesChecksum(const std::vector<std::uint8_t>& bytes) {
 
 bool WriteStateHeader(std::ostream& out, std::string_view name,
                       std::uint64_t config_digest) {
+  // Failure seam: an injected fault presents as a stream write error, the
+  // shape a full disk or a dropped pipe produces mid-checkpoint.
+  if (VCF_FAILPOINT_TRIGGERED(failpoints::kStateWrite)) {
+    out.setstate(std::ios::failbit);
+    return false;
+  }
   out.write(kMagic, sizeof(kMagic));
   Put(out, kVersion);
   Put(out, static_cast<std::uint16_t>(name.size()));
@@ -57,6 +64,11 @@ bool WriteStateHeader(std::ostream& out, std::string_view name,
 
 bool ReadStateHeader(std::istream& in, std::string_view name,
                      std::uint64_t config_digest) {
+  // Failure seam: an injected fault presents as a stream read error.
+  if (VCF_FAILPOINT_TRIGGERED(failpoints::kStateRead)) {
+    in.setstate(std::ios::failbit);
+    return false;
+  }
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;

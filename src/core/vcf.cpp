@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/failpoint.hpp"
 #include "core/state_io.hpp"
 
 namespace vcf {
@@ -88,6 +89,14 @@ bool VerticalCuckooFilter::Insert(std::uint64_t key) {
       ++items_;
       return true;
     }
+  }
+
+  // Failure seam: fault injection treats the eviction chain as exhausted
+  // before it starts — the same observable outcome (rolled-back false) a
+  // saturated table produces, forced on demand.
+  if (VCF_FAILPOINT_TRIGGERED(failpoints::kEvictionExhausted)) {
+    ++counters_.insert_failures;
+    return false;
   }
 
   // Algorithm 1 lines 11-21: evict along a random walk. Every swap is

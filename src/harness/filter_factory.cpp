@@ -16,12 +16,18 @@
 #include "common/bitops.hpp"
 #include "core/dvcf.hpp"
 #include "core/kvcf.hpp"
+#include "core/resilient_filter.hpp"
 #include "core/vcf.hpp"
 #include "core/vertical_hashing.hpp"
 
 namespace vcf {
 
 std::string FilterSpec::DisplayName() const {
+  if (resilient) {
+    FilterSpec bare = *this;
+    bare.resilient = false;
+    return "Resilient(" + bare.DisplayName() + ")";
+  }
   switch (kind) {
     case Kind::kCF: return "CF";
     case Kind::kVCF: return "VCF";
@@ -41,6 +47,11 @@ std::string FilterSpec::DisplayName() const {
 }
 
 std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec) {
+  if (spec.resilient) {
+    FilterSpec bare = spec;
+    bare.resilient = false;
+    return std::make_unique<ResilientFilter>(MakeFilter(bare));
+  }
   switch (spec.kind) {
     case FilterSpec::Kind::kCF:
       return std::make_unique<CuckooFilter>(spec.params);

@@ -36,6 +36,11 @@ struct FilterSpec {
   double bits_per_item = 12.0;  // Bloom family only
   unsigned num_hashes = 0;      // Bloom family only; 0 = optimal k
 
+  /// Wrap the built filter in a ResilientFilter (victim stash + degraded
+  /// mode + checkpoint retry; see core/resilient_filter.hpp). Spelled
+  /// "resilient:<kind>" in string specs (vcf_tool --filter).
+  bool resilient = false;
+
   std::string DisplayName() const;
 };
 

@@ -12,6 +12,11 @@ OpCounters& OpCounters::operator+=(const OpCounters& o) noexcept {
   bucket_probes += o.bucket_probes;
   lookups += o.lookups;
   deletions += o.deletions;
+  stash_inserts += o.stash_inserts;
+  stash_hits += o.stash_hits;
+  stash_drains += o.stash_drains;
+  degraded_inserts += o.degraded_inserts;
+  checkpoint_retries += o.checkpoint_retries;
   return *this;
 }
 
@@ -21,6 +26,15 @@ std::string OpCounters::ToString() const {
      << " evictions=" << evictions << " hashes=" << hash_computations
      << " bucket_probes=" << bucket_probes << " lookups=" << lookups
      << " deletions=" << deletions;
+  // Resilience counters only appear once the wrapper has something to say,
+  // keeping the common (bare-filter) string stable for existing parsers.
+  if (stash_inserts || stash_hits || stash_drains || degraded_inserts ||
+      checkpoint_retries) {
+    os << " stash_inserts=" << stash_inserts << " stash_hits=" << stash_hits
+       << " stash_drains=" << stash_drains
+       << " degraded_inserts=" << degraded_inserts
+       << " checkpoint_retries=" << checkpoint_retries;
+  }
   return os.str();
 }
 

@@ -64,6 +64,13 @@ struct OpCounters {
   RelaxedCounter lookups;          ///< membership queries
   RelaxedCounter deletions;        ///< delete attempts
 
+  // ResilientFilter overload/recovery observability (docs/robustness.md).
+  RelaxedCounter stash_inserts;    ///< failed inserts absorbed by the stash
+  RelaxedCounter stash_hits;       ///< lookups answered from the stash
+  RelaxedCounter stash_drains;     ///< stashed keys drained back into the table
+  RelaxedCounter degraded_inserts; ///< inserts taken in fail-fast degraded mode
+  RelaxedCounter checkpoint_retries; ///< SaveState/LoadState attempts retried
+
   void Reset() noexcept { *this = OpCounters{}; }
 
   /// E0 of Fig. 8: mean evictions per attempted insertion.

@@ -3,9 +3,11 @@
 #include <cstring>
 #include <istream>
 #include <limits>
+#include <new>
 #include <ostream>
 
 #include "common/bitops.hpp"
+#include "common/failpoint.hpp"
 #include "common/random.hpp"
 
 namespace vcf {
@@ -46,6 +48,11 @@ std::uint64_t Checksum(const std::vector<std::uint8_t>& bytes) {
 }  // namespace
 
 bool TableCodec::Save(const PackedTable& table, std::ostream& out) {
+  // Failure seam: an injected fault presents as a stream write error.
+  if (VCF_FAILPOINT_TRIGGERED(failpoints::kTableSave)) {
+    out.setstate(std::ios::failbit);
+    return false;
+  }
   out.write(kMagic, sizeof(kMagic));
   Put(out, kVersion);
   Put(out, static_cast<std::uint64_t>(table.bucket_count_));
@@ -60,6 +67,11 @@ bool TableCodec::Save(const PackedTable& table, std::ostream& out) {
 }
 
 std::optional<PackedTable> TableCodec::Load(std::istream& in) {
+  // Failure seam: an injected fault presents as a stream read error.
+  if (VCF_FAILPOINT_TRIGGERED(failpoints::kTableLoad)) {
+    in.setstate(std::ios::failbit);
+    return std::nullopt;
+  }
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return std::nullopt;
@@ -78,23 +90,41 @@ std::optional<PackedTable> TableCodec::Load(std::istream& in) {
   if (bucket_count == 0 || slots == 0 || slot_bits == 0 || slot_bits > 57) {
     return std::nullopt;
   }
-  const std::uint64_t total_bits =
-      bucket_count * static_cast<std::uint64_t>(slots) * slot_bits;
+  // The geometry fields are untrusted: a corrupt blob can declare counts
+  // whose product wraps 64 bits and would otherwise slip past the payload
+  // cross-check below (and then index far outside the allocation). All
+  // derived sizes are computed with explicit overflow detection.
+  std::uint64_t slots_total = 0;
+  std::uint64_t total_bits = 0;
+  if (__builtin_mul_overflow(bucket_count, static_cast<std::uint64_t>(slots),
+                             &slots_total) ||
+      __builtin_mul_overflow(slots_total, static_cast<std::uint64_t>(slot_bits),
+                             &total_bits) ||
+      total_bits > std::uint64_t{1} << 50) {  // 128 TiB of slots: nonsense
+    return std::nullopt;
+  }
   const std::uint64_t expected_payload = (total_bits + 7) / 8 + 8;
   if (payload != expected_payload ||
-      payload > std::numeric_limits<std::size_t>::max() ||
-      occupied > bucket_count * static_cast<std::uint64_t>(slots)) {
+      bucket_count > std::numeric_limits<std::size_t>::max() ||
+      occupied > slots_total) {
     return std::nullopt;
   }
 
-  PackedTable table(static_cast<std::size_t>(bucket_count), slots, slot_bits);
-  in.read(reinterpret_cast<char*>(table.bits_.data()),
-          static_cast<std::streamsize>(payload));
-  std::uint64_t checksum = 0;
-  if (!in || !Take(in, checksum) || checksum != Checksum(table.bits_)) {
+  // Declared geometry can still demand more memory than the host has; a
+  // checkpoint restore must degrade to a clean failure, not a crash.
+  std::optional<PackedTable> table;
+  try {
+    table.emplace(static_cast<std::size_t>(bucket_count), slots, slot_bits);
+  } catch (const std::bad_alloc&) {
     return std::nullopt;
   }
-  table.occupied_ = static_cast<std::size_t>(occupied);
+  in.read(reinterpret_cast<char*>(table->bits_.data()),
+          static_cast<std::streamsize>(payload));
+  std::uint64_t checksum = 0;
+  if (!in || !Take(in, checksum) || checksum != Checksum(table->bits_)) {
+    return std::nullopt;
+  }
+  table->occupied_ = static_cast<std::size_t>(occupied);
   return table;
 }
 

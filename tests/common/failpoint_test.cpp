@@ -1,0 +1,150 @@
+// Failpoint registry semantics: mode arithmetic (always/nth/probability),
+// deterministic seeded draws, spec-string parsing, and the guarantee the
+// whole subsystem rests on — a disarmed failpoint never fires.
+#include "common/failpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace vcf {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedNeverFires) {
+  auto& fp = FailpointRegistry::Instance().Get("test/disarmed");
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(fp.ShouldFail());
+  EXPECT_EQ(fp.triggers(), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryTime) {
+  auto& fp = FailpointRegistry::Instance().Get("test/always");
+  fp.ArmAlways();
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(fp.ShouldFail());
+  EXPECT_EQ(fp.triggers(), 100u);
+  fp.Disarm();
+  EXPECT_FALSE(fp.ShouldFail());
+}
+
+TEST_F(FailpointTest, NthFiresOnEveryNthEvaluation) {
+  auto& fp = FailpointRegistry::Instance().Get("test/nth");
+  fp.ResetCounts();
+  fp.ArmNth(3);
+  std::vector<bool> fires;
+  for (int i = 0; i < 9; ++i) fires.push_back(fp.ShouldFail());
+  EXPECT_EQ(fires, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+}
+
+TEST_F(FailpointTest, NthZeroBehavesAsEveryEvaluation) {
+  auto& fp = FailpointRegistry::Instance().Get("test/nth0");
+  fp.ArmNth(0);
+  EXPECT_TRUE(fp.ShouldFail());
+}
+
+TEST_F(FailpointTest, ProbabilityZeroNeverFiresOneAlwaysFires) {
+  auto& never = FailpointRegistry::Instance().Get("test/p0");
+  never.ArmProbability(0.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(never.ShouldFail());
+
+  auto& always = FailpointRegistry::Instance().Get("test/p1");
+  always.ArmProbability(1.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(always.ShouldFail());
+}
+
+TEST_F(FailpointTest, ProbabilityRateIsRoughlyHonoured) {
+  auto& fp = FailpointRegistry::Instance().Get("test/p10");
+  fp.ResetCounts();
+  fp.ArmProbability(0.1, /*seed=*/7);
+  int fired = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) fired += fp.ShouldFail() ? 1 : 0;
+  EXPECT_NEAR(fired / static_cast<double>(kTrials), 0.1, 0.02);
+  EXPECT_EQ(fp.triggers(), static_cast<std::uint64_t>(fired));
+}
+
+TEST_F(FailpointTest, ProbabilitySequenceIsDeterministicForSeed) {
+  auto& a = FailpointRegistry::Instance().Get("test/det_a");
+  auto& b = FailpointRegistry::Instance().Get("test/det_b");
+  a.ResetCounts();
+  b.ResetCounts();
+  a.ArmProbability(0.25, 42);
+  b.ArmProbability(0.25, 42);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(a.ShouldFail(), b.ShouldFail());
+}
+
+TEST_F(FailpointTest, RegistryReturnsSameInstanceByName) {
+  auto& a = FailpointRegistry::Instance().Get("test/same");
+  auto& b = FailpointRegistry::Instance().Get("test/same");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(FailpointRegistry::Instance().Find("test/same"), &a);
+  EXPECT_EQ(FailpointRegistry::Instance().Find("test/never_created"), nullptr);
+}
+
+TEST_F(FailpointTest, ApplySpecParsesEveryMode) {
+  auto& registry = FailpointRegistry::Instance();
+  EXPECT_TRUE(registry.ApplySpec(
+      "spec/a=always, spec/b=nth:4; spec/c=prob:0.5:99,spec/d=off"));
+  EXPECT_EQ(registry.Get("spec/a").mode(), Failpoint::Mode::kAlways);
+  EXPECT_EQ(registry.Get("spec/b").mode(), Failpoint::Mode::kNth);
+  EXPECT_EQ(registry.Get("spec/c").mode(), Failpoint::Mode::kProbability);
+  EXPECT_EQ(registry.Get("spec/d").mode(), Failpoint::Mode::kOff);
+}
+
+TEST_F(FailpointTest, ApplySpecRejectsMalformedClausesButAppliesGoodOnes) {
+  auto& registry = FailpointRegistry::Instance();
+  EXPECT_FALSE(registry.ApplySpec("spec/good=always,=always"));
+  EXPECT_FALSE(registry.ApplySpec("spec/bad=notamode"));
+  EXPECT_FALSE(registry.ApplySpec("spec/bad2=nth:abc"));
+  EXPECT_FALSE(registry.ApplySpec("spec/bad3=prob:x"));
+  EXPECT_EQ(registry.Get("spec/good").mode(), Failpoint::Mode::kAlways);
+  EXPECT_TRUE(registry.ApplySpec(""));
+}
+
+TEST_F(FailpointTest, DisarmAllDisarmsEverything) {
+  auto& registry = FailpointRegistry::Instance();
+  registry.Get("test/da1").ArmAlways();
+  registry.Get("test/da2").ArmNth(2);
+  registry.DisarmAll();
+  EXPECT_FALSE(registry.Get("test/da1").ShouldFail());
+  EXPECT_FALSE(registry.Get("test/da2").ShouldFail());
+}
+
+TEST_F(FailpointTest, MacroEvaluatesTheNamedFailpoint) {
+  FailpointRegistry::Instance().Get("test/macro").ArmAlways();
+  EXPECT_TRUE(VCF_FAILPOINT_TRIGGERED("test/macro"));
+  FailpointRegistry::Instance().Get("test/macro").Disarm();
+  EXPECT_FALSE(VCF_FAILPOINT_TRIGGERED("test/macro"));
+}
+
+TEST_F(FailpointTest, ConcurrentEvaluationCountsExactly) {
+  auto& fp = FailpointRegistry::Instance().Get("test/mt");
+  fp.ResetCounts();
+  fp.ArmNth(2);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::atomic<std::uint64_t> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::uint64_t local = 0;
+      for (int i = 0; i < kPerThread; ++i) local += fp.ShouldFail() ? 1 : 0;
+      fired.fetch_add(local);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Every 2nd of 100k interleaved evaluations fires — exact under atomics.
+  EXPECT_EQ(fp.evaluations(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(fired.load(), fp.evaluations() / 2);
+  EXPECT_EQ(fp.triggers(), fired.load());
+}
+
+}  // namespace
+}  // namespace vcf

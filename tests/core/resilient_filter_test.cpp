@@ -1,0 +1,324 @@
+// ResilientFilter: victim stash, degraded mode, checkpoint retry, and the
+// acceptance property the robustness work targets — with the eviction
+// failpoint armed at probability 0.1 and a 95%-load insert workload, every
+// reported-successful insert stays Contains-true.
+#include "core/resilient_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "common/failpoint.hpp"
+#include "common/random.hpp"
+#include "core/vcf.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+CuckooParams SmallParams() {
+  CuckooParams p;
+  p.bucket_count = 1 << 8;
+  return p;
+}
+
+std::unique_ptr<ResilientFilter> MakeResilientVcf(ResilientOptions options = {},
+                                                  CuckooParams params =
+                                                      SmallParams()) {
+  options.backoff_base = std::chrono::microseconds{0};  // instant retries
+  return std::make_unique<ResilientFilter>(
+      std::make_unique<VerticalCuckooFilter>(params), options);
+}
+
+class ResilientFilterTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+
+  Failpoint& Evict() {
+    return FailpointRegistry::Instance().Get(failpoints::kEvictionExhausted);
+  }
+};
+
+TEST_F(ResilientFilterTest, RejectsNullInner) {
+  EXPECT_THROW(ResilientFilter(nullptr), std::invalid_argument);
+}
+
+TEST_F(ResilientFilterTest, BehavesLikeInnerFilterWhenHealthy) {
+  auto filter = MakeResilientVcf();
+  const auto keys = UniformKeys(200, 42);
+  for (const auto k : keys) ASSERT_TRUE(filter->Insert(k));
+  for (const auto k : keys) EXPECT_TRUE(filter->Contains(k));
+  EXPECT_EQ(filter->StashSize(), 0u);
+  EXPECT_EQ(filter->ItemCount(), keys.size());
+  EXPECT_EQ(filter->Name(), "Resilient(VCF)");
+  EXPECT_TRUE(filter->SupportsDeletion());
+  EXPECT_EQ(filter->counters().stash_inserts.Value(), 0u);
+}
+
+TEST_F(ResilientFilterTest, FailedInsertLandsInStashAndStaysQueryable) {
+  auto filter = MakeResilientVcf();
+  Evict().ArmAlways();  // every eviction-phase insert now fails
+
+  // Fill until direct placement starts failing; those keys must be absorbed.
+  std::vector<std::uint64_t> accepted;
+  for (const auto k : UniformKeys(filter->SlotCount(), 7)) {
+    if (filter->Insert(k)) accepted.push_back(k);
+  }
+  EXPECT_GT(filter->StashSize(), 0u);
+  EXPECT_GT(filter->counters().stash_inserts.Value(), 0u);
+  for (const auto k : accepted) {
+    ASSERT_TRUE(filter->Contains(k)) << "accepted key lost";
+  }
+  EXPECT_GT(filter->counters().stash_hits.Value(), 0u);
+}
+
+TEST_F(ResilientFilterTest, InsertFailsOnlyWhenStashIsFull) {
+  ResilientOptions options;
+  options.stash_capacity = 4;
+  auto filter = MakeResilientVcf(options);
+  Evict().ArmAlways();
+
+  std::size_t failures = 0;
+  for (const auto k : UniformKeys(filter->SlotCount() * 2, 11)) {
+    if (!filter->Insert(k)) ++failures;
+  }
+  EXPECT_EQ(filter->StashSize(), 4u);
+  EXPECT_GT(failures, 0u);
+  EXPECT_EQ(filter->counters().insert_failures.Value(), failures);
+}
+
+TEST_F(ResilientFilterTest, ZeroStashCapacityDisablesTheStash) {
+  ResilientOptions options;
+  options.stash_capacity = 0;
+  auto filter = MakeResilientVcf(options);
+  Evict().ArmAlways();
+  bool saw_failure = false;
+  for (const auto k : UniformKeys(filter->SlotCount() * 2, 13)) {
+    saw_failure |= !filter->Insert(k);
+  }
+  EXPECT_TRUE(saw_failure);
+  EXPECT_EQ(filter->StashSize(), 0u);
+}
+
+TEST_F(ResilientFilterTest, EraseRemovesStashedKeys) {
+  ResilientOptions options;
+  options.stash_capacity = 8;
+  auto filter = MakeResilientVcf(options);
+  Evict().ArmAlways();
+  std::vector<std::uint64_t> accepted;
+  for (const auto k : UniformKeys(filter->SlotCount() * 2, 17)) {
+    if (filter->Insert(k)) accepted.push_back(k);
+    if (filter->StashSize() == options.stash_capacity) break;
+  }
+  ASSERT_EQ(filter->StashSize(), options.stash_capacity);
+
+  // Keys that ended up ONLY in the stash: erasing them must succeed and
+  // shrink the stash.
+  const std::size_t before = filter->StashSize();
+  std::size_t erased_from_stash = 0;
+  for (const auto k : accepted) {
+    if (!filter->inner().Contains(k) && filter->Erase(k)) ++erased_from_stash;
+  }
+  EXPECT_GT(erased_from_stash, 0u);
+  EXPECT_LT(filter->StashSize(), before);
+}
+
+TEST_F(ResilientFilterTest, StashDrainsBackIntoTableOnErase) {
+  auto filter = MakeResilientVcf();
+  // Fill the table to genuine saturation so real failures stash keys.
+  std::vector<std::uint64_t> accepted;
+  for (const auto k : UniformKeys(filter->SlotCount() + 64, 19)) {
+    if (filter->Insert(k)) accepted.push_back(k);
+  }
+  // Force a few stashed keys even if the organic fill produced none.
+  Evict().ArmAlways();
+  for (const auto k : UniformKeys(64, 23)) {
+    if (filter->Insert(k)) accepted.push_back(k);
+  }
+  Evict().Disarm();
+  ASSERT_GT(filter->StashSize(), 0u);
+
+  // Deleting table keys opens slots; the drain should move stashed keys in.
+  const std::size_t stashed_before = filter->StashSize();
+  std::size_t erased = 0;
+  for (const auto k : accepted) {
+    if (filter->inner().Contains(k)) {
+      ASSERT_TRUE(filter->Erase(k));
+      if (++erased == 64) break;
+    }
+  }
+  EXPECT_LT(filter->StashSize(), stashed_before);
+  EXPECT_GT(filter->counters().stash_drains.Value(), 0u);
+}
+
+TEST_F(ResilientFilterTest, DegradedModeEngagesAboveWatermark) {
+  ResilientOptions options;
+  options.degrade_watermark = 0.5;
+  auto filter = MakeResilientVcf(options);
+  ASSERT_FALSE(filter->InDegradedMode());
+  for (const auto k : UniformKeys(filter->SlotCount() * 3 / 4, 29)) {
+    filter->Insert(k);
+  }
+  EXPECT_TRUE(filter->InDegradedMode());
+  const auto degraded_before = filter->counters().degraded_inserts.Value();
+  filter->Insert(0xDE6BADED);
+  EXPECT_GT(filter->counters().degraded_inserts.Value(), degraded_before);
+}
+
+TEST_F(ResilientFilterTest, ContainsBatchConsultsTheStash) {
+  auto filter = MakeResilientVcf();
+  Evict().ArmAlways();
+  std::vector<std::uint64_t> accepted;
+  for (const auto k : UniformKeys(filter->SlotCount() * 2, 31)) {
+    if (filter->Insert(k)) accepted.push_back(k);
+    if (filter->StashSize() >= 8) break;
+  }
+  ASSERT_GE(filter->StashSize(), 8u);
+  std::vector<bool> expected;
+  std::vector<std::uint64_t> queries;
+  for (const auto k : accepted) {
+    queries.push_back(k);
+    expected.push_back(true);
+  }
+  queries.push_back(0xAB5E17ULL);
+  expected.push_back(filter->Contains(0xAB5E17ULL));  // FP-rate honest
+  const auto results = std::make_unique<bool[]>(queries.size());
+  filter->ContainsBatch(queries, results.get());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(results[i], expected[i]) << "query " << i;
+  }
+}
+
+// Picks a probability seed whose deterministic fire sequence (p = 0.5:
+// evaluation n fires iff the top bit of Mix64(seed ^ n) is clear) fails
+// evaluation 1 and passes evaluations 2..8 — i.e. exactly one transient
+// failure followed by clean retries.
+std::uint64_t SeedFailingOnlyFirstEvaluation() {
+  const auto fires = [](std::uint64_t seed, std::uint64_t n) {
+    return (Mix64(seed ^ n) >> 63) == 0;
+  };
+  for (std::uint64_t seed = 0;; ++seed) {
+    bool want = fires(seed, 1);
+    for (std::uint64_t n = 2; n <= 8 && want; ++n) want = !fires(seed, n);
+    if (want) return seed;
+  }
+}
+
+TEST_F(ResilientFilterTest, SaveStateExhaustsRetryBudgetOnPersistentFailure) {
+  auto filter = MakeResilientVcf();
+  for (const auto k : UniformKeys(100, 37)) filter->Insert(k);
+  auto& write_fp = FailpointRegistry::Instance().Get(failpoints::kStateWrite);
+  write_fp.ArmAlways();
+  std::ostringstream out;
+  EXPECT_FALSE(filter->SaveState(out));
+  EXPECT_EQ(filter->counters().checkpoint_retries.Value(),
+            filter->options().checkpoint_retries);
+  write_fp.Disarm();
+  // A persistent failure writes NOTHING: no torn blob for a loader to trip on.
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST_F(ResilientFilterTest, SaveStateRetriesThroughOneTransientFailure) {
+  auto filter = MakeResilientVcf();
+  for (const auto k : UniformKeys(100, 37)) filter->Insert(k);
+  auto& write_fp = FailpointRegistry::Instance().Get(failpoints::kStateWrite);
+  write_fp.ResetCounts();
+  write_fp.ArmProbability(0.5, SeedFailingOnlyFirstEvaluation());
+  std::ostringstream out;
+  EXPECT_TRUE(filter->SaveState(out));
+  EXPECT_EQ(filter->counters().checkpoint_retries.Value(), 1u);
+  write_fp.Disarm();
+
+  // The retried blob is a valid checkpoint.
+  auto target = MakeResilientVcf();
+  std::istringstream in(out.str());
+  EXPECT_TRUE(target->LoadState(in));
+  EXPECT_EQ(target->ItemCount(), filter->ItemCount());
+}
+
+TEST_F(ResilientFilterTest, CheckpointRoundTripsIncludingStash) {
+  auto source = MakeResilientVcf();
+  Evict().ArmAlways();
+  std::vector<std::uint64_t> accepted;
+  for (const auto k : UniformKeys(source->SlotCount(), 41)) {
+    if (source->Insert(k)) accepted.push_back(k);
+  }
+  Evict().Disarm();
+  ASSERT_GT(source->StashSize(), 0u);
+
+  std::stringstream blob;
+  ASSERT_TRUE(source->SaveState(blob));
+
+  auto target = MakeResilientVcf();
+  ASSERT_TRUE(target->LoadState(blob));
+  EXPECT_EQ(target->StashSize(), source->StashSize());
+  EXPECT_EQ(target->ItemCount(), source->ItemCount());
+  for (const auto k : accepted) EXPECT_TRUE(target->Contains(k));
+}
+
+TEST_F(ResilientFilterTest, LoadStateRetriesTransientReadFailures) {
+  auto source = MakeResilientVcf();
+  for (const auto k : UniformKeys(100, 43)) source->Insert(k);
+  std::stringstream blob;
+  ASSERT_TRUE(source->SaveState(blob));
+
+  auto target = MakeResilientVcf();
+  auto& read_fp = FailpointRegistry::Instance().Get(failpoints::kStateRead);
+  read_fp.ResetCounts();
+  // The read seam evaluates once per LoadState attempt; fail only the first.
+  read_fp.ArmProbability(0.5, SeedFailingOnlyFirstEvaluation());
+  ASSERT_TRUE(target->LoadState(blob));
+  EXPECT_EQ(target->ItemCount(), source->ItemCount());
+  EXPECT_EQ(target->counters().checkpoint_retries.Value(), 1u);
+  read_fp.Disarm();
+}
+
+TEST_F(ResilientFilterTest, LoadStateIsAllOrNothingOnCorruptBlob) {
+  auto source = MakeResilientVcf();
+  Evict().ArmAlways();
+  for (const auto k : UniformKeys(source->SlotCount(), 47)) source->Insert(k);
+  Evict().Disarm();
+  std::stringstream blob_stream;
+  ASSERT_TRUE(source->SaveState(blob_stream));
+  std::string blob = blob_stream.str();
+  blob[blob.size() / 2] ^= 0x40;  // corrupt the inner payload
+
+  auto target = MakeResilientVcf();
+  ASSERT_TRUE(target->Insert(0xCA11AB1E));
+  const std::size_t items_before = target->ItemCount();
+  std::istringstream in(blob);
+  EXPECT_FALSE(target->LoadState(in));
+  EXPECT_EQ(target->ItemCount(), items_before);
+  EXPECT_TRUE(target->Contains(0xCA11AB1E));
+}
+
+// The PR's acceptance criterion: probability-0.1 eviction failures during a
+// 95%-load fill, zero reported-successful keys lost.
+TEST_F(ResilientFilterTest, NoAcceptedKeyIsLostUnderInjectedEvictionFailures) {
+  CuckooParams params;
+  params.bucket_count = 1 << 10;
+  ResilientOptions options;
+  options.stash_capacity = 256;
+  auto filter = MakeResilientVcf(options, params);
+  Evict().ResetCounts();
+  Evict().ArmProbability(0.1, /*seed=*/1337);
+
+  const std::size_t target_items = filter->SlotCount() * 95 / 100;
+  std::vector<std::uint64_t> accepted;
+  for (const auto k : UniformKeys(target_items, 53)) {
+    if (filter->Insert(k)) accepted.push_back(k);
+  }
+  ASSERT_GT(Evict().triggers(), 0u) << "failpoint never exercised";
+  EXPECT_GT(filter->counters().stash_inserts.Value(), 0u);
+
+  std::size_t lost = 0;
+  for (const auto k : accepted) lost += filter->Contains(k) ? 0 : 1;
+  EXPECT_EQ(lost, 0u) << "of " << accepted.size() << " accepted keys";
+}
+
+}  // namespace
+}  // namespace vcf

@@ -2,6 +2,8 @@
 // recovery reads whatever is on disk), so flipping ANY bit of a valid blob
 // must produce a clean rejection or a still-consistent filter — never a
 // crash, never silent corruption of the receiving filter on rejection.
+// The sweep is exhaustive: all 8 flips of every byte, and truncation at
+// every possible length.
 #include <gtest/gtest.h>
 
 #include <cctype>
@@ -17,47 +19,60 @@ namespace {
 
 std::vector<FilterSpec> BlobSpecs() {
   CuckooParams p;
-  p.bucket_count = 1 << 6;  // small blob => exhaustive byte coverage is cheap
+  p.bucket_count = 1 << 6;  // small blob => exhaustive bit coverage is cheap
   return {
-      {FilterSpec::Kind::kVCF, 0, p, 12.0, 0},
-      {FilterSpec::Kind::kCF, 0, p, 12.0, 0},
-      {FilterSpec::Kind::kKVCF, 5, p, 12.0, 0},
-      {FilterSpec::Kind::kQF, 0, p, 12.0, 0},
-      {FilterSpec::Kind::kDlCBF, 4, p, 12.0, 0},
-      {FilterSpec::Kind::kBF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kVCF, 0, p, 12.0, 0, false},
+      {FilterSpec::Kind::kCF, 0, p, 12.0, 0, false},
+      {FilterSpec::Kind::kKVCF, 5, p, 12.0, 0, false},
+      {FilterSpec::Kind::kQF, 0, p, 12.0, 0, false},
+      {FilterSpec::Kind::kDlCBF, 4, p, 12.0, 0, false},
+      {FilterSpec::Kind::kBF, 0, p, 12.0, 0, false},
+      // Resilient wrapper: its own header + stash section + checksum wrap
+      // the inner blob, and rejection must leave BOTH layers untouched.
+      {FilterSpec::Kind::kVCF, 0, p, 12.0, 0, true},
   };
 }
 
 class StateBlobFuzzTest : public ::testing::TestWithParam<FilterSpec> {};
 
-TEST_P(StateBlobFuzzTest, EveryByteFlipIsHandled) {
+TEST_P(StateBlobFuzzTest, EveryBitFlipIsHandled) {
   auto source = MakeFilter(GetParam());
   const auto keys = UniformKeys(source->SlotCount() / 2, 1201);
   for (const auto k : keys) source->Insert(k);
   std::stringstream blob_stream;
   ASSERT_TRUE(source->SaveState(blob_stream));
   const std::string blob = blob_stream.str();
+  ASSERT_FALSE(blob.empty());
 
-  // Canary state in the target: must survive every rejected load.
+  // A fresh target with canary state: on rejection the canary must still be
+  // present AND the item count unchanged (all-or-nothing LoadState).
   for (std::size_t byte = 0; byte < blob.size(); ++byte) {
-    std::string corrupted = blob;
-    corrupted[byte] ^= 0x20;
-    auto target = MakeFilter(GetParam());
-    target->Insert(0xCA11AB1E);
-    std::stringstream in(corrupted);
-    const bool loaded = target->LoadState(in);
-    if (!loaded) {
-      ASSERT_TRUE(target->Contains(0xCA11AB1E))
-          << GetParam().DisplayName() << ": rejected load clobbered state (byte "
-          << byte << ")";
-    } else {
-      // A flip that survives validation must still yield a usable filter
-      // (payload checksum makes this effectively impossible for table
-      // bytes; header-adjacent no-op flips may slip through).
-      ASSERT_NO_FATAL_FAILURE({
-        target->Insert(1);
-        target->Contains(1);
-      });
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = blob;
+      corrupted[byte] = static_cast<char>(
+          static_cast<unsigned char>(corrupted[byte]) ^ (1u << bit));
+      auto target = MakeFilter(GetParam());
+      target->Insert(0xCA11AB1E);
+      const std::size_t count_before = target->ItemCount();
+      std::stringstream in(corrupted);
+      const bool loaded = target->LoadState(in);
+      if (!loaded) {
+        ASSERT_EQ(target->ItemCount(), count_before)
+            << GetParam().DisplayName() << ": rejected load mutated item count"
+            << " (byte " << byte << ", bit " << bit << ")";
+        ASSERT_TRUE(target->Contains(0xCA11AB1E))
+            << GetParam().DisplayName()
+            << ": rejected load clobbered state (byte " << byte << ", bit "
+            << bit << ")";
+      } else {
+        // A flip that survives validation must still yield a usable filter
+        // (payload checksum makes this effectively impossible for table
+        // bytes; header-adjacent no-op flips may slip through).
+        ASSERT_NO_FATAL_FAILURE({
+          target->Insert(1);
+          target->Contains(1);
+        });
+      }
     }
   }
 }
@@ -69,11 +84,19 @@ TEST_P(StateBlobFuzzTest, TruncationAtEveryLengthIsRejected) {
   ASSERT_TRUE(source->SaveState(blob_stream));
   const std::string blob = blob_stream.str();
 
-  for (std::size_t len = 0; len < blob.size(); len += 7) {
+  for (std::size_t len = 0; len < blob.size(); ++len) {
     auto target = MakeFilter(GetParam());
+    target->Insert(0xCA11AB1E);
+    const std::size_t count_before = target->ItemCount();
     std::stringstream in(blob.substr(0, len));
-    EXPECT_FALSE(target->LoadState(in))
+    ASSERT_FALSE(target->LoadState(in))
         << GetParam().DisplayName() << " accepted a " << len << "-byte prefix";
+    ASSERT_EQ(target->ItemCount(), count_before)
+        << GetParam().DisplayName() << ": rejected " << len
+        << "-byte prefix mutated item count";
+    ASSERT_TRUE(target->Contains(0xCA11AB1E))
+        << GetParam().DisplayName() << ": rejected " << len
+        << "-byte prefix clobbered state";
   }
 }
 

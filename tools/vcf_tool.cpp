@@ -19,6 +19,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "harness/filter_factory.hpp"
 #include "harness/flags.hpp"
@@ -31,7 +32,14 @@ using vcf::Flags;
 
 FilterSpec SpecFromFlags(const Flags& flags) {
   FilterSpec spec;
-  const std::string kind = flags.GetString("filter", "vcf");
+  std::string kind = flags.GetString("filter", "vcf");
+  // "resilient:<kind>" wraps the filter in the overload/recovery layer
+  // (victim stash, degraded mode, checkpoint retry — docs/robustness.md).
+  constexpr std::string_view kResilientPrefix = "resilient:";
+  if (kind.rfind(kResilientPrefix, 0) == 0) {
+    spec.resilient = true;
+    kind.erase(0, kResilientPrefix.size());
+  }
   if (kind == "cf") {
     spec.kind = FilterSpec::Kind::kCF;
   } else if (kind == "vcf") {
@@ -59,7 +67,8 @@ FilterSpec SpecFromFlags(const Flags& flags) {
   } else {
     throw std::invalid_argument(
         "unknown --filter=" + kind +
-        " (cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf)");
+        " (cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf, optionally "
+        "prefixed resilient:)");
   }
   spec.variant = static_cast<unsigned>(flags.GetInt("variant", 4));
   spec.params = vcf::CuckooParams::ForSlotsLog2(
@@ -144,6 +153,7 @@ int Usage() {
       << "usage: vcf_tool <build|query|stats> [flags]\n"
          "  common flags: --filter=cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|"
          "vf|sscf\n"
+         "                (prefix resilient: for the stash/recovery wrapper)\n"
          "                --variant=N --slots_log2=N --f=N --hash=fnv|murmur|"
          "djb|splitmix\n"
          "                --seed=N --max_kicks=N --state=FILE\n"
