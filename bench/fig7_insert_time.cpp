@@ -14,7 +14,8 @@ namespace vcf::bench {
 namespace {
 
 double MeanInsertMicros(const FilterSpec& spec, const BenchScale& scale,
-                        unsigned slots_log2, std::uint64_t salt) {
+                        unsigned slots_log2, std::uint64_t salt,
+                        bool batched = false) {
   RunningStat it;
   for (unsigned rep = 0; rep < scale.reps; ++rep) {
     FilterSpec sized = spec;
@@ -24,7 +25,8 @@ double MeanInsertMicros(const FilterSpec& spec, const BenchScale& scale,
     std::vector<std::uint64_t> aliens;
     MakeKeySets(scale, filter->SlotCount(), 0, salt * 1000 + rep, &members,
                 &aliens);
-    it.Add(FillAll(*filter, members).avg_insert_micros);
+    it.Add((batched ? FillAllBatched(*filter, members) : FillAll(*filter, members))
+               .avg_insert_micros);
   }
   return it.Mean();
 }
@@ -96,6 +98,29 @@ int Run(const Flags& flags) {
                                          60 + j), 4)});
     }
     Emit(scale, table, "Fig. 7(c): average insert time vs r");
+  }
+  {
+    // Extra panel (not in the paper): the batched-insert pipeline
+    // (Filter::InsertBatch, docs/performance.md) against one-at-a-time
+    // inserts. Same keys, same end state — only the feeding discipline
+    // differs, so the delta isolates the prefetch-pipeline win.
+    FilterSpec vcf{FilterSpec::Kind::kVCF, 0, base, 0, 0};
+    TablePrinter table(
+        {"filter", "sequential(us/item)", "batched(us/item)", "speedup"});
+    const FilterSpec* lineup[] = {&cf, &vcf};
+    std::uint64_t salt = 80;
+    for (const FilterSpec* s : lineup) {
+      // Same salt for both runs: identical key stream, so the delta is
+      // purely the feeding discipline.
+      const double seq = MeanInsertMicros(*s, scale, scale.slots_log2, salt);
+      const double bat =
+          MeanInsertMicros(*s, scale, scale.slots_log2, salt, true);
+      ++salt;
+      table.AddRow({s->DisplayName(), TablePrinter::FormatDouble(seq, 4),
+                    TablePrinter::FormatDouble(bat, 4),
+                    TablePrinter::FormatDouble(bat > 0 ? seq / bat : 0.0, 2)});
+    }
+    Emit(scale, table, "Extra: batched-insert pipeline vs sequential inserts");
   }
   std::cout << "\nPaper's shape: insert time falls as r grows; VCF (max r) "
                "~half of CF; IVCF ~10%\nfaster than DVCF past r ~ 0.8; DCF "

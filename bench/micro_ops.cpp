@@ -1,18 +1,30 @@
 // Per-operation micro-benchmarks (google-benchmark): insert, positive
 // lookup, negative lookup and delete latency for CF, DCF, VCF (IVCF_6),
-// DVCF_8 and 8-VCF at a moderate (0.5) and a high (0.95) load factor.
+// DVCF_8 and 8-VCF at a moderate (0.5) and a high (0.95) load factor, plus
+// the PR's perf surfaces: SWAR vs scalar bucket probes (table-level and
+// through the batched filter pipelines) and multi-writer scaling of the
+// sharded wrapper.
 //
 // These complement the table/figure binaries: google-benchmark's repetition
 // machinery gives tight per-op numbers, while the figure binaries follow the
 // paper's fill-the-whole-table methodology.
+//
+// Output: the usual console table, plus a machine-readable JSON array
+// written to --json_out=PATH (default BENCH_micro.json in the working
+// directory; see docs/performance.md for the schema and how to read it).
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <fstream>
+#include <iostream>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/random.hpp"
 #include "harness/filter_factory.hpp"
+#include "table/packed_table.hpp"
 #include "workload/key_streams.hpp"
 
 namespace vcf::bench {
@@ -146,10 +158,195 @@ void BM_ResilientOverhead(benchmark::State& state) {
   state.SetLabel(spec.DisplayName() + " @" + std::to_string(load_pct) + "%");
 }
 
+// --- SWAR vs scalar probes ------------------------------------------------
+
+/// Spec for the SWAR comparison benches: 2^20 slots (so the table outgrows
+/// L2 and the prefetch pipeline has real cache misses to hide), b = 4 slots
+/// per bucket, f fingerprint bits, SplitMix hashing so the (cheap) hash does
+/// not dominate the probe cost being compared.
+FilterSpec SwarSpec(int tag, unsigned f) {
+  FilterSpec spec = SpecFor(tag);
+  spec.params = CuckooParams::ForSlotsLog2(20);
+  spec.params.fingerprint_bits = f;
+  spec.params.hash = HashKind::kSplitMix;
+  return spec;
+}
+
+/// Comparison arms for the probe benches. The baseline arm is the pre-SWAR,
+/// pre-batching code path: one key at a time through the scalar probe loop.
+enum ProbeMode : int {
+  kSwarBatch = 0,    ///< batched pipeline + SWAR probes (this PR)
+  kScalarBatch = 1,  ///< batched pipeline + scalar probes (isolates SWAR)
+  kScalarSeq = 2,    ///< per-key calls + scalar probes (pre-PR baseline)
+};
+
+std::string SwarLabel(const FilterSpec& spec, unsigned f, int mode) {
+  const char* arm = mode == kSwarBatch    ? " swar+batch"
+                    : mode == kScalarBatch ? " scalar+batch"
+                                           : " scalar+seq (baseline)";
+  return spec.DisplayName() + " f=" + std::to_string(f) + arm;
+}
+
+void BM_ContainsBatchProbes(benchmark::State& state) {
+  // Whole-pipeline lookup cost at range(3)% load, across the three arms of
+  // ProbeMode (range(2)). swar+batch vs scalar+batch isolates the SWAR probe
+  // word; swar+batch vs the scalar+seq baseline is the full win of this PR
+  // (prefetch pipelining + word-at-a-time probes) over the pre-PR path.
+  const int tag = static_cast<int>(state.range(0));
+  const unsigned f = static_cast<unsigned>(state.range(1));
+  const int mode = static_cast<int>(state.range(2));
+  const int load_pct = static_cast<int>(state.range(3));
+  const FilterSpec spec = SwarSpec(tag, f);
+  PackedTable::ForceScalarProbes(mode != kSwarBatch);
+  auto filter = MakeFilter(spec);
+  PackedTable::ForceScalarProbes(false);
+  const auto stored = Prefill(*filter, load_pct, 21);
+  constexpr std::size_t kBatch = 256;
+  std::vector<std::uint64_t> queries(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    queries[i] = i % 2 ? stored[i % stored.size()] : UniformKeyAt(23, i);
+  }
+  const auto results = std::make_unique<bool[]>(kBatch);
+  if (mode == kScalarSeq) {
+    for (auto _ : state) {
+      for (std::size_t i = 0; i < kBatch; ++i) {
+        results[i] = filter->Contains(queries[i]);
+      }
+      benchmark::DoNotOptimize(results.get());
+    }
+  } else {
+    for (auto _ : state) {
+      filter->ContainsBatch(queries, results.get());
+      benchmark::DoNotOptimize(results.get());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+  state.SetLabel(SwarLabel(spec, f, mode) + " @" + std::to_string(load_pct) +
+                 "%");
+}
+
+void BM_InsertBatchProbes(benchmark::State& state) {
+  // Whole-pipeline insert at a pinned load of range(3)%: each iteration
+  // inserts a 256-key batch and erases it again. All arms pay the same
+  // (per-key) erase cost, so the deltas isolate the insert paths: batched
+  // pipeline vs per-key inserts, SWAR vs scalar probes.
+  const int tag = static_cast<int>(state.range(0));
+  const unsigned f = static_cast<unsigned>(state.range(1));
+  const int mode = static_cast<int>(state.range(2));
+  const int load_pct = static_cast<int>(state.range(3));
+  const FilterSpec spec = SwarSpec(tag, f);
+  PackedTable::ForceScalarProbes(mode != kSwarBatch);
+  auto filter = MakeFilter(spec);
+  PackedTable::ForceScalarProbes(false);
+  Prefill(*filter, load_pct, 27);
+  constexpr std::size_t kBatch = 256;
+  std::vector<std::uint64_t> keys(kBatch);
+  std::uint64_t serial = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      keys[i] = UniformKeyAt(29, serial++);
+    }
+    if (mode == kScalarSeq) {
+      for (const std::uint64_t k : keys) {
+        benchmark::DoNotOptimize(filter->Insert(k));
+      }
+    } else {
+      benchmark::DoNotOptimize(filter->InsertBatch(keys));
+    }
+    for (const std::uint64_t k : keys) filter->Erase(k);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBatch));
+  state.SetLabel(SwarLabel(spec, f, mode) + " @" + std::to_string(load_pct) +
+                 "%");
+}
+
+void BM_TableProbe(benchmark::State& state) {
+  // Pure probe cost, no hashing and no filter logic: ContainsValue on a
+  // half-full b=4 table via the SWAR word path vs the scalar reference loop.
+  const unsigned f = static_cast<unsigned>(state.range(0));
+  const bool scalar = state.range(1) != 0;
+  constexpr std::size_t kBuckets = std::size_t{1} << 14;
+  PackedTable table(kBuckets, 4, f);
+  Xoshiro256 rng(0xBE7C45ULL + f);
+  const std::uint64_t vmask = (std::uint64_t{1} << f) - 1;
+  for (std::size_t i = 0; i < table.slot_count() / 2; ++i) {
+    table.InsertValue(rng.Below(kBuckets), rng.Below(vmask) + 1);
+  }
+  constexpr std::size_t kProbes = 1024;
+  std::vector<std::uint64_t> buckets(kProbes);
+  std::vector<std::uint64_t> values(kProbes);
+  for (std::size_t i = 0; i < kProbes; ++i) {
+    buckets[i] = rng.Below(kBuckets);
+    values[i] = rng.Below(vmask) + 1;
+  }
+  std::size_t i = 0;
+  if (scalar) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(table.ContainsValueScalar(buckets[i], values[i]));
+      i = (i + 1) % kProbes;
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(table.ContainsValue(buckets[i], values[i]));
+      i = (i + 1) % kProbes;
+    }
+  }
+  state.SetLabel("PackedTable(b=4,f=" + std::to_string(f) +
+                 (scalar ? ") scalar" : ") swar"));
+}
+
+// --- Sharded multi-writer scaling ----------------------------------------
+
+void BM_ShardedInsertMT(benchmark::State& state) {
+  // Multi-writer insert+erase throughput through the sharded wrapper:
+  // range(0) shards, run at ->Threads(1) and ->Threads(4). With one shard
+  // every writer serialises on the same lock; with four, writers mostly
+  // land on distinct shards. NOTE: thread scaling needs as many cores as
+  // threads — on a single-core host the 4-thread numbers only measure lock
+  // handoff (docs/performance.md).
+  static std::unique_ptr<Filter> shared;
+  if (state.thread_index() == 0) {
+    FilterSpec spec = SpecFor(1);  // IVCF_6
+    spec.params.hash = HashKind::kSplitMix;
+    spec.shards = static_cast<unsigned>(state.range(0));
+    shared = MakeFilter(spec);
+    Prefill(*shared, 50, 31);
+  }
+  const std::uint64_t stream = 100 + static_cast<std::uint64_t>(state.thread_index());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t key = UniformKeyAt(stream, i++);
+    benchmark::DoNotOptimize(shared->Insert(key));
+    shared->Erase(key);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetLabel("Sharded" + std::to_string(state.range(0)) +
+                 "(IVCF_6) writers=" + std::to_string(state.threads()));
+  if (state.thread_index() == 0) shared.reset();
+}
+
 void AllVariants(benchmark::internal::Benchmark* b) {
   for (int tag = 0; tag <= 4; ++tag) {
     b->Args({tag, 50});
     b->Args({tag, 95});
+  }
+}
+
+void SwarVariants(benchmark::internal::Benchmark* b) {
+  // CF and VCF (tags 0 and 1), f in {8, 12, 16}, all three ProbeMode arms,
+  // at a moderate (50%) and a high (90%) load. High load is the regime the
+  // paper cares about — buckets are mostly full, so every probe scans the
+  // whole word and the SWAR win is largest.
+  for (int tag = 0; tag <= 1; ++tag) {
+    for (int f : {8, 12, 16}) {
+      for (int load : {50, 90}) {
+        b->Args({tag, f, kSwarBatch, load});
+        b->Args({tag, f, kScalarBatch, load});
+        b->Args({tag, f, kScalarSeq, load});
+      }
+    }
   }
 }
 
@@ -163,8 +360,99 @@ BENCHMARK(BM_ResilientOverhead)
     ->Args({1, 50})
     ->Args({0, 90})
     ->Args({1, 90});
+BENCHMARK(BM_ContainsBatchProbes)->Apply(SwarVariants);
+BENCHMARK(BM_InsertBatchProbes)->Apply(SwarVariants);
+BENCHMARK(BM_TableProbe)
+    ->Args({8, 0})->Args({8, 1})
+    ->Args({12, 0})->Args({12, 1})
+    ->Args({16, 0})->Args({16, 1});
+BENCHMARK(BM_ShardedInsertMT)
+    ->Args({1})->Args({4})
+    ->Threads(1)->Threads(4)
+    ->UseRealTime();
+
+// --- Reporting ------------------------------------------------------------
+
+/// Console output as usual, plus every run collected into a flat record for
+/// the BENCH_micro.json side file (schema: docs/performance.md).
+class JsonCollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Entry {
+    std::string name;    ///< full benchmark name, e.g. "BM_Insert/0/50"
+    std::string op;      ///< benchmark family, e.g. "Insert"
+    std::string filter;  ///< the run's label (filter + configuration)
+    double ns_per_op = 0.0;
+    double items_per_second = 0.0;
+    std::int64_t threads = 1;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      e.op = e.name.substr(0, e.name.find('/'));
+      if (e.op.rfind("BM_", 0) == 0) e.op.erase(0, 3);
+      e.filter = run.report_label;
+      // GetAdjustedRealTime is in the run's time unit (ns by default).
+      e.ns_per_op = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) e.items_per_second = it->second;
+      e.threads = run.threads;
+      entries_.push_back(std::move(e));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool WriteJson(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "[\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out << "  {\"name\": \"" << e.name << "\", \"op\": \"" << e.op
+          << "\", \"filter\": \"" << e.filter << "\", \"ns_per_op\": "
+          << e.ns_per_op << ", \"items_per_second\": " << e.items_per_second
+          << ", \"threads\": " << e.threads << "}"
+          << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return out.good();
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
 
 }  // namespace
 }  // namespace vcf::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our own flag before google-benchmark sees the argv (it rejects
+  // flags it does not know).
+  std::string json_path = "BENCH_micro.json";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kJsonFlag = "--json_out=";
+    if (arg.rfind(kJsonFlag, 0) == 0) {
+      json_path = std::string(arg.substr(kJsonFlag.size()));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  vcf::bench::JsonCollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (json_path != "none") {
+    if (!reporter.WriteJson(json_path)) {
+      std::cerr << "error: could not write " << json_path << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << json_path << "\n";
+  }
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "baselines/cuckoo_filter.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <vector>
 
@@ -44,8 +45,8 @@ std::uint64_t CuckooFilter::FingerprintHash(std::uint64_t fp) const noexcept {
 bool CuckooFilter::Insert(std::uint64_t key) {
   ++counters_.inserts;
   std::uint64_t b1;
-  std::uint64_t fp = Fingerprint(key, &b1);
-  std::uint64_t fh = FingerprintHash(fp);
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
   const std::uint64_t b2 = AltBucket(b1, fh);
 
   counters_.bucket_probes += 2;
@@ -53,7 +54,11 @@ bool CuckooFilter::Insert(std::uint64_t key) {
     ++items_;
     return true;
   }
+  return InsertEvict(fp, b1, b2);
+}
 
+bool CuckooFilter::InsertEvict(std::uint64_t fp, std::uint64_t b1,
+                               std::uint64_t b2) {
   struct Step {
     std::uint64_t bucket;
     unsigned slot;
@@ -73,7 +78,7 @@ bool CuckooFilter::Insert(std::uint64_t key) {
     ++counters_.evictions;
 
     // Partial-key cuckoo: the victim's only alternate bucket, one hash.
-    fh = FingerprintHash(fp);
+    const std::uint64_t fh = FingerprintHash(fp);
     cur = AltBucket(cur, fh);
     ++counters_.bucket_probes;
     if (table_.InsertValue(cur, fp)) {
@@ -97,6 +102,71 @@ bool CuckooFilter::Contains(std::uint64_t key) const {
   counters_.bucket_probes += 2;
   return table_.ContainsValue(b1, fp) ||
          table_.ContainsValue(AltBucket(b1, fh), fp);
+}
+
+void CuckooFilter::ContainsBatch(std::span<const std::uint64_t> keys,
+                                 bool* results) const {
+  // Window pipeline matching VerticalCuckooFilter::ContainsBatch.
+  constexpr std::size_t kWindow = 16;
+  struct Probe {
+    std::uint64_t b1, b2, fp;
+  };
+  Probe window[kWindow];
+
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n = std::min(kWindow, keys.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counters_.lookups;
+      window[i].fp = Fingerprint(keys[done + i], &window[i].b1);
+      window[i].b2 = AltBucket(window[i].b1, FingerprintHash(window[i].fp));
+      table_.PrefetchBucket(window[i].b1);
+      table_.PrefetchBucket(window[i].b2);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      counters_.bucket_probes += 2;
+      results[done + i] = table_.ContainsValue(window[i].b1, window[i].fp) ||
+                          table_.ContainsValue(window[i].b2, window[i].fp);
+    }
+    done += n;
+  }
+}
+
+std::size_t CuckooFilter::InsertBatch(std::span<const std::uint64_t> keys,
+                                      bool* results) {
+  constexpr std::size_t kWindow = 16;
+  struct Pending {
+    std::uint64_t b1, b2, fp;
+  };
+  Pending window[kWindow];
+
+  std::size_t accepted = 0;
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n = std::min(kWindow, keys.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counters_.inserts;
+      window[i].fp = Fingerprint(keys[done + i], &window[i].b1);
+      window[i].b2 = AltBucket(window[i].b1, FingerprintHash(window[i].fp));
+      table_.PrefetchBucket(window[i].b1);
+      table_.PrefetchBucket(window[i].b2);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      counters_.bucket_probes += 2;
+      bool ok;
+      if (table_.InsertValue(window[i].b1, window[i].fp) ||
+          table_.InsertValue(window[i].b2, window[i].fp)) {
+        ++items_;
+        ok = true;
+      } else {
+        ok = InsertEvict(window[i].fp, window[i].b1, window[i].b2);
+      }
+      accepted += ok ? 1 : 0;
+      if (results != nullptr) results[done + i] = ok;
+    }
+    done += n;
+  }
+  return accepted;
 }
 
 bool CuckooFilter::Erase(std::uint64_t key) {

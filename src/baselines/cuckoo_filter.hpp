@@ -26,6 +26,14 @@ class CuckooFilter : public Filter {
   bool Contains(std::uint64_t key) const override;
   bool Erase(std::uint64_t key) override;
 
+  /// Two-phase hash-then-prefetch-then-probe pipelines over fixed windows,
+  /// mirroring the VCF family's (core/vcf.cpp) so batched-throughput
+  /// comparisons charge both filters the same pipeline structure.
+  void ContainsBatch(std::span<const std::uint64_t> keys,
+                     bool* results) const override;
+  std::size_t InsertBatch(std::span<const std::uint64_t> keys,
+                          bool* results = nullptr) override;
+
   bool SupportsDeletion() const noexcept override { return true; }
   std::string Name() const override { return "CF"; }
   std::size_t ItemCount() const noexcept override { return items_; }
@@ -48,6 +56,9 @@ class CuckooFilter : public Filter {
   std::uint64_t AltBucket(std::uint64_t bucket, std::uint64_t fp_hash) const noexcept {
     return (bucket ^ fp_hash) & index_mask_;
   }
+  /// Eviction-chain tail of Insert, shared with InsertBatch. Called after
+  /// both candidates were found full.
+  bool InsertEvict(std::uint64_t fp, std::uint64_t b1, std::uint64_t b2);
 
   CuckooParams params_;
   std::uint64_t index_mask_;

@@ -43,6 +43,40 @@ constexpr unsigned PopCount(std::uint64_t v) noexcept {
   return static_cast<unsigned>(std::popcount(v));
 }
 
+// --- SWAR lane primitives -------------------------------------------------
+//
+// A 64-bit word is treated as `lanes` adjacent fields of `lane_bits` each
+// (lane 0 in the low bits). These are the building blocks of the
+// word-at-a-time bucket probes in PackedTable: broadcast a fingerprint into
+// every lane, XOR against the packed bucket, and ask "which lanes are zero?"
+// — one load and a handful of ALU ops instead of a per-slot extract loop.
+
+/// The value 1 repeated in every lane: sum of 1 << (i * lane_bits).
+/// Preconditions: lane_bits >= 1 and lane_bits * lanes <= 64.
+constexpr std::uint64_t SwarOnes(unsigned lane_bits, unsigned lanes) noexcept {
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < lanes; ++i) {
+    v |= std::uint64_t{1} << (i * lane_bits);
+  }
+  return v;
+}
+
+/// Exact zero-lane detection: returns a word with bit (i*L + L-1) set iff
+/// lane i of `x` is zero, for the lanes described by `lows`/`highs`
+/// (`highs` = SwarOnes << (L-1), `lows` = highs - SwarOnes). Bits of `x`
+/// above the top lane must be zero.
+///
+/// Unlike the classic `(x - ones) & ~x & highs` has-zero trick, this form
+/// has no cross-lane borrows, so EVERY lane's indicator is exact — required
+/// because the probes AND these indicators with occupancy masks.
+constexpr std::uint64_t SwarZeroLanes(std::uint64_t x, std::uint64_t lows,
+                                      std::uint64_t highs) noexcept {
+  // (x & lows) + lows: high bit of each lane set iff the low L-1 bits are
+  // non-zero; the sum cannot carry across lanes. OR in x itself to catch
+  // lanes whose only set bit is the high bit.
+  return ~(((x & lows) + lows) | x) & highs;
+}
+
 /// Reads `bits` (1..57) bits starting at absolute bit offset `bit_off` from a
 /// byte buffer. The buffer must have at least one addressable byte past the
 /// last touched bit-range byte-span; PackedTable guarantees 8 bytes of slack.

@@ -29,6 +29,13 @@ void ConcurrentFilter::ContainsBatch(std::span<const std::uint64_t> keys,
   inner_->ContainsBatch(keys, results);
 }
 
+std::size_t ConcurrentFilter::InsertBatch(std::span<const std::uint64_t> keys,
+                                          bool* results) {
+  // One lock acquisition for the whole batch, not one per key.
+  std::unique_lock lock(mutex_);
+  return inner_->InsertBatch(keys, results);
+}
+
 bool ConcurrentFilter::Erase(std::uint64_t key) {
   std::unique_lock lock(mutex_);
   return inner_->Erase(key);

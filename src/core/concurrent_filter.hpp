@@ -30,6 +30,8 @@ class ConcurrentFilter : public Filter {
   bool Contains(std::uint64_t key) const override;
   void ContainsBatch(std::span<const std::uint64_t> keys,
                      bool* results) const override;
+  std::size_t InsertBatch(std::span<const std::uint64_t> keys,
+                          bool* results = nullptr) override;
   bool Erase(std::uint64_t key) override;
 
   bool SupportsDeletion() const noexcept override {

@@ -69,24 +69,28 @@ std::uint64_t DifferentiatedVcf::FingerprintHash(std::uint64_t fp) const noexcep
          LowMask(params_.fingerprint_bits);
 }
 
+unsigned DifferentiatedVcf::CandidateSet(std::uint64_t b1, std::uint64_t fp,
+                                         std::uint64_t fh,
+                                         std::uint64_t out[4]) const noexcept {
+  // Algorithm 4 lines 3-12: candidate set depends on the interval judgment.
+  if (FourWay(fp)) {
+    const Candidates4 cand = hasher_.Candidates(b1, fh);
+    std::copy(cand.bucket.begin(), cand.bucket.end(), out);
+    return 4;
+  }
+  out[0] = b1;
+  out[1] = (b1 ^ fh) & hasher_.index_mask();
+  return 2;
+}
+
 bool DifferentiatedVcf::Insert(std::uint64_t key) {
   ++counters_.inserts;
   std::uint64_t b1;
-  std::uint64_t fp = Fingerprint(key, &b1);
-  std::uint64_t fh = FingerprintHash(fp);
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
 
-  // Algorithm 4 lines 3-12: candidate set depends on the interval judgment.
   std::uint64_t first_candidates[4];
-  unsigned n_cand;
-  if (FourWay(fp)) {
-    const Candidates4 cand = hasher_.Candidates(b1, fh);
-    std::copy(cand.bucket.begin(), cand.bucket.end(), first_candidates);
-    n_cand = 4;
-  } else {
-    first_candidates[0] = b1;
-    first_candidates[1] = (b1 ^ fh) & hasher_.index_mask();
-    n_cand = 2;
-  }
+  const unsigned n_cand = CandidateSet(b1, fp, fh, first_candidates);
   counters_.bucket_probes += n_cand;
   for (unsigned i = 0; i < n_cand; ++i) {
     if (table_.InsertValue(first_candidates[i], fp)) {
@@ -94,7 +98,12 @@ bool DifferentiatedVcf::Insert(std::uint64_t key) {
       return true;
     }
   }
+  return InsertEvict(fp, first_candidates, n_cand);
+}
 
+bool DifferentiatedVcf::InsertEvict(std::uint64_t fp,
+                                    const std::uint64_t first_candidates[4],
+                                    unsigned n_cand) {
   // Failure seam: injected eviction-chain exhaustion (see vcf.cpp).
   if (VCF_FAILPOINT_TRIGGERED(failpoints::kEvictionExhausted)) {
     ++counters_.insert_failures;
@@ -121,7 +130,7 @@ bool DifferentiatedVcf::Insert(std::uint64_t key) {
     fp = victim;
     ++counters_.evictions;
 
-    fh = FingerprintHash(fp);
+    const std::uint64_t fh = FingerprintHash(fp);
     if (FourWay(fp)) {
       const auto alts = hasher_.Alternates(cur, fh);
       counters_.bucket_probes += 3;
@@ -173,6 +182,86 @@ bool DifferentiatedVcf::Contains(std::uint64_t key) const {
     if (table_.ContainsValue((b1 ^ fh) & hasher_.index_mask(), fp)) return true;
   }
   return false;
+}
+
+void DifferentiatedVcf::ContainsBatch(std::span<const std::uint64_t> keys,
+                                      bool* results) const {
+  constexpr std::size_t kWindow = 16;
+  struct Probe {
+    std::uint64_t cand[4];
+    std::uint64_t fp;
+    unsigned n_cand;
+  };
+  Probe window[kWindow];
+
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n = std::min(kWindow, keys.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counters_.lookups;
+      std::uint64_t b1;
+      window[i].fp = Fingerprint(keys[done + i], &b1);
+      window[i].n_cand = CandidateSet(b1, window[i].fp,
+                                      FingerprintHash(window[i].fp),
+                                      window[i].cand);
+      for (unsigned c = 0; c < window[i].n_cand; ++c) {
+        table_.PrefetchBucket(window[i].cand[c]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      counters_.bucket_probes += window[i].n_cand;
+      bool hit = false;
+      for (unsigned c = 0; c < window[i].n_cand && !hit; ++c) {
+        hit = table_.ContainsValue(window[i].cand[c], window[i].fp);
+      }
+      results[done + i] = hit;
+    }
+    done += n;
+  }
+}
+
+std::size_t DifferentiatedVcf::InsertBatch(std::span<const std::uint64_t> keys,
+                                           bool* results) {
+  constexpr std::size_t kWindow = 16;
+  struct Pending {
+    std::uint64_t cand[4];
+    std::uint64_t fp;
+    unsigned n_cand;
+  };
+  Pending window[kWindow];
+
+  std::size_t accepted = 0;
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n = std::min(kWindow, keys.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counters_.inserts;
+      std::uint64_t b1;
+      window[i].fp = Fingerprint(keys[done + i], &b1);
+      window[i].n_cand = CandidateSet(b1, window[i].fp,
+                                      FingerprintHash(window[i].fp),
+                                      window[i].cand);
+      for (unsigned c = 0; c < window[i].n_cand; ++c) {
+        table_.PrefetchBucket(window[i].cand[c]);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      counters_.bucket_probes += window[i].n_cand;
+      bool ok = false;
+      for (unsigned c = 0; c < window[i].n_cand; ++c) {
+        if (table_.InsertValue(window[i].cand[c], window[i].fp)) {
+          ++items_;
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) ok = InsertEvict(window[i].fp, window[i].cand, window[i].n_cand);
+      accepted += ok ? 1 : 0;
+      if (results != nullptr) results[done + i] = ok;
+    }
+    done += n;
+  }
+  return accepted;
 }
 
 bool DifferentiatedVcf::Erase(std::uint64_t key) {

@@ -34,6 +34,14 @@ class DifferentiatedVcf : public Filter {
   bool Contains(std::uint64_t key) const override;
   bool Erase(std::uint64_t key) override;
 
+  /// Two-phase hash-then-prefetch-then-probe pipelines (see core/vcf.cpp);
+  /// the per-key interval judgment happens in the hash phase, so the probe
+  /// phase streams over prefetched buckets for both 2- and 4-way keys.
+  void ContainsBatch(std::span<const std::uint64_t> keys,
+                     bool* results) const override;
+  std::size_t InsertBatch(std::span<const std::uint64_t> keys,
+                          bool* results = nullptr) override;
+
   bool SupportsDeletion() const noexcept override { return true; }
   std::string Name() const override { return name_; }
   std::size_t ItemCount() const noexcept override { return items_; }
@@ -60,6 +68,14 @@ class DifferentiatedVcf : public Filter {
  private:
   std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
   std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
+  /// Derives the candidate set for `fp` (4-way inside In1, 2-way outside);
+  /// returns the candidate count. Shared by the single and batched paths.
+  unsigned CandidateSet(std::uint64_t b1, std::uint64_t fp, std::uint64_t fh,
+                        std::uint64_t out[4]) const noexcept;
+  /// Eviction-chain tail of Insert (Algorithm 4 lines 13-28), shared with
+  /// InsertBatch.
+  bool InsertEvict(std::uint64_t fp, const std::uint64_t candidates[4],
+                   unsigned n_cand);
 
   CuckooParams params_;
   VerticalHasher hasher_;

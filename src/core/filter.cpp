@@ -14,4 +14,15 @@ void Filter::ContainsBatch(std::span<const std::uint64_t> keys,
   }
 }
 
+std::size_t Filter::InsertBatch(std::span<const std::uint64_t> keys,
+                                bool* results) {
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const bool ok = Insert(keys[i]);
+    accepted += ok ? 1 : 0;
+    if (results != nullptr) results[i] = ok;
+  }
+  return accepted;
+}
+
 }  // namespace vcf

@@ -40,6 +40,16 @@ class Filter {
   virtual void ContainsBatch(std::span<const std::uint64_t> keys,
                              bool* results) const;
 
+  /// Batched insertion: results[i] = Insert(keys[i]), applied in key order,
+  /// with identical end state to the sequential calls. The default loops;
+  /// the cuckoo family overrides with the same two-phase
+  /// hash-then-prefetch-then-probe pipeline as ContainsBatch (eviction
+  /// chains, when needed, still run per key). `results` may be nullptr when
+  /// the caller does not need per-key outcomes. Returns the number of
+  /// accepted keys.
+  virtual std::size_t InsertBatch(std::span<const std::uint64_t> keys,
+                                  bool* results = nullptr);
+
   /// Removes one previously inserted copy of `key`. Returns false when no
   /// matching fingerprint exists or the filter does not support deletion.
   virtual bool Erase(std::uint64_t key) = 0;
@@ -86,8 +96,10 @@ class Filter {
     return SplitMixHash64(key.data(), key.size(), /*seed=*/0);
   }
 
-  const OpCounters& counters() const noexcept { return counters_; }
-  void ResetCounters() noexcept { counters_.Reset(); }
+  /// Operation counters. Virtual so aggregating wrappers (ShardedFilter)
+  /// can present a combined view; plain filters return their own counters.
+  virtual const OpCounters& counters() const noexcept { return counters_; }
+  virtual void ResetCounters() noexcept { counters_.Reset(); }
 
  protected:
   Filter() = default;

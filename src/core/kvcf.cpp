@@ -1,5 +1,6 @@
 #include "core/kvcf.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "common/failpoint.hpp"
@@ -50,8 +51,8 @@ std::uint64_t KVcf::FingerprintHash(std::uint64_t fp) const noexcept {
 bool KVcf::Insert(std::uint64_t key) {
   ++counters_.inserts;
   std::uint64_t b1;
-  std::uint64_t fp = Fingerprint(key, &b1);
-  std::uint64_t fh = FingerprintHash(fp);
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
   const unsigned k = hasher_.k();
 
   // Try every candidate bucket for an empty slot; the stored slot records
@@ -64,7 +65,11 @@ bool KVcf::Insert(std::uint64_t key) {
       return true;
     }
   }
+  return InsertEvict(fp, b1, fh);
+}
 
+bool KVcf::InsertEvict(std::uint64_t fp, std::uint64_t b1, std::uint64_t fh) {
+  const unsigned k = hasher_.k();
   // Failure seam: injected eviction-chain exhaustion (see vcf.cpp).
   if (VCF_FAILPOINT_TRIGGERED(failpoints::kEvictionExhausted)) {
     ++counters_.insert_failures;
@@ -133,6 +138,82 @@ bool KVcf::Contains(std::uint64_t key) const {
     if (table_.ContainsMasked(bucket, fp, fp_mask_)) return true;
   }
   return false;
+}
+
+void KVcf::ContainsBatch(std::span<const std::uint64_t> keys,
+                         bool* results) const {
+  constexpr std::size_t kWindow = 16;
+  struct Probe {
+    std::uint64_t b1, fh, fp;
+  };
+  Probe window[kWindow];
+  const unsigned k = hasher_.k();
+
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n = std::min(kWindow, keys.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counters_.lookups;
+      window[i].fp = Fingerprint(keys[done + i], &window[i].b1);
+      window[i].fh = FingerprintHash(window[i].fp);
+      for (unsigned e = 0; e < k; ++e) {
+        table_.PrefetchBucket(hasher_.Candidate(window[i].b1, window[i].fh, e));
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      counters_.bucket_probes += k;
+      bool hit = false;
+      for (unsigned e = 0; e < k && !hit; ++e) {
+        hit = table_.ContainsMasked(
+            hasher_.Candidate(window[i].b1, window[i].fh, e), window[i].fp,
+            fp_mask_);
+      }
+      results[done + i] = hit;
+    }
+    done += n;
+  }
+}
+
+std::size_t KVcf::InsertBatch(std::span<const std::uint64_t> keys,
+                              bool* results) {
+  constexpr std::size_t kWindow = 16;
+  struct Pending {
+    std::uint64_t b1, fh, fp;
+  };
+  Pending window[kWindow];
+  const unsigned k = hasher_.k();
+
+  std::size_t accepted = 0;
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n = std::min(kWindow, keys.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counters_.inserts;
+      window[i].fp = Fingerprint(keys[done + i], &window[i].b1);
+      window[i].fh = FingerprintHash(window[i].fp);
+      for (unsigned e = 0; e < k; ++e) {
+        table_.PrefetchBucket(hasher_.Candidate(window[i].b1, window[i].fh, e));
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      counters_.bucket_probes += k;
+      bool ok = false;
+      for (unsigned e = 0; e < k; ++e) {
+        const std::uint64_t bucket =
+            hasher_.Candidate(window[i].b1, window[i].fh, e);
+        if (table_.InsertValue(bucket, EncodeSlot(window[i].fp, e))) {
+          ++items_;
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) ok = InsertEvict(window[i].fp, window[i].b1, window[i].fh);
+      accepted += ok ? 1 : 0;
+      if (results != nullptr) results[done + i] = ok;
+    }
+    done += n;
+  }
+  return accepted;
 }
 
 bool KVcf::Erase(std::uint64_t key) {

@@ -32,6 +32,15 @@ class KVcf : public Filter {
   bool Contains(std::uint64_t key) const override;
   bool Erase(std::uint64_t key) override;
 
+  /// Two-phase hash-then-prefetch-then-probe pipelines (see core/vcf.cpp);
+  /// candidates are rederived from (b1, fh) in the probe phase — the
+  /// candidate formula is mask arithmetic, the expensive parts are the two
+  /// hashes and the bucket loads, which the pipeline hides.
+  void ContainsBatch(std::span<const std::uint64_t> keys,
+                     bool* results) const override;
+  std::size_t InsertBatch(std::span<const std::uint64_t> keys,
+                          bool* results = nullptr) override;
+
   bool SupportsDeletion() const noexcept override { return true; }
   std::string Name() const override { return name_; }
   std::size_t ItemCount() const noexcept override { return items_; }
@@ -53,6 +62,8 @@ class KVcf : public Filter {
  private:
   std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
   std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
+  /// Eviction-chain tail of Insert (Fig. 3), shared with InsertBatch.
+  bool InsertEvict(std::uint64_t fp, std::uint64_t b1, std::uint64_t fh);
 
   std::uint64_t EncodeSlot(std::uint64_t fp, unsigned mark) const noexcept {
     return (static_cast<std::uint64_t>(mark) << params_.fingerprint_bits) | fp;

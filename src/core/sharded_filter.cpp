@@ -1,0 +1,221 @@
+#include "core/sharded_filter.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "common/random.hpp"
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+ShardedFilter::ShardedFilter(std::vector<std::unique_ptr<Filter>> shards,
+                             std::uint64_t salt)
+    : salt_(salt) {
+  if (shards.empty()) {
+    throw std::invalid_argument("ShardedFilter: need at least one shard");
+  }
+  shards_.reserve(shards.size());
+  for (auto& f : shards) {
+    if (!f) {
+      throw std::invalid_argument("ShardedFilter: shard must not be null");
+    }
+    shards_.push_back({std::move(f), std::make_unique<std::shared_mutex>()});
+  }
+}
+
+std::size_t ShardedFilter::ShardIndex(std::uint64_t key, std::uint64_t salt,
+                                      std::size_t shard_count) noexcept {
+  // Mix64 is independent of every filter's bucket hash (those consume the
+  // key through Hash64 with the filter seed), so routing does not correlate
+  // with in-shard placement.
+  return static_cast<std::size_t>(Mix64(key ^ salt) % shard_count);
+}
+
+bool ShardedFilter::Insert(std::uint64_t key) {
+  Shard& s = shards_[ShardFor(key)];
+  std::unique_lock lock(*s.mutex);
+  return s.filter->Insert(key);
+}
+
+bool ShardedFilter::Contains(std::uint64_t key) const {
+  const Shard& s = shards_[ShardFor(key)];
+  std::shared_lock lock(*s.mutex);
+  return s.filter->Contains(key);
+}
+
+bool ShardedFilter::Erase(std::uint64_t key) {
+  Shard& s = shards_[ShardFor(key)];
+  std::unique_lock lock(*s.mutex);
+  return s.filter->Erase(key);
+}
+
+void ShardedFilter::ContainsBatch(std::span<const std::uint64_t> keys,
+                                  bool* results) const {
+  const std::size_t n_shards = shards_.size();
+  std::vector<std::vector<std::uint64_t>> shard_keys(n_shards);
+  std::vector<std::vector<std::size_t>> shard_pos(n_shards);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::size_t s = ShardFor(keys[i]);
+    shard_keys[s].push_back(keys[i]);
+    shard_pos[s].push_back(i);
+  }
+  std::vector<bool>::size_type max_run = 0;
+  for (const auto& v : shard_keys) max_run = std::max(max_run, v.size());
+  std::unique_ptr<bool[]> tmp(new bool[std::max<std::size_t>(max_run, 1)]);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    if (shard_keys[s].empty()) continue;
+    std::shared_lock lock(*shards_[s].mutex);
+    shards_[s].filter->ContainsBatch(shard_keys[s], tmp.get());
+    lock.unlock();
+    for (std::size_t j = 0; j < shard_pos[s].size(); ++j) {
+      results[shard_pos[s][j]] = tmp[j];
+    }
+  }
+}
+
+std::size_t ShardedFilter::InsertBatch(std::span<const std::uint64_t> keys,
+                                       bool* results) {
+  const std::size_t n_shards = shards_.size();
+  std::vector<std::vector<std::uint64_t>> shard_keys(n_shards);
+  std::vector<std::vector<std::size_t>> shard_pos(n_shards);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::size_t s = ShardFor(keys[i]);
+    shard_keys[s].push_back(keys[i]);
+    shard_pos[s].push_back(i);
+  }
+  std::size_t max_run = 0;
+  for (const auto& v : shard_keys) max_run = std::max(max_run, v.size());
+  std::unique_ptr<bool[]> tmp(new bool[std::max<std::size_t>(max_run, 1)]);
+  std::size_t accepted = 0;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    if (shard_keys[s].empty()) continue;
+    std::unique_lock lock(*shards_[s].mutex);
+    accepted += shards_[s].filter->InsertBatch(shard_keys[s], tmp.get());
+    lock.unlock();
+    if (results != nullptr) {
+      for (std::size_t j = 0; j < shard_pos[s].size(); ++j) {
+        results[shard_pos[s][j]] = tmp[j];
+      }
+    }
+  }
+  return accepted;
+}
+
+bool ShardedFilter::SupportsDeletion() const noexcept {
+  return std::all_of(shards_.begin(), shards_.end(), [](const Shard& s) {
+    return s.filter->SupportsDeletion();
+  });
+}
+
+std::string ShardedFilter::Name() const {
+  return "Sharded" + std::to_string(shards_.size()) + "(" +
+         shards_[0].filter->Name() + ")";
+}
+
+std::size_t ShardedFilter::ItemCount() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::shared_lock lock(*s.mutex);
+    total += s.filter->ItemCount();
+  }
+  return total;
+}
+
+std::size_t ShardedFilter::SlotCount() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::shared_lock lock(*s.mutex);
+    total += s.filter->SlotCount();
+  }
+  return total;
+}
+
+double ShardedFilter::LoadFactor() const noexcept {
+  const std::size_t slots = SlotCount();
+  return slots == 0 ? 0.0
+                    : static_cast<double>(ItemCount()) /
+                          static_cast<double>(slots);
+}
+
+std::size_t ShardedFilter::MemoryBytes() const noexcept {
+  std::size_t total = 0;
+  for (const Shard& s : shards_) {
+    std::shared_lock lock(*s.mutex);
+    total += s.filter->MemoryBytes();
+  }
+  return total;
+}
+
+void ShardedFilter::Clear() {
+  for (Shard& s : shards_) {
+    std::unique_lock lock(*s.mutex);
+    s.filter->Clear();
+  }
+}
+
+bool ShardedFilter::SaveState(std::ostream& out) const {
+  const std::uint64_t digest = detail::ConfigDigest(
+      salt_, static_cast<unsigned>(shards_.size()), 0, 0);
+  if (!detail::WriteStateHeader(out, Name(), digest)) return false;
+  for (const Shard& s : shards_) {
+    // Stage the shard blob to learn its length, then write it framed.
+    // Framing is load-bearing, not cosmetic: a shard's LoadState may read
+    // greedily (ResilientFilter slurps its stream to support retries), so
+    // each shard must be handed exactly its own bytes on restore.
+    std::ostringstream staged;
+    {
+      std::shared_lock lock(*s.mutex);
+      if (!s.filter->SaveState(staged)) return false;
+    }
+    const std::string blob = staged.str();
+    const std::uint64_t len = blob.size();
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!out) return false;
+  }
+  return true;
+}
+
+bool ShardedFilter::LoadState(std::istream& in) {
+  const std::uint64_t digest = detail::ConfigDigest(
+      salt_, static_cast<unsigned>(shards_.size()), 0, 0);
+  if (!detail::ReadStateHeader(in, Name(), digest)) return false;
+  for (Shard& s : shards_) {
+    std::uint64_t len = 0;
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    // Reject absurd lengths before allocating: a corrupt frame must fail
+    // cleanly, not throw bad_alloc. No shard blob legitimately approaches
+    // this (a 2^30-slot table is ~8 GiB of *slots* already).
+    constexpr std::uint64_t kMaxShardBlobBytes = std::uint64_t{1} << 32;
+    if (!in || len > kMaxShardBlobBytes) {
+      Clear();
+      return false;
+    }
+    std::string blob(static_cast<std::size_t>(len), '\0');
+    in.read(blob.data(), static_cast<std::streamsize>(blob.size()));
+    std::istringstream shard_in(blob);
+    std::unique_lock lock(*s.mutex);
+    if (!in || !s.filter->LoadState(shard_in)) {
+      lock.unlock();
+      Clear();  // cannot roll back already-restored shards; see header
+      return false;
+    }
+  }
+  return true;
+}
+
+const OpCounters& ShardedFilter::counters() const noexcept {
+  counters_.Reset();
+  for (const Shard& s : shards_) counters_ += s.filter->counters();
+  return counters_;
+}
+
+void ShardedFilter::ResetCounters() noexcept {
+  counters_.Reset();
+  for (Shard& s : shards_) s.filter->ResetCounters();
+}
+
+}  // namespace vcf

@@ -1,0 +1,107 @@
+// Hash-partitioned concurrency wrapper: N inner filters, each behind its
+// own reader-writer lock.
+//
+// ConcurrentFilter (core/concurrent_filter.hpp) serializes all mutations on
+// one lock, which caps multi-writer insert throughput at a single core.
+// ShardedFilter routes every key to one of N independent inner filters by a
+// salted hash of the key, so writers touching different shards proceed in
+// parallel and the cuckoo eviction chain — the reason a shared-table
+// concurrent cuckoo filter is hard — stays confined to one shard's table
+// under that shard's exclusive lock.
+//
+// The price is approximation granularity: each shard is an independent
+// filter over ~1/N of the key space, so the aggregate false-positive rate
+// and per-shard load factor match a single filter of the same total slot
+// count only in expectation. Routing uses Mix64(key ^ salt), independent of
+// every inner filter's bucket hash, so shard choice does not bias bucket
+// placement within a shard.
+//
+// Composition rules (see docs/performance.md): `sharded:` is the outermost
+// wrapper; `resilient:` composes per shard (each shard gets its own stash
+// and degraded-mode state). Wrapping a ShardedFilter in ConcurrentFilter is
+// pointless — the shards already carry their own locks.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/filter.hpp"
+
+namespace vcf {
+
+class ShardedFilter : public Filter {
+ public:
+  static constexpr std::uint64_t kDefaultSalt = 0x5Aa7edC0FFEE1234ULL;
+
+  /// Takes ownership of `shards` (one lock each). All shards should be
+  /// built from the same spec, differing only in seed; `salt` feeds the
+  /// routing hash and must match across SaveState/LoadState pairs.
+  explicit ShardedFilter(std::vector<std::unique_ptr<Filter>> shards,
+                         std::uint64_t salt = kDefaultSalt);
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  bool Erase(std::uint64_t key) override;
+
+  /// Batched ops group keys by shard first, then run each shard's batch
+  /// pipeline under a single lock acquisition. Keys that land in the same
+  /// shard are applied in their original relative order, so the end state
+  /// is identical to the sequential calls (shards are independent tables).
+  void ContainsBatch(std::span<const std::uint64_t> keys,
+                     bool* results) const override;
+  std::size_t InsertBatch(std::span<const std::uint64_t> keys,
+                          bool* results = nullptr) override;
+
+  bool SupportsDeletion() const noexcept override;
+  std::string Name() const override;
+  std::size_t ItemCount() const noexcept override;
+  std::size_t SlotCount() const noexcept override;
+  double LoadFactor() const noexcept override;
+  std::size_t MemoryBytes() const noexcept override;
+  void Clear() override;
+
+  /// Checkpoint layout: common header (digest covers salt and shard count)
+  /// followed by every shard's own SaveState blob in shard order, each
+  /// prefixed with its u64 byte length. The framing lets LoadState hand
+  /// every shard exactly its own bytes, which matters for inner filters
+  /// whose LoadState reads greedily (ResilientFilter slurps its stream).
+  bool SaveState(std::ostream& out) const override;
+  /// Restores a SaveState stream. Deviation from the base contract: on a
+  /// mid-stream failure the already-restored prefix cannot be rolled back,
+  /// so ALL shards are cleared and false is returned — the filter is
+  /// empty, not unchanged.
+  bool LoadState(std::istream& in) override;
+
+  /// Aggregated view across shards (snapshot; each call re-sums).
+  const OpCounters& counters() const noexcept override;
+  void ResetCounters() noexcept override;
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+  std::uint64_t salt() const noexcept { return salt_; }
+  /// The shard a key routes to — exposed for tests and load inspection.
+  static std::size_t ShardIndex(std::uint64_t key, std::uint64_t salt,
+                                std::size_t shard_count) noexcept;
+  std::size_t ShardFor(std::uint64_t key) const noexcept {
+    return ShardIndex(key, salt_, shards_.size());
+  }
+  /// Shard access for tests; callers must ensure quiescence.
+  Filter& shard(std::size_t i) noexcept { return *shards_[i].filter; }
+  const Filter& shard(std::size_t i) const noexcept {
+    return *shards_[i].filter;
+  }
+
+ private:
+  struct Shard {
+    std::unique_ptr<Filter> filter;
+    // unique_ptr: shared_mutex is immovable and shards live in a vector.
+    std::unique_ptr<std::shared_mutex> mutex;
+  };
+
+  std::vector<Shard> shards_;
+  std::uint64_t salt_;
+};
+
+}  // namespace vcf

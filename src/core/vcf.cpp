@@ -78,8 +78,8 @@ std::uint64_t VerticalCuckooFilter::FingerprintHash(std::uint64_t fp) const noex
 bool VerticalCuckooFilter::Insert(std::uint64_t key) {
   ++counters_.inserts;
   std::uint64_t b1;
-  std::uint64_t fp = Fingerprint(key, &b1);
-  std::uint64_t fh = FingerprintHash(fp);
+  const std::uint64_t fp = Fingerprint(key, &b1);
+  const std::uint64_t fh = FingerprintHash(fp);
 
   // Algorithm 1 lines 3-9: try all four candidates directly.
   const Candidates4 cand = hasher_.Candidates(b1, fh);
@@ -90,7 +90,11 @@ bool VerticalCuckooFilter::Insert(std::uint64_t key) {
       return true;
     }
   }
+  return InsertEvict(fp, cand);
+}
 
+bool VerticalCuckooFilter::InsertEvict(std::uint64_t fp,
+                                       const Candidates4& cand) {
   // Failure seam: fault injection treats the eviction chain as exhausted
   // before it starts — the same observable outcome (rolled-back false) a
   // saturated table produces, forced on demand.
@@ -121,7 +125,7 @@ bool VerticalCuckooFilter::Insert(std::uint64_t key) {
 
     // Theorem 1: the victim's other candidates follow from its current
     // bucket and fingerprint alone — no access to the original item.
-    fh = FingerprintHash(fp);
+    const std::uint64_t fh = FingerprintHash(fp);
     const auto alts = hasher_.Alternates(cur, fh);
     counters_.bucket_probes += 3;
     for (std::uint64_t z : alts) {
@@ -209,6 +213,51 @@ void VerticalCuckooFilter::ContainsBatch(std::span<const std::uint64_t> keys,
     }
     done += n;
   }
+}
+
+std::size_t VerticalCuckooFilter::InsertBatch(
+    std::span<const std::uint64_t> keys, bool* results) {
+  // Same two-phase window pipeline as ContainsBatch. Phase 2 runs in key
+  // order and candidate derivation never depends on table contents, so the
+  // outcome is identical to sequential Insert calls — inserts within the
+  // window only consume slots, they never move a later key's candidates.
+  constexpr std::size_t kWindow = 16;
+  struct Pending {
+    Candidates4 cand;
+    std::uint64_t fp;
+  };
+  Pending window[kWindow];
+
+  std::size_t accepted = 0;
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n = std::min(kWindow, keys.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++counters_.inserts;
+      std::uint64_t b1;
+      window[i].fp = Fingerprint(keys[done + i], &b1);
+      window[i].cand = hasher_.Candidates(b1, FingerprintHash(window[i].fp));
+      for (std::uint64_t c : window[i].cand.bucket) {
+        table_.PrefetchBucket(c);
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      counters_.bucket_probes += 4;
+      bool ok = false;
+      for (std::uint64_t c : window[i].cand.bucket) {
+        if (table_.InsertValue(c, window[i].fp)) {
+          ++items_;
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) ok = InsertEvict(window[i].fp, window[i].cand);
+      accepted += ok ? 1 : 0;
+      if (results != nullptr) results[done + i] = ok;
+    }
+    done += n;
+  }
+  return accepted;
 }
 
 bool VerticalCuckooFilter::Erase(std::uint64_t key) {

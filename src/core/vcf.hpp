@@ -53,6 +53,14 @@ class VerticalCuckooFilter : public Filter {
   void ContainsBatch(std::span<const std::uint64_t> keys,
                      bool* results) const override;
 
+  /// Prefetch-pipelined batch insert, mirroring ContainsBatch: phase 1
+  /// hashes a window and prefetches all candidate buckets, phase 2 places
+  /// each key (running the eviction chain only for keys whose candidates
+  /// were all full). Produces exactly the results and end state of
+  /// sequential Insert calls.
+  std::size_t InsertBatch(std::span<const std::uint64_t> keys,
+                          bool* results = nullptr) override;
+
   bool SupportsDeletion() const noexcept override { return true; }
   std::string Name() const override { return name_; }
   std::size_t ItemCount() const noexcept override { return items_; }
@@ -76,6 +84,9 @@ class VerticalCuckooFilter : public Filter {
  private:
   std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
   std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
+  /// Eviction-chain tail of Insert (Algorithm 1 lines 11-21), shared with
+  /// InsertBatch. Called after every candidate of `cand` was found full.
+  bool InsertEvict(std::uint64_t fp, const Candidates4& cand);
 
   CuckooParams params_;
   VerticalHasher hasher_;

@@ -44,6 +44,30 @@ FillResult FillToFirstFailure(Filter& filter,
   return FillImpl(filter, keys, /*stop_at_failure=*/true);
 }
 
+FillResult FillAllBatched(Filter& filter, std::span<const std::uint64_t> keys,
+                          std::size_t batch) {
+  if (batch == 0) batch = 1;
+  filter.ResetCounters();
+  FillResult result;
+  Stopwatch watch;
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n = std::min(batch, keys.size() - done);
+    result.stored += filter.InsertBatch(keys.subspan(done, n));
+    result.attempted += n;
+    done += n;
+  }
+  result.failures = result.attempted - result.stored;
+  result.total_seconds = watch.ElapsedSeconds();
+  result.load_factor = filter.LoadFactor();
+  result.avg_insert_micros =
+      result.attempted == 0
+          ? 0.0
+          : result.total_seconds * 1e6 / static_cast<double>(result.attempted);
+  result.evictions_per_insert = filter.counters().EvictionsPerInsert();
+  return result;
+}
+
 double MeasureLookupMicros(const Filter& filter,
                            std::span<const std::uint64_t> queries) {
   if (queries.empty()) return 0.0;

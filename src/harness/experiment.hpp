@@ -30,6 +30,13 @@ FillResult FillAll(Filter& filter, std::span<const std::uint64_t> keys);
 /// Stops at the first rejected key instead (max sustainable load).
 FillResult FillToFirstFailure(Filter& filter, std::span<const std::uint64_t> keys);
 
+/// Like FillAll, but feeds keys through Filter::InsertBatch in windows of
+/// `batch` keys — the throughput shape of the batched-insert pipeline
+/// (docs/performance.md). The end state is identical to FillAll on the same
+/// key stream; only the timing differs.
+FillResult FillAllBatched(Filter& filter, std::span<const std::uint64_t> keys,
+                          std::size_t batch = 256);
+
 /// Mean lookup latency in microseconds over `queries` (sum of per-batch
 /// wall time / count; the result of each query is consumed to prevent
 /// dead-code elimination).

@@ -16,13 +16,20 @@
 #include "common/bitops.hpp"
 #include "core/dvcf.hpp"
 #include "core/kvcf.hpp"
+#include "common/random.hpp"
 #include "core/resilient_filter.hpp"
+#include "core/sharded_filter.hpp"
 #include "core/vcf.hpp"
 #include "core/vertical_hashing.hpp"
 
 namespace vcf {
 
 std::string FilterSpec::DisplayName() const {
+  if (shards > 0) {
+    FilterSpec bare = *this;
+    bare.shards = 0;
+    return "Sharded" + std::to_string(shards) + "(" + bare.DisplayName() + ")";
+  }
   if (resilient) {
     FilterSpec bare = *this;
     bare.resilient = false;
@@ -47,6 +54,23 @@ std::string FilterSpec::DisplayName() const {
 }
 
 std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec) {
+  if (spec.shards > 0) {
+    // Split the slot budget: each shard serves ~1/N of the keys, so its
+    // bucket count is the per-shard share rounded up to a power of two
+    // (the cuckoo geometry requirement). Seeds are derived per shard so
+    // identically-keyed fingerprint collisions do not repeat across shards.
+    FilterSpec bare = spec;
+    bare.shards = 0;
+    bare.params.bucket_count = NextPowerOfTwo(
+        (spec.params.bucket_count + spec.shards - 1) / spec.shards);
+    std::vector<std::unique_ptr<Filter>> inner;
+    inner.reserve(spec.shards);
+    for (unsigned i = 0; i < spec.shards; ++i) {
+      bare.params.seed = Mix64(spec.params.seed ^ (0x5A8D5EEDULL + i));
+      inner.push_back(MakeFilter(bare));
+    }
+    return std::make_unique<ShardedFilter>(std::move(inner));
+  }
   if (spec.resilient) {
     FilterSpec bare = spec;
     bare.resilient = false;

@@ -41,6 +41,14 @@ struct FilterSpec {
   /// "resilient:<kind>" in string specs (vcf_tool --filter).
   bool resilient = false;
 
+  /// Partition the key space across this many independently locked inner
+  /// filters (core/sharded_filter.hpp). 0 = no sharding. The total slot
+  /// budget `params.bucket_count` is split across shards (rounded up to a
+  /// power of two per shard) and each shard gets a distinct derived seed.
+  /// Spelled "sharded:<n>:<kind>" in string specs; composes outside
+  /// `resilient:` — "sharded:4:resilient:vcf" builds four resilient shards.
+  unsigned shards = 0;
+
   std::string DisplayName() const;
 };
 

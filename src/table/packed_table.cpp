@@ -1,11 +1,22 @@
 #include "table/packed_table.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/bitops.hpp"
 
 namespace vcf {
+
+namespace {
+// Test/bench override consulted once per construction (see header).
+bool g_force_scalar_probes = false;
+}  // namespace
+
+void PackedTable::ForceScalarProbes(bool force) noexcept {
+  g_force_scalar_probes = force;
+}
 
 PackedTable::PackedTable(std::size_t bucket_count, unsigned slots_per_bucket,
                          unsigned slot_bits)
@@ -22,10 +33,33 @@ PackedTable::PackedTable(std::size_t bucket_count, unsigned slots_per_bucket,
   if (slot_bits == 0 || slot_bits > 57) {
     throw std::invalid_argument("PackedTable: slot_bits must be in [1, 57]");
   }
+  bucket_bits_ = slots_per_bucket_ * slot_bits_;
+  // SWAR pays off once there are at least two slots to compare at a time;
+  // a one-slot bucket's scalar probe is already a single ReadBits.
+  swar_ = bucket_bits_ <= 64 && slots_per_bucket_ >= 2 && !g_force_scalar_probes;
+  two_load_ = bucket_bits_ > 57;  // +7 intra-byte shift can exceed one load
+  bucket_mask_ = LowMask(bucket_bits_);
+  lane_ones_ = swar_ ? SwarOnes(slot_bits_, slots_per_bucket_) : 0;
+  lane_highs_ = lane_ones_ << (slot_bits_ - 1);
+  lane_lows_ = lane_highs_ - lane_ones_;
   const std::size_t total_bits = bucket_count * slots_per_bucket * slot_bits;
-  // +8 bytes of slack so ReadBits/WriteBits may always touch a full 8-byte
-  // window past the last live bit.
+  // +8 bytes of slack so ReadBits/WriteBits/ReadBucketWord may always touch
+  // a full 8-byte window (plus one carry byte) past the last live bit.
   bits_.assign((total_bits + 7) / 8 + 8, 0);
+}
+
+std::uint64_t PackedTable::ReadBucketWord(std::size_t bucket) const noexcept {
+  const std::size_t off = BitOffset(bucket, 0);
+  const std::size_t byte = off >> 3;
+  const unsigned shift = static_cast<unsigned>(off & 7);
+  std::uint64_t word;
+  std::memcpy(&word, bits_.data() + byte, sizeof(word));
+  word >>= shift;
+  if (two_load_ && shift != 0) {
+    // Bits 58..64 of the bucket live in the 9th byte.
+    word |= static_cast<std::uint64_t>(bits_[byte + 8]) << (64u - shift);
+  }
+  return word & bucket_mask_;
 }
 
 std::uint64_t PackedTable::Get(std::size_t bucket, unsigned slot) const noexcept {
@@ -39,11 +73,20 @@ void PackedTable::Set(std::size_t bucket, unsigned slot,
   WriteBits(bits_.data(), BitOffset(bucket, slot), slot_bits_, value);
 }
 
-int PackedTable::FindEmptySlot(std::size_t bucket) const noexcept {
+int PackedTable::FindEmptySlotScalar(std::size_t bucket) const noexcept {
   for (unsigned s = 0; s < slots_per_bucket_; ++s) {
     if (Get(bucket, s) == 0) return static_cast<int>(s);
   }
   return -1;
+}
+
+int PackedTable::FindEmptySlot(std::size_t bucket) const noexcept {
+  if (!swar_) return FindEmptySlotScalar(bucket);
+  const std::uint64_t zeros =
+      SwarZeroLanes(ReadBucketWord(bucket), lane_lows_, lane_highs_);
+  if (zeros == 0) return -1;
+  return static_cast<int>(static_cast<unsigned>(std::countr_zero(zeros)) /
+                          slot_bits_);
 }
 
 bool PackedTable::InsertValue(std::size_t bucket, std::uint64_t value) noexcept {
@@ -53,16 +96,25 @@ bool PackedTable::InsertValue(std::size_t bucket, std::uint64_t value) noexcept 
   return true;
 }
 
-bool PackedTable::ContainsValue(std::size_t bucket,
-                                std::uint64_t value) const noexcept {
+bool PackedTable::ContainsValueScalar(std::size_t bucket,
+                                      std::uint64_t value) const noexcept {
   for (unsigned s = 0; s < slots_per_bucket_; ++s) {
     if (Get(bucket, s) == value) return true;
   }
   return false;
 }
 
-bool PackedTable::ContainsMasked(std::size_t bucket, std::uint64_t value,
-                                 std::uint64_t mask) const noexcept {
+bool PackedTable::ContainsValue(std::size_t bucket,
+                                std::uint64_t value) const noexcept {
+  if (!swar_) return ContainsValueScalar(bucket, value);
+  // Lanes equal to `value` become zero after the broadcast-XOR; value == 0
+  // degenerates to "any empty slot", matching the scalar loop.
+  const std::uint64_t x = ReadBucketWord(bucket) ^ (lane_ones_ * value);
+  return SwarZeroLanes(x, lane_lows_, lane_highs_) != 0;
+}
+
+bool PackedTable::ContainsMaskedScalar(std::size_t bucket, std::uint64_t value,
+                                       std::uint64_t mask) const noexcept {
   const std::uint64_t want = value & mask;
   for (unsigned s = 0; s < slots_per_bucket_; ++s) {
     const std::uint64_t v = Get(bucket, s);
@@ -71,7 +123,21 @@ bool PackedTable::ContainsMasked(std::size_t bucket, std::uint64_t value,
   return false;
 }
 
-bool PackedTable::EraseValue(std::size_t bucket, std::uint64_t value) noexcept {
+bool PackedTable::ContainsMasked(std::size_t bucket, std::uint64_t value,
+                                 std::uint64_t mask) const noexcept {
+  if (!swar_) return ContainsMaskedScalar(bucket, value, mask);
+  const std::uint64_t word = ReadBucketWord(bucket);
+  const std::uint64_t want = value & mask;
+  const std::uint64_t x = (word ^ (lane_ones_ * want)) & (lane_ones_ * mask);
+  // A masked match must also be a non-empty slot (relevant when want == 0:
+  // an empty lane trivially matches the masked pattern but holds nothing).
+  const std::uint64_t matches = SwarZeroLanes(x, lane_lows_, lane_highs_) &
+                                ~SwarZeroLanes(word, lane_lows_, lane_highs_);
+  return matches != 0;
+}
+
+bool PackedTable::EraseValueScalar(std::size_t bucket,
+                                   std::uint64_t value) noexcept {
   for (unsigned s = 0; s < slots_per_bucket_; ++s) {
     if (Get(bucket, s) == value) {
       Set(bucket, s, 0);
@@ -81,8 +147,20 @@ bool PackedTable::EraseValue(std::size_t bucket, std::uint64_t value) noexcept {
   return false;
 }
 
-std::uint64_t PackedTable::EraseMasked(std::size_t bucket, std::uint64_t value,
-                                       std::uint64_t mask) noexcept {
+bool PackedTable::EraseValue(std::size_t bucket, std::uint64_t value) noexcept {
+  if (!swar_) return EraseValueScalar(bucket, value);
+  const std::uint64_t x = ReadBucketWord(bucket) ^ (lane_ones_ * value);
+  const std::uint64_t matches = SwarZeroLanes(x, lane_lows_, lane_highs_);
+  if (matches == 0) return false;
+  const unsigned slot =
+      static_cast<unsigned>(std::countr_zero(matches)) / slot_bits_;
+  Set(bucket, slot, 0);
+  return true;
+}
+
+std::uint64_t PackedTable::EraseMaskedScalar(std::size_t bucket,
+                                             std::uint64_t value,
+                                             std::uint64_t mask) noexcept {
   const std::uint64_t want = value & mask;
   for (unsigned s = 0; s < slots_per_bucket_; ++s) {
     const std::uint64_t v = Get(bucket, s);
@@ -92,6 +170,23 @@ std::uint64_t PackedTable::EraseMasked(std::size_t bucket, std::uint64_t value,
     }
   }
   return 0;
+}
+
+std::uint64_t PackedTable::EraseMasked(std::size_t bucket, std::uint64_t value,
+                                       std::uint64_t mask) noexcept {
+  if (!swar_) return EraseMaskedScalar(bucket, value, mask);
+  const std::uint64_t word = ReadBucketWord(bucket);
+  const std::uint64_t want = value & mask;
+  const std::uint64_t x = (word ^ (lane_ones_ * want)) & (lane_ones_ * mask);
+  const std::uint64_t matches = SwarZeroLanes(x, lane_lows_, lane_highs_) &
+                                ~SwarZeroLanes(word, lane_lows_, lane_highs_);
+  if (matches == 0) return 0;
+  const unsigned slot =
+      static_cast<unsigned>(std::countr_zero(matches)) / slot_bits_;
+  const std::uint64_t v =
+      (word >> (slot * slot_bits_)) & LowMask(slot_bits_);
+  Set(bucket, slot, 0);
+  return v;
 }
 
 void PackedTable::Clear() noexcept {

@@ -8,6 +8,15 @@
 //
 // Value 0 is reserved to mean "empty slot"; filters map fingerprints into
 // [1, 2^f - 1] before storing them.
+//
+// Probing strategy: when a whole bucket fits in a 64-bit word (b * slot_bits
+// <= 64) and has at least two slots, the membership/erase/find-empty probes
+// load the bucket in one or two unaligned 64-bit loads and resolve all slots
+// at once with SWAR lane tricks (broadcast-XOR + exact zero-lane detection;
+// see common/bitops.hpp). Wider buckets fall back to the per-slot scalar
+// loop, which is also kept as a reference implementation (the *Scalar
+// methods) for differential testing and as the baseline the micro benches
+// compare against (docs/performance.md).
 #pragma once
 
 #include <cstddef>
@@ -45,11 +54,15 @@ class PackedTable {
   }
 
   /// Hints the cache that `bucket`'s slots are about to be probed (batch
-  /// lookup pipelines). A bucket spans at most ~29 bytes, i.e. one or two
-  /// cache lines from its start.
+  /// lookup/insert pipelines). A bucket's bit-span may straddle a 64-byte
+  /// cache-line boundary, in which case both lines are hinted.
   void PrefetchBucket(std::size_t bucket) const noexcept {
-    const std::size_t byte = BitOffset(bucket, 0) >> 3;
-    __builtin_prefetch(bits_.data() + byte, /*rw=*/0, /*locality=*/1);
+    const std::size_t first_byte = BitOffset(bucket, 0) >> 3;
+    const std::size_t last_byte = (BitOffset(bucket, 0) + bucket_bits_ - 1) >> 3;
+    __builtin_prefetch(bits_.data() + first_byte, /*rw=*/0, /*locality=*/1);
+    if ((first_byte >> 6) != (last_byte >> 6)) {
+      __builtin_prefetch(bits_.data() + last_byte, /*rw=*/0, /*locality=*/1);
+    }
   }
 
   /// Raw slot access. `value` 0 means empty.
@@ -62,7 +75,8 @@ class PackedTable {
   /// Stores `value` in the first empty slot; false if the bucket is full.
   bool InsertValue(std::size_t bucket, std::uint64_t value) noexcept;
 
-  /// True iff some slot of `bucket` equals `value` exactly.
+  /// True iff some slot of `bucket` equals `value` exactly. `value` must fit
+  /// in `slot_bits` (all stored values do by construction).
   bool ContainsValue(std::size_t bucket, std::uint64_t value) const noexcept;
 
   /// True iff some slot matches `value` on the bits selected by `mask`
@@ -83,6 +97,29 @@ class PackedTable {
 
   bool operator==(const PackedTable& other) const noexcept;
 
+  /// True when this table's probes take the word-at-a-time SWAR path
+  /// (bucket fits a 64-bit word and has >= 2 slots, and the scalar override
+  /// is off).
+  bool UsesSwarProbes() const noexcept { return swar_; }
+
+  // Scalar reference implementations of the probe operations. These are the
+  // pre-SWAR per-slot loops, kept public so differential tests and the
+  // micro-bench baseline can pin them regardless of geometry. The SWAR path
+  // must agree with them bit-for-bit on every input.
+  int FindEmptySlotScalar(std::size_t bucket) const noexcept;
+  bool ContainsValueScalar(std::size_t bucket, std::uint64_t value) const noexcept;
+  bool ContainsMaskedScalar(std::size_t bucket, std::uint64_t value,
+                            std::uint64_t mask) const noexcept;
+  bool EraseValueScalar(std::size_t bucket, std::uint64_t value) noexcept;
+  std::uint64_t EraseMaskedScalar(std::size_t bucket, std::uint64_t value,
+                                  std::uint64_t mask) noexcept;
+
+  /// Test/bench hook: when set, tables constructed afterwards use the scalar
+  /// probe loop even where SWAR applies. Captured at construction so a
+  /// table's behaviour never changes mid-life. Not thread-safe; flip only in
+  /// single-threaded setup code.
+  static void ForceScalarProbes(bool force) noexcept;
+
  private:
   friend class TableCodec;
 
@@ -90,10 +127,24 @@ class PackedTable {
     return (bucket * slots_per_bucket_ + slot) * slot_bits_;
   }
 
+  /// Loads the whole bucket as one little-endian word, low slot in the low
+  /// bits, masked to `bucket_bits_`. Only meaningful when bucket_bits_ <= 64.
+  std::uint64_t ReadBucketWord(std::size_t bucket) const noexcept;
+
   std::size_t bucket_count_;
   unsigned slots_per_bucket_;
   unsigned slot_bits_;
   std::size_t occupied_;
+
+  // Derived probe geometry (construction-time constants).
+  unsigned bucket_bits_;      ///< slots_per_bucket * slot_bits
+  bool swar_;                 ///< probes use the SWAR path
+  bool two_load_;             ///< bucket word needs a 9th byte (bucket_bits > 57)
+  std::uint64_t bucket_mask_; ///< low bucket_bits_ bits
+  std::uint64_t lane_ones_;   ///< 1 broadcast into every slot lane
+  std::uint64_t lane_highs_;  ///< lane high bits (ones << (slot_bits-1))
+  std::uint64_t lane_lows_;   ///< low slot_bits-1 bits of every lane
+
   std::vector<std::uint8_t> bits_;
 };
 

@@ -1,0 +1,147 @@
+// InsertBatch contract test: for every cuckoo filter with a pipelined
+// override (CF, VCF/IVCF, DVCF, k-VCF) and for the wrappers, batched
+// insertion must be indistinguishable from sequential insertion — same
+// per-key results, same accepted count, and the same serialized state
+// (candidate derivation never depends on table contents, and the shared
+// eviction tail consumes the RNG stream in the same order).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <vector>
+
+#include "core/concurrent_filter.hpp"
+#include "core/vcf.hpp"
+#include "harness/filter_factory.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+std::string StateBlob(const Filter& f) {
+  std::stringstream out;
+  EXPECT_TRUE(f.SaveState(out));
+  return out.str();
+}
+
+/// Builds two same-spec filters, feeds one sequentially and one in batches,
+/// and checks results, bookkeeping and (when supported) the state blob.
+void CheckBatchEquivalence(const FilterSpec& spec, std::size_t n_keys,
+                           std::size_t batch, bool check_blob) {
+  SCOPED_TRACE(spec.DisplayName() + " n=" + std::to_string(n_keys) +
+               " batch=" + std::to_string(batch));
+  auto sequential = MakeFilter(spec);
+  auto batched = MakeFilter(spec);
+  const auto keys = UniformKeys(n_keys, 0xBA7C4ULL + n_keys);
+
+  std::vector<bool> seq_results;
+  std::size_t seq_accepted = 0;
+  for (const auto k : keys) {
+    const bool ok = sequential->Insert(k);
+    seq_results.push_back(ok);
+    seq_accepted += ok ? 1 : 0;
+  }
+
+  const auto results = std::make_unique<bool[]>(keys.size());
+  std::size_t accepted = 0;
+  for (std::size_t done = 0; done < keys.size(); done += batch) {
+    const std::size_t len = std::min(batch, keys.size() - done);
+    accepted += batched->InsertBatch(
+        std::span<const std::uint64_t>(keys).subspan(done, len),
+        results.get() + done);
+  }
+
+  EXPECT_EQ(accepted, seq_accepted);
+  EXPECT_EQ(batched->ItemCount(), sequential->ItemCount());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(results[i], seq_results[i]) << "key index " << i;
+  }
+  if (check_blob) {
+    EXPECT_EQ(StateBlob(*batched), StateBlob(*sequential))
+        << "batched insertion produced a different table";
+  }
+  // Identical counting too: both paths count the same insert attempts
+  // (wrappers may surface wrapper-level counters; they must still agree).
+  EXPECT_EQ(batched->counters().inserts.Value(),
+            sequential->counters().inserts.Value());
+}
+
+FilterSpec SpecOf(FilterSpec::Kind kind, unsigned variant) {
+  FilterSpec spec;
+  spec.kind = kind;
+  spec.variant = variant;
+  spec.params.bucket_count = 1 << 10;
+  return spec;
+}
+
+TEST(InsertBatchTest, CuckooFamilyMatchesSequentialIncludingEvictions) {
+  // ~95% of slots offered: dense enough that eviction chains (and a few
+  // rejections) run, which is where RNG-order divergence would show up.
+  const std::size_t n = ((std::size_t{1} << 10) * 4 * 95) / 100;
+  CheckBatchEquivalence(SpecOf(FilterSpec::Kind::kCF, 0), n, 256, true);
+  CheckBatchEquivalence(SpecOf(FilterSpec::Kind::kVCF, 0), n, 256, true);
+  CheckBatchEquivalence(SpecOf(FilterSpec::Kind::kIVCF, 6), n, 256, true);
+  CheckBatchEquivalence(SpecOf(FilterSpec::Kind::kDVCF, 8), n, 256, true);
+  CheckBatchEquivalence(SpecOf(FilterSpec::Kind::kKVCF, 8), n, 256, true);
+}
+
+TEST(InsertBatchTest, OddBatchSizesAndDefaultOverride) {
+  const std::size_t n = 1000;
+  // Window-straddling batch lengths (not multiples of the 16-key window).
+  CheckBatchEquivalence(SpecOf(FilterSpec::Kind::kVCF, 0), n, 7, true);
+  CheckBatchEquivalence(SpecOf(FilterSpec::Kind::kCF, 0), n, 333, true);
+  // A filter without an override exercises the default loop (DCF).
+  CheckBatchEquivalence(SpecOf(FilterSpec::Kind::kDCF, 4), n, 64, true);
+}
+
+TEST(InsertBatchTest, NullResultsPointerIsAccepted) {
+  auto f = MakeFilter(SpecOf(FilterSpec::Kind::kVCF, 0));
+  const auto keys = UniformKeys(500, 21);
+  EXPECT_EQ(f->InsertBatch(keys), keys.size());
+  for (const auto k : keys) EXPECT_TRUE(f->Contains(k));
+}
+
+TEST(InsertBatchTest, WrappersDelegate) {
+  // Resilient: stash semantics ride on the default per-key loop.
+  FilterSpec resilient = SpecOf(FilterSpec::Kind::kVCF, 0);
+  resilient.resilient = true;
+  CheckBatchEquivalence(resilient, 1000, 128, /*check_blob=*/false);
+
+  // Sharded: group-by-shard preserves per-shard key order.
+  FilterSpec sharded = SpecOf(FilterSpec::Kind::kVCF, 0);
+  sharded.shards = 4;
+  CheckBatchEquivalence(sharded, 1000, 128, /*check_blob=*/true);
+
+  // Concurrent: one lock for the whole batch, same results.
+  CuckooParams p;
+  p.bucket_count = 1 << 10;
+  ConcurrentFilter wrapped(std::make_unique<VerticalCuckooFilter>(p));
+  VerticalCuckooFilter bare(p);
+  const auto keys = UniformKeys(1200, 22);
+  const auto results = std::make_unique<bool[]>(keys.size());
+  const std::size_t accepted = wrapped.InsertBatch(keys, results.get());
+  std::size_t expect_accepted = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const bool ok = bare.Insert(keys[i]);
+    EXPECT_EQ(results[i], ok);
+    expect_accepted += ok ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, expect_accepted);
+  EXPECT_EQ(wrapped.ItemCount(), bare.ItemCount());
+}
+
+TEST(InsertBatchTest, BatchedLookupSeesBatchedInserts) {
+  auto f = MakeFilter(SpecOf(FilterSpec::Kind::kIVCF, 6));
+  const auto keys = UniformKeys(2000, 23);
+  f->InsertBatch(keys);
+  const auto results = std::make_unique<bool[]>(keys.size());
+  f->ContainsBatch(keys, results.get());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(results[i]) << "false negative at index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace vcf

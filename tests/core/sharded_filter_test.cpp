@@ -1,0 +1,283 @@
+// ShardedFilter: routing, aggregation, checkpointing, and a multi-writer
+// stress test in the style of concurrent_filter_test.cpp — no accepted key
+// may ever be lost, and the aggregate bookkeeping must stay exact.
+#include "core/sharded_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/vcf.hpp"
+#include "harness/filter_factory.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+std::unique_ptr<ShardedFilter> MakeShardedVcf(unsigned shards,
+                                              unsigned bucket_log2 = 9) {
+  std::vector<std::unique_ptr<Filter>> inner;
+  for (unsigned i = 0; i < shards; ++i) {
+    CuckooParams p;
+    p.bucket_count = std::size_t{1} << bucket_log2;
+    p.seed = 0x5EEDF00DULL + i;  // distinct per-shard seeds
+    inner.push_back(std::make_unique<VerticalCuckooFilter>(p));
+  }
+  return std::make_unique<ShardedFilter>(std::move(inner));
+}
+
+TEST(ShardedFilterTest, RejectsEmptyAndNullShards) {
+  EXPECT_THROW(ShardedFilter({}), std::invalid_argument);
+  std::vector<std::unique_ptr<Filter>> with_null;
+  with_null.push_back(nullptr);
+  EXPECT_THROW(ShardedFilter(std::move(with_null)), std::invalid_argument);
+}
+
+TEST(ShardedFilterTest, NameAndFactoryComposition) {
+  auto f = MakeShardedVcf(4);
+  EXPECT_EQ(f->Name(), "Sharded4(VCF)");
+  EXPECT_EQ(f->shard_count(), 4u);
+
+  FilterSpec spec;
+  spec.kind = FilterSpec::Kind::kVCF;
+  spec.shards = 4;
+  EXPECT_EQ(spec.DisplayName(), "Sharded4(VCF)");
+  auto built = MakeFilter(spec);
+  EXPECT_EQ(built->Name(), "Sharded4(VCF)");
+  // sharded: outermost, resilient: per shard.
+  spec.resilient = true;
+  EXPECT_EQ(spec.DisplayName(), "Sharded4(Resilient(VCF))");
+  EXPECT_EQ(MakeFilter(spec)->Name(), "Sharded4(Resilient(VCF))");
+}
+
+TEST(ShardedFilterTest, FactorySplitsSlotBudget) {
+  FilterSpec spec;
+  spec.kind = FilterSpec::Kind::kCF;
+  spec.params.bucket_count = 1 << 12;
+  spec.shards = 4;
+  auto f = MakeFilter(spec);
+  // 2^12 buckets over 4 shards -> 2^10 per shard; same total slots.
+  EXPECT_EQ(f->SlotCount(),
+            (std::size_t{1} << 12) * spec.params.slots_per_bucket);
+}
+
+TEST(ShardedFilterTest, RoutingIsDeterministicAndCoversAllShards) {
+  auto f = MakeShardedVcf(4);
+  std::vector<std::size_t> hits(4, 0);
+  for (std::uint64_t k = 0; k < 4000; ++k) {
+    const std::size_t s = f->ShardFor(k);
+    ASSERT_LT(s, 4u);
+    EXPECT_EQ(s, ShardedFilter::ShardIndex(k, f->salt(), 4));
+    ++hits[s];
+  }
+  for (unsigned s = 0; s < 4; ++s) {
+    // Mix64 routing: each shard gets roughly a quarter of a uniform stream.
+    EXPECT_GT(hits[s], 700u) << "shard " << s << " badly underloaded";
+  }
+}
+
+TEST(ShardedFilterTest, InsertRoutesToExactlyTheChosenShard) {
+  auto f = MakeShardedVcf(4);
+  const auto keys = UniformKeys(500, 11);
+  for (const auto k : keys) {
+    ASSERT_TRUE(f->Insert(k));
+    EXPECT_TRUE(f->shard(f->ShardFor(k)).Contains(k));
+  }
+  EXPECT_EQ(f->ItemCount(), keys.size());
+  for (const auto k : keys) EXPECT_TRUE(f->Contains(k));
+}
+
+TEST(ShardedFilterTest, ObserversAggregateAcrossShards) {
+  auto f = MakeShardedVcf(4, /*bucket_log2=*/8);
+  EXPECT_EQ(f->SlotCount(), 4u * (1u << 8) * 4u);  // 4 shards x buckets x b=4
+  std::size_t per_shard_memory = f->shard(0).MemoryBytes();
+  EXPECT_EQ(f->MemoryBytes(), 4 * per_shard_memory);
+
+  const auto keys = UniformKeys(1000, 12);
+  for (const auto k : keys) ASSERT_TRUE(f->Insert(k));
+  EXPECT_EQ(f->ItemCount(), keys.size());
+  EXPECT_NEAR(f->LoadFactor(),
+              static_cast<double>(keys.size()) /
+                  static_cast<double>(f->SlotCount()),
+              1e-12);
+
+  // Counters aggregate: every insert was counted exactly once, somewhere.
+  EXPECT_EQ(f->counters().inserts.Value(), keys.size());
+  std::size_t lookups = 0;
+  for (const auto k : keys) lookups += f->Contains(k) ? 1 : 0;
+  EXPECT_EQ(lookups, keys.size());
+  EXPECT_EQ(f->counters().lookups.Value(), keys.size());
+  f->ResetCounters();
+  EXPECT_EQ(f->counters().inserts.Value(), 0u);
+  EXPECT_EQ(f->counters().lookups.Value(), 0u);
+}
+
+TEST(ShardedFilterTest, BatchedOpsMatchSequentialOps) {
+  auto batched = MakeShardedVcf(4);
+  auto sequential = MakeShardedVcf(4);
+  const auto keys = UniformKeys(2000, 13);
+
+  std::vector<bool> seq_results;
+  for (const auto k : keys) seq_results.push_back(sequential->Insert(k));
+  const auto batch_results = std::make_unique<bool[]>(keys.size());
+  const std::size_t accepted = batched->InsertBatch(keys, batch_results.get());
+
+  std::size_t seq_accepted = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(batch_results[i], seq_results[i]) << "key index " << i;
+    seq_accepted += seq_results[i] ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, seq_accepted);
+  EXPECT_EQ(batched->ItemCount(), sequential->ItemCount());
+
+  const auto probes = UniformKeys(1000, 14);
+  const auto got = std::make_unique<bool[]>(probes.size());
+  batched->ContainsBatch(probes, got.get());
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(got[i], sequential->Contains(probes[i]));
+  }
+}
+
+TEST(ShardedFilterTest, SaveLoadRoundTrip) {
+  auto f = MakeShardedVcf(4);
+  const auto keys = UniformKeys(800, 15);
+  for (const auto k : keys) ASSERT_TRUE(f->Insert(k));
+
+  std::stringstream blob;
+  ASSERT_TRUE(f->SaveState(blob));
+
+  auto g = MakeShardedVcf(4);
+  ASSERT_TRUE(g->LoadState(blob));
+  EXPECT_EQ(g->ItemCount(), keys.size());
+  for (const auto k : keys) EXPECT_TRUE(g->Contains(k));
+}
+
+TEST(ShardedFilterTest, SaveLoadRoundTripWithResilientShards) {
+  // Regression: ResilientFilter::LoadState slurps its whole stream, so
+  // without per-shard length framing shard 0 would swallow shards 1..3.
+  FilterSpec spec;
+  spec.kind = FilterSpec::Kind::kVCF;
+  spec.params.bucket_count = 1 << 9;
+  spec.shards = 4;
+  spec.resilient = true;
+  auto f = MakeFilter(spec);
+  const auto keys = UniformKeys(800, 20);
+  for (const auto k : keys) ASSERT_TRUE(f->Insert(k));
+
+  std::stringstream blob;
+  ASSERT_TRUE(f->SaveState(blob));
+  auto g = MakeFilter(spec);
+  ASSERT_TRUE(g->LoadState(blob));
+  EXPECT_EQ(g->ItemCount(), keys.size());
+  for (const auto k : keys) EXPECT_TRUE(g->Contains(k));
+}
+
+TEST(ShardedFilterTest, LoadRejectsMismatchedShardCountAndClears) {
+  auto f = MakeShardedVcf(4);
+  for (const auto k : UniformKeys(100, 16)) ASSERT_TRUE(f->Insert(k));
+  std::stringstream blob;
+  ASSERT_TRUE(f->SaveState(blob));
+
+  auto wrong = MakeShardedVcf(2);
+  ASSERT_TRUE(wrong->Insert(42));
+  EXPECT_FALSE(wrong->LoadState(blob));  // header digest covers shard count
+}
+
+TEST(ShardedFilterTest, TruncatedBlobClearsAllShards) {
+  auto f = MakeShardedVcf(4);
+  for (const auto k : UniformKeys(400, 17)) ASSERT_TRUE(f->Insert(k));
+  std::stringstream blob;
+  ASSERT_TRUE(f->SaveState(blob));
+  // Cut the stream mid-way through the shard payloads: the header parses,
+  // some shards restore, then a read fails -> documented clear-on-failure.
+  const std::string full = blob.str();
+  std::stringstream cut(full.substr(0, full.size() * 3 / 4));
+
+  auto g = MakeShardedVcf(4);
+  ASSERT_TRUE(g->Insert(43));
+  EXPECT_FALSE(g->LoadState(cut));
+  EXPECT_EQ(g->ItemCount(), 0u) << "failed load must leave the filter empty";
+}
+
+TEST(ShardedFilterTest, ClearEmptiesEveryShard) {
+  auto f = MakeShardedVcf(4);
+  const auto keys = UniformKeys(500, 18);
+  for (const auto k : keys) ASSERT_TRUE(f->Insert(k));
+  f->Clear();
+  EXPECT_EQ(f->ItemCount(), 0u);
+  for (unsigned s = 0; s < 4; ++s) EXPECT_EQ(f->shard(s).ItemCount(), 0u);
+}
+
+TEST(ShardedFilterStressTest, MixedWorkloadNeverLosesAcceptedKeys) {
+  auto f = MakeShardedVcf(4, /*bucket_log2=*/10);
+  // A stable core set that must never go missing while other keys churn.
+  const auto core = UniformKeys(1500, 19);
+  for (const auto k : core) ASSERT_TRUE(f->Insert(k));
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> core_misses{0};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      // Disjoint churn streams; erase only what was accepted so a failed
+      // insert cannot erase an aliased core fingerprint.
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t k = UniformKeyAt(200 + t, i % 700);
+        if (f->Insert(k)) f->Erase(k);
+        ++i;
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      for (int iter = 0; iter < 20000; ++iter) {
+        const auto& k = core[(t * 20000 + iter) % core.size()];
+        if (!f->Contains(k)) core_misses.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : readers) th.join();
+  stop.store(true);
+  for (auto& th : writers) th.join();
+
+  EXPECT_EQ(core_misses.load(), 0)
+      << "a core key vanished while unrelated keys churned";
+  for (const auto k : core) ASSERT_TRUE(f->Contains(k));
+  // Every churn insert was paired with an erase, so the aggregate count is
+  // back to exactly the core set.
+  EXPECT_EQ(f->ItemCount(), core.size());
+}
+
+TEST(ShardedFilterStressTest, ParallelWritersKeepBookkeepingExact) {
+  auto f = MakeShardedVcf(4, /*bucket_log2=*/10);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 800;
+  std::vector<std::thread> threads;
+  std::atomic<std::size_t> accepted{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::size_t mine = 0;
+      for (int i = 0; i < kPerThread; ++i) {
+        mine += f->Insert(UniformKeyAt(300 + t, i)) ? 1 : 0;
+      }
+      accepted.fetch_add(mine, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(f->ItemCount(), accepted.load());
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      ASSERT_TRUE(f->Contains(UniformKeyAt(300 + t, i)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,172 @@
+// Differential test for the word-at-a-time SWAR probe path: every probe
+// operation must agree bit-for-bit with the scalar reference loop across
+// the full geometry space — slot widths 1..57 x bucket sizes {1,2,4,8},
+// including the single-load (<= 57 bucket bits), two-load (58..64) and
+// scalar-fallback (> 64) regimes, non-power-of-two bucket counts and the
+// last bucket of the table (whose word read leans on the +8 byte slack).
+//
+// Runs in the regular test suite and therefore in the ASan+UBSan CI matrix,
+// which is where a mis-sized unaligned load would trip.
+#include "table/packed_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/random.hpp"
+
+namespace vcf {
+namespace {
+
+/// RAII guard so a failing test cannot leak the forced-scalar global into
+/// later tests.
+class ScopedForceScalar {
+ public:
+  explicit ScopedForceScalar(bool force) { PackedTable::ForceScalarProbes(force); }
+  ~ScopedForceScalar() { PackedTable::ForceScalarProbes(false); }
+};
+
+/// Drives `ops` random operations through both tables, checking every
+/// return value and the final table equality, and cross-checks the SWAR
+/// table's fast path against its own scalar reference methods.
+void RunDifferential(std::size_t buckets, unsigned spb, unsigned slot_bits,
+                     int ops, std::uint64_t seed) {
+  SCOPED_TRACE("buckets=" + std::to_string(buckets) +
+               " spb=" + std::to_string(spb) +
+               " slot_bits=" + std::to_string(slot_bits));
+  PackedTable a(buckets, spb, slot_bits);
+  ScopedForceScalar guard(true);
+  PackedTable b(buckets, spb, slot_bits);
+  PackedTable::ForceScalarProbes(false);
+
+  const bool swar_expected = spb >= 2 && spb * slot_bits <= 64;
+  EXPECT_EQ(a.UsesSwarProbes(), swar_expected);
+  EXPECT_FALSE(b.UsesSwarProbes());
+
+  const std::uint64_t vmask = LowMask(slot_bits);
+  Xoshiro256 rng(seed);
+  for (int op = 0; op < ops; ++op) {
+    // Bias towards the last bucket so the slack-byte reads get exercised.
+    const std::size_t bucket =
+        rng.Below(8) == 0 ? buckets - 1 : rng.Below(buckets);
+    const std::uint64_t value = rng.Below(vmask) + 1;  // in [1, 2^sb - 1]
+    const std::uint64_t probe = rng.Next() & vmask;  // may be 0
+    const std::uint64_t mask = rng.Next() & vmask;   // may be 0
+    switch (rng.Below(6)) {
+      case 0: {
+        EXPECT_EQ(a.InsertValue(bucket, value), b.InsertValue(bucket, value));
+        break;
+      }
+      case 1: {
+        EXPECT_EQ(a.FindEmptySlot(bucket), b.FindEmptySlot(bucket));
+        EXPECT_EQ(a.FindEmptySlot(bucket), a.FindEmptySlotScalar(bucket));
+        break;
+      }
+      case 2: {
+        EXPECT_EQ(a.ContainsValue(bucket, probe), b.ContainsValue(bucket, probe));
+        EXPECT_EQ(a.ContainsValue(bucket, probe),
+                  a.ContainsValueScalar(bucket, probe));
+        break;
+      }
+      case 3: {
+        EXPECT_EQ(a.ContainsMasked(bucket, probe, mask),
+                  b.ContainsMasked(bucket, probe, mask));
+        EXPECT_EQ(a.ContainsMasked(bucket, probe, mask),
+                  a.ContainsMaskedScalar(bucket, probe, mask));
+        break;
+      }
+      case 4: {
+        EXPECT_EQ(a.EraseValue(bucket, probe), b.EraseValue(bucket, probe));
+        break;
+      }
+      default: {
+        EXPECT_EQ(a.EraseMasked(bucket, probe, mask),
+                  b.EraseMasked(bucket, probe, mask));
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(a.OccupiedSlots(), b.OccupiedSlots());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(PackedTableSwarTest, FullGeometrySweepAgainstScalarReference) {
+  // Non-power-of-two bucket count: exercises the tail of the bit array and
+  // proves the probes make no power-of-two assumptions.
+  for (unsigned spb : {1u, 2u, 4u, 8u}) {
+    for (unsigned sb = 1; sb <= 57; ++sb) {
+      RunDifferential(/*buckets=*/37, spb, sb, /*ops=*/300,
+                      /*seed=*/0x5EED0000ULL + spb * 100 + sb);
+    }
+  }
+}
+
+TEST(PackedTableSwarTest, TwoLoadRegimeDeepDive) {
+  // bucket_bits in (57, 64]: the word spans 9 bytes for odd bit offsets, so
+  // the second load path runs. Hit it harder than the broad sweep does.
+  struct Geometry { unsigned spb, sb; };
+  for (const auto [spb, sb] : {Geometry{2, 29}, Geometry{2, 31}, Geometry{2, 32},
+                               Geometry{4, 15}, Geometry{4, 16}, Geometry{8, 8}}) {
+    ASSERT_GT(spb * sb, 57u);
+    ASSERT_LE(spb * sb, 64u);
+    RunDifferential(/*buckets=*/129, spb, sb, /*ops=*/2000,
+                    /*seed=*/0xD00DULL + spb * 1000 + sb);
+  }
+}
+
+TEST(PackedTableSwarTest, SingleSlotBucketsStayScalar) {
+  // spb == 1 has nothing to vectorise; the constructor must not take the
+  // SWAR path even though one slot always fits a word.
+  PackedTable t(64, 1, 16);
+  EXPECT_FALSE(t.UsesSwarProbes());
+  EXPECT_TRUE(t.InsertValue(63, 0xBEEF));
+  EXPECT_TRUE(t.ContainsValue(63, 0xBEEF));
+  EXPECT_FALSE(t.InsertValue(63, 0xF00D));  // bucket full
+}
+
+TEST(PackedTableSwarTest, ForcedScalarTablesMatchSwarTables) {
+  // End-to-end: identical op streams through a SWAR table and a
+  // construction-time-forced scalar table leave identical bits.
+  PackedTable a(64, 4, 13);
+  ScopedForceScalar guard(true);
+  PackedTable b(64, 4, 13);
+  PackedTable::ForceScalarProbes(false);
+  ASSERT_TRUE(a.UsesSwarProbes());
+  ASSERT_FALSE(b.UsesSwarProbes());
+  Xoshiro256 rng(77);
+  for (int i = 0; i < 4000; ++i) {
+    const std::size_t bucket = rng.Below(64);
+    const std::uint64_t v = rng.Below(LowMask(13)) + 1;
+    switch (rng.Below(3)) {
+      case 0:
+        ASSERT_EQ(a.InsertValue(bucket, v), b.InsertValue(bucket, v));
+        break;
+      case 1:
+        ASSERT_EQ(a.EraseValue(bucket, v), b.EraseValue(bucket, v));
+        break;
+      default:
+        ASSERT_EQ(a.ContainsValue(bucket, v), b.ContainsValue(bucket, v));
+        break;
+    }
+  }
+  EXPECT_TRUE(a == b);
+}
+
+TEST(PackedTableSwarTest, MaskedProbesIgnoreEmptySlots) {
+  // want == 0 under the mask must not match empty slots: a lane holding 0
+  // means "empty", not "stored zero" (filters never store 0).
+  PackedTable t(8, 4, 8);
+  ASSERT_TRUE(t.UsesSwarProbes());
+  // mask 0x0F, value 0x10: value & mask == 0, same as an empty lane's bits.
+  EXPECT_FALSE(t.ContainsMasked(3, 0x10, 0x0F));
+  EXPECT_EQ(t.EraseMasked(3, 0x10, 0x0F), 0u);
+  ASSERT_TRUE(t.InsertValue(3, 0x30));  // 0x30 & 0x0F == 0
+  EXPECT_TRUE(t.ContainsMasked(3, 0x10, 0x0F));
+  EXPECT_EQ(t.EraseMasked(3, 0x10, 0x0F), 0x30u);
+  EXPECT_EQ(t.OccupiedSlots(), 0u);
+}
+
+}  // namespace
+}  // namespace vcf

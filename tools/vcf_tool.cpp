@@ -33,9 +33,33 @@ using vcf::Flags;
 FilterSpec SpecFromFlags(const Flags& flags) {
   FilterSpec spec;
   std::string kind = flags.GetString("filter", "vcf");
-  // "resilient:<kind>" wraps the filter in the overload/recovery layer
-  // (victim stash, degraded mode, checkpoint retry — docs/robustness.md).
+  // Wrapper prefixes, outermost first:
+  //   "sharded:<n>:<kind>"  — hash-partition across n locked shards
+  //                           (core/sharded_filter.hpp, docs/performance.md);
+  //   "resilient:<kind>"    — overload/recovery layer (victim stash, degraded
+  //                           mode, checkpoint retry — docs/robustness.md).
+  // They compose: "sharded:4:resilient:vcf" builds four resilient shards.
+  constexpr std::string_view kShardedPrefix = "sharded:";
   constexpr std::string_view kResilientPrefix = "resilient:";
+  if (kind.rfind(kShardedPrefix, 0) == 0) {
+    kind.erase(0, kShardedPrefix.size());
+    const std::size_t colon = kind.find(':');
+    std::size_t parsed = 0;
+    unsigned n = 0;
+    if (colon != std::string::npos) {
+      try {
+        n = static_cast<unsigned>(std::stoul(kind.substr(0, colon), &parsed));
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+    }
+    if (colon == std::string::npos || parsed != colon || n == 0) {
+      throw std::invalid_argument(
+          "bad --filter: expected sharded:<n>:<kind> with n >= 1");
+    }
+    spec.shards = n;
+    kind.erase(0, colon + 1);
+  }
   if (kind.rfind(kResilientPrefix, 0) == 0) {
     spec.resilient = true;
     kind.erase(0, kResilientPrefix.size());
@@ -68,7 +92,7 @@ FilterSpec SpecFromFlags(const Flags& flags) {
     throw std::invalid_argument(
         "unknown --filter=" + kind +
         " (cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf, optionally "
-        "prefixed resilient:)");
+        "prefixed sharded:<n>: and/or resilient:)");
   }
   spec.variant = static_cast<unsigned>(flags.GetInt("variant", 4));
   spec.params = vcf::CuckooParams::ForSlotsLog2(
@@ -153,7 +177,9 @@ int Usage() {
       << "usage: vcf_tool <build|query|stats> [flags]\n"
          "  common flags: --filter=cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|"
          "vf|sscf\n"
-         "                (prefix resilient: for the stash/recovery wrapper)\n"
+         "                (prefix sharded:<n>: for n locked shards,\n"
+         "                 resilient: for the stash/recovery wrapper;\n"
+         "                 sharded:<n>:resilient:<kind> composes both)\n"
          "                --variant=N --slots_log2=N --f=N --hash=fnv|murmur|"
          "djb|splitmix\n"
          "                --seed=N --max_kicks=N --state=FILE\n"
