@@ -14,6 +14,7 @@
 // directory; see docs/performance.md for the schema and how to read it).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -24,6 +25,7 @@
 
 #include "common/random.hpp"
 #include "harness/filter_factory.hpp"
+#include "metrics/latency_histogram.hpp"
 #include "table/packed_table.hpp"
 #include "workload/key_streams.hpp"
 
@@ -58,6 +60,31 @@ std::vector<std::uint64_t> Prefill(Filter& filter, int load_pct,
   return stored;
 }
 
+/// Tail-latency sampling for the single-op families: after the timed
+/// benchmark loop (whose mean google-benchmark reports untouched), run a
+/// fixed pass of individually clocked ops into a LatencyHistogram and attach
+/// the quantiles as counters, so BENCH_micro.json carries p50/p95/p99/p999
+/// next to ns_per_op. Individual timing adds two steady_clock reads (~20 ns)
+/// of overhead per sample — fine for percentiles, which is why it is kept
+/// out of the mean measurement.
+template <typename Op>
+void AttachPercentiles(benchmark::State& state, Op&& op) {
+  constexpr std::uint64_t kSamples = 20000;
+  LatencyHistogram hist;
+  for (std::uint64_t i = 0; i < kSamples; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    op(i);
+    const auto t1 = std::chrono::steady_clock::now();
+    hist.Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+  }
+  state.counters["p50_ns"] = static_cast<double>(hist.P50());
+  state.counters["p95_ns"] = static_cast<double>(hist.P95());
+  state.counters["p99_ns"] = static_cast<double>(hist.P99());
+  state.counters["p999_ns"] = static_cast<double>(hist.P999());
+}
+
 void BM_Insert(benchmark::State& state) {
   const int tag = static_cast<int>(state.range(0));
   const int load_pct = static_cast<int>(state.range(1));
@@ -70,6 +97,11 @@ void BM_Insert(benchmark::State& state) {
     benchmark::DoNotOptimize(filter->Insert(key));
     filter->Erase(key);
   }
+  AttachPercentiles(state, [&](std::uint64_t s) {
+    const std::uint64_t key = UniformKeyAt(7, i + s);
+    benchmark::DoNotOptimize(filter->Insert(key));
+    filter->Erase(key);
+  });
   state.SetLabel(TagName(tag) + " @" + std::to_string(load_pct) + "%");
 }
 
@@ -83,6 +115,9 @@ void BM_LookupHit(benchmark::State& state) {
     benchmark::DoNotOptimize(filter->Contains(stored[i]));
     i = (i + 1) % stored.size();
   }
+  AttachPercentiles(state, [&](std::uint64_t s) {
+    benchmark::DoNotOptimize(filter->Contains(stored[s % stored.size()]));
+  });
   state.SetLabel(TagName(tag) + " @" + std::to_string(load_pct) + "%");
 }
 
@@ -95,6 +130,9 @@ void BM_LookupMiss(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(filter->Contains(UniformKeyAt(9, i++)));
   }
+  AttachPercentiles(state, [&](std::uint64_t s) {
+    benchmark::DoNotOptimize(filter->Contains(UniformKeyAt(9, i + s)));
+  });
   state.SetLabel(TagName(tag) + " @" + std::to_string(load_pct) + "%");
 }
 
@@ -110,6 +148,11 @@ void BM_Delete(benchmark::State& state) {
     filter->Insert(stored[i]);
     i = (i + 1) % stored.size();
   }
+  AttachPercentiles(state, [&](std::uint64_t s) {
+    const std::uint64_t key = stored[s % stored.size()];
+    benchmark::DoNotOptimize(filter->Erase(key));
+    filter->Insert(key);
+  });
   state.SetLabel(TagName(tag) + " @" + std::to_string(load_pct) + "%");
 }
 
@@ -384,6 +427,10 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
     double ns_per_op = 0.0;
     double items_per_second = 0.0;
     std::int64_t threads = 1;
+    double p50_ns = 0.0;  ///< 0 when the family does not sample percentiles
+    double p95_ns = 0.0;
+    double p99_ns = 0.0;
+    double p999_ns = 0.0;
   };
 
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -398,6 +445,14 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
       e.ns_per_op = run.GetAdjustedRealTime();
       const auto it = run.counters.find("items_per_second");
       if (it != run.counters.end()) e.items_per_second = it->second;
+      const auto counter = [&run](const char* name) {
+        const auto c = run.counters.find(name);
+        return c != run.counters.end() ? static_cast<double>(c->second) : 0.0;
+      };
+      e.p50_ns = counter("p50_ns");
+      e.p95_ns = counter("p95_ns");
+      e.p99_ns = counter("p99_ns");
+      e.p999_ns = counter("p999_ns");
       e.threads = run.threads;
       entries_.push_back(std::move(e));
     }
@@ -413,8 +468,12 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
       out << "  {\"name\": \"" << e.name << "\", \"op\": \"" << e.op
           << "\", \"filter\": \"" << e.filter << "\", \"ns_per_op\": "
           << e.ns_per_op << ", \"items_per_second\": " << e.items_per_second
-          << ", \"threads\": " << e.threads << "}"
-          << (i + 1 < entries_.size() ? "," : "") << "\n";
+          << ", \"threads\": " << e.threads;
+      if (e.p50_ns > 0.0) {
+        out << ", \"p50_ns\": " << e.p50_ns << ", \"p95_ns\": " << e.p95_ns
+            << ", \"p99_ns\": " << e.p99_ns << ", \"p999_ns\": " << e.p999_ns;
+      }
+      out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
     }
     out << "]\n";
     return out.good();

@@ -1,0 +1,237 @@
+#include "client/vcf_client.hpp"
+
+#include <algorithm>
+
+#include "net/socket.hpp"
+
+namespace vcf::client {
+
+using net::Opcode;
+using net::Status;
+
+VcfClient::~VcfClient() { Close(); }
+
+bool VcfClient::Connect(const std::string& host, std::uint16_t port) {
+  Close();
+  std::string err;
+  fd_ = net::ConnectTcp(host, port, &err);
+  if (fd_ < 0) return Fail(err);
+  net::SetNoDelay(fd_);
+  recv_buf_ = net::FrameBuffer();
+  error_.clear();
+  return true;
+}
+
+void VcfClient::Close() {
+  net::CloseFd(fd_);
+  fd_ = -1;
+  send_buf_.clear();
+}
+
+bool VcfClient::Fail(const std::string& why) {
+  error_ = why;
+  Close();
+  return false;
+}
+
+bool VcfClient::SendFrame() {
+  if (fd_ < 0) return Fail("not connected");
+  const bool ok = net::WriteAll(fd_, send_buf_);
+  send_buf_.clear();
+  if (!ok) return Fail("write failed");
+  return true;
+}
+
+bool VcfClient::ReadResponse(Opcode expect_op, std::uint32_t expect_id,
+                             net::Response& resp) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    std::span<const std::uint8_t> payload;
+    if (recv_buf_.Next(payload)) {
+      const net::DecodeResult r =
+          net::DecodeResponse(payload, expect_op, resp);
+      recv_buf_.Pop();
+      if (r != net::DecodeResult::kOk) {
+        return Fail("malformed response frame");
+      }
+      if (resp.request_id != expect_id) {
+        return Fail("response id mismatch (pipeline desync)");
+      }
+      return true;
+    }
+    const std::ptrdiff_t n = net::ReadSome(fd_, buf);
+    if (n == 0) return Fail("server closed connection");
+    if (n < 0) return Fail("read failed");
+    if (!recv_buf_.Append(
+            std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)))) {
+      return Fail("oversized response frame");
+    }
+  }
+}
+
+bool VcfClient::Ping() {
+  const std::uint8_t echo[8] = {'v', 'c', 'f', 'd', 'p', 'i', 'n', 'g'};
+  const std::uint32_t id = next_id_++;
+  net::EncodePingRequest(send_buf_, id, echo);
+  if (!SendFrame()) return false;
+  net::Response resp;
+  if (!ReadResponse(Opcode::kPing, id, resp)) return false;
+  if (resp.status != Status::kOk ||
+      !std::equal(resp.ping_echo.begin(), resp.ping_echo.end(), echo,
+                  echo + sizeof(echo))) {
+    return Fail("ping echo mismatch");
+  }
+  return true;
+}
+
+bool VcfClient::SimpleKeyOp(Opcode op, std::uint64_t key, bool* ok) {
+  if (ok != nullptr) *ok = false;
+  const std::uint32_t id = next_id_++;
+  net::EncodeKeyRequest(send_buf_, op, id, key);
+  if (!SendFrame()) return false;
+  net::Response resp;
+  if (!ReadResponse(op, id, resp)) return false;
+  if (resp.status != Status::kOk) {
+    error_ = net::StatusName(resp.status);
+    return false;
+  }
+  if (ok != nullptr) *ok = true;
+  return resp.flag;
+}
+
+bool VcfClient::Insert(std::uint64_t key, bool* ok) {
+  return SimpleKeyOp(Opcode::kInsert, key, ok);
+}
+
+bool VcfClient::Lookup(std::uint64_t key, bool* ok) {
+  return SimpleKeyOp(Opcode::kLookup, key, ok);
+}
+
+bool VcfClient::Erase(std::uint64_t key, bool* ok) {
+  return SimpleKeyOp(Opcode::kDelete, key, ok);
+}
+
+std::size_t VcfClient::InsertBatch(std::span<const std::uint64_t> keys,
+                                   bool* results, bool* ok) {
+  if (ok != nullptr) *ok = false;
+  std::size_t accepted = 0;
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(keys.size() - done, net::kMaxBatchKeys);
+    const std::uint32_t id = next_id_++;
+    net::EncodeBatchRequest(send_buf_, Opcode::kInsertBatch, id,
+                            keys.subspan(done, n));
+    if (!SendFrame()) return accepted;
+    net::Response resp;
+    if (!ReadResponse(Opcode::kInsertBatch, id, resp)) return accepted;
+    if (resp.status != Status::kOk || resp.batch_count != n) {
+      Fail(resp.status != Status::kOk ? net::StatusName(resp.status)
+                                      : "batch count mismatch");
+      return accepted;
+    }
+    accepted += resp.batch_accepted;
+    if (results != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        results[done + i] = resp.BitmapBit(static_cast<std::uint32_t>(i));
+      }
+    }
+    done += n;
+  }
+  if (ok != nullptr) *ok = true;
+  return accepted;
+}
+
+bool VcfClient::LookupBatch(std::span<const std::uint64_t> keys,
+                            bool* results) {
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(keys.size() - done, net::kMaxBatchKeys);
+    const std::uint32_t id = next_id_++;
+    net::EncodeBatchRequest(send_buf_, Opcode::kLookupBatch, id,
+                            keys.subspan(done, n));
+    if (!SendFrame()) return false;
+    net::Response resp;
+    if (!ReadResponse(Opcode::kLookupBatch, id, resp)) return false;
+    if (resp.status != Status::kOk || resp.batch_count != n) {
+      return Fail(resp.status != Status::kOk ? net::StatusName(resp.status)
+                                             : "batch count mismatch");
+    }
+    if (results != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        results[done + i] = resp.BitmapBit(static_cast<std::uint32_t>(i));
+      }
+    }
+    done += n;
+  }
+  return true;
+}
+
+bool VcfClient::Pipeline(Opcode op, std::span<const std::uint64_t> keys,
+                         bool* results, std::size_t depth) {
+  if (depth == 0) depth = 1;
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t window =
+        std::min<std::size_t>(keys.size() - done, depth);
+    const std::uint32_t first_id = next_id_;
+    for (std::size_t i = 0; i < window; ++i) {
+      net::EncodeKeyRequest(send_buf_, op, next_id_++, keys[done + i]);
+    }
+    if (!SendFrame()) return false;
+    for (std::size_t i = 0; i < window; ++i) {
+      net::Response resp;
+      if (!ReadResponse(op, first_id + static_cast<std::uint32_t>(i), resp)) {
+        return false;
+      }
+      if (resp.status != Status::kOk) {
+        return Fail(net::StatusName(resp.status));
+      }
+      if (results != nullptr) results[done + i] = resp.flag;
+    }
+    done += window;
+  }
+  return true;
+}
+
+bool VcfClient::PipelineLookups(std::span<const std::uint64_t> keys,
+                                bool* results, std::size_t depth) {
+  return Pipeline(Opcode::kLookup, keys, results, depth);
+}
+
+bool VcfClient::PipelineInserts(std::span<const std::uint64_t> keys,
+                                bool* results, std::size_t depth) {
+  return Pipeline(Opcode::kInsert, keys, results, depth);
+}
+
+bool VcfClient::GetStats(ServerStats& out) {
+  const std::uint32_t id = next_id_++;
+  net::EncodeEmptyRequest(send_buf_, Opcode::kStats, id);
+  if (!SendFrame()) return false;
+  net::Response resp;
+  if (!ReadResponse(Opcode::kStats, id, resp)) return false;
+  if (resp.status != Status::kOk) return Fail(net::StatusName(resp.status));
+  out.name = resp.name;
+  out.items = resp.items;
+  out.slots = resp.slots;
+  out.memory_bytes = resp.memory_bytes;
+  out.load_factor = resp.load_factor;
+  out.supports_deletion = resp.supports_deletion;
+  return true;
+}
+
+bool VcfClient::Snapshot() {
+  const std::uint32_t id = next_id_++;
+  net::EncodeEmptyRequest(send_buf_, Opcode::kSnapshot, id);
+  if (!SendFrame()) return false;
+  net::Response resp;
+  if (!ReadResponse(Opcode::kSnapshot, id, resp)) return false;
+  if (resp.status != Status::kOk) {
+    error_ = net::StatusName(resp.status);
+    return false;
+  }
+  return resp.flag;
+}
+
+}  // namespace vcf::client

@@ -1,0 +1,101 @@
+// Synchronous client for vcfd, speaking the length-prefixed binary protocol
+// in net/proto.hpp over one blocking TCP connection.
+//
+// Two calling styles share the codec:
+//   - one-shot ops (Insert/Lookup/Erase/Ping/GetStats/Snapshot): encode one
+//     request, write, block for the matching response;
+//   - batch ops (InsertBatch/LookupBatch): one request frame carrying up to
+//     net::kMaxBatchKeys keys — the server runs the filter's prefetch-
+//     pipelined batch path and replies with a result bitmap. Larger spans
+//     are split transparently; this is the throughput path the load
+//     generator drives.
+//   - PipelineLookups/PipelineInserts: `depth` single-key frames written
+//     back-to-back before the first response is read, measuring the
+//     server's request pipelining rather than its batch opcode.
+//
+// The client is not thread-safe: one VcfClient per thread (the load
+// generator opens one connection per worker). Every method returns false /
+// 0 on transport or protocol errors and records a diagnostic in
+// last_error(); the connection is then dead (Connect again to retry) —
+// request/response framing cannot be resynced mid-stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/proto.hpp"
+
+namespace vcf::client {
+
+class VcfClient {
+ public:
+  struct ServerStats {
+    std::string name;
+    std::uint64_t items = 0;
+    std::uint64_t slots = 0;
+    std::uint64_t memory_bytes = 0;
+    double load_factor = 0.0;
+    bool supports_deletion = false;
+  };
+
+  VcfClient() = default;
+  ~VcfClient();
+
+  VcfClient(const VcfClient&) = delete;
+  VcfClient& operator=(const VcfClient&) = delete;
+
+  bool Connect(const std::string& host, std::uint16_t port);
+  void Close();
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Round-trips an 8-byte echo payload. True on success.
+  bool Ping();
+
+  /// Single-key ops. `*ok` (when non-null) reports transport success; the
+  /// return value is the filter's answer (false on transport failure too).
+  bool Insert(std::uint64_t key, bool* ok = nullptr);
+  bool Lookup(std::uint64_t key, bool* ok = nullptr);
+  bool Erase(std::uint64_t key, bool* ok = nullptr);
+
+  /// Batch ops; results[i] = outcome of keys[i] (may be nullptr for
+  /// InsertBatch). Returns accepted count / true, with false/0 + last_error
+  /// on failure. Spans longer than net::kMaxBatchKeys are split.
+  std::size_t InsertBatch(std::span<const std::uint64_t> keys,
+                          bool* results = nullptr, bool* ok = nullptr);
+  bool LookupBatch(std::span<const std::uint64_t> keys, bool* results);
+
+  /// Writes `keys.size()` single-key LOOKUP/INSERT frames in windows of
+  /// `depth` before draining the matching responses — the request-pipelining
+  /// path. results may be nullptr.
+  bool PipelineLookups(std::span<const std::uint64_t> keys, bool* results,
+                       std::size_t depth = 32);
+  bool PipelineInserts(std::span<const std::uint64_t> keys, bool* results,
+                       std::size_t depth = 32);
+
+  bool GetStats(ServerStats& out);
+
+  /// Asks the server to checkpoint now. True when the server reports the
+  /// checkpoint was written.
+  bool Snapshot();
+
+  const std::string& last_error() const noexcept { return error_; }
+
+ private:
+  bool SendFrame();  ///< writes send_buf_ and clears it
+  bool ReadResponse(net::Opcode expect_op, std::uint32_t expect_id,
+                    net::Response& resp);
+  bool SimpleKeyOp(net::Opcode op, std::uint64_t key, bool* ok);
+  bool Pipeline(net::Opcode op, std::span<const std::uint64_t> keys,
+                bool* results, std::size_t depth);
+  bool Fail(const std::string& why);
+
+  int fd_ = -1;
+  std::uint32_t next_id_ = 1;
+  std::vector<std::uint8_t> send_buf_;
+  net::FrameBuffer recv_buf_;
+  std::string error_;
+};
+
+}  // namespace vcf::client

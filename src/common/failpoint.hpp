@@ -147,6 +147,10 @@ inline constexpr const char kTableSave[] = "table/save";
 inline constexpr const char kTableLoad[] = "table/load";
 /// DynamicVcf growth: fires instead of allocating a new segment.
 inline constexpr const char kSegmentAlloc[] = "dynamic/segment_alloc";
+/// Socket read seam (net/socket.cpp ReadSome): fires as an EIO read error,
+/// so tests can force mid-stream disconnects on vcfd connections and client
+/// sockets without a real network fault.
+inline constexpr const char kNetSocketRead[] = "net/socket_read";
 }  // namespace failpoints
 
 /// Call-site helper: amortises the registry lookup behind a function-local

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include <algorithm>
+#include <string_view>
 
 #include "baselines/bloom_filter.hpp"
 #include "baselines/counting_bloom_filter.hpp"
@@ -19,6 +20,7 @@
 #include "common/random.hpp"
 #include "core/resilient_filter.hpp"
 #include "core/sharded_filter.hpp"
+#include "harness/flags.hpp"
 #include "core/vcf.hpp"
 #include "core/vertical_hashing.hpp"
 
@@ -153,6 +155,90 @@ std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec) {
   }
   throw std::invalid_argument("MakeFilter: unknown filter kind");
 }
+
+void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
+  std::string kind = kind_string;
+  constexpr std::string_view kShardedPrefix = "sharded:";
+  constexpr std::string_view kResilientPrefix = "resilient:";
+  spec.shards = 0;
+  spec.resilient = false;
+  if (kind.rfind(kShardedPrefix, 0) == 0) {
+    kind.erase(0, kShardedPrefix.size());
+    const std::size_t colon = kind.find(':');
+    std::size_t parsed = 0;
+    unsigned n = 0;
+    if (colon != std::string::npos) {
+      try {
+        n = static_cast<unsigned>(std::stoul(kind.substr(0, colon), &parsed));
+      } catch (const std::exception&) {
+        parsed = 0;
+      }
+    }
+    if (colon == std::string::npos || parsed != colon || n == 0) {
+      throw std::invalid_argument(
+          "bad --filter: expected sharded:<n>:<kind> with n >= 1");
+    }
+    spec.shards = n;
+    kind.erase(0, colon + 1);
+  }
+  if (kind.rfind(kResilientPrefix, 0) == 0) {
+    spec.resilient = true;
+    kind.erase(0, kResilientPrefix.size());
+  }
+  if (kind == "cf") {
+    spec.kind = FilterSpec::Kind::kCF;
+  } else if (kind == "vcf") {
+    spec.kind = FilterSpec::Kind::kVCF;
+  } else if (kind == "ivcf") {
+    spec.kind = FilterSpec::Kind::kIVCF;
+  } else if (kind == "dvcf") {
+    spec.kind = FilterSpec::Kind::kDVCF;
+  } else if (kind == "kvcf") {
+    spec.kind = FilterSpec::Kind::kKVCF;
+  } else if (kind == "dcf") {
+    spec.kind = FilterSpec::Kind::kDCF;
+  } else if (kind == "bf") {
+    spec.kind = FilterSpec::Kind::kBF;
+  } else if (kind == "cbf") {
+    spec.kind = FilterSpec::Kind::kCBF;
+  } else if (kind == "qf") {
+    spec.kind = FilterSpec::Kind::kQF;
+  } else if (kind == "dlcbf") {
+    spec.kind = FilterSpec::Kind::kDlCBF;
+  } else if (kind == "vf") {
+    spec.kind = FilterSpec::Kind::kVF;
+  } else if (kind == "sscf") {
+    spec.kind = FilterSpec::Kind::kSsCF;
+  } else {
+    throw std::invalid_argument(
+        "unknown --filter=" + kind +
+        " (cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf, optionally "
+        "prefixed sharded:<n>: and/or resilient:)");
+  }
+}
+
+FilterSpec SpecFromFlags(const Flags& flags) {
+  FilterSpec spec;
+  ParseFilterKind(flags.GetString("filter", "vcf"), spec);
+  spec.variant = static_cast<unsigned>(flags.GetInt("variant", 4));
+  spec.params = CuckooParams::ForSlotsLog2(
+      static_cast<unsigned>(flags.GetInt("slots_log2", 16)));
+  spec.params.fingerprint_bits = static_cast<unsigned>(flags.GetInt("f", 14));
+  spec.params.max_kicks =
+      static_cast<unsigned>(flags.GetInt("max_kicks", 500));
+  spec.params.hash = ParseHashKind(flags.GetString("hash", "fnv"));
+  spec.params.seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 0x5EEDF00D));
+  spec.bits_per_item = flags.GetDouble("bits_per_item", 12.0);
+  return spec;
+}
+
+const char kFilterFlagsHelp[] =
+    "  --filter=cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf\n"
+    "      (prefix sharded:<n>: for n locked shards, resilient: for the\n"
+    "       stash/recovery wrapper; sharded:<n>:resilient:<kind> composes)\n"
+    "  --variant=N --slots_log2=N --f=N --hash=fnv|murmur|djb|splitmix\n"
+    "  --seed=N --max_kicks=N --bits_per_item=X\n";
 
 double SpecTheoreticalR(const FilterSpec& spec) {
   const unsigned w = spec.params.index_bits();

@@ -54,6 +54,25 @@ struct FilterSpec {
 
 std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec);
 
+class Flags;
+
+/// Parses a `--filter` kind string — `cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|
+/// dlcbf|vf|sscf`, optionally prefixed `sharded:<n>:` and/or `resilient:`
+/// (composing: "sharded:4:resilient:vcf") — into `spec.kind/shards/
+/// resilient`, leaving every other field untouched. Throws
+/// std::invalid_argument with an operator-facing message on bad input.
+/// Shared by vcf_tool, vcfd and vcf_loadgen so every binary serves the same
+/// spellings.
+void ParseFilterKind(const std::string& kind_string, FilterSpec& spec);
+
+/// The full command-line construction surface: --filter (ParseFilterKind),
+/// --variant, --slots_log2, --f, --max_kicks, --hash, --seed,
+/// --bits_per_item. Throws std::invalid_argument on bad values.
+FilterSpec SpecFromFlags(const Flags& flags);
+
+/// The flag lines documenting SpecFromFlags, shared by the tools' --help.
+extern const char kFilterFlagsHelp[];
+
 /// Theoretical r — the probability that an item receives four candidate
 /// buckets — for a spec: Eq. 8 (mask fragments) for VCF/IVCF, Eq. 9 for
 /// DVCF, 0 for CF, and -1 ("n/a") for kinds where r is not defined.

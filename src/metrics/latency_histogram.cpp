@@ -1,0 +1,111 @@
+#include "metrics/latency_histogram.hpp"
+
+#include <bit>
+#include <cstdio>
+
+namespace vcf {
+
+std::size_t LatencyHistogram::BucketIndex(std::uint64_t nanos) noexcept {
+  // Values below 2^kSubBucketBits get one bucket each (exact); above that,
+  // the octave index and the kSubBucketBits bits below the leading one pick
+  // the bucket. Layout: octave-major, so indices are monotone in value.
+  if (nanos < (std::uint64_t{1} << kSubBucketBits)) {
+    return static_cast<std::size_t>(nanos);
+  }
+  const unsigned log2 = 63u - static_cast<unsigned>(std::countl_zero(nanos));
+  const std::uint64_t sub =
+      (nanos >> (log2 - kSubBucketBits)) & ((1u << kSubBucketBits) - 1);
+  return (static_cast<std::size_t>(log2 - kSubBucketBits + 1)
+          << kSubBucketBits) +
+         static_cast<std::size_t>(sub);
+}
+
+std::uint64_t LatencyHistogram::BucketUpperEdge(std::uint64_t nanos) noexcept {
+  if (nanos < (std::uint64_t{1} << kSubBucketBits)) return nanos;
+  const unsigned log2 = 63u - static_cast<unsigned>(std::countl_zero(nanos));
+  const unsigned shift = log2 - kSubBucketBits;
+  // Everything below the sub-bucket bits saturates to ones.
+  return (nanos | ((std::uint64_t{1} << shift) - 1));
+}
+
+LatencyHistogram& LatencyHistogram::Merge(
+    const LatencyHistogram& other) noexcept {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ != 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  return *this;
+}
+
+std::uint64_t LatencyHistogram::ValueAtQuantile(double q) const noexcept {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q >= 1.0) return max_;
+  // Rank of the target sample (1-based); the q-quantile is the value below
+  // which at least ceil(q * count) samples fall.
+  std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_)) + 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      if (i < (std::size_t{1} << kSubBucketBits)) {
+        return static_cast<std::uint64_t>(i);  // exact region
+      }
+      const unsigned octave =
+          static_cast<unsigned>(i >> kSubBucketBits) + kSubBucketBits - 1;
+      const std::uint64_t sub = i & ((1u << kSubBucketBits) - 1);
+      const unsigned shift = octave - kSubBucketBits;
+      const std::uint64_t base =
+          (std::uint64_t{1} << octave) | (sub << shift);
+      const std::uint64_t edge = base | ((std::uint64_t{1} << shift) - 1);
+      // Never report beyond the exact max (the last occupied bucket's edge
+      // can overshoot it by the bucket width).
+      return edge > max_ ? max_ : edge;
+    }
+  }
+  return max_;
+}
+
+void LatencyHistogram::Reset() noexcept {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = ~std::uint64_t{0};
+  max_ = 0;
+}
+
+namespace {
+
+/// 1234 -> "1.23us"; keeps log lines humane across nine orders of magnitude.
+std::string HumanNanos(std::uint64_t ns) {
+  char buf[32];
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lluns",
+                  static_cast<unsigned long long>(ns));
+  } else if (ns < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string LatencyHistogram::Summary() const {
+  if (count_ == 0) return "(no samples)";
+  return "p50=" + HumanNanos(P50()) + " p95=" + HumanNanos(P95()) +
+         " p99=" + HumanNanos(P99()) + " p999=" + HumanNanos(P999()) +
+         " max=" + HumanNanos(MaxNanos());
+}
+
+}  // namespace vcf

@@ -1,0 +1,372 @@
+#include "net/proto.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace vcf::net {
+
+namespace {
+
+bool ValidOpcode(std::uint8_t op) noexcept {
+  return op <= static_cast<std::uint8_t>(Opcode::kSnapshot);
+}
+
+/// Appends the frame length prefix for a payload built by `fill`. The
+/// payload is built first into `out` after a 4-byte hole, then the hole is
+/// patched — one allocation path, no temporary vector.
+template <typename Fill>
+void WithFrame(std::vector<std::uint8_t>& out, Fill&& fill) {
+  const std::size_t len_pos = out.size();
+  PutU32(out, 0);  // patched below
+  const std::size_t payload_start = out.size();
+  fill();
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(out.size() - payload_start);
+  out[len_pos + 0] = static_cast<std::uint8_t>(payload_len);
+  out[len_pos + 1] = static_cast<std::uint8_t>(payload_len >> 8);
+  out[len_pos + 2] = static_cast<std::uint8_t>(payload_len >> 16);
+  out[len_pos + 3] = static_cast<std::uint8_t>(payload_len >> 24);
+}
+
+void PutHeader(std::vector<std::uint8_t>& out, std::uint8_t op_or_status,
+               std::uint32_t request_id) {
+  out.push_back(kProtoVersion);
+  out.push_back(op_or_status);
+  PutU16(out, 0);  // reserved
+  PutU32(out, request_id);
+}
+
+}  // namespace
+
+const char* StatusName(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kBadRequest: return "bad_request";
+    case Status::kBadVersion: return "bad_version";
+    case Status::kBadOpcode: return "bad_opcode";
+    case Status::kUnsupported: return "unsupported";
+    case Status::kServerError: return "server_error";
+    case Status::kShuttingDown: return "shutting_down";
+  }
+  return "unknown";
+}
+
+// --- Encoding -------------------------------------------------------------
+
+void EncodePingRequest(std::vector<std::uint8_t>& out, std::uint32_t request_id,
+                       std::span<const std::uint8_t> echo) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Opcode::kPing), request_id);
+    out.insert(out.end(), echo.begin(), echo.end());
+  });
+}
+
+void EncodeKeyRequest(std::vector<std::uint8_t>& out, Opcode op,
+                      std::uint32_t request_id, std::uint64_t key) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(op), request_id);
+    PutU64(out, key);
+  });
+}
+
+void EncodeBatchRequest(std::vector<std::uint8_t>& out, Opcode op,
+                        std::uint32_t request_id,
+                        std::span<const std::uint64_t> keys) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(op), request_id);
+    PutU32(out, static_cast<std::uint32_t>(keys.size()));
+    for (const std::uint64_t k : keys) PutU64(out, k);
+  });
+}
+
+void EncodeEmptyRequest(std::vector<std::uint8_t>& out, Opcode op,
+                        std::uint32_t request_id) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(op), request_id);
+  });
+}
+
+void EncodeErrorResponse(std::vector<std::uint8_t>& out, Status status,
+                         std::uint32_t request_id) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(status), request_id);
+  });
+}
+
+void EncodeFlagResponse(std::vector<std::uint8_t>& out,
+                        std::uint32_t request_id, bool flag) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Status::kOk), request_id);
+    out.push_back(flag ? 1 : 0);
+  });
+}
+
+void EncodePingResponse(std::vector<std::uint8_t>& out,
+                        std::uint32_t request_id,
+                        std::span<const std::uint8_t> echo) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Status::kOk), request_id);
+    out.insert(out.end(), echo.begin(), echo.end());
+  });
+}
+
+void EncodeBatchResponse(std::vector<std::uint8_t>& out, Opcode op,
+                         std::uint32_t request_id,
+                         std::span<const bool> bits, std::uint32_t accepted) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Status::kOk), request_id);
+    PutU32(out, static_cast<std::uint32_t>(bits.size()));
+    if (op == Opcode::kInsertBatch) PutU32(out, accepted);
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+      if (bits[i]) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+      if (i % 8 == 7) {
+        out.push_back(acc);
+        acc = 0;
+      }
+    }
+    if (bits.size() % 8 != 0) out.push_back(acc);
+  });
+}
+
+void EncodeStatsResponse(std::vector<std::uint8_t>& out,
+                         std::uint32_t request_id, const std::string& name,
+                         std::uint64_t items, std::uint64_t slots,
+                         std::uint64_t memory_bytes, double load_factor,
+                         bool supports_deletion) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Status::kOk), request_id);
+    const std::uint16_t name_len =
+        static_cast<std::uint16_t>(name.size() > 0xFFFF ? 0xFFFF : name.size());
+    PutU16(out, name_len);
+    out.insert(out.end(), name.begin(), name.begin() + name_len);
+    PutU64(out, items);
+    PutU64(out, slots);
+    PutU64(out, memory_bytes);
+    PutU64(out, std::bit_cast<std::uint64_t>(load_factor));
+    out.push_back(supports_deletion ? 1 : 0);
+  });
+}
+
+// --- Decoding -------------------------------------------------------------
+
+namespace {
+
+DecodeResult DecodeHeader(Reader& r, std::uint8_t& op_or_status,
+                          std::uint32_t& request_id) {
+  std::uint8_t version = 0;
+  std::uint16_t reserved = 0;
+  if (!r.ReadU8(version) || !r.ReadU8(op_or_status) ||
+      !r.ReadU16(reserved) || !r.ReadU32(request_id)) {
+    return DecodeResult::kMalformed;
+  }
+  if (version != kProtoVersion) return DecodeResult::kBadVersion;
+  if (reserved != 0) return DecodeResult::kMalformed;
+  return DecodeResult::kOk;
+}
+
+bool ReadKeyVector(Reader& r, std::vector<std::uint64_t>& keys) {
+  std::uint32_t count = 0;
+  if (!r.ReadU32(count) || count > kMaxBatchKeys) return false;
+  // The count is validated against the actual remaining bytes before the
+  // allocation, so a hostile count cannot reserve more than the frame holds.
+  if (r.Remaining() != std::size_t{count} * 8) return false;
+  keys.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!r.ReadU64(keys[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t PeekRequestId(std::span<const std::uint8_t> payload) noexcept {
+  if (payload.size() < kHeaderSize) return 0;
+  std::uint32_t id = 0;
+  for (int i = 0; i < 4; ++i) {
+    id |= static_cast<std::uint32_t>(payload[4 + i]) << (8 * i);
+  }
+  return id;
+}
+
+DecodeResult DecodeRequest(std::span<const std::uint8_t> payload,
+                           Request& out) {
+  Reader r(payload);
+  std::uint8_t op = 0;
+  if (const DecodeResult h = DecodeHeader(r, op, out.request_id);
+      h != DecodeResult::kOk) {
+    return h;
+  }
+  if (!ValidOpcode(op)) return DecodeResult::kBadOpcode;
+  out.opcode = static_cast<Opcode>(op);
+  out.key = 0;
+  out.keys.clear();
+  out.ping_echo.clear();
+  switch (out.opcode) {
+    case Opcode::kPing: {
+      if (r.Remaining() > kMaxPingEcho) return DecodeResult::kMalformed;
+      std::span<const std::uint8_t> echo;
+      r.ReadBytes(r.Remaining(), echo);
+      out.ping_echo.assign(echo.begin(), echo.end());
+      return DecodeResult::kOk;
+    }
+    case Opcode::kInsert:
+    case Opcode::kLookup:
+    case Opcode::kDelete:
+      if (!r.ReadU64(out.key) || !r.AtEnd()) return DecodeResult::kMalformed;
+      return DecodeResult::kOk;
+    case Opcode::kInsertBatch:
+    case Opcode::kLookupBatch:
+      if (!ReadKeyVector(r, out.keys) || !r.AtEnd()) {
+        return DecodeResult::kMalformed;
+      }
+      return DecodeResult::kOk;
+    case Opcode::kStats:
+    case Opcode::kSnapshot:
+      if (!r.AtEnd()) return DecodeResult::kMalformed;
+      return DecodeResult::kOk;
+  }
+  return DecodeResult::kBadOpcode;
+}
+
+DecodeResult DecodeResponse(std::span<const std::uint8_t> payload,
+                            Opcode expect_op, Response& out) {
+  Reader r(payload);
+  std::uint8_t status = 0;
+  if (const DecodeResult h = DecodeHeader(r, status, out.request_id);
+      h != DecodeResult::kOk) {
+    return h;
+  }
+  if (status > static_cast<std::uint8_t>(Status::kShuttingDown)) {
+    return DecodeResult::kMalformed;
+  }
+  out.status = static_cast<Status>(status);
+  out.flag = false;
+  out.bitmap.clear();
+  out.ping_echo.clear();
+  if (out.status != Status::kOk) {
+    // Error responses have an empty body regardless of opcode.
+    return r.AtEnd() ? DecodeResult::kOk : DecodeResult::kMalformed;
+  }
+  switch (expect_op) {
+    case Opcode::kPing: {
+      if (r.Remaining() > kMaxPingEcho) return DecodeResult::kMalformed;
+      std::span<const std::uint8_t> echo;
+      r.ReadBytes(r.Remaining(), echo);
+      out.ping_echo.assign(echo.begin(), echo.end());
+      return DecodeResult::kOk;
+    }
+    case Opcode::kInsert:
+    case Opcode::kLookup:
+    case Opcode::kDelete:
+    case Opcode::kSnapshot: {
+      std::uint8_t flag = 0;
+      if (!r.ReadU8(flag) || !r.AtEnd() || flag > 1) {
+        return DecodeResult::kMalformed;
+      }
+      out.flag = flag != 0;
+      return DecodeResult::kOk;
+    }
+    case Opcode::kInsertBatch:
+    case Opcode::kLookupBatch: {
+      if (!r.ReadU32(out.batch_count) || out.batch_count > kMaxBatchKeys) {
+        return DecodeResult::kMalformed;
+      }
+      if (expect_op == Opcode::kInsertBatch) {
+        if (!r.ReadU32(out.batch_accepted) ||
+            out.batch_accepted > out.batch_count) {
+          return DecodeResult::kMalformed;
+        }
+      } else {
+        out.batch_accepted = 0;
+      }
+      const std::size_t bitmap_bytes = (out.batch_count + 7) / 8;
+      std::span<const std::uint8_t> bits;
+      if (!r.ReadBytes(bitmap_bytes, bits) || !r.AtEnd()) {
+        return DecodeResult::kMalformed;
+      }
+      out.bitmap.assign(bits.begin(), bits.end());
+      return DecodeResult::kOk;
+    }
+    case Opcode::kStats: {
+      std::uint16_t name_len = 0;
+      std::span<const std::uint8_t> name_bytes;
+      std::uint64_t lf_bits = 0;
+      std::uint8_t deletion = 0;
+      if (!r.ReadU16(name_len) || !r.ReadBytes(name_len, name_bytes) ||
+          !r.ReadU64(out.items) || !r.ReadU64(out.slots) ||
+          !r.ReadU64(out.memory_bytes) || !r.ReadU64(lf_bits) ||
+          !r.ReadU8(deletion) || !r.AtEnd() || deletion > 1) {
+        return DecodeResult::kMalformed;
+      }
+      out.name.assign(name_bytes.begin(), name_bytes.end());
+      out.load_factor = std::bit_cast<double>(lf_bits);
+      out.supports_deletion = deletion != 0;
+      return DecodeResult::kOk;
+    }
+  }
+  return DecodeResult::kBadOpcode;
+}
+
+// --- FrameBuffer ----------------------------------------------------------
+
+bool FrameBuffer::Append(std::span<const std::uint8_t> data) {
+  if (poisoned_) return false;
+  // Compact once the consumed prefix dominates, so a long-lived pipelined
+  // connection does not grow its buffer without bound.
+  if (off_ > 4096 && off_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  // Validate the next length prefix eagerly so a hostile value poisons the
+  // stream before anything accumulates behind it.
+  if (!have_frame_ && buf_.size() - off_ >= 4) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(buf_[off_ + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    if (len > kMaxFrameLen) {
+      poisoned_ = true;
+      return false;
+    }
+    frame_len_ = len;
+    have_frame_ = true;
+  }
+  return true;
+}
+
+bool FrameBuffer::Next(std::span<const std::uint8_t>& payload) {
+  if (poisoned_ || !have_frame_) return false;
+  if (buf_.size() - off_ < 4 + frame_len_) return false;
+  payload = std::span<const std::uint8_t>(buf_).subspan(off_ + 4, frame_len_);
+  return true;
+}
+
+void FrameBuffer::Pop() {
+  if (poisoned_ || !have_frame_) return;
+  if (buf_.size() - off_ < 4 + frame_len_) return;
+  off_ += 4 + frame_len_;
+  have_frame_ = false;
+  if (buf_.size() - off_ >= 4) {
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(buf_[off_ + static_cast<std::size_t>(i)])
+             << (8 * i);
+    }
+    if (len > kMaxFrameLen) {
+      poisoned_ = true;
+      return;
+    }
+    frame_len_ = len;
+    have_frame_ = true;
+  }
+  if (off_ == buf_.size()) {
+    buf_.clear();
+    off_ = 0;
+  }
+}
+
+}  // namespace vcf::net

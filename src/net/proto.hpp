@@ -1,0 +1,253 @@
+// Wire protocol for vcfd, the networked membership-query service.
+//
+// Framing: every message is a length-prefixed frame
+//
+//     u32  payload_length   (little-endian, bytes that follow; <= kMaxFrameLen)
+//     ...  payload
+//
+// and every payload starts with a fixed 8-byte header
+//
+//     u8   version          (kProtoVersion)
+//     u8   opcode           (requests) / status (responses)
+//     u16  reserved         (must be zero; rejected otherwise)
+//     u32  request_id       (echoed verbatim in the response, so a pipelined
+//                            client can match replies to requests)
+//
+// followed by an opcode-specific body (all integers little-endian):
+//
+//     PING          request: 0..kMaxPingEcho opaque bytes; response echoes them
+//     INSERT        request: u64 key; response: u8 accepted
+//     LOOKUP        request: u64 key; response: u8 maybe_present
+//     DELETE        request: u64 key; response: u8 erased
+//     INSERT_BATCH  request: u32 count + count x u64 keys
+//                   response: u32 count + u32 accepted + ceil(count/8) result
+//                   bitmap (bit i = key i accepted; LSB-first within a byte)
+//     LOOKUP_BATCH  request: u32 count + count x u64 keys
+//                   response: u32 count + ceil(count/8) bitmap (bit i =
+//                   maybe-present)
+//     STATS         request: empty
+//                   response: u16 name_len + name bytes + u64 items +
+//                   u64 slots + u64 memory_bytes + u64 load_factor_bits
+//                   (IEEE-754 double bit pattern) + u8 supports_deletion
+//     SNAPSHOT      request: empty; asks the server to checkpoint its filter
+//                   to the configured state path now. response: u8 ok
+//
+// Error responses carry a non-kOk status and an empty body (the request_id
+// still identifies which pipelined request failed). A frame too malformed to
+// recover a request_id is answered with request_id = 0 and the connection is
+// closed — the stream offset can no longer be trusted.
+//
+// Decoding is strictly bounds-checked: every read is validated against the
+// frame length first, trailing bytes are rejected, and batch counts are
+// capped (kMaxBatchKeys) before any allocation, so a hostile length field
+// cannot drive an over-allocation. See tests/net/proto_test.cpp for the
+// truncation/bit-flip sweep.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vcf::net {
+
+inline constexpr std::uint8_t kProtoVersion = 1;
+
+/// Hard cap on a frame payload. Large enough for a kMaxBatchKeys batch
+/// (8 + 4 + 8 * 65536 bytes), small enough that a hostile length prefix
+/// cannot make a connection buffer unbounded.
+inline constexpr std::uint32_t kMaxFrameLen = 1u << 20;
+
+/// Batch ops are capped so a single request cannot monopolise a worker.
+inline constexpr std::uint32_t kMaxBatchKeys = 65536;
+
+/// PING echo payloads are capped (they exist to measure RTT, not move data).
+inline constexpr std::uint32_t kMaxPingEcho = 64;
+
+inline constexpr std::size_t kHeaderSize = 8;  ///< version..request_id
+
+enum class Opcode : std::uint8_t {
+  kPing = 0,
+  kInsert = 1,
+  kLookup = 2,
+  kDelete = 3,
+  kInsertBatch = 4,
+  kLookupBatch = 5,
+  kStats = 6,
+  kSnapshot = 7,
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadRequest = 1,    ///< malformed frame (bounds, reserved bits, counts)
+  kBadVersion = 2,    ///< header version != kProtoVersion
+  kBadOpcode = 3,     ///< unknown opcode byte
+  kUnsupported = 4,   ///< op not supported by this filter (e.g. DELETE on BF)
+  kServerError = 5,   ///< server-side failure (checkpoint write failed, ...)
+  kShuttingDown = 6,  ///< server is draining; retry against a new connection
+};
+
+const char* StatusName(Status s) noexcept;
+
+/// A decoded request. Batch keys are copied out of the frame (the wire
+/// layout is unaligned little-endian, so a span into the buffer would not be
+/// a valid uint64_t span on strict-alignment targets).
+struct Request {
+  Opcode opcode = Opcode::kPing;
+  std::uint32_t request_id = 0;
+  std::uint64_t key = 0;                 ///< single-key ops
+  std::vector<std::uint64_t> keys;       ///< batch ops
+  std::vector<std::uint8_t> ping_echo;   ///< PING payload
+};
+
+/// A decoded response.
+struct Response {
+  Status status = Status::kOk;
+  std::uint32_t request_id = 0;
+  bool flag = false;                     ///< single-key result / snapshot ok
+  std::uint32_t batch_count = 0;         ///< batch ops
+  std::uint32_t batch_accepted = 0;      ///< INSERT_BATCH only
+  std::vector<std::uint8_t> bitmap;      ///< batch result bits, LSB-first
+  std::vector<std::uint8_t> ping_echo;   ///< PING payload
+  // STATS body:
+  std::string name;
+  std::uint64_t items = 0;
+  std::uint64_t slots = 0;
+  std::uint64_t memory_bytes = 0;
+  double load_factor = 0.0;
+  bool supports_deletion = false;
+
+  bool BitmapBit(std::uint32_t i) const noexcept {
+    return i / 8 < bitmap.size() && ((bitmap[i / 8] >> (i % 8)) & 1) != 0;
+  }
+};
+
+enum class DecodeResult : std::uint8_t {
+  kOk,
+  kMalformed,    ///< bounds violation, trailing bytes, reserved != 0, counts
+  kBadVersion,
+  kBadOpcode,
+};
+
+// --- Encoding (appends one complete frame, length prefix included) --------
+
+void EncodePingRequest(std::vector<std::uint8_t>& out, std::uint32_t request_id,
+                       std::span<const std::uint8_t> echo = {});
+void EncodeKeyRequest(std::vector<std::uint8_t>& out, Opcode op,
+                      std::uint32_t request_id, std::uint64_t key);
+void EncodeBatchRequest(std::vector<std::uint8_t>& out, Opcode op,
+                        std::uint32_t request_id,
+                        std::span<const std::uint64_t> keys);
+void EncodeEmptyRequest(std::vector<std::uint8_t>& out, Opcode op,
+                        std::uint32_t request_id);
+
+void EncodeErrorResponse(std::vector<std::uint8_t>& out, Status status,
+                         std::uint32_t request_id);
+void EncodeFlagResponse(std::vector<std::uint8_t>& out,
+                        std::uint32_t request_id, bool flag);
+void EncodePingResponse(std::vector<std::uint8_t>& out,
+                        std::uint32_t request_id,
+                        std::span<const std::uint8_t> echo);
+/// `bits[i]` = outcome of key i; `accepted` is ignored for LOOKUP_BATCH.
+void EncodeBatchResponse(std::vector<std::uint8_t>& out, Opcode op,
+                         std::uint32_t request_id,
+                         std::span<const bool> bits, std::uint32_t accepted);
+void EncodeStatsResponse(std::vector<std::uint8_t>& out,
+                         std::uint32_t request_id, const std::string& name,
+                         std::uint64_t items, std::uint64_t slots,
+                         std::uint64_t memory_bytes, double load_factor,
+                         bool supports_deletion);
+
+// --- Decoding (frame payload only — the u32 length prefix has already been
+// stripped by FrameBuffer) -------------------------------------------------
+
+DecodeResult DecodeRequest(std::span<const std::uint8_t> payload, Request& out);
+DecodeResult DecodeResponse(std::span<const std::uint8_t> payload,
+                            Opcode expect_op, Response& out);
+
+/// Best-effort request_id recovery from a malformed payload, so the error
+/// reply can still name the failing pipelined request. 0 when the payload is
+/// too short to contain a header.
+std::uint32_t PeekRequestId(std::span<const std::uint8_t> payload) noexcept;
+
+// --- Stream reassembly ----------------------------------------------------
+
+/// Accumulates raw stream bytes and yields complete frame payloads. The
+/// server and client both feed their socket reads through one of these; it
+/// is the single place the length prefix is validated.
+class FrameBuffer {
+ public:
+  /// Appends raw bytes. Returns false — and poisons the buffer — when a
+  /// length prefix exceeds kMaxFrameLen (the stream cannot be resynced).
+  bool Append(std::span<const std::uint8_t> data);
+
+  /// True when a complete frame is buffered; `payload` then points into the
+  /// buffer and stays valid until the next Append/Pop call.
+  bool Next(std::span<const std::uint8_t>& payload);
+
+  /// Discards the frame returned by the last successful Next().
+  void Pop();
+
+  bool poisoned() const noexcept { return poisoned_; }
+  std::size_t buffered_bytes() const noexcept { return buf_.size() - off_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t off_ = 0;        ///< consumed prefix, compacted lazily
+  std::size_t frame_len_ = 0;  ///< payload length of the frame at off_
+  bool have_frame_ = false;
+  bool poisoned_ = false;
+};
+
+// --- Little-endian primitives (shared by codec and tests) -----------------
+
+inline void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+inline void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+inline void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+/// Bounds-checked little-endian reader over a frame payload.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  bool ReadU8(std::uint8_t& v) noexcept { return ReadLE(v); }
+  bool ReadU16(std::uint16_t& v) noexcept { return ReadLE(v); }
+  bool ReadU32(std::uint32_t& v) noexcept { return ReadLE(v); }
+  bool ReadU64(std::uint64_t& v) noexcept { return ReadLE(v); }
+
+  bool ReadBytes(std::size_t n, std::span<const std::uint8_t>& out) noexcept {
+    if (Remaining() < n) return false;
+    out = data_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t Remaining() const noexcept { return data_.size() - pos_; }
+  bool AtEnd() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  bool ReadLE(T& v) noexcept {
+    if (Remaining() < sizeof(T)) return false;
+    std::uint64_t acc = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      acc |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    v = static_cast<T>(acc);
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace vcf::net

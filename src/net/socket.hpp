@@ -1,0 +1,42 @@
+// Thin POSIX TCP helpers shared by vcfd, VcfClient and the tests. All
+// functions report errors through an out-parameter message instead of errno
+// so call sites can surface them without a platform header.
+//
+// ReadSome is the socket-read seam: the `net/socket_read` failpoint fires
+// there as a synthetic I/O error, which is how the robustness tests force
+// mid-stream disconnects without a real network fault (docs/robustness.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace vcf::net {
+
+/// Creates a listening TCP socket bound to 127.0.0.1:`port` (port 0 picks an
+/// ephemeral port). Returns the fd, or -1 with `*error` set.
+int ListenTcp(std::uint16_t port, std::string* error);
+
+/// The port a listening socket is actually bound to (resolves port 0).
+std::uint16_t BoundPort(int fd);
+
+/// Blocking connect to host:port. Returns the fd, or -1 with `*error` set.
+int ConnectTcp(const std::string& host, std::uint16_t port,
+               std::string* error);
+
+/// One read(2). Returns bytes read (>0), 0 on orderly peer shutdown, -1 on
+/// error, -2 when the socket is non-blocking and no data is ready.
+std::ptrdiff_t ReadSome(int fd, std::span<std::uint8_t> buf);
+
+/// Writes until done or error; short writes are retried. False on error.
+/// On a non-blocking socket, `*written` reports progress when the socket
+/// backpressures (-1 EAGAIN path); pass nullptr for blocking sockets.
+bool WriteAll(int fd, std::span<const std::uint8_t> data,
+              std::size_t* written = nullptr);
+
+bool SetNonBlocking(int fd);
+bool SetNoDelay(int fd);
+void CloseFd(int fd);
+
+}  // namespace vcf::net

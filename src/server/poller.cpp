@@ -1,0 +1,143 @@
+#include "server/poller.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define VCF_HAVE_EPOLL 1
+#endif
+
+namespace vcf::server {
+
+namespace {
+
+Poller::Backend ResolveBackend(Poller::Backend requested) {
+  if (requested != Poller::Backend::kAuto) return requested;
+  const char* force = std::getenv("VCFD_FORCE_POLL");
+  if (force != nullptr && force[0] != '\0' && force[0] != '0') {
+    return Poller::Backend::kPoll;
+  }
+#if VCF_HAVE_EPOLL
+  return Poller::Backend::kEpoll;
+#else
+  return Poller::Backend::kPoll;
+#endif
+}
+
+}  // namespace
+
+Poller::Poller(Backend backend) : backend_(ResolveBackend(backend)) {
+#if VCF_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) backend_ = Backend::kPoll;  // degrade, don't die
+  }
+#else
+  backend_ = Backend::kPoll;
+#endif
+}
+
+Poller::~Poller() {
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+#if VCF_HAVE_EPOLL
+namespace {
+std::uint32_t EpollMask(bool want_read, bool want_write) {
+  std::uint32_t ev = 0;
+  if (want_read) ev |= EPOLLIN;
+  if (want_write) ev |= EPOLLOUT;
+  return ev;
+}
+}  // namespace
+#endif
+
+bool Poller::Add(int fd, bool want_read, bool want_write) {
+  watches_[fd] = Watch{want_read, want_write};
+#if VCF_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+#endif
+  return true;
+}
+
+bool Poller::Update(int fd, bool want_read, bool want_write) {
+  const auto it = watches_.find(fd);
+  if (it == watches_.end()) return false;
+  it->second = Watch{want_read, want_write};
+#if VCF_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = EpollMask(want_read, want_write);
+    ev.data.fd = fd;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+  }
+#endif
+  return true;
+}
+
+void Poller::Remove(int fd) {
+  watches_.erase(fd);
+#if VCF_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+}
+
+int Poller::Wait(std::vector<Event>& out, int timeout_ms) {
+  out.clear();
+#if VCF_HAVE_EPOLL
+  if (backend_ == Backend::kEpoll) {
+    epoll_event events[64];
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return -1;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event e;
+      e.fd = events[i].data.fd;
+      e.readable = (events[i].events & EPOLLIN) != 0;
+      e.writable = (events[i].events & EPOLLOUT) != 0;
+      e.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out.push_back(e);
+    }
+    return n;
+  }
+#endif
+  std::vector<pollfd> pfds;
+  pfds.reserve(watches_.size());
+  for (const auto& [fd, w] : watches_) {
+    pollfd p{};
+    p.fd = fd;
+    if (w.want_read) p.events |= POLLIN;
+    if (w.want_write) p.events |= POLLOUT;
+    pfds.push_back(p);
+  }
+  int n;
+  do {
+    n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) return -1;
+  for (const pollfd& p : pfds) {
+    if (p.revents == 0) continue;
+    Event e;
+    e.fd = p.fd;
+    e.readable = (p.revents & POLLIN) != 0;
+    e.writable = (p.revents & POLLOUT) != 0;
+    e.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    out.push_back(e);
+  }
+  return static_cast<int>(out.size());
+}
+
+}  // namespace vcf::server

@@ -1,0 +1,58 @@
+// Readiness-notification abstraction for the vcfd event loops: epoll(7) on
+// Linux, poll(2) everywhere else. The poll backend can also be forced at
+// runtime (VCFD_FORCE_POLL=1 or Poller(Backend::kPoll)) so the fallback path
+// stays covered by the Linux test matrix instead of rotting untested.
+//
+// The interface is level-triggered on both backends: a readable fd keeps
+// reporting readable until drained, which lets the connection state machine
+// stop mid-drain (e.g. to apply backpressure) without losing a wakeup.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace vcf::server {
+
+class Poller {
+ public:
+  enum class Backend : std::uint8_t { kAuto, kEpoll, kPoll };
+
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;  ///< EPOLLERR/EPOLLHUP — close the connection
+  };
+
+  explicit Poller(Backend backend = Backend::kAuto);
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  bool Add(int fd, bool want_read, bool want_write);
+  bool Update(int fd, bool want_read, bool want_write);
+  void Remove(int fd);
+
+  /// Blocks up to timeout_ms (-1 = forever) and appends ready events to
+  /// `out` (cleared first). Returns the number of events, 0 on timeout, -1
+  /// on error (EINTR is retried internally).
+  int Wait(std::vector<Event>& out, int timeout_ms);
+
+  /// The backend actually in use (after kAuto/env resolution).
+  Backend backend() const noexcept { return backend_; }
+
+ private:
+  struct Watch {
+    bool want_read = false;
+    bool want_write = false;
+  };
+
+  Backend backend_;
+  int epoll_fd_ = -1;
+  // poll(2) backend: rebuilt from watches_ before every Wait.
+  std::unordered_map<int, Watch> watches_;
+};
+
+}  // namespace vcf::server

@@ -1,0 +1,478 @@
+#include "server/server.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <fcntl.h>
+#include <fstream>
+#include <mutex>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <unordered_map>
+
+#include "net/proto.hpp"
+#include "net/socket.hpp"
+
+namespace vcf::server {
+
+namespace {
+
+/// Stop reading from a connection whose unsent responses exceed this, until
+/// the peer drains them — bounds server memory against a client that
+/// pipelines requests but never reads replies.
+constexpr std::size_t kWriteHighWater = 8u << 20;
+
+bool MakePipe(int fds[2]) {
+  if (::pipe(fds) != 0) return false;
+  // Non-blocking on both ends: the writer must never stall a signal
+  // handler, and workers only poll readability without draining.
+  return net::SetNonBlocking(fds[0]) && net::SetNonBlocking(fds[1]);
+}
+
+}  // namespace
+
+struct VcfServer::Connection {
+  int fd = -1;
+  net::FrameBuffer in;
+  std::vector<std::uint8_t> out;
+  std::size_t out_off = 0;
+  bool close_after_flush = false;
+};
+
+struct VcfServer::Worker {
+  explicit Worker(Poller::Backend backend) : poller(backend) {}
+
+  Poller poller;
+  int wakeup[2] = {-1, -1};
+  std::mutex inbox_mutex;
+  std::vector<int> inbox;  ///< freshly accepted fds awaiting registration
+  std::unordered_map<int, Connection> conns;
+};
+
+VcfServer::VcfServer(std::unique_ptr<Filter> filter, Options options)
+    : filter_(std::move(filter)), options_(options) {
+  if (options_.threads == 0) options_.threads = 1;
+}
+
+VcfServer::~VcfServer() {
+  RequestShutdown();
+  Join();
+}
+
+bool VcfServer::Start(std::string* error) {
+  if (started_) {
+    if (error != nullptr) *error = "server already started";
+    return false;
+  }
+  listen_fd_ = net::ListenTcp(options_.port, error);
+  if (listen_fd_ < 0) return false;
+  if (!net::SetNonBlocking(listen_fd_)) {
+    if (error != nullptr) *error = "could not set listen socket non-blocking";
+    net::CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = net::BoundPort(listen_fd_);
+  if (!MakePipe(shutdown_pipe_)) {
+    if (error != nullptr) *error = "could not create shutdown pipe";
+    net::CloseFd(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  workers_.reserve(options_.threads);
+  for (unsigned i = 0; i < options_.threads; ++i) {
+    auto w = std::make_unique<Worker>(options_.backend);
+    if (!MakePipe(w->wakeup)) {
+      if (error != nullptr) *error = "could not create worker wakeup pipe";
+      RequestShutdown();
+      Join();
+      return false;
+    }
+    w->poller.Add(shutdown_pipe_[0], /*want_read=*/true, /*want_write=*/false);
+    w->poller.Add(w->wakeup[0], /*want_read=*/true, /*want_write=*/false);
+    if (i == 0) {
+      w->poller.Add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
+    }
+    workers_.push_back(std::move(w));
+  }
+  threads_.reserve(options_.threads);
+  for (unsigned i = 0; i < options_.threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  started_ = true;
+  return true;
+}
+
+void VcfServer::RequestShutdown() noexcept {
+  stop_.store(true, std::memory_order_relaxed);
+  if (shutdown_pipe_[1] >= 0) {
+    const char byte = 1;
+    // Async-signal-safe: write(2) on a non-blocking pipe. The return value
+    // is irrelevant — a full pipe is already readable, which is the signal.
+    [[maybe_unused]] const ssize_t n =
+        ::write(shutdown_pipe_[1], &byte, 1);
+  }
+}
+
+bool VcfServer::Join() {
+  if (joined_ || !started_) return true;
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  for (auto& w : workers_) {
+    for (auto& [fd, conn] : w->conns) net::CloseFd(fd);
+    w->conns.clear();
+    net::CloseFd(w->wakeup[0]);
+    net::CloseFd(w->wakeup[1]);
+  }
+  workers_.clear();
+  net::CloseFd(listen_fd_);
+  listen_fd_ = -1;
+  net::CloseFd(shutdown_pipe_[0]);
+  net::CloseFd(shutdown_pipe_[1]);
+  shutdown_pipe_[0] = shutdown_pipe_[1] = -1;
+  joined_ = true;
+  if (!options_.state_path.empty()) return CheckpointNow();
+  return true;
+}
+
+bool VcfServer::ServeUntilShutdown() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd p{};
+    p.fd = shutdown_pipe_[0];
+    p.events = POLLIN;
+    ::poll(&p, 1, 500);
+  }
+  return Join();
+}
+
+bool VcfServer::CheckpointNow() {
+  if (options_.state_path.empty()) return false;
+  std::lock_guard checkpoint_lock(checkpoint_mutex_);
+  const std::string tmp = options_.state_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    bool ok;
+    if (options_.filter_internally_locked) {
+      ok = filter_->SaveState(out);
+    } else {
+      std::shared_lock lock(filter_mutex_);
+      ok = filter_->SaveState(out);
+    }
+    out.flush();
+    if (!ok || !out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), options_.state_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  counters_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool VcfServer::TryRestore(std::string* error) {
+  if (options_.state_path.empty()) return true;
+  std::ifstream in(options_.state_path, std::ios::binary);
+  if (!in) return true;  // missing checkpoint: clean cold start
+  std::unique_lock lock(filter_mutex_);
+  if (!filter_->LoadState(in)) {
+    if (error != nullptr) {
+      *error = "corrupt checkpoint or mismatched --filter flags: " +
+               options_.state_path;
+    }
+    return false;
+  }
+  return true;
+}
+
+void VcfServer::WorkerLoop(unsigned index) {
+  Worker& w = *workers_[index];
+  std::vector<Poller::Event> events;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (w.poller.Wait(events, /*timeout_ms=*/500) < 0) break;
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == shutdown_pipe_[0]) continue;  // stop_ check drives exit
+      if (ev.fd == listen_fd_) {
+        AcceptReady(w);
+        continue;
+      }
+      if (ev.fd == w.wakeup[0]) {
+        std::uint8_t drain[64];
+        while (net::ReadSome(w.wakeup[0], drain) > 0) {
+        }
+        std::vector<int> fresh;
+        {
+          std::lock_guard lock(w.inbox_mutex);
+          fresh.swap(w.inbox);
+        }
+        for (const int fd : fresh) {
+          Connection conn;
+          conn.fd = fd;
+          w.conns.emplace(fd, std::move(conn));
+          w.poller.Add(fd, /*want_read=*/true, /*want_write=*/false);
+        }
+        continue;
+      }
+      const auto it = w.conns.find(ev.fd);
+      if (it == w.conns.end()) continue;
+      Connection& conn = it->second;
+      bool alive = !ev.error;
+      if (alive && ev.writable) alive = FlushWrites(conn);
+      if (alive && ev.readable) alive = ServeReadable(conn);
+      if (alive && conn.close_after_flush &&
+          conn.out_off == conn.out.size()) {
+        alive = false;
+      }
+      if (!alive) {
+        CloseConnection(w, ev.fd);
+        continue;
+      }
+      const std::size_t pending = conn.out.size() - conn.out_off;
+      w.poller.Update(ev.fd,
+                      /*want_read=*/!conn.close_after_flush &&
+                          pending < kWriteHighWater,
+                      /*want_write=*/pending > 0);
+    }
+  }
+  // Drain: one best-effort flush per connection so ACKs for already-applied
+  // mutations reach the client where possible, then close.
+  for (auto& [fd, conn] : w.conns) {
+    FlushWrites(conn);
+    net::CloseFd(fd);
+    counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+  w.conns.clear();
+}
+
+void VcfServer::AcceptReady(Worker& w) {
+  (void)w;
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or transient error: poller will re-arm
+    }
+    net::SetNonBlocking(fd);
+    net::SetNoDelay(fd);
+    counters_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    Worker& target =
+        *workers_[next_worker_.fetch_add(1, std::memory_order_relaxed) %
+                  workers_.size()];
+    {
+      std::lock_guard lock(target.inbox_mutex);
+      target.inbox.push_back(fd);
+    }
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(target.wakeup[1], &byte, 1);
+  }
+}
+
+bool VcfServer::ServeReadable(Connection& conn) {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const std::ptrdiff_t n = net::ReadSome(conn.fd, buf);
+    if (n == -2) break;          // drained
+    if (n <= 0) return false;    // EOF or error
+    if (!conn.in.Append(std::span<const std::uint8_t>(
+            buf, static_cast<std::size_t>(n)))) {
+      // Oversized length prefix: the stream cannot be re-synced. Tell the
+      // peer why, then close once the reply flushes.
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      net::EncodeErrorResponse(conn.out, net::Status::kBadRequest, 0);
+      conn.close_after_flush = true;
+      break;
+    }
+    std::span<const std::uint8_t> payload;
+    while (!conn.close_after_flush && conn.in.Next(payload)) {
+      HandleFrame(payload, conn.out, conn.close_after_flush);
+      conn.in.Pop();
+    }
+    if (conn.in.poisoned()) {
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      net::EncodeErrorResponse(conn.out, net::Status::kBadRequest, 0);
+      conn.close_after_flush = true;
+      break;
+    }
+    if (conn.out.size() - conn.out_off >= kWriteHighWater) break;
+    if (static_cast<std::size_t>(n) < sizeof(buf)) break;  // likely drained
+  }
+  return FlushWrites(conn);
+}
+
+bool VcfServer::FlushWrites(Connection& conn) {
+  const std::size_t pending = conn.out.size() - conn.out_off;
+  if (pending == 0) return true;
+  std::size_t written = 0;
+  if (!net::WriteAll(conn.fd,
+                     std::span<const std::uint8_t>(conn.out).subspan(
+                         conn.out_off),
+                     &written)) {
+    return false;
+  }
+  conn.out_off += written;
+  if (conn.out_off == conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+  } else if (conn.out_off > kWriteHighWater) {
+    conn.out.erase(conn.out.begin(),
+                   conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_off));
+    conn.out_off = 0;
+  }
+  return true;
+}
+
+void VcfServer::HandleFrame(std::span<const std::uint8_t> payload,
+                            std::vector<std::uint8_t>& out,
+                            bool& close_after) {
+  using net::Opcode;
+  using net::Status;
+  counters_.requests.fetch_add(1, std::memory_order_relaxed);
+  net::Request req;
+  switch (net::DecodeRequest(payload, req)) {
+    case net::DecodeResult::kOk:
+      break;
+    case net::DecodeResult::kBadVersion:
+      // A peer speaking another protocol version cannot be trusted to agree
+      // on framing either; answer and drop the connection.
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      net::EncodeErrorResponse(out, Status::kBadVersion,
+                               net::PeekRequestId(payload));
+      close_after = true;
+      return;
+    case net::DecodeResult::kBadOpcode:
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      net::EncodeErrorResponse(out, Status::kBadOpcode,
+                               net::PeekRequestId(payload));
+      return;  // framing was intact; the connection survives
+    case net::DecodeResult::kMalformed:
+      counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      net::EncodeErrorResponse(out, Status::kBadRequest,
+                               net::PeekRequestId(payload));
+      return;
+  }
+  if (stop_.load(std::memory_order_relaxed) && req.opcode != Opcode::kPing) {
+    net::EncodeErrorResponse(out, Status::kShuttingDown, req.request_id);
+    return;
+  }
+  const bool internal = options_.filter_internally_locked;
+  switch (req.opcode) {
+    case Opcode::kPing:
+      net::EncodePingResponse(out, req.request_id, req.ping_echo);
+      return;
+    case Opcode::kInsert: {
+      bool ok;
+      if (internal) {
+        ok = filter_->Insert(req.key);
+      } else {
+        std::unique_lock lock(filter_mutex_);
+        ok = filter_->Insert(req.key);
+      }
+      net::EncodeFlagResponse(out, req.request_id, ok);
+      return;
+    }
+    case Opcode::kLookup: {
+      bool ok;
+      if (internal) {
+        ok = filter_->Contains(req.key);
+      } else {
+        std::shared_lock lock(filter_mutex_);
+        ok = filter_->Contains(req.key);
+      }
+      net::EncodeFlagResponse(out, req.request_id, ok);
+      return;
+    }
+    case Opcode::kDelete: {
+      if (!filter_->SupportsDeletion()) {
+        net::EncodeErrorResponse(out, Status::kUnsupported, req.request_id);
+        return;
+      }
+      bool ok;
+      if (internal) {
+        ok = filter_->Erase(req.key);
+      } else {
+        std::unique_lock lock(filter_mutex_);
+        ok = filter_->Erase(req.key);
+      }
+      net::EncodeFlagResponse(out, req.request_id, ok);
+      return;
+    }
+    case Opcode::kInsertBatch: {
+      const std::size_t n = req.keys.size();
+      const auto results = std::make_unique<bool[]>(n == 0 ? 1 : n);
+      std::size_t accepted;
+      if (internal) {
+        accepted = filter_->InsertBatch(req.keys, results.get());
+      } else {
+        std::unique_lock lock(filter_mutex_);
+        accepted = filter_->InsertBatch(req.keys, results.get());
+      }
+      net::EncodeBatchResponse(out, Opcode::kInsertBatch, req.request_id,
+                               std::span<const bool>(results.get(), n),
+                               static_cast<std::uint32_t>(accepted));
+      return;
+    }
+    case Opcode::kLookupBatch: {
+      const std::size_t n = req.keys.size();
+      const auto results = std::make_unique<bool[]>(n == 0 ? 1 : n);
+      if (internal) {
+        filter_->ContainsBatch(req.keys, results.get());
+      } else {
+        std::shared_lock lock(filter_mutex_);
+        filter_->ContainsBatch(req.keys, results.get());
+      }
+      net::EncodeBatchResponse(out, Opcode::kLookupBatch, req.request_id,
+                               std::span<const bool>(results.get(), n), 0);
+      return;
+    }
+    case Opcode::kStats: {
+      std::string name;
+      std::uint64_t items, slots, memory;
+      double lf;
+      bool deletion;
+      if (internal) {
+        name = filter_->Name();
+        items = filter_->ItemCount();
+        slots = filter_->SlotCount();
+        memory = filter_->MemoryBytes();
+        lf = filter_->LoadFactor();
+        deletion = filter_->SupportsDeletion();
+      } else {
+        std::shared_lock lock(filter_mutex_);
+        name = filter_->Name();
+        items = filter_->ItemCount();
+        slots = filter_->SlotCount();
+        memory = filter_->MemoryBytes();
+        lf = filter_->LoadFactor();
+        deletion = filter_->SupportsDeletion();
+      }
+      net::EncodeStatsResponse(out, req.request_id, name, items, slots,
+                               memory, lf, deletion);
+      return;
+    }
+    case Opcode::kSnapshot: {
+      if (options_.state_path.empty()) {
+        net::EncodeErrorResponse(out, Status::kUnsupported, req.request_id);
+        return;
+      }
+      net::EncodeFlagResponse(out, req.request_id, CheckpointNow());
+      return;
+    }
+  }
+  net::EncodeErrorResponse(out, Status::kBadOpcode, req.request_id);
+}
+
+void VcfServer::CloseConnection(Worker& w, int fd) {
+  w.poller.Remove(fd);
+  w.conns.erase(fd);
+  net::CloseFd(fd);
+  counters_.connections_closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace vcf::server

@@ -1,0 +1,140 @@
+// vcfd's serving core: a multi-threaded TCP server exposing one Filter over
+// the length-prefixed binary protocol in net/proto.hpp.
+//
+// Threading model: worker 0 owns the (non-blocking) listening socket and
+// hands accepted connections to workers round-robin through per-worker
+// locked inboxes; every worker then runs an independent event loop (epoll on
+// Linux, poll fallback — server/poller.hpp) over its own connections, so a
+// slow or hostile peer only ever stalls its own worker's loop iteration,
+// never the whole fleet. Requests are pipelined: every complete frame in a
+// connection's read buffer is served before the loop returns to the poller,
+// and responses are batched into one write.
+//
+// Filter locking: a ShardedFilter carries per-shard locks, so server ops
+// call straight into it and scale across workers (Options::
+// filter_internally_locked = true, the vcfd default for sharded: specs).
+// Any other filter is guarded by one server-level shared_mutex — reads
+// share, mutations are exclusive — which is correct but caps write
+// throughput at one core; prefer `--filter sharded:<n>:...` in deployment.
+//
+// Shutdown: RequestShutdown() is async-signal-safe (atomic flag + self-pipe
+// write), so vcfd calls it straight from its SIGTERM handler. Workers stop
+// accepting, flush pending responses best-effort, close, and Join() then
+// writes a final checkpoint to Options::state_path (atomic tmp+rename) —
+// every key a client saw ACKed is in that checkpoint, the invariant the
+// restart integration test asserts end-to-end.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/filter.hpp"
+#include "server/poller.hpp"
+
+namespace vcf::server {
+
+class VcfServer {
+ public:
+  struct Options {
+    std::uint16_t port = 0;   ///< 0 = ephemeral (read back via port())
+    unsigned threads = 2;     ///< worker event loops (>= 1)
+    std::string state_path;   ///< checkpoint target; empty = no checkpoints
+    /// True when the filter synchronises internally (ShardedFilter). False
+    /// adds a server-level reader-writer lock around every op.
+    bool filter_internally_locked = false;
+    Poller::Backend backend = Poller::Backend::kAuto;
+  };
+
+  /// Monotonic service counters (relaxed atomics; exact enough for ops).
+  struct Counters {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> connections_closed{0};
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> protocol_errors{0};  ///< malformed frames
+    std::atomic<std::uint64_t> checkpoints{0};
+  };
+
+  VcfServer(std::unique_ptr<Filter> filter, Options options);
+  ~VcfServer();
+
+  VcfServer(const VcfServer&) = delete;
+  VcfServer& operator=(const VcfServer&) = delete;
+
+  /// Binds, listens and spawns the workers. False (with *error) on failure.
+  bool Start(std::string* error);
+
+  /// The bound port (resolves Options::port == 0 after Start()).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Async-signal-safe shutdown request; workers drain and exit. Idempotent.
+  void RequestShutdown() noexcept;
+
+  /// Waits for every worker to exit, then writes the final checkpoint.
+  /// Returns false when the checkpoint was wanted but failed.
+  bool Join();
+
+  /// Blocks until a shutdown request arrives, then Join()s. Convenience for
+  /// vcfd's main thread.
+  bool ServeUntilShutdown();
+
+  /// Checkpoints the filter to Options::state_path now (tmp + rename).
+  /// Thread-safe; serialised against concurrent snapshots. False when no
+  /// state path is configured or the write failed.
+  bool CheckpointNow();
+
+  /// Loads a checkpoint from Options::state_path into the filter, if the
+  /// file exists. Returns false only on a load *failure* (corrupt blob or
+  /// parameter mismatch); a missing file is a clean cold start (true).
+  bool TryRestore(std::string* error);
+
+  Filter& filter() noexcept { return *filter_; }
+  const Counters& counters() const noexcept { return counters_; }
+  bool shutting_down() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+  struct Worker;
+
+  void WorkerLoop(unsigned index);
+  void AcceptReady(Worker& w);
+  /// Drains readable bytes and serves every complete pipelined frame.
+  /// Returns false when the connection must close.
+  bool ServeReadable(Connection& conn);
+  bool FlushWrites(Connection& conn);
+  void HandleFrame(std::span<const std::uint8_t> payload,
+                   std::vector<std::uint8_t>& out, bool& close_after);
+  void CloseConnection(Worker& w, int fd);
+
+  std::unique_ptr<Filter> filter_;
+  Options options_;
+  Counters counters_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  int shutdown_pipe_[2] = {-1, -1};  ///< [0] watched by all workers
+
+  /// Guards non-internally-locked filters (see class comment). Internally
+  /// locked filters bypass it entirely; their live snapshots are per-shard
+  /// consistent (ShardedFilter::SaveState holds each shard's lock while
+  /// staging that shard), which is sufficient for a structure with no
+  /// cross-key invariants. The final Join() checkpoint runs after every
+  /// worker has exited and is therefore fully consistent.
+  mutable std::shared_mutex filter_mutex_;
+  std::mutex checkpoint_mutex_;
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<unsigned> next_worker_{0};
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace vcf::server

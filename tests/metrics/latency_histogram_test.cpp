@@ -1,0 +1,147 @@
+// LatencyHistogram: quantile error bound, exact min/max tracking, merge
+// exactness, and the small-value exact region.
+#include "metrics/latency_histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+
+namespace vcf {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.MinNanos(), 0u);
+  EXPECT_EQ(h.MaxNanos(), 0u);
+  EXPECT_EQ(h.P50(), 0u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 0u);
+  EXPECT_DOUBLE_EQ(h.MeanNanos(), 0.0);
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Below 2^kSubBucketBits each value has its own bucket, so quantiles on
+  // small samples are exact, not just within 3.1%.
+  LatencyHistogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.Record(v);
+  EXPECT_EQ(h.Count(), 32u);
+  EXPECT_EQ(h.MinNanos(), 0u);
+  EXPECT_EQ(h.MaxNanos(), 31u);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);
+  // rank = floor(0.5*32)+1 = 17th smallest = value 16.
+  EXPECT_EQ(h.P50(), 16u);
+  EXPECT_EQ(h.ValueAtQuantile(1.0), 31u);
+}
+
+TEST(LatencyHistogram, QuantileErrorBoundHolds) {
+  // Uniform and exponential-ish samples: every reported quantile must be an
+  // upper bound on the true quantile and within 1/32 relative error.
+  Xoshiro256 rng(42);
+  std::vector<std::uint64_t> samples;
+  LatencyHistogram h;
+  for (int i = 0; i < 200000; ++i) {
+    // Mix magnitudes: ~100ns to ~100ms.
+    const std::uint64_t v = 100 + rng.Below(1u << (7 + rng.Below(20)));
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0}) {
+    std::size_t rank =
+        static_cast<std::size_t>(q * static_cast<double>(samples.size()));
+    if (rank >= samples.size()) rank = samples.size() - 1;
+    const std::uint64_t truth = samples[rank];
+    const std::uint64_t reported = h.ValueAtQuantile(q);
+    EXPECT_GE(reported, truth) << "q=" << q;
+    EXPECT_LE(static_cast<double>(reported),
+              static_cast<double>(truth) * (1.0 + 1.0 / 32.0) + 1.0)
+        << "q=" << q;
+  }
+  // The top quantile is the exact max, not a bucket edge.
+  EXPECT_EQ(h.ValueAtQuantile(1.0), samples.back());
+  EXPECT_EQ(h.MaxNanos(), samples.back());
+  EXPECT_EQ(h.MinNanos(), samples.front());
+}
+
+TEST(LatencyHistogram, BucketUpperEdgeBoundsRelativeError) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t v = rng.Next() >> (rng.Below(40));
+    const std::uint64_t edge = LatencyHistogram::BucketUpperEdge(v);
+    ASSERT_GE(edge, v);
+    if (v >= 32) {
+      ASSERT_LE(static_cast<double>(edge - v),
+                static_cast<double>(v) / 32.0 + 1.0)
+          << "v=" << v;
+    } else {
+      ASSERT_EQ(edge, v);  // exact region
+    }
+  }
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedStream) {
+  // Per-thread histograms merged must equal one histogram that saw all
+  // samples — bucket-wise, not approximately.
+  Xoshiro256 rng(1234);
+  LatencyHistogram combined;
+  std::vector<LatencyHistogram> parts(4);
+  for (int i = 0; i < 50000; ++i) {
+    const std::uint64_t v = rng.Below(10'000'000);
+    combined.Record(v);
+    parts[static_cast<std::size_t>(i) % 4].Record(v);
+  }
+  LatencyHistogram merged;
+  for (const auto& p : parts) merged.Merge(p);
+  EXPECT_EQ(merged.Count(), combined.Count());
+  EXPECT_EQ(merged.MinNanos(), combined.MinNanos());
+  EXPECT_EQ(merged.MaxNanos(), combined.MaxNanos());
+  EXPECT_DOUBLE_EQ(merged.MeanNanos(), combined.MeanNanos());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(merged.ValueAtQuantile(q), combined.ValueAtQuantile(q)) << q;
+  }
+}
+
+TEST(LatencyHistogram, MergeIntoEmptyAndReset) {
+  LatencyHistogram a;
+  a.Record(100);
+  a.Record(200);
+  LatencyHistogram b;
+  b.Merge(a);
+  EXPECT_EQ(b.Count(), 2u);
+  EXPECT_EQ(b.MinNanos(), 100u);
+  EXPECT_EQ(b.MaxNanos(), 200u);
+  b.Reset();
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_EQ(b.MaxNanos(), 0u);
+  EXPECT_EQ(b.P99(), 0u);
+  // Reset histogram records cleanly again.
+  b.Record(5);
+  EXPECT_EQ(b.Count(), 1u);
+  EXPECT_EQ(b.MinNanos(), 5u);
+}
+
+TEST(LatencyHistogram, HugeValuesDoNotOverflow) {
+  LatencyHistogram h;
+  h.Record(~std::uint64_t{0});
+  h.Record(1u << 30);
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.MaxNanos(), ~std::uint64_t{0});
+  EXPECT_EQ(h.ValueAtQuantile(1.0), ~std::uint64_t{0});
+  EXPECT_GE(h.ValueAtQuantile(0.25), 1u << 30);
+}
+
+TEST(LatencyHistogram, SummaryMentionsQuantiles) {
+  LatencyHistogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(1200);
+  const std::string s = h.Summary();
+  EXPECT_NE(s.find("p50="), std::string::npos) << s;
+  EXPECT_NE(s.find("p999="), std::string::npos) << s;
+  EXPECT_NE(s.find("max="), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace vcf

@@ -1,0 +1,387 @@
+// End-to-end loopback tests for the serving core: an in-process VcfServer on
+// an ephemeral port driven by VcfClient — every opcode, pipelining, hostile
+// frames over a raw socket, the socket-read failpoint, the poll(2) backend,
+// and the durability invariant (every client-ACKed insert survives a
+// checkpoint/restart cycle). Runs under ASan+UBSan in CI.
+#include "server/server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/vcf_client.hpp"
+#include "common/failpoint.hpp"
+#include "common/random.hpp"
+#include "harness/filter_factory.hpp"
+#include "net/proto.hpp"
+#include "net/socket.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf::server {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("vcf_server_test_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+FilterSpec ShardedVcfSpec() {
+  FilterSpec spec;
+  ParseFilterKind("sharded:4:vcf", spec);
+  spec.params = CuckooParams::ForSlotsLog2(16);
+  return spec;
+}
+
+std::unique_ptr<VcfServer> StartServer(const FilterSpec& spec,
+                                       VcfServer::Options options) {
+  options.filter_internally_locked = spec.shards > 0;
+  auto server = std::make_unique<VcfServer>(MakeFilter(spec), options);
+  std::string error;
+  EXPECT_TRUE(server->Start(&error)) << error;
+  EXPECT_NE(server->port(), 0);
+  return server;
+}
+
+TEST(ServerLoopback, PingAndSingleKeyOps) {
+  auto server = StartServer(ShardedVcfSpec(), {});
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+  EXPECT_TRUE(c.Ping()) << c.last_error();
+
+  bool ok = false;
+  EXPECT_TRUE(c.Insert(42, &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(c.Lookup(42, &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(c.Lookup(0xD0E5E0775E71D5ULL, &ok));  // absent (whp)
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(c.Erase(42, &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(c.Lookup(42, &ok));
+  EXPECT_TRUE(ok);
+
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+  EXPECT_GE(server->counters().requests.load(), 6u);
+}
+
+TEST(ServerLoopback, BatchPipelineAndStats) {
+  auto server = StartServer(ShardedVcfSpec(), {});
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 5000; ++i) keys.push_back(UniformKeyAt(1, i));
+  std::vector<char> results(keys.size());
+  bool ok = false;
+  const std::size_t accepted = c.InsertBatch(
+      keys, reinterpret_cast<bool*>(results.data()), &ok);
+  ASSERT_TRUE(ok) << c.last_error();
+  EXPECT_EQ(accepted, keys.size());  // 5k into 64k slots: no rejects
+
+  ASSERT_TRUE(c.LookupBatch(keys, reinterpret_cast<bool*>(results.data())))
+      << c.last_error();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(results[i]) << i;
+  }
+
+  // Pipelined single-key frames against the same data.
+  ASSERT_TRUE(c.PipelineLookups(keys, reinterpret_cast<bool*>(results.data()),
+                                /*depth=*/64))
+      << c.last_error();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(results[i]) << i;
+  }
+
+  client::VcfClient::ServerStats stats;
+  ASSERT_TRUE(c.GetStats(stats)) << c.last_error();
+  EXPECT_EQ(stats.name, "Sharded4(VCF)");
+  EXPECT_EQ(stats.items, keys.size());
+  EXPECT_GT(stats.slots, 0u);
+  EXPECT_GT(stats.memory_bytes, 0u);
+  EXPECT_GT(stats.load_factor, 0.0);
+  EXPECT_TRUE(stats.supports_deletion);
+
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+TEST(ServerLoopback, BatchLargerThanWireCapSplits) {
+  auto server = StartServer(ShardedVcfSpec(), {});
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+  // kMaxBatchKeys + change forces the client to split into two frames.
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < net::kMaxBatchKeys + 1000; ++i) {
+    keys.push_back(UniformKeyAt(2, i));
+  }
+  bool ok = false;
+  const std::size_t accepted = c.InsertBatch(keys, nullptr, &ok);
+  ASSERT_TRUE(ok) << c.last_error();
+  EXPECT_GT(accepted, 0u);
+  std::vector<char> results(keys.size());
+  ASSERT_TRUE(c.LookupBatch(keys, reinterpret_cast<bool*>(results.data())))
+      << c.last_error();
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+TEST(ServerLoopback, EraseOnNonDeletableFilterIsUnsupported) {
+  FilterSpec spec;
+  ParseFilterKind("bf", spec);
+  spec.params = CuckooParams::ForSlotsLog2(14);
+  auto server = StartServer(spec, {});
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+  bool ok = true;
+  EXPECT_TRUE(c.Insert(7, &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(c.Erase(7, &ok));
+  EXPECT_FALSE(ok);  // kUnsupported is an op-level error
+  EXPECT_NE(c.last_error().find("unsupported"), std::string::npos)
+      << c.last_error();
+  // The connection survives op-level errors: the next op works.
+  EXPECT_TRUE(c.Lookup(7, &ok));
+  EXPECT_TRUE(ok);
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+TEST(ServerLoopback, SnapshotWithoutStatePathIsUnsupported) {
+  auto server = StartServer(ShardedVcfSpec(), {});
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+  EXPECT_FALSE(c.Snapshot());
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+TEST(ServerLoopback, HostileFramesGetErrorOrDisconnect) {
+  auto server = StartServer(ShardedVcfSpec(), {});
+
+  // A healthy control connection that must keep working throughout.
+  client::VcfClient healthy;
+  ASSERT_TRUE(healthy.Connect("127.0.0.1", server->port()))
+      << healthy.last_error();
+
+  const auto expect_closed = [&](std::span<const std::uint8_t> wire) {
+    std::string error;
+    const int fd = net::ConnectTcp("127.0.0.1", server->port(), &error);
+    ASSERT_GE(fd, 0) << error;
+    ASSERT_TRUE(net::WriteAll(fd, wire));
+    // Half-close our side: connections the server keeps open after an error
+    // reply will then see EOF and close, so the read loop below terminates.
+    ::shutdown(fd, SHUT_WR);
+    // The server answers with an error frame and/or closes; keep reading
+    // until EOF. Nothing here may crash or hang the server.
+    std::uint8_t buf[4096];
+    for (int i = 0; i < 1000; ++i) {
+      const std::ptrdiff_t n = net::ReadSome(fd, buf);
+      if (n <= 0) break;
+    }
+    net::CloseFd(fd);
+  };
+
+  // Oversized length prefix: poisoned stream, must be disconnected.
+  {
+    std::vector<std::uint8_t> wire;
+    net::PutU32(wire, net::kMaxFrameLen + 1);
+    expect_closed(wire);
+  }
+  // Bad version: error reply then close.
+  {
+    std::vector<std::uint8_t> wire;
+    net::EncodeKeyRequest(wire, net::Opcode::kInsert, 1, 99);
+    wire[4] = net::kProtoVersion + 1;
+    expect_closed(wire);
+  }
+  // Unknown opcode / reserved bits / truncated body: error reply, the
+  // connection may survive, but EOF after our half-close is also fine.
+  {
+    std::vector<std::uint8_t> wire;
+    net::EncodeKeyRequest(wire, net::Opcode::kInsert, 2, 99);
+    wire[5] = 0xEE;
+    expect_closed(wire);
+  }
+  {
+    std::vector<std::uint8_t> wire;
+    net::EncodeKeyRequest(wire, net::Opcode::kInsert, 3, 99);
+    wire[6] = 0xFF;
+    expect_closed(wire);
+  }
+  // Random garbage frames with valid lengths.
+  {
+    Xoshiro256 rng(0xBADF00DULL);
+    for (int iter = 0; iter < 50; ++iter) {
+      std::vector<std::uint8_t> payload(rng.Below(64));
+      for (auto& b : payload) b = static_cast<std::uint8_t>(rng.Next());
+      std::vector<std::uint8_t> wire;
+      net::PutU32(wire, static_cast<std::uint32_t>(payload.size()));
+      wire.insert(wire.end(), payload.begin(), payload.end());
+      expect_closed(wire);
+    }
+  }
+
+  // The server took the abuse and still serves the healthy connection.
+  bool ok = false;
+  EXPECT_TRUE(healthy.Insert(123, &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(healthy.Lookup(123, &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_GT(server->counters().protocol_errors.load(), 0u);
+
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+TEST(ServerLoopback, SocketReadFailpointDropsConnectionNotServer) {
+  auto server = StartServer(ShardedVcfSpec(), {});
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+  bool ok = false;
+  ASSERT_TRUE(c.Insert(1, &ok));
+
+  // Fire the socket-read seam on every read: the server's next read of this
+  // connection fails as EIO and the connection is dropped; the client's own
+  // reads fail too. Either way every call must fail cleanly, not crash.
+  auto& fp = FailpointRegistry::Instance().Get(failpoints::kNetSocketRead);
+  fp.ArmAlways();
+  (void)c.Lookup(1, &ok);
+  fp.Disarm();
+  EXPECT_GT(fp.triggers(), 0u);
+
+  // A fresh connection works again.
+  client::VcfClient c2;
+  ASSERT_TRUE(c2.Connect("127.0.0.1", server->port())) << c2.last_error();
+  EXPECT_TRUE(c2.Lookup(1, &ok));
+  EXPECT_TRUE(ok);
+
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+TEST(ServerLoopback, PollBackendServes) {
+  VcfServer::Options options;
+  options.backend = Poller::Backend::kPoll;
+  options.threads = 3;
+  auto server = StartServer(ShardedVcfSpec(), options);
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+  EXPECT_TRUE(c.Ping()) << c.last_error();
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 2000; ++i) keys.push_back(UniformKeyAt(3, i));
+  bool ok = false;
+  EXPECT_EQ(c.InsertBatch(keys, nullptr, &ok), keys.size());
+  EXPECT_TRUE(ok);
+  std::vector<char> results(keys.size());
+  EXPECT_TRUE(c.PipelineLookups(keys, reinterpret_cast<bool*>(results.data())));
+  for (std::size_t i = 0; i < keys.size(); ++i) EXPECT_TRUE(results[i]) << i;
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+TEST(ServerLoopback, AckedInsertsSurviveShutdownAndRestart) {
+  const std::string state = TempPath("durability.state");
+  std::remove(state.c_str());
+  const FilterSpec spec = ShardedVcfSpec();
+
+  std::vector<std::uint64_t> acked;
+  {
+    VcfServer::Options options;
+    options.state_path = state;
+    auto server = StartServer(spec, options);
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+    // Mixed single-key and batch inserts; remember exactly what was ACKed.
+    for (std::uint64_t i = 0; i < 500; ++i) {
+      const std::uint64_t key = UniformKeyAt(10, i);
+      bool ok = false;
+      if (c.Insert(key, &ok) && ok) acked.push_back(key);
+      ASSERT_TRUE(ok) << c.last_error();
+    }
+    std::vector<std::uint64_t> batch;
+    for (std::uint64_t i = 0; i < 4000; ++i) batch.push_back(UniformKeyAt(11, i));
+    std::vector<char> results(batch.size());
+    bool ok = false;
+    c.InsertBatch(batch, reinterpret_cast<bool*>(results.data()), &ok);
+    ASSERT_TRUE(ok) << c.last_error();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (results[i]) acked.push_back(batch[i]);
+    }
+    // Live checkpoint opcode works too.
+    EXPECT_TRUE(c.Snapshot()) << c.last_error();
+    // Graceful shutdown writes the final checkpoint.
+    server->RequestShutdown();
+    ASSERT_TRUE(server->Join());
+    EXPECT_GE(server->counters().checkpoints.load(), 2u);
+  }
+  ASSERT_FALSE(acked.empty());
+
+  {
+    VcfServer::Options options;
+    options.state_path = state;
+    options.filter_internally_locked = spec.shards > 0;
+    auto server = std::make_unique<VcfServer>(MakeFilter(spec), options);
+    std::string error;
+    ASSERT_TRUE(server->TryRestore(&error)) << error;
+    ASSERT_TRUE(server->Start(&error)) << error;
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+    // The invariant: every ACKed key answers maybe-present after restart.
+    std::vector<char> results(acked.size());
+    ASSERT_TRUE(c.LookupBatch(acked, reinterpret_cast<bool*>(results.data())))
+        << c.last_error();
+    for (std::size_t i = 0; i < acked.size(); ++i) {
+      EXPECT_TRUE(results[i]) << "ACKed key lost: index " << i;
+    }
+    client::VcfClient::ServerStats stats;
+    ASSERT_TRUE(c.GetStats(stats));
+    EXPECT_GE(stats.items, acked.size());
+    server->RequestShutdown();
+    EXPECT_TRUE(server->Join());
+  }
+  std::remove(state.c_str());
+}
+
+TEST(ServerLoopback, RestoreRejectsCorruptState) {
+  const std::string state = TempPath("corrupt.state");
+  {
+    std::FILE* f = std::fopen(state.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const char junk[] = "this is not a checkpoint";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  const FilterSpec spec = ShardedVcfSpec();
+  VcfServer::Options options;
+  options.state_path = state;
+  options.filter_internally_locked = true;
+  VcfServer server(MakeFilter(spec), options);
+  std::string error;
+  EXPECT_FALSE(server.TryRestore(&error));
+  EXPECT_FALSE(error.empty());
+  std::remove(state.c_str());
+}
+
+TEST(ServerLoopback, NewRequestsRejectedWhileShuttingDown) {
+  auto server = StartServer(ShardedVcfSpec(), {});
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+  bool ok = false;
+  ASSERT_TRUE(c.Insert(5, &ok));
+  server->RequestShutdown();
+  // In-flight connections drain; a post-shutdown op either fails at the
+  // transport (connection closed) or gets kShuttingDown — never a crash.
+  (void)c.Lookup(5, &ok);
+  EXPECT_TRUE(server->Join());
+}
+
+}  // namespace
+}  // namespace vcf::server

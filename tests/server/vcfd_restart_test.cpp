@@ -1,0 +1,194 @@
+// Full-process durability test against the real vcfd binary (VCFD_PATH):
+// fork/exec vcfd on an ephemeral port, insert keys over the wire, deliver
+// SIGTERM mid-service, verify a clean exit, restart from the checkpoint and
+// assert that no client-ACKed key was lost. This is the deployment story —
+// handshake line, signal handling and the atomic checkpoint — exercised
+// exactly the way an init system would.
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "client/vcf_client.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+struct VcfdProcess {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+  int stdout_fd = -1;
+
+  ~VcfdProcess() { Kill(); }
+
+  void Kill() {
+    if (stdout_fd >= 0) {
+      ::close(stdout_fd);
+      stdout_fd = -1;
+    }
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      pid = -1;
+    }
+  }
+};
+
+/// Spawns vcfd with the given extra args and blocks until it prints the
+/// "vcfd listening on 127.0.0.1:<port>" handshake line on stdout.
+bool SpawnVcfd(const std::vector<std::string>& extra_args, VcfdProcess& out) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) return false;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    std::vector<std::string> args = {VCFD_PATH, "--port=0", "--threads=2"};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    std::vector<char*> argv;
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(VCFD_PATH, argv.data());
+    ::_exit(127);
+  }
+  ::close(pipefd[1]);
+  out.pid = pid;
+  out.stdout_fd = pipefd[0];
+  // Read the handshake line byte-wise (it is short and flushed).
+  std::string line;
+  char ch = 0;
+  while (line.size() < 256) {
+    const ssize_t n = ::read(pipefd[0], &ch, 1);
+    if (n <= 0) return false;
+    if (ch == '\n') break;
+    line.push_back(ch);
+  }
+  const char prefix[] = "vcfd listening on 127.0.0.1:";
+  const std::size_t at = line.find(prefix);
+  if (at == std::string::npos) {
+    ADD_FAILURE() << "unexpected handshake line: " << line;
+    return false;
+  }
+  out.port = static_cast<std::uint16_t>(
+      std::stoi(line.substr(at + sizeof(prefix) - 1)));
+  return out.port != 0;
+}
+
+/// SIGTERM + wait, asserting a clean (0) exit.
+void TerminateGracefully(VcfdProcess& p) {
+  ASSERT_GT(p.pid, 0);
+  ASSERT_EQ(::kill(p.pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(p.pid, &status, 0), p.pid);
+  p.pid = -1;
+  ASSERT_TRUE(WIFEXITED(status)) << "vcfd did not exit cleanly";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(VcfdRestart, NoAckedKeyLostAcrossSigterm) {
+  const std::string state =
+      (std::filesystem::temp_directory_path() /
+       ("vcfd_restart_" + std::to_string(::getpid()) + ".state"))
+          .string();
+  std::remove(state.c_str());
+  const std::vector<std::string> args = {"--filter=sharded:4:vcf",
+                                         "--slots_log2=16",
+                                         "--state=" + state};
+
+  std::vector<std::uint64_t> acked;
+  {
+    VcfdProcess daemon;
+    ASSERT_TRUE(SpawnVcfd(args, daemon));
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", daemon.port)) << c.last_error();
+    ASSERT_TRUE(c.Ping()) << c.last_error();
+
+    std::vector<std::uint64_t> batch;
+    for (std::uint64_t i = 0; i < 20000; ++i) {
+      batch.push_back(UniformKeyAt(21, i));
+    }
+    std::vector<char> results(batch.size());
+    bool ok = false;
+    c.InsertBatch(batch, reinterpret_cast<bool*>(results.data()), &ok);
+    ASSERT_TRUE(ok) << c.last_error();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (results[i]) acked.push_back(batch[i]);
+    }
+    ASSERT_GT(acked.size(), 10000u);
+
+    // SIGTERM while the connection is still open: vcfd drains, checkpoints,
+    // exits 0.
+    TerminateGracefully(daemon);
+  }
+
+  ASSERT_TRUE(std::filesystem::exists(state));
+  {
+    VcfdProcess daemon;
+    ASSERT_TRUE(SpawnVcfd(args, daemon));
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", daemon.port)) << c.last_error();
+    std::vector<char> results(acked.size());
+    ASSERT_TRUE(c.LookupBatch(acked, reinterpret_cast<bool*>(results.data())))
+        << c.last_error();
+    std::size_t lost = 0;
+    for (std::size_t i = 0; i < acked.size(); ++i) {
+      if (!results[i]) ++lost;
+    }
+    EXPECT_EQ(lost, 0u) << lost << " of " << acked.size()
+                        << " ACKed keys lost across restart";
+    TerminateGracefully(daemon);
+  }
+  std::remove(state.c_str());
+}
+
+TEST(VcfdRestart, RefusesCorruptStateUnlessOverridden) {
+  const std::string state =
+      (std::filesystem::temp_directory_path() /
+       ("vcfd_corrupt_" + std::to_string(::getpid()) + ".state"))
+          .string();
+  {
+    std::FILE* f = std::fopen(state.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage, not a checkpoint", f);
+    std::fclose(f);
+  }
+  // Without the override vcfd must exit non-zero (no handshake line).
+  {
+    VcfdProcess daemon;
+    EXPECT_FALSE(SpawnVcfd({"--filter=vcf", "--state=" + state}, daemon));
+    if (daemon.pid > 0) {
+      int status = 0;
+      ASSERT_EQ(::waitpid(daemon.pid, &status, 0), daemon.pid);
+      daemon.pid = -1;
+      EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) != 0);
+    }
+  }
+  // With --ignore_bad_state it cold-starts and serves.
+  {
+    VcfdProcess daemon;
+    ASSERT_TRUE(SpawnVcfd(
+        {"--filter=vcf", "--state=" + state, "--ignore_bad_state"}, daemon));
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", daemon.port)) << c.last_error();
+    EXPECT_TRUE(c.Ping()) << c.last_error();
+    TerminateGracefully(daemon);
+  }
+  std::remove(state.c_str());
+}
+
+}  // namespace
+}  // namespace vcf

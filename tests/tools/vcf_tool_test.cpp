@@ -8,6 +8,9 @@
 #include <fstream>
 #include <string>
 
+#include "harness/filter_factory.hpp"
+#include "server/server.hpp"
+
 namespace {
 
 #ifndef VCF_TOOL_PATH
@@ -105,6 +108,41 @@ TEST_F(VcfToolTest, UnknownFilterKindErrors) {
   EXPECT_EQ(RunCommand(std::string(kTool) +
                 " build --filter=bogus > /dev/null 2>&1 < " + keys_path_),
             1);
+}
+
+TEST_F(VcfToolTest, ServeHelpDocumentsTheDaemon) {
+  // `serve --help` must exit 0 (not try to bind) and document the command.
+  ASSERT_EQ(RunCommand(std::string(kTool) + " serve --help > /dev/null 2> " +
+                out_path_),
+            0);
+  const std::string usage = ReadAll(out_path_);
+  EXPECT_NE(usage.find("serve"), std::string::npos) << usage;
+  EXPECT_NE(usage.find("ping"), std::string::npos) << usage;
+  EXPECT_NE(usage.find("--filter"), std::string::npos) << usage;
+}
+
+TEST_F(VcfToolTest, PingRoundTripsAgainstLoopbackServer) {
+  // Host an in-process serving core on an ephemeral port and drive the real
+  // `vcf_tool ping` binary against it.
+  vcf::FilterSpec spec;
+  vcf::ParseFilterKind("vcf", spec);
+  spec.params = vcf::CuckooParams::ForSlotsLog2(12);
+  vcf::server::VcfServer server(vcf::MakeFilter(spec), {});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_EQ(RunCommand(std::string(kTool) + " ping --port=" +
+                std::to_string(server.port()) + " --count=3 > " + out_path_ +
+                " 2> /dev/null"),
+            0);
+  const std::string output = ReadAll(out_path_);
+  EXPECT_NE(output.find("pong from 127.0.0.1:"), std::string::npos) << output;
+  server.RequestShutdown();
+  EXPECT_TRUE(server.Join());
+
+  // Against a dead port, ping must fail with a non-zero exit.
+  EXPECT_NE(RunCommand(std::string(kTool) + " ping --port=" +
+                std::to_string(server.port()) + " > /dev/null 2>&1"),
+            0);
 }
 
 }  // namespace

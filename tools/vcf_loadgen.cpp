@@ -1,0 +1,365 @@
+// vcf_loadgen — closed- and open-loop load generator for vcfd.
+//
+// N worker threads each own one VcfClient connection and drive a configurable
+// insert/lookup mix with uniform or Zipfian keys (src/workload). Per-request
+// round-trip latency goes into per-thread LatencyHistograms (src/metrics),
+// merged at the end into p50/p95/p99/p999, and the whole run is emitted as
+// one JSON object (--json_out, schema in docs/server.md) so CI can archive
+// results/BENCH_server.json baselines.
+//
+//   # 4 threads, 5 s, 90% lookups in 64-key batches against a local vcfd
+//   $ vcf_loadgen --port=4117 --threads=4 --duration_s=5
+//         --mode=batch --batch=64 --json_out=results/BENCH_server.json
+//
+// Modes (--mode):
+//   batch     one INSERT_BATCH/LOOKUP_BATCH frame per request (--batch keys)
+//             — the throughput path; one latency sample per batch RTT.
+//   pipeline  --batch single-key frames written back-to-back, then drained —
+//             measures the server's request pipelining; one sample per
+//             window RTT.
+//   sync      one key per request — the per-op latency path.
+//
+// Open loop (--rate=R, per thread, requests/s): requests start on a fixed
+// schedule and latency is measured from the *intended* start, so a stalled
+// server accrues coordinated-omission-free queueing delay instead of
+// silently slowing the generator down.
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/vcf_client.hpp"
+#include "common/timer.hpp"
+#include "harness/flags.hpp"
+#include "metrics/latency_histogram.hpp"
+#include "workload/key_streams.hpp"
+
+namespace {
+
+using vcf::Flags;
+using vcf::LatencyHistogram;
+using vcf::Stopwatch;
+using vcf::client::VcfClient;
+
+struct Config {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 4117;
+  unsigned threads = 4;
+  double duration_s = 5.0;
+  double warmup_s = 0.5;
+  unsigned lookup_pct = 90;
+  std::string mode = "batch";  // batch | pipeline | sync
+  std::size_t batch = 64;
+  std::string dist = "uniform";  // uniform | zipf
+  double zipf_s = 1.05;
+  std::size_t universe = 1u << 20;
+  std::size_t prefill = 1u << 18;
+  double rate = 0.0;  // requests/s per thread; 0 = closed loop
+  std::string json_out;
+};
+
+/// Keys the prefill inserted; lookups that draw indices below `prefill`
+/// are guaranteed hits (modulo server-side rejections near capacity).
+constexpr std::uint64_t kPrefillStream = 500;
+
+struct ThreadResult {
+  LatencyHistogram lookup_hist;
+  LatencyHistogram insert_hist;
+  std::uint64_t lookup_ops = 0;
+  std::uint64_t insert_ops = 0;
+  std::uint64_t lookup_requests = 0;
+  std::uint64_t insert_requests = 0;
+  std::uint64_t errors = 0;
+  bool connect_failed = false;
+  std::string error;
+};
+
+void Worker(const Config& cfg, unsigned index, std::atomic<bool>& stop,
+            ThreadResult& result) {
+  VcfClient client;
+  if (!client.Connect(cfg.host, cfg.port)) {
+    result.connect_failed = true;
+    result.error = client.last_error();
+    return;
+  }
+  vcf::Xoshiro256 rng(0x10ADULL * 2654435761u + index * 1000003u);
+  std::unique_ptr<vcf::ZipfGenerator> zipf;
+  if (cfg.dist == "zipf") {
+    zipf = std::make_unique<vcf::ZipfGenerator>(cfg.universe, cfg.zipf_s,
+                                                0x217F + index);
+  }
+  const std::uint64_t insert_stream = 600 + index;
+  std::uint64_t insert_serial = 0;
+  std::vector<std::uint64_t> keys(cfg.batch);
+  const auto results = std::make_unique<bool[]>(cfg.batch);
+
+  const double interval_ns =
+      cfg.rate > 0.0 ? 1e9 / cfg.rate : 0.0;  // per request
+  std::uint64_t schedule_index = 0;
+  Stopwatch clock;
+
+  while (!stop.load(std::memory_order_relaxed)) {
+    const bool is_lookup = rng.Below(100) < cfg.lookup_pct;
+    const std::size_t n = cfg.mode == "sync" ? 1 : cfg.batch;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (is_lookup) {
+        if (zipf != nullptr) {
+          keys[i] = zipf->Next();
+        } else {
+          // Uniform over the whole universe: hits where the index falls in
+          // the prefilled prefix, misses elsewhere.
+          keys[i] = vcf::UniformKeyAt(kPrefillStream, rng.Below(cfg.universe));
+        }
+      } else {
+        keys[i] = vcf::UniformKeyAt(insert_stream, insert_serial++);
+      }
+    }
+    // Open loop: latency is measured from the intended start of this
+    // request, which never moves later because the previous one ran long.
+    std::uint64_t intended_ns = clock.ElapsedNanos();
+    if (interval_ns > 0.0) {
+      intended_ns = static_cast<std::uint64_t>(
+          static_cast<double>(schedule_index++) * interval_ns);
+      while (clock.ElapsedNanos() < intended_ns &&
+             !stop.load(std::memory_order_relaxed)) {
+        // Spin-with-yield: sleep granularity (~50us+) would distort an
+        // open-loop schedule at high rates.
+        std::this_thread::yield();
+      }
+    }
+    const std::span<const std::uint64_t> span(keys.data(), n);
+    bool ok;
+    if (cfg.mode == "batch" && n > 1) {
+      if (is_lookup) {
+        ok = client.LookupBatch(span, results.get());
+      } else {
+        bool transport_ok = false;
+        client.InsertBatch(span, results.get(), &transport_ok);
+        ok = transport_ok;
+      }
+    } else if (cfg.mode == "pipeline" && n > 1) {
+      ok = is_lookup ? client.PipelineLookups(span, results.get(), n)
+                     : client.PipelineInserts(span, results.get(), n);
+    } else {
+      bool transport_ok = false;
+      if (is_lookup) {
+        client.Lookup(keys[0], &transport_ok);
+      } else {
+        client.Insert(keys[0], &transport_ok);
+      }
+      ok = transport_ok;
+    }
+    const std::uint64_t end_ns = clock.ElapsedNanos();
+    if (!ok) {
+      ++result.errors;
+      result.error = client.last_error();
+      if (!client.connected() && !client.Connect(cfg.host, cfg.port)) {
+        return;  // server gone; report what we have
+      }
+      continue;
+    }
+    const std::uint64_t latency =
+        end_ns > intended_ns ? end_ns - intended_ns : 0;
+    if (is_lookup) {
+      result.lookup_hist.Record(latency);
+      ++result.lookup_requests;
+      result.lookup_ops += n;
+    } else {
+      result.insert_hist.Record(latency);
+      ++result.insert_requests;
+      result.insert_ops += n;
+    }
+  }
+}
+
+void EmitOpJson(std::ostream& out, const char* name,
+                const LatencyHistogram& h, std::uint64_t ops,
+                std::uint64_t requests) {
+  out << "  \"" << name << "\": {\"ops\": " << ops
+      << ", \"requests\": " << requests << ", \"mean_ns\": " << h.MeanNanos()
+      << ", \"p50_ns\": " << h.P50() << ", \"p95_ns\": " << h.P95()
+      << ", \"p99_ns\": " << h.P99() << ", \"p999_ns\": " << h.P999()
+      << ", \"max_ns\": " << h.MaxNanos() << "}";
+}
+
+int Usage(int code) {
+  std::cerr
+      << "usage: vcf_loadgen [flags]\n"
+         "  --host=H --port=N        server address (default 127.0.0.1:4117)\n"
+         "  --threads=N              client threads, one connection each "
+         "(default 4)\n"
+         "  --duration_s=X           measured run length (default 5)\n"
+         "  --warmup_s=X             unmeasured warmup (default 0.5)\n"
+         "  --lookup_pct=N           lookup share of requests (default 90)\n"
+         "  --mode=batch|pipeline|sync  request shape (default batch)\n"
+         "  --batch=N                keys per batch / pipeline window "
+         "(default 64)\n"
+         "  --dist=uniform|zipf --zipf_s=X --universe=N   key distribution\n"
+         "  --prefill=N              keys inserted before measuring "
+         "(default 2^18)\n"
+         "  --rate=R                 open-loop requests/s per thread "
+         "(0 = closed loop)\n"
+         "  --json_out=PATH          write the run as JSON "
+         "(docs/server.md schema)\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.GetBool("help")) return Usage(0);
+  Config cfg;
+  cfg.host = flags.GetString("host", cfg.host);
+  cfg.port = static_cast<std::uint16_t>(flags.GetInt("port", cfg.port));
+  cfg.threads = static_cast<unsigned>(flags.GetInt("threads", cfg.threads));
+  cfg.duration_s = flags.GetDouble("duration_s", cfg.duration_s);
+  cfg.warmup_s = flags.GetDouble("warmup_s", cfg.warmup_s);
+  cfg.lookup_pct =
+      static_cast<unsigned>(flags.GetInt("lookup_pct", cfg.lookup_pct));
+  cfg.mode = flags.GetString("mode", cfg.mode);
+  cfg.batch = static_cast<std::size_t>(flags.GetInt("batch", 64));
+  cfg.dist = flags.GetString("dist", cfg.dist);
+  cfg.zipf_s = flags.GetDouble("zipf_s", cfg.zipf_s);
+  cfg.universe =
+      static_cast<std::size_t>(flags.GetInt("universe", 1 << 20));
+  cfg.prefill = static_cast<std::size_t>(flags.GetInt("prefill", 1 << 18));
+  cfg.rate = flags.GetDouble("rate", 0.0);
+  cfg.json_out = flags.GetString("json_out", "");
+  if (cfg.threads == 0 || cfg.batch == 0 || cfg.lookup_pct > 100 ||
+      (cfg.mode != "batch" && cfg.mode != "pipeline" && cfg.mode != "sync")) {
+    return Usage(64);
+  }
+
+  // Prefill from one connection so lookup hit/miss is deterministic.
+  VcfClient setup;
+  if (!setup.Connect(cfg.host, cfg.port) || !setup.Ping()) {
+    std::cerr << "error: cannot reach vcfd at " << cfg.host << ":" << cfg.port
+              << " (" << setup.last_error() << ")\n";
+    return 1;
+  }
+  if (cfg.prefill > 0) {
+    const auto keys = vcf::UniformKeys(cfg.prefill, kPrefillStream);
+    bool ok = false;
+    const std::size_t accepted = setup.InsertBatch(keys, nullptr, &ok);
+    if (!ok) {
+      std::cerr << "error: prefill failed: " << setup.last_error() << "\n";
+      return 1;
+    }
+    std::cerr << "prefilled " << accepted << "/" << cfg.prefill << " keys\n";
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<ThreadResult> results(cfg.threads);
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.threads);
+
+  // Warmup phase: run the full workload, then reset the measurements.
+  std::vector<ThreadResult> warmup_results(cfg.threads);
+  if (cfg.warmup_s > 0.0) {
+    std::atomic<bool> warmup_stop{false};
+    for (unsigned i = 0; i < cfg.threads; ++i) {
+      threads.emplace_back(Worker, std::cref(cfg), i, std::ref(warmup_stop),
+                           std::ref(warmup_results[i]));
+    }
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(cfg.warmup_s));
+    warmup_stop.store(true);
+    for (auto& t : threads) t.join();
+    threads.clear();
+    for (const ThreadResult& r : warmup_results) {
+      if (r.connect_failed) {
+        std::cerr << "error: worker connect failed: " << r.error << "\n";
+        return 1;
+      }
+    }
+  }
+
+  Stopwatch run_clock;
+  for (unsigned i = 0; i < cfg.threads; ++i) {
+    threads.emplace_back(Worker, std::cref(cfg), i, std::ref(stop),
+                         std::ref(results[i]));
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.duration_s));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  const double elapsed_s = run_clock.ElapsedSeconds();
+
+  LatencyHistogram lookup_hist, insert_hist;
+  std::uint64_t lookup_ops = 0, insert_ops = 0;
+  std::uint64_t lookup_requests = 0, insert_requests = 0, errors = 0;
+  for (const ThreadResult& r : results) {
+    if (r.connect_failed) {
+      std::cerr << "error: worker connect failed: " << r.error << "\n";
+      return 1;
+    }
+    lookup_hist.Merge(r.lookup_hist);
+    insert_hist.Merge(r.insert_hist);
+    lookup_ops += r.lookup_ops;
+    insert_ops += r.insert_ops;
+    lookup_requests += r.lookup_requests;
+    insert_requests += r.insert_requests;
+    errors += r.errors;
+  }
+  const std::uint64_t total_ops = lookup_ops + insert_ops;
+  const double throughput =
+      elapsed_s > 0.0 ? static_cast<double>(total_ops) / elapsed_s : 0.0;
+
+  VcfClient::ServerStats server_stats;
+  const bool have_stats = setup.GetStats(server_stats);
+
+  std::fprintf(stderr,
+               "%" PRIu64 " ops in %.2fs = %.0f ops/s (%u threads, mode=%s, "
+               "batch=%zu, %u%% lookups, %" PRIu64 " errors)\n",
+               total_ops, elapsed_s, throughput, cfg.threads,
+               cfg.mode.c_str(), cfg.batch, cfg.lookup_pct, errors);
+  std::cerr << "  lookup: " << lookup_hist.Summary() << "\n"
+            << "  insert: " << insert_hist.Summary() << "\n";
+  if (have_stats) {
+    std::cerr << "  server: " << server_stats.name << " items="
+              << server_stats.items << " load="
+              << server_stats.load_factor * 100.0 << "%\n";
+  }
+
+  if (!cfg.json_out.empty()) {
+    std::ofstream out(cfg.json_out);
+    if (!out) {
+      std::cerr << "error: cannot write " << cfg.json_out << "\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"config\": {\"host\": \"" << cfg.host << "\", \"port\": "
+        << cfg.port << ", \"threads\": " << cfg.threads
+        << ", \"duration_s\": " << cfg.duration_s << ", \"lookup_pct\": "
+        << cfg.lookup_pct << ", \"mode\": \"" << cfg.mode
+        << "\", \"batch\": " << cfg.batch << ", \"dist\": \"" << cfg.dist
+        << "\", \"zipf_s\": " << cfg.zipf_s << ", \"universe\": "
+        << cfg.universe << ", \"prefill\": " << cfg.prefill
+        << ", \"rate_per_thread\": " << cfg.rate << "},\n"
+        << "  \"server\": {\"name\": \""
+        << (have_stats ? server_stats.name : "") << "\", \"slots\": "
+        << (have_stats ? server_stats.slots : 0) << ", \"items\": "
+        << (have_stats ? server_stats.items : 0) << ", \"load_factor\": "
+        << (have_stats ? server_stats.load_factor : 0.0) << "},\n"
+        << "  \"totals\": {\"ops\": " << total_ops << ", \"requests\": "
+        << (lookup_requests + insert_requests) << ", \"errors\": " << errors
+        << ", \"duration_s\": " << elapsed_s << ", \"throughput_ops_s\": "
+        << throughput << "},\n";
+    EmitOpJson(out, "lookup", lookup_hist, lookup_ops, lookup_requests);
+    out << ",\n";
+    EmitOpJson(out, "insert", insert_hist, insert_ops, insert_requests);
+    out << "\n}\n";
+    if (!out.good()) {
+      std::cerr << "error: short write to " << cfg.json_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << cfg.json_out << "\n";
+  }
+  return errors > total_ops / 100 ? 2 : 0;  // >1% errors: flag the run
+}

@@ -13,99 +13,32 @@
 //   $ vcf_tool stats --filter=ivcf --variant=6 --slots_log2=20
 //         --state=members.vcf
 //
+//   # serve the same filter over TCP (vcfd in-process; docs/server.md)
+//   $ vcf_tool serve --filter=ivcf --variant=6 --port=4117
+//
+//   # round-trip a protocol ping against a running server
+//   $ vcf_tool ping --port=4117
+//
 // The state blob stores a digest of the construction parameters; loading
 // with mismatched flags is rejected rather than silently misinterpreting
 // the table. Keys are arbitrary byte strings, one per line.
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <string_view>
 
+#include "client/vcf_client.hpp"
+#include "common/timer.hpp"
 #include "harness/filter_factory.hpp"
 #include "harness/flags.hpp"
+#include "server/server.hpp"
 
 namespace {
 
 using vcf::Filter;
 using vcf::FilterSpec;
 using vcf::Flags;
-
-FilterSpec SpecFromFlags(const Flags& flags) {
-  FilterSpec spec;
-  std::string kind = flags.GetString("filter", "vcf");
-  // Wrapper prefixes, outermost first:
-  //   "sharded:<n>:<kind>"  — hash-partition across n locked shards
-  //                           (core/sharded_filter.hpp, docs/performance.md);
-  //   "resilient:<kind>"    — overload/recovery layer (victim stash, degraded
-  //                           mode, checkpoint retry — docs/robustness.md).
-  // They compose: "sharded:4:resilient:vcf" builds four resilient shards.
-  constexpr std::string_view kShardedPrefix = "sharded:";
-  constexpr std::string_view kResilientPrefix = "resilient:";
-  if (kind.rfind(kShardedPrefix, 0) == 0) {
-    kind.erase(0, kShardedPrefix.size());
-    const std::size_t colon = kind.find(':');
-    std::size_t parsed = 0;
-    unsigned n = 0;
-    if (colon != std::string::npos) {
-      try {
-        n = static_cast<unsigned>(std::stoul(kind.substr(0, colon), &parsed));
-      } catch (const std::exception&) {
-        parsed = 0;
-      }
-    }
-    if (colon == std::string::npos || parsed != colon || n == 0) {
-      throw std::invalid_argument(
-          "bad --filter: expected sharded:<n>:<kind> with n >= 1");
-    }
-    spec.shards = n;
-    kind.erase(0, colon + 1);
-  }
-  if (kind.rfind(kResilientPrefix, 0) == 0) {
-    spec.resilient = true;
-    kind.erase(0, kResilientPrefix.size());
-  }
-  if (kind == "cf") {
-    spec.kind = FilterSpec::Kind::kCF;
-  } else if (kind == "vcf") {
-    spec.kind = FilterSpec::Kind::kVCF;
-  } else if (kind == "ivcf") {
-    spec.kind = FilterSpec::Kind::kIVCF;
-  } else if (kind == "dvcf") {
-    spec.kind = FilterSpec::Kind::kDVCF;
-  } else if (kind == "kvcf") {
-    spec.kind = FilterSpec::Kind::kKVCF;
-  } else if (kind == "dcf") {
-    spec.kind = FilterSpec::Kind::kDCF;
-  } else if (kind == "bf") {
-    spec.kind = FilterSpec::Kind::kBF;
-  } else if (kind == "cbf") {
-    spec.kind = FilterSpec::Kind::kCBF;
-  } else if (kind == "qf") {
-    spec.kind = FilterSpec::Kind::kQF;
-  } else if (kind == "dlcbf") {
-    spec.kind = FilterSpec::Kind::kDlCBF;
-  } else if (kind == "vf") {
-    spec.kind = FilterSpec::Kind::kVF;
-  } else if (kind == "sscf") {
-    spec.kind = FilterSpec::Kind::kSsCF;
-  } else {
-    throw std::invalid_argument(
-        "unknown --filter=" + kind +
-        " (cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf, optionally "
-        "prefixed sharded:<n>: and/or resilient:)");
-  }
-  spec.variant = static_cast<unsigned>(flags.GetInt("variant", 4));
-  spec.params = vcf::CuckooParams::ForSlotsLog2(
-      static_cast<unsigned>(flags.GetInt("slots_log2", 16)));
-  spec.params.fingerprint_bits =
-      static_cast<unsigned>(flags.GetInt("f", 14));
-  spec.params.max_kicks = static_cast<unsigned>(flags.GetInt("max_kicks", 500));
-  spec.params.hash = vcf::ParseHashKind(flags.GetString("hash", "fnv"));
-  spec.params.seed =
-      static_cast<std::uint64_t>(flags.GetInt("seed", 0x5EEDF00D));
-  spec.bits_per_item = flags.GetDouble("bits_per_item", 12.0);
-  return spec;
-}
 
 int CmdBuild(Filter& filter, const Flags& flags) {
   std::string line;
@@ -172,20 +105,75 @@ int CmdStats(Filter& filter, const Flags& flags) {
   return 0;
 }
 
+vcf::server::VcfServer* g_serve_server = nullptr;
+
+void ServeSignal(int /*sig*/) {
+  if (g_serve_server != nullptr) g_serve_server->RequestShutdown();
+}
+
+// `serve` runs vcfd's serving core in-process — same protocol, same
+// checkpoint semantics (SIGTERM writes --state), one binary for operators
+// who already have vcf_tool on the box.
+int CmdServe(std::unique_ptr<Filter> filter, const FilterSpec& spec,
+             const Flags& flags) {
+  vcf::server::VcfServer::Options options;
+  options.port = static_cast<std::uint16_t>(flags.GetInt("port", 4117));
+  options.threads = static_cast<unsigned>(flags.GetInt("threads", 2));
+  options.state_path = flags.GetString("state", "");
+  options.filter_internally_locked = spec.shards > 0;
+  vcf::server::VcfServer server(std::move(filter), options);
+  std::string error;
+  if (!server.TryRestore(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  if (!server.Start(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  g_serve_server = &server;
+  std::signal(SIGTERM, ServeSignal);
+  std::signal(SIGINT, ServeSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::cout << "vcfd listening on 127.0.0.1:" << server.port() << "\n"
+            << std::flush;
+  return server.ServeUntilShutdown() ? 0 : 1;
+}
+
+int CmdPing(const Flags& flags) {
+  vcf::client::VcfClient client;
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const auto port = static_cast<std::uint16_t>(flags.GetInt("port", 4117));
+  if (!client.Connect(host, port)) {
+    std::cerr << "error: " << client.last_error() << "\n";
+    return 1;
+  }
+  const int count = static_cast<int>(flags.GetInt("count", 1));
+  for (int i = 0; i < count; ++i) {
+    vcf::Stopwatch sw;
+    if (!client.Ping()) {
+      std::cerr << "error: ping failed: " << client.last_error() << "\n";
+      return 1;
+    }
+    std::cout << "pong from " << host << ":" << port << " in "
+              << sw.ElapsedMicros() << " us\n";
+  }
+  return 0;
+}
+
 int Usage() {
   std::cerr
-      << "usage: vcf_tool <build|query|stats> [flags]\n"
-         "  common flags: --filter=cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|"
-         "vf|sscf\n"
-         "                (prefix sharded:<n>: for n locked shards,\n"
-         "                 resilient: for the stash/recovery wrapper;\n"
-         "                 sharded:<n>:resilient:<kind> composes both)\n"
-         "                --variant=N --slots_log2=N --f=N --hash=fnv|murmur|"
-         "djb|splitmix\n"
-         "                --seed=N --max_kicks=N --state=FILE\n"
+      << "usage: vcf_tool <build|query|stats|serve|ping> [flags]\n"
+         "  common flags:\n"
+      << vcf::kFilterFlagsHelp
+      << "                --state=FILE\n"
          "  build reads keys from stdin (one per line) and writes --state\n"
          "  query reads keys from stdin, prints maybe/no per key\n"
-         "  stats prints checkpoint metadata\n";
+         "  stats prints checkpoint metadata\n"
+         "  serve exposes the filter over TCP (--port=N --threads=N;\n"
+         "        loads --state at startup, checkpoints it on SIGTERM —\n"
+         "        the vcfd daemon in-process; see docs/server.md)\n"
+         "  ping round-trips a protocol ping (--host=H --port=N --count=N)\n";
   return 64;
 }
 
@@ -195,11 +183,18 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string cmd = argv[1];
   const Flags flags(argc, argv);
+  if (flags.GetBool("help")) {
+    Usage();
+    return 0;
+  }
   try {
-    auto filter = MakeFilter(SpecFromFlags(flags));
+    if (cmd == "ping") return CmdPing(flags);
+    const FilterSpec spec = vcf::SpecFromFlags(flags);
+    auto filter = MakeFilter(spec);
     if (cmd == "build") return CmdBuild(*filter, flags);
     if (cmd == "query") return CmdQuery(*filter, flags);
     if (cmd == "stats") return CmdStats(*filter, flags);
+    if (cmd == "serve") return CmdServe(std::move(filter), spec, flags);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

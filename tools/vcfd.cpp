@@ -1,0 +1,119 @@
+// vcfd — the networked membership-query daemon: serves any filter the
+// factory can build (--filter accepts every vcf_tool spelling, including
+// sharded:<n>:resilient:<kind>) over the length-prefixed binary protocol in
+// src/net/proto.hpp. See docs/server.md for the wire format and deployment
+// notes.
+//
+//   # eight locked shards of VCF on port 4117, checkpointing to vcf.state
+//   $ vcfd --port=4117 --threads=4 --filter=sharded:8:vcf --state=vcf.state
+//
+// On SIGTERM/SIGINT the server drains its connections and writes a final
+// checkpoint to --state (atomic tmp+rename); restarting with the same flags
+// restores it, so no key a client saw ACKed is ever lost across a restart.
+// An existing --state file is loaded at startup (a missing file is a clean
+// cold start; a corrupt or mismatched one aborts startup unless
+// --ignore_bad_state is given).
+//
+// Startup handshake for scripts: the line "vcfd listening on 127.0.0.1:<port>"
+// goes to stdout (and is flushed) once the socket is bound — the integration
+// tests and the load generator's --spawn mode parse it to learn an
+// ephemeral port.
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "harness/filter_factory.hpp"
+#include "harness/flags.hpp"
+#include "server/server.hpp"
+
+namespace {
+
+vcf::server::VcfServer* g_server = nullptr;
+
+void HandleSignal(int /*sig*/) {
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+int Usage(int code) {
+  std::cerr
+      << "usage: vcfd [flags]\n"
+         "  --port=N        TCP port on 127.0.0.1 (0 = ephemeral; default "
+         "4117)\n"
+         "  --threads=N     worker event loops (default 2)\n"
+         "  --state=FILE    checkpoint path: loaded at startup when present,\n"
+         "                  written on SIGTERM/SIGINT and on SNAPSHOT "
+         "requests\n"
+         "  --ignore_bad_state  start empty when --state exists but cannot "
+         "be loaded\n"
+         "  filter construction (same flags as vcf_tool):\n"
+      << vcf::kFilterFlagsHelp;
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const vcf::Flags flags(argc, argv);
+  if (flags.GetBool("help")) return Usage(0);
+  vcf::FilterSpec spec;
+  try {
+    spec = vcf::SpecFromFlags(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return Usage(64);
+  }
+
+  vcf::server::VcfServer::Options options;
+  options.port = static_cast<std::uint16_t>(flags.GetInt("port", 4117));
+  options.threads = static_cast<unsigned>(flags.GetInt("threads", 2));
+  options.state_path = flags.GetString("state", "");
+  // ShardedFilter carries per-shard locks; everything else needs the
+  // server-level lock (docs/server.md#deployment).
+  options.filter_internally_locked = spec.shards > 0;
+
+  vcf::server::VcfServer server(vcf::MakeFilter(spec), options);
+
+  std::string error;
+  if (!server.TryRestore(&error)) {
+    if (flags.GetBool("ignore_bad_state")) {
+      std::cerr << "warning: ignoring unloadable state (" << error
+                << "); starting empty\n";
+    } else {
+      std::cerr << "error: " << error
+                << "\n(use --ignore_bad_state to start empty anyway)\n";
+      return 1;
+    }
+  }
+  if (!server.Start(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::cout << "vcfd listening on 127.0.0.1:" << server.port() << "\n"
+            << std::flush;
+  std::cerr << "serving " << server.filter().Name() << " ("
+            << server.filter().SlotCount() << " slots, "
+            << options.threads << " threads)"
+            << (options.state_path.empty()
+                    ? std::string(", no checkpointing")
+                    : ", state=" + options.state_path)
+            << "\n";
+
+  const bool checkpoint_ok = server.ServeUntilShutdown();
+  const auto& c = server.counters();
+  std::cerr << "vcfd shut down: " << c.requests.load() << " requests, "
+            << c.connections_accepted.load() << " connections, "
+            << c.protocol_errors.load() << " protocol errors, "
+            << c.checkpoints.load() << " checkpoints\n";
+  if (!checkpoint_ok) {
+    std::cerr << "error: final checkpoint failed\n";
+    return 1;
+  }
+  return 0;
+}
