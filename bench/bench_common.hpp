@@ -8,6 +8,12 @@
 //   --hash=X         fnv (default) | murmur | djb | splitmix
 //   --csv=PATH       additionally dump the table as CSV
 //
+// Benches that probe tables also accept (via ApplyProbeArmFlag):
+//   --probe_arm=X    auto (default) | scalar | swar | sse2 | avx2 | neon
+//                    selects the wide-bucket dispatch arm; "off" disables
+//                    the SWAR and wide engines entirely (the pre-SIMD
+//                    per-slot loop), for SIMD-on/off comparisons
+//
 // The quick defaults keep `for b in build/bench/*; do $b; done` in the
 // seconds range; --paper reproduces the paper's 2^20-slot scale.
 #pragma once
@@ -20,6 +26,7 @@
 #include "core/cuckoo_params.hpp"
 #include "harness/flags.hpp"
 #include "metrics/table_printer.hpp"
+#include "table/packed_table.hpp"
 #include "workload/key_streams.hpp"
 #include "workload/synthetic_higgs.hpp"
 
@@ -69,6 +76,25 @@ inline void MakeKeySets(const BenchScale& scale, std::size_t n_members,
   }
   SyntheticHiggs gen(0x48494747ULL + salt);
   gen.DisjointKeySets(n_members, n_aliens, members, aliens);
+}
+
+/// Honours --probe_arm (see the header comment): picks the wide-engine
+/// dispatch arm for tables constructed afterwards, or "off" to force the
+/// scalar per-slot loop everywhere. Returns the label to print so runs are
+/// self-describing. Unsupported arms warn and keep the startup default.
+inline std::string ApplyProbeArmFlag(const Flags& flags) {
+  const std::string arm = flags.GetString("probe_arm", "auto");
+  if (arm == "off") {
+    PackedTable::ForceScalarProbes(true);
+    return "off";
+  }
+  ProbeArm parsed;
+  if (ParseProbeArm(arm.c_str(), &parsed) && SetWideProbeArm(parsed)) {
+    return ProbeArmName(ActiveProbeArm());
+  }
+  std::cerr << "warning: --probe_arm=" << arm << " unsupported here; using "
+            << ProbeArmName(ActiveProbeArm()) << "\n";
+  return ProbeArmName(ActiveProbeArm());
 }
 
 /// Prints the table and honours --csv.

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_micro.json against a checked-in baseline.
+
+Both files use the micro_ops side-file schema (docs/performance.md): a JSON
+array of runs, each with at least {"name", "ns_per_op", "items_per_second"}.
+Runs are matched by "name"; a run is flagged as a regression when its fresh
+ns_per_op exceeds baseline * (1 + tolerance).
+
+Designed for CI smoke use where runners are noisy: the default tolerance is
+generous and the exit code is 0 even when regressions are found (they are
+printed as GitHub ::warning:: annotations). Pass --fail-on-regression to turn
+flagged regressions into a non-zero exit for local gating.
+
+Usage:
+  bench/compare_bench.py FRESH BASELINE [--tolerance=0.5]
+                         [--fail-on-regression] [--quiet]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_runs(path):
+    with open(path) as f:
+        runs = json.load(f)
+    if not isinstance(runs, list):
+        raise ValueError(f"{path}: expected a JSON array of runs")
+    out = {}
+    for run in runs:
+        name = run.get("name")
+        ns = run.get("ns_per_op")
+        if name is None or not isinstance(ns, (int, float)) or ns <= 0:
+            continue
+        out[name] = float(ns)
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="freshly generated BENCH_micro.json")
+    ap.add_argument("baseline", help="checked-in baseline BENCH_micro.json")
+    ap.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed fractional slowdown before a run is flagged "
+             "(default 0.5 = 50%%, sized for noisy shared runners)")
+    ap.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when any run regresses beyond the tolerance")
+    ap.add_argument("--quiet", action="store_true",
+                    help="only print flagged regressions")
+    args = ap.parse_args()
+
+    try:
+        fresh = load_runs(args.fresh)
+        base = load_runs(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        # A missing or malformed file is a tooling problem, not a perf
+        # regression — always fatal.
+        print(f"compare_bench: {e}", file=sys.stderr)
+        return 2
+
+    common = sorted(set(fresh) & set(base))
+    added = sorted(set(fresh) - set(base))
+    removed = sorted(set(base) - set(fresh))
+
+    regressions = []
+    for name in common:
+        ratio = fresh[name] / base[name]
+        flag = ratio > 1.0 + args.tolerance
+        if flag:
+            regressions.append((name, ratio))
+        if not args.quiet or flag:
+            marker = " <-- REGRESSION" if flag else ""
+            print(f"  {name:48s} {base[name]:10.2f} -> {fresh[name]:10.2f} "
+                  f"ns/op  ({ratio:5.2f}x){marker}")
+
+    if not args.quiet:
+        for name in added:
+            print(f"  {name:48s} (new, no baseline)")
+        for name in removed:
+            print(f"  {name:48s} (baseline only, not run)")
+        print(f"compare_bench: {len(common)} compared, {len(added)} new, "
+              f"{len(removed)} missing, {len(regressions)} regression(s) "
+              f"beyond {args.tolerance:.0%}")
+
+    for name, ratio in regressions:
+        # GitHub annotation; inert noise elsewhere.
+        print(f"::warning::bench regression {name}: {ratio:.2f}x baseline")
+
+    if regressions and args.fail_on_regression:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

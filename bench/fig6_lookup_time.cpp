@@ -12,7 +12,17 @@ namespace {
 
 int Run(const Flags& flags) {
   const BenchScale scale = ScaleFromFlags(flags);
-  const auto specs = PaperLineup(scale.Params(13));
+  const std::string arm = ApplyProbeArmFlag(flags);
+  // --b / --f override the lineup geometry: the paper default (b=4, f=14)
+  // stays on the single-word SWAR path, while e.g. --b=8 --f=16 produces
+  // 128-bit buckets and exercises the wide SIMD engine, which is how the
+  // SIMD-on/off fig6 capture in results/ is recorded.
+  CuckooParams params = scale.Params(13);
+  params.slots_per_bucket =
+      static_cast<unsigned>(flags.GetInt("b", params.slots_per_bucket));
+  params.fingerprint_bits =
+      static_cast<unsigned>(flags.GetInt("f", params.fingerprint_bits));
+  const auto specs = PaperLineup(params);
 
   struct Row {
     std::string name;
@@ -45,7 +55,11 @@ int Run(const Flags& flags) {
                   TablePrinter::FormatDouble(row.mixed_us.Mean(), 4),
                   TablePrinter::FormatDouble(row.probes.Mean(), 2)});
   }
-  Emit(scale, table, "Fig. 6: lookup time for existing (a) and mixed (b) items");
+  Emit(scale, table,
+       "Fig. 6: lookup time for existing (a) and mixed (b) items (b=" +
+           std::to_string(params.slots_per_bucket) +
+           ", f=" + std::to_string(params.fingerprint_bits) +
+           ", probe_arm=" + arm + ")");
   std::cout << "\nPaper's shape: IVCF a constant ~6-8% above CF (always probes"
                " 4 buckets); DVCF\ngrows with r and exceeds IVCF past r ~ 0.8;"
                " DCF slowest (base-d index conversion);\nnegative/mixed "

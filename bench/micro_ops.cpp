@@ -224,7 +224,9 @@ enum ProbeMode : int {
 };
 
 std::string SwarLabel(const FilterSpec& spec, unsigned f, int mode) {
-  const char* arm = mode == kSwarBatch    ? " swar+batch"
+  // "fast" is whatever probe tier the geometry selects: the SWAR word for
+  // <= 64-bit buckets, the SIMD wide engine above.
+  const char* arm = mode == kSwarBatch    ? " fast+batch"
                     : mode == kScalarBatch ? " scalar+batch"
                                            : " scalar+seq (baseline)";
   return spec.DisplayName() + " f=" + std::to_string(f) + arm;
@@ -305,13 +307,32 @@ void BM_InsertBatchProbes(benchmark::State& state) {
                  "%");
 }
 
+/// The fast-path name for a table: which probe tier its geometry lands on.
+std::string ProbePathName(const PackedTable& table) {
+  if (table.UsesWideProbes()) return ProbeArmName(table.probe_arm());
+  return table.UsesSwarProbes() ? "swar" : "scalar";
+}
+
+std::string TableLabel(const PackedTable& table, unsigned spb, unsigned f,
+                       bool scalar) {
+  return "PackedTable(b=" + std::to_string(spb) + ",f=" + std::to_string(f) +
+         (table.layout() == TableLayout::kCacheAligned ? ",aligned) "
+                                                       : ") ") +
+         (scalar ? "scalar" : ProbePathName(table));
+}
+
 void BM_TableProbe(benchmark::State& state) {
   // Pure probe cost, no hashing and no filter logic: ContainsValue on a
-  // half-full b=4 table via the SWAR word path vs the scalar reference loop.
-  const unsigned f = static_cast<unsigned>(state.range(0));
-  const bool scalar = state.range(1) != 0;
+  // half-full table via the fast path (SWAR word for <= 64-bit buckets, the
+  // SIMD wide engine above) vs the scalar reference loop. range(0) = slots
+  // per bucket, range(1) = slot bits, range(2) = scalar?, range(3) = layout.
+  const unsigned spb = static_cast<unsigned>(state.range(0));
+  const unsigned f = static_cast<unsigned>(state.range(1));
+  const bool scalar = state.range(2) != 0;
+  const TableLayout layout = state.range(3) != 0 ? TableLayout::kCacheAligned
+                                                 : TableLayout::kPacked;
   constexpr std::size_t kBuckets = std::size_t{1} << 14;
-  PackedTable table(kBuckets, 4, f);
+  PackedTable table(kBuckets, spb, f, layout);
   Xoshiro256 rng(0xBE7C45ULL + f);
   const std::uint64_t vmask = (std::uint64_t{1} << f) - 1;
   for (std::size_t i = 0; i < table.slot_count() / 2; ++i) {
@@ -336,8 +357,49 @@ void BM_TableProbe(benchmark::State& state) {
       i = (i + 1) % kProbes;
     }
   }
-  state.SetLabel("PackedTable(b=4,f=" + std::to_string(f) +
-                 (scalar ? ") scalar" : ") swar"));
+  state.SetLabel(TableLabel(table, spb, f, scalar));
+}
+
+void BM_FusedProbe(benchmark::State& state) {
+  // The fused multi-candidate lookup the filters' Contains paths use: one
+  // ContainsValueAny over four candidate buckets vs four sequential scalar
+  // probes. Same arg layout as BM_TableProbe.
+  const unsigned spb = static_cast<unsigned>(state.range(0));
+  const unsigned f = static_cast<unsigned>(state.range(1));
+  const bool scalar = state.range(2) != 0;
+  const TableLayout layout = state.range(3) != 0 ? TableLayout::kCacheAligned
+                                                 : TableLayout::kPacked;
+  constexpr std::size_t kBuckets = std::size_t{1} << 14;
+  PackedTable table(kBuckets, spb, f, layout);
+  Xoshiro256 rng(0xF05EDULL + f);
+  const std::uint64_t vmask = (std::uint64_t{1} << f) - 1;
+  for (std::size_t i = 0; i < table.slot_count() / 2; ++i) {
+    table.InsertValue(rng.Below(kBuckets), rng.Below(vmask) + 1);
+  }
+  constexpr std::size_t kProbes = 1024;
+  std::vector<std::uint64_t> cand(kProbes * 4);
+  std::vector<std::uint64_t> values(kProbes);
+  for (std::size_t i = 0; i < kProbes * 4; ++i) cand[i] = rng.Below(kBuckets);
+  for (std::size_t i = 0; i < kProbes; ++i) values[i] = rng.Below(vmask) + 1;
+  std::size_t i = 0;
+  if (scalar) {
+    for (auto _ : state) {
+      const std::uint64_t* c = cand.data() + i * 4;
+      bool hit = false;
+      for (unsigned j = 0; j < 4; ++j) {
+        hit = hit || table.ContainsValueScalar(c[j], values[i]);
+      }
+      benchmark::DoNotOptimize(hit);
+      i = (i + 1) % kProbes;
+    }
+  } else {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(
+          table.ContainsValueAny(cand.data() + i * 4, 4, values[i]));
+      i = (i + 1) % kProbes;
+    }
+  }
+  state.SetLabel(TableLabel(table, spb, f, scalar) + " x4");
 }
 
 // --- Sharded multi-writer scaling ----------------------------------------
@@ -381,8 +443,10 @@ void SwarVariants(benchmark::internal::Benchmark* b) {
   // CF and VCF (tags 0 and 1), f in {8, 12, 16}, all three ProbeMode arms,
   // at a moderate (50%) and a high (90%) load. High load is the regime the
   // paper cares about — buckets are mostly full, so every probe scans the
-  // whole word and the SWAR win is largest.
-  for (int tag = 0; tag <= 1; ++tag) {
+  // whole word and the SWAR win is largest. Tag 4 (8-VCF, slot = f + 3
+  // bits) rides the same grid: at f >= 14 its buckets exceed 64 bits, so
+  // the fast arm is the SIMD wide engine rather than the SWAR word.
+  for (int tag : {0, 1, 4}) {
     for (int f : {8, 12, 16}) {
       for (int load : {50, 90}) {
         b->Args({tag, f, kSwarBatch, load});
@@ -406,9 +470,24 @@ BENCHMARK(BM_ResilientOverhead)
 BENCHMARK(BM_ContainsBatchProbes)->Apply(SwarVariants);
 BENCHMARK(BM_InsertBatchProbes)->Apply(SwarVariants);
 BENCHMARK(BM_TableProbe)
-    ->Args({8, 0})->Args({8, 1})
-    ->Args({12, 0})->Args({12, 1})
-    ->Args({16, 0})->Args({16, 1});
+    // <= 64-bit buckets: SWAR word path vs scalar.
+    ->Args({4, 8, 0, 0})->Args({4, 8, 1, 0})
+    ->Args({4, 12, 0, 0})->Args({4, 12, 1, 0})
+    ->Args({4, 16, 0, 0})->Args({4, 16, 1, 0})
+    // > 64-bit buckets: SIMD wide engine vs scalar.
+    ->Args({4, 17, 0, 0})->Args({4, 17, 1, 0})
+    ->Args({8, 12, 0, 0})->Args({8, 12, 1, 0})
+    ->Args({8, 16, 0, 0})->Args({8, 16, 1, 0})
+    ->Args({8, 20, 0, 0})->Args({8, 20, 1, 0})
+    // Cache-aligned layout: same probes, power-of-two stride.
+    ->Args({4, 17, 0, 1})
+    ->Args({8, 16, 0, 1})->Args({8, 16, 1, 1})
+    ->Args({8, 20, 0, 1});
+BENCHMARK(BM_FusedProbe)
+    ->Args({4, 12, 0, 0})->Args({4, 12, 1, 0})
+    ->Args({4, 17, 0, 0})->Args({4, 17, 1, 0})
+    ->Args({8, 16, 0, 0})->Args({8, 16, 1, 0})
+    ->Args({8, 16, 0, 1});
 BENCHMARK(BM_ShardedInsertMT)
     ->Args({1})->Args({4})
     ->Threads(1)->Threads(4)
@@ -443,8 +522,15 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
       e.filter = run.report_label;
       // GetAdjustedRealTime is in the run's time unit (ns by default).
       e.ns_per_op = run.GetAdjustedRealTime();
+      // google-benchmark only materialises an items_per_second counter for
+      // families that call SetItemsProcessed; for the per-op families derive
+      // it from the op latency so the JSON never carries a bogus 0.
       const auto it = run.counters.find("items_per_second");
-      if (it != run.counters.end()) e.items_per_second = it->second;
+      if (it != run.counters.end() && it->second > 0.0) {
+        e.items_per_second = it->second;
+      } else if (e.ns_per_op > 0.0) {
+        e.items_per_second = 1e9 / e.ns_per_op;
+      }
       const auto counter = [&run](const char* name) {
         const auto c = run.counters.find(name);
         return c != run.counters.end() ? static_cast<double>(c->second) : 0.0;

@@ -16,7 +16,7 @@ CuckooFilter::CuckooFilter(const CuckooParams& params)
     : params_(params),
       index_mask_(LowMask(params.index_bits())),
       table_(params.bucket_count, params.slots_per_bucket,
-             params.fingerprint_bits),
+             params.fingerprint_bits, params.layout),
       rng_(params.seed ^ 0xCF104C0FFEEULL) {
   if (!IsPowerOfTwo(params.bucket_count) || params.index_bits() > 32 || params.fingerprint_bits == 0 ||
       params.fingerprint_bits > 25) {
@@ -100,8 +100,8 @@ bool CuckooFilter::Contains(std::uint64_t key) const {
   const std::uint64_t fp = Fingerprint(key, &b1);
   const std::uint64_t fh = FingerprintHash(fp);
   counters_.bucket_probes += 2;
-  return table_.ContainsValue(b1, fp) ||
-         table_.ContainsValue(AltBucket(b1, fh), fp);
+  const std::uint64_t cand[2] = {b1, AltBucket(b1, fh)};
+  return table_.ContainsValueAny(cand, 2, fp);
 }
 
 void CuckooFilter::ContainsBatch(std::span<const std::uint64_t> keys,
@@ -125,8 +125,8 @@ void CuckooFilter::ContainsBatch(std::span<const std::uint64_t> keys,
     }
     for (std::size_t i = 0; i < n; ++i) {
       counters_.bucket_probes += 2;
-      results[done + i] = table_.ContainsValue(window[i].b1, window[i].fp) ||
-                          table_.ContainsValue(window[i].b2, window[i].fp);
+      const std::uint64_t cand[2] = {window[i].b1, window[i].b2};
+      results[done + i] = table_.ContainsValueAny(cand, 2, window[i].fp);
     }
     done += n;
   }

@@ -9,6 +9,7 @@
 
 #include "common/bitops.hpp"
 #include "hash/hash64.hpp"
+#include "table/packed_table.hpp"
 
 namespace vcf {
 
@@ -31,6 +32,11 @@ struct CuckooParams {
 
   /// Seed for the hash functions and the eviction RNG.
   std::uint64_t seed = 0x5EEDF00DULL;
+
+  /// In-memory bucket layout for the backing PackedTable. Not part of the
+  /// filter's logical identity: results, FPR and serialized state are
+  /// layout-independent (checkpoints restore across layouts).
+  TableLayout layout = TableLayout::kPacked;
 
   unsigned index_bits() const noexcept { return FloorLog2(bucket_count); }
   std::size_t slot_count() const noexcept {

@@ -20,7 +20,7 @@ DifferentiatedVcf::DifferentiatedVcf(const CuckooParams& params,
       hasher_(VerticalHasher::Balanced(params.index_bits(),
                                        params.fingerprint_bits)),
       table_(params.bucket_count, params.slots_per_bucket,
-             params.fingerprint_bits),
+             params.fingerprint_bits, params.layout),
       delta_t_(delta_t),
       rng_(params.seed ^ 0xD7CF104C0FFEEULL),
       name_("DVCF") {
@@ -169,19 +169,12 @@ bool DifferentiatedVcf::Contains(std::uint64_t key) const {
   std::uint64_t b1;
   const std::uint64_t fp = Fingerprint(key, &b1);
   const std::uint64_t fh = FingerprintHash(fp);
-  // Algorithm 5: interval judgment selects the candidate set.
-  if (FourWay(fp)) {
-    const Candidates4 cand = hasher_.Candidates(b1, fh);
-    counters_.bucket_probes += 4;
-    for (std::uint64_t c : cand.bucket) {
-      if (table_.ContainsValue(c, fp)) return true;
-    }
-  } else {
-    counters_.bucket_probes += 2;
-    if (table_.ContainsValue(b1, fp)) return true;
-    if (table_.ContainsValue((b1 ^ fh) & hasher_.index_mask(), fp)) return true;
-  }
-  return false;
+  // Algorithm 5: interval judgment selects the candidate set; the whole set
+  // streams through one fused probe.
+  std::uint64_t cand[4];
+  const unsigned n_cand = CandidateSet(b1, fp, fh, cand);
+  counters_.bucket_probes += n_cand;
+  return table_.ContainsValueAny(cand, n_cand, fp);
 }
 
 void DifferentiatedVcf::ContainsBatch(std::span<const std::uint64_t> keys,
@@ -210,11 +203,8 @@ void DifferentiatedVcf::ContainsBatch(std::span<const std::uint64_t> keys,
     }
     for (std::size_t i = 0; i < n; ++i) {
       counters_.bucket_probes += window[i].n_cand;
-      bool hit = false;
-      for (unsigned c = 0; c < window[i].n_cand && !hit; ++c) {
-        hit = table_.ContainsValue(window[i].cand[c], window[i].fp);
-      }
-      results[done + i] = hit;
+      results[done + i] = table_.ContainsValueAny(
+          window[i].cand, window[i].n_cand, window[i].fp);
     }
     done += n;
   }

@@ -24,7 +24,7 @@ KVcf::KVcf(const CuckooParams& params, unsigned k)
       mark_bits_(MarkBitsFor(k)),
       fp_mask_(LowMask(params.fingerprint_bits)),
       table_(params.bucket_count, params.slots_per_bucket,
-             params.fingerprint_bits + mark_bits_),
+             params.fingerprint_bits + mark_bits_, params.layout),
       rng_(params.seed ^ 0x1C7F4B1D5EEDULL),
       name_(std::to_string(k) + "-VCF") {
   if (!IsPowerOfTwo(params.bucket_count) || params.index_bits() > 32 || params.fingerprint_bits == 0 ||
@@ -131,11 +131,16 @@ bool KVcf::Contains(std::uint64_t key) const {
   const std::uint64_t fh = FingerprintHash(fp);
   const unsigned k = hasher_.k();
   counters_.bucket_probes += k;
-  for (unsigned e = 0; e < k; ++e) {
-    const std::uint64_t bucket = hasher_.Candidate(b1, fh, e);
-    // Match on the fingerprint field only; the mark bits are location
-    // metadata, not identity.
-    if (table_.ContainsMasked(bucket, fp, fp_mask_)) return true;
+  // Match on the fingerprint field only; the mark bits are location
+  // metadata, not identity. All k candidates stream through one fused
+  // masked probe (chunked for large k).
+  std::uint64_t cand[16];
+  for (unsigned base = 0; base < k; base += 16) {
+    const unsigned n = std::min(k - base, 16u);
+    for (unsigned e = 0; e < n; ++e) {
+      cand[e] = hasher_.Candidate(b1, fh, base + e);
+    }
+    if (table_.ContainsMaskedAny(cand, n, fp, fp_mask_)) return true;
   }
   return false;
 }
@@ -163,10 +168,13 @@ void KVcf::ContainsBatch(std::span<const std::uint64_t> keys,
     for (std::size_t i = 0; i < n; ++i) {
       counters_.bucket_probes += k;
       bool hit = false;
-      for (unsigned e = 0; e < k && !hit; ++e) {
-        hit = table_.ContainsMasked(
-            hasher_.Candidate(window[i].b1, window[i].fh, e), window[i].fp,
-            fp_mask_);
+      std::uint64_t cand[16];
+      for (unsigned base = 0; base < k && !hit; base += 16) {
+        const unsigned m = std::min(k - base, 16u);
+        for (unsigned e = 0; e < m; ++e) {
+          cand[e] = hasher_.Candidate(window[i].b1, window[i].fh, base + e);
+        }
+        hit = table_.ContainsMaskedAny(cand, m, window[i].fp, fp_mask_);
       }
       results[done + i] = hit;
     }

@@ -40,6 +40,7 @@ SizingResult PlanCapacity(const SizingRequest& request) {
   CuckooParams params;
   params.bucket_count = bucket_count;
   params.slots_per_bucket = kSlotsPerBucket;
+  params.layout = request.layout;
 
   const double actual_load = static_cast<double>(request.expected_items) /
                              static_cast<double>(params.slot_count());
@@ -59,8 +60,15 @@ SizingResult PlanCapacity(const SizingRequest& request) {
   result.design_load = actual_load;
   result.predicted_fpr = model::FalsePositiveUpperBound(
       params.fingerprint_bits, request.r, kSlotsPerBucket, actual_load);
+  // Space per item prices the bucket *stride*, so the aligned layout's
+  // padding shows up in the planning output.
+  const unsigned bucket_bits = kSlotsPerBucket * params.fingerprint_bits;
+  const unsigned stride_bits =
+      request.layout == TableLayout::kCacheAligned
+          ? static_cast<unsigned>(NextPowerOfTwo(bucket_bits))
+          : bucket_bits;
   result.bits_per_item =
-      static_cast<double>(params.slot_count()) * params.fingerprint_bits /
+      static_cast<double>(params.bucket_count) * stride_bits /
       static_cast<double>(request.expected_items);
   return result;
 }

@@ -26,6 +26,12 @@ struct SizingRequest {
   /// Safety margin on top of the load factor the model predicts reachable
   /// (headroom for churn spikes). 0.04 means "size for 4% spare slots".
   double headroom = 0.04;
+
+  /// In-memory bucket layout for the planned table. kCacheAligned trades
+  /// space (stride padded to a power of two bits) for probe speed; the
+  /// reported bits_per_item includes that padding so the trade-off is
+  /// visible at planning time.
+  TableLayout layout = TableLayout::kPacked;
 };
 
 struct SizingResult {

@@ -37,6 +37,11 @@ std::string FilterSpec::DisplayName() const {
     bare.resilient = false;
     return "Resilient(" + bare.DisplayName() + ")";
   }
+  if (aligned) {
+    FilterSpec bare = *this;
+    bare.aligned = false;
+    return "Aligned(" + bare.DisplayName() + ")";
+  }
   switch (kind) {
     case Kind::kCF: return "CF";
     case Kind::kVCF: return "VCF";
@@ -56,6 +61,13 @@ std::string FilterSpec::DisplayName() const {
 }
 
 std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec) {
+  if (spec.aligned && spec.params.layout != TableLayout::kCacheAligned) {
+    // `aligned:` selects the cache-aligned bucket layout; it rides through
+    // the sharded/resilient wrappers to the table-backed leaf filters.
+    FilterSpec with_layout = spec;
+    with_layout.params.layout = TableLayout::kCacheAligned;
+    return MakeFilter(with_layout);
+  }
   if (spec.shards > 0) {
     // Split the slot budget: each shard serves ~1/N of the keys, so its
     // bucket count is the per-shard share rounded up to a power of two
@@ -160,8 +172,10 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
   std::string kind = kind_string;
   constexpr std::string_view kShardedPrefix = "sharded:";
   constexpr std::string_view kResilientPrefix = "resilient:";
+  constexpr std::string_view kAlignedPrefix = "aligned:";
   spec.shards = 0;
   spec.resilient = false;
+  spec.aligned = false;
   if (kind.rfind(kShardedPrefix, 0) == 0) {
     kind.erase(0, kShardedPrefix.size());
     const std::size_t colon = kind.find(':');
@@ -184,6 +198,10 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
   if (kind.rfind(kResilientPrefix, 0) == 0) {
     spec.resilient = true;
     kind.erase(0, kResilientPrefix.size());
+  }
+  if (kind.rfind(kAlignedPrefix, 0) == 0) {
+    spec.aligned = true;
+    kind.erase(0, kAlignedPrefix.size());
   }
   if (kind == "cf") {
     spec.kind = FilterSpec::Kind::kCF;
@@ -213,7 +231,7 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
     throw std::invalid_argument(
         "unknown --filter=" + kind +
         " (cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf, optionally "
-        "prefixed sharded:<n>: and/or resilient:)");
+        "prefixed sharded:<n>:, resilient: and/or aligned:)");
   }
 }
 
@@ -230,13 +248,15 @@ FilterSpec SpecFromFlags(const Flags& flags) {
   spec.params.seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 0x5EEDF00D));
   spec.bits_per_item = flags.GetDouble("bits_per_item", 12.0);
+  if (spec.aligned) spec.params.layout = TableLayout::kCacheAligned;
   return spec;
 }
 
 const char kFilterFlagsHelp[] =
     "  --filter=cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf\n"
     "      (prefix sharded:<n>: for n locked shards, resilient: for the\n"
-    "       stash/recovery wrapper; sharded:<n>:resilient:<kind> composes)\n"
+    "       stash/recovery wrapper, aligned: for the cache-aligned bucket\n"
+    "       layout; sharded:<n>:resilient:aligned:<kind> composes)\n"
     "  --variant=N --slots_log2=N --f=N --hash=fnv|murmur|djb|splitmix\n"
     "  --seed=N --max_kicks=N --bits_per_item=X\n";
 

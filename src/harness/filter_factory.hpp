@@ -49,6 +49,15 @@ struct FilterSpec {
   /// `resilient:` — "sharded:4:resilient:vcf" builds four resilient shards.
   unsigned shards = 0;
 
+  /// Build the backing PackedTable with the cache-aligned bucket layout
+  /// (TableLayout::kCacheAligned: bucket stride padded to a power of two so
+  /// no bucket straddles a cache line — extra space for faster probes).
+  /// Applies to the cuckoo-table filters that take CuckooParams; ignored by
+  /// the Bloom family. Spelled "aligned:<kind>" in string specs, innermost
+  /// (after sharded:/resilient:). Serialized state is layout-independent,
+  /// so aligned and packed checkpoints interoperate.
+  bool aligned = false;
+
   std::string DisplayName() const;
 };
 
@@ -57,9 +66,10 @@ std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec);
 class Flags;
 
 /// Parses a `--filter` kind string — `cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|
-/// dlcbf|vf|sscf`, optionally prefixed `sharded:<n>:` and/or `resilient:`
-/// (composing: "sharded:4:resilient:vcf") — into `spec.kind/shards/
-/// resilient`, leaving every other field untouched. Throws
+/// dlcbf|vf|sscf`, optionally prefixed `sharded:<n>:`, `resilient:` and/or
+/// `aligned:` (composing: "sharded:4:resilient:aligned:vcf") — into
+/// `spec.kind/shards/resilient/aligned`, leaving every other field
+/// untouched. Throws
 /// std::invalid_argument with an operator-facing message on bad input.
 /// Shared by vcf_tool, vcfd and vcf_loadgen so every binary serves the same
 /// spellings.

@@ -10,8 +10,26 @@
 namespace vcf {
 
 namespace {
+
 // Test/bench override consulted once per construction (see header).
 bool g_force_scalar_probes = false;
+
+/// Geometry predicate for the wide engine, independent of the scalar
+/// override — used for storage slack so forced-scalar tables stay
+/// byte-layout-identical to their wide twins.
+constexpr bool WideCapable(unsigned slots, unsigned bucket_bits) noexcept {
+  return bucket_bits > 64 && bucket_bits <= kWideMaxBits && slots >= 2 &&
+         slots <= kWideMaxSlots;
+}
+
+/// Aligned-layout stride: the smallest power of two >= bucket_bits (rounded
+/// up to whole cache lines past 512 bits). A power-of-two stride <= 512
+/// divides the 64-byte line, so no bucket straddles one.
+unsigned AlignedStrideBits(unsigned bucket_bits) noexcept {
+  if (bucket_bits > 512) return ((bucket_bits + 511u) / 512u) * 512u;
+  return static_cast<unsigned>(NextPowerOfTwo(bucket_bits));
+}
+
 }  // namespace
 
 void PackedTable::ForceScalarProbes(bool force) noexcept {
@@ -19,10 +37,11 @@ void PackedTable::ForceScalarProbes(bool force) noexcept {
 }
 
 PackedTable::PackedTable(std::size_t bucket_count, unsigned slots_per_bucket,
-                         unsigned slot_bits)
+                         unsigned slot_bits, TableLayout layout)
     : bucket_count_(bucket_count),
       slots_per_bucket_(slots_per_bucket),
       slot_bits_(slot_bits),
+      layout_(layout),
       occupied_(0) {
   if (bucket_count == 0) {
     throw std::invalid_argument("PackedTable: bucket_count must be >= 1");
@@ -34,18 +53,32 @@ PackedTable::PackedTable(std::size_t bucket_count, unsigned slots_per_bucket,
     throw std::invalid_argument("PackedTable: slot_bits must be in [1, 57]");
   }
   bucket_bits_ = slots_per_bucket_ * slot_bits_;
+  stride_bits_ = layout_ == TableLayout::kCacheAligned
+                     ? AlignedStrideBits(bucket_bits_)
+                     : bucket_bits_;
   // SWAR pays off once there are at least two slots to compare at a time;
   // a one-slot bucket's scalar probe is already a single ReadBits.
   swar_ = bucket_bits_ <= 64 && slots_per_bucket_ >= 2 && !g_force_scalar_probes;
+  wide_ = WideCapable(slots_per_bucket_, bucket_bits_) && !g_force_scalar_probes;
   two_load_ = bucket_bits_ > 57;  // +7 intra-byte shift can exceed one load
-  bucket_mask_ = LowMask(bucket_bits_);
+  bucket_mask_ = LowMask(bucket_bits_ < 64 ? bucket_bits_ : 64);
   lane_ones_ = swar_ ? SwarOnes(slot_bits_, slots_per_bucket_) : 0;
   lane_highs_ = lane_ones_ << (slot_bits_ - 1);
   lane_lows_ = lane_highs_ - lane_ones_;
-  const std::size_t total_bits = bucket_count * slots_per_bucket * slot_bits;
-  // +8 bytes of slack so ReadBits/WriteBits/ReadBucketWord may always touch
-  // a full 8-byte window (plus one carry byte) past the last live bit.
-  bits_.assign((total_bits + 7) / 8 + 8, 0);
+  if (wide_) {
+    BuildWideGeometry(slots_per_bucket_, slot_bits_, &wide_geom_);
+    wide_arm_ = ActiveProbeArm();
+    wide_ops_ = &ResolveWideOps(wide_arm_);
+  }
+  const std::size_t total_bits = bucket_count * stride_bits_;
+  // Slack past the last live bit: 8 bytes so ReadBits/WriteBits/
+  // ReadBucketWord may always touch a full 8-byte window (plus one carry
+  // byte); wide-capable geometries get the wide kernels' whole read window
+  // (kWideImageWords words from a bucket's byte base). Slack depends only
+  // on geometry — a forced-scalar table is byte-identical to its wide twin.
+  const std::size_t slack =
+      WideCapable(slots_per_bucket_, bucket_bits_) ? kWideImageWords * 8 : 8;
+  bits_.assign((total_bits + 7) / 8 + slack, 0);
 }
 
 std::uint64_t PackedTable::ReadBucketWord(std::size_t bucket) const noexcept {
@@ -81,6 +114,11 @@ int PackedTable::FindEmptySlotScalar(std::size_t bucket) const noexcept {
 }
 
 int PackedTable::FindEmptySlot(std::size_t bucket) const noexcept {
+  if (wide_) {
+    const std::uint32_t empty = WideEmptyMask(bucket);
+    if (empty == 0) return -1;
+    return std::countr_zero(empty);
+  }
   if (!swar_) return FindEmptySlotScalar(bucket);
   const std::uint64_t zeros =
       SwarZeroLanes(ReadBucketWord(bucket), lane_lows_, lane_highs_);
@@ -106,11 +144,58 @@ bool PackedTable::ContainsValueScalar(std::size_t bucket,
 
 bool PackedTable::ContainsValue(std::size_t bucket,
                                 std::uint64_t value) const noexcept {
+  if (wide_) {
+    // value == 0 degenerates to "any empty slot", matching the scalar loop.
+    const std::size_t bit = BitOffset(bucket, 0);
+    const std::uint8_t* base = bits_.data() + (bit >> 3);
+    const std::uint8_t ph = static_cast<std::uint8_t>(bit & 7);
+    return wide_ops_->any(&base, &ph, 1, wide_geom_, value,
+                          wide_geom_.slot_mask, /*masked=*/false);
+  }
   if (!swar_) return ContainsValueScalar(bucket, value);
   // Lanes equal to `value` become zero after the broadcast-XOR; value == 0
   // degenerates to "any empty slot", matching the scalar loop.
   const std::uint64_t x = ReadBucketWord(bucket) ^ (lane_ones_ * value);
   return SwarZeroLanes(x, lane_lows_, lane_highs_) != 0;
+}
+
+bool PackedTable::ContainsValueAny(const std::uint64_t* buckets, std::size_t n,
+                                   std::uint64_t value) const noexcept {
+  if (wide_) {
+    // One fused kernel call: the broadcasts are hoisted across all
+    // candidates and the kernel exits on the first hit.
+    constexpr std::size_t kChunk = 16;
+    const std::uint8_t* bases[kChunk];
+    std::uint8_t phases[kChunk];
+    for (std::size_t i = 0; i < n; i += kChunk) {
+      const std::size_t c = std::min(kChunk, n - i);
+      for (std::size_t j = 0; j < c; ++j) {
+        const std::size_t bit = BitOffset(buckets[i + j], 0);
+        bases[j] = bits_.data() + (bit >> 3);
+        phases[j] = static_cast<std::uint8_t>(bit & 7);
+      }
+      if (wide_ops_->any(bases, phases, c, wide_geom_, value,
+                         wide_geom_.slot_mask, /*masked=*/false)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (swar_) {
+    // Branchless accumulation: the broadcast is hoisted and the candidate
+    // loads pipeline without a compare-and-branch between them.
+    const std::uint64_t bv = lane_ones_ * value;
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      hits |= SwarZeroLanes(ReadBucketWord(buckets[i]) ^ bv, lane_lows_,
+                            lane_highs_);
+    }
+    return hits != 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ContainsValueScalar(buckets[i], value)) return true;
+  }
+  return false;
 }
 
 bool PackedTable::ContainsMaskedScalar(std::size_t bucket, std::uint64_t value,
@@ -125,6 +210,18 @@ bool PackedTable::ContainsMaskedScalar(std::size_t bucket, std::uint64_t value,
 
 bool PackedTable::ContainsMasked(std::size_t bucket, std::uint64_t value,
                                  std::uint64_t mask) const noexcept {
+  if (wide_) {
+    const std::uint64_t want = value & mask;
+    if ((want & ~wide_geom_.slot_mask) != 0) return false;  // unsatisfiable
+    // masked = true: a masked match must also be a non-empty slot (relevant
+    // when want == 0 — an empty lane trivially matches the masked pattern
+    // but holds nothing).
+    const std::size_t bit = BitOffset(bucket, 0);
+    const std::uint8_t* base = bits_.data() + (bit >> 3);
+    const std::uint8_t ph = static_cast<std::uint8_t>(bit & 7);
+    return wide_ops_->any(&base, &ph, 1, wide_geom_, want,
+                          mask & wide_geom_.slot_mask, /*masked=*/true);
+  }
   if (!swar_) return ContainsMaskedScalar(bucket, value, mask);
   const std::uint64_t word = ReadBucketWord(bucket);
   const std::uint64_t want = value & mask;
@@ -134,6 +231,47 @@ bool PackedTable::ContainsMasked(std::size_t bucket, std::uint64_t value,
   const std::uint64_t matches = SwarZeroLanes(x, lane_lows_, lane_highs_) &
                                 ~SwarZeroLanes(word, lane_lows_, lane_highs_);
   return matches != 0;
+}
+
+bool PackedTable::ContainsMaskedAny(const std::uint64_t* buckets,
+                                    std::size_t n, std::uint64_t value,
+                                    std::uint64_t mask) const noexcept {
+  if (wide_) {
+    const std::uint64_t want = value & mask;
+    if ((want & ~wide_geom_.slot_mask) != 0) return false;
+    constexpr std::size_t kChunk = 16;
+    const std::uint8_t* bases[kChunk];
+    std::uint8_t phases[kChunk];
+    for (std::size_t i = 0; i < n; i += kChunk) {
+      const std::size_t c = std::min(kChunk, n - i);
+      for (std::size_t j = 0; j < c; ++j) {
+        const std::size_t bit = BitOffset(buckets[i + j], 0);
+        bases[j] = bits_.data() + (bit >> 3);
+        phases[j] = static_cast<std::uint8_t>(bit & 7);
+      }
+      if (wide_ops_->any(bases, phases, c, wide_geom_, want,
+                         mask & wide_geom_.slot_mask, /*masked=*/true)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  if (swar_) {
+    const std::uint64_t want = value & mask;
+    const std::uint64_t bw = lane_ones_ * want;
+    const std::uint64_t bm = lane_ones_ * mask;
+    std::uint64_t hits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t word = ReadBucketWord(buckets[i]);
+      hits |= SwarZeroLanes((word ^ bw) & bm, lane_lows_, lane_highs_) &
+              ~SwarZeroLanes(word, lane_lows_, lane_highs_);
+    }
+    return hits != 0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ContainsMaskedScalar(buckets[i], value, mask)) return true;
+  }
+  return false;
 }
 
 bool PackedTable::EraseValueScalar(std::size_t bucket,
@@ -148,6 +286,13 @@ bool PackedTable::EraseValueScalar(std::size_t bucket,
 }
 
 bool PackedTable::EraseValue(std::size_t bucket, std::uint64_t value) noexcept {
+  if (wide_) {
+    const std::uint32_t matches =
+        WideMatch(bucket, value, wide_geom_.slot_mask);
+    if (matches == 0) return false;
+    Set(bucket, static_cast<unsigned>(std::countr_zero(matches)), 0);
+    return true;
+  }
   if (!swar_) return EraseValueScalar(bucket, value);
   const std::uint64_t x = ReadBucketWord(bucket) ^ (lane_ones_ * value);
   const std::uint64_t matches = SwarZeroLanes(x, lane_lows_, lane_highs_);
@@ -174,6 +319,18 @@ std::uint64_t PackedTable::EraseMaskedScalar(std::size_t bucket,
 
 std::uint64_t PackedTable::EraseMasked(std::size_t bucket, std::uint64_t value,
                                        std::uint64_t mask) noexcept {
+  if (wide_) {
+    const std::uint64_t want = value & mask;
+    if ((want & ~wide_geom_.slot_mask) != 0) return 0;
+    const std::uint32_t matches =
+        WideMatch(bucket, want, mask & wide_geom_.slot_mask) &
+        ~WideEmptyMask(bucket);
+    if (matches == 0) return 0;
+    const unsigned slot = static_cast<unsigned>(std::countr_zero(matches));
+    const std::uint64_t v = Get(bucket, slot);
+    Set(bucket, slot, 0);
+    return v;
+  }
   if (!swar_) return EraseMaskedScalar(bucket, value, mask);
   const std::uint64_t word = ReadBucketWord(bucket);
   const std::uint64_t want = value & mask;
@@ -195,10 +352,24 @@ void PackedTable::Clear() noexcept {
 }
 
 bool PackedTable::operator==(const PackedTable& other) const noexcept {
-  return bucket_count_ == other.bucket_count_ &&
-         slots_per_bucket_ == other.slots_per_bucket_ &&
-         slot_bits_ == other.slot_bits_ && occupied_ == other.occupied_ &&
-         bits_ == other.bits_;
+  if (bucket_count_ != other.bucket_count_ ||
+      slots_per_bucket_ != other.slots_per_bucket_ ||
+      slot_bits_ != other.slot_bits_ || occupied_ != other.occupied_) {
+    return false;
+  }
+  if (stride_bits_ == other.stride_bits_) {
+    // Same addressing — compare the live bytes directly (bits past the last
+    // live bit are zero in both by construction, and the slack length is a
+    // pure function of geometry, so the vectors line up).
+    return bits_ == other.bits_;
+  }
+  // Cross-layout: compare slot values.
+  for (std::size_t b = 0; b < bucket_count_; ++b) {
+    for (unsigned s = 0; s < slots_per_bucket_; ++s) {
+      if (Get(b, s) != other.Get(b, s)) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace vcf

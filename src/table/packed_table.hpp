@@ -9,21 +9,44 @@
 // Value 0 is reserved to mean "empty slot"; filters map fingerprints into
 // [1, 2^f - 1] before storing them.
 //
-// Probing strategy: when a whole bucket fits in a 64-bit word (b * slot_bits
-// <= 64) and has at least two slots, the membership/erase/find-empty probes
-// load the bucket in one or two unaligned 64-bit loads and resolve all slots
-// at once with SWAR lane tricks (broadcast-XOR + exact zero-lane detection;
-// see common/bitops.hpp). Wider buckets fall back to the per-slot scalar
-// loop, which is also kept as a reference implementation (the *Scalar
-// methods) for differential testing and as the baseline the micro benches
-// compare against (docs/performance.md).
+// Probing strategy, by bucket width:
+//   - b * slot_bits <= 64, b >= 2: the bucket is loaded in one or two
+//     unaligned 64-bit loads and all slots resolve at once with SWAR lane
+//     tricks (broadcast-XOR + exact zero-lane detection; common/bitops.hpp).
+//   - 64 < b * slot_bits <= 256, b in [2, 8]: the bucket is materialized as
+//     a multi-word image and probed by the wide engine
+//     (table/probe_engine.hpp) through the dispatch arm resolved at startup
+//     (AVX2/SSE2 on x86, NEON on aarch64, multi-word SWAR anywhere).
+//   - everything else: the per-slot scalar loop, which is also kept as the
+//     reference implementation (the *Scalar methods) for differential
+//     testing and as the baseline the micro benches compare against
+//     (docs/performance.md).
+//
+// Bucket layout: by default buckets are packed back-to-back at bit
+// granularity (TableLayout::kPacked — the space the paper prices). The
+// opt-in TableLayout::kCacheAligned pads the bucket *stride* to a power of
+// two bits, so every bucket lives inside one 64-byte cache line (any
+// power-of-two stride <= 512 divides the line) and bucket loads are always
+// byte-aligned single-segment reads. Slot contents and probe results are
+// identical across layouts; only addressing and memory footprint differ,
+// and serialization is canonical (TableCodec always emits packed-layout
+// bytes), so checkpoints are layout-portable and blob-identical.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "table/probe_engine.hpp"
+
 namespace vcf {
+
+/// In-memory bucket addressing scheme. Serialized state is always written
+/// in kPacked order regardless of the in-memory layout.
+enum class TableLayout : std::uint8_t {
+  kPacked,        ///< buckets back-to-back at bit granularity (default)
+  kCacheAligned,  ///< bucket stride padded to a power of two bits
+};
 
 class PackedTable {
  public:
@@ -33,16 +56,22 @@ class PackedTable {
   /// tables); filters whose indexing needs a power of two enforce that
   /// themselves.
   PackedTable(std::size_t bucket_count, unsigned slots_per_bucket,
-              unsigned slot_bits);
+              unsigned slot_bits, TableLayout layout = TableLayout::kPacked);
 
   std::size_t bucket_count() const noexcept { return bucket_count_; }
   unsigned slots_per_bucket() const noexcept { return slots_per_bucket_; }
   unsigned slot_bits() const noexcept { return slot_bits_; }
+  TableLayout layout() const noexcept { return layout_; }
+  /// Distance in bits between consecutive buckets' first slots. Equals
+  /// bucket_bits for kPacked; a power of two >= bucket_bits for
+  /// kCacheAligned.
+  unsigned stride_bits() const noexcept { return stride_bits_; }
   std::size_t slot_count() const noexcept {
     return bucket_count_ * slots_per_bucket_;
   }
   /// Bytes of fingerprint storage (the quantity Eq. 12 prices), excluding
-  /// the object header.
+  /// the object header. Includes alignment padding under kCacheAligned —
+  /// that padding is exactly the layout's space cost.
   std::size_t StorageBytes() const noexcept { return bits_.size(); }
 
   /// Number of non-empty slots across the table.
@@ -54,14 +83,18 @@ class PackedTable {
   }
 
   /// Hints the cache that `bucket`'s slots are about to be probed (batch
-  /// lookup/insert pipelines). A bucket's bit-span may straddle a 64-byte
-  /// cache-line boundary, in which case both lines are hinted.
+  /// lookup/insert pipelines). A packed bucket's bit-span may straddle a
+  /// 64-byte cache-line boundary, in which case both lines are hinted; an
+  /// aligned bucket never straddles, so one hint suffices.
   void PrefetchBucket(std::size_t bucket) const noexcept {
     const std::size_t first_byte = BitOffset(bucket, 0) >> 3;
-    const std::size_t last_byte = (BitOffset(bucket, 0) + bucket_bits_ - 1) >> 3;
     __builtin_prefetch(bits_.data() + first_byte, /*rw=*/0, /*locality=*/1);
-    if ((first_byte >> 6) != (last_byte >> 6)) {
-      __builtin_prefetch(bits_.data() + last_byte, /*rw=*/0, /*locality=*/1);
+    if (layout_ == TableLayout::kPacked) {
+      const std::size_t last_byte =
+          (BitOffset(bucket, 0) + bucket_bits_ - 1) >> 3;
+      if ((first_byte >> 6) != (last_byte >> 6)) {
+        __builtin_prefetch(bits_.data() + last_byte, /*rw=*/0, /*locality=*/1);
+      }
     }
   }
 
@@ -84,6 +117,18 @@ class PackedTable {
   bool ContainsMasked(std::size_t bucket, std::uint64_t value,
                       std::uint64_t mask) const noexcept;
 
+  /// Fused multi-candidate membership: true iff ContainsValue holds for any
+  /// of `buckets[0..n)`. The hot path of VCF/DVCF Contains — all candidate
+  /// buckets stream through one probe kernel with the broadcast constants
+  /// hoisted, instead of n sequential early-exit probes.
+  bool ContainsValueAny(const std::uint64_t* buckets, std::size_t n,
+                        std::uint64_t value) const noexcept;
+
+  /// Fused multi-candidate masked membership (k-VCF / DVCF variants).
+  bool ContainsMaskedAny(const std::uint64_t* buckets, std::size_t n,
+                         std::uint64_t value,
+                         std::uint64_t mask) const noexcept;
+
   /// Clears the first slot equal to `value`; false if absent.
   bool EraseValue(std::size_t bucket, std::uint64_t value) noexcept;
 
@@ -95,6 +140,8 @@ class PackedTable {
   /// Resets every slot to empty.
   void Clear() noexcept;
 
+  /// Content equality: same geometry, same slot values. Layout-agnostic —
+  /// a packed and an aligned table holding the same slots compare equal.
   bool operator==(const PackedTable& other) const noexcept;
 
   /// True when this table's probes take the word-at-a-time SWAR path
@@ -102,10 +149,21 @@ class PackedTable {
   /// is off).
   bool UsesSwarProbes() const noexcept { return swar_; }
 
+  /// True when this table's probes take the wide multi-word engine
+  /// (64 < bucket bits <= 256, 2..8 slots, scalar override off).
+  bool UsesWideProbes() const noexcept { return wide_; }
+
+  /// The dispatch arm this table's probes run on: the wide engine's arm for
+  /// wide tables, kSwar for single-word SWAR tables, kScalar otherwise.
+  ProbeArm probe_arm() const noexcept {
+    if (wide_) return wide_arm_;
+    return swar_ ? ProbeArm::kSwar : ProbeArm::kScalar;
+  }
+
   // Scalar reference implementations of the probe operations. These are the
   // pre-SWAR per-slot loops, kept public so differential tests and the
-  // micro-bench baseline can pin them regardless of geometry. The SWAR path
-  // must agree with them bit-for-bit on every input.
+  // micro-bench baseline can pin them regardless of geometry. The SWAR and
+  // wide paths must agree with them bit-for-bit on every input.
   int FindEmptySlotScalar(std::size_t bucket) const noexcept;
   bool ContainsValueScalar(std::size_t bucket, std::uint64_t value) const noexcept;
   bool ContainsMaskedScalar(std::size_t bucket, std::uint64_t value,
@@ -115,35 +173,62 @@ class PackedTable {
                                   std::uint64_t mask) noexcept;
 
   /// Test/bench hook: when set, tables constructed afterwards use the scalar
-  /// probe loop even where SWAR applies. Captured at construction so a
-  /// table's behaviour never changes mid-life. Not thread-safe; flip only in
-  /// single-threaded setup code.
+  /// probe loop even where SWAR or the wide engine applies. Captured at
+  /// construction so a table's behaviour never changes mid-life. Not
+  /// thread-safe; flip only in single-threaded setup code.
   static void ForceScalarProbes(bool force) noexcept;
 
  private:
   friend class TableCodec;
 
   std::size_t BitOffset(std::size_t bucket, unsigned slot) const noexcept {
-    return (bucket * slots_per_bucket_ + slot) * slot_bits_;
+    return bucket * stride_bits_ +
+           static_cast<std::size_t>(slot) * slot_bits_;
   }
 
   /// Loads the whole bucket as one little-endian word, low slot in the low
   /// bits, masked to `bucket_bits_`. Only meaningful when bucket_bits_ <= 64.
   std::uint64_t ReadBucketWord(std::size_t bucket) const noexcept;
 
+  /// Runs the wide-engine match kernel in place over the bucket's raw
+  /// bytes: the bucket bit offset splits into a byte base and a sub-byte
+  /// phase, and the phase indexes the precomputed extraction/lane tables.
+  /// Only meaningful when wide probing applies (bits_ carries enough
+  /// trailing slack for the kernel's read window).
+  std::uint32_t WideMatch(std::size_t bucket, std::uint64_t want,
+                          std::uint64_t mask) const noexcept {
+    const std::size_t bit = BitOffset(bucket, 0);
+    return wide_ops_->match(bits_.data() + (bit >> 3), wide_geom_,
+                            wide_geom_.phase[bit & 7], want, mask);
+  }
+
+  /// Empty-slot mask via the match kernel (a slot is empty iff its value,
+  /// i.e. all slot_bits of it, equals 0).
+  std::uint32_t WideEmptyMask(std::size_t bucket) const noexcept {
+    return WideMatch(bucket, 0, wide_geom_.slot_mask);
+  }
+
   std::size_t bucket_count_;
   unsigned slots_per_bucket_;
   unsigned slot_bits_;
+  TableLayout layout_;
   std::size_t occupied_;
 
   // Derived probe geometry (construction-time constants).
   unsigned bucket_bits_;      ///< slots_per_bucket * slot_bits
-  bool swar_;                 ///< probes use the SWAR path
+  unsigned stride_bits_;      ///< bucket-to-bucket distance (>= bucket_bits)
+  bool swar_;                 ///< probes use the single-word SWAR path
+  bool wide_;                 ///< probes use the wide multi-word engine
   bool two_load_;             ///< bucket word needs a 9th byte (bucket_bits > 57)
   std::uint64_t bucket_mask_; ///< low bucket_bits_ bits
   std::uint64_t lane_ones_;   ///< 1 broadcast into every slot lane
   std::uint64_t lane_highs_;  ///< lane high bits (ones << (slot_bits-1))
   std::uint64_t lane_lows_;   ///< low slot_bits-1 bits of every lane
+
+  // Wide-engine state (meaningful only when wide_).
+  ProbeArm wide_arm_ = ProbeArm::kScalar;
+  const WideOps* wide_ops_ = nullptr;
+  WideGeometry wide_geom_;
 
   std::vector<std::uint8_t> bits_;
 };

@@ -1,0 +1,488 @@
+#include "table/probe_engine.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <initializer_list>
+
+#include "common/bitops.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace vcf {
+
+namespace {
+
+inline std::uint64_t Load64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Slot extraction straight from the raw bytes: one unaligned load, one
+/// shift, one mask. slot_bits <= 57 guarantees the slot's bits fit the
+/// 64-bit window loaded at its byte offset for any sub-byte shift.
+inline std::uint64_t ExtractSlot(const std::uint8_t* base, const WidePhase& p,
+                                 std::uint64_t slot_mask,
+                                 unsigned i) noexcept {
+  return (Load64(base + p.ext_byte[i]) >> p.ext_shift[i]) & slot_mask;
+}
+
+// --- Portable arms --------------------------------------------------------
+
+std::uint32_t MatchScalar(const std::uint8_t* base, const WideGeometry& g,
+                          const WidePhase& p, std::uint64_t want,
+                          std::uint64_t mask) noexcept {
+  std::uint32_t m = 0;
+  for (unsigned i = 0; i < g.slots; ++i) {
+    const std::uint64_t v = ExtractSlot(base, p, g.slot_mask, i);
+    m |= static_cast<std::uint32_t>((v & mask) == want) << i;
+  }
+  return m;
+}
+
+bool AnyScalar(const std::uint8_t* const* bases, const std::uint8_t* phases,
+               std::size_t n, const WideGeometry& g, std::uint64_t want,
+               std::uint64_t mask, bool masked) noexcept {
+  for (std::size_t b = 0; b < n; ++b) {
+    const WidePhase& p = g.phase[phases[b]];
+    for (unsigned i = 0; i < g.slots; ++i) {
+      const std::uint64_t v = ExtractSlot(bases[b], p, g.slot_mask, i);
+      if ((v & mask) == want && (!masked || v != 0)) return true;
+    }
+  }
+  return false;
+}
+
+/// Multi-word SWAR: every raw word carries a run of consecutive whole lanes
+/// (evenly spaced, starting at an arbitrary bit offset). SwarZeroLanes is
+/// exact for such lane sets — the add's carries stay inside each lane and
+/// non-lane bits are masked out of the result — so each word answers all
+/// its whole lanes in a handful of ALU ops. The zero-lane indicator bits
+/// (one per lane, at the lane's top bit) are compressed to a dense bitmask
+/// with one multiply: lane j's indicator, shifted to bit j*L, lands on bit
+/// (n-1)*(L-1) + j of the product with sum_i 2^(i*(L-1)). All partial-
+/// product bit positions (L-1)*(i+j) + j are pairwise distinct because
+/// |dj| <= n-1 < L-1 (wide geometry guarantees L >= 9 and n <= 7), so the
+/// multiply is carry-free and the window is exact. Slots straddling a word
+/// boundary (at most one per boundary) are extracted and tested directly.
+std::uint32_t MatchSwar(const std::uint8_t* base, const WideGeometry& g,
+                        const WidePhase& p, std::uint64_t want,
+                        std::uint64_t mask) noexcept {
+  std::uint32_t m = 0;
+  for (unsigned w = 0; w < p.words; ++w) {
+    const std::uint64_t ones = p.ones[w];
+    if (ones == 0) continue;  // word holds no whole lanes
+    const std::uint64_t lanes = Load64(base + 8 * w) & (ones * g.slot_mask);
+    const std::uint64_t mz = SwarZeroLanes(
+        (lanes & (ones * mask)) ^ (ones * want), p.lows[w], p.highs[w]);
+    m |= static_cast<std::uint32_t>(
+             (((mz >> p.compress_shift[w]) * p.compress_mul[w]) >>
+              p.collect_shift[w]) &
+             LowMask(p.lane_count[w]))
+         << p.first_slot[w];
+  }
+  for (std::uint32_t s = p.straddlers; s != 0; s &= s - 1) {
+    const unsigned i = static_cast<unsigned>(std::countr_zero(s));
+    const std::uint64_t v = ExtractSlot(base, p, g.slot_mask, i);
+    m |= static_cast<std::uint32_t>((v & mask) == want) << i;
+  }
+  return m;
+}
+
+/// The SWAR `any` works in lane space: a zero-lane indicator bit anywhere
+/// means a hit, so the dense-bitmask compression (the multiply in MatchSwar)
+/// is skipped entirely, and the masked rule ANDs the match indicators with
+/// the complement of the empty indicators at the same lane positions.
+bool AnySwar(const std::uint8_t* const* bases, const std::uint8_t* phases,
+             std::size_t n, const WideGeometry& g, std::uint64_t want,
+             std::uint64_t mask, bool masked) noexcept {
+  for (std::size_t b = 0; b < n; ++b) {
+    const std::uint8_t* base = bases[b];
+    const WidePhase& p = g.phase[phases[b]];
+    for (unsigned w = 0; w < p.words; ++w) {
+      const std::uint64_t ones = p.ones[w];
+      if (ones == 0) continue;  // word holds no whole lanes
+      const std::uint64_t lanes = Load64(base + 8 * w) & (ones * g.slot_mask);
+      std::uint64_t z = SwarZeroLanes(
+          (lanes & (ones * mask)) ^ (ones * want), p.lows[w], p.highs[w]);
+      if (masked) {
+        z &= ~SwarZeroLanes(lanes, p.lows[w], p.highs[w]);
+      }
+      if (z != 0) return true;
+    }
+    for (std::uint32_t s = p.straddlers; s != 0; s &= s - 1) {
+      const unsigned i = static_cast<unsigned>(std::countr_zero(s));
+      const std::uint64_t v = ExtractSlot(base, p, g.slot_mask, i);
+      if ((v & mask) == want && (!masked || v != 0)) return true;
+    }
+  }
+  return false;
+}
+
+// --- x86 arms -------------------------------------------------------------
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// SSE2 (x86-64 baseline): slots are extracted scalar (load + shift; the
+/// slot_mask AND folds into the vector mask AND) and packed into xmm
+/// registers via set_epi64x — never through the stack, which would stall on
+/// store-to-load forwarding. SSE2 has no 64-bit compare, so equality is a
+/// 32-bit compare ANDed with its pair-swapped self; movemask_pd reads one
+/// bit per 64-bit lane. Lanes past the slot count hold garbage and are
+/// masked off with g.valid.
+inline __m128i Sse2Pair(const std::uint8_t* base, const WidePhase& p,
+                        unsigned i) noexcept {
+  return _mm_set_epi64x(
+      static_cast<long long>(Load64(base + p.ext_byte[i + 1]) >>
+                             p.ext_shift[i + 1]),
+      static_cast<long long>(Load64(base + p.ext_byte[i]) >> p.ext_shift[i]));
+}
+
+inline std::uint32_t Sse2EqMask(__m128i v, __m128i vm, __m128i vw) noexcept {
+  __m128i eq = _mm_cmpeq_epi32(_mm_and_si128(v, vm), vw);
+  eq = _mm_and_si128(eq, _mm_shuffle_epi32(eq, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<std::uint32_t>(_mm_movemask_pd(_mm_castsi128_pd(eq)));
+}
+
+std::uint32_t MatchSse2(const std::uint8_t* base, const WideGeometry& g,
+                        const WidePhase& p, std::uint64_t want,
+                        std::uint64_t mask) noexcept {
+  const __m128i vw = _mm_set1_epi64x(static_cast<long long>(want));
+  const __m128i vm = _mm_set1_epi64x(static_cast<long long>(mask));
+  std::uint32_t m = 0;
+  for (unsigned i = 0; i < g.slots; i += 2) {
+    m |= Sse2EqMask(Sse2Pair(base, p, i), vm, vw) << i;
+  }
+  return m & g.valid;
+}
+
+bool AnySse2(const std::uint8_t* const* bases, const std::uint8_t* phases,
+             std::size_t n, const WideGeometry& g, std::uint64_t want,
+             std::uint64_t mask, bool masked) noexcept {
+  const __m128i vw = _mm_set1_epi64x(static_cast<long long>(want));
+  const __m128i vm = _mm_set1_epi64x(static_cast<long long>(mask));
+  const __m128i vz = _mm_setzero_si128();
+  const __m128i vsm = _mm_set1_epi64x(static_cast<long long>(g.slot_mask));
+  for (std::size_t b = 0; b < n; ++b) {
+    const std::uint8_t* base = bases[b];
+    const WidePhase& p = g.phase[phases[b]];
+    std::uint32_t m = 0;
+    std::uint32_t nonempty = ~0u;
+    for (unsigned i = 0; i < g.slots; i += 2) {
+      const __m128i v = Sse2Pair(base, p, i);
+      m |= Sse2EqMask(v, vm, vw) << i;
+      if (masked) {
+        nonempty &= ~(Sse2EqMask(v, vsm, vz) << i);
+      }
+    }
+    if ((m & nonempty & g.valid) != 0) return true;
+  }
+  return false;
+}
+
+/// AVX2 (runtime-detected): four raw 8-byte loads go straight into a ymm
+/// register, a per-lane variable shift (vpsrlvq, the phase's precomputed
+/// shift vector) aligns all four slots at once, and one 64-bit compare
+/// answers them. Compiled with per-function target attributes so the rest
+/// of the build stays baseline.
+__attribute__((target("avx2"))) inline __m256i Avx2Quad(
+    const std::uint8_t* base, const WidePhase& p, unsigned i) noexcept {
+  const __m256i raw = _mm256_set_epi64x(
+      static_cast<long long>(Load64(base + p.ext_byte[i + 3])),
+      static_cast<long long>(Load64(base + p.ext_byte[i + 2])),
+      static_cast<long long>(Load64(base + p.ext_byte[i + 1])),
+      static_cast<long long>(Load64(base + p.ext_byte[i])));
+  const __m256i sh = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(p.shifts + i));
+  return _mm256_srlv_epi64(raw, sh);
+}
+
+__attribute__((target("avx2"))) inline std::uint32_t Avx2EqMask(
+    __m256i v, __m256i vm, __m256i vw) noexcept {
+  const __m256i eq = _mm256_cmpeq_epi64(_mm256_and_si256(v, vm), vw);
+  return static_cast<std::uint32_t>(
+      _mm256_movemask_pd(_mm256_castsi256_pd(eq)));
+}
+
+__attribute__((target("avx2"))) std::uint32_t MatchAvx2(
+    const std::uint8_t* base, const WideGeometry& g, const WidePhase& p,
+    std::uint64_t want, std::uint64_t mask) noexcept {
+  const __m256i vw = _mm256_set1_epi64x(static_cast<long long>(want));
+  const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(mask));
+  std::uint32_t m = 0;
+  for (unsigned i = 0; i < g.slots; i += 4) {
+    m |= Avx2EqMask(Avx2Quad(base, p, i), vm, vw) << i;
+  }
+  return m & g.valid;
+}
+
+__attribute__((target("avx2"))) bool AnyAvx2(
+    const std::uint8_t* const* bases, const std::uint8_t* phases,
+    std::size_t n, const WideGeometry& g, std::uint64_t want,
+    std::uint64_t mask, bool masked) noexcept {
+  const __m256i vw = _mm256_set1_epi64x(static_cast<long long>(want));
+  const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i vz = _mm256_setzero_si256();
+  const __m256i vsm = _mm256_set1_epi64x(static_cast<long long>(g.slot_mask));
+  for (std::size_t b = 0; b < n; ++b) {
+    const std::uint8_t* base = bases[b];
+    const WidePhase& p = g.phase[phases[b]];
+    std::uint32_t m = 0;
+    std::uint32_t nonempty = ~0u;
+    for (unsigned i = 0; i < g.slots; i += 4) {
+      const __m256i v = Avx2Quad(base, p, i);
+      m |= Avx2EqMask(v, vm, vw) << i;
+      if (masked) {
+        nonempty &= ~(Avx2EqMask(v, vsm, vz) << i);
+      }
+    }
+    if ((m & nonempty & g.valid) != 0) return true;
+  }
+  return false;
+}
+
+#endif  // x86
+
+// --- aarch64 arm ----------------------------------------------------------
+
+#if defined(__aarch64__)
+
+/// NEON (aarch64 baseline): slots are extracted scalar (load + shift; the
+/// slot_mask AND folds into the vector mask AND) and paired into q
+/// registers without touching the stack; vceqq_u64 answers two slots at
+/// once. Garbage lanes past the slot count are masked off with g.valid.
+inline uint64x2_t NeonPair(const std::uint8_t* base, const WidePhase& p,
+                           unsigned i) noexcept {
+  return vcombine_u64(
+      vcreate_u64(Load64(base + p.ext_byte[i]) >> p.ext_shift[i]),
+      vcreate_u64(Load64(base + p.ext_byte[i + 1]) >> p.ext_shift[i + 1]));
+}
+
+inline std::uint32_t NeonEqMask(uint64x2_t v, uint64x2_t vm,
+                                uint64x2_t vw) noexcept {
+  const uint64x2_t eq = vceqq_u64(vandq_u64(v, vm), vw);
+  return static_cast<std::uint32_t>(vgetq_lane_u64(eq, 0) & 1) |
+         (static_cast<std::uint32_t>(vgetq_lane_u64(eq, 1) & 1) << 1);
+}
+
+std::uint32_t MatchNeon(const std::uint8_t* base, const WideGeometry& g,
+                        const WidePhase& p, std::uint64_t want,
+                        std::uint64_t mask) noexcept {
+  const uint64x2_t vw = vdupq_n_u64(want);
+  const uint64x2_t vm = vdupq_n_u64(mask);
+  std::uint32_t m = 0;
+  for (unsigned i = 0; i < g.slots; i += 2) {
+    m |= NeonEqMask(NeonPair(base, p, i), vm, vw) << i;
+  }
+  return m & g.valid;
+}
+
+bool AnyNeon(const std::uint8_t* const* bases, const std::uint8_t* phases,
+             std::size_t n, const WideGeometry& g, std::uint64_t want,
+             std::uint64_t mask, bool masked) noexcept {
+  const uint64x2_t vw = vdupq_n_u64(want);
+  const uint64x2_t vm = vdupq_n_u64(mask);
+  const uint64x2_t vz = vdupq_n_u64(0);
+  const uint64x2_t vsm = vdupq_n_u64(g.slot_mask);
+  for (std::size_t b = 0; b < n; ++b) {
+    const std::uint8_t* base = bases[b];
+    const WidePhase& p = g.phase[phases[b]];
+    std::uint32_t m = 0;
+    std::uint32_t nonempty = ~0u;
+    for (unsigned i = 0; i < g.slots; i += 2) {
+      const uint64x2_t v = NeonPair(base, p, i);
+      m |= NeonEqMask(v, vm, vw) << i;
+      if (masked) {
+        nonempty &= ~(NeonEqMask(v, vsm, vz) << i);
+      }
+    }
+    if ((m & nonempty & g.valid) != 0) return true;
+  }
+  return false;
+}
+
+#endif  // aarch64
+
+constexpr WideOps kScalarOps = {&MatchScalar, &AnyScalar};
+constexpr WideOps kSwarOps = {&MatchSwar, &AnySwar};
+#if defined(__x86_64__) || defined(__i386__)
+constexpr WideOps kSse2Ops = {&MatchSse2, &AnySse2};
+constexpr WideOps kAvx2Ops = {&MatchAvx2, &AnyAvx2};
+#endif
+#if defined(__aarch64__)
+constexpr WideOps kNeonOps = {&MatchNeon, &AnyNeon};
+#endif
+
+ProbeArm DetectBestArm() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return ProbeArm::kAvx2;
+  if (__builtin_cpu_supports("sse2")) return ProbeArm::kSse2;
+  return ProbeArm::kSwar;
+#elif defined(__aarch64__)
+  return ProbeArm::kNeon;
+#else
+  return ProbeArm::kSwar;
+#endif
+}
+
+/// Startup resolution: CMake force > environment > CPU detection. Invalid
+/// or unsupported requests silently fall back to detection — a binary built
+/// with a forced arm must still run on machines without that ISA.
+ProbeArm ResolveStartupArm() noexcept {
+#ifdef VCF_FORCE_PROBE_ARM
+  {
+    ProbeArm a;
+    if (ParseProbeArm(VCF_FORCE_PROBE_ARM, &a) && ProbeArmSupported(a)) {
+      return a;
+    }
+  }
+#endif
+  if (const char* env = std::getenv("VCF_PROBE_ARM")) {
+    ProbeArm a;
+    if (ParseProbeArm(env, &a) && ProbeArmSupported(a)) return a;
+  }
+  return DetectBestArm();
+}
+
+ProbeArm g_active_arm = ResolveStartupArm();
+
+}  // namespace
+
+void BuildWideGeometry(unsigned slots, unsigned slot_bits, WideGeometry* g) {
+  *g = WideGeometry{};
+  g->slots = slots;
+  g->slot_bits = slot_bits;
+  g->slot_mask = LowMask(slot_bits);
+  g->valid = (1u << slots) - 1;
+  for (unsigned ph = 0; ph < 8; ++ph) {
+    WidePhase& p = g->phase[ph];
+    p.words = static_cast<std::uint8_t>((ph + slots * slot_bits + 63u) / 64u);
+    for (unsigned i = 0; i < slots; ++i) {
+      const unsigned q = ph + i * slot_bits;  // slot's low bit, from base
+      p.ext_byte[i] = static_cast<std::uint16_t>(q >> 3);
+      p.ext_shift[i] = static_cast<std::uint8_t>(q & 7u);
+      p.shifts[i] = q & 7u;
+      if ((q >> 6) != ((q + slot_bits - 1) >> 6)) {
+        p.straddlers |= 1u << i;
+      }
+    }
+    for (unsigned w = 0; w < p.words; ++w) {
+      unsigned first = 0;
+      unsigned count = 0;
+      unsigned start = 0;  // bit offset of the first whole lane within word w
+      for (unsigned i = 0; i < slots; ++i) {
+        const unsigned q = ph + i * slot_bits;
+        if ((q >> 6) != w || (p.straddlers >> i) & 1u) continue;
+        if (count == 0) {
+          first = i;
+          start = q & 63u;
+        }
+        const unsigned lane = q & 63u;
+        p.ones[w] |= std::uint64_t{1} << lane;
+        p.highs[w] |= std::uint64_t{1} << (lane + slot_bits - 1);
+        ++count;
+      }
+      p.lows[w] = p.highs[w] - p.ones[w];
+      p.first_slot[w] = static_cast<std::uint8_t>(first);
+      p.lane_count[w] = static_cast<std::uint8_t>(count);
+      if (count > 0) {
+        p.compress_shift[w] = static_cast<std::uint8_t>(start + slot_bits - 1);
+        p.collect_shift[w] =
+            static_cast<std::uint8_t>((count - 1) * (slot_bits - 1));
+        for (unsigned i = 0; i < count; ++i) {
+          p.compress_mul[w] |= std::uint64_t{1} << (i * (slot_bits - 1));
+        }
+      }
+    }
+  }
+}
+
+bool ProbeArmSupported(ProbeArm arm) noexcept {
+  switch (arm) {
+    case ProbeArm::kScalar:
+    case ProbeArm::kSwar:
+      return true;
+    case ProbeArm::kSse2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("sse2");
+#else
+      return false;
+#endif
+    case ProbeArm::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case ProbeArm::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+ProbeArm ActiveProbeArm() noexcept { return g_active_arm; }
+
+bool SetWideProbeArm(ProbeArm arm) noexcept {
+  if (!ProbeArmSupported(arm)) return false;
+  g_active_arm = arm;
+  return true;
+}
+
+const WideOps& ResolveWideOps(ProbeArm arm) noexcept {
+  switch (arm) {
+    case ProbeArm::kScalar:
+      return kScalarOps;
+    case ProbeArm::kSwar:
+      return kSwarOps;
+#if defined(__x86_64__) || defined(__i386__)
+    case ProbeArm::kSse2:
+      return kSse2Ops;
+    case ProbeArm::kAvx2:
+      return kAvx2Ops;
+#endif
+#if defined(__aarch64__)
+    case ProbeArm::kNeon:
+      return kNeonOps;
+#endif
+    default:
+      return kScalarOps;
+  }
+}
+
+const char* ProbeArmName(ProbeArm arm) noexcept {
+  switch (arm) {
+    case ProbeArm::kScalar: return "scalar";
+    case ProbeArm::kSwar: return "swar";
+    case ProbeArm::kSse2: return "sse2";
+    case ProbeArm::kAvx2: return "avx2";
+    case ProbeArm::kNeon: return "neon";
+  }
+  return "?";
+}
+
+bool ParseProbeArm(const char* name, ProbeArm* arm) noexcept {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "auto") == 0) {
+    *arm = DetectBestArm();
+    return true;
+  }
+  for (ProbeArm a : {ProbeArm::kScalar, ProbeArm::kSwar, ProbeArm::kSse2,
+                     ProbeArm::kAvx2, ProbeArm::kNeon}) {
+    if (std::strcmp(name, ProbeArmName(a)) == 0) {
+      *arm = a;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace vcf

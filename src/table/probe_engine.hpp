@@ -1,0 +1,162 @@
+// Wide-bucket probe engine: vectorized membership probes for buckets wider
+// than one 64-bit word (65..256 bits), the regime the single-word SWAR path
+// in PackedTable cannot reach. The paper's Fig. 4/6 sweep (f = 7..18)
+// combined with b = 8 slots, and every k-VCF config whose slot carries mark
+// bits, lands here — previously these fell back to the per-slot scalar loop.
+//
+// Design: kernels read the bucket's raw bytes in place — no intermediate
+// bucket image is materialized. A bucket's bit offset is split into a byte
+// base and a sub-byte phase (0..7); for each of the eight phases the
+// geometry precomputes per-slot extraction tables (byte offset + shift, so
+// extracting slot i is one unaligned load, one shift and one mask) and
+// per-word SWAR lane constants over the byte-aligned words covering the
+// bucket. Each arm provides two kernels:
+//
+//   match(bucket)  ->  bit i set iff (slot_i & mask) == want
+//   any(buckets[]) ->  does any slot of any candidate bucket match?
+//
+// The match mask is the engine's universal primitive: probing want == 0,
+// mask == slot_mask yields the empty-slot mask (find-empty), and
+// `match(want, mask) & ~match(0, slot_mask)` is the masked-probe rule that
+// refuses to treat empty slots as matches. The fused `any` kernel is the
+// lookup hot path — it hoists per-call setup (vector broadcasts) across all
+// candidate buckets of a Contains and exits on the first hit. Kernels may
+// read up to kWideImageWords * 8 bytes from each bucket's byte base; the
+// table's trailing slack guarantees those reads stay in bounds.
+//
+// Kernels (the dispatch "arms"):
+//   kScalar  - branch-free extract-and-compare loop (portable reference)
+//   kSwar    - multi-word SWAR: zero-lane detection run per raw word over
+//              the lanes wholly inside it, straddling slots handled by
+//              extraction (portable, the fallback on unknown ISAs)
+//   kSse2    - register-built 2-lane vector equality (x86-64 baseline)
+//   kAvx2    - 4-lane variable-shift extraction (vpsrlvq) + 64-bit vector
+//              equality (runtime-detected)
+//   kNeon    - register-built 2-lane vector equality (aarch64 baseline)
+//
+// The arm is chosen once at startup: VCF_FORCE_PROBE_ARM (CMake compile
+// definition) > VCF_PROBE_ARM (environment) > best ISA the CPU reports.
+// Tests may override per-construction via SetWideProbeArm (not thread-safe;
+// single-threaded setup only), which is how the differential suite runs
+// every arm against the scalar oracle on one host.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vcf {
+
+/// Dispatch arms for the wide-bucket probe kernel.
+enum class ProbeArm : std::uint8_t { kScalar, kSwar, kSse2, kAvx2, kNeon };
+
+/// Kernel read window in u64 words from the bucket's byte base: 7 phase bits
+/// plus 256 bucket bits span at most ceil(263 / 64) = 5 byte-aligned words.
+/// Wide tables carry this much trailing slack.
+inline constexpr unsigned kWideImageWords = 5;
+
+/// Widest bucket the engine accepts; wider buckets stay on the scalar loop.
+inline constexpr unsigned kWideMaxBits = 256;
+
+/// Most slots the engine accepts (b = 8 is the paper's widest geometry; the
+/// per-word SWAR compress multiply is proven carry-free for b <= 8).
+inline constexpr unsigned kWideMaxSlots = 8;
+
+/// Phase-specific constants: everything a kernel needs for buckets whose bit
+/// offset is congruent to this phase mod 8.
+struct WidePhase {
+  // Per-slot extraction: slot i is
+  //   (Load64(base + ext_byte[i]) >> ext_shift[i]) & slot_mask
+  // (unaligned 8-byte load; slot_bits <= 57 guarantees the slot fits the
+  // loaded window for any shift in 0..7).
+  std::uint16_t ext_byte[kWideMaxSlots] = {};
+  std::uint8_t ext_shift[kWideMaxSlots] = {};
+  // ext_shift widened to one u64 per slot, in extraction order — loadable
+  // directly as vector shift counts (AVX2 vpsrlvq).
+  std::uint64_t shifts[kWideMaxSlots] = {};
+
+  // Per-word SWAR lane sets over the raw byte-aligned words
+  // Load64(base + 8w), w < words. The slots wholly contained in word w form
+  // consecutive lanes starting at slot first_slot[w]; `ones/lows/highs` are
+  // the SwarZeroLanes masks for those (arbitrarily offset, evenly spaced)
+  // lanes — bits belonging to neighbouring buckets or straddlers are simply
+  // not covered by the masks. compress_shift/compress_mul/collect_shift map
+  // the zero-lane indicator bits to a dense low-order bitmask (see
+  // probe_engine.cpp).
+  std::uint64_t ones[kWideImageWords] = {};
+  std::uint64_t lows[kWideImageWords] = {};
+  std::uint64_t highs[kWideImageWords] = {};
+  std::uint64_t compress_mul[kWideImageWords] = {};
+  std::uint8_t compress_shift[kWideImageWords] = {};
+  std::uint8_t collect_shift[kWideImageWords] = {};
+  std::uint8_t first_slot[kWideImageWords] = {};
+  std::uint8_t lane_count[kWideImageWords] = {};
+
+  std::uint32_t straddlers = 0;  ///< slots crossing a raw-word boundary
+  std::uint8_t words = 0;        ///< raw words spanning phase + bucket bits
+};
+
+/// Construction-time constants describing one bucket geometry, precomputed
+/// once per PackedTable so the kernels are straight-line code.
+struct WideGeometry {
+  unsigned slots = 0;           ///< slots per bucket (2..kWideMaxSlots)
+  unsigned slot_bits = 0;       ///< bits per slot (1..57)
+  std::uint64_t slot_mask = 0;  ///< low slot_bits bits
+  std::uint32_t valid = 0;      ///< low `slots` bits (masks padding lanes)
+  WidePhase phase[8];           ///< indexed by the bucket bit offset mod 8
+};
+
+/// Match-mask kernel: bit i set iff (slot_i & mask) == want. `base` is the
+/// bucket's byte base (bit offset >> 3); `p` must be `g.phase[offset & 7]`.
+/// Probing want == 0, mask == slot_mask yields the empty-slot mask.
+using WideMatchFn = std::uint32_t (*)(const std::uint8_t* base,
+                                      const WideGeometry& g,
+                                      const WidePhase& p, std::uint64_t want,
+                                      std::uint64_t mask) noexcept;
+
+/// Fused multi-candidate kernel: true iff any slot of any of the n buckets
+/// (byte base `bases[i]`, phase `phases[i]`) satisfies the match rule. When
+/// `masked`, empty slots never count as matches (the masked-probe rule —
+/// relevant when want == 0 under the mask). `want` must be pre-masked
+/// (`want == want & mask`, `mask` within slot_mask).
+using WideAnyFn = bool (*)(const std::uint8_t* const* bases,
+                           const std::uint8_t* phases, std::size_t n,
+                           const WideGeometry& g, std::uint64_t want,
+                           std::uint64_t mask, bool masked) noexcept;
+
+/// One dispatch arm's kernel set.
+struct WideOps {
+  WideMatchFn match;
+  WideAnyFn any;
+};
+
+/// Fills `g` for a (slots, slot_bits) geometry. Preconditions: slots in
+/// [2, kWideMaxSlots], slots * slot_bits in (64, kWideMaxBits].
+void BuildWideGeometry(unsigned slots, unsigned slot_bits, WideGeometry* g);
+
+/// True when this build/CPU can run `arm` (kScalar/kSwar are always
+/// runnable; ISA arms require both compile-time support and CPU features).
+bool ProbeArmSupported(ProbeArm arm) noexcept;
+
+/// The arm the process resolved at startup: the VCF_FORCE_PROBE_ARM compile
+/// definition, else the VCF_PROBE_ARM environment variable, else the best
+/// ISA the CPU supports. Unsupported or unparsable requests fall back to
+/// auto-detection.
+ProbeArm ActiveProbeArm() noexcept;
+
+/// Overrides the active arm for tables constructed afterwards. Returns
+/// false (and changes nothing) if the arm is unsupported here. Test/bench
+/// hook; not thread-safe — flip only in single-threaded setup code.
+bool SetWideProbeArm(ProbeArm arm) noexcept;
+
+/// Kernel set for `arm`; the arm must be supported. The reference outlives
+/// every table (it names a static table of function pointers).
+const WideOps& ResolveWideOps(ProbeArm arm) noexcept;
+
+/// Lower-case arm name ("avx2", "swar", ...), for labels and logs.
+const char* ProbeArmName(ProbeArm arm) noexcept;
+
+/// Parses an arm name as spelled by ProbeArmName, plus "auto" which yields
+/// the detected best arm. Returns false on unknown names.
+bool ParseProbeArm(const char* name, ProbeArm* arm) noexcept;
+
+}  // namespace vcf

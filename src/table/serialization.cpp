@@ -28,21 +28,21 @@ bool Take(std::istream& in, T& v) {
   return static_cast<bool>(in);
 }
 
-std::uint64_t Checksum(const std::vector<std::uint8_t>& bytes) {
+std::uint64_t Checksum(const std::uint8_t* bytes, std::size_t size) {
   std::uint64_t h = 0x9E3779B97F4A7C15ULL;
   std::size_t i = 0;
-  while (i + 8 <= bytes.size()) {
+  while (i + 8 <= size) {
     std::uint64_t w;
-    std::memcpy(&w, bytes.data() + i, 8);
+    std::memcpy(&w, bytes + i, 8);
     h = Mix64(h ^ w);
     i += 8;
   }
   std::uint64_t tail = 0;
-  if (i < bytes.size()) {
-    std::memcpy(&tail, bytes.data() + i, bytes.size() - i);
+  if (i < size) {
+    std::memcpy(&tail, bytes + i, size - i);
     h = Mix64(h ^ tail);
   }
-  return Mix64(h ^ bytes.size());
+  return Mix64(h ^ size);
 }
 
 }  // namespace
@@ -53,16 +53,43 @@ bool TableCodec::Save(const PackedTable& table, std::ostream& out) {
     out.setstate(std::ios::failbit);
     return false;
   }
+  // The payload is CANONICAL: packed-layout slot bytes plus 8 zero slack
+  // bytes, independent of the table's in-memory layout (cache-aligned
+  // padding) and probe-path slack. Checkpoints are therefore byte-identical
+  // across layouts and probe arms, and the format is unchanged from the
+  // pre-wide-engine one.
+  const std::uint64_t total_bits =
+      static_cast<std::uint64_t>(table.bucket_count_) *
+      table.slots_per_bucket_ * table.slot_bits_;
+  const std::uint64_t payload = (total_bits + 7) / 8 + 8;
   out.write(kMagic, sizeof(kMagic));
   Put(out, kVersion);
   Put(out, static_cast<std::uint64_t>(table.bucket_count_));
   Put(out, static_cast<std::uint32_t>(table.slots_per_bucket_));
   Put(out, static_cast<std::uint32_t>(table.slot_bits_));
   Put(out, static_cast<std::uint64_t>(table.occupied_));
-  Put(out, static_cast<std::uint64_t>(table.bits_.size()));
-  out.write(reinterpret_cast<const char*>(table.bits_.data()),
-            static_cast<std::streamsize>(table.bits_.size()));
-  Put(out, Checksum(table.bits_));
+  Put(out, payload);
+  if (table.stride_bits_ == table.bucket_bits_) {
+    // Packed in-memory layout: the live prefix of bits_ IS the canonical
+    // payload (slot bytes + zero slack).
+    out.write(reinterpret_cast<const char*>(table.bits_.data()),
+              static_cast<std::streamsize>(payload));
+    Put(out, Checksum(table.bits_.data(),
+                      static_cast<std::size_t>(payload)));
+  } else {
+    // Aligned in-memory layout: re-pack the slots densely.
+    std::vector<std::uint8_t> canon(static_cast<std::size_t>(payload), 0);
+    std::size_t off = 0;
+    for (std::size_t b = 0; b < table.bucket_count_; ++b) {
+      for (unsigned s = 0; s < table.slots_per_bucket_; ++s) {
+        WriteBits(canon.data(), off, table.slot_bits_, table.Get(b, s));
+        off += table.slot_bits_;
+      }
+    }
+    out.write(reinterpret_cast<const char*>(canon.data()),
+              static_cast<std::streamsize>(canon.size()));
+    Put(out, Checksum(canon.data(), canon.size()));
+  }
   return static_cast<bool>(out);
 }
 
@@ -118,10 +145,15 @@ std::optional<PackedTable> TableCodec::Load(std::istream& in) {
   } catch (const std::bad_alloc&) {
     return std::nullopt;
   }
+  // bits_ may carry extra probe-engine slack beyond the canonical payload
+  // (wide-capable geometries); the payload fills the live prefix and the
+  // slack stays zero, exactly as construction left it.
   in.read(reinterpret_cast<char*>(table->bits_.data()),
           static_cast<std::streamsize>(payload));
   std::uint64_t checksum = 0;
-  if (!in || !Take(in, checksum) || checksum != Checksum(table->bits_)) {
+  if (!in || !Take(in, checksum) ||
+      checksum != Checksum(table->bits_.data(),
+                           static_cast<std::size_t>(payload))) {
     return std::nullopt;
   }
   table->occupied_ = static_cast<std::size_t>(occupied);

@@ -60,11 +60,15 @@ TEST(MortonTest, InvariantsHoldThroughFillAndDrain) {
   std::vector<std::uint64_t> stored;
   for (const auto k : UniformKeys(f.SlotCount() * 8 / 10, 1402)) {
     if (f.Insert(k)) stored.push_back(k);
-    if (stored.size() % 64 == 0) ASSERT_TRUE(f.CheckInvariants());
+    if (stored.size() % 64 == 0) {
+      ASSERT_TRUE(f.CheckInvariants());
+    }
   }
   for (std::size_t i = 0; i < stored.size(); ++i) {
     ASSERT_TRUE(f.Erase(stored[i])) << i;
-    if (i % 64 == 0) ASSERT_TRUE(f.CheckInvariants());
+    if (i % 64 == 0) {
+      ASSERT_TRUE(f.CheckInvariants());
+    }
   }
   EXPECT_EQ(f.ItemCount(), 0u);
   EXPECT_TRUE(f.CheckInvariants());

@@ -35,7 +35,9 @@ TEST(KVcfTest, SlotWidthIncludesMarkField) {
   CuckooParams p = SmallParams();
   KVcf f(p, 7);
   const std::size_t bits = p.slot_count() * (p.fingerprint_bits + 3);
-  EXPECT_EQ(f.MemoryBytes(), (bits + 7) / 8 + 8);
+  // 17-bit slots x 4 make a 68-bit (wide-capable) bucket, so the table
+  // carries a full probe-image of slack rather than the base 8 bytes.
+  EXPECT_EQ(f.MemoryBytes(), (bits + 7) / 8 + kWideImageWords * 8);
 }
 
 TEST(KVcfTest, InsertLookupEraseBasics) {

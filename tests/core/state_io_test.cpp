@@ -127,5 +127,106 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// ---------------------------------------------------------------------------
+// Cross-layout checkpoints: TableCodec blobs are canonical packed-layout
+// bytes, so a checkpoint taken by a cache-aligned filter must restore into a
+// packed-layout filter of the same logical config, and vice versa — the
+// layout is a performance knob, not part of the filter's identity.
+
+std::vector<FilterSpec> TableBackedSpecs() {
+  CuckooParams p;
+  p.bucket_count = 1 << 8;
+  return {
+      {FilterSpec::Kind::kCF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kVCF, 0, p, 12.0, 0},
+      {FilterSpec::Kind::kIVCF, 3, p, 12.0, 0},
+      {FilterSpec::Kind::kDVCF, 5, p, 12.0, 0},
+      {FilterSpec::Kind::kKVCF, 6, p, 12.0, 0},
+  };
+}
+
+class CrossLayoutStateIoTest : public ::testing::TestWithParam<FilterSpec> {};
+
+TEST_P(CrossLayoutStateIoTest, AlignedAndPackedCheckpointsInteroperate) {
+  FilterSpec aligned_spec = GetParam();
+  aligned_spec.aligned = true;
+  const FilterSpec packed_spec = GetParam();
+
+  auto donor = MakeFilter(aligned_spec);
+  std::vector<std::uint64_t> stored;
+  for (const auto k : UniformKeys(donor->SlotCount() / 2, 81)) {
+    if (donor->Insert(k)) stored.push_back(k);
+  }
+  std::stringstream blob;
+  ASSERT_TRUE(donor->SaveState(blob)) << donor->Name();
+
+  // aligned -> packed
+  auto packed = MakeFilter(packed_spec);
+  ASSERT_TRUE(packed->LoadState(blob)) << packed->Name();
+  EXPECT_EQ(packed->ItemCount(), donor->ItemCount());
+  for (const auto k : stored) ASSERT_TRUE(packed->Contains(k));
+  for (const auto a : UniformKeys(3000, 82)) {
+    ASSERT_EQ(packed->Contains(a), donor->Contains(a));
+  }
+
+  // packed -> aligned
+  std::stringstream blob2;
+  ASSERT_TRUE(packed->SaveState(blob2));
+  auto restored = MakeFilter(aligned_spec);
+  ASSERT_TRUE(restored->LoadState(blob2)) << restored->Name();
+  for (const auto k : stored) ASSERT_TRUE(restored->Contains(k));
+  // A restored aligned filter keeps working.
+  EXPECT_TRUE(restored->Insert(0xFEEDBEEF));
+  EXPECT_TRUE(restored->Contains(0xFEEDBEEF));
+}
+
+TEST_P(CrossLayoutStateIoTest, BlobsAreLayoutInvariant) {
+  // The same insert stream through both layouts serializes to byte-identical
+  // state — the acceptance bar for the SIMD/layout work: no observable
+  // change to persistent state.
+  FilterSpec aligned_spec = GetParam();
+  aligned_spec.aligned = true;
+  auto a = MakeFilter(aligned_spec);
+  auto b = MakeFilter(GetParam());
+  for (const auto k : UniformKeys(a->SlotCount() / 2, 83)) {
+    ASSERT_EQ(a->Insert(k), b->Insert(k));
+  }
+  std::stringstream blob_a, blob_b;
+  ASSERT_TRUE(a->SaveState(blob_a));
+  ASSERT_TRUE(b->SaveState(blob_b));
+  EXPECT_EQ(blob_a.str(), blob_b.str()) << a->Name();
+}
+
+TEST_P(CrossLayoutStateIoTest, ShardedAlignedRoundTrip) {
+  // Layout composes with the sharded wrapper: every shard's table converts.
+  FilterSpec sharded_aligned = GetParam();
+  sharded_aligned.shards = 2;
+  sharded_aligned.aligned = true;
+  FilterSpec sharded_packed = GetParam();
+  sharded_packed.shards = 2;
+
+  auto donor = MakeFilter(sharded_aligned);
+  std::vector<std::uint64_t> stored;
+  for (const auto k : UniformKeys(donor->SlotCount() / 2, 84)) {
+    if (donor->Insert(k)) stored.push_back(k);
+  }
+  std::stringstream blob;
+  ASSERT_TRUE(donor->SaveState(blob));
+  auto restored = MakeFilter(sharded_packed);
+  ASSERT_TRUE(restored->LoadState(blob)) << restored->Name();
+  for (const auto k : stored) ASSERT_TRUE(restored->Contains(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableBacked, CrossLayoutStateIoTest,
+    ::testing::ValuesIn(TableBackedSpecs()),
+    [](const ::testing::TestParamInfo<FilterSpec>& info) {
+      std::string name = info.param.DisplayName();
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
 }  // namespace
 }  // namespace vcf

@@ -155,6 +155,75 @@ TEST(VcfdRestart, NoAckedKeyLostAcrossSigterm) {
   std::remove(state.c_str());
 }
 
+TEST(VcfdRestart, AlignedCheckpointRestoresIntoPackedLayout) {
+  // The SNAPSHOT/state path is layout-portable: a checkpoint written by an
+  // aligned-layout server restores into a packed-layout server (and back),
+  // because TableCodec emits canonical packed bytes for either layout.
+  const std::string state =
+      (std::filesystem::temp_directory_path() /
+       ("vcfd_aligned_" + std::to_string(::getpid()) + ".state"))
+          .string();
+  std::remove(state.c_str());
+
+  std::vector<std::uint64_t> acked;
+  {
+    VcfdProcess daemon;
+    ASSERT_TRUE(SpawnVcfd({"--filter=aligned:vcf", "--slots_log2=14",
+                           "--state=" + state},
+                          daemon));
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", daemon.port)) << c.last_error();
+    std::vector<std::uint64_t> batch;
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+      batch.push_back(UniformKeyAt(31, i));
+    }
+    std::vector<char> results(batch.size());
+    bool ok = false;
+    c.InsertBatch(batch, reinterpret_cast<bool*>(results.data()), &ok);
+    ASSERT_TRUE(ok) << c.last_error();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (results[i]) acked.push_back(batch[i]);
+    }
+    ASSERT_GT(acked.size(), 3000u);
+    TerminateGracefully(daemon);
+  }
+
+  ASSERT_TRUE(std::filesystem::exists(state));
+  // Restart with the PACKED layout over the aligned checkpoint.
+  {
+    VcfdProcess daemon;
+    ASSERT_TRUE(SpawnVcfd(
+        {"--filter=vcf", "--slots_log2=14", "--state=" + state}, daemon));
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", daemon.port)) << c.last_error();
+    std::vector<char> results(acked.size());
+    ASSERT_TRUE(c.LookupBatch(acked, reinterpret_cast<bool*>(results.data())))
+        << c.last_error();
+    for (std::size_t i = 0; i < acked.size(); ++i) {
+      ASSERT_TRUE(results[i]) << "key " << i << " lost in aligned->packed";
+    }
+    TerminateGracefully(daemon);
+  }
+  // And back: the packed server rewrote the checkpoint on shutdown; an
+  // aligned server picks it up.
+  {
+    VcfdProcess daemon;
+    ASSERT_TRUE(SpawnVcfd({"--filter=aligned:vcf", "--slots_log2=14",
+                           "--state=" + state},
+                          daemon));
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", daemon.port)) << c.last_error();
+    std::vector<char> results(acked.size());
+    ASSERT_TRUE(c.LookupBatch(acked, reinterpret_cast<bool*>(results.data())))
+        << c.last_error();
+    for (std::size_t i = 0; i < acked.size(); ++i) {
+      ASSERT_TRUE(results[i]) << "key " << i << " lost in packed->aligned";
+    }
+    TerminateGracefully(daemon);
+  }
+  std::remove(state.c_str());
+}
+
 TEST(VcfdRestart, RefusesCorruptStateUnlessOverridden) {
   const std::string state =
       (std::filesystem::temp_directory_path() /

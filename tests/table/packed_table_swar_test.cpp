@@ -1,9 +1,14 @@
-// Differential test for the word-at-a-time SWAR probe path: every probe
-// operation must agree bit-for-bit with the scalar reference loop across
-// the full geometry space — slot widths 1..57 x bucket sizes {1,2,4,8},
-// including the single-load (<= 57 bucket bits), two-load (58..64) and
-// scalar-fallback (> 64) regimes, non-power-of-two bucket counts and the
-// last bucket of the table (whose word read leans on the +8 byte slack).
+// Differential test for the fast probe paths — the word-at-a-time SWAR path
+// and the wide-bucket probe engine (every dispatch arm) — against the scalar
+// reference loop, across the full geometry space: slot widths 1..57 x bucket
+// sizes {1,2,4,8}, including the single-load (<= 57 bucket bits), two-load
+// (58..64), wide (65..256) and scalar-fallback regimes, both bucket layouts
+// (packed and cache-aligned), non-power-of-two bucket counts and the last
+// bucket of the table (whose reads lean on the trailing slack).
+//
+// Each run also proves serialization is canonical: the fast-path table and
+// the forced-scalar oracle must produce byte-identical TableCodec blobs,
+// regardless of probe arm or in-memory layout.
 //
 // Runs in the regular test suite and therefore in the ASan+UBSan CI matrix,
 // which is where a mis-sized unaligned load would trip.
@@ -12,10 +17,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/bitops.hpp"
 #include "common/random.hpp"
+#include "table/probe_engine.hpp"
+#include "table/serialization.hpp"
 
 namespace vcf {
 namespace {
@@ -28,25 +37,55 @@ class ScopedForceScalar {
   ~ScopedForceScalar() { PackedTable::ForceScalarProbes(false); }
 };
 
+/// RAII guard pinning the wide-engine dispatch arm for tables constructed
+/// in scope; restores the startup arm on exit.
+class ScopedProbeArm {
+ public:
+  explicit ScopedProbeArm(ProbeArm arm) : prev_(ActiveProbeArm()) {
+    EXPECT_TRUE(SetWideProbeArm(arm)) << "arm " << ProbeArmName(arm);
+  }
+  ~ScopedProbeArm() { SetWideProbeArm(prev_); }
+
+ private:
+  ProbeArm prev_;
+};
+
+std::string CodecBlob(const PackedTable& t) {
+  std::ostringstream out;
+  EXPECT_TRUE(TableCodec::Save(t, out));
+  return std::move(out).str();
+}
+
 /// Drives `ops` random operations through both tables, checking every
-/// return value and the final table equality, and cross-checks the SWAR
-/// table's fast path against its own scalar reference methods.
+/// return value and the final table equality, and cross-checks the fast
+/// table's probe path (SWAR or wide engine) against its own scalar
+/// reference methods plus the fused multi-candidate probes.
 void RunDifferential(std::size_t buckets, unsigned spb, unsigned slot_bits,
-                     int ops, std::uint64_t seed) {
+                     int ops, std::uint64_t seed,
+                     TableLayout layout = TableLayout::kPacked) {
   SCOPED_TRACE("buckets=" + std::to_string(buckets) +
                " spb=" + std::to_string(spb) +
-               " slot_bits=" + std::to_string(slot_bits));
-  PackedTable a(buckets, spb, slot_bits);
+               " slot_bits=" + std::to_string(slot_bits) + " layout=" +
+               (layout == TableLayout::kPacked ? "packed" : "aligned") +
+               " arm=" + ProbeArmName(ActiveProbeArm()));
+  PackedTable a(buckets, spb, slot_bits, layout);
   ScopedForceScalar guard(true);
   PackedTable b(buckets, spb, slot_bits);
   PackedTable::ForceScalarProbes(false);
 
-  const bool swar_expected = spb >= 2 && spb * slot_bits <= 64;
+  const unsigned bucket_bits = spb * slot_bits;
+  const bool swar_expected = spb >= 2 && bucket_bits <= 64;
+  const bool wide_expected =
+      spb >= 2 && spb <= kWideMaxSlots && bucket_bits > 64 &&
+      bucket_bits <= kWideMaxBits;
   EXPECT_EQ(a.UsesSwarProbes(), swar_expected);
+  EXPECT_EQ(a.UsesWideProbes(), wide_expected);
   EXPECT_FALSE(b.UsesSwarProbes());
+  EXPECT_FALSE(b.UsesWideProbes());
 
   const std::uint64_t vmask = LowMask(slot_bits);
   Xoshiro256 rng(seed);
+  std::uint64_t cand[4];
   for (int op = 0; op < ops; ++op) {
     // Bias towards the last bucket so the slack-byte reads get exercised.
     const std::size_t bucket =
@@ -54,7 +93,7 @@ void RunDifferential(std::size_t buckets, unsigned spb, unsigned slot_bits,
     const std::uint64_t value = rng.Below(vmask) + 1;  // in [1, 2^sb - 1]
     const std::uint64_t probe = rng.Next() & vmask;  // may be 0
     const std::uint64_t mask = rng.Next() & vmask;   // may be 0
-    switch (rng.Below(6)) {
+    switch (rng.Below(8)) {
       case 0: {
         EXPECT_EQ(a.InsertValue(bucket, value), b.InsertValue(bucket, value));
         break;
@@ -81,15 +120,36 @@ void RunDifferential(std::size_t buckets, unsigned spb, unsigned slot_bits,
         EXPECT_EQ(a.EraseValue(bucket, probe), b.EraseValue(bucket, probe));
         break;
       }
-      default: {
+      case 5: {
         EXPECT_EQ(a.EraseMasked(bucket, probe, mask),
                   b.EraseMasked(bucket, probe, mask));
+        break;
+      }
+      default: {
+        // Fused multi-candidate probes (possibly with duplicate buckets,
+        // as degenerate VCF candidate sets produce) against the sequential
+        // scalar equivalents.
+        const std::size_t n = rng.Below(4) + 1;
+        bool any_value = false;
+        bool any_masked = false;
+        for (std::size_t i = 0; i < n; ++i) {
+          cand[i] = rng.Below(8) == 0 ? buckets - 1 : rng.Below(buckets);
+          any_value = any_value || a.ContainsValueScalar(cand[i], probe);
+          any_masked = any_masked || a.ContainsMaskedScalar(cand[i], probe, mask);
+        }
+        EXPECT_EQ(a.ContainsValueAny(cand, n, probe), any_value);
+        EXPECT_EQ(a.ContainsMaskedAny(cand, n, probe, mask), any_masked);
+        EXPECT_EQ(b.ContainsValueAny(cand, n, probe), any_value);
+        EXPECT_EQ(b.ContainsMaskedAny(cand, n, probe, mask), any_masked);
         break;
       }
     }
   }
   EXPECT_EQ(a.OccupiedSlots(), b.OccupiedSlots());
   EXPECT_TRUE(a == b);
+  // Serialization is canonical: identical blobs regardless of the probe
+  // path taken and of the in-memory bucket layout.
+  EXPECT_EQ(CodecBlob(a), CodecBlob(b));
 }
 
 TEST(PackedTableSwarTest, FullGeometrySweepAgainstScalarReference) {
@@ -100,6 +160,45 @@ TEST(PackedTableSwarTest, FullGeometrySweepAgainstScalarReference) {
       RunDifferential(/*buckets=*/37, spb, sb, /*ops=*/300,
                       /*seed=*/0x5EED0000ULL + spb * 100 + sb);
     }
+  }
+}
+
+TEST(PackedTableSwarTest, FullGeometrySweepEveryProbeArm) {
+  // The wide engine's dispatch arms must be interchangeable: re-run the
+  // full geometry sweep under every arm this host can execute, on both
+  // layouts. (Sub-64-bit geometries don't consult the arm; they ride along
+  // as regression ballast at low cost.)
+  for (ProbeArm arm : {ProbeArm::kScalar, ProbeArm::kSwar, ProbeArm::kSse2,
+                       ProbeArm::kAvx2, ProbeArm::kNeon}) {
+    if (!ProbeArmSupported(arm)) continue;
+    ScopedProbeArm pin(arm);
+    for (TableLayout layout : {TableLayout::kPacked, TableLayout::kCacheAligned}) {
+      for (unsigned spb : {1u, 2u, 4u, 8u}) {
+        for (unsigned sb = 1; sb <= 57; ++sb) {
+          RunDifferential(/*buckets=*/37, spb, sb, /*ops=*/120,
+                          /*seed=*/0xA2100000ULL + spb * 100 + sb, layout);
+        }
+      }
+    }
+  }
+}
+
+TEST(PackedTableSwarTest, WideGeometryDeepDive) {
+  // The widest supported buckets and the boundary cases around them, under
+  // the startup arm: 65 bits (just past SWAR), 256 bits (engine limit),
+  // straddler-heavy odd widths.
+  struct Geometry { unsigned spb, sb; };
+  for (const auto [spb, sb] :
+       {Geometry{2, 33}, Geometry{2, 57}, Geometry{4, 17}, Geometry{4, 33},
+        Geometry{4, 57}, Geometry{8, 9}, Geometry{8, 13}, Geometry{8, 17},
+        Geometry{8, 32}}) {
+    ASSERT_GT(spb * sb, 64u);
+    ASSERT_LE(spb * sb, kWideMaxBits);
+    RunDifferential(/*buckets=*/129, spb, sb, /*ops=*/2000,
+                    /*seed=*/0x51DEULL + spb * 1000 + sb);
+    RunDifferential(/*buckets=*/129, spb, sb, /*ops=*/2000,
+                    /*seed=*/0x51DFULL + spb * 1000 + sb,
+                    TableLayout::kCacheAligned);
   }
 }
 
@@ -166,6 +265,63 @@ TEST(PackedTableSwarTest, MaskedProbesIgnoreEmptySlots) {
   EXPECT_TRUE(t.ContainsMasked(3, 0x10, 0x0F));
   EXPECT_EQ(t.EraseMasked(3, 0x10, 0x0F), 0x30u);
   EXPECT_EQ(t.OccupiedSlots(), 0u);
+}
+
+TEST(PackedTableSwarTest, WideMaskedProbesIgnoreEmptySlots) {
+  // Same empty-slot semantics on the wide path (17-bit slots, 68-bit
+  // bucket — the k-VCF default geometry).
+  PackedTable t(8, 4, 17);
+  ASSERT_TRUE(t.UsesWideProbes());
+  // Mask selects the low-16 "fingerprint" field; a slot holding only the
+  // mark bit (0x10000) has a zero fp field — the same bits under the mask
+  // as an empty lane.
+  EXPECT_FALSE(t.ContainsMasked(3, 0x20000, 0xFFFF));  // want == 0, empty
+  EXPECT_EQ(t.EraseMasked(3, 0x20000, 0xFFFF), 0u);
+  ASSERT_TRUE(t.InsertValue(3, 0x10000));  // mark bit only, fp field == 0
+  EXPECT_TRUE(t.ContainsMasked(3, 0x20000, 0xFFFF));
+  EXPECT_EQ(t.EraseMasked(3, 0x20000, 0xFFFF), 0x10000u);
+  EXPECT_EQ(t.OccupiedSlots(), 0u);
+}
+
+TEST(PackedTableSwarTest, ProbeArmReporting) {
+  // probe_arm() reflects the path actually taken: the dispatch arm for wide
+  // tables (captured at construction), kSwar/kScalar otherwise.
+  PackedTable narrow(8, 4, 14);
+  EXPECT_EQ(narrow.probe_arm(), ProbeArm::kSwar);
+  PackedTable single(8, 1, 14);
+  EXPECT_EQ(single.probe_arm(), ProbeArm::kScalar);
+  PackedTable wide(8, 4, 17);
+  EXPECT_EQ(wide.probe_arm(), ActiveProbeArm());
+  const ProbeArm construction_arm = wide.probe_arm();
+  {
+    ScopedProbeArm pin(ProbeArm::kSwar);
+    PackedTable pinned(8, 4, 17);
+    EXPECT_EQ(pinned.probe_arm(), ProbeArm::kSwar);
+    // The arm is captured per table: `wide` keeps its construction arm.
+    EXPECT_EQ(wide.probe_arm(), construction_arm);
+  }
+  // Unsupported arms are rejected without changing the active arm.
+#if !defined(__aarch64__)
+  const ProbeArm before = ActiveProbeArm();
+  EXPECT_FALSE(SetWideProbeArm(ProbeArm::kNeon));
+  EXPECT_EQ(ActiveProbeArm(), before);
+#endif
+}
+
+TEST(PackedTableSwarTest, AlignedLayoutGeometry) {
+  // Stride is the next power of two and buckets never straddle a 64-byte
+  // cache line; storage grows accordingly and contents stay equal.
+  PackedTable packed(37, 4, 14);
+  PackedTable aligned(37, 4, 14, TableLayout::kCacheAligned);
+  EXPECT_EQ(packed.stride_bits(), 56u);
+  EXPECT_EQ(aligned.stride_bits(), 64u);
+  EXPECT_EQ(aligned.layout(), TableLayout::kCacheAligned);
+  EXPECT_GT(aligned.StorageBytes(), packed.StorageBytes());
+  for (std::uint64_t v = 1; v <= 37; ++v) {
+    ASSERT_EQ(packed.InsertValue(v % 37, v), aligned.InsertValue(v % 37, v));
+  }
+  EXPECT_TRUE(packed == aligned);  // layout-agnostic content equality
+  EXPECT_EQ(CodecBlob(packed), CodecBlob(aligned));
 }
 
 }  // namespace
