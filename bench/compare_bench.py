@@ -1,15 +1,25 @@
 #!/usr/bin/env python3
-"""Compare a fresh BENCH_micro.json against a checked-in baseline.
+"""Compare a fresh bench JSON against a checked-in baseline.
 
-Both files use the micro_ops side-file schema (docs/performance.md): a JSON
-array of runs, each with at least {"name", "ns_per_op", "items_per_second"}.
-Runs are matched by "name"; a run is flagged as a regression when its fresh
-ns_per_op exceeds baseline * (1 + tolerance).
+Two schemas are understood (auto-detected per file):
+  - micro_ops side files (docs/performance.md): a JSON array of runs, each
+    with at least {"name", "ns_per_op", "items_per_second"}. Runs are
+    matched by "name"; lower ns_per_op is better.
+  - vcfd/vcf_loadgen server reports (BENCH_server.json): a JSON object with
+    "totals"/"lookup"/"insert" sections of scalar metrics. Metrics are
+    matched by "<section>.<key>"; throughput-style metrics ("throughput",
+    "ops_s", "per_second") are higher-is-better, everything else (latency
+    percentiles, counts of failures) lower-is-better.
+
+A run is flagged as a regression when its fresh value is worse than
+baseline * (1 + tolerance) in the metric's bad direction.
 
 Designed for CI smoke use where runners are noisy: the default tolerance is
 generous and the exit code is 0 even when regressions are found (they are
 printed as GitHub ::warning:: annotations). Pass --fail-on-regression to turn
-flagged regressions into a non-zero exit for local gating.
+flagged regressions into a non-zero exit for local gating. A missing or
+malformed BASELINE (common right after adding new bench rows) warns and
+exits 0 — only a broken FRESH file is treated as a tooling failure.
 
 Usage:
   bench/compare_bench.py FRESH BASELINE [--tolerance=0.5]
@@ -22,18 +32,41 @@ import sys
 
 
 def load_runs(path):
+    """Returns {metric_name: value} for either supported schema."""
     with open(path) as f:
-        runs = json.load(f)
-    if not isinstance(runs, list):
-        raise ValueError(f"{path}: expected a JSON array of runs")
+        data = json.load(f)
     out = {}
-    for run in runs:
-        name = run.get("name")
-        ns = run.get("ns_per_op")
-        if name is None or not isinstance(ns, (int, float)) or ns <= 0:
-            continue
-        out[name] = float(ns)
+    if isinstance(data, list):
+        # micro_ops schema: array of named runs.
+        for run in data:
+            if not isinstance(run, dict):
+                continue
+            name = run.get("name")
+            ns = run.get("ns_per_op")
+            if name is None or not isinstance(ns, (int, float)) or ns <= 0:
+                continue
+            out[name] = float(ns)
+    elif isinstance(data, dict):
+        # Server-report schema: flatten the perf sections ("config" and
+        # "server" describe the setup, not the result).
+        for section, metrics in data.items():
+            if section in ("config", "server") or not isinstance(metrics, dict):
+                continue
+            for key, value in metrics.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    out[f"{section}.{key}"] = float(value)
+        if not out:
+            raise ValueError(
+                f"{path}: no numeric metric sections found "
+                "(expected micro_ops runs or a server report with 'totals')")
+    else:
+        raise ValueError(
+            f"{path}: expected a JSON array of runs or a server report object")
     return out
+
+
+def higher_is_better(name):
+    return any(tag in name for tag in ("throughput", "ops_s", "per_second"))
 
 
 def main():
@@ -53,12 +86,19 @@ def main():
 
     try:
         fresh = load_runs(args.fresh)
-        base = load_runs(args.baseline)
     except (OSError, ValueError, json.JSONDecodeError) as e:
-        # A missing or malformed file is a tooling problem, not a perf
-        # regression — always fatal.
+        # A missing or malformed FRESH file means the bench itself broke —
+        # that stays fatal.
         print(f"compare_bench: {e}", file=sys.stderr)
         return 2
+    try:
+        base = load_runs(args.baseline)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        # A missing or malformed baseline is expected right after new bench
+        # rows or schema changes land: warn, never crash the pipeline.
+        print(f"::warning::compare_bench: baseline unusable, skipping "
+              f"comparison ({e})")
+        return 0
 
     common = sorted(set(fresh) & set(base))
     added = sorted(set(fresh) - set(base))
@@ -66,14 +106,19 @@ def main():
 
     regressions = []
     for name in common:
+        if base[name] <= 0:
+            continue  # e.g. totals.errors == 0: no meaningful ratio
         ratio = fresh[name] / base[name]
-        flag = ratio > 1.0 + args.tolerance
+        if higher_is_better(name):
+            flag = ratio < 1.0 / (1.0 + args.tolerance)
+        else:
+            flag = ratio > 1.0 + args.tolerance
         if flag:
             regressions.append((name, ratio))
         if not args.quiet or flag:
             marker = " <-- REGRESSION" if flag else ""
             print(f"  {name:48s} {base[name]:10.2f} -> {fresh[name]:10.2f} "
-                  f"ns/op  ({ratio:5.2f}x){marker}")
+                  f"({ratio:5.2f}x){marker}")
 
     if not args.quiet:
         for name in added:

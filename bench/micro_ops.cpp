@@ -105,6 +105,30 @@ void BM_Insert(benchmark::State& state) {
   state.SetLabel(TagName(tag) + " @" + std::to_string(load_pct) + "%");
 }
 
+void BM_InsertBfs(benchmark::State& state) {
+  // Same pinned-load insert/erase cycle as BM_Insert, under the kernel's
+  // opt-in breadth-first eviction (`bfs:` factory prefix): fewer table
+  // writes per insert, paid for with the move-graph search.
+  const int tag = static_cast<int>(state.range(0));
+  const int load_pct = static_cast<int>(state.range(1));
+  FilterSpec spec = SpecFor(tag);
+  spec.bfs = true;
+  auto filter = MakeFilter(spec);
+  Prefill(*filter, load_pct, 1);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const std::uint64_t key = UniformKeyAt(7, i++);
+    benchmark::DoNotOptimize(filter->Insert(key));
+    filter->Erase(key);
+  }
+  AttachPercentiles(state, [&](std::uint64_t s) {
+    const std::uint64_t key = UniformKeyAt(7, i + s);
+    benchmark::DoNotOptimize(filter->Insert(key));
+    filter->Erase(key);
+  });
+  state.SetLabel(spec.DisplayName() + " @" + std::to_string(load_pct) + "%");
+}
+
 void BM_LookupHit(benchmark::State& state) {
   const int tag = static_cast<int>(state.range(0));
   const int load_pct = static_cast<int>(state.range(1));
@@ -458,6 +482,7 @@ void SwarVariants(benchmark::internal::Benchmark* b) {
 }
 
 BENCHMARK(BM_Insert)->Apply(AllVariants);
+BENCHMARK(BM_InsertBfs)->Apply(AllVariants);
 BENCHMARK(BM_LookupHit)->Apply(AllVariants);
 BENCHMARK(BM_LookupMiss)->Apply(AllVariants);
 BENCHMARK(BM_Delete)->Apply(AllVariants);

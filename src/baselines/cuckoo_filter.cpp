@@ -1,9 +1,8 @@
 #include "baselines/cuckoo_filter.hpp"
 
-#include <algorithm>
 #include <stdexcept>
-#include <vector>
 
+#include "core/cuckoo_kernel.hpp"
 #include "core/state_io.hpp"
 
 namespace vcf {
@@ -42,131 +41,50 @@ std::uint64_t CuckooFilter::FingerprintHash(std::uint64_t fp) const noexcept {
          LowMask(params_.fingerprint_bits);
 }
 
-bool CuckooFilter::Insert(std::uint64_t key) {
-  ++counters_.inserts;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
-  const std::uint64_t b2 = AltBucket(b1, fh);
+CuckooFilter::Hashed CuckooFilter::HashKey(std::uint64_t key) const noexcept {
+  Hashed h;
+  h.fp = Fingerprint(key, &h.b1);
+  h.b2 = AltBucket(h.b1, FingerprintHash(h.fp));
+  return h;
+}
 
+bool CuckooFilter::TryPlaceDirect(const Hashed& h) noexcept {
   counters_.bucket_probes += 2;
-  if (table_.InsertValue(b1, fp) || table_.InsertValue(b2, fp)) {
+  if (table_.InsertValue(h.b1, h.fp) || table_.InsertValue(h.b2, h.fp)) {
     ++items_;
     return true;
   }
-  return InsertEvict(fp, b1, b2);
-}
-
-bool CuckooFilter::InsertEvict(std::uint64_t fp, std::uint64_t b1,
-                               std::uint64_t b2) {
-  struct Step {
-    std::uint64_t bucket;
-    unsigned slot;
-    std::uint64_t displaced;
-  };
-  std::vector<Step> path;
-  path.reserve(params_.max_kicks);
-
-  std::uint64_t cur = rng_.Next() & 1 ? b2 : b1;
-  for (unsigned s = 0; s < params_.max_kicks; ++s) {
-    const unsigned slot =
-        static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
-    const std::uint64_t victim = table_.Get(cur, slot);
-    table_.Set(cur, slot, fp);
-    path.push_back({cur, slot, victim});
-    fp = victim;
-    ++counters_.evictions;
-
-    // Partial-key cuckoo: the victim's only alternate bucket, one hash.
-    const std::uint64_t fh = FingerprintHash(fp);
-    cur = AltBucket(cur, fh);
-    ++counters_.bucket_probes;
-    if (table_.InsertValue(cur, fp)) {
-      ++items_;
-      return true;
-    }
-  }
-
-  for (auto it = path.rbegin(); it != path.rend(); ++it) {
-    table_.Set(it->bucket, it->slot, it->displaced);
-  }
-  ++counters_.insert_failures;
   return false;
 }
 
+bool CuckooFilter::RelocateVictim(WalkState& walk) {
+  // Partial-key cuckoo: the victim's only alternate bucket, one hash. The
+  // walk lands there whether or not the placement succeeds.
+  walk.bucket = AltBucket(walk.bucket, FingerprintHash(walk.fp));
+  ++counters_.bucket_probes;
+  if (table_.InsertValue(walk.bucket, walk.fp)) {
+    ++items_;
+    return true;
+  }
+  return false;
+}
+
+bool CuckooFilter::Insert(std::uint64_t key) {
+  return kernel::InsertOne(*this, key);
+}
+
 bool CuckooFilter::Contains(std::uint64_t key) const {
-  ++counters_.lookups;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
-  counters_.bucket_probes += 2;
-  const std::uint64_t cand[2] = {b1, AltBucket(b1, fh)};
-  return table_.ContainsValueAny(cand, 2, fp);
+  return kernel::ContainsOne(*this, key);
 }
 
 void CuckooFilter::ContainsBatch(std::span<const std::uint64_t> keys,
                                  bool* results) const {
-  // Window pipeline matching VerticalCuckooFilter::ContainsBatch.
-  constexpr std::size_t kWindow = 16;
-  struct Probe {
-    std::uint64_t b1, b2, fp;
-  };
-  Probe window[kWindow];
-
-  std::size_t done = 0;
-  while (done < keys.size()) {
-    const std::size_t n = std::min(kWindow, keys.size() - done);
-    for (std::size_t i = 0; i < n; ++i) {
-      ++counters_.lookups;
-      window[i].fp = Fingerprint(keys[done + i], &window[i].b1);
-      window[i].b2 = AltBucket(window[i].b1, FingerprintHash(window[i].fp));
-      table_.PrefetchBucket(window[i].b1);
-      table_.PrefetchBucket(window[i].b2);
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      counters_.bucket_probes += 2;
-      const std::uint64_t cand[2] = {window[i].b1, window[i].b2};
-      results[done + i] = table_.ContainsValueAny(cand, 2, window[i].fp);
-    }
-    done += n;
-  }
+  kernel::ContainsBatch(*this, keys, results);
 }
 
 std::size_t CuckooFilter::InsertBatch(std::span<const std::uint64_t> keys,
                                       bool* results) {
-  constexpr std::size_t kWindow = 16;
-  struct Pending {
-    std::uint64_t b1, b2, fp;
-  };
-  Pending window[kWindow];
-
-  std::size_t accepted = 0;
-  std::size_t done = 0;
-  while (done < keys.size()) {
-    const std::size_t n = std::min(kWindow, keys.size() - done);
-    for (std::size_t i = 0; i < n; ++i) {
-      ++counters_.inserts;
-      window[i].fp = Fingerprint(keys[done + i], &window[i].b1);
-      window[i].b2 = AltBucket(window[i].b1, FingerprintHash(window[i].fp));
-      table_.PrefetchBucket(window[i].b1);
-      table_.PrefetchBucket(window[i].b2);
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      counters_.bucket_probes += 2;
-      bool ok;
-      if (table_.InsertValue(window[i].b1, window[i].fp) ||
-          table_.InsertValue(window[i].b2, window[i].fp)) {
-        ++items_;
-        ok = true;
-      } else {
-        ok = InsertEvict(window[i].fp, window[i].b1, window[i].b2);
-      }
-      accepted += ok ? 1 : 0;
-      if (results != nullptr) results[done + i] = ok;
-    }
-    done += n;
-  }
-  return accepted;
+  return kernel::InsertBatch(*this, keys, results);
 }
 
 bool CuckooFilter::Erase(std::uint64_t key) {
@@ -187,22 +105,17 @@ void CuckooFilter::Clear() {
   items_ = 0;
 }
 
+std::uint64_t CuckooFilter::Digest() const noexcept {
+  return detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
+                              0, params_.fingerprint_bits);
+}
+
 bool CuckooFilter::SaveState(std::ostream& out) const {
-  const std::uint64_t digest =
-      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash), 0,
-                           params_.fingerprint_bits);
-  return detail::WriteStateHeader(out, Name(), digest) &&
-         detail::SaveTablePayload(out, table_);
+  return detail::SaveFilterState(out, Name(), Digest(), table_);
 }
 
 bool CuckooFilter::LoadState(std::istream& in) {
-  const std::uint64_t digest =
-      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash), 0,
-                           params_.fingerprint_bits);
-  if (!detail::ReadStateHeader(in, Name(), digest) ||
-      !detail::LoadTablePayload(in, &table_)) {
-    return false;
-  }
+  if (!detail::LoadFilterState(in, Name(), Digest(), &table_)) return false;
   items_ = table_.OccupiedSlots();
   return true;
 }

@@ -12,13 +12,15 @@
 #include <string>
 
 #include "common/random.hpp"
+#include "core/cuckoo_kernel.hpp"
 #include "core/cuckoo_params.hpp"
 #include "core/filter.hpp"
 #include "table/packed_table.hpp"
 
 namespace vcf {
 
-class CuckooFilter : public Filter {
+class CuckooFilter : public Filter,
+                     public kernel::SlotWalkPolicy<CuckooFilter> {
  public:
   explicit CuckooFilter(const CuckooParams& params);
 
@@ -26,9 +28,9 @@ class CuckooFilter : public Filter {
   bool Contains(std::uint64_t key) const override;
   bool Erase(std::uint64_t key) override;
 
-  /// Two-phase hash-then-prefetch-then-probe pipelines over fixed windows,
-  /// mirroring the VCF family's (core/vcf.cpp) so batched-throughput
-  /// comparisons charge both filters the same pipeline structure.
+  /// Kernel-pipelined batch ops (core/cuckoo_kernel.hpp), the same pipeline
+  /// structure every filter in the family gets, so batched-throughput
+  /// comparisons are attributable to candidate derivation alone.
   void ContainsBatch(std::span<const std::uint64_t> keys,
                      bool* results) const override;
   std::size_t InsertBatch(std::span<const std::uint64_t> keys,
@@ -50,15 +52,33 @@ class CuckooFilter : public Filter {
 
   const CuckooParams& params() const noexcept { return params_; }
 
+  // --- CandidatePolicy surface (consumed by core/cuckoo_kernel.hpp; the
+  // shared slot-table hooks come from kernel::SlotWalkPolicy) --------------
+  struct Hashed {
+    std::uint64_t b1;
+    std::uint64_t b2;
+    std::uint64_t fp;
+  };
+  Hashed HashKey(std::uint64_t key) const noexcept;
+  bool TryPlaceDirect(const Hashed& h) noexcept;
+  bool RelocateVictim(WalkState& walk);
+  template <typename Fn>
+  void ForEachVictimMove(std::uint64_t bucket, std::uint64_t occupant,
+                         Fn&& fn) const {
+    // Partial-key cuckoo: the occupant's only alternate bucket, one hash.
+    fn(AltBucket(bucket, FingerprintHash(occupant)), occupant);
+  }
+  // ------------------------------------------------------------------------
+
  private:
+  friend kernel::SlotWalkPolicy<CuckooFilter>;
+
   std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
   std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
   std::uint64_t AltBucket(std::uint64_t bucket, std::uint64_t fp_hash) const noexcept {
     return (bucket ^ fp_hash) & index_mask_;
   }
-  /// Eviction-chain tail of Insert, shared with InsertBatch. Called after
-  /// both candidates were found full.
-  bool InsertEvict(std::uint64_t fp, std::uint64_t b1, std::uint64_t b2);
+  std::uint64_t Digest() const noexcept;
 
   CuckooParams params_;
   std::uint64_t index_mask_;

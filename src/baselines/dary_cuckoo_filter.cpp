@@ -1,8 +1,8 @@
 #include "baselines/dary_cuckoo_filter.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
+#include "core/cuckoo_kernel.hpp"
 #include "core/state_io.hpp"
 
 namespace vcf {
@@ -79,85 +79,91 @@ std::uint64_t DaryCuckooFilter::FingerprintHash(std::uint64_t fp) const noexcept
          LowMask(params_.fingerprint_bits) & index_mask_;
 }
 
-bool DaryCuckooFilter::Insert(std::uint64_t key) {
-  ++counters_.inserts;
-  std::uint64_t b1;
-  std::uint64_t fp = Fingerprint(key, &b1);
-  std::uint64_t fh = FingerprintHash(fp);
+DaryCuckooFilter::Hashed DaryCuckooFilter::HashKey(
+    std::uint64_t key) const noexcept {
+  Hashed h;
+  h.fp = Fingerprint(key, &h.b1);
+  h.fh = FingerprintHash(h.fp);
+  return h;
+}
 
-  // The d candidates are successive digit-additions of hash(fp).
+bool DaryCuckooFilter::TryPlaceDirect(const Hashed& h) noexcept {
+  // The d candidates are successive digit-additions of hash(fp), derived
+  // lazily — each hop pays the base-d conversion the baseline exhibits.
   counters_.bucket_probes += d_;
-  std::uint64_t bucket = b1;
+  std::uint64_t bucket = h.b1;
   for (unsigned j = 0; j < d_; ++j) {
-    if (table_.InsertValue(bucket, fp)) {
+    if (table_.InsertValue(bucket, h.fp)) {
       ++items_;
       return true;
     }
-    bucket = DigitAdd(bucket, fh);
+    bucket = DigitAdd(bucket, h.fh);
   }
-
-  struct Step {
-    std::uint64_t bucket;
-    unsigned slot;
-    std::uint64_t displaced;
-  };
-  std::vector<Step> path;
-  path.reserve(params_.max_kicks);
-
-  // Random starting candidate: b1 advanced a random number of hops.
-  std::uint64_t cur = b1;
-  for (std::uint64_t hops = rng_.Below(d_); hops > 0; --hops) {
-    cur = DigitAdd(cur, fh);
-  }
-  for (unsigned s = 0; s < params_.max_kicks; ++s) {
-    const unsigned slot =
-        static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
-    const std::uint64_t victim = table_.Get(cur, slot);
-    table_.Set(cur, slot, fp);
-    path.push_back({cur, slot, victim});
-    fp = victim;
-    ++counters_.evictions;
-
-    fh = FingerprintHash(fp);
-    counters_.bucket_probes += d_ - 1;
-    std::uint64_t probe = cur;
-    bool placed = false;
-    std::uint64_t fallback = cur;
-    const std::uint64_t pick = rng_.Below(d_ - 1);  // random-walk continuation
-    for (unsigned j = 0; j + 1 < d_; ++j) {
-      probe = DigitAdd(probe, fh);
-      if (table_.InsertValue(probe, fp)) {
-        placed = true;
-        break;
-      }
-      if (j == pick) fallback = probe;
-    }
-    if (placed) {
-      ++items_;
-      return true;
-    }
-    cur = fallback;
-  }
-
-  for (auto it = path.rbegin(); it != path.rend(); ++it) {
-    table_.Set(it->bucket, it->slot, it->displaced);
-  }
-  ++counters_.insert_failures;
   return false;
 }
 
-bool DaryCuckooFilter::Contains(std::uint64_t key) const {
-  ++counters_.lookups;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
+bool DaryCuckooFilter::ProbeCandidates(const Hashed& h) const noexcept {
   counters_.bucket_probes += d_;
-  std::uint64_t bucket = b1;
+  std::uint64_t bucket = h.b1;
   for (unsigned j = 0; j < d_; ++j) {
-    if (table_.ContainsValue(bucket, fp)) return true;
-    bucket = DigitAdd(bucket, fh);
+    if (table_.ContainsValue(bucket, h.fp)) return true;
+    bucket = DigitAdd(bucket, h.fh);
   }
   return false;
+}
+
+DaryCuckooFilter::WalkState DaryCuckooFilter::StartWalk(const Hashed& h) {
+  // Random starting candidate: b1 advanced a random number of hops.
+  std::uint64_t cur = h.b1;
+  for (std::uint64_t hops = rng_.Below(d_); hops > 0; --hops) {
+    cur = DigitAdd(cur, h.fh);
+  }
+  return {cur, h.fp};
+}
+
+bool DaryCuckooFilter::RelocateVictim(WalkState& walk) {
+  const std::uint64_t fh = FingerprintHash(walk.fp);
+  counters_.bucket_probes += d_ - 1;
+  std::uint64_t probe = walk.bucket;
+  std::uint64_t fallback = walk.bucket;
+  const std::uint64_t pick = rng_.Below(d_ - 1);  // random-walk continuation
+  for (unsigned j = 0; j + 1 < d_; ++j) {
+    probe = DigitAdd(probe, fh);
+    if (table_.InsertValue(probe, walk.fp)) {
+      ++items_;
+      return true;
+    }
+    if (j == pick) fallback = probe;
+  }
+  walk.bucket = fallback;
+  return false;
+}
+
+void DaryCuckooFilter::AppendCandidates(
+    const Hashed& h, std::vector<std::uint64_t>& out) const {
+  std::uint64_t bucket = h.b1;
+  for (unsigned j = 0; j < d_; ++j) {
+    out.push_back(bucket);
+    bucket = DigitAdd(bucket, h.fh);
+  }
+}
+
+bool DaryCuckooFilter::Insert(std::uint64_t key) {
+  return kernel::InsertOne(*this, key);
+}
+
+bool DaryCuckooFilter::Contains(std::uint64_t key) const {
+  return kernel::ContainsOne(*this, key);
+}
+
+void DaryCuckooFilter::ContainsBatch(std::span<const std::uint64_t> keys,
+                                     bool* results) const {
+  kernel::ContainsBatch(*this, keys, results);
+}
+
+std::size_t DaryCuckooFilter::InsertBatch(std::span<const std::uint64_t> keys,
+                                          bool* results) {
+  return kernel::InsertBatch(*this, keys, results);
 }
 
 bool DaryCuckooFilter::Erase(std::uint64_t key) {
@@ -182,22 +188,17 @@ void DaryCuckooFilter::Clear() {
   items_ = 0;
 }
 
+std::uint64_t DaryCuckooFilter::Digest() const noexcept {
+  return detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
+                              d_, params_.fingerprint_bits);
+}
+
 bool DaryCuckooFilter::SaveState(std::ostream& out) const {
-  const std::uint64_t digest =
-      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
-                           d_, params_.fingerprint_bits);
-  return detail::WriteStateHeader(out, Name(), digest) &&
-         detail::SaveTablePayload(out, table_);
+  return detail::SaveFilterState(out, Name(), Digest(), table_);
 }
 
 bool DaryCuckooFilter::LoadState(std::istream& in) {
-  const std::uint64_t digest =
-      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
-                           d_, params_.fingerprint_bits);
-  if (!detail::ReadStateHeader(in, Name(), digest) ||
-      !detail::LoadTablePayload(in, &table_)) {
-    return false;
-  }
+  if (!detail::LoadFilterState(in, Name(), Digest(), &table_)) return false;
   items_ = table_.OccupiedSlots();
   return true;
 }

@@ -21,19 +21,30 @@
 #include <vector>
 
 #include "common/random.hpp"
+#include "core/cuckoo_kernel.hpp"
 #include "core/cuckoo_params.hpp"
 #include "core/filter.hpp"
 #include "table/packed_table.hpp"
 
 namespace vcf {
 
-class DaryCuckooFilter : public Filter {
+class DaryCuckooFilter : public Filter,
+                         public kernel::SlotWalkPolicy<DaryCuckooFilter> {
  public:
   DaryCuckooFilter(const CuckooParams& params, unsigned d = 4);
 
   bool Insert(std::uint64_t key) override;
   bool Contains(std::uint64_t key) const override;
   bool Erase(std::uint64_t key) override;
+
+  /// Kernel-pipelined batch ops (core/cuckoo_kernel.hpp). Only the primary
+  /// bucket is prefetched: materializing all d DigitAdd successors in the
+  /// hash phase would add the very per-hop conversion cost the DCF baseline
+  /// exists to exhibit, swamping the prefetch win.
+  void ContainsBatch(std::span<const std::uint64_t> keys,
+                     bool* results) const override;
+  std::size_t InsertBatch(std::span<const std::uint64_t> keys,
+                          bool* results = nullptr) override;
 
   bool SupportsDeletion() const noexcept override { return true; }
   std::string Name() const override { return name_; }
@@ -55,9 +66,40 @@ class DaryCuckooFilter : public Filter {
   /// "base-d XOR"). Public so tests can verify the Eq. 2 cyclic property.
   std::uint64_t DigitAdd(std::uint64_t a, std::uint64_t b) const noexcept;
 
+  // --- CandidatePolicy surface (consumed by core/cuckoo_kernel.hpp; the
+  // shared slot-table hooks come from kernel::SlotWalkPolicy) --------------
+  struct Hashed {
+    std::uint64_t b1;
+    std::uint64_t fh;
+    std::uint64_t fp;
+  };
+  Hashed HashKey(std::uint64_t key) const noexcept;
+  void PrefetchCandidates(const Hashed& h) const noexcept {
+    table_.PrefetchBucket(h.b1);
+  }
+  bool TryPlaceDirect(const Hashed& h) noexcept;
+  bool ProbeCandidates(const Hashed& h) const noexcept;
+  WalkState StartWalk(const Hashed& h);
+  bool RelocateVictim(WalkState& walk);
+  void AppendCandidates(const Hashed& h, std::vector<std::uint64_t>& out) const;
+  template <typename Fn>
+  void ForEachVictimMove(std::uint64_t bucket, std::uint64_t occupant,
+                         Fn&& fn) const {
+    const std::uint64_t fh = FingerprintHash(occupant);
+    std::uint64_t probe = bucket;
+    for (unsigned j = 0; j + 1 < d_; ++j) {
+      probe = DigitAdd(probe, fh);
+      fn(probe, occupant);
+    }
+  }
+  // ------------------------------------------------------------------------
+
  private:
+  friend kernel::SlotWalkPolicy<DaryCuckooFilter>;
+
   std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
   std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
+  std::uint64_t Digest() const noexcept;
 
   CuckooParams params_;
   unsigned d_;

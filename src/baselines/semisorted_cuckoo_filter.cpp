@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/bitops.hpp"
+#include "core/cuckoo_kernel.hpp"
 #include "core/state_io.hpp"
 
 namespace vcf {
@@ -138,62 +139,71 @@ bool SemiSortedCuckooFilter::TryInsertIntoBucket(std::size_t index,
   return false;
 }
 
-bool SemiSortedCuckooFilter::Insert(std::uint64_t key) {
-  ++counters_.inserts;
-  std::uint64_t b1;
-  std::uint64_t fp = Fingerprint(key, &b1);
-  std::uint64_t fh = FingerprintHash(fp);
-  const std::uint64_t b2 = AltBucket(b1, fh);
+SemiSortedCuckooFilter::Hashed SemiSortedCuckooFilter::HashKey(
+    std::uint64_t key) const noexcept {
+  Hashed h;
+  h.fp = Fingerprint(key, &h.b1);
+  h.b2 = AltBucket(h.b1, FingerprintHash(h.fp));
+  return h;
+}
 
+bool SemiSortedCuckooFilter::TryPlaceDirect(const Hashed& h) noexcept {
   counters_.bucket_probes += 2;
-  if (TryInsertIntoBucket(b1, fp) || TryInsertIntoBucket(b2, fp)) {
+  if (TryInsertIntoBucket(h.b1, h.fp) || TryInsertIntoBucket(h.b2, h.fp)) {
     ++items_;
     return true;
   }
-
-  // Eviction with whole-word rollback: slot identities shift on re-sort, so
-  // the undo log stores the bucket's previous packed word.
-  struct Step {
-    std::uint64_t bucket;
-    std::uint64_t old_word;
-  };
-  std::vector<Step> path;
-  path.reserve(params_.max_kicks);
-
-  std::uint64_t cur = rng_.Next() & 1 ? b2 : b1;
-  for (unsigned s = 0; s < params_.max_kicks; ++s) {
-    path.push_back({cur, table_.Get(cur, 0)});
-    Bucket bucket = DecodeBucket(cur);
-    const unsigned victim_slot = static_cast<unsigned>(rng_.Below(4));
-    const std::uint64_t victim = bucket[victim_slot];
-    bucket[victim_slot] = fp;
-    EncodeBucket(cur, bucket);
-    fp = victim;
-    ++counters_.evictions;
-
-    fh = FingerprintHash(fp);
-    cur = AltBucket(cur, fh);
-    ++counters_.bucket_probes;
-    if (TryInsertIntoBucket(cur, fp)) {
-      ++items_;
-      return true;
-    }
-  }
-
-  for (auto it = path.rbegin(); it != path.rend(); ++it) {
-    table_.Set(it->bucket, 0, it->old_word);
-  }
-  ++counters_.insert_failures;
   return false;
 }
 
+SemiSortedCuckooFilter::WalkUndo SemiSortedCuckooFilter::KickVictim(
+    WalkState& walk) {
+  // Capture the packed word BEFORE the victim draw: the whole-bucket
+  // re-encode makes slot-level undo impossible.
+  const WalkUndo undo{walk.bucket, table_.Get(walk.bucket, 0)};
+  Bucket bucket = DecodeBucket(walk.bucket);
+  const unsigned victim_slot = static_cast<unsigned>(rng_.Below(4));
+  const std::uint64_t victim = bucket[victim_slot];
+  bucket[victim_slot] = walk.fp;
+  EncodeBucket(walk.bucket, bucket);
+  walk.fp = victim;
+  return undo;
+}
+
+bool SemiSortedCuckooFilter::RelocateVictim(WalkState& walk) {
+  walk.bucket = AltBucket(walk.bucket, FingerprintHash(walk.fp));
+  ++counters_.bucket_probes;
+  if (TryInsertIntoBucket(walk.bucket, walk.fp)) {
+    ++items_;
+    return true;
+  }
+  return false;
+}
+
+int SemiSortedCuckooFilter::FreeSlot(std::uint64_t bucket) const noexcept {
+  const Bucket b = DecodeBucket(bucket);
+  for (unsigned s = 0; s < 4; ++s) {
+    if (b[s] == 0) return static_cast<int>(s);
+  }
+  return -1;
+}
+
+bool SemiSortedCuckooFilter::Insert(std::uint64_t key) {
+  return kernel::InsertOne(*this, key);
+}
+
 bool SemiSortedCuckooFilter::Contains(std::uint64_t key) const {
-  ++counters_.lookups;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
-  counters_.bucket_probes += 2;
-  return BucketContains(b1, fp) || BucketContains(AltBucket(b1, fh), fp);
+  return kernel::ContainsOne(*this, key);
+}
+
+void SemiSortedCuckooFilter::ContainsBatch(std::span<const std::uint64_t> keys,
+                                           bool* results) const {
+  kernel::ContainsBatch(*this, keys, results);
+}
+
+std::size_t SemiSortedCuckooFilter::InsertBatch(
+    std::span<const std::uint64_t> keys, bool* results) {
+  return kernel::InsertBatch(*this, keys, results);
 }
 
 bool SemiSortedCuckooFilter::Erase(std::uint64_t key) {
@@ -221,22 +231,17 @@ void SemiSortedCuckooFilter::Clear() {
   items_ = 0;
 }
 
+std::uint64_t SemiSortedCuckooFilter::Digest() const noexcept {
+  return detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
+                              0x55, params_.fingerprint_bits);
+}
+
 bool SemiSortedCuckooFilter::SaveState(std::ostream& out) const {
-  const std::uint64_t digest =
-      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
-                           0x55, params_.fingerprint_bits);
-  return detail::WriteStateHeader(out, Name(), digest) &&
-         detail::SaveTablePayload(out, table_);
+  return detail::SaveFilterState(out, Name(), Digest(), table_);
 }
 
 bool SemiSortedCuckooFilter::LoadState(std::istream& in) {
-  const std::uint64_t digest =
-      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
-                           0x55, params_.fingerprint_bits);
-  if (!detail::ReadStateHeader(in, Name(), digest) ||
-      !detail::LoadTablePayload(in, &table_)) {
-    return false;
-  }
+  if (!detail::LoadFilterState(in, Name(), Digest(), &table_)) return false;
   // Recount items: a bucket word's code reveals its nibbles; empty slots
   // are exactly the zero fingerprints.
   items_ = 0;

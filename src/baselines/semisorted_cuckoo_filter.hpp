@@ -15,16 +15,18 @@
 #include <array>
 #include <cstdint>
 #include <string>
-#include <vector>
 
 #include "common/random.hpp"
+#include "core/cuckoo_kernel.hpp"
 #include "core/cuckoo_params.hpp"
 #include "core/filter.hpp"
 #include "table/packed_table.hpp"
 
 namespace vcf {
 
-class SemiSortedCuckooFilter : public Filter {
+class SemiSortedCuckooFilter
+    : public Filter,
+      public kernel::SlotWalkPolicy<SemiSortedCuckooFilter> {
  public:
   /// slots_per_bucket is fixed at 4 (the nibble-coding arity);
   /// fingerprint_bits must be in [5, 15] so a bucket fits one packed word.
@@ -33,6 +35,12 @@ class SemiSortedCuckooFilter : public Filter {
   bool Insert(std::uint64_t key) override;
   bool Contains(std::uint64_t key) const override;
   bool Erase(std::uint64_t key) override;
+
+  /// Kernel-pipelined batch ops (core/cuckoo_kernel.hpp).
+  void ContainsBatch(std::span<const std::uint64_t> keys,
+                     bool* results) const override;
+  std::size_t InsertBatch(std::span<const std::uint64_t> keys,
+                          bool* results = nullptr) override;
 
   bool SupportsDeletion() const noexcept override { return true; }
   std::string Name() const override { return "ssCF"; }
@@ -61,7 +69,56 @@ class SemiSortedCuckooFilter : public Filter {
   Bucket DecodeBucket(std::size_t index) const noexcept;
   void EncodeBucket(std::size_t index, Bucket bucket) noexcept;
 
+  // --- CandidatePolicy surface (consumed by core/cuckoo_kernel.hpp; the
+  // trivial hooks come from kernel::SlotWalkPolicy, while everything that
+  // touches a bucket goes through the whole-bucket codec and hides the
+  // slot-table defaults) ---------------------------------------------------
+  struct Hashed {
+    std::uint64_t b1;
+    std::uint64_t b2;
+    std::uint64_t fp;
+  };
+  /// Slot identities shift when a bucket is re-sorted on encode, so the undo
+  /// log stores the bucket's previous packed word rather than a slot index.
+  struct WalkUndo {
+    std::uint64_t bucket;
+    std::uint64_t old_word;
+  };
+  Hashed HashKey(std::uint64_t key) const noexcept;
+  bool TryPlaceDirect(const Hashed& h) noexcept;
+  bool ProbeCandidates(const Hashed& h) const noexcept {
+    counters_.bucket_probes += 2;
+    return BucketContains(h.b1, h.fp) || BucketContains(h.b2, h.fp);
+  }
+  WalkUndo KickVictim(WalkState& walk);
+  bool RelocateVictim(WalkState& walk);
+  void UndoKick(const WalkUndo& u) noexcept {
+    table_.Set(u.bucket, 0, u.old_word);
+  }
+
+  // BFS surface. Slot indices refer to the bucket's DECODED order; they stay
+  // meaningful across the apply phase because the search phase never writes
+  // and the visited set guarantees each bucket on the final path is
+  // re-encoded exactly once.
+  std::uint64_t ReadSlot(std::uint64_t bucket, unsigned slot) const noexcept {
+    return DecodeBucket(bucket)[slot];
+  }
+  void WriteSlot(std::uint64_t bucket, unsigned slot, std::uint64_t v) noexcept {
+    Bucket b = DecodeBucket(bucket);
+    b[slot] = v;
+    EncodeBucket(bucket, b);
+  }
+  int FreeSlot(std::uint64_t bucket) const noexcept;
+  template <typename Fn>
+  void ForEachVictimMove(std::uint64_t bucket, std::uint64_t occupant,
+                         Fn&& fn) const {
+    fn(AltBucket(bucket, FingerprintHash(occupant)), occupant);
+  }
+  // ------------------------------------------------------------------------
+
  private:
+  friend kernel::SlotWalkPolicy<SemiSortedCuckooFilter>;
+
   std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
   std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
   std::uint64_t AltBucket(std::uint64_t bucket, std::uint64_t fp_hash) const noexcept {
@@ -69,6 +126,7 @@ class SemiSortedCuckooFilter : public Filter {
   }
   bool BucketContains(std::size_t index, std::uint64_t fp) const noexcept;
   bool TryInsertIntoBucket(std::size_t index, std::uint64_t fp) noexcept;
+  std::uint64_t Digest() const noexcept;
 
   /// Shared nibble-code tables (built once, process-wide).
   struct Codec {

@@ -1,9 +1,9 @@
 #include "baselines/vacuum_filter.hpp"
 
 #include <stdexcept>
-#include <vector>
 
 #include "common/bitops.hpp"
+#include "core/cuckoo_kernel.hpp"
 #include "core/state_io.hpp"
 
 namespace vcf {
@@ -61,61 +61,48 @@ std::uint64_t VacuumFilter::FingerprintHash(std::uint64_t fp) const noexcept {
          LowMask(params_.fingerprint_bits);
 }
 
-bool VacuumFilter::Insert(std::uint64_t key) {
-  ++counters_.inserts;
-  std::uint64_t b1;
-  std::uint64_t fp = Fingerprint(key, &b1);
-  std::uint64_t fh = FingerprintHash(fp);
-  const std::uint64_t b2 = AltBucket(b1, fh);
+VacuumFilter::Hashed VacuumFilter::HashKey(std::uint64_t key) const noexcept {
+  Hashed h;
+  h.fp = Fingerprint(key, &h.b1);
+  h.b2 = AltBucket(h.b1, FingerprintHash(h.fp));
+  return h;
+}
 
+bool VacuumFilter::TryPlaceDirect(const Hashed& h) noexcept {
   counters_.bucket_probes += 2;
-  if (table_.InsertValue(b1, fp) || table_.InsertValue(b2, fp)) {
+  if (table_.InsertValue(h.b1, h.fp) || table_.InsertValue(h.b2, h.fp)) {
     ++items_;
     return true;
   }
-
-  struct Step {
-    std::uint64_t bucket;
-    unsigned slot;
-    std::uint64_t displaced;
-  };
-  std::vector<Step> path;
-  path.reserve(params_.max_kicks);
-
-  std::uint64_t cur = rng_.Next() & 1 ? b2 : b1;
-  for (unsigned s = 0; s < params_.max_kicks; ++s) {
-    const unsigned slot =
-        static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
-    const std::uint64_t victim = table_.Get(cur, slot);
-    table_.Set(cur, slot, fp);
-    path.push_back({cur, slot, victim});
-    fp = victim;
-    ++counters_.evictions;
-
-    fh = FingerprintHash(fp);
-    cur = AltBucket(cur, fh);
-    ++counters_.bucket_probes;
-    if (table_.InsertValue(cur, fp)) {
-      ++items_;
-      return true;
-    }
-  }
-
-  for (auto it = path.rbegin(); it != path.rend(); ++it) {
-    table_.Set(it->bucket, it->slot, it->displaced);
-  }
-  ++counters_.insert_failures;
   return false;
 }
 
+bool VacuumFilter::RelocateVictim(WalkState& walk) {
+  walk.bucket = AltBucket(walk.bucket, FingerprintHash(walk.fp));
+  ++counters_.bucket_probes;
+  if (table_.InsertValue(walk.bucket, walk.fp)) {
+    ++items_;
+    return true;
+  }
+  return false;
+}
+
+bool VacuumFilter::Insert(std::uint64_t key) {
+  return kernel::InsertOne(*this, key);
+}
+
 bool VacuumFilter::Contains(std::uint64_t key) const {
-  ++counters_.lookups;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
-  counters_.bucket_probes += 2;
-  return table_.ContainsValue(b1, fp) ||
-         table_.ContainsValue(AltBucket(b1, fh), fp);
+  return kernel::ContainsOne(*this, key);
+}
+
+void VacuumFilter::ContainsBatch(std::span<const std::uint64_t> keys,
+                                 bool* results) const {
+  kernel::ContainsBatch(*this, keys, results);
+}
+
+std::size_t VacuumFilter::InsertBatch(std::span<const std::uint64_t> keys,
+                                      bool* results) {
+  return kernel::InsertBatch(*this, keys, results);
 }
 
 bool VacuumFilter::Erase(std::uint64_t key) {
@@ -136,24 +123,19 @@ void VacuumFilter::Clear() {
   items_ = 0;
 }
 
-bool VacuumFilter::SaveState(std::ostream& out) const {
-  const std::uint64_t digest = detail::ConfigDigest(
+std::uint64_t VacuumFilter::Digest() const noexcept {
+  return detail::ConfigDigest(
       params_.seed, static_cast<unsigned>(params_.hash),
       static_cast<unsigned>(params_.chunk_buckets & 0xFFFFFFFFu),
       params_.fingerprint_bits);
-  return detail::WriteStateHeader(out, Name(), digest) &&
-         detail::SaveTablePayload(out, table_);
+}
+
+bool VacuumFilter::SaveState(std::ostream& out) const {
+  return detail::SaveFilterState(out, Name(), Digest(), table_);
 }
 
 bool VacuumFilter::LoadState(std::istream& in) {
-  const std::uint64_t digest = detail::ConfigDigest(
-      params_.seed, static_cast<unsigned>(params_.hash),
-      static_cast<unsigned>(params_.chunk_buckets & 0xFFFFFFFFu),
-      params_.fingerprint_bits);
-  if (!detail::ReadStateHeader(in, Name(), digest) ||
-      !detail::LoadTablePayload(in, &table_)) {
-    return false;
-  }
+  if (!detail::LoadFilterState(in, Name(), Digest(), &table_)) return false;
   items_ = table_.OccupiedSlots();
   return true;
 }

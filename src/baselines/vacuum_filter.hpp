@@ -16,13 +16,16 @@
 #include <string>
 
 #include "common/random.hpp"
+#include "core/cuckoo_kernel.hpp"
+#include "core/cuckoo_params.hpp"
 #include "core/filter.hpp"
 #include "hash/hash64.hpp"
 #include "table/packed_table.hpp"
 
 namespace vcf {
 
-class VacuumFilter : public Filter {
+class VacuumFilter : public Filter,
+                     public kernel::SlotWalkPolicy<VacuumFilter> {
  public:
   struct Params {
     std::size_t bucket_count = 3 << 14;  ///< ANY multiple of chunk_buckets
@@ -32,6 +35,7 @@ class VacuumFilter : public Filter {
     HashKind hash = HashKind::kFnv1a;
     unsigned max_kicks = 500;
     std::uint64_t seed = 0x5EEDF00DULL;
+    EvictionMode eviction = EvictionMode::kRandomWalk;
   };
 
   explicit VacuumFilter(const Params& params);
@@ -39,6 +43,12 @@ class VacuumFilter : public Filter {
   bool Insert(std::uint64_t key) override;
   bool Contains(std::uint64_t key) const override;
   bool Erase(std::uint64_t key) override;
+
+  /// Kernel-pipelined batch ops (core/cuckoo_kernel.hpp).
+  void ContainsBatch(std::span<const std::uint64_t> keys,
+                     bool* results) const override;
+  std::size_t InsertBatch(std::span<const std::uint64_t> keys,
+                          bool* results = nullptr) override;
 
   bool SupportsDeletion() const noexcept override { return true; }
   std::string Name() const override { return "VF"; }
@@ -56,7 +66,28 @@ class VacuumFilter : public Filter {
 
   const Params& params() const noexcept { return params_; }
 
+  // --- CandidatePolicy surface (consumed by core/cuckoo_kernel.hpp; the
+  // shared slot-table hooks come from kernel::SlotWalkPolicy). Chunk
+  // confinement holds throughout eviction: every victim move is an in-chunk
+  // XOR, so walk and BFS chains never leave the root buckets' chunks. ------
+  struct Hashed {
+    std::uint64_t b1;
+    std::uint64_t b2;
+    std::uint64_t fp;
+  };
+  Hashed HashKey(std::uint64_t key) const noexcept;
+  bool TryPlaceDirect(const Hashed& h) noexcept;
+  bool RelocateVictim(WalkState& walk);
+  template <typename Fn>
+  void ForEachVictimMove(std::uint64_t bucket, std::uint64_t occupant,
+                         Fn&& fn) const {
+    fn(AltBucket(bucket, FingerprintHash(occupant)), occupant);
+  }
+  // ------------------------------------------------------------------------
+
  private:
+  friend kernel::SlotWalkPolicy<VacuumFilter>;
+
   std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
   std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
   std::uint64_t AltBucket(std::uint64_t bucket, std::uint64_t fp_hash) const noexcept {
@@ -64,6 +95,7 @@ class VacuumFilter : public Filter {
     // so the result is < bucket_count for any multiple-of-chunk table size.
     return bucket ^ (fp_hash & chunk_mask_);
   }
+  std::uint64_t Digest() const noexcept;
 
   Params params_;
   std::uint64_t chunk_mask_;

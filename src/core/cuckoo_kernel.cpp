@@ -1,0 +1,13 @@
+#include "core/cuckoo_kernel.hpp"
+
+namespace vcf::kernel {
+
+const char* EvictionModeName(EvictionMode mode) noexcept {
+  switch (mode) {
+    case EvictionMode::kRandomWalk: return "random-walk";
+    case EvictionMode::kBfs: return "bfs";
+  }
+  return "?";
+}
+
+}  // namespace vcf::kernel

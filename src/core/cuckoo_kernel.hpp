@@ -1,0 +1,405 @@
+// The shared cuckoo engine: one eviction loop, one batch pipeline, one
+// breadth-first fallback — parameterized by a CandidatePolicy.
+//
+// Every filter in the family (CF, D-ary, vacuum, semi-sorted, VCF, IVCF,
+// DVCF, k-VCF) is the same machine with a different candidate-derivation
+// rule. The paper's comparison rests on exactly that: §III-§IV vary only
+// how candidate buckets follow from (bucket, fingerprint), while insertion
+// (Algorithm 1), lookup (Algorithm 2) and relocation share one skeleton.
+// This header is that skeleton. A filter implements the small policy
+// surface below — hash, direct placement, probe, and the per-step kick /
+// relocate pair that encodes its exact legacy semantics (including RNG
+// draw order) — and the kernel supplies:
+//
+//   - InsertOne / RandomWalkInsert: the random-walk eviction chain with
+//     path tracking, rollback on exhaustion (atomic-insert guarantee),
+//     eviction counters and the core/evict_exhausted failpoint seam.
+//   - InsertBatch / ContainsBatch: the 16-key two-phase prefetch pipeline
+//     (phase 1 hashes and prefetches a window, phase 2 places/probes), with
+//     end state and results provably identical to sequential calls.
+//   - BfsInsert: the opt-in breadth-first eviction engine
+//     (EvictionMode::kBfs): search the victim-move graph without mutating
+//     the table, then apply the found chain far-end first. Failed inserts
+//     are naturally atomic — nothing was written.
+//
+// Bit-identity contract: with EvictionMode::kRandomWalk every kernel path
+// consumes the policy's RNG in exactly the per-filter legacy order and
+// charges the same counter totals, so fixed-seed workloads reproduce the
+// pre-kernel eviction paths and serialized blobs byte-for-byte
+// (tests/core/blob_golden_test.cpp enforces this).
+//
+// Policy surface (duck-typed; see CandidatePolicy below):
+//   Hashed    — per-key derived state: fingerprint, primary bucket, and
+//               whatever candidate material the filter reuses across phases.
+//   WalkState — the random walk's in-hand state (bucket + fingerprint,
+//               plus the mark for k-VCF).
+//   WalkUndo  — one kick's undo record (slot swap, or ssCF's whole word).
+// Hooks: HashKey, PrefetchCandidates, TryPlaceDirect, ProbeCandidates,
+// StartWalk, KickVictim, RelocateVictim, UndoKick, MaxKicks,
+// KernelCounters; BFS adds AppendCandidates, RootValue, ReadSlot,
+// WriteSlot, FreeSlot, BucketArity, ForEachVictimMove, NotePlaced,
+// eviction_mode.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/failpoint.hpp"
+#include "core/cuckoo_params.hpp"
+#include "metrics/op_counters.hpp"
+
+namespace vcf::kernel {
+
+/// The compile-time contract a filter must satisfy to run on the kernel.
+/// Exercised by seven policies: vertical-bitmask (VCF/IVCF), threshold-
+/// judged (DVCF), k-candidate-with-mark-bits (k-VCF), partial-key XOR
+/// (CF, semi-sorted), d-ary digit addition, and vacuum chunk-confined XOR.
+template <typename P>
+concept CandidatePolicy = requires(P& p, const P& cp, std::uint64_t key,
+                                   const typename P::Hashed& h,
+                                   typename P::WalkState& walk,
+                                   const typename P::WalkUndo& undo) {
+  typename P::Hashed;
+  typename P::WalkState;
+  typename P::WalkUndo;
+  { cp.HashKey(key) } -> std::same_as<typename P::Hashed>;
+  { cp.PrefetchCandidates(h) };
+  { p.TryPlaceDirect(h) } -> std::same_as<bool>;
+  { cp.ProbeCandidates(h) } -> std::same_as<bool>;
+  { p.StartWalk(h) } -> std::same_as<typename P::WalkState>;
+  { p.KickVictim(walk) } -> std::same_as<typename P::WalkUndo>;
+  { p.RelocateVictim(walk) } -> std::same_as<bool>;
+  { p.UndoKick(undo) };
+  { cp.MaxKicks() } -> std::convertible_to<unsigned>;
+  { cp.KernelCounters() } -> std::same_as<OpCounters&>;
+  { cp.eviction_mode() } -> std::same_as<EvictionMode>;
+};
+
+/// The BFS-specific policy surface (separate so the concept reads in
+/// layers; every kernel filter satisfies both).
+template <typename P>
+concept BfsCandidatePolicy = requires(P& p, const P& cp,
+                                      const typename P::Hashed& h,
+                                      std::vector<std::uint64_t>& buckets,
+                                      std::uint64_t bucket,
+                                      std::uint64_t value, unsigned slot) {
+  { cp.AppendCandidates(h, buckets) };
+  { cp.RootValue(h, slot) } -> std::same_as<std::uint64_t>;
+  { cp.ReadSlot(bucket, slot) } -> std::same_as<std::uint64_t>;
+  { p.WriteSlot(bucket, slot, value) };
+  { cp.FreeSlot(bucket) } -> std::same_as<int>;
+  { cp.BucketArity() } -> std::convertible_to<unsigned>;
+  { p.NotePlaced() };
+};
+
+/// CRTP mixin hosting the policy-surface members that are identical in
+/// every filter whose table is a slot-addressed PackedTable and whose walk
+/// state is (bucket, fingerprint): the slot-swap kick/undo pair, the
+/// free-slot scan, raw slot access, the two-candidate (b1/b2) direct-hit
+/// hooks, and the trivial accessors. A filter derives from
+/// SlotWalkPolicy<Self>, befriends it, and supplies only the hooks specific
+/// to its candidate-derivation scheme; any default whose semantics differ
+/// (k-VCF's marked kick, ssCF's whole-word undo and codec slot access) is
+/// redeclared in the filter, hiding the mixin's version. Bodies are the
+/// legacy per-filter definitions verbatim — same member access, same RNG
+/// draw order — so inheriting them is behaviour-preserving.
+template <typename Derived>
+class SlotWalkPolicy {
+ public:
+  struct WalkState {
+    std::uint64_t bucket;
+    std::uint64_t fp;
+  };
+  struct WalkUndo {
+    std::uint64_t bucket;
+    unsigned slot;
+    std::uint64_t displaced;
+  };
+  WalkUndo KickVictim(WalkState& walk) {
+    Derived& d = self();
+    const unsigned slot =
+        static_cast<unsigned>(d.rng_.Below(d.params_.slots_per_bucket));
+    const std::uint64_t victim = d.table_.Get(walk.bucket, slot);
+    d.table_.Set(walk.bucket, slot, walk.fp);
+    const WalkUndo undo{walk.bucket, slot, victim};
+    walk.fp = victim;
+    return undo;
+  }
+  void UndoKick(const WalkUndo& u) noexcept {
+    self().table_.Set(u.bucket, u.slot, u.displaced);
+  }
+  unsigned MaxKicks() const noexcept { return self().params_.max_kicks; }
+  OpCounters& KernelCounters() const noexcept { return self().counters_; }
+  EvictionMode eviction_mode() const noexcept {
+    return self().params_.eviction;
+  }
+
+  // Two-candidate direct-hit surface (hidden by multi-candidate filters).
+  template <typename H>
+  void PrefetchCandidates(const H& h) const noexcept {
+    self().table_.PrefetchBucket(h.b1);
+    self().table_.PrefetchBucket(h.b2);
+  }
+  template <typename H>
+  bool ProbeCandidates(const H& h) const noexcept {
+    self().counters_.bucket_probes += 2;
+    const std::uint64_t cand[2] = {h.b1, h.b2};
+    return self().table_.ContainsValueAny(cand, 2, h.fp);
+  }
+  template <typename H>
+  WalkState StartWalk(const H& h) {
+    return {self().rng_.Next() & 1 ? h.b2 : h.b1, h.fp};
+  }
+
+  // BFS surface defaults.
+  template <typename H>
+  void AppendCandidates(const H& h, std::vector<std::uint64_t>& out) const {
+    out.push_back(h.b1);
+    out.push_back(h.b2);
+  }
+  template <typename H>
+  std::uint64_t RootValue(const H& h, unsigned) const noexcept {
+    return h.fp;
+  }
+  std::uint64_t ReadSlot(std::uint64_t bucket, unsigned slot) const noexcept {
+    return self().table_.Get(bucket, slot);
+  }
+  void WriteSlot(std::uint64_t bucket, unsigned slot, std::uint64_t v) noexcept {
+    self().table_.Set(bucket, slot, v);
+  }
+  int FreeSlot(std::uint64_t bucket) const noexcept {
+    for (unsigned s = 0; s < self().params_.slots_per_bucket; ++s) {
+      if (self().table_.Get(bucket, s) == 0) return static_cast<int>(s);
+    }
+    return -1;
+  }
+  unsigned BucketArity() const noexcept {
+    return self().params_.slots_per_bucket;
+  }
+  void NotePlaced() noexcept { ++self().items_; }
+
+ protected:
+  Derived& self() noexcept { return static_cast<Derived&>(*this); }
+  const Derived& self() const noexcept {
+    return static_cast<const Derived&>(*this);
+  }
+};
+
+/// Algorithm 1 lines 11-21 (and its DVCF/k-VCF/baseline analogues): the
+/// random-walk eviction chain. Every swap is recorded so a failed chain
+/// rolls back completely — a failed Insert leaves the filter untouched.
+/// The policy's StartWalk/KickVictim/RelocateVictim hooks own the exact
+/// legacy RNG draw order; the kernel owns path tracking, the kick budget,
+/// eviction counting, rollback and the failure accounting.
+template <CandidatePolicy P>
+bool RandomWalkInsert(P& p, const typename P::Hashed& h) {
+  OpCounters& c = p.KernelCounters();
+  std::vector<typename P::WalkUndo> path;
+  path.reserve(p.MaxKicks());
+
+  typename P::WalkState walk = p.StartWalk(h);
+  for (unsigned s = 0; s < p.MaxKicks(); ++s) {
+    path.push_back(p.KickVictim(walk));
+    ++c.evictions;
+    if (p.RelocateVictim(walk)) return true;
+  }
+
+  for (auto it = path.rbegin(); it != path.rend(); ++it) p.UndoKick(*it);
+  ++c.insert_failures;
+  return false;
+}
+
+/// Breadth-first eviction (EvictionMode::kBfs): explore the victim-move
+/// graph from the key's candidate buckets outward until some reachable
+/// bucket has a free slot, WITHOUT touching the table; then apply the
+/// relocation chain from the free slot backward. Bounded by MaxKicks()
+/// bucket expansions — the same work budget the random walk gets, spent on
+/// search instead of speculative displacement. Each applied move counts as
+/// one eviction, so Fig. 8's E0 metric compares across modes directly.
+template <typename P>
+  requires CandidatePolicy<P> && BfsCandidatePolicy<P>
+bool BfsInsert(P& p, const typename P::Hashed& h) {
+  OpCounters& c = p.KernelCounters();
+
+  // One search node per reached bucket: how we got here (parent node and
+  // the parent-bucket slot whose occupant moves) and the re-encoded value
+  // that occupant stores once moved here (identical to the fingerprint for
+  // every filter except k-VCF, which re-marks).
+  struct Node {
+    std::uint64_t bucket;
+    std::uint64_t value;  // value written into `bucket` when the chain runs
+    std::int32_t parent;  // index into nodes; -1 for a root
+    std::uint16_t slot;   // slot in the PARENT bucket the value came from
+  };
+  std::vector<Node> nodes;
+  std::unordered_set<std::uint64_t> visited;
+
+  std::vector<std::uint64_t> roots;
+  p.AppendCandidates(h, roots);
+  nodes.reserve(roots.size() + p.MaxKicks() * p.BucketArity());
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    if (visited.insert(roots[i]).second) {
+      nodes.push_back({roots[i], p.RootValue(h, static_cast<unsigned>(i)),
+                       -1, 0});
+    }
+  }
+
+  const unsigned arity = p.BucketArity();
+  std::size_t head = 0;
+  unsigned expanded = 0;
+  std::int32_t goal = -1;
+  while (head < nodes.size() && expanded < p.MaxKicks()) {
+    const std::size_t cur = head++;
+    // Reads only — candidate derivation, like the table, is immutable
+    // during the search, so values computed here stay valid at apply time.
+    ++c.bucket_probes;
+    if (p.FreeSlot(nodes[cur].bucket) >= 0) {
+      goal = static_cast<std::int32_t>(cur);
+      break;
+    }
+    ++expanded;
+    for (unsigned s = 0; s < arity; ++s) {
+      const std::uint64_t occupant = p.ReadSlot(nodes[cur].bucket, s);
+      if (occupant == 0) continue;  // raced free slots cannot occur; safety
+      p.ForEachVictimMove(
+          nodes[cur].bucket, occupant,
+          [&](std::uint64_t to, std::uint64_t moved_value) {
+            if (visited.insert(to).second) {
+              nodes.push_back({to, moved_value,
+                               static_cast<std::int32_t>(cur),
+                               static_cast<std::uint16_t>(s)});
+            }
+          });
+    }
+  }
+
+  if (goal < 0) {
+    // Budget exhausted with no free bucket reachable: nothing was written,
+    // so failure is atomic by construction.
+    ++c.insert_failures;
+    return false;
+  }
+
+  // Reconstruct root -> goal, then apply far-end first: each bucket on the
+  // chain receives exactly one write, and a write lands before the slot it
+  // vacates is overwritten. (Slot indices stay valid because the table was
+  // not mutated during the search and chain buckets are distinct — the
+  // visited set admits each bucket once.)
+  std::vector<std::int32_t> chain;
+  for (std::int32_t i = goal; i >= 0; i = nodes[i].parent) chain.push_back(i);
+  std::reverse(chain.begin(), chain.end());
+
+  int dest = p.FreeSlot(nodes[chain.back()].bucket);
+  for (std::size_t i = chain.size(); i-- > 1;) {
+    const Node& n = nodes[chain[i]];
+    p.WriteSlot(n.bucket, static_cast<unsigned>(dest), n.value);
+    ++c.evictions;
+    dest = n.slot;
+  }
+  p.WriteSlot(nodes[chain.front()].bucket, static_cast<unsigned>(dest),
+              nodes[chain.front()].value);
+  p.NotePlaced();
+  return true;
+}
+
+/// The eviction tail shared by Insert and InsertBatch: the fault-injection
+/// seam (injected exhaustion presents exactly like a saturated table, and
+/// fires before any RNG draw so disarmed behaviour is bit-identical), then
+/// the configured engine.
+template <CandidatePolicy P>
+bool EvictInsert(P& p, const typename P::Hashed& h) {
+  if (VCF_FAILPOINT_TRIGGERED(failpoints::kEvictionExhausted)) {
+    ++p.KernelCounters().insert_failures;
+    return false;
+  }
+  if constexpr (BfsCandidatePolicy<P>) {
+    if (p.eviction_mode() == EvictionMode::kBfs) return BfsInsert(p, h);
+  }
+  return RandomWalkInsert(p, h);
+}
+
+/// Algorithm 1: direct placement into a candidate bucket, else evict.
+template <CandidatePolicy P>
+bool InsertOne(P& p, std::uint64_t key) {
+  ++p.KernelCounters().inserts;
+  const typename P::Hashed h = p.HashKey(key);
+  if (p.TryPlaceDirect(h)) return true;
+  return EvictInsert(p, h);
+}
+
+/// Algorithm 2: membership via the policy's fused candidate probe.
+template <CandidatePolicy P>
+bool ContainsOne(const P& p, std::uint64_t key) {
+  ++p.KernelCounters().lookups;
+  return p.ProbeCandidates(p.HashKey(key));
+}
+
+// Width of the two-phase pipelines: enough in-flight buckets to cover the
+// L1 miss queue without spilling the hashed-window state out of registers
+// and L1 (16 keys x up to 4 candidate lines).
+inline constexpr std::size_t kBatchWindow = 16;
+
+/// Batched lookup: phase 1 hashes a window of keys and prefetches every
+/// candidate bucket, phase 2 probes. results[i] == Contains(keys[i]).
+template <CandidatePolicy P>
+void ContainsBatch(const P& p, std::span<const std::uint64_t> keys,
+                   bool* results) {
+  OpCounters& c = p.KernelCounters();
+  typename P::Hashed window[kBatchWindow];
+
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n = std::min(kBatchWindow, keys.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++c.lookups;
+      window[i] = p.HashKey(keys[done + i]);
+      p.PrefetchCandidates(window[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      results[done + i] = p.ProbeCandidates(window[i]);
+    }
+    done += n;
+  }
+}
+
+/// Batched insert, mirroring ContainsBatch. Phase 2 runs in key order and
+/// candidate derivation never depends on table contents, so results and
+/// end state are identical to sequential Insert calls — placements within
+/// the window only consume slots, they never move a later key's
+/// candidates. Eviction chains (and their RNG draws) run per key in key
+/// order, preserving the sequential draw sequence exactly.
+template <CandidatePolicy P>
+std::size_t InsertBatch(P& p, std::span<const std::uint64_t> keys,
+                        bool* results) {
+  OpCounters& c = p.KernelCounters();
+  typename P::Hashed window[kBatchWindow];
+
+  std::size_t accepted = 0;
+  std::size_t done = 0;
+  while (done < keys.size()) {
+    const std::size_t n = std::min(kBatchWindow, keys.size() - done);
+    for (std::size_t i = 0; i < n; ++i) {
+      ++c.inserts;
+      window[i] = p.HashKey(keys[done + i]);
+      p.PrefetchCandidates(window[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      bool ok = p.TryPlaceDirect(window[i]);
+      if (!ok) ok = EvictInsert(p, window[i]);
+      accepted += ok ? 1 : 0;
+      if (results != nullptr) results[done + i] = ok;
+    }
+    done += n;
+  }
+  return accepted;
+}
+
+/// Display name for tools and benches ("random-walk" / "bfs").
+const char* EvictionModeName(EvictionMode mode) noexcept;
+
+}  // namespace vcf::kernel

@@ -13,6 +13,22 @@
 
 namespace vcf {
 
+/// How a cuckoo-family filter resolves a full candidate set on insert.
+/// Candidate derivation is the policy's business (core/cuckoo_kernel.hpp);
+/// the eviction engine is shared, so every filter supports both modes.
+enum class EvictionMode : std::uint8_t {
+  /// The paper's Algorithm 1: displace a random victim and walk until a
+  /// free slot appears or MAX kicks are spent, then roll back. The default,
+  /// and the mode every measured figure uses unless stated otherwise.
+  kRandomWalk,
+  /// Breadth-first search over victim-move graphs: no slot is written until
+  /// a complete relocation path to a free slot is found, so failed inserts
+  /// touch nothing (no rollback) and successful chains are shortest-possible.
+  /// Expansion budget = max_kicks buckets. Opt-in via the `bfs:` factory
+  /// prefix; compared against the random walk in bench/fig8_evictions.
+  kBfs,
+};
+
 struct CuckooParams {
   /// Number of buckets; must be a power of two (partial-key and vertical
   /// hashing XOR bucket indices).
@@ -37,6 +53,11 @@ struct CuckooParams {
   /// filter's logical identity: results, FPR and serialized state are
   /// layout-independent (checkpoints restore across layouts).
   TableLayout layout = TableLayout::kPacked;
+
+  /// Insertion eviction engine. kRandomWalk reproduces the paper bit-for-
+  /// bit; kBfs is the opt-in breadth-first engine. Like `layout`, not part
+  /// of the serialized identity: blobs restore across modes.
+  EvictionMode eviction = EvictionMode::kRandomWalk;
 
   unsigned index_bits() const noexcept { return FloorLog2(bucket_count); }
   std::size_t slot_count() const noexcept {

@@ -3,16 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
 
-#include "common/failpoint.hpp"
+#include "core/cuckoo_kernel.hpp"
 #include "core/state_io.hpp"
 
 namespace vcf {
-
-namespace {
-constexpr std::uint64_t kFpHashSeed = 0xF1A9E57ECULL;
-}
 
 DifferentiatedVcf::DifferentiatedVcf(const CuckooParams& params,
                                      std::uint64_t delta_t)
@@ -53,205 +48,59 @@ double DifferentiatedVcf::TheoreticalR() const noexcept {
          std::exp2(static_cast<double>(params_.fingerprint_bits));
 }
 
-std::uint64_t DifferentiatedVcf::Fingerprint(std::uint64_t key,
-                                             std::uint64_t* bucket1) const noexcept {
-  const std::uint64_t h = Hash64(params_.hash, key, params_.seed);
-  ++counters_.hash_computations;
-  *bucket1 = h & hasher_.index_mask();
-  std::uint64_t fp = (h >> 32) & LowMask(params_.fingerprint_bits);
-  return fp == 0 ? 1 : fp;
-}
-
-std::uint64_t DifferentiatedVcf::FingerprintHash(std::uint64_t fp) const noexcept {
-  // f-bit hash(eta), as in the VCF (see vcf.cpp).
-  ++counters_.hash_computations;
-  return Hash64(params_.hash, fp, params_.seed ^ kFpHashSeed) &
-         LowMask(params_.fingerprint_bits);
-}
-
-unsigned DifferentiatedVcf::CandidateSet(std::uint64_t b1, std::uint64_t fp,
-                                         std::uint64_t fh,
-                                         std::uint64_t out[4]) const noexcept {
-  // Algorithm 4 lines 3-12: candidate set depends on the interval judgment.
-  if (FourWay(fp)) {
-    const Candidates4 cand = hasher_.Candidates(b1, fh);
-    std::copy(cand.bucket.begin(), cand.bucket.end(), out);
-    return 4;
-  }
-  out[0] = b1;
-  out[1] = (b1 ^ fh) & hasher_.index_mask();
-  return 2;
-}
-
-bool DifferentiatedVcf::Insert(std::uint64_t key) {
-  ++counters_.inserts;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
-
-  std::uint64_t first_candidates[4];
-  const unsigned n_cand = CandidateSet(b1, fp, fh, first_candidates);
-  counters_.bucket_probes += n_cand;
-  for (unsigned i = 0; i < n_cand; ++i) {
-    if (table_.InsertValue(first_candidates[i], fp)) {
+bool DifferentiatedVcf::TryPlaceDirect(const Hashed& h) noexcept {
+  counters_.bucket_probes += h.n_cand;
+  for (unsigned c = 0; c < h.n_cand; ++c) {
+    if (table_.InsertValue(h.cand[c], h.fp)) {
       ++items_;
       return true;
     }
   }
-  return InsertEvict(fp, first_candidates, n_cand);
-}
-
-bool DifferentiatedVcf::InsertEvict(std::uint64_t fp,
-                                    const std::uint64_t first_candidates[4],
-                                    unsigned n_cand) {
-  // Failure seam: injected eviction-chain exhaustion (see vcf.cpp).
-  if (VCF_FAILPOINT_TRIGGERED(failpoints::kEvictionExhausted)) {
-    ++counters_.insert_failures;
-    return false;
-  }
-
-  // Algorithm 4 lines 13-28: eviction walk; each victim is re-judged before
-  // its alternates are derived. Swaps are recorded for rollback on failure.
-  struct Step {
-    std::uint64_t bucket;
-    unsigned slot;
-    std::uint64_t displaced;
-  };
-  std::vector<Step> path;
-  path.reserve(params_.max_kicks);
-
-  std::uint64_t cur = first_candidates[rng_.Below(n_cand)];
-  for (unsigned s = 0; s < params_.max_kicks; ++s) {
-    const unsigned slot =
-        static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
-    const std::uint64_t victim = table_.Get(cur, slot);
-    table_.Set(cur, slot, fp);
-    path.push_back({cur, slot, victim});
-    fp = victim;
-    ++counters_.evictions;
-
-    const std::uint64_t fh = FingerprintHash(fp);
-    if (FourWay(fp)) {
-      const auto alts = hasher_.Alternates(cur, fh);
-      counters_.bucket_probes += 3;
-      bool placed = false;
-      for (std::uint64_t z : alts) {
-        if (table_.InsertValue(z, fp)) {
-          placed = true;
-          break;
-        }
-      }
-      if (placed) {
-        ++items_;
-        return true;
-      }
-      cur = alts[rng_.Below(3)];
-    } else {
-      const std::uint64_t alt = (cur ^ fh) & hasher_.index_mask();
-      ++counters_.bucket_probes;
-      if (table_.InsertValue(alt, fp)) {
-        ++items_;
-        return true;
-      }
-      cur = alt;
-    }
-  }
-
-  for (auto it = path.rbegin(); it != path.rend(); ++it) {
-    table_.Set(it->bucket, it->slot, it->displaced);
-  }
-  ++counters_.insert_failures;
   return false;
 }
 
+bool DifferentiatedVcf::RelocateVictim(WalkState& walk) {
+  // Algorithm 4 lines 13-28: each victim is re-judged before its alternates
+  // are derived; 2-way victims march deterministically (no RNG draw).
+  const std::uint64_t fh = FingerprintHash(walk.fp);
+  if (FourWay(walk.fp)) {
+    const auto alts = hasher_.Alternates(walk.bucket, fh);
+    counters_.bucket_probes += 3;
+    for (std::uint64_t z : alts) {
+      if (table_.InsertValue(z, walk.fp)) {
+        ++items_;
+        return true;
+      }
+    }
+    walk.bucket = alts[rng_.Below(3)];
+  } else {
+    const std::uint64_t alt = (walk.bucket ^ fh) & hasher_.index_mask();
+    ++counters_.bucket_probes;
+    if (table_.InsertValue(alt, walk.fp)) {
+      ++items_;
+      return true;
+    }
+    walk.bucket = alt;
+  }
+  return false;
+}
+
+bool DifferentiatedVcf::Insert(std::uint64_t key) {
+  return kernel::InsertOne(*this, key);
+}
+
 bool DifferentiatedVcf::Contains(std::uint64_t key) const {
-  ++counters_.lookups;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
-  // Algorithm 5: interval judgment selects the candidate set; the whole set
-  // streams through one fused probe.
-  std::uint64_t cand[4];
-  const unsigned n_cand = CandidateSet(b1, fp, fh, cand);
-  counters_.bucket_probes += n_cand;
-  return table_.ContainsValueAny(cand, n_cand, fp);
+  return kernel::ContainsOne(*this, key);
 }
 
 void DifferentiatedVcf::ContainsBatch(std::span<const std::uint64_t> keys,
                                       bool* results) const {
-  constexpr std::size_t kWindow = 16;
-  struct Probe {
-    std::uint64_t cand[4];
-    std::uint64_t fp;
-    unsigned n_cand;
-  };
-  Probe window[kWindow];
-
-  std::size_t done = 0;
-  while (done < keys.size()) {
-    const std::size_t n = std::min(kWindow, keys.size() - done);
-    for (std::size_t i = 0; i < n; ++i) {
-      ++counters_.lookups;
-      std::uint64_t b1;
-      window[i].fp = Fingerprint(keys[done + i], &b1);
-      window[i].n_cand = CandidateSet(b1, window[i].fp,
-                                      FingerprintHash(window[i].fp),
-                                      window[i].cand);
-      for (unsigned c = 0; c < window[i].n_cand; ++c) {
-        table_.PrefetchBucket(window[i].cand[c]);
-      }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      counters_.bucket_probes += window[i].n_cand;
-      results[done + i] = table_.ContainsValueAny(
-          window[i].cand, window[i].n_cand, window[i].fp);
-    }
-    done += n;
-  }
+  kernel::ContainsBatch(*this, keys, results);
 }
 
 std::size_t DifferentiatedVcf::InsertBatch(std::span<const std::uint64_t> keys,
                                            bool* results) {
-  constexpr std::size_t kWindow = 16;
-  struct Pending {
-    std::uint64_t cand[4];
-    std::uint64_t fp;
-    unsigned n_cand;
-  };
-  Pending window[kWindow];
-
-  std::size_t accepted = 0;
-  std::size_t done = 0;
-  while (done < keys.size()) {
-    const std::size_t n = std::min(kWindow, keys.size() - done);
-    for (std::size_t i = 0; i < n; ++i) {
-      ++counters_.inserts;
-      std::uint64_t b1;
-      window[i].fp = Fingerprint(keys[done + i], &b1);
-      window[i].n_cand = CandidateSet(b1, window[i].fp,
-                                      FingerprintHash(window[i].fp),
-                                      window[i].cand);
-      for (unsigned c = 0; c < window[i].n_cand; ++c) {
-        table_.PrefetchBucket(window[i].cand[c]);
-      }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      counters_.bucket_probes += window[i].n_cand;
-      bool ok = false;
-      for (unsigned c = 0; c < window[i].n_cand; ++c) {
-        if (table_.InsertValue(window[i].cand[c], window[i].fp)) {
-          ++items_;
-          ok = true;
-          break;
-        }
-      }
-      if (!ok) ok = InsertEvict(window[i].fp, window[i].cand, window[i].n_cand);
-      accepted += ok ? 1 : 0;
-      if (results != nullptr) results[done + i] = ok;
-    }
-    done += n;
-  }
-  return accepted;
+  return kernel::InsertBatch(*this, keys, results);
 }
 
 bool DifferentiatedVcf::Erase(std::uint64_t key) {
@@ -288,22 +137,18 @@ void DifferentiatedVcf::Clear() {
   items_ = 0;
 }
 
+std::uint64_t DifferentiatedVcf::Digest() const noexcept {
+  return detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
+                              static_cast<unsigned>(delta_t_),
+                              params_.fingerprint_bits);
+}
+
 bool DifferentiatedVcf::SaveState(std::ostream& out) const {
-  const std::uint64_t digest = detail::ConfigDigest(
-      params_.seed, static_cast<unsigned>(params_.hash),
-      static_cast<unsigned>(delta_t_), params_.fingerprint_bits);
-  return detail::WriteStateHeader(out, Name(), digest) &&
-         detail::SaveTablePayload(out, table_);
+  return detail::SaveFilterState(out, Name(), Digest(), table_);
 }
 
 bool DifferentiatedVcf::LoadState(std::istream& in) {
-  const std::uint64_t digest = detail::ConfigDigest(
-      params_.seed, static_cast<unsigned>(params_.hash),
-      static_cast<unsigned>(delta_t_), params_.fingerprint_bits);
-  if (!detail::ReadStateHeader(in, Name(), digest) ||
-      !detail::LoadTablePayload(in, &table_)) {
-    return false;
-  }
+  if (!detail::LoadFilterState(in, Name(), Digest(), &table_)) return false;
   items_ = table_.OccupiedSlots();
   return true;
 }

@@ -9,10 +9,14 @@
 // of one interval judgment per operation and per relocation step.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/bitops.hpp"
 #include "common/random.hpp"
+#include "core/cuckoo_kernel.hpp"
 #include "core/cuckoo_params.hpp"
 #include "core/filter.hpp"
 #include "core/vertical_hashing.hpp"
@@ -20,7 +24,8 @@
 
 namespace vcf {
 
-class DifferentiatedVcf : public Filter {
+class DifferentiatedVcf : public Filter,
+                          public kernel::SlotWalkPolicy<DifferentiatedVcf> {
  public:
   /// `delta_t` in fingerprint-value units (0 => pure CF behaviour;
   /// 2^(f-1) => pure VCF behaviour).
@@ -34,9 +39,9 @@ class DifferentiatedVcf : public Filter {
   bool Contains(std::uint64_t key) const override;
   bool Erase(std::uint64_t key) override;
 
-  /// Two-phase hash-then-prefetch-then-probe pipelines (see core/vcf.cpp);
-  /// the per-key interval judgment happens in the hash phase, so the probe
-  /// phase streams over prefetched buckets for both 2- and 4-way keys.
+  /// Kernel-pipelined batch ops (core/cuckoo_kernel.hpp); the per-key
+  /// interval judgment happens in the hash phase, so the probe phase
+  /// streams over prefetched buckets for both 2- and 4-way keys.
   void ContainsBatch(std::span<const std::uint64_t> keys,
                      bool* results) const override;
   std::size_t InsertBatch(std::span<const std::uint64_t> keys,
@@ -65,17 +70,87 @@ class DifferentiatedVcf : public Filter {
     return fp >= interval_lo_ && fp < interval_hi_;
   }
 
+  // --- CandidatePolicy surface (consumed by core/cuckoo_kernel.hpp; the
+  // shared slot-table hooks come from kernel::SlotWalkPolicy) --------------
+  struct Hashed {
+    std::uint64_t cand[4];
+    std::uint64_t fp;
+    unsigned n_cand;
+  };
+  Hashed HashKey(std::uint64_t key) const noexcept {
+    Hashed h;
+    std::uint64_t b1;
+    h.fp = Fingerprint(key, &b1);
+    h.n_cand = CandidateSet(b1, h.fp, FingerprintHash(h.fp), h.cand);
+    return h;
+  }
+  void PrefetchCandidates(const Hashed& h) const noexcept {
+    for (unsigned c = 0; c < h.n_cand; ++c) table_.PrefetchBucket(h.cand[c]);
+  }
+  bool TryPlaceDirect(const Hashed& h) noexcept;
+  bool ProbeCandidates(const Hashed& h) const noexcept {
+    // Algorithm 5: the whole judged set streams through one fused probe.
+    counters_.bucket_probes += h.n_cand;
+    return table_.ContainsValueAny(h.cand, h.n_cand, h.fp);
+  }
+  WalkState StartWalk(const Hashed& h) {
+    return {h.cand[rng_.Below(h.n_cand)], h.fp};
+  }
+  bool RelocateVictim(WalkState& walk);
+  void AppendCandidates(const Hashed& h, std::vector<std::uint64_t>& out) const {
+    for (unsigned c = 0; c < h.n_cand; ++c) out.push_back(h.cand[c]);
+  }
+  template <typename Fn>
+  void ForEachVictimMove(std::uint64_t bucket, std::uint64_t occupant,
+                         Fn&& fn) const {
+    // Each occupant is re-judged before its alternates are derived.
+    const std::uint64_t fh = FingerprintHash(occupant);
+    if (FourWay(occupant)) {
+      for (std::uint64_t z : hasher_.Alternates(bucket, fh)) fn(z, occupant);
+    } else {
+      fn((bucket ^ fh) & hasher_.index_mask(), occupant);
+    }
+  }
+  // ------------------------------------------------------------------------
+
  private:
-  std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
-  std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
+  friend kernel::SlotWalkPolicy<DifferentiatedVcf>;
+
+  /// Seed perturbation separating the fingerprint hash from the key hash.
+  static constexpr std::uint64_t kFpHashSeed = 0xF1A9E57ECULL;
+
+  // The fingerprint/candidate derivation is defined inline: every lookup
+  // runs HashKey -> ProbeCandidates back to back, and keeping the chain
+  // visible to the inliner is worth ~5 ns/op on the miss path.
+  std::uint64_t Fingerprint(std::uint64_t key,
+                            std::uint64_t* bucket1) const noexcept {
+    const std::uint64_t h = Hash64(params_.hash, key, params_.seed);
+    ++counters_.hash_computations;
+    *bucket1 = h & hasher_.index_mask();
+    const std::uint64_t fp = (h >> 32) & LowMask(params_.fingerprint_bits);
+    return fp == 0 ? 1 : fp;
+  }
+  std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept {
+    // f-bit hash(eta), as in the VCF (see vcf.cpp).
+    ++counters_.hash_computations;
+    return Hash64(params_.hash, fp, params_.seed ^ kFpHashSeed) &
+           LowMask(params_.fingerprint_bits);
+  }
   /// Derives the candidate set for `fp` (4-way inside In1, 2-way outside);
   /// returns the candidate count. Shared by the single and batched paths.
   unsigned CandidateSet(std::uint64_t b1, std::uint64_t fp, std::uint64_t fh,
-                        std::uint64_t out[4]) const noexcept;
-  /// Eviction-chain tail of Insert (Algorithm 4 lines 13-28), shared with
-  /// InsertBatch.
-  bool InsertEvict(std::uint64_t fp, const std::uint64_t candidates[4],
-                   unsigned n_cand);
+                        std::uint64_t out[4]) const noexcept {
+    // Algorithm 4 lines 3-12: candidate set depends on the interval judgment.
+    if (FourWay(fp)) {
+      const Candidates4 cand = hasher_.Candidates(b1, fh);
+      std::copy(cand.bucket.begin(), cand.bucket.end(), out);
+      return 4;
+    }
+    out[0] = b1;
+    out[1] = (b1 ^ fh) & hasher_.index_mask();
+    return 2;
+  }
+  std::uint64_t Digest() const noexcept;
 
   CuckooParams params_;
   VerticalHasher hasher_;

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "common/failpoint.hpp"
+#include "core/cuckoo_kernel.hpp"
 #include "core/state_io.hpp"
 
 namespace vcf {
@@ -48,87 +48,29 @@ std::uint64_t KVcf::FingerprintHash(std::uint64_t fp) const noexcept {
   return Hash64(params_.hash, fp, params_.seed ^ kFpHashSeed) & fp_mask_;
 }
 
-bool KVcf::Insert(std::uint64_t key) {
-  ++counters_.inserts;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
-  const unsigned k = hasher_.k();
-
-  // Try every candidate bucket for an empty slot; the stored slot records
-  // which candidate index the fingerprint landed on (the mark field).
-  counters_.bucket_probes += k;
-  for (unsigned e = 0; e < k; ++e) {
-    const std::uint64_t bucket = hasher_.Candidate(b1, fh, e);
-    if (table_.InsertValue(bucket, EncodeSlot(fp, e))) {
-      ++items_;
-      return true;
-    }
-  }
-  return InsertEvict(fp, b1, fh);
+KVcf::Hashed KVcf::HashKey(std::uint64_t key) const noexcept {
+  Hashed h;
+  h.fp = Fingerprint(key, &h.b1);
+  h.fh = FingerprintHash(h.fp);
+  return h;
 }
 
-bool KVcf::InsertEvict(std::uint64_t fp, std::uint64_t b1, std::uint64_t fh) {
+bool KVcf::TryPlaceDirect(const Hashed& h) noexcept {
+  // Try every candidate bucket for an empty slot; the stored slot records
+  // which candidate index the fingerprint landed on (the mark field).
   const unsigned k = hasher_.k();
-  // Failure seam: injected eviction-chain exhaustion (see vcf.cpp).
-  if (VCF_FAILPOINT_TRIGGERED(failpoints::kEvictionExhausted)) {
-    ++counters_.insert_failures;
-    return false;
-  }
-
-  // Eviction walk (Fig. 3). State: the in-hand fingerprint `fp`, the bucket
-  // it is about to be written into, and that bucket's candidate index for it.
-  struct Step {
-    std::uint64_t bucket;
-    unsigned slot;
-    std::uint64_t displaced;
-  };
-  std::vector<Step> path;
-  path.reserve(params_.max_kicks);
-
-  unsigned mark = static_cast<unsigned>(rng_.Below(k));
-  std::uint64_t cur = hasher_.Candidate(b1, fh, mark);
-  for (unsigned s = 0; s < params_.max_kicks; ++s) {
-    const unsigned slot =
-        static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
-    const std::uint64_t victim_slot = table_.Get(cur, slot);
-    table_.Set(cur, slot, EncodeSlot(fp, mark));
-    path.push_back({cur, slot, victim_slot});
-    fp = SlotFingerprint(victim_slot);
-    const unsigned victim_mark = SlotMark(victim_slot);
-    ++counters_.evictions;
-
-    // Eq. 7: every other candidate of the victim from (cur, fp, mark).
-    fh = FingerprintHash(fp);
-    counters_.bucket_probes += k - 1;
-    bool placed = false;
-    for (unsigned e = 0; e < k && !placed; ++e) {
-      if (e == victim_mark) continue;
-      const std::uint64_t bucket = hasher_.FromSibling(cur, fh, victim_mark, e);
-      if (table_.InsertValue(bucket, EncodeSlot(fp, e))) placed = true;
-    }
-    if (placed) {
+  counters_.bucket_probes += k;
+  for (unsigned e = 0; e < k; ++e) {
+    const std::uint64_t bucket = hasher_.Candidate(h.b1, h.fh, e);
+    if (table_.InsertValue(bucket, EncodeSlot(h.fp, e))) {
       ++items_;
       return true;
     }
-    unsigned next = static_cast<unsigned>(rng_.Below(k - 1));
-    if (next >= victim_mark) ++next;  // uniform choice among e != victim_mark
-    cur = hasher_.FromSibling(cur, fh, victim_mark, next);
-    mark = next;
   }
-
-  for (auto it = path.rbegin(); it != path.rend(); ++it) {
-    table_.Set(it->bucket, it->slot, it->displaced);
-  }
-  ++counters_.insert_failures;
   return false;
 }
 
-bool KVcf::Contains(std::uint64_t key) const {
-  ++counters_.lookups;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
+bool KVcf::ProbeCandidates(const Hashed& h) const noexcept {
   const unsigned k = hasher_.k();
   counters_.bucket_probes += k;
   // Match on the fingerprint field only; the mark bits are location
@@ -138,90 +80,59 @@ bool KVcf::Contains(std::uint64_t key) const {
   for (unsigned base = 0; base < k; base += 16) {
     const unsigned n = std::min(k - base, 16u);
     for (unsigned e = 0; e < n; ++e) {
-      cand[e] = hasher_.Candidate(b1, fh, base + e);
+      cand[e] = hasher_.Candidate(h.b1, h.fh, base + e);
     }
-    if (table_.ContainsMaskedAny(cand, n, fp, fp_mask_)) return true;
+    if (table_.ContainsMaskedAny(cand, n, h.fp, fp_mask_)) return true;
   }
   return false;
 }
 
+KVcf::WalkUndo KVcf::KickVictim(WalkState& walk) {
+  const unsigned slot =
+      static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
+  const std::uint64_t victim_slot = table_.Get(walk.bucket, slot);
+  table_.Set(walk.bucket, slot, EncodeSlot(walk.fp, walk.mark));
+  const WalkUndo undo{walk.bucket, slot, victim_slot};
+  walk.fp = SlotFingerprint(victim_slot);
+  walk.victim_mark = SlotMark(victim_slot);
+  return undo;
+}
+
+bool KVcf::RelocateVictim(WalkState& walk) {
+  // Eq. 7: every other candidate of the victim from (bucket, fp, mark).
+  const unsigned k = hasher_.k();
+  const std::uint64_t fh = FingerprintHash(walk.fp);
+  counters_.bucket_probes += k - 1;
+  for (unsigned e = 0; e < k; ++e) {
+    if (e == walk.victim_mark) continue;
+    const std::uint64_t bucket =
+        hasher_.FromSibling(walk.bucket, fh, walk.victim_mark, e);
+    if (table_.InsertValue(bucket, EncodeSlot(walk.fp, e))) {
+      ++items_;
+      return true;
+    }
+  }
+  unsigned next = static_cast<unsigned>(rng_.Below(k - 1));
+  if (next >= walk.victim_mark) ++next;  // uniform among e != victim_mark
+  walk.bucket = hasher_.FromSibling(walk.bucket, fh, walk.victim_mark, next);
+  walk.mark = next;
+  return false;
+}
+
+bool KVcf::Insert(std::uint64_t key) { return kernel::InsertOne(*this, key); }
+
+bool KVcf::Contains(std::uint64_t key) const {
+  return kernel::ContainsOne(*this, key);
+}
+
 void KVcf::ContainsBatch(std::span<const std::uint64_t> keys,
                          bool* results) const {
-  constexpr std::size_t kWindow = 16;
-  struct Probe {
-    std::uint64_t b1, fh, fp;
-  };
-  Probe window[kWindow];
-  const unsigned k = hasher_.k();
-
-  std::size_t done = 0;
-  while (done < keys.size()) {
-    const std::size_t n = std::min(kWindow, keys.size() - done);
-    for (std::size_t i = 0; i < n; ++i) {
-      ++counters_.lookups;
-      window[i].fp = Fingerprint(keys[done + i], &window[i].b1);
-      window[i].fh = FingerprintHash(window[i].fp);
-      for (unsigned e = 0; e < k; ++e) {
-        table_.PrefetchBucket(hasher_.Candidate(window[i].b1, window[i].fh, e));
-      }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      counters_.bucket_probes += k;
-      bool hit = false;
-      std::uint64_t cand[16];
-      for (unsigned base = 0; base < k && !hit; base += 16) {
-        const unsigned m = std::min(k - base, 16u);
-        for (unsigned e = 0; e < m; ++e) {
-          cand[e] = hasher_.Candidate(window[i].b1, window[i].fh, base + e);
-        }
-        hit = table_.ContainsMaskedAny(cand, m, window[i].fp, fp_mask_);
-      }
-      results[done + i] = hit;
-    }
-    done += n;
-  }
+  kernel::ContainsBatch(*this, keys, results);
 }
 
 std::size_t KVcf::InsertBatch(std::span<const std::uint64_t> keys,
                               bool* results) {
-  constexpr std::size_t kWindow = 16;
-  struct Pending {
-    std::uint64_t b1, fh, fp;
-  };
-  Pending window[kWindow];
-  const unsigned k = hasher_.k();
-
-  std::size_t accepted = 0;
-  std::size_t done = 0;
-  while (done < keys.size()) {
-    const std::size_t n = std::min(kWindow, keys.size() - done);
-    for (std::size_t i = 0; i < n; ++i) {
-      ++counters_.inserts;
-      window[i].fp = Fingerprint(keys[done + i], &window[i].b1);
-      window[i].fh = FingerprintHash(window[i].fp);
-      for (unsigned e = 0; e < k; ++e) {
-        table_.PrefetchBucket(hasher_.Candidate(window[i].b1, window[i].fh, e));
-      }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      counters_.bucket_probes += k;
-      bool ok = false;
-      for (unsigned e = 0; e < k; ++e) {
-        const std::uint64_t bucket =
-            hasher_.Candidate(window[i].b1, window[i].fh, e);
-        if (table_.InsertValue(bucket, EncodeSlot(window[i].fp, e))) {
-          ++items_;
-          ok = true;
-          break;
-        }
-      }
-      if (!ok) ok = InsertEvict(window[i].fp, window[i].b1, window[i].fh);
-      accepted += ok ? 1 : 0;
-      if (results != nullptr) results[done + i] = ok;
-    }
-    done += n;
-  }
-  return accepted;
+  return kernel::InsertBatch(*this, keys, results);
 }
 
 bool KVcf::Erase(std::uint64_t key) {
@@ -246,22 +157,17 @@ void KVcf::Clear() {
   items_ = 0;
 }
 
+std::uint64_t KVcf::Digest() const noexcept {
+  return detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
+                              hasher_.k(), params_.fingerprint_bits);
+}
+
 bool KVcf::SaveState(std::ostream& out) const {
-  const std::uint64_t digest =
-      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
-                           hasher_.k(), params_.fingerprint_bits);
-  return detail::WriteStateHeader(out, Name(), digest) &&
-         detail::SaveTablePayload(out, table_);
+  return detail::SaveFilterState(out, Name(), Digest(), table_);
 }
 
 bool KVcf::LoadState(std::istream& in) {
-  const std::uint64_t digest =
-      detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
-                           hasher_.k(), params_.fingerprint_bits);
-  if (!detail::ReadStateHeader(in, Name(), digest) ||
-      !detail::LoadTablePayload(in, &table_)) {
-    return false;
-  }
+  if (!detail::LoadFilterState(in, Name(), Digest(), &table_)) return false;
   items_ = table_.OccupiedSlots();
   return true;
 }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/random.hpp"
+#include "core/cuckoo_kernel.hpp"
 #include "core/cuckoo_params.hpp"
 #include "core/filter.hpp"
 #include "core/vertical_hashing.hpp"
@@ -24,7 +25,7 @@
 
 namespace vcf {
 
-class KVcf : public Filter {
+class KVcf : public Filter, public kernel::SlotWalkPolicy<KVcf> {
  public:
   KVcf(const CuckooParams& params, unsigned k);
 
@@ -32,10 +33,10 @@ class KVcf : public Filter {
   bool Contains(std::uint64_t key) const override;
   bool Erase(std::uint64_t key) override;
 
-  /// Two-phase hash-then-prefetch-then-probe pipelines (see core/vcf.cpp);
-  /// candidates are rederived from (b1, fh) in the probe phase — the
-  /// candidate formula is mask arithmetic, the expensive parts are the two
-  /// hashes and the bucket loads, which the pipeline hides.
+  /// Kernel-pipelined batch ops (core/cuckoo_kernel.hpp); candidates are
+  /// rederived from (b1, fh) in the probe phase — the candidate formula is
+  /// mask arithmetic, the expensive parts are the two hashes and the bucket
+  /// loads, which the pipeline hides.
   void ContainsBatch(std::span<const std::uint64_t> keys,
                      bool* results) const override;
   std::size_t InsertBatch(std::span<const std::uint64_t> keys,
@@ -59,11 +60,68 @@ class KVcf : public Filter {
   unsigned mark_bits() const noexcept { return mark_bits_; }
   const GeneralizedVerticalHasher& hasher() const noexcept { return hasher_; }
 
+  // --- CandidatePolicy surface (consumed by core/cuckoo_kernel.hpp; the
+  // shared slot-table hooks come from kernel::SlotWalkPolicy; the marked
+  // walk state and kick hide the mixin defaults) ---------------------------
+  struct Hashed {
+    std::uint64_t b1;
+    std::uint64_t fh;
+    std::uint64_t fp;
+  };
+  /// The walk's in-hand state: the bucket about to receive `fp`, that
+  /// bucket's candidate index for it (the mark to encode), and — between a
+  /// kick and its relocation — the displaced victim's own mark.
+  struct WalkState {
+    std::uint64_t bucket;
+    std::uint64_t fp;
+    unsigned mark;
+    unsigned victim_mark;
+  };
+  Hashed HashKey(std::uint64_t key) const noexcept;
+  void PrefetchCandidates(const Hashed& h) const noexcept {
+    for (unsigned e = 0; e < hasher_.k(); ++e) {
+      table_.PrefetchBucket(hasher_.Candidate(h.b1, h.fh, e));
+    }
+  }
+  bool TryPlaceDirect(const Hashed& h) noexcept;
+  bool ProbeCandidates(const Hashed& h) const noexcept;
+  WalkState StartWalk(const Hashed& h) {
+    const unsigned mark = static_cast<unsigned>(rng_.Below(hasher_.k()));
+    return {hasher_.Candidate(h.b1, h.fh, mark), h.fp, mark, 0};
+  }
+  WalkUndo KickVictim(WalkState& walk);
+  bool RelocateVictim(WalkState& walk);
+
+  // BFS surface. Slot values are full encoded slots (mark | fingerprint),
+  // so a move re-marks: the moved value records its destination's candidate
+  // index, keeping Eq. 7 derivable after the chain runs.
+  void AppendCandidates(const Hashed& h, std::vector<std::uint64_t>& out) const {
+    for (unsigned e = 0; e < hasher_.k(); ++e) {
+      out.push_back(hasher_.Candidate(h.b1, h.fh, e));
+    }
+  }
+  std::uint64_t RootValue(const Hashed& h, unsigned idx) const noexcept {
+    return EncodeSlot(h.fp, idx);
+  }
+  template <typename Fn>
+  void ForEachVictimMove(std::uint64_t bucket, std::uint64_t occupant,
+                         Fn&& fn) const {
+    const std::uint64_t fp = SlotFingerprint(occupant);
+    const unsigned vm = SlotMark(occupant);
+    const std::uint64_t fh = FingerprintHash(fp);
+    for (unsigned e = 0; e < hasher_.k(); ++e) {
+      if (e == vm) continue;
+      fn(hasher_.FromSibling(bucket, fh, vm, e), EncodeSlot(fp, e));
+    }
+  }
+  // ------------------------------------------------------------------------
+
  private:
+  friend kernel::SlotWalkPolicy<KVcf>;
+
   std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
   std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
-  /// Eviction-chain tail of Insert (Fig. 3), shared with InsertBatch.
-  bool InsertEvict(std::uint64_t fp, std::uint64_t b1, std::uint64_t fh);
+  std::uint64_t Digest() const noexcept;
 
   std::uint64_t EncodeSlot(std::uint64_t fp, unsigned mark) const noexcept {
     return (static_cast<std::uint64_t>(mark) << params_.fingerprint_bits) | fp;

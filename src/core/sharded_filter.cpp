@@ -162,19 +162,12 @@ bool ShardedFilter::SaveState(std::ostream& out) const {
   if (!detail::WriteStateHeader(out, Name(), digest)) return false;
   for (const Shard& s : shards_) {
     // Stage the shard blob to learn its length, then write it framed.
-    // Framing is load-bearing, not cosmetic: a shard's LoadState may read
-    // greedily (ResilientFilter slurps its stream to support retries), so
-    // each shard must be handed exactly its own bytes on restore.
     std::ostringstream staged;
     {
       std::shared_lock lock(*s.mutex);
       if (!s.filter->SaveState(staged)) return false;
     }
-    const std::string blob = staged.str();
-    const std::uint64_t len = blob.size();
-    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
-    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-    if (!out) return false;
+    if (!detail::WriteFramedBlob(out, staged.str())) return false;
   }
   return true;
 }
@@ -184,21 +177,17 @@ bool ShardedFilter::LoadState(std::istream& in) {
       salt_, static_cast<unsigned>(shards_.size()), 0, 0);
   if (!detail::ReadStateHeader(in, Name(), digest)) return false;
   for (Shard& s : shards_) {
-    std::uint64_t len = 0;
-    in.read(reinterpret_cast<char*>(&len), sizeof(len));
-    // Reject absurd lengths before allocating: a corrupt frame must fail
-    // cleanly, not throw bad_alloc. No shard blob legitimately approaches
-    // this (a 2^30-slot table is ~8 GiB of *slots* already).
+    // No shard blob legitimately approaches the frame cap (a 2^30-slot
+    // table is ~8 GiB of *slots* already).
     constexpr std::uint64_t kMaxShardBlobBytes = std::uint64_t{1} << 32;
-    if (!in || len > kMaxShardBlobBytes) {
+    std::string blob;
+    if (!detail::ReadFramedBlob(in, &blob, kMaxShardBlobBytes)) {
       Clear();
       return false;
     }
-    std::string blob(static_cast<std::size_t>(len), '\0');
-    in.read(blob.data(), static_cast<std::streamsize>(blob.size()));
     std::istringstream shard_in(blob);
     std::unique_lock lock(*s.mutex);
-    if (!in || !s.filter->LoadState(shard_in)) {
+    if (!s.filter->LoadState(shard_in)) {
       lock.unlock();
       Clear();  // cannot roll back already-restored shards; see header
       return false;

@@ -144,6 +144,37 @@ bool LoadBytesPayload(std::istream& in, std::vector<std::uint8_t>* bytes,
   return true;
 }
 
+bool SaveFilterState(std::ostream& out, std::string_view name,
+                     std::uint64_t config_digest, const PackedTable& table) {
+  return WriteStateHeader(out, name, config_digest) &&
+         SaveTablePayload(out, table);
+}
+
+bool LoadFilterState(std::istream& in, std::string_view name,
+                     std::uint64_t config_digest, PackedTable* table) {
+  return ReadStateHeader(in, name, config_digest) &&
+         LoadTablePayload(in, table);
+}
+
+bool WriteFramedBlob(std::ostream& out, std::string_view blob) {
+  const std::uint64_t len = blob.size();
+  out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  return static_cast<bool>(out);
+}
+
+bool ReadFramedBlob(std::istream& in, std::string* blob,
+                    std::uint64_t max_bytes) {
+  std::uint64_t len = 0;
+  in.read(reinterpret_cast<char*>(&len), sizeof(len));
+  if (!in || len > max_bytes) return false;
+  std::string staged(static_cast<std::size_t>(len), '\0');
+  in.read(staged.data(), static_cast<std::streamsize>(staged.size()));
+  if (!in) return false;
+  *blob = std::move(staged);
+  return true;
+}
+
 std::uint64_t ConfigDigest(std::uint64_t seed, unsigned hash_kind,
                            unsigned variant, unsigned extra) {
   return Mix64(Mix64(seed) ^ Mix64(hash_kind * 0x9E01ULL) ^

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -37,6 +38,28 @@ bool SaveBytesPayload(std::ostream& out, const std::vector<std::uint8_t>& bytes,
                       std::uint64_t items);
 bool LoadBytesPayload(std::istream& in, std::vector<std::uint8_t>* bytes,
                       std::uint64_t* items);
+
+/// The one-stop envelope every cuckoo-family filter's SaveState/LoadState
+/// delegates to: common header + canonical packed table payload. Keeping
+/// the framing in one call means the resilient/sharded wrappers and the
+/// vcfd SNAPSHOT command all transport the same bytes, and a format change
+/// is one edit plus a version bump.
+bool SaveFilterState(std::ostream& out, std::string_view name,
+                     std::uint64_t config_digest, const PackedTable& table);
+bool LoadFilterState(std::istream& in, std::string_view name,
+                     std::uint64_t config_digest, PackedTable* table);
+
+/// Length-prefixed opaque frame (u64 length + bytes) for wrappers that embed
+/// whole child blobs — e.g. ShardedFilter's per-shard frames. Framing is
+/// load-bearing: a child's LoadState may read greedily (ResilientFilter
+/// slurps its stream to support retries), so each child must be handed
+/// exactly its own bytes on restore.
+bool WriteFramedBlob(std::ostream& out, std::string_view blob);
+
+/// Reads one frame, rejecting lengths above `max_bytes` before allocating
+/// so a corrupt frame fails cleanly instead of throwing bad_alloc.
+bool ReadFramedBlob(std::istream& in, std::string* blob,
+                    std::uint64_t max_bytes);
 
 /// Mixes construction parameters into a digest for the header.
 std::uint64_t ConfigDigest(std::uint64_t seed, unsigned hash_kind,

@@ -1,18 +1,13 @@
 #include "core/vcf.hpp"
 
-#include <algorithm>
 #include <stdexcept>
-#include <vector>
 
-#include "common/failpoint.hpp"
+#include "core/cuckoo_kernel.hpp"
 #include "core/state_io.hpp"
 
 namespace vcf {
 
 namespace {
-/// Seed perturbation separating the fingerprint hash from the key hash.
-constexpr std::uint64_t kFpHashSeed = 0xF1A9E57ECULL;
-
 void ValidateParams(const CuckooParams& p) {
   if (!IsPowerOfTwo(p.bucket_count)) {
     throw std::invalid_argument("VCF: bucket_count must be a power of two");
@@ -53,215 +48,88 @@ VerticalCuckooFilter::VerticalCuckooFilter(const CuckooParams& params,
       rng_(params.seed ^ 0xE71C7104C0FFEEULL),
       name_(std::move(name)) {}
 
-std::uint64_t VerticalCuckooFilter::Fingerprint(std::uint64_t key,
-                                                std::uint64_t* bucket1) const noexcept {
-  // One hash computation yields both the primary bucket (low bits) and the
-  // fingerprint (bits 32+), matching the reference CF derivation so that the
-  // CF/DCF/VCF comparison charges identical hashing work per operation.
-  const std::uint64_t h = Hash64(params_.hash, key, params_.seed);
-  ++counters_.hash_computations;
-  *bucket1 = h & hasher_.index_mask();
-  std::uint64_t fp = (h >> 32) & LowMask(params_.fingerprint_bits);
-  return fp == 0 ? 1 : fp;  // 0 is the empty-slot sentinel
+void VerticalCuckooFilter::PrefetchCandidates(const Hashed& h) const noexcept {
+  for (std::uint64_t c : h.cand.bucket) table_.PrefetchBucket(c);
 }
 
-std::uint64_t VerticalCuckooFilter::FingerprintHash(std::uint64_t fp) const noexcept {
-  // hash(eta) is truncated to the hasher's offset width — f bits for the
-  // paper-faithful configuration (Fig. 1), so candidate offsets span the low
-  // f bits of the index space. This is what makes the load factor depend on
-  // the fingerprint length (Fig. 4). A custom hasher (ablation) may widen it.
-  ++counters_.hash_computations;
-  return Hash64(params_.hash, fp, params_.seed ^ kFpHashSeed) &
-         hasher_.offset_mask();
-}
-
-bool VerticalCuckooFilter::Insert(std::uint64_t key) {
-  ++counters_.inserts;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
-
+bool VerticalCuckooFilter::TryPlaceDirect(const Hashed& h) noexcept {
   // Algorithm 1 lines 3-9: try all four candidates directly.
-  const Candidates4 cand = hasher_.Candidates(b1, fh);
   counters_.bucket_probes += 4;
-  for (std::uint64_t c : cand.bucket) {
-    if (table_.InsertValue(c, fp)) {
+  for (std::uint64_t c : h.cand.bucket) {
+    if (table_.InsertValue(c, h.fp)) {
       ++items_;
       return true;
     }
   }
-  return InsertEvict(fp, cand);
+  return false;
 }
 
-bool VerticalCuckooFilter::InsertEvict(std::uint64_t fp,
-                                       const Candidates4& cand) {
-  // Failure seam: fault injection treats the eviction chain as exhausted
-  // before it starts — the same observable outcome (rolled-back false) a
-  // saturated table produces, forced on demand.
-  if (VCF_FAILPOINT_TRIGGERED(failpoints::kEvictionExhausted)) {
-    ++counters_.insert_failures;
-    return false;
-  }
+bool VerticalCuckooFilter::ProbeCandidates(const Hashed& h) const noexcept {
+  // Algorithm 2 probes all four candidates (possibly duplicated buckets when
+  // the item degenerated to two candidates). The fused probe streams all
+  // four through one kernel instead of sequential early-exit probes.
+  counters_.bucket_probes += 4;
+  return table_.ContainsValueAny(h.cand.bucket.data(), h.cand.bucket.size(),
+                                 h.fp);
+}
 
-  // Algorithm 1 lines 11-21: evict along a random walk. Every swap is
-  // recorded so a failed chain can be rolled back (atomic insert).
-  struct Step {
-    std::uint64_t bucket;
-    unsigned slot;
-    std::uint64_t displaced;
-  };
-  std::vector<Step> path;
-  path.reserve(params_.max_kicks);
+VerticalCuckooFilter::WalkState VerticalCuckooFilter::StartWalk(
+    const Hashed& h) {
+  return {h.cand.bucket[rng_.Below(4)], h.fp};
+}
 
-  std::uint64_t cur = cand.bucket[rng_.Below(4)];
-  for (unsigned s = 0; s < params_.max_kicks; ++s) {
-    const unsigned slot =
-        static_cast<unsigned>(rng_.Below(params_.slots_per_bucket));
-    const std::uint64_t victim = table_.Get(cur, slot);
-    table_.Set(cur, slot, fp);
-    path.push_back({cur, slot, victim});
-    fp = victim;
-    ++counters_.evictions;
-
-    // Theorem 1: the victim's other candidates follow from its current
-    // bucket and fingerprint alone — no access to the original item.
-    const std::uint64_t fh = FingerprintHash(fp);
-    const auto alts = hasher_.Alternates(cur, fh);
-    counters_.bucket_probes += 3;
-    for (std::uint64_t z : alts) {
-      if (table_.InsertValue(z, fp)) {
-        ++items_;
-        return true;
-      }
+bool VerticalCuckooFilter::RelocateVictim(WalkState& walk) {
+  // Theorem 1: the victim's other candidates follow from its current bucket
+  // and fingerprint alone — no access to the original item.
+  const std::uint64_t fh = FingerprintHash(walk.fp);
+  const auto alts = hasher_.Alternates(walk.bucket, fh);
+  counters_.bucket_probes += 3;
+  for (std::uint64_t z : alts) {
+    if (table_.InsertValue(z, walk.fp)) {
+      ++items_;
+      return true;
     }
-    cur = alts[rng_.Below(3)];
   }
-
-  for (auto it = path.rbegin(); it != path.rend(); ++it) {
-    table_.Set(it->bucket, it->slot, it->displaced);
-  }
-  ++counters_.insert_failures;
+  walk.bucket = alts[rng_.Below(3)];
   return false;
+}
+
+void VerticalCuckooFilter::AppendCandidates(
+    const Hashed& h, std::vector<std::uint64_t>& out) const {
+  for (std::uint64_t c : h.cand.bucket) out.push_back(c);
+}
+
+bool VerticalCuckooFilter::Insert(std::uint64_t key) {
+  return kernel::InsertOne(*this, key);
 }
 
 bool VerticalCuckooFilter::InsertDirect(std::uint64_t key) {
   ++counters_.inserts;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
-  const Candidates4 cand = hasher_.Candidates(b1, fh);
-  counters_.bucket_probes += 4;
-  for (std::uint64_t c : cand.bucket) {
-    if (table_.InsertValue(c, fp)) {
-      ++items_;
-      return true;
-    }
-  }
+  if (TryPlaceDirect(HashKey(key))) return true;
   ++counters_.insert_failures;
   return false;
 }
 
 bool VerticalCuckooFilter::Contains(std::uint64_t key) const {
-  ++counters_.lookups;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
-  const Candidates4 cand = hasher_.Candidates(b1, fh);
-  // Algorithm 2 probes all four candidates (possibly duplicated buckets when
-  // the item degenerated to two candidates). The fused probe streams all
-  // four through one kernel instead of sequential early-exit probes.
-  counters_.bucket_probes += 4;
-  return table_.ContainsValueAny(cand.bucket.data(), cand.bucket.size(), fp);
+  return kernel::ContainsOne(*this, key);
 }
 
 void VerticalCuckooFilter::ContainsBatch(std::span<const std::uint64_t> keys,
                                          bool* results) const {
-  // Two-phase pipeline over fixed windows: phase 1 computes fingerprints
-  // and candidates and issues prefetches; phase 2 probes. The window is
-  // sized so all in-flight lines fit the L1 miss queue.
-  constexpr std::size_t kWindow = 16;
-  struct Probe {
-    Candidates4 cand;
-    std::uint64_t fp;
-  };
-  Probe window[kWindow];
-
-  std::size_t done = 0;
-  while (done < keys.size()) {
-    const std::size_t n = std::min(kWindow, keys.size() - done);
-    for (std::size_t i = 0; i < n; ++i) {
-      ++counters_.lookups;
-      std::uint64_t b1;
-      window[i].fp = Fingerprint(keys[done + i], &b1);
-      window[i].cand = hasher_.Candidates(b1, FingerprintHash(window[i].fp));
-      counters_.bucket_probes += 4;
-      for (std::uint64_t c : window[i].cand.bucket) {
-        table_.PrefetchBucket(c);
-      }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      results[done + i] = table_.ContainsValueAny(
-          window[i].cand.bucket.data(), window[i].cand.bucket.size(),
-          window[i].fp);
-    }
-    done += n;
-  }
+  kernel::ContainsBatch(*this, keys, results);
 }
 
 std::size_t VerticalCuckooFilter::InsertBatch(
     std::span<const std::uint64_t> keys, bool* results) {
-  // Same two-phase window pipeline as ContainsBatch. Phase 2 runs in key
-  // order and candidate derivation never depends on table contents, so the
-  // outcome is identical to sequential Insert calls — inserts within the
-  // window only consume slots, they never move a later key's candidates.
-  constexpr std::size_t kWindow = 16;
-  struct Pending {
-    Candidates4 cand;
-    std::uint64_t fp;
-  };
-  Pending window[kWindow];
-
-  std::size_t accepted = 0;
-  std::size_t done = 0;
-  while (done < keys.size()) {
-    const std::size_t n = std::min(kWindow, keys.size() - done);
-    for (std::size_t i = 0; i < n; ++i) {
-      ++counters_.inserts;
-      std::uint64_t b1;
-      window[i].fp = Fingerprint(keys[done + i], &b1);
-      window[i].cand = hasher_.Candidates(b1, FingerprintHash(window[i].fp));
-      for (std::uint64_t c : window[i].cand.bucket) {
-        table_.PrefetchBucket(c);
-      }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      counters_.bucket_probes += 4;
-      bool ok = false;
-      for (std::uint64_t c : window[i].cand.bucket) {
-        if (table_.InsertValue(c, window[i].fp)) {
-          ++items_;
-          ok = true;
-          break;
-        }
-      }
-      if (!ok) ok = InsertEvict(window[i].fp, window[i].cand);
-      accepted += ok ? 1 : 0;
-      if (results != nullptr) results[done + i] = ok;
-    }
-    done += n;
-  }
-  return accepted;
+  return kernel::InsertBatch(*this, keys, results);
 }
 
 bool VerticalCuckooFilter::Erase(std::uint64_t key) {
   ++counters_.deletions;
-  std::uint64_t b1;
-  const std::uint64_t fp = Fingerprint(key, &b1);
-  const std::uint64_t fh = FingerprintHash(fp);
-  const Candidates4 cand = hasher_.Candidates(b1, fh);
+  const Hashed h = HashKey(key);
   counters_.bucket_probes += 4;
-  for (std::uint64_t c : cand.bucket) {
-    if (table_.EraseValue(c, fp)) {
+  for (std::uint64_t c : h.cand.bucket) {
+    if (table_.EraseValue(c, h.fp)) {
       --items_;
       return true;
     }
@@ -274,22 +142,18 @@ void VerticalCuckooFilter::Clear() {
   items_ = 0;
 }
 
+std::uint64_t VerticalCuckooFilter::Digest() const noexcept {
+  return detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
+                              static_cast<unsigned>(hasher_.bm1()),
+                              params_.fingerprint_bits);
+}
+
 bool VerticalCuckooFilter::SaveState(std::ostream& out) const {
-  const std::uint64_t digest = detail::ConfigDigest(
-      params_.seed, static_cast<unsigned>(params_.hash),
-      static_cast<unsigned>(hasher_.bm1()), params_.fingerprint_bits);
-  return detail::WriteStateHeader(out, Name(), digest) &&
-         detail::SaveTablePayload(out, table_);
+  return detail::SaveFilterState(out, Name(), Digest(), table_);
 }
 
 bool VerticalCuckooFilter::LoadState(std::istream& in) {
-  const std::uint64_t digest = detail::ConfigDigest(
-      params_.seed, static_cast<unsigned>(params_.hash),
-      static_cast<unsigned>(hasher_.bm1()), params_.fingerprint_bits);
-  if (!detail::ReadStateHeader(in, Name(), digest) ||
-      !detail::LoadTablePayload(in, &table_)) {
-    return false;
-  }
+  if (!detail::LoadFilterState(in, Name(), Digest(), &table_)) return false;
   items_ = table_.OccupiedSlots();
   return true;
 }

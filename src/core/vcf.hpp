@@ -6,7 +6,8 @@
 // exactly i one-bits: the mask shape tunes r, the probability that an item
 // really gets four distinct candidates, trading load factor against false
 // positive rate. Insertion, lookup and deletion are the paper's Algorithms
-// 1-3.
+// 1-3, run on the shared engine in core/cuckoo_kernel.hpp — this class is
+// the vertical-bitmask CandidatePolicy.
 //
 // Deviation from Algorithm 1 (documented in DESIGN.md): on insertion failure
 // the eviction chain is rolled back, so a failed Insert leaves the filter
@@ -17,8 +18,11 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/bitops.hpp"
 #include "common/random.hpp"
+#include "core/cuckoo_kernel.hpp"
 #include "core/cuckoo_params.hpp"
 #include "core/filter.hpp"
 #include "core/vertical_hashing.hpp"
@@ -26,7 +30,9 @@
 
 namespace vcf {
 
-class VerticalCuckooFilter : public Filter {
+class VerticalCuckooFilter
+    : public Filter,
+      public kernel::SlotWalkPolicy<VerticalCuckooFilter> {
  public:
   /// Balanced-mask VCF (the paper's plain "VCF": bm1 = half the index bits).
   explicit VerticalCuckooFilter(const CuckooParams& params);
@@ -48,16 +54,10 @@ class VerticalCuckooFilter : public Filter {
   /// useful for latency-critical callers that prefer failing fast.
   bool InsertDirect(std::uint64_t key);
 
-  /// Prefetch-pipelined batch lookup (overrides the naive default): hashes
-  /// a window of keys, prefetches all their candidate buckets, then probes.
+  /// Kernel-pipelined batch ops: 16-key hash+prefetch window, then probe or
+  /// place. Results and end state identical to the sequential calls.
   void ContainsBatch(std::span<const std::uint64_t> keys,
                      bool* results) const override;
-
-  /// Prefetch-pipelined batch insert, mirroring ContainsBatch: phase 1
-  /// hashes a window and prefetches all candidate buckets, phase 2 places
-  /// each key (running the eviction chain only for keys whose candidates
-  /// were all full). Produces exactly the results and end state of
-  /// sequential Insert calls.
   std::size_t InsertBatch(std::span<const std::uint64_t> keys,
                           bool* results = nullptr) override;
 
@@ -81,12 +81,64 @@ class VerticalCuckooFilter : public Filter {
   const CuckooParams& params() const noexcept { return params_; }
   const PackedTable& table() const noexcept { return table_; }
 
+  // --- CandidatePolicy surface (consumed by core/cuckoo_kernel.hpp; the
+  // shared slot-table hooks come from kernel::SlotWalkPolicy) --------------
+  struct Hashed {
+    Candidates4 cand;
+    std::uint64_t fp;
+  };
+  Hashed HashKey(std::uint64_t key) const noexcept {
+    std::uint64_t b1;
+    const std::uint64_t fp = Fingerprint(key, &b1);
+    return {hasher_.Candidates(b1, FingerprintHash(fp)), fp};
+  }
+  void PrefetchCandidates(const Hashed& h) const noexcept;
+  bool TryPlaceDirect(const Hashed& h) noexcept;
+  bool ProbeCandidates(const Hashed& h) const noexcept;
+  WalkState StartWalk(const Hashed& h);
+  bool RelocateVictim(WalkState& walk);
+  void AppendCandidates(const Hashed& h, std::vector<std::uint64_t>& out) const;
+  template <typename Fn>
+  void ForEachVictimMove(std::uint64_t bucket, std::uint64_t occupant,
+                         Fn&& fn) const {
+    // Theorem 1: the occupant's other candidates follow from its current
+    // bucket and fingerprint alone — no access to the original item.
+    const std::uint64_t fh = FingerprintHash(occupant);
+    for (std::uint64_t z : hasher_.Alternates(bucket, fh)) fn(z, occupant);
+  }
+  // ------------------------------------------------------------------------
+
  private:
-  std::uint64_t Fingerprint(std::uint64_t key, std::uint64_t* bucket1) const noexcept;
-  std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept;
-  /// Eviction-chain tail of Insert (Algorithm 1 lines 11-21), shared with
-  /// InsertBatch. Called after every candidate of `cand` was found full.
-  bool InsertEvict(std::uint64_t fp, const Candidates4& cand);
+  friend kernel::SlotWalkPolicy<VerticalCuckooFilter>;
+
+  /// Seed perturbation separating the fingerprint hash from the key hash.
+  static constexpr std::uint64_t kFpHashSeed = 0xF1A9E57ECULL;
+
+  // Defined inline (with HashKey above) so the per-lookup derivation chain
+  // stays visible to the inliner; see the matching note in dvcf.hpp.
+  std::uint64_t Fingerprint(std::uint64_t key,
+                            std::uint64_t* bucket1) const noexcept {
+    // One hash computation yields both the primary bucket (low bits) and the
+    // fingerprint (bits 32+), matching the reference CF derivation so that
+    // the CF/DCF/VCF comparison charges identical hashing work per
+    // operation.
+    const std::uint64_t h = Hash64(params_.hash, key, params_.seed);
+    ++counters_.hash_computations;
+    const std::uint64_t fp = (h >> 32) & LowMask(params_.fingerprint_bits);
+    *bucket1 = h & hasher_.index_mask();
+    return fp == 0 ? 1 : fp;  // 0 is the empty-slot sentinel
+  }
+  std::uint64_t FingerprintHash(std::uint64_t fp) const noexcept {
+    // hash(eta) is truncated to the hasher's offset width — f bits for the
+    // paper-faithful configuration (Fig. 1), so candidate offsets span the
+    // low f bits of the index space. This is what makes the load factor
+    // depend on the fingerprint length (Fig. 4). A custom hasher (ablation)
+    // may widen it.
+    ++counters_.hash_computations;
+    return Hash64(params_.hash, fp, params_.seed ^ kFpHashSeed) &
+           hasher_.offset_mask();
+  }
+  std::uint64_t Digest() const noexcept;
 
   CuckooParams params_;
   VerticalHasher hasher_;

@@ -42,6 +42,11 @@ std::string FilterSpec::DisplayName() const {
     bare.aligned = false;
     return "Aligned(" + bare.DisplayName() + ")";
   }
+  if (bfs) {
+    FilterSpec bare = *this;
+    bare.bfs = false;
+    return "Bfs(" + bare.DisplayName() + ")";
+  }
   switch (kind) {
     case Kind::kCF: return "CF";
     case Kind::kVCF: return "VCF";
@@ -61,6 +66,13 @@ std::string FilterSpec::DisplayName() const {
 }
 
 std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec) {
+  if (spec.bfs && spec.params.eviction != EvictionMode::kBfs) {
+    // `bfs:` selects breadth-first eviction in the shared cuckoo kernel; it
+    // rides through the wrappers to every kernel-ported leaf filter.
+    FilterSpec with_mode = spec;
+    with_mode.params.eviction = EvictionMode::kBfs;
+    return MakeFilter(with_mode);
+  }
   if (spec.aligned && spec.params.layout != TableLayout::kCacheAligned) {
     // `aligned:` selects the cache-aligned bucket layout; it rides through
     // the sharded/resilient wrappers to the table-backed leaf filters.
@@ -145,6 +157,7 @@ std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec) {
       p.hash = spec.params.hash;
       p.max_kicks = spec.params.max_kicks;
       p.seed = spec.params.seed;
+      p.eviction = spec.params.eviction;
       return std::make_unique<VacuumFilter>(p);
     }
     case FilterSpec::Kind::kSsCF: {
@@ -173,9 +186,11 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
   constexpr std::string_view kShardedPrefix = "sharded:";
   constexpr std::string_view kResilientPrefix = "resilient:";
   constexpr std::string_view kAlignedPrefix = "aligned:";
+  constexpr std::string_view kBfsPrefix = "bfs:";
   spec.shards = 0;
   spec.resilient = false;
   spec.aligned = false;
+  spec.bfs = false;
   if (kind.rfind(kShardedPrefix, 0) == 0) {
     kind.erase(0, kShardedPrefix.size());
     const std::size_t colon = kind.find(':');
@@ -195,13 +210,24 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
     spec.shards = n;
     kind.erase(0, colon + 1);
   }
-  if (kind.rfind(kResilientPrefix, 0) == 0) {
-    spec.resilient = true;
-    kind.erase(0, kResilientPrefix.size());
-  }
-  if (kind.rfind(kAlignedPrefix, 0) == 0) {
-    spec.aligned = true;
-    kind.erase(0, kAlignedPrefix.size());
+  // The mode prefixes compose in any order.
+  for (bool progress = true; progress;) {
+    progress = false;
+    if (kind.rfind(kResilientPrefix, 0) == 0) {
+      spec.resilient = true;
+      kind.erase(0, kResilientPrefix.size());
+      progress = true;
+    }
+    if (kind.rfind(kAlignedPrefix, 0) == 0) {
+      spec.aligned = true;
+      kind.erase(0, kAlignedPrefix.size());
+      progress = true;
+    }
+    if (kind.rfind(kBfsPrefix, 0) == 0) {
+      spec.bfs = true;
+      kind.erase(0, kBfsPrefix.size());
+      progress = true;
+    }
   }
   if (kind == "cf") {
     spec.kind = FilterSpec::Kind::kCF;
@@ -231,7 +257,7 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
     throw std::invalid_argument(
         "unknown --filter=" + kind +
         " (cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf, optionally "
-        "prefixed sharded:<n>:, resilient: and/or aligned:)");
+        "prefixed sharded:<n>:, resilient:, aligned: and/or bfs:)");
   }
 }
 
@@ -249,6 +275,7 @@ FilterSpec SpecFromFlags(const Flags& flags) {
       static_cast<std::uint64_t>(flags.GetInt("seed", 0x5EEDF00D));
   spec.bits_per_item = flags.GetDouble("bits_per_item", 12.0);
   if (spec.aligned) spec.params.layout = TableLayout::kCacheAligned;
+  if (spec.bfs) spec.params.eviction = EvictionMode::kBfs;
   return spec;
 }
 
@@ -256,7 +283,8 @@ const char kFilterFlagsHelp[] =
     "  --filter=cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf\n"
     "      (prefix sharded:<n>: for n locked shards, resilient: for the\n"
     "       stash/recovery wrapper, aligned: for the cache-aligned bucket\n"
-    "       layout; sharded:<n>:resilient:aligned:<kind> composes)\n"
+    "       layout, bfs: for breadth-first-search eviction;\n"
+    "       sharded:<n>:resilient:aligned:bfs:<kind> composes)\n"
     "  --variant=N --slots_log2=N --f=N --hash=fnv|murmur|djb|splitmix\n"
     "  --seed=N --max_kicks=N --bits_per_item=X\n";
 

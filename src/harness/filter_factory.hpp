@@ -58,6 +58,15 @@ struct FilterSpec {
   /// so aligned and packed checkpoints interoperate.
   bool aligned = false;
 
+  /// Use BFS (breadth-first search) eviction instead of the default random
+  /// walk: on a full table the kernel searches the cuckoo move graph
+  /// breadth-first for the shortest relocation chain and applies it leaf-
+  /// first (core/cuckoo_kernel.hpp). Applies to every kernel-ported cuckoo
+  /// filter; ignored by the Bloom family, QF, dlCBF and MF. Spelled
+  /// "bfs:<kind>" in string specs, composing with the other prefixes.
+  /// Eviction mode is a runtime policy, not part of serialized state.
+  bool bfs = false;
+
   std::string DisplayName() const;
 };
 
@@ -66,9 +75,10 @@ std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec);
 class Flags;
 
 /// Parses a `--filter` kind string — `cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|
-/// dlcbf|vf|sscf`, optionally prefixed `sharded:<n>:`, `resilient:` and/or
-/// `aligned:` (composing: "sharded:4:resilient:aligned:vcf") — into
-/// `spec.kind/shards/resilient/aligned`, leaving every other field
+/// dlcbf|vf|sscf`, optionally prefixed `sharded:<n>:` and then any mix of
+/// `resilient:`, `aligned:` and `bfs:` (composing:
+/// "sharded:4:resilient:aligned:bfs:vcf") — into
+/// `spec.kind/shards/resilient/aligned/bfs`, leaving every other field
 /// untouched. Throws
 /// std::invalid_argument with an operator-facing message on bad input.
 /// Shared by vcf_tool, vcfd and vcf_loadgen so every binary serves the same

@@ -1,0 +1,231 @@
+// Golden-state regression harness for the cuckoo-family kernel refactor.
+//
+// The checked-in blobs under tests/data/golden/ were serialized by the
+// pre-kernel per-filter implementations after a fixed-seed insertion
+// workload, and the manifest records the operation counters those runs
+// produced. The tests replay the identical workload through today's code
+// and require (a) bit-identical serialized state — same RNG draw sequence,
+// same eviction paths, same envelope bytes — and (b) identical eviction /
+// probe / hash counters. A blob is also restored into a fresh filter and
+// re-serialized, which must reproduce the file byte-for-byte.
+//
+// Regenerating (only legitimate when the on-disk format itself changes, in
+// which case the version field must change too):
+//   VCF_REGEN_GOLDEN=1 ./blob_golden_test
+#include "harness/filter_factory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace vcf {
+namespace {
+
+#ifndef VCF_GOLDEN_DIR
+#error "VCF_GOLDEN_DIR must point at tests/data/golden"
+#endif
+
+struct GoldenCase {
+  const char* tag;     // file stem under tests/data/golden/
+  const char* filter;  // factory spelling (ParseFilterKind)
+  unsigned variant;
+  double load;  // fill target as a fraction of SlotCount()
+};
+
+// Every cuckoo-family kind, packed and (where the layout applies)
+// cache-aligned. Loads near saturation so eviction chains — including
+// failed, rolled-back ones — are part of the locked behaviour.
+const GoldenCase kCases[] = {
+    {"cf", "cf", 0, 0.95},
+    {"vcf", "vcf", 0, 0.95},
+    {"ivcf3", "ivcf", 3, 0.95},
+    {"dvcf4", "dvcf", 4, 0.95},
+    {"kvcf4", "kvcf", 4, 0.95},
+    {"kvcf3", "kvcf", 3, 0.95},
+    {"dcf4", "dcf", 4, 0.90},
+    {"vf", "vf", 0, 0.90},
+    {"sscf", "sscf", 0, 0.90},
+    {"aligned_cf", "aligned:cf", 0, 0.95},
+    {"aligned_vcf", "aligned:vcf", 0, 0.95},
+    {"aligned_ivcf3", "aligned:ivcf", 3, 0.95},
+    {"aligned_dvcf4", "aligned:dvcf", 4, 0.95},
+    {"aligned_kvcf4", "aligned:kvcf", 4, 0.95},
+};
+
+struct RunResult {
+  std::size_t accepted = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t hashes = 0;
+  std::string blob;
+};
+
+FilterSpec SpecFor(const GoldenCase& c) {
+  FilterSpec spec;
+  ParseFilterKind(c.filter, spec);
+  spec.variant = c.variant;
+  spec.params = CuckooParams::ForSlotsLog2(12);  // 1024 buckets x 4 slots
+  return spec;
+}
+
+RunResult RunWorkload(const GoldenCase& c) {
+  const auto filter = MakeFilter(SpecFor(c));
+  const std::size_t n =
+      static_cast<std::size_t>(c.load * static_cast<double>(filter->SlotCount()));
+  RunResult r;
+  for (std::size_t i = 0; i < n; ++i) {
+    r.accepted += filter->Insert(0x9E3779B97F4A7C15ULL * (i + 1)) ? 1 : 0;
+  }
+  const OpCounters& k = filter->counters();
+  r.evictions = k.evictions;
+  r.failures = k.insert_failures;
+  r.probes = k.bucket_probes;
+  r.hashes = k.hash_computations;
+  std::ostringstream out(std::ios::binary);
+  EXPECT_TRUE(filter->SaveState(out)) << c.tag;
+  r.blob = out.str();
+  return r;
+}
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(VCF_GOLDEN_DIR) + "/" + name;
+}
+
+std::string ReadFile(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  *ok = static_cast<bool>(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct ManifestRow {
+  std::size_t accepted;
+  std::uint64_t evictions, failures, probes, hashes;
+};
+
+std::map<std::string, ManifestRow> ReadManifest(bool* ok) {
+  std::map<std::string, ManifestRow> rows;
+  std::ifstream in(GoldenPath("manifest.txt"));
+  *ok = static_cast<bool>(in);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    ManifestRow row{};
+    if (fields >> tag >> row.accepted >> row.evictions >> row.failures >>
+        row.probes >> row.hashes) {
+      rows[tag] = row;
+    }
+  }
+  return rows;
+}
+
+bool RegenRequested() {
+  const char* env = std::getenv("VCF_REGEN_GOLDEN");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+TEST(BlobGolden, RegenerateWhenRequested) {
+  if (!RegenRequested()) GTEST_SKIP() << "set VCF_REGEN_GOLDEN=1 to regenerate";
+  std::ofstream manifest(GoldenPath("manifest.txt"));
+  ASSERT_TRUE(manifest) << "cannot write " << GoldenPath("manifest.txt");
+  manifest << "# tag accepted evictions failures probes hashes\n";
+  for (const GoldenCase& c : kCases) {
+    const RunResult r = RunWorkload(c);
+    std::ofstream blob(GoldenPath(std::string(c.tag) + ".blob"),
+                       std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(blob) << c.tag;
+    blob.write(r.blob.data(), static_cast<std::streamsize>(r.blob.size()));
+    ASSERT_TRUE(blob) << c.tag;
+    manifest << c.tag << ' ' << r.accepted << ' ' << r.evictions << ' '
+             << r.failures << ' ' << r.probes << ' ' << r.hashes << '\n';
+  }
+}
+
+// The fixed-seed workload must reproduce the pre-refactor counters exactly:
+// same eviction count means same eviction paths (each kick is one counter
+// tick), same probe/hash totals mean no hidden extra work.
+TEST(BlobGolden, WorkloadCountersMatchPreRefactor) {
+  if (RegenRequested()) GTEST_SKIP();
+  bool ok = false;
+  const auto manifest = ReadManifest(&ok);
+  ASSERT_TRUE(ok) << "missing " << GoldenPath("manifest.txt");
+  ASSERT_EQ(manifest.size(), std::size(kCases));
+  for (const GoldenCase& c : kCases) {
+    SCOPED_TRACE(c.tag);
+    const auto it = manifest.find(c.tag);
+    ASSERT_NE(it, manifest.end());
+    const RunResult r = RunWorkload(c);
+    EXPECT_EQ(r.accepted, it->second.accepted);
+    EXPECT_EQ(r.evictions, it->second.evictions);
+    EXPECT_EQ(r.failures, it->second.failures);
+    EXPECT_EQ(r.probes, it->second.probes);
+    EXPECT_EQ(r.hashes, it->second.hashes);
+  }
+}
+
+// The serialized state after the workload must be byte-identical to the
+// pre-refactor blob: header, digest and payload all unchanged.
+TEST(BlobGolden, SerializedStateMatchesPreRefactor) {
+  if (RegenRequested()) GTEST_SKIP();
+  for (const GoldenCase& c : kCases) {
+    SCOPED_TRACE(c.tag);
+    bool ok = false;
+    const std::string golden = ReadFile(GoldenPath(std::string(c.tag) + ".blob"), &ok);
+    ASSERT_TRUE(ok) << "missing golden blob for " << c.tag;
+    const RunResult r = RunWorkload(c);
+    EXPECT_EQ(r.blob, golden);
+  }
+}
+
+// A golden blob must restore into a freshly built filter and re-serialize
+// byte-identically (the satellite's load/re-save round trip).
+TEST(BlobGolden, LoadThenResaveIsByteIdentical) {
+  if (RegenRequested()) GTEST_SKIP();
+  for (const GoldenCase& c : kCases) {
+    SCOPED_TRACE(c.tag);
+    bool ok = false;
+    const std::string golden = ReadFile(GoldenPath(std::string(c.tag) + ".blob"), &ok);
+    ASSERT_TRUE(ok) << "missing golden blob for " << c.tag;
+    const auto filter = MakeFilter(SpecFor(c));
+    std::istringstream in(golden);
+    ASSERT_TRUE(filter->LoadState(in)) << c.tag;
+    std::ostringstream out(std::ios::binary);
+    ASSERT_TRUE(filter->SaveState(out)) << c.tag;
+    EXPECT_EQ(out.str(), golden);
+  }
+}
+
+// Layout portability: an aligned-layout filter's blob is canonical packed
+// bytes, so it must equal its packed twin's blob bit-for-bit.
+TEST(BlobGolden, AlignedBlobsAreLayoutCanonical) {
+  if (RegenRequested()) GTEST_SKIP();
+  const std::pair<const char*, const char*> twins[] = {
+      {"aligned_cf", "cf"},         {"aligned_vcf", "vcf"},
+      {"aligned_ivcf3", "ivcf3"},   {"aligned_dvcf4", "dvcf4"},
+      {"aligned_kvcf4", "kvcf4"},
+  };
+  for (const auto& [aligned_tag, packed_tag] : twins) {
+    SCOPED_TRACE(aligned_tag);
+    bool ok_a = false;
+    bool ok_p = false;
+    const std::string aligned =
+        ReadFile(GoldenPath(std::string(aligned_tag) + ".blob"), &ok_a);
+    const std::string packed =
+        ReadFile(GoldenPath(std::string(packed_tag) + ".blob"), &ok_p);
+    ASSERT_TRUE(ok_a && ok_p);
+    EXPECT_EQ(aligned, packed);
+  }
+}
+
+}  // namespace
+}  // namespace vcf

@@ -4,11 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 #include <vector>
 
 #include "analysis/model.hpp"
 #include "common/bitops.hpp"
 #include "core/vertical_hashing.hpp"
+#include "harness/filter_factory.hpp"
 
 namespace vcf {
 namespace {
@@ -83,6 +85,51 @@ TEST(ExhaustiveTest, Theorem2AllPairsSmallSpace) {
         for (unsigned e = 0; e < gh.k(); ++e) {
           ASSERT_EQ(gh.FromSibling(cand[g], fh, g, e), cand[e]);
         }
+      }
+    }
+  }
+}
+
+TEST(ExhaustiveTest, SmallSpaceFilterOracleBothEvictionModes) {
+  // The filter-level oracle the VCF trio has always run — no false
+  // negatives, exact ItemCount bookkeeping, drain-to-empty via Erase — now
+  // exercised on a tiny (16-bucket) table across every kernel-ported filter
+  // kind, under both the default random walk and the BFS eviction mode.
+  struct KindSpec {
+    const char* kind;
+    unsigned variant;
+  };
+  const KindSpec kinds[] = {{"cf", 0},   {"vcf", 0},  {"ivcf", 3},
+                            {"dvcf", 4}, {"kvcf", 4}, {"dcf", 4},
+                            {"vf", 2},   {"sscf", 0}};
+  for (const char* prefix : {"", "bfs:"}) {
+    for (const auto& ks : kinds) {
+      const std::string label = std::string(prefix) + ks.kind;
+      FilterSpec spec;
+      ParseFilterKind(label, spec);
+      spec.variant = ks.variant;
+      spec.params.bucket_count = 1 << 4;
+      spec.params.slots_per_bucket = 4;
+      spec.params.fingerprint_bits = 12;
+      auto filter = MakeFilter(spec);
+      ASSERT_NE(filter, nullptr) << label;
+
+      std::set<std::uint64_t> accepted;
+      for (std::uint64_t key = 1; key <= 60; ++key) {
+        if (filter->Insert(key)) accepted.insert(key);
+      }
+      EXPECT_GE(accepted.size(), 50u) << label;
+      EXPECT_EQ(filter->ItemCount(), accepted.size()) << label;
+      for (const std::uint64_t key : accepted) {
+        ASSERT_TRUE(filter->Contains(key)) << label << " lost key " << key;
+      }
+      for (const std::uint64_t key : accepted) {
+        ASSERT_TRUE(filter->Erase(key)) << label << " erase " << key;
+      }
+      EXPECT_EQ(filter->ItemCount(), 0u) << label;
+      // A drained table must accept fresh keys without eviction pressure.
+      for (std::uint64_t key = 100; key < 110; ++key) {
+        EXPECT_TRUE(filter->Insert(key)) << label;
       }
     }
   }

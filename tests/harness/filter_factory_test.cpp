@@ -67,6 +67,60 @@ TEST(FilterFactoryTest, SweepsShareParams) {
   EXPECT_EQ(DvcfSweep(p).size(), 8u);
 }
 
+TEST(FilterFactoryTest, BfsPrefixParsesAndComposes) {
+  FilterSpec spec;
+  ParseFilterKind("bfs:vcf", spec);
+  EXPECT_TRUE(spec.bfs);
+  EXPECT_EQ(spec.kind, FilterSpec::Kind::kVCF);
+
+  // Mode prefixes compose in any order.
+  ParseFilterKind("aligned:bfs:cf", spec);
+  EXPECT_TRUE(spec.bfs);
+  EXPECT_TRUE(spec.aligned);
+  ParseFilterKind("bfs:aligned:cf", spec);
+  EXPECT_TRUE(spec.bfs);
+  EXPECT_TRUE(spec.aligned);
+
+  ParseFilterKind("sharded:2:resilient:bfs:vf", spec);
+  EXPECT_EQ(spec.shards, 2u);
+  EXPECT_TRUE(spec.resilient);
+  EXPECT_TRUE(spec.bfs);
+  EXPECT_EQ(spec.kind, FilterSpec::Kind::kVF);
+
+  // A bare kind resets every prefix flag.
+  ParseFilterKind("cf", spec);
+  EXPECT_FALSE(spec.bfs);
+  EXPECT_FALSE(spec.resilient);
+
+  FilterSpec named{FilterSpec::Kind::kCF, 0, SmallParams(), 12.0, 0};
+  named.bfs = true;
+  EXPECT_EQ(named.DisplayName(), "Bfs(CF)");
+}
+
+TEST(FilterFactoryTest, BfsFiltersFillUnderLoad) {
+  // Every kernel-ported filter must accept BFS eviction and still reach
+  // high occupancy (BFS finds a placement whenever one is reachable, so it
+  // should do no worse than the random walk).
+  for (const char* kind : {"bfs:cf", "bfs:vcf", "bfs:ivcf", "bfs:dvcf",
+                           "bfs:kvcf", "bfs:dcf", "bfs:vf", "bfs:sscf"}) {
+    FilterSpec spec;
+    ParseFilterKind(kind, spec);
+    spec.variant = 4;
+    spec.params = SmallParams();
+    auto filter = MakeFilter(spec);
+    ASSERT_NE(filter, nullptr) << kind;
+    const auto keys = UniformKeys(filter->SlotCount() * 9 / 10, 902);
+    std::vector<std::uint64_t> stored;
+    for (const auto k : keys) {
+      if (filter->Insert(k)) stored.push_back(k);
+    }
+    EXPECT_GT(static_cast<double>(stored.size()) / keys.size(), 0.98) << kind;
+    for (const auto k : stored) {
+      ASSERT_TRUE(filter->Contains(k)) << kind;  // no false negatives
+    }
+  }
+}
+
 TEST(FilterFactoryTest, FactoryFiltersBehaveUnderLoad) {
   // Smoke test every cuckoo-family factory product at 90% fill.
   for (const auto& spec : PaperLineup(SmallParams())) {
