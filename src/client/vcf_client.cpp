@@ -1,6 +1,8 @@
 #include "client/vcf_client.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "net/socket.hpp"
 
@@ -13,90 +15,173 @@ VcfClient::~VcfClient() { Close(); }
 
 bool VcfClient::Connect(const std::string& host, std::uint16_t port) {
   Close();
-  std::string err;
-  fd_ = net::ConnectTcp(host, port, &err);
-  if (fd_ < 0) return Fail(err);
-  net::SetNoDelay(fd_);
-  recv_buf_ = net::FrameBuffer();
+  endpoints_ = {Endpoint{host, port}};
+  options_ = Options{};  // legacy behavior: no timeouts, one attempt
+  write_ch_.endpoint = 0;
+  read_ch_.endpoint = 0;
   error_.clear();
-  return true;
+  return EnsureConnected(write_ch_);
 }
 
-void VcfClient::Close() {
-  net::CloseFd(fd_);
-  fd_ = -1;
-  send_buf_.clear();
-}
-
-bool VcfClient::Fail(const std::string& why) {
-  error_ = why;
+bool VcfClient::ConnectCluster(std::vector<Endpoint> endpoints,
+                               const Options& options) {
   Close();
+  if (endpoints.empty()) {
+    error_ = "empty endpoint list";
+    return false;
+  }
+  endpoints_ = std::move(endpoints);
+  options_ = options;
+  write_ch_.endpoint = 0;
+  read_ch_.endpoint =
+      options_.read_endpoint >= 0
+          ? static_cast<std::size_t>(options_.read_endpoint) % endpoints_.size()
+          : 0;
+  error_.clear();
+  for (int attempt = 0; attempt < attempts(); ++attempt) {
+    if (attempt > 0) Backoff(attempt);
+    if (EnsureConnected(write_ch_)) return true;
+  }
   return false;
 }
 
-bool VcfClient::SendFrame() {
-  if (fd_ < 0) return Fail("not connected");
-  const bool ok = net::WriteAll(fd_, send_buf_);
+void VcfClient::Close() {
+  net::CloseFd(write_ch_.fd);
+  net::CloseFd(read_ch_.fd);
+  write_ch_.fd = -1;
+  read_ch_.fd = -1;
   send_buf_.clear();
-  if (!ok) return Fail("write failed");
+}
+
+bool VcfClient::FailChannel(Channel& ch, const std::string& why) {
+  error_ = why;
+  RotateChannel(ch);
+  return false;
+}
+
+void VcfClient::RotateChannel(Channel& ch) {
+  net::CloseFd(ch.fd);
+  ch.fd = -1;
+  if (!endpoints_.empty()) ch.endpoint = (ch.endpoint + 1) % endpoints_.size();
+}
+
+void VcfClient::Backoff(int attempt) const {
+  if (attempt <= 0 || options_.backoff_base_ms <= 0) return;
+  const int shift = std::min(attempt - 1, 16);
+  const long long ms =
+      std::min<long long>(static_cast<long long>(options_.backoff_base_ms)
+                              << shift,
+                          options_.backoff_max_ms);
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool VcfClient::EnsureConnected(Channel& ch) {
+  if (ch.fd >= 0) return true;
+  if (endpoints_.empty()) {
+    error_ = "not connected";
+    return false;
+  }
+  const Endpoint& ep = endpoints_[ch.endpoint % endpoints_.size()];
+  std::string err;
+  const int fd = net::ConnectTcpTimeout(ep.host, ep.port,
+                                        options_.connect_timeout_ms, &err);
+  if (fd < 0) {
+    error_ = ep.host + ":" + std::to_string(ep.port) + ": " + err;
+    // Advance so the next attempt tries the next endpoint in order.
+    ch.endpoint = (ch.endpoint + 1) % endpoints_.size();
+    return false;
+  }
+  net::SetNoDelay(fd);
+  ch.fd = fd;
+  ch.recv = net::FrameBuffer();
   return true;
 }
 
-bool VcfClient::ReadResponse(Opcode expect_op, std::uint32_t expect_id,
-                             net::Response& resp) {
+bool VcfClient::SendFrame(Channel& ch) {
+  if (ch.fd < 0) {
+    send_buf_.clear();
+    error_ = "not connected";
+    return false;
+  }
+  const bool ok = net::WriteAll(ch.fd, send_buf_);
+  send_buf_.clear();
+  if (!ok) return FailChannel(ch, "write failed");
+  return true;
+}
+
+bool VcfClient::ReadResponse(Channel& ch, Opcode expect_op,
+                             std::uint32_t expect_id, net::Response& resp) {
   std::uint8_t buf[64 * 1024];
   for (;;) {
     std::span<const std::uint8_t> payload;
-    if (recv_buf_.Next(payload)) {
+    if (ch.recv.Next(payload)) {
       const net::DecodeResult r =
           net::DecodeResponse(payload, expect_op, resp);
-      recv_buf_.Pop();
+      ch.recv.Pop();
       if (r != net::DecodeResult::kOk) {
-        return Fail("malformed response frame");
+        return FailChannel(ch, "malformed response frame");
       }
       if (resp.request_id != expect_id) {
-        return Fail("response id mismatch (pipeline desync)");
+        return FailChannel(ch, "response id mismatch (pipeline desync)");
       }
       return true;
     }
-    const std::ptrdiff_t n = net::ReadSome(fd_, buf);
-    if (n == 0) return Fail("server closed connection");
-    if (n < 0) return Fail("read failed");
-    if (!recv_buf_.Append(
+    const std::ptrdiff_t n =
+        net::ReadSomeTimeout(ch.fd, buf, options_.read_timeout_ms);
+    if (n == -3) return FailChannel(ch, "read timed out");
+    if (n == 0) return FailChannel(ch, "server closed connection");
+    if (n < 0) return FailChannel(ch, "read failed");
+    if (!ch.recv.Append(
             std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)))) {
-      return Fail("oversized response frame");
+      return FailChannel(ch, "oversized response frame");
     }
   }
 }
 
 bool VcfClient::Ping() {
   const std::uint8_t echo[8] = {'v', 'c', 'f', 'd', 'p', 'i', 'n', 'g'};
-  const std::uint32_t id = next_id_++;
-  net::EncodePingRequest(send_buf_, id, echo);
-  if (!SendFrame()) return false;
-  net::Response resp;
-  if (!ReadResponse(Opcode::kPing, id, resp)) return false;
-  if (resp.status != Status::kOk ||
-      !std::equal(resp.ping_echo.begin(), resp.ping_echo.end(), echo,
-                  echo + sizeof(echo))) {
-    return Fail("ping echo mismatch");
+  for (int attempt = 0; attempt < attempts(); ++attempt) {
+    if (attempt > 0) Backoff(attempt);
+    if (!EnsureConnected(write_ch_)) continue;
+    const std::uint32_t id = next_id_++;
+    net::EncodePingRequest(send_buf_, id, echo);
+    if (!SendFrame(write_ch_)) continue;
+    net::Response resp;
+    if (!ReadResponse(write_ch_, Opcode::kPing, id, resp)) continue;
+    if (resp.status != Status::kOk ||
+        !std::equal(resp.ping_echo.begin(), resp.ping_echo.end(), echo,
+                    echo + sizeof(echo))) {
+      return FailChannel(write_ch_, "ping echo mismatch");
+    }
+    return true;
   }
-  return true;
+  return false;
 }
 
 bool VcfClient::SimpleKeyOp(Opcode op, std::uint64_t key, bool* ok) {
   if (ok != nullptr) *ok = false;
-  const std::uint32_t id = next_id_++;
-  net::EncodeKeyRequest(send_buf_, op, id, key);
-  if (!SendFrame()) return false;
-  net::Response resp;
-  if (!ReadResponse(op, id, resp)) return false;
-  if (resp.status != Status::kOk) {
-    error_ = net::StatusName(resp.status);
-    return false;
+  Channel& ch = op == Opcode::kLookup ? ReadChannel() : write_ch_;
+  for (int attempt = 0; attempt < attempts(); ++attempt) {
+    if (attempt > 0) Backoff(attempt);
+    if (!EnsureConnected(ch)) continue;
+    const std::uint32_t id = next_id_++;
+    net::EncodeKeyRequest(send_buf_, op, id, key);
+    if (!SendFrame(ch)) continue;
+    net::Response resp;
+    if (!ReadResponse(ch, op, id, resp)) continue;
+    if (Rerouteable(resp.status)) {
+      error_ = net::StatusName(resp.status);
+      RotateChannel(ch);
+      continue;
+    }
+    if (resp.status != Status::kOk) {
+      error_ = net::StatusName(resp.status);
+      return false;
+    }
+    if (ok != nullptr) *ok = true;
+    return resp.flag;
   }
-  if (ok != nullptr) *ok = true;
-  return resp.flag;
+  return false;
 }
 
 bool VcfClient::Insert(std::uint64_t key, bool* ok) {
@@ -119,23 +204,37 @@ std::size_t VcfClient::InsertBatch(std::span<const std::uint64_t> keys,
   while (done < keys.size()) {
     const std::size_t n =
         std::min<std::size_t>(keys.size() - done, net::kMaxBatchKeys);
-    const std::uint32_t id = next_id_++;
-    net::EncodeBatchRequest(send_buf_, Opcode::kInsertBatch, id,
-                            keys.subspan(done, n));
-    if (!SendFrame()) return accepted;
-    net::Response resp;
-    if (!ReadResponse(Opcode::kInsertBatch, id, resp)) return accepted;
-    if (resp.status != Status::kOk || resp.batch_count != n) {
-      Fail(resp.status != Status::kOk ? net::StatusName(resp.status)
-                                      : "batch count mismatch");
-      return accepted;
-    }
-    accepted += resp.batch_accepted;
-    if (results != nullptr) {
-      for (std::size_t i = 0; i < n; ++i) {
-        results[done + i] = resp.BitmapBit(static_cast<std::uint32_t>(i));
+    bool sub_ok = false;
+    // Replay granularity is one sub-batch: a retried frame may re-insert
+    // keys the lost connection already ACKed, which is membership-safe.
+    for (int attempt = 0; attempt < attempts() && !sub_ok; ++attempt) {
+      if (attempt > 0) Backoff(attempt);
+      if (!EnsureConnected(write_ch_)) continue;
+      const std::uint32_t id = next_id_++;
+      net::EncodeBatchRequest(send_buf_, Opcode::kInsertBatch, id,
+                              keys.subspan(done, n));
+      if (!SendFrame(write_ch_)) continue;
+      net::Response resp;
+      if (!ReadResponse(write_ch_, Opcode::kInsertBatch, id, resp)) continue;
+      if (Rerouteable(resp.status)) {
+        error_ = net::StatusName(resp.status);
+        RotateChannel(write_ch_);
+        continue;
       }
+      if (resp.status != Status::kOk || resp.batch_count != n) {
+        error_ = resp.status != Status::kOk ? net::StatusName(resp.status)
+                                            : "batch count mismatch";
+        return accepted;
+      }
+      accepted += resp.batch_accepted;
+      if (results != nullptr) {
+        for (std::size_t i = 0; i < n; ++i) {
+          results[done + i] = resp.BitmapBit(static_cast<std::uint32_t>(i));
+        }
+      }
+      sub_ok = true;
     }
+    if (!sub_ok) return accepted;
     done += n;
   }
   if (ok != nullptr) *ok = true;
@@ -144,25 +243,39 @@ std::size_t VcfClient::InsertBatch(std::span<const std::uint64_t> keys,
 
 bool VcfClient::LookupBatch(std::span<const std::uint64_t> keys,
                             bool* results) {
+  Channel& ch = ReadChannel();
   std::size_t done = 0;
   while (done < keys.size()) {
     const std::size_t n =
         std::min<std::size_t>(keys.size() - done, net::kMaxBatchKeys);
-    const std::uint32_t id = next_id_++;
-    net::EncodeBatchRequest(send_buf_, Opcode::kLookupBatch, id,
-                            keys.subspan(done, n));
-    if (!SendFrame()) return false;
-    net::Response resp;
-    if (!ReadResponse(Opcode::kLookupBatch, id, resp)) return false;
-    if (resp.status != Status::kOk || resp.batch_count != n) {
-      return Fail(resp.status != Status::kOk ? net::StatusName(resp.status)
-                                             : "batch count mismatch");
-    }
-    if (results != nullptr) {
-      for (std::size_t i = 0; i < n; ++i) {
-        results[done + i] = resp.BitmapBit(static_cast<std::uint32_t>(i));
+    bool sub_ok = false;
+    for (int attempt = 0; attempt < attempts() && !sub_ok; ++attempt) {
+      if (attempt > 0) Backoff(attempt);
+      if (!EnsureConnected(ch)) continue;
+      const std::uint32_t id = next_id_++;
+      net::EncodeBatchRequest(send_buf_, Opcode::kLookupBatch, id,
+                              keys.subspan(done, n));
+      if (!SendFrame(ch)) continue;
+      net::Response resp;
+      if (!ReadResponse(ch, Opcode::kLookupBatch, id, resp)) continue;
+      if (Rerouteable(resp.status)) {
+        error_ = net::StatusName(resp.status);
+        RotateChannel(ch);
+        continue;
       }
+      if (resp.status != Status::kOk || resp.batch_count != n) {
+        error_ = resp.status != Status::kOk ? net::StatusName(resp.status)
+                                            : "batch count mismatch";
+        return false;
+      }
+      if (results != nullptr) {
+        for (std::size_t i = 0; i < n; ++i) {
+          results[done + i] = resp.BitmapBit(static_cast<std::uint32_t>(i));
+        }
+      }
+      sub_ok = true;
     }
+    if (!sub_ok) return false;
     done += n;
   }
   return true;
@@ -171,25 +284,48 @@ bool VcfClient::LookupBatch(std::span<const std::uint64_t> keys,
 bool VcfClient::Pipeline(Opcode op, std::span<const std::uint64_t> keys,
                          bool* results, std::size_t depth) {
   if (depth == 0) depth = 1;
+  Channel& ch = op == Opcode::kLookup ? ReadChannel() : write_ch_;
   std::size_t done = 0;
   while (done < keys.size()) {
     const std::size_t window =
         std::min<std::size_t>(keys.size() - done, depth);
-    const std::uint32_t first_id = next_id_;
-    for (std::size_t i = 0; i < window; ++i) {
-      net::EncodeKeyRequest(send_buf_, op, next_id_++, keys[done + i]);
-    }
-    if (!SendFrame()) return false;
-    for (std::size_t i = 0; i < window; ++i) {
-      net::Response resp;
-      if (!ReadResponse(op, first_id + static_cast<std::uint32_t>(i), resp)) {
-        return false;
+    bool window_ok = false;
+    // The whole in-flight window replays on failure: some of its frames may
+    // already have been applied before the connection died, so replay is
+    // at-least-once — safe for inserts (membership can only be preserved)
+    // and pure for lookups.
+    for (int attempt = 0; attempt < attempts() && !window_ok; ++attempt) {
+      if (attempt > 0) Backoff(attempt);
+      if (!EnsureConnected(ch)) continue;
+      const std::uint32_t first_id = next_id_;
+      for (std::size_t i = 0; i < window; ++i) {
+        net::EncodeKeyRequest(send_buf_, op, next_id_++, keys[done + i]);
       }
-      if (resp.status != Status::kOk) {
-        return Fail(net::StatusName(resp.status));
+      if (!SendFrame(ch)) continue;
+      bool drained = true;
+      bool rerouted = false;
+      for (std::size_t i = 0; i < window; ++i) {
+        net::Response resp;
+        if (!ReadResponse(ch, op,
+                          first_id + static_cast<std::uint32_t>(i), resp)) {
+          drained = false;
+          break;
+        }
+        if (Rerouteable(resp.status)) {
+          error_ = net::StatusName(resp.status);
+          RotateChannel(ch);
+          rerouted = true;
+          break;
+        }
+        if (resp.status != Status::kOk) {
+          error_ = net::StatusName(resp.status);
+          return false;
+        }
+        if (results != nullptr) results[done + i] = resp.flag;
       }
-      if (results != nullptr) results[done + i] = resp.flag;
+      if (drained && !rerouted) window_ok = true;
     }
+    if (!window_ok) return false;
     done += window;
   }
   return true;
@@ -206,27 +342,35 @@ bool VcfClient::PipelineInserts(std::span<const std::uint64_t> keys,
 }
 
 bool VcfClient::GetStats(ServerStats& out) {
-  const std::uint32_t id = next_id_++;
-  net::EncodeEmptyRequest(send_buf_, Opcode::kStats, id);
-  if (!SendFrame()) return false;
-  net::Response resp;
-  if (!ReadResponse(Opcode::kStats, id, resp)) return false;
-  if (resp.status != Status::kOk) return Fail(net::StatusName(resp.status));
-  out.name = resp.name;
-  out.items = resp.items;
-  out.slots = resp.slots;
-  out.memory_bytes = resp.memory_bytes;
-  out.load_factor = resp.load_factor;
-  out.supports_deletion = resp.supports_deletion;
-  return true;
+  for (int attempt = 0; attempt < attempts(); ++attempt) {
+    if (attempt > 0) Backoff(attempt);
+    if (!EnsureConnected(write_ch_)) continue;
+    const std::uint32_t id = next_id_++;
+    net::EncodeEmptyRequest(send_buf_, Opcode::kStats, id);
+    if (!SendFrame(write_ch_)) continue;
+    net::Response resp;
+    if (!ReadResponse(write_ch_, Opcode::kStats, id, resp)) continue;
+    if (resp.status != Status::kOk) {
+      error_ = net::StatusName(resp.status);
+      return false;
+    }
+    out.name = resp.name;
+    out.items = resp.items;
+    out.slots = resp.slots;
+    out.memory_bytes = resp.memory_bytes;
+    out.load_factor = resp.load_factor;
+    out.supports_deletion = resp.supports_deletion;
+    return true;
+  }
+  return false;
 }
 
 bool VcfClient::Snapshot() {
   const std::uint32_t id = next_id_++;
   net::EncodeEmptyRequest(send_buf_, Opcode::kSnapshot, id);
-  if (!SendFrame()) return false;
+  if (!EnsureConnected(write_ch_) || !SendFrame(write_ch_)) return false;
   net::Response resp;
-  if (!ReadResponse(Opcode::kSnapshot, id, resp)) return false;
+  if (!ReadResponse(write_ch_, Opcode::kSnapshot, id, resp)) return false;
   if (resp.status != Status::kOk) {
     error_ = net::StatusName(resp.status);
     return false;

@@ -1,5 +1,5 @@
 // Synchronous client for vcfd, speaking the length-prefixed binary protocol
-// in net/proto.hpp over one blocking TCP connection.
+// in net/proto.hpp over blocking TCP connections.
 //
 // Two calling styles share the codec:
 //   - one-shot ops (Insert/Lookup/Erase/Ping/GetStats/Snapshot): encode one
@@ -13,11 +13,26 @@
 //     back-to-back before the first response is read, measuring the
 //     server's request pipelining rather than its batch opcode.
 //
+// Cluster mode (ConnectCluster): the client holds an ordered endpoint list
+// and two logical channels — writes go to whichever endpoint currently
+// accepts them, reads can be routed to a designated replica endpoint
+// (Options::read_endpoint). On connection loss, a kReadOnly answer (the
+// peer is a replica) or kShuttingDown, the channel rotates to the next
+// endpoint with exponential backoff and the op is retried up to
+// Options::max_attempts times; batch and pipeline ops replay their whole
+// in-flight window. Replay gives at-least-once semantics, which is safe for
+// membership: re-inserting a key cannot lose it (an insert may land twice,
+// occupying an extra slot), and lookups are pure. Configurable connect/read
+// timeouts bound every blocking call so a dead peer cannot hang the client.
+//
+// The legacy single-endpoint Connect(host, port) keeps the original
+// behavior exactly: no timeouts, one attempt, any failure kills the
+// connection (Connect again to retry) — request/response framing cannot be
+// resynced mid-stream.
+//
 // The client is not thread-safe: one VcfClient per thread (the load
 // generator opens one connection per worker). Every method returns false /
-// 0 on transport or protocol errors and records a diagnostic in
-// last_error(); the connection is then dead (Connect again to retry) —
-// request/response framing cannot be resynced mid-stream.
+// 0 on failure and records a diagnostic in last_error().
 #pragma once
 
 #include <cstdint>
@@ -31,6 +46,23 @@ namespace vcf::client {
 
 class VcfClient {
  public:
+  struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+  };
+
+  struct Options {
+    int connect_timeout_ms = 0;  ///< 0 = blocking connect, no deadline
+    int read_timeout_ms = 0;     ///< 0 = block forever awaiting a response
+    /// Attempts per op across endpoint rotation; 1 = no retry (legacy).
+    int max_attempts = 1;
+    int backoff_base_ms = 10;  ///< doubles per failed attempt...
+    int backoff_max_ms = 500;  ///< ...up to this cap
+    /// Index into the endpoint list that LOOKUP/LOOKUP_BATCH/PipelineLookups
+    /// are routed to (a replica); -1 routes reads over the write channel.
+    int read_endpoint = -1;
+  };
+
   struct ServerStats {
     std::string name;
     std::uint64_t items = 0;
@@ -47,8 +79,15 @@ class VcfClient {
   VcfClient& operator=(const VcfClient&) = delete;
 
   bool Connect(const std::string& host, std::uint16_t port);
+
+  /// Failover mode: ordered endpoints (writes start at index 0) plus retry,
+  /// timeout and read-routing configuration. Connects the write channel
+  /// eagerly (honoring max_attempts); the read channel connects on first
+  /// use. False when no endpoint accepted a connection.
+  bool ConnectCluster(std::vector<Endpoint> endpoints, const Options& options);
+
   void Close();
-  bool connected() const noexcept { return fd_ >= 0; }
+  bool connected() const noexcept { return write_ch_.fd >= 0; }
 
   /// Round-trips an 8-byte echo payload. True on success.
   bool Ping();
@@ -83,18 +122,45 @@ class VcfClient {
   const std::string& last_error() const noexcept { return error_; }
 
  private:
-  bool SendFrame();  ///< writes send_buf_ and clears it
-  bool ReadResponse(net::Opcode expect_op, std::uint32_t expect_id,
-                    net::Response& resp);
+  /// One logical connection: reads and writes rotate independently through
+  /// the endpoint list on failure.
+  struct Channel {
+    int fd = -1;
+    net::FrameBuffer recv;
+    std::size_t endpoint = 0;  ///< current index into endpoints_ (mod size)
+  };
+
+  Channel& ReadChannel() noexcept {
+    return options_.read_endpoint >= 0 ? read_ch_ : write_ch_;
+  }
+  int attempts() const noexcept {
+    return options_.max_attempts < 1 ? 1 : options_.max_attempts;
+  }
+
+  bool EnsureConnected(Channel& ch);
+  /// Closes the channel and advances it to the next endpoint, so the next
+  /// EnsureConnected tries a different node.
+  void RotateChannel(Channel& ch);
+  void Backoff(int attempt) const;
+  /// True when the status means "wrong node, try the next one".
+  static bool Rerouteable(net::Status s) noexcept {
+    return s == net::Status::kReadOnly || s == net::Status::kShuttingDown;
+  }
+
+  bool SendFrame(Channel& ch);  ///< writes send_buf_ and clears it
+  bool ReadResponse(Channel& ch, net::Opcode expect_op,
+                    std::uint32_t expect_id, net::Response& resp);
   bool SimpleKeyOp(net::Opcode op, std::uint64_t key, bool* ok);
   bool Pipeline(net::Opcode op, std::span<const std::uint64_t> keys,
                 bool* results, std::size_t depth);
-  bool Fail(const std::string& why);
+  bool FailChannel(Channel& ch, const std::string& why);
 
-  int fd_ = -1;
+  std::vector<Endpoint> endpoints_;
+  Options options_;
+  Channel write_ch_;
+  Channel read_ch_;
   std::uint32_t next_id_ = 1;
   std::vector<std::uint8_t> send_buf_;
-  net::FrameBuffer recv_buf_;
   std::string error_;
 };
 

@@ -151,6 +151,20 @@ inline constexpr const char kSegmentAlloc[] = "dynamic/segment_alloc";
 /// so tests can force mid-stream disconnects on vcfd connections and client
 /// sockets without a real network fault.
 inline constexpr const char kNetSocketRead[] = "net/socket_read";
+/// Socket write seam (net/socket.cpp WriteAll): fires as an EIO write error
+/// after roughly half the buffer went out, so torn frames and mid-write
+/// disconnects are drillable in the sending direction too.
+inline constexpr const char kNetSocketWrite[] = "net/socket_write";
+/// Primary-side op-log append (server/replication): fires after the filter
+/// op was applied; the server rolls the op back and reports kServerError, so
+/// "every ACKed mutation is journaled" stays an invariant under the drill.
+inline constexpr const char kReplOplogAppend[] = "repl/oplog_append";
+/// Op-log streaming to a replica: fires as a stream error, disconnecting the
+/// replica mid-stream so it must reconnect and resync.
+inline constexpr const char kReplOplogStream[] = "repl/oplog_stream";
+/// Snapshot-bootstrap chunk send: fires as a stream error mid-snapshot,
+/// cutting the replica off with a partial blob it must discard.
+inline constexpr const char kReplSnapshotChunk[] = "repl/snapshot_chunk";
 }  // namespace failpoints
 
 /// Call-site helper: amortises the registry lookup behind a function-local

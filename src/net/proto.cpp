@@ -8,7 +8,7 @@ namespace vcf::net {
 namespace {
 
 bool ValidOpcode(std::uint8_t op) noexcept {
-  return op <= static_cast<std::uint8_t>(Opcode::kSnapshot);
+  return op <= static_cast<std::uint8_t>(Opcode::kSnapshotEnd);
 }
 
 /// Appends the frame length prefix for a payload built by `fill`. The
@@ -47,6 +47,7 @@ const char* StatusName(Status s) noexcept {
     case Status::kUnsupported: return "unsupported";
     case Status::kServerError: return "server_error";
     case Status::kShuttingDown: return "shutting_down";
+    case Status::kReadOnly: return "read_only";
   }
   return "unknown";
 }
@@ -148,6 +149,70 @@ void EncodeStatsResponse(std::vector<std::uint8_t>& out,
   });
 }
 
+void EncodeReplHello(std::vector<std::uint8_t>& out, std::uint32_t request_id,
+                     std::uint64_t epoch, std::uint64_t last_applied_seq) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Opcode::kReplHello), request_id);
+    PutU64(out, epoch);
+    PutU64(out, last_applied_seq);
+  });
+}
+
+void EncodeReplHelloResponse(std::vector<std::uint8_t>& out,
+                             std::uint32_t request_id, bool snapshot,
+                             std::uint64_t start_seq, std::uint64_t epoch) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Status::kOk), request_id);
+    out.push_back(snapshot ? 1 : 0);
+    PutU64(out, start_seq);
+    PutU64(out, epoch);
+  });
+}
+
+void EncodeOplogEntry(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                      std::uint8_t op, std::uint64_t key) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Opcode::kOplogEntry), 0);
+    PutU64(out, seq);
+    out.push_back(op);
+    PutU64(out, key);
+  });
+}
+
+void EncodeOplogAck(std::vector<std::uint8_t>& out, std::uint64_t acked_seq) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Opcode::kOplogAck), 0);
+    PutU64(out, acked_seq);
+  });
+}
+
+void EncodeSnapshotBegin(std::vector<std::uint8_t>& out,
+                         std::uint64_t snapshot_seq,
+                         std::uint64_t total_bytes) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Opcode::kSnapshotBegin), 0);
+    PutU64(out, snapshot_seq);
+    PutU64(out, total_bytes);
+  });
+}
+
+void EncodeSnapshotChunk(std::vector<std::uint8_t>& out,
+                         std::span<const std::uint8_t> chunk) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Opcode::kSnapshotChunk), 0);
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  });
+}
+
+void EncodeSnapshotEnd(std::vector<std::uint8_t>& out,
+                       std::uint64_t total_bytes, std::uint64_t digest) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Opcode::kSnapshotEnd), 0);
+    PutU64(out, total_bytes);
+    PutU64(out, digest);
+  });
+}
+
 // --- Decoding -------------------------------------------------------------
 
 namespace {
@@ -202,6 +267,12 @@ DecodeResult DecodeRequest(std::span<const std::uint8_t> payload,
   out.key = 0;
   out.keys.clear();
   out.ping_echo.clear();
+  out.seq = 0;
+  out.epoch = 0;
+  out.repl_op = 0;
+  out.total_bytes = 0;
+  out.digest = 0;
+  out.blob.clear();
   switch (out.opcode) {
     case Opcode::kPing: {
       if (r.Remaining() > kMaxPingEcho) return DecodeResult::kMalformed;
@@ -225,6 +296,40 @@ DecodeResult DecodeRequest(std::span<const std::uint8_t> payload,
     case Opcode::kSnapshot:
       if (!r.AtEnd()) return DecodeResult::kMalformed;
       return DecodeResult::kOk;
+    case Opcode::kReplHello:
+      if (!r.ReadU64(out.epoch) || !r.ReadU64(out.seq) || !r.AtEnd()) {
+        return DecodeResult::kMalformed;
+      }
+      return DecodeResult::kOk;
+    case Opcode::kOplogAck:
+      if (!r.ReadU64(out.seq) || !r.AtEnd()) return DecodeResult::kMalformed;
+      return DecodeResult::kOk;
+    case Opcode::kOplogEntry:
+      if (!r.ReadU64(out.seq) || !r.ReadU8(out.repl_op) ||
+          !r.ReadU64(out.key) || !r.AtEnd() || out.repl_op > 1) {
+        return DecodeResult::kMalformed;
+      }
+      return DecodeResult::kOk;
+    case Opcode::kSnapshotBegin:
+      if (!r.ReadU64(out.seq) || !r.ReadU64(out.total_bytes) || !r.AtEnd()) {
+        return DecodeResult::kMalformed;
+      }
+      return DecodeResult::kOk;
+    case Opcode::kSnapshotChunk: {
+      if (r.Remaining() == 0 || r.Remaining() > kReplChunkBytes) {
+        return DecodeResult::kMalformed;
+      }
+      std::span<const std::uint8_t> bytes;
+      r.ReadBytes(r.Remaining(), bytes);
+      out.blob.assign(bytes.begin(), bytes.end());
+      return DecodeResult::kOk;
+    }
+    case Opcode::kSnapshotEnd:
+      if (!r.ReadU64(out.total_bytes) || !r.ReadU64(out.digest) ||
+          !r.AtEnd()) {
+        return DecodeResult::kMalformed;
+      }
+      return DecodeResult::kOk;
   }
   return DecodeResult::kBadOpcode;
 }
@@ -237,13 +342,15 @@ DecodeResult DecodeResponse(std::span<const std::uint8_t> payload,
       h != DecodeResult::kOk) {
     return h;
   }
-  if (status > static_cast<std::uint8_t>(Status::kShuttingDown)) {
+  if (status > static_cast<std::uint8_t>(Status::kReadOnly)) {
     return DecodeResult::kMalformed;
   }
   out.status = static_cast<Status>(status);
   out.flag = false;
   out.bitmap.clear();
   out.ping_echo.clear();
+  out.seq = 0;
+  out.epoch = 0;
   if (out.status != Status::kOk) {
     // Error responses have an empty body regardless of opcode.
     return r.AtEnd() ? DecodeResult::kOk : DecodeResult::kMalformed;
@@ -304,6 +411,22 @@ DecodeResult DecodeResponse(std::span<const std::uint8_t> payload,
       out.supports_deletion = deletion != 0;
       return DecodeResult::kOk;
     }
+    case Opcode::kReplHello: {
+      std::uint8_t snapshot = 0;
+      if (!r.ReadU8(snapshot) || !r.ReadU64(out.seq) ||
+          !r.ReadU64(out.epoch) || !r.AtEnd() || snapshot > 1) {
+        return DecodeResult::kMalformed;
+      }
+      out.flag = snapshot != 0;
+      return DecodeResult::kOk;
+    }
+    case Opcode::kOplogEntry:
+    case Opcode::kOplogAck:
+    case Opcode::kSnapshotBegin:
+    case Opcode::kSnapshotChunk:
+    case Opcode::kSnapshotEnd:
+      // Stream frames are one-way; they never appear as responses.
+      return DecodeResult::kBadOpcode;
   }
   return DecodeResult::kBadOpcode;
 }

@@ -32,6 +32,31 @@
 //     SNAPSHOT      request: empty; asks the server to checkpoint its filter
 //                   to the configured state path now. response: u8 ok
 //
+// Replication messages (docs/server.md#replication). REPLICATE_HELLO is a
+// normal request/response pair; everything after it is a one-way stream —
+// the primary pushes OPLOG_ENTRY / SNAPSHOT_* frames down the connection
+// the replica opened, and the replica pushes OPLOG_ACK frames back. Stream
+// frames reuse the request header with request_id = 0 (there is no reply to
+// match).
+//
+//     REPLICATE_HELLO  request: u64 epoch + u64 last_applied_seq. `epoch`
+//                      is the primary run ID the replica's sequence numbers
+//                      belong to (0 = no stream yet); a primary restart
+//                      restarts the op log at 1, so a stale epoch makes
+//                      last_applied_seq meaningless and forces a snapshot.
+//                      response: u8 snapshot + u64 start_seq + u64 epoch
+//                      (the primary's current run ID, which the replica
+//                      adopts). snapshot=0: op-log entries will stream
+//                      starting at start_seq = last_applied_seq+1.
+//                      snapshot=1: a snapshot bootstrap (BEGIN/CHUNK.../END)
+//                      covering ops <= start_seq streams first, then entries
+//                      from start_seq+1.
+//     OPLOG_ENTRY      u64 seq + u8 op (0 insert, 1 erase) + u64 key
+//     OPLOG_ACK        u64 seq (cumulative: replica applied everything <= seq)
+//     SNAPSHOT_BEGIN   u64 snapshot_seq + u64 total_bytes
+//     SNAPSHOT_CHUNK   1..kReplChunkBytes raw bytes of the framed state blob
+//     SNAPSHOT_END     u64 total_bytes + u64 digest (SplitMix hash of blob)
+//
 // Error responses carry a non-kOk status and an empty body (the request_id
 // still identifies which pipelined request failed). A frame too malformed to
 // recover a request_id is answered with request_id = 0 and the connection is
@@ -65,6 +90,11 @@ inline constexpr std::uint32_t kMaxBatchKeys = 65536;
 /// PING echo payloads are capped (they exist to measure RTT, not move data).
 inline constexpr std::uint32_t kMaxPingEcho = 64;
 
+/// Snapshot bootstrap blobs stream in chunks of at most this many bytes per
+/// SNAPSHOT_CHUNK frame — well under kMaxFrameLen, large enough that a
+/// multi-GiB table moves in a few thousand frames.
+inline constexpr std::uint32_t kReplChunkBytes = 256u * 1024;
+
 inline constexpr std::size_t kHeaderSize = 8;  ///< version..request_id
 
 enum class Opcode : std::uint8_t {
@@ -76,6 +106,12 @@ enum class Opcode : std::uint8_t {
   kLookupBatch = 5,
   kStats = 6,
   kSnapshot = 7,
+  kReplHello = 8,
+  kOplogEntry = 9,
+  kOplogAck = 10,
+  kSnapshotBegin = 11,
+  kSnapshotChunk = 12,
+  kSnapshotEnd = 13,
 };
 
 enum class Status : std::uint8_t {
@@ -86,6 +122,7 @@ enum class Status : std::uint8_t {
   kUnsupported = 4,   ///< op not supported by this filter (e.g. DELETE on BF)
   kServerError = 5,   ///< server-side failure (checkpoint write failed, ...)
   kShuttingDown = 6,  ///< server is draining; retry against a new connection
+  kReadOnly = 7,      ///< replica rejects mutations; write to the primary
 };
 
 const char* StatusName(Status s) noexcept;
@@ -96,9 +133,16 @@ const char* StatusName(Status s) noexcept;
 struct Request {
   Opcode opcode = Opcode::kPing;
   std::uint32_t request_id = 0;
-  std::uint64_t key = 0;                 ///< single-key ops
+  std::uint64_t key = 0;                 ///< single-key ops / OPLOG_ENTRY
   std::vector<std::uint64_t> keys;       ///< batch ops
   std::vector<std::uint8_t> ping_echo;   ///< PING payload
+  // Replication stream fields:
+  std::uint64_t seq = 0;          ///< HELLO / OPLOG_ENTRY / ACK / SNAPSHOT_BEGIN
+  std::uint64_t epoch = 0;        ///< HELLO: primary run ID (0 = none yet)
+  std::uint8_t repl_op = 0;       ///< OPLOG_ENTRY: 0 insert, 1 erase
+  std::uint64_t total_bytes = 0;  ///< SNAPSHOT_BEGIN / SNAPSHOT_END
+  std::uint64_t digest = 0;       ///< SNAPSHOT_END blob integrity hash
+  std::vector<std::uint8_t> blob;  ///< SNAPSHOT_CHUNK bytes
 };
 
 /// A decoded response.
@@ -117,6 +161,10 @@ struct Response {
   std::uint64_t memory_bytes = 0;
   double load_factor = 0.0;
   bool supports_deletion = false;
+  // REPLICATE_HELLO body: `flag` carries the snapshot indicator, `seq` the
+  // start sequence, `epoch` the primary's run ID (see the header comment).
+  std::uint64_t seq = 0;
+  std::uint64_t epoch = 0;
 
   bool BitmapBit(std::uint32_t i) const noexcept {
     return i / 8 < bitmap.size() && ((bitmap[i / 8] >> (i % 8)) & 1) != 0;
@@ -158,6 +206,23 @@ void EncodeStatsResponse(std::vector<std::uint8_t>& out,
                          std::uint64_t items, std::uint64_t slots,
                          std::uint64_t memory_bytes, double load_factor,
                          bool supports_deletion);
+
+// Replication handshake (request/response) and stream frames (one-way,
+// request_id = 0).
+void EncodeReplHello(std::vector<std::uint8_t>& out, std::uint32_t request_id,
+                     std::uint64_t epoch, std::uint64_t last_applied_seq);
+void EncodeReplHelloResponse(std::vector<std::uint8_t>& out,
+                             std::uint32_t request_id, bool snapshot,
+                             std::uint64_t start_seq, std::uint64_t epoch);
+void EncodeOplogEntry(std::vector<std::uint8_t>& out, std::uint64_t seq,
+                      std::uint8_t op, std::uint64_t key);
+void EncodeOplogAck(std::vector<std::uint8_t>& out, std::uint64_t acked_seq);
+void EncodeSnapshotBegin(std::vector<std::uint8_t>& out,
+                         std::uint64_t snapshot_seq, std::uint64_t total_bytes);
+void EncodeSnapshotChunk(std::vector<std::uint8_t>& out,
+                         std::span<const std::uint8_t> chunk);
+void EncodeSnapshotEnd(std::vector<std::uint8_t>& out,
+                       std::uint64_t total_bytes, std::uint64_t digest);
 
 // --- Decoding (frame payload only — the u32 length prefix has already been
 // stripped by FrameBuffer) -------------------------------------------------

@@ -6,6 +6,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -80,6 +81,68 @@ int ConnectTcp(const std::string& host, std::uint16_t port,
   return fd;
 }
 
+int ConnectTcpTimeout(const std::string& host, std::uint16_t port,
+                      int timeout_ms, std::string* error) {
+  if (timeout_ms <= 0) return ConnectTcp(host, port, error);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    SetError(error, "socket");
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad host address: " + host;
+    ::close(fd);
+    return -1;
+  }
+  if (!SetNonBlocking(fd)) {
+    SetError(error, "fcntl");
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) {
+      SetError(error, "connect");
+      ::close(fd);
+      return -1;
+    }
+    pollfd p{fd, POLLOUT, 0};
+    int r;
+    do {
+      r = ::poll(&p, 1, timeout_ms);
+    } while (r < 0 && errno == EINTR);
+    if (r == 0) {
+      if (error != nullptr) *error = "connect: timed out";
+      ::close(fd);
+      return -1;
+    }
+    if (r < 0) {
+      SetError(error, "poll");
+      ::close(fd);
+      return -1;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      errno = so_error != 0 ? so_error : errno;
+      SetError(error, "connect");
+      ::close(fd);
+      return -1;
+    }
+  }
+  // Hand callers a blocking fd, matching ConnectTcp.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    SetError(error, "fcntl");
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
 std::ptrdiff_t ReadSome(int fd, std::span<std::uint8_t> buf) {
   if (VCF_FAILPOINT_TRIGGERED(failpoints::kNetSocketRead)) {
     errno = EIO;
@@ -94,11 +157,36 @@ std::ptrdiff_t ReadSome(int fd, std::span<std::uint8_t> buf) {
   }
 }
 
+std::ptrdiff_t ReadSomeTimeout(int fd, std::span<std::uint8_t> buf,
+                               int timeout_ms) {
+  if (timeout_ms > 0) {
+    pollfd p{fd, POLLIN, 0};
+    int r;
+    do {
+      r = ::poll(&p, 1, timeout_ms);
+    } while (r < 0 && errno == EINTR);
+    if (r == 0) return -3;
+    if (r < 0) return -1;
+  }
+  return ReadSome(fd, buf);
+}
+
 bool WriteAll(int fd, std::span<const std::uint8_t> data,
               std::size_t* written) {
   std::size_t done = 0;
+  // The write-seam failpoint tears the buffer: roughly half goes out, then
+  // the call fails with EIO as if the peer vanished mid-frame.
+  const bool torn = VCF_FAILPOINT_TRIGGERED(failpoints::kNetSocketWrite);
+  const std::size_t limit = torn ? data.size() / 2 : data.size();
   while (done < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + done, data.size() - done);
+    if (torn && done >= limit) {
+      errno = EIO;
+      if (written != nullptr) *written = done;
+      return false;
+    }
+    const ssize_t n =
+        ::write(fd, data.data() + done,
+                (torn ? limit : data.size()) - done);
     if (n > 0) {
       done += static_cast<std::size_t>(n);
       continue;

@@ -25,9 +25,21 @@ std::uint16_t BoundPort(int fd);
 int ConnectTcp(const std::string& host, std::uint16_t port,
                std::string* error);
 
+/// Like ConnectTcp but gives up after `timeout_ms` milliseconds
+/// (non-blocking connect + poll; the returned fd is blocking again).
+/// `timeout_ms` <= 0 degenerates to the blocking ConnectTcp.
+int ConnectTcpTimeout(const std::string& host, std::uint16_t port,
+                      int timeout_ms, std::string* error);
+
 /// One read(2). Returns bytes read (>0), 0 on orderly peer shutdown, -1 on
 /// error, -2 when the socket is non-blocking and no data is ready.
 std::ptrdiff_t ReadSome(int fd, std::span<std::uint8_t> buf);
+
+/// ReadSome with a deadline: polls up to `timeout_ms` milliseconds for
+/// readability first and returns -3 when the deadline expires with no data.
+/// `timeout_ms` <= 0 means no deadline (plain ReadSome).
+std::ptrdiff_t ReadSomeTimeout(int fd, std::span<std::uint8_t> buf,
+                               int timeout_ms);
 
 /// Writes until done or error; short writes are retried. False on error.
 /// On a non-blocking socket, `*written` reports progress when the socket

@@ -1,0 +1,369 @@
+#include "server/replication.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <sys/socket.h>
+
+#include "hash/hash64.hpp"
+#include "net/proto.hpp"
+#include "net/socket.hpp"
+#include "server/server.hpp"
+
+namespace vcf::server {
+
+// --- OplogBuffer ----------------------------------------------------------
+
+std::uint64_t OplogBuffer::Append(std::uint8_t op, std::uint64_t key) {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t seq = next_seq_++;
+  entries_.push_back(OplogEntry{seq, op, key});
+  if (entries_.size() > capacity_) entries_.pop_front();
+  return seq;
+}
+
+std::uint64_t OplogBuffer::last() const {
+  std::lock_guard lock(mutex_);
+  return next_seq_ - 1;
+}
+
+std::uint64_t OplogBuffer::first_retained() const {
+  std::lock_guard lock(mutex_);
+  return entries_.empty() ? next_seq_ : entries_.front().seq;
+}
+
+bool OplogBuffer::CanServeFrom(std::uint64_t seq) const {
+  std::lock_guard lock(mutex_);
+  const std::uint64_t first = entries_.empty() ? next_seq_
+                                               : entries_.front().seq;
+  return seq >= first && seq <= next_seq_;
+}
+
+bool OplogBuffer::CopyFrom(std::uint64_t from_seq, std::size_t max_entries,
+                           std::vector<OplogEntry>& out) const {
+  std::lock_guard lock(mutex_);
+  if (!entries_.empty() && from_seq < entries_.front().seq) return false;
+  if (entries_.empty() && from_seq < next_seq_) return false;
+  // Entries are contiguous, so the first wanted one is at a fixed offset.
+  if (entries_.empty() || from_seq >= next_seq_) return true;
+  std::size_t idx = static_cast<std::size_t>(from_seq - entries_.front().seq);
+  for (; idx < entries_.size() && max_entries > 0; ++idx, --max_entries) {
+    out.push_back(entries_[idx]);
+  }
+  return true;
+}
+
+// --- ReplMeta -------------------------------------------------------------
+
+namespace {
+
+constexpr char kReplMetaMagic[4] = {'V', 'C', 'F', 'R'};
+
+void PutLE64(std::ofstream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out.write(b, 8);
+}
+
+bool GetLE64(std::ifstream& in, std::uint64_t* v) {
+  char b[8];
+  if (!in.read(b, 8)) return false;
+  std::uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i]))
+         << (8 * i);
+  }
+  *v = r;
+  return true;
+}
+
+}  // namespace
+
+bool WriteReplMeta(const std::string& path, const ReplMeta& meta) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(kReplMetaMagic, 4);
+    PutLE64(out, meta.applied_seq);
+    PutLE64(out, meta.primary_epoch);
+    PutLE64(out, meta.state_digest);
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ReadReplMeta(const std::string& path, ReplMeta* meta) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  char magic[4];
+  if (!in.read(magic, 4) || std::memcmp(magic, kReplMetaMagic, 4) != 0) {
+    return false;
+  }
+  return GetLE64(in, &meta->applied_seq) &&
+         GetLE64(in, &meta->primary_epoch) &&
+         GetLE64(in, &meta->state_digest);
+}
+
+bool FileDigest(const std::string& path, std::uint64_t* digest) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  // Chain per-block SplitMix digests; block-boundary independence is not
+  // needed, only that the same bytes give the same digest.
+  std::uint64_t h = 0x5EED0F11E5ULL;
+  char buf[64 * 1024];
+  for (;;) {
+    in.read(buf, sizeof(buf));
+    const std::streamsize n = in.gcount();
+    if (n <= 0) break;
+    h = SplitMixHash64(buf, static_cast<std::size_t>(n), h);
+    if (!in) break;
+  }
+  if (in.bad()) return false;
+  *digest = h;
+  return true;
+}
+
+// --- ReplicaSession -------------------------------------------------------
+
+ReplicaSession::ReplicaSession(VcfServer& server, Options options)
+    : server_(server), options_(options) {}
+
+ReplicaSession::~ReplicaSession() { Stop(); }
+
+std::uint64_t ReplicaSession::LoadResumePoint(const std::string& meta_path,
+                                              const std::string& state_path) {
+  ReplMeta meta;
+  std::uint64_t digest = 0;
+  if (!ReadReplMeta(meta_path, &meta) || !FileDigest(state_path, &digest) ||
+      digest != meta.state_digest) {
+    return 0;
+  }
+  epoch_ = meta.primary_epoch;
+  server_.SetReplEpoch(meta.primary_epoch);
+  last_applied_.store(meta.applied_seq, std::memory_order_release);
+  return meta.applied_seq;
+}
+
+void ReplicaSession::Start() {
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Run(); });
+}
+
+void ReplicaSession::Stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  const int fd = fd_.load(std::memory_order_relaxed);
+  // Unblock a session parked in a read; the fd itself is closed by the
+  // session loop that owns it.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+}
+
+bool ReplicaSession::WaitForSeq(std::uint64_t seq, int timeout_ms) const {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (last_applied() < seq) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+void ReplicaSession::Run() {
+  int backoff_ms = options_.backoff_base_ms;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (SyncOnce()) break;  // clean stop
+    counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
+    // Exponential backoff, interruptible by Stop() at 10 ms granularity.
+    for (int slept = 0;
+         slept < backoff_ms && !stop_.load(std::memory_order_relaxed);
+         slept += 10) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
+  }
+}
+
+namespace {
+
+/// Reads whole frames off a blocking socket with an idle tick. Returns
+/// 1 = frame produced, 0 = idle tick (timeout, no frame), -1 = fail.
+int NextFrame(int fd, net::FrameBuffer& in, int timeout_ms,
+              std::span<const std::uint8_t>& payload) {
+  if (in.Next(payload)) return 1;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const std::ptrdiff_t n = net::ReadSomeTimeout(fd, buf, timeout_ms);
+    if (n == -3) return 0;
+    if (n <= 0) return -1;
+    if (!in.Append(std::span<const std::uint8_t>(
+            buf, static_cast<std::size_t>(n)))) {
+      return -1;
+    }
+    if (in.Next(payload)) return 1;
+  }
+}
+
+}  // namespace
+
+bool ReplicaSession::SyncOnce() {
+  std::string error;
+  const int fd = net::ConnectTcpTimeout(options_.primary_host,
+                                        options_.primary_port,
+                                        options_.connect_timeout_ms, &error);
+  if (fd < 0) return stop_.load(std::memory_order_relaxed);
+  net::SetNoDelay(fd);
+  fd_.store(fd, std::memory_order_relaxed);
+  // Stop() may have raced the store; re-check so the shutdown isn't missed.
+  if (stop_.load(std::memory_order_relaxed)) {
+    fd_.store(-1, std::memory_order_relaxed);
+    net::CloseFd(fd);
+    return true;
+  }
+
+  const auto fail = [&](bool clean) {
+    fd_.store(-1, std::memory_order_relaxed);
+    net::CloseFd(fd);
+    return clean;
+  };
+  const auto stopped = [&] { return stop_.load(std::memory_order_relaxed); };
+
+  std::vector<std::uint8_t> wire;
+  net::EncodeReplHello(wire, /*request_id=*/1, epoch_, last_applied());
+  if (!net::WriteAll(fd, wire)) return fail(stopped());
+
+  net::FrameBuffer in;
+  std::span<const std::uint8_t> payload;
+
+  // Handshake response.
+  int r;
+  do {
+    r = NextFrame(fd, in, options_.read_timeout_ms, payload);
+    if (r < 0 || stopped()) return fail(stopped());
+  } while (r == 0);
+  net::Response hello;
+  if (net::DecodeResponse(payload, net::Opcode::kReplHello, hello) !=
+          net::DecodeResult::kOk ||
+      hello.status != net::Status::kOk) {
+    return fail(stopped());
+  }
+  in.Pop();
+  // Adopt the primary's run ID. On a resume the primary has verified our
+  // position belongs to its log (or we joined fresh at seq 0), so the
+  // (seq, epoch) pair stays consistent; a snapshot install stamps both
+  // atomically below instead.
+  epoch_ = hello.epoch;
+  if (!hello.flag) server_.SetReplEpoch(hello.epoch);
+  std::uint64_t next_seq = last_applied() + 1;
+
+  if (hello.flag) {
+    // Snapshot bootstrap: BEGIN, chunks, END; then install and continue the
+    // stream past the snapshot point.
+    const std::uint64_t snapshot_seq = hello.seq;
+    std::string blob;
+    std::uint64_t announced_total = 0;
+    bool begun = false;
+    for (;;) {
+      do {
+        r = NextFrame(fd, in, options_.read_timeout_ms, payload);
+        if (r < 0 || stopped()) return fail(stopped());
+      } while (r == 0);
+      net::Request frame;
+      if (net::DecodeRequest(payload, frame) != net::DecodeResult::kOk) {
+        return fail(stopped());
+      }
+      in.Pop();
+      if (frame.opcode == net::Opcode::kSnapshotBegin) {
+        if (begun || frame.seq != snapshot_seq ||
+            frame.total_bytes > options_.max_snapshot_bytes) {
+          return fail(stopped());
+        }
+        begun = true;
+        announced_total = frame.total_bytes;
+        blob.reserve(static_cast<std::size_t>(announced_total));
+        continue;
+      }
+      if (frame.opcode == net::Opcode::kSnapshotChunk) {
+        if (!begun ||
+            blob.size() + frame.blob.size() > announced_total) {
+          return fail(stopped());
+        }
+        blob.append(reinterpret_cast<const char*>(frame.blob.data()),
+                    frame.blob.size());
+        continue;
+      }
+      if (frame.opcode == net::Opcode::kSnapshotEnd) {
+        if (!begun || frame.total_bytes != announced_total ||
+            blob.size() != announced_total ||
+            frame.digest != SplitMixHash64(blob.data(), blob.size(), 0)) {
+          return fail(stopped());
+        }
+        break;
+      }
+      return fail(stopped());  // anything else mid-snapshot is a protocol error
+    }
+    std::string install_error;
+    if (!server_.InstallSnapshot(blob, snapshot_seq, hello.epoch,
+                                 &install_error)) {
+      return fail(stopped());
+    }
+    last_applied_.store(snapshot_seq, std::memory_order_release);
+    next_seq = snapshot_seq + 1;
+    counters_.snapshots_installed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Steady-state stream: apply entries exactly once, in order.
+  std::uint64_t since_ack = 0;
+  const auto send_ack = [&] {
+    wire.clear();
+    net::EncodeOplogAck(wire, last_applied());
+    since_ack = 0;
+    return net::WriteAll(fd, wire);
+  };
+  for (;;) {
+    r = NextFrame(fd, in, options_.read_timeout_ms, payload);
+    if (r < 0 || stopped()) return fail(stopped());
+    if (r == 0) {
+      // Idle: keepalive ACK doubles as liveness so the primary can reap
+      // dead replicas via TCP errors.
+      if (!send_ack()) return fail(stopped());
+      continue;
+    }
+    net::Request frame;
+    if (net::DecodeRequest(payload, frame) != net::DecodeResult::kOk ||
+        frame.opcode != net::Opcode::kOplogEntry) {
+      return fail(stopped());
+    }
+    in.Pop();
+    if (frame.seq < next_seq) continue;  // duplicate: already applied
+    if (frame.seq > next_seq) {
+      // A gap can only mean the primary skipped entries we never saw —
+      // abort; the reconnect handshake resyncs (usually via snapshot).
+      counters_.gaps_detected.fetch_add(1, std::memory_order_relaxed);
+      return fail(stopped());
+    }
+    if (!server_.ApplyReplicated(frame.repl_op, frame.key, frame.seq)) {
+      counters_.apply_failures.fetch_add(1, std::memory_order_relaxed);
+    }
+    counters_.entries_applied.fetch_add(1, std::memory_order_relaxed);
+    last_applied_.store(frame.seq, std::memory_order_release);
+    ++next_seq;
+    if (++since_ack >= options_.ack_every) {
+      if (!send_ack()) return fail(stopped());
+    }
+  }
+}
+
+}  // namespace vcf::server

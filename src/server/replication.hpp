@@ -1,0 +1,179 @@
+// Primary/replica replication for vcfd (docs/server.md#replication).
+//
+// The primary journals every ACKed mutation into a bounded in-memory op log
+// (OplogBuffer) and streams it over the same framed protocol clients speak:
+// a replica connects, sends REPLICATE_HELLO with the last sequence number it
+// applied, and the primary either resumes the op-log stream from there or —
+// when the replica is too far behind for the bounded log, or joining fresh
+// after evictions — falls back to a snapshot bootstrap (SNAPSHOT_BEGIN/
+// CHUNK/END carrying the PR 5 WriteFramedBlob checkpoint envelope, digest-
+// verified), then continues streaming entries past the snapshot point.
+//
+// The replica side lives in ReplicaSession: one background thread that
+// connects, applies entries exactly once (duplicates below the resume point
+// are skipped, a sequence gap aborts the session so the next handshake
+// falls back to snapshot), acknowledges progress, and reconnects with
+// exponential backoff on any failure. Durable resume uses a tiny sidecar
+// (ReplMeta) written next to the checkpoint: {applied_seq, primary epoch,
+// digest of the checkpoint file}, so a restarted replica resumes from its
+// checkpoint only when the two files provably belong together — and only
+// against the same primary incarnation that assigned those sequences.
+//
+// Convergence contract: with mutations serialised into log order on the
+// primary (VcfServer does this under one mutex whenever the op log is on)
+// and applied in that order here, a replica that streamed the full log from
+// sequence 1 produces a bit-identical checkpoint blob — the cuckoo kernels
+// are deterministic given the op order. A snapshot-bootstrapped replica is
+// set-identical and byte-identical as long as no post-bootstrap insert
+// triggers eviction randomisation (the kernel RNG is intentionally not part
+// of the checkpoint; see docs/server.md for the caveat).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vcf::server {
+
+class VcfServer;
+
+inline constexpr std::uint8_t kOplogInsert = 0;
+inline constexpr std::uint8_t kOplogErase = 1;
+
+struct OplogEntry {
+  std::uint64_t seq = 0;
+  std::uint8_t op = kOplogInsert;
+  std::uint64_t key = 0;
+};
+
+/// Bounded journal of mutations, oldest entries evicted once `capacity` is
+/// exceeded. Sequence numbers start at 1 and never repeat. Thread-safe: the
+/// server appends under its replication mutex while worker threads copy
+/// ranges out for streaming.
+class OplogBuffer {
+ public:
+  explicit OplogBuffer(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Journals one mutation; returns its assigned sequence number.
+  std::uint64_t Append(std::uint8_t op, std::uint64_t key);
+
+  /// Seq of the last journaled entry (0 when nothing was ever journaled).
+  std::uint64_t last() const;
+
+  /// Seq of the oldest retained entry; `last() + 1` when the log is empty.
+  std::uint64_t first_retained() const;
+
+  /// True when a stream starting at `seq` can be served from the log —
+  /// i.e. nothing in [seq, last()] has been evicted. `last() + 1` (fully
+  /// caught up, nothing to send) is always servable.
+  bool CanServeFrom(std::uint64_t seq) const;
+
+  /// Copies up to `max_entries` entries with seq >= `from_seq` into `out`
+  /// (appended). Returns false when `from_seq` fell off the log's tail —
+  /// the caller must disconnect the replica so it resyncs via snapshot.
+  bool CopyFrom(std::uint64_t from_seq, std::size_t max_entries,
+                std::vector<OplogEntry>& out) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<OplogEntry> entries_;
+  std::size_t capacity_;
+  std::uint64_t next_seq_ = 1;
+};
+
+/// Durable resume sidecar for a replica: the sequence its checkpoint covers,
+/// the primary run ID (epoch) that sequence belongs to, and a digest of the
+/// checkpoint file itself — so a checkpoint/sidecar pair from different runs
+/// can never be combined into a silently wrong resume, and a restarted
+/// primary (fresh epoch, sequence numbers reused from 1) can never serve a
+/// stale resume position.
+struct ReplMeta {
+  std::uint64_t applied_seq = 0;
+  std::uint64_t primary_epoch = 0;
+  std::uint64_t state_digest = 0;
+};
+
+bool WriteReplMeta(const std::string& path, const ReplMeta& meta);
+bool ReadReplMeta(const std::string& path, ReplMeta* meta);
+
+/// SplitMix digest of a whole file (streamed); false when unreadable.
+bool FileDigest(const std::string& path, std::uint64_t* digest);
+
+/// The replica's pull loop: owns a background thread that keeps `server`
+/// (a read-only VcfServer) in sync with a primary. Start() after the server
+/// is running; Stop() before tearing the server down.
+class ReplicaSession {
+ public:
+  struct Options {
+    std::string primary_host = "127.0.0.1";
+    std::uint16_t primary_port = 0;
+    int connect_timeout_ms = 2000;
+    /// Idle read tick: when no frame arrives within this window the session
+    /// sends a keepalive ACK and checks for Stop().
+    int read_timeout_ms = 250;
+    int backoff_base_ms = 50;   ///< doubles per consecutive failure...
+    int backoff_max_ms = 2000;  ///< ...up to this cap
+    std::uint64_t ack_every = 64;  ///< ACK cadence in applied entries
+    std::uint64_t max_snapshot_bytes = 1ull << 31;
+  };
+
+  struct Counters {
+    std::atomic<std::uint64_t> entries_applied{0};
+    std::atomic<std::uint64_t> apply_failures{0};  ///< filter rejected an op
+    std::atomic<std::uint64_t> snapshots_installed{0};
+    std::atomic<std::uint64_t> gaps_detected{0};
+    std::atomic<std::uint64_t> reconnects{0};  ///< failed / lost sessions
+  };
+
+  ReplicaSession(VcfServer& server, Options options);
+  ~ReplicaSession();
+
+  ReplicaSession(const ReplicaSession&) = delete;
+  ReplicaSession& operator=(const ReplicaSession&) = delete;
+
+  /// Loads the durable resume point from `meta_path` (the sidecar written
+  /// next to `state_path` by the replica's checkpoints). Only adopts it when
+  /// the sidecar's digest matches the checkpoint file — otherwise the
+  /// session starts from sequence 0 and bootstraps via snapshot. Call
+  /// before the server restores its checkpoint; returns the sequence to
+  /// resume from (0 = start fresh, caller should skip the restore).
+  std::uint64_t LoadResumePoint(const std::string& meta_path,
+                                const std::string& state_path);
+
+  void Start();
+  void Stop();
+
+  std::uint64_t last_applied() const noexcept {
+    return last_applied_.load(std::memory_order_acquire);
+  }
+
+  /// Test/ops helper: polls until last_applied() >= seq or the timeout
+  /// expires. Returns whether the sequence was reached.
+  bool WaitForSeq(std::uint64_t seq, int timeout_ms) const;
+
+  const Counters& counters() const noexcept { return counters_; }
+
+ private:
+  void Run();
+  /// One connect-handshake-stream session; returns when it fails or Stop()
+  /// was requested. True on clean stop, false when the caller should back
+  /// off and reconnect.
+  bool SyncOnce();
+
+  VcfServer& server_;
+  Options options_;
+  Counters counters_;
+  /// Primary run ID the current stream position belongs to (0 = none yet).
+  /// Only the session thread (and pre-Start LoadResumePoint) touches it.
+  std::uint64_t epoch_ = 0;
+  std::atomic<std::uint64_t> last_applied_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<int> fd_{-1};  ///< live socket, shut down by Stop()
+  std::thread thread_;
+};
+
+}  // namespace vcf::server

@@ -1,16 +1,22 @@
 #include "server/server.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <fcntl.h>
+#include <random>
 #include <fstream>
 #include <mutex>
 #include <poll.h>
+#include <sstream>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 #include <unordered_map>
 
+#include "common/failpoint.hpp"
+#include "core/state_io.hpp"
+#include "hash/hash64.hpp"
 #include "net/proto.hpp"
 #include "net/socket.hpp"
 
@@ -38,6 +44,14 @@ struct VcfServer::Connection {
   std::vector<std::uint8_t> out;
   std::size_t out_off = 0;
   bool close_after_flush = false;
+  // Replica-stream state (set by REPLICATE_HELLO, owning worker only):
+  bool is_replica = false;
+  std::uint64_t repl_next_seq = 0;   ///< next op-log seq to stream
+  std::uint64_t repl_acked_seq = 0;  ///< replica's cumulative ACK
+  bool snapshot_pending = false;
+  std::uint64_t snapshot_seq = 0;
+  std::string snapshot_buf;  ///< framed checkpoint envelope being streamed
+  std::size_t snapshot_off = 0;
 };
 
 struct VcfServer::Worker {
@@ -48,11 +62,24 @@ struct VcfServer::Worker {
   std::mutex inbox_mutex;
   std::vector<int> inbox;  ///< freshly accepted fds awaiting registration
   std::unordered_map<int, Connection> conns;
+  int replica_conns = 0;  ///< owning-thread count of replica connections
+  /// Read by journaling threads (NotifyReplicas) without the worker's
+  /// cooperation, hence atomic; written only by the owning thread.
+  std::atomic<bool> has_replicas{false};
 };
 
 VcfServer::VcfServer(std::unique_ptr<Filter> filter, Options options)
     : filter_(std::move(filter)), options_(options) {
   if (options_.threads == 0) options_.threads = 1;
+  if (options_.oplog_capacity > 0) {
+    oplog_ = std::make_unique<OplogBuffer>(options_.oplog_capacity);
+    // One run ID per primary incarnation: a replica's resume position is
+    // only honoured when it quotes this ID back, so sequence numbers from a
+    // previous incarnation's log can never be mistaken for this one's.
+    std::random_device rd;
+    run_id_ = (static_cast<std::uint64_t>(rd()) << 32) | rd();
+    if (run_id_ == 0) run_id_ = 1;  // 0 is "no epoch" on the wire
+  }
 }
 
 VcfServer::~VcfServer() {
@@ -151,10 +178,24 @@ bool VcfServer::ServeUntilShutdown() {
 bool VcfServer::CheckpointNow() {
   if (options_.state_path.empty()) return false;
   std::lock_guard checkpoint_lock(checkpoint_mutex_);
+  const bool repl = oplog_ != nullptr || options_.read_only;
+  std::uint64_t covered_seq = 0;
+  std::uint64_t covered_epoch = 0;
   const std::string tmp = options_.state_path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return false;
+    // With replication on, hold the mutation order lock across the save so
+    // the checkpoint covers exactly the ops up to `covered_seq` — the
+    // invariant the resume sidecar and the convergence drills rely on.
+    std::unique_lock<std::mutex> repl_lock;
+    if (repl) {
+      repl_lock = std::unique_lock(repl_mutex_);
+      covered_seq = oplog_ != nullptr
+                        ? oplog_->last()
+                        : applied_seq_.load(std::memory_order_acquire);
+      covered_epoch = oplog_ != nullptr ? run_id_ : repl_epoch_;
+    }
     bool ok;
     if (options_.filter_internally_locked) {
       ok = filter_->SaveState(out);
@@ -174,6 +215,15 @@ bool VcfServer::CheckpointNow() {
     return false;
   }
   counters_.checkpoints.fetch_add(1, std::memory_order_relaxed);
+  if (repl && !options_.repl_meta_path.empty()) {
+    // Sidecar write is best-effort: losing it only costs a snapshot
+    // re-bootstrap on the next restart, never correctness.
+    std::uint64_t digest = 0;
+    if (FileDigest(options_.state_path, &digest)) {
+      WriteReplMeta(options_.repl_meta_path,
+                    ReplMeta{covered_seq, covered_epoch, digest});
+    }
+  }
   return true;
 }
 
@@ -225,7 +275,7 @@ void VcfServer::WorkerLoop(unsigned index) {
       Connection& conn = it->second;
       bool alive = !ev.error;
       if (alive && ev.writable) alive = FlushWrites(conn);
-      if (alive && ev.readable) alive = ServeReadable(conn);
+      if (alive && ev.readable) alive = ServeReadable(w, conn);
       if (alive && conn.close_after_flush &&
           conn.out_off == conn.out.size()) {
         alive = false;
@@ -239,6 +289,28 @@ void VcfServer::WorkerLoop(unsigned index) {
                       /*want_read=*/!conn.close_after_flush &&
                           pending < kWriteHighWater,
                       /*want_write=*/pending > 0);
+    }
+    if (w.replica_conns > 0) {
+      // Stream to every replica this worker owns. Runs after each poll
+      // round — journal appends poke the wakeup pipe so Wait() returns
+      // promptly, and the timeout tick backstops any lost wakeup.
+      std::vector<int> replica_fds;
+      replica_fds.reserve(static_cast<std::size_t>(w.replica_conns));
+      for (const auto& [fd, conn] : w.conns) {
+        if (conn.is_replica) replica_fds.push_back(fd);
+      }
+      for (const int fd : replica_fds) {
+        const auto rit = w.conns.find(fd);
+        if (rit == w.conns.end()) continue;
+        Connection& conn = rit->second;
+        if (PumpReplica(conn) && FlushWrites(conn)) {
+          const std::size_t pending = conn.out.size() - conn.out_off;
+          w.poller.Update(fd, /*want_read=*/pending < kWriteHighWater,
+                          /*want_write=*/pending > 0);
+        } else {
+          CloseConnection(w, fd);
+        }
+      }
     }
   }
   // Drain: one best-effort flush per connection so ACKs for already-applied
@@ -274,7 +346,7 @@ void VcfServer::AcceptReady(Worker& w) {
   }
 }
 
-bool VcfServer::ServeReadable(Connection& conn) {
+bool VcfServer::ServeReadable(Worker& w, Connection& conn) {
   std::uint8_t buf[64 * 1024];
   for (;;) {
     const std::ptrdiff_t n = net::ReadSome(conn.fd, buf);
@@ -291,7 +363,7 @@ bool VcfServer::ServeReadable(Connection& conn) {
     }
     std::span<const std::uint8_t> payload;
     while (!conn.close_after_flush && conn.in.Next(payload)) {
-      HandleFrame(payload, conn.out, conn.close_after_flush);
+      HandleFrame(w, conn, payload);
       conn.in.Pop();
     }
     if (conn.in.poisoned()) {
@@ -328,11 +400,11 @@ bool VcfServer::FlushWrites(Connection& conn) {
   return true;
 }
 
-void VcfServer::HandleFrame(std::span<const std::uint8_t> payload,
-                            std::vector<std::uint8_t>& out,
-                            bool& close_after) {
+void VcfServer::HandleFrame(Worker& w, Connection& conn,
+                            std::span<const std::uint8_t> payload) {
   using net::Opcode;
   using net::Status;
+  std::vector<std::uint8_t>& out = conn.out;
   counters_.requests.fetch_add(1, std::memory_order_relaxed);
   net::Request req;
   switch (net::DecodeRequest(payload, req)) {
@@ -344,7 +416,7 @@ void VcfServer::HandleFrame(std::span<const std::uint8_t> payload,
       counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       net::EncodeErrorResponse(out, Status::kBadVersion,
                                net::PeekRequestId(payload));
-      close_after = true;
+      conn.close_after_flush = true;
       return;
     case net::DecodeResult::kBadOpcode:
       counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
@@ -362,17 +434,68 @@ void VcfServer::HandleFrame(std::span<const std::uint8_t> payload,
     return;
   }
   const bool internal = options_.filter_internally_locked;
+  const bool mutation = req.opcode == Opcode::kInsert ||
+                        req.opcode == Opcode::kDelete ||
+                        req.opcode == Opcode::kInsertBatch;
+  if (mutation && options_.read_only) {
+    counters_.read_only_rejections.fetch_add(1, std::memory_order_relaxed);
+    net::EncodeErrorResponse(out, Status::kReadOnly, req.request_id);
+    return;
+  }
   switch (req.opcode) {
     case Opcode::kPing:
       net::EncodePingResponse(out, req.request_id, req.ping_echo);
       return;
-    case Opcode::kInsert: {
+    case Opcode::kInsert:
+    case Opcode::kDelete: {
+      const bool erase = req.opcode == Opcode::kDelete;
+      if (erase && !filter_->SupportsDeletion()) {
+        net::EncodeErrorResponse(out, Status::kUnsupported, req.request_id);
+        return;
+      }
       bool ok;
-      if (internal) {
-        ok = filter_->Insert(req.key);
+      if (oplog_ != nullptr) {
+        bool journal_failed = false;
+        {
+          std::lock_guard repl(repl_mutex_);
+          if (internal) {
+            ok = erase ? filter_->Erase(req.key) : filter_->Insert(req.key);
+          } else {
+            std::unique_lock lock(filter_mutex_);
+            ok = erase ? filter_->Erase(req.key) : filter_->Insert(req.key);
+          }
+          if (ok) {
+            if (VCF_FAILPOINT_TRIGGERED(failpoints::kReplOplogAppend)) {
+              // Journal failed: undo the apply so the error we report is
+              // the truth — an op is either ACKed AND journaled, or
+              // neither. (Undo needs a deletable filter; see docs.)
+              if (internal) {
+                if (erase) filter_->Insert(req.key);
+                else filter_->Erase(req.key);
+              } else {
+                std::unique_lock lock(filter_mutex_);
+                if (erase) filter_->Insert(req.key);
+                else filter_->Erase(req.key);
+              }
+              journal_failed = true;
+            } else {
+              applied_seq_.store(
+                  oplog_->Append(erase ? kOplogErase : kOplogInsert, req.key),
+                  std::memory_order_release);
+              counters_.oplog_appends.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+        if (journal_failed) {
+          net::EncodeErrorResponse(out, Status::kServerError, req.request_id);
+          return;
+        }
+        if (ok) NotifyReplicas();
+      } else if (internal) {
+        ok = erase ? filter_->Erase(req.key) : filter_->Insert(req.key);
       } else {
         std::unique_lock lock(filter_mutex_);
-        ok = filter_->Insert(req.key);
+        ok = erase ? filter_->Erase(req.key) : filter_->Insert(req.key);
       }
       net::EncodeFlagResponse(out, req.request_id, ok);
       return;
@@ -388,26 +511,53 @@ void VcfServer::HandleFrame(std::span<const std::uint8_t> payload,
       net::EncodeFlagResponse(out, req.request_id, ok);
       return;
     }
-    case Opcode::kDelete: {
-      if (!filter_->SupportsDeletion()) {
-        net::EncodeErrorResponse(out, Status::kUnsupported, req.request_id);
-        return;
-      }
-      bool ok;
-      if (internal) {
-        ok = filter_->Erase(req.key);
-      } else {
-        std::unique_lock lock(filter_mutex_);
-        ok = filter_->Erase(req.key);
-      }
-      net::EncodeFlagResponse(out, req.request_id, ok);
-      return;
-    }
     case Opcode::kInsertBatch: {
       const std::size_t n = req.keys.size();
       const auto results = std::make_unique<bool[]>(n == 0 ? 1 : n);
       std::size_t accepted;
-      if (internal) {
+      if (oplog_ != nullptr) {
+        bool journal_failed = false;
+        {
+          std::lock_guard repl(repl_mutex_);
+          if (internal) {
+            accepted = filter_->InsertBatch(req.keys, results.get());
+          } else {
+            std::unique_lock lock(filter_mutex_);
+            accepted = filter_->InsertBatch(req.keys, results.get());
+          }
+          if (accepted > 0 &&
+              VCF_FAILPOINT_TRIGGERED(failpoints::kReplOplogAppend)) {
+            // Roll the whole batch back; the client sees kServerError and
+            // no key from it is ACKed or journaled.
+            if (internal) {
+              for (std::size_t i = 0; i < n; ++i) {
+                if (results[i]) filter_->Erase(req.keys[i]);
+              }
+            } else {
+              std::unique_lock lock(filter_mutex_);
+              for (std::size_t i = 0; i < n; ++i) {
+                if (results[i]) filter_->Erase(req.keys[i]);
+              }
+            }
+            journal_failed = true;
+          } else {
+            std::uint64_t seq = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+              if (results[i]) seq = oplog_->Append(kOplogInsert, req.keys[i]);
+            }
+            if (accepted > 0) {
+              applied_seq_.store(seq, std::memory_order_release);
+              counters_.oplog_appends.fetch_add(accepted,
+                                                std::memory_order_relaxed);
+            }
+          }
+        }
+        if (journal_failed) {
+          net::EncodeErrorResponse(out, Status::kServerError, req.request_id);
+          return;
+        }
+        if (accepted > 0) NotifyReplicas();
+      } else if (internal) {
         accepted = filter_->InsertBatch(req.keys, results.get());
       } else {
         std::unique_lock lock(filter_mutex_);
@@ -464,11 +614,206 @@ void VcfServer::HandleFrame(std::span<const std::uint8_t> payload,
       net::EncodeFlagResponse(out, req.request_id, CheckpointNow());
       return;
     }
+    case Opcode::kReplHello: {
+      if (oplog_ == nullptr) {
+        net::EncodeErrorResponse(out, Status::kUnsupported, req.request_id);
+        return;
+      }
+      const std::uint64_t replica_last = req.seq;
+      // The replica's sequence numbers only mean anything against THIS run's
+      // op log: a restarted primary journals from 1 again, so a stale epoch
+      // (or none, with a nonzero position) forces the snapshot path even
+      // when the raw numbers happen to look servable.
+      const bool same_epoch = replica_last == 0 || req.epoch == run_id_;
+      bool snapshot = false;
+      std::uint64_t start_seq = 0;
+      {
+        std::lock_guard repl(repl_mutex_);
+        if (same_epoch && oplog_->CanServeFrom(replica_last + 1)) {
+          // The log still retains everything past the replica's position:
+          // resume the stream, no bootstrap needed.
+          start_seq = replica_last + 1;
+          conn.snapshot_pending = false;
+          conn.repl_next_seq = start_seq;
+        } else {
+          // Too far behind (or joining fresh after evictions): stream a
+          // snapshot of the current state. Built under repl_mutex_ so it
+          // covers exactly the ops up to snapshot_seq.
+          std::ostringstream inner;
+          bool ok;
+          if (options_.filter_internally_locked) {
+            ok = filter_->SaveState(inner);
+          } else {
+            std::shared_lock lock(filter_mutex_);
+            ok = filter_->SaveState(inner);
+          }
+          if (!ok) {
+            net::EncodeErrorResponse(out, Status::kServerError,
+                                     req.request_id);
+            return;
+          }
+          std::ostringstream envelope;
+          if (!detail::WriteFramedBlob(envelope, inner.str())) {
+            net::EncodeErrorResponse(out, Status::kServerError,
+                                     req.request_id);
+            return;
+          }
+          snapshot = true;
+          conn.snapshot_buf = envelope.str();
+          conn.snapshot_off = 0;
+          conn.snapshot_pending = true;
+          conn.snapshot_seq = oplog_->last();
+          conn.repl_next_seq = conn.snapshot_seq + 1;
+          start_seq = conn.snapshot_seq;
+          counters_.repl_snapshots_streamed.fetch_add(
+              1, std::memory_order_relaxed);
+        }
+      }
+      net::EncodeReplHelloResponse(out, req.request_id, snapshot, start_seq,
+                                   run_id_);
+      if (snapshot) {
+        net::EncodeSnapshotBegin(out, conn.snapshot_seq,
+                                 conn.snapshot_buf.size());
+      }
+      if (!conn.is_replica) {
+        conn.is_replica = true;
+        ++w.replica_conns;
+        w.has_replicas.store(true, std::memory_order_relaxed);
+      }
+      // The event loop pumps chunks/entries after this frame is handled.
+      return;
+    }
+    case Opcode::kOplogAck:
+      // Cumulative progress marker (and keepalive) from a replica; a
+      // spoofed ACK from a non-replica peer is meaningless and ignored.
+      if (conn.is_replica) conn.repl_acked_seq = req.seq;
+      return;
+    case Opcode::kOplogEntry:
+    case Opcode::kSnapshotBegin:
+    case Opcode::kSnapshotChunk:
+    case Opcode::kSnapshotEnd:
+      // Primary-to-replica stream frames; nothing a server should receive.
+      net::EncodeErrorResponse(out, Status::kUnsupported, req.request_id);
+      return;
   }
   net::EncodeErrorResponse(out, Status::kBadOpcode, req.request_id);
 }
 
+bool VcfServer::PumpReplica(Connection& conn) {
+  if (!conn.is_replica || oplog_ == nullptr) return true;
+  while (conn.snapshot_pending &&
+         conn.out.size() - conn.out_off < kWriteHighWater) {
+    if (VCF_FAILPOINT_TRIGGERED(failpoints::kReplSnapshotChunk)) {
+      return false;  // drill: cut the replica off mid-snapshot
+    }
+    const std::size_t remaining = conn.snapshot_buf.size() - conn.snapshot_off;
+    const std::size_t n =
+        std::min<std::size_t>(remaining, net::kReplChunkBytes);
+    if (n > 0) {
+      net::EncodeSnapshotChunk(
+          conn.out,
+          std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(conn.snapshot_buf.data()) +
+                  conn.snapshot_off,
+              n));
+      conn.snapshot_off += n;
+    }
+    if (conn.snapshot_off == conn.snapshot_buf.size()) {
+      net::EncodeSnapshotEnd(conn.out, conn.snapshot_buf.size(),
+                             SplitMixHash64(conn.snapshot_buf.data(),
+                                            conn.snapshot_buf.size(), 0));
+      conn.snapshot_buf.clear();
+      conn.snapshot_off = 0;
+      conn.snapshot_pending = false;
+    }
+  }
+  if (conn.snapshot_pending) return true;  // backpressured mid-snapshot
+  std::vector<OplogEntry> entries;
+  while (conn.out.size() - conn.out_off < kWriteHighWater) {
+    entries.clear();
+    if (!oplog_->CopyFrom(conn.repl_next_seq, 256, entries)) {
+      // The replica's position fell off the bounded log's tail (it was
+      // backpressured or partitioned too long): disconnect so its next
+      // handshake resyncs via snapshot instead of silently diverging.
+      return false;
+    }
+    if (entries.empty()) break;  // caught up
+    for (const OplogEntry& e : entries) {
+      if (VCF_FAILPOINT_TRIGGERED(failpoints::kReplOplogStream)) {
+        return false;  // drill: mid-stream disconnect
+      }
+      net::EncodeOplogEntry(conn.out, e.seq, e.op, e.key);
+    }
+    conn.repl_next_seq = entries.back().seq + 1;
+    counters_.repl_entries_streamed.fetch_add(entries.size(),
+                                              std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void VcfServer::NotifyReplicas() {
+  for (const auto& w : workers_) {
+    if (w->has_replicas.load(std::memory_order_relaxed)) {
+      const char byte = 1;
+      [[maybe_unused]] const ssize_t n = ::write(w->wakeup[1], &byte, 1);
+    }
+  }
+}
+
+bool VcfServer::ApplyReplicated(std::uint8_t op, std::uint64_t key,
+                                std::uint64_t seq) {
+  std::lock_guard repl(repl_mutex_);
+  bool ok;
+  if (options_.filter_internally_locked) {
+    ok = op == kOplogErase ? filter_->Erase(key) : filter_->Insert(key);
+  } else {
+    std::unique_lock lock(filter_mutex_);
+    ok = op == kOplogErase ? filter_->Erase(key) : filter_->Insert(key);
+  }
+  applied_seq_.store(seq, std::memory_order_release);
+  return ok;
+}
+
+bool VcfServer::InstallSnapshot(const std::string& envelope, std::uint64_t seq,
+                                std::uint64_t epoch, std::string* error) {
+  std::istringstream in(envelope);
+  std::string blob;
+  if (!detail::ReadFramedBlob(in, &blob, envelope.size())) {
+    if (error != nullptr) *error = "malformed snapshot envelope";
+    return false;
+  }
+  std::istringstream inner(blob);
+  std::lock_guard repl(repl_mutex_);
+  bool ok;
+  if (options_.filter_internally_locked) {
+    ok = filter_->LoadState(inner);
+  } else {
+    std::unique_lock lock(filter_mutex_);
+    ok = filter_->LoadState(inner);
+  }
+  if (!ok) {
+    if (error != nullptr) {
+      *error = "snapshot blob rejected by filter (mismatched parameters?)";
+    }
+    return false;
+  }
+  applied_seq_.store(seq, std::memory_order_release);
+  repl_epoch_ = epoch;
+  return true;
+}
+
+void VcfServer::SetReplEpoch(std::uint64_t epoch) {
+  std::lock_guard repl(repl_mutex_);
+  repl_epoch_ = epoch;
+}
+
 void VcfServer::CloseConnection(Worker& w, int fd) {
+  const auto it = w.conns.find(fd);
+  if (it != w.conns.end() && it->second.is_replica) {
+    if (--w.replica_conns == 0) {
+      w.has_replicas.store(false, std::memory_order_relaxed);
+    }
+  }
   w.poller.Remove(fd);
   w.conns.erase(fd);
   net::CloseFd(fd);

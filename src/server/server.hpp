@@ -28,6 +28,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -35,6 +36,7 @@
 
 #include "core/filter.hpp"
 #include "server/poller.hpp"
+#include "server/replication.hpp"
 
 namespace vcf::server {
 
@@ -48,6 +50,20 @@ class VcfServer {
     /// adds a server-level reader-writer lock around every op.
     bool filter_internally_locked = false;
     Poller::Backend backend = Poller::Backend::kAuto;
+    /// > 0 makes this server a replication primary: every ACKed mutation is
+    /// journaled into an op log retaining this many entries, and replicas
+    /// may connect with REPLICATE_HELLO. While the op log is on, mutations
+    /// are serialised into log order under one mutex (lookups still run
+    /// concurrently) — the price of replicas converging to bit-identical
+    /// state (docs/server.md#replication).
+    std::size_t oplog_capacity = 0;
+    /// Replica mode: reject INSERT/DELETE/INSERT_BATCH with kReadOnly;
+    /// mutations arrive only through ApplyReplicated()/InstallSnapshot().
+    bool read_only = false;
+    /// When set (and replication is on either way), every checkpoint also
+    /// writes this sidecar with {covered seq, checkpoint digest} so a
+    /// restarted replica can resume the stream instead of re-bootstrapping.
+    std::string repl_meta_path;
   };
 
   /// Monotonic service counters (relaxed atomics; exact enough for ops).
@@ -57,6 +73,10 @@ class VcfServer {
     std::atomic<std::uint64_t> requests{0};
     std::atomic<std::uint64_t> protocol_errors{0};  ///< malformed frames
     std::atomic<std::uint64_t> checkpoints{0};
+    std::atomic<std::uint64_t> oplog_appends{0};
+    std::atomic<std::uint64_t> repl_entries_streamed{0};
+    std::atomic<std::uint64_t> repl_snapshots_streamed{0};
+    std::atomic<std::uint64_t> read_only_rejections{0};
   };
 
   VcfServer(std::unique_ptr<Filter> filter, Options options);
@@ -98,6 +118,29 @@ class VcfServer {
     return stop_.load(std::memory_order_relaxed);
   }
 
+  /// Replica-side apply hooks, called by ReplicaSession's thread only.
+  /// ApplyReplicated performs one journaled mutation; InstallSnapshot
+  /// replaces the filter state with a snapshot-bootstrap envelope (the
+  /// WriteFramedBlob-wrapped checkpoint blob) covering ops <= `seq`.
+  bool ApplyReplicated(std::uint8_t op, std::uint64_t key, std::uint64_t seq);
+  bool InstallSnapshot(const std::string& envelope, std::uint64_t seq,
+                       std::uint64_t epoch, std::string* error);
+
+  /// Records the primary run ID the replica's applied_seq belongs to, so
+  /// checkpoints stamp their sidecar with a (seq, epoch) pair that is
+  /// consistent under repl_mutex_. ReplicaSession calls this right after a
+  /// resume handshake; snapshot installs set it atomically with the seq.
+  void SetReplEpoch(std::uint64_t epoch);
+
+  /// Last sequence applied (replica) — 0 on a primary; see oplog_last().
+  std::uint64_t applied_seq() const noexcept {
+    return applied_seq_.load(std::memory_order_acquire);
+  }
+  /// Last sequence journaled (primary) — 0 when replication is off.
+  std::uint64_t oplog_last() const noexcept {
+    return oplog_ == nullptr ? 0 : oplog_->last();
+  }
+
  private:
   struct Connection;
   struct Worker;
@@ -106,10 +149,18 @@ class VcfServer {
   void AcceptReady(Worker& w);
   /// Drains readable bytes and serves every complete pipelined frame.
   /// Returns false when the connection must close.
-  bool ServeReadable(Connection& conn);
+  bool ServeReadable(Worker& w, Connection& conn);
   bool FlushWrites(Connection& conn);
-  void HandleFrame(std::span<const std::uint8_t> payload,
-                   std::vector<std::uint8_t>& out, bool& close_after);
+  void HandleFrame(Worker& w, Connection& conn,
+                   std::span<const std::uint8_t> payload);
+  /// Appends pending snapshot chunks / op-log entries to a replica
+  /// connection's write buffer, up to the high-water mark. False when the
+  /// replica must be disconnected (stream failpoint, or it fell off the
+  /// bounded log's tail and needs a snapshot resync).
+  bool PumpReplica(Connection& conn);
+  /// Wakes every worker that owns replica connections after a journal
+  /// append, so streaming latency is one event-loop turn, not a poll tick.
+  void NotifyReplicas();
   void CloseConnection(Worker& w, int fd);
 
   std::unique_ptr<Filter> filter_;
@@ -129,6 +180,17 @@ class VcfServer {
   /// worker has exited and is therefore fully consistent.
   mutable std::shared_mutex filter_mutex_;
   std::mutex checkpoint_mutex_;
+
+  /// Serialises mutations into op-log order whenever replication is active
+  /// (primary journaling or replica apply) and pins checkpoints to an exact
+  /// sequence. Ordering: repl_mutex_ before filter_mutex_; never the
+  /// reverse.
+  std::mutex repl_mutex_;
+  std::unique_ptr<OplogBuffer> oplog_;      ///< primary only
+  std::uint64_t run_id_ = 0;  ///< primary incarnation ID (epoch on the wire)
+  std::atomic<std::uint64_t> applied_seq_{0};  ///< replica apply progress
+  std::uint64_t repl_epoch_ = 0;  ///< replica: epoch of applied_seq_
+                                  ///< (guarded by repl_mutex_)
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;

@@ -133,6 +133,135 @@ TEST(ProtoCodec, ErrorResponseRoundTrip) {
   }
 }
 
+// --- Replication stream frames --------------------------------------------
+
+TEST(ProtoCodec, ReplHelloRoundTrip) {
+  std::vector<std::uint8_t> frame;
+  EncodeReplHello(frame, 31, 0x1122334455667788ULL, 0xABCDEF0123456789ULL);
+  Request req;
+  ASSERT_EQ(DecodeRequest(Payload(frame), req), DecodeResult::kOk);
+  EXPECT_EQ(req.opcode, Opcode::kReplHello);
+  EXPECT_EQ(req.request_id, 31u);
+  EXPECT_EQ(req.epoch, 0x1122334455667788ULL);
+  EXPECT_EQ(req.seq, 0xABCDEF0123456789ULL);
+
+  // Response: resume (no snapshot) and snapshot-first, both carrying a seq
+  // and the primary's run ID (epoch) for the replica to adopt.
+  for (const bool snapshot : {false, true}) {
+    frame.clear();
+    EncodeReplHelloResponse(frame, 31, snapshot, 4242, 0xFACEull);
+    Response resp;
+    ASSERT_EQ(DecodeResponse(Payload(frame), Opcode::kReplHello, resp),
+              DecodeResult::kOk);
+    EXPECT_EQ(resp.status, Status::kOk);
+    EXPECT_EQ(resp.flag, snapshot);
+    EXPECT_EQ(resp.seq, 4242u);
+    EXPECT_EQ(resp.epoch, 0xFACEull);
+  }
+}
+
+TEST(ProtoCodec, OplogEntryAndAckRoundTrip) {
+  std::vector<std::uint8_t> frame;
+  EncodeOplogEntry(frame, 991, 1, 0xFEEDF00DULL);
+  Request req;
+  ASSERT_EQ(DecodeRequest(Payload(frame), req), DecodeResult::kOk);
+  EXPECT_EQ(req.opcode, Opcode::kOplogEntry);
+  EXPECT_EQ(req.seq, 991u);
+  EXPECT_EQ(req.repl_op, 1);
+  EXPECT_EQ(req.key, 0xFEEDF00DULL);
+
+  frame.clear();
+  EncodeOplogAck(frame, 991);
+  ASSERT_EQ(DecodeRequest(Payload(frame), req), DecodeResult::kOk);
+  EXPECT_EQ(req.opcode, Opcode::kOplogAck);
+  EXPECT_EQ(req.seq, 991u);
+}
+
+TEST(ProtoCodec, SnapshotStreamRoundTrip) {
+  std::vector<std::uint8_t> frame;
+  EncodeSnapshotBegin(frame, 77, 1000);
+  Request req;
+  ASSERT_EQ(DecodeRequest(Payload(frame), req), DecodeResult::kOk);
+  EXPECT_EQ(req.opcode, Opcode::kSnapshotBegin);
+  EXPECT_EQ(req.seq, 77u);
+  EXPECT_EQ(req.total_bytes, 1000u);
+
+  std::vector<std::uint8_t> blob(1000);
+  for (std::size_t i = 0; i < blob.size(); ++i) {
+    blob[i] = static_cast<std::uint8_t>(Mix64(i));
+  }
+  frame.clear();
+  EncodeSnapshotChunk(frame, blob);
+  ASSERT_EQ(DecodeRequest(Payload(frame), req), DecodeResult::kOk);
+  EXPECT_EQ(req.opcode, Opcode::kSnapshotChunk);
+  EXPECT_EQ(req.blob, blob);
+
+  frame.clear();
+  EncodeSnapshotEnd(frame, 1000, 0x1234567890ABCDEFULL);
+  ASSERT_EQ(DecodeRequest(Payload(frame), req), DecodeResult::kOk);
+  EXPECT_EQ(req.opcode, Opcode::kSnapshotEnd);
+  EXPECT_EQ(req.total_bytes, 1000u);
+  EXPECT_EQ(req.digest, 0x1234567890ABCDEFULL);
+}
+
+TEST(ProtoCodec, ReplStreamFramesAreNotResponses) {
+  // Stream frames arriving where a response is expected must decode to a
+  // clean error, not be misread as an answer. Every stream opcode (8..13)
+  // sits past the last valid status byte, so the response decoder rejects
+  // the frame as malformed before it could be mistaken for a result.
+  std::vector<std::uint8_t> frame;
+  EncodeOplogEntry(frame, 1, 0, 42);
+  Response resp;
+  EXPECT_EQ(DecodeResponse(Payload(frame), Opcode::kOplogEntry, resp),
+            DecodeResult::kMalformed);
+
+  frame.clear();
+  EncodeSnapshotBegin(frame, 7, 128);
+  EXPECT_EQ(DecodeResponse(Payload(frame), Opcode::kSnapshotBegin, resp),
+            DecodeResult::kMalformed);
+}
+
+TEST(ProtoRobustness, RejectsHostileReplFrames) {
+  Request req;
+  // OPLOG_ENTRY with an op byte beyond erase.
+  std::vector<std::uint8_t> frame;
+  EncodeOplogEntry(frame, 5, 0, 42);
+  auto payload = std::vector<std::uint8_t>(frame.begin() + 4, frame.end());
+  payload[8 + 8] = 2;  // header(8) + seq(8), first byte of op
+  EXPECT_EQ(DecodeRequest(payload, req), DecodeResult::kMalformed);
+
+  // Empty snapshot chunk: zero-byte chunks are never emitted.
+  std::vector<std::uint8_t> chunk_payload;
+  chunk_payload.push_back(kProtoVersion);
+  chunk_payload.push_back(static_cast<std::uint8_t>(Opcode::kSnapshotChunk));
+  PutU16(chunk_payload, 0);
+  PutU32(chunk_payload, 0);
+  EXPECT_EQ(DecodeRequest(chunk_payload, req), DecodeResult::kMalformed);
+
+  // Truncated REPL_HELLO (seq cut in half).
+  std::vector<std::uint8_t> hello;
+  EncodeReplHello(hello, 9, 77, 1234);
+  auto hello_payload =
+      std::vector<std::uint8_t>(hello.begin() + 4, hello.end() - 4);
+  EXPECT_EQ(DecodeRequest(hello_payload, req), DecodeResult::kMalformed);
+
+  // Old-format REPL_HELLO (seq only, no epoch) must be rejected, not
+  // misparsed with the seq read as the epoch.
+  auto legacy_hello =
+      std::vector<std::uint8_t>(hello.begin() + 4, hello.end() - 8);
+  EXPECT_EQ(DecodeRequest(legacy_hello, req), DecodeResult::kMalformed);
+}
+
+TEST(ProtoCodec, ReadOnlyStatusRoundTrip) {
+  std::vector<std::uint8_t> frame;
+  EncodeErrorResponse(frame, Status::kReadOnly, 13);
+  Response resp;
+  ASSERT_EQ(DecodeResponse(Payload(frame), Opcode::kInsert, resp),
+            DecodeResult::kOk);
+  EXPECT_EQ(resp.status, Status::kReadOnly);
+  EXPECT_STREQ(StatusName(resp.status), "read_only");
+}
+
 // --- Robustness: malformed inputs ----------------------------------------
 
 TEST(ProtoRobustness, RejectsBadVersion) {

@@ -1,0 +1,409 @@
+// Failpoint-driven failover drills for the replicated deployment
+// (docs/robustness.md#failover-drills): kill the primary mid-stream and
+// fail writes over, cut the replica off mid-snapshot-bootstrap, tear client
+// writes at the socket seam, and roll back an insert whose op-log append
+// failed — asserting throughout that no ACKed insert is ever lost and that
+// primary and replica converge to bit-identical checkpoints. Runs under
+// ASan+UBSan (and TSan) in CI.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/vcf_client.hpp"
+#include "common/failpoint.hpp"
+#include "harness/filter_factory.hpp"
+#include "net/proto.hpp"
+#include "server/replication.hpp"
+#include "server/server.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf::server {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("vcf_drill_test_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+FilterSpec VcfSpec() {
+  FilterSpec spec;
+  ParseFilterKind("vcf", spec);
+  spec.params = CuckooParams::ForSlotsLog2(16);
+  return spec;
+}
+
+std::unique_ptr<VcfServer> StartServer(VcfServer::Options options) {
+  auto server = std::make_unique<VcfServer>(MakeFilter(VcfSpec()), options);
+  std::string error;
+  EXPECT_TRUE(server->Start(&error)) << error;
+  EXPECT_NE(server->port(), 0);
+  return server;
+}
+
+/// Drains every pending lookup against `port` and asserts presence.
+void ExpectAllPresent(std::uint16_t port,
+                      const std::vector<std::uint64_t>& keys,
+                      const char* what) {
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", port)) << c.last_error();
+  std::vector<char> results(keys.size());
+  ASSERT_TRUE(c.LookupBatch(keys, reinterpret_cast<bool*>(results.data())))
+      << c.last_error();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(results[i]) << what << ": ACKed key lost, index " << i;
+  }
+}
+
+/// Checkpoints both nodes and asserts the state files are bit-identical.
+/// Call only when the replica has fully caught up and traffic is quiesced.
+void ExpectConvergedCheckpoints(VcfServer& primary, VcfServer& replica,
+                                const std::string& primary_state,
+                                const std::string& replica_state) {
+  ASSERT_TRUE(primary.CheckpointNow());
+  ASSERT_TRUE(replica.CheckpointNow());
+  std::uint64_t dp = 0;
+  std::uint64_t dr = 0;
+  ASSERT_TRUE(FileDigest(primary_state, &dp));
+  ASSERT_TRUE(FileDigest(replica_state, &dr));
+  EXPECT_EQ(dp, dr) << "primary and replica checkpoints diverged";
+}
+
+TEST(FailoverDrill, PrimaryKilledMidStreamNoAckedInsertLost) {
+  const std::string state_p = TempPath("kill_primary.state");
+  const std::string state_r = TempPath("kill_replica.state");
+  std::remove(state_p.c_str());
+  std::remove(state_r.c_str());
+
+  VcfServer::Options popts;
+  popts.oplog_capacity = 1 << 16;
+  popts.state_path = state_p;
+  auto primary = StartServer(popts);
+  const std::uint16_t primary_port = primary->port();
+
+  VcfServer::Options ropts;
+  ropts.read_only = true;
+  ropts.state_path = state_r;
+  auto replica = StartServer(ropts);
+
+  ReplicaSession::Options sopts;
+  sopts.primary_port = primary_port;
+  ReplicaSession session(*replica, sopts);
+  session.Start();
+
+  // A failover-aware client: writes to endpoint 0, reads from endpoint 1,
+  // rotating with retry whenever a node dies or answers read_only.
+  client::VcfClient c;
+  client::VcfClient::Options copts;
+  copts.max_attempts = 8;
+  copts.connect_timeout_ms = 500;
+  copts.read_timeout_ms = 2000;
+  copts.backoff_base_ms = 20;
+  copts.backoff_max_ms = 200;
+  copts.read_endpoint = 1;
+  ASSERT_TRUE(c.ConnectCluster({{"127.0.0.1", primary_port},
+                                {"127.0.0.1", replica->port()}},
+                               copts))
+      << c.last_error();
+
+  std::vector<std::uint64_t> acked;
+  for (std::uint64_t i = 0; i < 400; ++i) {
+    const std::uint64_t key = UniformKeyAt(61, i);
+    bool ok = false;
+    if (c.Insert(key, &ok) && ok) acked.push_back(key);
+    ASSERT_TRUE(ok) << c.last_error();
+  }
+  ASSERT_EQ(acked.size(), 400u);
+
+  // Kill the primary mid-service (graceful: its final checkpoint is the
+  // durable copy of every ACK it handed out).
+  primary->RequestShutdown();
+  ASSERT_TRUE(primary->Join());
+  primary.reset();
+
+  // Writes now fail — rotating through the replica only finds read_only —
+  // but fail *cleanly*, and nothing is recorded as ACKed.
+  {
+    bool ok = true;
+    const bool accepted = c.Insert(UniformKeyAt(62, 0), &ok);
+    EXPECT_FALSE(accepted);
+    EXPECT_FALSE(ok);
+  }
+
+  // Reads keep working throughout the outage (routed to the replica).
+  {
+    bool ok = false;
+    EXPECT_TRUE(c.Lookup(acked[0], &ok)) << c.last_error();
+    EXPECT_TRUE(ok);
+  }
+
+  // The primary restarts on the same port from its checkpoint; the replica's
+  // session reconnects on its own (the restarted op log can no longer serve
+  // the replica's old sequence, so the handshake falls back to a snapshot),
+  // and the client's rotation finds the write endpoint again.
+  popts.port = primary_port;
+  auto primary2 = std::make_unique<VcfServer>(MakeFilter(VcfSpec()), popts);
+  std::string error;
+  ASSERT_TRUE(primary2->TryRestore(&error)) << error;
+  ASSERT_TRUE(primary2->Start(&error)) << error;
+  ASSERT_EQ(primary2->port(), primary_port);
+
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    const std::uint64_t key = UniformKeyAt(63, i);
+    bool ok = false;
+    if (c.Insert(key, &ok) && ok) acked.push_back(key);
+    ASSERT_TRUE(ok) << c.last_error();
+  }
+  ASSERT_EQ(acked.size(), 900u);
+
+  // 500 post-restart entries put oplog_last() above the replica's stale
+  // pre-kill sequence (400), so this wait cannot pass vacuously.
+  ASSERT_GT(primary2->oplog_last(), 400u);
+  ASSERT_TRUE(session.WaitForSeq(primary2->oplog_last(), 15000))
+      << "replica stuck at " << session.last_applied();
+  EXPECT_GE(session.counters().reconnects.load(), 1u);
+  EXPECT_EQ(session.counters().snapshots_installed.load(), 1u);
+
+  // The invariant: every ACKed insert — before the kill and after the
+  // restart — answers present on both nodes.
+  ExpectAllPresent(primary2->port(), acked, "primary after restart");
+  ExpectAllPresent(replica->port(), acked, "replica after failover");
+  ExpectConvergedCheckpoints(*primary2, *replica, state_p, state_r);
+
+  session.Stop();
+  replica->RequestShutdown();
+  EXPECT_TRUE(replica->Join());
+  primary2->RequestShutdown();
+  EXPECT_TRUE(primary2->Join());
+  std::remove(state_p.c_str());
+  std::remove(state_r.c_str());
+  std::remove((state_r + ".rseq").c_str());
+}
+
+TEST(FailoverDrill, ReplicaCutMidSnapshotBootstrapRetriesAndCompletes) {
+  auto& fp =
+      FailpointRegistry::Instance().Get(failpoints::kReplSnapshotChunk);
+  fp.Disarm();
+  fp.ResetCounts();
+
+  // A 128-entry log over 3000 inserts forces a fresh replica through the
+  // snapshot path; the armed chunk seam cuts the first bootstrap short.
+  VcfServer::Options popts;
+  popts.oplog_capacity = 128;
+  auto primary = StartServer(popts);
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 3000; ++i) keys.push_back(UniformKeyAt(64, i));
+  std::vector<std::uint64_t> acked;
+  {
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", primary->port())) << c.last_error();
+    std::vector<char> results(keys.size());
+    bool ok = false;
+    c.InsertBatch(keys, reinterpret_cast<bool*>(results.data()), &ok);
+    ASSERT_TRUE(ok) << c.last_error();
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (results[i]) acked.push_back(keys[i]);
+    }
+  }
+  ASSERT_GT(acked.size(), 2000u);
+
+  VcfServer::Options ropts;
+  ropts.read_only = true;
+  auto replica = StartServer(ropts);
+  fp.ArmAlways();
+  ReplicaSession::Options sopts;
+  sopts.primary_port = primary->port();
+  ReplicaSession session(*replica, sopts);
+  session.Start();
+
+  // Let the seam cut at least one bootstrap, then heal the "partition".
+  ASSERT_TRUE([&] {
+    for (int i = 0; i < 1000; ++i) {
+      if (fp.triggers() > 0) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }()) << "snapshot-chunk failpoint never fired";
+  fp.Disarm();
+
+  ASSERT_TRUE(session.WaitForSeq(primary->oplog_last(), 15000))
+      << "replica stuck at " << session.last_applied();
+  EXPECT_GE(session.counters().reconnects.load(), 1u);
+  EXPECT_EQ(session.counters().snapshots_installed.load(), 1u);
+  // At least two bootstraps were built: the cut one(s) and the one that won.
+  EXPECT_GE(primary->counters().repl_snapshots_streamed.load(), 2u);
+  ExpectAllPresent(replica->port(), acked, "replica after cut bootstrap");
+
+  session.Stop();
+  replica->RequestShutdown();
+  EXPECT_TRUE(replica->Join());
+  primary->RequestShutdown();
+  EXPECT_TRUE(primary->Join());
+}
+
+TEST(FailoverDrill, OplogStreamCutMidEntriesResumesWithoutLoss) {
+  auto& fp = FailpointRegistry::Instance().Get(failpoints::kReplOplogStream);
+  fp.Disarm();
+  fp.ResetCounts();
+
+  VcfServer::Options popts;
+  popts.oplog_capacity = 1 << 16;
+  auto primary = StartServer(popts);
+  VcfServer::Options ropts;
+  ropts.read_only = true;
+  auto replica = StartServer(ropts);
+  ReplicaSession::Options sopts;
+  sopts.primary_port = primary->port();
+  ReplicaSession session(*replica, sopts);
+  session.Start();
+
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", primary->port())) << c.last_error();
+  std::vector<std::uint64_t> acked;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const std::uint64_t key = UniformKeyAt(65, i);
+    bool ok = false;
+    if (c.Insert(key, &ok) && ok) acked.push_back(key);
+    ASSERT_TRUE(ok) << c.last_error();
+  }
+  ASSERT_TRUE(session.WaitForSeq(primary->oplog_last(), 10000));
+
+  // Cut the entry stream mid-flight: the replica reconnects and — with the
+  // full log still retained — resumes exactly where it left off.
+  fp.ArmAlways();
+  for (std::uint64_t i = 200; i < 400; ++i) {
+    const std::uint64_t key = UniformKeyAt(65, i);
+    bool ok = false;
+    if (c.Insert(key, &ok) && ok) acked.push_back(key);
+    ASSERT_TRUE(ok) << c.last_error();
+  }
+  ASSERT_TRUE([&] {
+    for (int i = 0; i < 1000; ++i) {
+      if (fp.triggers() > 0) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }()) << "oplog-stream failpoint never fired";
+  fp.Disarm();
+
+  ASSERT_TRUE(session.WaitForSeq(primary->oplog_last(), 15000))
+      << "replica stuck at " << session.last_applied();
+  EXPECT_GE(session.counters().reconnects.load(), 1u);
+  // Resume used the retained log, not a snapshot.
+  EXPECT_EQ(session.counters().snapshots_installed.load(), 0u);
+  // Exactly once despite the cut: one apply per journaled entry.
+  EXPECT_EQ(session.counters().entries_applied.load(), primary->oplog_last());
+  ExpectAllPresent(replica->port(), acked, "replica after stream cut");
+
+  session.Stop();
+  replica->RequestShutdown();
+  EXPECT_TRUE(replica->Join());
+  primary->RequestShutdown();
+  EXPECT_TRUE(primary->Join());
+}
+
+TEST(FailoverDrill, OplogAppendFailureRollsBackSoNoAckEscapesTheJournal) {
+  const std::string state_p = TempPath("append_primary.state");
+  const std::string state_r = TempPath("append_replica.state");
+  std::remove(state_p.c_str());
+  std::remove(state_r.c_str());
+  auto& fp = FailpointRegistry::Instance().Get(failpoints::kReplOplogAppend);
+  fp.Disarm();
+  fp.ResetCounts();
+
+  VcfServer::Options popts;
+  popts.oplog_capacity = 1 << 16;
+  popts.state_path = state_p;
+  auto primary = StartServer(popts);
+  VcfServer::Options ropts;
+  ropts.read_only = true;
+  ropts.state_path = state_r;
+  auto replica = StartServer(ropts);
+  ReplicaSession::Options sopts;
+  sopts.primary_port = primary->port();
+  ReplicaSession session(*replica, sopts);
+  session.Start();
+
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", primary->port())) << c.last_error();
+  bool ok = false;
+  ASSERT_TRUE(c.Insert(9001, &ok));
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(primary->oplog_last(), 1u);
+
+  // The journal append fails after the filter op went in: the server must
+  // roll the insert back and answer server_error — the client never saw an
+  // ACK, so "ACKed => journaled => replicated" survives the fault.
+  fp.ArmAlways();
+  EXPECT_FALSE(c.Insert(9002, &ok));
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(c.last_error(), "server_error");
+  fp.Disarm();
+  EXPECT_GT(fp.triggers(), 0u);
+  EXPECT_EQ(primary->oplog_last(), 1u);  // nothing was journaled
+  EXPECT_FALSE(c.Lookup(9002, &ok));     // and the filter op was rolled back
+  EXPECT_TRUE(ok);
+
+  ASSERT_TRUE(c.Insert(9003, &ok));
+  ASSERT_TRUE(ok);
+  ASSERT_EQ(primary->oplog_last(), 2u);
+  ASSERT_TRUE(session.WaitForSeq(2, 10000));
+
+  client::VcfClient r;
+  ASSERT_TRUE(r.Connect("127.0.0.1", replica->port())) << r.last_error();
+  EXPECT_TRUE(r.Lookup(9001, &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(r.Lookup(9002, &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(r.Lookup(9003, &ok));
+  EXPECT_TRUE(ok);
+  ExpectConvergedCheckpoints(*primary, *replica, state_p, state_r);
+
+  session.Stop();
+  replica->RequestShutdown();
+  EXPECT_TRUE(replica->Join());
+  primary->RequestShutdown();
+  EXPECT_TRUE(primary->Join());
+  std::remove(state_p.c_str());
+  std::remove(state_r.c_str());
+  std::remove((state_r + ".rseq").c_str());
+}
+
+TEST(FailoverDrill, SocketWriteFailpointTearsFramesCleanly) {
+  auto& fp = FailpointRegistry::Instance().Get(failpoints::kNetSocketWrite);
+  fp.Disarm();
+  fp.ResetCounts();
+
+  auto server = StartServer({});
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+  bool ok = false;
+  ASSERT_TRUE(c.Insert(4001, &ok));
+  ASSERT_TRUE(ok);
+
+  // Every WriteAll now tears mid-buffer: the client's next request fails at
+  // the transport without an ACK; nothing may crash or wedge the server.
+  fp.ArmAlways();
+  (void)c.Insert(4002, &ok);
+  fp.Disarm();
+  EXPECT_GT(fp.triggers(), 0u);
+
+  // A fresh connection serves again, and the pre-tear key is still there.
+  client::VcfClient c2;
+  ASSERT_TRUE(c2.Connect("127.0.0.1", server->port())) << c2.last_error();
+  EXPECT_TRUE(c2.Lookup(4001, &ok));
+  EXPECT_TRUE(ok);
+
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+}  // namespace
+}  // namespace vcf::server

@@ -1,0 +1,517 @@
+// Replication tests: OplogBuffer bounds and streaming semantics, the
+// ReplMeta durable-resume sidecar, and end-to-end primary/replica sync over
+// loopback — op-log streaming, snapshot bootstrap when the replica is behind
+// the bounded log, sequence-gap detection against a hostile primary, and a
+// replica restart that resumes from its digest-verified sidecar. Runs under
+// ASan+UBSan (and TSan) in CI.
+#include "server/replication.hpp"
+
+#include <gtest/gtest.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/vcf_client.hpp"
+#include "harness/filter_factory.hpp"
+#include "net/proto.hpp"
+#include "net/socket.hpp"
+#include "server/server.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf::server {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("vcf_repl_test_" + std::to_string(::getpid()) + "_" + name))
+      .string();
+}
+
+FilterSpec VcfSpec() {
+  FilterSpec spec;
+  ParseFilterKind("vcf", spec);
+  spec.params = CuckooParams::ForSlotsLog2(16);
+  return spec;
+}
+
+std::unique_ptr<VcfServer> StartServer(VcfServer::Options options) {
+  auto server = std::make_unique<VcfServer>(MakeFilter(VcfSpec()), options);
+  std::string error;
+  EXPECT_TRUE(server->Start(&error)) << error;
+  EXPECT_NE(server->port(), 0);
+  return server;
+}
+
+/// Inserts `count` keys from stream `seed` through a client connection and
+/// returns the ACKed ones.
+std::vector<std::uint64_t> InsertKeys(std::uint16_t port, std::uint64_t seed,
+                                      std::size_t count) {
+  client::VcfClient c;
+  EXPECT_TRUE(c.Connect("127.0.0.1", port)) << c.last_error();
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < count; ++i) keys.push_back(UniformKeyAt(seed, i));
+  std::vector<char> results(keys.size());
+  bool ok = false;
+  c.InsertBatch(keys, reinterpret_cast<bool*>(results.data()), &ok);
+  EXPECT_TRUE(ok) << c.last_error();
+  std::vector<std::uint64_t> acked;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (results[i]) acked.push_back(keys[i]);
+  }
+  return acked;
+}
+
+void ExpectAllPresent(std::uint16_t port,
+                      const std::vector<std::uint64_t>& keys) {
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", port)) << c.last_error();
+  std::vector<char> results(keys.size());
+  ASSERT_TRUE(c.LookupBatch(keys, reinterpret_cast<bool*>(results.data())))
+      << c.last_error();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(results[i]) << "key index " << i << " missing";
+  }
+}
+
+// --- OplogBuffer -----------------------------------------------------------
+
+TEST(OplogBuffer, AssignsMonotonicSeqsAndEvictsOldest) {
+  OplogBuffer log(4);
+  EXPECT_EQ(log.last(), 0u);
+  EXPECT_EQ(log.first_retained(), 1u);  // empty: last() + 1
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    EXPECT_EQ(log.Append(kOplogInsert, 100 + i), i);
+  }
+  EXPECT_EQ(log.last(), 10u);
+  EXPECT_EQ(log.first_retained(), 7u);  // capacity 4 retains [7, 10]
+
+  EXPECT_FALSE(log.CanServeFrom(1));
+  EXPECT_FALSE(log.CanServeFrom(6));
+  EXPECT_TRUE(log.CanServeFrom(7));
+  EXPECT_TRUE(log.CanServeFrom(10));
+  EXPECT_TRUE(log.CanServeFrom(11));   // fully caught up is servable
+  EXPECT_FALSE(log.CanServeFrom(12));  // from the future is not
+}
+
+TEST(OplogBuffer, CopyFromStreamsAndFailsOffTail) {
+  OplogBuffer log(8);
+  for (std::uint64_t i = 1; i <= 8; ++i) log.Append(kOplogErase, i);
+  std::vector<OplogEntry> out;
+  ASSERT_TRUE(log.CopyFrom(5, 2, out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].seq, 5u);
+  EXPECT_EQ(out[0].op, kOplogErase);
+  EXPECT_EQ(out[0].key, 5u);
+  EXPECT_EQ(out[1].seq, 6u);
+  // Caught up: true with nothing appended.
+  out.clear();
+  ASSERT_TRUE(log.CopyFrom(9, 16, out));
+  EXPECT_TRUE(out.empty());
+  // Evict seqs 1..4, then ask for them: the caller must resync.
+  for (std::uint64_t i = 9; i <= 12; ++i) log.Append(kOplogInsert, i);
+  EXPECT_FALSE(log.CopyFrom(3, 16, out));
+}
+
+// --- ReplMeta sidecar ------------------------------------------------------
+
+TEST(ReplMeta, RoundTripsAndRejectsGarbage) {
+  const std::string path = TempPath("meta.rseq");
+  const ReplMeta meta{0x123456789ABCDEFULL, 0xBADC0FFEE0DDF00DULL,
+                      0xFEEDFACECAFEBEEFULL};
+  ASSERT_TRUE(WriteReplMeta(path, meta));
+  ReplMeta back;
+  ASSERT_TRUE(ReadReplMeta(path, &back));
+  EXPECT_EQ(back.applied_seq, meta.applied_seq);
+  EXPECT_EQ(back.primary_epoch, meta.primary_epoch);
+  EXPECT_EQ(back.state_digest, meta.state_digest);
+
+  ReplMeta ignored;
+  EXPECT_FALSE(ReadReplMeta(path + ".missing", &ignored));
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a sidecar", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadReplMeta(path, &ignored));
+  std::remove(path.c_str());
+}
+
+TEST(ReplMeta, FileDigestTracksContent) {
+  const std::string path = TempPath("digest.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    for (int i = 0; i < 100000; ++i) std::fputc(i & 0xFF, f);
+    std::fclose(f);
+  }
+  std::uint64_t d1 = 0;
+  ASSERT_TRUE(FileDigest(path, &d1));
+  std::uint64_t d1_again = 0;
+  ASSERT_TRUE(FileDigest(path, &d1_again));
+  EXPECT_EQ(d1, d1_again);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc('x', f);
+    std::fclose(f);
+  }
+  std::uint64_t d2 = 0;
+  ASSERT_TRUE(FileDigest(path, &d2));
+  EXPECT_NE(d1, d2);
+  std::uint64_t ignored = 0;
+  EXPECT_FALSE(FileDigest(path + ".missing", &ignored));
+  std::remove(path.c_str());
+}
+
+// --- End-to-end primary/replica --------------------------------------------
+
+TEST(Replication, PrimaryStreamsOplogToReplica) {
+  VcfServer::Options popts;
+  popts.oplog_capacity = 1 << 16;
+  auto primary = StartServer(popts);
+
+  VcfServer::Options ropts;
+  ropts.read_only = true;
+  auto replica = StartServer(ropts);
+
+  ReplicaSession::Options sopts;
+  sopts.primary_port = primary->port();
+  ReplicaSession session(*replica, sopts);
+  session.Start();
+
+  const auto acked = InsertKeys(primary->port(), 41, 3000);
+  ASSERT_GT(acked.size(), 2000u);
+  EXPECT_EQ(primary->oplog_last(), acked.size());
+  ASSERT_TRUE(session.WaitForSeq(primary->oplog_last(), 10000))
+      << "replica stuck at " << session.last_applied();
+
+  // Every ACKed insert is queryable on the replica.
+  ExpectAllPresent(replica->port(), acked);
+  EXPECT_EQ(session.counters().entries_applied.load(), acked.size());
+  EXPECT_EQ(session.counters().snapshots_installed.load(), 0u);
+  EXPECT_EQ(session.counters().gaps_detected.load(), 0u);
+
+  // The replica rejects writes with kReadOnly.
+  {
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", replica->port())) << c.last_error();
+    bool ok = true;
+    EXPECT_FALSE(c.Insert(777, &ok));
+    EXPECT_FALSE(ok);
+    EXPECT_EQ(c.last_error(), "read_only");
+  }
+  EXPECT_GE(replica->counters().read_only_rejections.load(), 1u);
+
+  session.Stop();
+  replica->RequestShutdown();
+  EXPECT_TRUE(replica->Join());
+  primary->RequestShutdown();
+  EXPECT_TRUE(primary->Join());
+  EXPECT_GE(primary->counters().repl_entries_streamed.load(), acked.size());
+}
+
+TEST(Replication, ErasesReplicateToo) {
+  VcfServer::Options popts;
+  popts.oplog_capacity = 1 << 16;
+  auto primary = StartServer(popts);
+  VcfServer::Options ropts;
+  ropts.read_only = true;
+  auto replica = StartServer(ropts);
+  ReplicaSession::Options sopts;
+  sopts.primary_port = primary->port();
+  ReplicaSession session(*replica, sopts);
+  session.Start();
+
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", primary->port())) << c.last_error();
+  bool ok = false;
+  ASSERT_TRUE(c.Insert(1001, &ok));
+  ASSERT_TRUE(c.Insert(1002, &ok));
+  ASSERT_TRUE(c.Erase(1001, &ok));
+  ASSERT_TRUE(ok);
+  ASSERT_TRUE(session.WaitForSeq(3, 10000));
+
+  client::VcfClient r;
+  ASSERT_TRUE(r.Connect("127.0.0.1", replica->port())) << r.last_error();
+  EXPECT_TRUE(r.Lookup(1002, &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(r.Lookup(1001, &ok));
+  EXPECT_TRUE(ok);
+
+  session.Stop();
+  replica->RequestShutdown();
+  EXPECT_TRUE(replica->Join());
+  primary->RequestShutdown();
+  EXPECT_TRUE(primary->Join());
+}
+
+TEST(Replication, FreshReplicaBehindBoundedLogBootstrapsViaSnapshot) {
+  // A 128-entry log cannot serve a fresh replica after 3000 inserts: the
+  // handshake must fall back to a snapshot, then stream the (empty) tail.
+  VcfServer::Options popts;
+  popts.oplog_capacity = 128;
+  auto primary = StartServer(popts);
+  const auto acked = InsertKeys(primary->port(), 42, 3000);
+  ASSERT_GT(acked.size(), 2000u);
+
+  VcfServer::Options ropts;
+  ropts.read_only = true;
+  auto replica = StartServer(ropts);
+  ReplicaSession::Options sopts;
+  sopts.primary_port = primary->port();
+  ReplicaSession session(*replica, sopts);
+  session.Start();
+  ASSERT_TRUE(session.WaitForSeq(primary->oplog_last(), 10000))
+      << "replica stuck at " << session.last_applied();
+  EXPECT_EQ(session.counters().snapshots_installed.load(), 1u);
+  EXPECT_EQ(primary->counters().repl_snapshots_streamed.load(), 1u);
+  ExpectAllPresent(replica->port(), acked);
+
+  // Entries past the snapshot point still stream on the same session.
+  const auto more = InsertKeys(primary->port(), 43, 50);
+  ASSERT_TRUE(session.WaitForSeq(primary->oplog_last(), 10000));
+  ExpectAllPresent(replica->port(), more);
+  EXPECT_EQ(session.counters().snapshots_installed.load(), 1u);
+
+  session.Stop();
+  replica->RequestShutdown();
+  EXPECT_TRUE(replica->Join());
+  primary->RequestShutdown();
+  EXPECT_TRUE(primary->Join());
+}
+
+// --- Sequence-gap detection against a scripted primary ---------------------
+
+/// Reads one request frame from `fd` (10 s deadline), decoding it into
+/// `req`. Frames already buffered in `fb` are served first.
+bool ReadRequestFrame(int fd, net::FrameBuffer& fb, net::Request& req) {
+  for (int i = 0; i < 1000; ++i) {
+    std::span<const std::uint8_t> payload;
+    if (fb.Next(payload)) {
+      const bool ok = net::DecodeRequest(payload, req) == net::DecodeResult::kOk;
+      fb.Pop();
+      return ok;
+    }
+    std::uint8_t buf[4096];
+    const std::ptrdiff_t n = net::ReadSomeTimeout(fd, buf, 10);
+    if (n > 0) {
+      if (!fb.Append(std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)))) {
+        return false;
+      }
+    } else if (n == 0 || n == -1) {
+      return false;
+    }
+  }
+  return false;
+}
+
+int AcceptWithDeadline(int listen_fd, int timeout_ms) {
+  struct pollfd pfd = {listen_fd, POLLIN, 0};
+  if (::poll(&pfd, 1, timeout_ms) <= 0) return -1;
+  return ::accept(listen_fd, nullptr, nullptr);
+}
+
+TEST(Replication, SequenceGapAbortsSessionAndResumesOnReconnect) {
+  // A scripted primary streams seqs 1, 2, then 4: the replica must detect
+  // the gap, drop the session, and reconnect announcing last_applied = 2 so
+  // the stream resumes at 3 — entries are applied exactly once throughout.
+  std::string error;
+  const int listen_fd = net::ListenTcp(0, &error);
+  ASSERT_GE(listen_fd, 0) << error;
+  const std::uint16_t port = net::BoundPort(listen_fd);
+
+  VcfServer::Options ropts;
+  ropts.read_only = true;
+  auto replica = StartServer(ropts);
+
+  std::atomic<bool> script_done{false};
+  std::string script_failure;
+  std::thread scripted([&] {
+    auto fail = [&](const std::string& why) { script_failure = why; };
+    // Session 1: hello -> resume from 1 -> entries 1, 2, gap at 4.
+    int fd = AcceptWithDeadline(listen_fd, 10000);
+    if (fd < 0) return fail("no first connection");
+    {
+      net::FrameBuffer fb;
+      net::Request hello;
+      if (!ReadRequestFrame(fd, fb, hello) ||
+          hello.opcode != net::Opcode::kReplHello || hello.seq != 0 ||
+          hello.epoch != 0) {
+        net::CloseFd(fd);
+        return fail("bad first hello");
+      }
+      std::vector<std::uint8_t> wire;
+      net::EncodeReplHelloResponse(wire, hello.request_id, false, 1, 7777);
+      net::EncodeOplogEntry(wire, 1, kOplogInsert, 501);
+      net::EncodeOplogEntry(wire, 2, kOplogInsert, 502);
+      net::EncodeOplogEntry(wire, 4, kOplogInsert, 504);  // the gap
+      if (!net::WriteAll(fd, wire)) {
+        net::CloseFd(fd);
+        return fail("write failed on session 1");
+      }
+    }
+    // The replica aborts; wait for its EOF, then its reconnect.
+    {
+      std::uint8_t buf[256];
+      while (net::ReadSomeTimeout(fd, buf, 10000) > 0) {
+      }
+      net::CloseFd(fd);
+    }
+    fd = AcceptWithDeadline(listen_fd, 10000);
+    if (fd < 0) return fail("no reconnect");
+    {
+      net::FrameBuffer fb;
+      net::Request hello;
+      if (!ReadRequestFrame(fd, fb, hello) ||
+          hello.opcode != net::Opcode::kReplHello || hello.seq != 2) {
+        net::CloseFd(fd);
+        return fail("reconnect hello did not announce last_applied=2");
+      }
+      if (hello.epoch != 7777) {
+        net::CloseFd(fd);
+        return fail("reconnect hello did not quote the adopted epoch");
+      }
+      std::vector<std::uint8_t> wire;
+      net::EncodeReplHelloResponse(wire, hello.request_id, false, 3, 7777);
+      net::EncodeOplogEntry(wire, 3, kOplogInsert, 503);
+      net::EncodeOplogEntry(wire, 4, kOplogInsert, 504);
+      net::EncodeOplogEntry(wire, 5, kOplogInsert, 505);
+      if (!net::WriteAll(fd, wire)) {
+        net::CloseFd(fd);
+        return fail("write failed on session 2");
+      }
+      // Hold the connection open (draining ACKs) until the test is done.
+      std::uint8_t buf[256];
+      while (!script_done.load()) {
+        const std::ptrdiff_t n = net::ReadSomeTimeout(fd, buf, 50);
+        if (n == 0 || n == -1) break;
+      }
+      net::CloseFd(fd);
+    }
+  });
+
+  ReplicaSession::Options sopts;
+  sopts.primary_port = port;
+  ReplicaSession session(*replica, sopts);
+  session.Start();
+
+  EXPECT_TRUE(session.WaitForSeq(5, 15000))
+      << "replica stuck at " << session.last_applied();
+  EXPECT_EQ(session.counters().gaps_detected.load(), 1u);
+  EXPECT_GE(session.counters().reconnects.load(), 1u);
+  // Exactly once: 1, 2 from session one; 3, 4, 5 from session two.
+  EXPECT_EQ(session.counters().entries_applied.load(), 5u);
+
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", replica->port())) << c.last_error();
+  for (const std::uint64_t key : {501, 502, 503, 504, 505}) {
+    bool ok = false;
+    EXPECT_TRUE(c.Lookup(key, &ok)) << key;
+    EXPECT_TRUE(ok);
+  }
+
+  script_done.store(true);
+  session.Stop();
+  scripted.join();
+  EXPECT_TRUE(script_failure.empty()) << script_failure;
+  net::CloseFd(listen_fd);
+  replica->RequestShutdown();
+  EXPECT_TRUE(replica->Join());
+}
+
+// --- Durable resume across a replica restart --------------------------------
+
+TEST(Replication, ReplicaRestartResumesFromVerifiedSidecar) {
+  const std::string state = TempPath("replica.state");
+  const std::string meta = state + ".rseq";
+  std::remove(state.c_str());
+  std::remove(meta.c_str());
+
+  VcfServer::Options popts;
+  popts.oplog_capacity = 1 << 16;
+  auto primary = StartServer(popts);
+  const auto first = InsertKeys(primary->port(), 44, 1000);
+  ASSERT_GT(first.size(), 900u);
+
+  ReplicaSession::Options sopts;
+  sopts.primary_port = primary->port();
+
+  // First replica incarnation: sync, checkpoint (state + sidecar), stop.
+  std::uint64_t covered_seq = 0;
+  {
+    VcfServer::Options ropts;
+    ropts.read_only = true;
+    ropts.state_path = state;
+    ropts.repl_meta_path = meta;
+    auto replica = StartServer(ropts);
+    ReplicaSession session(*replica, sopts);
+    session.Start();
+    ASSERT_TRUE(session.WaitForSeq(primary->oplog_last(), 10000));
+    session.Stop();
+    covered_seq = replica->applied_seq();
+    ASSERT_TRUE(replica->CheckpointNow());
+    replica->RequestShutdown();
+    ASSERT_TRUE(replica->Join());
+  }
+  ASSERT_TRUE(std::filesystem::exists(state));
+  ASSERT_TRUE(std::filesystem::exists(meta));
+
+  // The primary moves on while the replica is down.
+  const auto second = InsertKeys(primary->port(), 45, 500);
+
+  // Second incarnation: the sidecar vouches for the checkpoint, so the
+  // session resumes the stream — no snapshot bootstrap.
+  {
+    VcfServer::Options ropts;
+    ropts.read_only = true;
+    ropts.state_path = state;
+    ropts.repl_meta_path = meta;
+    auto replica = std::make_unique<VcfServer>(MakeFilter(VcfSpec()), ropts);
+    ReplicaSession session(*replica, sopts);
+    const std::uint64_t resume = session.LoadResumePoint(meta, state);
+    ASSERT_EQ(resume, covered_seq);
+    std::string error;
+    ASSERT_TRUE(replica->TryRestore(&error)) << error;
+    ASSERT_TRUE(replica->Start(&error)) << error;
+    session.Start();
+    ASSERT_TRUE(session.WaitForSeq(primary->oplog_last(), 10000))
+        << "replica stuck at " << session.last_applied();
+    EXPECT_EQ(session.counters().snapshots_installed.load(), 0u);
+    EXPECT_EQ(session.counters().entries_applied.load(), second.size());
+    ExpectAllPresent(replica->port(), first);
+    ExpectAllPresent(replica->port(), second);
+    session.Stop();
+    replica->RequestShutdown();
+    EXPECT_TRUE(replica->Join());
+  }
+
+  // A checkpoint the sidecar cannot vouch for (file modified after the
+  // sidecar was written) must NOT be resumed from: start fresh instead.
+  {
+    std::FILE* f = std::fopen(state.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc('x', f);
+    std::fclose(f);
+    VcfServer::Options ropts;
+    ropts.read_only = true;
+    auto replica = std::make_unique<VcfServer>(MakeFilter(VcfSpec()), ropts);
+    ReplicaSession session(*replica, sopts);
+    EXPECT_EQ(session.LoadResumePoint(meta, state), 0u);
+  }
+
+  primary->RequestShutdown();
+  EXPECT_TRUE(primary->Join());
+  std::remove(state.c_str());
+  std::remove(meta.c_str());
+}
+
+}  // namespace
+}  // namespace vcf::server

@@ -224,6 +224,86 @@ TEST(VcfdRestart, AlignedCheckpointRestoresIntoPackedLayout) {
   std::remove(state.c_str());
 }
 
+TEST(VcfdRestart, SigkillNeverTearsTheCheckpoint) {
+  // SIGKILL gives vcfd no chance to clean up: whatever --state holds
+  // afterwards must be either the last completed checkpoint or nothing —
+  // the tmp+rename discipline means a restart never sees a torn file, and
+  // every key ACKed before the last successful SNAPSHOT is still there.
+  const std::string state =
+      (std::filesystem::temp_directory_path() /
+       ("vcfd_sigkill_" + std::to_string(::getpid()) + ".state"))
+          .string();
+  std::remove(state.c_str());
+  const std::vector<std::string> args = {"--filter=sharded:4:vcf",
+                                         "--slots_log2=16",
+                                         "--state=" + state};
+
+  std::vector<std::uint64_t> durable;  // ACKed before the last checkpoint
+  for (int round = 0; round < 3; ++round) {
+    VcfdProcess daemon;
+    ASSERT_TRUE(SpawnVcfd(args, daemon)) << "round " << round;
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", daemon.port)) << c.last_error();
+
+    // Everything durable so far must have survived the previous SIGKILL.
+    if (!durable.empty()) {
+      std::vector<char> results(durable.size());
+      ASSERT_TRUE(
+          c.LookupBatch(durable, reinterpret_cast<bool*>(results.data())))
+          << c.last_error();
+      for (std::size_t i = 0; i < durable.size(); ++i) {
+        ASSERT_TRUE(results[i])
+            << "round " << round << ": durable key " << i << " lost";
+      }
+    }
+
+    std::vector<std::uint64_t> batch;
+    for (std::uint64_t i = 0; i < 3000; ++i) {
+      batch.push_back(UniformKeyAt(100 + static_cast<std::uint64_t>(round), i));
+    }
+    std::vector<char> results(batch.size());
+    bool ok = false;
+    c.InsertBatch(batch, reinterpret_cast<bool*>(results.data()), &ok);
+    ASSERT_TRUE(ok) << c.last_error();
+    // An explicit checkpoint makes this round's ACKs durable...
+    ASSERT_TRUE(c.Snapshot()) << c.last_error();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (results[i]) durable.push_back(batch[i]);
+    }
+    // ...then more un-checkpointed inserts keep the daemon dirty right up
+    // to the kill (these may legitimately be lost — never the state file).
+    std::vector<std::uint64_t> dirty;
+    for (std::uint64_t i = 0; i < 2000; ++i) {
+      dirty.push_back(UniformKeyAt(200 + static_cast<std::uint64_t>(round), i));
+    }
+    c.InsertBatch(dirty, nullptr, &ok);
+    ASSERT_TRUE(ok) << c.last_error();
+
+    daemon.Kill();  // SIGKILL, no grace
+  }
+
+  // Final restart: the checkpoint loads cleanly (a torn file would abort
+  // startup) and every durable key is present.
+  {
+    VcfdProcess daemon;
+    ASSERT_TRUE(SpawnVcfd(args, daemon));
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", daemon.port)) << c.last_error();
+    std::vector<char> results(durable.size());
+    ASSERT_TRUE(
+        c.LookupBatch(durable, reinterpret_cast<bool*>(results.data())))
+        << c.last_error();
+    std::size_t lost = 0;
+    for (std::size_t i = 0; i < durable.size(); ++i) {
+      if (!results[i]) ++lost;
+    }
+    EXPECT_EQ(lost, 0u) << lost << " of " << durable.size()
+                        << " checkpointed keys lost across SIGKILL";
+    TerminateGracefully(daemon);
+  }
+  std::remove(state.c_str());
+}
+
 TEST(VcfdRestart, RefusesCorruptStateUnlessOverridden) {
   const std::string state =
       (std::filesystem::temp_directory_path() /

@@ -50,6 +50,8 @@ using vcf::client::VcfClient;
 struct Config {
   std::string host = "127.0.0.1";
   std::uint16_t port = 4117;
+  std::string replica_host;    ///< non-empty: route lookups to this replica
+  std::uint16_t replica_port = 0;
   unsigned threads = 4;
   double duration_s = 5.0;
   double warmup_s = 0.5;
@@ -80,10 +82,24 @@ struct ThreadResult {
   std::string error;
 };
 
+bool ConnectWorker(const Config& cfg, VcfClient& client) {
+  if (cfg.replica_host.empty()) return client.Connect(cfg.host, cfg.port);
+  // Two-node topology: writes to the primary (endpoint 0), reads routed to
+  // the replica (endpoint 1), transparent failover between them.
+  VcfClient::Options copts;
+  copts.max_attempts = 3;
+  copts.connect_timeout_ms = 2000;
+  copts.read_timeout_ms = 5000;
+  copts.read_endpoint = 1;
+  return client.ConnectCluster({{cfg.host, cfg.port},
+                                {cfg.replica_host, cfg.replica_port}},
+                               copts);
+}
+
 void Worker(const Config& cfg, unsigned index, std::atomic<bool>& stop,
             ThreadResult& result) {
   VcfClient client;
-  if (!client.Connect(cfg.host, cfg.port)) {
+  if (!ConnectWorker(cfg, client)) {
     result.connect_failed = true;
     result.error = client.last_error();
     return;
@@ -159,7 +175,7 @@ void Worker(const Config& cfg, unsigned index, std::atomic<bool>& stop,
     if (!ok) {
       ++result.errors;
       result.error = client.last_error();
-      if (!client.connected() && !client.Connect(cfg.host, cfg.port)) {
+      if (!client.connected() && !ConnectWorker(cfg, client)) {
         return;  // server gone; report what we have
       }
       continue;
@@ -192,6 +208,8 @@ int Usage(int code) {
   std::cerr
       << "usage: vcf_loadgen [flags]\n"
          "  --host=H --port=N        server address (default 127.0.0.1:4117)\n"
+         "  --replica_host=H --replica_port=N  route lookups to a replica\n"
+         "                           (writes stay on --host; failover on)\n"
          "  --threads=N              client threads, one connection each "
          "(default 4)\n"
          "  --duration_s=X           measured run length (default 5)\n"
@@ -218,6 +236,9 @@ int main(int argc, char** argv) {
   Config cfg;
   cfg.host = flags.GetString("host", cfg.host);
   cfg.port = static_cast<std::uint16_t>(flags.GetInt("port", cfg.port));
+  cfg.replica_host = flags.GetString("replica_host", "");
+  cfg.replica_port =
+      static_cast<std::uint16_t>(flags.GetInt("replica_port", 0));
   cfg.threads = static_cast<unsigned>(flags.GetInt("threads", cfg.threads));
   cfg.duration_s = flags.GetDouble("duration_s", cfg.duration_s);
   cfg.warmup_s = flags.GetDouble("warmup_s", cfg.warmup_s);
@@ -341,7 +362,9 @@ int main(int argc, char** argv) {
         << "\", \"batch\": " << cfg.batch << ", \"dist\": \"" << cfg.dist
         << "\", \"zipf_s\": " << cfg.zipf_s << ", \"universe\": "
         << cfg.universe << ", \"prefill\": " << cfg.prefill
-        << ", \"rate_per_thread\": " << cfg.rate << "},\n"
+        << ", \"rate_per_thread\": " << cfg.rate << ", \"replica_host\": \""
+        << cfg.replica_host << "\", \"replica_port\": " << cfg.replica_port
+        << "},\n"
         << "  \"server\": {\"name\": \""
         << (have_stats ? server_stats.name : "") << "\", \"slots\": "
         << (have_stats ? server_stats.slots : 0) << ", \"items\": "

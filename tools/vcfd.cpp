@@ -14,17 +14,35 @@
 // cold start; a corrupt or mismatched one aborts startup unless
 // --ignore_bad_state is given).
 //
+// Replication (docs/server.md#replication):
+//
+//   # primary: journal mutations into a 64Ki-entry op log for replicas
+//   $ vcfd --port=4117 --filter=vcf --oplog=65536 --state=primary.state
+//   # replica: read-only, streams the primary's op log, serves LOOKUPs
+//   $ vcfd --port=4118 --filter=vcf --replicate-from=127.0.0.1:4117 \
+//         --state=replica.state
+//
+// A replica persists its stream position in <state>.rseq next to each
+// checkpoint; on restart it resumes from there when the sidecar's digest
+// matches the checkpoint, and falls back to a fresh snapshot bootstrap
+// otherwise. The replica's filter construction flags must match the
+// primary's.
+//
 // Startup handshake for scripts: the line "vcfd listening on 127.0.0.1:<port>"
 // goes to stdout (and is flushed) once the socket is bound — the integration
 // tests and the load generator's --spawn mode parse it to learn an
 // ephemeral port.
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "harness/filter_factory.hpp"
 #include "harness/flags.hpp"
+#include "server/replication.hpp"
 #include "server/server.hpp"
 
 namespace {
@@ -46,6 +64,12 @@ int Usage(int code) {
          "requests\n"
          "  --ignore_bad_state  start empty when --state exists but cannot "
          "be loaded\n"
+         "  --oplog=N       journal mutations for replicas, retaining N "
+         "entries\n"
+         "                  (primary mode; 0 disables, default 0)\n"
+         "  --replicate-from=HOST:PORT  replica mode: stream the primary's "
+         "op log,\n"
+         "                  serve lookups, reject writes with READ_ONLY\n"
          "  filter construction (same flags as vcf_tool):\n"
       << vcf::kFilterFlagsHelp;
   return code;
@@ -64,6 +88,25 @@ int main(int argc, char** argv) {
     return Usage(64);
   }
 
+  // `--replicate-from` and `--replicate_from` are both accepted.
+  std::string replicate_from = flags.GetString("replicate-from", "");
+  if (replicate_from.empty()) {
+    replicate_from = flags.GetString("replicate_from", "");
+  }
+  const bool is_replica = !replicate_from.empty();
+  std::string primary_host;
+  std::uint16_t primary_port = 0;
+  if (is_replica) {
+    const std::size_t colon = replicate_from.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= replicate_from.size()) {
+      std::cerr << "error: --replicate-from wants HOST:PORT\n";
+      return Usage(64);
+    }
+    primary_host = replicate_from.substr(0, colon);
+    primary_port = static_cast<std::uint16_t>(
+        std::stoi(replicate_from.substr(colon + 1)));
+  }
+
   vcf::server::VcfServer::Options options;
   options.port = static_cast<std::uint16_t>(flags.GetInt("port", 4117));
   options.threads = static_cast<unsigned>(flags.GetInt("threads", 2));
@@ -71,11 +114,41 @@ int main(int argc, char** argv) {
   // ShardedFilter carries per-shard locks; everything else needs the
   // server-level lock (docs/server.md#deployment).
   options.filter_internally_locked = spec.shards > 0;
+  options.oplog_capacity = is_replica
+                               ? 0
+                               : static_cast<std::size_t>(
+                                     flags.GetInt("oplog", 0));
+  options.read_only = is_replica;
+  if (!options.state_path.empty() &&
+      (is_replica || options.oplog_capacity > 0)) {
+    options.repl_meta_path = options.state_path + ".rseq";
+  }
 
   vcf::server::VcfServer server(vcf::MakeFilter(spec), options);
 
+  std::unique_ptr<vcf::server::ReplicaSession> session;
+  std::uint64_t resume_seq = 0;
+  if (is_replica) {
+    vcf::server::ReplicaSession::Options ropts;
+    ropts.primary_host = primary_host;
+    ropts.primary_port = primary_port;
+    session = std::make_unique<vcf::server::ReplicaSession>(server, ropts);
+    if (!options.repl_meta_path.empty()) {
+      resume_seq = session->LoadResumePoint(options.repl_meta_path,
+                                            options.state_path);
+    }
+  }
+
   std::string error;
-  if (!server.TryRestore(&error)) {
+  // A replica only restores its checkpoint when the .rseq sidecar vouches
+  // for it; otherwise it starts empty and snapshot-bootstraps, which is
+  // always safe.
+  if (is_replica && resume_seq == 0) {
+    if (!options.state_path.empty()) {
+      std::cerr << "replica: no verifiable resume point; bootstrapping via "
+                   "snapshot\n";
+    }
+  } else if (!server.TryRestore(&error)) {
     if (flags.GetBool("ignore_bad_state")) {
       std::cerr << "warning: ignoring unloadable state (" << error
                 << "); starting empty\n";
@@ -89,6 +162,7 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << error << "\n";
     return 1;
   }
+  if (session != nullptr) session->Start();
 
   g_server = &server;
   std::signal(SIGTERM, HandleSignal);
@@ -105,12 +179,31 @@ int main(int argc, char** argv) {
                     : ", state=" + options.state_path)
             << "\n";
 
-  const bool checkpoint_ok = server.ServeUntilShutdown();
+  bool checkpoint_ok;
+  if (session != nullptr) {
+    // Stop pulling from the primary before the final checkpoint so the
+    // saved state and its .rseq sidecar agree.
+    while (!server.shutting_down()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    session->Stop();
+    checkpoint_ok = server.Join();
+  } else {
+    checkpoint_ok = server.ServeUntilShutdown();
+  }
   const auto& c = server.counters();
   std::cerr << "vcfd shut down: " << c.requests.load() << " requests, "
             << c.connections_accepted.load() << " connections, "
             << c.protocol_errors.load() << " protocol errors, "
             << c.checkpoints.load() << " checkpoints\n";
+  if (session != nullptr) {
+    const auto& rc = session->counters();
+    std::cerr << "replica: applied " << rc.entries_applied.load()
+              << " entries (through seq " << session->last_applied() << "), "
+              << rc.snapshots_installed.load() << " snapshots, "
+              << rc.gaps_detected.load() << " gaps, "
+              << rc.reconnects.load() << " reconnects\n";
+  }
   if (!checkpoint_ok) {
     std::cerr << "error: final checkpoint failed\n";
     return 1;
