@@ -47,14 +47,22 @@ def load_runs(path):
                 continue
             out[name] = float(ns)
     elif isinstance(data, dict):
-        # Server-report schema: flatten the perf sections ("config" and
-        # "server" describe the setup, not the result).
-        for section, metrics in data.items():
-            if section in ("config", "server") or not isinstance(metrics, dict):
-                continue
-            for key, value in metrics.items():
-                if isinstance(value, (int, float)) and not isinstance(value, bool):
-                    out[f"{section}.{key}"] = float(value)
+        # Server-report schema: flatten the perf sections recursively, so
+        # nested reports ("replicated", the server_scaling.sh "scaling"
+        # tree) compare point-by-point. "config"/"server" describe the
+        # setup, not the result, and scalars outside any section (e.g.
+        # "host_cpus") are descriptive too — both are skipped at any depth.
+        def flatten(prefix, node):
+            for key, value in node.items():
+                if key in ("config", "server"):
+                    continue
+                if isinstance(value, dict):
+                    flatten(f"{prefix}{key}.", value)
+                elif prefix and isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    out[f"{prefix}{key}"] = float(value)
+
+        flatten("", data)
         if not out:
             raise ValueError(
                 f"{path}: no numeric metric sections found "

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Sweeps vcfd across event backends (epoll / io_uring), cross-frame batch
+# coalescing on/off, and pinned-shard ownership, driving each configuration
+# with vcf_loadgen in pipeline mode (the frame shape the coalescer fuses)
+# and recording every run's JSON under one "scaling" section:
+#
+#   { "host_cpus": N, "scaling": { "<label>": <loadgen report>, ... } }
+#
+# io_uring legs self-skip on kernels without it (vcfd --check-backend, the
+# same probe CI uses). Labels encode the configuration:
+# <mode>_<backend>[_nocoalesce][_pinned]_t<threads>.
+#
+# Usage: bench/server_scaling.sh [OUT.json]
+#   BUILD=build          cmake build dir holding tools/vcfd + tools/vcf_loadgen
+#   DURATION=3           measured seconds per point
+#   THREADS=2            vcfd worker threads (also loadgen threads)
+#   FILTER=sharded:8:vcf SLOTS_LOG2=20 PREFILL=100000
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=${BUILD:-build}
+VCFD=$BUILD/tools/vcfd
+LOADGEN=$BUILD/tools/vcf_loadgen
+OUT=${1:-BENCH_server_scaling.json}
+DURATION=${DURATION:-3}
+THREADS=${THREADS:-2}
+FILTER=${FILTER:-sharded:8:vcf}
+SLOTS_LOG2=${SLOTS_LOG2:-20}
+PREFILL=${PREFILL:-100000}
+
+for bin in "$VCFD" "$LOADGEN"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $BUILD --target vcfd vcf_loadgen)" >&2
+    exit 1
+  fi
+done
+
+SWEEP_TMP=$(mktemp -d)
+trap 'rm -rf "$SWEEP_TMP"' EXIT
+
+# run_one LABEL MODE [extra vcfd flags...]
+run_one() {
+  local label=$1 mode=$2
+  shift 2
+  echo "== $label (mode=$mode $*)" >&2
+  "$VCFD" --port=0 --threads="$THREADS" --filter="$FILTER" \
+    --slots_log2="$SLOTS_LOG2" "$@" \
+    >"$SWEEP_TMP/$label.out" 2>"$SWEEP_TMP/$label.err" &
+  local pid=$!
+  local port=""
+  for _ in $(seq 100); do
+    port=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' \
+      "$SWEEP_TMP/$label.out")
+    [ -n "$port" ] && break
+    if ! kill -0 "$pid" 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  if [ -z "$port" ]; then
+    echo "error: vcfd never listened for $label:" >&2
+    cat "$SWEEP_TMP/$label.err" >&2
+    return 1
+  fi
+  "$LOADGEN" --port="$port" --threads="$THREADS" --duration_s="$DURATION" \
+    --warmup_s=0.5 --mode="$mode" --batch=64 --prefill="$PREFILL" \
+    --json_out="$SWEEP_TMP/$label.json" >&2
+  kill -TERM "$pid"
+  wait "$pid"
+}
+
+# Coalescing ablation on the portable backend, then the io_uring datapath
+# and the pinned-shard layout on top of it when the kernel has it.
+run_one "pipeline_epoll_nocoalesce_t${THREADS}" pipeline --backend=epoll --coalesce=0
+run_one "pipeline_epoll_t${THREADS}" pipeline --backend=epoll
+run_one "pipeline_epoll_pinned_t${THREADS}" pipeline --backend=epoll --pin-shards
+run_one "batch_epoll_t${THREADS}" batch --backend=epoll
+if "$VCFD" --check-backend=io_uring >/dev/null 2>&1; then
+  run_one "pipeline_io_uring_t${THREADS}" pipeline --backend=io_uring
+  run_one "pipeline_io_uring_pinned_t${THREADS}" pipeline --backend=io_uring --pin-shards
+  run_one "batch_io_uring_t${THREADS}" batch --backend=io_uring
+else
+  echo "== io_uring unavailable on this kernel; skipping its legs" >&2
+fi
+
+python3 - "$SWEEP_TMP" "$OUT" <<'EOF'
+import json, os, sys
+tmp, out_path = sys.argv[1], sys.argv[2]
+scaling = {}
+for name in sorted(os.listdir(tmp)):
+    if not name.endswith(".json"):
+        continue
+    with open(os.path.join(tmp, name)) as f:
+        scaling[name[:-5]] = json.load(f)
+report = {"host_cpus": os.cpu_count(), "scaling": scaling}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+best = max(
+    (run["totals"]["throughput_ops_s"], label) for label, run in scaling.items()
+)
+print(f"wrote {out_path}: {len(scaling)} points, "
+      f"best {best[1]} at {best[0]:.0f} ops/s")
+EOF

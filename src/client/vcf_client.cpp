@@ -196,89 +196,101 @@ bool VcfClient::Erase(std::uint64_t key, bool* ok) {
   return SimpleKeyOp(Opcode::kDelete, key, ok);
 }
 
-std::size_t VcfClient::InsertBatch(std::span<const std::uint64_t> keys,
-                                   bool* results, bool* ok) {
-  if (ok != nullptr) *ok = false;
-  std::size_t accepted = 0;
+bool VcfClient::BatchOp(Opcode op, std::span<const std::uint64_t> keys,
+                        bool* results, std::size_t* accepted) {
+  Channel& ch = op == Opcode::kLookupBatch ? ReadChannel() : write_ch_;
+  const std::size_t frame_keys = std::min<std::size_t>(
+      options_.batch_frame_keys == 0 ? net::kMaxBatchKeys
+                                     : options_.batch_frame_keys,
+      net::kMaxBatchKeys);
+  const std::size_t depth =
+      options_.batch_pipeline < 1
+          ? 1
+          : static_cast<std::size_t>(options_.batch_pipeline);
   std::size_t done = 0;
   while (done < keys.size()) {
-    const std::size_t n =
-        std::min<std::size_t>(keys.size() - done, net::kMaxBatchKeys);
-    bool sub_ok = false;
-    // Replay granularity is one sub-batch: a retried frame may re-insert
-    // keys the lost connection already ACKed, which is membership-safe.
-    for (int attempt = 0; attempt < attempts() && !sub_ok; ++attempt) {
+    // One window = up to `depth` sub-batch frames written back-to-back
+    // before the first response is read; the server coalesces adjacent
+    // frames back into one batch-kernel run.
+    struct Sub {
+      std::uint32_t id;
+      std::size_t off;
+      std::size_t n;
+    };
+    std::vector<Sub> subs;
+    {
+      std::size_t off = done;
+      while (off < keys.size() && subs.size() < depth) {
+        const std::size_t n =
+            std::min<std::size_t>(keys.size() - off, frame_keys);
+        subs.push_back({0, off, n});
+        off += n;
+      }
+    }
+    bool window_ok = false;
+    std::size_t window_accepted = 0;
+    // Replay granularity is the whole window: a retried frame may re-apply
+    // keys the lost connection already ACKed, which is membership-safe
+    // (inserts can only re-land; lookups are pure).
+    for (int attempt = 0; attempt < attempts() && !window_ok; ++attempt) {
       if (attempt > 0) Backoff(attempt);
-      if (!EnsureConnected(write_ch_)) continue;
-      const std::uint32_t id = next_id_++;
-      net::EncodeBatchRequest(send_buf_, Opcode::kInsertBatch, id,
-                              keys.subspan(done, n));
-      if (!SendFrame(write_ch_)) continue;
-      net::Response resp;
-      if (!ReadResponse(write_ch_, Opcode::kInsertBatch, id, resp)) continue;
-      if (Rerouteable(resp.status)) {
-        error_ = net::StatusName(resp.status);
-        RotateChannel(write_ch_);
-        continue;
+      if (!EnsureConnected(ch)) continue;
+      for (Sub& sub : subs) {
+        sub.id = next_id_++;
+        net::EncodeBatchRequest(send_buf_, op, sub.id,
+                                keys.subspan(sub.off, sub.n));
       }
-      if (resp.status != Status::kOk || resp.batch_count != n) {
-        error_ = resp.status != Status::kOk ? net::StatusName(resp.status)
-                                            : "batch count mismatch";
-        return accepted;
-      }
-      accepted += resp.batch_accepted;
-      if (results != nullptr) {
-        for (std::size_t i = 0; i < n; ++i) {
-          results[done + i] = resp.BitmapBit(static_cast<std::uint32_t>(i));
+      if (!SendFrame(ch)) continue;
+      window_accepted = 0;
+      bool drained = true;
+      bool rerouted = false;
+      for (const Sub& sub : subs) {
+        net::Response resp;
+        if (!ReadResponse(ch, op, sub.id, resp)) {
+          drained = false;
+          break;
+        }
+        if (Rerouteable(resp.status)) {
+          error_ = net::StatusName(resp.status);
+          RotateChannel(ch);
+          rerouted = true;
+          break;
+        }
+        if (resp.status != Status::kOk || resp.batch_count != sub.n) {
+          error_ = resp.status != Status::kOk ? net::StatusName(resp.status)
+                                              : "batch count mismatch";
+          if (accepted != nullptr) *accepted += window_accepted;
+          return false;
+        }
+        window_accepted += resp.batch_accepted;
+        if (results != nullptr) {
+          for (std::size_t i = 0; i < sub.n; ++i) {
+            results[sub.off + i] =
+                resp.BitmapBit(static_cast<std::uint32_t>(i));
+          }
         }
       }
-      sub_ok = true;
+      if (drained && !rerouted) window_ok = true;
     }
-    if (!sub_ok) return accepted;
-    done += n;
+    if (accepted != nullptr) *accepted += window_accepted;
+    if (!window_ok) return false;
+    done = subs.back().off + subs.back().n;
   }
-  if (ok != nullptr) *ok = true;
+  return true;
+}
+
+std::size_t VcfClient::InsertBatch(std::span<const std::uint64_t> keys,
+                                   bool* results, bool* ok) {
+  std::size_t accepted = 0;
+  const bool transport_ok =
+      BatchOp(Opcode::kInsertBatch, keys, results, &accepted);
+  if (ok != nullptr) *ok = transport_ok;
   return accepted;
 }
 
 bool VcfClient::LookupBatch(std::span<const std::uint64_t> keys,
                             bool* results) {
-  Channel& ch = ReadChannel();
-  std::size_t done = 0;
-  while (done < keys.size()) {
-    const std::size_t n =
-        std::min<std::size_t>(keys.size() - done, net::kMaxBatchKeys);
-    bool sub_ok = false;
-    for (int attempt = 0; attempt < attempts() && !sub_ok; ++attempt) {
-      if (attempt > 0) Backoff(attempt);
-      if (!EnsureConnected(ch)) continue;
-      const std::uint32_t id = next_id_++;
-      net::EncodeBatchRequest(send_buf_, Opcode::kLookupBatch, id,
-                              keys.subspan(done, n));
-      if (!SendFrame(ch)) continue;
-      net::Response resp;
-      if (!ReadResponse(ch, Opcode::kLookupBatch, id, resp)) continue;
-      if (Rerouteable(resp.status)) {
-        error_ = net::StatusName(resp.status);
-        RotateChannel(ch);
-        continue;
-      }
-      if (resp.status != Status::kOk || resp.batch_count != n) {
-        error_ = resp.status != Status::kOk ? net::StatusName(resp.status)
-                                            : "batch count mismatch";
-        return false;
-      }
-      if (results != nullptr) {
-        for (std::size_t i = 0; i < n; ++i) {
-          results[done + i] = resp.BitmapBit(static_cast<std::uint32_t>(i));
-        }
-      }
-      sub_ok = true;
-    }
-    if (!sub_ok) return false;
-    done += n;
-  }
-  return true;
+  return BatchOp(Opcode::kLookupBatch, keys, results, nullptr);
 }
 
 bool VcfClient::Pipeline(Opcode op, std::span<const std::uint64_t> keys,
@@ -360,6 +372,29 @@ bool VcfClient::GetStats(ServerStats& out) {
     out.memory_bytes = resp.memory_bytes;
     out.load_factor = resp.load_factor;
     out.supports_deletion = resp.supports_deletion;
+    return true;
+  }
+  return false;
+}
+
+bool VcfClient::GetWorkerInfo(WorkerInfo& out) {
+  for (int attempt = 0; attempt < attempts(); ++attempt) {
+    if (attempt > 0) Backoff(attempt);
+    if (!EnsureConnected(write_ch_)) continue;
+    const std::uint32_t id = next_id_++;
+    net::EncodeEmptyRequest(send_buf_, Opcode::kWorkerInfo, id);
+    if (!SendFrame(write_ch_)) continue;
+    net::Response resp;
+    if (!ReadResponse(write_ch_, Opcode::kWorkerInfo, id, resp)) continue;
+    if (resp.status != Status::kOk) {
+      error_ = net::StatusName(resp.status);
+      return false;
+    }
+    out.worker_index = resp.worker_index;
+    out.worker_count = resp.worker_count;
+    out.shard_count = resp.shard_count;
+    out.route_salt = resp.route_salt;
+    out.pinned = resp.pinned;
     return true;
   }
   return false;

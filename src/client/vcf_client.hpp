@@ -61,6 +61,16 @@ class VcfClient {
     /// Index into the endpoint list that LOOKUP/LOOKUP_BATCH/PipelineLookups
     /// are routed to (a replica); -1 routes reads over the write channel.
     int read_endpoint = -1;
+    /// Max batch frames in flight per InsertBatch/LookupBatch call: a span
+    /// larger than batch_frame_keys splits into sub-batch frames, and up to
+    /// this many are written back-to-back before the first response is
+    /// drained. The server's cross-frame coalescer fuses adjacent frames
+    /// back into one batch-kernel run, so pipelining costs no server work.
+    int batch_pipeline = 4;
+    /// Keys per batch frame (clamped to net::kMaxBatchKeys). Lowering it
+    /// below the span size turns one InsertBatch call into several pipelined
+    /// frames — the shape the coalescing benchmarks drive.
+    std::uint32_t batch_frame_keys = net::kMaxBatchKeys;
   };
 
   struct ServerStats {
@@ -70,6 +80,16 @@ class VcfClient {
     std::uint64_t memory_bytes = 0;
     double load_factor = 0.0;
     bool supports_deletion = false;
+  };
+
+  /// WORKER_INFO response: which worker this connection landed on, and the
+  /// routing parameters a core-affine client needs (docs/server.md).
+  struct WorkerInfo {
+    std::uint32_t worker_index = 0;
+    std::uint32_t worker_count = 1;
+    std::uint32_t shard_count = 0;  ///< 0 when the filter is not sharded
+    std::uint64_t route_salt = 0;
+    bool pinned = false;
   };
 
   VcfClient() = default;
@@ -115,6 +135,11 @@ class VcfClient {
 
   bool GetStats(ServerStats& out);
 
+  /// Asks the worker serving this connection's write channel to identify
+  /// itself (WORKER_INFO). The affine load generator dials until it lands
+  /// on its target worker using this.
+  bool GetWorkerInfo(WorkerInfo& out);
+
   /// Asks the server to checkpoint now. True when the server reports the
   /// checkpoint was written.
   bool Snapshot();
@@ -153,6 +178,12 @@ class VcfClient {
   bool SimpleKeyOp(net::Opcode op, std::uint64_t key, bool* ok);
   bool Pipeline(net::Opcode op, std::span<const std::uint64_t> keys,
                 bool* results, std::size_t depth);
+  /// Shared batch path: splits `keys` into batch_frame_keys-sized frames,
+  /// keeps up to batch_pipeline of them in flight, and scatters per-frame
+  /// bitmaps into `results`. `accepted` (InsertBatch) accumulates per-frame
+  /// accepted counts. Failed windows replay whole (at-least-once).
+  bool BatchOp(net::Opcode op, std::span<const std::uint64_t> keys,
+               bool* results, std::size_t* accepted);
   bool FailChannel(Channel& ch, const std::string& why);
 
   std::vector<Endpoint> endpoints_;

@@ -52,54 +52,87 @@ bool ShardedFilter::Erase(std::uint64_t key) {
   return s.filter->Erase(key);
 }
 
+// The batch partition is a hot path: the server runs it once per coalesced
+// run. A counting sort into thread_local scratch replaces the former
+// vector-of-vectors (~2 heap allocations per shard per call) with zero
+// steady-state allocations; thread_local keeps the const ContainsBatch safe
+// to call concurrently from many server workers.
 void ShardedFilter::ContainsBatch(std::span<const std::uint64_t> keys,
                                   bool* results) const {
   const std::size_t n_shards = shards_.size();
-  std::vector<std::vector<std::uint64_t>> shard_keys(n_shards);
-  std::vector<std::vector<std::size_t>> shard_pos(n_shards);
-  for (std::size_t i = 0; i < keys.size(); ++i) {
+  thread_local std::vector<std::uint32_t> shard_of;
+  thread_local std::vector<std::uint32_t> offset, cursor, pos;
+  thread_local std::vector<std::uint64_t> grouped;
+  thread_local std::vector<std::uint8_t> tmp;  // bool results per shard run
+
+  const std::size_t n = keys.size();
+  shard_of.resize(n);
+  offset.assign(n_shards + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
     const std::size_t s = ShardFor(keys[i]);
-    shard_keys[s].push_back(keys[i]);
-    shard_pos[s].push_back(i);
+    shard_of[i] = static_cast<std::uint32_t>(s);
+    ++offset[s + 1];
   }
-  std::vector<bool>::size_type max_run = 0;
-  for (const auto& v : shard_keys) max_run = std::max(max_run, v.size());
-  std::unique_ptr<bool[]> tmp(new bool[std::max<std::size_t>(max_run, 1)]);
+  for (std::size_t s = 0; s < n_shards; ++s) offset[s + 1] += offset[s];
+  cursor.assign(offset.begin(), offset.end() - 1);
+  grouped.resize(n);
+  pos.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t at = cursor[shard_of[i]]++;
+    grouped[at] = keys[i];
+    pos[at] = static_cast<std::uint32_t>(i);
+  }
+  tmp.resize(std::max<std::size_t>(n, 1));
+  bool* tmp_bools = reinterpret_cast<bool*>(tmp.data());
   for (std::size_t s = 0; s < n_shards; ++s) {
-    if (shard_keys[s].empty()) continue;
+    const std::size_t lo = offset[s], hi = offset[s + 1];
+    if (lo == hi) continue;
     std::shared_lock lock(*shards_[s].mutex);
-    shards_[s].filter->ContainsBatch(shard_keys[s], tmp.get());
+    shards_[s].filter->ContainsBatch(
+        std::span(grouped.data() + lo, hi - lo), tmp_bools + lo);
     lock.unlock();
-    for (std::size_t j = 0; j < shard_pos[s].size(); ++j) {
-      results[shard_pos[s][j]] = tmp[j];
-    }
   }
+  for (std::size_t i = 0; i < n; ++i) results[pos[i]] = tmp_bools[i];
 }
 
 std::size_t ShardedFilter::InsertBatch(std::span<const std::uint64_t> keys,
                                        bool* results) {
   const std::size_t n_shards = shards_.size();
-  std::vector<std::vector<std::uint64_t>> shard_keys(n_shards);
-  std::vector<std::vector<std::size_t>> shard_pos(n_shards);
-  for (std::size_t i = 0; i < keys.size(); ++i) {
+  thread_local std::vector<std::uint32_t> shard_of;
+  thread_local std::vector<std::uint32_t> offset, cursor, pos;
+  thread_local std::vector<std::uint64_t> grouped;
+  thread_local std::vector<std::uint8_t> tmp;
+
+  const std::size_t n = keys.size();
+  shard_of.resize(n);
+  offset.assign(n_shards + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
     const std::size_t s = ShardFor(keys[i]);
-    shard_keys[s].push_back(keys[i]);
-    shard_pos[s].push_back(i);
+    shard_of[i] = static_cast<std::uint32_t>(s);
+    ++offset[s + 1];
   }
-  std::size_t max_run = 0;
-  for (const auto& v : shard_keys) max_run = std::max(max_run, v.size());
-  std::unique_ptr<bool[]> tmp(new bool[std::max<std::size_t>(max_run, 1)]);
+  for (std::size_t s = 0; s < n_shards; ++s) offset[s + 1] += offset[s];
+  cursor.assign(offset.begin(), offset.end() - 1);
+  grouped.resize(n);
+  pos.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t at = cursor[shard_of[i]]++;
+    grouped[at] = keys[i];
+    pos[at] = static_cast<std::uint32_t>(i);
+  }
+  tmp.resize(std::max<std::size_t>(n, 1));
+  bool* tmp_bools = reinterpret_cast<bool*>(tmp.data());
   std::size_t accepted = 0;
   for (std::size_t s = 0; s < n_shards; ++s) {
-    if (shard_keys[s].empty()) continue;
+    const std::size_t lo = offset[s], hi = offset[s + 1];
+    if (lo == hi) continue;
     std::unique_lock lock(*shards_[s].mutex);
-    accepted += shards_[s].filter->InsertBatch(shard_keys[s], tmp.get());
+    accepted += shards_[s].filter->InsertBatch(
+        std::span(grouped.data() + lo, hi - lo), tmp_bools + lo);
     lock.unlock();
-    if (results != nullptr) {
-      for (std::size_t j = 0; j < shard_pos[s].size(); ++j) {
-        results[shard_pos[s][j]] = tmp[j];
-      }
-    }
+  }
+  if (results != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) results[pos[i]] = tmp_bools[i];
   }
   return accepted;
 }
@@ -160,16 +193,58 @@ bool ShardedFilter::SaveState(std::ostream& out) const {
   const std::uint64_t digest = detail::ConfigDigest(
       salt_, static_cast<unsigned>(shards_.size()), 0, 0);
   if (!detail::WriteStateHeader(out, Name(), digest)) return false;
-  for (const Shard& s : shards_) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
     // Stage the shard blob to learn its length, then write it framed.
-    std::ostringstream staged;
-    {
-      std::shared_lock lock(*s.mutex);
-      if (!s.filter->SaveState(staged)) return false;
-    }
-    if (!detail::WriteFramedBlob(out, staged.str())) return false;
+    std::string staged;
+    if (!SaveShardState(i, &staged, /*locked=*/true)) return false;
+    if (!detail::WriteFramedBlob(out, staged)) return false;
   }
   return true;
+}
+
+bool ShardedFilter::SaveShardState(std::size_t i, std::string* blob,
+                                   bool locked) const {
+  const Shard& s = shards_[i];
+  std::ostringstream staged;
+  bool ok;
+  if (locked) {
+    std::shared_lock lock(*s.mutex);
+    ok = s.filter->SaveState(staged);
+  } else {
+    ok = s.filter->SaveState(staged);
+  }
+  if (!ok) return false;
+  *blob = std::move(staged).str();
+  return true;
+}
+
+bool ShardedFilter::SaveStateEnvelope(std::ostream& out,
+                                      std::span<const std::string> blobs) const {
+  if (blobs.size() != shards_.size()) return false;
+  const std::uint64_t digest = detail::ConfigDigest(
+      salt_, static_cast<unsigned>(shards_.size()), 0, 0);
+  if (!detail::WriteStateHeader(out, Name(), digest)) return false;
+  for (const std::string& blob : blobs) {
+    if (!detail::WriteFramedBlob(out, blob)) return false;
+  }
+  return true;
+}
+
+ShardedFilter::ShardStats ShardedFilter::ShardStatsSnapshot(std::size_t i,
+                                                            bool locked) const {
+  const Shard& s = shards_[i];
+  ShardStats st;
+  if (locked) {
+    std::shared_lock lock(*s.mutex);
+    st.items = s.filter->ItemCount();
+    st.slots = s.filter->SlotCount();
+    st.memory = s.filter->MemoryBytes();
+  } else {
+    st.items = s.filter->ItemCount();
+    st.slots = s.filter->SlotCount();
+    st.memory = s.filter->MemoryBytes();
+  }
+  return st;
 }
 
 bool ShardedFilter::LoadState(std::istream& in) {

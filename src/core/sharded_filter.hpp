@@ -23,8 +23,10 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -87,11 +89,36 @@ class ShardedFilter : public Filter {
   std::size_t ShardFor(std::uint64_t key) const noexcept {
     return ShardIndex(key, salt_, shards_.size());
   }
-  /// Shard access for tests; callers must ensure quiescence.
+  /// Shard access for tests and the pinned-mode server executor; callers
+  /// must ensure quiescence (or exclusive core-affine ownership).
   Filter& shard(std::size_t i) noexcept { return *shards_[i].filter; }
   const Filter& shard(std::size_t i) const noexcept {
     return *shards_[i].filter;
   }
+
+  // --- Pinned-executor support (server/server.cpp) ------------------------
+  // vcfd's core-affine mode gives each worker thread exclusive ownership of
+  // a shard subset and accesses those shards without their locks. These
+  // helpers let that executor stage checkpoints and stats shard-by-shard on
+  // the owning threads: `locked` = true takes the shard's lock (the normal
+  // path, used for shards whose owner has exited); owners pass false.
+
+  /// Stages shard i's SaveState bytes into *blob.
+  bool SaveShardState(std::size_t i, std::string* blob, bool locked) const;
+
+  /// Writes a complete SaveState stream from per-shard blobs staged by
+  /// SaveShardState; blobs.size() must equal shard_count(). The result is
+  /// byte-identical to SaveState() over the same shard states.
+  bool SaveStateEnvelope(std::ostream& out,
+                         std::span<const std::string> blobs) const;
+
+  /// Size counters of one shard, for cross-worker STATS aggregation.
+  struct ShardStats {
+    std::size_t items = 0;
+    std::size_t slots = 0;
+    std::size_t memory = 0;
+  };
+  ShardStats ShardStatsSnapshot(std::size_t i, bool locked) const;
 
  private:
   struct Shard {

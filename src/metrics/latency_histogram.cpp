@@ -2,6 +2,8 @@
 
 #include <bit>
 #include <cstdio>
+#include <istream>
+#include <ostream>
 
 namespace vcf {
 
@@ -100,6 +102,59 @@ std::string HumanNanos(std::uint64_t ns) {
 }
 
 }  // namespace
+
+namespace {
+
+/// 'V','C','F','H' + format version 1; the header also pins the bucket
+/// geometry so a histogram built with different kSubBucketBits is rejected
+/// instead of silently mis-merged.
+constexpr std::uint64_t kHistMagic = 0x0148'4643'5601ull;
+
+void PutU64LE(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out.write(b, 8);
+}
+
+bool GetU64LE(std::istream& in, std::uint64_t& v) {
+  char b[8];
+  if (!in.read(b, 8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i]))
+         << (8 * i);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool LatencyHistogram::Save(std::ostream& out) const {
+  PutU64LE(out, kHistMagic);
+  PutU64LE(out, kBucketCount);
+  PutU64LE(out, count_);
+  PutU64LE(out, sum_);
+  PutU64LE(out, min_);
+  PutU64LE(out, max_);
+  for (const std::uint64_t b : buckets_) PutU64LE(out, b);
+  return out.good();
+}
+
+bool LatencyHistogram::Load(std::istream& in) {
+  std::uint64_t magic = 0, buckets = 0;
+  if (!GetU64LE(in, magic) || magic != kHistMagic) return false;
+  if (!GetU64LE(in, buckets) || buckets != kBucketCount) return false;
+  LatencyHistogram fresh;
+  if (!GetU64LE(in, fresh.count_) || !GetU64LE(in, fresh.sum_) ||
+      !GetU64LE(in, fresh.min_) || !GetU64LE(in, fresh.max_)) {
+    return false;
+  }
+  for (std::uint64_t& b : fresh.buckets_) {
+    if (!GetU64LE(in, b)) return false;
+  }
+  *this = fresh;
+  return true;
+}
 
 std::string LatencyHistogram::Summary() const {
   if (count_ == 0) return "(no samples)";

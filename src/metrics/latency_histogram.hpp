@@ -15,6 +15,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 
 namespace vcf {
@@ -62,6 +63,13 @@ class LatencyHistogram {
   /// The largest value mapping to the same bucket as `nanos` (bucket upper
   /// edge); exposed for tests asserting the error bound.
   static std::uint64_t BucketUpperEdge(std::uint64_t nanos) noexcept;
+
+  /// Binary serialisation (little-endian, versioned magic) for cross-process
+  /// merging: vcf_loadgen --processes writes each child's histograms to a
+  /// temp file and the parent Load()s + Merge()s them. Load replaces this
+  /// histogram's contents; false on a short read or mismatched header.
+  bool Save(std::ostream& out) const;
+  bool Load(std::istream& in);
 
  private:
   static std::size_t BucketIndex(std::uint64_t nanos) noexcept;

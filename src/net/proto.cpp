@@ -8,7 +8,7 @@ namespace vcf::net {
 namespace {
 
 bool ValidOpcode(std::uint8_t op) noexcept {
-  return op <= static_cast<std::uint8_t>(Opcode::kSnapshotEnd);
+  return op <= static_cast<std::uint8_t>(Opcode::kWorkerInfo);
 }
 
 /// Appends the frame length prefix for a payload built by `fill`. The
@@ -76,7 +76,15 @@ void EncodeBatchRequest(std::vector<std::uint8_t>& out, Opcode op,
   WithFrame(out, [&] {
     PutHeader(out, static_cast<std::uint8_t>(op), request_id);
     PutU32(out, static_cast<std::uint32_t>(keys.size()));
-    for (const std::uint64_t k : keys) PutU64(out, k);
+    // One resize for the whole key block; per-key PutU64 would re-check
+    // capacity on every store in the client's hottest encode loop.
+    const std::size_t at = out.size();
+    out.resize(at + keys.size() * 8);
+    std::uint8_t* p = out.data() + at;
+    for (const std::uint64_t k : keys) {
+      for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(k >> (8 * i));
+      p += 8;
+    }
   });
 }
 
@@ -118,15 +126,12 @@ void EncodeBatchResponse(std::vector<std::uint8_t>& out, Opcode op,
     PutHeader(out, static_cast<std::uint8_t>(Status::kOk), request_id);
     PutU32(out, static_cast<std::uint32_t>(bits.size()));
     if (op == Opcode::kInsertBatch) PutU32(out, accepted);
-    std::uint8_t acc = 0;
+    const std::size_t at = out.size();
+    out.resize(at + (bits.size() + 7) / 8, 0);
+    std::uint8_t* p = out.data() + at;
     for (std::size_t i = 0; i < bits.size(); ++i) {
-      if (bits[i]) acc |= static_cast<std::uint8_t>(1u << (i % 8));
-      if (i % 8 == 7) {
-        out.push_back(acc);
-        acc = 0;
-      }
+      if (bits[i]) p[i >> 3] |= static_cast<std::uint8_t>(1u << (i & 7));
     }
-    if (bits.size() % 8 != 0) out.push_back(acc);
   });
 }
 
@@ -146,6 +151,22 @@ void EncodeStatsResponse(std::vector<std::uint8_t>& out,
     PutU64(out, memory_bytes);
     PutU64(out, std::bit_cast<std::uint64_t>(load_factor));
     out.push_back(supports_deletion ? 1 : 0);
+  });
+}
+
+void EncodeWorkerInfoResponse(std::vector<std::uint8_t>& out,
+                              std::uint32_t request_id,
+                              std::uint32_t worker_index,
+                              std::uint32_t worker_count,
+                              std::uint32_t shard_count,
+                              std::uint64_t route_salt, bool pinned) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Status::kOk), request_id);
+    PutU32(out, worker_index);
+    PutU32(out, worker_count);
+    PutU32(out, shard_count);
+    PutU64(out, route_salt);
+    out.push_back(pinned ? 1 : 0);
   });
 }
 
@@ -294,6 +315,7 @@ DecodeResult DecodeRequest(std::span<const std::uint8_t> payload,
       return DecodeResult::kOk;
     case Opcode::kStats:
     case Opcode::kSnapshot:
+    case Opcode::kWorkerInfo:
       if (!r.AtEnd()) return DecodeResult::kMalformed;
       return DecodeResult::kOk;
     case Opcode::kReplHello:
@@ -351,6 +373,11 @@ DecodeResult DecodeResponse(std::span<const std::uint8_t> payload,
   out.ping_echo.clear();
   out.seq = 0;
   out.epoch = 0;
+  out.worker_index = 0;
+  out.worker_count = 0;
+  out.shard_count = 0;
+  out.route_salt = 0;
+  out.pinned = false;
   if (out.status != Status::kOk) {
     // Error responses have an empty body regardless of opcode.
     return r.AtEnd() ? DecodeResult::kOk : DecodeResult::kMalformed;
@@ -418,6 +445,17 @@ DecodeResult DecodeResponse(std::span<const std::uint8_t> payload,
         return DecodeResult::kMalformed;
       }
       out.flag = snapshot != 0;
+      return DecodeResult::kOk;
+    }
+    case Opcode::kWorkerInfo: {
+      std::uint8_t pinned = 0;
+      if (!r.ReadU32(out.worker_index) || !r.ReadU32(out.worker_count) ||
+          !r.ReadU32(out.shard_count) || !r.ReadU64(out.route_salt) ||
+          !r.ReadU8(pinned) || !r.AtEnd() || pinned > 1 ||
+          out.worker_count == 0 || out.worker_index >= out.worker_count) {
+        return DecodeResult::kMalformed;
+      }
+      out.pinned = pinned != 0;
       return DecodeResult::kOk;
     }
     case Opcode::kOplogEntry:

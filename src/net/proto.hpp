@@ -31,6 +31,15 @@
 //                   (IEEE-754 double bit pattern) + u8 supports_deletion
 //     SNAPSHOT      request: empty; asks the server to checkpoint its filter
 //                   to the configured state path now. response: u8 ok
+//     WORKER_INFO   request: empty; asks the serving worker to identify
+//                   itself. response: u32 worker_index + u32 worker_count +
+//                   u32 shard_count + u64 route_salt + u8 pinned. With
+//                   pinned=1 the server runs core-affine shard ownership:
+//                   shard ShardIndex(key, route_salt, shard_count) is owned
+//                   by worker (shard % worker_count), and a client that
+//                   routes keys to a connection on the owning worker skips
+//                   the server's cross-worker forwarding path entirely
+//                   (docs/server.md#core-affine-shard-ownership).
 //
 // Replication messages (docs/server.md#replication). REPLICATE_HELLO is a
 // normal request/response pair; everything after it is a one-way stream —
@@ -112,6 +121,7 @@ enum class Opcode : std::uint8_t {
   kSnapshotBegin = 11,
   kSnapshotChunk = 12,
   kSnapshotEnd = 13,
+  kWorkerInfo = 14,
 };
 
 enum class Status : std::uint8_t {
@@ -165,6 +175,12 @@ struct Response {
   // start sequence, `epoch` the primary's run ID (see the header comment).
   std::uint64_t seq = 0;
   std::uint64_t epoch = 0;
+  // WORKER_INFO body:
+  std::uint32_t worker_index = 0;
+  std::uint32_t worker_count = 0;
+  std::uint32_t shard_count = 0;   ///< 0 when the filter is not sharded
+  std::uint64_t route_salt = 0;    ///< ShardedFilter routing salt
+  bool pinned = false;             ///< core-affine shard ownership active
 
   bool BitmapBit(std::uint32_t i) const noexcept {
     return i / 8 < bitmap.size() && ((bitmap[i / 8] >> (i % 8)) & 1) != 0;
@@ -201,6 +217,12 @@ void EncodePingResponse(std::vector<std::uint8_t>& out,
 void EncodeBatchResponse(std::vector<std::uint8_t>& out, Opcode op,
                          std::uint32_t request_id,
                          std::span<const bool> bits, std::uint32_t accepted);
+void EncodeWorkerInfoResponse(std::vector<std::uint8_t>& out,
+                              std::uint32_t request_id,
+                              std::uint32_t worker_index,
+                              std::uint32_t worker_count,
+                              std::uint32_t shard_count,
+                              std::uint64_t route_salt, bool pinned);
 void EncodeStatsResponse(std::vector<std::uint8_t>& out,
                          std::uint32_t request_id, const std::string& name,
                          std::uint64_t items, std::uint64_t slots,
@@ -271,11 +293,18 @@ inline void PutU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v));
   out.push_back(static_cast<std::uint8_t>(v >> 8));
 }
+// Staging through a stack buffer gives one capacity check + memcpy per
+// value instead of a capacity check per byte (push_back); the byte shifts
+// compile to a single unaligned little-endian store.
 inline void PutU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  out.insert(out.end(), b, b + 4);
 }
 inline void PutU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  out.insert(out.end(), b, b + 8);
 }
 
 /// Bounds-checked little-endian reader over a frame payload.

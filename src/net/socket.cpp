@@ -159,6 +159,13 @@ std::ptrdiff_t ReadSome(int fd, std::span<std::uint8_t> buf) {
 
 std::ptrdiff_t ReadSomeTimeout(int fd, std::span<std::uint8_t> buf,
                                int timeout_ms) {
+  // Opportunistic non-blocking read first: when draining a pipelined
+  // response window the later frames are usually already buffered, and the
+  // poll() would be a wasted syscall per refill.
+  const ssize_t fast = ::recv(fd, buf.data(), buf.size(), MSG_DONTWAIT);
+  if (fast > 0) return fast;
+  if (fast == 0) return 0;
+  if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) return -1;
   if (timeout_ms > 0) {
     pollfd p{fd, POLLIN, 0};
     int r;
@@ -189,6 +196,68 @@ bool WriteAll(int fd, std::span<const std::uint8_t> data,
                 (torn ? limit : data.size()) - done);
     if (n > 0) {
       done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (written != nullptr) *written = done;
+      return true;  // non-blocking backpressure: partial progress, no error
+    }
+    if (written != nullptr) *written = done;
+    return false;
+  }
+  if (written != nullptr) *written = done;
+  return true;
+}
+
+bool WritevAll(int fd, std::span<const struct iovec> iov,
+               std::size_t* written) {
+  std::size_t total = 0;
+  for (const struct iovec& v : iov) total += v.iov_len;
+  const bool torn = VCF_FAILPOINT_TRIGGERED(failpoints::kNetSocketWrite);
+  const std::size_t limit = torn ? total / 2 : total;
+  std::size_t done = 0;
+  std::size_t seg = 0;      // first segment with unwritten bytes
+  std::size_t seg_off = 0;  // bytes of that segment already written
+  while (done < total) {
+    if (torn && done >= limit) {
+      errno = EIO;
+      if (written != nullptr) *written = done;
+      return false;
+    }
+    // Rebuild the remaining window (clipped to the torn-write limit) each
+    // iteration; partial writes advance seg/seg_off below.
+    constexpr std::size_t kMaxIov = 16;
+    struct iovec win[kMaxIov];
+    std::size_t wc = 0;
+    std::size_t budget = limit - done;
+    for (std::size_t s = seg; s < iov.size() && wc < kMaxIov && budget > 0;
+         ++s) {
+      const std::size_t off = s == seg ? seg_off : 0;
+      std::size_t len = iov[s].iov_len - off;
+      if (len == 0) continue;
+      if (len > budget) len = budget;
+      win[wc].iov_base = static_cast<std::uint8_t*>(iov[s].iov_base) + off;
+      win[wc].iov_len = len;
+      budget -= len;
+      ++wc;
+    }
+    if (wc == 0) break;
+    const ssize_t n = ::writev(fd, win, static_cast<int>(wc));
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      std::size_t adv = static_cast<std::size_t>(n);
+      while (adv > 0) {
+        const std::size_t avail = iov[seg].iov_len - seg_off;
+        if (adv < avail) {
+          seg_off += adv;
+          adv = 0;
+        } else {
+          adv -= avail;
+          ++seg;
+          seg_off = 0;
+        }
+      }
       continue;
     }
     if (n < 0 && errno == EINTR) continue;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <sys/uio.h>
 
 namespace vcf::net {
 
@@ -46,6 +47,15 @@ std::ptrdiff_t ReadSomeTimeout(int fd, std::span<std::uint8_t> buf,
 /// backpressures (-1 EAGAIN path); pass nullptr for blocking sockets.
 bool WriteAll(int fd, std::span<const std::uint8_t> data,
               std::size_t* written = nullptr);
+
+/// Scatter-gather WriteAll: writes every iovec segment in order with
+/// writev(2), so a flush of [old tail, fresh responses] is one syscall
+/// instead of a memmove + write. Same contract as WriteAll: short writes
+/// retried, `*written` counts total bytes across segments, true on full
+/// write or EAGAIN backpressure, false on error. Shares the
+/// `net/socket_write` torn-write failpoint.
+bool WritevAll(int fd, std::span<const struct iovec> iov,
+               std::size_t* written = nullptr);
 
 bool SetNonBlocking(int fd);
 bool SetNoDelay(int fd);

@@ -2,23 +2,320 @@
 
 #include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <poll.h>
 #include <unistd.h>
 
 #if defined(__linux__)
 #include <sys/epoll.h>
 #define VCF_HAVE_EPOLL 1
+#if defined(__has_include)
+#if __has_include(<linux/io_uring.h>)
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#define VCF_HAVE_IO_URING 1
+#endif
+#endif
 #endif
 
 namespace vcf::server {
 
 namespace {
 
+#if VCF_HAVE_IO_URING
+
+constexpr unsigned kRingEntries = 256;
+// POLL_REMOVE completions carry no actionable state; tag and drop them.
+constexpr std::uint64_t kIgnoredUserData = ~0ULL;
+
+std::uint64_t PackUserData(int fd, std::uint32_t gen) {
+  return (static_cast<std::uint64_t>(gen) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+
+int SysIoUringSetup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+int SysIoUringEnter(int fd, unsigned to_submit, unsigned min_complete,
+                    unsigned flags, const void* arg, std::size_t argsz) {
+  return static_cast<int>(::syscall(__NR_io_uring_enter, fd, to_submit,
+                                    min_complete, flags, arg, argsz));
+}
+
+#endif  // VCF_HAVE_IO_URING
+
+}  // namespace
+
+#if VCF_HAVE_IO_URING
+
+// Mmapped io_uring state. The poller is single-threaded per worker, so the
+// only cross-thread actors are kernel ↔ user: acquire-loads on the
+// kernel-written indices (SQ head, CQ tail) and release-stores on the
+// user-written ones (SQ tail, CQ head) are sufficient.
+struct Poller::Ring {
+  int fd = -1;
+  void* sq_ptr = nullptr;
+  std::size_t sq_sz = 0;
+  void* cq_ptr = nullptr;  // == sq_ptr with IORING_FEAT_SINGLE_MMAP
+  std::size_t cq_sz = 0;
+  io_uring_sqe* sqes = nullptr;
+  std::size_t sqes_sz = 0;
+
+  unsigned sq_entries = 0;
+  unsigned* sq_head = nullptr;
+  unsigned* sq_tail = nullptr;
+  unsigned* sq_mask = nullptr;
+  unsigned* sq_array = nullptr;
+  unsigned* cq_head = nullptr;
+  unsigned* cq_tail = nullptr;
+  unsigned* cq_mask = nullptr;
+  io_uring_cqe* cqes = nullptr;
+
+  unsigned to_submit = 0;    // SQEs staged since the last io_uring_enter
+  bool multishot_ok = true;  // cleared if POLL_ADD_MULTI returns -EINVAL
+
+  ~Ring() {
+    if (sqes != nullptr) ::munmap(sqes, sqes_sz);
+    if (cq_ptr != nullptr && cq_ptr != sq_ptr) ::munmap(cq_ptr, cq_sz);
+    if (sq_ptr != nullptr) ::munmap(sq_ptr, sq_sz);
+    if (fd >= 0) ::close(fd);
+  }
+
+  // Flushes staged SQEs without waiting. Returns false if the kernel
+  // rejected the submission (ring is then effectively dead).
+  bool Flush() {
+    while (to_submit > 0) {
+      const int n = SysIoUringEnter(fd, to_submit, 0, 0, nullptr, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      to_submit -= static_cast<unsigned>(n);
+      if (n == 0) return false;  // no forward progress
+    }
+    return true;
+  }
+
+  io_uring_sqe* GetSqe() {
+    unsigned head = __atomic_load_n(sq_head, __ATOMIC_ACQUIRE);
+    if (*sq_tail - head >= sq_entries) {
+      if (!Flush()) return nullptr;
+      head = __atomic_load_n(sq_head, __ATOMIC_ACQUIRE);
+      if (*sq_tail - head >= sq_entries) return nullptr;
+    }
+    const unsigned tail = *sq_tail;
+    const unsigned idx = tail & *sq_mask;
+    io_uring_sqe* sqe = &sqes[idx];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sq_array[idx] = idx;
+    __atomic_store_n(sq_tail, tail + 1, __ATOMIC_RELEASE);
+    ++to_submit;
+    return sqe;
+  }
+};
+
+bool Poller::InitRing() {
+  io_uring_params p{};
+  const int fd = SysIoUringSetup(kRingEntries, &p);
+  if (fd < 0) return false;
+  // EXT_ARG carries the Wait timeout through io_uring_enter (kernel 5.11+);
+  // without it every timed wait would need a timeout SQE. Treat its absence
+  // as "no io_uring" and degrade.
+  if ((p.features & IORING_FEAT_EXT_ARG) == 0) {
+    ::close(fd);
+    return false;
+  }
+  auto ring = new Ring();
+  ring->fd = fd;
+  ring->sq_entries = p.sq_entries;
+  ring->sq_sz = p.sq_off.array + p.sq_entries * sizeof(unsigned);
+  ring->cq_sz = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap && ring->cq_sz > ring->sq_sz) ring->sq_sz = ring->cq_sz;
+  ring->sq_ptr = ::mmap(nullptr, ring->sq_sz, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQ_RING);
+  if (ring->sq_ptr == MAP_FAILED) {
+    ring->sq_ptr = nullptr;
+    delete ring;
+    return false;
+  }
+  if (single_mmap) {
+    ring->cq_ptr = ring->sq_ptr;
+  } else {
+    ring->cq_ptr = ::mmap(nullptr, ring->cq_sz, PROT_READ | PROT_WRITE,
+                          MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_CQ_RING);
+    if (ring->cq_ptr == MAP_FAILED) {
+      ring->cq_ptr = nullptr;
+      delete ring;
+      return false;
+    }
+  }
+  ring->sqes_sz = p.sq_entries * sizeof(io_uring_sqe);
+  ring->sqes = static_cast<io_uring_sqe*>(
+      ::mmap(nullptr, ring->sqes_sz, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, fd, IORING_OFF_SQES));
+  if (ring->sqes == MAP_FAILED) {
+    ring->sqes = nullptr;
+    delete ring;
+    return false;
+  }
+  auto* sq = static_cast<std::uint8_t*>(ring->sq_ptr);
+  ring->sq_head = reinterpret_cast<unsigned*>(sq + p.sq_off.head);
+  ring->sq_tail = reinterpret_cast<unsigned*>(sq + p.sq_off.tail);
+  ring->sq_mask = reinterpret_cast<unsigned*>(sq + p.sq_off.ring_mask);
+  ring->sq_array = reinterpret_cast<unsigned*>(sq + p.sq_off.array);
+  auto* cq = static_cast<std::uint8_t*>(ring->cq_ptr);
+  ring->cq_head = reinterpret_cast<unsigned*>(cq + p.cq_off.head);
+  ring->cq_tail = reinterpret_cast<unsigned*>(cq + p.cq_off.tail);
+  ring->cq_mask = reinterpret_cast<unsigned*>(cq + p.cq_off.ring_mask);
+  ring->cqes = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+  ring_ = ring;
+  return true;
+}
+
+void Poller::ArmWatch(int fd, Watch& w) {
+  if (w.armed || (!w.want_read && !w.want_write)) return;
+  io_uring_sqe* sqe = ring_->GetSqe();
+  if (sqe == nullptr) return;  // ring wedged; retried next Wait
+  std::uint32_t mask = 0;
+  if (w.want_read) mask |= POLLIN;
+  if (w.want_write) mask |= POLLOUT;
+  sqe->opcode = IORING_OP_POLL_ADD;
+  sqe->fd = fd;
+  sqe->poll32_events = mask;
+  if (w.persistent && ring_->multishot_ok) sqe->len = IORING_POLL_ADD_MULTI;
+  sqe->user_data = PackUserData(fd, w.gen);
+  w.armed = true;
+}
+
+void Poller::CancelWatch(int fd, Watch& w) {
+  if (w.armed) {
+    io_uring_sqe* sqe = ring_->GetSqe();
+    if (sqe != nullptr) {
+      sqe->opcode = IORING_OP_POLL_REMOVE;
+      sqe->addr = PackUserData(fd, w.gen);
+      sqe->user_data = kIgnoredUserData;
+    }
+    w.armed = false;
+  }
+  // Whether or not the cancel SQE landed, the generation bump fences any
+  // completion still in flight for the old registration.
+  ++w.gen;
+}
+
+int Poller::WaitIoUring(std::vector<Event>& out, int timeout_ms) {
+  Ring& r = *ring_;
+  // Re-arm every one-shot watch that fired (or was updated) last tick. The
+  // POLL_ADD re-checks current readiness, so an fd left half-drained
+  // reports readable again: level-triggered semantics.
+  for (auto& [fd, w] : watches_) ArmWatch(fd, w);
+
+  __kernel_timespec ts{};
+  io_uring_getevents_arg arg{};
+  unsigned flags = IORING_ENTER_GETEVENTS;
+  const void* argp = nullptr;
+  std::size_t argsz = 0;
+  if (timeout_ms >= 0) {
+    ts.tv_sec = timeout_ms / 1000;
+    ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000LL;
+    arg.ts = static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(&ts));
+    flags |= IORING_ENTER_EXT_ARG;
+    argp = &arg;
+    argsz = sizeof(arg);
+  }
+  bool timed_out = false;
+  unsigned to_submit = r.to_submit;
+  for (;;) {
+    const int n = SysIoUringEnter(r.fd, to_submit, 1, flags, argp, argsz);
+    if (n >= 0) {
+      r.to_submit -= static_cast<unsigned>(n) > r.to_submit
+                         ? r.to_submit
+                         : static_cast<unsigned>(n);
+      break;
+    }
+    if (errno == ETIME) {
+      r.to_submit -= to_submit;  // submission happens before the wait phase
+      timed_out = true;
+      break;
+    }
+    if (errno == EINTR) {
+      // Submissions were consumed before the interrupted wait phase.
+      r.to_submit -= to_submit;
+      to_submit = 0;
+      continue;
+    }
+    if (errno == EBUSY) {
+      // CQ overflow backpressure: reap below, submit again next tick.
+      break;
+    }
+    return -1;
+  }
+
+  unsigned head = *r.cq_head;
+  const unsigned tail = __atomic_load_n(r.cq_tail, __ATOMIC_ACQUIRE);
+  while (head != tail) {
+    const io_uring_cqe& cqe = r.cqes[head & *r.cq_mask];
+    ++head;
+    if (cqe.user_data == kIgnoredUserData) continue;
+    const int fd = static_cast<int>(cqe.user_data & 0xffffffffU);
+    const auto gen = static_cast<std::uint32_t>(cqe.user_data >> 32);
+    const auto it = watches_.find(fd);
+    if (it == watches_.end() || it->second.gen != gen) continue;  // stale
+    Watch& w = it->second;
+    if ((cqe.flags & IORING_CQE_F_MORE) == 0) w.armed = false;
+    if (cqe.res == -ECANCELED) continue;
+    if (cqe.res == -EINVAL && w.persistent && r.multishot_ok) {
+      // Kernel predates POLL_ADD_MULTI (< 5.13): drop to one-shot arming
+      // for every persistent fd and re-arm on the next tick.
+      r.multishot_ok = false;
+      w.armed = false;
+      continue;
+    }
+    Event e;
+    e.fd = fd;
+    if (cqe.res < 0) {
+      e.error = true;
+    } else {
+      e.readable = (cqe.res & POLLIN) != 0;
+      e.writable = (cqe.res & POLLOUT) != 0;
+      e.error = (cqe.res & (POLLERR | POLLHUP)) != 0;
+    }
+    out.push_back(e);
+  }
+  __atomic_store_n(r.cq_head, head, __ATOMIC_RELEASE);
+  if (out.empty() && timed_out) return 0;
+  return static_cast<int>(out.size());
+}
+
+#else  // !VCF_HAVE_IO_URING
+
+struct Poller::Ring {};
+bool Poller::InitRing() { return false; }
+void Poller::ArmWatch(int, Watch&) {}
+void Poller::CancelWatch(int, Watch&) {}
+int Poller::WaitIoUring(std::vector<Event>&, int) { return -1; }
+
+#endif  // VCF_HAVE_IO_URING
+
+namespace {
+
 Poller::Backend ResolveBackend(Poller::Backend requested) {
   if (requested != Poller::Backend::kAuto) return requested;
+  if (const char* env = std::getenv("VCFD_BACKEND")) {
+    Poller::Backend b = Poller::Backend::kAuto;
+    if (Poller::ParseBackend(env, &b) && b != Poller::Backend::kAuto) {
+      return b;
+    }
+  }
   const char* force = std::getenv("VCFD_FORCE_POLL");
   if (force != nullptr && force[0] != '\0' && force[0] != '0') {
     return Poller::Backend::kPoll;
+  }
+  if (Poller::BackendAvailable(Poller::Backend::kIoUring)) {
+    return Poller::Backend::kIoUring;
   }
 #if VCF_HAVE_EPOLL
   return Poller::Backend::kEpoll;
@@ -29,19 +326,85 @@ Poller::Backend ResolveBackend(Poller::Backend requested) {
 
 }  // namespace
 
+bool Poller::BackendAvailable(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto:
+    case Backend::kPoll:
+      return true;
+    case Backend::kEpoll:
+#if VCF_HAVE_EPOLL
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kIoUring: {
+#if VCF_HAVE_IO_URING
+      // One probe per process: io_uring_setup is not free and the answer
+      // cannot change underneath us.
+      static const bool available = [] {
+        io_uring_params p{};
+        const int fd = SysIoUringSetup(4, &p);
+        if (fd < 0) return false;
+        ::close(fd);
+        return (p.features & IORING_FEAT_EXT_ARG) != 0;
+      }();
+      return available;
+#else
+      return false;
+#endif
+    }
+  }
+  return false;
+}
+
+const char* Poller::BackendName(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kAuto:
+      return "auto";
+    case Backend::kEpoll:
+      return "epoll";
+    case Backend::kPoll:
+      return "poll";
+    case Backend::kIoUring:
+      return "io_uring";
+  }
+  return "unknown";
+}
+
+bool Poller::ParseBackend(const char* name, Backend* out) noexcept {
+  if (name == nullptr || out == nullptr) return false;
+  if (std::strcmp(name, "auto") == 0) {
+    *out = Backend::kAuto;
+  } else if (std::strcmp(name, "epoll") == 0) {
+    *out = Backend::kEpoll;
+  } else if (std::strcmp(name, "poll") == 0) {
+    *out = Backend::kPoll;
+  } else if (std::strcmp(name, "io_uring") == 0 ||
+             std::strcmp(name, "uring") == 0) {
+    *out = Backend::kIoUring;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 Poller::Poller(Backend backend) : backend_(ResolveBackend(backend)) {
+  if (backend_ == Backend::kIoUring && !InitRing()) {
+    backend_ = Backend::kEpoll;  // degrade, don't die
+  }
 #if VCF_HAVE_EPOLL
   if (backend_ == Backend::kEpoll) {
     epoll_fd_ = ::epoll_create1(0);
     if (epoll_fd_ < 0) backend_ = Backend::kPoll;  // degrade, don't die
   }
 #else
-  backend_ = Backend::kPoll;
+  if (backend_ == Backend::kEpoll) backend_ = Backend::kPoll;
 #endif
 }
 
 Poller::~Poller() {
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  delete ring_;
 }
 
 #if VCF_HAVE_EPOLL
@@ -55,8 +418,12 @@ std::uint32_t EpollMask(bool want_read, bool want_write) {
 }  // namespace
 #endif
 
-bool Poller::Add(int fd, bool want_read, bool want_write) {
-  watches_[fd] = Watch{want_read, want_write};
+bool Poller::Add(int fd, bool want_read, bool want_write, bool persistent) {
+  Watch w;
+  w.want_read = want_read;
+  w.want_write = want_write;
+  w.persistent = persistent;
+  watches_[fd] = w;  // io_uring: unarmed; armed at the top of the next Wait
 #if VCF_HAVE_EPOLL
   if (backend_ == Backend::kEpoll) {
     epoll_event ev{};
@@ -71,7 +438,20 @@ bool Poller::Add(int fd, bool want_read, bool want_write) {
 bool Poller::Update(int fd, bool want_read, bool want_write) {
   const auto it = watches_.find(fd);
   if (it == watches_.end()) return false;
-  it->second = Watch{want_read, want_write};
+  if (it->second.want_read == want_read &&
+      it->second.want_write == want_write) {
+    // The steady state (read-armed, nothing queued to write) re-requests
+    // the same interest set every tick; skip the epoll_ctl / poll-cancel
+    // syscall when nothing changed.
+    return true;
+  }
+  if (backend_ == Backend::kIoUring) {
+    // Cancel the in-flight poll (its mask is stale); the next Wait re-arms
+    // with the new interest set.
+    CancelWatch(fd, it->second);
+  }
+  it->second.want_read = want_read;
+  it->second.want_write = want_write;
 #if VCF_HAVE_EPOLL
   if (backend_ == Backend::kEpoll) {
     epoll_event ev{};
@@ -84,7 +464,10 @@ bool Poller::Update(int fd, bool want_read, bool want_write) {
 }
 
 void Poller::Remove(int fd) {
-  watches_.erase(fd);
+  const auto it = watches_.find(fd);
+  if (it == watches_.end()) return;
+  if (backend_ == Backend::kIoUring) CancelWatch(fd, it->second);
+  watches_.erase(it);
 #if VCF_HAVE_EPOLL
   if (backend_ == Backend::kEpoll) {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
@@ -94,6 +477,7 @@ void Poller::Remove(int fd) {
 
 int Poller::Wait(std::vector<Event>& out, int timeout_ms) {
   out.clear();
+  if (backend_ == Backend::kIoUring) return WaitIoUring(out, timeout_ms);
 #if VCF_HAVE_EPOLL
   if (backend_ == Backend::kEpoll) {
     epoll_event events[64];

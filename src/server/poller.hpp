@@ -1,11 +1,23 @@
-// Readiness-notification abstraction for the vcfd event loops: epoll(7) on
-// Linux, poll(2) everywhere else. The poll backend can also be forced at
-// runtime (VCFD_FORCE_POLL=1 or Poller(Backend::kPoll)) so the fallback path
+// Readiness-notification abstraction for the vcfd event loops: io_uring on
+// kernels that support it, epoll(7) on Linux, poll(2) everywhere else. The
+// backend can be forced at runtime (VCFD_BACKEND=io_uring|epoll|poll, or the
+// legacy VCFD_FORCE_POLL=1, or Poller(Backend::...)) so every fallback path
 // stays covered by the Linux test matrix instead of rotting untested.
 //
-// The interface is level-triggered on both backends: a readable fd keeps
+// The interface is level-triggered on all backends: a readable fd keeps
 // reporting readable until drained, which lets the connection state machine
 // stop mid-drain (e.g. to apply backpressure) without losing a wakeup.
+//
+// io_uring backend notes: readiness is produced with IORING_OP_POLL_ADD.
+// Connection fds use one-shot polls re-armed at the top of every Wait — the
+// re-arm re-checks readiness, which is what makes the contract
+// level-triggered. Fds registered as `persistent` (listen socket, wakeup and
+// shutdown pipes — always fully drained by their handlers) use
+// IORING_POLL_ADD_MULTI so they stay armed across ticks without extra SQEs.
+// All arming SQEs accumulated during a tick are flushed by the single
+// io_uring_enter() in Wait (submission batching). Stale completions from
+// canceled polls are fenced by a per-watch generation counter packed into
+// user_data.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +28,7 @@ namespace vcf::server {
 
 class Poller {
  public:
-  enum class Backend : std::uint8_t { kAuto, kEpoll, kPoll };
+  enum class Backend : std::uint8_t { kAuto, kEpoll, kPoll, kIoUring };
 
   struct Event {
     int fd = -1;
@@ -31,7 +43,11 @@ class Poller {
   Poller(const Poller&) = delete;
   Poller& operator=(const Poller&) = delete;
 
-  bool Add(int fd, bool want_read, bool want_write);
+  /// Registers `fd`. `persistent` is a hint for the io_uring backend: the fd
+  /// is long-lived and its handler always drains it completely, so a
+  /// multishot poll (armed once, fires repeatedly) is safe. Other backends
+  /// ignore the hint.
+  bool Add(int fd, bool want_read, bool want_write, bool persistent = false);
   bool Update(int fd, bool want_read, bool want_write);
   void Remove(int fd);
 
@@ -40,18 +56,42 @@ class Poller {
   /// on error (EINTR is retried internally).
   int Wait(std::vector<Event>& out, int timeout_ms);
 
-  /// The backend actually in use (after kAuto/env resolution).
+  /// The backend actually in use (after kAuto/env resolution + degrade).
   Backend backend() const noexcept { return backend_; }
+
+  /// True if `backend` can be instantiated on this kernel (io_uring probes
+  /// io_uring_setup + the EXT_ARG timeout feature). kAuto is always true.
+  static bool BackendAvailable(Backend backend);
+
+  /// "auto" | "epoll" | "poll" | "io_uring".
+  static const char* BackendName(Backend backend) noexcept;
+
+  /// Parses a backend name as accepted by VCFD_BACKEND / --backend. Returns
+  /// false on unknown names ("uring" is accepted as an io_uring alias).
+  static bool ParseBackend(const char* name, Backend* out) noexcept;
 
  private:
   struct Watch {
     bool want_read = false;
     bool want_write = false;
+    bool persistent = false;
+    bool armed = false;        // io_uring: a POLL_ADD is in flight
+    std::uint32_t gen = 0;     // io_uring: fences stale/canceled completions
   };
+
+  struct Ring;  // io_uring state, defined in poller.cpp (raw syscalls)
+
+  bool InitRing();
+  void ArmWatch(int fd, Watch& w);
+  void CancelWatch(int fd, Watch& w);
+  int WaitIoUring(std::vector<Event>& out, int timeout_ms);
 
   Backend backend_;
   int epoll_fd_ = -1;
-  // poll(2) backend: rebuilt from watches_ before every Wait.
+  Ring* ring_ = nullptr;
+  // All backends: registered fds. epoll keeps kernel state in epoll_fd_;
+  // poll(2) rebuilds pollfds from this map before every Wait; io_uring
+  // tracks arm state + generation per fd.
   std::unordered_map<int, Watch> watches_;
 };
 

@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <fcntl.h>
+#include <pthread.h>
 #include <random>
 #include <fstream>
 #include <mutex>
 #include <poll.h>
+#include <sched.h>
 #include <sstream>
 #include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 #include <unordered_map>
 
@@ -29,6 +33,11 @@ namespace {
 /// pipelines requests but never reads replies.
 constexpr std::size_t kWriteHighWater = 8u << 20;
 
+/// Flush a coalesced run once it accumulates this many keys. Deferred
+/// responses live outside conn.out until the run flushes, so the run itself
+/// must stay bounded regardless of how hard the peer pipelines.
+constexpr std::size_t kCoalesceMaxKeys = 65536;
+
 bool MakePipe(int fds[2]) {
   if (::pipe(fds) != 0) return false;
   // Non-blocking on both ends: the writer must never stall a signal
@@ -41,9 +50,19 @@ bool MakePipe(int fds[2]) {
 struct VcfServer::Connection {
   int fd = -1;
   net::FrameBuffer in;
+  // Two-buffer write scheme: `sending` holds a partially-flushed tail
+  // (send_off bytes already on the wire), handlers append fresh responses to
+  // `out`, and FlushWrites pushes both with a single writev. No memmove of
+  // unsent bytes, ever.
+  std::vector<std::uint8_t> sending;
+  std::size_t send_off = 0;
   std::vector<std::uint8_t> out;
-  std::size_t out_off = 0;
   bool close_after_flush = false;
+
+  std::size_t PendingBytes() const noexcept {
+    return sending.size() - send_off + out.size();
+  }
+
   // Replica-stream state (set by REPLICATE_HELLO, owning worker only):
   bool is_replica = false;
   std::uint64_t repl_next_seq = 0;   ///< next op-log seq to stream
@@ -55,9 +74,11 @@ struct VcfServer::Connection {
 };
 
 struct VcfServer::Worker {
-  explicit Worker(Poller::Backend backend) : poller(backend) {}
+  Worker(Poller::Backend backend, unsigned idx)
+      : poller(backend), index(idx) {}
 
   Poller poller;
+  unsigned index = 0;
   int wakeup[2] = {-1, -1};
   std::mutex inbox_mutex;
   std::vector<int> inbox;  ///< freshly accepted fds awaiting registration
@@ -66,11 +87,36 @@ struct VcfServer::Worker {
   /// Read by journaling threads (NotifyReplicas) without the worker's
   /// cooperation, hence atomic; written only by the owning thread.
   std::atomic<bool> has_replicas{false};
+
+  // Pinned-mode task inbox: work forwarded to this worker because it owns
+  // the target shards. accepting_tasks flips to false (under task_mutex)
+  // right before the worker's exit drain, after which enqueues fail and
+  // callers fall back to the locked shard path.
+  std::mutex task_mutex;
+  std::vector<ShardTask> tasks;
+  bool accepting_tasks = true;
+
+  // Coalescer + batch scratch, reused across frames (worker-local; a run
+  // never outlives one ServeReadable call).
+  Run run;
+  std::unique_ptr<bool[]> results;
+  std::size_t results_cap = 0;
+  std::vector<std::vector<std::uint32_t>> owner_idx;
 };
 
 VcfServer::VcfServer(std::unique_ptr<Filter> filter, Options options)
     : filter_(std::move(filter)), options_(options) {
   if (options_.threads == 0) options_.threads = 1;
+  sharded_ = dynamic_cast<ShardedFilter*>(filter_.get());
+  if (sharded_ != nullptr) {
+    shard_count_ = sharded_->shard_count();
+    route_salt_ = sharded_->salt();
+  }
+  coalesce_ = options_.coalesce;
+  if (const char* env = std::getenv("VCFD_COALESCE");
+      env != nullptr && env[0] != '\0') {
+    coalesce_ = env[0] != '0';
+  }
   if (options_.oplog_capacity > 0) {
     oplog_ = std::make_unique<OplogBuffer>(options_.oplog_capacity);
     // One run ID per primary incarnation: a replica's resume position is
@@ -92,6 +138,23 @@ bool VcfServer::Start(std::string* error) {
     if (error != nullptr) *error = "server already started";
     return false;
   }
+  if (options_.pin_shards) {
+    if (sharded_ == nullptr || !options_.filter_internally_locked) {
+      if (error != nullptr) {
+        *error = "pin_shards requires an internally locked sharded: filter";
+      }
+      return false;
+    }
+    if (oplog_ != nullptr || options_.read_only) {
+      // Owner-thread execution bypasses repl_mutex_'s journal ordering, so
+      // the two features are mutually exclusive by design.
+      if (error != nullptr) {
+        *error = "pin_shards is incompatible with replication";
+      }
+      return false;
+    }
+    pinned_ = true;
+  }
   listen_fd_ = net::ListenTcp(options_.port, error);
   if (listen_fd_ < 0) return false;
   if (!net::SetNonBlocking(listen_fd_)) {
@@ -109,17 +172,23 @@ bool VcfServer::Start(std::string* error) {
   }
   workers_.reserve(options_.threads);
   for (unsigned i = 0; i < options_.threads; ++i) {
-    auto w = std::make_unique<Worker>(options_.backend);
+    auto w = std::make_unique<Worker>(options_.backend, i);
     if (!MakePipe(w->wakeup)) {
       if (error != nullptr) *error = "could not create worker wakeup pipe";
       RequestShutdown();
       Join();
       return false;
     }
-    w->poller.Add(shutdown_pipe_[0], /*want_read=*/true, /*want_write=*/false);
-    w->poller.Add(w->wakeup[0], /*want_read=*/true, /*want_write=*/false);
+    // The pipes and the listen socket live for the whole server and their
+    // handlers always drain completely — persistent lets the io_uring
+    // backend keep one multishot poll armed instead of re-arming per tick.
+    w->poller.Add(shutdown_pipe_[0], /*want_read=*/true, /*want_write=*/false,
+                  /*persistent=*/true);
+    w->poller.Add(w->wakeup[0], /*want_read=*/true, /*want_write=*/false,
+                  /*persistent=*/true);
     if (i == 0) {
-      w->poller.Add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
+      w->poller.Add(listen_fd_, /*want_read=*/true, /*want_write=*/false,
+                    /*persistent=*/true);
     }
     workers_.push_back(std::move(w));
   }
@@ -175,9 +244,26 @@ bool VcfServer::ServeUntilShutdown() {
   return Join();
 }
 
-bool VcfServer::CheckpointNow() {
+Poller::Backend VcfServer::resolved_backend() const noexcept {
+  return workers_.empty() ? options_.backend : workers_[0]->poller.backend();
+}
+
+bool VcfServer::CheckpointNow() { return CheckpointImpl(nullptr); }
+
+bool VcfServer::CheckpointImpl(Worker* self) {
   if (options_.state_path.empty()) return false;
-  std::lock_guard checkpoint_lock(checkpoint_mutex_);
+  std::unique_lock checkpoint_lock(checkpoint_mutex_, std::defer_lock);
+  if (self == nullptr) {
+    checkpoint_lock.lock();
+  } else {
+    // A worker must not block while owner tasks could be parked in its
+    // inbox (the checkpoint holder may be waiting on exactly those), so it
+    // keeps draining while contending for the lock.
+    while (!checkpoint_lock.try_lock()) {
+      DrainTasks(*self, /*locked=*/false);
+      std::this_thread::yield();
+    }
+  }
   const bool repl = oplog_ != nullptr || options_.read_only;
   std::uint64_t covered_seq = 0;
   std::uint64_t covered_epoch = 0;
@@ -197,7 +283,9 @@ bool VcfServer::CheckpointNow() {
       covered_epoch = oplog_ != nullptr ? run_id_ : repl_epoch_;
     }
     bool ok;
-    if (options_.filter_internally_locked) {
+    if (pinned_) {
+      ok = PinnedSaveState(self, out);
+    } else if (options_.filter_internally_locked) {
       ok = filter_->SaveState(out);
     } else {
       std::shared_lock lock(filter_mutex_);
@@ -227,6 +315,39 @@ bool VcfServer::CheckpointNow() {
   return true;
 }
 
+bool VcfServer::PinnedSaveState(Worker* self, std::ostream& out) {
+  // Stage every shard's blob on its owning thread (unlocked there), fall
+  // back to the locked path for owners that already exited, then write the
+  // envelope — byte-identical to ShardedFilter::SaveState.
+  const unsigned T = options_.threads;
+  std::vector<std::string> blobs(shard_count_);
+  std::atomic<bool> failed{false};
+  std::atomic<std::uint32_t> done{0};
+  std::uint32_t want = 0;
+  std::vector<std::function<void(bool)>> stages(T);
+  for (unsigned o = 0; o < T; ++o) {
+    stages[o] = [this, o, T, &blobs, &failed](bool locked) {
+      for (std::size_t s = o; s < shard_count_; s += T) {
+        if (!sharded_->SaveShardState(s, &blobs[s], locked)) {
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    };
+    if (self != nullptr && o == self->index) {
+      stages[o](/*locked=*/false);
+      continue;
+    }
+    if (o < workers_.size() && EnqueueTask(*workers_[o], {stages[o], &done})) {
+      ++want;
+    } else {
+      stages[o](/*locked=*/true);
+    }
+  }
+  WaitTaskCount(self, done, want);
+  if (failed.load(std::memory_order_relaxed)) return false;
+  return sharded_->SaveStateEnvelope(out, blobs);
+}
+
 bool VcfServer::TryRestore(std::string* error) {
   if (options_.state_path.empty()) return true;
   std::ifstream in(options_.state_path, std::ios::binary);
@@ -242,11 +363,222 @@ bool VcfServer::TryRestore(std::string* error) {
   return true;
 }
 
+// --- Pinned executor --------------------------------------------------------
+
+bool VcfServer::EnqueueTask(Worker& target, ShardTask task) {
+  {
+    std::lock_guard lock(target.task_mutex);
+    if (!target.accepting_tasks) return false;
+    target.tasks.push_back(std::move(task));
+  }
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(target.wakeup[1], &byte, 1);
+  counters_.forwarded_tasks.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void VcfServer::DrainTasks(Worker& w, bool locked) {
+  std::vector<ShardTask> batch;
+  {
+    std::lock_guard lock(w.task_mutex);
+    if (w.tasks.empty()) return;
+    batch.swap(w.tasks);
+  }
+  for (ShardTask& t : batch) {
+    t.fn(locked);
+    if (t.done != nullptr) t.done->fetch_add(1, std::memory_order_release);
+  }
+}
+
+void VcfServer::WaitTaskCount(Worker* self,
+                              const std::atomic<std::uint32_t>& done,
+                              std::uint32_t want) {
+  // Cooperative wait: a worker keeps serving ITS inbox while it waits for
+  // foreign owners, so two workers forwarding to each other always make
+  // progress (the deadlock-freedom argument for the whole executor).
+  while (done.load(std::memory_order_acquire) < want) {
+    if (self != nullptr) DrainTasks(*self, /*locked=*/false);
+    std::this_thread::yield();
+  }
+}
+
+void VcfServer::RunKeysForOwner(bool insert,
+                                std::span<const std::uint64_t> keys,
+                                std::span<const std::uint32_t> idx,
+                                bool* results, bool locked) {
+  // Group the selected keys by shard (stable, so same-shard keys keep their
+  // original relative order — the batch-equivalence contract), then run each
+  // shard's own batch kernel once.
+  thread_local std::vector<std::pair<std::uint32_t, std::uint32_t>> order;
+  thread_local std::vector<std::uint64_t> run_keys;
+  thread_local std::unique_ptr<bool[]> run_res;
+  thread_local std::size_t run_cap = 0;
+  order.clear();
+  order.reserve(idx.size());
+  for (const std::uint32_t j : idx) {
+    order.emplace_back(static_cast<std::uint32_t>(sharded_->ShardFor(keys[j])),
+                       j);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const std::uint32_t s = order[i].first;
+    std::size_t e = i;
+    while (e < order.size() && order[e].first == s) ++e;
+    run_keys.clear();
+    for (std::size_t k = i; k < e; ++k) run_keys.push_back(keys[order[k].second]);
+    if (run_cap < run_keys.size()) {
+      run_cap = std::max<std::size_t>(run_keys.size(), 64);
+      run_res = std::make_unique<bool[]>(run_cap);
+    }
+    if (locked) {
+      // Locked fallback: route through ShardedFilter, which re-derives the
+      // same shard and takes its lock — used only when the owner exited.
+      if (insert) {
+        sharded_->InsertBatch(run_keys, run_res.get());
+      } else {
+        sharded_->ContainsBatch(run_keys, run_res.get());
+      }
+    } else {
+      Filter& sh = sharded_->shard(s);
+      if (insert) {
+        sh.InsertBatch(run_keys, run_res.get());
+      } else {
+        sh.ContainsBatch(run_keys, run_res.get());
+      }
+    }
+    for (std::size_t k = i; k < e; ++k) {
+      results[order[k].second] = run_res[k - i];
+    }
+    i = e;
+  }
+}
+
+bool VcfServer::PinnedKeyOp(Worker& w, std::uint8_t kind, std::uint64_t key) {
+  const std::size_t s = sharded_->ShardFor(key);
+  const unsigned o = OwnerOf(s);
+  if (o == w.index) {
+    Filter& sh = sharded_->shard(s);
+    return kind == 0 ? sh.Contains(key)
+                     : kind == 1 ? sh.Insert(key) : sh.Erase(key);
+  }
+  std::atomic<std::uint32_t> done{0};
+  bool result = false;
+  ShardTask t;
+  t.fn = [this, kind, key, s, &result](bool locked) {
+    if (locked) {
+      result = kind == 0 ? sharded_->Contains(key)
+                         : kind == 1 ? sharded_->Insert(key)
+                                     : sharded_->Erase(key);
+    } else {
+      Filter& sh = sharded_->shard(s);
+      result = kind == 0 ? sh.Contains(key)
+                         : kind == 1 ? sh.Insert(key) : sh.Erase(key);
+    }
+  };
+  t.done = &done;
+  if (!EnqueueTask(*workers_[o], std::move(t))) {
+    // Owner exited: its unlocked-access guarantee ended with it, so the
+    // plain locked path is safe and correct.
+    return kind == 0 ? sharded_->Contains(key)
+                     : kind == 1 ? sharded_->Insert(key)
+                                 : sharded_->Erase(key);
+  }
+  WaitTaskCount(&w, done, 1);
+  return result;
+}
+
+void VcfServer::PinnedBatch(Worker& w, bool insert,
+                            std::span<const std::uint64_t> keys,
+                            bool* results) {
+  const unsigned T = options_.threads;
+  auto& owner_idx = w.owner_idx;
+  owner_idx.resize(T);
+  for (auto& v : owner_idx) v.clear();
+  for (std::uint32_t j = 0; j < keys.size(); ++j) {
+    owner_idx[OwnerOf(sharded_->ShardFor(keys[j]))].push_back(j);
+  }
+  std::atomic<std::uint32_t> done{0};
+  std::uint32_t want = 0;
+  for (unsigned o = 0; o < T; ++o) {
+    if (o == w.index || owner_idx[o].empty()) continue;
+    // The captured spans point at req.keys / the worker's scratch, both
+    // alive until WaitTaskCount returns below.
+    const std::span<const std::uint32_t> idx(owner_idx[o]);
+    ShardTask t;
+    t.fn = [this, insert, keys, idx, results](bool locked) {
+      RunKeysForOwner(insert, keys, idx, results, locked);
+    };
+    t.done = &done;
+    if (EnqueueTask(*workers_[o], std::move(t))) {
+      ++want;
+    } else {
+      RunKeysForOwner(insert, keys, idx, results, /*locked=*/true);
+    }
+  }
+  if (!owner_idx[w.index].empty()) {
+    RunKeysForOwner(insert, keys, owner_idx[w.index], results,
+                    /*locked=*/false);
+  }
+  WaitTaskCount(&w, done, want);
+}
+
+void VcfServer::PinnedStats(Worker& w, std::uint64_t& items,
+                            std::uint64_t& slots, std::uint64_t& memory) {
+  const unsigned T = options_.threads;
+  std::vector<ShardedFilter::ShardStats> per(T);
+  std::atomic<std::uint32_t> done{0};
+  std::uint32_t want = 0;
+  std::vector<std::function<void(bool)>> stages(T);
+  for (unsigned o = 0; o < T; ++o) {
+    stages[o] = [this, o, T, &per](bool locked) {
+      ShardedFilter::ShardStats acc;
+      for (std::size_t s = o; s < shard_count_; s += T) {
+        const ShardedFilter::ShardStats st =
+            sharded_->ShardStatsSnapshot(s, locked);
+        acc.items += st.items;
+        acc.slots += st.slots;
+        acc.memory += st.memory;
+      }
+      per[o] = acc;
+    };
+    if (o == w.index) {
+      stages[o](/*locked=*/false);
+      continue;
+    }
+    if (EnqueueTask(*workers_[o], {stages[o], &done})) {
+      ++want;
+    } else {
+      stages[o](/*locked=*/true);
+    }
+  }
+  WaitTaskCount(&w, done, want);
+  items = slots = memory = 0;
+  for (const ShardedFilter::ShardStats& st : per) {
+    items += st.items;
+    slots += st.slots;
+    memory += st.memory;
+  }
+}
+
+// --- Event loop -------------------------------------------------------------
+
 void VcfServer::WorkerLoop(unsigned index) {
   Worker& w = *workers_[index];
+  if (!options_.cpu_list.empty()) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(options_.cpu_list[index % options_.cpu_list.size()], &set);
+    // Best-effort: an invalid cpu id just leaves the thread unpinned.
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
   std::vector<Poller::Event> events;
   while (!stop_.load(std::memory_order_relaxed)) {
     if (w.poller.Wait(events, /*timeout_ms=*/500) < 0) break;
+    if (pinned_) DrainTasks(w, /*locked=*/false);
     for (const Poller::Event& ev : events) {
       if (ev.fd == shutdown_pipe_[0]) continue;  // stop_ check drives exit
       if (ev.fd == listen_fd_) {
@@ -268,6 +600,7 @@ void VcfServer::WorkerLoop(unsigned index) {
           w.conns.emplace(fd, std::move(conn));
           w.poller.Add(fd, /*want_read=*/true, /*want_write=*/false);
         }
+        if (pinned_) DrainTasks(w, /*locked=*/false);
         continue;
       }
       const auto it = w.conns.find(ev.fd);
@@ -276,15 +609,14 @@ void VcfServer::WorkerLoop(unsigned index) {
       bool alive = !ev.error;
       if (alive && ev.writable) alive = FlushWrites(conn);
       if (alive && ev.readable) alive = ServeReadable(w, conn);
-      if (alive && conn.close_after_flush &&
-          conn.out_off == conn.out.size()) {
+      if (alive && conn.close_after_flush && conn.PendingBytes() == 0) {
         alive = false;
       }
       if (!alive) {
         CloseConnection(w, ev.fd);
         continue;
       }
-      const std::size_t pending = conn.out.size() - conn.out_off;
+      const std::size_t pending = conn.PendingBytes();
       w.poller.Update(ev.fd,
                       /*want_read=*/!conn.close_after_flush &&
                           pending < kWriteHighWater,
@@ -304,7 +636,7 @@ void VcfServer::WorkerLoop(unsigned index) {
         if (rit == w.conns.end()) continue;
         Connection& conn = rit->second;
         if (PumpReplica(conn) && FlushWrites(conn)) {
-          const std::size_t pending = conn.out.size() - conn.out_off;
+          const std::size_t pending = conn.PendingBytes();
           w.poller.Update(fd, /*want_read=*/pending < kWriteHighWater,
                           /*want_write=*/pending > 0);
         } else {
@@ -312,6 +644,17 @@ void VcfServer::WorkerLoop(unsigned index) {
         }
       }
     }
+  }
+  if (pinned_) {
+    // Exit protocol: refuse new forwards first (under the same mutex the
+    // enqueue checks), then run everything already queued through the
+    // LOCKED path — our exclusive-ownership guarantee ends here, and late
+    // fallback callers will be taking the shard locks concurrently.
+    {
+      std::lock_guard lock(w.task_mutex);
+      w.accepting_tasks = false;
+    }
+    DrainTasks(w, /*locked=*/true);
   }
   // Drain: one best-effort flush per connection so ACKs for already-applied
   // mutations reach the client where possible, then close.
@@ -363,41 +706,181 @@ bool VcfServer::ServeReadable(Worker& w, Connection& conn) {
     }
     std::span<const std::uint8_t> payload;
     while (!conn.close_after_flush && conn.in.Next(payload)) {
+      if (coalesce_) {
+        const Run::Kind kind = ClassifyFrame(payload);
+        if (kind != Run::Kind::kNone) {
+          if (w.run.kind != Run::Kind::kNone && w.run.kind != kind) {
+            FlushRun(w, conn);
+          }
+          if (AppendToRun(w, kind, payload)) {
+            conn.in.Pop();
+            if (w.run.keys.size() >= kCoalesceMaxKeys) FlushRun(w, conn);
+            continue;
+          }
+          // Malformed despite a plausible header: flush what preceded it so
+          // response order holds, then let HandleFrame produce the error.
+        }
+        FlushRun(w, conn);
+      }
       HandleFrame(w, conn, payload);
       conn.in.Pop();
     }
+    if (coalesce_) FlushRun(w, conn);
     if (conn.in.poisoned()) {
       counters_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       net::EncodeErrorResponse(conn.out, net::Status::kBadRequest, 0);
       conn.close_after_flush = true;
       break;
     }
-    if (conn.out.size() - conn.out_off >= kWriteHighWater) break;
+    if (conn.PendingBytes() >= kWriteHighWater) break;
     if (static_cast<std::size_t>(n) < sizeof(buf)) break;  // likely drained
   }
   return FlushWrites(conn);
 }
 
 bool VcfServer::FlushWrites(Connection& conn) {
-  const std::size_t pending = conn.out.size() - conn.out_off;
-  if (pending == 0) return true;
+  const std::size_t head = conn.sending.size() - conn.send_off;
+  const std::size_t fresh = conn.out.size();
+  if (head + fresh == 0) return true;
+  struct iovec iov[2];
+  std::size_t cnt = 0;
+  if (head > 0) {
+    iov[cnt].iov_base = conn.sending.data() + conn.send_off;
+    iov[cnt].iov_len = head;
+    ++cnt;
+  }
+  if (fresh > 0) {
+    iov[cnt].iov_base = conn.out.data();
+    iov[cnt].iov_len = fresh;
+    ++cnt;
+  }
   std::size_t written = 0;
-  if (!net::WriteAll(conn.fd,
-                     std::span<const std::uint8_t>(conn.out).subspan(
-                         conn.out_off),
-                     &written)) {
+  if (!net::WritevAll(conn.fd, std::span<const struct iovec>(iov, cnt),
+                      &written)) {
     return false;
   }
-  conn.out_off += written;
-  if (conn.out_off == conn.out.size()) {
+  const std::size_t from_head = std::min(written, head);
+  const std::size_t from_out = written - from_head;
+  conn.send_off += from_head;
+  if (conn.send_off == conn.sending.size()) {
+    conn.sending.clear();
+    conn.send_off = 0;
+  }
+  if (from_out == fresh) {
     conn.out.clear();
-    conn.out_off = 0;
-  } else if (conn.out_off > kWriteHighWater) {
-    conn.out.erase(conn.out.begin(),
-                   conn.out.begin() + static_cast<std::ptrdiff_t>(conn.out_off));
-    conn.out_off = 0;
+  } else if (from_out > 0) {
+    // writev consumes segments in order, so a partially-written `out`
+    // implies the old tail fully drained: `out` becomes the new in-flight
+    // tail and the (empty) old buffer becomes the accumulator. No copy.
+    conn.sending.swap(conn.out);
+    conn.out.clear();
+    conn.send_off = from_out;
   }
   return true;
+}
+
+// --- Coalescer --------------------------------------------------------------
+
+VcfServer::Run::Kind VcfServer::ClassifyFrame(
+    std::span<const std::uint8_t> payload) const {
+  if (payload.size() < net::kHeaderSize) return Run::Kind::kNone;
+  if (payload[0] != net::kProtoVersion) return Run::Kind::kNone;
+  if (stop_.load(std::memory_order_relaxed)) return Run::Kind::kNone;
+  switch (static_cast<net::Opcode>(payload[1])) {
+    case net::Opcode::kLookup:
+    case net::Opcode::kLookupBatch:
+      return Run::Kind::kLookup;
+    case net::Opcode::kInsert:
+    case net::Opcode::kInsertBatch:
+      // Insert coalescing is only response-equivalent when no op log
+      // serialises mutations into journal order and writes are accepted at
+      // all; otherwise the slow path handles journaling/rejection.
+      if (oplog_ != nullptr || options_.read_only) return Run::Kind::kNone;
+      return Run::Kind::kInsert;
+    default:
+      return Run::Kind::kNone;
+  }
+}
+
+bool VcfServer::AppendToRun(Worker& w, Run::Kind kind,
+                            std::span<const std::uint8_t> payload) {
+  net::Request req;
+  if (net::DecodeRequest(payload, req) != net::DecodeResult::kOk) return false;
+  Run& run = w.run;
+  run.kind = kind;
+  Run::FrameRef ref;
+  ref.request_id = req.request_id;
+  if (req.opcode == net::Opcode::kInsert ||
+      req.opcode == net::Opcode::kLookup) {
+    ref.nkeys = 1;
+    ref.batch = false;
+    run.keys.push_back(req.key);
+  } else {
+    ref.nkeys = static_cast<std::uint32_t>(req.keys.size());
+    ref.batch = true;
+    run.keys.insert(run.keys.end(), req.keys.begin(), req.keys.end());
+  }
+  run.frames.push_back(ref);
+  return true;
+}
+
+void VcfServer::FlushRun(Worker& w, Connection& conn) {
+  Run& run = w.run;
+  if (run.kind == Run::Kind::kNone) return;
+  const std::size_t n = run.keys.size();
+  if (w.results_cap < std::max<std::size_t>(n, 1)) {
+    w.results_cap = std::max<std::size_t>(n, 64);
+    w.results = std::make_unique<bool[]>(w.results_cap);
+  }
+  bool* results = w.results.get();
+  const bool insert = run.kind == Run::Kind::kInsert;
+  if (n > 0) {
+    const std::span<const std::uint64_t> keys(run.keys);
+    if (pinned_) {
+      PinnedBatch(w, insert, keys, results);
+    } else if (options_.filter_internally_locked) {
+      if (insert) {
+        filter_->InsertBatch(keys, results);
+      } else {
+        filter_->ContainsBatch(keys, results);
+      }
+    } else if (insert) {
+      std::unique_lock lock(filter_mutex_);
+      filter_->InsertBatch(keys, results);
+    } else {
+      std::shared_lock lock(filter_mutex_);
+      filter_->ContainsBatch(keys, results);
+    }
+  }
+  // Per-frame responses, in frame order, each over its slice of the run's
+  // results. Identical bytes to per-frame execution: the Filter batch
+  // contract pins results[i] = the sequential op outcome.
+  std::size_t off = 0;
+  for (const Run::FrameRef& ref : run.frames) {
+    if (!ref.batch) {
+      net::EncodeFlagResponse(conn.out, ref.request_id, results[off]);
+    } else {
+      const std::span<const bool> slice(results + off, ref.nkeys);
+      std::uint32_t accepted = 0;
+      if (insert) {
+        for (const bool b : slice) accepted += b ? 1u : 0u;
+      }
+      net::EncodeBatchResponse(conn.out,
+                               insert ? net::Opcode::kInsertBatch
+                                      : net::Opcode::kLookupBatch,
+                               ref.request_id, slice, accepted);
+    }
+    off += ref.nkeys;
+  }
+  counters_.requests.fetch_add(run.frames.size(), std::memory_order_relaxed);
+  counters_.coalesced_frames.fetch_add(run.frames.size(),
+                                       std::memory_order_relaxed);
+  if (run.frames.size() > 1) {
+    counters_.coalesced_runs.fetch_add(1, std::memory_order_relaxed);
+  }
+  run.kind = Run::Kind::kNone;
+  run.keys.clear();
+  run.frames.clear();
 }
 
 void VcfServer::HandleFrame(Worker& w, Connection& conn,
@@ -491,6 +974,8 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
           return;
         }
         if (ok) NotifyReplicas();
+      } else if (pinned_) {
+        ok = PinnedKeyOp(w, erase ? 2 : 1, req.key);
       } else if (internal) {
         ok = erase ? filter_->Erase(req.key) : filter_->Insert(req.key);
       } else {
@@ -502,7 +987,9 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
     }
     case Opcode::kLookup: {
       bool ok;
-      if (internal) {
+      if (pinned_) {
+        ok = PinnedKeyOp(w, 0, req.key);
+      } else if (internal) {
         ok = filter_->Contains(req.key);
       } else {
         std::shared_lock lock(filter_mutex_);
@@ -557,6 +1044,10 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
           return;
         }
         if (accepted > 0) NotifyReplicas();
+      } else if (pinned_) {
+        PinnedBatch(w, /*insert=*/true, req.keys, results.get());
+        accepted = 0;
+        for (std::size_t i = 0; i < n; ++i) accepted += results[i] ? 1 : 0;
       } else if (internal) {
         accepted = filter_->InsertBatch(req.keys, results.get());
       } else {
@@ -571,7 +1062,9 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
     case Opcode::kLookupBatch: {
       const std::size_t n = req.keys.size();
       const auto results = std::make_unique<bool[]>(n == 0 ? 1 : n);
-      if (internal) {
+      if (pinned_) {
+        PinnedBatch(w, /*insert=*/false, req.keys, results.get());
+      } else if (internal) {
         filter_->ContainsBatch(req.keys, results.get());
       } else {
         std::shared_lock lock(filter_mutex_);
@@ -586,7 +1079,16 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
       std::uint64_t items, slots, memory;
       double lf;
       bool deletion;
-      if (internal) {
+      if (pinned_) {
+        // Name/SupportsDeletion are immutable post-construction; size
+        // counters come from each shard's owner.
+        name = filter_->Name();
+        deletion = filter_->SupportsDeletion();
+        PinnedStats(w, items, slots, memory);
+        lf = slots == 0 ? 0.0
+                        : static_cast<double>(items) /
+                              static_cast<double>(slots);
+      } else if (internal) {
         name = filter_->Name();
         items = filter_->ItemCount();
         slots = filter_->SlotCount();
@@ -611,9 +1113,14 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
         net::EncodeErrorResponse(out, Status::kUnsupported, req.request_id);
         return;
       }
-      net::EncodeFlagResponse(out, req.request_id, CheckpointNow());
+      net::EncodeFlagResponse(out, req.request_id, CheckpointImpl(&w));
       return;
     }
+    case Opcode::kWorkerInfo:
+      net::EncodeWorkerInfoResponse(
+          out, req.request_id, w.index, options_.threads,
+          static_cast<std::uint32_t>(shard_count_), route_salt_, pinned_);
+      return;
     case Opcode::kReplHello: {
       if (oplog_ == nullptr) {
         net::EncodeErrorResponse(out, Status::kUnsupported, req.request_id);
@@ -701,8 +1208,7 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
 
 bool VcfServer::PumpReplica(Connection& conn) {
   if (!conn.is_replica || oplog_ == nullptr) return true;
-  while (conn.snapshot_pending &&
-         conn.out.size() - conn.out_off < kWriteHighWater) {
+  while (conn.snapshot_pending && conn.PendingBytes() < kWriteHighWater) {
     if (VCF_FAILPOINT_TRIGGERED(failpoints::kReplSnapshotChunk)) {
       return false;  // drill: cut the replica off mid-snapshot
     }
@@ -729,7 +1235,7 @@ bool VcfServer::PumpReplica(Connection& conn) {
   }
   if (conn.snapshot_pending) return true;  // backpressured mid-snapshot
   std::vector<OplogEntry> entries;
-  while (conn.out.size() - conn.out_off < kWriteHighWater) {
+  while (conn.PendingBytes() < kWriteHighWater) {
     entries.clear();
     if (!oplog_->CopyFrom(conn.repl_next_seq, 256, entries)) {
       // The replica's position fell off the bounded log's tail (it was

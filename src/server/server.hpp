@@ -3,12 +3,22 @@
 //
 // Threading model: worker 0 owns the (non-blocking) listening socket and
 // hands accepted connections to workers round-robin through per-worker
-// locked inboxes; every worker then runs an independent event loop (epoll on
-// Linux, poll fallback — server/poller.hpp) over its own connections, so a
+// locked inboxes; every worker then runs an independent event loop
+// (io_uring/epoll/poll — server/poller.hpp) over its own connections, so a
 // slow or hostile peer only ever stalls its own worker's loop iteration,
 // never the whole fleet. Requests are pipelined: every complete frame in a
 // connection's read buffer is served before the loop returns to the poller,
-// and responses are batched into one write.
+// and responses are batched into one writev (old unsent tail + fresh
+// responses, one syscall).
+//
+// Cross-frame coalescing (Options::coalesce, default on): within one
+// event-loop tick, adjacent frames of the same kind — LOOKUP/LOOKUP_BATCH,
+// or INSERT/INSERT_BATCH when no op log is journaling — are merged into one
+// key run and executed through the filter's prefetch-pipelined batch
+// kernels, then per-frame responses are emitted in exact frame order. The
+// Filter contract (batch ops ≡ the sequential calls, in key order) makes
+// the response bytes identical to per-frame execution; the coalescing-
+// equivalence test asserts that byte-for-byte.
 //
 // Filter locking: a ShardedFilter carries per-shard locks, so server ops
 // call straight into it and scale across workers (Options::
@@ -17,24 +27,41 @@
 // share, mutations are exclusive — which is correct but caps write
 // throughput at one core; prefer `--filter sharded:<n>:...` in deployment.
 //
+// Core-affine shard ownership (Options::pin_shards, requires a sharded
+// filter and no replication): worker w exclusively owns shards
+// {s : s % threads == w}, and accesses them WITHOUT their shard locks. A
+// key run routed to a foreign worker's shard is forwarded to that owner
+// through a locked task inbox and executed there; a worker waiting on a
+// forwarded run cooperatively drains its own inbox, so two workers
+// forwarding to each other always make progress. Clients that route keys
+// with the same Mix64 salt (WORKER_INFO reports it) never hit the
+// forwarding path. Options::cpu_list pins worker i to cpu_list[i % n].
+//
 // Shutdown: RequestShutdown() is async-signal-safe (atomic flag + self-pipe
 // write), so vcfd calls it straight from its SIGTERM handler. Workers stop
 // accepting, flush pending responses best-effort, close, and Join() then
 // writes a final checkpoint to Options::state_path (atomic tmp+rename) —
 // every key a client saw ACKed is in that checkpoint, the invariant the
-// restart integration test asserts end-to-end.
+// restart integration test asserts end-to-end. A pinned worker flips its
+// inbox closed under the inbox lock before exiting and runs the remaining
+// tasks through the locked shard path, so late forwards from still-live
+// workers fall back to the per-shard locks instead of racing.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/filter.hpp"
+#include "core/sharded_filter.hpp"
 #include "server/poller.hpp"
 #include "server/replication.hpp"
 
@@ -64,6 +91,16 @@ class VcfServer {
     /// writes this sidecar with {covered seq, checkpoint digest} so a
     /// restarted replica can resume the stream instead of re-bootstrapping.
     std::string repl_meta_path;
+    /// CPU ids to pin worker threads to (worker i → cpu_list[i % size]).
+    /// Empty = no pinning.
+    std::vector<int> cpu_list;
+    /// Core-affine shard ownership (see class comment). Start() fails
+    /// unless the filter is an internally-locked ShardedFilter and
+    /// replication is off (owner execution bypasses the op-log ordering).
+    bool pin_shards = false;
+    /// Cross-frame batch coalescing (see class comment). The VCFD_COALESCE
+    /// environment variable overrides this at construction (0 = off).
+    bool coalesce = true;
   };
 
   /// Monotonic service counters (relaxed atomics; exact enough for ops).
@@ -77,6 +114,9 @@ class VcfServer {
     std::atomic<std::uint64_t> repl_entries_streamed{0};
     std::atomic<std::uint64_t> repl_snapshots_streamed{0};
     std::atomic<std::uint64_t> read_only_rejections{0};
+    std::atomic<std::uint64_t> coalesced_frames{0};  ///< frames served via runs
+    std::atomic<std::uint64_t> coalesced_runs{0};    ///< multi-frame runs
+    std::atomic<std::uint64_t> forwarded_tasks{0};   ///< pinned cross-worker
   };
 
   VcfServer(std::unique_ptr<Filter> filter, Options options);
@@ -117,6 +157,10 @@ class VcfServer {
   bool shutting_down() const noexcept {
     return stop_.load(std::memory_order_relaxed);
   }
+  /// The poller backend worker 0 resolved to (valid after Start()).
+  Poller::Backend resolved_backend() const noexcept;
+  /// True when core-affine shard ownership is active (after Start()).
+  bool pinned() const noexcept { return pinned_; }
 
   /// Replica-side apply hooks, called by ReplicaSession's thread only.
   /// ApplyReplicated performs one journaled mutation; InstallSnapshot
@@ -145,18 +189,77 @@ class VcfServer {
   struct Connection;
   struct Worker;
 
+  /// One forwarded unit of work for a pinned shard's owning thread. `fn`
+  /// runs on the owner with locked = false; a worker draining its inbox on
+  /// exit runs it with locked = true (through the per-shard locks) because
+  /// its ownership guarantee ends with it.
+  struct ShardTask {
+    std::function<void(bool locked)> fn;
+    std::atomic<std::uint32_t>* done = nullptr;  ///< incremented after fn
+  };
+
+  /// A pending coalesced key run on one connection (worker-local scratch).
+  struct Run {
+    enum class Kind : std::uint8_t { kNone, kLookup, kInsert };
+    struct FrameRef {
+      std::uint32_t request_id = 0;
+      std::uint32_t nkeys = 0;
+      bool batch = false;  ///< response shape: batch bitmap vs single flag
+    };
+    Kind kind = Kind::kNone;
+    std::vector<std::uint64_t> keys;
+    std::vector<FrameRef> frames;
+  };
+
   void WorkerLoop(unsigned index);
   void AcceptReady(Worker& w);
-  /// Drains readable bytes and serves every complete pipelined frame.
-  /// Returns false when the connection must close.
+  /// Drains readable bytes and serves every complete pipelined frame,
+  /// coalescing adjacent same-kind key frames into batch runs. Returns
+  /// false when the connection must close.
   bool ServeReadable(Worker& w, Connection& conn);
   bool FlushWrites(Connection& conn);
   void HandleFrame(Worker& w, Connection& conn,
                    std::span<const std::uint8_t> payload);
-  /// Appends pending snapshot chunks / op-log entries to a replica
-  /// connection's write buffer, up to the high-water mark. False when the
-  /// replica must be disconnected (stream failpoint, or it fell off the
-  /// bounded log's tail and needs a snapshot resync).
+
+  // --- Coalescer ----------------------------------------------------------
+  /// kNone when the frame cannot join a run (wrong opcode/version, op log
+  /// journaling, read-only, shutdown).
+  Run::Kind ClassifyFrame(std::span<const std::uint8_t> payload) const;
+  /// Decodes and appends a classified frame to the worker's run. False on a
+  /// malformed frame (caller routes it to HandleFrame for the error path).
+  bool AppendToRun(Worker& w, Run::Kind kind,
+                   std::span<const std::uint8_t> payload);
+  /// Executes the pending run through the batch kernels and emits per-frame
+  /// responses, in frame order, into conn.out.
+  void FlushRun(Worker& w, Connection& conn);
+
+  // --- Pinned executor ----------------------------------------------------
+  unsigned OwnerOf(std::size_t shard) const noexcept {
+    return static_cast<unsigned>(shard % options_.threads);
+  }
+  /// False when the target stopped accepting (caller runs the locked path).
+  bool EnqueueTask(Worker& target, ShardTask task);
+  void DrainTasks(Worker& w, bool locked);
+  /// Spin-waits for `done` to reach `want`; a worker drains its own inbox
+  /// while waiting (deadlock freedom), a non-worker caller just yields.
+  void WaitTaskCount(Worker* self, const std::atomic<std::uint32_t>& done,
+                     std::uint32_t want);
+  /// Executes the idx-selected keys grouped per shard through the shard
+  /// batch kernels; results scatter to results[idx[j]]. Runs unlocked on
+  /// the owning thread, or through ShardedFilter's locks when `locked`.
+  void RunKeysForOwner(bool insert, std::span<const std::uint64_t> keys,
+                       std::span<const std::uint32_t> idx, bool* results,
+                       bool locked);
+  bool PinnedKeyOp(Worker& w, std::uint8_t kind, std::uint64_t key);
+  void PinnedBatch(Worker& w, bool insert,
+                   std::span<const std::uint64_t> keys, bool* results);
+  void PinnedStats(Worker& w, std::uint64_t& items, std::uint64_t& slots,
+                   std::uint64_t& memory);
+  bool CheckpointImpl(Worker* self);
+  /// Stages every shard blob via owner tasks (locked fallback for exited
+  /// owners) and writes the envelope. Pinned mode only.
+  bool PinnedSaveState(Worker* self, std::ostream& out);
+
   bool PumpReplica(Connection& conn);
   /// Wakes every worker that owns replica connections after a journal
   /// append, so streaming latency is one event-loop turn, not a poll tick.
@@ -166,6 +269,12 @@ class VcfServer {
   std::unique_ptr<Filter> filter_;
   Options options_;
   Counters counters_;
+
+  ShardedFilter* sharded_ = nullptr;  ///< filter_ downcast; null if not sharded
+  bool pinned_ = false;               ///< set by Start() when pin_shards holds
+  bool coalesce_ = true;
+  std::size_t shard_count_ = 0;       ///< cached sharded_ geometry
+  std::uint64_t route_salt_ = 0;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

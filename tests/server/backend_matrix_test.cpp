@@ -1,0 +1,118 @@
+// Runs the loopback smoke suite under every forced poller backend so a
+// regression in one readiness implementation cannot hide behind the `auto`
+// selection order. io_uring legs self-skip on kernels without the opcodes
+// (mirroring CI's `vcfd --check-backend` gate); epoll and poll always run.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/vcf_client.hpp"
+#include "harness/filter_factory.hpp"
+#include "server/poller.hpp"
+#include "server/server.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf::server {
+namespace {
+
+FilterSpec ShardedVcfSpec() {
+  FilterSpec spec;
+  ParseFilterKind("sharded:4:vcf", spec);
+  spec.params = CuckooParams::ForSlotsLog2(16);
+  return spec;
+}
+
+std::unique_ptr<VcfServer> StartServer(const FilterSpec& spec,
+                                       VcfServer::Options options) {
+  options.filter_internally_locked = spec.shards > 0;
+  auto server = std::make_unique<VcfServer>(MakeFilter(spec), options);
+  std::string error;
+  EXPECT_TRUE(server->Start(&error)) << error;
+  EXPECT_NE(server->port(), 0);
+  return server;
+}
+
+class BackendMatrix : public ::testing::TestWithParam<Poller::Backend> {};
+
+TEST_P(BackendMatrix, FullOpSmoke) {
+  const Poller::Backend backend = GetParam();
+  if (!Poller::BackendAvailable(backend)) {
+    GTEST_SKIP() << Poller::BackendName(backend)
+                 << " unavailable on this kernel";
+  }
+  VcfServer::Options options;
+  options.backend = backend;
+  options.threads = 2;
+  auto server = StartServer(ShardedVcfSpec(), options);
+  ASSERT_EQ(server->resolved_backend(), backend);
+
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+  EXPECT_TRUE(c.Ping()) << c.last_error();
+
+  const auto keys = UniformKeys(4096, /*stream=*/11);
+  bool ok = false;
+  EXPECT_EQ(c.InsertBatch(keys, nullptr, &ok), keys.size());
+  EXPECT_TRUE(ok) << c.last_error();
+
+  auto results = std::make_unique<bool[]>(keys.size());
+  ASSERT_TRUE(c.LookupBatch(keys, results.get())) << c.last_error();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(results[i]) << "key " << i << " lost";
+  }
+  ASSERT_TRUE(c.PipelineLookups(keys, results.get(), 32)) << c.last_error();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(results[i]) << "pipelined key " << i << " lost";
+  }
+
+  EXPECT_TRUE(c.Insert(777, &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(c.Lookup(777, &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(c.Erase(777, &ok));
+  EXPECT_TRUE(ok);
+  EXPECT_FALSE(c.Lookup(777, &ok));
+  EXPECT_TRUE(ok);
+
+  client::VcfClient::ServerStats stats;
+  ASSERT_TRUE(c.GetStats(stats)) << c.last_error();
+  EXPECT_EQ(stats.items, keys.size());
+
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendMatrix,
+    ::testing::Values(Poller::Backend::kEpoll, Poller::Backend::kPoll,
+                      Poller::Backend::kIoUring),
+    [](const ::testing::TestParamInfo<Poller::Backend>& info) {
+      return std::string(Poller::BackendName(info.param));
+    });
+
+TEST(BackendEnv, VcfdBackendForcesAutoSelection) {
+  // VCFD_BACKEND only steers `auto`; an explicit Options::backend wins.
+  ASSERT_EQ(::setenv("VCFD_BACKEND", "poll", 1), 0);
+  {
+    VcfServer::Options options;  // backend = kAuto
+    auto server = StartServer(ShardedVcfSpec(), options);
+    EXPECT_EQ(server->resolved_backend(), Poller::Backend::kPoll);
+    server->RequestShutdown();
+    EXPECT_TRUE(server->Join());
+  }
+  {
+    VcfServer::Options options;
+    options.backend = Poller::Backend::kEpoll;
+    auto server = StartServer(ShardedVcfSpec(), options);
+    EXPECT_EQ(server->resolved_backend(), Poller::Backend::kEpoll);
+    server->RequestShutdown();
+    EXPECT_TRUE(server->Join());
+  }
+  ASSERT_EQ(::unsetenv("VCFD_BACKEND"), 0);
+}
+
+}  // namespace
+}  // namespace vcf::server

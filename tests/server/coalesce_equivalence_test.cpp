@@ -1,0 +1,235 @@
+// Cross-frame batch coalescing must be invisible on the wire: a server with
+// the coalescer enabled and one with it disabled, fed the same byte stream
+// against identical fresh filters, must produce byte-identical response
+// streams (same statuses, same bitmaps, same accepted counts, same frame
+// order). That is exactly the InsertBatch/ContainsBatch contract — results
+// as if each frame ran alone, in order — checked end-to-end.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "client/vcf_client.hpp"
+#include "harness/filter_factory.hpp"
+#include "net/proto.hpp"
+#include "net/socket.hpp"
+#include "server/server.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf::server {
+namespace {
+
+FilterSpec ShardedVcfSpec() {
+  FilterSpec spec;
+  ParseFilterKind("sharded:4:vcf", spec);
+  // Tiny on purpose: the 3000-key stream overfills 2048 slots, so later
+  // insert frames see rejections and the per-frame accepted counts depend
+  // on the coalescer slicing the merged run correctly. Eviction is
+  // deterministic (rng seeded from params.seed), so both servers agree.
+  spec.params = CuckooParams::ForSlotsLog2(11);
+  return spec;
+}
+
+std::unique_ptr<VcfServer> StartServer(const FilterSpec& spec,
+                                       VcfServer::Options options) {
+  options.filter_internally_locked = spec.shards > 0;
+  auto server = std::make_unique<VcfServer>(MakeFilter(spec), options);
+  std::string error;
+  EXPECT_TRUE(server->Start(&error)) << error;
+  return server;
+}
+
+/// Writes the whole request stream in one shot (so every adjacent frame is
+/// coalescable) and reads until `expect_frames` complete response frames
+/// arrived. Returns the raw response bytes.
+std::vector<std::uint8_t> DriveRaw(std::uint16_t port,
+                                   std::span<const std::uint8_t> requests,
+                                   std::size_t expect_frames) {
+  std::string error;
+  const int fd = net::ConnectTcp("127.0.0.1", port, &error);
+  EXPECT_GE(fd, 0) << error;
+  EXPECT_TRUE(net::WriteAll(fd, requests, nullptr));
+  std::vector<std::uint8_t> got;
+  std::size_t frames = 0;
+  std::uint8_t buf[4096];
+  while (frames < expect_frames) {
+    const std::ptrdiff_t n = net::ReadSome(fd, buf);
+    if (n <= 0) break;  // peer closed / error: the frame count check fails
+    got.insert(got.end(), buf, buf + n);
+    frames = 0;
+    std::size_t off = 0;
+    while (off + 4 <= got.size()) {
+      const std::uint32_t len =
+          static_cast<std::uint32_t>(got[off]) |
+          (static_cast<std::uint32_t>(got[off + 1]) << 8) |
+          (static_cast<std::uint32_t>(got[off + 2]) << 16) |
+          (static_cast<std::uint32_t>(got[off + 3]) << 24);
+      if (off + 4 + len > got.size()) break;
+      off += 4 + len;
+      ++frames;
+    }
+  }
+  net::CloseFd(fd);
+  EXPECT_EQ(frames, expect_frames);
+  return got;
+}
+
+/// A request stream exercising every coalescer edge: long same-kind runs
+/// (merged), kind switches (run flushed), non-coalescable opcodes splitting
+/// runs, and enough inserts into a small filter that some are rejected —
+/// per-frame accepted counts then depend on correct run slicing.
+std::vector<std::uint8_t> BuildStream(std::size_t* expect_frames) {
+  std::vector<std::uint8_t> out;
+  std::uint32_t id = 1;
+  std::size_t frames = 0;
+  const auto inserted = UniformKeys(3000, /*stream=*/21);
+  const auto probes = UniformKeys(512, /*stream=*/22);
+
+  // Run of 8 adjacent INSERT_BATCH frames (one coalesced run server-side).
+  for (std::size_t f = 0; f < 8; ++f) {
+    net::EncodeBatchRequest(
+        out, net::Opcode::kInsertBatch, id++,
+        std::span(inserted).subspan(f * 300, 300));
+    ++frames;
+  }
+  // Adjacent single INSERTs extend the same kind of run.
+  for (std::size_t i = 0; i < 16; ++i) {
+    net::EncodeKeyRequest(out, net::Opcode::kInsert, id++,
+                          inserted[2400 + i]);
+    ++frames;
+  }
+  // Kind switch: lookups of a mix of present and absent keys.
+  for (std::size_t f = 0; f < 4; ++f) {
+    net::EncodeBatchRequest(out, net::Opcode::kLookupBatch, id++,
+                            std::span(probes).subspan(f * 128, 128));
+    ++frames;
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    net::EncodeKeyRequest(out, net::Opcode::kLookup, id++, inserted[i]);
+    ++frames;
+  }
+  // PING is not coalescable: it must split the surrounding lookup runs.
+  net::EncodeKeyRequest(out, net::Opcode::kLookup, id++, inserted[0]);
+  ++frames;
+  net::EncodePingRequest(out, id++);
+  ++frames;
+  net::EncodeKeyRequest(out, net::Opcode::kLookup, id++, inserted[1]);
+  ++frames;
+  // ERASE is a mutation the coalescer must not fold into an insert run.
+  net::EncodeKeyRequest(out, net::Opcode::kInsert, id++, inserted[2500]);
+  ++frames;
+  net::EncodeKeyRequest(out, net::Opcode::kDelete, id++, inserted[2500]);
+  ++frames;
+  net::EncodeKeyRequest(out, net::Opcode::kInsert, id++, inserted[2501]);
+  ++frames;
+  // Tail: alternate insert/lookup so every flush path runs.
+  for (std::size_t i = 0; i < 8; ++i) {
+    net::EncodeKeyRequest(out, net::Opcode::kInsert, id++,
+                          inserted[2600 + i]);
+    ++frames;
+    net::EncodeKeyRequest(out, net::Opcode::kLookup, id++,
+                          inserted[2600 + i]);
+    ++frames;
+  }
+  net::EncodeEmptyRequest(out, net::Opcode::kStats, id++);
+  ++frames;
+  *expect_frames = frames;
+  return out;
+}
+
+TEST(CoalesceEquivalence, ByteIdenticalResponses) {
+  std::size_t expect_frames = 0;
+  const auto stream = BuildStream(&expect_frames);
+
+  VcfServer::Options on;
+  on.threads = 1;  // one worker: every frame lands in the same tick's run
+  on.coalesce = true;
+  auto coalescing = StartServer(ShardedVcfSpec(), on);
+
+  VcfServer::Options off;
+  off.threads = 1;
+  off.coalesce = false;
+  auto plain = StartServer(ShardedVcfSpec(), off);
+
+  const auto got_on = DriveRaw(coalescing->port(), stream, expect_frames);
+  const auto got_off = DriveRaw(plain->port(), stream, expect_frames);
+  EXPECT_EQ(got_on, got_off);
+
+  // The equivalence only means something if the coalescer actually ran.
+  EXPECT_GT(coalescing->counters().coalesced_frames.load(), 0u);
+  EXPECT_GT(coalescing->counters().coalesced_runs.load(), 0u);
+  EXPECT_EQ(plain->counters().coalesced_frames.load(), 0u);
+
+  coalescing->RequestShutdown();
+  plain->RequestShutdown();
+  EXPECT_TRUE(coalescing->Join());
+  EXPECT_TRUE(plain->Join());
+}
+
+TEST(CoalesceEquivalence, EnvVarDisables) {
+  ASSERT_EQ(::setenv("VCFD_COALESCE", "0", 1), 0);
+  VcfServer::Options options;  // coalesce defaults to true
+  options.threads = 1;
+  auto server = StartServer(ShardedVcfSpec(), options);
+  ASSERT_EQ(::unsetenv("VCFD_COALESCE"), 0);
+
+  std::size_t expect_frames = 0;
+  const auto stream = BuildStream(&expect_frames);
+  const auto got = DriveRaw(server->port(), stream, expect_frames);
+  EXPECT_FALSE(got.empty());
+  EXPECT_EQ(server->counters().coalesced_frames.load(), 0u);
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+TEST(CoalesceEquivalence, PipelinedClientStillCorrect) {
+  // The client's windowed batch path (batch_frame_keys splits + pipelining)
+  // against the coalescing server: accepted counts and bitmaps must match a
+  // plain serial client's view of the same filter.
+  VcfServer::Options options;
+  options.threads = 2;
+  auto server = StartServer(ShardedVcfSpec(), options);
+
+  client::VcfClient::Options copts;
+  copts.max_attempts = 1;
+  copts.batch_frame_keys = 100;  // 4000 keys -> 40 frames, windows of 8
+  copts.batch_pipeline = 8;
+  client::VcfClient c;
+  ASSERT_TRUE(
+      c.ConnectCluster({{"127.0.0.1", server->port()}}, copts))
+      << c.last_error();
+
+  const auto keys = UniformKeys(4000, /*stream=*/31);
+  auto ins = std::make_unique<bool[]>(keys.size());
+  auto found = std::make_unique<bool[]>(keys.size());
+  bool ok = false;
+  const std::size_t accepted = c.InsertBatch(keys, ins.get(), &ok);
+  ASSERT_TRUE(ok) << c.last_error();
+  std::size_t accepted_bits = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    accepted_bits += ins[i] ? 1 : 0;
+  }
+  EXPECT_EQ(accepted, accepted_bits);
+
+  ASSERT_TRUE(c.LookupBatch(keys, found.get())) << c.last_error();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    // No false negatives: every accepted key must be found (rejected ones
+    // may still hit as false positives, which is fine).
+    if (ins[i]) {
+      EXPECT_TRUE(found[i]) << "accepted key " << i << " lost";
+    }
+  }
+
+  client::VcfClient::ServerStats stats;
+  ASSERT_TRUE(c.GetStats(stats)) << c.last_error();
+  EXPECT_EQ(stats.items, accepted);
+
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+}  // namespace
+}  // namespace vcf::server

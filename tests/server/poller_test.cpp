@@ -1,0 +1,222 @@
+// Backend-parameterized contract tests for the Poller readiness abstraction.
+// Every backend (epoll, poll, io_uring where the kernel supports it) must
+// honor the same level-triggered contract the connection state machine
+// depends on: readiness persists until drained, Update changes the interest
+// set, Remove silences the fd, and timeouts fire without events.
+#include "server/poller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <fcntl.h>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+namespace vcf::server {
+namespace {
+
+class PipePair {
+ public:
+  PipePair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::pipe(fds), 0);
+    read_fd_ = fds[0];
+    write_fd_ = fds[1];
+    ::fcntl(read_fd_, F_SETFL, O_NONBLOCK);
+    ::fcntl(write_fd_, F_SETFL, O_NONBLOCK);
+  }
+  ~PipePair() {
+    if (read_fd_ >= 0) ::close(read_fd_);
+    if (write_fd_ >= 0) ::close(write_fd_);
+  }
+  int read_fd() const { return read_fd_; }
+  int write_fd() const { return write_fd_; }
+
+ private:
+  int read_fd_ = -1;
+  int write_fd_ = -1;
+};
+
+class PollerBackendTest : public ::testing::TestWithParam<Poller::Backend> {
+ protected:
+  void SetUp() override {
+    if (!Poller::BackendAvailable(GetParam())) {
+      GTEST_SKIP() << Poller::BackendName(GetParam())
+                   << " backend unavailable on this kernel";
+    }
+  }
+};
+
+TEST_P(PollerBackendTest, ResolvesToRequestedBackend) {
+  Poller poller(GetParam());
+  EXPECT_EQ(poller.backend(), GetParam());
+}
+
+TEST_P(PollerBackendTest, TimeoutWithNoEvents) {
+  Poller poller(GetParam());
+  PipePair pipe;
+  ASSERT_TRUE(poller.Add(pipe.read_fd(), /*want_read=*/true,
+                         /*want_write=*/false));
+  std::vector<Poller::Event> events;
+  EXPECT_EQ(poller.Wait(events, 10), 0);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST_P(PollerBackendTest, ReportsReadable) {
+  Poller poller(GetParam());
+  PipePair pipe;
+  ASSERT_TRUE(poller.Add(pipe.read_fd(), true, false));
+  ASSERT_EQ(::write(pipe.write_fd(), "x", 1), 1);
+  std::vector<Poller::Event> events;
+  ASSERT_EQ(poller.Wait(events, 1000), 1);
+  EXPECT_EQ(events[0].fd, pipe.read_fd());
+  EXPECT_TRUE(events[0].readable);
+}
+
+TEST_P(PollerBackendTest, LevelTriggeredUntilDrained) {
+  Poller poller(GetParam());
+  PipePair pipe;
+  ASSERT_TRUE(poller.Add(pipe.read_fd(), true, false));
+  ASSERT_EQ(::write(pipe.write_fd(), "ab", 2), 2);
+  std::vector<Poller::Event> events;
+  // Deliberately drain one byte per wakeup: a level-triggered poller must
+  // keep reporting readable until the pipe is empty.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_EQ(poller.Wait(events, 1000), 1) << "wakeup " << i;
+    ASSERT_TRUE(events[0].readable);
+    char c;
+    ASSERT_EQ(::read(pipe.read_fd(), &c, 1), 1);
+  }
+  EXPECT_EQ(poller.Wait(events, 10), 0);
+}
+
+TEST_P(PollerBackendTest, PersistentFdStaysArmedAcrossTicks) {
+  Poller poller(GetParam());
+  PipePair pipe;
+  ASSERT_TRUE(poller.Add(pipe.read_fd(), true, false, /*persistent=*/true));
+  std::vector<Poller::Event> events;
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_EQ(::write(pipe.write_fd(), "x", 1), 1);
+    ASSERT_EQ(poller.Wait(events, 1000), 1) << "round " << round;
+    EXPECT_TRUE(events[0].readable);
+    char c;
+    ASSERT_EQ(::read(pipe.read_fd(), &c, 1), 1);
+    EXPECT_EQ(poller.Wait(events, 10), 0);
+  }
+}
+
+TEST_P(PollerBackendTest, UpdateSwitchesInterestSet) {
+  Poller poller(GetParam());
+  PipePair pipe;
+  ASSERT_TRUE(poller.Add(pipe.read_fd(), true, false));
+  ASSERT_EQ(::write(pipe.write_fd(), "x", 1), 1);
+  std::vector<Poller::Event> events;
+  ASSERT_EQ(poller.Wait(events, 1000), 1);
+  // Drop read interest: the still-readable fd must go quiet.
+  ASSERT_TRUE(poller.Update(pipe.read_fd(), false, false));
+  EXPECT_EQ(poller.Wait(events, 10), 0);
+  // Restore it: the byte is still there, so readable must fire again
+  // (the re-arm must re-check readiness, not wait for an edge).
+  ASSERT_TRUE(poller.Update(pipe.read_fd(), true, false));
+  ASSERT_EQ(poller.Wait(events, 1000), 1);
+  EXPECT_TRUE(events[0].readable);
+}
+
+TEST_P(PollerBackendTest, WritableReportedOnEmptyPipe) {
+  Poller poller(GetParam());
+  PipePair pipe;
+  ASSERT_TRUE(poller.Add(pipe.write_fd(), false, true));
+  std::vector<Poller::Event> events;
+  ASSERT_EQ(poller.Wait(events, 1000), 1);
+  EXPECT_EQ(events[0].fd, pipe.write_fd());
+  EXPECT_TRUE(events[0].writable);
+}
+
+TEST_P(PollerBackendTest, RemoveSilencesFd) {
+  Poller poller(GetParam());
+  PipePair pipe;
+  ASSERT_TRUE(poller.Add(pipe.read_fd(), true, false));
+  ASSERT_EQ(::write(pipe.write_fd(), "x", 1), 1);
+  std::vector<Poller::Event> events;
+  ASSERT_EQ(poller.Wait(events, 1000), 1);
+  poller.Remove(pipe.read_fd());
+  EXPECT_EQ(poller.Wait(events, 10), 0);
+}
+
+TEST_P(PollerBackendTest, HangupReportedAsReadableOrError) {
+  Poller poller(GetParam());
+  PipePair pipe;
+  ASSERT_TRUE(poller.Add(pipe.read_fd(), true, false));
+  ASSERT_EQ(::write(pipe.write_fd(), "x", 1), 1);
+  ::close(pipe.write_fd());
+  const int write_fd_leak_guard [[maybe_unused]] = -1;
+  std::vector<Poller::Event> events;
+  ASSERT_EQ(poller.Wait(events, 1000), 1);
+  // POLLIN|POLLHUP: data then EOF. Either flag lets the server drain+close.
+  EXPECT_TRUE(events[0].readable || events[0].error);
+  char buf[4];
+  EXPECT_EQ(::read(pipe.read_fd(), buf, sizeof(buf)), 1);
+  ::close(pipe.read_fd());
+  // Keep the destructor from double-closing.
+  poller.Remove(pipe.read_fd());
+}
+
+TEST_P(PollerBackendTest, ManyFdsRoundRobin) {
+  Poller poller(GetParam());
+  constexpr int kPipes = 32;
+  std::vector<PipePair> pipes(kPipes);
+  for (const auto& p : pipes) {
+    ASSERT_TRUE(poller.Add(p.read_fd(), true, false));
+  }
+  // Fire every fd, then confirm one wait observes all of them (possibly
+  // over several calls — io_uring caps CQ batches, poll reports all).
+  for (const auto& p : pipes) {
+    ASSERT_EQ(::write(p.write_fd(), "y", 1), 1);
+  }
+  std::vector<bool> seen(kPipes, false);
+  std::vector<Poller::Event> events;
+  int spins = 0;
+  int remaining = kPipes;
+  while (remaining > 0 && spins++ < 100) {
+    ASSERT_GE(poller.Wait(events, 1000), 0);
+    for (const auto& e : events) {
+      for (int i = 0; i < kPipes; ++i) {
+        if (pipes[i].read_fd() == e.fd && !seen[i]) {
+          seen[i] = true;
+          char c;
+          ASSERT_EQ(::read(e.fd, &c, 1), 1);
+          --remaining;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(remaining, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, PollerBackendTest,
+    ::testing::Values(Poller::Backend::kEpoll, Poller::Backend::kPoll,
+                      Poller::Backend::kIoUring),
+    [](const ::testing::TestParamInfo<Poller::Backend>& info) {
+      return std::string(Poller::BackendName(info.param));
+    });
+
+TEST(PollerBackendNames, ParseRoundTrip) {
+  Poller::Backend b;
+  ASSERT_TRUE(Poller::ParseBackend("epoll", &b));
+  EXPECT_EQ(b, Poller::Backend::kEpoll);
+  ASSERT_TRUE(Poller::ParseBackend("poll", &b));
+  EXPECT_EQ(b, Poller::Backend::kPoll);
+  ASSERT_TRUE(Poller::ParseBackend("io_uring", &b));
+  EXPECT_EQ(b, Poller::Backend::kIoUring);
+  ASSERT_TRUE(Poller::ParseBackend("uring", &b));
+  EXPECT_EQ(b, Poller::Backend::kIoUring);
+  ASSERT_TRUE(Poller::ParseBackend("auto", &b));
+  EXPECT_EQ(b, Poller::Backend::kAuto);
+  EXPECT_FALSE(Poller::ParseBackend("kqueue", &b));
+  EXPECT_FALSE(Poller::ParseBackend(nullptr, &b));
+}
+
+}  // namespace
+}  // namespace vcf::server

@@ -23,6 +23,14 @@
 // schedule and latency is measured from the *intended* start, so a stalled
 // server accrues coordinated-omission-free queueing delay instead of
 // silently slowing the generator down.
+//
+// Multi-process mode (--processes=P): the parent prefills once, forks P
+// children that each run the full threaded workload (with globally unique
+// key streams), and merges their histograms exactly via the binary
+// LatencyHistogram Save/Load format through per-child temp files. Use it
+// when one process's client threads saturate before the server does.
+// --cpu-list pins worker thread i (globally, across processes) to the i-th
+// cpu of the list, mirroring vcfd's flag of the same name.
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
@@ -30,9 +38,15 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <pthread.h>
+#include <sched.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "client/vcf_client.hpp"
 #include "common/timer.hpp"
@@ -63,6 +77,8 @@ struct Config {
   std::size_t universe = 1u << 20;
   std::size_t prefill = 1u << 18;
   double rate = 0.0;  // requests/s per thread; 0 = closed loop
+  unsigned processes = 1;      ///< forked generator processes (>=1)
+  std::vector<int> cpu_list;   ///< global worker i -> cpu_list[i % size]
   std::string json_out;
 };
 
@@ -98,6 +114,14 @@ bool ConnectWorker(const Config& cfg, VcfClient& client) {
 
 void Worker(const Config& cfg, unsigned index, std::atomic<bool>& stop,
             ThreadResult& result) {
+  // `index` is global across --processes, so streams, seeds and cpu slots
+  // never collide between forked generators.
+  if (!cfg.cpu_list.empty()) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cfg.cpu_list[index % cfg.cpu_list.size()], &set);
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
   VcfClient client;
   if (!ConnectWorker(cfg, client)) {
     result.connect_failed = true;
@@ -194,6 +218,139 @@ void Worker(const Config& cfg, unsigned index, std::atomic<bool>& stop,
   }
 }
 
+/// One generator's merged run (a process-worth of threads); Aggregates from
+/// forked children merge again in the parent — LatencyHistogram::Merge is
+/// exact, so the quantiles are identical to a single-process run.
+struct Aggregate {
+  LatencyHistogram lookup_hist, insert_hist;
+  std::uint64_t lookup_ops = 0, insert_ops = 0;
+  std::uint64_t lookup_requests = 0, insert_requests = 0, errors = 0;
+  double elapsed_s = 0.0;
+  bool ok = false;
+  std::string error;
+};
+
+/// Warmup + measured phase for cfg.threads workers whose global indices
+/// start at `worker_base` (nonzero in forked children).
+Aggregate RunWorkers(const Config& cfg, unsigned worker_base) {
+  Aggregate agg;
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.threads);
+
+  // Warmup phase: run the full workload, then discard the measurements.
+  if (cfg.warmup_s > 0.0) {
+    std::vector<ThreadResult> warmup_results(cfg.threads);
+    std::atomic<bool> warmup_stop{false};
+    for (unsigned i = 0; i < cfg.threads; ++i) {
+      threads.emplace_back(Worker, std::cref(cfg), worker_base + i,
+                           std::ref(warmup_stop),
+                           std::ref(warmup_results[i]));
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(cfg.warmup_s));
+    warmup_stop.store(true);
+    for (auto& t : threads) t.join();
+    threads.clear();
+    for (const ThreadResult& r : warmup_results) {
+      if (r.connect_failed) {
+        agg.error = "worker connect failed: " + r.error;
+        return agg;
+      }
+    }
+  }
+
+  std::vector<ThreadResult> results(cfg.threads);
+  std::atomic<bool> stop{false};
+  Stopwatch run_clock;
+  for (unsigned i = 0; i < cfg.threads; ++i) {
+    threads.emplace_back(Worker, std::cref(cfg), worker_base + i,
+                         std::ref(stop), std::ref(results[i]));
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.duration_s));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  agg.elapsed_s = run_clock.ElapsedSeconds();
+
+  for (const ThreadResult& r : results) {
+    if (r.connect_failed) {
+      agg.error = "worker connect failed: " + r.error;
+      return agg;
+    }
+    agg.lookup_hist.Merge(r.lookup_hist);
+    agg.insert_hist.Merge(r.insert_hist);
+    agg.lookup_ops += r.lookup_ops;
+    agg.insert_ops += r.insert_ops;
+    agg.lookup_requests += r.lookup_requests;
+    agg.insert_requests += r.insert_requests;
+    agg.errors += r.errors;
+  }
+  agg.ok = true;
+  return agg;
+}
+
+void PutU64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out.write(b, 8);
+}
+
+bool GetU64(std::istream& in, std::uint64_t& v) {
+  char b[8];
+  if (!in.read(b, 8)) return false;
+  v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i]))
+         << (8 * i);
+  }
+  return true;
+}
+
+/// Child -> parent result file: six LE counters then the two histograms in
+/// their own self-validating format.
+bool SaveAggregate(const Aggregate& agg, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  PutU64(out, agg.lookup_ops);
+  PutU64(out, agg.insert_ops);
+  PutU64(out, agg.lookup_requests);
+  PutU64(out, agg.insert_requests);
+  PutU64(out, agg.errors);
+  PutU64(out, static_cast<std::uint64_t>(agg.elapsed_s * 1e9));
+  return agg.lookup_hist.Save(out) && agg.insert_hist.Save(out) && out.good();
+}
+
+bool LoadAggregate(Aggregate& agg, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::uint64_t elapsed_ns = 0;
+  if (!GetU64(in, agg.lookup_ops) || !GetU64(in, agg.insert_ops) ||
+      !GetU64(in, agg.lookup_requests) || !GetU64(in, agg.insert_requests) ||
+      !GetU64(in, agg.errors) || !GetU64(in, elapsed_ns)) {
+    return false;
+  }
+  agg.elapsed_s = static_cast<double>(elapsed_ns) / 1e9;
+  if (!agg.lookup_hist.Load(in) || !agg.insert_hist.Load(in)) return false;
+  agg.ok = true;
+  return true;
+}
+
+/// "0,2,4" -> {0, 2, 4}; false on anything non-numeric (same grammar as
+/// vcfd --cpu-list).
+bool ParseCpuList(const std::string& s, std::vector<int>* out) {
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    try {
+      std::size_t pos = 0;
+      const int cpu = std::stoi(tok, &pos);
+      if (pos != tok.size() || cpu < 0) return false;
+      out->push_back(cpu);
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return !out->empty();
+}
+
 void EmitOpJson(std::ostream& out, const char* name,
                 const LatencyHistogram& h, std::uint64_t ops,
                 std::uint64_t requests) {
@@ -223,6 +380,11 @@ int Usage(int code) {
          "(default 2^18)\n"
          "  --rate=R                 open-loop requests/s per thread "
          "(0 = closed loop)\n"
+         "  --processes=P            fork P generator processes, each with\n"
+         "                           --threads workers; histograms merge "
+         "exactly\n"
+         "  --cpu-list=L             pin global worker i to the i-th cpu of "
+         "the list\n"
          "  --json_out=PATH          write the run as JSON "
          "(docs/server.md schema)\n";
   return code;
@@ -252,8 +414,18 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("universe", 1 << 20));
   cfg.prefill = static_cast<std::size_t>(flags.GetInt("prefill", 1 << 18));
   cfg.rate = flags.GetDouble("rate", 0.0);
+  cfg.processes = static_cast<unsigned>(flags.GetInt("processes", 1));
+  if (flags.Has("cpu-list") || flags.Has("cpu_list")) {
+    const std::string list =
+        flags.GetString("cpu-list", flags.GetString("cpu_list", ""));
+    if (!ParseCpuList(list, &cfg.cpu_list)) {
+      std::cerr << "error: --cpu-list wants comma-separated cpu ids\n";
+      return Usage(64);
+    }
+  }
   cfg.json_out = flags.GetString("json_out", "");
   if (cfg.threads == 0 || cfg.batch == 0 || cfg.lookup_pct > 100 ||
+      cfg.processes == 0 ||
       (cfg.mode != "batch" && cfg.mode != "pipeline" && cfg.mode != "sync")) {
     return Usage(64);
   }
@@ -276,58 +448,86 @@ int main(int argc, char** argv) {
     std::cerr << "prefilled " << accepted << "/" << cfg.prefill << " keys\n";
   }
 
-  std::atomic<bool> stop{false};
-  std::vector<ThreadResult> results(cfg.threads);
-  std::vector<std::thread> threads;
-  threads.reserve(cfg.threads);
-
-  // Warmup phase: run the full workload, then reset the measurements.
-  std::vector<ThreadResult> warmup_results(cfg.threads);
-  if (cfg.warmup_s > 0.0) {
-    std::atomic<bool> warmup_stop{false};
-    for (unsigned i = 0; i < cfg.threads; ++i) {
-      threads.emplace_back(Worker, std::cref(cfg), i, std::ref(warmup_stop),
-                           std::ref(warmup_results[i]));
-    }
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(cfg.warmup_s));
-    warmup_stop.store(true);
-    for (auto& t : threads) t.join();
-    threads.clear();
-    for (const ThreadResult& r : warmup_results) {
-      if (r.connect_failed) {
-        std::cerr << "error: worker connect failed: " << r.error << "\n";
-        return 1;
-      }
-    }
-  }
-
-  Stopwatch run_clock;
-  for (unsigned i = 0; i < cfg.threads; ++i) {
-    threads.emplace_back(Worker, std::cref(cfg), i, std::ref(stop),
-                         std::ref(results[i]));
-  }
-  std::this_thread::sleep_for(std::chrono::duration<double>(cfg.duration_s));
-  stop.store(true);
-  for (auto& t : threads) t.join();
-  const double elapsed_s = run_clock.ElapsedSeconds();
-
-  LatencyHistogram lookup_hist, insert_hist;
-  std::uint64_t lookup_ops = 0, insert_ops = 0;
-  std::uint64_t lookup_requests = 0, insert_requests = 0, errors = 0;
-  for (const ThreadResult& r : results) {
-    if (r.connect_failed) {
-      std::cerr << "error: worker connect failed: " << r.error << "\n";
+  Aggregate agg;
+  if (cfg.processes == 1) {
+    agg = RunWorkers(cfg, 0);
+    if (!agg.ok) {
+      std::cerr << "error: " << agg.error << "\n";
       return 1;
     }
-    lookup_hist.Merge(r.lookup_hist);
-    insert_hist.Merge(r.insert_hist);
-    lookup_ops += r.lookup_ops;
-    insert_ops += r.insert_ops;
-    lookup_requests += r.lookup_requests;
-    insert_requests += r.insert_requests;
-    errors += r.errors;
+  } else {
+    // Close the setup connection so children don't inherit a live fd into
+    // the server; the parent reconnects for the final stats poll.
+    setup.Close();
+    std::vector<std::string> paths(cfg.processes);
+    std::vector<pid_t> pids(cfg.processes, -1);
+    bool failed = false;
+    for (unsigned p = 0; p < cfg.processes && !failed; ++p) {
+      char tmpl[] = "/tmp/vcf_loadgen_XXXXXX";
+      const int fd = mkstemp(tmpl);
+      if (fd < 0) {
+        failed = true;
+        break;
+      }
+      close(fd);
+      paths[p] = tmpl;
+      const pid_t pid = fork();
+      if (pid < 0) {
+        failed = true;
+        break;
+      }
+      if (pid == 0) {
+        // Child: run a process-worth of workers with globally offset
+        // indices, serialize the merged result, and report via exit code.
+        const Aggregate child = RunWorkers(cfg, p * cfg.threads);
+        if (!child.ok) {
+          std::cerr << "error (process " << p << "): " << child.error << "\n";
+          _exit(1);
+        }
+        _exit(SaveAggregate(child, paths[p]) ? 0 : 1);
+      }
+      pids[p] = pid;
+    }
+    for (unsigned p = 0; p < cfg.processes; ++p) {
+      if (pids[p] < 0) continue;
+      int status = 0;
+      if (waitpid(pids[p], &status, 0) < 0 || !WIFEXITED(status) ||
+          WEXITSTATUS(status) != 0) {
+        failed = true;
+        continue;
+      }
+      Aggregate child;
+      if (!LoadAggregate(child, paths[p])) {
+        failed = true;
+        continue;
+      }
+      agg.lookup_hist.Merge(child.lookup_hist);
+      agg.insert_hist.Merge(child.insert_hist);
+      agg.lookup_ops += child.lookup_ops;
+      agg.insert_ops += child.insert_ops;
+      agg.lookup_requests += child.lookup_requests;
+      agg.insert_requests += child.insert_requests;
+      agg.errors += child.errors;
+      // Children run concurrently; the slowest one's wall time is the run's.
+      if (child.elapsed_s > agg.elapsed_s) agg.elapsed_s = child.elapsed_s;
+    }
+    for (const std::string& path : paths) {
+      if (!path.empty()) unlink(path.c_str());
+    }
+    if (failed) {
+      std::cerr << "error: generator process failed\n";
+      return 1;
+    }
+    setup.Connect(cfg.host, cfg.port);  // stats only; failure tolerated
   }
+  const double elapsed_s = agg.elapsed_s;
+  const LatencyHistogram& lookup_hist = agg.lookup_hist;
+  const LatencyHistogram& insert_hist = agg.insert_hist;
+  const std::uint64_t lookup_ops = agg.lookup_ops;
+  const std::uint64_t insert_ops = agg.insert_ops;
+  const std::uint64_t lookup_requests = agg.lookup_requests;
+  const std::uint64_t insert_requests = agg.insert_requests;
+  const std::uint64_t errors = agg.errors;
   const std::uint64_t total_ops = lookup_ops + insert_ops;
   const double throughput =
       elapsed_s > 0.0 ? static_cast<double>(total_ops) / elapsed_s : 0.0;
@@ -336,9 +536,9 @@ int main(int argc, char** argv) {
   const bool have_stats = setup.GetStats(server_stats);
 
   std::fprintf(stderr,
-               "%" PRIu64 " ops in %.2fs = %.0f ops/s (%u threads, mode=%s, "
-               "batch=%zu, %u%% lookups, %" PRIu64 " errors)\n",
-               total_ops, elapsed_s, throughput, cfg.threads,
+               "%" PRIu64 " ops in %.2fs = %.0f ops/s (%ux%u workers, "
+               "mode=%s, batch=%zu, %u%% lookups, %" PRIu64 " errors)\n",
+               total_ops, elapsed_s, throughput, cfg.processes, cfg.threads,
                cfg.mode.c_str(), cfg.batch, cfg.lookup_pct, errors);
   std::cerr << "  lookup: " << lookup_hist.Summary() << "\n"
             << "  insert: " << insert_hist.Summary() << "\n";
@@ -357,6 +557,7 @@ int main(int argc, char** argv) {
     out << "{\n"
         << "  \"config\": {\"host\": \"" << cfg.host << "\", \"port\": "
         << cfg.port << ", \"threads\": " << cfg.threads
+        << ", \"processes\": " << cfg.processes
         << ", \"duration_s\": " << cfg.duration_s << ", \"lookup_pct\": "
         << cfg.lookup_pct << ", \"mode\": \"" << cfg.mode
         << "\", \"batch\": " << cfg.batch << ", \"dist\": \"" << cfg.dist

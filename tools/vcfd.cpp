@@ -19,7 +19,7 @@
 //   # primary: journal mutations into a 64Ki-entry op log for replicas
 //   $ vcfd --port=4117 --filter=vcf --oplog=65536 --state=primary.state
 //   # replica: read-only, streams the primary's op log, serves LOOKUPs
-//   $ vcfd --port=4118 --filter=vcf --replicate-from=127.0.0.1:4117 \
+//   $ vcfd --port=4118 --filter=vcf --replicate-from=127.0.0.1:4117
 //         --state=replica.state
 //
 // A replica persists its stream position in <state>.rseq next to each
@@ -37,11 +37,14 @@
 #include <cstdio>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "harness/filter_factory.hpp"
 #include "harness/flags.hpp"
+#include "server/poller.hpp"
 #include "server/replication.hpp"
 #include "server/server.hpp"
 
@@ -51,6 +54,23 @@ vcf::server::VcfServer* g_server = nullptr;
 
 void HandleSignal(int /*sig*/) {
   if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+/// "--cpu-list=0,2,4" → {0, 2, 4}. Returns false on anything non-numeric.
+bool ParseCpuList(const std::string& s, std::vector<int>* out) {
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    try {
+      std::size_t pos = 0;
+      const int cpu = std::stoi(tok, &pos);
+      if (pos != tok.size() || cpu < 0) return false;
+      out->push_back(cpu);
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return !out->empty();
 }
 
 int Usage(int code) {
@@ -64,6 +84,16 @@ int Usage(int code) {
          "requests\n"
          "  --ignore_bad_state  start empty when --state exists but cannot "
          "be loaded\n"
+         "  --backend=B     event backend: auto|io_uring|epoll|poll (default "
+         "auto;\n"
+         "                  VCFD_BACKEND env overrides auto the same way)\n"
+         "  --cpu-list=L    pin worker i to the i-th cpu of the "
+         "comma-separated list\n"
+         "  --pin-shards    core-affine shard ownership: each worker owns\n"
+         "                  shard%threads and serves it without shard locks\n"
+         "                  (needs --filter=sharded:..., no replication)\n"
+         "  --coalesce=0|1  cross-frame batch coalescing (default 1)\n"
+         "  --check-backend=B  probe whether backend B works here; exit 0/1\n"
          "  --oplog=N       journal mutations for replicas, retaining N "
          "entries\n"
          "                  (primary mode; 0 disables, default 0)\n"
@@ -80,6 +110,21 @@ int Usage(int code) {
 int main(int argc, char** argv) {
   const vcf::Flags flags(argc, argv);
   if (flags.GetBool("help")) return Usage(0);
+  // Scripted probe: `vcfd --check-backend=io_uring` answers "can this host
+  // run that backend" without starting a server (CI uses it to auto-skip
+  // the io_uring legs on kernels without it).
+  if (flags.Has("check-backend")) {
+    const std::string name = flags.GetString("check-backend", "");
+    vcf::server::Poller::Backend b;
+    if (!vcf::server::Poller::ParseBackend(name.c_str(), &b)) {
+      std::cerr << "error: unknown backend '" << name << "'\n";
+      return 64;
+    }
+    const bool ok = vcf::server::Poller::BackendAvailable(b);
+    std::cout << vcf::server::Poller::BackendName(b)
+              << (ok ? " available" : " unavailable") << "\n";
+    return ok ? 0 : 1;
+  }
   vcf::FilterSpec spec;
   try {
     spec = vcf::SpecFromFlags(flags);
@@ -119,6 +164,24 @@ int main(int argc, char** argv) {
                                : static_cast<std::size_t>(
                                      flags.GetInt("oplog", 0));
   options.read_only = is_replica;
+  if (flags.Has("backend")) {
+    const std::string name = flags.GetString("backend", "auto");
+    if (!vcf::server::Poller::ParseBackend(name.c_str(), &options.backend)) {
+      std::cerr << "error: unknown --backend '" << name << "'\n";
+      return Usage(64);
+    }
+  }
+  if (flags.Has("cpu-list") || flags.Has("cpu_list")) {
+    const std::string list = flags.GetString(
+        "cpu-list", flags.GetString("cpu_list", ""));
+    if (!ParseCpuList(list, &options.cpu_list)) {
+      std::cerr << "error: --cpu-list wants comma-separated cpu ids\n";
+      return Usage(64);
+    }
+  }
+  options.pin_shards =
+      flags.GetBool("pin-shards", flags.GetBool("pin_shards", false));
+  options.coalesce = flags.GetBool("coalesce", true);
   if (!options.state_path.empty() &&
       (is_replica || options.oplog_capacity > 0)) {
     options.repl_meta_path = options.state_path + ".rseq";
@@ -173,7 +236,10 @@ int main(int argc, char** argv) {
             << std::flush;
   std::cerr << "serving " << server.filter().Name() << " ("
             << server.filter().SlotCount() << " slots, "
-            << options.threads << " threads)"
+            << options.threads << " threads, "
+            << vcf::server::Poller::BackendName(server.resolved_backend())
+            << " backend"
+            << (server.pinned() ? ", pinned shards" : "") << ")"
             << (options.state_path.empty()
                     ? std::string(", no checkpointing")
                     : ", state=" + options.state_path)
