@@ -26,6 +26,7 @@
 #include "common/random.hpp"
 #include "harness/filter_factory.hpp"
 #include "metrics/latency_histogram.hpp"
+#include "segment/segment.hpp"
 #include "table/packed_table.hpp"
 #include "workload/key_streams.hpp"
 
@@ -426,6 +427,52 @@ void BM_FusedProbe(benchmark::State& state) {
   state.SetLabel(TableLabel(table, spb, f, scalar) + " x4");
 }
 
+// --- Immutable segment probes ---------------------------------------------
+
+void BM_SegmentProbe(benchmark::State& state) {
+  // Single-probe cost of a frozen segment (three dependent-free loads XORed
+  // against the derived fingerprint), next to the mutable filters'
+  // BM_LookupHit/Miss at the same 2^16-key scale. range(0) = kind
+  // (0 = xor, 1 = binary fuse), range(1) = hit?
+  const SegmentKind kind =
+      state.range(0) == 0 ? SegmentKind::kXor : SegmentKind::kBinaryFuse;
+  const bool hit = state.range(1) != 0;
+  SegmentParams params;
+  params.kind = kind;
+  params.fingerprint_bits = 12;
+  std::vector<std::uint64_t> entities;
+  constexpr std::size_t kEntities = std::size_t{1} << kSlotsLog2;
+  entities.reserve(kEntities);
+  for (std::size_t i = 0; i < kEntities; ++i) {
+    entities.push_back(UniformKeyAt(33, i));
+  }
+  const auto seg = ImmutableSegment::Build(entities, params);
+  if (!seg.has_value()) {
+    state.SkipWithError("segment build failed");
+    return;
+  }
+  std::size_t i = 0;
+  if (hit) {
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(seg->Contains(entities[i]));
+      i = (i + 1) % entities.size();
+    }
+  } else {
+    std::uint64_t serial = 0;
+    for (auto _ : state) {
+      benchmark::DoNotOptimize(seg->Contains(UniformKeyAt(35, serial++)));
+    }
+  }
+  AttachPercentiles(state, [&](std::uint64_t s) {
+    benchmark::DoNotOptimize(
+        seg->Contains(hit ? entities[s % entities.size()]
+                          : UniformKeyAt(37, s)));
+  });
+  state.SetLabel(std::string(kind == SegmentKind::kXor ? "SegmentXor"
+                                                       : "SegmentBFuse") +
+                 "(f=12) " + (hit ? "hit" : "miss"));
+}
+
 // --- Sharded multi-writer scaling ----------------------------------------
 
 void BM_ShardedInsertMT(benchmark::State& state) {
@@ -513,6 +560,9 @@ BENCHMARK(BM_FusedProbe)
     ->Args({4, 17, 0, 0})->Args({4, 17, 1, 0})
     ->Args({8, 16, 0, 0})->Args({8, 16, 1, 0})
     ->Args({8, 16, 0, 1});
+BENCHMARK(BM_SegmentProbe)
+    ->Args({0, 1})->Args({0, 0})
+    ->Args({1, 1})->Args({1, 0});
 BENCHMARK(BM_ShardedInsertMT)
     ->Args({1})->Args({4})
     ->Threads(1)->Threads(4)

@@ -1,0 +1,247 @@
+// tiered_ops — the LSM-tier headline benchmark: a cold set frozen into an
+// immutable segment vs the same keys held in an equivalent mutable VCF.
+//
+// Scenario: N = 45% * 2^slots_log2 keys are bulk-loaded, then served
+// read-only. The mutable arm keeps them in a VerticalCuckooFilter at 45%
+// load (slack slots cost bits; every probe fans over candidate buckets).
+// The tiered arm pushes the whole set through TieredFilter, freezes and
+// compacts, so lookups probe one binary-fuse/xor segment at ~1.13 cells
+// per key. The report records bits/key, scalar hit/miss probe latency and
+// batched probe latency for both arms plus tiered/mutable ratios — the
+// PR's acceptance gate is ratios.bits_per_key <= 0.5 and
+// ratios.probe_hit_ns <= 0.7.
+//
+//   $ tiered_ops --slots_log2=20 --segment=bfuse --reps=5
+//         --json_out=results/BENCH_tiered.json
+//
+// The JSON is the server-report dict schema bench/compare_bench.py
+// understands ("config" is descriptive; every other numeric leaf is
+// compared, lower-is-better except *_per_second).
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "harness/filter_factory.hpp"
+#include "harness/flags.hpp"
+#include "segment/segment.hpp"
+#include "tiered/tiered_filter.hpp"
+#include "workload/key_streams.hpp"
+
+namespace {
+
+using vcf::Filter;
+using vcf::FilterSpec;
+using vcf::Flags;
+using vcf::Stopwatch;
+
+struct ProbeNumbers {
+  double bits_per_key = 0.0;
+  double hit_ns = 0.0;
+  double miss_ns = 0.0;
+  double batch_ns = 0.0;
+};
+
+/// Sink that keeps the probe loops honest against dead-code elimination.
+volatile std::size_t g_probe_sink = 0;
+
+/// One scalar probe pass over `keys`; ns per key.
+double ScalarPassNs(const Filter& filter,
+                    const std::vector<std::uint64_t>& keys) {
+  Stopwatch sw;
+  std::size_t hits = 0;
+  for (const std::uint64_t k : keys) hits += filter.Contains(k) ? 1 : 0;
+  const double ns =
+      static_cast<double>(sw.ElapsedNanos()) / static_cast<double>(keys.size());
+  g_probe_sink = g_probe_sink + hits;
+  return ns;
+}
+
+/// One batched probe pass (256-key ContainsBatch windows); ns per key.
+double BatchPassNs(Filter& filter, const std::vector<std::uint64_t>& keys) {
+  constexpr std::size_t kBatch = 256;
+  const auto results = std::make_unique<bool[]>(kBatch);
+  Stopwatch sw;
+  std::size_t done = 0;
+  for (std::size_t at = 0; at + kBatch <= keys.size(); at += kBatch) {
+    filter.ContainsBatch({keys.data() + at, kBatch}, results.get());
+    done += kBatch;
+  }
+  if (done == 0) return 0.0;
+  return static_cast<double>(sw.ElapsedNanos()) / static_cast<double>(done);
+}
+
+void TakeBest(double* best, double pass, unsigned rep) {
+  if (rep == 0 || pass < *best) *best = pass;
+}
+
+/// Best-of-`reps` for both arms, with the arms' passes interleaved inside
+/// each rep: CPU frequency drift and background load on the host land on
+/// both arms of a rep alike, so the tiered/mutable ratios — the numbers the
+/// acceptance gate reads — are robust against machine drift in a way two
+/// back-to-back per-arm measurements are not.
+void MeasureInterleaved(Filter& mutable_arm, Filter& tiered_arm,
+                        const std::vector<std::uint64_t>& members,
+                        const std::vector<std::uint64_t>& aliens, unsigned reps,
+                        ProbeNumbers* mut, ProbeNumbers* tiered) {
+  mut->bits_per_key = 8.0 * static_cast<double>(mutable_arm.MemoryBytes()) /
+                      static_cast<double>(mutable_arm.ItemCount());
+  tiered->bits_per_key = 8.0 * static_cast<double>(tiered_arm.MemoryBytes()) /
+                         static_cast<double>(tiered_arm.ItemCount());
+  for (unsigned r = 0; r < reps; ++r) {
+    TakeBest(&mut->hit_ns, ScalarPassNs(mutable_arm, members), r);
+    TakeBest(&tiered->hit_ns, ScalarPassNs(tiered_arm, members), r);
+    TakeBest(&mut->miss_ns, ScalarPassNs(mutable_arm, aliens), r);
+    TakeBest(&tiered->miss_ns, ScalarPassNs(tiered_arm, aliens), r);
+    TakeBest(&mut->batch_ns, BatchPassNs(mutable_arm, members), r);
+    TakeBest(&tiered->batch_ns, BatchPassNs(tiered_arm, members), r);
+  }
+}
+
+void EmitArm(std::ostream& out, const char* name, const ProbeNumbers& n) {
+  out << "  \"" << name << "\": {\"bits_per_key\": " << n.bits_per_key
+      << ", \"probe_hit_ns\": " << n.hit_ns
+      << ", \"probe_miss_ns\": " << n.miss_ns
+      << ", \"probe_batch_ns\": " << n.batch_ns << "}";
+}
+
+int Usage(int code) {
+  std::cerr << "usage: tiered_ops [--slots_log2=N (default 20)]\n"
+               "                  [--segment=bfuse|xor (default bfuse)]\n"
+               "                  [--reps=R (default 5)]\n"
+               "                  [--json_out=PATH (default BENCH_tiered.json,"
+               " \"none\" to skip)]\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.GetBool("help")) return Usage(0);
+  const unsigned slots_log2 =
+      static_cast<unsigned>(flags.GetInt("slots_log2", 20));
+  const unsigned reps = static_cast<unsigned>(flags.GetInt("reps", 5));
+  const std::string segment = flags.GetString("segment", "bfuse");
+  const std::string json_out = flags.GetString("json_out", "BENCH_tiered.json");
+  if (slots_log2 < 8 || slots_log2 > 28 || reps == 0 ||
+      (segment != "bfuse" && segment != "xor")) {
+    return Usage(64);
+  }
+
+  const std::size_t slots = std::size_t{1} << slots_log2;
+  const std::size_t cold = slots * 45 / 100;
+  const auto members = vcf::UniformKeys(cold, 81);
+  const auto aliens = vcf::UniformKeys(cold, 82);
+
+  // Mutable arm: the cold set resident in a plain VCF at 45% load.
+  FilterSpec mutable_spec;
+  vcf::ParseFilterKind("vcf", mutable_spec);
+  mutable_spec.params = vcf::CuckooParams::ForSlotsLog2(slots_log2);
+  auto mutable_arm = MakeFilter(mutable_spec);
+  std::size_t rejected = 0;
+  for (const std::uint64_t k : members) {
+    rejected += mutable_arm->Insert(k) ? 0 : 1;
+  }
+  if (rejected != 0) {
+    std::cerr << "error: mutable arm rejected " << rejected
+              << " cold keys; lower the load\n";
+    return 1;
+  }
+  // Tiered arm: same spec through the tier, then freeze + compact so the
+  // whole cold set lives in ONE immutable segment and the front is empty.
+  FilterSpec tiered_spec = mutable_spec;
+  vcf::ParseFilterKind(segment == "xor" ? "tiered:xor:vcf" : "tiered:vcf",
+                       tiered_spec);
+  tiered_spec.params = mutable_spec.params;
+  auto tiered_arm = MakeFilter(tiered_spec);
+  auto* tier = dynamic_cast<vcf::TieredFilter*>(tiered_arm.get());
+  if (tier == nullptr) {
+    std::cerr << "error: tiered factory did not yield a TieredFilter\n";
+    return 1;
+  }
+  for (const std::uint64_t k : members) tiered_arm->Insert(k);
+  if (!tier->Freeze() || !tier->Compact()) {
+    std::cerr << "error: freeze/compact failed\n";
+    return 1;
+  }
+  for (const std::uint64_t k : members) {
+    if (!tiered_arm->Contains(k)) {
+      std::cerr << "error: tier lost a cold key — aborting\n";
+      return 1;
+    }
+  }
+  ProbeNumbers mut;
+  ProbeNumbers tiered;
+  MeasureInterleaved(*mutable_arm, *tiered_arm, members, aliens, reps, &mut,
+                     &tiered);
+
+  // Segment build rate, measured directly on the builder (keys as
+  // canonical entities): the cost of one freeze per front-full.
+  vcf::SegmentParams build_params = tier->options().segment;
+  double entities_per_second = 0.0;
+  {
+    Stopwatch sw;
+    const auto seg = vcf::ImmutableSegment::Build(members, build_params);
+    const double s = sw.ElapsedSeconds();
+    if (!seg.has_value() || s <= 0.0) {
+      std::cerr << "error: standalone segment build failed\n";
+      return 1;
+    }
+    entities_per_second = static_cast<double>(members.size()) / s;
+  }
+
+  const double r_bits = tiered.bits_per_key / mut.bits_per_key;
+  const double r_hit = tiered.hit_ns / mut.hit_ns;
+  const double r_miss = tiered.miss_ns / mut.miss_ns;
+  const double r_batch = tiered.batch_ns / mut.batch_ns;
+
+  std::printf("cold set: %zu keys, slots=2^%u, segment=%s, reps=%u\n",
+              members.size(), slots_log2, segment.c_str(), reps);
+  std::printf("  %-8s %12s %14s %14s %15s\n", "arm", "bits/key", "hit ns/key",
+              "miss ns/key", "batch ns/key");
+  std::printf("  %-8s %12.2f %14.1f %14.1f %15.1f\n", "mutable",
+              mut.bits_per_key, mut.hit_ns, mut.miss_ns, mut.batch_ns);
+  std::printf("  %-8s %12.2f %14.1f %14.1f %15.1f  (%zu segment(s))\n",
+              "tiered", tiered.bits_per_key, tiered.hit_ns, tiered.miss_ns,
+              tiered.batch_ns, tier->SegmentCount());
+  std::printf("  ratios   %12.2f %14.2f %14.2f %15.2f  (gate: <=0.5 bits,"
+              " <=0.7 hit)\n", r_bits, r_hit, r_miss, r_batch);
+  std::printf("  segment build: %.0f entities/s; sidecar %zu bytes"
+              " (enumeration only, excluded from probe bits)\n",
+              entities_per_second, tier->SidecarBytes());
+
+  if (json_out != "none") {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_out << "\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"config\": {\"slots_log2\": " << slots_log2
+        << ", \"cold_keys\": " << members.size() << ", \"segment\": \""
+        << segment << "\", \"reps\": " << reps
+        << ", \"tiered_segments\": " << tier->SegmentCount()
+        << ", \"sidecar_bytes\": " << tier->SidecarBytes() << "},\n";
+    EmitArm(out, "mutable", mut);
+    out << ",\n";
+    EmitArm(out, "tiered", tiered);
+    out << ",\n"
+        << "  \"ratios\": {\"bits_per_key\": " << r_bits
+        << ", \"probe_hit_ns\": " << r_hit << ", \"probe_miss_ns\": " << r_miss
+        << ", \"probe_batch_ns\": " << r_batch << "},\n"
+        << "  \"build\": {\"segment_entities_per_second\": "
+        << entities_per_second << "}\n"
+        << "}\n";
+    if (!out.good()) {
+      std::cerr << "error: short write to " << json_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << json_out << "\n";
+  }
+  return 0;
+}

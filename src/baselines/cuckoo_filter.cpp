@@ -1,5 +1,6 @@
 #include "baselines/cuckoo_filter.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/cuckoo_kernel.hpp"
@@ -103,6 +104,21 @@ bool CuckooFilter::Erase(std::uint64_t key) {
 void CuckooFilter::Clear() {
   table_.Clear();
   items_ = 0;
+}
+
+bool CuckooFilter::ForEachFingerprint(
+    const std::function<void(std::uint64_t)>& fn) const {
+  ForEachOccupiedSlot([&](std::uint64_t bucket, std::uint64_t fp) {
+    const std::uint64_t alt = AltBucket(bucket, FingerprintHash(fp));
+    fn((std::min(bucket, alt) << params_.fingerprint_bits) | fp);
+  });
+  return true;
+}
+
+bool CuckooFilter::KeyEntity(std::uint64_t key, std::uint64_t* entity) const {
+  const Hashed h = HashKey(key);
+  *entity = (std::min(h.b1, h.b2) << params_.fingerprint_bits) | h.fp;
+  return true;
 }
 
 std::uint64_t CuckooFilter::Digest() const noexcept {

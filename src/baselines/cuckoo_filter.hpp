@@ -50,6 +50,13 @@ class CuckooFilter : public Filter,
   bool SaveState(std::ostream& out) const override;
   bool LoadState(std::istream& in) override;
 
+  /// Canonical-entity enumeration for the immutable segment tier: the
+  /// canonical bucket is min(B1, B2), derivable from either member of the
+  /// partial-key XOR pair.
+  bool ForEachFingerprint(
+      const std::function<void(std::uint64_t)>& fn) const override;
+  bool KeyEntity(std::uint64_t key, std::uint64_t* entity) const override;
+
   const CuckooParams& params() const noexcept { return params_; }
 
   // --- CandidatePolicy surface (consumed by core/cuckoo_kernel.hpp; the

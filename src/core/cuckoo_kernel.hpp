@@ -183,6 +183,23 @@ class SlotWalkPolicy {
   }
   void NotePlaced() noexcept { ++self().items_; }
 
+  /// Bucket-major walk over every occupied slot, handing (bucket, raw slot
+  /// value) to `fn`. This is the iteration surface
+  /// Filter::ForEachFingerprint rides on: a segment builder enumerates any
+  /// slot-table filter through the same accessors the BFS eviction search
+  /// uses, and the filter supplies only the slot → canonical-entity mapping.
+  template <typename Fn>
+  void ForEachOccupiedSlot(Fn&& fn) const {
+    const std::size_t buckets = self().table_.bucket_count();
+    const unsigned arity = BucketArity();
+    for (std::size_t b = 0; b < buckets; ++b) {
+      for (unsigned s = 0; s < arity; ++s) {
+        const std::uint64_t v = self().ReadSlot(b, s);
+        if (v != 0) fn(static_cast<std::uint64_t>(b), v);
+      }
+    }
+  }
+
  protected:
   Derived& self() noexcept { return static_cast<Derived&>(*this); }
   const Derived& self() const noexcept {

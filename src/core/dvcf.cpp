@@ -137,6 +137,32 @@ void DifferentiatedVcf::Clear() {
   items_ = 0;
 }
 
+bool DifferentiatedVcf::ForEachFingerprint(
+    const std::function<void(std::uint64_t)>& fn) const {
+  ForEachOccupiedSlot([&](std::uint64_t bucket, std::uint64_t fp) {
+    const std::uint64_t fh = FingerprintHash(fp);
+    std::uint64_t canon = bucket;
+    if (FourWay(fp)) {
+      for (std::uint64_t z : hasher_.Alternates(bucket, fh)) {
+        canon = std::min(canon, z);
+      }
+    } else {
+      canon = std::min(canon, (bucket ^ fh) & hasher_.index_mask());
+    }
+    fn((canon << params_.fingerprint_bits) | fp);
+  });
+  return true;
+}
+
+bool DifferentiatedVcf::KeyEntity(std::uint64_t key,
+                                  std::uint64_t* entity) const {
+  const Hashed h = HashKey(key);
+  std::uint64_t canon = h.cand[0];
+  for (unsigned c = 1; c < h.n_cand; ++c) canon = std::min(canon, h.cand[c]);
+  *entity = (canon << params_.fingerprint_bits) | h.fp;
+  return true;
+}
+
 std::uint64_t DifferentiatedVcf::Digest() const noexcept {
   return detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
                               static_cast<unsigned>(delta_t_),

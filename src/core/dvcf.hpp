@@ -61,6 +61,14 @@ class DifferentiatedVcf : public Filter,
   bool SaveState(std::ostream& out) const override;
   bool LoadState(std::istream& in) override;
 
+  /// Canonical-entity enumeration for the immutable segment tier. Each
+  /// stored fingerprint is re-judged (FourWay) exactly as a relocation
+  /// would, then canonicalised to the minimum of its candidate set — the
+  /// 4-way Theorem 1 closure inside In1, the XOR pair outside.
+  bool ForEachFingerprint(
+      const std::function<void(std::uint64_t)>& fn) const override;
+  bool KeyEntity(std::uint64_t key, std::uint64_t* entity) const override;
+
   /// Eq. 9's p for this threshold.
   double TheoreticalR() const noexcept;
   std::uint64_t delta_t() const noexcept { return delta_t_; }

@@ -7,6 +7,14 @@ namespace vcf {
 bool Filter::SaveState(std::ostream&) const { return false; }
 bool Filter::LoadState(std::istream&) { return false; }
 
+// Default: fingerprint enumeration is opt-in; only filters whose stored
+// slots canonicalise to a key-derivable entity implement the pair.
+bool Filter::ForEachFingerprint(
+    const std::function<void(std::uint64_t)>&) const {
+  return false;
+}
+bool Filter::KeyEntity(std::uint64_t, std::uint64_t*) const { return false; }
+
 void Filter::ContainsBatch(std::span<const std::uint64_t> keys,
                            bool* results) const {
   for (std::size_t i = 0; i < keys.size(); ++i) {

@@ -7,6 +7,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <span>
 #include <string>
@@ -86,6 +87,24 @@ class Filter {
   /// hash kind, seed, variant). Returns false on malformed input or a
   /// parameter mismatch, leaving the filter unchanged.
   virtual bool LoadState(std::istream& in);
+
+  /// Iterates every stored fingerprint as a canonical 64-bit *entity* —
+  /// `(canonical candidate bucket << fingerprint_bits) | fingerprint` —
+  /// where the canonical bucket is derived from the slot's current bucket
+  /// alone (Theorem 1 closure for the VCF family, the XOR pair for CF, mark
+  /// bits for k-VCF). Two copies of one key always canonicalise to the same
+  /// entity no matter which candidate bucket they landed in, so an immutable
+  /// segment compiled from this enumeration answers exactly the membership
+  /// queries the live table would. Returns false when the filter cannot
+  /// enumerate (Bloom family, compressed baselines) — the default.
+  virtual bool ForEachFingerprint(
+      const std::function<void(std::uint64_t)>& fn) const;
+
+  /// Lookup-side counterpart of ForEachFingerprint: the canonical entity
+  /// `key` would store. Guaranteed equal to the stored-side derivation for
+  /// any inserted copy of `key`, so a frozen segment has no false negatives.
+  /// Returns false when unsupported (same kinds as ForEachFingerprint).
+  virtual bool KeyEntity(std::uint64_t key, std::uint64_t* entity) const;
 
   /// Convenience for string keys: hashes to 64 bits (SplitMix) then inserts.
   bool InsertKey(std::string_view key) { return Insert(KeyToU64(key)); }

@@ -157,6 +157,25 @@ void KVcf::Clear() {
   items_ = 0;
 }
 
+bool KVcf::ForEachFingerprint(
+    const std::function<void(std::uint64_t)>& fn) const {
+  ForEachOccupiedSlot([&](std::uint64_t bucket, std::uint64_t slot) {
+    const std::uint64_t fp = SlotFingerprint(slot);
+    const unsigned mark = SlotMark(slot);
+    // Eq. 7 back to candidate 0: masks[0] = 0, so this is the primary B1.
+    const std::uint64_t b1 =
+        hasher_.FromSibling(bucket, FingerprintHash(fp), mark, 0);
+    fn((b1 << params_.fingerprint_bits) | fp);
+  });
+  return true;
+}
+
+bool KVcf::KeyEntity(std::uint64_t key, std::uint64_t* entity) const {
+  const Hashed h = HashKey(key);
+  *entity = (h.b1 << params_.fingerprint_bits) | h.fp;
+  return true;
+}
+
 std::uint64_t KVcf::Digest() const noexcept {
   return detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
                               hasher_.k(), params_.fingerprint_bits);

@@ -56,6 +56,14 @@ class KVcf : public Filter, public kernel::SlotWalkPolicy<KVcf> {
   bool SaveState(std::ostream& out) const override;
   bool LoadState(std::istream& in) override;
 
+  /// Canonical-entity enumeration for the immutable segment tier. The mark
+  /// bits recover the primary bucket from any stored copy (Eq. 7 with
+  /// e = 0, since masks[0] = 0), so the canonical bucket is simply B1 and
+  /// the entity drops the location-metadata mark.
+  bool ForEachFingerprint(
+      const std::function<void(std::uint64_t)>& fn) const override;
+  bool KeyEntity(std::uint64_t key, std::uint64_t* entity) const override;
+
   unsigned k() const noexcept { return hasher_.k(); }
   unsigned mark_bits() const noexcept { return mark_bits_; }
   const GeneralizedVerticalHasher& hasher() const noexcept { return hasher_; }

@@ -1,5 +1,6 @@
 #include "core/vcf.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/cuckoo_kernel.hpp"
@@ -140,6 +141,29 @@ bool VerticalCuckooFilter::Erase(std::uint64_t key) {
 void VerticalCuckooFilter::Clear() {
   table_.Clear();
   items_ = 0;
+}
+
+bool VerticalCuckooFilter::ForEachFingerprint(
+    const std::function<void(std::uint64_t)>& fn) const {
+  ForEachOccupiedSlot([&](std::uint64_t bucket, std::uint64_t fp) {
+    // Theorem 1: the full candidate set follows from the slot's current
+    // bucket and fingerprint alone; its minimum is the canonical bucket.
+    std::uint64_t canon = bucket;
+    for (std::uint64_t z : hasher_.Alternates(bucket, FingerprintHash(fp))) {
+      canon = std::min(canon, z);
+    }
+    fn((canon << params_.fingerprint_bits) | fp);
+  });
+  return true;
+}
+
+bool VerticalCuckooFilter::KeyEntity(std::uint64_t key,
+                                     std::uint64_t* entity) const {
+  const Hashed h = HashKey(key);
+  std::uint64_t canon = h.cand.bucket[0];
+  for (std::uint64_t c : h.cand.bucket) canon = std::min(canon, c);
+  *entity = (canon << params_.fingerprint_bits) | h.fp;
+  return true;
 }
 
 std::uint64_t VerticalCuckooFilter::Digest() const noexcept {

@@ -75,6 +75,14 @@ class VerticalCuckooFilter
   bool SaveState(std::ostream& out) const override;
   bool LoadState(std::istream& in) override;
 
+  /// Canonical-entity enumeration for the immutable segment tier. The
+  /// canonical bucket is the minimum of the candidate set, which Theorem 1
+  /// makes derivable from any member bucket — so the stored-side and
+  /// key-side derivations agree by construction.
+  bool ForEachFingerprint(
+      const std::function<void(std::uint64_t)>& fn) const override;
+  bool KeyEntity(std::uint64_t key, std::uint64_t* entity) const override;
+
   /// Eq. 8's r for this mask shape.
   double TheoreticalR() const noexcept { return hasher_.TheoreticalR(); }
   const VerticalHasher& hasher() const noexcept { return hasher_; }

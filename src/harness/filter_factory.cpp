@@ -23,8 +23,30 @@
 #include "harness/flags.hpp"
 #include "core/vcf.hpp"
 #include "core/vertical_hashing.hpp"
+#include "tiered/tiered_filter.hpp"
 
 namespace vcf {
+
+namespace {
+
+/// Segment fingerprint width matching the leaf filter's lookup FPR: a
+/// b-slot, c-candidate cuckoo probe admits ~b*c fingerprint comparisons, so
+/// an f-bit stored fingerprint yields ~b*c*2^-f — one g-bit segment probe
+/// matches it at g = f - ceil(log2(b*c)).
+unsigned SegmentFpBitsFor(const FilterSpec& spec) {
+  unsigned candidates = 4;  // the VCF family's four-candidate groups
+  if (spec.kind == FilterSpec::Kind::kCF) candidates = 2;
+  if (spec.kind == FilterSpec::Kind::kKVCF) {
+    candidates = std::max(2u, spec.variant);
+  }
+  const unsigned comparisons =
+      std::max(1u, spec.params.slots_per_bucket * candidates);
+  const unsigned f = spec.params.fingerprint_bits;
+  const unsigned g = f > CeilLog2(comparisons) ? f - CeilLog2(comparisons) : 4;
+  return std::min(25u, std::max(4u, g));
+}
+
+}  // namespace
 
 std::string FilterSpec::DisplayName() const {
   if (shards > 0) {
@@ -36,6 +58,12 @@ std::string FilterSpec::DisplayName() const {
     FilterSpec bare = *this;
     bare.resilient = false;
     return "Resilient(" + bare.DisplayName() + ")";
+  }
+  if (tiered) {
+    FilterSpec bare = *this;
+    bare.tiered = false;
+    return std::string(tiered_segment == 1 ? "TieredXor(" : "Tiered(") +
+           bare.DisplayName() + ")";
   }
   if (aligned) {
     FilterSpec bare = *this;
@@ -101,6 +129,34 @@ std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec) {
     FilterSpec bare = spec;
     bare.resilient = false;
     return std::make_unique<ResilientFilter>(MakeFilter(bare));
+  }
+  if (spec.tiered) {
+    switch (spec.kind) {
+      case FilterSpec::Kind::kCF:
+      case FilterSpec::Kind::kVCF:
+      case FilterSpec::Kind::kIVCF:
+      case FilterSpec::Kind::kDVCF:
+      case FilterSpec::Kind::kKVCF:
+        break;
+      default:
+        throw std::invalid_argument(
+            "MakeFilter: tiered: requires a canonical-entity leaf "
+            "(cf|vcf|ivcf|dvcf|kvcf)");
+    }
+    // LSM write-buffer provisioning: the front gets 1/8 of the slot budget
+    // and the frozen majority lives in segments at ~g bits per entity —
+    // that split is where the tier's bits/key advantage comes from.
+    FilterSpec leaf = spec;
+    leaf.tiered = false;
+    leaf.params.bucket_count = std::max<std::size_t>(
+        2, NextPowerOfTwo(spec.params.bucket_count / 8));
+    TieredOptions options;
+    options.segment.kind = spec.tiered_segment == 1 ? SegmentKind::kXor
+                                                    : SegmentKind::kBinaryFuse;
+    options.segment.fingerprint_bits = SegmentFpBitsFor(leaf);
+    options.segment.seed = Mix64(spec.params.seed ^ 0x71E7ED5E6ULL);
+    return std::make_unique<TieredFilter>(
+        [leaf]() { return MakeFilter(leaf); }, options);
   }
   switch (spec.kind) {
     case FilterSpec::Kind::kCF:
@@ -187,10 +243,13 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
   constexpr std::string_view kResilientPrefix = "resilient:";
   constexpr std::string_view kAlignedPrefix = "aligned:";
   constexpr std::string_view kBfsPrefix = "bfs:";
+  constexpr std::string_view kTieredPrefix = "tiered:";
   spec.shards = 0;
   spec.resilient = false;
   spec.aligned = false;
   spec.bfs = false;
+  spec.tiered = false;
+  spec.tiered_segment = 0;
   if (kind.rfind(kShardedPrefix, 0) == 0) {
     kind.erase(0, kShardedPrefix.size());
     const std::size_t colon = kind.find(':');
@@ -228,6 +287,18 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
       kind.erase(0, kBfsPrefix.size());
       progress = true;
     }
+    if (kind.rfind(kTieredPrefix, 0) == 0) {
+      spec.tiered = true;
+      kind.erase(0, kTieredPrefix.size());
+      if (kind.rfind("xor:", 0) == 0) {
+        spec.tiered_segment = 1;
+        kind.erase(0, 4);
+      } else if (kind.rfind("bfuse:", 0) == 0) {
+        spec.tiered_segment = 0;
+        kind.erase(0, 6);
+      }
+      progress = true;
+    }
   }
   if (kind == "cf") {
     spec.kind = FilterSpec::Kind::kCF;
@@ -257,7 +328,8 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
     throw std::invalid_argument(
         "unknown --filter=" + kind +
         " (cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf, optionally "
-        "prefixed sharded:<n>:, resilient:, aligned: and/or bfs:)");
+        "prefixed sharded:<n>:, resilient:, aligned:, bfs: and/or "
+        "tiered:[xor:|bfuse:])");
   }
 }
 
@@ -283,8 +355,10 @@ const char kFilterFlagsHelp[] =
     "  --filter=cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf\n"
     "      (prefix sharded:<n>: for n locked shards, resilient: for the\n"
     "       stash/recovery wrapper, aligned: for the cache-aligned bucket\n"
-    "       layout, bfs: for breadth-first-search eviction;\n"
-    "       sharded:<n>:resilient:aligned:bfs:<kind> composes)\n"
+    "       layout, bfs: for breadth-first-search eviction, tiered: for the\n"
+    "       mutable-front + immutable-segment tier (tiered:xor: selects xor\n"
+    "       segments, tiered:bfuse: binary fuse, the default);\n"
+    "       sharded:<n>:resilient:tiered:<kind> composes)\n"
     "  --variant=N --slots_log2=N --f=N --hash=fnv|murmur|djb|splitmix\n"
     "  --seed=N --max_kicks=N --bits_per_item=X\n";
 

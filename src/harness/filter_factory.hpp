@@ -67,6 +67,19 @@ struct FilterSpec {
   /// Eviction mode is a runtime policy, not part of serialized state.
   bool bfs = false;
 
+  /// Wrap the leaf filter in a TieredFilter (tiered/tiered_filter.hpp): a
+  /// mutable front provisioned at 1/8 of the slot budget plus immutable
+  /// xor / binary-fuse segments absorbing the frozen cold set. Only the
+  /// canonical-entity cuckoo family (cf|vcf|ivcf|dvcf|kvcf) qualifies as
+  /// the leaf. Spelled "tiered:<kind>" (binary-fuse segments, the default)
+  /// or "tiered:xor:<kind>" / "tiered:bfuse:<kind>" in string specs;
+  /// composes with the other prefixes ("sharded:4:tiered:vcf" builds four
+  /// independently locked tiers).
+  bool tiered = false;
+
+  /// Segment builder for `tiered`: 0 = binary fuse, 1 = xor.
+  unsigned tiered_segment = 0;
+
   std::string DisplayName() const;
 };
 
@@ -76,10 +89,10 @@ class Flags;
 
 /// Parses a `--filter` kind string — `cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|
 /// dlcbf|vf|sscf`, optionally prefixed `sharded:<n>:` and then any mix of
-/// `resilient:`, `aligned:` and `bfs:` (composing:
-/// "sharded:4:resilient:aligned:bfs:vcf") — into
-/// `spec.kind/shards/resilient/aligned/bfs`, leaving every other field
-/// untouched. Throws
+/// `resilient:`, `aligned:`, `bfs:` and `tiered:[xor:|bfuse:]` (composing:
+/// "sharded:4:resilient:tiered:vcf") — into
+/// `spec.kind/shards/resilient/aligned/bfs/tiered/tiered_segment`, leaving
+/// every other field untouched. Throws
 /// std::invalid_argument with an operator-facing message on bad input.
 /// Shared by vcf_tool, vcfd and vcf_loadgen so every binary serves the same
 /// spellings.

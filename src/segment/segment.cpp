@@ -1,0 +1,420 @@
+#include "segment/segment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/bitops.hpp"
+#include "common/random.hpp"
+#include "core/state_io.hpp"
+#include "table/serialization.hpp"
+
+namespace vcf {
+
+namespace {
+
+constexpr char kBlobName[] = "Segment";
+constexpr unsigned kArity = 3;
+constexpr std::uint64_t kMaxMetaBytes = std::uint64_t{1} << 32;
+// Largest plausible fingerprint array: guards the load path against a
+// corrupt geometry field demanding an absurd allocation.
+constexpr std::uint64_t kMaxArrayLength = std::uint64_t{1} << 36;
+constexpr std::uint64_t kMaxSegmentLength = std::uint64_t{1} << 18;
+
+std::uint64_t DeriveSeed(std::uint64_t base, std::uint32_t attempt) noexcept {
+  return Mix64(base ^ (0x9E3779B97F4A7C15ULL * (attempt + 1)));
+}
+
+/// Mix64-chain checksum (same construction as the state_io byte payloads).
+std::uint64_t BufferChecksum(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0x5E6D3A75C0DEULL;
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, data + i, 8);
+    h = Mix64(h ^ w);
+  }
+  std::uint64_t tail = 0;
+  if (i < size) {
+    std::memcpy(&tail, data + i, size - i);
+    h = Mix64(h ^ tail);
+  }
+  return Mix64(h ^ size);
+}
+
+void PutRaw64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (unsigned i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t TakeRaw64(const std::uint8_t* data, std::size_t* pos) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, data + *pos, 8);
+  *pos += 8;
+  return v;
+}
+
+void PutVarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool TakeVarint(const std::uint8_t* data, std::size_t size, std::size_t* pos,
+                std::uint64_t* v) {
+  std::uint64_t out = 0;
+  for (unsigned shift = 0; shift < 64 && *pos < size; shift += 7) {
+    const std::uint8_t b = data[(*pos)++];
+    out |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      *v = out;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Decodes a delta-varint sidecar into the sorted entity list; rejects
+/// non-increasing deltas, overflow and trailing bytes.
+bool DecodeSidecar(const std::vector<std::uint8_t>& sidecar,
+                   std::uint64_t count, std::vector<std::uint64_t>* out) {
+  out->clear();
+  out->reserve(static_cast<std::size_t>(count));
+  std::size_t pos = 0;
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t delta = 0;
+    if (!TakeVarint(sidecar.data(), sidecar.size(), &pos, &delta)) return false;
+    if (i > 0 && delta == 0) return false;  // not strictly increasing
+    const std::uint64_t e = i == 0 ? delta : prev + delta;
+    if (i > 0 && e < prev) return false;  // wrapped
+    out->push_back(e);
+    prev = e;
+  }
+  return pos == sidecar.size();
+}
+
+struct XorGeometry {
+  std::uint64_t block_length;
+  std::uint64_t array_length;
+};
+
+XorGeometry XorGeometryFor(std::uint64_t n) {
+  // Graf & Lemire's sizing: c = 1.23n + 32 cells, split into three blocks.
+  const std::uint64_t capacity = 32 + (123 * n + 99) / 100;
+  const std::uint64_t bl = (capacity + kArity - 1) / kArity;
+  return {bl, bl * kArity};
+}
+
+struct FuseGeometry {
+  std::uint64_t segment_length;
+  std::uint64_t segment_count;
+  std::uint64_t array_length;
+};
+
+FuseGeometry FuseGeometryFor(std::uint64_t n) {
+  // Binary fuse sizing (3-ary): power-of-two windows whose length grows as
+  // n^(1/log 3.33), with an over-provisioning factor shrinking toward 1.125.
+  std::uint64_t sl = 4;
+  if (n >= 2) {
+    const double k =
+        std::floor(std::log(static_cast<double>(n)) / std::log(3.33) + 2.25);
+    const unsigned log2_sl = k < 2 ? 2u : (k > 18 ? 18u : static_cast<unsigned>(k));
+    sl = std::uint64_t{1} << log2_sl;
+  }
+  const double sf = std::max(
+      1.125, 0.875 + 0.25 * std::log(1000000.0) /
+                         std::log(static_cast<double>(n < 2 ? 2 : n)));
+  std::uint64_t capacity =
+      static_cast<std::uint64_t>(std::llround(static_cast<double>(n) * sf));
+  if (capacity < n + 16) capacity = n + 16;  // floor for tiny builds
+  std::uint64_t sc = (capacity + sl - 1) / sl;
+  sc = sc > (kArity - 1) ? sc - (kArity - 1) : 1;
+  return {sl, sc, (sc + kArity - 1) * sl};
+}
+
+}  // namespace
+
+ImmutableSegment::ImmutableSegment(const SegmentParams& params,
+                                   std::uint32_t attempt,
+                                   std::uint64_t entity_count,
+                                   std::uint64_t geom0, std::uint64_t geom1,
+                                   std::uint64_t array_length)
+    : kind_(params.kind),
+      fingerprint_bits_(params.fingerprint_bits),
+      base_seed_(params.seed),
+      attempt_(attempt),
+      effective_seed_(DeriveSeed(params.seed, attempt)),
+      entity_count_(entity_count),
+      block_length_(params.kind == SegmentKind::kXor ? geom0 : 0),
+      segment_length_(params.kind == SegmentKind::kBinaryFuse ? geom0 : 0),
+      segment_count_(params.kind == SegmentKind::kBinaryFuse ? geom1 : 0),
+      table_(static_cast<std::size_t>(array_length), 1, params.fingerprint_bits,
+             TableLayout::kPacked) {}
+
+std::optional<ImmutableSegment> ImmutableSegment::Build(
+    std::vector<std::uint64_t> entities, const SegmentParams& params) {
+  if (params.fingerprint_bits == 0 || params.fingerprint_bits > 25) {
+    throw std::invalid_argument(
+        "ImmutableSegment: fingerprint_bits must be in [1, 25]");
+  }
+  std::sort(entities.begin(), entities.end());
+  entities.erase(std::unique(entities.begin(), entities.end()),
+                 entities.end());
+  const std::uint64_t n = entities.size();
+  if (n > 0xFFFFFFFFULL) {
+    throw std::invalid_argument("ImmutableSegment: too many entities");
+  }
+
+  std::uint64_t geom0 = 0;
+  std::uint64_t geom1 = 0;
+  std::uint64_t array_length = 0;
+  if (params.kind == SegmentKind::kXor) {
+    const XorGeometry g = XorGeometryFor(n);
+    geom0 = g.block_length;
+    array_length = g.array_length;
+  } else {
+    const FuseGeometry g = FuseGeometryFor(n);
+    geom0 = g.segment_length;
+    geom1 = g.segment_count;
+    array_length = g.array_length;
+  }
+
+  const unsigned attempts =
+      params.max_build_attempts == 0 ? 1 : params.max_build_attempts;
+  std::vector<std::uint64_t> hashes(static_cast<std::size_t>(n));
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    ImmutableSegment seg(params, attempt, n, geom0, geom1, array_length);
+    for (std::size_t i = 0; i < n; ++i) {
+      hashes[i] = seg.EntityHash(entities[i]);
+    }
+
+    // Peel the 3-uniform hypergraph: each cell keeps (edge count, xor of
+    // incident item indices); a count-1 cell names its item outright.
+    std::vector<std::uint32_t> count(array_length, 0);
+    std::vector<std::uint32_t> cell_xor(array_length, 0);
+    std::uint64_t pos[3];
+    for (std::size_t i = 0; i < n; ++i) {
+      seg.Positions(hashes[i], pos);
+      for (unsigned j = 0; j < kArity; ++j) {
+        ++count[pos[j]];
+        cell_xor[pos[j]] ^= static_cast<std::uint32_t>(i);
+      }
+    }
+    std::vector<std::uint64_t> queue;
+    for (std::uint64_t c = 0; c < array_length; ++c) {
+      if (count[c] == 1) queue.push_back(c);
+    }
+    std::vector<std::uint32_t> stack_item;
+    std::vector<std::uint64_t> stack_cell;
+    stack_item.reserve(static_cast<std::size_t>(n));
+    stack_cell.reserve(static_cast<std::size_t>(n));
+    while (!queue.empty()) {
+      const std::uint64_t c = queue.back();
+      queue.pop_back();
+      if (count[c] != 1) continue;
+      const std::uint32_t i = cell_xor[c];
+      stack_item.push_back(i);
+      stack_cell.push_back(c);
+      seg.Positions(hashes[i], pos);
+      for (unsigned j = 0; j < kArity; ++j) {
+        --count[pos[j]];
+        cell_xor[pos[j]] ^= i;
+        if (count[pos[j]] == 1) queue.push_back(pos[j]);
+      }
+    }
+    if (stack_item.size() != n) continue;  // 2-core left: reseed and retry
+
+    // Assign in reverse peel order: each item's cell is untouched by later
+    // (= earlier-peeled) assignments, so fp == xor of its three cells holds
+    // for every item once the sweep finishes.
+    for (std::size_t idx = stack_item.size(); idx-- > 0;) {
+      const std::uint32_t i = stack_item[idx];
+      const std::uint64_t c = stack_cell[idx];
+      seg.Positions(hashes[i], pos);
+      std::uint64_t v = seg.FingerprintOf(hashes[i]);
+      for (unsigned j = 0; j < kArity; ++j) v ^= seg.table_.Get(pos[j], 0);
+      seg.table_.Set(c, 0, v);
+    }
+
+    std::vector<std::uint8_t> sidecar;
+    std::uint64_t prev = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      PutVarint(sidecar, i == 0 ? entities[i] : entities[i] - prev);
+      prev = entities[i];
+    }
+    seg.sidecar_ = std::move(sidecar);
+    return seg;
+  }
+  return std::nullopt;
+}
+
+void ImmutableSegment::ContainsBatch(std::span<const std::uint64_t> entities,
+                                     bool* results) const noexcept {
+  if (entity_count_ == 0) {
+    std::fill_n(results, entities.size(), false);
+    return;
+  }
+  constexpr std::size_t kWindow = 16;
+  std::uint64_t hash[kWindow];
+  std::uint64_t pos[kWindow][3];
+  const std::size_t n = entities.size();
+  for (std::size_t at = 0; at < n; at += kWindow) {
+    const std::size_t w = std::min(kWindow, n - at);
+    for (std::size_t i = 0; i < w; ++i) {
+      hash[i] = EntityHash(entities[at + i]);
+      Positions(hash[i], pos[i]);
+      table_.PrefetchBucket(pos[i][0]);
+      table_.PrefetchBucket(pos[i][1]);
+      table_.PrefetchBucket(pos[i][2]);
+    }
+    for (std::size_t i = 0; i < w; ++i) {
+      const std::uint64_t stored = table_.GetFast(pos[i][0], 0) ^
+                                   table_.GetFast(pos[i][1], 0) ^
+                                   table_.GetFast(pos[i][2], 0);
+      results[at + i] = stored == FingerprintOf(hash[i]);
+    }
+  }
+}
+
+std::vector<std::uint64_t> ImmutableSegment::Entities() const {
+  std::vector<std::uint64_t> out;
+  // The sidecar was validated at build/load time; decode cannot fail here.
+  DecodeSidecar(sidecar_, entity_count_, &out);
+  return out;
+}
+
+std::uint64_t ImmutableSegment::ConfigDigestFor(
+    const SegmentParams& params) noexcept {
+  return detail::ConfigDigest(params.seed,
+                              static_cast<unsigned>(params.kind) + 0x5E60,
+                              params.fingerprint_bits, 0);
+}
+
+bool ImmutableSegment::SaveState(std::ostream& out) const {
+  std::vector<std::uint8_t> meta;
+  meta.reserve(2 + 7 * 8 + sidecar_.size() + 8);
+  meta.push_back(static_cast<std::uint8_t>(kind_));
+  meta.push_back(static_cast<std::uint8_t>(fingerprint_bits_));
+  PutRaw64(meta, attempt_);
+  PutRaw64(meta, entity_count_);
+  PutRaw64(meta, block_length_);
+  PutRaw64(meta, segment_length_);
+  PutRaw64(meta, segment_count_);
+  PutRaw64(meta, table_.bucket_count());
+  PutRaw64(meta, sidecar_.size());
+  meta.insert(meta.end(), sidecar_.begin(), sidecar_.end());
+  PutRaw64(meta, BufferChecksum(meta.data(), meta.size()));
+
+  SegmentParams params;
+  params.kind = kind_;
+  params.fingerprint_bits = fingerprint_bits_;
+  params.seed = base_seed_;
+  if (!detail::WriteStateHeader(out, kBlobName, ConfigDigestFor(params))) {
+    return false;
+  }
+  if (!detail::WriteFramedBlob(
+          out, std::string_view(reinterpret_cast<const char*>(meta.data()),
+                                meta.size()))) {
+    return false;
+  }
+  return TableCodec::Save(table_, out);
+}
+
+std::optional<ImmutableSegment> ImmutableSegment::LoadState(
+    std::istream& in, const SegmentParams& params) {
+  if (params.fingerprint_bits == 0 || params.fingerprint_bits > 25) {
+    return std::nullopt;
+  }
+  if (!detail::ReadStateHeader(in, kBlobName, ConfigDigestFor(params))) {
+    return std::nullopt;
+  }
+  std::string frame;
+  if (!detail::ReadFramedBlob(in, &frame, kMaxMetaBytes)) return std::nullopt;
+  const auto* data = reinterpret_cast<const std::uint8_t*>(frame.data());
+  const std::size_t size = frame.size();
+  constexpr std::size_t kFixedBytes = 2 + 7 * 8;
+  if (size < kFixedBytes + 8) return std::nullopt;
+  std::uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, data + size - 8, 8);
+  if (stored_sum != BufferChecksum(data, size - 8)) return std::nullopt;
+
+  std::size_t pos = 0;
+  const std::uint8_t kind_raw = data[pos++];
+  const std::uint8_t fp_bits = data[pos++];
+  const std::uint64_t attempt = TakeRaw64(data, &pos);
+  const std::uint64_t entity_count = TakeRaw64(data, &pos);
+  const std::uint64_t block_length = TakeRaw64(data, &pos);
+  const std::uint64_t segment_length = TakeRaw64(data, &pos);
+  const std::uint64_t segment_count = TakeRaw64(data, &pos);
+  const std::uint64_t array_length = TakeRaw64(data, &pos);
+  const std::uint64_t sidecar_len = TakeRaw64(data, &pos);
+
+  if (kind_raw != static_cast<std::uint8_t>(params.kind) ||
+      fp_bits != params.fingerprint_bits || attempt > 0xFFFFFFFFULL ||
+      array_length == 0 || array_length > kMaxArrayLength ||
+      entity_count > array_length || sidecar_len != size - 8 - kFixedBytes) {
+    return std::nullopt;
+  }
+  std::uint64_t geom0 = 0;
+  std::uint64_t geom1 = 0;
+  if (params.kind == SegmentKind::kXor) {
+    if (segment_length != 0 || segment_count != 0 || block_length == 0 ||
+        array_length != kArity * block_length) {
+      return std::nullopt;
+    }
+    geom0 = block_length;
+  } else {
+    if (block_length != 0 || segment_length == 0 ||
+        !IsPowerOfTwo(segment_length) || segment_length > kMaxSegmentLength ||
+        segment_count == 0 ||
+        array_length != (segment_count + kArity - 1) * segment_length) {
+      return std::nullopt;
+    }
+    geom0 = segment_length;
+    geom1 = segment_count;
+  }
+
+  auto table = TableCodec::Load(in);
+  if (!table.has_value() || table->bucket_count() != array_length ||
+      table->slots_per_bucket() != 1 ||
+      table->slot_bits() != params.fingerprint_bits) {
+    return std::nullopt;
+  }
+
+  ImmutableSegment seg(params, static_cast<std::uint32_t>(attempt),
+                       entity_count, geom0, geom1, /*array_length=*/1);
+  seg.table_ = std::move(*table);
+  seg.sidecar_.assign(data + kFixedBytes, data + kFixedBytes + sidecar_len);
+
+  // Cross-validate the two payload halves: the sidecar must decode to a
+  // strictly sorted list the probe array answers in full. A blob that
+  // passes both checksums but mixes halves of two segments still dies here.
+  std::vector<std::uint64_t> entities;
+  if (!DecodeSidecar(seg.sidecar_, entity_count, &entities)) {
+    return std::nullopt;
+  }
+  for (std::uint64_t e : entities) {
+    if (!seg.Contains(e)) return std::nullopt;
+  }
+  return seg;
+}
+
+bool ImmutableSegment::operator==(const ImmutableSegment& other) const noexcept {
+  return kind_ == other.kind_ && fingerprint_bits_ == other.fingerprint_bits_ &&
+         base_seed_ == other.base_seed_ && attempt_ == other.attempt_ &&
+         entity_count_ == other.entity_count_ &&
+         block_length_ == other.block_length_ &&
+         segment_length_ == other.segment_length_ &&
+         segment_count_ == other.segment_count_ && table_ == other.table_ &&
+         sidecar_ == other.sidecar_;
+}
+
+}  // namespace vcf

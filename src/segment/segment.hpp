@@ -1,0 +1,183 @@
+// Immutable probe segments: xor filters (Graf & Lemire, "Xor Filters:
+// Faster and Smaller Than Bloom and Cuckoo Filters") and 3-ary binary fuse
+// filters ("Binary Fuse Filters: Fast and Smaller Than Xor Filters"),
+// compiled from the canonical fingerprint entities a live cuckoo-family
+// filter enumerates through Filter::ForEachFingerprint.
+//
+// Both structures store one g-bit fingerprint per array cell and answer a
+// query with exactly three loads:  fp(e) == B[p0(e)] ^ B[p1(e)] ^ B[p2(e)].
+// Construction peels the 3-uniform hypergraph of entity -> cell edges; a
+// peelable ordering exists with high probability at the over-provisioned
+// array size (~1.23n cells for xor, ~1.13n for binary fuse), and when an
+// unlucky seed leaves a 2-core the builder re-derives a fresh seed and
+// retries. The fingerprint array reuses PackedTable (one slot per bucket)
+// so storage is bit-packed — byte alignment would forfeit the bits/key win
+// the tier exists for.
+//
+// A segment also retains its sorted entity list as a delta-varint sidecar:
+// xor structures are not enumerable, and TieredFilter::Compact() and the
+// checkpoint round-trip both need the exact entity set back. The sidecar is
+// cold data (decoded only on compact/save) and is reported separately from
+// the probe bytes — MemoryBytes-style accounting covers the approximate
+// representation, the sidecar is priced honestly next to it.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/random.hpp"
+#include "table/packed_table.hpp"
+
+namespace vcf {
+
+enum class SegmentKind : std::uint8_t {
+  kXor = 0,        ///< 3-block xor filter, ~1.23n cells
+  kBinaryFuse = 1, ///< 3-ary binary fuse, consecutive-segment hashing, ~1.13n
+};
+
+struct SegmentParams {
+  SegmentKind kind = SegmentKind::kBinaryFuse;
+
+  /// Stored fingerprint width g in [1, 25]; the segment's false-positive
+  /// rate is 2^-g. TieredFilter sizes g for parity with its front table.
+  unsigned fingerprint_bits = 10;
+
+  /// Base seed; build attempt i peels with Mix64-derived seed i, and the
+  /// succeeding attempt index is recorded in the blob.
+  std::uint64_t seed = 0x5EEDF00D;
+
+  /// Peeling retries before Build gives up (each is ~O(n); failure at the
+  /// sized over-provisioning is already <1% per attempt).
+  unsigned max_build_attempts = 64;
+};
+
+class ImmutableSegment {
+ public:
+  /// Compiles `entities` (deduplicated internally; duplicate edges are
+  /// never peelable) into a frozen probe structure. Returns nullopt only
+  /// when every seed attempt leaves a non-empty 2-core.
+  static std::optional<ImmutableSegment> Build(
+      std::vector<std::uint64_t> entities, const SegmentParams& params);
+
+  /// Three loads + xor. May false-positive at 2^-fingerprint_bits; never
+  /// false-negative for a built entity. Defined inline (below) so
+  /// TieredFilter's lookup fan-out compiles down to the bare probe kernel.
+  bool Contains(std::uint64_t entity) const noexcept;
+
+  /// Batched membership. Hashes, positions and cache hints are pipelined a
+  /// window ahead of the resolving loads, so a batch keeps ~3x window
+  /// independent loads in flight instead of one probe's three — the win
+  /// grows with the array's distance from L2 (docs/performance.md).
+  void ContainsBatch(std::span<const std::uint64_t> entities,
+                     bool* results) const noexcept;
+
+  SegmentKind kind() const noexcept { return kind_; }
+  unsigned fingerprint_bits() const noexcept { return fingerprint_bits_; }
+  std::uint64_t base_seed() const noexcept { return base_seed_; }
+  std::uint32_t build_attempt() const noexcept { return attempt_; }
+  std::size_t EntityCount() const noexcept {
+    return static_cast<std::size_t>(entity_count_);
+  }
+  std::size_t CellCount() const noexcept { return table_.bucket_count(); }
+
+  /// Bytes of the bit-packed fingerprint array (the probe structure).
+  std::size_t ProbeBytes() const noexcept { return table_.StorageBytes(); }
+  /// Bytes of the retained entity sidecar.
+  std::size_t SidecarBytes() const noexcept { return sidecar_.size(); }
+
+  /// Decodes the sidecar back into the sorted, deduplicated entity list
+  /// (compact/merge path; cold).
+  std::vector<std::uint64_t> Entities() const;
+
+  /// The header digest a segment built with `params` carries; loads verify
+  /// it before touching the payload.
+  static std::uint64_t ConfigDigestFor(const SegmentParams& params) noexcept;
+
+  /// Canonical versioned blob through the state_io envelope: header
+  /// ("Segment" + config digest), checksummed meta + sidecar frame, then
+  /// the TableCodec fingerprint array. Save-load-save is byte-identical.
+  bool SaveState(std::ostream& out) const;
+
+  /// All-or-nothing restore: any corrupt byte (header, meta checksum,
+  /// geometry, sidecar ordering, codec checksum, or a sidecar entity the
+  /// array does not answer) rejects the whole blob. `params` must match
+  /// the saved configuration.
+  static std::optional<ImmutableSegment> LoadState(std::istream& in,
+                                                   const SegmentParams& params);
+
+  bool operator==(const ImmutableSegment& other) const noexcept;
+
+ private:
+  ImmutableSegment(const SegmentParams& params, std::uint32_t attempt,
+                   std::uint64_t entity_count, std::uint64_t geom0,
+                   std::uint64_t geom1, std::uint64_t array_length);
+
+  static std::uint64_t Rotl(std::uint64_t x, unsigned r) noexcept {
+    return (x << r) | (x >> (64 - r));
+  }
+
+  /// Lemire multiply-shift reduction of a 64-bit hash onto [0, n).
+  static std::uint64_t ReduceTo(std::uint64_t x, std::uint64_t n) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * n) >> 64);
+  }
+
+  /// The three cell positions for the entity hash `h` (kind-dispatched).
+  void Positions(std::uint64_t h, std::uint64_t pos[3]) const noexcept {
+    if (kind_ == SegmentKind::kXor) {
+      // One cell per block; the three rotations decorrelate the block
+      // offsets.
+      pos[0] = ReduceTo(h, block_length_);
+      pos[1] = block_length_ + ReduceTo(Rotl(h, 21), block_length_);
+      pos[2] = 2 * block_length_ + ReduceTo(Rotl(h, 42), block_length_);
+    } else {
+      // Three consecutive power-of-two windows starting at a reduced
+      // segment index — the locality that makes fuse probes cheaper than
+      // xor's.
+      const std::uint64_t m = segment_length_ - 1;
+      const std::uint64_t hi = ReduceTo(h, segment_count_);
+      pos[0] = hi * segment_length_ + (h & m);
+      pos[1] = (hi + 1) * segment_length_ + ((h >> 18) & m);
+      pos[2] = (hi + 2) * segment_length_ + ((h >> 36) & m);
+    }
+  }
+
+  std::uint64_t EntityHash(std::uint64_t entity) const noexcept {
+    return Mix64(entity ^ effective_seed_);
+  }
+
+  std::uint64_t FingerprintOf(std::uint64_t h) const noexcept {
+    return Mix64(h ^ 0xF0E1D2C3B4A59687ULL) & LowMask(fingerprint_bits_);
+  }
+
+  SegmentKind kind_;
+  unsigned fingerprint_bits_;
+  std::uint64_t base_seed_;
+  std::uint32_t attempt_;
+  std::uint64_t effective_seed_;
+  std::uint64_t entity_count_;
+  std::uint64_t block_length_;    ///< xor: cells per block (array = 3 blocks)
+  std::uint64_t segment_length_;  ///< binary fuse: power-of-two window
+  std::uint64_t segment_count_;   ///< binary fuse: starting-window count
+  PackedTable table_;             ///< array_length x 1 slot x g bits
+  std::vector<std::uint8_t> sidecar_;
+};
+
+inline bool ImmutableSegment::Contains(std::uint64_t entity) const noexcept {
+  if (entity_count_ == 0) return false;
+  const std::uint64_t h = EntityHash(entity);
+  std::uint64_t pos[3];
+  Positions(h, pos);
+  // The three loads are independent; GetFast keeps each one a single
+  // unaligned read so they overlap in flight.
+  const std::uint64_t stored = table_.GetFast(pos[0], 0) ^
+                               table_.GetFast(pos[1], 0) ^
+                               table_.GetFast(pos[2], 0);
+  return stored == FingerprintOf(h);
+}
+
+}  // namespace vcf

@@ -35,8 +35,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <vector>
 
+#include "common/bitops.hpp"
 #include "table/probe_engine.hpp"
 
 namespace vcf {
@@ -101,6 +103,18 @@ class PackedTable {
   /// Raw slot access. `value` 0 means empty.
   std::uint64_t Get(std::size_t bucket, unsigned slot) const noexcept;
   void Set(std::size_t bucket, unsigned slot, std::uint64_t value) noexcept;
+
+  /// Same result as Get(), as a single inline unaligned 64-bit load. Valid
+  /// for every constructible geometry: slot_bits <= 57 keeps the slot inside
+  /// an 8-byte window at any intra-byte phase, and `bits_` always carries 8
+  /// bytes of slack past the last live bit. This is the segment probe
+  /// kernel's accessor — three of these per ImmutableSegment::Contains.
+  std::uint64_t GetFast(std::size_t bucket, unsigned slot) const noexcept {
+    const std::size_t off = BitOffset(bucket, slot);
+    std::uint64_t word;
+    std::memcpy(&word, bits_.data() + (off >> 3), sizeof(word));
+    return (word >> (off & 7)) & LowMask(slot_bits_);
+  }
 
   /// Index of the first empty slot in `bucket`, or -1 if the bucket is full.
   int FindEmptySlot(std::size_t bucket) const noexcept;

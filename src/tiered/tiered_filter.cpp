@@ -1,0 +1,361 @@
+#include "tiered/tiered_filter.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "common/random.hpp"
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+namespace {
+
+constexpr char kBlobName[] = "Tiered";
+constexpr std::uint64_t kMaxFrameBytes = std::uint64_t{1} << 32;
+constexpr std::uint64_t kMaxSegments = 1u << 20;
+
+// Same Mix64-chain construction as the segment meta frame.
+std::uint64_t BufferChecksum(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0x5E6D3A75C0DEULL;
+  std::size_t i = 0;
+  for (; i + 8 <= size; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, data + i, 8);
+    h = Mix64(h ^ w);
+  }
+  std::uint64_t tail = 0;
+  if (i < size) {
+    std::memcpy(&tail, data + i, size - i);
+    h = Mix64(h ^ tail);
+  }
+  return Mix64(h ^ size);
+}
+
+void PutRaw64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (unsigned i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutVarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+bool TakeVarint(const std::uint8_t* data, std::size_t size, std::size_t* pos,
+                std::uint64_t* v) {
+  std::uint64_t out = 0;
+  for (unsigned shift = 0; shift < 64 && *pos < size; shift += 7) {
+    const std::uint8_t b = data[(*pos)++];
+    out |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      *v = out;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TieredFilter::TieredFilter(FrontFactory front_factory, TieredOptions options)
+    : front_factory_(std::move(front_factory)), options_(options) {
+  if (!front_factory_) {
+    throw std::invalid_argument("TieredFilter: null front factory");
+  }
+  front_ = front_factory_();
+  std::uint64_t probe = 0;
+  if (!front_ || !front_->KeyEntity(0, &probe)) {
+    throw std::invalid_argument(
+        "TieredFilter: front filter does not support canonical-entity "
+        "enumeration (ForEachFingerprint/KeyEntity)");
+  }
+}
+
+std::uint64_t TieredFilter::TierDigest() const noexcept {
+  return detail::ConfigDigest(
+      options_.segment.seed,
+      static_cast<unsigned>(options_.segment.kind) + 0x71E0,
+      options_.segment.fingerprint_bits,
+      static_cast<unsigned>(options_.freeze_watermark * 1024.0));
+}
+
+bool TieredFilter::FrozenContains(std::uint64_t entity) const noexcept {
+  if (!tombstones_.empty() && tombstones_.count(entity) != 0) return false;
+  // Post-compact steady state: exactly one segment, probed directly; the
+  // general newest-to-oldest walk also answers false for zero segments.
+  if (segments_.size() == 1) return segments_.front().Contains(entity);
+  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+    if (it->Contains(entity)) return true;
+  }
+  return false;
+}
+
+bool TieredFilter::Insert(std::uint64_t key) {
+  bool ok = front_->Insert(key);
+  if (!ok) {
+    // Front full: freeze it out of the way and retry into the fresh front.
+    if (!Freeze()) return false;
+    ok = front_->Insert(key);
+  }
+  if (ok) {
+    front_empty_ = false;
+    if (!tombstones_.empty()) {
+      std::uint64_t entity = 0;
+      front_->KeyEntity(key, &entity);
+      tombstones_.erase(entity);
+    }
+    if (front_->LoadFactor() >= options_.freeze_watermark) Freeze();
+  }
+  return ok;
+}
+
+bool TieredFilter::Contains(std::uint64_t key) const {
+  // The empty-front skip is the cold-set fast path: a fully frozen tier
+  // answers with segment probes alone, no front bucket loads.
+  if (!front_empty_ && front_->Contains(key)) return true;
+  if (segments_.empty()) return false;
+  std::uint64_t entity = 0;
+  front_->KeyEntity(key, &entity);
+  return FrozenContains(entity);
+}
+
+void TieredFilter::ContainsBatch(std::span<const std::uint64_t> keys,
+                                 bool* results) const {
+  if (!front_empty_) {
+    front_->ContainsBatch(keys, results);
+    if (segments_.empty()) return;
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (results[i]) continue;
+      std::uint64_t entity = 0;
+      front_->KeyEntity(keys[i], &entity);
+      results[i] = FrozenContains(entity);
+    }
+    return;
+  }
+  if (segments_.empty()) {
+    std::fill_n(results, keys.size(), false);
+    return;
+  }
+  // Fully frozen fast path: entity-ize a window of keys, then hand it to
+  // the segment's pipelined batch probe (single segment, no tombstones —
+  // the post-compact steady state); otherwise fall back per key.
+  constexpr std::size_t kWindow = 128;
+  std::uint64_t entities[kWindow];
+  const bool pipelined = segments_.size() == 1 && tombstones_.empty();
+  for (std::size_t at = 0; at < keys.size(); at += kWindow) {
+    const std::size_t w = std::min(kWindow, keys.size() - at);
+    for (std::size_t i = 0; i < w; ++i) {
+      front_->KeyEntity(keys[at + i], &entities[i]);
+    }
+    if (pipelined) {
+      segments_.front().ContainsBatch({entities, w}, results + at);
+    } else {
+      for (std::size_t i = 0; i < w; ++i) {
+        results[at + i] = FrozenContains(entities[i]);
+      }
+    }
+  }
+}
+
+bool TieredFilter::Erase(std::uint64_t key) {
+  bool erased = front_->Erase(key);
+  if (erased) front_empty_ = front_->ItemCount() == 0;
+  if (!segments_.empty()) {
+    std::uint64_t entity = 0;
+    front_->KeyEntity(key, &entity);
+    if (tombstones_.count(entity) == 0) {
+      bool frozen = false;
+      for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
+        if (it->Contains(entity)) {
+          frozen = true;
+          break;
+        }
+      }
+      if (frozen) {
+        // Segments are immutable; shadow the entity instead. Set-like over
+        // the frozen tier: one tombstone kills every frozen copy.
+        tombstones_.insert(entity);
+        erased = true;
+      }
+    }
+  }
+  return erased;
+}
+
+std::size_t TieredFilter::ItemCount() const noexcept {
+  std::size_t frozen = 0;
+  for (const ImmutableSegment& s : segments_) frozen += s.EntityCount();
+  return front_->ItemCount() + frozen - tombstones_.size();
+}
+
+std::size_t TieredFilter::SlotCount() const noexcept {
+  std::size_t frozen = 0;
+  for (const ImmutableSegment& s : segments_) frozen += s.EntityCount();
+  return front_->SlotCount() + frozen;
+}
+
+double TieredFilter::LoadFactor() const noexcept {
+  const std::size_t slots = SlotCount();
+  return slots == 0 ? 0.0
+                    : static_cast<double>(ItemCount()) /
+                          static_cast<double>(slots);
+}
+
+std::size_t TieredFilter::MemoryBytes() const noexcept {
+  std::size_t bytes = front_->MemoryBytes();
+  for (const ImmutableSegment& s : segments_) bytes += s.ProbeBytes();
+  return bytes;
+}
+
+std::size_t TieredFilter::SidecarBytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const ImmutableSegment& s : segments_) bytes += s.SidecarBytes();
+  return bytes;
+}
+
+void TieredFilter::Clear() {
+  front_->Clear();
+  front_empty_ = true;
+  segments_.clear();
+  tombstones_.clear();
+}
+
+bool TieredFilter::Freeze() {
+  if (front_->ItemCount() == 0) return true;
+  std::vector<std::uint64_t> entities;
+  entities.reserve(front_->ItemCount());
+  front_->ForEachFingerprint(
+      [&](std::uint64_t e) { entities.push_back(e); });
+  auto seg = ImmutableSegment::Build(std::move(entities), options_.segment);
+  if (!seg.has_value()) return false;
+  segments_.push_back(std::move(*seg));
+  front_->Clear();
+  front_empty_ = true;
+  return true;
+}
+
+bool TieredFilter::Compact() {
+  if (segments_.empty()) {
+    tombstones_.clear();
+    return true;
+  }
+  std::vector<std::uint64_t> survivors;
+  for (const ImmutableSegment& s : segments_) {
+    for (std::uint64_t e : s.Entities()) {
+      if (tombstones_.count(e) == 0) survivors.push_back(e);
+    }
+  }
+  if (survivors.empty()) {
+    segments_.clear();
+    tombstones_.clear();
+    return true;
+  }
+  auto merged = ImmutableSegment::Build(std::move(survivors), options_.segment);
+  if (!merged.has_value()) return false;
+  segments_.clear();
+  segments_.push_back(std::move(*merged));
+  tombstones_.clear();
+  return true;
+}
+
+bool TieredFilter::SaveState(std::ostream& out) const {
+  if (!detail::WriteStateHeader(out, kBlobName, TierDigest())) return false;
+
+  std::ostringstream front_blob;
+  if (!front_->SaveState(front_blob)) return false;
+  const std::string front_bytes = front_blob.str();
+  if (!detail::WriteFramedBlob(out, front_bytes)) return false;
+
+  // Manifest: segment count + tombstones, sorted so identical logical state
+  // always serializes to identical bytes.
+  std::vector<std::uint64_t> stones(tombstones_.begin(), tombstones_.end());
+  std::sort(stones.begin(), stones.end());
+  std::vector<std::uint8_t> meta;
+  PutRaw64(meta, segments_.size());
+  PutRaw64(meta, stones.size());
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < stones.size(); ++i) {
+    PutVarint(meta, i == 0 ? stones[i] : stones[i] - prev);
+    prev = stones[i];
+  }
+  PutRaw64(meta, BufferChecksum(meta.data(), meta.size()));
+  if (!detail::WriteFramedBlob(
+          out, std::string_view(reinterpret_cast<const char*>(meta.data()),
+                                meta.size()))) {
+    return false;
+  }
+
+  for (const ImmutableSegment& s : segments_) {
+    std::ostringstream seg_blob;
+    if (!s.SaveState(seg_blob)) return false;
+    if (!detail::WriteFramedBlob(out, seg_blob.str())) return false;
+  }
+  return true;
+}
+
+bool TieredFilter::LoadState(std::istream& in) {
+  if (!detail::ReadStateHeader(in, kBlobName, TierDigest())) return false;
+
+  std::string front_bytes;
+  if (!detail::ReadFramedBlob(in, &front_bytes, kMaxFrameBytes)) return false;
+  std::unique_ptr<Filter> staged_front = front_factory_();
+  {
+    std::istringstream front_in(front_bytes);
+    if (!staged_front->LoadState(front_in)) return false;
+  }
+
+  std::string meta;
+  if (!detail::ReadFramedBlob(in, &meta, kMaxFrameBytes)) return false;
+  const auto* data = reinterpret_cast<const std::uint8_t*>(meta.data());
+  const std::size_t size = meta.size();
+  if (size < 3 * 8) return false;
+  std::uint64_t stored_sum = 0;
+  std::memcpy(&stored_sum, data + size - 8, 8);
+  if (stored_sum != BufferChecksum(data, size - 8)) return false;
+  std::uint64_t seg_count = 0;
+  std::uint64_t stone_count = 0;
+  std::memcpy(&seg_count, data, 8);
+  std::memcpy(&stone_count, data + 8, 8);
+  if (seg_count > kMaxSegments || stone_count > size * 10) return false;
+  std::size_t pos = 16;
+  std::unordered_set<std::uint64_t> staged_stones;
+  staged_stones.reserve(static_cast<std::size_t>(stone_count));
+  std::uint64_t prev = 0;
+  for (std::uint64_t i = 0; i < stone_count; ++i) {
+    std::uint64_t delta = 0;
+    if (!TakeVarint(data, size - 8, &pos, &delta)) return false;
+    if (i > 0 && delta == 0) return false;  // must be strictly increasing
+    const std::uint64_t e = i == 0 ? delta : prev + delta;
+    if (i > 0 && e < prev) return false;
+    staged_stones.insert(e);
+    prev = e;
+  }
+  if (pos != size - 8) return false;
+
+  std::vector<ImmutableSegment> staged_segments;
+  staged_segments.reserve(static_cast<std::size_t>(seg_count));
+  for (std::uint64_t i = 0; i < seg_count; ++i) {
+    std::string seg_bytes;
+    if (!detail::ReadFramedBlob(in, &seg_bytes, kMaxFrameBytes)) return false;
+    std::istringstream seg_in(seg_bytes);
+    auto seg = ImmutableSegment::LoadState(seg_in, options_.segment);
+    if (!seg.has_value()) return false;
+    staged_segments.push_back(std::move(*seg));
+  }
+
+  // Everything parsed and validated: commit atomically.
+  front_ = std::move(staged_front);
+  segments_ = std::move(staged_segments);
+  tombstones_ = std::move(staged_stones);
+  front_empty_ = front_->ItemCount() == 0;
+  return true;
+}
+
+}  // namespace vcf

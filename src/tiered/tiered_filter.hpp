@@ -1,0 +1,135 @@
+// LSM-style two-level filter: a small mutable cuckoo-family front absorbs
+// inserts and deletes at full speed, and an ordered list of immutable
+// xor / binary-fuse segments (segment/segment.hpp) holds the frozen cold
+// set at a fraction of the front's bits per key.
+//
+// Lifecycle mirrors an LSM tree's memtable/SST split:
+//
+//   Insert --> front; when the front's load factor crosses the freeze
+//   watermark the front is compiled into a new segment (Freeze) and reset.
+//   Lookup  --> front first (skipped entirely while the front is empty —
+//   the fully-frozen cold-set fast path), then segments newest -> oldest.
+//   Erase   --> removed from the front if present there; an entity living
+//   in a frozen segment is shadowed by a tombstone instead (segments are
+//   immutable), which a later re-insert of the same entity clears.
+//   Compact --> merges every segment (minus tombstones) into one.
+//
+// Correctness rests on the canonical-entity contract of
+// Filter::ForEachFingerprint / Filter::KeyEntity: the stored-side and
+// key-side derivations agree for any inserted key, so freezing introduces
+// no false negatives, and false positives stay at the segment's 2^-g.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/filter.hpp"
+#include "segment/segment.hpp"
+
+namespace vcf {
+
+struct TieredOptions {
+  /// Builder configuration for frozen segments (kind, fingerprint width,
+  /// seed, retry budget). Every segment of one tier shares it.
+  SegmentParams segment;
+
+  /// Front load factor at or above which Insert auto-freezes. 1.0 (or
+  /// anything >= 1.0) effectively disables auto-freeze: the front then only
+  /// freezes explicitly or when an insert fails outright.
+  double freeze_watermark = 0.85;
+};
+
+class TieredFilter : public Filter {
+ public:
+  /// Constructs fresh, identically-configured fronts; called once at
+  /// construction and once per LoadState (staged restore builds the new
+  /// front off to the side before committing).
+  using FrontFactory = std::function<std::unique_ptr<Filter>()>;
+
+  /// Throws std::invalid_argument when the factory's filters do not support
+  /// the canonical-entity hooks (Bloom family, compressed baselines).
+  explicit TieredFilter(FrontFactory front_factory, TieredOptions options = {});
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  void ContainsBatch(std::span<const std::uint64_t> keys,
+                     bool* results) const override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override {
+    return front_->SupportsDeletion();
+  }
+  std::string Name() const override { return "Tiered(" + front_->Name() + ")"; }
+
+  /// Live membership count: front items plus frozen entities not shadowed
+  /// by a tombstone.
+  std::size_t ItemCount() const noexcept override;
+  /// Front slots plus one virtual slot per frozen entity (segments are
+  /// always exactly full).
+  std::size_t SlotCount() const noexcept override;
+  double LoadFactor() const noexcept override;
+  /// Approximate-representation bytes: front table plus segment probe
+  /// arrays. Entity sidecars are cold restore/compact data; account them
+  /// via SidecarBytes().
+  std::size_t MemoryBytes() const noexcept override;
+  std::size_t SidecarBytes() const noexcept;
+  void Clear() override;
+
+  /// Compiles the current front into a new (newest) segment and resets the
+  /// front. No-op success on an empty front. Returns false — with the tier
+  /// unchanged — only when every build seed fails.
+  bool Freeze();
+
+  /// Merges all segments into one, dropping tombstoned entities for good.
+  /// No-op success with zero segments; clears everything frozen when the
+  /// survivor set is empty. Returns false (tier unchanged) on build failure.
+  bool Compact();
+
+  /// Canonical versioned tier blob: header, framed front checkpoint, framed
+  /// checksummed manifest (segment count + sorted tombstones), then one
+  /// framed segment blob per segment, newest last. Save-load-save is
+  /// byte-identical.
+  bool SaveState(std::ostream& out) const override;
+  /// All-or-nothing: stages the front (via the factory), manifest and every
+  /// segment before committing any of them.
+  bool LoadState(std::istream& in) override;
+
+  std::size_t SegmentCount() const noexcept { return segments_.size(); }
+  std::size_t TombstoneCount() const noexcept { return tombstones_.size(); }
+  const ImmutableSegment& Segment(std::size_t i) const { return segments_[i]; }
+  Filter& front() noexcept { return *front_; }
+  const Filter& front() const noexcept { return *front_; }
+  const TieredOptions& options() const noexcept { return options_; }
+
+  /// Wrapper view: hot-path op totals live on the front's counters.
+  const OpCounters& counters() const noexcept override {
+    return front_->counters();
+  }
+  void ResetCounters() noexcept override { front_->ResetCounters(); }
+
+ private:
+  std::uint64_t TierDigest() const noexcept;
+  /// True when `entity` lives in some segment (newest -> oldest) and is not
+  /// tombstoned.
+  bool FrozenContains(std::uint64_t entity) const noexcept;
+
+  FrontFactory front_factory_;
+  TieredOptions options_;
+  std::unique_ptr<Filter> front_;
+  /// Cached `front_->ItemCount() == 0`, refreshed at every mutation point,
+  /// so the per-lookup empty-front skip costs a byte load instead of a
+  /// virtual call — on a fully frozen tier that call was the single largest
+  /// slice of Contains.
+  bool front_empty_ = true;
+  /// Oldest first; lookups walk it back-to-front (newest wins).
+  std::vector<ImmutableSegment> segments_;
+  /// Entities erased from the frozen tier; consulted after a front miss,
+  /// cleared entity-wise on re-insert and wholesale on Compact.
+  std::unordered_set<std::uint64_t> tombstones_;
+};
+
+}  // namespace vcf

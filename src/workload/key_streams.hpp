@@ -33,6 +33,12 @@ class ZipfGenerator {
 
   std::uint64_t Next();
 
+  /// One Zipf draw as a bare popularity rank (rank 0 = hottest), for
+  /// callers that map ranks onto their own key space — e.g. vcf_loadgen
+  /// --read-heavy skews lookups over the prefilled cold set instead of the
+  /// KeyForRank stream.
+  std::size_t NextRank() { return SampleRank(); }
+
   /// The key for a given popularity rank (rank 0 = hottest).
   std::uint64_t KeyForRank(std::size_t rank) const noexcept {
     return Mix64(0x21F0AA5ULL ^ rank);

@@ -56,6 +56,11 @@ const GoldenCase kCases[] = {
     {"aligned_ivcf3", "aligned:ivcf", 3, 0.95},
     {"aligned_dvcf4", "aligned:dvcf", 4, 0.95},
     {"aligned_kvcf4", "aligned:kvcf", 4, 0.95},
+    // Tiered checkpoints: the workload crosses the freeze watermark, so the
+    // blob locks the whole tier format — front blob, manifest frame and at
+    // least one immutable-segment blob per builder kind.
+    {"tiered_vcf", "tiered:vcf", 0, 0.95},
+    {"tiered_xor_cf", "tiered:xor:cf", 0, 0.95},
 };
 
 struct RunResult {

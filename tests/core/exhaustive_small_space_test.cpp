@@ -11,6 +11,7 @@
 #include "common/bitops.hpp"
 #include "core/vertical_hashing.hpp"
 #include "harness/filter_factory.hpp"
+#include "tiered/tiered_filter.hpp"
 
 namespace vcf {
 namespace {
@@ -131,6 +132,87 @@ TEST(ExhaustiveTest, SmallSpaceFilterOracleBothEvictionModes) {
       for (std::uint64_t key = 100; key < 110; ++key) {
         EXPECT_TRUE(filter->Insert(key)) << label;
       }
+    }
+  }
+}
+
+TEST(ExhaustiveTest, TieredOracleAcrossFreezeCompactBoundaries) {
+  // The same filter-level oracle, but driven through the tiered wrapper's
+  // full lifecycle: inserts that roll the front through multiple automatic
+  // freezes (tiny front => several segments), explicit Freeze/Compact at a
+  // checkpoint, tombstoned erases over frozen segments, and a drain back to
+  // empty. No false negatives are tolerated at any boundary.
+  struct KindSpec {
+    const char* kind;
+    unsigned variant;
+  };
+  const KindSpec kinds[] = {{"tiered:vcf", 0},
+                            {"tiered:xor:cf", 0},
+                            {"tiered:bfuse:kvcf", 4},
+                            {"sharded:2:tiered:vcf", 0}};
+  for (const auto& ks : kinds) {
+    FilterSpec spec;
+    ParseFilterKind(ks.kind, spec);
+    spec.variant = ks.variant;
+    spec.params.bucket_count = 1 << 6;  // front gets 1/8 => 8 buckets
+    spec.params.slots_per_bucket = 4;
+    spec.params.fingerprint_bits = 14;
+    auto filter = MakeFilter(spec);
+    ASSERT_NE(filter, nullptr) << ks.kind;
+
+    std::vector<std::uint64_t> accepted;
+    for (std::uint64_t key = 1; key <= 120; ++key) {
+      if (filter->Insert(key)) accepted.push_back(key);
+    }
+    // A tiered filter freezes its way out of front pressure, so nothing
+    // should have been rejected.
+    ASSERT_EQ(accepted.size(), 120u) << ks.kind;
+    for (const std::uint64_t key : accepted) {
+      ASSERT_TRUE(filter->Contains(key)) << ks.kind << " lost " << key;
+    }
+
+    // Erase a third (tombstones over frozen segments): erased keys must go
+    // absent (tombstones shadow exactly) and the rest must stay present.
+    std::set<std::uint64_t> erased;
+    for (std::size_t i = 0; i < accepted.size(); i += 3) {
+      filter->Erase(accepted[i]);
+      erased.insert(accepted[i]);
+    }
+    for (const std::uint64_t key : accepted) {
+      if (erased.count(key) == 0) {
+        ASSERT_TRUE(filter->Contains(key))
+            << ks.kind << " erase shadowed live key " << key;
+      } else {
+        ASSERT_FALSE(filter->Contains(key))
+            << ks.kind << " tombstone missed key " << key;
+      }
+    }
+    // Where the tier is directly reachable, compact away the tombstones and
+    // re-verify the survivors. (Compacted-away entities lose their exact
+    // tombstones, so absence checks for them fall back to the g-bit FPR and
+    // are not re-asserted here.)
+    bool compacted = false;
+    if (auto* tier = dynamic_cast<TieredFilter*>(filter.get())) {
+      ASSERT_TRUE(tier->Compact()) << ks.kind;
+      EXPECT_LE(tier->SegmentCount(), 1u) << ks.kind;
+      EXPECT_EQ(tier->TombstoneCount(), 0u) << ks.kind;
+      compacted = true;
+      for (const std::uint64_t key : accepted) {
+        if (erased.count(key) == 0) {
+          ASSERT_TRUE(filter->Contains(key)) << ks.kind;
+        }
+      }
+    }
+    for (const std::uint64_t key : accepted) filter->Erase(key);
+    for (const std::uint64_t key : accepted) {
+      if (compacted && erased.count(key) != 0) continue;
+      ASSERT_FALSE(filter->Contains(key))
+          << ks.kind << " key survived full drain: " << key;
+    }
+    // A drained tier must accept fresh keys again.
+    for (std::uint64_t key = 200; key < 210; ++key) {
+      ASSERT_TRUE(filter->Insert(key)) << ks.kind;
+      ASSERT_TRUE(filter->Contains(key)) << ks.kind;
     }
   }
 }

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "harness/filter_factory.hpp"
+#include "segment/segment.hpp"
+#include "tiered/tiered_filter.hpp"
 #include "workload/key_streams.hpp"
 
 namespace vcf {
@@ -20,7 +22,7 @@ namespace {
 std::vector<FilterSpec> BlobSpecs() {
   CuckooParams p;
   p.bucket_count = 1 << 6;  // small blob => exhaustive bit coverage is cheap
-  return {
+  std::vector<FilterSpec> specs = {
       {FilterSpec::Kind::kVCF, 0, p, 12.0, 0, false},
       {FilterSpec::Kind::kCF, 0, p, 12.0, 0, false},
       {FilterSpec::Kind::kKVCF, 5, p, 12.0, 0, false},
@@ -31,6 +33,32 @@ std::vector<FilterSpec> BlobSpecs() {
       // the inner blob, and rejection must leave BOTH layers untouched.
       {FilterSpec::Kind::kVCF, 0, p, 12.0, 0, true},
   };
+  // Tiered checkpoints concatenate a front blob, a tombstone manifest and
+  // per-segment framed blobs; a flip in ANY of those layers must reject
+  // all-or-nothing. One spec per segment builder.
+  FilterSpec tiered_bfuse{FilterSpec::Kind::kVCF, 0, p, 12.0, 0, false};
+  tiered_bfuse.tiered = true;
+  specs.push_back(tiered_bfuse);
+  FilterSpec tiered_xor{FilterSpec::Kind::kCF, 0, p, 12.0, 0, false};
+  tiered_xor.tiered = true;
+  tiered_xor.tiered_segment = 1;
+  specs.push_back(tiered_xor);
+  return specs;
+}
+
+// Tiered sources would otherwise checkpoint with zero segments (the harness
+// inserts only SlotCount()/2 keys, below the freeze watermark). Force a
+// freeze, land a few post-freeze keys in the front and tombstone one frozen
+// key so the blob exercises every section of the tier format: front blob,
+// manifest with tombstones, and segment blobs.
+void DeepenIfTiered(Filter& source, std::uint64_t frozen_key) {
+  auto* tier = dynamic_cast<TieredFilter*>(&source);
+  if (tier == nullptr) return;
+  ASSERT_TRUE(tier->Freeze());
+  ASSERT_GE(tier->SegmentCount(), 1u);
+  for (const auto k : UniformKeys(8, 1203)) tier->Insert(k);
+  ASSERT_TRUE(tier->Erase(frozen_key));
+  ASSERT_GE(tier->TombstoneCount(), 1u);
 }
 
 class StateBlobFuzzTest : public ::testing::TestWithParam<FilterSpec> {};
@@ -39,6 +67,7 @@ TEST_P(StateBlobFuzzTest, EveryBitFlipIsHandled) {
   auto source = MakeFilter(GetParam());
   const auto keys = UniformKeys(source->SlotCount() / 2, 1201);
   for (const auto k : keys) source->Insert(k);
+  ASSERT_NO_FATAL_FAILURE(DeepenIfTiered(*source, keys.front()));
   std::stringstream blob_stream;
   ASSERT_TRUE(source->SaveState(blob_stream));
   const std::string blob = blob_stream.str();
@@ -79,7 +108,9 @@ TEST_P(StateBlobFuzzTest, EveryBitFlipIsHandled) {
 
 TEST_P(StateBlobFuzzTest, TruncationAtEveryLengthIsRejected) {
   auto source = MakeFilter(GetParam());
-  for (const auto k : UniformKeys(100, 1202)) source->Insert(k);
+  const auto keys = UniformKeys(100, 1202);
+  for (const auto k : keys) source->Insert(k);
+  ASSERT_NO_FATAL_FAILURE(DeepenIfTiered(*source, keys.front()));
   std::stringstream blob_stream;
   ASSERT_TRUE(source->SaveState(blob_stream));
   const std::string blob = blob_stream.str();
@@ -99,6 +130,72 @@ TEST_P(StateBlobFuzzTest, TruncationAtEveryLengthIsRejected) {
         << "-byte prefix clobbered state";
   }
 }
+
+// Raw ImmutableSegment blobs, below the tier wrapper: the segment format
+// carries its own meta frame, sidecar and checksums, and LoadState
+// re-verifies every sidecar entity against the probe array — so a surviving
+// flip must still yield a segment that answers its own enumeration.
+class SegmentBlobFuzzTest : public ::testing::TestWithParam<SegmentKind> {
+ protected:
+  SegmentParams Params() const {
+    SegmentParams p;
+    p.kind = GetParam();
+    p.fingerprint_bits = 8;
+    return p;
+  }
+  static std::string BuildBlob(const SegmentParams& params) {
+    std::vector<std::uint64_t> entities;
+    for (std::size_t i = 0; i < 40; ++i) {
+      entities.push_back(UniformKeyAt(1204, i));
+    }
+    const auto seg = ImmutableSegment::Build(entities, params);
+    EXPECT_TRUE(seg.has_value());
+    std::ostringstream out(std::ios::binary);
+    EXPECT_TRUE(seg->SaveState(out));
+    return out.str();
+  }
+};
+
+TEST_P(SegmentBlobFuzzTest, EveryBitFlipIsHandled) {
+  const SegmentParams params = Params();
+  const std::string blob = BuildBlob(params);
+  ASSERT_FALSE(blob.empty());
+  for (std::size_t byte = 0; byte < blob.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupted = blob;
+      corrupted[byte] = static_cast<char>(
+          static_cast<unsigned char>(corrupted[byte]) ^ (1u << bit));
+      std::istringstream in(corrupted);
+      const auto loaded = ImmutableSegment::LoadState(in, params);
+      if (loaded.has_value()) {
+        for (const std::uint64_t e : loaded->Entities()) {
+          ASSERT_TRUE(loaded->Contains(e))
+              << "accepted flip broke the no-false-negative guarantee"
+              << " (byte " << byte << ", bit " << bit << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(SegmentBlobFuzzTest, TruncationAtEveryLengthIsRejected) {
+  const SegmentParams params = Params();
+  const std::string blob = BuildBlob(params);
+  for (std::size_t len = 0; len < blob.size(); ++len) {
+    std::istringstream in(blob.substr(0, len));
+    ASSERT_FALSE(ImmutableSegment::LoadState(in, params).has_value())
+        << "accepted a " << len << "-byte prefix";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, SegmentBlobFuzzTest,
+                         ::testing::Values(SegmentKind::kXor,
+                                           SegmentKind::kBinaryFuse),
+                         [](const ::testing::TestParamInfo<SegmentKind>& info) {
+                           return info.param == SegmentKind::kXor
+                                      ? "Xor"
+                                      : "BinaryFuse";
+                         });
 
 INSTANTIATE_TEST_SUITE_P(
     Blobs, StateBlobFuzzTest, ::testing::ValuesIn(BlobSpecs()),

@@ -1,0 +1,256 @@
+// TieredFilter lifecycle tests: freeze/compact semantics, tombstoned
+// erase over immutable segments, watermark auto-freeze, accounting, the
+// factory spellings, and the all-or-nothing tier checkpoint.
+#include "tiered/tiered_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "baselines/bloom_filter.hpp"
+#include "core/vcf.hpp"
+#include "harness/filter_factory.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+CuckooParams FrontParams() {
+  CuckooParams p;
+  p.bucket_count = 1 << 10;
+  p.slots_per_bucket = 4;
+  p.fingerprint_bits = 14;
+  return p;
+}
+
+TieredFilter MakeTiered(SegmentKind kind = SegmentKind::kBinaryFuse,
+                        double watermark = 0.85) {
+  TieredOptions options;
+  options.segment.kind = kind;
+  options.segment.fingerprint_bits = 10;
+  options.freeze_watermark = watermark;
+  return TieredFilter(
+      [] { return std::make_unique<VerticalCuckooFilter>(FrontParams()); },
+      options);
+}
+
+TEST(TieredFilterTest, RejectsFrontsWithoutCanonicalEntities) {
+  EXPECT_THROW(TieredFilter([] {
+                 return std::make_unique<BloomFilter>(1024, 12.0,
+                                                      HashKind::kFnv1a, 0, 1);
+               }),
+               std::invalid_argument);
+}
+
+TEST(TieredFilterTest, FreezeMovesFrontIntoASegmentWithoutFalseNegatives) {
+  auto tiered = MakeTiered();
+  const auto keys = UniformKeys(3000, 61);
+  for (const auto k : keys) ASSERT_TRUE(tiered.Insert(k));
+  const std::size_t items_before = tiered.ItemCount();
+  ASSERT_TRUE(tiered.Freeze());
+  EXPECT_EQ(tiered.front().ItemCount(), 0u);
+  EXPECT_GE(tiered.SegmentCount(), 1u);
+  EXPECT_EQ(tiered.ItemCount(), items_before);
+  for (const auto k : keys) {
+    ASSERT_TRUE(tiered.Contains(k)) << "lost key across freeze: " << k;
+  }
+}
+
+TEST(TieredFilterTest, FreezeOnEmptyFrontIsANoOp) {
+  auto tiered = MakeTiered();
+  ASSERT_TRUE(tiered.Freeze());
+  EXPECT_EQ(tiered.SegmentCount(), 0u);
+}
+
+TEST(TieredFilterTest, WatermarkAutoFreezesDuringInserts) {
+  auto tiered = MakeTiered(SegmentKind::kBinaryFuse, 0.5);
+  const std::size_t front_slots = tiered.front().SlotCount();
+  // Three front-fulls of keys must roll through the watermark repeatedly.
+  const auto keys = UniformKeys(front_slots * 3, 62);
+  for (const auto k : keys) ASSERT_TRUE(tiered.Insert(k));
+  EXPECT_GE(tiered.SegmentCount(), 3u);
+  EXPECT_LT(tiered.front().LoadFactor(), 0.5 + 1e-9);
+  for (const auto k : keys) ASSERT_TRUE(tiered.Contains(k));
+}
+
+TEST(TieredFilterTest, EraseShadowsFrozenEntitiesAndReinsertClears) {
+  auto tiered = MakeTiered();
+  const auto keys = UniformKeys(2000, 63);
+  for (const auto k : keys) ASSERT_TRUE(tiered.Insert(k));
+  ASSERT_TRUE(tiered.Freeze());
+
+  const std::uint64_t victim = keys[123];
+  ASSERT_TRUE(tiered.Erase(victim));
+  EXPECT_FALSE(tiered.Contains(victim));
+  EXPECT_EQ(tiered.TombstoneCount(), 1u);
+  // Double erase of an already-shadowed key reports nothing to erase.
+  EXPECT_FALSE(tiered.Erase(victim));
+
+  ASSERT_TRUE(tiered.Insert(victim));
+  EXPECT_TRUE(tiered.Contains(victim));
+  EXPECT_EQ(tiered.TombstoneCount(), 0u);
+}
+
+TEST(TieredFilterTest, CompactMergesSegmentsAndDropsTombstones) {
+  auto tiered = MakeTiered();
+  const auto batch1 = UniformKeys(1500, 64);
+  const auto batch2 = UniformKeys(1500, 65);
+  for (const auto k : batch1) ASSERT_TRUE(tiered.Insert(k));
+  ASSERT_TRUE(tiered.Freeze());
+  for (const auto k : batch2) ASSERT_TRUE(tiered.Insert(k));
+  ASSERT_TRUE(tiered.Freeze());
+  ASSERT_EQ(tiered.SegmentCount(), 2u);
+
+  ASSERT_TRUE(tiered.Erase(batch1[7]));
+  ASSERT_TRUE(tiered.Erase(batch2[9]));
+  const std::size_t items_before = tiered.ItemCount();
+  ASSERT_TRUE(tiered.Compact());
+  EXPECT_EQ(tiered.SegmentCount(), 1u);
+  EXPECT_EQ(tiered.TombstoneCount(), 0u);
+  EXPECT_EQ(tiered.ItemCount(), items_before);
+  EXPECT_FALSE(tiered.Contains(batch1[7]));
+  EXPECT_FALSE(tiered.Contains(batch2[9]));
+  for (const auto k : batch1) {
+    if (k != batch1[7]) ASSERT_TRUE(tiered.Contains(k));
+  }
+  for (const auto k : batch2) {
+    if (k != batch2[9]) ASSERT_TRUE(tiered.Contains(k));
+  }
+}
+
+TEST(TieredFilterTest, CompactOfFullyErasedTierClearsEverything) {
+  auto tiered = MakeTiered();
+  const auto keys = UniformKeys(500, 66);
+  for (const auto k : keys) ASSERT_TRUE(tiered.Insert(k));
+  ASSERT_TRUE(tiered.Freeze());
+  // Two keys may canonicalise to one entity; the first erase of the pair
+  // shadows both, so not every call reports an erase — but membership must
+  // be gone for all of them.
+  for (const auto k : keys) tiered.Erase(k);
+  for (const auto k : keys) ASSERT_FALSE(tiered.Contains(k));
+  ASSERT_TRUE(tiered.Compact());
+  EXPECT_EQ(tiered.SegmentCount(), 0u);
+  EXPECT_EQ(tiered.ItemCount(), 0u);
+}
+
+TEST(TieredFilterTest, FrozenTierCostsFewerBitsPerKey) {
+  auto tiered = MakeTiered();
+  const std::size_t mutable_bytes_empty = tiered.front().MemoryBytes();
+  const auto keys = UniformKeys(3000, 67);
+  for (const auto k : keys) ASSERT_TRUE(tiered.Insert(k));
+  ASSERT_TRUE(tiered.Freeze());
+  // 10-bit fuse cells at ~1.13 cells/entity ≈ 11.3 bits/key frozen vs the
+  // front's 14-bit slots at whatever its load leaves unused.
+  const double frozen_bits_per_key =
+      8.0 * static_cast<double>(tiered.MemoryBytes() - mutable_bytes_empty) /
+      static_cast<double>(tiered.ItemCount());
+  EXPECT_LT(frozen_bits_per_key, 14.0);
+}
+
+TEST(TieredFilterTest, SaveLoadSaveIsByteIdenticalAcrossTheWholeTier) {
+  auto tiered = MakeTiered();
+  const auto keys = UniformKeys(2500, 68);
+  for (const auto k : keys) ASSERT_TRUE(tiered.Insert(k));
+  ASSERT_TRUE(tiered.Freeze());
+  const auto more = UniformKeys(300, 69);
+  for (const auto k : more) ASSERT_TRUE(tiered.Insert(k));
+  ASSERT_TRUE(tiered.Erase(keys[3]));
+  ASSERT_TRUE(tiered.Erase(keys[14]));
+
+  std::ostringstream first(std::ios::binary);
+  ASSERT_TRUE(tiered.SaveState(first));
+  auto restored = MakeTiered();
+  std::istringstream in(first.str());
+  ASSERT_TRUE(restored.LoadState(in));
+  EXPECT_EQ(restored.ItemCount(), tiered.ItemCount());
+  EXPECT_EQ(restored.SegmentCount(), tiered.SegmentCount());
+  EXPECT_EQ(restored.TombstoneCount(), tiered.TombstoneCount());
+  std::ostringstream second(std::ios::binary);
+  ASSERT_TRUE(restored.SaveState(second));
+  EXPECT_EQ(first.str(), second.str());
+  for (const auto k : keys) {
+    if (k == keys[3] || k == keys[14]) {
+      EXPECT_FALSE(restored.Contains(k));
+    } else {
+      ASSERT_TRUE(restored.Contains(k));
+    }
+  }
+  for (const auto k : more) ASSERT_TRUE(restored.Contains(k));
+}
+
+TEST(TieredFilterTest, LoadRejectsMismatchedTierConfig) {
+  auto tiered = MakeTiered(SegmentKind::kBinaryFuse);
+  for (const auto k : UniformKeys(500, 70)) ASSERT_TRUE(tiered.Insert(k));
+  ASSERT_TRUE(tiered.Freeze());
+  std::ostringstream out(std::ios::binary);
+  ASSERT_TRUE(tiered.SaveState(out));
+
+  auto other = MakeTiered(SegmentKind::kXor);
+  std::istringstream in(out.str());
+  EXPECT_FALSE(other.LoadState(in));
+  EXPECT_EQ(other.ItemCount(), 0u);
+}
+
+TEST(TieredFilterTest, ContainsBatchMatchesScalarAcrossTheTier) {
+  auto tiered = MakeTiered();
+  const auto keys = UniformKeys(2000, 71);
+  for (const auto k : keys) ASSERT_TRUE(tiered.Insert(k));
+  ASSERT_TRUE(tiered.Freeze());
+  const auto hot = UniformKeys(200, 72);
+  for (const auto k : hot) ASSERT_TRUE(tiered.Insert(k));
+
+  std::vector<std::uint64_t> queries;
+  for (std::size_t i = 0; i < 300; ++i) queries.push_back(keys[i]);
+  for (std::size_t i = 0; i < 100; ++i) queries.push_back(hot[i]);
+  for (std::size_t i = 0; i < 300; ++i) {
+    queries.push_back(UniformKeyAt(73, i));
+  }
+  std::vector<unsigned char> batch(queries.size());
+  tiered.ContainsBatch(queries, reinterpret_cast<bool*>(batch.data()));
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(static_cast<bool>(batch[i]), tiered.Contains(queries[i])) << i;
+  }
+}
+
+TEST(TieredFilterTest, FactorySpellingsCompose) {
+  for (const char* spelling :
+       {"tiered:vcf", "tiered:xor:cf", "tiered:bfuse:ivcf",
+        "sharded:2:tiered:vcf", "resilient:tiered:kvcf"}) {
+    FilterSpec spec;
+    ParseFilterKind(spelling, spec);
+    spec.variant = 4;
+    spec.params.bucket_count = 1 << 8;
+    spec.params.slots_per_bucket = 4;
+    spec.params.fingerprint_bits = 14;
+    auto filter = MakeFilter(spec);
+    ASSERT_NE(filter, nullptr) << spelling;
+    const auto keys = UniformKeys(200, 74);
+    for (const auto k : keys) ASSERT_TRUE(filter->Insert(k)) << spelling;
+    for (const auto k : keys) ASSERT_TRUE(filter->Contains(k)) << spelling;
+  }
+}
+
+TEST(TieredFilterTest, FactoryRejectsNonEnumerableLeaves) {
+  FilterSpec spec;
+  ParseFilterKind("tiered:bf", spec);
+  EXPECT_THROW(MakeFilter(spec), std::invalid_argument);
+  ParseFilterKind("tiered:qf", spec);
+  EXPECT_THROW(MakeFilter(spec), std::invalid_argument);
+}
+
+TEST(TieredFilterTest, FrontBudgetIsAnEighthOfTheSpec) {
+  FilterSpec spec;
+  ParseFilterKind("tiered:vcf", spec);
+  spec.params.bucket_count = 1 << 12;
+  auto filter = MakeFilter(spec);
+  auto* tiered = dynamic_cast<TieredFilter*>(filter.get());
+  ASSERT_NE(tiered, nullptr);
+  EXPECT_EQ(tiered->front().SlotCount(),
+            (spec.params.bucket_count / 8) * spec.params.slots_per_bucket);
+  EXPECT_EQ(filter->Name(), "Tiered(VCF)");
+}
+
+}  // namespace
+}  // namespace vcf

@@ -110,6 +110,65 @@ TEST_F(VcfToolTest, UnknownFilterKindErrors) {
             1);
 }
 
+TEST_F(VcfToolTest, FreezeAndCompactMaintainATieredCheckpoint) {
+  const std::string flags =
+      " --filter=tiered:vcf --slots_log2=10 --state=" + state_path_;
+  ASSERT_EQ(RunCommand(std::string(kTool) + " build" + flags + " < " +
+                keys_path_ + " 2> /dev/null"),
+            0);
+
+  // Freeze rolls the front into a segment; membership must survive.
+  ASSERT_EQ(RunCommand(std::string(kTool) + " freeze" + flags +
+                " 2> /dev/null"),
+            0);
+  {
+    std::ofstream probes(out_path_ + ".in");
+    probes << "alpha\nbeta\nomega-never-inserted\n";
+  }
+  ASSERT_EQ(RunCommand(std::string(kTool) + " query" + flags + " < " +
+                out_path_ + ".in > " + out_path_ + " 2> /dev/null"),
+            0);
+  std::string output = ReadAll(out_path_);
+  EXPECT_NE(output.find("maybe\talpha"), std::string::npos) << output;
+  EXPECT_NE(output.find("maybe\tbeta"), std::string::npos) << output;
+  EXPECT_NE(output.find("no\tomega-never-inserted"), std::string::npos)
+      << output;
+
+  // Compact merges segments; membership must still survive.
+  ASSERT_EQ(RunCommand(std::string(kTool) + " compact" + flags +
+                " 2> /dev/null"),
+            0);
+  ASSERT_EQ(RunCommand(std::string(kTool) + " query" + flags + " < " +
+                out_path_ + ".in > " + out_path_ + " 2> /dev/null"),
+            0);
+  output = ReadAll(out_path_);
+  EXPECT_NE(output.find("maybe\talpha"), std::string::npos) << output;
+  EXPECT_NE(output.find("maybe\tbeta"), std::string::npos) << output;
+  EXPECT_NE(output.find("no\tomega-never-inserted"), std::string::npos)
+      << output;
+  std::remove((out_path_ + ".in").c_str());
+
+  // Stats still load the rewritten checkpoint and name the tier.
+  ASSERT_EQ(RunCommand(std::string(kTool) + " stats" + flags + " > " +
+                out_path_ + " 2> /dev/null"),
+            0);
+  const std::string stats = ReadAll(out_path_);
+  EXPECT_NE(stats.find("Tiered(VCF)"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("items:        4"), std::string::npos) << stats;
+}
+
+TEST_F(VcfToolTest, FreezeRequiresATieredFilter) {
+  ASSERT_EQ(RunCommand(std::string(kTool) + " build" + Flags() + " < " +
+                keys_path_ + " 2> /dev/null"),
+            0);
+  EXPECT_EQ(RunCommand(std::string(kTool) + " freeze" + Flags() +
+                " > /dev/null 2>&1"),
+            64);
+  EXPECT_EQ(RunCommand(std::string(kTool) + " compact" + Flags() +
+                " > /dev/null 2>&1"),
+            64);
+}
+
 TEST_F(VcfToolTest, ServeHelpDocumentsTheDaemon) {
   // `serve --help` must exit 0 (not try to bind) and document the command.
   ASSERT_EQ(RunCommand(std::string(kTool) + " serve --help > /dev/null 2> " +

@@ -76,6 +76,11 @@ struct Config {
   double zipf_s = 1.05;
   std::size_t universe = 1u << 20;
   std::size_t prefill = 1u << 18;
+  /// Cold-set scenario (--read-heavy): bulk-preload --prefill keys, then a
+  /// lookup-dominated phase whose lookups are Zipf-skewed *over the
+  /// prefilled keys* — the tiered filter's frozen-segment sweet spot.
+  /// Flips the defaults to lookup_pct=98, dist=zipf, universe=prefill.
+  bool read_heavy = false;
   double rate = 0.0;  // requests/s per thread; 0 = closed loop
   unsigned processes = 1;      ///< forked generator processes (>=1)
   std::vector<int> cpu_list;   ///< global worker i -> cpu_list[i % size]
@@ -149,7 +154,15 @@ void Worker(const Config& cfg, unsigned index, std::atomic<bool>& stop,
     const std::size_t n = cfg.mode == "sync" ? 1 : cfg.batch;
     for (std::size_t i = 0; i < n; ++i) {
       if (is_lookup) {
-        if (zipf != nullptr) {
+        if (cfg.read_heavy) {
+          // Skewed hits over the cold set: draw a popularity rank and map
+          // it into the prefilled key stream, so nearly every lookup lands
+          // on a key the preload made resident (frozen, for tiered
+          // filters).
+          const std::size_t rank =
+              zipf != nullptr ? zipf->NextRank() : rng.Below(cfg.prefill);
+          keys[i] = vcf::UniformKeyAt(kPrefillStream, rank % cfg.prefill);
+        } else if (zipf != nullptr) {
           keys[i] = zipf->Next();
         } else {
           // Uniform over the whole universe: hits where the index falls in
@@ -378,6 +391,11 @@ int Usage(int code) {
          "  --dist=uniform|zipf --zipf_s=X --universe=N   key distribution\n"
          "  --prefill=N              keys inserted before measuring "
          "(default 2^18)\n"
+         "  --read-heavy             cold-set scenario: lookups are Zipf-\n"
+         "                           skewed over the prefilled keys; flips\n"
+         "                           defaults to --lookup_pct=98 --dist=zipf\n"
+         "                           --universe=<prefill> (tiered filters:\n"
+         "                           probes the frozen segments)\n"
          "  --rate=R                 open-loop requests/s per thread "
          "(0 = closed loop)\n"
          "  --processes=P            fork P generator processes, each with\n"
@@ -404,15 +422,19 @@ int main(int argc, char** argv) {
   cfg.threads = static_cast<unsigned>(flags.GetInt("threads", cfg.threads));
   cfg.duration_s = flags.GetDouble("duration_s", cfg.duration_s);
   cfg.warmup_s = flags.GetDouble("warmup_s", cfg.warmup_s);
-  cfg.lookup_pct =
-      static_cast<unsigned>(flags.GetInt("lookup_pct", cfg.lookup_pct));
+  cfg.read_heavy = flags.GetBool("read-heavy") || flags.GetBool("read_heavy");
+  cfg.lookup_pct = static_cast<unsigned>(
+      flags.GetInt("lookup_pct", cfg.read_heavy ? 98 : cfg.lookup_pct));
   cfg.mode = flags.GetString("mode", cfg.mode);
   cfg.batch = static_cast<std::size_t>(flags.GetInt("batch", 64));
-  cfg.dist = flags.GetString("dist", cfg.dist);
+  cfg.dist = flags.GetString("dist", cfg.read_heavy ? "zipf" : cfg.dist);
   cfg.zipf_s = flags.GetDouble("zipf_s", cfg.zipf_s);
-  cfg.universe =
-      static_cast<std::size_t>(flags.GetInt("universe", 1 << 20));
   cfg.prefill = static_cast<std::size_t>(flags.GetInt("prefill", 1 << 18));
+  // In the cold-set scenario the rank universe IS the prefilled set, so
+  // Zipf mass covers exactly the resident keys unless overridden.
+  cfg.universe = static_cast<std::size_t>(flags.GetInt(
+      "universe", cfg.read_heavy ? static_cast<long long>(cfg.prefill)
+                                 : (1 << 20)));
   cfg.rate = flags.GetDouble("rate", 0.0);
   cfg.processes = static_cast<unsigned>(flags.GetInt("processes", 1));
   if (flags.Has("cpu-list") || flags.Has("cpu_list")) {
@@ -427,6 +449,10 @@ int main(int argc, char** argv) {
   if (cfg.threads == 0 || cfg.batch == 0 || cfg.lookup_pct > 100 ||
       cfg.processes == 0 ||
       (cfg.mode != "batch" && cfg.mode != "pipeline" && cfg.mode != "sync")) {
+    return Usage(64);
+  }
+  if (cfg.read_heavy && cfg.prefill == 0) {
+    std::cerr << "error: --read-heavy needs a cold set; set --prefill > 0\n";
     return Usage(64);
   }
 
@@ -563,6 +589,7 @@ int main(int argc, char** argv) {
         << "\", \"batch\": " << cfg.batch << ", \"dist\": \"" << cfg.dist
         << "\", \"zipf_s\": " << cfg.zipf_s << ", \"universe\": "
         << cfg.universe << ", \"prefill\": " << cfg.prefill
+        << ", \"read_heavy\": " << (cfg.read_heavy ? "true" : "false")
         << ", \"rate_per_thread\": " << cfg.rate << ", \"replica_host\": \""
         << cfg.replica_host << "\", \"replica_port\": " << cfg.replica_port
         << "},\n"

@@ -30,9 +30,11 @@
 
 #include "client/vcf_client.hpp"
 #include "common/timer.hpp"
+#include "core/resilient_filter.hpp"
 #include "harness/filter_factory.hpp"
 #include "harness/flags.hpp"
 #include "server/server.hpp"
+#include "tiered/tiered_filter.hpp"
 
 namespace {
 
@@ -105,6 +107,47 @@ int CmdStats(Filter& filter, const Flags& flags) {
   return 0;
 }
 
+// Locates the TieredFilter inside the wrapper stack (--filter=tiered:... or
+// resilient:tiered:...). Sharded tiers keep one tier per locked shard and
+// are not reachable as a single object; freeze/compact them via the owning
+// process instead.
+vcf::TieredFilter* FindTiered(Filter& filter) {
+  if (auto* tiered = dynamic_cast<vcf::TieredFilter*>(&filter)) return tiered;
+  if (auto* resilient = dynamic_cast<vcf::ResilientFilter*>(&filter)) {
+    return dynamic_cast<vcf::TieredFilter*>(&resilient->inner());
+  }
+  return nullptr;
+}
+
+// `freeze` / `compact` are offline tier maintenance: load the checkpoint,
+// run the lifecycle operation, write the checkpoint back in place.
+int CmdTierOp(Filter& filter, const Flags& flags, bool compact) {
+  vcf::TieredFilter* tiered = FindTiered(filter);
+  if (tiered == nullptr) {
+    std::cerr << "error: " << (compact ? "compact" : "freeze")
+              << " requires --filter=tiered:... (or resilient:tiered:...)\n";
+    return 64;
+  }
+  if (!LoadInto(filter, flags)) return 1;
+  const bool ok = compact ? tiered->Compact() : tiered->Freeze();
+  if (!ok) {
+    std::cerr << "error: " << (compact ? "compact" : "freeze")
+              << " failed (segment build did not converge); state unchanged\n";
+    return 1;
+  }
+  const std::string state = flags.GetString("state", "");
+  std::ofstream out(state, std::ios::binary | std::ios::trunc);
+  if (!out || !filter.SaveState(out)) {
+    std::cerr << "error: failed to write state to " << state << "\n";
+    return 1;
+  }
+  std::cerr << (compact ? "compacted to " : "froze into ")
+            << tiered->SegmentCount() << " segment(s), "
+            << tiered->ItemCount() << " items, probe bytes "
+            << filter.MemoryBytes() << "\n";
+  return 0;
+}
+
 vcf::server::VcfServer* g_serve_server = nullptr;
 
 void ServeSignal(int /*sig*/) {
@@ -163,13 +206,18 @@ int CmdPing(const Flags& flags) {
 
 int Usage() {
   std::cerr
-      << "usage: vcf_tool <build|query|stats|serve|ping> [flags]\n"
+      << "usage: vcf_tool <build|query|stats|freeze|compact|serve|ping> "
+         "[flags]\n"
          "  common flags:\n"
       << vcf::kFilterFlagsHelp
       << "                --state=FILE\n"
          "  build reads keys from stdin (one per line) and writes --state\n"
          "  query reads keys from stdin, prints maybe/no per key\n"
          "  stats prints checkpoint metadata\n"
+         "  freeze rolls a tiered filter's front into an immutable segment\n"
+         "         (requires --filter=tiered:...; rewrites --state)\n"
+         "  compact merges a tiered filter's segments, dropping tombstoned\n"
+         "         entries (requires --filter=tiered:...; rewrites --state)\n"
          "  serve exposes the filter over TCP (--port=N --threads=N;\n"
          "        loads --state at startup, checkpoints it on SIGTERM —\n"
          "        the vcfd daemon in-process; see docs/server.md)\n"
@@ -194,6 +242,8 @@ int main(int argc, char** argv) {
     if (cmd == "build") return CmdBuild(*filter, flags);
     if (cmd == "query") return CmdQuery(*filter, flags);
     if (cmd == "stats") return CmdStats(*filter, flags);
+    if (cmd == "freeze") return CmdTierOp(*filter, flags, /*compact=*/false);
+    if (cmd == "compact") return CmdTierOp(*filter, flags, /*compact=*/true);
     if (cmd == "serve") return CmdServe(std::move(filter), spec, flags);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
