@@ -32,10 +32,18 @@ import sys
 
 
 def load_runs(path):
-    """Returns {metric_name: value} for either supported schema."""
+    """Returns ({metric_name: value}, {config_key: value}) for either schema.
+
+    The config map is empty for micro_ops arrays (their rows carry the
+    configuration in the run name/label); for server reports it flattens
+    every "config" section plus the top-level descriptive scalars
+    ("host_cpus", "oversubscribed"), so unlike-config comparisons can be
+    annotated instead of silently diffed.
+    """
     with open(path) as f:
         data = json.load(f)
     out = {}
+    config = {}
     if isinstance(data, list):
         # micro_ops schema: array of named runs.
         for run in data:
@@ -54,13 +62,22 @@ def load_runs(path):
         # "host_cpus") are descriptive too — both are skipped at any depth.
         def flatten(prefix, node):
             for key, value in node.items():
-                if key in ("config", "server"):
+                if key == "server":
+                    continue
+                if key == "config" and isinstance(value, dict):
+                    for ck, cv in value.items():
+                        if isinstance(cv, (str, int, float, bool)):
+                            config[f"{prefix}config.{ck}"] = cv
                     continue
                 if isinstance(value, dict):
                     flatten(f"{prefix}{key}.", value)
                 elif prefix and isinstance(value, (int, float)) \
                         and not isinstance(value, bool):
                     out[f"{prefix}{key}"] = float(value)
+                elif not prefix and isinstance(value, bool):
+                    config[key] = value  # e.g. top-level "oversubscribed"
+                elif not prefix and isinstance(value, (int, float)):
+                    config[key] = value  # e.g. top-level "host_cpus"
 
         flatten("", data)
         if not out:
@@ -70,6 +87,26 @@ def load_runs(path):
     else:
         raise ValueError(
             f"{path}: expected a JSON array of runs or a server report object")
+    return out, config
+
+
+# Config keys whose disagreement makes a metric diff apples-to-oranges.
+_LOAD_BEARING_CONFIG = (
+    "threads", "processes", "host_cpus", "oversubscribed", "server_threads",
+    "mode", "batch", "lookup_pct", "duration_s", "dist", "prefill",
+)
+
+
+def config_mismatches(fresh_cfg, base_cfg):
+    """Returns [(key, fresh, base)] for load-bearing config disagreements."""
+    out = []
+    for key in sorted(set(fresh_cfg) | set(base_cfg)):
+        leaf = key.rsplit(".", 1)[-1]
+        if leaf not in _LOAD_BEARING_CONFIG:
+            continue
+        fv, bv = fresh_cfg.get(key), base_cfg.get(key)
+        if fv != bv:
+            out.append((key, fv, bv))
     return out
 
 
@@ -93,20 +130,38 @@ def main():
     args = ap.parse_args()
 
     try:
-        fresh = load_runs(args.fresh)
+        fresh, fresh_cfg = load_runs(args.fresh)
     except (OSError, ValueError, json.JSONDecodeError) as e:
         # A missing or malformed FRESH file means the bench itself broke —
         # that stays fatal.
         print(f"compare_bench: {e}", file=sys.stderr)
         return 2
     try:
-        base = load_runs(args.baseline)
+        base, base_cfg = load_runs(args.baseline)
     except (OSError, ValueError, json.JSONDecodeError) as e:
         # A missing or malformed baseline is expected right after new bench
         # rows or schema changes land: warn, never crash the pipeline.
         print(f"::warning::compare_bench: baseline unusable, skipping "
               f"comparison ({e})")
         return 0
+
+    # Unlike configurations are annotated, never silently diffed: a thread
+    # count, CPU budget or workload-shape change moves the numbers for
+    # reasons that are not code regressions.
+    mismatched = config_mismatches(fresh_cfg, base_cfg)
+    for key, fv, bv in mismatched:
+        print(f"::warning::compare_bench: config mismatch {key}: "
+              f"fresh={fv!r} vs baseline={bv!r} — metric deltas below "
+              f"compare unlike runs")
+    for side, cfg_map in (("fresh", fresh_cfg), ("baseline", base_cfg)):
+        for key, value in sorted(cfg_map.items()):
+            if key.endswith("oversubscribed") and value:
+                warning = cfg_map.get(
+                    key.rsplit("oversubscribed", 1)[0] + "cpu_warning", "")
+                print(f"::warning::compare_bench: {side} run was "
+                      f"CPU-oversubscribed ({key}"
+                      + (f": {warning}" if warning else "") + ")")
+                break
 
     common = sorted(set(fresh) & set(base))
     added = sorted(set(fresh) - set(base))
@@ -135,7 +190,9 @@ def main():
             print(f"  {name:48s} (baseline only, not run)")
         print(f"compare_bench: {len(common)} compared, {len(added)} new, "
               f"{len(removed)} missing, {len(regressions)} regression(s) "
-              f"beyond {args.tolerance:.0%}")
+              f"beyond {args.tolerance:.0%}"
+              + (f", {len(mismatched)} config mismatch(es)"
+                 if mismatched else ""))
 
     for name, ratio in regressions:
         # GitHub annotation; inert noise elsewhere.

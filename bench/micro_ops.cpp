@@ -23,7 +23,9 @@
 #include <string_view>
 #include <vector>
 
+#include "common/hugepage.hpp"
 #include "common/random.hpp"
+#include "core/concurrent_filter.hpp"
 #include "harness/filter_factory.hpp"
 #include "metrics/latency_histogram.hpp"
 #include "segment/segment.hpp"
@@ -473,6 +475,98 @@ void BM_SegmentProbe(benchmark::State& state) {
                  "(f=12) " + (hit ? "hit" : "miss"));
 }
 
+// --- Concurrent reader scaling (seqlock vs shared_mutex) ------------------
+
+void BM_ConcurrentLookupScaling(benchmark::State& state) {
+  // Lock-free optimistic lookups (the per-filter seqlock this PR adds) vs
+  // the classic shared_mutex read path, at 1/2/4/8 threads with 0% or 10%
+  // of iterations mutating. range(0) != 0 enables the seqlock path,
+  // range(1) is the writer percentage; the measured op is a 256-key
+  // ContainsBatch (the server's hot lookup shape). NOTE: with more threads
+  // than cores the gap mostly measures lock-holder preemption — a reader
+  // holding shared_mutex blocks every writer for a whole scheduling
+  // quantum when preempted, while seqlock readers block nobody
+  // (docs/performance.md#reader-scaling).
+  static std::unique_ptr<ConcurrentFilter> shared;
+  const bool seqlock = state.range(0) != 0;
+  const int writer_pct = static_cast<int>(state.range(1));
+  if (state.thread_index() == 0) {
+    FilterSpec spec = SpecFor(1);  // IVCF_6
+    spec.params.hash = HashKind::kSplitMix;
+    shared = std::make_unique<ConcurrentFilter>(MakeFilter(spec));
+    shared->SetOptimisticReads(seqlock);
+    Prefill(*shared, 50, 41);
+  }
+  // Query construction must not touch `shared` (only thread 0 may, before
+  // the start barrier): derive likely-hits straight from the prefill
+  // stream (41) and misses from a disjoint stream.
+  constexpr std::size_t kBatch = 256;
+  constexpr std::size_t kPrefilled = (std::size_t{1} << kSlotsLog2) / 2;
+  std::vector<std::uint64_t> queries(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    queries[i] = i % 2 ? UniformKeyAt(41, (i * 7919) % kPrefilled)
+                       : UniformKeyAt(43, i);
+  }
+  const auto results = std::make_unique<bool[]>(kBatch);
+  const std::uint64_t stream =
+      200 + static_cast<std::uint64_t>(state.thread_index());
+  std::uint64_t i = 0;
+  std::int64_t batches = 0;
+  for (auto _ : state) {
+    if (writer_pct != 0 &&
+        i % static_cast<std::uint64_t>(100 / writer_pct) == 0) {
+      const std::uint64_t key = UniformKeyAt(stream, i);
+      shared->Insert(key);
+      shared->Erase(key);
+    } else {
+      shared->ContainsBatch(queries, results.get());
+      benchmark::DoNotOptimize(results.get());
+      ++batches;
+    }
+    ++i;
+  }
+  state.SetItemsProcessed(batches * static_cast<std::int64_t>(kBatch));
+  state.SetLabel(std::string("Concurrent(IVCF_6) ") +
+                 (seqlock ? "seqlock" : "shared_mutex") +
+                 " writers=" + std::to_string(writer_pct) + "%");
+  if (state.thread_index() == 0) {
+    state.counters["seqlock_retries"] =
+        static_cast<double>(shared->seqlock_retries());
+    state.counters["seqlock_fallbacks"] =
+        static_cast<double>(shared->seqlock_fallbacks());
+    shared.reset();
+  }
+}
+
+// --- TLB-reach probes (hugepage backing) -----------------------------------
+
+void BM_TlbProbe(benchmark::State& state) {
+  // TLB-sensitivity probe: a 2^26-slot table (~112 MiB of fingerprints at
+  // the default f=14) probed at uniformly random keys, so with 4 KiB pages
+  // nearly every probe pays a dTLB miss and page walk on top of the cache
+  // miss. range(0) != 0 builds the table with `hugepage:` (THP) backing.
+  // The thp_bytes counter reports how much of the table the kernel
+  // actually placed on hugepages — 0 means THP is unavailable here and the
+  // two arms measure the same thing (CI treats that as a graceful skip).
+  const bool huge = state.range(0) != 0;
+  FilterSpec spec = SpecFor(1);  // IVCF_6
+  spec.params = CuckooParams::ForSlotsLog2(26);
+  spec.params.hash = HashKind::kSplitMix;
+  spec.hugepages = huge ? 1u : 0u;
+  ResetHugepageStatsForTest();
+  auto filter = MakeFilter(spec);
+  const HugepageStats hp = GetHugepageStats();
+  Prefill(*filter, 20, 51);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter->Contains(UniformKeyAt(53, i++)));
+  }
+  state.counters["thp_bytes"] = static_cast<double>(hp.thp_bytes);
+  state.counters["hugetlb_bytes"] = static_cast<double>(hp.hugetlb_bytes);
+  state.SetLabel(std::string("IVCF_6 2^26 slots ") +
+                 (huge ? "hugepage" : "4k-pages"));
+}
+
 // --- Sharded multi-writer scaling ----------------------------------------
 
 void BM_ShardedInsertMT(benchmark::State& state) {
@@ -567,6 +661,12 @@ BENCHMARK(BM_ShardedInsertMT)
     ->Args({1})->Args({4})
     ->Threads(1)->Threads(4)
     ->UseRealTime();
+BENCHMARK(BM_ConcurrentLookupScaling)
+    ->Args({0, 0})->Args({1, 0})
+    ->Args({0, 10})->Args({1, 10})
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+BENCHMARK(BM_TlbProbe)->Args({0})->Args({1});
 
 // --- Reporting ------------------------------------------------------------
 
@@ -585,6 +685,9 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
     double p95_ns = 0.0;
     double p99_ns = 0.0;
     double p999_ns = 0.0;
+    double seqlock_retries = 0.0;   ///< ConcurrentLookupScaling seqlock arm
+    double seqlock_fallbacks = 0.0;
+    double thp_bytes = 0.0;         ///< TlbProbe: THP actually backing the table
   };
 
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -614,6 +717,9 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
       e.p95_ns = counter("p95_ns");
       e.p99_ns = counter("p99_ns");
       e.p999_ns = counter("p999_ns");
+      e.seqlock_retries = counter("seqlock_retries");
+      e.seqlock_fallbacks = counter("seqlock_fallbacks");
+      e.thp_bytes = counter("thp_bytes");
       e.threads = run.threads;
       entries_.push_back(std::move(e));
     }
@@ -633,6 +739,13 @@ class JsonCollectingReporter : public benchmark::ConsoleReporter {
       if (e.p50_ns > 0.0) {
         out << ", \"p50_ns\": " << e.p50_ns << ", \"p95_ns\": " << e.p95_ns
             << ", \"p99_ns\": " << e.p99_ns << ", \"p999_ns\": " << e.p999_ns;
+      }
+      if (e.name.rfind("BM_ConcurrentLookupScaling", 0) == 0) {
+        out << ", \"seqlock_retries\": " << e.seqlock_retries
+            << ", \"seqlock_fallbacks\": " << e.seqlock_fallbacks;
+      }
+      if (e.name.rfind("BM_TlbProbe", 0) == 0) {
+        out << ", \"thp_bytes\": " << e.thp_bytes;
       }
       out << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
     }

@@ -10,11 +10,18 @@
 # same probe CI uses). Labels encode the configuration:
 # <mode>_<backend>[_nocoalesce][_pinned]_t<threads>.
 #
+# Every point passes --server_threads to vcf_loadgen, so when loadgen
+# threads + vcfd workers exceed the host's cpus the oversubscription is
+# warned about and recorded in each run's JSON ("config.oversubscribed",
+# "config.cpu_warning") instead of silently skewing the numbers.
+# STRICT_CPUS=1 refuses to run oversubscribed instead of warning.
+#
 # Usage: bench/server_scaling.sh [OUT.json]
 #   BUILD=build          cmake build dir holding tools/vcfd + tools/vcf_loadgen
 #   DURATION=3           measured seconds per point
 #   THREADS=2            vcfd worker threads (also loadgen threads)
 #   FILTER=sharded:8:vcf SLOTS_LOG2=20 PREFILL=100000
+#   STRICT_CPUS=0        1 = exit instead of warn when oversubscribed
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +34,24 @@ THREADS=${THREADS:-2}
 FILTER=${FILTER:-sharded:8:vcf}
 SLOTS_LOG2=${SLOTS_LOG2:-20}
 PREFILL=${PREFILL:-100000}
+STRICT_CPUS=${STRICT_CPUS:-0}
+
+# One generator + one server share this host: warn (or refuse) up front
+# when the sweep cannot give every runnable thread its own cpu. The same
+# check runs inside vcf_loadgen per point; this is the sweep-level summary.
+HOST_CPUS=$(nproc 2>/dev/null || echo 0)
+WANT=$((THREADS * 2))
+LOADGEN_CPU_FLAGS=(--server_threads="$THREADS")
+if [ "$STRICT_CPUS" = 1 ]; then
+  LOADGEN_CPU_FLAGS+=(--strict_cpus)
+fi
+if [ "$HOST_CPUS" -gt 0 ] && [ "$WANT" -gt "$HOST_CPUS" ]; then
+  echo "warning: $THREADS loadgen + $THREADS vcfd threads = $WANT runnable"     "threads on $HOST_CPUS cpu(s); numbers include scheduler handoff" >&2
+  if [ "$STRICT_CPUS" = 1 ]; then
+    echo "error: STRICT_CPUS=1 refuses an oversubscribed sweep" >&2
+    exit 64
+  fi
+fi
 
 for bin in "$VCFD" "$LOADGEN"; do
   if [ ! -x "$bin" ]; then
@@ -62,6 +87,7 @@ run_one() {
   fi
   "$LOADGEN" --port="$port" --threads="$THREADS" --duration_s="$DURATION" \
     --warmup_s=0.5 --mode="$mode" --batch=64 --prefill="$PREFILL" \
+    "${LOADGEN_CPU_FLAGS[@]}" \
     --json_out="$SWEEP_TMP/$label.json" >&2
   kill -TERM "$pid"
   wait "$pid"
@@ -90,7 +116,11 @@ for name in sorted(os.listdir(tmp)):
         continue
     with open(os.path.join(tmp, name)) as f:
         scaling[name[:-5]] = json.load(f)
-report = {"host_cpus": os.cpu_count(), "scaling": scaling}
+oversubscribed = any(
+    run.get("config", {}).get("oversubscribed", False)
+    for run in scaling.values())
+report = {"host_cpus": os.cpu_count(), "oversubscribed": oversubscribed,
+          "scaling": scaling}
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")

@@ -16,7 +16,7 @@ CuckooFilter::CuckooFilter(const CuckooParams& params)
     : params_(params),
       index_mask_(LowMask(params.index_bits())),
       table_(params.bucket_count, params.slots_per_bucket,
-             params.fingerprint_bits, params.layout),
+             params.fingerprint_bits, params.layout, params.pages),
       rng_(params.seed ^ 0xCF104C0FFEEULL) {
   if (!IsPowerOfTwo(params.bucket_count) || params.index_bits() > 32 || params.fingerprint_bits == 0 ||
       params.fingerprint_bits > 25) {

@@ -37,6 +37,7 @@ class CuckooFilter : public Filter,
                           bool* results = nullptr) override;
 
   bool SupportsDeletion() const noexcept override { return true; }
+  bool OptimisticReadSafe() const noexcept override { return true; }
   std::string Name() const override { return "CF"; }
   std::size_t ItemCount() const noexcept override { return items_; }
   std::size_t SlotCount() const noexcept override { return table_.slot_count(); }

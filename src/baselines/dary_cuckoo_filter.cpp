@@ -18,7 +18,7 @@ DaryCuckooFilter::DaryCuckooFilter(const CuckooParams& params, unsigned d)
       index_bits_(params.index_bits()),
       index_mask_(LowMask(params.index_bits())),
       table_(params.bucket_count, params.slots_per_bucket,
-             params.fingerprint_bits),
+             params.fingerprint_bits, TableLayout::kPacked, params.pages),
       rng_(params.seed ^ 0xDCF104C0FFEEULL),
       name_("DCF(d=" + std::to_string(d) + ")") {
   if (!IsPowerOfTwo(d) || d < 2) {

@@ -47,6 +47,7 @@ class DaryCuckooFilter : public Filter,
                           bool* results = nullptr) override;
 
   bool SupportsDeletion() const noexcept override { return true; }
+  bool OptimisticReadSafe() const noexcept override { return true; }
   std::string Name() const override { return name_; }
   std::size_t ItemCount() const noexcept override { return items_; }
   std::size_t SlotCount() const noexcept override { return table_.slot_count(); }

@@ -38,7 +38,7 @@ VacuumFilter::VacuumFilter(const Params& params)
     : params_(Validated(params)),
       chunk_mask_(params.chunk_buckets - 1),
       table_(params.bucket_count, params.slots_per_bucket,
-             params.fingerprint_bits),
+             params.fingerprint_bits, TableLayout::kPacked, params.pages),
       rng_(params.seed ^ 0x7ACC7F104C0FFEEULL) {}
 
 std::uint64_t VacuumFilter::Fingerprint(std::uint64_t key,

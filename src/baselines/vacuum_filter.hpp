@@ -36,6 +36,8 @@ class VacuumFilter : public Filter,
     unsigned max_kicks = 500;
     std::uint64_t seed = 0x5EEDF00DULL;
     EvictionMode eviction = EvictionMode::kRandomWalk;
+    /// Page backing for the fingerprint table (not serialized identity).
+    PageHint pages = PageHint::kNormal;
   };
 
   explicit VacuumFilter(const Params& params);
@@ -51,6 +53,7 @@ class VacuumFilter : public Filter,
                           bool* results = nullptr) override;
 
   bool SupportsDeletion() const noexcept override { return true; }
+  bool OptimisticReadSafe() const noexcept override { return true; }
   std::string Name() const override { return "VF"; }
   std::size_t ItemCount() const noexcept override { return items_; }
   std::size_t SlotCount() const noexcept override { return table_.slot_count(); }

@@ -372,6 +372,9 @@ bool VcfClient::GetStats(ServerStats& out) {
     out.memory_bytes = resp.memory_bytes;
     out.load_factor = resp.load_factor;
     out.supports_deletion = resp.supports_deletion;
+    out.seqlock_retries = resp.seqlock_retries;
+    out.seqlock_fallbacks = resp.seqlock_fallbacks;
+    out.hugepage_bytes = resp.hugepage_bytes;
     return true;
   }
   return false;

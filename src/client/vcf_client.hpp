@@ -80,6 +80,11 @@ class VcfClient {
     std::uint64_t memory_bytes = 0;
     double load_factor = 0.0;
     bool supports_deletion = false;
+    /// Optional trailer (zero against servers that predate it): lock-free
+    /// lookup contention totals and hugepage-backed table bytes.
+    std::uint64_t seqlock_retries = 0;
+    std::uint64_t seqlock_fallbacks = 0;
+    std::uint64_t hugepage_bytes = 0;
   };
 
   /// WORKER_INFO response: which worker this connection landed on, and the

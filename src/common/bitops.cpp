@@ -12,8 +12,7 @@ std::uint64_t ReadBits(const std::uint8_t* base, std::size_t bit_off,
                        unsigned bits) noexcept {
   const std::size_t byte = bit_off >> 3;
   const unsigned shift = static_cast<unsigned>(bit_off & 7);
-  std::uint64_t word;
-  std::memcpy(&word, base + byte, sizeof(word));
+  const std::uint64_t word = LoadWordRelaxed(base + byte);
   return (word >> shift) & LowMask(bits);
 }
 
@@ -22,10 +21,9 @@ void WriteBits(std::uint8_t* base, std::size_t bit_off, unsigned bits,
   const std::size_t byte = bit_off >> 3;
   const unsigned shift = static_cast<unsigned>(bit_off & 7);
   const std::uint64_t mask = LowMask(bits) << shift;
-  std::uint64_t word;
-  std::memcpy(&word, base + byte, sizeof(word));
+  std::uint64_t word = LoadWordRelaxed(base + byte);
   word = (word & ~mask) | ((value << shift) & mask);
-  std::memcpy(base + byte, &word, sizeof(word));
+  StoreWordRelaxed(base + byte, word);
 }
 
 }  // namespace vcf

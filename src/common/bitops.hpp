@@ -9,6 +9,22 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+
+// ThreadSanitizer detection. Under TSan the optimistic read path's word
+// loads/stores go through byte-wise relaxed atomics (see LoadWordRelaxed /
+// StoreWordRelaxed) so the seqlock-validated races on table bytes are
+// modelled as atomics instead of reported as data races.
+#if defined(__SANITIZE_THREAD__)
+#define VCF_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define VCF_TSAN 1
+#endif
+#endif
+#ifndef VCF_TSAN
+#define VCF_TSAN 0
+#endif
 
 namespace vcf {
 
@@ -75,6 +91,53 @@ constexpr std::uint64_t SwarZeroLanes(std::uint64_t x, std::uint64_t lows,
   // non-zero; the sum cannot carry across lanes. OR in x itself to catch
   // lanes whose only set bit is the high bit.
   return ~(((x & lows) + lows) | x) & highs;
+}
+
+// --- Relaxed word access --------------------------------------------------
+//
+// The seqlock read path probes table bytes that a writer may be mutating
+// concurrently; the sequence validation discards any torn result, so all
+// the C++ memory model requires is that the racing accesses be atomic.
+// An unaligned 64-bit load cannot be a single hardware atomic, so:
+//
+//   * normal builds: plain memcpy — on every supported target this compiles
+//     to one unaligned load/store, and torn values are benign by protocol;
+//   * TSan builds: byte-wise __atomic relaxed accesses (byte atomics are
+//     always lock-free), which makes the race visible to TSan as atomics
+//     rather than as a report. ~8x slower, irrelevant off the TSan build.
+
+inline std::uint64_t LoadWordRelaxed(const std::uint8_t* p) noexcept {
+#if VCF_TSAN
+  std::uint64_t word = 0;
+  for (unsigned i = 0; i < 8; ++i) {
+    word |= static_cast<std::uint64_t>(__atomic_load_n(p + i, __ATOMIC_RELAXED))
+            << (8 * i);
+  }
+  return word;
+#else
+  std::uint64_t word;
+  std::memcpy(&word, p, sizeof(word));
+  return word;
+#endif
+}
+
+inline void StoreWordRelaxed(std::uint8_t* p, std::uint64_t word) noexcept {
+#if VCF_TSAN
+  for (unsigned i = 0; i < 8; ++i) {
+    __atomic_store_n(p + i, static_cast<std::uint8_t>(word >> (8 * i)),
+                     __ATOMIC_RELAXED);
+  }
+#else
+  std::memcpy(p, &word, sizeof(word));
+#endif
+}
+
+inline std::uint8_t LoadByteRelaxed(const std::uint8_t* p) noexcept {
+#if VCF_TSAN
+  return __atomic_load_n(p, __ATOMIC_RELAXED);
+#else
+  return *p;
+#endif
 }
 
 /// Reads `bits` (1..57) bits starting at absolute bit offset `bit_off` from a

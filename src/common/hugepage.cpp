@@ -1,0 +1,180 @@
+#include "common/hugepage.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#endif
+
+namespace vcf {
+namespace {
+
+constexpr std::size_t kHugePageSize = std::size_t{2} << 20;  // 2 MiB
+
+// Small/normal allocations stay on the heap: a dedicated mapping per tiny
+// table would waste a page and a VMA each, and sub-page buffers cannot
+// benefit from THP anyway.
+constexpr std::size_t kMmapThreshold = std::size_t{1} << 20;  // 1 MiB
+
+struct AtomicHugepageStats {
+  std::atomic<std::uint64_t> requested{0};
+  std::atomic<std::uint64_t> thp{0};
+  std::atomic<std::uint64_t> hugetlb{0};
+  std::atomic<std::uint64_t> fallback{0};
+};
+
+AtomicHugepageStats& Stats() noexcept {
+  static AtomicHugepageStats stats;
+  return stats;
+}
+
+void Add(std::atomic<std::uint64_t>& c, std::uint64_t v) noexcept {
+  c.fetch_add(v, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+HugepageStats GetHugepageStats() noexcept {
+  const AtomicHugepageStats& s = Stats();
+  HugepageStats out;
+  out.requested_bytes = s.requested.load(std::memory_order_relaxed);
+  out.thp_bytes = s.thp.load(std::memory_order_relaxed);
+  out.hugetlb_bytes = s.hugetlb.load(std::memory_order_relaxed);
+  out.fallback_bytes = s.fallback.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ResetHugepageStatsForTest() noexcept {
+  AtomicHugepageStats& s = Stats();
+  s.requested.store(0, std::memory_order_relaxed);
+  s.thp.store(0, std::memory_order_relaxed);
+  s.hugetlb.store(0, std::memory_order_relaxed);
+  s.fallback.store(0, std::memory_order_relaxed);
+}
+
+PagedBytes::PagedBytes(PagedBytes&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      map_base_(std::exchange(other.map_base_, nullptr)),
+      map_len_(std::exchange(other.map_len_, 0)),
+      hint_(std::exchange(other.hint_, PageHint::kNormal)),
+      effective_(std::exchange(other.effective_, PageHint::kNormal)) {}
+
+PagedBytes& PagedBytes::operator=(PagedBytes&& other) noexcept {
+  if (this != &other) {
+    Release();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    map_base_ = std::exchange(other.map_base_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+    hint_ = std::exchange(other.hint_, PageHint::kNormal);
+    effective_ = std::exchange(other.effective_, PageHint::kNormal);
+  }
+  return *this;
+}
+
+void PagedBytes::Reset(std::size_t size, PageHint hint) {
+  Release();
+  Allocate(size, hint);
+}
+
+void PagedBytes::Fill(std::uint8_t value) noexcept {
+  if (size_ != 0) std::memset(data_, value, size_);
+}
+
+bool operator==(const PagedBytes& a, const PagedBytes& b) noexcept {
+  return a.size_ == b.size_ &&
+         (a.size_ == 0 || std::memcmp(a.data_, b.data_, a.size_) == 0);
+}
+
+void PagedBytes::Allocate(std::size_t size, PageHint hint) {
+  hint_ = hint;
+  effective_ = PageHint::kNormal;
+  size_ = size;
+  if (size == 0) {
+    data_ = nullptr;
+    return;
+  }
+
+#if defined(__linux__)
+  if (hint != PageHint::kNormal && size >= kMmapThreshold) {
+    Add(Stats().requested, size);
+
+    if (hint == PageHint::kExplicit) {
+#if defined(MAP_HUGETLB)
+      // Reserved-pool pages: length must be a hugepage multiple and the
+      // pool must hold enough free pages, else mmap fails and we fall
+      // through silently.
+      const std::size_t len =
+          (size + kHugePageSize - 1) & ~(kHugePageSize - 1);
+      void* p = ::mmap(nullptr, len, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+      if (p != MAP_FAILED) {
+        map_base_ = p;
+        map_len_ = len;
+        data_ = static_cast<std::uint8_t*>(p);
+        effective_ = PageHint::kExplicit;
+        Add(Stats().hugetlb, size);
+        return;
+      }
+#endif
+      Add(Stats().fallback, size);
+    }
+
+    // Transparent path (also the kExplicit fallback): over-map by one
+    // hugepage so a 2 MiB-aligned window of `size` bytes fits inside, trim
+    // the unaligned head and tail, then advise the kernel to back the
+    // aligned window with THP. Alignment matters: khugepaged only collapses
+    // 2 MiB-aligned extents.
+    const std::size_t over = size + kHugePageSize;
+    void* raw = ::mmap(nullptr, over, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    if (raw != MAP_FAILED) {
+      std::uintptr_t base = reinterpret_cast<std::uintptr_t>(raw);
+      std::uintptr_t aligned =
+          (base + kHugePageSize - 1) & ~(kHugePageSize - 1);
+      const std::size_t head = aligned - base;
+      if (head != 0) ::munmap(raw, head);
+      const std::size_t tail = over - head - size;
+      if (tail != 0) {
+        ::munmap(reinterpret_cast<void*>(aligned + size), tail);
+      }
+      map_base_ = reinterpret_cast<void*>(aligned);
+      map_len_ = size;
+#if defined(MADV_HUGEPAGE)
+      ::madvise(map_base_, size, MADV_HUGEPAGE);
+#endif
+      data_ = static_cast<std::uint8_t*>(map_base_);
+      effective_ = PageHint::kTransparent;
+      Add(Stats().thp, size);
+      return;
+    }
+    Add(Stats().fallback, size);
+  }
+#endif  // __linux__
+
+  // Heap path: kNormal hint, sub-threshold sizes, or mmap failure.
+  // Anonymous mappings are zero-filled by the kernel; match that here.
+  data_ = new std::uint8_t[size]();
+}
+
+void PagedBytes::Release() noexcept {
+#if defined(__linux__)
+  if (map_base_ != nullptr) {
+    ::munmap(map_base_, map_len_);
+    map_base_ = nullptr;
+    map_len_ = 0;
+    data_ = nullptr;
+    size_ = 0;
+    return;
+  }
+#endif
+  delete[] data_;
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace vcf

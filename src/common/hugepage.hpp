@@ -1,0 +1,105 @@
+// Hugepage-aware backing storage for large probe arrays.
+//
+// At 2^26-slot scale a PackedTable spans hundreds of MiB; with 4 KiB pages
+// a uniform-random probe stream takes a dTLB miss on nearly every bucket.
+// 2 MiB pages cut the page-walk rate by ~512x. PagedBytes is a drop-in
+// replacement for the std::vector<uint8_t> those tables used to hold:
+//
+//   PageHint::kNormal       heap allocation, exactly the old behaviour.
+//   PageHint::kTransparent  anonymous mmap, 2 MiB-aligned, with
+//                           madvise(MADV_HUGEPAGE) — the kernel upgrades
+//                           pages opportunistically (THP). Never fails
+//                           for hugepage reasons.
+//   PageHint::kExplicit     try MAP_HUGETLB (reserved hugetlbfs pool)
+//                           first; silently falls back to the
+//                           kTransparent path, then to the heap, when the
+//                           pool is empty or unsupported.
+//
+// The hint changes only where the bytes live; size, contents, and the
+// canonical serialization built on data()/size() are identical across
+// hints, so checkpoint blobs stay bit-identical with hugepages on or off.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vcf {
+
+enum class PageHint : std::uint8_t {
+  kNormal = 0,       ///< Plain heap pages (4 KiB).
+  kTransparent = 1,  ///< mmap + madvise(MADV_HUGEPAGE); best-effort THP.
+  kExplicit = 2,     ///< MAP_HUGETLB with silent fallback to kTransparent.
+};
+
+/// Process-wide allocation accounting, exported through vcfd STATS.
+/// Relaxed atomics: these are monotonic gauges, not synchronization.
+struct HugepageStats {
+  /// Bytes requested with a non-kNormal hint.
+  std::uint64_t requested_bytes = 0;
+  /// Bytes backed by madvise(MADV_HUGEPAGE) regions.
+  std::uint64_t thp_bytes = 0;
+  /// Bytes backed by MAP_HUGETLB regions.
+  std::uint64_t hugetlb_bytes = 0;
+  /// Bytes that asked for kExplicit but fell back (to THP or heap).
+  std::uint64_t fallback_bytes = 0;
+};
+
+HugepageStats GetHugepageStats() noexcept;
+void ResetHugepageStatsForTest() noexcept;
+
+/// Fixed-capacity zero-initialised byte buffer with a page-placement hint.
+/// Mirrors the slice of the std::vector<uint8_t> interface PackedTable
+/// used: data()/size()/operator[]/Fill/operator==. No incremental growth —
+/// tables size their backing once at construction (or once per assign on
+/// restore), which is exactly what keeps optimistic readers safe: data()
+/// never moves for the lifetime of a given geometry.
+class PagedBytes {
+ public:
+  PagedBytes() noexcept = default;
+  PagedBytes(std::size_t size, PageHint hint) { Allocate(size, hint); }
+  ~PagedBytes() { Release(); }
+
+  PagedBytes(PagedBytes&& other) noexcept;
+  PagedBytes& operator=(PagedBytes&& other) noexcept;
+  PagedBytes(const PagedBytes&) = delete;
+  PagedBytes& operator=(const PagedBytes&) = delete;
+
+  /// Discards the current buffer and allocates a fresh zeroed one of
+  /// `size` bytes under `hint`. Invalidates data() — callers that publish
+  /// data() to concurrent readers must not use this while readers run.
+  void Reset(std::size_t size, PageHint hint);
+
+  std::uint8_t* data() noexcept { return data_; }
+  const std::uint8_t* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  std::uint8_t& operator[](std::size_t i) noexcept { return data_[i]; }
+  const std::uint8_t& operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+
+  /// memset the whole buffer (Clear() path).
+  void Fill(std::uint8_t value) noexcept;
+
+  PageHint hint() const noexcept { return hint_; }
+  /// What actually backs the buffer after fallbacks resolved.
+  PageHint effective_hint() const noexcept { return effective_; }
+
+  friend bool operator==(const PagedBytes& a, const PagedBytes& b) noexcept;
+
+ private:
+  void Allocate(std::size_t size, PageHint hint);
+  void Release() noexcept;
+
+  std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  /// mmap bookkeeping: base/length of the underlying mapping (may exceed
+  /// [data_, data_+size_) because of alignment trimming); null for heap.
+  void* map_base_ = nullptr;
+  std::size_t map_len_ = 0;
+  PageHint hint_ = PageHint::kNormal;
+  PageHint effective_ = PageHint::kNormal;
+};
+
+}  // namespace vcf

@@ -1,0 +1,122 @@
+// Sequence lock for optimistic, lock-free reads over writer-exclusive data.
+//
+// The writer side assumes external mutual exclusion (the shard mutex, or
+// pinned-mode single-owner discipline): it bumps the counter to an odd
+// value before mutating and back to even after, so a reader that observes
+// the same even value before and after its probe knows no writer ran in
+// between. Readers never block writers and writers never block readers;
+// a reader that keeps losing the race falls back to the lock after a
+// bounded number of retries (policy lives in the caller, not here).
+//
+// Memory-ordering argument (the Boehm "Can seqlocks get along with
+// programming language memory models?" recipe):
+//
+//   writer:  seq.store(s + 1, relaxed);          // enter odd
+//            atomic_thread_fence(release);        // data writes stay after
+//            ... mutate data (relaxed/plain) ...
+//            seq.store(s + 2, release);           // exit even
+//
+//   reader:  s1 = seq.load(acquire);              // data reads stay after
+//            ... read data (relaxed) ...
+//            atomic_thread_fence(acquire);         // data reads stay before
+//            s2 = seq.load(relaxed);
+//            valid iff s1 is even and s1 == s2
+//
+// The release fence in WriteBegin orders the odd store before the data
+// writes; the acquire fence in ReadValidate orders the data reads before
+// the re-load. If any data write raced the reader's data reads, the
+// reader cannot see s1 even and s1 == s2, so torn values are discarded,
+// never returned. Data accesses on the read side must themselves be
+// atomic (relaxed is enough) for the C++ model — PackedTable's probe
+// loads provide that via bitops' relaxed word loads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace vcf {
+
+/// Polite spin between optimistic-read retries: tells the pipeline (and a
+/// hyperthread sibling) the core is busy-waiting.
+inline void CpuRelax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#endif
+}
+
+/// Cache-line padded so neighbouring shards' writer bumps don't false-share
+/// with this shard's reader validation loads.
+class alignas(64) SeqLock {
+ public:
+  SeqLock() noexcept = default;
+
+  // Movable only in the trivial "no concurrent use" sense: moving copies the
+  // current value. Containers resize before threads start; concurrent moves
+  // are a caller bug.
+  SeqLock(SeqLock&& other) noexcept
+      : seq_(other.seq_.load(std::memory_order_relaxed)) {}
+  SeqLock& operator=(SeqLock&& other) noexcept {
+    seq_.store(other.seq_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Reader: snapshot the sequence before probing. An odd result means a
+  /// writer is mid-mutation — callers should retry (or fall back) without
+  /// probing.
+  std::uint64_t ReadBegin() const noexcept {
+    return seq_.load(std::memory_order_acquire);
+  }
+
+  /// Reader: validate after probing. True iff the snapshot was even and no
+  /// writer entered since ReadBegin.
+  bool ReadValidate(std::uint64_t token) const noexcept {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return (token & 1) == 0 &&
+           seq_.load(std::memory_order_relaxed) == token;
+  }
+
+  /// Writer: enter the critical section (requires external writer mutual
+  /// exclusion). Leaves the counter odd.
+  void WriteBegin() noexcept {
+    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  /// Writer: leave the critical section. Restores the counter to even and
+  /// publishes every mutation made since WriteBegin.
+  void WriteEnd() noexcept {
+    const std::uint64_t s = seq_.load(std::memory_order_relaxed);
+    seq_.store(s + 1, std::memory_order_release);
+  }
+
+  /// Current raw value; odd means a writer is inside. Diagnostic only.
+  std::uint64_t Value() const noexcept {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> seq_{0};
+};
+
+/// RAII writer section: bumps to odd on construction, back to even on
+/// destruction. The caller must already hold writer exclusion.
+class SeqLockWriteGuard {
+ public:
+  explicit SeqLockWriteGuard(SeqLock& lock) noexcept : lock_(&lock) {
+    lock_->WriteBegin();
+  }
+  ~SeqLockWriteGuard() {
+    if (lock_ != nullptr) lock_->WriteEnd();
+  }
+  SeqLockWriteGuard(const SeqLockWriteGuard&) = delete;
+  SeqLockWriteGuard& operator=(const SeqLockWriteGuard&) = delete;
+
+ private:
+  SeqLock* lock_;
+};
+
+}  // namespace vcf

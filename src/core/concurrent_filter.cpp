@@ -5,25 +5,58 @@
 
 namespace vcf {
 
+namespace {
+
+// Matches ShardedFilter's budget; see the rationale there.
+constexpr int kOptimisticRetries = 8;
+
+}  // namespace
+
 ConcurrentFilter::ConcurrentFilter(std::unique_ptr<Filter> inner)
     : inner_(std::move(inner)) {
   if (!inner_) {
     throw std::invalid_argument("ConcurrentFilter: inner filter must not be null");
   }
+  optimistic_safe_ = inner_->OptimisticReadSafe();
 }
 
 bool ConcurrentFilter::Insert(std::uint64_t key) {
   std::unique_lock lock(mutex_);
+  SeqLockWriteGuard seq(seq_);
   return inner_->Insert(key);
 }
 
 bool ConcurrentFilter::Contains(std::uint64_t key) const {
+  if (optimistic_safe_ && optimistic_.load(std::memory_order_relaxed)) {
+    for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
+      const std::uint64_t token = seq_.ReadBegin();
+      if ((token & 1) == 0) {
+        const bool r = inner_->Contains(key);
+        if (seq_.ReadValidate(token)) return r;
+      }
+      ++seq_retries_;
+      CpuRelax();
+    }
+    ++seq_fallbacks_;
+  }
   std::shared_lock lock(mutex_);
   return inner_->Contains(key);
 }
 
 void ConcurrentFilter::ContainsBatch(std::span<const std::uint64_t> keys,
                                      bool* results) const {
+  if (optimistic_safe_ && optimistic_.load(std::memory_order_relaxed)) {
+    for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
+      const std::uint64_t token = seq_.ReadBegin();
+      if ((token & 1) == 0) {
+        inner_->ContainsBatch(keys, results);
+        if (seq_.ReadValidate(token)) return;
+      }
+      ++seq_retries_;
+      CpuRelax();
+    }
+    ++seq_fallbacks_;
+  }
   // One lock acquisition for the whole batch, not one per key.
   std::shared_lock lock(mutex_);
   inner_->ContainsBatch(keys, results);
@@ -33,11 +66,13 @@ std::size_t ConcurrentFilter::InsertBatch(std::span<const std::uint64_t> keys,
                                           bool* results) {
   // One lock acquisition for the whole batch, not one per key.
   std::unique_lock lock(mutex_);
+  SeqLockWriteGuard seq(seq_);
   return inner_->InsertBatch(keys, results);
 }
 
 bool ConcurrentFilter::Erase(std::uint64_t key) {
   std::unique_lock lock(mutex_);
+  SeqLockWriteGuard seq(seq_);
   return inner_->Erase(key);
 }
 
@@ -65,6 +100,7 @@ std::size_t ConcurrentFilter::MemoryBytes() const noexcept {
 
 void ConcurrentFilter::Clear() {
   std::unique_lock lock(mutex_);
+  SeqLockWriteGuard seq(seq_);
   inner_->Clear();
 }
 
@@ -75,7 +111,23 @@ bool ConcurrentFilter::SaveState(std::ostream& out) const {
 
 bool ConcurrentFilter::LoadState(std::istream& in) {
   std::unique_lock lock(mutex_);
+  SeqLockWriteGuard seq(seq_);
   return inner_->LoadState(in);
+}
+
+const OpCounters& ConcurrentFilter::counters() const noexcept {
+  counters_.Reset();
+  counters_ += inner_->counters();
+  counters_.seqlock_retries += seq_retries_.Value();
+  counters_.seqlock_fallbacks += seq_fallbacks_.Value();
+  return counters_;
+}
+
+void ConcurrentFilter::ResetCounters() noexcept {
+  counters_.Reset();
+  seq_retries_ = 0;
+  seq_fallbacks_ = 0;
+  inner_->ResetCounters();
 }
 
 }  // namespace vcf

@@ -12,13 +12,23 @@
 // shared lock, so they are safe against concurrent mutation (a growing
 // DynamicVcf changes SlotCount/MemoryBytes mid-insert). OpCounters need no
 // lock: every field is a relaxed atomic (see metrics/op_counters.hpp).
+//
+// Lookups additionally get the same optimistic seqlock fast path as
+// ShardedFilter when the inner filter is OptimisticReadSafe(): probe with
+// no lock, validate the sequence the mutation paths bump, retry a bounded
+// number of times, then fall back to the shared lock. For inner filters
+// that may reallocate under mutation (DynamicVcf) the wrapper quietly
+// stays on the pure lock protocol.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <shared_mutex>
 #include <string>
 
+#include "common/seqlock.hpp"
 #include "core/filter.hpp"
+#include "metrics/op_counters.hpp"
 
 namespace vcf {
 
@@ -49,9 +59,31 @@ class ConcurrentFilter : public Filter {
   /// The wrapped filter; caller must ensure quiescence before poking it.
   Filter& inner() noexcept { return *inner_; }
 
+  /// Enables/disables the lock-free read path (default on; see
+  /// ShardedFilter::SetOptimisticReads for semantics).
+  void SetOptimisticReads(bool on) noexcept {
+    optimistic_.store(on, std::memory_order_relaxed);
+  }
+  std::uint64_t seqlock_retries() const noexcept {
+    return seq_retries_.Value();
+  }
+  std::uint64_t seqlock_fallbacks() const noexcept {
+    return seq_fallbacks_.Value();
+  }
+
+  /// Aggregated view: the inner filter's counters plus this wrapper's
+  /// seqlock retry/fallback totals (snapshot; each call re-sums).
+  const OpCounters& counters() const noexcept override;
+  void ResetCounters() noexcept override;
+
  private:
   std::unique_ptr<Filter> inner_;
   mutable std::shared_mutex mutex_;
+  SeqLock seq_;
+  bool optimistic_safe_ = false;
+  std::atomic<bool> optimistic_{true};
+  mutable RelaxedCounter seq_retries_;
+  mutable RelaxedCounter seq_fallbacks_;
 };
 
 }  // namespace vcf

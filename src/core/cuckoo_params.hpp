@@ -59,6 +59,11 @@ struct CuckooParams {
   /// of the serialized identity: blobs restore across modes.
   EvictionMode eviction = EvictionMode::kRandomWalk;
 
+  /// Backing-page placement for the table (common/hugepage.hpp). Like
+  /// `layout`, not part of the serialized identity: blobs are bit-identical
+  /// with hugepages on or off.
+  PageHint pages = PageHint::kNormal;
+
   unsigned index_bits() const noexcept { return FloorLog2(bucket_count); }
   std::size_t slot_count() const noexcept {
     return bucket_count * slots_per_bucket;

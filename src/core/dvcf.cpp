@@ -15,7 +15,7 @@ DifferentiatedVcf::DifferentiatedVcf(const CuckooParams& params,
       hasher_(VerticalHasher::Balanced(params.index_bits(),
                                        params.fingerprint_bits)),
       table_(params.bucket_count, params.slots_per_bucket,
-             params.fingerprint_bits, params.layout),
+             params.fingerprint_bits, params.layout, params.pages),
       delta_t_(delta_t),
       rng_(params.seed ^ 0xD7CF104C0FFEEULL),
       name_("DVCF") {

@@ -115,6 +115,17 @@ class Filter {
     return SplitMixHash64(key.data(), key.size(), /*seed=*/0);
   }
 
+  /// True when Contains/ContainsBatch may safely run concurrently with
+  /// mutations under an external seqlock protocol (the sharded/concurrent
+  /// wrappers' optimistic read path): every byte a probe dereferences stays
+  /// allocated for the filter's whole lifetime (mutations never reallocate
+  /// or free probe-reachable storage), so a racing read is at worst *torn*
+  /// — never a use-after-free — and sequence validation discards it.
+  /// Fixed-table cuckoo-family filters return true; growing or
+  /// pointer-chasing structures (DynamicVcf, Bloom baselines by default)
+  /// keep the conservative false, and the wrappers fall back to locking.
+  virtual bool OptimisticReadSafe() const noexcept { return false; }
+
   /// Operation counters. Virtual so aggregating wrappers (ShardedFilter)
   /// can present a combined view; plain filters return their own counters.
   virtual const OpCounters& counters() const noexcept { return counters_; }

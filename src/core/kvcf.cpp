@@ -24,7 +24,7 @@ KVcf::KVcf(const CuckooParams& params, unsigned k)
       mark_bits_(MarkBitsFor(k)),
       fp_mask_(LowMask(params.fingerprint_bits)),
       table_(params.bucket_count, params.slots_per_bucket,
-             params.fingerprint_bits + mark_bits_, params.layout),
+             params.fingerprint_bits + mark_bits_, params.layout, params.pages),
       rng_(params.seed ^ 0x1C7F4B1D5EEDULL),
       name_(std::to_string(k) + "-VCF") {
   if (!IsPowerOfTwo(params.bucket_count) || params.index_bits() > 32 || params.fingerprint_bits == 0 ||

@@ -28,6 +28,8 @@ std::uint64_t StashChecksum(const std::vector<std::uint64_t>& stash) {
   return h;
 }
 
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
 template <typename T>
 void Put(std::ostream& out, T v) {
   out.write(reinterpret_cast<const char*>(&v), sizeof(v));
@@ -60,7 +62,15 @@ ResilientFilter::ResilientFilter(std::unique_ptr<Filter> inner,
         "ResilientFilter: degrade_watermark must be positive");
   }
   vcf_inner_ = dynamic_cast<VerticalCuckooFilter*>(inner_.get());
-  stash_.reserve(options_.stash_capacity);
+  if (options_.stash_capacity > 0xFFFFFFFFu) {
+    throw std::invalid_argument("ResilientFilter: stash_capacity too large");
+  }
+  if (options_.stash_capacity > 0) {
+    // Fixed allocation for the filter's whole life: optimistic readers may
+    // hold pointers into it at any time (see header).
+    stash_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+        options_.stash_capacity);
+  }
 }
 
 bool ResilientFilter::InDegradedMode() const noexcept {
@@ -96,8 +106,13 @@ bool ResilientFilter::Insert(std::uint64_t key) {
   }
   if (placed) return true;
 
-  if (stash_.size() < options_.stash_capacity) {
-    stash_.push_back(key);
+  const std::uint32_t n = stash_size_.load(kRelaxed);
+  if (n < options_.stash_capacity) {
+    stash_[n].store(key, kRelaxed);
+    // Publish the slot before the count so a lock-free scan never reads an
+    // unwritten slot (it may still miss the key — sequence validation
+    // handles overlap).
+    stash_size_.store(n + 1, std::memory_order_release);
     ++counters_.stash_inserts;
     return true;  // the key is queryable: a stashed insert SUCCEEDED
   }
@@ -107,9 +122,9 @@ bool ResilientFilter::Insert(std::uint64_t key) {
 
 bool ResilientFilter::Contains(std::uint64_t key) const {
   if (inner_->Contains(key)) return true;
-  if (stash_.empty()) return false;
-  for (const std::uint64_t stashed : stash_) {
-    if (stashed == key) {
+  const std::uint32_t n = stash_size_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (stash_[i].load(kRelaxed) == key) {
       ++counters_.stash_hits;
       return true;
     }
@@ -120,11 +135,12 @@ bool ResilientFilter::Contains(std::uint64_t key) const {
 void ResilientFilter::ContainsBatch(std::span<const std::uint64_t> keys,
                                     bool* results) const {
   inner_->ContainsBatch(keys, results);
-  if (stash_.empty()) return;
+  const std::uint32_t n = stash_size_.load(std::memory_order_acquire);
+  if (n == 0) return;
   for (std::size_t i = 0; i < keys.size(); ++i) {
     if (results[i]) continue;
-    for (const std::uint64_t stashed : stash_) {
-      if (stashed == keys[i]) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (stash_[j].load(kRelaxed) == keys[i]) {
         results[i] = true;
         ++counters_.stash_hits;
         break;
@@ -141,10 +157,13 @@ bool ResilientFilter::Erase(std::uint64_t key) {
     return true;
   }
   // The table never held it (or a stashed duplicate outlived the table
-  // copies): remove one stashed instance.
-  for (auto it = stash_.begin(); it != stash_.end(); ++it) {
-    if (*it == key) {
-      stash_.erase(it);
+  // copies): remove one stashed instance by moving the last slot into its
+  // place — no shifting, so a racing lock-free scan sees only whole slots.
+  const std::uint32_t n = stash_size_.load(kRelaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (stash_[i].load(kRelaxed) == key) {
+      stash_[i].store(stash_[n - 1].load(kRelaxed), kRelaxed);
+      stash_size_.store(n - 1, std::memory_order_release);
       return true;
     }
   }
@@ -152,10 +171,11 @@ bool ResilientFilter::Erase(std::uint64_t key) {
 }
 
 void ResilientFilter::DrainStash() {
-  if (stash_.empty()) return;
-  std::size_t kept = 0;
-  for (std::size_t i = 0; i < stash_.size(); ++i) {
-    const std::uint64_t key = stash_[i];
+  const std::uint32_t n = stash_size_.load(kRelaxed);
+  if (n == 0) return;
+  std::uint32_t kept = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint64_t key = stash_[i].load(kRelaxed);
     // Direct placement only: draining rides on another operation, so it must
     // stay cheap and must not trigger fresh eviction cascades.
     const bool placed =
@@ -163,10 +183,10 @@ void ResilientFilter::DrainStash() {
     if (placed) {
       ++counters_.stash_drains;
     } else {
-      stash_[kept++] = key;
+      stash_[kept++].store(key, kRelaxed);
     }
   }
-  stash_.resize(kept);
+  stash_size_.store(kept, std::memory_order_release);
 }
 
 double ResilientFilter::LoadFactor() const noexcept {
@@ -177,12 +197,13 @@ double ResilientFilter::LoadFactor() const noexcept {
 }
 
 std::size_t ResilientFilter::MemoryBytes() const noexcept {
-  return inner_->MemoryBytes() + stash_.capacity() * sizeof(std::uint64_t);
+  return inner_->MemoryBytes() +
+         options_.stash_capacity * sizeof(std::uint64_t);
 }
 
 void ResilientFilter::Clear() {
   inner_->Clear();
-  stash_.clear();
+  stash_size_.store(0, std::memory_order_release);
   degrade_threshold_ = 0;
 }
 
@@ -201,9 +222,12 @@ bool ResilientFilter::SaveState(std::ostream& out) const {
     std::ostringstream buf;
     buf.write(kMagic, sizeof(kMagic));
     Put(buf, kVersion);
-    Put(buf, static_cast<std::uint64_t>(stash_.size()));
-    for (const std::uint64_t key : stash_) Put(buf, key);
-    Put(buf, StashChecksum(stash_));
+    const std::uint32_t n = stash_size_.load(kRelaxed);
+    std::vector<std::uint64_t> snapshot(n);
+    for (std::uint32_t i = 0; i < n; ++i) snapshot[i] = stash_[i].load(kRelaxed);
+    Put(buf, static_cast<std::uint64_t>(snapshot.size()));
+    for (const std::uint64_t key : snapshot) Put(buf, key);
+    Put(buf, StashChecksum(snapshot));
     if (!buf || !inner_->SaveState(buf)) continue;
     const std::string blob = buf.str();
     out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
@@ -244,7 +268,13 @@ bool ResilientFilter::LoadState(std::istream& in) {
     }
     if (!inner_->LoadState(buf)) continue;
     // The inner filter committed; the stash commit below cannot fail.
-    stash_ = std::move(staged);
+    // Copy into the fixed slots (count <= capacity was validated above) —
+    // the array itself is never replaced, keeping lock-free readers safe.
+    for (std::size_t i = 0; i < staged.size(); ++i) {
+      stash_[i].store(staged[i], kRelaxed);
+    }
+    stash_size_.store(static_cast<std::uint32_t>(staged.size()),
+                      std::memory_order_release);
     degrade_threshold_ = 0;  // geometry may have changed; recompute lazily
     return true;
   }

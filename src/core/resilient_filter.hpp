@@ -29,10 +29,17 @@
 // bookkeeping of its own, keeping its healthy-path overhead to a virtual
 // dispatch, an integer watermark compare and an empty-stash check.
 //
-// Thread safety: none beyond the inner filter's; wrap in ConcurrentFilter
-// for multi-threaded use (ConcurrentFilter(ResilientFilter(...))).
+// Thread safety: mutations need external exclusion (wrap in
+// ConcurrentFilter or ShardedFilter). Lookups, however, are safe under
+// those wrappers' OPTIMISTIC seqlock read path: the stash is a
+// fixed-capacity atomic array sized once at construction (never
+// reallocated, never shifted with non-atomic writes), so a racing read is
+// at worst stale/torn — which sequence validation discards — never a
+// use-after-free. OptimisticReadSafe() therefore forwards to the inner
+// filter's verdict.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -80,7 +87,7 @@ class ResilientFilter : public Filter {
   }
   /// Items represented = inner table items + stashed keys.
   std::size_t ItemCount() const noexcept override {
-    return inner_->ItemCount() + stash_.size();
+    return inner_->ItemCount() + StashSize();
   }
   std::size_t SlotCount() const noexcept override {
     return inner_->SlotCount();
@@ -96,9 +103,17 @@ class ResilientFilter : public Filter {
   bool LoadState(std::istream& in) override;
 
   /// Current number of stashed keys (test/monitoring hook).
-  std::size_t StashSize() const noexcept { return stash_.size(); }
+  std::size_t StashSize() const noexcept {
+    return stash_size_.load(std::memory_order_acquire);
+  }
   /// True when inserts are currently taking the fail-fast degraded path.
   bool InDegradedMode() const noexcept;
+
+  /// Lock-free-readable iff the inner filter is: the wrapper's own stash
+  /// is already a fixed atomic array (see the header comment).
+  bool OptimisticReadSafe() const noexcept override {
+    return inner_->OptimisticReadSafe();
+  }
 
   const ResilientOptions& options() const noexcept { return options_; }
   Filter& inner() noexcept { return *inner_; }
@@ -114,7 +129,12 @@ class ResilientFilter : public Filter {
   /// degraded mode (other filters fall back to a normal Insert).
   VerticalCuckooFilter* vcf_inner_ = nullptr;
   ResilientOptions options_;
-  std::vector<std::uint64_t> stash_;
+  /// Fixed-capacity stash (options_.stash_capacity slots, allocated once).
+  /// Slots are relaxed atomics and the live count publishes with release
+  /// ordering, so the wrappers' optimistic readers may scan it without a
+  /// lock; mutation ordering is still the caller's job.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> stash_;
+  std::atomic<std::uint32_t> stash_size_{0};
   /// Inner item count at which the watermark is crossed. Starts at 0 so the
   /// first check recomputes it; InDegradedMode() refreshes it from the
   /// current geometry whenever it appears crossed (a growing DynamicVcf

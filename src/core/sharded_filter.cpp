@@ -11,6 +11,17 @@
 
 namespace vcf {
 
+namespace {
+
+// Optimistic re-probe budget before a reader gives up and takes the shard
+// lock (or, in pinned mode, forwards to the owner). A probe is tens of ns
+// and writer critical sections are short, so nearly every retry succeeds
+// on the first re-probe; the budget exists for pathological writer storms
+// (and the fallback counter makes hitting it observable).
+constexpr int kOptimisticRetries = 8;
+
+}  // namespace
+
 ShardedFilter::ShardedFilter(std::vector<std::unique_ptr<Filter>> shards,
                              std::uint64_t salt)
     : salt_(salt) {
@@ -22,7 +33,9 @@ ShardedFilter::ShardedFilter(std::vector<std::unique_ptr<Filter>> shards,
     if (!f) {
       throw std::invalid_argument("ShardedFilter: shard must not be null");
     }
-    shards_.push_back({std::move(f), std::make_unique<std::shared_mutex>()});
+    const bool safe = f->OptimisticReadSafe();
+    shards_.push_back({std::move(f), std::make_unique<std::shared_mutex>(),
+                       std::make_unique<SeqLock>(), safe});
   }
 }
 
@@ -37,11 +50,52 @@ std::size_t ShardedFilter::ShardIndex(std::uint64_t key, std::uint64_t salt,
 bool ShardedFilter::Insert(std::uint64_t key) {
   Shard& s = shards_[ShardFor(key)];
   std::unique_lock lock(*s.mutex);
+  SeqLockWriteGuard seq(*s.seq);
   return s.filter->Insert(key);
 }
 
+bool ShardedFilter::TryContainsOptimistic(std::size_t i, std::uint64_t key,
+                                          bool* result) const noexcept {
+  const Shard& s = shards_[i];
+  if (!s.optimistic_safe || !optimistic_reads()) return false;
+  for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
+    const std::uint64_t token = s.seq->ReadBegin();
+    if ((token & 1) == 0) {
+      const bool r = s.filter->Contains(key);
+      if (s.seq->ReadValidate(token)) {
+        *result = r;
+        return true;
+      }
+    }
+    ++seq_retries_;
+    CpuRelax();
+  }
+  return false;
+}
+
+bool ShardedFilter::TryContainsBatchOptimistic(
+    std::size_t i, std::span<const std::uint64_t> keys,
+    bool* results) const noexcept {
+  const Shard& s = shards_[i];
+  if (!s.optimistic_safe || !optimistic_reads()) return false;
+  for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
+    const std::uint64_t token = s.seq->ReadBegin();
+    if ((token & 1) == 0) {
+      s.filter->ContainsBatch(keys, results);
+      if (s.seq->ReadValidate(token)) return true;
+    }
+    ++seq_retries_;
+    CpuRelax();
+  }
+  return false;
+}
+
 bool ShardedFilter::Contains(std::uint64_t key) const {
-  const Shard& s = shards_[ShardFor(key)];
+  const std::size_t i = ShardFor(key);
+  bool result = false;
+  if (TryContainsOptimistic(i, key, &result)) return result;
+  const Shard& s = shards_[i];
+  if (s.optimistic_safe && optimistic_reads()) ++seq_fallbacks_;
   std::shared_lock lock(*s.mutex);
   return s.filter->Contains(key);
 }
@@ -49,6 +103,7 @@ bool ShardedFilter::Contains(std::uint64_t key) const {
 bool ShardedFilter::Erase(std::uint64_t key) {
   Shard& s = shards_[ShardFor(key)];
   std::unique_lock lock(*s.mutex);
+  SeqLockWriteGuard seq(*s.seq);
   return s.filter->Erase(key);
 }
 
@@ -87,9 +142,14 @@ void ShardedFilter::ContainsBatch(std::span<const std::uint64_t> keys,
   for (std::size_t s = 0; s < n_shards; ++s) {
     const std::size_t lo = offset[s], hi = offset[s + 1];
     if (lo == hi) continue;
+    const std::span sub(grouped.data() + lo, hi - lo);
+    // Lock-free first: the whole per-shard partition probes under one
+    // sequence read/validate pair (the counting sort above already grouped
+    // the keys, so validation is per shard, not per key).
+    if (TryContainsBatchOptimistic(s, sub, tmp_bools + lo)) continue;
+    if (shards_[s].optimistic_safe && optimistic_reads()) ++seq_fallbacks_;
     std::shared_lock lock(*shards_[s].mutex);
-    shards_[s].filter->ContainsBatch(
-        std::span(grouped.data() + lo, hi - lo), tmp_bools + lo);
+    shards_[s].filter->ContainsBatch(sub, tmp_bools + lo);
     lock.unlock();
   }
   for (std::size_t i = 0; i < n; ++i) results[pos[i]] = tmp_bools[i];
@@ -127,8 +187,11 @@ std::size_t ShardedFilter::InsertBatch(std::span<const std::uint64_t> keys,
     const std::size_t lo = offset[s], hi = offset[s + 1];
     if (lo == hi) continue;
     std::unique_lock lock(*shards_[s].mutex);
-    accepted += shards_[s].filter->InsertBatch(
-        std::span(grouped.data() + lo, hi - lo), tmp_bools + lo);
+    {
+      SeqLockWriteGuard seq(*shards_[s].seq);
+      accepted += shards_[s].filter->InsertBatch(
+          std::span(grouped.data() + lo, hi - lo), tmp_bools + lo);
+    }
     lock.unlock();
   }
   if (results != nullptr) {
@@ -185,6 +248,7 @@ std::size_t ShardedFilter::MemoryBytes() const noexcept {
 void ShardedFilter::Clear() {
   for (Shard& s : shards_) {
     std::unique_lock lock(*s.mutex);
+    SeqLockWriteGuard seq(*s.seq);
     s.filter->Clear();
   }
 }
@@ -261,9 +325,13 @@ bool ShardedFilter::LoadState(std::istream& in) {
       return false;
     }
     std::istringstream shard_in(blob);
-    std::unique_lock lock(*s.mutex);
-    if (!s.filter->LoadState(shard_in)) {
-      lock.unlock();
+    bool ok;
+    {
+      std::unique_lock lock(*s.mutex);
+      SeqLockWriteGuard seq(*s.seq);
+      ok = s.filter->LoadState(shard_in);
+    }
+    if (!ok) {
       Clear();  // cannot roll back already-restored shards; see header
       return false;
     }
@@ -274,11 +342,17 @@ bool ShardedFilter::LoadState(std::istream& in) {
 const OpCounters& ShardedFilter::counters() const noexcept {
   counters_.Reset();
   for (const Shard& s : shards_) counters_ += s.filter->counters();
+  // The optimistic read path's counters live on the wrapper (retries are a
+  // property of the wrapper's protocol, not of any inner filter).
+  counters_.seqlock_retries += seq_retries_.Value();
+  counters_.seqlock_fallbacks += seq_fallbacks_.Value();
   return counters_;
 }
 
 void ShardedFilter::ResetCounters() noexcept {
   counters_.Reset();
+  seq_retries_ = 0;
+  seq_fallbacks_ = 0;
   for (Shard& s : shards_) s.filter->ResetCounters();
 }
 

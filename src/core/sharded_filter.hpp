@@ -20,8 +20,18 @@
 // wrapper; `resilient:` composes per shard (each shard gets its own stash
 // and degraded-mode state). Wrapping a ShardedFilter in ConcurrentFilter is
 // pointless — the shards already carry their own locks.
+// Read path: lookups are OPTIMISTIC by default. Each shard carries a
+// cache-line-padded seqlock (common/seqlock.hpp) next to its reader-writer
+// lock; writers bump it to odd around every mutation (while also holding
+// the shard's unique_lock, in unpinned mode), and Contains/ContainsBatch
+// probe without any lock, validating the sequence afterwards. A failed
+// validation re-probes up to a bounded retry budget, then falls back to
+// the shared_lock path — so writer-heavy shards cannot livelock readers,
+// and inner filters that are not OptimisticReadSafe() (growing tables)
+// always take the lock. See DESIGN.md "Concurrency model".
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
@@ -30,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "common/seqlock.hpp"
 #include "core/filter.hpp"
 
 namespace vcf {
@@ -96,6 +107,49 @@ class ShardedFilter : public Filter {
     return *shards_[i].filter;
   }
 
+  // --- Optimistic (seqlock) read path -------------------------------------
+
+  /// Per-shard writer sequence. The pinned-mode server executor, which
+  /// mutates shards without their locks, must bump this around every
+  /// mutation (SeqLockWriteGuard) so foreign workers' lock-free lookups
+  /// stay sound. Unpinned-mode callers never need it: the wrapper's own
+  /// mutation paths bump it internally.
+  SeqLock& shard_seq(std::size_t i) const noexcept { return *shards_[i].seq; }
+
+  /// Enables/disables the lock-free read path (default on). Benchmarks use
+  /// this to pin the shared_mutex arm; not meant to be flipped while
+  /// readers are in flight (the switch itself is atomic, but mixed-mode
+  /// measurement would be meaningless).
+  void SetOptimisticReads(bool on) noexcept {
+    optimistic_.store(on, std::memory_order_relaxed);
+  }
+  bool optimistic_reads() const noexcept {
+    return optimistic_.load(std::memory_order_relaxed);
+  }
+
+  /// Single lock-free lookup attempt loop against shard `i`: probes without
+  /// the shard lock, validating the shard's sequence, retrying up to the
+  /// internal budget. Returns false — with *result untouched — when the
+  /// budget is exhausted or the shard's inner filter is not
+  /// OptimisticReadSafe(); the caller picks the fallback (the shard lock,
+  /// or pinned-mode task forwarding). Never takes a lock itself.
+  bool TryContainsOptimistic(std::size_t i, std::uint64_t key,
+                             bool* result) const noexcept;
+
+  /// Batch counterpart over keys already routed to shard `i`.
+  bool TryContainsBatchOptimistic(std::size_t i,
+                                  std::span<const std::uint64_t> keys,
+                                  bool* results) const noexcept;
+
+  /// Lifetime totals of the optimistic read path (also folded into
+  /// counters() as seqlock_retries / seqlock_fallbacks).
+  std::uint64_t seqlock_retries() const noexcept {
+    return seq_retries_.Value();
+  }
+  std::uint64_t seqlock_fallbacks() const noexcept {
+    return seq_fallbacks_.Value();
+  }
+
   // --- Pinned-executor support (server/server.cpp) ------------------------
   // vcfd's core-affine mode gives each worker thread exclusive ownership of
   // a shard subset and accesses those shards without their locks. These
@@ -125,10 +179,19 @@ class ShardedFilter : public Filter {
     std::unique_ptr<Filter> filter;
     // unique_ptr: shared_mutex is immovable and shards live in a vector.
     std::unique_ptr<std::shared_mutex> mutex;
+    // unique_ptr keeps each shard's sequence on its own heap cache line
+    // (SeqLock is alignas(64)), away from the neighbours' counters.
+    std::unique_ptr<SeqLock> seq;
+    // Cached filter->OptimisticReadSafe(): a static property, hoisted out
+    // of the per-lookup path.
+    bool optimistic_safe = false;
   };
 
   std::vector<Shard> shards_;
   std::uint64_t salt_;
+  std::atomic<bool> optimistic_{true};
+  mutable RelaxedCounter seq_retries_;
+  mutable RelaxedCounter seq_fallbacks_;
 };
 
 }  // namespace vcf

@@ -97,21 +97,15 @@ bool LoadTablePayload(std::istream& in, PackedTable* expected) {
   }
   // TableCodec payloads are canonical packed-layout bytes, so checkpoints
   // are layout-portable: a blob written by an aligned-layout filter restores
-  // into a packed one and vice versa. When the destination's in-memory
-  // layout differs from the codec's packed product, re-spread the slots.
-  if (expected->layout() == TableLayout::kPacked) {
-    *expected = std::move(*loaded);
-    return true;
-  }
-  PackedTable staged(loaded->bucket_count(), loaded->slots_per_bucket(),
-                     loaded->slot_bits(), expected->layout());
-  for (std::size_t b = 0; b < loaded->bucket_count(); ++b) {
-    for (unsigned s = 0; s < loaded->slots_per_bucket(); ++s) {
-      const std::uint64_t v = loaded->Get(b, s);
-      if (v != 0) staged.Set(b, s, v);
-    }
-  }
-  *expected = std::move(staged);
+  // into a packed one and vice versa (AdoptContents re-spreads slot-wise
+  // when the strides differ). Copying IN PLACE — instead of move-assigning
+  // the staged table — keeps the destination's layout, page backing, and
+  // buffer address intact, which the optimistic read path depends on:
+  // a concurrent seqlock reader may still hold a pointer into the old
+  // buffer, so the restore must never free it mid-life (the wrapper bumps
+  // the shard's sequence around this call, invalidating any reads that
+  // overlapped the copy).
+  expected->AdoptContents(*loaded);
   return true;
 }
 

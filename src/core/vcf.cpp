@@ -45,7 +45,7 @@ VerticalCuckooFilter::VerticalCuckooFilter(const CuckooParams& params,
     : params_(params),
       hasher_(hasher),
       table_((ValidateParams(params), params.bucket_count), params.slots_per_bucket,
-             params.fingerprint_bits, params.layout),
+             params.fingerprint_bits, params.layout, params.pages),
       rng_(params.seed ^ 0xE71C7104C0FFEEULL),
       name_(std::move(name)) {}
 

@@ -62,6 +62,8 @@ class VerticalCuckooFilter
                           bool* results = nullptr) override;
 
   bool SupportsDeletion() const noexcept override { return true; }
+  // Fixed table: mutations never reallocate probe-reachable storage.
+  bool OptimisticReadSafe() const noexcept override { return true; }
   std::string Name() const override { return name_; }
   std::size_t ItemCount() const noexcept override { return items_; }
   std::size_t SlotCount() const noexcept override { return table_.slot_count(); }

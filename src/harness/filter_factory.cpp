@@ -101,6 +101,14 @@ std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec) {
     with_mode.params.eviction = EvictionMode::kBfs;
     return MakeFilter(with_mode);
   }
+  if (spec.hugepages != 0 && spec.params.pages == PageHint::kNormal) {
+    // `hugepage:`/`hugetlb:` select the tables' page backing; like the
+    // other mode prefixes it rides through every wrapper to the leaves.
+    FilterSpec with_pages = spec;
+    with_pages.params.pages = spec.hugepages == 2 ? PageHint::kExplicit
+                                                  : PageHint::kTransparent;
+    return MakeFilter(with_pages);
+  }
   if (spec.aligned && spec.params.layout != TableLayout::kCacheAligned) {
     // `aligned:` selects the cache-aligned bucket layout; it rides through
     // the sharded/resilient wrappers to the table-backed leaf filters.
@@ -155,6 +163,7 @@ std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec) {
                                                     : SegmentKind::kBinaryFuse;
     options.segment.fingerprint_bits = SegmentFpBitsFor(leaf);
     options.segment.seed = Mix64(spec.params.seed ^ 0x71E7ED5E6ULL);
+    options.segment.pages = spec.params.pages;
     return std::make_unique<TieredFilter>(
         [leaf]() { return MakeFilter(leaf); }, options);
   }
@@ -214,6 +223,7 @@ std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec) {
       p.max_kicks = spec.params.max_kicks;
       p.seed = spec.params.seed;
       p.eviction = spec.params.eviction;
+      p.pages = spec.params.pages;
       return std::make_unique<VacuumFilter>(p);
     }
     case FilterSpec::Kind::kSsCF: {
@@ -244,12 +254,15 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
   constexpr std::string_view kAlignedPrefix = "aligned:";
   constexpr std::string_view kBfsPrefix = "bfs:";
   constexpr std::string_view kTieredPrefix = "tiered:";
+  constexpr std::string_view kHugepagePrefix = "hugepage:";
+  constexpr std::string_view kHugetlbPrefix = "hugetlb:";
   spec.shards = 0;
   spec.resilient = false;
   spec.aligned = false;
   spec.bfs = false;
   spec.tiered = false;
   spec.tiered_segment = 0;
+  spec.hugepages = 0;
   if (kind.rfind(kShardedPrefix, 0) == 0) {
     kind.erase(0, kShardedPrefix.size());
     const std::size_t colon = kind.find(':');
@@ -285,6 +298,16 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
     if (kind.rfind(kBfsPrefix, 0) == 0) {
       spec.bfs = true;
       kind.erase(0, kBfsPrefix.size());
+      progress = true;
+    }
+    if (kind.rfind(kHugepagePrefix, 0) == 0) {
+      spec.hugepages = 1;
+      kind.erase(0, kHugepagePrefix.size());
+      progress = true;
+    }
+    if (kind.rfind(kHugetlbPrefix, 0) == 0) {
+      spec.hugepages = 2;
+      kind.erase(0, kHugetlbPrefix.size());
       progress = true;
     }
     if (kind.rfind(kTieredPrefix, 0) == 0) {
@@ -328,8 +351,8 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
     throw std::invalid_argument(
         "unknown --filter=" + kind +
         " (cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf, optionally "
-        "prefixed sharded:<n>:, resilient:, aligned:, bfs: and/or "
-        "tiered:[xor:|bfuse:])");
+        "prefixed sharded:<n>:, resilient:, aligned:, bfs:, hugepage:, "
+        "hugetlb: and/or tiered:[xor:|bfuse:])");
   }
 }
 
@@ -348,6 +371,13 @@ FilterSpec SpecFromFlags(const Flags& flags) {
   spec.bits_per_item = flags.GetDouble("bits_per_item", 12.0);
   if (spec.aligned) spec.params.layout = TableLayout::kCacheAligned;
   if (spec.bfs) spec.params.eviction = EvictionMode::kBfs;
+  if (flags.GetBool("hugepages") && spec.hugepages == 0) {
+    spec.hugepages = 1;  // --hugepages: THP for every table
+  }
+  if (spec.hugepages != 0) {
+    spec.params.pages = spec.hugepages == 2 ? PageHint::kExplicit
+                                            : PageHint::kTransparent;
+  }
   return spec;
 }
 
@@ -357,10 +387,12 @@ const char kFilterFlagsHelp[] =
     "       stash/recovery wrapper, aligned: for the cache-aligned bucket\n"
     "       layout, bfs: for breadth-first-search eviction, tiered: for the\n"
     "       mutable-front + immutable-segment tier (tiered:xor: selects xor\n"
-    "       segments, tiered:bfuse: binary fuse, the default);\n"
-    "       sharded:<n>:resilient:tiered:<kind> composes)\n"
+    "       segments, tiered:bfuse: binary fuse, the default), hugepage: for\n"
+    "       THP-backed tables, hugetlb: for explicit MAP_HUGETLB with\n"
+    "       silent fallback; sharded:<n>:resilient:tiered:<kind> composes)\n"
     "  --variant=N --slots_log2=N --f=N --hash=fnv|murmur|djb|splitmix\n"
-    "  --seed=N --max_kicks=N --bits_per_item=X\n";
+    "  --seed=N --max_kicks=N --bits_per_item=X\n"
+    "  --hugepages     THP-backed tables (same as the hugepage: prefix)\n";
 
 double SpecTheoreticalR(const FilterSpec& spec) {
   const unsigned w = spec.params.index_bits();

@@ -80,6 +80,13 @@ struct FilterSpec {
   /// Segment builder for `tiered`: 0 = binary fuse, 1 = xor.
   unsigned tiered_segment = 0;
 
+  /// Page backing for the leaf tables and segments: 0 = normal 4 KiB
+  /// pages, 1 = transparent hugepages (madvise(MADV_HUGEPAGE); the
+  /// `hugepage:` prefix), 2 = explicit MAP_HUGETLB with silent fallback to
+  /// THP/heap (`hugetlb:`). Placement is runtime-only: checkpoints are
+  /// bit-identical whichever backing is in use.
+  unsigned hugepages = 0;
+
   std::string DisplayName() const;
 };
 
@@ -89,9 +96,10 @@ class Flags;
 
 /// Parses a `--filter` kind string — `cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|
 /// dlcbf|vf|sscf`, optionally prefixed `sharded:<n>:` and then any mix of
-/// `resilient:`, `aligned:`, `bfs:` and `tiered:[xor:|bfuse:]` (composing:
-/// "sharded:4:resilient:tiered:vcf") — into
-/// `spec.kind/shards/resilient/aligned/bfs/tiered/tiered_segment`, leaving
+/// `resilient:`, `aligned:`, `bfs:`, `hugepage:`/`hugetlb:` and
+/// `tiered:[xor:|bfuse:]` (composing:
+/// "sharded:4:resilient:tiered:vcf") — into `spec.kind/shards/resilient/
+/// aligned/bfs/hugepages/tiered/tiered_segment`, leaving
 /// every other field untouched. Throws
 /// std::invalid_argument with an operator-facing message on bad input.
 /// Shared by vcf_tool, vcfd and vcf_loadgen so every binary serves the same

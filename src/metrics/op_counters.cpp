@@ -17,6 +17,8 @@ OpCounters& OpCounters::operator+=(const OpCounters& o) noexcept {
   stash_drains += o.stash_drains;
   degraded_inserts += o.degraded_inserts;
   checkpoint_retries += o.checkpoint_retries;
+  seqlock_retries += o.seqlock_retries;
+  seqlock_fallbacks += o.seqlock_fallbacks;
   return *this;
 }
 
@@ -34,6 +36,10 @@ std::string OpCounters::ToString() const {
        << " stash_drains=" << stash_drains
        << " degraded_inserts=" << degraded_inserts
        << " checkpoint_retries=" << checkpoint_retries;
+  }
+  if (seqlock_retries || seqlock_fallbacks) {
+    os << " seqlock_retries=" << seqlock_retries
+       << " seqlock_fallbacks=" << seqlock_fallbacks;
   }
   return os.str();
 }

@@ -71,6 +71,12 @@ struct OpCounters {
   RelaxedCounter degraded_inserts; ///< inserts taken in fail-fast degraded mode
   RelaxedCounter checkpoint_retries; ///< SaveState/LoadState attempts retried
 
+  // Optimistic (seqlock) read-path observability (DESIGN.md concurrency
+  // model): a retry is one re-probe after sequence validation failed; a
+  // fallback is a read that exhausted its retry budget and took the lock.
+  RelaxedCounter seqlock_retries;
+  RelaxedCounter seqlock_fallbacks;
+
   void Reset() noexcept { *this = OpCounters{}; }
 
   /// E0 of Fig. 8: mean evictions per attempted insertion.

@@ -139,7 +139,10 @@ void EncodeStatsResponse(std::vector<std::uint8_t>& out,
                          std::uint32_t request_id, const std::string& name,
                          std::uint64_t items, std::uint64_t slots,
                          std::uint64_t memory_bytes, double load_factor,
-                         bool supports_deletion) {
+                         bool supports_deletion,
+                         std::uint64_t seqlock_retries,
+                         std::uint64_t seqlock_fallbacks,
+                         std::uint64_t hugepage_bytes) {
   WithFrame(out, [&] {
     PutHeader(out, static_cast<std::uint8_t>(Status::kOk), request_id);
     const std::uint16_t name_len =
@@ -151,6 +154,9 @@ void EncodeStatsResponse(std::vector<std::uint8_t>& out,
     PutU64(out, memory_bytes);
     PutU64(out, std::bit_cast<std::uint64_t>(load_factor));
     out.push_back(supports_deletion ? 1 : 0);
+    PutU64(out, seqlock_retries);
+    PutU64(out, seqlock_fallbacks);
+    PutU64(out, hugepage_bytes);
   });
 }
 
@@ -430,7 +436,15 @@ DecodeResult DecodeResponse(std::span<const std::uint8_t> payload,
       if (!r.ReadU16(name_len) || !r.ReadBytes(name_len, name_bytes) ||
           !r.ReadU64(out.items) || !r.ReadU64(out.slots) ||
           !r.ReadU64(out.memory_bytes) || !r.ReadU64(lf_bits) ||
-          !r.ReadU8(deletion) || !r.AtEnd() || deletion > 1) {
+          !r.ReadU8(deletion) || deletion > 1) {
+        return DecodeResult::kMalformed;
+      }
+      // Optional trailer (servers that predate it end here; the fields
+      // keep their zero defaults).
+      if (!r.AtEnd() &&
+          (!r.ReadU64(out.seqlock_retries) ||
+           !r.ReadU64(out.seqlock_fallbacks) ||
+           !r.ReadU64(out.hugepage_bytes) || !r.AtEnd())) {
         return DecodeResult::kMalformed;
       }
       out.name.assign(name_bytes.begin(), name_bytes.end());

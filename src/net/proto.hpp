@@ -171,6 +171,11 @@ struct Response {
   std::uint64_t memory_bytes = 0;
   double load_factor = 0.0;
   bool supports_deletion = false;
+  /// Optional STATS trailer (zero when talking to a server that predates
+  /// it): optimistic-read contention and hugepage-backed table bytes.
+  std::uint64_t seqlock_retries = 0;
+  std::uint64_t seqlock_fallbacks = 0;
+  std::uint64_t hugepage_bytes = 0;
   // REPLICATE_HELLO body: `flag` carries the snapshot indicator, `seq` the
   // start sequence, `epoch` the primary's run ID (see the header comment).
   std::uint64_t seq = 0;
@@ -223,11 +228,17 @@ void EncodeWorkerInfoResponse(std::vector<std::uint8_t>& out,
                               std::uint32_t worker_count,
                               std::uint32_t shard_count,
                               std::uint64_t route_salt, bool pinned);
+/// The three trailing u64s (seqlock retries/fallbacks, hugepage-backed
+/// bytes) extend the original body; decoders accept both lengths, so old
+/// clients read new servers and vice versa.
 void EncodeStatsResponse(std::vector<std::uint8_t>& out,
                          std::uint32_t request_id, const std::string& name,
                          std::uint64_t items, std::uint64_t slots,
                          std::uint64_t memory_bytes, double load_factor,
-                         bool supports_deletion);
+                         bool supports_deletion,
+                         std::uint64_t seqlock_retries = 0,
+                         std::uint64_t seqlock_fallbacks = 0,
+                         std::uint64_t hugepage_bytes = 0);
 
 // Replication handshake (request/response) and stream frames (one-way,
 // request_id = 0).

@@ -157,7 +157,7 @@ ImmutableSegment::ImmutableSegment(const SegmentParams& params,
       segment_length_(params.kind == SegmentKind::kBinaryFuse ? geom0 : 0),
       segment_count_(params.kind == SegmentKind::kBinaryFuse ? geom1 : 0),
       table_(static_cast<std::size_t>(array_length), 1, params.fingerprint_bits,
-             TableLayout::kPacked) {}
+             TableLayout::kPacked, params.pages) {}
 
 std::optional<ImmutableSegment> ImmutableSegment::Build(
     std::vector<std::uint64_t> entities, const SegmentParams& params) {

@@ -53,6 +53,10 @@ struct SegmentParams {
   /// Peeling retries before Build gives up (each is ~O(n); failure at the
   /// sized over-provisioning is already <1% per attempt).
   unsigned max_build_attempts = 64;
+
+  /// Backing-page placement for the probe array (common/hugepage.hpp).
+  /// Not part of the serialized identity; blobs are page-independent.
+  PageHint pages = PageHint::kNormal;
 };
 
 class ImmutableSegment {

@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "common/failpoint.hpp"
+#include "common/hugepage.hpp"
 #include "core/state_io.hpp"
 #include "hash/hash64.hpp"
 #include "net/proto.hpp"
@@ -37,6 +38,9 @@ constexpr std::size_t kWriteHighWater = 8u << 20;
 /// responses live outside conn.out until the run flushes, so the run itself
 /// must stay bounded regardless of how hard the peer pipelines.
 constexpr std::size_t kCoalesceMaxKeys = 65536;
+
+/// Matches the wrappers' optimistic budget (core/sharded_filter.cpp).
+constexpr int kOptimisticRetries = 8;
 
 bool MakePipe(int fds[2]) {
   if (::pipe(fds) != 0) return false;
@@ -117,6 +121,10 @@ VcfServer::VcfServer(std::unique_ptr<Filter> filter, Options options)
       env != nullptr && env[0] != '\0') {
     coalesce_ = env[0] != '0';
   }
+  // Internally-locked filters run their own seqlock protocol; for
+  // server-locked ones the server takes over iff probing in place is safe.
+  filter_optimistic_ =
+      !options_.filter_internally_locked && filter_->OptimisticReadSafe();
   if (options_.oplog_capacity > 0) {
     oplog_ = std::make_unique<OplogBuffer>(options_.oplog_capacity);
     // One run ID per primary incarnation: a replica's resume position is
@@ -353,6 +361,7 @@ bool VcfServer::TryRestore(std::string* error) {
   std::ifstream in(options_.state_path, std::ios::binary);
   if (!in) return true;  // missing checkpoint: clean cold start
   std::unique_lock lock(filter_mutex_);
+  SeqLockWriteGuard seq_guard(filter_seq_);
   if (!filter_->LoadState(in)) {
     if (error != nullptr) {
       *error = "corrupt checkpoint or mismatched --filter flags: " +
@@ -361,6 +370,42 @@ bool VcfServer::TryRestore(std::string* error) {
     return false;
   }
   return true;
+}
+
+// --- Server-level optimistic lookups ----------------------------------------
+
+bool VcfServer::TryLookupOptimistic(std::uint64_t key, bool* result) {
+  if (!filter_optimistic_) return false;
+  for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
+    const std::uint64_t token = filter_seq_.ReadBegin();
+    if ((token & 1) == 0) {
+      const bool r = filter_->Contains(key);
+      if (filter_seq_.ReadValidate(token)) {
+        *result = r;
+        return true;
+      }
+    }
+    counters_.seqlock_retries.fetch_add(1, std::memory_order_relaxed);
+    CpuRelax();
+  }
+  counters_.seqlock_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+bool VcfServer::TryLookupBatchOptimistic(std::span<const std::uint64_t> keys,
+                                         bool* results) {
+  if (!filter_optimistic_) return false;
+  for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
+    const std::uint64_t token = filter_seq_.ReadBegin();
+    if ((token & 1) == 0) {
+      filter_->ContainsBatch(keys, results);
+      if (filter_seq_.ReadValidate(token)) return true;
+    }
+    counters_.seqlock_retries.fetch_add(1, std::memory_order_relaxed);
+    CpuRelax();
+  }
+  counters_.seqlock_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 // --- Pinned executor --------------------------------------------------------
@@ -442,13 +487,14 @@ void VcfServer::RunKeysForOwner(bool insert,
       } else {
         sharded_->ContainsBatch(run_keys, run_res.get());
       }
-    } else {
+    } else if (insert) {
+      // Owner-thread mutation: no shard lock, but the shard seqlock must
+      // cover it so foreign workers' optimistic probes validate correctly.
       Filter& sh = sharded_->shard(s);
-      if (insert) {
-        sh.InsertBatch(run_keys, run_res.get());
-      } else {
-        sh.ContainsBatch(run_keys, run_res.get());
-      }
+      SeqLockWriteGuard seq_guard(sharded_->shard_seq(s));
+      sh.InsertBatch(run_keys, run_res.get());
+    } else {
+      sharded_->shard(s).ContainsBatch(run_keys, run_res.get());
     }
     for (std::size_t k = i; k < e; ++k) {
       results[order[k].second] = run_res[k - i];
@@ -462,8 +508,19 @@ bool VcfServer::PinnedKeyOp(Worker& w, std::uint8_t kind, std::uint64_t key) {
   const unsigned o = OwnerOf(s);
   if (o == w.index) {
     Filter& sh = sharded_->shard(s);
-    return kind == 0 ? sh.Contains(key)
-                     : kind == 1 ? sh.Insert(key) : sh.Erase(key);
+    if (kind == 0) return sh.Contains(key);
+    // Owner-thread mutation: bump the shard seqlock so foreign workers'
+    // in-place lookups (below) validate against it.
+    SeqLockWriteGuard seq_guard(sharded_->shard_seq(s));
+    return kind == 1 ? sh.Insert(key) : sh.Erase(key);
+  }
+  if (kind == 0) {
+    // Foreign lookup: probe the owner's shard in place through its seqlock —
+    // no queue hop, no wait on the owner's event loop. Forward only when the
+    // optimistic window keeps closing under a write-heavy owner.
+    bool r = false;
+    if (sharded_->TryContainsOptimistic(s, key, &r)) return r;
+    counters_.seqlock_fallbacks.fetch_add(1, std::memory_order_relaxed);
   }
   std::atomic<std::uint32_t> done{0};
   bool result = false;
@@ -473,10 +530,12 @@ bool VcfServer::PinnedKeyOp(Worker& w, std::uint8_t kind, std::uint64_t key) {
       result = kind == 0 ? sharded_->Contains(key)
                          : kind == 1 ? sharded_->Insert(key)
                                      : sharded_->Erase(key);
+    } else if (kind == 0) {
+      result = sharded_->shard(s).Contains(key);
     } else {
       Filter& sh = sharded_->shard(s);
-      result = kind == 0 ? sh.Contains(key)
-                         : kind == 1 ? sh.Insert(key) : sh.Erase(key);
+      SeqLockWriteGuard seq_guard(sharded_->shard_seq(s));
+      result = kind == 1 ? sh.Insert(key) : sh.Erase(key);
     }
   };
   t.done = &done;
@@ -491,9 +550,9 @@ bool VcfServer::PinnedKeyOp(Worker& w, std::uint8_t kind, std::uint64_t key) {
   return result;
 }
 
-void VcfServer::PinnedBatch(Worker& w, bool insert,
-                            std::span<const std::uint64_t> keys,
-                            bool* results) {
+void VcfServer::PinnedInsertBatch(Worker& w,
+                                  std::span<const std::uint64_t> keys,
+                                  bool* results) {
   const unsigned T = options_.threads;
   auto& owner_idx = w.owner_idx;
   owner_idx.resize(T);
@@ -509,19 +568,98 @@ void VcfServer::PinnedBatch(Worker& w, bool insert,
     // alive until WaitTaskCount returns below.
     const std::span<const std::uint32_t> idx(owner_idx[o]);
     ShardTask t;
-    t.fn = [this, insert, keys, idx, results](bool locked) {
-      RunKeysForOwner(insert, keys, idx, results, locked);
+    t.fn = [this, keys, idx, results](bool locked) {
+      RunKeysForOwner(/*insert=*/true, keys, idx, results, locked);
     };
     t.done = &done;
     if (EnqueueTask(*workers_[o], std::move(t))) {
       ++want;
     } else {
-      RunKeysForOwner(insert, keys, idx, results, /*locked=*/true);
+      RunKeysForOwner(/*insert=*/true, keys, idx, results, /*locked=*/true);
     }
   }
   if (!owner_idx[w.index].empty()) {
-    RunKeysForOwner(insert, keys, owner_idx[w.index], results,
+    RunKeysForOwner(/*insert=*/true, keys, owner_idx[w.index], results,
                     /*locked=*/false);
+  }
+  WaitTaskCount(&w, done, want);
+}
+
+void VcfServer::PinnedLookupBatch(Worker& w,
+                                  std::span<const std::uint64_t> keys,
+                                  bool* results) {
+  // Group the batch by shard (stable — the batch-equivalence contract),
+  // then serve every group locally: own shards probe unlocked, foreign
+  // shards probe in place through their seqlocks. Only groups whose
+  // optimistic window kept closing are forwarded to their owners.
+  const unsigned T = options_.threads;
+  thread_local std::vector<std::pair<std::uint32_t, std::uint32_t>> order;
+  thread_local std::vector<std::uint64_t> run_keys;
+  thread_local std::unique_ptr<bool[]> run_res;
+  thread_local std::size_t run_cap = 0;
+  order.clear();
+  order.reserve(keys.size());
+  for (std::uint32_t j = 0; j < keys.size(); ++j) {
+    order.emplace_back(static_cast<std::uint32_t>(sharded_->ShardFor(keys[j])),
+                       j);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  auto& owner_idx = w.owner_idx;  // fallback forwarding lists
+  owner_idx.resize(T);
+  for (auto& v : owner_idx) v.clear();
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const std::uint32_t s = order[i].first;
+    std::size_t e = i;
+    while (e < order.size() && order[e].first == s) ++e;
+    run_keys.clear();
+    for (std::size_t k = i; k < e; ++k) {
+      run_keys.push_back(keys[order[k].second]);
+    }
+    if (run_cap < run_keys.size()) {
+      run_cap = std::max<std::size_t>(run_keys.size(), 64);
+      run_res = std::make_unique<bool[]>(run_cap);
+    }
+    bool served;
+    if (OwnerOf(s) == w.index) {
+      sharded_->shard(s).ContainsBatch(run_keys, run_res.get());
+      served = true;
+    } else {
+      served = sharded_->TryContainsBatchOptimistic(s, run_keys,
+                                                    run_res.get());
+      if (!served) {
+        counters_.seqlock_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (served) {
+      for (std::size_t k = i; k < e; ++k) {
+        results[order[k].second] = run_res[k - i];
+      }
+    } else {
+      for (std::size_t k = i; k < e; ++k) {
+        owner_idx[OwnerOf(s)].push_back(order[k].second);
+      }
+    }
+    i = e;
+  }
+  std::atomic<std::uint32_t> done{0};
+  std::uint32_t want = 0;
+  for (unsigned o = 0; o < T; ++o) {
+    if (owner_idx[o].empty()) continue;
+    const std::span<const std::uint32_t> idx(owner_idx[o]);
+    ShardTask t;
+    t.fn = [this, keys, idx, results](bool locked) {
+      RunKeysForOwner(/*insert=*/false, keys, idx, results, locked);
+    };
+    t.done = &done;
+    if (EnqueueTask(*workers_[o], std::move(t))) {
+      ++want;
+    } else {
+      RunKeysForOwner(/*insert=*/false, keys, idx, results, /*locked=*/true);
+    }
   }
   WaitTaskCount(&w, done, want);
 }
@@ -837,7 +975,11 @@ void VcfServer::FlushRun(Worker& w, Connection& conn) {
   if (n > 0) {
     const std::span<const std::uint64_t> keys(run.keys);
     if (pinned_) {
-      PinnedBatch(w, insert, keys, results);
+      if (insert) {
+        PinnedInsertBatch(w, keys, results);
+      } else {
+        PinnedLookupBatch(w, keys, results);
+      }
     } else if (options_.filter_internally_locked) {
       if (insert) {
         filter_->InsertBatch(keys, results);
@@ -846,8 +988,9 @@ void VcfServer::FlushRun(Worker& w, Connection& conn) {
       }
     } else if (insert) {
       std::unique_lock lock(filter_mutex_);
+      SeqLockWriteGuard seq_guard(filter_seq_);
       filter_->InsertBatch(keys, results);
-    } else {
+    } else if (!TryLookupBatchOptimistic(keys, results)) {
       std::shared_lock lock(filter_mutex_);
       filter_->ContainsBatch(keys, results);
     }
@@ -945,6 +1088,7 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
             ok = erase ? filter_->Erase(req.key) : filter_->Insert(req.key);
           } else {
             std::unique_lock lock(filter_mutex_);
+            SeqLockWriteGuard seq_guard(filter_seq_);
             ok = erase ? filter_->Erase(req.key) : filter_->Insert(req.key);
           }
           if (ok) {
@@ -957,6 +1101,7 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
                 else filter_->Erase(req.key);
               } else {
                 std::unique_lock lock(filter_mutex_);
+                SeqLockWriteGuard seq_guard(filter_seq_);
                 if (erase) filter_->Insert(req.key);
                 else filter_->Erase(req.key);
               }
@@ -980,6 +1125,7 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
         ok = erase ? filter_->Erase(req.key) : filter_->Insert(req.key);
       } else {
         std::unique_lock lock(filter_mutex_);
+        SeqLockWriteGuard seq_guard(filter_seq_);
         ok = erase ? filter_->Erase(req.key) : filter_->Insert(req.key);
       }
       net::EncodeFlagResponse(out, req.request_id, ok);
@@ -991,7 +1137,7 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
         ok = PinnedKeyOp(w, 0, req.key);
       } else if (internal) {
         ok = filter_->Contains(req.key);
-      } else {
+      } else if (!TryLookupOptimistic(req.key, &ok)) {
         std::shared_lock lock(filter_mutex_);
         ok = filter_->Contains(req.key);
       }
@@ -1010,6 +1156,7 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
             accepted = filter_->InsertBatch(req.keys, results.get());
           } else {
             std::unique_lock lock(filter_mutex_);
+            SeqLockWriteGuard seq_guard(filter_seq_);
             accepted = filter_->InsertBatch(req.keys, results.get());
           }
           if (accepted > 0 &&
@@ -1022,6 +1169,7 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
               }
             } else {
               std::unique_lock lock(filter_mutex_);
+              SeqLockWriteGuard seq_guard(filter_seq_);
               for (std::size_t i = 0; i < n; ++i) {
                 if (results[i]) filter_->Erase(req.keys[i]);
               }
@@ -1045,13 +1193,14 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
         }
         if (accepted > 0) NotifyReplicas();
       } else if (pinned_) {
-        PinnedBatch(w, /*insert=*/true, req.keys, results.get());
+        PinnedInsertBatch(w, req.keys, results.get());
         accepted = 0;
         for (std::size_t i = 0; i < n; ++i) accepted += results[i] ? 1 : 0;
       } else if (internal) {
         accepted = filter_->InsertBatch(req.keys, results.get());
       } else {
         std::unique_lock lock(filter_mutex_);
+        SeqLockWriteGuard seq_guard(filter_seq_);
         accepted = filter_->InsertBatch(req.keys, results.get());
       }
       net::EncodeBatchResponse(out, Opcode::kInsertBatch, req.request_id,
@@ -1063,10 +1212,10 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
       const std::size_t n = req.keys.size();
       const auto results = std::make_unique<bool[]>(n == 0 ? 1 : n);
       if (pinned_) {
-        PinnedBatch(w, /*insert=*/false, req.keys, results.get());
+        PinnedLookupBatch(w, req.keys, results.get());
       } else if (internal) {
         filter_->ContainsBatch(req.keys, results.get());
-      } else {
+      } else if (!TryLookupBatchOptimistic(req.keys, results.get())) {
         std::shared_lock lock(filter_mutex_);
         filter_->ContainsBatch(req.keys, results.get());
       }
@@ -1104,8 +1253,18 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
         lf = filter_->LoadFactor();
         deletion = filter_->SupportsDeletion();
       }
-      net::EncodeStatsResponse(out, req.request_id, name, items, slots,
-                               memory, lf, deletion);
+      // Trailer: optimistic-read contention from wherever the protocol ran
+      // (filter wrappers or the server-level path) plus hugepage-backed
+      // bytes for every live table. Relaxed counters; no locks needed.
+      const OpCounters& fc = filter_->counters();
+      const HugepageStats hp = GetHugepageStats();
+      net::EncodeStatsResponse(
+          out, req.request_id, name, items, slots, memory, lf, deletion,
+          fc.seqlock_retries.Value() +
+              counters_.seqlock_retries.load(std::memory_order_relaxed),
+          fc.seqlock_fallbacks.Value() +
+              counters_.seqlock_fallbacks.load(std::memory_order_relaxed),
+          hp.thp_bytes + hp.hugetlb_bytes);
       return;
     }
     case Opcode::kSnapshot: {
@@ -1274,6 +1433,7 @@ bool VcfServer::ApplyReplicated(std::uint8_t op, std::uint64_t key,
     ok = op == kOplogErase ? filter_->Erase(key) : filter_->Insert(key);
   } else {
     std::unique_lock lock(filter_mutex_);
+    SeqLockWriteGuard seq_guard(filter_seq_);
     ok = op == kOplogErase ? filter_->Erase(key) : filter_->Insert(key);
   }
   applied_seq_.store(seq, std::memory_order_release);
@@ -1295,6 +1455,7 @@ bool VcfServer::InstallSnapshot(const std::string& envelope, std::uint64_t seq,
     ok = filter_->LoadState(inner);
   } else {
     std::unique_lock lock(filter_mutex_);
+    SeqLockWriteGuard seq_guard(filter_seq_);
     ok = filter_->LoadState(inner);
   }
   if (!ok) {

@@ -27,10 +27,23 @@
 // share, mutations are exclusive — which is correct but caps write
 // throughput at one core; prefer `--filter sharded:<n>:...` in deployment.
 //
+// Optimistic lookups: internally-locked filters bring their own seqlock
+// read path (ShardedFilter/ConcurrentFilter), so LOOKUP/LOOKUP_BATCH call
+// straight in and never block behind a writer. For server-locked filters
+// that are OptimisticReadSafe(), the server runs the same protocol itself:
+// a server-level SeqLock bumped around every filter mutation, lookups
+// probing without the lock and validating the sequence, bounded retries,
+// then the shared_mutex as the fallback. Counters::seqlock_retries /
+// seqlock_fallbacks record the contention that path absorbs.
+//
 // Core-affine shard ownership (Options::pin_shards, requires a sharded
 // filter and no replication): worker w exclusively owns shards
-// {s : s % threads == w}, and accesses them WITHOUT their shard locks. A
-// key run routed to a foreign worker's shard is forwarded to that owner
+// {s : s % threads == w}, and accesses them WITHOUT their shard locks —
+// but bumps the shard's SeqLock around every mutation. A key run routed to
+// a foreign worker's shard is therefore served LOCALLY for lookups: the
+// worker probes the foreign shard through its seqlock (no queue hop) and
+// only falls back to owner forwarding when the optimistic window keeps
+// closing. Mutations (and lookup fallbacks) are forwarded to the owner
 // through a locked task inbox and executed there; a worker waiting on a
 // forwarded run cooperatively drains its own inbox, so two workers
 // forwarding to each other always make progress. Clients that route keys
@@ -60,6 +73,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/seqlock.hpp"
 #include "core/filter.hpp"
 #include "core/sharded_filter.hpp"
 #include "server/poller.hpp"
@@ -117,6 +131,11 @@ class VcfServer {
     std::atomic<std::uint64_t> coalesced_frames{0};  ///< frames served via runs
     std::atomic<std::uint64_t> coalesced_runs{0};    ///< multi-frame runs
     std::atomic<std::uint64_t> forwarded_tasks{0};   ///< pinned cross-worker
+    /// Server-level optimistic-lookup protocol (see class comment): probe
+    /// attempts invalidated by a concurrent writer, and lookups that
+    /// exhausted their retry budget (locked / forwarded fallback).
+    std::atomic<std::uint64_t> seqlock_retries{0};
+    std::atomic<std::uint64_t> seqlock_fallbacks{0};
   };
 
   VcfServer(std::unique_ptr<Filter> filter, Options options);
@@ -251,14 +270,26 @@ class VcfServer {
                        std::span<const std::uint32_t> idx, bool* results,
                        bool locked);
   bool PinnedKeyOp(Worker& w, std::uint8_t kind, std::uint64_t key);
-  void PinnedBatch(Worker& w, bool insert,
-                   std::span<const std::uint64_t> keys, bool* results);
+  void PinnedInsertBatch(Worker& w, std::span<const std::uint64_t> keys,
+                         bool* results);
+  /// Serves a lookup batch locally: own shards probe unlocked, foreign
+  /// shards probe through their seqlocks; only shards whose optimistic
+  /// window kept closing are forwarded to their owners.
+  void PinnedLookupBatch(Worker& w, std::span<const std::uint64_t> keys,
+                         bool* results);
   void PinnedStats(Worker& w, std::uint64_t& items, std::uint64_t& slots,
                    std::uint64_t& memory);
   bool CheckpointImpl(Worker* self);
   /// Stages every shard blob via owner tasks (locked fallback for exited
   /// owners) and writes the envelope. Pinned mode only.
   bool PinnedSaveState(Worker* self, std::ostream& out);
+
+  // --- Server-level optimistic lookups (non-internally-locked filters) ----
+  /// False when the path is ineligible (filter not OptimisticReadSafe) or
+  /// the retry budget ran out; caller takes the shared lock.
+  bool TryLookupOptimistic(std::uint64_t key, bool* result);
+  bool TryLookupBatchOptimistic(std::span<const std::uint64_t> keys,
+                                bool* results);
 
   bool PumpReplica(Connection& conn);
   /// Wakes every worker that owns replica connections after a journal
@@ -288,6 +319,12 @@ class VcfServer {
   /// cross-key invariants. The final Join() checkpoint runs after every
   /// worker has exited and is therefore fully consistent.
   mutable std::shared_mutex filter_mutex_;
+  /// Seqlock for the server-level optimistic read path: bumped (under
+  /// filter_mutex_'s exclusive lock) around every mutation of a
+  /// non-internally-locked filter. Unused when the filter locks internally.
+  mutable SeqLock filter_seq_;
+  /// Cached `!filter_internally_locked && filter_->OptimisticReadSafe()`.
+  bool filter_optimistic_ = false;
   std::mutex checkpoint_mutex_;
 
   /// Serialises mutations into op-log order whenever replication is active

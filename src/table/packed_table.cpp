@@ -37,7 +37,8 @@ void PackedTable::ForceScalarProbes(bool force) noexcept {
 }
 
 PackedTable::PackedTable(std::size_t bucket_count, unsigned slots_per_bucket,
-                         unsigned slot_bits, TableLayout layout)
+                         unsigned slot_bits, TableLayout layout,
+                         PageHint pages)
     : bucket_count_(bucket_count),
       slots_per_bucket_(slots_per_bucket),
       slot_bits_(slot_bits),
@@ -59,7 +60,14 @@ PackedTable::PackedTable(std::size_t bucket_count, unsigned slots_per_bucket,
   // SWAR pays off once there are at least two slots to compare at a time;
   // a one-slot bucket's scalar probe is already a single ReadBits.
   swar_ = bucket_bits_ <= 64 && slots_per_bucket_ >= 2 && !g_force_scalar_probes;
-  wide_ = WideCapable(slots_per_bucket_, bucket_bits_) && !g_force_scalar_probes;
+  // Under TSan the wide kernels are withheld: their SIMD/memcpy image loads
+  // are plain reads that would race the byte-atomic writes of the seqlock
+  // write side and be reported. Auto-dispatch falls through to SWAR/scalar,
+  // whose loads go through the relaxed helpers in common/bitops.hpp. The
+  // non-TSan build keeps the wide path — torn reads there are discarded by
+  // sequence validation.
+  wide_ = WideCapable(slots_per_bucket_, bucket_bits_) &&
+          !g_force_scalar_probes && !VCF_TSAN;
   two_load_ = bucket_bits_ > 57;  // +7 intra-byte shift can exceed one load
   bucket_mask_ = LowMask(bucket_bits_ < 64 ? bucket_bits_ : 64);
   lane_ones_ = swar_ ? SwarOnes(slot_bits_, slots_per_bucket_) : 0;
@@ -78,19 +86,31 @@ PackedTable::PackedTable(std::size_t bucket_count, unsigned slots_per_bucket,
   // on geometry — a forced-scalar table is byte-identical to its wide twin.
   const std::size_t slack =
       WideCapable(slots_per_bucket_, bucket_bits_) ? kWideImageWords * 8 : 8;
-  bits_.assign((total_bits + 7) / 8 + slack, 0);
+  bits_.Reset((total_bits + 7) / 8 + slack, pages);
+}
+
+PackedTable::PackedTable(const PackedTable& other)
+    : PackedTable(other.bucket_count_, other.slots_per_bucket_,
+                  other.slot_bits_, other.layout_, other.bits_.hint()) {
+  std::memcpy(bits_.data(), other.bits_.data(), bits_.size());
+  occupied_ = other.occupied_;
+}
+
+PackedTable& PackedTable::operator=(const PackedTable& other) {
+  if (this != &other) *this = PackedTable(other);
+  return *this;
 }
 
 std::uint64_t PackedTable::ReadBucketWord(std::size_t bucket) const noexcept {
   const std::size_t off = BitOffset(bucket, 0);
   const std::size_t byte = off >> 3;
   const unsigned shift = static_cast<unsigned>(off & 7);
-  std::uint64_t word;
-  std::memcpy(&word, bits_.data() + byte, sizeof(word));
+  std::uint64_t word = LoadWordRelaxed(bits_.data() + byte);
   word >>= shift;
   if (two_load_ && shift != 0) {
     // Bits 58..64 of the bucket live in the 9th byte.
-    word |= static_cast<std::uint64_t>(bits_[byte + 8]) << (64u - shift);
+    word |= static_cast<std::uint64_t>(LoadByteRelaxed(bits_.data() + byte + 8))
+            << (64u - shift);
   }
   return word & bucket_mask_;
 }
@@ -347,8 +367,44 @@ std::uint64_t PackedTable::EraseMasked(std::size_t bucket, std::uint64_t value,
 }
 
 void PackedTable::Clear() noexcept {
-  std::fill(bits_.begin(), bits_.end(), std::uint8_t{0});
+#if VCF_TSAN
+  // Word-wise relaxed stores so a racing (seqlock-discarded) reader probe
+  // is an atomic race, not a report. Buffers are always >= 8 bytes (slack).
+  const std::size_t n = bits_.size();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) StoreWordRelaxed(bits_.data() + i, 0);
+  if (i < n) StoreWordRelaxed(bits_.data() + n - 8, 0);
+#else
+  bits_.Fill(0);
+#endif
   occupied_ = 0;
+}
+
+void PackedTable::AdoptContents(const PackedTable& other) noexcept {
+  if (stride_bits_ == other.stride_bits_ && bits_.size() == other.bits_.size()) {
+    const std::size_t n = bits_.size();
+#if VCF_TSAN
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      StoreWordRelaxed(bits_.data() + i, LoadWordRelaxed(other.bits_.data() + i));
+    }
+    if (i < n) {
+      StoreWordRelaxed(bits_.data() + n - 8,
+                       LoadWordRelaxed(other.bits_.data() + n - 8));
+    }
+#else
+    std::memcpy(bits_.data(), other.bits_.data(), n);
+#endif
+    occupied_ = other.occupied_;
+    return;
+  }
+  // Cross-layout restore: re-spread slot by slot. Set() keeps occupied_
+  // consistent as it goes.
+  for (std::size_t b = 0; b < bucket_count_; ++b) {
+    for (unsigned s = 0; s < slots_per_bucket_; ++s) {
+      Set(b, s, other.Get(b, s));
+    }
+  }
 }
 
 bool PackedTable::operator==(const PackedTable& other) const noexcept {

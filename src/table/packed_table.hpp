@@ -36,9 +36,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
-#include <vector>
 
 #include "common/bitops.hpp"
+#include "common/hugepage.hpp"
 #include "table/probe_engine.hpp"
 
 namespace vcf {
@@ -56,14 +56,25 @@ class PackedTable {
   /// throw std::invalid_argument — construction is cold path. Any positive
   /// bucket count is accepted (the Vacuum filter uses non-power-of-two
   /// tables); filters whose indexing needs a power of two enforce that
-  /// themselves.
+  /// themselves. `pages` picks the backing-page placement (hugepage.hpp);
+  /// it affects neither slot semantics nor serialization.
   PackedTable(std::size_t bucket_count, unsigned slots_per_bucket,
-              unsigned slot_bits, TableLayout layout = TableLayout::kPacked);
+              unsigned slot_bits, TableLayout layout = TableLayout::kPacked,
+              PageHint pages = PageHint::kNormal);
+
+  // Copies clone geometry, page hint, and contents into a fresh buffer
+  // (PagedBytes itself is move-only); moves transfer the buffer.
+  PackedTable(const PackedTable& other);
+  PackedTable& operator=(const PackedTable& other);
+  PackedTable(PackedTable&&) noexcept = default;
+  PackedTable& operator=(PackedTable&&) noexcept = default;
 
   std::size_t bucket_count() const noexcept { return bucket_count_; }
   unsigned slots_per_bucket() const noexcept { return slots_per_bucket_; }
   unsigned slot_bits() const noexcept { return slot_bits_; }
   TableLayout layout() const noexcept { return layout_; }
+  /// Backing-page placement requested at construction (hugepage.hpp).
+  PageHint page_hint() const noexcept { return bits_.hint(); }
   /// Distance in bits between consecutive buckets' first slots. Equals
   /// bucket_bits for kPacked; a power of two >= bucket_bits for
   /// kCacheAligned.
@@ -111,8 +122,7 @@ class PackedTable {
   /// kernel's accessor — three of these per ImmutableSegment::Contains.
   std::uint64_t GetFast(std::size_t bucket, unsigned slot) const noexcept {
     const std::size_t off = BitOffset(bucket, slot);
-    std::uint64_t word;
-    std::memcpy(&word, bits_.data() + (off >> 3), sizeof(word));
+    const std::uint64_t word = LoadWordRelaxed(bits_.data() + (off >> 3));
     return (word >> (off & 7)) & LowMask(slot_bits_);
   }
 
@@ -153,6 +163,13 @@ class PackedTable {
 
   /// Resets every slot to empty.
   void Clear() noexcept;
+
+  /// Copies `other`'s slot contents into this table in place — same
+  /// geometry (bucket_count, slots_per_bucket, slot_bits) required, layout
+  /// and page backing may differ. Unlike move-assignment this never
+  /// replaces the backing buffer, so data() stays stable for concurrent
+  /// optimistic readers (the restore path bumps the seqlock around it).
+  void AdoptContents(const PackedTable& other) noexcept;
 
   /// Content equality: same geometry, same slot values. Layout-agnostic —
   /// a packed and an aligned table holding the same slots compare equal.
@@ -244,7 +261,7 @@ class PackedTable {
   const WideOps* wide_ops_ = nullptr;
   WideGeometry wide_geom_;
 
-  std::vector<std::uint8_t> bits_;
+  PagedBytes bits_;
 };
 
 }  // namespace vcf

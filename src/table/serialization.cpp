@@ -5,6 +5,7 @@
 #include <limits>
 #include <new>
 #include <ostream>
+#include <vector>
 
 #include "common/bitops.hpp"
 #include "common/failpoint.hpp"

@@ -76,6 +76,8 @@ TieredFilter::TieredFilter(FrontFactory front_factory, TieredOptions options)
         "TieredFilter: front filter does not support canonical-entity "
         "enumeration (ForEachFingerprint/KeyEntity)");
   }
+  view_.store(std::make_shared<const FrozenView>(),
+              std::memory_order_release);
 }
 
 std::uint64_t TieredFilter::TierDigest() const noexcept {
@@ -86,13 +88,16 @@ std::uint64_t TieredFilter::TierDigest() const noexcept {
       static_cast<unsigned>(options_.freeze_watermark * 1024.0));
 }
 
-bool TieredFilter::FrozenContains(std::uint64_t entity) const noexcept {
-  if (!tombstones_.empty() && tombstones_.count(entity) != 0) return false;
+bool TieredFilter::FrozenContains(const FrozenView& view,
+                                  std::uint64_t entity) noexcept {
+  if (!view.tombstones.empty() && view.tombstones.count(entity) != 0) {
+    return false;
+  }
   // Post-compact steady state: exactly one segment, probed directly; the
   // general newest-to-oldest walk also answers false for zero segments.
-  if (segments_.size() == 1) return segments_.front().Contains(entity);
-  for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
-    if (it->Contains(entity)) return true;
+  if (view.segments.size() == 1) return view.segments.front()->Contains(entity);
+  for (auto it = view.segments.rbegin(); it != view.segments.rend(); ++it) {
+    if ((*it)->Contains(entity)) return true;
   }
   return false;
 }
@@ -105,11 +110,18 @@ bool TieredFilter::Insert(std::uint64_t key) {
     ok = front_->Insert(key);
   }
   if (ok) {
-    front_empty_ = false;
-    if (!tombstones_.empty()) {
+    front_empty_.store(false, std::memory_order_relaxed);
+    const auto view = View();
+    if (!view->tombstones.empty()) {
       std::uint64_t entity = 0;
       front_->KeyEntity(key, &entity);
-      tombstones_.erase(entity);
+      if (view->tombstones.count(entity) != 0) {
+        // Re-insert resurrects the entity: publish a snapshot without its
+        // tombstone (COW — the set is copied, the segments are shared).
+        FrozenView next{view->segments, view->tombstones};
+        next.tombstones.erase(entity);
+        Publish(std::move(next));
+      }
     }
     if (front_->LoadFactor() >= options_.freeze_watermark) Freeze();
   }
@@ -119,27 +131,31 @@ bool TieredFilter::Insert(std::uint64_t key) {
 bool TieredFilter::Contains(std::uint64_t key) const {
   // The empty-front skip is the cold-set fast path: a fully frozen tier
   // answers with segment probes alone, no front bucket loads.
-  if (!front_empty_ && front_->Contains(key)) return true;
-  if (segments_.empty()) return false;
+  if (!front_empty_.load(std::memory_order_relaxed) && front_->Contains(key)) {
+    return true;
+  }
+  const auto view = View();
+  if (view->segments.empty()) return false;
   std::uint64_t entity = 0;
   front_->KeyEntity(key, &entity);
-  return FrozenContains(entity);
+  return FrozenContains(*view, entity);
 }
 
 void TieredFilter::ContainsBatch(std::span<const std::uint64_t> keys,
                                  bool* results) const {
-  if (!front_empty_) {
+  const auto view = View();
+  if (!front_empty_.load(std::memory_order_relaxed)) {
     front_->ContainsBatch(keys, results);
-    if (segments_.empty()) return;
+    if (view->segments.empty()) return;
     for (std::size_t i = 0; i < keys.size(); ++i) {
       if (results[i]) continue;
       std::uint64_t entity = 0;
       front_->KeyEntity(keys[i], &entity);
-      results[i] = FrozenContains(entity);
+      results[i] = FrozenContains(*view, entity);
     }
     return;
   }
-  if (segments_.empty()) {
+  if (view->segments.empty()) {
     std::fill_n(results, keys.size(), false);
     return;
   }
@@ -148,17 +164,18 @@ void TieredFilter::ContainsBatch(std::span<const std::uint64_t> keys,
   // the post-compact steady state); otherwise fall back per key.
   constexpr std::size_t kWindow = 128;
   std::uint64_t entities[kWindow];
-  const bool pipelined = segments_.size() == 1 && tombstones_.empty();
+  const bool pipelined =
+      view->segments.size() == 1 && view->tombstones.empty();
   for (std::size_t at = 0; at < keys.size(); at += kWindow) {
     const std::size_t w = std::min(kWindow, keys.size() - at);
     for (std::size_t i = 0; i < w; ++i) {
       front_->KeyEntity(keys[at + i], &entities[i]);
     }
     if (pipelined) {
-      segments_.front().ContainsBatch({entities, w}, results + at);
+      view->segments.front()->ContainsBatch({entities, w}, results + at);
     } else {
       for (std::size_t i = 0; i < w; ++i) {
-        results[at + i] = FrozenContains(entities[i]);
+        results[at + i] = FrozenContains(*view, entities[i]);
       }
     }
   }
@@ -166,22 +183,29 @@ void TieredFilter::ContainsBatch(std::span<const std::uint64_t> keys,
 
 bool TieredFilter::Erase(std::uint64_t key) {
   bool erased = front_->Erase(key);
-  if (erased) front_empty_ = front_->ItemCount() == 0;
-  if (!segments_.empty()) {
+  if (erased) {
+    front_empty_.store(front_->ItemCount() == 0, std::memory_order_relaxed);
+  }
+  const auto view = View();
+  if (!view->segments.empty()) {
     std::uint64_t entity = 0;
     front_->KeyEntity(key, &entity);
-    if (tombstones_.count(entity) == 0) {
+    if (view->tombstones.count(entity) == 0) {
       bool frozen = false;
-      for (auto it = segments_.rbegin(); it != segments_.rend(); ++it) {
-        if (it->Contains(entity)) {
+      for (auto it = view->segments.rbegin(); it != view->segments.rend();
+           ++it) {
+        if ((*it)->Contains(entity)) {
           frozen = true;
           break;
         }
       }
       if (frozen) {
         // Segments are immutable; shadow the entity instead. Set-like over
-        // the frozen tier: one tombstone kills every frozen copy.
-        tombstones_.insert(entity);
+        // the frozen tier: one tombstone kills every frozen copy. COW: the
+        // tombstone set is copied into the next snapshot.
+        FrozenView next{view->segments, view->tombstones};
+        next.tombstones.insert(entity);
+        Publish(std::move(next));
         erased = true;
       }
     }
@@ -190,14 +214,16 @@ bool TieredFilter::Erase(std::uint64_t key) {
 }
 
 std::size_t TieredFilter::ItemCount() const noexcept {
+  const auto view = View();
   std::size_t frozen = 0;
-  for (const ImmutableSegment& s : segments_) frozen += s.EntityCount();
-  return front_->ItemCount() + frozen - tombstones_.size();
+  for (const auto& s : view->segments) frozen += s->EntityCount();
+  return front_->ItemCount() + frozen - view->tombstones.size();
 }
 
 std::size_t TieredFilter::SlotCount() const noexcept {
+  const auto view = View();
   std::size_t frozen = 0;
-  for (const ImmutableSegment& s : segments_) frozen += s.EntityCount();
+  for (const auto& s : view->segments) frozen += s->EntityCount();
   return front_->SlotCount() + frozen;
 }
 
@@ -209,22 +235,23 @@ double TieredFilter::LoadFactor() const noexcept {
 }
 
 std::size_t TieredFilter::MemoryBytes() const noexcept {
+  const auto view = View();
   std::size_t bytes = front_->MemoryBytes();
-  for (const ImmutableSegment& s : segments_) bytes += s.ProbeBytes();
+  for (const auto& s : view->segments) bytes += s->ProbeBytes();
   return bytes;
 }
 
 std::size_t TieredFilter::SidecarBytes() const noexcept {
+  const auto view = View();
   std::size_t bytes = 0;
-  for (const ImmutableSegment& s : segments_) bytes += s.SidecarBytes();
+  for (const auto& s : view->segments) bytes += s->SidecarBytes();
   return bytes;
 }
 
 void TieredFilter::Clear() {
   front_->Clear();
-  front_empty_ = true;
-  segments_.clear();
-  tombstones_.clear();
+  front_empty_.store(true, std::memory_order_relaxed);
+  Publish(FrozenView{});
 }
 
 bool TieredFilter::Freeze() {
@@ -235,38 +262,44 @@ bool TieredFilter::Freeze() {
       [&](std::uint64_t e) { entities.push_back(e); });
   auto seg = ImmutableSegment::Build(std::move(entities), options_.segment);
   if (!seg.has_value()) return false;
-  segments_.push_back(std::move(*seg));
+  const auto view = View();
+  FrozenView next{view->segments, view->tombstones};
+  next.segments.push_back(
+      std::make_shared<const ImmutableSegment>(std::move(*seg)));
+  Publish(std::move(next));
   front_->Clear();
-  front_empty_ = true;
+  front_empty_.store(true, std::memory_order_relaxed);
   return true;
 }
 
 bool TieredFilter::Compact() {
-  if (segments_.empty()) {
-    tombstones_.clear();
+  const auto view = View();
+  if (view->segments.empty()) {
+    if (!view->tombstones.empty()) Publish(FrozenView{});
     return true;
   }
   std::vector<std::uint64_t> survivors;
-  for (const ImmutableSegment& s : segments_) {
-    for (std::uint64_t e : s.Entities()) {
-      if (tombstones_.count(e) == 0) survivors.push_back(e);
+  for (const auto& s : view->segments) {
+    for (std::uint64_t e : s->Entities()) {
+      if (view->tombstones.count(e) == 0) survivors.push_back(e);
     }
   }
   if (survivors.empty()) {
-    segments_.clear();
-    tombstones_.clear();
+    Publish(FrozenView{});
     return true;
   }
   auto merged = ImmutableSegment::Build(std::move(survivors), options_.segment);
   if (!merged.has_value()) return false;
-  segments_.clear();
-  segments_.push_back(std::move(*merged));
-  tombstones_.clear();
+  FrozenView next;
+  next.segments.push_back(
+      std::make_shared<const ImmutableSegment>(std::move(*merged)));
+  Publish(std::move(next));
   return true;
 }
 
 bool TieredFilter::SaveState(std::ostream& out) const {
   if (!detail::WriteStateHeader(out, kBlobName, TierDigest())) return false;
+  const auto view = View();
 
   std::ostringstream front_blob;
   if (!front_->SaveState(front_blob)) return false;
@@ -275,10 +308,11 @@ bool TieredFilter::SaveState(std::ostream& out) const {
 
   // Manifest: segment count + tombstones, sorted so identical logical state
   // always serializes to identical bytes.
-  std::vector<std::uint64_t> stones(tombstones_.begin(), tombstones_.end());
+  std::vector<std::uint64_t> stones(view->tombstones.begin(),
+                                    view->tombstones.end());
   std::sort(stones.begin(), stones.end());
   std::vector<std::uint8_t> meta;
-  PutRaw64(meta, segments_.size());
+  PutRaw64(meta, view->segments.size());
   PutRaw64(meta, stones.size());
   std::uint64_t prev = 0;
   for (std::size_t i = 0; i < stones.size(); ++i) {
@@ -292,9 +326,9 @@ bool TieredFilter::SaveState(std::ostream& out) const {
     return false;
   }
 
-  for (const ImmutableSegment& s : segments_) {
+  for (const auto& s : view->segments) {
     std::ostringstream seg_blob;
-    if (!s.SaveState(seg_blob)) return false;
+    if (!s->SaveState(seg_blob)) return false;
     if (!detail::WriteFramedBlob(out, seg_blob.str())) return false;
   }
   return true;
@@ -305,6 +339,8 @@ bool TieredFilter::LoadState(std::istream& in) {
 
   std::string front_bytes;
   if (!detail::ReadFramedBlob(in, &front_bytes, kMaxFrameBytes)) return false;
+  // Validate the front blob against a factory-fresh filter first; the live
+  // front is only touched after every frame has parsed.
   std::unique_ptr<Filter> staged_front = front_factory_();
   {
     std::istringstream front_in(front_bytes);
@@ -339,22 +375,32 @@ bool TieredFilter::LoadState(std::istream& in) {
   }
   if (pos != size - 8) return false;
 
-  std::vector<ImmutableSegment> staged_segments;
-  staged_segments.reserve(static_cast<std::size_t>(seg_count));
+  FrozenView staged;
+  staged.tombstones = std::move(staged_stones);
+  staged.segments.reserve(static_cast<std::size_t>(seg_count));
   for (std::uint64_t i = 0; i < seg_count; ++i) {
     std::string seg_bytes;
     if (!detail::ReadFramedBlob(in, &seg_bytes, kMaxFrameBytes)) return false;
     std::istringstream seg_in(seg_bytes);
     auto seg = ImmutableSegment::LoadState(seg_in, options_.segment);
     if (!seg.has_value()) return false;
-    staged_segments.push_back(std::move(*seg));
+    staged.segments.push_back(
+        std::make_shared<const ImmutableSegment>(std::move(*seg)));
   }
 
-  // Everything parsed and validated: commit atomically.
-  front_ = std::move(staged_front);
-  segments_ = std::move(staged_segments);
-  tombstones_ = std::move(staged_stones);
-  front_empty_ = front_->ItemCount() == 0;
+  // Everything parsed and validated: commit. The live front restores IN
+  // PLACE from the already-validated bytes (same bytes + same config that
+  // just loaded into the staged copy, so failure here means a torn runtime,
+  // not a bad blob — fall back to an empty tier rather than a half commit).
+  {
+    std::istringstream front_in(front_bytes);
+    if (!front_->LoadState(front_in)) {
+      Clear();
+      return false;
+    }
+  }
+  Publish(std::move(staged));
+  front_empty_.store(front_->ItemCount() == 0, std::memory_order_relaxed);
   return true;
 }
 

@@ -18,8 +18,25 @@
 // Filter::ForEachFingerprint / Filter::KeyEntity: the stored-side and
 // key-side derivations agree for any inserted key, so freezing introduces
 // no false negatives, and false positives stay at the segment's 2^-g.
+//
+// Concurrency: the frozen tier is published as an immutable copy-on-write
+// snapshot (FrozenView) behind std::atomic<shared_ptr>. Mutators — which
+// still require external exclusion, e.g. a wrapping ConcurrentFilter or
+// ShardedFilter — never modify a published view; Freeze/Compact/Clear/
+// Erase-of-frozen/LoadState build a fresh view and swap the pointer, so a
+// concurrent optimistic (seqlock) reader either sees the complete old
+// snapshot or the complete new one and can never dereference freed segment
+// memory. The trade-offs are deliberate and documented: tombstone changes
+// copy the whole tombstone set (O(#tombstones) per frozen-tier erase), and
+// the shared_ptr swap itself uses libstdc++'s internal spin-guarded
+// atomic<shared_ptr> (readers copy the pointer in a handful of
+// instructions; they never wait out a writer's critical section).
+// OptimisticReadSafe() forwards the front's verdict, since the front table
+// is probed in place; LoadState restores the front in place (never
+// replaces the object) for the same reason.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -94,16 +111,30 @@ class TieredFilter : public Filter {
   /// framed segment blob per segment, newest last. Save-load-save is
   /// byte-identical.
   bool SaveState(std::ostream& out) const override;
-  /// All-or-nothing: stages the front (via the factory), manifest and every
-  /// segment before committing any of them.
+  /// All-or-nothing: stages the front blob, manifest and every segment off
+  /// to the side, then commits by restoring the live front IN PLACE and
+  /// publishing a fresh frozen view (the front object's address never
+  /// changes — optimistic readers depend on that).
   bool LoadState(std::istream& in) override;
 
-  std::size_t SegmentCount() const noexcept { return segments_.size(); }
-  std::size_t TombstoneCount() const noexcept { return tombstones_.size(); }
-  const ImmutableSegment& Segment(std::size_t i) const { return segments_[i]; }
+  std::size_t SegmentCount() const noexcept { return View()->segments.size(); }
+  std::size_t TombstoneCount() const noexcept {
+    return View()->tombstones.size();
+  }
+  /// Quiesced test/monitoring hook: the reference is valid only until the
+  /// next frozen-tier mutation (Freeze/Compact/Clear/Erase/LoadState).
+  const ImmutableSegment& Segment(std::size_t i) const {
+    return *View()->segments[i];
+  }
   Filter& front() noexcept { return *front_; }
   const Filter& front() const noexcept { return *front_; }
   const TieredOptions& options() const noexcept { return options_; }
+
+  /// Lock-free-readable iff the front is: the frozen tier is already
+  /// snapshot-published (see the header comment).
+  bool OptimisticReadSafe() const noexcept override {
+    return front_->OptimisticReadSafe();
+  }
 
   /// Wrapper view: hot-path op totals live on the front's counters.
   const OpCounters& counters() const noexcept override {
@@ -112,24 +143,42 @@ class TieredFilter : public Filter {
   void ResetCounters() noexcept override { front_->ResetCounters(); }
 
  private:
+  /// Immutable snapshot of the frozen tier. Published once, never mutated;
+  /// segments are shared across successive views (Freeze copies the
+  /// vector-of-pointers, not the probe arrays).
+  struct FrozenView {
+    /// Oldest first; lookups walk it back-to-front (newest wins).
+    std::vector<std::shared_ptr<const ImmutableSegment>> segments;
+    /// Entities erased from the frozen tier; consulted after a front miss,
+    /// cleared entity-wise on re-insert and wholesale on Compact.
+    std::unordered_set<std::uint64_t> tombstones;
+  };
+
+  std::shared_ptr<const FrozenView> View() const noexcept {
+    return view_.load(std::memory_order_acquire);
+  }
+  void Publish(FrozenView next) noexcept {
+    view_.store(std::make_shared<const FrozenView>(std::move(next)),
+                std::memory_order_release);
+  }
+
   std::uint64_t TierDigest() const noexcept;
-  /// True when `entity` lives in some segment (newest -> oldest) and is not
-  /// tombstoned.
-  bool FrozenContains(std::uint64_t entity) const noexcept;
+  /// True when `entity` lives in some segment (newest -> oldest) of `view`
+  /// and is not tombstoned there.
+  static bool FrozenContains(const FrozenView& view,
+                             std::uint64_t entity) noexcept;
 
   FrontFactory front_factory_;
   TieredOptions options_;
   std::unique_ptr<Filter> front_;
   /// Cached `front_->ItemCount() == 0`, refreshed at every mutation point,
-  /// so the per-lookup empty-front skip costs a byte load instead of a
-  /// virtual call — on a fully frozen tier that call was the single largest
-  /// slice of Contains.
-  bool front_empty_ = true;
-  /// Oldest first; lookups walk it back-to-front (newest wins).
-  std::vector<ImmutableSegment> segments_;
-  /// Entities erased from the frozen tier; consulted after a front miss,
-  /// cleared entity-wise on re-insert and wholesale on Compact.
-  std::unordered_set<std::uint64_t> tombstones_;
+  /// so the per-lookup empty-front skip costs a relaxed byte load instead
+  /// of a virtual call — on a fully frozen tier that call was the single
+  /// largest slice of Contains. Atomic because optimistic readers load it
+  /// without the wrapper lock.
+  std::atomic<bool> front_empty_{true};
+  /// Current frozen-tier snapshot; never null after construction.
+  std::atomic<std::shared_ptr<const FrozenView>> view_;
 };
 
 }  // namespace vcf

@@ -63,7 +63,11 @@ TEST(ResilientStressTest, NoAcceptedKeyLostUnderConcurrentInjectedFailures) {
   for (int r = 0; r < kReaders; ++r) {
     threads.emplace_back([&, r] {
       std::uint64_t cursor = static_cast<std::uint64_t>(r);
-      while (!writers_done.load(std::memory_order_acquire)) {
+      // Keep going until at least one check has landed: on a single-core
+      // host the writers can finish before a reader is ever scheduled, and
+      // the reader_checks > 0 assertion below wants real coverage.
+      while (!writers_done.load(std::memory_order_acquire) ||
+             reader_checks.load() == 0) {
         // Sample a published key and verify it is still visible.
         std::uint64_t key = 0;
         bool have_key = false;

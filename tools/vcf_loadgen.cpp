@@ -85,7 +85,43 @@ struct Config {
   unsigned processes = 1;      ///< forked generator processes (>=1)
   std::vector<int> cpu_list;   ///< global worker i -> cpu_list[i % size]
   std::string json_out;
+  /// Declared vcfd worker count (--server_threads): lets the
+  /// oversubscription check account for the server sharing this host.
+  unsigned server_threads = 0;
+  /// Refuse (exit 64) instead of warn when the run oversubscribes the host.
+  bool strict_cpus = false;
 };
+
+/// CPU provenance of one run, recorded in the JSON "config" section so
+/// compare_bench.py can annotate unlike-config diffs instead of treating
+/// them as perf deltas. A run is oversubscribed when the generator's
+/// workers plus the (declared) server workers exceed the host's cpus —
+/// throughput then measures scheduler handoff as much as the server.
+struct CpuProvenance {
+  unsigned host_cpus = 0;       ///< 0 = unknown
+  bool oversubscribed = false;
+  std::string warning;          ///< empty when the config fits the host
+};
+
+CpuProvenance CheckCpuBudget(const Config& cfg) {
+  CpuProvenance p;
+  p.host_cpus = std::thread::hardware_concurrency();
+  if (p.host_cpus == 0) return p;
+  const unsigned want =
+      cfg.threads * cfg.processes + cfg.server_threads;
+  if (want <= p.host_cpus) return p;
+  p.oversubscribed = true;
+  std::ostringstream msg;
+  msg << "oversubscribed: " << cfg.threads << " threads x " << cfg.processes
+      << " processes";
+  if (cfg.server_threads > 0) {
+    msg << " + " << cfg.server_threads << " server workers";
+  }
+  msg << " = " << want << " runnable threads on " << p.host_cpus
+      << " host cpu(s); throughput includes scheduler handoff";
+  p.warning = msg.str();
+  return p;
+}
 
 /// Keys the prefill inserted; lookups that draw indices below `prefill`
 /// are guaranteed hits (modulo server-side rejections near capacity).
@@ -404,7 +440,16 @@ int Usage(int code) {
          "  --cpu-list=L             pin global worker i to the i-th cpu of "
          "the list\n"
          "  --json_out=PATH          write the run as JSON "
-         "(docs/server.md schema)\n";
+         "(docs/server.md schema)\n"
+         "  --server_threads=N       declare the server's worker count so "
+         "the\n"
+         "                           cpu-budget check accounts for it\n"
+         "  --strict_cpus            refuse (exit 64) when threads x "
+         "processes\n"
+         "                           + server_threads exceeds the host's "
+         "cpus\n"
+         "                           (default: warn and record it in the "
+         "JSON)\n";
   return code;
 }
 
@@ -446,6 +491,10 @@ int main(int argc, char** argv) {
     }
   }
   cfg.json_out = flags.GetString("json_out", "");
+  cfg.server_threads = static_cast<unsigned>(
+      flags.GetInt("server_threads", flags.GetInt("server-threads", 0)));
+  cfg.strict_cpus =
+      flags.GetBool("strict_cpus") || flags.GetBool("strict-cpus");
   if (cfg.threads == 0 || cfg.batch == 0 || cfg.lookup_pct > 100 ||
       cfg.processes == 0 ||
       (cfg.mode != "batch" && cfg.mode != "pipeline" && cfg.mode != "sync")) {
@@ -454,6 +503,16 @@ int main(int argc, char** argv) {
   if (cfg.read_heavy && cfg.prefill == 0) {
     std::cerr << "error: --read-heavy needs a cold set; set --prefill > 0\n";
     return Usage(64);
+  }
+
+  const CpuProvenance cpus = CheckCpuBudget(cfg);
+  if (cpus.oversubscribed) {
+    if (cfg.strict_cpus) {
+      std::cerr << "error: " << cpus.warning
+                << " (--strict_cpus refuses to run)\n";
+      return 64;
+    }
+    std::cerr << "warning: " << cpus.warning << "\n";
   }
 
   // Prefill from one connection so lookup hit/miss is deterministic.
@@ -592,6 +651,10 @@ int main(int argc, char** argv) {
         << ", \"read_heavy\": " << (cfg.read_heavy ? "true" : "false")
         << ", \"rate_per_thread\": " << cfg.rate << ", \"replica_host\": \""
         << cfg.replica_host << "\", \"replica_port\": " << cfg.replica_port
+        << ", \"server_threads\": " << cfg.server_threads
+        << ", \"host_cpus\": " << cpus.host_cpus
+        << ", \"oversubscribed\": " << (cpus.oversubscribed ? "true" : "false")
+        << ", \"cpu_warning\": \"" << cpus.warning << "\""
         << "},\n"
         << "  \"server\": {\"name\": \""
         << (have_stats ? server_stats.name : "") << "\", \"slots\": "
