@@ -1,0 +1,261 @@
+// elastic_ops — the elastic-capacity headline benchmark: one key set pushed
+// through three ways of not knowing your cardinality up front.
+//
+// Scenario: N = 70% * 2^slots_log2 keys arrive one at a time. The elastic
+// arm starts 8x undersized (2^(slots_log2-3) slots) and doubles through
+// three watermark-triggered online migrations, paying a bounded migration
+// tax on the inserts that ride through them. The dynamic arm is DynamicVcf
+// chaining (new subtable per overflow — every probe fans across the chain).
+// The static arm is the luxury baseline: a VCF sized at the final capacity
+// from the start. The report records per-insert latency percentiles (the
+// migration stall shows up in p99/p999, not the median), end-state bits/key
+// and scalar/batched probe latency for all three arms, plus elastic/static
+// and elastic/dynamic ratios — the elastic pitch is "probe like static,
+// grow like dynamic", so the gates the CI diff watches are
+// ratios_vs_static.probe_hit_ns (near 1 is good) and
+// ratios_vs_dynamic.probe_hit_ns (below 1 is the win).
+//
+//   $ elastic_ops --slots_log2=20 --reps=5
+//         --json_out=results/BENCH_elastic.json
+//
+// The JSON is the server-report dict schema bench/compare_bench.py
+// understands ("config" is descriptive; every other numeric leaf is
+// compared, lower-is-better except *_per_second).
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/dynamic_vcf.hpp"
+#include "harness/filter_factory.hpp"
+#include "harness/flags.hpp"
+#include "metrics/latency_histogram.hpp"
+#include "workload/key_streams.hpp"
+
+namespace {
+
+using vcf::Filter;
+using vcf::FilterSpec;
+using vcf::Flags;
+using vcf::LatencyHistogram;
+using vcf::Stopwatch;
+
+struct ArmNumbers {
+  double bits_per_key = 0.0;
+  double hit_ns = 0.0;
+  double miss_ns = 0.0;
+  double batch_ns = 0.0;
+  LatencyHistogram insert_hist;  ///< per-insert ns, migration tax included
+  std::size_t rejected = 0;
+  std::size_t end_slots = 0;
+};
+
+/// Sink that keeps the probe loops honest against dead-code elimination.
+volatile std::size_t g_probe_sink = 0;
+
+/// One scalar probe pass over `keys`; ns per key.
+double ScalarPassNs(const Filter& filter,
+                    const std::vector<std::uint64_t>& keys) {
+  Stopwatch sw;
+  std::size_t hits = 0;
+  for (const std::uint64_t k : keys) hits += filter.Contains(k) ? 1 : 0;
+  const double ns =
+      static_cast<double>(sw.ElapsedNanos()) / static_cast<double>(keys.size());
+  g_probe_sink = g_probe_sink + hits;
+  return ns;
+}
+
+/// One batched probe pass (256-key ContainsBatch windows); ns per key.
+double BatchPassNs(Filter& filter, const std::vector<std::uint64_t>& keys) {
+  constexpr std::size_t kBatch = 256;
+  const auto results = std::make_unique<bool[]>(kBatch);
+  Stopwatch sw;
+  std::size_t done = 0;
+  for (std::size_t at = 0; at + kBatch <= keys.size(); at += kBatch) {
+    filter.ContainsBatch({keys.data() + at, kBatch}, results.get());
+    done += kBatch;
+  }
+  if (done == 0) return 0.0;
+  return static_cast<double>(sw.ElapsedNanos()) / static_cast<double>(done);
+}
+
+void TakeBest(double* best, double pass, unsigned rep) {
+  if (rep == 0 || pass < *best) *best = pass;
+}
+
+/// Timed one-at-a-time insert phase: the arm's whole growth story happens
+/// here, so the histogram's tail IS the migration (or chaining) stall.
+void InsertPhase(Filter& filter, const std::vector<std::uint64_t>& keys,
+                 ArmNumbers* n) {
+  for (const std::uint64_t k : keys) {
+    Stopwatch sw;
+    const bool ok = filter.Insert(k);
+    n->insert_hist.Record(sw.ElapsedNanos());
+    n->rejected += ok ? 0 : 1;
+  }
+  n->end_slots = filter.SlotCount();
+  n->bits_per_key = 8.0 * static_cast<double>(filter.MemoryBytes()) /
+                    static_cast<double>(filter.ItemCount());
+}
+
+/// Best-of-`reps` probe passes, arms interleaved within each rep so host
+/// drift lands on every arm alike and the ratios stay robust.
+void MeasureProbes(std::vector<std::pair<Filter*, ArmNumbers*>>& arms,
+                   const std::vector<std::uint64_t>& members,
+                   const std::vector<std::uint64_t>& aliens, unsigned reps) {
+  for (unsigned r = 0; r < reps; ++r) {
+    for (auto& [f, n] : arms) TakeBest(&n->hit_ns, ScalarPassNs(*f, members), r);
+    for (auto& [f, n] : arms) TakeBest(&n->miss_ns, ScalarPassNs(*f, aliens), r);
+    for (auto& [f, n] : arms) TakeBest(&n->batch_ns, BatchPassNs(*f, members), r);
+  }
+}
+
+void EmitArm(std::ostream& out, const char* name, const ArmNumbers& n) {
+  const LatencyHistogram& h = n.insert_hist;
+  out << "  \"" << name << "\": {\"bits_per_key\": " << n.bits_per_key
+      << ", \"probe_hit_ns\": " << n.hit_ns
+      << ", \"probe_miss_ns\": " << n.miss_ns
+      << ", \"probe_batch_ns\": " << n.batch_ns
+      << ", \"insert_p50_ns\": " << h.P50()
+      << ", \"insert_p99_ns\": " << h.P99()
+      << ", \"insert_p999_ns\": " << h.P999()
+      << ", \"insert_max_ns\": " << h.MaxNanos()
+      << ", \"end_slots\": " << n.end_slots << "}";
+}
+
+int Usage(int code) {
+  std::cerr << "usage: elastic_ops [--slots_log2=N (final capacity, default"
+               " 20; elastic starts at N-3)]\n"
+               "                   [--reps=R (default 5)]\n"
+               "                   [--json_out=PATH (default"
+               " BENCH_elastic.json, \"none\" to skip)]\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.GetBool("help")) return Usage(0);
+  const unsigned slots_log2 =
+      static_cast<unsigned>(flags.GetInt("slots_log2", 20));
+  const unsigned reps = static_cast<unsigned>(flags.GetInt("reps", 5));
+  const std::string json_out =
+      flags.GetString("json_out", "BENCH_elastic.json");
+  if (slots_log2 < 11 || slots_log2 > 28 || reps == 0) return Usage(64);
+
+  const std::size_t final_slots = std::size_t{1} << slots_log2;
+  const std::size_t count = final_slots * 70 / 100;
+  const auto members = vcf::UniformKeys(count, 91);
+  const auto aliens = vcf::UniformKeys(count, 92);
+
+  // Elastic arm: starts 8x undersized, grows online through 3 doublings.
+  FilterSpec elastic_spec;
+  vcf::ParseFilterKind("elastic:vcf", elastic_spec);
+  elastic_spec.params = vcf::CuckooParams::ForSlotsLog2(slots_log2 - 3);
+  auto elastic_arm = MakeFilter(elastic_spec);
+
+  // Dynamic arm: DynamicVcf chaining (DCF-style, one new segment per
+  // overflow) from the same undersized start.
+  auto dynamic_arm = std::make_unique<vcf::DynamicVcf>(
+      vcf::CuckooParams::ForSlotsLog2(slots_log2 - 3));
+
+  // Static arm: a plain VCF already sized for the final population.
+  FilterSpec static_spec;
+  vcf::ParseFilterKind("vcf", static_spec);
+  static_spec.params = vcf::CuckooParams::ForSlotsLog2(slots_log2);
+  auto static_arm = MakeFilter(static_spec);
+
+  ArmNumbers elastic, dynamic, fixed;
+  InsertPhase(*elastic_arm, members, &elastic);
+  InsertPhase(*dynamic_arm, members, &dynamic);
+  InsertPhase(*static_arm, members, &fixed);
+  for (const auto& [name, n] :
+       std::initializer_list<std::pair<const char*, const ArmNumbers*>>{
+           {"elastic", &elastic}, {"dynamic", &dynamic}, {"static", &fixed}}) {
+    if (n->rejected != 0) {
+      std::cerr << "error: the " << name << " arm rejected " << n->rejected
+                << " keys; lower the load\n";
+      return 1;
+    }
+  }
+  // The elastic arm must have actually migrated — otherwise the insert
+  // histogram measures nothing interesting.
+  if (elastic.end_slots < final_slots) {
+    std::cerr << "error: elastic arm ended at " << elastic.end_slots
+              << " slots, expected >= " << final_slots << "\n";
+    return 1;
+  }
+  for (const std::uint64_t k : members) {
+    if (!elastic_arm->Contains(k)) {
+      std::cerr << "error: elastic arm lost a key during migration\n";
+      return 1;
+    }
+  }
+
+  std::vector<std::pair<Filter*, ArmNumbers*>> arms = {
+      {elastic_arm.get(), &elastic},
+      {dynamic_arm.get(), &dynamic},
+      {static_arm.get(), &fixed}};
+  MeasureProbes(arms, members, aliens, reps);
+
+  const auto ratio = [](double a, double b) { return b > 0.0 ? a / b : 0.0; };
+  std::printf("grow-to-fit: %zu keys, final slots=2^%u, elastic start=2^%u,"
+              " reps=%u\n",
+              members.size(), slots_log2, slots_log2 - 3, reps);
+  std::printf("  %-8s %10s %12s %12s %12s %12s %12s\n", "arm", "bits/key",
+              "hit ns", "miss ns", "batch ns", "ins p50", "ins p999");
+  const auto row = [](const char* name, const ArmNumbers& n) {
+    std::printf("  %-8s %10.2f %12.1f %12.1f %12.1f %12" PRIu64 " %12" PRIu64
+                "\n",
+                name, n.bits_per_key, n.hit_ns, n.miss_ns, n.batch_ns,
+                n.insert_hist.P50(), n.insert_hist.P999());
+  };
+  row("elastic", elastic);
+  row("dynamic", dynamic);
+  row("static", fixed);
+  std::printf("  elastic/static  probe hit %.2fx, bits/key %.2fx\n",
+              ratio(elastic.hit_ns, fixed.hit_ns),
+              ratio(elastic.bits_per_key, fixed.bits_per_key));
+  std::printf("  elastic/dynamic probe hit %.2fx, bits/key %.2fx\n",
+              ratio(elastic.hit_ns, dynamic.hit_ns),
+              ratio(elastic.bits_per_key, dynamic.bits_per_key));
+
+  if (json_out != "none") {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_out << "\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"config\": {\"slots_log2\": " << slots_log2
+        << ", \"start_slots_log2\": " << (slots_log2 - 3)
+        << ", \"keys\": " << members.size() << ", \"reps\": " << reps
+        << "},\n";
+    EmitArm(out, "elastic", elastic);
+    out << ",\n";
+    EmitArm(out, "dynamic", dynamic);
+    out << ",\n";
+    EmitArm(out, "static", fixed);
+    out << ",\n"
+        << "  \"ratios_vs_static\": {\"probe_hit_ns\": "
+        << ratio(elastic.hit_ns, fixed.hit_ns) << ", \"probe_batch_ns\": "
+        << ratio(elastic.batch_ns, fixed.batch_ns) << ", \"bits_per_key\": "
+        << ratio(elastic.bits_per_key, fixed.bits_per_key) << "},\n"
+        << "  \"ratios_vs_dynamic\": {\"probe_hit_ns\": "
+        << ratio(elastic.hit_ns, dynamic.hit_ns) << ", \"probe_batch_ns\": "
+        << ratio(elastic.batch_ns, dynamic.batch_ns) << ", \"bits_per_key\": "
+        << ratio(elastic.bits_per_key, dynamic.bits_per_key) << "}\n"
+        << "}\n";
+    if (!out.good()) {
+      std::cerr << "error: short write to " << json_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << json_out << "\n";
+  }
+  return 0;
+}

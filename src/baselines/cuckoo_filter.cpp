@@ -121,6 +121,77 @@ bool CuckooFilter::KeyEntity(std::uint64_t key, std::uint64_t* entity) const {
   return true;
 }
 
+bool CuckooFilter::ForEachEntityInBucket(
+    std::uint64_t bucket,
+    const std::function<void(unsigned, std::uint64_t)>& fn) const {
+  if (bucket >= params_.bucket_count) return false;
+  for (unsigned s = 0; s < params_.slots_per_bucket; ++s) {
+    const std::uint64_t fp = table_.Get(bucket, s);
+    if (fp == 0) continue;
+    const std::uint64_t alt = AltBucket(bucket, FingerprintHash(fp));
+    fn(s, (std::min(bucket, alt) << params_.fingerprint_bits) | fp);
+  }
+  return true;
+}
+
+namespace {
+// Shared entity decomposition: (canonical bucket << f) | fp, fp != 0.
+bool SplitEntity(std::uint64_t entity, unsigned fp_bits,
+                 std::uint64_t bucket_count, std::uint64_t* bucket,
+                 std::uint64_t* fp) noexcept {
+  *fp = entity & LowMask(fp_bits);
+  *bucket = entity >> fp_bits;
+  return *fp != 0 && *bucket < bucket_count;
+}
+}  // namespace
+
+bool CuckooFilter::InsertEntity(std::uint64_t entity) {
+  std::uint64_t bucket, fp;
+  if (!SplitEntity(entity, params_.fingerprint_bits, params_.bucket_count,
+                   &bucket, &fp)) {
+    return false;
+  }
+  // The XOR pair is symmetric, so the canonical bucket stands in for b1.
+  const Hashed h{bucket, AltBucket(bucket, FingerprintHash(fp)), fp};
+  if (TryPlaceDirect(h)) return true;
+  return kernel::EvictInsert(*this, h);
+}
+
+bool CuckooFilter::ContainsEntity(std::uint64_t entity) const {
+  std::uint64_t bucket, fp;
+  if (!SplitEntity(entity, params_.fingerprint_bits, params_.bucket_count,
+                   &bucket, &fp)) {
+    return false;
+  }
+  const Hashed h{bucket, AltBucket(bucket, FingerprintHash(fp)), fp};
+  return ProbeCandidates(h);
+}
+
+bool CuckooFilter::EraseEntity(std::uint64_t entity) {
+  std::uint64_t bucket, fp;
+  if (!SplitEntity(entity, params_.fingerprint_bits, params_.bucket_count,
+                   &bucket, &fp)) {
+    return false;
+  }
+  counters_.bucket_probes += 2;
+  if (table_.EraseValue(bucket, fp) ||
+      table_.EraseValue(AltBucket(bucket, FingerprintHash(fp)), fp)) {
+    --items_;
+    return true;
+  }
+  return false;
+}
+
+bool CuckooFilter::ClearSlot(std::uint64_t bucket, unsigned slot) {
+  if (bucket >= params_.bucket_count || slot >= params_.slots_per_bucket) {
+    return false;
+  }
+  if (table_.Get(bucket, slot) == 0) return false;
+  table_.Set(bucket, slot, 0);
+  --items_;
+  return true;
+}
+
 std::uint64_t CuckooFilter::Digest() const noexcept {
   return detail::ConfigDigest(params_.seed, static_cast<unsigned>(params_.hash),
                               0, params_.fingerprint_bits);

@@ -58,6 +58,19 @@ class CuckooFilter : public Filter,
       const std::function<void(std::uint64_t)>& fn) const override;
   bool KeyEntity(std::uint64_t key, std::uint64_t* entity) const override;
 
+  /// Entity transport (elastic resize / shard merge): the XOR pair is
+  /// re-derived from the entity's canonical bucket and fingerprint alone.
+  std::size_t MigrationBuckets() const noexcept override {
+    return params_.bucket_count;
+  }
+  bool ForEachEntityInBucket(
+      std::uint64_t bucket,
+      const std::function<void(unsigned, std::uint64_t)>& fn) const override;
+  bool InsertEntity(std::uint64_t entity) override;
+  bool ContainsEntity(std::uint64_t entity) const override;
+  bool EraseEntity(std::uint64_t entity) override;
+  bool ClearSlot(std::uint64_t bucket, unsigned slot) override;
+
   const CuckooParams& params() const noexcept { return params_; }
 
   // --- CandidatePolicy surface (consumed by core/cuckoo_kernel.hpp; the

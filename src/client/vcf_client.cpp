@@ -375,6 +375,9 @@ bool VcfClient::GetStats(ServerStats& out) {
     out.seqlock_retries = resp.seqlock_retries;
     out.seqlock_fallbacks = resp.seqlock_fallbacks;
     out.hugepage_bytes = resp.hugepage_bytes;
+    out.elastic_resizes = resp.elastic_resizes;
+    out.elastic_backlog = resp.elastic_backlog;
+    out.elastic_dual_reads = resp.elastic_dual_reads;
     return true;
   }
   return false;
@@ -409,6 +412,32 @@ bool VcfClient::Snapshot() {
   if (!EnsureConnected(write_ch_) || !SendFrame(write_ch_)) return false;
   net::Response resp;
   if (!ReadResponse(write_ch_, Opcode::kSnapshot, id, resp)) return false;
+  if (resp.status != Status::kOk) {
+    error_ = net::StatusName(resp.status);
+    return false;
+  }
+  return resp.flag;
+}
+
+bool VcfClient::Resize() {
+  const std::uint32_t id = next_id_++;
+  net::EncodeEmptyRequest(send_buf_, Opcode::kResize, id);
+  if (!EnsureConnected(write_ch_) || !SendFrame(write_ch_)) return false;
+  net::Response resp;
+  if (!ReadResponse(write_ch_, Opcode::kResize, id, resp)) return false;
+  if (resp.status != Status::kOk) {
+    error_ = net::StatusName(resp.status);
+    return false;
+  }
+  return resp.flag;
+}
+
+bool VcfClient::ShardSplit(std::uint32_t entry) {
+  const std::uint32_t id = next_id_++;
+  net::EncodeShardSplitRequest(send_buf_, id, entry);
+  if (!EnsureConnected(write_ch_) || !SendFrame(write_ch_)) return false;
+  net::Response resp;
+  if (!ReadResponse(write_ch_, Opcode::kShardSplit, id, resp)) return false;
   if (resp.status != Status::kOk) {
     error_ = net::StatusName(resp.status);
     return false;

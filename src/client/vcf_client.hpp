@@ -85,6 +85,12 @@ class VcfClient {
     std::uint64_t seqlock_retries = 0;
     std::uint64_t seqlock_fallbacks = 0;
     std::uint64_t hugepage_bytes = 0;
+    /// Elastic-capacity trailer (zero against servers that predate it):
+    /// completed growth steps, source buckets still awaiting migration
+    /// (0 = no resize in flight), and lookups served from both tables.
+    std::uint64_t elastic_resizes = 0;
+    std::uint64_t elastic_backlog = 0;
+    std::uint64_t elastic_dual_reads = 0;
   };
 
   /// WORKER_INFO response: which worker this connection landed on, and the
@@ -148,6 +154,16 @@ class VcfClient {
   /// Asks the server to checkpoint now. True when the server reports the
   /// checkpoint was written.
   bool Snapshot();
+
+  /// Asks the server to start one elastic growth step on every elastic
+  /// leaf, regardless of the watermark (RESIZE). True when at least one
+  /// leaf began (or was already running) a migration; false with
+  /// last_error() = "unsupported" when the filter has no elastic layer.
+  bool Resize();
+
+  /// Asks the server to split the shard behind directory entry `entry`
+  /// (SHARD_SPLIT; see core/sharded_filter.hpp). True on success.
+  bool ShardSplit(std::uint32_t entry);
 
   const std::string& last_error() const noexcept { return error_; }
 

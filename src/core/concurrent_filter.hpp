@@ -23,6 +23,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 
@@ -58,6 +59,14 @@ class ConcurrentFilter : public Filter {
 
   /// The wrapped filter; caller must ensure quiescence before poking it.
   Filter& inner() noexcept { return *inner_; }
+
+  /// Leaf discovery recurses into the wrapped filter under this wrapper's
+  /// write lock (sequence bumped), so the visitor may mutate the leaves.
+  void ForEachLeaf(const std::function<void(Filter&)>& fn) override {
+    std::unique_lock lock(mutex_);
+    SeqLockWriteGuard seq(seq_);
+    inner_->ForEachLeaf(fn);
+  }
 
   /// Enables/disables the lock-free read path (default on; see
   /// ShardedFilter::SetOptimisticReads for semantics).

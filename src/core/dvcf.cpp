@@ -140,17 +140,55 @@ void DifferentiatedVcf::Clear() {
 bool DifferentiatedVcf::ForEachFingerprint(
     const std::function<void(std::uint64_t)>& fn) const {
   ForEachOccupiedSlot([&](std::uint64_t bucket, std::uint64_t fp) {
-    const std::uint64_t fh = FingerprintHash(fp);
-    std::uint64_t canon = bucket;
-    if (FourWay(fp)) {
-      for (std::uint64_t z : hasher_.Alternates(bucket, fh)) {
-        canon = std::min(canon, z);
-      }
-    } else {
-      canon = std::min(canon, (bucket ^ fh) & hasher_.index_mask());
-    }
-    fn((canon << params_.fingerprint_bits) | fp);
+    fn(SlotEntity(bucket, fp));
   });
+  return true;
+}
+
+bool DifferentiatedVcf::ForEachEntityInBucket(
+    std::uint64_t bucket,
+    const std::function<void(unsigned, std::uint64_t)>& fn) const {
+  if (bucket >= params_.bucket_count) return false;
+  for (unsigned s = 0; s < params_.slots_per_bucket; ++s) {
+    const std::uint64_t fp = table_.Get(bucket, s);
+    if (fp != 0) fn(s, SlotEntity(bucket, fp));
+  }
+  return true;
+}
+
+bool DifferentiatedVcf::InsertEntity(std::uint64_t entity) {
+  Hashed h;
+  if (!EntityHashed(entity, &h)) return false;
+  if (TryPlaceDirect(h)) return true;
+  return kernel::EvictInsert(*this, h);
+}
+
+bool DifferentiatedVcf::ContainsEntity(std::uint64_t entity) const {
+  Hashed h;
+  if (!EntityHashed(entity, &h)) return false;
+  return ProbeCandidates(h);
+}
+
+bool DifferentiatedVcf::EraseEntity(std::uint64_t entity) {
+  Hashed h;
+  if (!EntityHashed(entity, &h)) return false;
+  counters_.bucket_probes += h.n_cand;
+  for (unsigned c = 0; c < h.n_cand; ++c) {
+    if (table_.EraseValue(h.cand[c], h.fp)) {
+      --items_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DifferentiatedVcf::ClearSlot(std::uint64_t bucket, unsigned slot) {
+  if (bucket >= params_.bucket_count || slot >= params_.slots_per_bucket) {
+    return false;
+  }
+  if (table_.Get(bucket, slot) == 0) return false;
+  table_.Set(bucket, slot, 0);
+  --items_;
   return true;
 }
 

@@ -70,6 +70,20 @@ class DifferentiatedVcf : public Filter,
       const std::function<void(std::uint64_t)>& fn) const override;
   bool KeyEntity(std::uint64_t key, std::uint64_t* entity) const override;
 
+  /// Entity transport (elastic resize / shard merge): the judged candidate
+  /// set is re-derived from the entity's canonical bucket and fingerprint
+  /// alone — 4-way Theorem 1 closure inside In1, the XOR pair outside.
+  std::size_t MigrationBuckets() const noexcept override {
+    return params_.bucket_count;
+  }
+  bool ForEachEntityInBucket(
+      std::uint64_t bucket,
+      const std::function<void(unsigned, std::uint64_t)>& fn) const override;
+  bool InsertEntity(std::uint64_t entity) override;
+  bool ContainsEntity(std::uint64_t entity) const override;
+  bool EraseEntity(std::uint64_t entity) override;
+  bool ClearSlot(std::uint64_t bucket, unsigned slot) override;
+
   /// Eq. 9's p for this threshold.
   double TheoreticalR() const noexcept;
   std::uint64_t delta_t() const noexcept { return delta_t_; }
@@ -160,6 +174,32 @@ class DifferentiatedVcf : public Filter,
     return 2;
   }
   std::uint64_t Digest() const noexcept;
+  /// Splits a canonical entity back into its Hashed form. False when the
+  /// entity is out of range for this geometry.
+  bool EntityHashed(std::uint64_t entity, Hashed* h) const noexcept {
+    const std::uint64_t fp = entity & LowMask(params_.fingerprint_bits);
+    const std::uint64_t bucket = entity >> params_.fingerprint_bits;
+    if (fp == 0 || bucket >= params_.bucket_count) return false;
+    h->fp = fp;
+    // CandidateSet from any member bucket reproduces the same set (the
+    // 4-way closure of Theorem 1; the XOR pair is trivially symmetric).
+    h->n_cand = CandidateSet(bucket, fp, FingerprintHash(fp), h->cand);
+    return true;
+  }
+  /// The canonical entity of the fingerprint stored in `bucket`.
+  std::uint64_t SlotEntity(std::uint64_t bucket,
+                           std::uint64_t fp) const noexcept {
+    const std::uint64_t fh = FingerprintHash(fp);
+    std::uint64_t canon = bucket;
+    if (FourWay(fp)) {
+      for (std::uint64_t z : hasher_.Alternates(bucket, fh)) {
+        canon = std::min(canon, z);
+      }
+    } else {
+      canon = std::min(canon, (bucket ^ fh) & hasher_.index_mask());
+    }
+    return (canon << params_.fingerprint_bits) | fp;
+  }
 
   CuckooParams params_;
   VerticalHasher hasher_;

@@ -1,0 +1,560 @@
+#include "core/elastic_filter.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/state_io.hpp"
+
+namespace vcf {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Elastic body (after the common state header): u32 level | u8 migrating |
+// u64 mig_sub | u64 mig_bucket | u64 stash_count | entities | u64 checksum
+// | one framed blob per sub. Cursor and stash first so a resumed migration
+// restarts on exactly the bucket it stopped at.
+constexpr std::uint32_t kDigestTag = 0xE7A5u;
+constexpr std::uint64_t kMaxSubBlobBytes = std::uint64_t{1} << 32;
+
+std::uint64_t StashChecksum(const std::vector<std::uint64_t>& stash) {
+  std::uint64_t h = Mix64(0xE7A5ULL ^ stash.size());
+  for (const std::uint64_t e : stash) h = Mix64(h ^ e);
+  return h;
+}
+
+template <typename T>
+void Put(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool Take(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+ElasticFilter::ElasticFilter(SubBuilder builder, ElasticOptions options)
+    : builder_(std::move(builder)), options_(options) {
+  if (!builder_) {
+    throw std::invalid_argument("ElasticFilter: sub builder must not be null");
+  }
+  if (!(options_.grow_watermark > 0.0) || !(options_.grow_watermark < 1.0)) {
+    throw std::invalid_argument(
+        "ElasticFilter: grow_watermark must be in (0, 1)");
+  }
+  if (options_.grow_hysteresis < 0.0) {
+    throw std::invalid_argument(
+        "ElasticFilter: grow_hysteresis must be >= 0");
+  }
+  if (options_.max_levels > 24) {
+    throw std::invalid_argument(
+        "ElasticFilter: max_levels above 24 (16M subs) is a configuration "
+        "error");
+  }
+  if (options_.migrate_buckets_per_op == 0) options_.migrate_buckets_per_op = 1;
+
+  subs_.push_back(builder_());
+  if (!subs_[0]) {
+    throw std::invalid_argument("ElasticFilter: sub builder returned null");
+  }
+  std::uint64_t probe = 0;
+  if (subs_[0]->MigrationBuckets() == 0 || !subs_[0]->KeyEntity(0, &probe)) {
+    throw std::invalid_argument(
+        "ElasticFilter: sub filter does not support the entity-transport "
+        "surface (needs the canonical-entity cuckoo family)");
+  }
+  name_ = "Elastic(" + subs_[0]->Name() + ")";
+  buckets_per_sub_ = subs_[0]->MigrationBuckets();
+  optimistic_safe_ = subs_[0]->OptimisticReadSafe();
+  stash_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      options_.stash_capacity == 0 ? 1 : options_.stash_capacity);
+  mig_scratch_.reserve(8);
+  PublishView({subs_[0].get()}, false);
+  RecomputeGrowThreshold(0.0);
+}
+
+ElasticFilter::~ElasticFilter() = default;
+
+void ElasticFilter::PublishView(std::vector<Filter*> subs, bool migrating) {
+  auto next = std::make_unique<View>();
+  next->subs = std::move(subs);
+  next->migrating = migrating;
+  // Retire-then-publish: if the history push throws, the new view was never
+  // visible; superseded views stay alive for stalled optimistic readers.
+  view_history_.push_back(std::move(next));
+  view_.store(view_history_.back().get(), std::memory_order_release);
+}
+
+std::unique_ptr<Filter> ElasticFilter::BuildSub() const {
+  auto fresh = builder_();
+  if (!fresh || fresh->SlotCount() != subs_[0]->SlotCount() ||
+      fresh->Name() != subs_[0]->Name()) {
+    throw std::invalid_argument(
+        "ElasticFilter: sub builder produced a differently parameterised "
+        "filter");
+  }
+  return fresh;
+}
+
+void ElasticFilter::RecomputeGrowThreshold(double floor_load) noexcept {
+  const double t = std::min(
+      1.0, std::max(options_.grow_watermark,
+                    floor_load + options_.grow_hysteresis));
+  grow_threshold_items_ =
+      static_cast<std::size_t>(t * static_cast<double>(SlotCount()));
+}
+
+void ElasticFilter::SetGrowWatermark(double watermark) noexcept {
+  if (watermark > 0.0 && watermark < 1.0) {
+    options_.grow_watermark = watermark;
+    RecomputeGrowThreshold(0.0);
+  }
+}
+
+// --- growth & migration ----------------------------------------------------
+
+bool ElasticFilter::BeginGrow() {
+  if (migrating_.load(kRelaxed)) return false;
+  const unsigned level = level_.load(kRelaxed);
+  if (level >= options_.max_levels) return false;
+  const View& v = CurrentView();
+  const std::size_t n = v.subs.size();
+  // Build the whole high half before touching any state: a throw here
+  // (bad_alloc, builder drift) leaves the filter exactly as it was.
+  std::vector<std::unique_ptr<Filter>> fresh;
+  fresh.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) fresh.push_back(BuildSub());
+  if (level == 0) {
+    // Entering wrapper-tracked counting (level-0 ops delegate wholesale).
+    items_.store(v.subs[0]->ItemCount(), kRelaxed);
+  }
+  std::vector<Filter*> next(v.subs);
+  next.reserve(2 * n);
+  for (auto& s : fresh) {
+    next.push_back(s.get());
+    subs_.push_back(std::move(s));
+  }
+  mig_sub_.store(0, kRelaxed);
+  mig_bucket_.store(0, kRelaxed);
+  mig_sweep_needed_ = true;
+  PublishView(std::move(next), true);
+  migrating_.store(true, kRelaxed);
+  level_.store(level + 1, kRelaxed);
+  RecomputeGrowThreshold(0.0);  // watermark of the doubled capacity
+  return true;
+}
+
+void ElasticFilter::PaceMigration(std::size_t ops) {
+  if (migrating_.load(kRelaxed)) {
+    MigrateBuckets(ops * options_.migrate_buckets_per_op);
+  } else if (options_.auto_grow &&
+             level_.load(kRelaxed) < options_.max_levels &&
+             ItemCount() + ops > grow_threshold_items_) {
+    BeginGrow();
+  }
+}
+
+void ElasticFilter::MigrateStep(std::size_t buckets) {
+  if (migrating_.load(kRelaxed)) MigrateBuckets(buckets);
+}
+
+bool ElasticFilter::MoveBucketEntities(const View& v, std::size_t sub,
+                                       std::uint64_t bucket) {
+  Filter& src = *v.subs[sub];
+  mig_scratch_.clear();
+  src.ForEachEntityInBucket(bucket,
+                            [&](unsigned slot, std::uint64_t entity) {
+                              mig_scratch_.emplace_back(slot, entity);
+                            });
+  bool clean = true;
+  for (const auto& [slot, entity] : mig_scratch_) {
+    const std::size_t j = RouteIn(v, entity);
+    if (j == sub) continue;  // route bit clear: stays in the low half
+    // Copy THEN clear, so a racing optimistic reader always finds the
+    // entity in at least one of its two probe sites.
+    if (v.subs[j]->InsertEntity(entity) || StashPush(entity)) {
+      src.ClearSlot(bucket, slot);
+    } else {
+      clean = false;  // stash full: leave the slot, re-scan later
+    }
+  }
+  return clean;
+}
+
+void ElasticFilter::MigrateBuckets(std::size_t budget) {
+  const View& v = CurrentView();
+  if (!v.migrating) return;
+  const std::size_t half = v.subs.size() / 2;
+  std::uint64_t sub = mig_sub_.load(kRelaxed);
+  std::uint64_t bucket = mig_bucket_.load(kRelaxed);
+  while (budget-- > 0 && sub < half) {
+    if (!MoveBucketEntities(v, sub, bucket)) break;  // re-scan is idempotent
+    if (++bucket >= buckets_per_sub_) {
+      bucket = 0;
+      ++sub;
+    }
+  }
+  mig_sub_.store(sub, kRelaxed);
+  mig_bucket_.store(bucket, kRelaxed);
+  if (sub >= half) TryFinishMigration();
+}
+
+void ElasticFilter::TryFinishMigration() {
+  const View& v = CurrentView();
+  const std::size_t half = v.subs.size() / 2;
+  // Straggler sweep: the incremental scan can be outrun — between two
+  // migration steps, a low-route insert's eviction chain may kick a
+  // not-yet-migrated entity into a bucket the cursor already passed. One
+  // full pass inside this (externally serialized) mutation op catches every
+  // such entity, and is sound in a single pass because the sweep itself
+  // only moves entities OUT of the low half: with no interleaved inserts,
+  // nothing new can land behind it. Normally it finds nothing and costs one
+  // bucket iteration per slot; dual reads stay on until it comes up clean.
+  bool clean = true;
+  if (mig_sweep_needed_) {
+    // Clear the flag BEFORE sweeping: the sweep itself never inserts into
+    // the low half, so anything it misses can only come from a later
+    // low-route insert, which re-arms it.
+    mig_sweep_needed_ = false;
+    for (std::size_t sub = 0; sub < half; ++sub) {
+      for (std::uint64_t b = 0; b < buckets_per_sub_; ++b) {
+        clean &= MoveBucketEntities(v, sub, b);
+      }
+    }
+    if (!clean) mig_sweep_needed_ = true;  // stash full mid-sweep: re-scan
+  }
+  // Drain parked entities into their final homes; targets may still be
+  // busy, in which case the migration simply stays open.
+  std::uint32_t n = stash_size_.load(kRelaxed);
+  for (std::uint32_t i = 0; i < n;) {
+    const std::uint64_t entity = stash_[i].load(kRelaxed);
+    if (v.subs[RouteIn(v, entity)]->InsertEntity(entity)) {
+      stash_[i].store(stash_[n - 1].load(kRelaxed), kRelaxed);
+      stash_size_.store(--n, std::memory_order_release);
+    } else {
+      ++i;
+    }
+  }
+  if (!clean || n != 0) return;
+  PublishView(std::vector<Filter*>(v.subs), false);
+  migrating_.store(false, kRelaxed);
+  // Park the cursors at zero: checkpoints of a quiescent filter carry
+  // (0, 0), which is what LoadState demands when `migrating` is clear.
+  mig_sub_.store(0, kRelaxed);
+  mig_bucket_.store(0, kRelaxed);
+  ++resizes_;
+  // Hysteresis: a filter that crawled back up to the watermark while
+  // migrating must not immediately re-trigger.
+  RecomputeGrowThreshold(LoadFactor());
+}
+
+std::uint64_t ElasticFilter::MigrationBacklog() const noexcept {
+  if (!migrating_.load(kRelaxed)) return 0;
+  const View& v = CurrentView();
+  const std::uint64_t half = v.subs.size() / 2;
+  const std::uint64_t sub = mig_sub_.load(kRelaxed);
+  if (sub >= half) return 0;  // only the stash is left
+  return (half - sub) * buckets_per_sub_ - mig_bucket_.load(kRelaxed);
+}
+
+// --- stash -----------------------------------------------------------------
+
+bool ElasticFilter::StashPush(std::uint64_t entity) noexcept {
+  const std::uint32_t n = stash_size_.load(kRelaxed);
+  if (n >= options_.stash_capacity) return false;
+  stash_[n].store(entity, kRelaxed);
+  stash_size_.store(n + 1, std::memory_order_release);
+  return true;
+}
+
+bool ElasticFilter::StashContains(std::uint64_t entity) const noexcept {
+  const std::uint32_t n = stash_size_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (stash_[i].load(kRelaxed) == entity) return true;
+  }
+  return false;
+}
+
+bool ElasticFilter::StashErase(std::uint64_t entity) noexcept {
+  const std::uint32_t n = stash_size_.load(kRelaxed);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (stash_[i].load(kRelaxed) == entity) {
+      stash_[i].store(stash_[n - 1].load(kRelaxed), kRelaxed);
+      stash_size_.store(n - 1, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+// --- hot paths -------------------------------------------------------------
+
+bool ElasticFilter::Insert(std::uint64_t key) {
+  PaceMigration(1);
+  const View& v = CurrentView();
+  if (v.subs.size() == 1 && !v.migrating) return v.subs[0]->Insert(key);
+  return InsertSlow(v, key);
+}
+
+bool ElasticFilter::InsertSlow(const View& v, std::uint64_t key) {
+  ++counters_.inserts;
+  std::uint64_t entity = 0;
+  v.subs[0]->KeyEntity(key, &entity);
+  // New inserts route at the NEW level even mid-migration, so they never
+  // need to be migrated themselves.
+  const std::size_t j = RouteIn(v, entity);
+  if (v.migrating && j < v.subs.size() / 2) mig_sweep_needed_ = true;
+  if (v.subs[j]->InsertEntity(entity)) {
+    items_.fetch_add(1, kRelaxed);
+    return true;
+  }
+  ++counters_.insert_failures;
+  return false;
+}
+
+bool ElasticFilter::Contains(std::uint64_t key) const {
+  const View& v = CurrentView();
+  if (v.subs.size() == 1 && !v.migrating) return v.subs[0]->Contains(key);
+  return ContainsSlow(v, key);
+}
+
+bool ElasticFilter::ContainsSlow(const View& v, std::uint64_t key) const {
+  ++counters_.lookups;
+  std::uint64_t entity = 0;
+  v.subs[0]->KeyEntity(key, &entity);
+  const std::size_t j = RouteIn(v, entity);
+  if (v.subs[j]->ContainsEntity(entity)) return true;
+  if (v.migrating && j >= v.subs.size() / 2) {
+    // High-half route, migration in flight: the entity may not have moved
+    // out of its pre-growth home (or may be parked in the stash).
+    ++dual_reads_;
+    return v.subs[j - v.subs.size() / 2]->ContainsEntity(entity) ||
+           StashContains(entity);
+  }
+  return false;
+}
+
+void ElasticFilter::ContainsBatch(std::span<const std::uint64_t> keys,
+                                  bool* results) const {
+  const View& v = CurrentView();
+  if (v.subs.size() == 1 && !v.migrating) {
+    v.subs[0]->ContainsBatch(keys, results);
+    return;
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    results[i] = ContainsSlow(v, keys[i]);
+  }
+}
+
+std::size_t ElasticFilter::InsertBatch(std::span<const std::uint64_t> keys,
+                                       bool* results) {
+  // One pacing call for the whole batch: the migration budget scales with
+  // the key count, so per-key amortised work stays bounded.
+  PaceMigration(keys.size());
+  const View& v = CurrentView();
+  if (v.subs.size() == 1 && !v.migrating) {
+    return v.subs[0]->InsertBatch(keys, results);
+  }
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const bool ok = InsertSlow(v, keys[i]);
+    if (results != nullptr) results[i] = ok;
+    accepted += ok ? 1 : 0;
+  }
+  return accepted;
+}
+
+bool ElasticFilter::Erase(std::uint64_t key) {
+  PaceMigration(1);
+  const View& v = CurrentView();
+  if (v.subs.size() == 1 && !v.migrating) return v.subs[0]->Erase(key);
+  ++counters_.deletions;
+  std::uint64_t entity = 0;
+  v.subs[0]->KeyEntity(key, &entity);
+  const std::size_t j = RouteIn(v, entity);
+  bool erased = v.subs[j]->EraseEntity(entity);
+  if (!erased && v.migrating && j >= v.subs.size() / 2) {
+    erased = v.subs[j - v.subs.size() / 2]->EraseEntity(entity) ||
+             StashErase(entity);
+  }
+  if (erased) items_.fetch_sub(1, kRelaxed);
+  return erased;
+}
+
+// --- aggregates ------------------------------------------------------------
+
+std::size_t ElasticFilter::ItemCount() const noexcept {
+  const View& v = CurrentView();
+  if (v.subs.size() == 1 && !v.migrating) return v.subs[0]->ItemCount();
+  return items_.load(kRelaxed);
+}
+
+std::size_t ElasticFilter::SlotCount() const noexcept {
+  return CurrentView().subs.size() * subs_[0]->SlotCount();
+}
+
+double ElasticFilter::LoadFactor() const noexcept {
+  const std::size_t slots = SlotCount();
+  return slots == 0 ? 0.0
+                    : static_cast<double>(ItemCount()) /
+                          static_cast<double>(slots);
+}
+
+std::size_t ElasticFilter::MemoryBytes() const noexcept {
+  const View& v = CurrentView();
+  std::size_t total = options_.stash_capacity * sizeof(std::uint64_t);
+  for (const Filter* s : v.subs) total += s->MemoryBytes();
+  return total;
+}
+
+void ElasticFilter::Clear() {
+  // Only the ACTIVE subs are cleared — graveyard subs (superseded by a
+  // LoadState) are unreachable and stay frozen for stalled readers.
+  const View& v = CurrentView();
+  Filter* first = v.subs[0];
+  for (Filter* s : v.subs) s->Clear();
+  stash_size_.store(0, std::memory_order_release);
+  migrating_.store(false, kRelaxed);
+  mig_sub_.store(0, kRelaxed);
+  mig_bucket_.store(0, kRelaxed);
+  mig_sweep_needed_ = true;
+  level_.store(0, kRelaxed);
+  items_.store(0, kRelaxed);
+  PublishView({first}, false);
+  RecomputeGrowThreshold(0.0);
+}
+
+bool ElasticFilter::ForEachFingerprint(
+    const std::function<void(std::uint64_t)>& fn) const {
+  const View& v = CurrentView();
+  for (const Filter* s : v.subs) {
+    if (!s->ForEachFingerprint(fn)) return false;
+  }
+  const std::uint32_t n = stash_size_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) fn(stash_[i].load(kRelaxed));
+  return true;
+}
+
+const OpCounters& ElasticFilter::counters() const noexcept {
+  combined_.Reset();
+  combined_ += counters_;
+  const View& v = CurrentView();
+  for (const Filter* s : v.subs) combined_ += s->counters();
+  return combined_;
+}
+
+void ElasticFilter::ResetCounters() noexcept {
+  counters_.Reset();
+  const View& v = CurrentView();
+  for (Filter* s : v.subs) s->ResetCounters();
+}
+
+// --- checkpointing ---------------------------------------------------------
+
+std::uint64_t ElasticFilter::Digest() const noexcept {
+  return detail::ConfigDigest(options_.route_salt, kDigestTag, 0, 0);
+}
+
+bool ElasticFilter::SaveState(std::ostream& out) const {
+  const View& v = CurrentView();
+  if (!detail::WriteStateHeader(out, name_, Digest())) return false;
+  Put(out, static_cast<std::uint32_t>(level_.load(kRelaxed)));
+  Put(out, static_cast<std::uint8_t>(v.migrating ? 1 : 0));
+  Put(out, mig_sub_.load(kRelaxed));
+  Put(out, mig_bucket_.load(kRelaxed));
+  std::vector<std::uint64_t> stash;
+  const std::uint32_t n = stash_size_.load(std::memory_order_acquire);
+  stash.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) stash.push_back(stash_[i].load(kRelaxed));
+  Put(out, static_cast<std::uint64_t>(stash.size()));
+  for (const std::uint64_t e : stash) Put(out, e);
+  Put(out, StashChecksum(stash));
+  if (!out) return false;
+  for (const Filter* s : v.subs) {
+    std::ostringstream blob;
+    if (!s->SaveState(blob)) return false;
+    if (!detail::WriteFramedBlob(out, blob.str())) return false;
+  }
+  return static_cast<bool>(out);
+}
+
+bool ElasticFilter::LoadState(std::istream& in) {
+  if (!detail::ReadStateHeader(in, name_, Digest())) return false;
+  std::uint32_t level = 0;
+  std::uint8_t migrating = 0;
+  std::uint64_t mig_sub = 0, mig_bucket = 0, stash_count = 0;
+  if (!Take(in, level) || !Take(in, migrating) || !Take(in, mig_sub) ||
+      !Take(in, mig_bucket) || !Take(in, stash_count)) {
+    return false;
+  }
+  if (level > options_.max_levels || migrating > 1) return false;
+  const std::uint64_t count = std::uint64_t{1} << level;
+  const std::uint64_t half = count / 2;
+  if (migrating != 0) {
+    // Valid cursors: scanning (sub < half) or finished-but-stash-pending
+    // (sub == half, bucket == 0).
+    if (level == 0 || mig_sub > half ||
+        (mig_sub < half ? mig_bucket >= buckets_per_sub_ : mig_bucket != 0)) {
+      return false;
+    }
+  } else {
+    if (mig_sub != 0 || mig_bucket != 0) return false;
+  }
+  if (stash_count > options_.stash_capacity ||
+      (migrating == 0 && stash_count != 0)) {
+    return false;
+  }
+  std::vector<std::uint64_t> stash(stash_count);
+  for (std::uint64_t& e : stash) {
+    if (!Take(in, e)) return false;
+  }
+  std::uint64_t checksum = 0;
+  if (!Take(in, checksum) || checksum != StashChecksum(stash)) return false;
+
+  // Stage everything into FRESH subs: the live tables are untouched until
+  // the last blob has decoded, so any failure is all-or-nothing (and a
+  // stalled optimistic reader's old view stays coherent throughout). The
+  // superseded subs retire to the graveyard end of subs_.
+  std::vector<std::unique_ptr<Filter>> staged;
+  staged.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string blob;
+    if (!detail::ReadFramedBlob(in, &blob, kMaxSubBlobBytes)) return false;
+    auto sub = BuildSub();  // may throw bad_alloc; filter unchanged then
+    std::istringstream blob_in(blob);
+    if (!sub->LoadState(blob_in)) return false;
+    staged.push_back(std::move(sub));
+  }
+
+  for (std::size_t i = 0; i < stash.size(); ++i) {
+    stash_[i].store(stash[i], kRelaxed);
+  }
+  stash_size_.store(static_cast<std::uint32_t>(stash.size()),
+                    std::memory_order_release);
+  mig_sub_.store(mig_sub, kRelaxed);
+  mig_bucket_.store(mig_bucket, kRelaxed);
+  mig_sweep_needed_ = true;  // the blob does not carry sweep provenance
+  level_.store(level, kRelaxed);
+  std::size_t items = stash.size();
+  std::vector<Filter*> next;
+  next.reserve(count);
+  for (auto& s : staged) {
+    items += s->ItemCount();
+    next.push_back(s.get());
+    subs_.push_back(std::move(s));
+  }
+  items_.store(items, kRelaxed);
+  PublishView(std::move(next), migrating != 0);
+  migrating_.store(migrating != 0, kRelaxed);
+  RecomputeGrowThreshold(0.0);
+  return true;
+}
+
+}  // namespace vcf

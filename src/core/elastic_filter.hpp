@@ -1,0 +1,268 @@
+// Elastic capacity wrapper: incremental online resize with bounded work per
+// mutation and zero false negatives while a migration is in flight.
+//
+// Raw geometry doubling cannot be fingerprint-compatible — a (bucket, fp)
+// pair carries no information about the extra index bit a doubled table
+// needs. What IS derivable from a stored slot alone is its canonical
+// *entity* (Theorem 1 closure: candidate set from any member bucket, no
+// original key), so the elastic filter grows by routing entities across a
+// power-of-two directory of identically parameterised sub-filters:
+//
+//   level L  =>  2^L sub-filters, route(e) = Mix64(e ^ salt) & (2^L - 1)
+//
+// Growing from level L to L+1 appends 2^L freshly built subs; the existing
+// subs stay in place as the LOW half of the new directory, so exactly the
+// entities whose new route has bit L set (~half, by the mix) migrate to the
+// corresponding high-half sub — the classic "extendible" split, done with
+// stored fingerprints alone, no key re-ingest. Migration is incremental:
+// each mutation walks at most `migrate_buckets_per_op` source buckets,
+// moving every slot whose entity routes high via
+//
+//   InsertEntity(high sub)  ->  ClearSlot(low sub)      (copy THEN clear)
+//
+// so a reader racing the move sees the entity in at least one of the two
+// probe sites — never in neither. Readers consult the high-half route
+// first and, only while a migration is marked in flight, fall back to the
+// paired low-half sub (the "dual read" the STATS trailer counts). A
+// bounded atomic stash absorbs the rare entity whose high-half candidate
+// buckets are all busy mid-eviction; the stash drains before the migration
+// is declared complete, and a full stash simply pauses the cursor (bucket
+// re-scan is idempotent — already-moved slots are empty).
+//
+// Concurrency contract: mutations (Insert/Erase/InsertBatch/Clear/
+// LoadState, and the migration steps they drive) require external mutual
+// exclusion, exactly like every other filter here — wrap in
+// ConcurrentFilter/ShardedFilter or use vcfd's per-shard locks. Lookups
+// are safe under those wrappers' optimistic seqlock read path when the
+// sub-filters are: the directory is published copy-on-write behind one
+// atomic pointer (superseded views are retired to a graveyard, never
+// freed), sub-filters are owned append-only for the wrapper's lifetime,
+// and the stash is a fixed atomic array — so a racing read is at worst
+// torn, which sequence validation discards, never a use-after-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.hpp"
+#include "core/filter.hpp"
+#include "metrics/op_counters.hpp"
+
+namespace vcf {
+
+struct ElasticOptions {
+  /// Aggregate load factor at which an insert triggers the next growth
+  /// step (when auto_grow is on).
+  double grow_watermark = 0.85;
+
+  /// After a migration completes, the next growth trigger is max(watermark,
+  /// load-at-completion + hysteresis) so a filter hovering at the watermark
+  /// does not immediately re-trigger.
+  double grow_hysteresis = 0.05;
+
+  /// Source buckets migrated per mutating operation (per key for batches).
+  /// This is the k of "bounded work per insert": larger finishes a resize
+  /// sooner, smaller keeps the p99 insert stall lower. 2 finishes a step in
+  /// ~1/(4 * watermark * 2) of the insert window before the next one is due.
+  unsigned migrate_buckets_per_op = 2;
+
+  /// Hard cap on growth: the directory never exceeds 2^max_levels subs
+  /// (each growth step doubles aggregate slot capacity).
+  unsigned max_levels = 10;
+
+  /// Watermark-triggered growth on the insert path. Off means growth only
+  /// happens through explicit BeginGrow() (the RESIZE admin opcode).
+  bool auto_grow = true;
+
+  /// Salt for the entity-route mix. Must match across checkpoints (it is
+  /// part of the state-blob digest).
+  std::uint64_t route_salt = 0xE1A571CULL;
+
+  /// Fixed capacity of the migration stash (entities whose target bucket
+  /// set was momentarily full). 0 is legal but makes a pathological resize
+  /// pause until churn frees target slots.
+  std::size_t stash_capacity = 64;
+};
+
+class ElasticFilter : public Filter {
+ public:
+  /// Builds one sub-filter. Every call MUST produce an identically
+  /// parameterised filter (same geometry, hash, seed, variant) supporting
+  /// the entity-transport surface (MigrationBuckets() > 0) — CF, VCF/IVCF
+  /// and DVCF qualify. The builder is retained for later growth steps.
+  using SubBuilder = std::function<std::unique_ptr<Filter>()>;
+
+  ElasticFilter(SubBuilder builder, ElasticOptions options = {});
+  ~ElasticFilter() override;
+
+  bool Insert(std::uint64_t key) override;
+  bool Contains(std::uint64_t key) const override;
+  void ContainsBatch(std::span<const std::uint64_t> keys,
+                     bool* results) const override;
+  std::size_t InsertBatch(std::span<const std::uint64_t> keys,
+                          bool* results = nullptr) override;
+  bool Erase(std::uint64_t key) override;
+
+  bool SupportsDeletion() const noexcept override {
+    return subs_[0]->SupportsDeletion();
+  }
+  std::string Name() const override { return name_; }
+  std::size_t ItemCount() const noexcept override;
+  std::size_t SlotCount() const noexcept override;
+  double LoadFactor() const noexcept override;
+  std::size_t MemoryBytes() const noexcept override;
+  void Clear() override;
+
+  /// Checkpoints the full directory plus, mid-migration, the exact cursor
+  /// and stash, so LoadState resumes an interrupted resize precisely where
+  /// it stopped (no restart, no re-scan).
+  bool SaveState(std::ostream& out) const override;
+  bool LoadState(std::istream& in) override;
+
+  bool ForEachFingerprint(
+      const std::function<void(std::uint64_t)>& fn) const override;
+  bool KeyEntity(std::uint64_t key, std::uint64_t* entity) const override {
+    return subs_[0]->KeyEntity(key, entity);
+  }
+
+  /// COW directory + append-only sub ownership + fixed atomic stash: safe
+  /// iff the sub-filters are (see the header comment).
+  bool OptimisticReadSafe() const noexcept override {
+    return optimistic_safe_;
+  }
+
+  const OpCounters& counters() const noexcept override;
+  void ResetCounters() noexcept override;
+
+  // --- Elastic surface (admin opcodes, auto-grow policy, STATS) -----------
+
+  /// Starts the next growth step (doubling aggregate capacity). Returns
+  /// false when a migration is already in flight or the level cap is hit.
+  /// Requires the same external exclusion as any mutation. May throw
+  /// std::bad_alloc building the new subs (state is unchanged then).
+  bool BeginGrow();
+
+  /// Runs up to `buckets` source-bucket migration steps outside the insert
+  /// path (admin-driven draining). No-op when not migrating.
+  void MigrateStep(std::size_t buckets);
+
+  /// Current growth level (directory holds 2^level subs).
+  unsigned Level() const noexcept {
+    return level_.load(std::memory_order_relaxed);
+  }
+  /// True while an incremental migration is in flight.
+  bool Migrating() const noexcept {
+    return migrating_.load(std::memory_order_relaxed);
+  }
+  /// Completed growth steps over the filter's lifetime.
+  std::uint64_t Resizes() const noexcept { return resizes_.Value(); }
+  /// Lookups that had to consult the migration pair / stash (dual reads).
+  std::uint64_t DualReads() const noexcept { return dual_reads_.Value(); }
+  /// Source buckets not yet migrated in the current step (0 when idle).
+  std::uint64_t MigrationBacklog() const noexcept;
+  /// Entities currently parked in the migration stash.
+  std::size_t MigrationStashSize() const noexcept {
+    return stash_size_.load(std::memory_order_acquire);
+  }
+
+  void SetAutoGrow(bool on) noexcept { options_.auto_grow = on; }
+  void SetGrowWatermark(double watermark) noexcept;
+  void SetMigrateStep(unsigned buckets) noexcept {
+    options_.migrate_buckets_per_op = buckets == 0 ? 1 : buckets;
+  }
+
+  const ElasticOptions& options() const noexcept { return options_; }
+
+ private:
+  /// One immutable published snapshot of the directory. Readers load the
+  /// pointer once and work off the snapshot; superseded views retire to
+  /// view_history_ (tiny — one per growth step) so a stalled reader's
+  /// pointer stays valid for the wrapper's lifetime.
+  struct View {
+    std::vector<Filter*> subs;   // size is a power of two == 1 << level
+    bool migrating = false;
+  };
+
+  std::size_t RouteIn(const View& v, std::uint64_t entity) const noexcept {
+    return Mix64(entity ^ options_.route_salt) & (v.subs.size() - 1);
+  }
+
+  const View& CurrentView() const noexcept {
+    return *view_.load(std::memory_order_acquire);
+  }
+  void PublishView(std::vector<Filter*> subs, bool migrating);
+
+  bool InsertSlow(const View& v, std::uint64_t key);
+  bool ContainsSlow(const View& v, std::uint64_t key) const;
+  /// Migration work + watermark check shared by every mutating entry point.
+  void PaceMigration(std::size_t ops);
+
+  /// Migrates up to `budget` source buckets of the in-flight step.
+  void MigrateBuckets(std::size_t budget);
+  /// Moves every high-route entity out of one source bucket; false when the
+  /// target and the stash were both full (the bucket must be re-scanned).
+  bool MoveBucketEntities(const View& v, std::size_t sub, std::uint64_t bucket);
+  /// Final straggler sweep + stash drain; when both come up clean,
+  /// publishes the migration complete.
+  void TryFinishMigration();
+  void RecomputeGrowThreshold(double floor_load) noexcept;
+
+  bool StashPush(std::uint64_t entity) noexcept;
+  bool StashContains(std::uint64_t entity) const noexcept;
+  bool StashErase(std::uint64_t entity) noexcept;
+
+  /// Builds one fresh sub via the builder, validating it against subs_[0].
+  std::unique_ptr<Filter> BuildSub() const;
+  std::uint64_t Digest() const noexcept;
+
+  SubBuilder builder_;
+  ElasticOptions options_;
+  std::string name_;
+  bool optimistic_safe_ = false;
+  std::uint64_t buckets_per_sub_ = 0;
+
+  /// Append-only sub ownership: a sub is never destroyed or replaced until
+  /// the wrapper dies (the optimistic-read lifetime contract). The ACTIVE
+  /// subset is whatever the current View references — after a LoadState,
+  /// superseded subs stay here as unreferenced graveyard entries.
+  std::vector<std::unique_ptr<Filter>> subs_;
+
+  std::atomic<const View*> view_{nullptr};
+  std::vector<std::unique_ptr<const View>> view_history_;
+
+  // Mutator-only migration cursor; atomic so STATS threads may sample it.
+  std::atomic<unsigned> level_{0};
+  std::atomic<bool> migrating_{false};
+  std::atomic<std::uint64_t> mig_sub_{0};     // low-half source sub index
+  std::atomic<std::uint64_t> mig_bucket_{0};  // next bucket within it
+  /// A low-half insert since the last straggler sweep may have kicked an
+  /// unmigrated entity behind the cursor; the close path must re-sweep.
+  bool mig_sweep_needed_ = true;
+
+  /// Fixed atomic migration stash (see ResilientFilter's stash for the
+  /// reader-safety argument: slots relaxed, size published with release).
+  std::unique_ptr<std::atomic<std::uint64_t>[]> stash_;
+  std::atomic<std::uint32_t> stash_size_{0};
+
+  /// Logical item count while level > 0 (mutations all pass through the
+  /// wrapper there; at level 0 the single sub's count is authoritative).
+  std::atomic<std::size_t> items_{0};
+
+  /// Absolute item count that trips the next auto-grow (precomputed so the
+  /// per-insert check is one load + compare).
+  std::size_t grow_threshold_items_ = 0;
+
+  RelaxedCounter resizes_;
+  mutable RelaxedCounter dual_reads_;
+  mutable OpCounters combined_;  // aggregation scratch for counters()
+  /// Per-bucket (slot, entity) scratch for migration steps (mutations are
+  /// externally serialized, so one buffer suffices).
+  std::vector<std::pair<unsigned, std::uint64_t>> mig_scratch_;
+};
+
+}  // namespace vcf

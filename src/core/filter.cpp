@@ -15,6 +15,17 @@ bool Filter::ForEachFingerprint(
 }
 bool Filter::KeyEntity(std::uint64_t, std::uint64_t*) const { return false; }
 
+// Default: the entity-transport surface is opt-in alongside the
+// enumeration pair above.
+bool Filter::ForEachEntityInBucket(
+    std::uint64_t, const std::function<void(unsigned, std::uint64_t)>&) const {
+  return false;
+}
+bool Filter::InsertEntity(std::uint64_t) { return false; }
+bool Filter::ContainsEntity(std::uint64_t) const { return false; }
+bool Filter::EraseEntity(std::uint64_t) { return false; }
+bool Filter::ClearSlot(std::uint64_t, unsigned) { return false; }
+
 void Filter::ContainsBatch(std::span<const std::uint64_t> keys,
                            bool* results) const {
   for (std::size_t i = 0; i < keys.size(); ++i) {

@@ -106,6 +106,52 @@ class Filter {
   /// Returns false when unsupported (same kinds as ForEachFingerprint).
   virtual bool KeyEntity(std::uint64_t key, std::uint64_t* entity) const;
 
+  // --- Entity transport (elastic resize, shard merge) ---------------------
+  // Bucket-granular enumeration plus keyless re-ingest: a migration engine
+  // walks a source table bucket by bucket, re-inserts each slot's canonical
+  // entity into an identically parameterised target (Theorem 1 derives the
+  // full candidate set from the entity alone — no original keys), then
+  // frees the source slot. All five hooks default to "unsupported"; the
+  // canonical-entity cuckoo family (CF, VCF/IVCF, DVCF) implements them.
+
+  /// Number of enumerable buckets for bucket-granular migration; 0 when the
+  /// entity-transport surface is unsupported.
+  virtual std::size_t MigrationBuckets() const noexcept { return 0; }
+
+  /// Visits every occupied slot of `bucket` as (slot index, canonical
+  /// entity) — ForEachFingerprint's canonicalisation restricted to one
+  /// bucket. Returns false when unsupported or `bucket` is out of range.
+  virtual bool ForEachEntityInBucket(
+      std::uint64_t bucket,
+      const std::function<void(unsigned, std::uint64_t)>& fn) const;
+
+  /// Re-ingests a canonical entity produced by ForEachFingerprint /
+  /// ForEachEntityInBucket on a filter constructed with IDENTICAL
+  /// parameters (geometry, hash kind, seed, variant). Returns false when
+  /// the entity is malformed, the table is too full, or unsupported.
+  virtual bool InsertEntity(std::uint64_t entity);
+
+  /// Membership by canonical entity (the stored-side derivation, so an
+  /// entity enumerated from an identically parameterised filter probes the
+  /// exact candidate set its fingerprint lives in).
+  virtual bool ContainsEntity(std::uint64_t entity) const;
+
+  /// Removes one stored copy matching `entity` from its candidate set.
+  virtual bool EraseEntity(std::uint64_t entity);
+
+  /// Zeroes one slot of `bucket` (migration calls this after the slot's
+  /// entity was re-ingested elsewhere). False when the slot is already
+  /// empty, out of range, or the surface is unsupported.
+  virtual bool ClearSlot(std::uint64_t bucket, unsigned slot);
+
+  /// Visits the innermost concrete filter(s): wrappers (sharded, resilient,
+  /// concurrent) recurse into their children; everything else visits
+  /// itself. Lets the server find e.g. ElasticFilter instances through any
+  /// wrapper composition.
+  virtual void ForEachLeaf(const std::function<void(Filter&)>& fn) {
+    fn(*this);
+  }
+
   /// Convenience for string keys: hashes to 64 bits (SplitMix) then inserts.
   bool InsertKey(std::string_view key) { return Insert(KeyToU64(key)); }
   bool ContainsKey(std::string_view key) const { return Contains(KeyToU64(key)); }

@@ -74,18 +74,23 @@ ResilientFilter::ResilientFilter(std::unique_ptr<Filter> inner,
 }
 
 bool ResilientFilter::InDegradedMode() const noexcept {
-  // Healthy fast path: one virtual ItemCount() and an integer compare.
-  // The cached threshold starts at 0 (always "crossed"), so the first call
-  // — and every call once the filter is near the watermark — falls through
-  // to the recompute, which is exact against the current geometry.
-  if (inner_->ItemCount() < degrade_threshold_) return false;
-  const double bar =
-      options_.degrade_watermark * static_cast<double>(inner_->SlotCount());
+  // Healthy fast path: two virtual calls and two integer compares. The
+  // cached threshold is keyed to the SlotCount it was computed from, so any
+  // geometry change — an ElasticFilter doubling mid-flight, a DynamicVcf
+  // growing, a checkpoint restore shrinking — invalidates it immediately.
+  // A stale threshold is wrong in both directions: after growth it trips
+  // degraded mode far too early; after a shrink it never trips at all.
+  const std::size_t slots = inner_->SlotCount();
+  if (slots == threshold_slots_ && inner_->ItemCount() < degrade_threshold_) {
+    return false;
+  }
+  const double bar = options_.degrade_watermark * static_cast<double>(slots);
   constexpr double kMax =
       static_cast<double>(std::numeric_limits<std::size_t>::max() / 2);
   degrade_threshold_ =
       bar >= kMax ? static_cast<std::size_t>(kMax)
                   : static_cast<std::size_t>(std::ceil(bar));
+  threshold_slots_ = slots;
   return inner_->ItemCount() >= degrade_threshold_;
 }
 
@@ -276,6 +281,7 @@ bool ResilientFilter::LoadState(std::istream& in) {
     stash_size_.store(static_cast<std::uint32_t>(staged.size()),
                       std::memory_order_release);
     degrade_threshold_ = 0;  // geometry may have changed; recompute lazily
+    threshold_slots_ = 0;
     return true;
   }
   return false;

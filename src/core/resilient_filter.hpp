@@ -119,6 +119,10 @@ class ResilientFilter : public Filter {
   Filter& inner() noexcept { return *inner_; }
   const Filter& inner() const noexcept { return *inner_; }
 
+  void ForEachLeaf(const std::function<void(Filter&)>& fn) override {
+    inner_->ForEachLeaf(fn);
+  }
+
  private:
   /// Moves stashed keys back into the table while placements succeed.
   void DrainStash();
@@ -135,11 +139,14 @@ class ResilientFilter : public Filter {
   /// lock; mutation ordering is still the caller's job.
   std::unique_ptr<std::atomic<std::uint64_t>[]> stash_;
   std::atomic<std::uint32_t> stash_size_{0};
-  /// Inner item count at which the watermark is crossed. Starts at 0 so the
-  /// first check recomputes it; InDegradedMode() refreshes it from the
-  /// current geometry whenever it appears crossed (a growing DynamicVcf
-  /// raises the bar). Mutable: it is a cache, not state.
+  /// Inner item count at which the watermark is crossed, plus the
+  /// SlotCount() it was computed from. Starts at 0 so the first check
+  /// recomputes; InDegradedMode() recomputes whenever the inner geometry
+  /// changed (an elastic resize or growing DynamicVcf raises the bar, a
+  /// restore can lower it) or the bar appears crossed. Mutable: caches,
+  /// not state.
   mutable std::size_t degrade_threshold_ = 0;
+  mutable std::size_t threshold_slots_ = 0;
 };
 
 }  // namespace vcf

@@ -20,6 +20,25 @@ namespace {
 // (and the fallback counter makes hitting it observable).
 constexpr int kOptimisticRetries = 8;
 
+// No shard blob legitimately approaches the frame cap (a 2^30-slot table
+// is ~8 GiB of *slots* already).
+constexpr std::uint64_t kMaxShardBlobBytes = std::uint64_t{1} << 32;
+
+void SetError(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+}
+
+template <typename T>
+void Put(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool Take(std::istream& in, T& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+
 }  // namespace
 
 ShardedFilter::ShardedFilter(std::vector<std::unique_ptr<Filter>> shards,
@@ -28,35 +47,102 @@ ShardedFilter::ShardedFilter(std::vector<std::unique_ptr<Filter>> shards,
   if (shards.empty()) {
     throw std::invalid_argument("ShardedFilter: need at least one shard");
   }
-  shards_.reserve(shards.size());
-  for (auto& f : shards) {
-    if (!f) {
+  base_count_ = shards.size();
+  std::vector<Shard*> map;
+  map.reserve(base_count_);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (!shards[i]) {
       throw std::invalid_argument("ShardedFilter: shard must not be null");
     }
-    const bool safe = f->OptimisticReadSafe();
-    shards_.push_back({std::move(f), std::make_unique<std::shared_mutex>(),
-                       std::make_unique<SeqLock>(), safe});
+    map.push_back(
+        AppendShard(std::move(shards[i]), static_cast<std::uint32_t>(i)));
   }
+  PublishDir(std::move(map));
+}
+
+ShardedFilter::Shard* ShardedFilter::AppendShard(std::unique_ptr<Filter> filter,
+                                                 std::uint32_t family) {
+  const bool safe = filter->OptimisticReadSafe();
+  pool_.push_back({std::move(filter), std::make_unique<std::shared_mutex>(),
+                   std::make_unique<SeqLock>(), safe, family});
+  return &pool_.back();
+}
+
+void ShardedFilter::PublishDir(std::vector<Shard*> map) {
+  auto next = std::make_unique<Directory>();
+  next->map = std::move(map);
+  // Retire-then-publish: superseded directories stay alive for readers
+  // that loaded the pointer before the swap.
+  dir_history_.push_back(std::move(next));
+  dir_.store(dir_history_.back().get(), std::memory_order_release);
+}
+
+std::vector<ShardedFilter::Shard*> ShardedFilter::UniqueShards(
+    const Directory& d) {
+  std::vector<Shard*> unique;
+  unique.reserve(d.map.size());
+  for (Shard* s : d.map) {
+    if (std::find(unique.begin(), unique.end(), s) == unique.end()) {
+      unique.push_back(s);
+    }
+  }
+  return unique;
+}
+
+std::vector<std::size_t> ShardedFilter::AliasClass(const Directory& d,
+                                                   const Shard* target) {
+  std::vector<std::size_t> entries;
+  for (std::size_t i = 0; i < d.map.size(); ++i) {
+    if (d.map[i] == target) entries.push_back(i);
+  }
+  return entries;
 }
 
 std::size_t ShardedFilter::ShardIndex(std::uint64_t key, std::uint64_t salt,
                                       std::size_t shard_count) noexcept {
   // Mix64 is independent of every filter's bucket hash (those consume the
   // key through Hash64 with the filter seed), so routing does not correlate
-  // with in-shard placement.
+  // with in-shard placement. Directory growth is always by doubling, and
+  // (x mod 2N) mod N == x mod N, so a key's entry after a split maps to
+  // either its old shard or that shard's clone — never somewhere new.
   return static_cast<std::size_t>(Mix64(key ^ salt) % shard_count);
 }
 
 bool ShardedFilter::Insert(std::uint64_t key) {
-  Shard& s = shards_[ShardFor(key)];
-  std::unique_lock lock(*s.mutex);
-  SeqLockWriteGuard seq(*s.seq);
-  return s.filter->Insert(key);
+  for (;;) {
+    const Directory& d = CurrentDir();
+    Shard& s = *d.map[ShardIndex(key, salt_, d.map.size())];
+    std::unique_lock lock(*s.mutex);
+    // A split may have re-pointed this key's entry while we waited for the
+    // lock (the split holds it throughout). Re-route if so.
+    const Directory& now = CurrentDir();
+    if (&now != &d &&
+        now.map[ShardIndex(key, salt_, now.map.size())] != &s) {
+      continue;
+    }
+    SeqLockWriteGuard seq(*s.seq);
+    return s.filter->Insert(key);
+  }
 }
 
-bool ShardedFilter::TryContainsOptimistic(std::size_t i, std::uint64_t key,
-                                          bool* result) const noexcept {
-  const Shard& s = shards_[i];
+bool ShardedFilter::Erase(std::uint64_t key) {
+  for (;;) {
+    const Directory& d = CurrentDir();
+    Shard& s = *d.map[ShardIndex(key, salt_, d.map.size())];
+    std::unique_lock lock(*s.mutex);
+    const Directory& now = CurrentDir();
+    if (&now != &d &&
+        now.map[ShardIndex(key, salt_, now.map.size())] != &s) {
+      continue;
+    }
+    SeqLockWriteGuard seq(*s.seq);
+    return s.filter->Erase(key);
+  }
+}
+
+bool ShardedFilter::TryContainsOptimisticShard(const Shard& s,
+                                               std::uint64_t key,
+                                               bool* result) const noexcept {
   if (!s.optimistic_safe || !optimistic_reads()) return false;
   for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
     const std::uint64_t token = s.seq->ReadBegin();
@@ -73,10 +159,15 @@ bool ShardedFilter::TryContainsOptimistic(std::size_t i, std::uint64_t key,
   return false;
 }
 
+bool ShardedFilter::TryContainsOptimistic(std::size_t i, std::uint64_t key,
+                                          bool* result) const noexcept {
+  return TryContainsOptimisticShard(*CurrentDir().map[i], key, result);
+}
+
 bool ShardedFilter::TryContainsBatchOptimistic(
     std::size_t i, std::span<const std::uint64_t> keys,
     bool* results) const noexcept {
-  const Shard& s = shards_[i];
+  const Shard& s = *CurrentDir().map[i];
   if (!s.optimistic_safe || !optimistic_reads()) return false;
   for (int attempt = 0; attempt < kOptimisticRetries; ++attempt) {
     const std::uint64_t token = s.seq->ReadBegin();
@@ -91,30 +182,28 @@ bool ShardedFilter::TryContainsBatchOptimistic(
 }
 
 bool ShardedFilter::Contains(std::uint64_t key) const {
-  const std::size_t i = ShardFor(key);
+  // Reads never re-route: a retired entry's shard keeps its fingerprints,
+  // so a stale directory can only cost a false positive, never a false
+  // negative — stale routing is linearizable for an AMQ.
+  const Directory& d = CurrentDir();
+  const Shard& s = *d.map[ShardIndex(key, salt_, d.map.size())];
   bool result = false;
-  if (TryContainsOptimistic(i, key, &result)) return result;
-  const Shard& s = shards_[i];
+  if (TryContainsOptimisticShard(s, key, &result)) return result;
   if (s.optimistic_safe && optimistic_reads()) ++seq_fallbacks_;
   std::shared_lock lock(*s.mutex);
   return s.filter->Contains(key);
-}
-
-bool ShardedFilter::Erase(std::uint64_t key) {
-  Shard& s = shards_[ShardFor(key)];
-  std::unique_lock lock(*s.mutex);
-  SeqLockWriteGuard seq(*s.seq);
-  return s.filter->Erase(key);
 }
 
 // The batch partition is a hot path: the server runs it once per coalesced
 // run. A counting sort into thread_local scratch replaces the former
 // vector-of-vectors (~2 heap allocations per shard per call) with zero
 // steady-state allocations; thread_local keeps the const ContainsBatch safe
-// to call concurrently from many server workers.
+// to call concurrently from many server workers. The whole partition works
+// off ONE directory snapshot, so a concurrent split cannot skew groups.
 void ShardedFilter::ContainsBatch(std::span<const std::uint64_t> keys,
                                   bool* results) const {
-  const std::size_t n_shards = shards_.size();
+  const Directory& d = CurrentDir();
+  const std::size_t n_shards = d.map.size();
   thread_local std::vector<std::uint32_t> shard_of;
   thread_local std::vector<std::uint32_t> offset, cursor, pos;
   thread_local std::vector<std::uint64_t> grouped;
@@ -124,7 +213,7 @@ void ShardedFilter::ContainsBatch(std::span<const std::uint64_t> keys,
   shard_of.resize(n);
   offset.assign(n_shards + 1, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t s = ShardFor(keys[i]);
+    const std::size_t s = ShardIndex(keys[i], salt_, n_shards);
     shard_of[i] = static_cast<std::uint32_t>(s);
     ++offset[s + 1];
   }
@@ -142,22 +231,40 @@ void ShardedFilter::ContainsBatch(std::span<const std::uint64_t> keys,
   for (std::size_t s = 0; s < n_shards; ++s) {
     const std::size_t lo = offset[s], hi = offset[s + 1];
     if (lo == hi) continue;
+    const Shard& sh = *d.map[s];
     const std::span sub(grouped.data() + lo, hi - lo);
     // Lock-free first: the whole per-shard partition probes under one
     // sequence read/validate pair (the counting sort above already grouped
     // the keys, so validation is per shard, not per key).
-    if (TryContainsBatchOptimistic(s, sub, tmp_bools + lo)) continue;
-    if (shards_[s].optimistic_safe && optimistic_reads()) ++seq_fallbacks_;
-    std::shared_lock lock(*shards_[s].mutex);
-    shards_[s].filter->ContainsBatch(sub, tmp_bools + lo);
-    lock.unlock();
+    bool served = false;
+    if (sh.optimistic_safe && optimistic_reads()) {
+      for (int attempt = 0; attempt < kOptimisticRetries && !served;
+           ++attempt) {
+        const std::uint64_t token = sh.seq->ReadBegin();
+        if ((token & 1) == 0) {
+          sh.filter->ContainsBatch(sub, tmp_bools + lo);
+          if (sh.seq->ReadValidate(token)) {
+            served = true;
+            break;
+          }
+        }
+        ++seq_retries_;
+        CpuRelax();
+      }
+      if (!served) ++seq_fallbacks_;
+    }
+    if (!served) {
+      std::shared_lock lock(*sh.mutex);
+      sh.filter->ContainsBatch(sub, tmp_bools + lo);
+    }
   }
   for (std::size_t i = 0; i < n; ++i) results[pos[i]] = tmp_bools[i];
 }
 
 std::size_t ShardedFilter::InsertBatch(std::span<const std::uint64_t> keys,
                                        bool* results) {
-  const std::size_t n_shards = shards_.size();
+  const Directory& d = CurrentDir();
+  const std::size_t n_shards = d.map.size();
   thread_local std::vector<std::uint32_t> shard_of;
   thread_local std::vector<std::uint32_t> offset, cursor, pos;
   thread_local std::vector<std::uint64_t> grouped;
@@ -167,7 +274,7 @@ std::size_t ShardedFilter::InsertBatch(std::span<const std::uint64_t> keys,
   shard_of.resize(n);
   offset.assign(n_shards + 1, 0);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t s = ShardFor(keys[i]);
+    const std::size_t s = ShardIndex(keys[i], salt_, n_shards);
     shard_of[i] = static_cast<std::uint32_t>(s);
     ++offset[s + 1];
   }
@@ -186,10 +293,22 @@ std::size_t ShardedFilter::InsertBatch(std::span<const std::uint64_t> keys,
   for (std::size_t s = 0; s < n_shards; ++s) {
     const std::size_t lo = offset[s], hi = offset[s + 1];
     if (lo == hi) continue;
-    std::unique_lock lock(*shards_[s].mutex);
+    Shard& sh = *d.map[s];
+    std::unique_lock lock(*sh.mutex);
+    if (&CurrentDir() != &d) {
+      // A split moved the topology under this batch; the group's routing
+      // may be stale, so fall back to per-key inserts (which re-route).
+      lock.unlock();
+      for (std::size_t i = lo; i < hi; ++i) {
+        const bool ok = Insert(grouped[i]);
+        tmp_bools[i] = ok;
+        accepted += ok ? 1 : 0;
+      }
+      continue;
+    }
     {
-      SeqLockWriteGuard seq(*shards_[s].seq);
-      accepted += shards_[s].filter->InsertBatch(
+      SeqLockWriteGuard seq(*sh.seq);
+      accepted += sh.filter->InsertBatch(
           std::span(grouped.data() + lo, hi - lo), tmp_bools + lo);
     }
     lock.unlock();
@@ -201,30 +320,39 @@ std::size_t ShardedFilter::InsertBatch(std::span<const std::uint64_t> keys,
 }
 
 bool ShardedFilter::SupportsDeletion() const noexcept {
-  return std::all_of(shards_.begin(), shards_.end(), [](const Shard& s) {
-    return s.filter->SupportsDeletion();
+  const Directory& d = CurrentDir();
+  return std::all_of(d.map.begin(), d.map.end(), [](const Shard* s) {
+    return s->filter->SupportsDeletion();
   });
 }
 
 std::string ShardedFilter::Name() const {
-  return "Sharded" + std::to_string(shards_.size()) + "(" +
-         shards_[0].filter->Name() + ")";
+  const Directory& d = CurrentDir();
+  return "Sharded" + std::to_string(d.map.size()) + "(" +
+         pool_.front().filter->Name() + ")";
+}
+
+std::size_t ShardedFilter::live_shard_count() const noexcept {
+  return UniqueShards(CurrentDir()).size();
 }
 
 std::size_t ShardedFilter::ItemCount() const noexcept {
+  // Distinct shards only: after a split both halves of an alias class point
+  // at different objects, but a merged/retired object must not be counted
+  // through multiple entries.
   std::size_t total = 0;
-  for (const Shard& s : shards_) {
-    std::shared_lock lock(*s.mutex);
-    total += s.filter->ItemCount();
+  for (const Shard* s : UniqueShards(CurrentDir())) {
+    std::shared_lock lock(*s->mutex);
+    total += s->filter->ItemCount();
   }
   return total;
 }
 
 std::size_t ShardedFilter::SlotCount() const noexcept {
   std::size_t total = 0;
-  for (const Shard& s : shards_) {
-    std::shared_lock lock(*s.mutex);
-    total += s.filter->SlotCount();
+  for (const Shard* s : UniqueShards(CurrentDir())) {
+    std::shared_lock lock(*s->mutex);
+    total += s->filter->SlotCount();
   }
   return total;
 }
@@ -238,27 +366,225 @@ double ShardedFilter::LoadFactor() const noexcept {
 
 std::size_t ShardedFilter::MemoryBytes() const noexcept {
   std::size_t total = 0;
-  for (const Shard& s : shards_) {
-    std::shared_lock lock(*s.mutex);
-    total += s.filter->MemoryBytes();
+  for (const Shard* s : UniqueShards(CurrentDir())) {
+    std::shared_lock lock(*s->mutex);
+    total += s->filter->MemoryBytes();
   }
   return total;
 }
 
+void ShardedFilter::ForEachLeaf(const std::function<void(Filter&)>& fn) {
+  // Visitation holds each shard's write lock (and bumps its sequence), so
+  // the visitor may mutate the leaf it is handed — the admin RESIZE path
+  // relies on this to start elastic growth inside live shards.
+  for (Shard* s : UniqueShards(CurrentDir())) {
+    std::unique_lock lock(*s->mutex);
+    SeqLockWriteGuard seq(*s->seq);
+    s->filter->ForEachLeaf(fn);
+  }
+}
+
 void ShardedFilter::Clear() {
-  for (Shard& s : shards_) {
+  std::lock_guard admin(admin_mutex_);
+  ClearLocked();
+}
+
+void ShardedFilter::ClearLocked() {
+  // Every pool object — mapped or retired — is emptied, and the directory
+  // reverts to the construction topology.
+  for (Shard& s : pool_) {
     std::unique_lock lock(*s.mutex);
     SeqLockWriteGuard seq(*s.seq);
     s.filter->Clear();
   }
+  std::vector<Shard*> map;
+  map.reserve(base_count_);
+  for (std::size_t i = 0; i < base_count_; ++i) map.push_back(&pool_[i]);
+  PublishDir(std::move(map));
+}
+
+// --- split / merge ---------------------------------------------------------
+
+bool ShardedFilter::SplitShard(std::size_t entry, std::string* error) {
+  std::lock_guard admin(admin_mutex_);
+  const Directory& d = CurrentDir();
+  if (entry >= d.map.size()) {
+    SetError(error, "directory entry out of range");
+    return false;
+  }
+  if (!builder_) {
+    SetError(error, "no shard builder configured");
+    return false;
+  }
+  Shard* target = d.map[entry];
+  std::vector<Shard*> map = d.map;
+  std::vector<std::size_t> cls = AliasClass(d, target);
+  if (cls.size() == 1) {
+    // Single-entry class: double the directory first. Doubling by
+    // concatenation keeps `hash % size` routing compatible (see
+    // ShardIndex), and turns the class into {entry, entry + old_size}.
+    if (map.size() * 2 > kMaxDirectoryEntries) {
+      SetError(error, "directory at its size cap");
+      return false;
+    }
+    map.insert(map.end(), map.begin(), map.end());
+    cls.push_back(cls[0] + d.map.size());
+  }
+  const std::size_t stride = cls.size() > 1 ? cls[1] - cls[0] : map.size();
+  for (std::size_t t = 0; t < cls.size(); ++t) {
+    if (cls[t] != cls[0] + t * stride) {
+      SetError(error, "alias class is not a residue class (internal)");
+      return false;
+    }
+  }
+
+  // Clone under the parent's write lock, held through directory publish so
+  // no mutation can slip between the copy and the re-pointing. Writers
+  // blocked on this lock re-check the directory once they get it.
+  std::unique_lock lock(*target->mutex);
+  std::ostringstream blob;
+  if (!target->filter->SaveState(blob)) {
+    SetError(error, "inner filter does not support checkpointing");
+    return false;
+  }
+  std::unique_ptr<Filter> clone_filter = builder_(target->family);
+  if (!clone_filter) {
+    SetError(error, "shard builder returned null");
+    return false;
+  }
+  std::istringstream blob_in(blob.str());
+  if (!clone_filter->LoadState(blob_in)) {
+    SetError(error, "clone restore failed (builder/parent mismatch?)");
+    return false;
+  }
+  Shard* clone = AppendShard(std::move(clone_filter), target->family);
+  // Odd residues of the doubled stride route to the clone; evens stay.
+  for (std::size_t t = 1; t < cls.size(); t += 2) map[cls[t]] = clone;
+  PublishDir(std::move(map));
+  ++splits_;
+  return true;
+}
+
+bool ShardedFilter::MergeShards(std::size_t entry, std::string* error) {
+  std::lock_guard admin(admin_mutex_);
+  const Directory& d = CurrentDir();
+  if (entry >= d.map.size()) {
+    SetError(error, "directory entry out of range");
+    return false;
+  }
+  if (!builder_) {
+    SetError(error, "no shard builder configured");
+    return false;
+  }
+  Shard* a = d.map[entry];
+  const std::vector<std::size_t> cls_a = AliasClass(d, a);
+  const std::size_t stride =
+      cls_a.size() > 1 ? cls_a[1] - cls_a[0] : d.map.size();
+  if (stride < 2 || stride % 2 != 0) {
+    SetError(error, "shard has no sibling class to merge with");
+    return false;
+  }
+  const std::size_t partner_entry = cls_a[0] ^ (stride / 2);
+  Shard* b = d.map[partner_entry];
+  if (b == a) {
+    SetError(error, "entry and sibling already share one shard");
+    return false;
+  }
+  const std::vector<std::size_t> cls_b = AliasClass(d, b);
+  if (cls_b.size() != cls_a.size() || cls_b[0] != partner_entry ||
+      (cls_b.size() > 1 && cls_b[1] - cls_b[0] != stride)) {
+    SetError(error, "sibling class is split finer; merge it first");
+    return false;
+  }
+  if (a->family != b->family) {
+    // Different construction seeds: fingerprints are hash images of the
+    // shard's own seed, so a cross-family union would manufacture false
+    // negatives. Base shards are deliberately distinct families — the
+    // directory never shrinks below the construction count.
+    SetError(error, "sibling belongs to a different seed lineage");
+    return false;
+  }
+
+  std::scoped_lock locks(*a->mutex, *b->mutex);
+  std::ostringstream blob;
+  if (!a->filter->SaveState(blob)) {
+    SetError(error, "inner filter does not support checkpointing");
+    return false;
+  }
+  std::unique_ptr<Filter> merged = builder_(a->family);
+  if (!merged) {
+    SetError(error, "shard builder returned null");
+    return false;
+  }
+  if (merged->MigrationBuckets() == 0) {
+    SetError(error, "inner filter lacks the entity-transport surface");
+    return false;
+  }
+  std::istringstream blob_in(blob.str());
+  if (!merged->LoadState(blob_in)) {
+    SetError(error, "merge staging restore failed");
+    return false;
+  }
+  // Union in b's fingerprints by canonical entity, deduplicating the copies
+  // a past split left on both sides. Identical seeds (same family) make the
+  // entities directly transferable — Theorem 1 re-derives the candidate
+  // set in the merged table.
+  bool fits = true;
+  const bool enumerated =
+      b->filter->ForEachFingerprint([&](std::uint64_t entity) {
+        if (!fits || merged->ContainsEntity(entity)) return;
+        if (!merged->InsertEntity(entity)) fits = false;
+      });
+  if (!enumerated) {
+    SetError(error, "inner filter cannot enumerate fingerprints");
+    return false;
+  }
+  if (!fits) {
+    SetError(error, "union does not fit the merged shard");
+    return false;
+  }
+  Shard* fresh = AppendShard(std::move(merged), a->family);
+  std::vector<Shard*> map = d.map;
+  for (const std::size_t e : cls_a) map[e] = fresh;
+  for (const std::size_t e : cls_b) map[e] = fresh;
+  // Halve the directory while its two halves alias completely (undoes the
+  // doubling splits introduced; never below the construction count).
+  while (map.size() % 2 == 0 && map.size() / 2 >= base_count_) {
+    const std::size_t half = map.size() / 2;
+    bool aliased = true;
+    for (std::size_t i = 0; i < half && aliased; ++i) {
+      aliased = map[i] == map[i + half];
+    }
+    if (!aliased) break;
+    map.resize(half);
+  }
+  PublishDir(std::move(map));
+  ++merges_;
+  return true;
+}
+
+// --- checkpointing ---------------------------------------------------------
+
+std::uint64_t ShardedFilter::LegacyDigest() const noexcept {
+  return detail::ConfigDigest(salt_, static_cast<unsigned>(base_count_), 0, 0);
+}
+
+bool ShardedFilter::IdentityDirectory(const Directory& d) const noexcept {
+  if (d.map.size() != base_count_) return false;
+  for (std::size_t i = 0; i < base_count_; ++i) {
+    if (d.map[i] != &pool_[i]) return false;
+  }
+  return true;
 }
 
 bool ShardedFilter::SaveState(std::ostream& out) const {
-  const std::uint64_t digest = detail::ConfigDigest(
-      salt_, static_cast<unsigned>(shards_.size()), 0, 0);
-  if (!detail::WriteStateHeader(out, Name(), digest)) return false;
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    // Stage the shard blob to learn its length, then write it framed.
+  std::lock_guard admin(admin_mutex_);
+  const Directory& d = CurrentDir();
+  if (!IdentityDirectory(d)) return SaveStateV2(out, d);
+  // Construction topology: the legacy byte format, bit-identical to
+  // pre-split builds (golden-blob compatibility).
+  if (!detail::WriteStateHeader(out, Name(), LegacyDigest())) return false;
+  for (std::size_t i = 0; i < d.map.size(); ++i) {
     std::string staged;
     if (!SaveShardState(i, &staged, /*locked=*/true)) return false;
     if (!detail::WriteFramedBlob(out, staged)) return false;
@@ -266,9 +592,44 @@ bool ShardedFilter::SaveState(std::ostream& out) const {
   return true;
 }
 
+bool ShardedFilter::SaveStateV2(std::ostream& out, const Directory& d) const {
+  // ShardedV2 body: u32 dir_size | u32 n_objects | dir_size x u32 ordinal
+  // (first-appearance order) | n_objects x (u32 family + framed blob).
+  const std::uint64_t digest =
+      detail::ConfigDigest(salt_, static_cast<unsigned>(base_count_), 2, 0);
+  const std::string name = "ShardedV2(" + pool_.front().filter->Name() + ")";
+  if (!detail::WriteStateHeader(out, name, digest)) return false;
+  std::vector<Shard*> objects;
+  std::vector<std::uint32_t> ordinal_of(d.map.size());
+  for (std::size_t i = 0; i < d.map.size(); ++i) {
+    Shard* s = d.map[i];
+    auto it = std::find(objects.begin(), objects.end(), s);
+    if (it == objects.end()) {
+      objects.push_back(s);
+      it = objects.end() - 1;
+    }
+    ordinal_of[i] = static_cast<std::uint32_t>(it - objects.begin());
+  }
+  Put(out, static_cast<std::uint32_t>(d.map.size()));
+  Put(out, static_cast<std::uint32_t>(objects.size()));
+  for (const std::uint32_t o : ordinal_of) Put(out, o);
+  if (!out) return false;
+  for (const Shard* s : objects) {
+    Put(out, s->family);
+    std::ostringstream staged;
+    bool ok;
+    {
+      std::shared_lock lock(*s->mutex);
+      ok = s->filter->SaveState(staged);
+    }
+    if (!ok || !detail::WriteFramedBlob(out, staged.str())) return false;
+  }
+  return static_cast<bool>(out);
+}
+
 bool ShardedFilter::SaveShardState(std::size_t i, std::string* blob,
                                    bool locked) const {
-  const Shard& s = shards_[i];
+  const Shard& s = *CurrentDir().map[i];
   std::ostringstream staged;
   bool ok;
   if (locked) {
@@ -284,10 +645,9 @@ bool ShardedFilter::SaveShardState(std::size_t i, std::string* blob,
 
 bool ShardedFilter::SaveStateEnvelope(std::ostream& out,
                                       std::span<const std::string> blobs) const {
-  if (blobs.size() != shards_.size()) return false;
-  const std::uint64_t digest = detail::ConfigDigest(
-      salt_, static_cast<unsigned>(shards_.size()), 0, 0);
-  if (!detail::WriteStateHeader(out, Name(), digest)) return false;
+  const Directory& d = CurrentDir();
+  if (blobs.size() != d.map.size() || !IdentityDirectory(d)) return false;
+  if (!detail::WriteStateHeader(out, Name(), LegacyDigest())) return false;
   for (const std::string& blob : blobs) {
     if (!detail::WriteFramedBlob(out, blob)) return false;
   }
@@ -296,7 +656,7 @@ bool ShardedFilter::SaveStateEnvelope(std::ostream& out,
 
 ShardedFilter::ShardStats ShardedFilter::ShardStatsSnapshot(std::size_t i,
                                                             bool locked) const {
-  const Shard& s = shards_[i];
+  const Shard& s = *CurrentDir().map[i];
   ShardStats st;
   if (locked) {
     std::shared_lock lock(*s.mutex);
@@ -312,16 +672,25 @@ ShardedFilter::ShardStats ShardedFilter::ShardStatsSnapshot(std::size_t i,
 }
 
 bool ShardedFilter::LoadState(std::istream& in) {
-  const std::uint64_t digest = detail::ConfigDigest(
-      salt_, static_cast<unsigned>(shards_.size()), 0, 0);
-  if (!detail::ReadStateHeader(in, Name(), digest)) return false;
-  for (Shard& s : shards_) {
-    // No shard blob legitimately approaches the frame cap (a 2^30-slot
-    // table is ~8 GiB of *slots* already).
-    constexpr std::uint64_t kMaxShardBlobBytes = std::uint64_t{1} << 32;
+  std::lock_guard admin(admin_mutex_);
+  const std::istream::pos_type start = in.tellg();
+  if (LoadStateLegacy(in)) return true;
+  if (in.bad()) return false;
+  in.clear();
+  in.seekg(start);
+  if (!in) return false;
+  return LoadStateV2(in);
+}
+
+bool ShardedFilter::LoadStateLegacy(std::istream& in) {
+  const std::string name = "Sharded" + std::to_string(base_count_) + "(" +
+                           pool_.front().filter->Name() + ")";
+  if (!detail::ReadStateHeader(in, name, LegacyDigest())) return false;
+  for (std::size_t i = 0; i < base_count_; ++i) {
+    Shard& s = pool_[i];
     std::string blob;
     if (!detail::ReadFramedBlob(in, &blob, kMaxShardBlobBytes)) {
-      Clear();
+      ClearLocked();
       return false;
     }
     std::istringstream shard_in(blob);
@@ -332,16 +701,74 @@ bool ShardedFilter::LoadState(std::istream& in) {
       ok = s.filter->LoadState(shard_in);
     }
     if (!ok) {
-      Clear();  // cannot roll back already-restored shards; see header
+      ClearLocked();  // cannot roll back already-restored shards; see header
       return false;
     }
   }
+  // A legacy blob describes the construction topology; restore it.
+  std::vector<Shard*> map;
+  map.reserve(base_count_);
+  for (std::size_t i = 0; i < base_count_; ++i) map.push_back(&pool_[i]);
+  PublishDir(std::move(map));
+  return true;
+}
+
+bool ShardedFilter::LoadStateV2(std::istream& in) {
+  if (!builder_) return false;
+  const std::uint64_t digest =
+      detail::ConfigDigest(salt_, static_cast<unsigned>(base_count_), 2, 0);
+  const std::string name = "ShardedV2(" + pool_.front().filter->Name() + ")";
+  if (!detail::ReadStateHeader(in, name, digest)) return false;
+  std::uint32_t dir_size = 0, n_objects = 0;
+  if (!Take(in, dir_size) || !Take(in, n_objects)) return false;
+  if (dir_size == 0 || dir_size > kMaxDirectoryEntries ||
+      dir_size % base_count_ != 0 || n_objects == 0 ||
+      n_objects > dir_size) {
+    return false;
+  }
+  const std::size_t ratio = dir_size / base_count_;
+  if ((ratio & (ratio - 1)) != 0) return false;  // growth is pure doubling
+  std::vector<std::uint32_t> ordinal_of(dir_size);
+  std::uint32_t seen = 0;
+  for (std::uint32_t i = 0; i < dir_size; ++i) {
+    if (!Take(in, ordinal_of[i]) || ordinal_of[i] >= n_objects) return false;
+    // Canonical first-appearance numbering: a new ordinal must be the next
+    // unseen one, which also guarantees every object is referenced.
+    if (ordinal_of[i] > seen) return false;
+    if (ordinal_of[i] == seen) ++seen;
+  }
+  if (seen != n_objects) return false;
+  // Restore into FRESH objects so a mid-stream failure never leaves a
+  // half-written mapped shard; old objects retire with their content (safe
+  // for readers holding the superseded directory).
+  std::vector<Shard*> objects;
+  objects.reserve(n_objects);
+  for (std::uint32_t o = 0; o < n_objects; ++o) {
+    std::uint32_t family = 0;
+    std::string blob;
+    if (!Take(in, family) ||
+        !detail::ReadFramedBlob(in, &blob, kMaxShardBlobBytes)) {
+      return false;
+    }
+    std::unique_ptr<Filter> filter = builder_(family);
+    if (!filter) return false;
+    std::istringstream blob_in(blob);
+    if (!filter->LoadState(blob_in)) return false;
+    objects.push_back(AppendShard(std::move(filter), family));
+  }
+  std::vector<Shard*> map(dir_size);
+  for (std::uint32_t i = 0; i < dir_size; ++i) {
+    map[i] = objects[ordinal_of[i]];
+  }
+  PublishDir(std::move(map));
   return true;
 }
 
 const OpCounters& ShardedFilter::counters() const noexcept {
   counters_.Reset();
-  for (const Shard& s : shards_) counters_ += s.filter->counters();
+  for (const Shard* s : UniqueShards(CurrentDir())) {
+    counters_ += s->filter->counters();
+  }
   // The optimistic read path's counters live on the wrapper (retries are a
   // property of the wrapper's protocol, not of any inner filter).
   counters_.seqlock_retries += seq_retries_.Value();
@@ -353,7 +780,7 @@ void ShardedFilter::ResetCounters() noexcept {
   counters_.Reset();
   seq_retries_ = 0;
   seq_fallbacks_ = 0;
-  for (Shard& s : shards_) s.filter->ResetCounters();
+  for (Shard* s : UniqueShards(CurrentDir())) s->filter->ResetCounters();
 }
 
 }  // namespace vcf

@@ -20,6 +20,7 @@
 // wrapper; `resilient:` composes per shard (each shard gets its own stash
 // and degraded-mode state). Wrapping a ShardedFilter in ConcurrentFilter is
 // pointless — the shards already carry their own locks.
+//
 // Read path: lookups are OPTIMISTIC by default. Each shard carries a
 // cache-line-padded seqlock (common/seqlock.hpp) next to its reader-writer
 // lock; writers bump it to odd around every mutation (while also holding
@@ -29,12 +30,37 @@
 // the shared_lock path — so writer-heavy shards cannot livelock readers,
 // and inner filters that are not OptimisticReadSafe() (growing tables)
 // always take the lock. See DESIGN.md "Concurrency model".
+//
+// Live topology: routing goes through a copy-on-write DIRECTORY — an
+// immutable vector of shard pointers behind one atomic pointer — over an
+// append-only pool of shard objects. SplitShard/MergeShards publish a new
+// directory without stopping readers or writers: a split clones a hot
+// shard (checkpoint-blob copy) and hands the clone half of the parent's
+// directory entries (an extendible-hashing-style alias-class split, so
+// power-of-two directory growth keeps `hash % size` routing compatible);
+// a merge unions two sibling classes into a freshly built shard. Writers
+// re-check the directory after taking their shard lock and re-route if
+// their entry moved; readers never need to — a retired shard keeps its
+// fingerprints, so a stale route can only cost a false positive, never a
+// false negative. Superseded directories and unmapped shard objects are
+// retired, not freed (the optimistic-read lifetime contract).
+//
+// A split COPIES fingerprints (an approximate filter cannot attribute a
+// stored fingerprint to a routing key), so both sides briefly answer for
+// the whole parent key set: false-positive pressure for the affected
+// entries is ~2x until churn (erase + reinsert) washes the duplicates out.
+// Split is therefore a LOCK-GRANULARITY tool — aggregate capacity growth
+// belongs to the elastic layer (compose `sharded:N:elastic:...`).
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
 #include <string>
@@ -48,6 +74,17 @@ namespace vcf {
 class ShardedFilter : public Filter {
  public:
   static constexpr std::uint64_t kDefaultSalt = 0x5Aa7edC0FFEE1234ULL;
+
+  /// Directory entries never exceed this (a split past the cap is refused).
+  static constexpr std::size_t kMaxDirectoryEntries = std::size_t{1} << 16;
+
+  /// Builds a shard of seed lineage `family`. Families 0..N-1 are the
+  /// construction shards; a split clone inherits its parent's family so its
+  /// checkpoint blobs (and thus fingerprints) stay compatible. The factory
+  /// installs this via SetShardBuilder; split/merge and the ShardedV2
+  /// LoadState path refuse to run without it.
+  using ShardBuilder =
+      std::function<std::unique_ptr<Filter>(std::uint32_t family)>;
 
   /// Takes ownership of `shards` (one lock each). All shards should be
   /// built from the same spec, differing only in seed; `salt` feeds the
@@ -76,45 +113,88 @@ class ShardedFilter : public Filter {
   std::size_t MemoryBytes() const noexcept override;
   void Clear() override;
 
-  /// Checkpoint layout: common header (digest covers salt and shard count)
-  /// followed by every shard's own SaveState blob in shard order, each
-  /// prefixed with its u64 byte length. The framing lets LoadState hand
-  /// every shard exactly its own bytes, which matters for inner filters
-  /// whose LoadState reads greedily (ResilientFilter slurps its stream).
+  /// Checkpoint layout. With the construction topology (no live splits in
+  /// effect) this writes the exact legacy format — common header (digest
+  /// covers salt and shard count) followed by every shard's own framed
+  /// SaveState blob — byte-identical to pre-split builds, so golden blobs
+  /// stay valid. A split/merged topology writes the "ShardedV2" envelope:
+  /// the directory (entry -> object ordinal) plus each object's family and
+  /// framed blob.
   bool SaveState(std::ostream& out) const override;
-  /// Restores a SaveState stream. Deviation from the base contract: on a
-  /// mid-stream failure the already-restored prefix cannot be rolled back,
-  /// so ALL shards are cleared and false is returned — the filter is
-  /// empty, not unchanged.
+  /// Restores either format (legacy is tried first; ShardedV2 needs the
+  /// shard builder). Deviation from the base contract: on a mid-stream
+  /// failure the already-restored prefix cannot be rolled back, so ALL
+  /// shards are cleared and false is returned — the filter is empty, not
+  /// unchanged.
   bool LoadState(std::istream& in) override;
 
   /// Aggregated view across shards (snapshot; each call re-sums).
   const OpCounters& counters() const noexcept override;
   void ResetCounters() noexcept override;
 
-  std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Leaf discovery recurses into every distinct live shard, holding that
+  /// shard's write lock (and bumping its sequence) around the visit — the
+  /// visitor may therefore mutate the leaves it is handed.
+  void ForEachLeaf(const std::function<void(Filter&)>& fn) override;
+
+  /// Current directory size (doubles on an entry's first split). Equals the
+  /// construction shard count until a split runs.
+  std::size_t shard_count() const noexcept { return CurrentDir().map.size(); }
+  /// Construction shard count (the directory never shrinks below this).
+  std::size_t base_shard_count() const noexcept { return base_count_; }
+  /// Distinct shard objects currently routed to.
+  std::size_t live_shard_count() const noexcept;
   std::uint64_t salt() const noexcept { return salt_; }
-  /// The shard a key routes to — exposed for tests and load inspection.
+  /// The directory entry a key routes to — exposed for tests and load
+  /// inspection.
   static std::size_t ShardIndex(std::uint64_t key, std::uint64_t salt,
                                 std::size_t shard_count) noexcept;
   std::size_t ShardFor(std::uint64_t key) const noexcept {
-    return ShardIndex(key, salt_, shards_.size());
+    const Directory& d = CurrentDir();
+    return ShardIndex(key, salt_, d.map.size());
   }
-  /// Shard access for tests and the pinned-mode server executor; callers
-  /// must ensure quiescence (or exclusive core-affine ownership).
-  Filter& shard(std::size_t i) noexcept { return *shards_[i].filter; }
+  /// Shard access by directory entry, for tests and the pinned-mode server
+  /// executor; callers must ensure quiescence (or exclusive core-affine
+  /// ownership).
+  Filter& shard(std::size_t i) noexcept { return *CurrentDir().map[i]->filter; }
   const Filter& shard(std::size_t i) const noexcept {
-    return *shards_[i].filter;
+    return *CurrentDir().map[i]->filter;
   }
+
+  // --- Live topology (split / merge) --------------------------------------
+
+  void SetShardBuilder(ShardBuilder builder) { builder_ = std::move(builder); }
+  bool has_shard_builder() const noexcept { return builder_ != nullptr; }
+
+  /// Splits the shard behind directory entry `entry`: clones it (checkpoint
+  /// copy, same family/seed) and re-points half of its alias class — the
+  /// odd residues of the doubled stride — at the clone. When the class has
+  /// a single entry the directory doubles first (routing-compatible, see
+  /// header). Online: runs under the parent's write lock only. Returns
+  /// false with *error set on refusal (no builder, checkpoint-less inner
+  /// filter, directory cap).
+  bool SplitShard(std::size_t entry, std::string* error = nullptr);
+
+  /// Merges the alias class of `entry` with its sibling class (the class
+  /// that a split peeled off, at the same stride) into a freshly built
+  /// shard holding the deduplicated union of both fingerprint sets. Both
+  /// classes' entries then route to the new shard, and the directory halves
+  /// whenever its two halves alias completely. Refused when the sibling
+  /// belongs to a different family (different seed lineage — fingerprints
+  /// are not transferable), is split finer than `entry`'s class, or the
+  /// union does not fit; on refusal nothing changes.
+  bool MergeShards(std::size_t entry, std::string* error = nullptr);
 
   // --- Optimistic (seqlock) read path -------------------------------------
 
-  /// Per-shard writer sequence. The pinned-mode server executor, which
-  /// mutates shards without their locks, must bump this around every
-  /// mutation (SeqLockWriteGuard) so foreign workers' lock-free lookups
-  /// stay sound. Unpinned-mode callers never need it: the wrapper's own
-  /// mutation paths bump it internally.
-  SeqLock& shard_seq(std::size_t i) const noexcept { return *shards_[i].seq; }
+  /// Per-shard writer sequence (by directory entry). The pinned-mode server
+  /// executor, which mutates shards without their locks, must bump this
+  /// around every mutation (SeqLockWriteGuard) so foreign workers'
+  /// lock-free lookups stay sound. Unpinned-mode callers never need it: the
+  /// wrapper's own mutation paths bump it internally.
+  SeqLock& shard_seq(std::size_t i) const noexcept {
+    return *CurrentDir().map[i]->seq;
+  }
 
   /// Enables/disables the lock-free read path (default on). Benchmarks use
   /// this to pin the shared_mutex arm; not meant to be flipped while
@@ -127,16 +207,16 @@ class ShardedFilter : public Filter {
     return optimistic_.load(std::memory_order_relaxed);
   }
 
-  /// Single lock-free lookup attempt loop against shard `i`: probes without
-  /// the shard lock, validating the shard's sequence, retrying up to the
-  /// internal budget. Returns false — with *result untouched — when the
-  /// budget is exhausted or the shard's inner filter is not
-  /// OptimisticReadSafe(); the caller picks the fallback (the shard lock,
-  /// or pinned-mode task forwarding). Never takes a lock itself.
+  /// Single lock-free lookup attempt loop against directory entry `i`:
+  /// probes without the shard lock, validating the shard's sequence,
+  /// retrying up to the internal budget. Returns false — with *result
+  /// untouched — when the budget is exhausted or the shard's inner filter
+  /// is not OptimisticReadSafe(); the caller picks the fallback (the shard
+  /// lock, or pinned-mode task forwarding). Never takes a lock itself.
   bool TryContainsOptimistic(std::size_t i, std::uint64_t key,
                              bool* result) const noexcept;
 
-  /// Batch counterpart over keys already routed to shard `i`.
+  /// Batch counterpart over keys already routed to entry `i`.
   bool TryContainsBatchOptimistic(std::size_t i,
                                   std::span<const std::uint64_t> keys,
                                   bool* results) const noexcept;
@@ -152,21 +232,24 @@ class ShardedFilter : public Filter {
 
   // --- Pinned-executor support (server/server.cpp) ------------------------
   // vcfd's core-affine mode gives each worker thread exclusive ownership of
-  // a shard subset and accesses those shards without their locks. These
-  // helpers let that executor stage checkpoints and stats shard-by-shard on
-  // the owning threads: `locked` = true takes the shard's lock (the normal
-  // path, used for shards whose owner has exited); owners pass false.
+  // a shard subset and accesses those shards without their locks (splits
+  // are refused in pinned mode, so directory entries are stable there).
+  // These helpers let that executor stage checkpoints and stats
+  // shard-by-shard on the owning threads: `locked` = true takes the shard's
+  // lock (the normal path, used for shards whose owner has exited); owners
+  // pass false.
 
-  /// Stages shard i's SaveState bytes into *blob.
+  /// Stages entry i's SaveState bytes into *blob.
   bool SaveShardState(std::size_t i, std::string* blob, bool locked) const;
 
   /// Writes a complete SaveState stream from per-shard blobs staged by
-  /// SaveShardState; blobs.size() must equal shard_count(). The result is
-  /// byte-identical to SaveState() over the same shard states.
+  /// SaveShardState; blobs.size() must equal shard_count() and the
+  /// construction topology must be in effect (pinned mode guarantees both).
+  /// The result is byte-identical to SaveState() over the same shard states.
   bool SaveStateEnvelope(std::ostream& out,
                          std::span<const std::string> blobs) const;
 
-  /// Size counters of one shard, for cross-worker STATS aggregation.
+  /// Size counters of one entry's shard, for cross-worker STATS aggregation.
   struct ShardStats {
     std::size_t items = 0;
     std::size_t slots = 0;
@@ -177,7 +260,7 @@ class ShardedFilter : public Filter {
  private:
   struct Shard {
     std::unique_ptr<Filter> filter;
-    // unique_ptr: shared_mutex is immovable and shards live in a vector.
+    // unique_ptr: shared_mutex is immovable and shards move into the pool.
     std::unique_ptr<std::shared_mutex> mutex;
     // unique_ptr keeps each shard's sequence on its own heap cache line
     // (SeqLock is alignas(64)), away from the neighbours' counters.
@@ -185,13 +268,67 @@ class ShardedFilter : public Filter {
     // Cached filter->OptimisticReadSafe(): a static property, hoisted out
     // of the per-lookup path.
     bool optimistic_safe = false;
+    // Seed lineage (construction shard index). Clones share their parent's
+    // family; merges require equal families.
+    std::uint32_t family = 0;
   };
 
-  std::vector<Shard> shards_;
+  /// One immutable routing snapshot: directory entry -> shard object.
+  struct Directory {
+    std::vector<Shard*> map;
+  };
+
+  const Directory& CurrentDir() const noexcept {
+    return *dir_.load(std::memory_order_acquire);
+  }
+  /// Retire-then-publish; superseded directories live until destruction.
+  void PublishDir(std::vector<Shard*> map);
+  /// Appends a shard object to the pool (stable address) and returns it.
+  Shard* AppendShard(std::unique_ptr<Filter> filter, std::uint32_t family);
+
+  /// Distinct shards of `d.map`, first-appearance order.
+  static std::vector<Shard*> UniqueShards(const Directory& d);
+  /// Sorted directory entries currently mapped to `target`.
+  static std::vector<std::size_t> AliasClass(const Directory& d,
+                                             const Shard* target);
+
+  bool TryContainsOptimisticShard(const Shard& s, std::uint64_t key,
+                                  bool* result) const noexcept;
+
+  /// Clear() body; callers hold admin_mutex_ (LoadState failure paths reuse
+  /// it without re-locking).
+  void ClearLocked();
+
+  /// True when the construction topology is in effect (legacy blob format).
+  bool IdentityDirectory(const Directory& d) const noexcept;
+  std::uint64_t LegacyDigest() const noexcept;
+  bool SaveStateV2(std::ostream& out, const Directory& d) const;
+  bool LoadStateLegacy(std::istream& in);
+  bool LoadStateV2(std::istream& in);
+
+  /// Shard objects, append-only for the wrapper's lifetime: stable
+  /// addresses for lock-free readers holding stale directories.
+  std::deque<Shard> pool_;
+  std::size_t base_count_ = 0;
   std::uint64_t salt_;
+  ShardBuilder builder_;
+
+  std::atomic<const Directory*> dir_{nullptr};
+  std::vector<std::unique_ptr<const Directory>> dir_history_;
+  /// Serializes topology/checkpoint admin ops (split, merge, save, load,
+  /// clear) against each other; the per-op hot paths never take it.
+  mutable std::mutex admin_mutex_;
+
   std::atomic<bool> optimistic_{true};
   mutable RelaxedCounter seq_retries_;
   mutable RelaxedCounter seq_fallbacks_;
+  RelaxedCounter splits_;
+  RelaxedCounter merges_;
+
+ public:
+  /// Completed topology changes (STATS surface).
+  std::uint64_t split_count() const noexcept { return splits_.Value(); }
+  std::uint64_t merge_count() const noexcept { return merges_.Value(); }
 };
 
 }  // namespace vcf

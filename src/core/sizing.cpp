@@ -73,4 +73,29 @@ SizingResult PlanCapacity(const SizingRequest& request) {
   return result;
 }
 
+std::size_t CeilBucketCount(std::size_t min_buckets) {
+  if (min_buckets > kMaxBucketCount) {
+    throw std::invalid_argument(
+        "CeilBucketCount: budget exceeds the 2^32-bucket index cap");
+  }
+  const std::size_t rounded =
+      static_cast<std::size_t>(NextPowerOfTwo(static_cast<std::uint64_t>(
+          min_buckets == 0 ? 1 : min_buckets)));
+  if (rounded > kMaxBucketCount) {
+    throw std::invalid_argument(
+        "CeilBucketCount: budget exceeds the 2^32-bucket index cap");
+  }
+  return rounded < 1 ? 1 : rounded;
+}
+
+CuckooParams NextCapacity(const CuckooParams& current) {
+  if (current.bucket_count >= kMaxBucketCount) {
+    throw std::invalid_argument(
+        "NextCapacity: geometry already at the 2^32-bucket index cap");
+  }
+  CuckooParams next = current;
+  next.bucket_count = CeilBucketCount(current.bucket_count * 2);
+  return next;
+}
+
 }  // namespace vcf

@@ -46,4 +46,21 @@ struct SizingResult {
 /// (fpr so low the fingerprint exceeds the supported 25 bits, zero items).
 SizingResult PlanCapacity(const SizingRequest& request);
 
+/// The cuckoo-family index-width ceiling: every table in the library
+/// addresses buckets with at most 32 bits.
+inline constexpr std::size_t kMaxBucketCount = std::size_t{1} << 32;
+
+/// Rounds a bucket budget up to the smallest legal power-of-two bucket
+/// count — at least one bucket, at most 2^32 (the index-width cap shared by
+/// every cuckoo-family geometry). This is the one rounding rule for
+/// partitioning a slot budget across shards and for sizing growth steps;
+/// throws std::invalid_argument past the cap.
+std::size_t CeilBucketCount(std::size_t min_buckets);
+
+/// One elastic growth step: the same geometry with the bucket count
+/// doubled (fingerprint width, slots per bucket, hash, seed and layout
+/// unchanged, so stored fingerprints stay compatible). Throws
+/// std::invalid_argument when `current` is already at the 2^32-bucket cap.
+CuckooParams NextCapacity(const CuckooParams& current);
+
 }  // namespace vcf

@@ -145,15 +145,70 @@ void VerticalCuckooFilter::Clear() {
 
 bool VerticalCuckooFilter::ForEachFingerprint(
     const std::function<void(std::uint64_t)>& fn) const {
+  // Theorem 1: the full candidate set follows from the slot's current
+  // bucket and fingerprint alone; its minimum is the canonical bucket.
   ForEachOccupiedSlot([&](std::uint64_t bucket, std::uint64_t fp) {
-    // Theorem 1: the full candidate set follows from the slot's current
-    // bucket and fingerprint alone; its minimum is the canonical bucket.
-    std::uint64_t canon = bucket;
-    for (std::uint64_t z : hasher_.Alternates(bucket, FingerprintHash(fp))) {
-      canon = std::min(canon, z);
-    }
-    fn((canon << params_.fingerprint_bits) | fp);
+    fn(SlotEntity(bucket, fp));
   });
+  return true;
+}
+
+bool VerticalCuckooFilter::ForEachEntityInBucket(
+    std::uint64_t bucket,
+    const std::function<void(unsigned, std::uint64_t)>& fn) const {
+  if (bucket >= params_.bucket_count) return false;
+  for (unsigned s = 0; s < params_.slots_per_bucket; ++s) {
+    const std::uint64_t fp = table_.Get(bucket, s);
+    if (fp != 0) fn(s, SlotEntity(bucket, fp));
+  }
+  return true;
+}
+
+bool VerticalCuckooFilter::EntityHashed(std::uint64_t entity,
+                                        Hashed* h) const noexcept {
+  const std::uint64_t fp = entity & LowMask(params_.fingerprint_bits);
+  const std::uint64_t bucket = entity >> params_.fingerprint_bits;
+  if (fp == 0 || bucket >= params_.bucket_count) return false;
+  // Theorem 1: Candidates() from any member bucket yields the same set, so
+  // the canonical bucket stands in for the primary one.
+  h->cand = hasher_.Candidates(bucket, FingerprintHash(fp));
+  h->fp = fp;
+  return true;
+}
+
+bool VerticalCuckooFilter::InsertEntity(std::uint64_t entity) {
+  Hashed h;
+  if (!EntityHashed(entity, &h)) return false;
+  if (TryPlaceDirect(h)) return true;
+  return kernel::EvictInsert(*this, h);
+}
+
+bool VerticalCuckooFilter::ContainsEntity(std::uint64_t entity) const {
+  Hashed h;
+  if (!EntityHashed(entity, &h)) return false;
+  return ProbeCandidates(h);
+}
+
+bool VerticalCuckooFilter::EraseEntity(std::uint64_t entity) {
+  Hashed h;
+  if (!EntityHashed(entity, &h)) return false;
+  counters_.bucket_probes += 4;
+  for (std::uint64_t c : h.cand.bucket) {
+    if (table_.EraseValue(c, h.fp)) {
+      --items_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool VerticalCuckooFilter::ClearSlot(std::uint64_t bucket, unsigned slot) {
+  if (bucket >= params_.bucket_count || slot >= params_.slots_per_bucket) {
+    return false;
+  }
+  if (table_.Get(bucket, slot) == 0) return false;
+  table_.Set(bucket, slot, 0);
+  --items_;
   return true;
 }
 

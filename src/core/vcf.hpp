@@ -16,6 +16,7 @@
 // gives the library an atomic-insert guarantee.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -85,6 +86,21 @@ class VerticalCuckooFilter
       const std::function<void(std::uint64_t)>& fn) const override;
   bool KeyEntity(std::uint64_t key, std::uint64_t* entity) const override;
 
+  /// Entity transport (elastic resize / shard merge): the candidate set is
+  /// re-derived from the entity's canonical bucket and fingerprint via
+  /// Theorem 1, so entities move between identically parameterised tables
+  /// without the original keys.
+  std::size_t MigrationBuckets() const noexcept override {
+    return params_.bucket_count;
+  }
+  bool ForEachEntityInBucket(
+      std::uint64_t bucket,
+      const std::function<void(unsigned, std::uint64_t)>& fn) const override;
+  bool InsertEntity(std::uint64_t entity) override;
+  bool ContainsEntity(std::uint64_t entity) const override;
+  bool EraseEntity(std::uint64_t entity) override;
+  bool ClearSlot(std::uint64_t bucket, unsigned slot) override;
+
   /// Eq. 8's r for this mask shape.
   double TheoreticalR() const noexcept { return hasher_.TheoreticalR(); }
   const VerticalHasher& hasher() const noexcept { return hasher_; }
@@ -149,6 +165,19 @@ class VerticalCuckooFilter
            hasher_.offset_mask();
   }
   std::uint64_t Digest() const noexcept;
+  /// Splits a canonical entity back into its Hashed form (candidate set +
+  /// fingerprint). False when the entity is out of range for this geometry.
+  bool EntityHashed(std::uint64_t entity, Hashed* h) const noexcept;
+  /// The canonical entity of the fingerprint stored in `bucket` —
+  /// min-of-candidate-set, shared by ForEachFingerprint and the bucket walk.
+  std::uint64_t SlotEntity(std::uint64_t bucket,
+                           std::uint64_t fp) const noexcept {
+    std::uint64_t canon = bucket;
+    for (std::uint64_t z : hasher_.Alternates(bucket, FingerprintHash(fp))) {
+      canon = std::min(canon, z);
+    }
+    return (canon << params_.fingerprint_bits) | fp;
+  }
 
   CuckooParams params_;
   VerticalHasher hasher_;

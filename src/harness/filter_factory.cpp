@@ -16,10 +16,12 @@
 #include "baselines/vacuum_filter.hpp"
 #include "common/bitops.hpp"
 #include "core/dvcf.hpp"
+#include "core/elastic_filter.hpp"
 #include "core/kvcf.hpp"
 #include "common/random.hpp"
 #include "core/resilient_filter.hpp"
 #include "core/sharded_filter.hpp"
+#include "core/sizing.hpp"
 #include "harness/flags.hpp"
 #include "core/vcf.hpp"
 #include "core/vertical_hashing.hpp"
@@ -58,6 +60,11 @@ std::string FilterSpec::DisplayName() const {
     FilterSpec bare = *this;
     bare.resilient = false;
     return "Resilient(" + bare.DisplayName() + ")";
+  }
+  if (elastic) {
+    FilterSpec bare = *this;
+    bare.elastic = false;
+    return "Elastic(" + bare.DisplayName() + ")";
   }
   if (tiered) {
     FilterSpec bare = *this;
@@ -118,25 +125,62 @@ std::unique_ptr<Filter> MakeFilter(const FilterSpec& spec) {
   }
   if (spec.shards > 0) {
     // Split the slot budget: each shard serves ~1/N of the keys, so its
-    // bucket count is the per-shard share rounded up to a power of two
-    // (the cuckoo geometry requirement). Seeds are derived per shard so
-    // identically-keyed fingerprint collisions do not repeat across shards.
+    // bucket count is the per-shard share rounded up through the shared
+    // growth helper (power of two with the geometry's bucket constraints).
+    // Seeds are derived per shard so identically-keyed fingerprint
+    // collisions do not repeat across shards. The same derivation, keyed by
+    // family, feeds the shard builder so a split clone or a ShardedV2
+    // restore reproduces the exact construction shard.
     FilterSpec bare = spec;
     bare.shards = 0;
-    bare.params.bucket_count = NextPowerOfTwo(
+    bare.params.bucket_count = CeilBucketCount(
         (spec.params.bucket_count + spec.shards - 1) / spec.shards);
+    const std::uint64_t base_seed = spec.params.seed;
+    auto build_shard = [bare, base_seed](std::uint32_t family) {
+      FilterSpec shard_spec = bare;
+      shard_spec.params.seed = Mix64(base_seed ^ (0x5A8D5EEDULL + family));
+      return MakeFilter(shard_spec);
+    };
     std::vector<std::unique_ptr<Filter>> inner;
     inner.reserve(spec.shards);
     for (unsigned i = 0; i < spec.shards; ++i) {
-      bare.params.seed = Mix64(spec.params.seed ^ (0x5A8D5EEDULL + i));
-      inner.push_back(MakeFilter(bare));
+      inner.push_back(build_shard(i));
     }
-    return std::make_unique<ShardedFilter>(std::move(inner));
+    auto sharded = std::make_unique<ShardedFilter>(std::move(inner));
+    sharded->SetShardBuilder(build_shard);
+    return sharded;
   }
   if (spec.resilient) {
     FilterSpec bare = spec;
     bare.resilient = false;
     return std::make_unique<ResilientFilter>(MakeFilter(bare));
+  }
+  if (spec.elastic) {
+    switch (spec.kind) {
+      case FilterSpec::Kind::kCF:
+      case FilterSpec::Kind::kVCF:
+      case FilterSpec::Kind::kIVCF:
+      case FilterSpec::Kind::kDVCF:
+        break;
+      default:
+        throw std::invalid_argument(
+            "MakeFilter: elastic: requires an entity-transport leaf "
+            "(cf|vcf|ivcf|dvcf)");
+    }
+    if (spec.tiered) {
+      throw std::invalid_argument(
+          "MakeFilter: elastic: and tiered: do not compose (the tier's "
+          "segments are immutable; use tiered compaction to grow instead)");
+    }
+    FilterSpec leaf = spec;
+    leaf.elastic = false;
+    ElasticOptions options;
+    options.grow_watermark = spec.elastic_watermark;
+    options.grow_hysteresis = spec.elastic_hysteresis;
+    options.migrate_buckets_per_op = spec.elastic_migrate_step;
+    options.max_levels = spec.elastic_max_levels;
+    return std::make_unique<ElasticFilter>([leaf]() { return MakeFilter(leaf); },
+                                           options);
   }
   if (spec.tiered) {
     switch (spec.kind) {
@@ -251,6 +295,7 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
   std::string kind = kind_string;
   constexpr std::string_view kShardedPrefix = "sharded:";
   constexpr std::string_view kResilientPrefix = "resilient:";
+  constexpr std::string_view kElasticPrefix = "elastic:";
   constexpr std::string_view kAlignedPrefix = "aligned:";
   constexpr std::string_view kBfsPrefix = "bfs:";
   constexpr std::string_view kTieredPrefix = "tiered:";
@@ -258,6 +303,7 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
   constexpr std::string_view kHugetlbPrefix = "hugetlb:";
   spec.shards = 0;
   spec.resilient = false;
+  spec.elastic = false;
   spec.aligned = false;
   spec.bfs = false;
   spec.tiered = false;
@@ -288,6 +334,11 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
     if (kind.rfind(kResilientPrefix, 0) == 0) {
       spec.resilient = true;
       kind.erase(0, kResilientPrefix.size());
+      progress = true;
+    }
+    if (kind.rfind(kElasticPrefix, 0) == 0) {
+      spec.elastic = true;
+      kind.erase(0, kElasticPrefix.size());
       progress = true;
     }
     if (kind.rfind(kAlignedPrefix, 0) == 0) {
@@ -351,8 +402,8 @@ void ParseFilterKind(const std::string& kind_string, FilterSpec& spec) {
     throw std::invalid_argument(
         "unknown --filter=" + kind +
         " (cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf, optionally "
-        "prefixed sharded:<n>:, resilient:, aligned:, bfs:, hugepage:, "
-        "hugetlb: and/or tiered:[xor:|bfuse:])");
+        "prefixed sharded:<n>:, resilient:, elastic:, aligned:, bfs:, "
+        "hugepage:, hugetlb: and/or tiered:[xor:|bfuse:])");
   }
 }
 
@@ -369,6 +420,12 @@ FilterSpec SpecFromFlags(const Flags& flags) {
   spec.params.seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 0x5EEDF00D));
   spec.bits_per_item = flags.GetDouble("bits_per_item", 12.0);
+  spec.elastic_watermark = flags.GetDouble("grow_watermark", 0.85);
+  spec.elastic_hysteresis = flags.GetDouble("grow_hysteresis", 0.05);
+  spec.elastic_migrate_step =
+      static_cast<unsigned>(flags.GetInt("migrate_step", 2));
+  spec.elastic_max_levels =
+      static_cast<unsigned>(flags.GetInt("max_levels", 10));
   if (spec.aligned) spec.params.layout = TableLayout::kCacheAligned;
   if (spec.bfs) spec.params.eviction = EvictionMode::kBfs;
   if (flags.GetBool("hugepages") && spec.hugepages == 0) {
@@ -384,14 +441,19 @@ FilterSpec SpecFromFlags(const Flags& flags) {
 const char kFilterFlagsHelp[] =
     "  --filter=cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|dlcbf|vf|sscf\n"
     "      (prefix sharded:<n>: for n locked shards, resilient: for the\n"
-    "       stash/recovery wrapper, aligned: for the cache-aligned bucket\n"
-    "       layout, bfs: for breadth-first-search eviction, tiered: for the\n"
-    "       mutable-front + immutable-segment tier (tiered:xor: selects xor\n"
-    "       segments, tiered:bfuse: binary fuse, the default), hugepage: for\n"
-    "       THP-backed tables, hugetlb: for explicit MAP_HUGETLB with\n"
-    "       silent fallback; sharded:<n>:resilient:tiered:<kind> composes)\n"
+    "       stash/recovery wrapper, elastic: for watermark-triggered online\n"
+    "       resize with bounded per-insert migration, aligned: for the\n"
+    "       cache-aligned bucket layout, bfs: for breadth-first-search\n"
+    "       eviction, tiered: for the mutable-front + immutable-segment tier\n"
+    "       (tiered:xor: selects xor segments, tiered:bfuse: binary fuse,\n"
+    "       the default), hugepage: for THP-backed tables, hugetlb: for\n"
+    "       explicit MAP_HUGETLB with silent fallback;\n"
+    "       sharded:<n>:resilient:elastic:<kind> composes)\n"
     "  --variant=N --slots_log2=N --f=N --hash=fnv|murmur|djb|splitmix\n"
     "  --seed=N --max_kicks=N --bits_per_item=X\n"
+    "  --grow_watermark=X --grow_hysteresis=X --migrate_step=N --max_levels=N\n"
+    "      elastic: tuning (watermark load factor, post-resize hysteresis,\n"
+    "      buckets migrated per insert, growth-step cap)\n"
     "  --hugepages     THP-backed tables (same as the hugepage: prefix)\n";
 
 double SpecTheoreticalR(const FilterSpec& spec) {

@@ -80,6 +80,23 @@ struct FilterSpec {
   /// Segment builder for `tiered`: 0 = binary fuse, 1 = xor.
   unsigned tiered_segment = 0;
 
+  /// Wrap the leaf filter in an ElasticFilter (core/elastic_filter.hpp):
+  /// incremental online resize — past `elastic_watermark` aggregate load the
+  /// filter doubles capacity and migrates stored fingerprints with bounded
+  /// work per insert, serving reads from both halves mid-migration. Only
+  /// the canonical-entity cuckoo family (cf|vcf|ivcf|dvcf) qualifies as the
+  /// leaf. Spelled "elastic:<kind>" in string specs; composes inside
+  /// `sharded:`/`resilient:` ("sharded:4:elastic:vcf" grows each shard
+  /// independently) and is mutually exclusive with `tiered:`.
+  bool elastic = false;
+
+  /// ElasticFilter tuning (used when `elastic` is set; defaults mirror
+  /// ElasticOptions).
+  double elastic_watermark = 0.85;
+  double elastic_hysteresis = 0.05;
+  unsigned elastic_migrate_step = 2;
+  unsigned elastic_max_levels = 10;
+
   /// Page backing for the leaf tables and segments: 0 = normal 4 KiB
   /// pages, 1 = transparent hugepages (madvise(MADV_HUGEPAGE); the
   /// `hugepage:` prefix), 2 = explicit MAP_HUGETLB with silent fallback to
@@ -96,10 +113,10 @@ class Flags;
 
 /// Parses a `--filter` kind string — `cf|vcf|ivcf|dvcf|kvcf|dcf|bf|cbf|qf|
 /// dlcbf|vf|sscf`, optionally prefixed `sharded:<n>:` and then any mix of
-/// `resilient:`, `aligned:`, `bfs:`, `hugepage:`/`hugetlb:` and
+/// `resilient:`, `elastic:`, `aligned:`, `bfs:`, `hugepage:`/`hugetlb:` and
 /// `tiered:[xor:|bfuse:]` (composing:
-/// "sharded:4:resilient:tiered:vcf") — into `spec.kind/shards/resilient/
-/// aligned/bfs/hugepages/tiered/tiered_segment`, leaving
+/// "sharded:4:resilient:elastic:vcf") — into `spec.kind/shards/resilient/
+/// elastic/aligned/bfs/hugepages/tiered/tiered_segment`, leaving
 /// every other field untouched. Throws
 /// std::invalid_argument with an operator-facing message on bad input.
 /// Shared by vcf_tool, vcfd and vcf_loadgen so every binary serves the same

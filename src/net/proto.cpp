@@ -8,7 +8,7 @@ namespace vcf::net {
 namespace {
 
 bool ValidOpcode(std::uint8_t op) noexcept {
-  return op <= static_cast<std::uint8_t>(Opcode::kWorkerInfo);
+  return op <= static_cast<std::uint8_t>(Opcode::kShardSplit);
 }
 
 /// Appends the frame length prefix for a payload built by `fill`. The
@@ -95,6 +95,14 @@ void EncodeEmptyRequest(std::vector<std::uint8_t>& out, Opcode op,
   });
 }
 
+void EncodeShardSplitRequest(std::vector<std::uint8_t>& out,
+                             std::uint32_t request_id, std::uint32_t entry) {
+  WithFrame(out, [&] {
+    PutHeader(out, static_cast<std::uint8_t>(Opcode::kShardSplit), request_id);
+    PutU32(out, entry);
+  });
+}
+
 void EncodeErrorResponse(std::vector<std::uint8_t>& out, Status status,
                          std::uint32_t request_id) {
   WithFrame(out, [&] {
@@ -142,7 +150,10 @@ void EncodeStatsResponse(std::vector<std::uint8_t>& out,
                          bool supports_deletion,
                          std::uint64_t seqlock_retries,
                          std::uint64_t seqlock_fallbacks,
-                         std::uint64_t hugepage_bytes) {
+                         std::uint64_t hugepage_bytes,
+                         std::uint64_t elastic_resizes,
+                         std::uint64_t elastic_backlog,
+                         std::uint64_t elastic_dual_reads) {
   WithFrame(out, [&] {
     PutHeader(out, static_cast<std::uint8_t>(Status::kOk), request_id);
     const std::uint16_t name_len =
@@ -157,6 +168,9 @@ void EncodeStatsResponse(std::vector<std::uint8_t>& out,
     PutU64(out, seqlock_retries);
     PutU64(out, seqlock_fallbacks);
     PutU64(out, hugepage_bytes);
+    PutU64(out, elastic_resizes);
+    PutU64(out, elastic_backlog);
+    PutU64(out, elastic_dual_reads);
   });
 }
 
@@ -300,6 +314,7 @@ DecodeResult DecodeRequest(std::span<const std::uint8_t> payload,
   out.total_bytes = 0;
   out.digest = 0;
   out.blob.clear();
+  out.shard_entry = 0;
   switch (out.opcode) {
     case Opcode::kPing: {
       if (r.Remaining() > kMaxPingEcho) return DecodeResult::kMalformed;
@@ -322,7 +337,13 @@ DecodeResult DecodeRequest(std::span<const std::uint8_t> payload,
     case Opcode::kStats:
     case Opcode::kSnapshot:
     case Opcode::kWorkerInfo:
+    case Opcode::kResize:
       if (!r.AtEnd()) return DecodeResult::kMalformed;
+      return DecodeResult::kOk;
+    case Opcode::kShardSplit:
+      if (!r.ReadU32(out.shard_entry) || !r.AtEnd()) {
+        return DecodeResult::kMalformed;
+      }
       return DecodeResult::kOk;
     case Opcode::kReplHello:
       if (!r.ReadU64(out.epoch) || !r.ReadU64(out.seq) || !r.AtEnd()) {
@@ -399,7 +420,9 @@ DecodeResult DecodeResponse(std::span<const std::uint8_t> payload,
     case Opcode::kInsert:
     case Opcode::kLookup:
     case Opcode::kDelete:
-    case Opcode::kSnapshot: {
+    case Opcode::kSnapshot:
+    case Opcode::kResize:
+    case Opcode::kShardSplit: {
       std::uint8_t flag = 0;
       if (!r.ReadU8(flag) || !r.AtEnd() || flag > 1) {
         return DecodeResult::kMalformed;
@@ -429,6 +452,12 @@ DecodeResult DecodeResponse(std::span<const std::uint8_t> payload,
       return DecodeResult::kOk;
     }
     case Opcode::kStats: {
+      out.seqlock_retries = 0;
+      out.seqlock_fallbacks = 0;
+      out.hugepage_bytes = 0;
+      out.elastic_resizes = 0;
+      out.elastic_backlog = 0;
+      out.elastic_dual_reads = 0;
       std::uint16_t name_len = 0;
       std::span<const std::uint8_t> name_bytes;
       std::uint64_t lf_bits = 0;
@@ -439,12 +468,18 @@ DecodeResult DecodeResponse(std::span<const std::uint8_t> payload,
           !r.ReadU8(deletion) || deletion > 1) {
         return DecodeResult::kMalformed;
       }
-      // Optional trailer (servers that predate it end here; the fields
+      // Optional trailers (servers that predate one end there; the fields
       // keep their zero defaults).
       if (!r.AtEnd() &&
           (!r.ReadU64(out.seqlock_retries) ||
            !r.ReadU64(out.seqlock_fallbacks) ||
-           !r.ReadU64(out.hugepage_bytes) || !r.AtEnd())) {
+           !r.ReadU64(out.hugepage_bytes))) {
+        return DecodeResult::kMalformed;
+      }
+      if (!r.AtEnd() &&
+          (!r.ReadU64(out.elastic_resizes) ||
+           !r.ReadU64(out.elastic_backlog) ||
+           !r.ReadU64(out.elastic_dual_reads) || !r.AtEnd())) {
         return DecodeResult::kMalformed;
       }
       out.name.assign(name_bytes.begin(), name_bytes.end());

@@ -29,6 +29,11 @@
 //                   response: u16 name_len + name bytes + u64 items +
 //                   u64 slots + u64 memory_bytes + u64 load_factor_bits
 //                   (IEEE-754 double bit pattern) + u8 supports_deletion
+//                   [+ trailer u64 seqlock_retries + u64 seqlock_fallbacks +
+//                   u64 hugepage_bytes [+ u64 elastic_resizes +
+//                   u64 elastic_backlog + u64 elastic_dual_reads]] — each
+//                   trailer extends the previous body; decoders accept all
+//                   three lengths
 //     SNAPSHOT      request: empty; asks the server to checkpoint its filter
 //                   to the configured state path now. response: u8 ok
 //     WORKER_INFO   request: empty; asks the serving worker to identify
@@ -40,6 +45,18 @@
 //                   routes keys to a connection on the owning worker skips
 //                   the server's cross-worker forwarding path entirely
 //                   (docs/server.md#core-affine-shard-ownership).
+//     RESIZE        request: empty; asks the server to start one elastic
+//                   growth step on every elastic leaf now (regardless of
+//                   the watermark). response: u8 started (0 when every
+//                   leaf was already at max level or mid-migration);
+//                   kUnsupported when the filter has no elastic layer.
+//     SHARD_SPLIT   request: u32 directory_entry; clones the shard behind
+//                   that entry of the sharded wrapper and re-points half of
+//                   the entry's alias class at the clone (online; see
+//                   core/sharded_filter.hpp). response: u8 ok;
+//                   kUnsupported when the filter is not sharded or the
+//                   server runs pinned shard ownership, kServerError with
+//                   the refusal logged when the split is rejected.
 //
 // Replication messages (docs/server.md#replication). REPLICATE_HELLO is a
 // normal request/response pair; everything after it is a one-way stream —
@@ -122,6 +139,8 @@ enum class Opcode : std::uint8_t {
   kSnapshotChunk = 12,
   kSnapshotEnd = 13,
   kWorkerInfo = 14,
+  kResize = 15,
+  kShardSplit = 16,
 };
 
 enum class Status : std::uint8_t {
@@ -153,6 +172,7 @@ struct Request {
   std::uint64_t total_bytes = 0;  ///< SNAPSHOT_BEGIN / SNAPSHOT_END
   std::uint64_t digest = 0;       ///< SNAPSHOT_END blob integrity hash
   std::vector<std::uint8_t> blob;  ///< SNAPSHOT_CHUNK bytes
+  std::uint32_t shard_entry = 0;   ///< SHARD_SPLIT: directory entry to split
 };
 
 /// A decoded response.
@@ -176,6 +196,13 @@ struct Response {
   std::uint64_t seqlock_retries = 0;
   std::uint64_t seqlock_fallbacks = 0;
   std::uint64_t hugepage_bytes = 0;
+  /// Second optional STATS trailer (elastic capacity; zero against servers
+  /// that predate it): completed growth steps, source buckets still to
+  /// migrate (0 = no migration in flight), and lookups that had to consult
+  /// both tables mid-migration.
+  std::uint64_t elastic_resizes = 0;
+  std::uint64_t elastic_backlog = 0;
+  std::uint64_t elastic_dual_reads = 0;
   // REPLICATE_HELLO body: `flag` carries the snapshot indicator, `seq` the
   // start sequence, `epoch` the primary's run ID (see the header comment).
   std::uint64_t seq = 0;
@@ -210,6 +237,8 @@ void EncodeBatchRequest(std::vector<std::uint8_t>& out, Opcode op,
                         std::span<const std::uint64_t> keys);
 void EncodeEmptyRequest(std::vector<std::uint8_t>& out, Opcode op,
                         std::uint32_t request_id);
+void EncodeShardSplitRequest(std::vector<std::uint8_t>& out,
+                             std::uint32_t request_id, std::uint32_t entry);
 
 void EncodeErrorResponse(std::vector<std::uint8_t>& out, Status status,
                          std::uint32_t request_id);
@@ -228,9 +257,10 @@ void EncodeWorkerInfoResponse(std::vector<std::uint8_t>& out,
                               std::uint32_t worker_count,
                               std::uint32_t shard_count,
                               std::uint64_t route_salt, bool pinned);
-/// The three trailing u64s (seqlock retries/fallbacks, hugepage-backed
-/// bytes) extend the original body; decoders accept both lengths, so old
-/// clients read new servers and vice versa.
+/// The trailing u64s (seqlock retries/fallbacks, hugepage-backed bytes,
+/// then the elastic resize/backlog/dual-read totals) extend the original
+/// body in two steps; decoders accept every length, so old clients read new
+/// servers and vice versa.
 void EncodeStatsResponse(std::vector<std::uint8_t>& out,
                          std::uint32_t request_id, const std::string& name,
                          std::uint64_t items, std::uint64_t slots,
@@ -238,7 +268,10 @@ void EncodeStatsResponse(std::vector<std::uint8_t>& out,
                          bool supports_deletion,
                          std::uint64_t seqlock_retries = 0,
                          std::uint64_t seqlock_fallbacks = 0,
-                         std::uint64_t hugepage_bytes = 0);
+                         std::uint64_t hugepage_bytes = 0,
+                         std::uint64_t elastic_resizes = 0,
+                         std::uint64_t elastic_backlog = 0,
+                         std::uint64_t elastic_dual_reads = 0);
 
 // Replication handshake (request/response) and stream frames (one-way,
 // request_id = 0).

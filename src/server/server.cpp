@@ -20,6 +20,7 @@
 
 #include "common/failpoint.hpp"
 #include "common/hugepage.hpp"
+#include "core/elastic_filter.hpp"
 #include "core/state_io.hpp"
 #include "hash/hash64.hpp"
 #include "net/proto.hpp"
@@ -1253,18 +1254,28 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
         lf = filter_->LoadFactor();
         deletion = filter_->SupportsDeletion();
       }
-      // Trailer: optimistic-read contention from wherever the protocol ran
-      // (filter wrappers or the server-level path) plus hugepage-backed
-      // bytes for every live table. Relaxed counters; no locks needed.
+      // Trailers: optimistic-read contention from wherever the protocol ran
+      // (filter wrappers or the server-level path), hugepage-backed bytes
+      // for every live table, and elastic migration progress summed over
+      // every elastic leaf (ForEachLeaf briefly holds the wrappers' write
+      // locks; the counters themselves are relaxed atomics).
       const OpCounters& fc = filter_->counters();
       const HugepageStats hp = GetHugepageStats();
+      std::uint64_t el_resizes = 0, el_backlog = 0, el_dual = 0;
+      filter_->ForEachLeaf([&](Filter& leaf) {
+        if (auto* e = dynamic_cast<ElasticFilter*>(&leaf)) {
+          el_resizes += e->Resizes();
+          el_backlog += e->MigrationBacklog();
+          el_dual += e->DualReads();
+        }
+      });
       net::EncodeStatsResponse(
           out, req.request_id, name, items, slots, memory, lf, deletion,
           fc.seqlock_retries.Value() +
               counters_.seqlock_retries.load(std::memory_order_relaxed),
           fc.seqlock_fallbacks.Value() +
               counters_.seqlock_fallbacks.load(std::memory_order_relaxed),
-          hp.thp_bytes + hp.hugetlb_bytes);
+          hp.thp_bytes + hp.hugetlb_bytes, el_resizes, el_backlog, el_dual);
       return;
     }
     case Opcode::kSnapshot: {
@@ -1276,10 +1287,71 @@ void VcfServer::HandleFrame(Worker& w, Connection& conn,
       return;
     }
     case Opcode::kWorkerInfo:
+      // Live directory size, not the Start()-time cache: a SHARD_SPLIT may
+      // have grown it (never in pinned mode, where clients rely on it).
       net::EncodeWorkerInfoResponse(
           out, req.request_id, w.index, options_.threads,
-          static_cast<std::uint32_t>(shard_count_), route_salt_, pinned_);
+          static_cast<std::uint32_t>(sharded_ != nullptr
+                                         ? sharded_->shard_count()
+                                         : shard_count_),
+          route_salt_, pinned_);
       return;
+    case Opcode::kResize: {
+      if (options_.read_only) {
+        counters_.read_only_rejections.fetch_add(1, std::memory_order_relaxed);
+        net::EncodeErrorResponse(out, Status::kReadOnly, req.request_id);
+        return;
+      }
+      if (pinned_) {
+        // Owners mutate their shards without locks; an admin-thread
+        // BeginGrow inside one would race them.
+        net::EncodeErrorResponse(out, Status::kUnsupported, req.request_id);
+        return;
+      }
+      bool any_elastic = false;
+      bool started = false;
+      const auto grow = [&](Filter& leaf) {
+        if (auto* e = dynamic_cast<ElasticFilter*>(&leaf)) {
+          any_elastic = true;
+          started = e->BeginGrow() || started;
+        }
+      };
+      if (internal) {
+        filter_->ForEachLeaf(grow);  // wrappers hold their write locks
+      } else {
+        std::unique_lock lock(filter_mutex_);
+        SeqLockWriteGuard seq_guard(filter_seq_);
+        filter_->ForEachLeaf(grow);
+      }
+      if (!any_elastic) {
+        net::EncodeErrorResponse(out, Status::kUnsupported, req.request_id);
+        return;
+      }
+      net::EncodeFlagResponse(out, req.request_id, started);
+      return;
+    }
+    case Opcode::kShardSplit: {
+      if (options_.read_only) {
+        counters_.read_only_rejections.fetch_add(1, std::memory_order_relaxed);
+        net::EncodeErrorResponse(out, Status::kReadOnly, req.request_id);
+        return;
+      }
+      if (sharded_ == nullptr || pinned_ || !sharded_->has_shard_builder()) {
+        // Pinned mode's shard→owner assignment is fixed at Start(); a live
+        // topology change would orphan the clone.
+        net::EncodeErrorResponse(out, Status::kUnsupported, req.request_id);
+        return;
+      }
+      std::string split_error;
+      if (!sharded_->SplitShard(req.shard_entry, &split_error)) {
+        std::fprintf(stderr, "vcfd: SHARD_SPLIT(%u) refused: %s\n",
+                     req.shard_entry, split_error.c_str());
+        net::EncodeErrorResponse(out, Status::kServerError, req.request_id);
+        return;
+      }
+      net::EncodeFlagResponse(out, req.request_id, true);
+      return;
+    }
     case Opcode::kReplHello: {
       if (oplog_ == nullptr) {
         net::EncodeErrorResponse(out, Status::kUnsupported, req.request_id);

@@ -61,6 +61,11 @@ const GoldenCase kCases[] = {
     // least one immutable-segment blob per builder kind.
     {"tiered_vcf", "tiered:vcf", 0, 0.95},
     {"tiered_xor_cf", "tiered:xor:cf", 0, 0.95},
+    // Elastic checkpoint: 0.95 of the STARTING capacity crosses the 0.85
+    // auto-grow watermark with too few inserts left to finish the paced
+    // migration, so the blob deterministically locks the mid-migration
+    // sections — growth level, cursor, stash and both framed sub blobs.
+    {"elastic_vcf", "elastic:vcf", 0, 0.95},
 };
 
 struct RunResult {

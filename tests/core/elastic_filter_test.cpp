@@ -1,0 +1,325 @@
+// ElasticFilter: watermark-triggered online growth, incremental migration
+// with zero false negatives while in flight, dual-read accounting, the
+// straggler sweep that catches eviction-displaced entities, and checkpoint
+// resume of an interrupted migration.
+#include "core/elastic_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/vcf.hpp"
+#include "harness/filter_factory.hpp"
+#include "workload/key_streams.hpp"
+
+namespace vcf {
+namespace {
+
+CuckooParams SmallParams() {
+  CuckooParams p;
+  p.bucket_count = 1 << 8;  // 1024 slots per sub: growth steps stay cheap
+  return p;
+}
+
+ElasticFilter::SubBuilder VcfBuilder(CuckooParams params = SmallParams()) {
+  return [params] { return std::make_unique<VerticalCuckooFilter>(params); };
+}
+
+std::unique_ptr<ElasticFilter> MakeElastic(ElasticOptions options = {}) {
+  return std::make_unique<ElasticFilter>(VcfBuilder(), options);
+}
+
+/// Drives an in-flight migration to completion (bounded, so a livelock
+/// fails the test instead of hanging it).
+void DrainMigration(ElasticFilter& f) {
+  for (int guard = 0; f.Migrating() && guard < 100000; ++guard) {
+    f.MigrateStep(16);
+  }
+  ASSERT_FALSE(f.Migrating()) << "migration failed to drain";
+}
+
+/// Inserts keys until `count` are accepted; returns the accepted keys.
+std::vector<std::uint64_t> Fill(ElasticFilter& f, std::size_t count,
+                                std::uint64_t stream) {
+  std::vector<std::uint64_t> accepted;
+  for (std::size_t i = 0; accepted.size() < count && i < 4 * count; ++i) {
+    const std::uint64_t k = UniformKeyAt(stream, i);
+    if (f.Insert(k)) accepted.push_back(k);
+  }
+  EXPECT_EQ(accepted.size(), count);
+  return accepted;
+}
+
+TEST(ElasticFilterTest, RejectsBadConstruction) {
+  EXPECT_THROW(ElasticFilter(nullptr), std::invalid_argument);
+  EXPECT_THROW(ElasticFilter([] { return std::unique_ptr<Filter>(); }),
+               std::invalid_argument);
+  ElasticOptions bad;
+  bad.grow_watermark = 1.0;
+  EXPECT_THROW(ElasticFilter(VcfBuilder(), bad), std::invalid_argument);
+  bad = {};
+  bad.grow_hysteresis = -0.1;
+  EXPECT_THROW(ElasticFilter(VcfBuilder(), bad), std::invalid_argument);
+  bad = {};
+  bad.max_levels = 25;
+  EXPECT_THROW(ElasticFilter(VcfBuilder(), bad), std::invalid_argument);
+}
+
+TEST(ElasticFilterTest, LevelZeroDelegatesToTheSingleSub) {
+  auto f = MakeElastic();
+  EXPECT_EQ(f->Name(), "Elastic(VCF)");
+  EXPECT_EQ(f->Level(), 0u);
+  EXPECT_FALSE(f->Migrating());
+  EXPECT_EQ(f->SlotCount(), SmallParams().bucket_count * 4);
+  EXPECT_TRUE(f->SupportsDeletion());
+  const auto keys = Fill(*f, 200, 11);
+  for (const auto k : keys) EXPECT_TRUE(f->Contains(k));
+  EXPECT_EQ(f->ItemCount(), keys.size());
+  EXPECT_EQ(f->Resizes(), 0u);
+}
+
+TEST(ElasticFilterTest, AutoGrowthKeepsEveryAcceptedKey) {
+  auto f = MakeElastic();
+  const std::size_t start_slots = f->SlotCount();
+  const auto keys = Fill(*f, 2000, 12);  // ~2x the starting capacity
+  DrainMigration(*f);
+  EXPECT_GE(f->Resizes(), 2u);
+  EXPECT_GE(f->SlotCount(), 4 * start_slots);
+  EXPECT_EQ(f->ItemCount(), keys.size());
+  for (const auto k : keys) {
+    ASSERT_TRUE(f->Contains(k)) << "accepted key lost across growth";
+  }
+  // The watermark policy kept the filter from ever overfilling.
+  EXPECT_LT(f->LoadFactor(), f->options().grow_watermark + 0.01);
+}
+
+TEST(ElasticFilterTest, ManualGrowIsExplicitWhenAutoGrowIsOff) {
+  ElasticOptions options;
+  options.auto_grow = false;
+  auto f = MakeElastic(options);
+  const auto keys = Fill(*f, 900, 13);  // ~0.88 load, past the watermark
+  EXPECT_EQ(f->Level(), 0u) << "grew without being asked";
+
+  ASSERT_TRUE(f->BeginGrow());
+  EXPECT_TRUE(f->Migrating());
+  EXPECT_EQ(f->Level(), 1u);
+  EXPECT_FALSE(f->BeginGrow()) << "second grow while migrating must refuse";
+  EXPECT_GT(f->MigrationBacklog(), 0u);
+
+  // Mid-migration lookups must see every key (and count dual reads for the
+  // ones whose new route is the not-yet-populated high half).
+  f->MigrateStep(8);
+  for (const auto k : keys) ASSERT_TRUE(f->Contains(k));
+  EXPECT_GT(f->DualReads(), 0u);
+
+  DrainMigration(*f);
+  EXPECT_EQ(f->MigrationBacklog(), 0u);
+  EXPECT_EQ(f->MigrationStashSize(), 0u);
+  EXPECT_EQ(f->Resizes(), 1u);
+  EXPECT_EQ(f->SlotCount(), 2 * SmallParams().bucket_count * 4);
+  for (const auto k : keys) ASSERT_TRUE(f->Contains(k));
+  EXPECT_EQ(f->ItemCount(), keys.size());
+}
+
+// Regression test for the migration/eviction race: a low-route insert's
+// cuckoo eviction chain can kick a not-yet-migrated entity into a bucket
+// the cursor already passed. The close path's straggler sweep must catch
+// every such entity before dual reads stop — churn hard against a slow
+// cursor and demand zero false negatives.
+TEST(ElasticFilterTest, SweepCatchesEntitiesDisplacedBehindTheCursor) {
+  ElasticOptions options;
+  options.auto_grow = false;
+  options.migrate_buckets_per_op = 1;  // slow cursor: maximise the window
+  auto f = MakeElastic(options);
+  auto keys = Fill(*f, 850, 14);  // dense: eviction chains are common
+
+  ASSERT_TRUE(f->BeginGrow());
+  std::size_t i = 0;
+  for (int guard = 0; f->Migrating() && guard < 100000; ++guard) {
+    // Every insert paces the migration by one bucket AND (about half the
+    // time) lands in the low half, re-arming the sweep.
+    const std::uint64_t k = UniformKeyAt(15, i++);
+    if (f->Insert(k)) keys.push_back(k);
+  }
+  ASSERT_FALSE(f->Migrating());
+  for (const auto k : keys) {
+    ASSERT_TRUE(f->Contains(k)) << "key displaced behind the cursor was lost";
+  }
+  EXPECT_EQ(f->ItemCount(), keys.size());
+}
+
+TEST(ElasticFilterTest, EraseWorksMidMigration) {
+  ElasticOptions options;
+  options.auto_grow = false;
+  auto f = MakeElastic(options);
+  const auto keys = Fill(*f, 600, 16);
+  ASSERT_TRUE(f->BeginGrow());
+  f->MigrateStep(20);
+
+  const std::size_t before = f->ItemCount();
+  for (std::size_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(f->Erase(keys[i])) << "mid-migration erase missed key " << i;
+  }
+  EXPECT_EQ(f->ItemCount(), before - 100);
+  DrainMigration(*f);
+  // No false negatives among the surviving keys, mid-migration or after.
+  for (std::size_t i = 100; i < keys.size(); ++i) {
+    ASSERT_TRUE(f->Contains(keys[i]));
+  }
+}
+
+TEST(ElasticFilterTest, BatchPathsAgreeWithScalarMidMigration) {
+  ElasticOptions options;
+  options.auto_grow = false;
+  auto f = MakeElastic(options);
+  Fill(*f, 700, 17);
+  ASSERT_TRUE(f->BeginGrow());
+  f->MigrateStep(5);
+
+  const auto more = UniformKeys(256, 18);
+  bool results[256];
+  const std::size_t accepted = f->InsertBatch(more, results);
+  std::size_t flags = 0;
+  for (std::size_t i = 0; i < more.size(); ++i) flags += results[i] ? 1 : 0;
+  EXPECT_EQ(accepted, flags);
+
+  const auto aliens = UniformKeys(256, 19);
+  std::vector<std::uint64_t> probe(more.begin(), more.end());
+  probe.insert(probe.end(), aliens.begin(), aliens.end());
+  {
+    auto results_bool = std::make_unique<bool[]>(probe.size());
+    f->ContainsBatch(probe, results_bool.get());
+    for (std::size_t i = 0; i < probe.size(); ++i) {
+      EXPECT_EQ(results_bool[i], f->Contains(probe[i]))
+          << "batch/scalar disagreement at " << i;
+    }
+  }
+}
+
+TEST(ElasticFilterTest, SaveLoadRoundTripsAfterGrowth) {
+  auto f = MakeElastic();
+  const auto keys = Fill(*f, 1500, 20);
+  DrainMigration(*f);
+  std::stringstream blob;
+  ASSERT_TRUE(f->SaveState(blob));
+
+  auto g = MakeElastic();
+  ASSERT_TRUE(g->LoadState(blob));
+  EXPECT_EQ(g->Level(), f->Level());
+  EXPECT_EQ(g->ItemCount(), f->ItemCount());
+  EXPECT_EQ(g->SlotCount(), f->SlotCount());
+  for (const auto k : keys) ASSERT_TRUE(g->Contains(k));
+}
+
+TEST(ElasticFilterTest, MidMigrationCheckpointResumesExactly) {
+  ElasticOptions options;
+  options.auto_grow = false;
+  auto f = MakeElastic(options);
+  const auto keys = Fill(*f, 800, 21);
+  ASSERT_TRUE(f->BeginGrow());
+  f->MigrateStep(7);  // stop with the cursor mid-sub
+  ASSERT_TRUE(f->Migrating());
+  std::stringstream blob;
+  ASSERT_TRUE(f->SaveState(blob));
+
+  auto g = MakeElastic(options);
+  ASSERT_TRUE(g->LoadState(blob));
+  EXPECT_TRUE(g->Migrating()) << "resumed checkpoint dropped the migration";
+  EXPECT_EQ(g->Level(), 1u);
+  for (const auto k : keys) {
+    ASSERT_TRUE(g->Contains(k)) << "key unreachable after resume";
+  }
+  DrainMigration(*g);
+  for (const auto k : keys) ASSERT_TRUE(g->Contains(k));
+  EXPECT_EQ(g->ItemCount(), keys.size());
+}
+
+TEST(ElasticFilterTest, RejectedLoadLeavesTheFilterUntouched) {
+  ElasticOptions options;
+  options.auto_grow = false;
+  auto f = MakeElastic(options);
+  Fill(*f, 800, 22);
+  ASSERT_TRUE(f->BeginGrow());
+  f->MigrateStep(3);
+  std::stringstream blob;
+  ASSERT_TRUE(f->SaveState(blob));
+  std::string bytes = blob.str();
+  bytes.back() ^= 0x40;  // corrupt the final sub blob's checksum region
+
+  auto g = MakeElastic(options);
+  const auto canary = Fill(*g, 50, 23);
+  const std::size_t before = g->ItemCount();
+  std::stringstream corrupted(bytes);
+  EXPECT_FALSE(g->LoadState(corrupted));
+  EXPECT_EQ(g->ItemCount(), before) << "rejected load mutated item count";
+  for (const auto k : canary) {
+    ASSERT_TRUE(g->Contains(k)) << "rejected load clobbered live state";
+  }
+  EXPECT_EQ(g->Level(), 0u);
+
+  // Truncation mid-header and mid-body must reject the same way.
+  for (const std::size_t len : {std::size_t{6}, bytes.size() / 2}) {
+    std::stringstream prefix(bytes.substr(0, len));
+    EXPECT_FALSE(g->LoadState(prefix));
+    EXPECT_EQ(g->ItemCount(), before);
+  }
+}
+
+TEST(ElasticFilterTest, ClearResetsToASingleSub) {
+  auto f = MakeElastic();
+  Fill(*f, 1200, 24);
+  ASSERT_GE(f->Level(), 1u);
+  f->Clear();
+  EXPECT_EQ(f->Level(), 0u);
+  EXPECT_FALSE(f->Migrating());
+  EXPECT_EQ(f->ItemCount(), 0u);
+  EXPECT_EQ(f->SlotCount(), SmallParams().bucket_count * 4);
+  // The cleared filter is fully reusable, including growing again.
+  const auto keys = Fill(*f, 1200, 25);
+  DrainMigration(*f);
+  for (const auto k : keys) ASSERT_TRUE(f->Contains(k));
+}
+
+TEST(ElasticFilterTest, MaxLevelsCapsGrowth) {
+  ElasticOptions options;
+  options.auto_grow = false;
+  options.max_levels = 1;
+  auto f = MakeElastic(options);
+  Fill(*f, 400, 26);
+  ASSERT_TRUE(f->BeginGrow());
+  DrainMigration(*f);
+  EXPECT_EQ(f->Level(), 1u);
+  EXPECT_FALSE(f->BeginGrow()) << "grew past max_levels";
+}
+
+TEST(ElasticFilterTest, FactorySpellingBuildsAndComposes) {
+  FilterSpec spec;
+  ParseFilterKind("elastic:vcf", spec);
+  spec.params = SmallParams();
+  auto f = MakeFilter(spec);
+  EXPECT_EQ(f->Name(), "Elastic(VCF)");
+
+  // elastic: under sharded: grows each shard independently.
+  FilterSpec sharded;
+  ParseFilterKind("sharded:2:elastic:vcf", sharded);
+  sharded.params = SmallParams();
+  auto s = MakeFilter(sharded);
+  std::size_t elastic_leaves = 0;
+  s->ForEachLeaf([&](Filter& leaf) {
+    if (dynamic_cast<ElasticFilter*>(&leaf) != nullptr) ++elastic_leaves;
+  });
+  EXPECT_EQ(elastic_leaves, 2u);
+
+  // The tier's segments are immutable; elastic cannot compose above them.
+  FilterSpec tiered;
+  ParseFilterKind("elastic:vcf", tiered);
+  tiered.tiered = true;
+  EXPECT_THROW(MakeFilter(tiered), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace vcf

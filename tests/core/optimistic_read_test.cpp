@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/concurrent_filter.hpp"
+#include "core/elastic_filter.hpp"
 #include "core/resilient_filter.hpp"
 #include "core/sharded_filter.hpp"
 #include "harness/filter_factory.hpp"
@@ -228,10 +229,110 @@ TEST_P(OptimisticReadTest, QuiescedOptimisticAgreesWithLockedPath) {
   EXPECT_EQ(rig.fallbacks(), 0u);
 }
 
+// The elastic wrapper under an active resize: readers on the optimistic
+// path while the COW directory republishes, the migration cursor moves
+// entities between subs (copy-then-clear), and writer churn paces it all.
+// Run under TSan this is the elastic half of the seqlock proof: a reader
+// that catches a half-moved bucket fails sequence validation and re-probes
+// against the fresh view, so a resident key is never reported absent.
+TEST(ElasticOptimisticReadTest, ReadersSeeEveryKeyThroughAResizeMigration) {
+  Rig rig = MakeRig("elastic:vcf");
+  ElasticFilter* elastic = nullptr;
+  rig.f().ForEachLeaf([&](Filter& leaf) {
+    if (auto* e = dynamic_cast<ElasticFilter*>(&leaf)) elastic = e;
+  });
+  ASSERT_NE(elastic, nullptr);
+
+  std::vector<std::uint64_t> resident;
+  for (const auto key : UniformKeys(6000, /*stream=*/900)) {
+    if (rig.f().Insert(key)) resident.push_back(key);
+  }
+  ASSERT_GT(resident.size(), 5000u);
+
+  // Open the migration through the locked admin path (the exact shape of
+  // the server's RESIZE handler) BEFORE the hammer: on a small machine the
+  // writers can drain the whole migration inside one scheduler quantum, so
+  // starting it first is the only way to guarantee the readers — and the
+  // deterministic probe below — observe the dual-table window at all.
+  rig.f().ForEachLeaf([](Filter& leaf) {
+    if (auto* e = dynamic_cast<ElasticFilter*>(&leaf)) e->BeginGrow();
+  });
+  ASSERT_TRUE(elastic->Migrating());
+  {
+    // With no mutations yet, the migration cannot close underneath this
+    // read: half the residents route to the fresh table and must be served
+    // from the dual-read pair.
+    const auto probe = std::make_unique<bool[]>(resident.size());
+    rig.f().ContainsBatch(resident, probe.get());
+    for (std::size_t i = 0; i < resident.size(); ++i) {
+      ASSERT_TRUE(probe[i]) << "resident lost the moment the resize began";
+    }
+  }
+  EXPECT_GT(elastic->DualReads(), 0u)
+      << "no read ever consulted the migration pair";
+
+  constexpr int kWriters = 2;
+  constexpr std::uint64_t kChurnOps = 12000;
+  std::atomic<int> writers_running{kWriters};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> reads{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      // Every mutation paces the in-flight migration; erase-own-accepted
+      // keeps resident fingerprints safe exactly as in the hammer above.
+      const std::uint64_t stream = 910 + static_cast<std::uint64_t>(w);
+      for (std::uint64_t i = 0; i < kChurnOps; ++i) {
+        const std::uint64_t key = UniformKeyAt(stream, i);
+        if (rig.f().Insert(key) && i % 4 != 0) rig.f().Erase(key);
+      }
+      writers_running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      const auto batch_results = std::make_unique<bool[]>(resident.size());
+      std::size_t cursor = static_cast<std::size_t>(r) * 67;
+      do {
+        for (int n = 0; n < 512; ++n) {
+          const std::uint64_t key = resident[cursor % resident.size()];
+          if (!rig.f().Contains(key)) misses.fetch_add(1);
+          ++cursor;
+          reads.fetch_add(1, std::memory_order_relaxed);
+        }
+        rig.f().ContainsBatch(resident, batch_results.get());
+        for (std::size_t i = 0; i < resident.size(); ++i) {
+          if (!batch_results[i]) misses.fetch_add(1);
+        }
+        reads.fetch_add(resident.size(), std::memory_order_relaxed);
+      } while (writers_running.load(std::memory_order_acquire) > 0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& t : readers) t.join();
+  // Drain any unfinished tail so the post-hammer sweep runs idle.
+  for (int guard = 0; elastic->Migrating() && guard < 100000; ++guard) {
+    rig.f().ForEachLeaf([](Filter& leaf) {
+      if (auto* e = dynamic_cast<ElasticFilter*>(&leaf)) e->MigrateStep(64);
+    });
+  }
+
+  EXPECT_EQ(misses.load(), 0u)
+      << "optimistic read lost a resident key mid-resize (" << reads.load()
+      << " reads)";
+  EXPECT_GE(elastic->Resizes(), 1u) << "the hammer never finished a resize";
+  EXPECT_GE(rig.retries(), 8 * rig.fallbacks());
+  for (const auto key : resident) ASSERT_TRUE(rig.f().Contains(key));
+}
+
 INSTANTIATE_TEST_SUITE_P(Spellings, OptimisticReadTest,
                          ::testing::Values("sharded:4:vcf", "resilient:vcf",
                                            "tiered:vcf",
-                                           "sharded:2:resilient:tiered:vcf"),
+                                           "sharded:2:resilient:tiered:vcf",
+                                           "elastic:vcf",
+                                           "sharded:2:elastic:vcf"),
                          [](const auto& info) {
                            std::string name = info.param;
                            for (char& c : name) {

@@ -212,6 +212,116 @@ TEST(ShardedFilterTest, ClearEmptiesEveryShard) {
   for (unsigned s = 0; s < 4; ++s) EXPECT_EQ(f->shard(s).ItemCount(), 0u);
 }
 
+std::unique_ptr<Filter> MakeFactorySharded(unsigned shards) {
+  FilterSpec spec;
+  spec.kind = FilterSpec::Kind::kVCF;
+  spec.params.bucket_count = 1 << 10;  // total budget, split across shards
+  spec.shards = shards;
+  return MakeFilter(spec);
+}
+
+TEST(ShardedSplitTest, SplitRefusedWithoutABuilder) {
+  auto f = MakeShardedVcf(2);  // hand-built: no shard builder installed
+  ASSERT_FALSE(f->has_shard_builder());
+  std::string error;
+  EXPECT_FALSE(f->SplitShard(0, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ShardedSplitTest, SplitDoublesTheDirectoryAndKeepsEveryKey) {
+  auto owner = MakeFactorySharded(2);
+  auto* f = dynamic_cast<ShardedFilter*>(owner.get());
+  ASSERT_NE(f, nullptr);
+  const auto keys = UniformKeys(600, 30);
+  for (const auto k : keys) ASSERT_TRUE(f->Insert(k));
+
+  std::string error;
+  ASSERT_TRUE(f->SplitShard(0, &error)) << error;
+  // A 2-entry directory has single-entry alias classes, so the first split
+  // doubles it; the clone takes the peeled-off residue.
+  EXPECT_EQ(f->shard_count(), 4u);
+  EXPECT_EQ(f->live_shard_count(), 3u);
+  EXPECT_EQ(f->split_count(), 1u);
+
+  // A split copies fingerprints, so no key may go missing — and new inserts
+  // route through the doubled directory transparently.
+  for (const auto k : keys) ASSERT_TRUE(f->Contains(k)) << "key lost by split";
+  const auto more = UniformKeys(200, 31);
+  for (const auto k : more) ASSERT_TRUE(f->Insert(k));
+  for (const auto k : more) ASSERT_TRUE(f->Contains(k));
+}
+
+TEST(ShardedSplitTest, MergeReunitesSiblingsAndHalvesTheDirectory) {
+  auto owner = MakeFactorySharded(2);
+  auto* f = dynamic_cast<ShardedFilter*>(owner.get());
+  ASSERT_NE(f, nullptr);
+  const auto keys = UniformKeys(500, 32);
+  for (const auto k : keys) ASSERT_TRUE(f->Insert(k));
+  std::string error;
+  ASSERT_TRUE(f->SplitShard(0, &error)) << error;
+
+  // Reuniting the split pair dedups the copied fingerprints and re-aliases
+  // the halves, so the directory contracts back to the construction size.
+  ASSERT_TRUE(f->MergeShards(0, &error)) << error;
+  EXPECT_EQ(f->shard_count(), 2u);
+  EXPECT_EQ(f->live_shard_count(), 2u);
+  EXPECT_EQ(f->merge_count(), 1u);
+  for (const auto k : keys) ASSERT_TRUE(f->Contains(k)) << "key lost by merge";
+  EXPECT_EQ(f->ItemCount(), keys.size())
+      << "merge failed to dedup the split's fingerprint copies";
+}
+
+TEST(ShardedSplitTest, MergeRefusesAcrossFamilies) {
+  auto owner = MakeFactorySharded(2);
+  auto* f = dynamic_cast<ShardedFilter*>(owner.get());
+  ASSERT_NE(f, nullptr);
+  // With the construction directory, entry 0's sibling is construction
+  // shard 1 — a different seed lineage, so fingerprints don't transfer.
+  std::string error;
+  EXPECT_FALSE(f->MergeShards(0, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(f->shard_count(), 2u) << "refused merge must change nothing";
+}
+
+TEST(ShardedSplitTest, MidTopologyCheckpointRoundTripsViaV2) {
+  auto owner = MakeFactorySharded(2);
+  auto* f = dynamic_cast<ShardedFilter*>(owner.get());
+  ASSERT_NE(f, nullptr);
+  const auto keys = UniformKeys(400, 33);
+  for (const auto k : keys) ASSERT_TRUE(f->Insert(k));
+  std::string error;
+  ASSERT_TRUE(f->SplitShard(0, &error)) << error;
+  std::stringstream blob;
+  ASSERT_TRUE(f->SaveState(blob));
+
+  auto fresh_owner = MakeFactorySharded(2);
+  auto* g = dynamic_cast<ShardedFilter*>(fresh_owner.get());
+  ASSERT_NE(g, nullptr);
+  ASSERT_TRUE(g->LoadState(blob));
+  EXPECT_EQ(g->shard_count(), f->shard_count());
+  EXPECT_EQ(g->live_shard_count(), f->live_shard_count());
+  for (const auto k : keys) ASSERT_TRUE(g->Contains(k));
+}
+
+TEST(ShardedSplitTest, IdentityTopologyStillWritesTheLegacyFormat) {
+  // A never-split factory filter must emit the pre-split blob format — one
+  // a builder-less hand-built instance (same seeds) can still load.
+  auto owner = MakeFactorySharded(2);
+  auto* f = dynamic_cast<ShardedFilter*>(owner.get());
+  ASSERT_NE(f, nullptr);
+  const auto keys = UniformKeys(300, 34);
+  for (const auto k : keys) ASSERT_TRUE(f->Insert(k));
+  std::stringstream blob;
+  ASSERT_TRUE(f->SaveState(blob));
+
+  auto g = MakeFactorySharded(2);
+  auto* gs = dynamic_cast<ShardedFilter*>(g.get());
+  ASSERT_NE(gs, nullptr);
+  gs->SetShardBuilder(nullptr);  // force the legacy decode path
+  ASSERT_TRUE(gs->LoadState(blob));
+  for (const auto k : keys) ASSERT_TRUE(gs->Contains(k));
+}
+
 TEST(ShardedFilterStressTest, MixedWorkloadNeverLosesAcceptedKeys) {
   auto f = MakeShardedVcf(4, /*bucket_log2=*/10);
   // A stable core set that must never go missing while other keys churn.

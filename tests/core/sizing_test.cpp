@@ -62,6 +62,34 @@ TEST(SizingTest, HeadroomAddsSlots) {
             PlanCapacity(lots).params.slot_count());
 }
 
+TEST(SizingTest, CeilBucketCountRoundsUpToLegalPowersOfTwo) {
+  EXPECT_EQ(CeilBucketCount(0), 1u);
+  EXPECT_EQ(CeilBucketCount(1), 1u);
+  EXPECT_EQ(CeilBucketCount(2), 2u);
+  EXPECT_EQ(CeilBucketCount(3), 4u);
+  EXPECT_EQ(CeilBucketCount(1025), 2048u);
+  EXPECT_EQ(CeilBucketCount(std::size_t{1} << 20), std::size_t{1} << 20);
+  EXPECT_EQ(CeilBucketCount(kMaxBucketCount), kMaxBucketCount);
+  EXPECT_THROW(CeilBucketCount(kMaxBucketCount + 1), std::invalid_argument);
+}
+
+TEST(SizingTest, NextCapacityDoublesBucketsAndNothingElse) {
+  CuckooParams p;
+  p.bucket_count = 1 << 10;
+  p.fingerprint_bits = 13;
+  p.seed = 0xFEEDULL;
+  const CuckooParams next = NextCapacity(p);
+  EXPECT_EQ(next.bucket_count, p.bucket_count * 2);
+  EXPECT_EQ(next.fingerprint_bits, p.fingerprint_bits);
+  EXPECT_EQ(next.slots_per_bucket, p.slots_per_bucket);
+  EXPECT_EQ(next.seed, p.seed);
+  EXPECT_EQ(next.slot_count(), 2 * p.slot_count());
+
+  CuckooParams at_cap;
+  at_cap.bucket_count = kMaxBucketCount;
+  EXPECT_THROW(NextCapacity(at_cap), std::invalid_argument);
+}
+
 TEST(SizingTest, PlannedFilterMeetsItsContract) {
   // End-to-end: plan, build, fill to the expected item count, measure FPR.
   SizingRequest req;

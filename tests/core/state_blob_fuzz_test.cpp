@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/elastic_filter.hpp"
 #include "harness/filter_factory.hpp"
 #include "segment/segment.hpp"
 #include "tiered/tiered_filter.hpp"
@@ -43,6 +44,13 @@ std::vector<FilterSpec> BlobSpecs() {
   tiered_xor.tiered = true;
   tiered_xor.tiered_segment = 1;
   specs.push_back(tiered_xor);
+  // Elastic wrapper: its body carries the growth level, the migration
+  // cursor, the stash (with its own checksum) and one framed blob per sub —
+  // and the harness leaves it mid-migration, so every flip also attacks the
+  // resume-a-resize path.
+  FilterSpec elastic{FilterSpec::Kind::kVCF, 0, p, 12.0, 0, false};
+  elastic.elastic = true;
+  specs.push_back(elastic);
   return specs;
 }
 
@@ -61,6 +69,18 @@ void DeepenIfTiered(Filter& source, std::uint64_t frozen_key) {
   ASSERT_GE(tier->TombstoneCount(), 1u);
 }
 
+// Elastic sources would otherwise checkpoint as a boring single sub (the
+// harness load sits below the growth watermark). Start a growth step and
+// run the cursor a few buckets in, so the blob locks the mid-migration
+// checkpoint sections: level, cursor, stash and BOTH sub blobs.
+void DeepenIfElastic(Filter& source) {
+  auto* elastic = dynamic_cast<ElasticFilter*>(&source);
+  if (elastic == nullptr) return;
+  ASSERT_TRUE(elastic->BeginGrow());
+  elastic->MigrateStep(3);
+  ASSERT_TRUE(elastic->Migrating());
+}
+
 class StateBlobFuzzTest : public ::testing::TestWithParam<FilterSpec> {};
 
 TEST_P(StateBlobFuzzTest, EveryBitFlipIsHandled) {
@@ -68,6 +88,7 @@ TEST_P(StateBlobFuzzTest, EveryBitFlipIsHandled) {
   const auto keys = UniformKeys(source->SlotCount() / 2, 1201);
   for (const auto k : keys) source->Insert(k);
   ASSERT_NO_FATAL_FAILURE(DeepenIfTiered(*source, keys.front()));
+  ASSERT_NO_FATAL_FAILURE(DeepenIfElastic(*source));
   std::stringstream blob_stream;
   ASSERT_TRUE(source->SaveState(blob_stream));
   const std::string blob = blob_stream.str();
@@ -111,6 +132,7 @@ TEST_P(StateBlobFuzzTest, TruncationAtEveryLengthIsRejected) {
   const auto keys = UniformKeys(100, 1202);
   for (const auto k : keys) source->Insert(k);
   ASSERT_NO_FATAL_FAILURE(DeepenIfTiered(*source, keys.front()));
+  ASSERT_NO_FATAL_FAILURE(DeepenIfElastic(*source));
   std::stringstream blob_stream;
   ASSERT_TRUE(source->SaveState(blob_stream));
   const std::string blob = blob_stream.str();

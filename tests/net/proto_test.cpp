@@ -109,14 +109,100 @@ TEST(ProtoCodec, StatsRoundTrip) {
   EXPECT_TRUE(resp.supports_deletion);
 }
 
+// Chops `drop` bytes off the end of an encoded frame and patches the u32
+// length prefix to match — how a frame from an encoder predating a trailer
+// extension looks on the wire.
+std::vector<std::uint8_t> ChopFrame(const std::vector<std::uint8_t>& frame,
+                                    std::size_t drop) {
+  std::vector<std::uint8_t> out(frame.begin(), frame.end() - drop);
+  const std::uint32_t len = static_cast<std::uint32_t>(out.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+  return out;
+}
+
+TEST(ProtoCodec, StatsTrailerDecodesAtEveryLength) {
+  // The STATS body grew twice (seqlock/hugepage trailer, then the elastic
+  // trailer); the decoder must accept all three generations of body and
+  // zero every trailer field the frame does not carry.
+  std::vector<std::uint8_t> full;
+  EncodeStatsResponse(full, 5, "VCF", 10, 20, 30, 0.5, false, 111, 222, 333,
+                      7, 4096, 99);
+  const std::vector<std::uint8_t> mid = ChopFrame(full, 3 * 8);
+  const std::vector<std::uint8_t> base = ChopFrame(full, 6 * 8);
+
+  Response resp;
+  resp.elastic_resizes = resp.seqlock_retries = 0xDEAD;  // must be zeroed
+  ASSERT_EQ(DecodeResponse(Payload(base), Opcode::kStats, resp),
+            DecodeResult::kOk);
+  EXPECT_EQ(resp.items, 10u);
+  EXPECT_EQ(resp.seqlock_retries, 0u);
+  EXPECT_EQ(resp.elastic_resizes, 0u);
+
+  ASSERT_EQ(DecodeResponse(Payload(mid), Opcode::kStats, resp),
+            DecodeResult::kOk);
+  EXPECT_EQ(resp.seqlock_retries, 111u);
+  EXPECT_EQ(resp.hugepage_bytes, 333u);
+  EXPECT_EQ(resp.elastic_resizes, 0u);
+  EXPECT_EQ(resp.elastic_dual_reads, 0u);
+
+  ASSERT_EQ(DecodeResponse(Payload(full), Opcode::kStats, resp),
+            DecodeResult::kOk);
+  EXPECT_EQ(resp.seqlock_fallbacks, 222u);
+  EXPECT_EQ(resp.elastic_resizes, 7u);
+  EXPECT_EQ(resp.elastic_backlog, 4096u);
+  EXPECT_EQ(resp.elastic_dual_reads, 99u);
+
+  // A half-written trailer is still malformed, not silently padded.
+  EXPECT_EQ(DecodeResponse(Payload(ChopFrame(full, 4)), Opcode::kStats, resp),
+            DecodeResult::kMalformed);
+  EXPECT_EQ(
+      DecodeResponse(Payload(ChopFrame(full, 3 * 8 + 4)), Opcode::kStats, resp),
+      DecodeResult::kMalformed);
+}
+
 TEST(ProtoCodec, EmptyOpsRoundTrip) {
-  for (const Opcode op : {Opcode::kStats, Opcode::kSnapshot}) {
+  for (const Opcode op :
+       {Opcode::kStats, Opcode::kSnapshot, Opcode::kWorkerInfo,
+        Opcode::kResize}) {
     std::vector<std::uint8_t> frame;
     EncodeEmptyRequest(frame, op, 11);
     Request req;
     ASSERT_EQ(DecodeRequest(Payload(frame), req), DecodeResult::kOk);
     EXPECT_EQ(req.opcode, op);
   }
+}
+
+TEST(ProtoCodec, ResizeResponseRoundTrip) {
+  std::vector<std::uint8_t> frame;
+  EncodeFlagResponse(frame, 31, true);
+  Response resp;
+  ASSERT_EQ(DecodeResponse(Payload(frame), Opcode::kResize, resp),
+            DecodeResult::kOk);
+  EXPECT_EQ(resp.request_id, 31u);
+  EXPECT_TRUE(resp.flag);
+}
+
+TEST(ProtoCodec, ShardSplitRoundTrip) {
+  std::vector<std::uint8_t> frame;
+  EncodeShardSplitRequest(frame, 32, 0xABCDu);
+  Request req;
+  ASSERT_EQ(DecodeRequest(Payload(frame), req), DecodeResult::kOk);
+  EXPECT_EQ(req.opcode, Opcode::kShardSplit);
+  EXPECT_EQ(req.request_id, 32u);
+  EXPECT_EQ(req.shard_entry, 0xABCDu);
+
+  // Entry-less and over-long bodies are both malformed.
+  std::vector<std::uint8_t> empty;
+  EncodeEmptyRequest(empty, Opcode::kShardSplit, 33);
+  EXPECT_EQ(DecodeRequest(Payload(empty), req), DecodeResult::kMalformed);
+  frame.push_back(0);
+  std::uint32_t len = static_cast<std::uint32_t>(frame.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    frame[i] = static_cast<std::uint8_t>(len >> (8 * i));
+  }
+  EXPECT_EQ(DecodeRequest(Payload(frame), req), DecodeResult::kMalformed);
 }
 
 TEST(ProtoCodec, ErrorResponseRoundTrip) {

@@ -163,6 +163,148 @@ TEST(ServerLoopback, SnapshotWithoutStatePathIsUnsupported) {
   EXPECT_TRUE(server->Join());
 }
 
+TEST(ServerLoopback, ResizeGrowsAnElasticFilterLive) {
+  FilterSpec spec;
+  ParseFilterKind("elastic:vcf", spec);
+  spec.params = CuckooParams::ForSlotsLog2(12);  // 4096 slots, 1024 buckets
+  auto server = StartServer(spec, {});
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+
+  // Resident set well below the auto-grow watermark: nothing grows on its
+  // own, so the RESIZE opcode is what starts the migration.
+  std::vector<std::uint64_t> residents;
+  for (std::uint64_t i = 0; i < 1500; ++i) residents.push_back(UniformKeyAt(20, i));
+  bool ok = false;
+  ASSERT_EQ(c.InsertBatch(residents, nullptr, &ok), residents.size());
+  ASSERT_TRUE(ok) << c.last_error();
+
+  client::VcfClient::ServerStats stats;
+  ASSERT_TRUE(c.GetStats(stats)) << c.last_error();
+  const std::uint64_t slots_before = stats.slots;
+  EXPECT_EQ(stats.elastic_resizes, 0u);
+
+  ASSERT_TRUE(c.Resize()) << c.last_error();
+  ASSERT_TRUE(c.GetStats(stats)) << c.last_error();
+  EXPECT_GT(stats.elastic_backlog, 0u);  // migration is in flight
+
+  // Migration is paced by mutations (a few source buckets per op); churn
+  // until the backlog drains, with every lookup mid-flight staying exact.
+  std::vector<char> results(residents.size());
+  for (int round = 0; round < 10 && stats.elastic_backlog > 0; ++round) {
+    std::vector<std::uint64_t> churn;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+      churn.push_back(UniformKeyAt(21 + round, i));
+    }
+    ASSERT_EQ(c.InsertBatch(churn, nullptr, &ok), churn.size());
+    ASSERT_TRUE(ok) << c.last_error();
+    ASSERT_TRUE(c.LookupBatch(residents,
+                              reinterpret_cast<bool*>(results.data())))
+        << c.last_error();
+    for (std::size_t i = 0; i < residents.size(); ++i) {
+      ASSERT_TRUE(results[i]) << "false negative mid-migration: " << i;
+    }
+    ASSERT_TRUE(c.GetStats(stats)) << c.last_error();
+  }
+  EXPECT_EQ(stats.elastic_backlog, 0u) << "migration never drained";
+  EXPECT_GE(stats.elastic_resizes, 1u);
+  EXPECT_EQ(stats.slots, 2 * slots_before);
+
+  ASSERT_TRUE(c.LookupBatch(residents, reinterpret_cast<bool*>(results.data())))
+      << c.last_error();
+  for (std::size_t i = 0; i < residents.size(); ++i) {
+    EXPECT_TRUE(results[i]) << "resident lost across the resize: " << i;
+  }
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+TEST(ServerLoopback, ResizeOnNonElasticFilterIsUnsupported) {
+  auto server = StartServer(ShardedVcfSpec(), {});
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+  EXPECT_FALSE(c.Resize());
+  EXPECT_NE(c.last_error().find("unsupported"), std::string::npos)
+      << c.last_error();
+  // Op-level error: the connection keeps serving.
+  bool ok = false;
+  EXPECT_TRUE(c.Insert(9, &ok));
+  EXPECT_TRUE(ok);
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+TEST(ServerLoopback, ShardSplitGrowsTheDirectoryLive) {
+  FilterSpec spec;
+  ParseFilterKind("sharded:2:vcf", spec);
+  spec.params = CuckooParams::ForSlotsLog2(16);
+  auto server = StartServer(spec, {});
+  client::VcfClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+
+  std::vector<std::uint64_t> keys;
+  for (std::uint64_t i = 0; i < 4000; ++i) keys.push_back(UniformKeyAt(30, i));
+  bool ok = false;
+  ASSERT_EQ(c.InsertBatch(keys, nullptr, &ok), keys.size());
+  ASSERT_TRUE(ok) << c.last_error();
+
+  client::VcfClient::WorkerInfo info;
+  ASSERT_TRUE(c.GetWorkerInfo(info)) << c.last_error();
+  EXPECT_EQ(info.shard_count, 2u);
+
+  ASSERT_TRUE(c.ShardSplit(0)) << c.last_error();
+  ASSERT_TRUE(c.GetWorkerInfo(info)) << c.last_error();
+  EXPECT_EQ(info.shard_count, 4u);  // split doubled the directory
+
+  // An out-of-range entry is refused without hurting the connection.
+  EXPECT_FALSE(c.ShardSplit(999));
+
+  std::vector<char> results(keys.size());
+  ASSERT_TRUE(c.LookupBatch(keys, reinterpret_cast<bool*>(results.data())))
+      << c.last_error();
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_TRUE(results[i]) << "key lost across the split: " << i;
+  }
+  EXPECT_TRUE(c.Insert(0xFACEFEEDULL, &ok));
+  EXPECT_TRUE(ok);
+  server->RequestShutdown();
+  EXPECT_TRUE(server->Join());
+}
+
+TEST(ServerLoopback, ShardSplitUnsupportedWithoutShardsOrWhenPinned) {
+  {
+    FilterSpec spec;
+    ParseFilterKind("vcf", spec);
+    spec.params = CuckooParams::ForSlotsLog2(14);
+    auto server = StartServer(spec, {});
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+    EXPECT_FALSE(c.ShardSplit(0));
+    EXPECT_NE(c.last_error().find("unsupported"), std::string::npos)
+        << c.last_error();
+    server->RequestShutdown();
+    EXPECT_TRUE(server->Join());
+  }
+  {
+    // Pinned mode fixes the shard→owner map at Start(); live topology and
+    // capacity changes are both refused.
+    VcfServer::Options options;
+    options.pin_shards = true;
+    options.threads = 2;
+    auto server = StartServer(ShardedVcfSpec(), options);
+    client::VcfClient c;
+    ASSERT_TRUE(c.Connect("127.0.0.1", server->port())) << c.last_error();
+    EXPECT_FALSE(c.ShardSplit(0));
+    EXPECT_NE(c.last_error().find("unsupported"), std::string::npos)
+        << c.last_error();
+    EXPECT_FALSE(c.Resize());
+    EXPECT_NE(c.last_error().find("unsupported"), std::string::npos)
+        << c.last_error();
+    server->RequestShutdown();
+    EXPECT_TRUE(server->Join());
+  }
+}
+
 TEST(ServerLoopback, HostileFramesGetErrorOrDisconnect) {
   auto server = StartServer(ShardedVcfSpec(), {});
 

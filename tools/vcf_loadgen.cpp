@@ -90,6 +90,13 @@ struct Config {
   unsigned server_threads = 0;
   /// Refuse (exit 64) instead of warn when the run oversubscribes the host.
   bool strict_cpus = false;
+  /// Growth drill (--ramp): insert --ramp_total sequential unique keys,
+  /// tagging each batch RTT as "steady" or "resize" by polling STATS for a
+  /// non-zero elastic migration backlog, then read every ACKed key back
+  /// (any miss is a lost insert / false negative — exit 3). Drives an
+  /// elastic vcfd across several growth steps without a restart.
+  bool ramp = false;
+  std::size_t ramp_total = 6'000'000;
 };
 
 /// CPU provenance of one run, recorded in the JSON "config" section so
@@ -336,6 +343,254 @@ Aggregate RunWorkers(const Config& cfg, unsigned worker_base) {
   return agg;
 }
 
+void EmitOpJson(std::ostream& out, const char* name,
+                const LatencyHistogram& h, std::uint64_t ops,
+                std::uint64_t requests);
+
+// --- Growth drill (--ramp) -------------------------------------------------
+//
+// The elastic acceptance scenario: one sequential-unique-key insert stream
+// per worker, long enough to push an elastic filter through several doubling
+// steps. A sampler thread polls STATS and publishes "a migration is in
+// flight right now" (elastic_backlog > 0); each batch RTT lands in the
+// steady or the resize histogram according to that flag, so the run can
+// report how much a concurrent migration costs p99 insert latency. Every
+// ACKed key is remembered and read back at the end — a miss means the
+// migration dropped an acknowledged insert, which is the one thing the
+// elastic design must never do.
+
+/// Key stream base for ramp workers (unique keys; disjoint from the
+/// prefill stream and the steady-state insert streams).
+constexpr std::uint64_t kRampStream = 700;
+
+struct RampResult {
+  LatencyHistogram steady_hist, resize_hist;
+  std::vector<std::uint8_t> acked;  ///< acked[i]: serial i was ACKed
+  std::uint64_t attempted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t errors = 0;
+  bool connect_failed = false;
+  std::string error;
+};
+
+void RampWorker(const Config& cfg, unsigned index, std::size_t total_keys,
+                const std::atomic<bool>& resizing, RampResult& result) {
+  if (!cfg.cpu_list.empty()) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cfg.cpu_list[index % cfg.cpu_list.size()], &set);
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+  VcfClient client;
+  if (!ConnectWorker(cfg, client)) {
+    result.connect_failed = true;
+    result.error = client.last_error();
+    return;
+  }
+  const std::uint64_t stream = kRampStream + index;
+  result.acked.assign(total_keys, 0);
+  std::vector<std::uint64_t> keys(cfg.batch);
+  const auto flags = std::make_unique<bool[]>(cfg.batch);
+  Stopwatch clock;
+  std::size_t serial = 0;
+  while (serial < total_keys) {
+    const std::size_t n = std::min(cfg.batch, total_keys - serial);
+    for (std::size_t i = 0; i < n; ++i) {
+      keys[i] = vcf::UniformKeyAt(stream, serial + i);
+    }
+    // Sample the migration flag at batch start; a poll-rate race only
+    // mis-files a handful of boundary batches between the histograms.
+    const bool in_resize = resizing.load(std::memory_order_relaxed);
+    const std::uint64_t t0 = clock.ElapsedNanos();
+    bool ok = false;
+    client.InsertBatch({keys.data(), n}, flags.get(), &ok);
+    const std::uint64_t dt = clock.ElapsedNanos() - t0;
+    if (!ok) {
+      // Retry the same serials after reconnecting: none were recorded as
+      // ACKed, and re-inserting an already-landed key cannot lose it.
+      ++result.errors;
+      result.error = client.last_error();
+      if (!client.connected() && !ConnectWorker(cfg, client)) return;
+      continue;
+    }
+    (in_resize ? result.resize_hist : result.steady_hist).Record(dt);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (flags[i]) {
+        result.acked[serial + i] = 1;
+        ++result.accepted;
+      }
+    }
+    result.attempted += n;
+    serial += n;
+  }
+}
+
+/// Polls STATS every ~2ms on its own connection and publishes whether an
+/// elastic migration is currently in flight, plus how many polls saw one
+/// (the run's resize-window coverage).
+void RampStatsPoller(const Config& cfg, std::atomic<bool>& stop,
+                     std::atomic<bool>& resizing,
+                     std::atomic<std::uint64_t>& polls,
+                     std::atomic<std::uint64_t>& resize_polls) {
+  VcfClient client;
+  if (!client.Connect(cfg.host, cfg.port)) return;
+  while (!stop.load(std::memory_order_relaxed)) {
+    VcfClient::ServerStats s;
+    if (client.GetStats(s)) {
+      const bool busy = s.elastic_backlog > 0;
+      resizing.store(busy, std::memory_order_relaxed);
+      polls.fetch_add(1, std::memory_order_relaxed);
+      if (busy) resize_polls.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+/// Reads every ACKed key of one worker stream back through LOOKUP_BATCH and
+/// returns how many came back negative (each one is a lost insert).
+std::uint64_t VerifyAcked(VcfClient& client, unsigned index,
+                          const RampResult& r) {
+  constexpr std::size_t kChunk = 4096;
+  std::vector<std::uint64_t> keys;
+  keys.reserve(kChunk);
+  std::vector<std::uint8_t> hit(kChunk);
+  std::uint64_t missing = 0;
+  const std::uint64_t stream = kRampStream + index;
+  for (std::size_t base = 0; base < r.acked.size();) {
+    keys.clear();
+    while (base < r.acked.size() && keys.size() < kChunk) {
+      if (r.acked[base]) keys.push_back(vcf::UniformKeyAt(stream, base));
+      ++base;
+    }
+    if (keys.empty()) continue;
+    if (!client.LookupBatch(keys, reinterpret_cast<bool*>(hit.data()))) {
+      return r.accepted;  // transport loss: count the whole rest as unverified
+    }
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      if (!hit[i]) ++missing;
+    }
+  }
+  return missing;
+}
+
+int RunRamp(const Config& cfg, VcfClient& setup, const CpuProvenance& cpus) {
+  VcfClient::ServerStats before;
+  const bool have_before = setup.GetStats(before);
+
+  std::atomic<bool> poll_stop{false};
+  std::atomic<bool> resizing{false};
+  std::atomic<std::uint64_t> polls{0}, resize_polls{0};
+  std::thread poller(RampStatsPoller, std::cref(cfg), std::ref(poll_stop),
+                     std::ref(resizing), std::ref(polls),
+                     std::ref(resize_polls));
+
+  const std::size_t per_worker =
+      (cfg.ramp_total + cfg.threads - 1) / cfg.threads;
+  std::vector<RampResult> results(cfg.threads);
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.threads);
+  Stopwatch run_clock;
+  for (unsigned i = 0; i < cfg.threads; ++i) {
+    threads.emplace_back(RampWorker, std::cref(cfg), i, per_worker,
+                         std::cref(resizing), std::ref(results[i]));
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s = run_clock.ElapsedSeconds();
+  poll_stop.store(true);
+  poller.join();
+
+  LatencyHistogram steady, resize;
+  std::uint64_t attempted = 0, accepted = 0, errors = 0;
+  for (const RampResult& r : results) {
+    if (r.connect_failed) {
+      std::cerr << "error: ramp worker connect failed: " << r.error << "\n";
+      return 1;
+    }
+    steady.Merge(r.steady_hist);
+    resize.Merge(r.resize_hist);
+    attempted += r.attempted;
+    accepted += r.accepted;
+    errors += r.errors;
+  }
+
+  // Read-back: every ACKed key must still be a member (the migration may
+  // never lose one, and dual-table reads may never miss one mid-flight).
+  std::uint64_t false_negatives = 0;
+  for (unsigned i = 0; i < cfg.threads; ++i) {
+    false_negatives += VerifyAcked(setup, i, results[i]);
+  }
+
+  VcfClient::ServerStats after;
+  const bool have_after = setup.GetStats(after);
+  const double p99_ratio =
+      steady.P99() > 0 && resize.Count() > 0
+          ? static_cast<double>(resize.P99()) / static_cast<double>(steady.P99())
+          : 0.0;
+
+  std::fprintf(stderr,
+               "ramp: %" PRIu64 "/%" PRIu64 " keys ACKed in %.2fs "
+               "(%u workers, batch=%zu, %" PRIu64 " errors)\n",
+               accepted, attempted, elapsed_s, cfg.threads, cfg.batch, errors);
+  if (have_before && have_after) {
+    std::fprintf(stderr,
+                 "  slots %" PRIu64 " -> %" PRIu64 ", resizes=%" PRIu64
+                 ", dual_reads=%" PRIu64 ", backlog=%" PRIu64 "\n",
+                 before.slots, after.slots, after.elastic_resizes,
+                 after.elastic_dual_reads, after.elastic_backlog);
+  }
+  std::cerr << "  steady insert: " << steady.Summary() << "\n"
+            << "  resize insert: " << resize.Summary() << "\n";
+  std::fprintf(stderr,
+               "  p99 resize/steady = %.2fx, false negatives = %" PRIu64 "\n",
+               p99_ratio, false_negatives);
+
+  if (!cfg.json_out.empty()) {
+    std::ofstream out(cfg.json_out);
+    if (!out) {
+      std::cerr << "error: cannot write " << cfg.json_out << "\n";
+      return 1;
+    }
+    out << "{\n"
+        << "  \"config\": {\"host\": \"" << cfg.host << "\", \"port\": "
+        << cfg.port << ", \"threads\": " << cfg.threads
+        << ", \"mode\": \"ramp\", \"batch\": " << cfg.batch
+        << ", \"ramp_total\": " << cfg.ramp_total
+        << ", \"prefill\": " << cfg.prefill
+        << ", \"server_threads\": " << cfg.server_threads
+        << ", \"host_cpus\": " << cpus.host_cpus
+        << ", \"oversubscribed\": " << (cpus.oversubscribed ? "true" : "false")
+        << ", \"cpu_warning\": \"" << cpus.warning << "\"},\n"
+        << "  \"server\": {\"name\": \""
+        << (have_after ? after.name : "") << "\", \"slots_before\": "
+        << (have_before ? before.slots : 0) << ", \"slots_after\": "
+        << (have_after ? after.slots : 0) << ", \"items\": "
+        << (have_after ? after.items : 0) << ", \"load_factor\": "
+        << (have_after ? after.load_factor : 0.0) << ", \"resizes\": "
+        << (have_after ? after.elastic_resizes : 0) << ", \"dual_reads\": "
+        << (have_after ? after.elastic_dual_reads : 0) << ", \"backlog\": "
+        << (have_after ? after.elastic_backlog : 0) << "},\n"
+        << "  \"ramp\": {\"attempted\": " << attempted << ", \"acked\": "
+        << accepted << ", \"errors\": " << errors
+        << ", \"false_negatives\": " << false_negatives
+        << ", \"duration_s\": " << elapsed_s << ", \"stats_polls\": "
+        << polls.load() << ", \"resize_polls\": " << resize_polls.load()
+        << ", \"p99_resize_over_steady\": " << p99_ratio << "},\n";
+    EmitOpJson(out, "steady_insert", steady, steady.Count(),
+               steady.Count());
+    out << ",\n";
+    EmitOpJson(out, "resize_insert", resize, resize.Count(),
+               resize.Count());
+    out << "\n}\n";
+    if (!out.good()) {
+      std::cerr << "error: short write to " << cfg.json_out << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << cfg.json_out << "\n";
+  }
+  if (false_negatives > 0) return 3;  // an ACKed key went missing
+  return errors > attempted / 100 ? 2 : 0;
+}
+
 void PutU64(std::ostream& out, std::uint64_t v) {
   char b[8];
   for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
@@ -432,6 +687,17 @@ int Usage(int code) {
          "                           defaults to --lookup_pct=98 --dist=zipf\n"
          "                           --universe=<prefill> (tiered filters:\n"
          "                           probes the frozen segments)\n"
+         "  --ramp                   growth drill: insert --ramp_total "
+         "sequential\n"
+         "                           unique keys, tag each batch steady/"
+         "resize by\n"
+         "                           polling STATS for a migration backlog, "
+         "then\n"
+         "                           read every ACKed key back (a miss exits "
+         "3).\n"
+         "                           Defaults --prefill=0; reports p99 "
+         "resize/steady\n"
+         "  --ramp_total=N           keys the ramp inserts (default 6e6)\n"
          "  --rate=R                 open-loop requests/s per thread "
          "(0 = closed loop)\n"
          "  --processes=P            fork P generator processes, each with\n"
@@ -474,7 +740,15 @@ int main(int argc, char** argv) {
   cfg.batch = static_cast<std::size_t>(flags.GetInt("batch", 64));
   cfg.dist = flags.GetString("dist", cfg.read_heavy ? "zipf" : cfg.dist);
   cfg.zipf_s = flags.GetDouble("zipf_s", cfg.zipf_s);
-  cfg.prefill = static_cast<std::size_t>(flags.GetInt("prefill", 1 << 18));
+  cfg.ramp = flags.GetBool("ramp");
+  cfg.ramp_total = static_cast<std::size_t>(flags.GetInt(
+      "ramp_total",
+      flags.GetInt("ramp-total",
+                   static_cast<long long>(cfg.ramp_total))));
+  // The ramp drill measures growth from (near) empty, so it skips the
+  // prefill unless one is asked for explicitly.
+  cfg.prefill = static_cast<std::size_t>(
+      flags.GetInt("prefill", cfg.ramp ? 0 : 1 << 18));
   // In the cold-set scenario the rank universe IS the prefilled set, so
   // Zipf mass covers exactly the resident keys unless overridden.
   cfg.universe = static_cast<std::size_t>(flags.GetInt(
@@ -532,6 +806,8 @@ int main(int argc, char** argv) {
     }
     std::cerr << "prefilled " << accepted << "/" << cfg.prefill << " keys\n";
   }
+
+  if (cfg.ramp) return RunRamp(cfg, setup, cpus);
 
   Aggregate agg;
   if (cfg.processes == 1) {

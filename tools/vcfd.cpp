@@ -42,6 +42,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/elastic_filter.hpp"
 #include "harness/filter_factory.hpp"
 #include "harness/flags.hpp"
 #include "server/poller.hpp"
@@ -100,6 +101,11 @@ int Usage(int code) {
          "  --replicate-from=HOST:PORT  replica mode: stream the primary's "
          "op log,\n"
          "                  serve lookups, reject writes with READ_ONLY\n"
+         "  --auto-grow=0|1 elastic leaves grow themselves past the "
+         "watermark\n"
+         "                  (default 1; 0 = grow only on RESIZE requests;\n"
+         "                  tune with --grow_watermark / --grow_hysteresis /\n"
+         "                  --migrate_step below)\n"
          "  filter construction (same flags as vcf_tool):\n"
       << vcf::kFilterFlagsHelp;
   return code;
@@ -187,7 +193,19 @@ int main(int argc, char** argv) {
     options.repl_meta_path = options.state_path + ".rseq";
   }
 
-  vcf::server::VcfServer server(vcf::MakeFilter(spec), options);
+  auto filter = vcf::MakeFilter(spec);
+  // The watermark policy lives in the elastic leaves; apply the flag before
+  // the server starts serving (after that, growth toggles go via RESIZE).
+  const bool auto_grow =
+      flags.GetBool("auto-grow", flags.GetBool("auto_grow", true));
+  if (!auto_grow) {
+    filter->ForEachLeaf([](vcf::Filter& leaf) {
+      if (auto* e = dynamic_cast<vcf::ElasticFilter*>(&leaf)) {
+        e->SetAutoGrow(false);
+      }
+    });
+  }
+  vcf::server::VcfServer server(std::move(filter), options);
 
   std::unique_ptr<vcf::server::ReplicaSession> session;
   std::uint64_t resume_seq = 0;
